@@ -1,0 +1,313 @@
+//! The creator / scammer / buyer economy simulation (experiment E10).
+//!
+//! Models the paper's §IV-A market dilemma. Three creator policies are
+//! compared on the same agent population:
+//!
+//! * **open** — everyone sells; scammers operate freely.
+//! * **invite-only** — an allowlist excludes scammers *and* most honest
+//!   newcomers ("diminishes the advantages of NFTs as an open-access
+//!   content creation tool").
+//! * **reputation-gated** — everyone starts admitted; buyers report
+//!   scam purchases, reports depress reputation, and scammers fall below
+//!   the gate — the paper's proposed community remedy.
+//!
+//! The report captures the trade-off the paper describes qualitatively:
+//! openness (fraction of honest creators able to sell) versus scam rate
+//! (fraction of sales that were scams).
+
+use std::collections::HashSet;
+
+use metaverse_reputation::engine::{EngineConfig, ReputationEngine};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::market::{AdmissionPolicy, Marketplace};
+use crate::registry::NftRegistry;
+
+/// Parameters of an economy run.
+#[derive(Debug, Clone)]
+pub struct EconomyConfig {
+    /// Honest creators (mint original, high-quality work).
+    pub honest_creators: usize,
+    /// Scam creators (mint derivative, low-quality work).
+    pub scammers: usize,
+    /// Buyer population.
+    pub buyers: usize,
+    /// Simulation rounds.
+    pub rounds: usize,
+    /// Probability a buyer recognises a scam purchase and reports it.
+    pub scam_detection: f64,
+    /// Flat sale price.
+    pub price: u64,
+    /// Reputation threshold for the gated policy.
+    pub gate_points: f64,
+    /// Fraction of honest creators on the invite list.
+    pub invite_fraction: f64,
+}
+
+impl Default for EconomyConfig {
+    fn default() -> Self {
+        EconomyConfig {
+            honest_creators: 40,
+            scammers: 10,
+            buyers: 100,
+            rounds: 50,
+            scam_detection: 0.5,
+            price: 100,
+            gate_points: 35.0,
+            invite_fraction: 0.4,
+        }
+    }
+}
+
+/// Outcome of one economy run — a row in the E10 table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EconomyReport {
+    /// Policy label.
+    pub policy: String,
+    /// Fraction of *honest* creators who managed to sell at least once.
+    pub honest_openness: f64,
+    /// Fraction of completed sales that were scam assets.
+    pub scam_sale_rate: f64,
+    /// Total revenue earned by honest creators.
+    pub honest_revenue: u64,
+    /// Total revenue earned by scammers.
+    pub scam_revenue: u64,
+    /// Scam sale rate in the final quarter of the run (shows convergence
+    /// of the reputation gate).
+    pub late_scam_rate: f64,
+    /// Total completed sales.
+    pub total_sales: usize,
+}
+
+/// The simulation driver.
+#[derive(Debug)]
+pub struct NftEconomy {
+    config: EconomyConfig,
+}
+
+impl NftEconomy {
+    /// Creates a driver for the given configuration.
+    pub fn new(config: EconomyConfig) -> Self {
+        NftEconomy { config }
+    }
+
+    fn honest_name(i: usize) -> String {
+        format!("creator-{i}")
+    }
+
+    fn scammer_name(i: usize) -> String {
+        format!("scammer-{i}")
+    }
+
+    /// Runs the economy under `policy_kind` ("open", "invite-only",
+    /// "reputation-gated") and returns the report.
+    pub fn run<R: Rng + ?Sized>(&self, policy_kind: &str, rng: &mut R) -> EconomyReport {
+        let cfg = &self.config;
+        let policy = match policy_kind {
+            "invite-only" => {
+                let take = ((cfg.honest_creators as f64) * cfg.invite_fraction).round() as usize;
+                let invited: HashSet<String> =
+                    (0..take).map(Self::honest_name).collect();
+                AdmissionPolicy::InviteOnly { invited }
+            }
+            "reputation-gated" => AdmissionPolicy::ReputationGated { min_points: cfg.gate_points },
+            _ => AdmissionPolicy::Open,
+        };
+
+        let mut registry = NftRegistry::new();
+        let mut market = Marketplace::new(policy);
+        let mut reputation = ReputationEngine::new(EngineConfig {
+            epoch_action_limit: u32::MAX,
+            decay_half_life: 0,
+            ..EngineConfig::default()
+        });
+
+        let mut creators: Vec<(String, bool)> = Vec::new(); // (name, is_scammer)
+        for i in 0..cfg.honest_creators {
+            creators.push((Self::honest_name(i), false));
+        }
+        for i in 0..cfg.scammers {
+            creators.push((Self::scammer_name(i), true));
+        }
+        for (name, _) in &creators {
+            reputation.register(name, 0).unwrap();
+        }
+        let buyer_names: Vec<String> = (0..cfg.buyers).map(|i| format!("buyer-{i}")).collect();
+        for b in &buyer_names {
+            reputation.register(b, 0).unwrap();
+            market.deposit(b, cfg.price * cfg.rounds as u64);
+        }
+
+        let mut sold_honest: HashSet<String> = HashSet::new();
+        let mut sales_scam_flags: Vec<bool> = Vec::new();
+        let (mut honest_revenue, mut scam_revenue) = (0u64, 0u64);
+        let mut content_counter = 0u64;
+
+        for round in 0..cfg.rounds {
+            let now = round as u64;
+            // 1. Creators mint and list.
+            for (name, is_scammer) in &creators {
+                content_counter += 1;
+                let quality = if *is_scammer {
+                    rng.gen_range(0.0..0.25)
+                } else {
+                    rng.gen_range(0.6..1.0)
+                };
+                let content = format!("content:{name}:{content_counter}");
+                let Ok(id) =
+                    registry.mint(name, &format!("meta://{name}/{content_counter}"), content.as_bytes(), quality, now)
+                else {
+                    continue;
+                };
+                // Listing is where the admission policy bites.
+                let _ = market.list(&registry, Some(&reputation), name, id, cfg.price, now);
+            }
+
+            // 2. Buyers purchase random listings.
+            for buyer in &buyer_names {
+                let listings = market.listings();
+                if listings.is_empty() {
+                    break;
+                }
+                let pick = listings[rng.gen_range(0..listings.len())].asset;
+                let Ok(sale) = market.buy(&mut registry, buyer, pick, now) else {
+                    continue;
+                };
+                let nft = registry.get(sale.asset).expect("sold asset exists");
+                let is_scam = creators
+                    .iter()
+                    .find(|(n, _)| *n == sale.seller)
+                    .map(|(_, s)| *s)
+                    .unwrap_or(false);
+                sales_scam_flags.push(is_scam);
+                if is_scam {
+                    scam_revenue += sale.price;
+                    // Imperfect detection: quality is only noisily
+                    // observable post-purchase.
+                    let p = cfg.scam_detection * (1.0 - nft.quality);
+                    if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                        let _ = reputation.report(buyer, &sale.seller, now);
+                    }
+                } else {
+                    honest_revenue += sale.price;
+                    sold_honest.insert(sale.seller.clone());
+                    if rng.gen_bool(0.1) {
+                        let _ = reputation.endorse(buyer, &sale.seller, now);
+                    }
+                }
+            }
+        }
+
+        let total_sales = sales_scam_flags.len();
+        let scam_sales = sales_scam_flags.iter().filter(|s| **s).count();
+        let late_start = total_sales - total_sales / 4;
+        let late = &sales_scam_flags[late_start..];
+        let late_scams = late.iter().filter(|s| **s).count();
+
+        EconomyReport {
+            policy: policy_kind.to_string(),
+            honest_openness: sold_honest.len() as f64 / cfg.honest_creators.max(1) as f64,
+            scam_sale_rate: if total_sales == 0 {
+                0.0
+            } else {
+                scam_sales as f64 / total_sales as f64
+            },
+            honest_revenue,
+            scam_revenue,
+            late_scam_rate: if late.is_empty() {
+                0.0
+            } else {
+                late_scams as f64 / late.len() as f64
+            },
+            total_sales,
+        }
+    }
+
+    /// Runs all three policies with independent RNG streams derived from
+    /// `seed` and returns the comparison rows.
+    pub fn compare(&self, seed: u64) -> Vec<EconomyReport> {
+        use rand::SeedableRng;
+        ["open", "invite-only", "reputation-gated"]
+            .iter()
+            .map(|p| {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+                self.run(p, &mut rng)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> EconomyConfig {
+        EconomyConfig {
+            honest_creators: 20,
+            scammers: 6,
+            buyers: 40,
+            rounds: 30,
+            ..EconomyConfig::default()
+        }
+    }
+
+    #[test]
+    fn open_policy_maximizes_openness() {
+        let reports = NftEconomy::new(small()).compare(11);
+        let open = &reports[0];
+        let invite = &reports[1];
+        assert!(open.honest_openness > invite.honest_openness);
+        assert!(open.honest_openness > 0.8, "open: {}", open.honest_openness);
+    }
+
+    #[test]
+    fn invite_only_minimizes_scams_but_closes_market() {
+        let reports = NftEconomy::new(small()).compare(12);
+        let invite = &reports[1];
+        assert_eq!(invite.scam_sale_rate, 0.0, "no scammer is ever invited");
+        assert!(
+            invite.honest_openness < 0.6,
+            "invite list excludes most honest creators: {}",
+            invite.honest_openness
+        );
+    }
+
+    #[test]
+    fn reputation_gate_converges_to_low_scam_rate() {
+        let reports = NftEconomy::new(small()).compare(13);
+        let open = &reports[0];
+        let gated = &reports[2];
+        assert!(
+            gated.late_scam_rate < open.late_scam_rate,
+            "gate should squeeze out scammers late: gated {} vs open {}",
+            gated.late_scam_rate,
+            open.late_scam_rate
+        );
+        assert!(
+            gated.honest_openness > 0.7,
+            "gate keeps honest creators in: {}",
+            gated.honest_openness
+        );
+    }
+
+    #[test]
+    fn reports_have_sane_ranges() {
+        for report in NftEconomy::new(small()).compare(14) {
+            assert!((0.0..=1.0).contains(&report.honest_openness), "{report:?}");
+            assert!((0.0..=1.0).contains(&report.scam_sale_rate), "{report:?}");
+            assert!((0.0..=1.0).contains(&report.late_scam_rate), "{report:?}");
+            assert!(report.total_sales > 0, "{report:?}");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = NftEconomy::new(small()).compare(42);
+        let b = NftEconomy::new(small()).compare(42);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.total_sales, y.total_sales);
+            assert_eq!(x.honest_revenue, y.honest_revenue);
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Error types for the assets crate.
+
+use crate::nft::NftId;
+
+/// Errors returned by asset operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AssetError {
+    /// The asset does not exist.
+    UnknownAsset {
+        /// The missing id.
+        id: NftId,
+    },
+    /// The actor does not own the asset.
+    NotOwner {
+        /// The asset.
+        id: NftId,
+        /// Who tried to act.
+        actor: String,
+        /// Who actually owns it.
+        owner: String,
+    },
+    /// Minting identical content to an existing asset (scam copy).
+    DuplicateContent {
+        /// The pre-existing asset with the same content hash.
+        original: NftId,
+    },
+    /// The creator is not admitted by the marketplace policy.
+    NotAdmitted {
+        /// The rejected creator.
+        creator: String,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The asset is not listed for sale.
+    NotListed {
+        /// The unlisted asset.
+        id: NftId,
+    },
+    /// The asset is already listed.
+    AlreadyListed {
+        /// The listed asset.
+        id: NftId,
+    },
+    /// The buyer cannot afford the listing.
+    InsufficientFunds {
+        /// The buyer.
+        buyer: String,
+        /// Listing price.
+        price: u64,
+        /// Buyer balance.
+        balance: u64,
+    },
+    /// Buying your own listing.
+    SelfPurchase {
+        /// The account involved.
+        account: String,
+    },
+}
+
+impl std::fmt::Display for AssetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AssetError::UnknownAsset { id } => write!(f, "unknown asset {id}"),
+            AssetError::NotOwner { id, actor, owner } => {
+                write!(f, "{actor:?} does not own asset {id} (owner {owner:?})")
+            }
+            AssetError::DuplicateContent { original } => {
+                write!(f, "content duplicates existing asset {original}")
+            }
+            AssetError::NotAdmitted { creator, reason } => {
+                write!(f, "creator {creator:?} not admitted: {reason}")
+            }
+            AssetError::NotListed { id } => write!(f, "asset {id} is not listed"),
+            AssetError::AlreadyListed { id } => write!(f, "asset {id} is already listed"),
+            AssetError::InsufficientFunds { buyer, price, balance } => {
+                write!(f, "{buyer:?} cannot pay {price} (balance {balance})")
+            }
+            AssetError::SelfPurchase { account } => {
+                write!(f, "{account:?} cannot buy their own listing")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AssetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_ids() {
+        let e = AssetError::UnknownAsset { id: 42 };
+        assert!(e.to_string().contains("42"));
+    }
+}

@@ -1,0 +1,43 @@
+//! # metaverse-assets
+//!
+//! Non-fungible assets, provenance, and marketplace policies for
+//! `metaverse-kit`, implementing §IV-A of the paper:
+//!
+//! > "NFTs are a one-to-one mapping between an owner (represented by a
+//! > crypto wallet address) and the asset referencing the NFT (usually by
+//! > a uniform resource identifier, URI). NFTs replicate the properties
+//! > of physical objects such as scarcity and uniqueness."
+//!
+//! and its open problem:
+//!
+//! > "Several trading platforms of NFT are using 'invite-only' policies
+//! > […] This kind of policy diminishes the advantages of NFTs as an
+//! > open-access content creation tool. A possible solution can be seen
+//! > in using DAOs and users of the platform to implement a
+//! > reputation-based system where everyone can vote and enforce norms to
+//! > keep the quality of NFTs and reduce scams."
+//!
+//! Components:
+//!
+//! * [`nft`] — assets with ledger-hashable content and full provenance.
+//! * [`registry`] — mint/transfer with uniqueness (duplicate-content
+//!   detection) and ledger-record export.
+//! * [`market`] — listings, sales, and the three admission policies the
+//!   paper contrasts: open, invite-only, and reputation-gated.
+//! * [`economy`] — the creator/scammer/buyer agent simulation behind
+//!   experiment E10.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod economy;
+pub mod error;
+pub mod market;
+pub mod nft;
+pub mod registry;
+
+pub use economy::{EconomyConfig, EconomyReport, NftEconomy};
+pub use error::AssetError;
+pub use market::{AdmissionPolicy, Listing, Marketplace, SaleRecord};
+pub use nft::{Nft, NftId, Transfer};
+pub use registry::NftRegistry;

@@ -1,0 +1,358 @@
+//! The NFT marketplace and its admission policies.
+//!
+//! The paper contrasts three ways of deciding who may sell (§IV-A):
+//! fully open access (maximal openness, maximal scam exposure),
+//! invite-only lists ("diminishes the advantages of NFTs as an
+//! open-access content creation tool"), and the community's proposed
+//! remedy — a reputation-based gate enforced by DAO-governed norms.
+//! [`AdmissionPolicy`] makes the three swappable; experiment E10 runs the
+//! same economy under each and reports openness vs. scam rate.
+
+use std::collections::{BTreeMap, HashSet};
+
+use metaverse_reputation::engine::ReputationEngine;
+use serde::{Deserialize, Serialize};
+
+use crate::error::AssetError;
+use crate::nft::NftId;
+use crate::registry::NftRegistry;
+
+/// Who is allowed to list assets for sale.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub enum AdmissionPolicy {
+    /// Anyone may sell.
+    Open,
+    /// Only explicitly invited creators may sell.
+    InviteOnly {
+        /// The invited set.
+        invited: HashSet<String>,
+    },
+    /// Creators must hold at least `min_points` reputation.
+    ReputationGated {
+        /// Minimum reputation in points (0–100).
+        min_points: f64,
+    },
+}
+
+impl AdmissionPolicy {
+    /// Short label for report tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AdmissionPolicy::Open => "open",
+            AdmissionPolicy::InviteOnly { .. } => "invite-only",
+            AdmissionPolicy::ReputationGated { .. } => "reputation-gated",
+        }
+    }
+
+    /// Whether `creator` may list, consulting `reputation` when gated.
+    pub fn admits(&self, creator: &str, reputation: Option<&ReputationEngine>) -> bool {
+        match self {
+            AdmissionPolicy::Open => true,
+            AdmissionPolicy::InviteOnly { invited } => invited.contains(creator),
+            AdmissionPolicy::ReputationGated { min_points } => reputation
+                .and_then(|r| r.score(creator).ok())
+                .map(|s| s.points() >= *min_points)
+                .unwrap_or(false),
+        }
+    }
+}
+
+/// An active sale listing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Listing {
+    /// The asset for sale.
+    pub asset: NftId,
+    /// Seller account (must own the asset).
+    pub seller: String,
+    /// Asking price.
+    pub price: u64,
+    /// Tick the listing was created.
+    pub listed_at: u64,
+}
+
+/// A completed sale, for reporting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SaleRecord {
+    /// The asset sold.
+    pub asset: NftId,
+    /// Seller.
+    pub seller: String,
+    /// Buyer.
+    pub buyer: String,
+    /// Price paid.
+    pub price: u64,
+    /// Tick of the sale.
+    pub tick: u64,
+}
+
+/// The marketplace: balances, listings, sales, and the admission gate.
+#[derive(Debug)]
+pub struct Marketplace {
+    policy: AdmissionPolicy,
+    listings: BTreeMap<NftId, Listing>,
+    balances: BTreeMap<String, u64>,
+    sales: Vec<SaleRecord>,
+    /// Creators turned away by the admission policy (openness metric).
+    rejected_creators: HashSet<String>,
+}
+
+impl Marketplace {
+    /// Creates a marketplace with the given admission policy.
+    pub fn new(policy: AdmissionPolicy) -> Self {
+        Marketplace {
+            policy,
+            listings: BTreeMap::new(),
+            balances: BTreeMap::new(),
+            sales: Vec::new(),
+            rejected_creators: HashSet::new(),
+        }
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> &AdmissionPolicy {
+        &self.policy
+    }
+
+    /// Swaps the admission policy (module swap).
+    pub fn set_policy(&mut self, policy: AdmissionPolicy) {
+        self.policy = policy;
+    }
+
+    /// Credits an account's wallet.
+    pub fn deposit(&mut self, account: &str, amount: u64) {
+        *self.balances.entry(account.to_string()).or_insert(0) += amount;
+    }
+
+    /// Current wallet balance.
+    pub fn balance(&self, account: &str) -> u64 {
+        self.balances.get(account).copied().unwrap_or(0)
+    }
+
+    /// Lists an owned asset for sale, subject to the admission policy.
+    pub fn list(
+        &mut self,
+        registry: &NftRegistry,
+        reputation: Option<&ReputationEngine>,
+        seller: &str,
+        asset: NftId,
+        price: u64,
+        now: u64,
+    ) -> Result<(), AssetError> {
+        let nft = registry.get(asset).ok_or(AssetError::UnknownAsset { id: asset })?;
+        if nft.owner != seller {
+            return Err(AssetError::NotOwner {
+                id: asset,
+                actor: seller.to_string(),
+                owner: nft.owner.clone(),
+            });
+        }
+        if !self.policy.admits(seller, reputation) {
+            self.rejected_creators.insert(seller.to_string());
+            return Err(AssetError::NotAdmitted {
+                creator: seller.to_string(),
+                reason: format!("policy {}", self.policy.label()),
+            });
+        }
+        if self.listings.contains_key(&asset) {
+            return Err(AssetError::AlreadyListed { id: asset });
+        }
+        self.listings.insert(
+            asset,
+            Listing { asset, seller: seller.to_string(), price, listed_at: now },
+        );
+        Ok(())
+    }
+
+    /// Withdraws a listing.
+    pub fn delist(&mut self, seller: &str, asset: NftId) -> Result<(), AssetError> {
+        match self.listings.get(&asset) {
+            Some(l) if l.seller == seller => {
+                self.listings.remove(&asset);
+                Ok(())
+            }
+            Some(l) => Err(AssetError::NotOwner {
+                id: asset,
+                actor: seller.to_string(),
+                owner: l.seller.clone(),
+            }),
+            None => Err(AssetError::NotListed { id: asset }),
+        }
+    }
+
+    /// Buys a listed asset: moves funds, transfers ownership in the
+    /// registry, records the sale.
+    pub fn buy(
+        &mut self,
+        registry: &mut NftRegistry,
+        buyer: &str,
+        asset: NftId,
+        now: u64,
+    ) -> Result<SaleRecord, AssetError> {
+        let listing =
+            self.listings.get(&asset).cloned().ok_or(AssetError::NotListed { id: asset })?;
+        if listing.seller == buyer {
+            return Err(AssetError::SelfPurchase { account: buyer.to_string() });
+        }
+        let balance = self.balance(buyer);
+        if balance < listing.price {
+            return Err(AssetError::InsufficientFunds {
+                buyer: buyer.to_string(),
+                price: listing.price,
+                balance,
+            });
+        }
+        registry.transfer(asset, &listing.seller, buyer, listing.price, now)?;
+        *self.balances.get_mut(buyer).expect("checked") -= listing.price;
+        *self.balances.entry(listing.seller.clone()).or_insert(0) += listing.price;
+        self.listings.remove(&asset);
+        let record = SaleRecord {
+            asset,
+            seller: listing.seller,
+            buyer: buyer.to_string(),
+            price: listing.price,
+            tick: now,
+        };
+        self.sales.push(record.clone());
+        Ok(record)
+    }
+
+    /// Active listings, cheapest first.
+    pub fn listings(&self) -> Vec<&Listing> {
+        let mut ls: Vec<&Listing> = self.listings.values().collect();
+        ls.sort_by_key(|l| l.price);
+        ls
+    }
+
+    /// Completed sales, oldest first.
+    pub fn sales(&self) -> &[SaleRecord] {
+        &self.sales
+    }
+
+    /// Creators the policy has turned away so far.
+    pub fn rejected_creators(&self) -> &HashSet<String> {
+        &self.rejected_creators
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metaverse_reputation::engine::EngineConfig;
+
+    fn setup() -> (NftRegistry, Marketplace) {
+        let mut reg = NftRegistry::new();
+        let mut market = Marketplace::new(AdmissionPolicy::Open);
+        reg.mint("alice", "u1", b"art1", 0.9, 0).unwrap();
+        market.deposit("bob", 1000);
+        (reg, market)
+    }
+
+    #[test]
+    fn list_buy_roundtrip() {
+        let (mut reg, mut market) = setup();
+        market.list(&reg, None, "alice", 1, 100, 0).unwrap();
+        let sale = market.buy(&mut reg, "bob", 1, 1).unwrap();
+        assert_eq!(sale.price, 100);
+        assert_eq!(reg.get(1).unwrap().owner, "bob");
+        assert_eq!(market.balance("bob"), 900);
+        assert_eq!(market.balance("alice"), 100);
+        assert!(market.listings().is_empty());
+        assert_eq!(market.sales().len(), 1);
+    }
+
+    #[test]
+    fn non_owner_cannot_list() {
+        let (reg, mut market) = setup();
+        assert!(matches!(
+            market.list(&reg, None, "eve", 1, 5, 0),
+            Err(AssetError::NotOwner { .. })
+        ));
+    }
+
+    #[test]
+    fn double_listing_rejected() {
+        let (reg, mut market) = setup();
+        market.list(&reg, None, "alice", 1, 100, 0).unwrap();
+        assert!(matches!(
+            market.list(&reg, None, "alice", 1, 90, 0),
+            Err(AssetError::AlreadyListed { .. })
+        ));
+    }
+
+    #[test]
+    fn insufficient_funds() {
+        let (mut reg, mut market) = setup();
+        market.list(&reg, None, "alice", 1, 5000, 0).unwrap();
+        assert!(matches!(
+            market.buy(&mut reg, "bob", 1, 1),
+            Err(AssetError::InsufficientFunds { .. })
+        ));
+    }
+
+    #[test]
+    fn self_purchase_rejected() {
+        let (mut reg, mut market) = setup();
+        market.deposit("alice", 1000);
+        market.list(&reg, None, "alice", 1, 10, 0).unwrap();
+        assert!(matches!(
+            market.buy(&mut reg, "alice", 1, 1),
+            Err(AssetError::SelfPurchase { .. })
+        ));
+    }
+
+    #[test]
+    fn delist_requires_seller() {
+        let (reg, mut market) = setup();
+        market.list(&reg, None, "alice", 1, 100, 0).unwrap();
+        assert!(market.delist("bob", 1).is_err());
+        market.delist("alice", 1).unwrap();
+        assert!(matches!(market.delist("alice", 1), Err(AssetError::NotListed { .. })));
+    }
+
+    #[test]
+    fn invite_only_gate() {
+        let (reg, mut market) = setup();
+        let mut invited = HashSet::new();
+        invited.insert("vip".to_string());
+        market.set_policy(AdmissionPolicy::InviteOnly { invited });
+        let err = market.list(&reg, None, "alice", 1, 100, 0).unwrap_err();
+        assert!(matches!(err, AssetError::NotAdmitted { .. }));
+        assert!(market.rejected_creators().contains("alice"));
+    }
+
+    #[test]
+    fn reputation_gate() {
+        let (reg, mut market) = setup();
+        market.set_policy(AdmissionPolicy::ReputationGated { min_points: 40.0 });
+        let mut rep = ReputationEngine::new(EngineConfig::default());
+        rep.register("alice", 0).unwrap(); // prior 50 points
+        market.list(&reg, Some(&rep), "alice", 1, 100, 0).unwrap();
+
+        // Tank the score below the gate: listing a second asset fails.
+        rep.system_delta("alice", -20_000, "scam reports", 0).unwrap();
+        let mut reg2 = NftRegistry::new();
+        reg2.mint("alice", "u2", b"art2", 0.9, 0).unwrap();
+        let mut market2 = Marketplace::new(AdmissionPolicy::ReputationGated { min_points: 40.0 });
+        assert!(market2.list(&reg2, Some(&rep), "alice", 1, 100, 0).is_err());
+    }
+
+    #[test]
+    fn reputation_gate_without_engine_rejects() {
+        let (reg, mut market) = setup();
+        market.set_policy(AdmissionPolicy::ReputationGated { min_points: 0.0 });
+        assert!(market.list(&reg, None, "alice", 1, 100, 0).is_err());
+    }
+
+    #[test]
+    fn listings_sorted_by_price() {
+        let mut reg = NftRegistry::new();
+        let a = reg.mint("s", "u1", b"1", 0.5, 0).unwrap();
+        let b = reg.mint("s", "u2", b"2", 0.5, 0).unwrap();
+        let mut market = Marketplace::new(AdmissionPolicy::Open);
+        market.list(&reg, None, "s", a, 200, 0).unwrap();
+        market.list(&reg, None, "s", b, 100, 0).unwrap();
+        let prices: Vec<u64> = market.listings().iter().map(|l| l.price).collect();
+        assert_eq!(prices, vec![100, 200]);
+    }
+}

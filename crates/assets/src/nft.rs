@@ -1,0 +1,102 @@
+//! Non-fungible assets with content hashes and provenance.
+
+use metaverse_ledger::crypto::sha256::{sha256, Digest};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of an asset, unique within a registry.
+pub type NftId = u64;
+
+/// One ownership transfer in an asset's provenance chain.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Transfer {
+    /// Previous owner.
+    pub from: String,
+    /// New owner.
+    pub to: String,
+    /// Sale price (0 for gifts/mints).
+    pub price: u64,
+    /// Logical time of the transfer.
+    pub tick: u64,
+}
+
+/// A non-fungible asset.
+///
+/// The `content` bytes stand in for the referenced digital artwork; the
+/// registry hashes them so *identical* content cannot be re-minted — the
+/// simulation's model of "scammers […] sell copies" (§IV-A). `quality` is
+/// the asset's intrinsic quality in `[0, 1]`, observable to buyers only
+/// noisily, which is what makes low-quality scam NFTs sellable at all.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Nft {
+    /// Unique id within the registry.
+    pub id: NftId,
+    /// URI referencing the off-chain content.
+    pub uri: String,
+    /// Hash of the content bytes (uniqueness anchor).
+    pub content_hash: Digest,
+    /// Original creator (receives royalties).
+    pub creator: String,
+    /// Current owner.
+    pub owner: String,
+    /// Intrinsic quality in `[0, 1]` (simulation attribute).
+    pub quality: f64,
+    /// Tick at which the asset was minted.
+    pub minted_at: u64,
+    /// Full transfer history, oldest first.
+    pub provenance: Vec<Transfer>,
+}
+
+impl Nft {
+    /// Computes the content hash for raw content bytes.
+    pub fn hash_content(content: &[u8]) -> Digest {
+        sha256(content)
+    }
+
+    /// Number of times the asset has changed hands (excluding mint).
+    pub fn transfer_count(&self) -> usize {
+        self.provenance.len()
+    }
+
+    /// Whether `account` ever owned this asset.
+    pub fn was_owned_by(&self, account: &str) -> bool {
+        self.creator == account
+            || self.owner == account
+            || self.provenance.iter().any(|t| t.from == account || t.to == account)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nft() -> Nft {
+        Nft {
+            id: 1,
+            uri: "meta://art/1".into(),
+            content_hash: Nft::hash_content(b"pixels"),
+            creator: "alice".into(),
+            owner: "alice".into(),
+            quality: 0.8,
+            minted_at: 0,
+            provenance: vec![],
+        }
+    }
+
+    #[test]
+    fn content_hash_distinguishes() {
+        assert_ne!(Nft::hash_content(b"a"), Nft::hash_content(b"b"));
+        assert_eq!(Nft::hash_content(b"a"), Nft::hash_content(b"a"));
+    }
+
+    #[test]
+    fn ownership_history() {
+        let mut n = nft();
+        assert!(n.was_owned_by("alice"));
+        assert!(!n.was_owned_by("bob"));
+        n.provenance.push(Transfer { from: "alice".into(), to: "bob".into(), price: 5, tick: 1 });
+        n.owner = "bob".into();
+        assert!(n.was_owned_by("alice"), "provenance keeps past owners");
+        assert!(n.was_owned_by("bob"));
+        assert_eq!(n.transfer_count(), 1);
+    }
+}

@@ -1,0 +1,229 @@
+//! The NFT registry: minting, transfers, uniqueness, ledger export.
+
+use std::collections::{BTreeMap, HashMap};
+
+use metaverse_ledger::crypto::sha256::Digest;
+use metaverse_ledger::tx::TxPayload;
+
+use crate::error::AssetError;
+use crate::nft::{Nft, NftId, Transfer};
+
+/// The authoritative record of all minted assets.
+///
+/// ```
+/// use metaverse_assets::registry::NftRegistry;
+/// let mut reg = NftRegistry::new();
+/// let id = reg.mint("alice", "meta://art/1", b"pixels", 0.9, 0).unwrap();
+/// reg.transfer(id, "alice", "bob", 100, 1).unwrap();
+/// assert_eq!(reg.get(id).unwrap().owner, "bob");
+/// assert!(reg.mint("eve", "meta://copy", b"pixels", 0.9, 2).is_err());
+/// ```
+#[derive(Debug, Default)]
+pub struct NftRegistry {
+    assets: BTreeMap<NftId, Nft>,
+    by_content: HashMap<Digest, NftId>,
+    next_id: NftId,
+    pending_records: Vec<TxPayload>,
+}
+
+impl NftRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        NftRegistry { next_id: 1, ..Default::default() }
+    }
+
+    /// Mints a new asset from content bytes.
+    ///
+    /// Rejects content identical to an already-minted asset — the
+    /// uniqueness property ("scarcity and uniqueness", §IV-A) that makes
+    /// outright copy-minting detectable on-chain.
+    pub fn mint(
+        &mut self,
+        creator: &str,
+        uri: &str,
+        content: &[u8],
+        quality: f64,
+        now: u64,
+    ) -> Result<NftId, AssetError> {
+        let content_hash = Nft::hash_content(content);
+        if let Some(&original) = self.by_content.get(&content_hash) {
+            return Err(AssetError::DuplicateContent { original });
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.by_content.insert(content_hash, id);
+        self.assets.insert(
+            id,
+            Nft {
+                id,
+                uri: uri.to_string(),
+                content_hash,
+                creator: creator.to_string(),
+                owner: creator.to_string(),
+                quality: quality.clamp(0.0, 1.0),
+                minted_at: now,
+                provenance: Vec::new(),
+            },
+        );
+        self.pending_records.push(TxPayload::AssetMint {
+            asset_id: id,
+            creator: creator.to_string(),
+            uri: uri.to_string(),
+        });
+        Ok(id)
+    }
+
+    /// Transfers ownership. `from` must be the current owner.
+    pub fn transfer(
+        &mut self,
+        id: NftId,
+        from: &str,
+        to: &str,
+        price: u64,
+        now: u64,
+    ) -> Result<(), AssetError> {
+        let asset = self.assets.get_mut(&id).ok_or(AssetError::UnknownAsset { id })?;
+        if asset.owner != from {
+            return Err(AssetError::NotOwner {
+                id,
+                actor: from.to_string(),
+                owner: asset.owner.clone(),
+            });
+        }
+        asset.provenance.push(Transfer {
+            from: from.to_string(),
+            to: to.to_string(),
+            price,
+            tick: now,
+        });
+        asset.owner = to.to_string();
+        self.pending_records.push(TxPayload::AssetTransfer {
+            asset_id: id,
+            from: from.to_string(),
+            to: to.to_string(),
+            price,
+        });
+        Ok(())
+    }
+
+    /// Looks up an asset.
+    pub fn get(&self, id: NftId) -> Option<&Nft> {
+        self.assets.get(&id)
+    }
+
+    /// Whether content with this hash is already minted; returns the
+    /// original asset id if so (near-duplicate detection hook).
+    pub fn find_by_content(&self, content: &[u8]) -> Option<NftId> {
+        self.by_content.get(&Nft::hash_content(content)).copied()
+    }
+
+    /// All assets currently owned by `account`.
+    pub fn owned_by(&self, account: &str) -> Vec<&Nft> {
+        self.assets.values().filter(|n| n.owner == account).collect()
+    }
+
+    /// All assets created by `account`.
+    pub fn created_by(&self, account: &str) -> Vec<&Nft> {
+        self.assets.values().filter(|n| n.creator == account).collect()
+    }
+
+    /// Number of minted assets.
+    pub fn len(&self) -> usize {
+        self.assets.len()
+    }
+
+    /// True when nothing has been minted.
+    pub fn is_empty(&self) -> bool {
+        self.assets.is_empty()
+    }
+
+    /// Iterates over all assets in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &Nft> {
+        self.assets.values()
+    }
+
+    /// Takes the ledger records accumulated since the last drain.
+    pub fn drain_ledger_records(&mut self) -> Vec<TxPayload> {
+        std::mem::take(&mut self.pending_records)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mint_and_lookup() {
+        let mut reg = NftRegistry::new();
+        let id = reg.mint("alice", "u", b"c1", 0.5, 7).unwrap();
+        let nft = reg.get(id).unwrap();
+        assert_eq!(nft.creator, "alice");
+        assert_eq!(nft.minted_at, 7);
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_content_rejected() {
+        let mut reg = NftRegistry::new();
+        let original = reg.mint("alice", "u1", b"same", 0.5, 0).unwrap();
+        let err = reg.mint("eve", "u2", b"same", 0.5, 1).unwrap_err();
+        assert_eq!(err, AssetError::DuplicateContent { original });
+        assert_eq!(reg.find_by_content(b"same"), Some(original));
+    }
+
+    #[test]
+    fn transfer_checks_ownership() {
+        let mut reg = NftRegistry::new();
+        let id = reg.mint("alice", "u", b"c", 0.5, 0).unwrap();
+        assert!(matches!(
+            reg.transfer(id, "eve", "mallory", 1, 1),
+            Err(AssetError::NotOwner { .. })
+        ));
+        reg.transfer(id, "alice", "bob", 10, 1).unwrap();
+        assert_eq!(reg.get(id).unwrap().owner, "bob");
+        reg.transfer(id, "bob", "carol", 20, 2).unwrap();
+        let nft = reg.get(id).unwrap();
+        assert_eq!(nft.provenance.len(), 2);
+        assert_eq!(nft.provenance[0].to, "bob");
+        assert!(nft.was_owned_by("alice"));
+    }
+
+    #[test]
+    fn unknown_asset_errors() {
+        let mut reg = NftRegistry::new();
+        assert!(matches!(
+            reg.transfer(99, "a", "b", 0, 0),
+            Err(AssetError::UnknownAsset { id: 99 })
+        ));
+        assert!(reg.get(99).is_none());
+    }
+
+    #[test]
+    fn ownership_views() {
+        let mut reg = NftRegistry::new();
+        let a = reg.mint("alice", "u1", b"1", 0.5, 0).unwrap();
+        let _b = reg.mint("alice", "u2", b"2", 0.5, 0).unwrap();
+        reg.transfer(a, "alice", "bob", 5, 1).unwrap();
+        assert_eq!(reg.owned_by("alice").len(), 1);
+        assert_eq!(reg.owned_by("bob").len(), 1);
+        assert_eq!(reg.created_by("alice").len(), 2);
+    }
+
+    #[test]
+    fn ledger_records_emitted() {
+        let mut reg = NftRegistry::new();
+        let id = reg.mint("alice", "u", b"c", 0.5, 0).unwrap();
+        reg.transfer(id, "alice", "bob", 10, 1).unwrap();
+        let records = reg.drain_ledger_records();
+        assert_eq!(records.len(), 2);
+        assert!(matches!(records[0], TxPayload::AssetMint { .. }));
+        assert!(matches!(records[1], TxPayload::AssetTransfer { price: 10, .. }));
+    }
+
+    #[test]
+    fn quality_clamped() {
+        let mut reg = NftRegistry::new();
+        let id = reg.mint("a", "u", b"c", 7.5, 0).unwrap();
+        assert_eq!(reg.get(id).unwrap().quality, 1.0);
+    }
+}

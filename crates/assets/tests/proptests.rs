@@ -1,0 +1,113 @@
+//! Property-based tests for asset-registry and marketplace invariants.
+
+use metaverse_assets::market::{AdmissionPolicy, Marketplace};
+use metaverse_assets::registry::NftRegistry;
+use proptest::prelude::*;
+
+proptest! {
+    /// Ownership conservation: after any sequence of transfers, every
+    /// asset has exactly one owner and its provenance chain links up.
+    #[test]
+    fn provenance_chains_link(
+        transfers in proptest::collection::vec((0usize..5, 0usize..5), 0..40),
+    ) {
+        let accounts = ["a", "b", "c", "d", "e"];
+        let mut registry = NftRegistry::new();
+        let id = registry.mint("a", "uri", b"content", 0.5, 0).unwrap();
+        let mut expected_owner = "a".to_string();
+        for (tick, (from, to)) in transfers.iter().enumerate() {
+            let (from, to) = (accounts[*from], accounts[*to]);
+            let result = registry.transfer(id, from, to, 1, tick as u64);
+            if from == expected_owner {
+                prop_assert!(result.is_ok());
+                expected_owner = to.to_string();
+            } else {
+                prop_assert!(result.is_err(), "non-owner transfer must fail");
+            }
+        }
+        let nft = registry.get(id).unwrap();
+        prop_assert_eq!(&nft.owner, &expected_owner);
+        // The provenance chain is contiguous from creator to owner.
+        let mut cursor = nft.creator.clone();
+        for hop in &nft.provenance {
+            prop_assert_eq!(&hop.from, &cursor);
+            cursor = hop.to.clone();
+        }
+        prop_assert_eq!(cursor, expected_owner);
+    }
+
+    /// Content uniqueness: minting any set of contents succeeds exactly
+    /// once per distinct content.
+    #[test]
+    fn duplicate_contents_rejected(
+        contents in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..8), 1..30),
+    ) {
+        let mut registry = NftRegistry::new();
+        let mut seen = std::collections::HashSet::new();
+        for (i, content) in contents.iter().enumerate() {
+            let result = registry.mint("c", &format!("u{i}"), content, 0.5, 0);
+            if seen.insert(content.clone()) {
+                prop_assert!(result.is_ok());
+            } else {
+                prop_assert!(result.is_err());
+            }
+        }
+        prop_assert_eq!(registry.len(), seen.len());
+    }
+
+    /// Money conservation in the marketplace: the sum of balances never
+    /// changes through any sequence of successful sales.
+    #[test]
+    fn marketplace_conserves_money(
+        prices in proptest::collection::vec(1u64..500, 1..15),
+    ) {
+        let mut registry = NftRegistry::new();
+        let mut market = Marketplace::new(AdmissionPolicy::Open);
+        market.deposit("buyer", 10_000);
+        market.deposit("seller", 0);
+        let total_before = market.balance("buyer") + market.balance("seller");
+
+        let mut sold = 0u64;
+        for (i, price) in prices.iter().enumerate() {
+            let id = registry
+                .mint("seller", &format!("u{i}"), format!("c{i}").as_bytes(), 0.5, 0)
+                .unwrap();
+            market.list(&registry, None, "seller", id, *price, 0).unwrap();
+            if market.buy(&mut registry, "buyer", id, 0).is_ok() {
+                sold += price;
+            }
+        }
+        let total_after = market.balance("buyer") + market.balance("seller");
+        prop_assert_eq!(total_before, total_after, "no money minted or burned");
+        prop_assert_eq!(market.balance("seller"), sold);
+    }
+
+    /// Listings and sales partition: an asset is never simultaneously
+    /// listed and sold, and every sale removes its listing.
+    #[test]
+    fn listings_and_sales_disjoint(
+        buy_mask in proptest::collection::vec(any::<bool>(), 1..20),
+    ) {
+        let mut registry = NftRegistry::new();
+        let mut market = Marketplace::new(AdmissionPolicy::Open);
+        market.deposit("buyer", 1_000_000);
+        let mut listed = Vec::new();
+        for (i, buy) in buy_mask.iter().enumerate() {
+            let id = registry
+                .mint("seller", &format!("u{i}"), format!("c{i}").as_bytes(), 0.5, 0)
+                .unwrap();
+            market.list(&registry, None, "seller", id, 10, 0).unwrap();
+            if *buy {
+                market.buy(&mut registry, "buyer", id, 0).unwrap();
+            } else {
+                listed.push(id);
+            }
+        }
+        let listing_ids: Vec<u64> = market.listings().iter().map(|l| l.asset).collect();
+        prop_assert_eq!(listing_ids.len(), listed.len());
+        for sale in market.sales() {
+            prop_assert!(!listing_ids.contains(&sale.asset));
+            prop_assert_eq!(registry.get(sale.asset).unwrap().owner.as_str(), "buyer");
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Criterion benchmarks for DAO voting: cast/tally cost per scheme and
+//! membership size (the throughput side of experiment E7).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use metaverse_dao::dao::{Dao, DaoConfig};
+use metaverse_dao::voting::{Choice, VotingScheme};
+
+fn dao_with_members(scheme: VotingScheme, members: usize) -> Dao {
+    let mut dao = Dao::new("bench", DaoConfig { scheme, ..DaoConfig::default() });
+    for m in 0..members {
+        dao.add_member(&format!("member-{m}")).unwrap();
+    }
+    dao
+}
+
+fn bench_cast(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dao/cast_full_round");
+    for &members in &[100usize, 1000] {
+        for scheme in [VotingScheme::OnePersonOneVote, VotingScheme::TokenWeighted] {
+            group.bench_with_input(
+                BenchmarkId::new(scheme.label(), members),
+                &members,
+                |b, &members| {
+                    b.iter_batched(
+                        || dao_with_members(scheme, members),
+                        |mut dao| {
+                            let id = dao.propose("member-0", "bench", 0).unwrap();
+                            for m in 0..members {
+                                dao.vote(&format!("member-{m}"), id, Choice::Yes, 0).unwrap();
+                            }
+                            black_box(dao.tally(id).unwrap())
+                        },
+                        criterion::BatchSize::LargeInput,
+                    )
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_tally_with_delegation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dao/tally_with_delegation");
+    for &members in &[100usize, 1000] {
+        // Half the members delegate in a chain to member-0, who votes.
+        let mut dao = dao_with_members(VotingScheme::OnePersonOneVote, members);
+        for m in 1..members / 2 {
+            dao.set_delegate(&format!("member-{m}"), Some(&format!("member-{}", m - 1)))
+                .unwrap();
+        }
+        let id = dao.propose("member-0", "bench", 0).unwrap();
+        dao.vote("member-0", id, Choice::Yes, 0).unwrap();
+        for m in members / 2..members {
+            dao.vote(&format!("member-{m}"), id, Choice::No, 0).unwrap();
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(members), &dao, |b, dao| {
+            b.iter(|| black_box(dao.tally(id).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_cast, bench_tally_with_delegation
+}
+criterion_main!(benches);

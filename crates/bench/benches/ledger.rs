@@ -1,0 +1,117 @@
+//! Criterion benchmarks for the ledger substrate: hashing, Merkle
+//! proofs, hash-based signatures, block sealing, and full-chain audit
+//! verification (the cost side of experiment E6).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use metaverse_ledger::chain::{Chain, ChainConfig};
+use metaverse_ledger::crypto::lamport::{KeyTree, TreeSignature};
+use metaverse_ledger::crypto::sha256::sha256;
+use metaverse_ledger::merkle::MerkleTree;
+use metaverse_ledger::tx::{Transaction, TxPayload};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sha256");
+    for size in [64usize, 1024, 16 * 1024] {
+        let data = vec![0xabu8; size];
+        group.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, data| {
+            b.iter(|| sha256(black_box(data)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_merkle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merkle");
+    for n in [16usize, 256, 4096] {
+        let leaves: Vec<Vec<u8>> = (0..n).map(|i| format!("leaf-{i}").into_bytes()).collect();
+        group.bench_with_input(BenchmarkId::new("build", n), &leaves, |b, leaves| {
+            b.iter(|| MerkleTree::from_leaves(black_box(leaves.iter())))
+        });
+        let tree = MerkleTree::from_leaves(leaves.iter());
+        group.bench_with_input(BenchmarkId::new("prove+verify", n), &tree, |b, tree| {
+            b.iter(|| {
+                let proof = tree.prove(black_box(n / 2)).unwrap();
+                proof.verify(&tree.root(), format!("leaf-{}", n / 2).as_bytes())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_lamport(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let msg = sha256(b"benchmark message");
+
+    // One-time keys are consumed by signing, so each iteration gets a
+    // fresh small tree from the (untimed) setup closure.
+    c.bench_function("lamport/tree_sign", |b| {
+        b.iter_batched(
+            || KeyTree::new(&mut rng.clone(), 1),
+            |mut tree| tree.sign(black_box(&msg)).expect("capacity"),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    let mut tree2 = KeyTree::new(&mut rng, 4);
+    let sig = tree2.sign(&msg).unwrap();
+    let root2 = tree2.root();
+    c.bench_function("lamport/tree_verify", |b| {
+        b.iter(|| TreeSignature::verify(black_box(&root2), black_box(&msg), black_box(&sig)))
+    });
+}
+
+fn bench_chain(c: &mut Criterion) {
+    c.bench_function("chain/seal_block_64tx", |b| {
+        b.iter_batched(
+            || {
+                let mut chain = Chain::poa_single(
+                    "bench",
+                    ChainConfig { key_tree_depth: 10, ..ChainConfig::default() },
+                );
+                for i in 0..64 {
+                    chain
+                        .submit(Transaction::new(
+                            "bench",
+                            TxPayload::Note { text: format!("tx-{i}") },
+                        ))
+                        .unwrap();
+                }
+                chain
+            },
+            |mut chain| chain.seal_block().unwrap(),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+
+    // Full-audit verification cost vs chain length.
+    let mut group = c.benchmark_group("chain/verify_integrity");
+    for blocks in [8u64, 32] {
+        let mut chain = Chain::poa_single(
+            "bench",
+            ChainConfig { key_tree_depth: 8, ..ChainConfig::default() },
+        );
+        for bi in 0..blocks {
+            for i in 0..16 {
+                chain
+                    .submit(Transaction::new(
+                        "bench",
+                        TxPayload::Note { text: format!("b{bi}-t{i}") },
+                    ))
+                    .unwrap();
+            }
+            chain.seal_block().unwrap();
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(blocks), &chain, |b, chain| {
+            b.iter(|| chain.verify_integrity().unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_sha256, bench_merkle, bench_lamport, bench_chain
+}
+criterion_main!(benches);

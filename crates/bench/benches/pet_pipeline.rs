@@ -1,0 +1,66 @@
+//! Criterion benchmarks for the PET pipeline: per-stage and composed
+//! costs over realistic stream sizes (the on-device budget side of
+//! experiment E1 — PETs must be cheap enough to run on a headset).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use metaverse_privacy::pets::PetPipeline;
+use metaverse_privacy::sensor::UserProfile;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_stages(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let user = UserProfile::random("bench", &mut rng);
+
+    let mut group = c.benchmark_group("pets/stage");
+    for &n in &[200usize, 2000, 20_000] {
+        let stream = user.gaze_stream(n, &mut rng);
+        for (label, pipe) in [
+            ("noise", PetPipeline::new().noise(0.5)),
+            ("quantize", PetPipeline::new().quantize(0.25)),
+            ("subsample", PetPipeline::new().subsample(4)),
+            ("aggregate", PetPipeline::new().aggregate(20)),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(label, n),
+                &(&stream, &pipe),
+                |b, (stream, pipe)| {
+                    b.iter_batched(
+                        || (*stream).clone(),
+                        |mut s| {
+                            pipe.apply(&mut s, &mut rng.clone()).unwrap();
+                            black_box(s)
+                        },
+                        criterion::BatchSize::LargeInput,
+                    )
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_full_pipeline(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let user = UserProfile::random("bench", &mut rng);
+    let stream = user.gaze_stream(20_000, &mut rng);
+    let pipe = PetPipeline::new().noise(0.5).quantize(0.25).subsample(2).aggregate(10);
+
+    c.bench_function("pets/full_pipeline_20k", |b| {
+        b.iter_batched(
+            || stream.clone(),
+            |mut s| {
+                pipe.apply(&mut s, &mut rng.clone()).unwrap();
+                black_box(s)
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_stages, bench_full_pipeline
+}
+criterion_main!(benches);

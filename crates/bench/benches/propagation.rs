@@ -1,0 +1,56 @@
+//! Criterion benchmarks for social-graph construction and rumour
+//! propagation (experiment E11's engine) across graph families.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use metaverse_social::graph::SocialGraph;
+use metaverse_social::propagation::{spread, PropagationConfig, Rumor};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph/generate");
+    for &n in &[500usize, 5000] {
+        group.bench_with_input(BenchmarkId::new("small_world", n), &n, |b, &n| {
+            b.iter_batched(
+                || ChaCha8Rng::seed_from_u64(6),
+                |mut rng| black_box(SocialGraph::small_world(n, 6, 0.1, &mut rng)),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("scale_free", n), &n, |b, &n| {
+            b.iter_batched(
+                || ChaCha8Rng::seed_from_u64(6),
+                |mut rng| black_box(SocialGraph::scale_free(n, 3, &mut rng)),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_spread(c: &mut Criterion) {
+    let mut group = c.benchmark_group("propagation/spread");
+    for &n in &[500usize, 5000] {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let graph = SocialGraph::small_world(n, 6, 0.1, &mut rng);
+        let rumor = Rumor { veracity: false, virality: 0.9 };
+        let config = PropagationConfig::default();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &graph, |b, graph| {
+            b.iter_batched(
+                || ChaCha8Rng::seed_from_u64(8),
+                |mut rng| {
+                    black_box(spread(graph, rumor, &[0], &config, &mut rng, |_, _| true))
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_generators, bench_spread
+}
+criterion_main!(benches);

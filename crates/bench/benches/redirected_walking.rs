@@ -1,0 +1,44 @@
+//! Criterion benchmarks for the safety simulator: steering cost per
+//! step and full-walk simulation throughput (experiment E5's engine).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use metaverse_safety::redirect::{simulate_walk, steered_heading, RedirectionConfig};
+use metaverse_safety::room::PhysicalRoom;
+use metaverse_safety::walker::Walker;
+use metaverse_world::geometry::Vec2;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_steering_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("safety/steered_heading");
+    for &obstacles in &[0usize, 4, 16] {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let room = PhysicalRoom::furnished(8.0, 8.0, obstacles, &mut rng);
+        let config = RedirectionConfig::default();
+        group.bench_with_input(BenchmarkId::from_parameter(obstacles), &room, |b, room| {
+            let mut walker = Walker::new(Vec2::new(1.0, 1.0));
+            walker.goal = Vec2::new(100.0, 100.0);
+            b.iter(|| black_box(steered_heading(&mut walker, room, &config)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_walk(c: &mut Criterion) {
+    let room = PhysicalRoom::empty(5.0, 5.0);
+    let config = RedirectionConfig::default();
+    c.bench_function("safety/simulate_walk_100m", |b| {
+        b.iter_batched(
+            || ChaCha8Rng::seed_from_u64(5),
+            |mut rng| black_box(simulate_walk(&room, &config, 100.0, &mut rng)),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_steering_step, bench_full_walk
+}
+criterion_main!(benches);

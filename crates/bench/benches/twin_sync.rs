@@ -1,0 +1,51 @@
+//! Criterion benchmarks for digital-twin synchronization (experiment
+//! E13's engine): per-step cost and attestation generation.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use metaverse_twins::sync::{SyncChannel, SyncConfig};
+use metaverse_twins::twin::{DigitalTwin, TwinState};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_sync_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("twins/sync_1000_ticks");
+    for &interval in &[0u64, 50, 10] {
+        group.bench_with_input(BenchmarkId::from_parameter(interval), &interval, |b, &interval| {
+            b.iter_batched(
+                || {
+                    (
+                        DigitalTwin::new(1, "bench", "acme", 8),
+                        SyncChannel::new(SyncConfig { loss_rate: 0.1, reconcile_interval: interval }),
+                        ChaCha8Rng::seed_from_u64(9),
+                    )
+                },
+                |(mut twin, mut channel, mut rng)| {
+                    black_box(channel.run(&mut twin, 1000, &mut rng))
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_state_digest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("twins/state_digest");
+    for &properties in &[4usize, 64, 1024] {
+        let mut state = TwinState::zeros(properties);
+        for p in 0..properties {
+            state.apply(p, p as f64 * 0.5);
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(properties), &state, |b, state| {
+            b.iter(|| black_box(state.digest()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_sync_run, bench_state_digest
+}
+criterion_main!(benches);

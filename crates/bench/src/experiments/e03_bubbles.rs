@@ -1,0 +1,101 @@
+//! E3 — privacy bubbles vs. harassment incidents.
+//!
+//! Claim (§II-B, §II-D): privacy bubbles restrict unwanted interaction,
+//! but "users are either not fully aware of them or do not know how to
+//! use them". The experiment sweeps bubble *awareness* (the fraction of
+//! users who actually enable the tool) and reports delivered-incident
+//! rates, separating protected from unprotected victims.
+
+use metaverse_world::harassment::{run_harassment, HarassmentConfig};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::report::{f3, ExperimentResult, Table};
+
+/// Runs E3.
+pub fn run(seed: u64) -> ExperimentResult {
+    let mut table = Table::new(
+        "harassment incidents vs bubble awareness (50 victims, 5 harassers, 200 ticks)",
+        &["awareness", "attempts", "delivered", "blocked", "per victim", "per unprotected"],
+    );
+
+    for &awareness in &[0.0, 0.25, 0.5, 0.75, 1.0] {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let report = run_harassment(
+            &HarassmentConfig { bubble_awareness: awareness, ..HarassmentConfig::default() },
+            &mut rng,
+        );
+        table.row(vec![
+            format!("{awareness:.2}"),
+            report.attempts.to_string(),
+            report.delivered.to_string(),
+            report.blocked.to_string(),
+            f3(report.incidents_per_victim),
+            f3(report.incidents_per_unprotected),
+        ]);
+    }
+
+    // Ablation: undersized bubble radius leaks.
+    let mut radius_table = Table::new(
+        "full awareness, bubble radius sweep (interaction range = 3.0)",
+        &["radius", "delivered", "blocked"],
+    );
+    for &radius in &[0.5, 1.5, 2.5, 3.5, 4.5] {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let report = run_harassment(
+            &HarassmentConfig {
+                bubble_awareness: 1.0,
+                bubble_radius: radius,
+                ..HarassmentConfig::default()
+            },
+            &mut rng,
+        );
+        radius_table.row(vec![
+            format!("{radius:.1}"),
+            report.delivered.to_string(),
+            report.blocked.to_string(),
+        ]);
+    }
+
+    ExperimentResult {
+        id: "E3".into(),
+        title: "Privacy bubbles vs harassment".into(),
+        claim: "Privacy bubbles restrict unwanted access; poor awareness limits their value \
+                (§II-B, §II-D)"
+            .into(),
+        tables: vec![table, radius_table],
+        notes: vec![
+            "delivered incidents fall monotonically with awareness; protected victims see \
+             zero incidents when the bubble covers the interaction range"
+                .into(),
+            "a bubble smaller than the interaction range leaks approaches from just outside \
+             it — tool *configuration*, not just adoption, matters"
+                .into(),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn awareness_monotone() {
+        let result = run(7);
+        let per_victim: Vec<f64> =
+            result.tables[0].rows.iter().map(|r| r[4].parse().unwrap()).collect();
+        for w in per_victim.windows(2) {
+            assert!(w[1] <= w[0], "{per_victim:?}");
+        }
+        assert_eq!(per_victim.last().copied().unwrap(), 0.0);
+    }
+
+    #[test]
+    fn radius_sweep_monotone_blocking() {
+        let result = run(7);
+        let delivered: Vec<u64> =
+            result.tables[1].rows.iter().map(|r| r[1].parse().unwrap()).collect();
+        assert!(delivered[0] > 0, "tiny bubble leaks");
+        assert_eq!(*delivered.last().unwrap(), 0, "oversized bubble seals");
+    }
+}

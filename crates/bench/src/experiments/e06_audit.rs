@@ -1,0 +1,145 @@
+//! E6 — the ledger as data-collection audit registry.
+//!
+//! Claim (§II-D): "A distributed ledger (Blockchain) can register any
+//! party's data collection and processing activities in the metaverse.
+//! Finally, the metaverse should guarantee no data monopoly from any
+//! parties." The experiment registers synthetic collection activity on
+//! the proof-of-authority chain, shows tamper detection, light-client
+//! proofs, and tracks the HHI monopoly metric as one party grows greedy.
+
+use metaverse_ledger::audit::{AuditRegistry, DataCollectionEvent, LawfulBasis, SensorClass};
+use metaverse_ledger::chain::{Chain, ChainConfig};
+use metaverse_ledger::tx::{Transaction, TxPayload};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::report::{f3, ExperimentResult, Table};
+
+/// Runs E6.
+pub fn run(seed: u64) -> ExperimentResult {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut chain = Chain::poa(
+        &["auditor-eu", "auditor-us"],
+        ChainConfig { key_tree_depth: 8, max_txs_per_block: 64, ..ChainConfig::default() },
+    );
+    let mut audit = AuditRegistry::new();
+
+    // Phase sweep: "greedy" collector takes a growing share of traffic.
+    let mut monopoly_table = Table::new(
+        "data-monopoly (HHI) as one collector's share grows (7 collectors)",
+        &["greedy share", "HHI", "dominant", "monopoly@0.25"],
+    );
+    let mut tx_count = 0usize;
+    for &greedy_share in &[0.1, 0.25, 0.4, 0.55, 0.7, 0.85] {
+        let mut phase_audit = AuditRegistry::new();
+        for i in 0..200 {
+            let collector = if rng.gen_bool(greedy_share) {
+                "megacorp".to_string()
+            } else {
+                format!("collector-{}", i % 6)
+            };
+            let event = DataCollectionEvent {
+                collector,
+                subject: format!("user-{}", rng.gen_range(0..50)),
+                sensor: SensorClass::ALL[rng.gen_range(0..SensorClass::ALL.len())],
+                purpose: "telemetry".into(),
+                basis: LawfulBasis::Consent,
+                tick: chain.tick(),
+                bytes: rng.gen_range(64..4096),
+            };
+            phase_audit.record(event.clone());
+            audit.record(event.clone());
+            chain
+                .submit(Transaction::new(event.collector.clone(), TxPayload::DataCollection(event)))
+                .expect("submission succeeds");
+            tx_count += 1;
+        }
+        chain.seal_all().expect("sealing succeeds");
+        chain.advance(10);
+        let (dominant, _) = phase_audit.dominant_collector().expect("events recorded");
+        monopoly_table.row(vec![
+            format!("{greedy_share:.2}"),
+            f3(phase_audit.hhi()),
+            dominant,
+            phase_audit.has_monopoly(0.25).to_string(),
+        ]);
+    }
+
+    // Integrity & proofs table.
+    let mut ledger_table = Table::new("ledger properties", &["property", "value"]);
+    ledger_table.row(vec!["events registered".into(), tx_count.to_string()]);
+    ledger_table.row(vec!["blocks sealed".into(), chain.height().to_string()]);
+    ledger_table.row(vec![
+        "full-chain verification".into(),
+        chain.verify_integrity().is_ok().to_string(),
+    ]);
+
+    // Light-client proof of a random registered event.
+    let probe = chain.blocks()[1].transactions[0].id();
+    let proof_ok = chain
+        .prove_tx(&probe)
+        .map(|(header, proof)| {
+            let (h, i) = chain.find_tx(&probe).unwrap();
+            let tx = &chain.block_at(h).unwrap().transactions[i];
+            proof.verify(&header.tx_root, &tx.canonical_bytes())
+        })
+        .unwrap_or(false);
+    ledger_table.row(vec!["light-client inclusion proof".into(), proof_ok.to_string()]);
+
+    // Tamper detection: rewrite one registered event in storage.
+    let mut tampered = false;
+    chain.tamper(2, |block| {
+        if let Some(tx) = block.transactions.first_mut() {
+            if let TxPayload::DataCollection(ev) = &mut tx.payload {
+                ev.collector = "innocent-corp".into();
+                tampered = true;
+            }
+        }
+    });
+    ledger_table.row(vec![
+        "tampered event detected".into(),
+        (tampered && chain.verify_integrity().is_err()).to_string(),
+    ]);
+    ledger_table.row(vec![
+        "violations (lawless/biometric)".into(),
+        audit.violations().len().to_string(),
+    ]);
+
+    ExperimentResult {
+        id: "E6".into(),
+        title: "Ledger-backed data-collection audit and monopoly metric".into(),
+        claim: "A distributed ledger can register all data-collection activity; the platform \
+                should guarantee no data monopoly (§II-D)"
+            .into(),
+        tables: vec![monopoly_table, ledger_table],
+        notes: vec![
+            "HHI crosses the 0.25 'highly concentrated' line between greedy shares 0.40 and \
+             0.55, giving governance a concrete trigger for the paper's no-monopoly guarantee"
+                .into(),
+            "rewriting a sealed collection record is caught by full-chain verification — \
+             the integrity property the paper wants from Blockchain is real in this build"
+                .into(),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monopoly_metric_monotone_and_tamper_detected() {
+        let result = run(7);
+        let hhi: Vec<f64> =
+            result.tables[0].rows.iter().map(|r| r[1].parse().unwrap()).collect();
+        for w in hhi.windows(2) {
+            assert!(w[1] > w[0] - 0.02, "HHI roughly monotone: {hhi:?}");
+        }
+        assert!(*hhi.last().unwrap() > 0.5);
+        for row in &result.tables[1].rows {
+            if row[0].contains("detected") || row[0].contains("verification") || row[0].contains("proof") {
+                assert_eq!(row[1], "true", "{row:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! E7 — flat vs. modular DAO governance under load.
+//!
+//! Claim (§III-B/C): flat DAOs suffer voting fatigue ("the number of
+//! voting sessions can become cumbersome"); modular, scoped governance
+//! relieves it. The experiment pushes the same proposal load through a
+//! flat platform (everyone in every vote) and a modular one (members
+//! split across scoped DAOs), with participation drawn from the
+//! fatigue model. A voting-scheme ablation runs on the side.
+
+use metaverse_dao::dao::{Dao, DaoConfig};
+use metaverse_dao::quorum::QuorumRule;
+use metaverse_dao::turnout::{sample_turnout, FatigueModel};
+use metaverse_dao::voting::{Choice, VotingScheme};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::report::{f3, ExperimentResult, Table};
+
+const MEMBERS: usize = 600;
+const SCOPES: usize = 6;
+const PROPOSALS_PER_SCOPE: usize = 4;
+
+/// Simulates one governance epoch and returns
+/// `(mean turnout, proposals passed, requests per member)`.
+fn run_epoch(modular: bool, seed: u64) -> (f64, usize, f64) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let fatigue = FatigueModel::default();
+    let config = DaoConfig {
+        scheme: VotingScheme::OnePersonOneVote,
+        quorum: QuorumRule { min_turnout: 0.2, min_support: 0.5 },
+        ..DaoConfig::default()
+    };
+
+    // Build one DAO per scope; in flat mode every member joins every
+    // scope, in modular mode members are partitioned.
+    let mut daos: Vec<Dao> = (0..SCOPES).map(|s| Dao::new(format!("scope-{s}"), config.clone())).collect();
+    for m in 0..MEMBERS {
+        let name = format!("member-{m}");
+        if modular {
+            daos[m % SCOPES].add_member(&name).unwrap();
+        } else {
+            for dao in &mut daos {
+                dao.add_member(&name).unwrap();
+            }
+        }
+    }
+
+    // Requests per member this epoch.
+    let requests_per_member: u64 = if modular {
+        PROPOSALS_PER_SCOPE as u64
+    } else {
+        (SCOPES * PROPOSALS_PER_SCOPE) as u64
+    };
+
+    let mut turnouts = Vec::new();
+    let mut passed = 0usize;
+    for dao in &mut daos {
+        let members: Vec<String> =
+            dao.member_names().iter().map(|s| s.to_string()).collect();
+        for p in 0..PROPOSALS_PER_SCOPE {
+            let id = dao.propose(&members[0], &format!("proposal-{p}"), 0).unwrap();
+            for member in &members {
+                if fatigue.votes(requests_per_member, &mut rng) {
+                    let choice = if rng.gen_bool(0.7) { Choice::Yes } else { Choice::No };
+                    dao.vote(member, id, choice, 0).unwrap();
+                }
+            }
+            let (status, tally) = dao.close(id, 101).unwrap();
+            turnouts.push(tally.turnout());
+            if status == metaverse_dao::proposal::ProposalStatus::Accepted {
+                passed += 1;
+            }
+        }
+    }
+
+    let mean_turnout = turnouts.iter().sum::<f64>() / turnouts.len() as f64;
+    (mean_turnout, passed, requests_per_member as f64)
+}
+
+/// Runs E7.
+pub fn run(seed: u64) -> ExperimentResult {
+    let mut table = Table::new(
+        "flat vs modular governance (600 members, 6 scopes × 4 proposals)",
+        &["design", "requests/member", "mean turnout", "proposals passed", "of"],
+    );
+    for (label, modular) in [("flat", false), ("modular", true)] {
+        let (turnout, passed, requests) = run_epoch(modular, seed);
+        table.row(vec![
+            label.to_string(),
+            format!("{requests:.0}"),
+            f3(turnout),
+            passed.to_string(),
+            (SCOPES * PROPOSALS_PER_SCOPE).to_string(),
+        ]);
+    }
+
+    // Pure fatigue curve (model, large sample).
+    let mut fatigue_table =
+        Table::new("fatigue model: participation vs requests/epoch", &["requests", "turnout"]);
+    let model = FatigueModel::default();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    for &r in &[1u64, 2, 4, 8, 16, 32, 64] {
+        let s = sample_turnout(&model, 20_000, r, &mut rng);
+        fatigue_table.row(vec![r.to_string(), f3(s.turnout)]);
+    }
+
+    // Voting-scheme ablation: whale influence under each scheme.
+    let mut scheme_table = Table::new(
+        "scheme ablation: can 1 whale (100x tokens/credits) beat 9 members?",
+        &["scheme", "whale wins", "yes weight", "no weight"],
+    );
+    for scheme in VotingScheme::ALL {
+        let mut dao = Dao::new(
+            "ablate",
+            DaoConfig {
+                scheme,
+                quorum: QuorumRule { min_turnout: 0.0, min_support: 0.5 },
+                initial_tokens: 100,
+                initial_voice_credits: 100,
+                ..DaoConfig::default()
+            },
+        );
+        dao.add_member("whale").unwrap();
+        dao.grant_tokens("whale", 9_900).unwrap(); // 100x
+        dao.refill_credits("whale", 9_900).unwrap();
+        for i in 0..9 {
+            dao.add_member(&format!("m{i}")).unwrap();
+        }
+        let id = dao.propose("whale", "self-serving", 0).unwrap();
+        match scheme {
+            VotingScheme::Quadratic => {
+                dao.vote_quadratic("whale", id, Choice::Yes, 100, 0).unwrap(); // 10k credits
+                for i in 0..9 {
+                    dao.vote_quadratic(&format!("m{i}"), id, Choice::No, 10, 0).unwrap();
+                }
+            }
+            VotingScheme::ExternalWeighted => {
+                // External weight: everyone equal (e.g. reputation parity).
+                dao.vote_weighted("whale", id, Choice::Yes, 50, 0).unwrap();
+                for i in 0..9 {
+                    dao.vote_weighted(&format!("m{i}"), id, Choice::No, 50, 0).unwrap();
+                }
+            }
+            _ => {
+                dao.vote("whale", id, Choice::Yes, 0).unwrap();
+                for i in 0..9 {
+                    dao.vote(&format!("m{i}"), id, Choice::No, 0).unwrap();
+                }
+            }
+        }
+        let (status, tally) = dao.close(id, 101).unwrap();
+        scheme_table.row(vec![
+            scheme.label().to_string(),
+            (status == metaverse_dao::proposal::ProposalStatus::Accepted).to_string(),
+            tally.yes.to_string(),
+            tally.no.to_string(),
+        ]);
+    }
+
+    ExperimentResult {
+        id: "E7".into(),
+        title: "DAO scalability: flat vs modular, scheme ablation".into(),
+        claim: "Flat DAOs hinder involvement as voting sessions grow cumbersome; modular \
+                governance adapts (§III-B, §III-C)"
+            .into(),
+        tables: vec![table, fatigue_table, scheme_table],
+        notes: vec![
+            "modular routing cuts ballot requests per member 6× and lifts realized turnout \
+             accordingly — the scalability fix of Schneider et al. the paper adopts"
+                .into(),
+            "scheme ablation: token voting hands a 100× whale an 11× landslide; quadratic \
+             shrinks the same capital to a 1.1× sliver (sqrt dampening); 1p1v and \
+             parity-weighted external voting defeat it outright"
+                .into(),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn modular_beats_flat_turnout() {
+        let result = run(7);
+        let flat: f64 = result.tables[0].rows[0][2].parse().unwrap();
+        let modular: f64 = result.tables[0].rows[1][2].parse().unwrap();
+        assert!(modular > flat + 0.1, "modular {modular} vs flat {flat}");
+    }
+
+    #[test]
+    fn fatigue_curve_decreasing() {
+        let result = run(7);
+        let turnouts: Vec<f64> =
+            result.tables[1].rows.iter().map(|r| r[1].parse().unwrap()).collect();
+        for w in turnouts.windows(2) {
+            assert!(w[1] < w[0]);
+        }
+    }
+
+    #[test]
+    fn scheme_ablation_whale_influence() {
+        let result = run(7);
+        let rows = &result.tables[2].rows;
+        let margin = |row: &Vec<String>| {
+            let yes: f64 = row[2].parse().unwrap();
+            let no: f64 = row[3].parse().unwrap();
+            yes / no.max(1.0)
+        };
+        let by_scheme = |name: &str| rows.iter().find(|r| r[0] == name).unwrap();
+        // 1p1v and parity-weighted external voting defeat the whale.
+        assert_eq!(by_scheme("1p1v")[1], "false");
+        assert_eq!(by_scheme("external")[1], "false");
+        // Token voting hands the whale a landslide; quadratic shrinks the
+        // same capital advantage to a sliver (sqrt dampening).
+        assert_eq!(by_scheme("token")[1], "true");
+        assert!(margin(by_scheme("token")) > 5.0 * margin(by_scheme("quadratic")));
+    }
+}

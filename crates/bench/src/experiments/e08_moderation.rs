@@ -1,0 +1,102 @@
+//! E8 — moderator capacity vs. community growth.
+//!
+//! Claim (§III): "moderators […] cannot keep up with the demand" as
+//! communities grow; platforms add automation and member reports. The
+//! experiment sweeps community size against a fixed human pool, then
+//! sweeps the automation fraction as the rescue, reporting backlog and
+//! report staleness.
+
+use metaverse_moderation::pipeline::{ModerationPipeline, PipelineConfig};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::report::{ExperimentResult, Table};
+
+const TICKS: u64 = 250;
+
+/// Runs E8.
+pub fn run(seed: u64) -> ExperimentResult {
+    let mut growth_table = Table::new(
+        "fixed pool (5 moderators × 2/tick) vs community size, 250 ticks",
+        &["members", "arrivals/tick", "final backlog", "oldest report age"],
+    );
+    for &size in &[500usize, 1000, 2000, 4000, 8000] {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut pipeline = ModerationPipeline::new(PipelineConfig {
+            community_size: size,
+            ..PipelineConfig::default()
+        });
+        let series = pipeline.run(TICKS, &mut rng);
+        let last = series.last().unwrap();
+        growth_table.row(vec![
+            size.to_string(),
+            format!("{:.1}", size as f64 * 0.01),
+            last.backlog.to_string(),
+            last.oldest_age.to_string(),
+        ]);
+    }
+
+    let mut automation_table = Table::new(
+        "8000 members, automation fraction sweep (accuracy 0.9)",
+        &["automation", "final backlog", "oldest age", "auto errors"],
+    );
+    for &coverage in &[0.0, 0.25, 0.5, 0.75, 0.9, 1.0] {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut pipeline = ModerationPipeline::new(PipelineConfig {
+            community_size: 8000,
+            automation_coverage: coverage,
+            ..PipelineConfig::default()
+        });
+        let series = pipeline.run(TICKS, &mut rng);
+        let last = series.last().unwrap();
+        automation_table.row(vec![
+            format!("{coverage:.2}"),
+            last.backlog.to_string(),
+            last.oldest_age.to_string(),
+            pipeline.auto_errors().to_string(),
+        ]);
+    }
+
+    ExperimentResult {
+        id: "E8".into(),
+        title: "Moderation backlog vs community growth and automation".into(),
+        claim: "Moderators cannot keep up with community growth; automation tools and member \
+                reports are the response (§III)"
+            .into(),
+        tables: vec![growth_table, automation_table],
+        notes: vec![
+            "once arrivals exceed the human pool's 10 reports/tick, backlog and report \
+             staleness grow without bound — the paper's 'cannot keep up', quantified"
+                .into(),
+            "automation rescues throughput but buys it with classification errors \
+             (≈10% of auto-resolved reports), reproducing the accuracy/scale trade-off \
+             behind the paper's call for explainable, auditable AI moderation"
+                .into(),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backlog_grows_with_size() {
+        let result = run(7);
+        let backlogs: Vec<u64> =
+            result.tables[0].rows.iter().map(|r| r[2].parse().unwrap()).collect();
+        assert!(backlogs[0] < 50, "small community keeps up: {backlogs:?}");
+        assert!(backlogs[4] > backlogs[2], "overload grows: {backlogs:?}");
+    }
+
+    #[test]
+    fn automation_shrinks_backlog_but_adds_errors() {
+        let result = run(7);
+        let rows = &result.tables[1].rows;
+        let backlog = |i: usize| rows[i][1].parse::<u64>().unwrap();
+        let errors = |i: usize| rows[i][3].parse::<u64>().unwrap();
+        assert!(backlog(5) < backlog(0) / 10);
+        assert!(errors(5) > errors(0));
+        assert_eq!(errors(0), 0);
+    }
+}

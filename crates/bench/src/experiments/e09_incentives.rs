@@ -1,0 +1,112 @@
+//! E9 — incentive mechanisms shaping population behaviour.
+//!
+//! Claim (§III-D, after the Minecraft study): "incentive mechanisms to
+//! promote positive behaviour and restrain negative players" work. The
+//! experiment runs the adaptive agent population with incentives on and
+//! off, sweeps detection coverage, and ablates the reputation decay
+//! half-life (DESIGN.md §3).
+
+use metaverse_reputation::engine::{EngineConfig, ReputationEngine};
+use metaverse_reputation::incentives::{mixed_population, IncentiveConfig, IncentiveEngine};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::report::{f3, ExperimentResult, Table};
+
+const AGENTS: usize = 300;
+const ROUNDS: usize = 40;
+
+fn run_population(
+    enabled: bool,
+    detection: f64,
+    decay_half_life: u64,
+    seed: u64,
+) -> (f64, f64, f64) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut agents = mixed_population(AGENTS, &mut rng);
+    let mut reputation = ReputationEngine::new(EngineConfig {
+        decay_half_life,
+        epoch_action_limit: u32::MAX,
+        ..EngineConfig::default()
+    });
+    for a in &agents {
+        reputation.register(&a.name, 0).unwrap();
+    }
+    let mut engine = IncentiveEngine::new(IncentiveConfig {
+        detection_probability: detection,
+        ..IncentiveConfig::default()
+    });
+    engine.enabled = enabled;
+    let stats = engine.run(&mut agents, &mut reputation, ROUNDS, &mut rng);
+    let late: Vec<_> = stats[ROUNDS - 10..].to_vec();
+    let late_positive = late.iter().map(|s| s.positive_rate).sum::<f64>() / 10.0;
+    let last = stats.last().unwrap();
+    (late_positive, last.mean_propensity, last.mean_reputation)
+}
+
+/// Runs E9.
+pub fn run(seed: u64) -> ExperimentResult {
+    let mut main_table = Table::new(
+        "positive-action rate (late average), 300 agents, 40 rounds",
+        &["incentives", "detection", "late positive rate", "mean propensity", "mean reputation"],
+    );
+    for (enabled, detection) in [(false, 0.4), (true, 0.1), (true, 0.4), (true, 0.8)] {
+        let (positive, propensity, reputation) = run_population(enabled, detection, 1000, seed);
+        main_table.row(vec![
+            if enabled { "on" } else { "off" }.to_string(),
+            format!("{detection:.1}"),
+            f3(positive),
+            f3(propensity),
+            f3(reputation),
+        ]);
+    }
+
+    let mut decay_table = Table::new(
+        "decay half-life ablation (incentives on, detection 0.4)",
+        &["half-life (ticks)", "late positive rate", "mean reputation"],
+    );
+    for &half_life in &[0u64, 50, 500, 5000] {
+        let (positive, _, reputation) = run_population(true, 0.4, half_life, seed);
+        decay_table.row(vec![half_life.to_string(), f3(positive), f3(reputation)]);
+    }
+
+    ExperimentResult {
+        id: "E9".into(),
+        title: "Incentive mechanisms vs population behaviour".into(),
+        claim: "Incentive mechanisms promote positive behaviour and restrain negative players \
+                (§III-D)"
+            .into(),
+        tables: vec![main_table, decay_table],
+        notes: vec![
+            "turning incentives on lifts the late positive-action rate; the lift grows with \
+             detection coverage — enforcement, not just rules, drives the effect"
+                .into(),
+            "decay half-life barely moves behaviour here but controls how quickly \
+             reputations forget — the trade-off governance must pick"
+                .into(),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn incentives_on_beats_off() {
+        let result = run(7);
+        let rows = &result.tables[0].rows;
+        let off: f64 = rows[0][2].parse().unwrap();
+        let on_mid: f64 = rows[2][2].parse().unwrap();
+        assert!(on_mid > off + 0.03, "on {on_mid} vs off {off}");
+    }
+
+    #[test]
+    fn detection_sweep_monotone() {
+        let result = run(7);
+        let rows = &result.tables[0].rows;
+        let low: f64 = rows[1][2].parse().unwrap();
+        let high: f64 = rows[3][2].parse().unwrap();
+        assert!(high >= low, "high-detection {high} vs low {low}");
+    }
+}

@@ -1,0 +1,114 @@
+//! E11 — trust incentives vs. misinformation spread.
+//!
+//! Claim (§IV-B): "Incentive systems to share trust among avatars will
+//! be key functionality to reduce the sharing of misinformation." The
+//! experiment runs alternating false/true rumour waves over a
+//! small-world social graph with the trust system on and off, and
+//! repeats the sweep on a scale-free graph.
+
+use metaverse_social::graph::SocialGraph;
+use metaverse_social::propagation::PropagationConfig;
+use metaverse_social::trust::{TrustConfig, TrustSystem};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::report::{f3, ExperimentResult, Table};
+
+const NODES: usize = 500;
+const WAVES: usize = 20;
+
+fn late(xs: &[f64]) -> f64 {
+    let n = xs.len();
+    let tail = &xs[n - (n / 4).max(1)..];
+    tail.iter().sum::<f64>() / tail.len() as f64
+}
+
+fn run_on_graph(graph: &SocialGraph, enabled: bool, seed: u64) -> (f64, f64, f64, f64) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut system = TrustSystem::new(graph.len(), TrustConfig { enabled, ..Default::default() });
+    let report = system.run_experiment(graph, WAVES, &PropagationConfig::default(), &mut rng);
+    (
+        report.false_outbreaks[0],
+        late(&report.false_outbreaks),
+        late(&report.true_outbreaks),
+        report.final_reputation,
+    )
+}
+
+/// Runs E11.
+pub fn run(seed: u64) -> ExperimentResult {
+    let mut table = Table::new(
+        "rumour outbreak sizes, 500 nodes, 20 alternating waves",
+        &["graph", "incentives", "first false", "late false", "late true", "mean reputation"],
+    );
+
+    let graphs: Vec<(&str, SocialGraph)> = {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        vec![
+            ("small-world", SocialGraph::small_world(NODES, 6, 0.1, &mut rng)),
+            ("scale-free", SocialGraph::scale_free(NODES, 3, &mut rng)),
+        ]
+    };
+
+    for (label, graph) in &graphs {
+        for enabled in [false, true] {
+            let (first_false, late_false, late_true, reputation) =
+                run_on_graph(graph, enabled, seed);
+            table.row(vec![
+                label.to_string(),
+                if enabled { "on" } else { "off" }.to_string(),
+                f3(first_false),
+                f3(late_false),
+                f3(late_true),
+                f3(reputation),
+            ]);
+        }
+    }
+
+    ExperimentResult {
+        id: "E11".into(),
+        title: "Trust incentives vs misinformation".into(),
+        claim: "Incentive systems sharing trust among avatars reduce misinformation (§IV-B)"
+            .into(),
+        tables: vec![table],
+        notes: vec![
+            "with incentives on, late false-rumour outbreaks collapse relative to the first \
+             wave as burned sharers learn to verify; true-content reach is dented far less"
+                .into(),
+            "the effect persists on scale-free graphs, where hubs make the uncontrolled \
+             baseline spread even harder to contain"
+                .into(),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn incentives_reduce_late_false_spread_on_both_graphs() {
+        let result = run(7);
+        let rows = &result.tables[0].rows;
+        for pair in rows.chunks(2) {
+            let off_late: f64 = pair[0][3].parse().unwrap();
+            let on_late: f64 = pair[1][3].parse().unwrap();
+            assert!(
+                on_late < off_late * 0.8,
+                "incentives must curb late false spread: {pair:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn true_content_survives_better_than_false() {
+        let result = run(7);
+        for row in &result.tables[0].rows {
+            if row[1] == "on" {
+                let late_false: f64 = row[3].parse().unwrap();
+                let late_true: f64 = row[4].parse().unwrap();
+                assert!(late_true > late_false, "{row:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! E13 — digital-twin synchronization and ledger authenticity.
+//!
+//! Claim (§IV-A): the metaverse stays "synchronized with the physical
+//! one", and "the most straightforward approach to protecting digital
+//! twins' authenticity and origin is using a digital ledger". The
+//! experiment sweeps channel loss and reconciliation interval, then
+//! demonstrates attestation-based forgery detection.
+
+use metaverse_ledger::chain::{Chain, ChainConfig};
+use metaverse_twins::registry::{TwinRegistry, VerifyOutcome};
+use metaverse_twins::sync::{SyncChannel, SyncConfig};
+use metaverse_twins::twin::{DigitalTwin, TwinState};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::report::{f3, ExperimentResult, Table};
+
+const TICKS: u64 = 2000;
+
+/// Runs E13.
+pub fn run(seed: u64) -> ExperimentResult {
+    let mut sync_table = Table::new(
+        "twin divergence vs channel loss × reconciliation interval (2000 ticks)",
+        &["loss", "reconcile every", "mean div", "max div", "lost", "attestations"],
+    );
+    for &loss in &[0.0, 0.1, 0.3] {
+        for &interval in &[0u64, 200, 50, 10] {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let mut twin = DigitalTwin::new(1, "gallery-statue", "museum", 6);
+            let mut channel =
+                SyncChannel::new(SyncConfig { loss_rate: loss, reconcile_interval: interval });
+            let report = channel.run(&mut twin, TICKS, &mut rng);
+            sync_table.row(vec![
+                format!("{loss:.1}"),
+                if interval == 0 { "never".into() } else { interval.to_string() },
+                f3(report.mean_divergence),
+                f3(report.max_divergence),
+                report.updates_lost.to_string(),
+                report.attestations.to_string(),
+            ]);
+        }
+    }
+
+    // Authenticity via ledger.
+    let mut auth_table = Table::new("ledger authenticity checks", &["check", "result"]);
+    let mut chain = Chain::poa_single(
+        "twin-validator",
+        ChainConfig { key_tree_depth: 6, ..ChainConfig::default() },
+    );
+    let mut registry = TwinRegistry::new();
+    registry.register(&mut chain, 1, "museum").expect("register");
+    let mut state = TwinState::zeros(6);
+    state.apply(0, 3.25);
+    registry.attest(&mut chain, 1, &state, 100).expect("attest");
+    chain.seal_all().expect("seal");
+
+    auth_table.row(vec![
+        "attested state verifies".into(),
+        matches!(registry.verify(&chain, 1, &state), VerifyOutcome::Authentic { .. }).to_string(),
+    ]);
+    let mut forged = state.clone();
+    forged.apply(1, -9.0);
+    auth_table.row(vec![
+        "forged state rejected".into(),
+        (registry.verify(&chain, 1, &forged) == VerifyOutcome::Forged).to_string(),
+    ]);
+    auth_table.row(vec![
+        "unregistered twin rejected".into(),
+        (registry.verify(&chain, 99, &state) == VerifyOutcome::UnknownTwin).to_string(),
+    ]);
+
+    ExperimentResult {
+        id: "E13".into(),
+        title: "Digital-twin sync and ledger-backed authenticity".into(),
+        claim: "Twins stay synchronized with the physical world; a ledger protects their \
+                authenticity and origin (§IV-A)"
+            .into(),
+        tables: vec![sync_table, auth_table],
+        notes: vec![
+            "with a lossless channel divergence is zero; under loss, divergence scales with \
+             the reconciliation interval — frequent snapshots bound it tightly"
+                .into(),
+            "every reconciliation emits a ledger attestation, making any later forgery of \
+             the twin's claimed state detectable"
+                .into(),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reconciliation_bounds_divergence() {
+        let result = run(7);
+        let rows = &result.tables[0].rows;
+        // For loss 0.3 (rows 8..12): never > every-200 > every-50 > every-10.
+        let mean = |i: usize| rows[i][2].parse::<f64>().unwrap();
+        assert!(mean(8) > mean(9), "never worse than 200");
+        assert!(mean(9) > mean(10));
+        assert!(mean(10) > mean(11));
+        // Lossless rows have zero divergence.
+        assert_eq!(mean(0), 0.0);
+    }
+
+    #[test]
+    fn authenticity_checks_pass() {
+        let result = run(7);
+        for row in &result.tables[1].rows {
+            assert_eq!(row[1], "true", "{row:?}");
+        }
+    }
+}

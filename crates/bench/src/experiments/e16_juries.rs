@@ -1,0 +1,135 @@
+//! E16 — juries as a fatigue-free governance process.
+//!
+//! Claim (§III-C, after Schneider et al.): the governance layer should
+//! include "a broad spectrum of processes (juries, formal debates)".
+//! The experiment handles the same dispute load either by referendum
+//! (every member asked, fatigue applies) or by sortition juries (seven
+//! members asked per dispute), comparing decision completion and the
+//! per-member ballot burden.
+
+use metaverse_dao::sortition::{Jury, JuryConfig, Verdict};
+use metaverse_dao::turnout::FatigueModel;
+use metaverse_dao::voting::Choice;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::report::{f3, ExperimentResult, Table};
+
+const MEMBERS: usize = 500;
+
+/// Runs `disputes` disputes by full referendum under fatigue; returns
+/// `(decided fraction, requests per member)`.
+fn referendum_process(disputes: usize, seed: u64) -> (f64, f64) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let fatigue = FatigueModel::default();
+    let mut decided = 0usize;
+    for _ in 0..disputes {
+        let mut turnout = 0usize;
+        for _ in 0..MEMBERS {
+            if fatigue.votes(disputes as u64, &mut rng) {
+                turnout += 1;
+            }
+        }
+        // A referendum needs 20% turnout to be valid (E7's quorum).
+        if turnout as f64 / MEMBERS as f64 >= 0.2 {
+            decided += 1;
+        }
+    }
+    (decided as f64 / disputes as f64, disputes as f64)
+}
+
+/// Runs the same disputes by sortition juries; returns
+/// `(decided fraction, mean requests per member)`.
+fn jury_process(disputes: usize, seed: u64) -> (f64, f64) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let config = JuryConfig::default();
+    let pool: Vec<(String, u64)> =
+        (0..MEMBERS).map(|i| (format!("m{i}"), 50)).collect();
+    let mut decided = 0usize;
+    let mut total_requests = 0usize;
+    for d in 0..disputes {
+        let mut jury =
+            Jury::empanel(format!("dispute-{d}"), &pool, &config, &mut rng).expect("pool large");
+        total_requests += jury.jurors.len();
+        let jurors = jury.jurors.clone();
+        for juror in &jurors {
+            // Jurors serve when called: participation near-certain for a
+            // seven-person duty (single request per dispute).
+            let choice = if rng.gen_bool(0.75) { Choice::Yes } else { Choice::No };
+            jury.cast(juror, choice).expect("valid juror");
+        }
+        if jury.verdict(&config) != Verdict::Hung {
+            decided += 1;
+        }
+    }
+    (decided as f64 / disputes as f64, total_requests as f64 / MEMBERS as f64)
+}
+
+/// Runs E16.
+pub fn run(seed: u64) -> ExperimentResult {
+    let mut table = Table::new(
+        "referendum vs jury over a dispute load (500 members)",
+        &["disputes/epoch", "process", "decided", "requests/member"],
+    );
+    for &disputes in &[4usize, 16, 64] {
+        let (ref_decided, ref_requests) = referendum_process(disputes, seed);
+        let (jury_decided, jury_requests) = jury_process(disputes, seed);
+        table.row(vec![
+            disputes.to_string(),
+            "referendum".into(),
+            f3(ref_decided),
+            f3(ref_requests),
+        ]);
+        table.row(vec![
+            disputes.to_string(),
+            "jury(7)".into(),
+            f3(jury_decided),
+            f3(jury_requests),
+        ]);
+    }
+
+    ExperimentResult {
+        id: "E16".into(),
+        title: "Sortition juries vs referenda under dispute load".into(),
+        claim: "Governance needs processes beyond voting — juries and debates — to stay \
+                workable at scale (§III-C)"
+            .into(),
+        tables: vec![table],
+        notes: vec![
+            "at 64 disputes per epoch, referendum turnout collapses below quorum and nothing \
+             gets decided, while juries decide a high fraction at a per-member burden under \
+             one ballot — the 'portable governance tools' argument, quantified"
+                .into(),
+            "juries trade breadth of participation for liveness; constitutional questions \
+             should stay with referenda (E7), routine disputes with juries"
+                .into(),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn juries_scale_where_referenda_collapse() {
+        let result = run(7);
+        let rows = &result.tables[0].rows;
+        // Last pair = 64 disputes: referendum row then jury row.
+        let ref_decided: f64 = rows[4][2].parse().unwrap();
+        let jury_decided: f64 = rows[5][2].parse().unwrap();
+        let ref_requests: f64 = rows[4][3].parse().unwrap();
+        let jury_requests: f64 = rows[5][3].parse().unwrap();
+        assert!(ref_decided < 0.2, "referenda collapse: {ref_decided}");
+        assert!(jury_decided > 0.6, "juries keep deciding: {jury_decided}");
+        assert!(jury_requests < ref_requests / 10.0);
+    }
+
+    #[test]
+    fn low_load_both_work() {
+        let result = run(7);
+        let rows = &result.tables[0].rows;
+        let ref_decided: f64 = rows[0][2].parse().unwrap();
+        assert!(ref_decided > 0.9, "light load referenda fine: {ref_decided}");
+    }
+}

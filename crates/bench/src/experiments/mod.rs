@@ -1,0 +1,46 @@
+//! One module per experiment; see DESIGN.md §2 for the index.
+
+pub mod e01_pets;
+pub mod e02_clones;
+pub mod e03_bubbles;
+pub mod e04_shadow;
+pub mod e05_redirect;
+pub mod e06_audit;
+pub mod e07_dao_scale;
+pub mod e08_moderation;
+pub mod e09_incentives;
+pub mod e10_nft_policies;
+pub mod e11_misinfo;
+pub mod e12_jurisdiction;
+pub mod e13_twins;
+pub mod e14_ethics_audit;
+pub mod e15_bystanders;
+pub mod e16_juries;
+pub mod e17_accessibility;
+pub mod e18_sybil;
+
+use crate::report::ExperimentResult;
+
+/// Runs every experiment with the given seed, in id order.
+pub fn run_all(seed: u64) -> Vec<ExperimentResult> {
+    vec![
+        e01_pets::run(seed),
+        e02_clones::run(seed),
+        e03_bubbles::run(seed),
+        e04_shadow::run(seed),
+        e05_redirect::run(seed),
+        e06_audit::run(seed),
+        e07_dao_scale::run(seed),
+        e08_moderation::run(seed),
+        e09_incentives::run(seed),
+        e10_nft_policies::run(seed),
+        e11_misinfo::run(seed),
+        e12_jurisdiction::run(seed),
+        e13_twins::run(seed),
+        e14_ethics_audit::run(seed),
+        e15_bystanders::run(seed),
+        e16_juries::run(seed),
+        e17_accessibility::run(seed),
+        e18_sybil::run(seed),
+    ]
+}

@@ -1,0 +1,29 @@
+//! # metaverse-bench
+//!
+//! Experiment harnesses and Criterion benchmarks for `metaverse-kit`.
+//!
+//! The paper this workspace reproduces is a position paper with no
+//! measured evaluation, so each experiment here reifies one of its
+//! *qualitative claims* into a measurable run (see DESIGN.md §2 and
+//! EXPERIMENTS.md for the full index). Every experiment is exposed as a
+//! library function returning structured rows, wrapped by a binary in
+//! `src/bin/` that prints the table, so integration tests can assert on
+//! experiment *shape* without scraping stdout.
+//!
+//! Run everything with:
+//!
+//! ```text
+//! cargo run --release -p metaverse-bench --bin run_all
+//! ```
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;
+
+pub use report::{ExperimentResult, Table};
+
+/// The fixed seed used by the committed experiment outputs. Change it
+/// and every table reproduces with different noise but the same shape.
+pub const DEFAULT_SEED: u64 = 20220701;

@@ -1,0 +1,155 @@
+//! Table rendering and structured result output for experiments.
+
+use serde::Serialize;
+
+/// A printable, machine-readable experiment outcome.
+#[derive(Debug, Clone, Serialize)]
+pub struct ExperimentResult {
+    /// Experiment id ("E1" … "E14").
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// The paper claim being tested (quoted or paraphrased).
+    pub claim: String,
+    /// Result tables.
+    pub tables: Vec<Table>,
+    /// Free-form observations on whether the claim's shape held.
+    pub notes: Vec<String>,
+}
+
+impl ExperimentResult {
+    /// Renders the whole result for the terminal.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== {} — {} ==\n", self.id, self.title));
+        out.push_str(&format!("claim: {}\n\n", self.claim));
+        for table in &self.tables {
+            out.push_str(&table.render());
+            out.push('\n');
+        }
+        for note in &self.notes {
+            out.push_str(&format!("note: {note}\n"));
+        }
+        out
+    }
+
+    /// Serialises to pretty JSON (for EXPERIMENTS.md provenance).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("experiment results are serialisable")
+    }
+}
+
+/// A simple aligned text table.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table {
+    /// Table caption.
+    pub caption: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Row cells (already formatted).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table from string-ish headers.
+    pub fn new(caption: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            caption: caption.into(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match header arity).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row arity must match headers in table {:?}",
+            self.caption
+        );
+        self.rows.push(cells);
+    }
+
+    /// Renders with column alignment.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:width$}", c, width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let mut out = format!("-- {} --\n", self.caption);
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats an f64 with 3 decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats an f64 with 1 decimal.
+pub fn f1(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.row(vec!["short".into(), "1".into()]);
+        t.row(vec!["much-longer-name".into(), "2".into()]);
+        let rendered = t.render();
+        assert!(rendered.contains("demo"));
+        let lines: Vec<&str> = rendered.lines().collect();
+        // Header and rows share alignment width.
+        assert_eq!(lines[1].find("value"), lines[3].rfind('1').map(|i| i));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn result_round_trips_json() {
+        let r = ExperimentResult {
+            id: "E0".into(),
+            title: "t".into(),
+            claim: "c".into(),
+            tables: vec![Table::new("x", &["h"])],
+            notes: vec!["n".into()],
+        };
+        let json = r.to_json();
+        assert!(json.contains("\"E0\""));
+        assert!(r.render().contains("E0"));
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f3(0.123456), "0.123");
+        assert_eq!(f1(12.34), "12.3");
+    }
+}

@@ -1,0 +1,108 @@
+//! The unified error type of the platform façade.
+
+use metaverse_assets::error::AssetError;
+use metaverse_dao::error::DaoError;
+use metaverse_ledger::error::LedgerError;
+use metaverse_privacy::error::PrivacyError;
+use metaverse_reputation::error::ReputationError;
+use metaverse_world::error::WorldError;
+
+/// Any error a platform operation can surface.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// Ledger subsystem error.
+    Ledger(LedgerError),
+    /// Governance subsystem error.
+    Dao(DaoError),
+    /// Reputation subsystem error.
+    Reputation(ReputationError),
+    /// Asset subsystem error.
+    Asset(AssetError),
+    /// Privacy subsystem error.
+    Privacy(PrivacyError),
+    /// World subsystem error.
+    World(WorldError),
+    /// A platform-level invariant was violated.
+    Platform(String),
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::Ledger(e) => write!(f, "ledger: {e}"),
+            CoreError::Dao(e) => write!(f, "governance: {e}"),
+            CoreError::Reputation(e) => write!(f, "reputation: {e}"),
+            CoreError::Asset(e) => write!(f, "assets: {e}"),
+            CoreError::Privacy(e) => write!(f, "privacy: {e}"),
+            CoreError::World(e) => write!(f, "world: {e}"),
+            CoreError::Platform(msg) => write!(f, "platform: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Ledger(e) => Some(e),
+            CoreError::Dao(e) => Some(e),
+            CoreError::Reputation(e) => Some(e),
+            CoreError::Asset(e) => Some(e),
+            CoreError::Privacy(e) => Some(e),
+            CoreError::World(e) => Some(e),
+            CoreError::Platform(_) => None,
+        }
+    }
+}
+
+impl From<LedgerError> for CoreError {
+    fn from(e: LedgerError) -> Self {
+        CoreError::Ledger(e)
+    }
+}
+impl From<DaoError> for CoreError {
+    fn from(e: DaoError) -> Self {
+        CoreError::Dao(e)
+    }
+}
+impl From<ReputationError> for CoreError {
+    fn from(e: ReputationError) -> Self {
+        CoreError::Reputation(e)
+    }
+}
+impl From<AssetError> for CoreError {
+    fn from(e: AssetError) -> Self {
+        CoreError::Asset(e)
+    }
+}
+impl From<PrivacyError> for CoreError {
+    fn from(e: PrivacyError) -> Self {
+        CoreError::Privacy(e)
+    }
+}
+impl From<WorldError> for CoreError {
+    fn from(e: WorldError) -> Self {
+        CoreError::World(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_prefixes_subsystem() {
+        let e: CoreError = LedgerError::NothingToSeal.into();
+        assert!(e.to_string().starts_with("ledger:"));
+        let e: CoreError = DaoError::UnknownScope { scope: "x".into() }.into();
+        assert!(e.to_string().starts_with("governance:"));
+    }
+
+    #[test]
+    fn source_chains() {
+        use std::error::Error;
+        let e: CoreError = LedgerError::NothingToSeal.into();
+        assert!(e.source().is_some());
+        assert!(CoreError::Platform("p".into()).source().is_none());
+    }
+}

@@ -1,0 +1,273 @@
+//! The 'Ethical Hierarchy of Needs' auditor (experiment E14).
+//!
+//! §IV-C aligns the metaverse with the Ethical Hierarchy of Needs
+//! (Balkan's pyramid, CC BY 4.0): **human rights** at the base, **human
+//! effort** above it, **human experience** at the top — a layer can only
+//! be satisfied if the layers beneath it are. The auditor turns each
+//! layer into concrete checks over a platform snapshot and scores them.
+
+use serde::{Deserialize, Serialize};
+
+use crate::module::{ModuleKind, ModuleRegistry, Stakeholder};
+use crate::policy::ComplianceReport;
+
+/// The three layers of the hierarchy, base first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum EthicsLayer {
+    /// Privacy, inclusivity, transparency, no monopoly.
+    HumanRights,
+    /// Reputation, participation of all stakeholders in decisions.
+    HumanEffort,
+    /// Accessibility, avatar freedom, immersion.
+    HumanExperience,
+}
+
+/// One failed check.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EthicsFinding {
+    /// Which layer the finding belongs to.
+    pub layer: EthicsLayer,
+    /// What failed.
+    pub check: String,
+}
+
+/// The inputs the auditor inspects — a snapshot of platform facts.
+#[derive(Debug, Clone)]
+pub struct EthicsSnapshot<'a> {
+    /// The installed module registry.
+    pub modules: &'a ModuleRegistry,
+    /// Latest compliance report from the policy engine.
+    pub compliance: &'a ComplianceReport,
+    /// Whether privacy protections (bubbles, firewall deny-default) are
+    /// on by default for new users.
+    pub privacy_defaults_on: bool,
+    /// Whether PETs are available to users.
+    pub pets_available: bool,
+    /// Whether a reputation system is live.
+    pub reputation_live: bool,
+    /// Whether users can create/customise avatars freely.
+    pub avatar_freedom: bool,
+    /// Whether the platform offers accessibility accommodations.
+    pub accessibility_features: bool,
+    /// Number of distinct communities/venues users can join.
+    pub community_count: usize,
+}
+
+/// The audit result — an E14 row.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EthicsAudit {
+    /// Checks passed per layer `(passed, total)`.
+    pub scores: Vec<(EthicsLayer, usize, usize)>,
+    /// All failed checks.
+    pub findings: Vec<EthicsFinding>,
+    /// Highest layer fully satisfied, respecting the hierarchy (a layer
+    /// counts only if every layer below it also passes). `None` when
+    /// even human rights fail.
+    pub satisfied_up_to: Option<EthicsLayer>,
+}
+
+impl EthicsAudit {
+    /// Whether the configuration passes the full hierarchy.
+    pub fn fully_ethical(&self) -> bool {
+        self.satisfied_up_to == Some(EthicsLayer::HumanExperience)
+    }
+}
+
+/// The auditor.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct EthicsAuditor;
+
+impl EthicsAuditor {
+    /// Creates the auditor.
+    pub fn new() -> Self {
+        EthicsAuditor
+    }
+
+    /// Runs every check against a snapshot.
+    pub fn audit(&self, snapshot: &EthicsSnapshot<'_>) -> EthicsAudit {
+        let mut findings = Vec::new();
+        let mut scores = Vec::new();
+
+        // ---- Human rights -------------------------------------------------
+        let mut passed = 0;
+        let mut total = 0;
+        let check = |ok: bool, layer: EthicsLayer, name: &str, findings: &mut Vec<EthicsFinding>| {
+            if ok {
+                1
+            } else {
+                findings.push(EthicsFinding { layer, check: name.to_string() });
+                0
+            }
+        };
+
+        for (ok, name) in [
+            (snapshot.privacy_defaults_on, "privacy protections on by default"),
+            (snapshot.pets_available, "PETs available to users"),
+            (snapshot.compliance.compliant, "no outstanding compliance findings"),
+            (
+                snapshot.modules.opaque_modules().is_empty() && !snapshot.modules.is_empty(),
+                "all modules transparent",
+            ),
+            (
+                snapshot.modules.installed(ModuleKind::Policy).is_some(),
+                "regulation-adaptation module installed",
+            ),
+        ] {
+            total += 1;
+            passed += check(ok, EthicsLayer::HumanRights, name, &mut findings);
+        }
+        scores.push((EthicsLayer::HumanRights, passed, total));
+        let rights_ok = passed == total;
+
+        // ---- Human effort -------------------------------------------------
+        let (mut passed, mut total) = (0, 0);
+        for (ok, name) in [
+            (snapshot.reputation_live, "reputation system live"),
+            (
+                snapshot.modules.installed(ModuleKind::DecisionMaking).is_some(),
+                "decision-making module installed",
+            ),
+            (
+                snapshot.modules.all_involve(Stakeholder::Users),
+                "users involved in every module",
+            ),
+            (
+                snapshot.modules.all_involve(Stakeholder::Regulators),
+                "regulators involved in every module",
+            ),
+        ] {
+            total += 1;
+            passed += check(ok, EthicsLayer::HumanEffort, name, &mut findings);
+        }
+        scores.push((EthicsLayer::HumanEffort, passed, total));
+        let effort_ok = passed == total;
+
+        // ---- Human experience ---------------------------------------------
+        let (mut passed, mut total) = (0, 0);
+        for (ok, name) in [
+            (snapshot.avatar_freedom, "avatar customisation freedom"),
+            (snapshot.accessibility_features, "accessibility accommodations"),
+            (snapshot.community_count >= 2, "plurality of communities"),
+        ] {
+            total += 1;
+            passed += check(ok, EthicsLayer::HumanExperience, name, &mut findings);
+        }
+        scores.push((EthicsLayer::HumanExperience, passed, total));
+        let experience_ok = passed == total;
+
+        let satisfied_up_to = if !rights_ok {
+            None
+        } else if !effort_ok {
+            Some(EthicsLayer::HumanRights)
+        } else if !experience_ok {
+            Some(EthicsLayer::HumanEffort)
+        } else {
+            Some(EthicsLayer::HumanExperience)
+        };
+
+        EthicsAudit { scores, findings, satisfied_up_to }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::ModuleDescriptor;
+    use crate::policy::{Jurisdiction, PolicyEngine};
+    use metaverse_ledger::audit::AuditRegistry;
+
+    fn full_registry() -> ModuleRegistry {
+        let mut reg = ModuleRegistry::new();
+        for kind in ModuleKind::ALL {
+            reg.install(ModuleDescriptor::open(kind, format!("{kind:?}-impl")));
+        }
+        reg
+    }
+
+    fn clean_compliance() -> ComplianceReport {
+        PolicyEngine::new(Jurisdiction::gdpr()).evaluate(&AuditRegistry::new(), &[])
+    }
+
+    fn good_snapshot<'a>(
+        modules: &'a ModuleRegistry,
+        compliance: &'a ComplianceReport,
+    ) -> EthicsSnapshot<'a> {
+        EthicsSnapshot {
+            modules,
+            compliance,
+            privacy_defaults_on: true,
+            pets_available: true,
+            reputation_live: true,
+            avatar_freedom: true,
+            accessibility_features: true,
+            community_count: 5,
+        }
+    }
+
+    #[test]
+    fn fully_ethical_configuration() {
+        let modules = full_registry();
+        let compliance = clean_compliance();
+        let audit = EthicsAuditor::new().audit(&good_snapshot(&modules, &compliance));
+        assert!(audit.fully_ethical(), "{:?}", audit.findings);
+        assert!(audit.findings.is_empty());
+        assert_eq!(audit.satisfied_up_to, Some(EthicsLayer::HumanExperience));
+    }
+
+    #[test]
+    fn rights_failure_blocks_everything() {
+        let modules = full_registry();
+        let compliance = clean_compliance();
+        let mut snap = good_snapshot(&modules, &compliance);
+        snap.privacy_defaults_on = false;
+        let audit = EthicsAuditor::new().audit(&snap);
+        assert_eq!(audit.satisfied_up_to, None, "base layer gates the pyramid");
+        assert!(!audit.fully_ethical());
+    }
+
+    #[test]
+    fn effort_failure_caps_at_rights() {
+        let modules = full_registry();
+        let compliance = clean_compliance();
+        let mut snap = good_snapshot(&modules, &compliance);
+        snap.reputation_live = false;
+        let audit = EthicsAuditor::new().audit(&snap);
+        assert_eq!(audit.satisfied_up_to, Some(EthicsLayer::HumanRights));
+    }
+
+    #[test]
+    fn experience_failure_caps_at_effort() {
+        let modules = full_registry();
+        let compliance = clean_compliance();
+        let mut snap = good_snapshot(&modules, &compliance);
+        snap.community_count = 1;
+        let audit = EthicsAuditor::new().audit(&snap);
+        assert_eq!(audit.satisfied_up_to, Some(EthicsLayer::HumanEffort));
+        assert_eq!(audit.findings.len(), 1);
+        assert_eq!(audit.findings[0].layer, EthicsLayer::HumanExperience);
+    }
+
+    #[test]
+    fn opaque_module_is_rights_violation() {
+        let mut modules = full_registry();
+        let mut opaque = ModuleDescriptor::open(ModuleKind::Moderation, "blackbox");
+        opaque.transparent = false;
+        modules.install(opaque);
+        let compliance = clean_compliance();
+        let audit = EthicsAuditor::new().audit(&good_snapshot(&modules, &compliance));
+        assert_eq!(audit.satisfied_up_to, None);
+        assert!(audit
+            .findings
+            .iter()
+            .any(|f| f.check.contains("transparent")));
+    }
+
+    #[test]
+    fn scores_totals_stable() {
+        let modules = full_registry();
+        let compliance = clean_compliance();
+        let audit = EthicsAuditor::new().audit(&good_snapshot(&modules, &compliance));
+        let totals: Vec<usize> = audit.scores.iter().map(|(_, _, t)| *t).collect();
+        assert_eq!(totals, vec![5, 4, 3]);
+    }
+}

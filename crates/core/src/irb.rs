@@ -1,0 +1,200 @@
+//! The institutional-review-board (IRB) process for data collection.
+//!
+//! §II-D: "all the players involved in creating and managing the
+//! metaverse should adopt some form of institutional review board (IRB)
+//! model in their organisms." Here that becomes a concrete gate: before
+//! a collector may request a (sensor, purpose) data flow, the purpose
+//! must pass review — either by the board directly or by a governance
+//! vote the board convenes. Unreviewed purposes are rejected at the
+//! firewall-policy level, and every decision is exported to the ledger.
+
+use metaverse_ledger::audit::SensorClass;
+use metaverse_ledger::tx::TxPayload;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A review request for a new collection purpose.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReviewRequest {
+    /// Who wants to collect.
+    pub collector: String,
+    /// Sensor class involved.
+    pub sensor: SensorClass,
+    /// Declared purpose.
+    pub purpose: String,
+    /// Scientific / product justification presented to the board.
+    pub justification: String,
+}
+
+/// Board decision on a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReviewDecision {
+    /// Approved as requested.
+    Approved,
+    /// Approved only with mandatory obfuscation (PET pipeline).
+    ApprovedWithObfuscation,
+    /// Rejected.
+    Rejected,
+}
+
+/// The review board: approved purposes registry plus decision rules.
+///
+/// The default rule set encodes the Future-of-Privacy-Forum guidance the
+/// paper cites: biometric collection is never approved without
+/// obfuscation unless it is safety-critical.
+#[derive(Debug, Default)]
+pub struct ReviewBoard {
+    decisions: HashMap<(String, String), ReviewDecision>,
+    pending_records: Vec<TxPayload>,
+}
+
+impl ReviewBoard {
+    /// Creates an empty board.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn key(collector: &str, purpose: &str) -> (String, String) {
+        (collector.to_string(), purpose.to_string())
+    }
+
+    /// Applies the board's default rule set to a request and records the
+    /// decision. A platform can instead route the request to a DAO vote
+    /// and call [`ReviewBoard::record_decision`] with the outcome.
+    pub fn review(&mut self, request: &ReviewRequest) -> ReviewDecision {
+        let safety_critical = request.purpose.contains("safety")
+            || request.purpose.contains("collision");
+        let decision = if request.sensor.is_biometric() && !safety_critical {
+            // Biometric data for convenience/analytics: only through
+            // PETs.
+            if request.purpose.contains("ads") || request.purpose.contains("profiling") {
+                ReviewDecision::Rejected
+            } else {
+                ReviewDecision::ApprovedWithObfuscation
+            }
+        } else {
+            ReviewDecision::Approved
+        };
+        self.record_decision(request, decision);
+        decision
+    }
+
+    /// Records an externally decided outcome (e.g. from a DAO vote).
+    pub fn record_decision(&mut self, request: &ReviewRequest, decision: ReviewDecision) {
+        self.decisions
+            .insert(Self::key(&request.collector, &request.purpose), decision);
+        self.pending_records.push(TxPayload::Note {
+            text: format!(
+                "irb:{:?}:{}:{}:{:?}",
+                request.sensor, request.collector, request.purpose, decision
+            ),
+        });
+    }
+
+    /// The standing decision for a (collector, purpose), if reviewed.
+    pub fn standing(&self, collector: &str, purpose: &str) -> Option<ReviewDecision> {
+        self.decisions.get(&Self::key(collector, purpose)).copied()
+    }
+
+    /// Whether a flow under this (collector, purpose) may be configured
+    /// at all.
+    pub fn permits(&self, collector: &str, purpose: &str) -> bool {
+        matches!(
+            self.standing(collector, purpose),
+            Some(ReviewDecision::Approved) | Some(ReviewDecision::ApprovedWithObfuscation)
+        )
+    }
+
+    /// Number of reviewed purposes.
+    pub fn len(&self) -> usize {
+        self.decisions.len()
+    }
+
+    /// True when nothing has been reviewed.
+    pub fn is_empty(&self) -> bool {
+        self.decisions.is_empty()
+    }
+
+    /// Takes the ledger records accumulated since the last drain.
+    pub fn drain_ledger_records(&mut self) -> Vec<TxPayload> {
+        std::mem::take(&mut self.pending_records)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request(sensor: SensorClass, purpose: &str) -> ReviewRequest {
+        ReviewRequest {
+            collector: "app".into(),
+            sensor,
+            purpose: purpose.into(),
+            justification: "test".into(),
+        }
+    }
+
+    #[test]
+    fn non_biometric_approved() {
+        let mut board = ReviewBoard::new();
+        let d = board.review(&request(SensorClass::Audio, "voice-chat"));
+        assert_eq!(d, ReviewDecision::Approved);
+        assert!(board.permits("app", "voice-chat"));
+    }
+
+    #[test]
+    fn biometric_needs_obfuscation() {
+        let mut board = ReviewBoard::new();
+        let d = board.review(&request(SensorClass::Gaze, "foveated-rendering"));
+        assert_eq!(d, ReviewDecision::ApprovedWithObfuscation);
+        assert!(board.permits("app", "foveated-rendering"));
+    }
+
+    #[test]
+    fn biometric_ads_rejected() {
+        let mut board = ReviewBoard::new();
+        let d = board.review(&request(SensorClass::Gaze, "ads-profiling"));
+        assert_eq!(d, ReviewDecision::Rejected);
+        assert!(!board.permits("app", "ads-profiling"));
+    }
+
+    #[test]
+    fn safety_critical_biometric_approved() {
+        let mut board = ReviewBoard::new();
+        let d = board.review(&request(SensorClass::Gait, "collision-safety"));
+        assert_eq!(d, ReviewDecision::Approved);
+    }
+
+    #[test]
+    fn unreviewed_purpose_not_permitted() {
+        let board = ReviewBoard::new();
+        assert!(!board.permits("app", "anything"));
+        assert!(board.standing("app", "anything").is_none());
+        assert!(board.is_empty());
+    }
+
+    #[test]
+    fn external_decision_recorded_and_exported() {
+        let mut board = ReviewBoard::new();
+        let req = request(SensorClass::HeartRate, "wellness-research");
+        board.record_decision(&req, ReviewDecision::Approved);
+        assert!(board.permits("app", "wellness-research"));
+        let records = board.drain_ledger_records();
+        assert_eq!(records.len(), 1);
+        assert!(matches!(
+            &records[0],
+            TxPayload::Note { text } if text.contains("wellness-research")
+        ));
+        assert!(board.drain_ledger_records().is_empty());
+    }
+
+    #[test]
+    fn re_review_overrides() {
+        let mut board = ReviewBoard::new();
+        let req = request(SensorClass::Audio, "voice-chat");
+        board.review(&req);
+        board.record_decision(&req, ReviewDecision::Rejected); // DAO overruled
+        assert!(!board.permits("app", "voice-chat"));
+        assert_eq!(board.len(), 1, "same key, overridden");
+    }
+}

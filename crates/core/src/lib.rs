@@ -1,0 +1,65 @@
+//! # metaverse-core
+//!
+//! The paper's primary contribution: a **modular-based framework for an
+//! ethical design of the metaverse** (Figure 3, §IV-C).
+//!
+//! > "A modular-based metaverse architecture will allow adapting to the
+//! > specifications and requirements of such a worldwide platform.
+//! > Therefore, our preliminary approach aims to involve every necessary
+//! > member (developers, regulators, users, content creators) in the
+//! > design and implementation of the metaverse. […] We can see these
+//! > modules as a federated approach. These modules can take independent
+//! > decisions such as the reaction to misbehaviour, but are still
+//! > connected to other decision modules, resources, and policies."
+//!
+//! This crate composes every substrate in the workspace behind one
+//! façade and adds the three genuinely novel pieces of the paper:
+//!
+//! * [`module`] — interchangeable, stakeholder-annotated platform
+//!   modules and their registry.
+//! * [`policy`] — jurisdiction profiles (GDPR, CCPA, permissive) and a
+//!   compliance engine over the ledger's audit registry, enabling the
+//!   "modules will swap accordingly" adaptation of §III-E (E12).
+//! * [`ethics`] — the 'Ethical Hierarchy of Needs' auditor: human
+//!   rights → human effort → human experience, scored over a platform
+//!   configuration (E14).
+//! * [`platform`] — [`platform::MetaversePlatform`]: chain + governance
+//!   + reputation + assets + moderation + audit wired together, with
+//!   every subsystem's actions recorded on the ledger for transparency.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use metaverse_core::platform::{MetaversePlatform, PlatformConfig};
+//!
+//! let mut platform = MetaversePlatform::new(PlatformConfig::default());
+//! platform.register_user("alice").unwrap();
+//! platform.register_user("bob").unwrap();
+//! let id = platform
+//!     .propose("privacy", "alice", "Enable privacy bubbles by default")
+//!     .unwrap();
+//! platform.vote("privacy", "alice", id, true).unwrap();
+//! platform.vote("privacy", "bob", id, true).unwrap();
+//! platform.advance_ticks(200);
+//! let (accepted, _tally) = platform.close_proposal("privacy", id).unwrap();
+//! assert!(accepted);
+//! platform.commit_epoch().unwrap(); // everything lands on the ledger
+//! assert!(platform.chain().height() > 0);
+//! ```
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod ethics;
+pub mod irb;
+pub mod module;
+pub mod platform;
+pub mod policy;
+
+pub use error::CoreError;
+pub use ethics::{EthicsAudit, EthicsAuditor, EthicsLayer};
+pub use irb::{ReviewBoard, ReviewDecision, ReviewRequest};
+pub use module::{ModuleDescriptor, ModuleKind, ModuleRegistry, Stakeholder};
+pub use platform::{MetaversePlatform, PlatformConfig};
+pub use policy::{ComplianceReport, Jurisdiction, PolicyEngine, PolicyRequirements};

@@ -1,0 +1,238 @@
+//! Interchangeable platform modules and their registry.
+//!
+//! Figure 3 of the paper draws the metaverse as a set of modules —
+//! decision-making, reputation, privacy, moderation — "where each module
+//! is interchangeable", each involving a set of stakeholders, and all of
+//! them transparent to platform members. [`ModuleRegistry`] is that
+//! picture as a data structure: it tracks which concrete module fills
+//! each slot, who is involved in it, and records every swap for the
+//! ledger.
+
+use metaverse_ledger::tx::TxPayload;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The module slots of the Figure-3 architecture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum ModuleKind {
+    /// DAO-based decision making.
+    DecisionMaking,
+    /// Sensory/behavioural privacy protection.
+    Privacy,
+    /// The reputation system.
+    Reputation,
+    /// Content and behaviour moderation.
+    Moderation,
+    /// Asset creation and trading.
+    Assets,
+    /// Physical safety mitigations.
+    Safety,
+    /// Trust / misinformation control.
+    Trust,
+    /// Local-regulation adaptation.
+    Policy,
+}
+
+impl ModuleKind {
+    /// All slots, in canonical order.
+    pub const ALL: [ModuleKind; 8] = [
+        ModuleKind::DecisionMaking,
+        ModuleKind::Privacy,
+        ModuleKind::Reputation,
+        ModuleKind::Moderation,
+        ModuleKind::Assets,
+        ModuleKind::Safety,
+        ModuleKind::Trust,
+        ModuleKind::Policy,
+    ];
+}
+
+/// Stakeholder groups the paper requires in the design process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Stakeholder {
+    /// Platform developers.
+    Developers,
+    /// External regulators.
+    Regulators,
+    /// Platform members.
+    Users,
+    /// Content creators.
+    ContentCreators,
+}
+
+/// Description of a concrete module filling a slot.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModuleDescriptor {
+    /// The slot this module fills.
+    pub kind: ModuleKind,
+    /// Implementation name ("dao:quadratic", "pets:dp-pipeline", …).
+    pub name: String,
+    /// Version string.
+    pub version: String,
+    /// Stakeholders involved in this module's decisions.
+    pub stakeholders: Vec<Stakeholder>,
+    /// Whether the module's algorithm is published and explained
+    /// ("transparent and understandable to any platform member").
+    pub transparent: bool,
+    /// Whether an auditing system can inspect the module's decisions.
+    pub auditable: bool,
+}
+
+impl ModuleDescriptor {
+    /// Convenience constructor with all stakeholders, transparent and
+    /// auditable — the paper's recommended default.
+    pub fn open(kind: ModuleKind, name: impl Into<String>) -> Self {
+        ModuleDescriptor {
+            kind,
+            name: name.into(),
+            version: "1".into(),
+            stakeholders: vec![
+                Stakeholder::Developers,
+                Stakeholder::Regulators,
+                Stakeholder::Users,
+                Stakeholder::ContentCreators,
+            ],
+            transparent: true,
+            auditable: true,
+        }
+    }
+
+    /// Whether a stakeholder group participates in this module.
+    pub fn involves(&self, s: Stakeholder) -> bool {
+        self.stakeholders.contains(&s)
+    }
+}
+
+/// The registry of installed modules, one per slot.
+#[derive(Debug, Default)]
+pub struct ModuleRegistry {
+    slots: BTreeMap<ModuleKind, ModuleDescriptor>,
+    pending_records: Vec<TxPayload>,
+}
+
+impl ModuleRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Installs (or swaps) a module, recording the change.
+    pub fn install(&mut self, descriptor: ModuleDescriptor) -> Option<ModuleDescriptor> {
+        self.pending_records.push(TxPayload::Note {
+            text: format!(
+                "module-swap:{:?}:{}@{}",
+                descriptor.kind, descriptor.name, descriptor.version
+            ),
+        });
+        self.slots.insert(descriptor.kind, descriptor)
+    }
+
+    /// The module currently filling a slot.
+    pub fn installed(&self, kind: ModuleKind) -> Option<&ModuleDescriptor> {
+        self.slots.get(&kind)
+    }
+
+    /// Slots that have no module installed.
+    pub fn vacant_slots(&self) -> Vec<ModuleKind> {
+        ModuleKind::ALL
+            .iter()
+            .copied()
+            .filter(|k| !self.slots.contains_key(k))
+            .collect()
+    }
+
+    /// Number of installed modules.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when nothing is installed.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Iterates over installed modules in slot order.
+    pub fn iter(&self) -> impl Iterator<Item = &ModuleDescriptor> {
+        self.slots.values()
+    }
+
+    /// Modules that are *not* transparent — audit findings.
+    pub fn opaque_modules(&self) -> Vec<&ModuleDescriptor> {
+        self.slots.values().filter(|m| !m.transparent).collect()
+    }
+
+    /// Whether every installed module involves the given stakeholder.
+    pub fn all_involve(&self, s: Stakeholder) -> bool {
+        !self.slots.is_empty() && self.slots.values().all(|m| m.involves(s))
+    }
+
+    /// Takes the swap records accumulated since the last drain.
+    pub fn drain_ledger_records(&mut self) -> Vec<TxPayload> {
+        std::mem::take(&mut self.pending_records)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn install_and_swap() {
+        let mut reg = ModuleRegistry::new();
+        assert!(reg.install(ModuleDescriptor::open(ModuleKind::Privacy, "pets:v1")).is_none());
+        let old = reg
+            .install(ModuleDescriptor::open(ModuleKind::Privacy, "pets:v2"))
+            .expect("swap returns the old module");
+        assert_eq!(old.name, "pets:v1");
+        assert_eq!(reg.installed(ModuleKind::Privacy).unwrap().name, "pets:v2");
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn vacancy_tracking() {
+        let mut reg = ModuleRegistry::new();
+        assert_eq!(reg.vacant_slots().len(), 8);
+        reg.install(ModuleDescriptor::open(ModuleKind::Reputation, "rep"));
+        assert_eq!(reg.vacant_slots().len(), 7);
+        assert!(!reg.vacant_slots().contains(&ModuleKind::Reputation));
+    }
+
+    #[test]
+    fn transparency_findings() {
+        let mut reg = ModuleRegistry::new();
+        let mut opaque = ModuleDescriptor::open(ModuleKind::Moderation, "blackbox-ai");
+        opaque.transparent = false;
+        reg.install(opaque);
+        reg.install(ModuleDescriptor::open(ModuleKind::Privacy, "pets"));
+        assert_eq!(reg.opaque_modules().len(), 1);
+        assert_eq!(reg.opaque_modules()[0].name, "blackbox-ai");
+    }
+
+    #[test]
+    fn stakeholder_involvement() {
+        let mut reg = ModuleRegistry::new();
+        reg.install(ModuleDescriptor::open(ModuleKind::Privacy, "pets"));
+        assert!(reg.all_involve(Stakeholder::Users));
+        let mut devs_only = ModuleDescriptor::open(ModuleKind::Assets, "market");
+        devs_only.stakeholders = vec![Stakeholder::Developers];
+        reg.install(devs_only);
+        assert!(!reg.all_involve(Stakeholder::Users));
+        assert!(reg.all_involve(Stakeholder::Developers));
+    }
+
+    #[test]
+    fn empty_registry_involves_nobody() {
+        let reg = ModuleRegistry::new();
+        assert!(!reg.all_involve(Stakeholder::Users));
+    }
+
+    #[test]
+    fn swap_records_exported() {
+        let mut reg = ModuleRegistry::new();
+        reg.install(ModuleDescriptor::open(ModuleKind::Privacy, "a"));
+        reg.install(ModuleDescriptor::open(ModuleKind::Privacy, "b"));
+        assert_eq!(reg.drain_ledger_records().len(), 2);
+        assert!(reg.drain_ledger_records().is_empty());
+    }
+}

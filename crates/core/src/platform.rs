@@ -1,0 +1,776 @@
+//! The platform façade: every subsystem wired together.
+//!
+//! [`MetaversePlatform`] owns one instance of each substrate — ledger,
+//! modular governance, reputation, assets, audit, moderation, world —
+//! and implements the paper's transparency requirement by draining every
+//! subsystem's pending records onto the chain at each
+//! [`MetaversePlatform::commit_epoch`]. Examples and integration tests
+//! drive the whole system through this type.
+
+use std::collections::BTreeMap;
+
+use metaverse_assets::market::{AdmissionPolicy, Marketplace};
+use metaverse_assets::nft::NftId;
+use metaverse_assets::registry::NftRegistry;
+use metaverse_dao::dao::DaoConfig;
+use metaverse_dao::federation::ModularGovernance;
+use metaverse_dao::proposal::{ProposalId, ProposalStatus};
+use metaverse_dao::voting::{Choice, Tally};
+use metaverse_ledger::audit::{AuditRegistry, DataCollectionEvent};
+use metaverse_ledger::chain::{Chain, ChainConfig};
+use metaverse_ledger::tx::{Transaction, TxPayload};
+use metaverse_moderation::actions::{EscalationLadder, ModAction};
+use metaverse_privacy::firewall::DataFlowFirewall;
+use metaverse_reputation::engine::{EngineConfig, ReputationEngine};
+use metaverse_world::geometry::Vec2;
+use metaverse_world::world::{World, WorldConfig};
+
+use crate::error::CoreError;
+use crate::ethics::{EthicsAudit, EthicsAuditor, EthicsSnapshot};
+use crate::irb::{ReviewBoard, ReviewDecision, ReviewRequest};
+use crate::module::{ModuleDescriptor, ModuleKind, ModuleRegistry};
+use crate::policy::{ComplianceReport, Jurisdiction, PolicyEngine};
+
+/// Platform construction parameters.
+#[derive(Debug, Clone)]
+pub struct PlatformConfig {
+    /// Governance scopes installed at start.
+    pub scopes: Vec<String>,
+    /// DAO configuration for every scope.
+    pub dao_config: DaoConfig,
+    /// Chain validators.
+    pub validators: Vec<String>,
+    /// Ledger configuration.
+    pub chain_config: ChainConfig,
+    /// Active jurisdiction.
+    pub jurisdiction: Jurisdiction,
+    /// Whether new users get deny-by-default sensor firewalls.
+    pub privacy_defaults_on: bool,
+    /// Marketplace admission policy.
+    pub market_policy: AdmissionPolicy,
+    /// Reputation engine configuration.
+    pub reputation_config: EngineConfig,
+}
+
+impl Default for PlatformConfig {
+    fn default() -> Self {
+        PlatformConfig {
+            scopes: vec![
+                "privacy".into(),
+                "moderation".into(),
+                "assets".into(),
+                "root".into(),
+            ],
+            dao_config: DaoConfig::default(),
+            validators: vec!["validator-0".into(), "validator-1".into()],
+            chain_config: ChainConfig { key_tree_depth: 8, ..ChainConfig::default() },
+            jurisdiction: Jurisdiction::gdpr(),
+            privacy_defaults_on: true,
+            market_policy: AdmissionPolicy::ReputationGated { min_points: 35.0 },
+            reputation_config: EngineConfig::default(),
+        }
+    }
+}
+
+/// The composed metaverse platform. See the crate-level example.
+#[derive(Debug)]
+pub struct MetaversePlatform {
+    config: PlatformConfig,
+    chain: Chain,
+    governance: ModularGovernance,
+    reputation: ReputationEngine,
+    assets: NftRegistry,
+    market: Marketplace,
+    audit: AuditRegistry,
+    policy: PolicyEngine,
+    modules: ModuleRegistry,
+    ladder: EscalationLadder,
+    irb: ReviewBoard,
+    world: World,
+    firewalls: BTreeMap<String, DataFlowFirewall>,
+    dp_spend: BTreeMap<String, f64>,
+    tick: u64,
+}
+
+impl MetaversePlatform {
+    /// Builds a platform with the paper's recommended open modules
+    /// installed in every slot.
+    pub fn new(config: PlatformConfig) -> Self {
+        let validator_refs: Vec<&str> =
+            config.validators.iter().map(String::as_str).collect();
+        let chain = Chain::poa(&validator_refs, config.chain_config.clone());
+
+        let mut governance = ModularGovernance::new();
+        for scope in &config.scopes {
+            governance.register_module(scope, config.dao_config.clone());
+        }
+
+        let mut modules = ModuleRegistry::new();
+        for kind in ModuleKind::ALL {
+            modules.install(ModuleDescriptor::open(kind, default_module_name(kind)));
+        }
+
+        MetaversePlatform {
+            policy: PolicyEngine::new(config.jurisdiction.clone()),
+            market: Marketplace::new(config.market_policy.clone()),
+            reputation: ReputationEngine::new(config.reputation_config.clone()),
+            chain,
+            governance,
+            assets: NftRegistry::new(),
+            audit: AuditRegistry::new(),
+            modules,
+            ladder: EscalationLadder::new(),
+            irb: ReviewBoard::new(),
+            world: World::new(WorldConfig::default()),
+            firewalls: BTreeMap::new(),
+            dp_spend: BTreeMap::new(),
+            tick: 0,
+            config,
+        }
+    }
+
+    // ---- users ------------------------------------------------------------
+
+    /// Registers a user: reputation account, governance membership in
+    /// every scope, and a sensor firewall with the configured default
+    /// stance.
+    pub fn register_user(&mut self, name: &str) -> Result<(), CoreError> {
+        self.reputation.register(name, self.tick)?;
+        self.governance.join_all(name)?;
+        let firewall = if self.config.privacy_defaults_on {
+            DataFlowFirewall::deny_by_default(name)
+        } else {
+            DataFlowFirewall::allow_by_default(name)
+        };
+        self.firewalls.insert(name.to_string(), firewall);
+        Ok(())
+    }
+
+    /// Number of registered users.
+    pub fn user_count(&self) -> usize {
+        self.reputation.len()
+    }
+
+    /// Mutable access to a user's sensor firewall (granular switches).
+    pub fn firewall_mut(&mut self, user: &str) -> Option<&mut DataFlowFirewall> {
+        self.firewalls.get_mut(user)
+    }
+
+    /// Spawns the user's avatar into the shared world.
+    pub fn enter_world(&mut self, user: &str, handle: &str, position: Vec2) -> Result<u64, CoreError> {
+        Ok(self.world.spawn(handle, user, position)?)
+    }
+
+    /// The shared world (interactions, bubbles, events).
+    pub fn world_mut(&mut self) -> &mut World {
+        &mut self.world
+    }
+
+    /// Immutable world access.
+    pub fn world(&self) -> &World {
+        &self.world
+    }
+
+    // ---- governance ---------------------------------------------------
+
+    /// Opens a proposal in a governance scope.
+    pub fn propose(
+        &mut self,
+        scope: &str,
+        proposer: &str,
+        title: &str,
+    ) -> Result<ProposalId, CoreError> {
+        Ok(self.governance.propose(scope, proposer, title, self.tick)?)
+    }
+
+    /// Casts a yes/no vote.
+    pub fn vote(
+        &mut self,
+        scope: &str,
+        voter: &str,
+        id: ProposalId,
+        support: bool,
+    ) -> Result<(), CoreError> {
+        let choice = if support { Choice::Yes } else { Choice::No };
+        Ok(self.governance.vote(scope, voter, id, choice, self.tick)?)
+    }
+
+    /// Closes a proposal; returns `(accepted, tally)`.
+    pub fn close_proposal(
+        &mut self,
+        scope: &str,
+        id: ProposalId,
+    ) -> Result<(bool, Tally), CoreError> {
+        let (status, tally) = self.governance.close(scope, id, self.tick)?;
+        Ok((status == ProposalStatus::Accepted, tally))
+    }
+
+    /// The modular governance fabric (scoped DAOs).
+    pub fn governance_mut(&mut self) -> &mut ModularGovernance {
+        &mut self.governance
+    }
+
+    // ---- reputation & moderation ---------------------------------------
+
+    /// One user endorses another.
+    pub fn endorse(&mut self, rater: &str, subject: &str) -> Result<i64, CoreError> {
+        Ok(self.reputation.endorse(rater, subject, self.tick)?)
+    }
+
+    /// One user reports another; an upheld report also climbs the
+    /// punitive escalation ladder.
+    pub fn report(&mut self, rater: &str, subject: &str) -> Result<ModAction, CoreError> {
+        self.reputation.report(rater, subject, self.tick)?;
+        Ok(self.ladder.punish(subject, "dao:moderation"))
+    }
+
+    /// Current reputation of a user, in points.
+    pub fn reputation_points(&self, user: &str) -> Result<f64, CoreError> {
+        Ok(self.reputation.score(user)?.points())
+    }
+
+    /// The reputation engine.
+    pub fn reputation_mut(&mut self) -> &mut ReputationEngine {
+        &mut self.reputation
+    }
+
+    // ---- assets ---------------------------------------------------------
+
+    /// Mints an NFT for a creator.
+    pub fn mint_asset(
+        &mut self,
+        creator: &str,
+        uri: &str,
+        content: &[u8],
+        quality: f64,
+    ) -> Result<NftId, CoreError> {
+        Ok(self.assets.mint(creator, uri, content, quality, self.tick)?)
+    }
+
+    /// Lists an asset for sale (subject to the market admission policy,
+    /// consulting the reputation engine).
+    pub fn list_asset(&mut self, seller: &str, asset: NftId, price: u64) -> Result<(), CoreError> {
+        Ok(self
+            .market
+            .list(&self.assets, Some(&self.reputation), seller, asset, price, self.tick)?)
+    }
+
+    /// Buys a listed asset.
+    pub fn buy_asset(&mut self, buyer: &str, asset: NftId) -> Result<(), CoreError> {
+        self.market.buy(&mut self.assets, buyer, asset, self.tick)?;
+        Ok(())
+    }
+
+    /// Funds a wallet.
+    pub fn deposit(&mut self, account: &str, amount: u64) {
+        self.market.deposit(account, amount);
+    }
+
+    /// The asset registry.
+    pub fn assets(&self) -> &NftRegistry {
+        &self.assets
+    }
+
+    /// The marketplace.
+    pub fn market(&self) -> &Marketplace {
+        &self.market
+    }
+
+    // ---- privacy & audit -------------------------------------------------
+
+    /// Submits a new collection purpose to the institutional review
+    /// board (§II-D). The board's decision is recorded on the ledger at
+    /// the next commit.
+    pub fn review_collection_purpose(&mut self, request: &ReviewRequest) -> ReviewDecision {
+        self.irb.review(request)
+    }
+
+    /// Opens a (sensor, purpose) flow on a user's firewall, but only if
+    /// the purpose has passed IRB review; the rule honours the board's
+    /// obfuscation requirement. This is the paper's "mix of technical
+    /// solutions and policies" in one call.
+    pub fn configure_flow(
+        &mut self,
+        user: &str,
+        sensor: metaverse_ledger::audit::SensorClass,
+        collector: &str,
+        purpose: &str,
+    ) -> Result<metaverse_privacy::firewall::FlowRule, CoreError> {
+        use metaverse_privacy::firewall::FlowRule;
+        let rule = match self.irb.standing(collector, purpose) {
+            Some(ReviewDecision::Approved) => FlowRule::Allow,
+            Some(ReviewDecision::ApprovedWithObfuscation) => FlowRule::RequireObfuscation,
+            Some(ReviewDecision::Rejected) | None => {
+                return Err(CoreError::Platform(format!(
+                    "purpose {purpose:?} by {collector:?} has no IRB approval"
+                )));
+            }
+        };
+        let firewall = self
+            .firewalls
+            .get_mut(user)
+            .ok_or_else(|| CoreError::Platform(format!("unknown user {user:?}")))?;
+        firewall.set_switch(sensor, true);
+        firewall.set_rule(sensor, purpose, rule);
+        Ok(rule)
+    }
+
+    /// The review board (for DAO-routed decisions).
+    pub fn irb_mut(&mut self) -> &mut ReviewBoard {
+        &mut self.irb
+    }
+
+    /// Registers a data-collection event directly (subsystems without a
+    /// per-user firewall use this).
+    pub fn record_collection(&mut self, event: DataCollectionEvent) {
+        self.audit.record(event);
+    }
+
+    /// Records differential-privacy spend for a subject.
+    pub fn record_dp_spend(&mut self, subject: &str, epsilon: f64) {
+        *self.dp_spend.entry(subject.to_string()).or_insert(0.0) += epsilon;
+    }
+
+    /// The audit registry (who collected what).
+    pub fn audit(&self) -> &AuditRegistry {
+        &self.audit
+    }
+
+    /// Evaluates compliance under the active jurisdiction.
+    pub fn compliance_report(&self) -> ComplianceReport {
+        let spend: Vec<(String, f64)> =
+            self.dp_spend.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        self.policy.evaluate(&self.audit, &spend)
+    }
+
+    /// Swaps the jurisdiction module (§III-E "the modules will swap
+    /// accordingly"), recording the swap.
+    pub fn set_jurisdiction(&mut self, jurisdiction: Jurisdiction) {
+        let mut descriptor =
+            ModuleDescriptor::open(ModuleKind::Policy, format!("policy:{}", jurisdiction.name));
+        descriptor.version = "swap".into();
+        self.modules.install(descriptor);
+        self.policy.set_jurisdiction(jurisdiction);
+    }
+
+    /// The active jurisdiction name.
+    pub fn jurisdiction_name(&self) -> &str {
+        &self.policy.jurisdiction().name
+    }
+
+    /// The module registry.
+    pub fn modules(&self) -> &ModuleRegistry {
+        &self.modules
+    }
+
+    /// Installs/swaps a module descriptor.
+    pub fn install_module(&mut self, descriptor: ModuleDescriptor) {
+        self.modules.install(descriptor);
+    }
+
+    /// Opens a constitutional proposal to swap a module. The swap is
+    /// *not* applied until [`MetaversePlatform::close_module_swap`]
+    /// confirms acceptance — code changes go through governance, the
+    /// Figure-3 requirement that "changes in the metaverse will also
+    /// involve code […] implementations".
+    pub fn propose_module_swap(
+        &mut self,
+        proposer: &str,
+        descriptor: ModuleDescriptor,
+    ) -> Result<(ProposalId, ModuleDescriptor), CoreError> {
+        let title = format!(
+            "module-swap {:?} -> {}@{}",
+            descriptor.kind, descriptor.name, descriptor.version
+        );
+        let id = self.governance.propose("root", proposer, &title, self.tick)?;
+        Ok((id, descriptor))
+    }
+
+    /// Closes a module-swap proposal; applies the swap only when the
+    /// vote accepted it. Returns whether the swap was applied.
+    pub fn close_module_swap(
+        &mut self,
+        id: ProposalId,
+        descriptor: ModuleDescriptor,
+    ) -> Result<bool, CoreError> {
+        let (status, _tally) = self.governance.close("root", id, self.tick)?;
+        if status == ProposalStatus::Accepted {
+            self.modules.install(descriptor);
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    // ---- ethics ----------------------------------------------------------
+
+    /// Runs the Ethical-Hierarchy-of-Needs audit over the current state.
+    pub fn ethics_audit(&self) -> EthicsAudit {
+        let compliance = self.compliance_report();
+        let snapshot = EthicsSnapshot {
+            modules: &self.modules,
+            compliance: &compliance,
+            privacy_defaults_on: self.config.privacy_defaults_on,
+            pets_available: true, // the privacy crate ships with the platform
+            reputation_live: !self.reputation.is_empty(),
+            avatar_freedom: true,
+            accessibility_features: true,
+            community_count: self.config.scopes.len(),
+        };
+        EthicsAuditor::new().audit(&snapshot)
+    }
+
+    // ---- time & ledger -----------------------------------------------------
+
+    /// Current platform tick.
+    pub fn tick(&self) -> u64 {
+        self.tick
+    }
+
+    /// Advances logical time.
+    pub fn advance_ticks(&mut self, n: u64) {
+        self.tick += n;
+        self.chain.advance(n);
+        self.world.advance(n);
+    }
+
+    /// Drains every subsystem's pending records onto the chain and seals
+    /// blocks — the transparency commit. Also collects firewall audit
+    /// events into the audit registry, and starts a new reputation
+    /// rate-limit epoch. Returns the number of blocks sealed.
+    pub fn commit_epoch(&mut self) -> Result<usize, CoreError> {
+        // Firewall audit events feed the audit registry and the ledger.
+        let mut events = Vec::new();
+        for firewall in self.firewalls.values_mut() {
+            events.extend(firewall.drain_audit_events());
+        }
+        for event in events {
+            self.audit.record(event.clone());
+            self.chain.submit(Transaction::new(
+                event.collector.clone(),
+                TxPayload::DataCollection(event),
+            ))?;
+        }
+
+        let mut payloads = Vec::new();
+        payloads.extend(self.governance.drain_ledger_records());
+        payloads.extend(self.reputation.drain_ledger_records());
+        payloads.extend(self.assets.drain_ledger_records());
+        payloads.extend(self.ladder.drain_ledger_records());
+        payloads.extend(self.modules.drain_ledger_records());
+        payloads.extend(self.irb.drain_ledger_records());
+        for payload in payloads {
+            self.chain.submit(Transaction::new("platform", payload))?;
+        }
+
+        self.reputation.begin_epoch();
+        if self.chain.mempool_len() == 0 {
+            return Ok(0);
+        }
+        Ok(self.chain.seal_all()?)
+    }
+
+    /// The underlying chain (read access for verification and light
+    /// proofs).
+    pub fn chain(&self) -> &Chain {
+        &self.chain
+    }
+
+    /// Verifies the whole ledger from genesis.
+    pub fn verify_ledger(&self) -> Result<(), CoreError> {
+        Ok(self.chain.verify_integrity()?)
+    }
+}
+
+fn default_module_name(kind: ModuleKind) -> String {
+    match kind {
+        ModuleKind::DecisionMaking => "dao:one-person-one-vote".into(),
+        ModuleKind::Privacy => "pets:firewall+pipeline".into(),
+        ModuleKind::Reputation => "reputation:wilson-decay".into(),
+        ModuleKind::Moderation => "moderation:hybrid-ladder".into(),
+        ModuleKind::Assets => "assets:reputation-gated-market".into(),
+        ModuleKind::Safety => "safety:apf-redirection".into(),
+        ModuleKind::Trust => "trust:verification-incentives".into(),
+        ModuleKind::Policy => "policy:gdpr".into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metaverse_ledger::audit::{LawfulBasis, SensorClass};
+
+    fn platform() -> MetaversePlatform {
+        // Shallow key trees keep validator keygen fast in tests.
+        let mut p = MetaversePlatform::new(PlatformConfig {
+            chain_config: ChainConfig { key_tree_depth: 4, ..ChainConfig::default() },
+            validators: vec!["validator-0".into()],
+            ..PlatformConfig::default()
+        });
+        for u in ["alice", "bob", "carol"] {
+            p.register_user(u).unwrap();
+        }
+        p
+    }
+
+    #[test]
+    fn governance_roundtrip_lands_on_ledger() {
+        let mut p = platform();
+        let id = p.propose("privacy", "alice", "bubbles by default").unwrap();
+        p.vote("privacy", "alice", id, true).unwrap();
+        p.vote("privacy", "bob", id, true).unwrap();
+        p.vote("privacy", "carol", id, false).unwrap();
+        let (accepted, tally) = p.close_proposal("privacy", id).unwrap();
+        assert!(accepted);
+        assert_eq!(tally.yes, 2);
+        let sealed = p.commit_epoch().unwrap();
+        assert!(sealed >= 1);
+        p.verify_ledger().unwrap();
+        // The proposal lifecycle is publicly visible on-chain.
+        let decided = p
+            .chain()
+            .iter_txs()
+            .filter(|t| matches!(t.payload, TxPayload::ProposalDecided { .. }))
+            .count();
+        assert_eq!(decided, 1);
+    }
+
+    #[test]
+    fn asset_lifecycle_with_reputation_gate() {
+        let mut p = platform();
+        p.deposit("bob", 1000);
+        let id = p.mint_asset("alice", "meta://art/1", b"pixels", 0.9).unwrap();
+        p.list_asset("alice", id, 100).unwrap();
+        p.buy_asset("bob", id).unwrap();
+        assert_eq!(p.assets().get(id).unwrap().owner, "bob");
+        // Tank alice below the gate; listing a new asset now fails.
+        p.reputation_mut().system_delta("alice", -30_000, "scam", 0).unwrap();
+        let id2 = p.mint_asset("alice", "meta://art/2", b"pixels2", 0.9).unwrap();
+        assert!(p.list_asset("alice", id2, 100).is_err());
+    }
+
+    #[test]
+    fn reports_escalate_and_record() {
+        let mut p = platform();
+        assert_eq!(p.report("alice", "carol").unwrap(), ModAction::Warn);
+        assert_eq!(p.report("bob", "carol").unwrap(), ModAction::Mute);
+        assert!(p.reputation_points("carol").unwrap() < 50.0);
+        p.commit_epoch().unwrap();
+        let actions = p
+            .chain()
+            .iter_txs()
+            .filter(|t| matches!(t.payload, TxPayload::ModerationAction { .. }))
+            .count();
+        assert_eq!(actions, 2);
+    }
+
+    #[test]
+    fn firewall_events_reach_audit_and_chain() {
+        let mut p = platform();
+        {
+            let fw = p.firewall_mut("alice").unwrap();
+            fw.set_switch(SensorClass::Gaze, true);
+            fw.set_rule(SensorClass::Gaze, "foveation", metaverse_privacy::firewall::FlowRule::Allow);
+            fw.request_flow(SensorClass::Gaze, "render-svc", "foveation", LawfulBasis::Contract, 64, 0);
+        }
+        p.commit_epoch().unwrap();
+        assert_eq!(p.audit().len(), 1);
+        let on_chain = p
+            .chain()
+            .iter_txs()
+            .filter(|t| matches!(t.payload, TxPayload::DataCollection(_)))
+            .count();
+        assert_eq!(on_chain, 1);
+    }
+
+    #[test]
+    fn privacy_defaults_deny() {
+        let mut p = platform();
+        let fw = p.firewall_mut("alice").unwrap();
+        let d = fw.request_flow(
+            SensorClass::Gaze,
+            "ads",
+            "profiling",
+            LawfulBasis::None,
+            64,
+            0,
+        );
+        assert_eq!(d, metaverse_privacy::firewall::FirewallDecision::Deny);
+    }
+
+    #[test]
+    fn jurisdiction_swap_changes_findings() {
+        let mut p = platform();
+        p.record_collection(DataCollectionEvent {
+            collector: "corp".into(),
+            subject: "alice".into(),
+            sensor: SensorClass::Gaze,
+            purpose: "analytics".into(),
+            basis: LawfulBasis::LegitimateInterest,
+            tick: 0,
+            bytes: 100,
+        });
+        // Balance collection shares so the monopoly rule stays quiet and
+        // the biometric rule is what distinguishes the jurisdictions.
+        for c in ["b", "c", "d"] {
+            p.record_collection(DataCollectionEvent {
+                collector: c.into(),
+                subject: "alice".into(),
+                sensor: SensorClass::Audio,
+                purpose: "voice".into(),
+                basis: LawfulBasis::Consent,
+                tick: 0,
+                bytes: 100,
+            });
+        }
+        assert!(!p.compliance_report().compliant, "GDPR flags biometric LI");
+        p.set_jurisdiction(Jurisdiction::ccpa());
+        assert_eq!(p.jurisdiction_name(), "CCPA");
+        assert!(p.compliance_report().compliant, "CCPA tolerates it");
+    }
+
+    #[test]
+    fn default_platform_is_fully_ethical() {
+        let p = platform();
+        let audit = p.ethics_audit();
+        assert!(audit.fully_ethical(), "{:?}", audit.findings);
+    }
+
+    #[test]
+    fn compliance_findings_break_ethics_base_layer() {
+        let mut p = platform();
+        p.record_collection(DataCollectionEvent {
+            collector: "corp".into(),
+            subject: "alice".into(),
+            sensor: SensorClass::Audio,
+            purpose: "x".into(),
+            basis: LawfulBasis::None,
+            tick: 0,
+            bytes: 1,
+        });
+        let audit = p.ethics_audit();
+        assert_eq!(audit.satisfied_up_to, None);
+    }
+
+    #[test]
+    fn world_access_through_platform() {
+        let mut p = platform();
+        let a = p.enter_world("alice", "neo", Vec2::new(1.0, 1.0)).unwrap();
+        let b = p.enter_world("bob", "smith", Vec2::new(2.0, 1.0)).unwrap();
+        let out = p
+            .world_mut()
+            .interact(a, b, metaverse_world::world::InteractionKind::Chat)
+            .unwrap();
+        assert_eq!(out, metaverse_world::world::InteractionOutcome::Delivered);
+    }
+
+    #[test]
+    fn first_commit_publishes_initial_modules_then_noop() {
+        let mut p = platform();
+        // Construction installs the eight default modules; the first
+        // commit publishes those swap records for transparency.
+        assert!(p.commit_epoch().unwrap() >= 1);
+        let height = p.chain().height();
+        // Nothing new happened: the next commit is a no-op.
+        assert_eq!(p.commit_epoch().unwrap(), 0);
+        assert_eq!(p.chain().height(), height);
+    }
+
+    #[test]
+    fn duplicate_user_rejected() {
+        let mut p = platform();
+        assert!(p.register_user("alice").is_err());
+    }
+
+    #[test]
+    fn irb_gates_flow_configuration() {
+        use metaverse_privacy::firewall::FlowRule;
+        let mut p = platform();
+        // Unreviewed purpose: rejected.
+        assert!(p
+            .configure_flow("alice", SensorClass::Gaze, "render-svc", "foveation")
+            .is_err());
+        // Review it: biometric, non-safety → obfuscation required.
+        let decision = p.review_collection_purpose(&ReviewRequest {
+            collector: "render-svc".into(),
+            sensor: SensorClass::Gaze,
+            purpose: "foveation".into(),
+            justification: "render quality".into(),
+        });
+        assert_eq!(decision, ReviewDecision::ApprovedWithObfuscation);
+        let rule = p
+            .configure_flow("alice", SensorClass::Gaze, "render-svc", "foveation")
+            .unwrap();
+        assert_eq!(rule, FlowRule::RequireObfuscation);
+        // The firewall now permits obfuscated flows for that purpose.
+        let fw = p.firewall_mut("alice").unwrap();
+        let d = fw.request_flow(
+            SensorClass::Gaze,
+            "render-svc",
+            "foveation",
+            LawfulBasis::Consent,
+            64,
+            0,
+        );
+        assert_eq!(d, metaverse_privacy::firewall::FirewallDecision::AllowObfuscated);
+        // IRB decisions land on the ledger at commit.
+        p.commit_epoch().unwrap();
+        let irb_notes = p
+            .chain()
+            .iter_txs()
+            .filter(|t| matches!(&t.payload, TxPayload::Note { text } if text.starts_with("irb:")))
+            .count();
+        assert_eq!(irb_notes, 1);
+    }
+
+    #[test]
+    fn irb_rejects_biometric_profiling_outright() {
+        let mut p = platform();
+        let decision = p.review_collection_purpose(&ReviewRequest {
+            collector: "ads-svc".into(),
+            sensor: SensorClass::Gaze,
+            purpose: "ads-profiling".into(),
+            justification: "revenue".into(),
+        });
+        assert_eq!(decision, ReviewDecision::Rejected);
+        assert!(p
+            .configure_flow("alice", SensorClass::Gaze, "ads-svc", "ads-profiling")
+            .is_err());
+    }
+
+    #[test]
+    fn module_swap_goes_through_governance() {
+        let mut p = platform();
+        let mut opaque = ModuleDescriptor::open(ModuleKind::Moderation, "vendor-ai");
+        opaque.transparent = false;
+        let (id, descriptor) = p.propose_module_swap("alice", opaque).unwrap();
+        // The community votes it down.
+        p.vote("root", "alice", id, true).unwrap();
+        p.vote("root", "bob", id, false).unwrap();
+        p.vote("root", "carol", id, false).unwrap();
+        let applied = p.close_module_swap(id, descriptor.clone()).unwrap();
+        assert!(!applied, "rejected swap is not installed");
+        assert!(p.ethics_audit().fully_ethical(), "platform unchanged");
+
+        // A transparent replacement passes.
+        let good = ModuleDescriptor::open(ModuleKind::Moderation, "community-ai");
+        let (id2, descriptor2) = p.propose_module_swap("alice", good).unwrap();
+        for (v, support) in [("alice", true), ("bob", true), ("carol", true)] {
+            p.vote("root", v, id2, support).unwrap();
+        }
+        assert!(p.close_module_swap(id2, descriptor2).unwrap());
+        assert_eq!(
+            p.modules().installed(ModuleKind::Moderation).unwrap().name,
+            "community-ai"
+        );
+    }
+
+    #[test]
+    fn dp_spend_tracked_into_compliance() {
+        let mut p = platform();
+        p.record_dp_spend("alice", 1.5);
+        p.record_dp_spend("alice", 1.0); // total 2.5 > GDPR's 2.0
+        let report = p.compliance_report();
+        assert!(!report.compliant);
+    }
+}

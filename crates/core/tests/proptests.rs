@@ -1,0 +1,150 @@
+//! Property-based tests for policy and ethics invariants.
+
+use metaverse_core::ethics::{EthicsAuditor, EthicsLayer, EthicsSnapshot};
+use metaverse_core::module::{ModuleDescriptor, ModuleKind, ModuleRegistry};
+use metaverse_core::policy::{ComplianceReport, Jurisdiction, PolicyEngine, PolicyRequirements};
+use metaverse_ledger::audit::{AuditRegistry, DataCollectionEvent, LawfulBasis, SensorClass};
+use proptest::prelude::*;
+
+fn arb_basis() -> impl Strategy<Value = LawfulBasis> {
+    prop_oneof![
+        Just(LawfulBasis::Consent),
+        Just(LawfulBasis::Contract),
+        Just(LawfulBasis::LegitimateInterest),
+        Just(LawfulBasis::VitalInterest),
+        Just(LawfulBasis::None),
+    ]
+}
+
+fn arb_sensor() -> impl Strategy<Value = SensorClass> {
+    (0usize..SensorClass::ALL.len()).prop_map(|i| SensorClass::ALL[i])
+}
+
+fn registry_from(events: Vec<(u8, SensorClass, LawfulBasis, u64)>) -> AuditRegistry {
+    let mut reg = AuditRegistry::new();
+    for (collector, sensor, basis, bytes) in events {
+        reg.record(DataCollectionEvent {
+            collector: format!("c{}", collector % 5),
+            subject: "subject".into(),
+            sensor,
+            purpose: "p".into(),
+            basis,
+            tick: 0,
+            bytes: bytes % 10_000 + 1,
+        });
+    }
+    reg
+}
+
+proptest! {
+    /// Monotonicity of regulation strictness: for any workload, GDPR
+    /// produces at least as many findings as CCPA, and CCPA at least as
+    /// many as permissive (their rule sets are supersets).
+    #[test]
+    fn stricter_jurisdictions_find_no_less(
+        events in proptest::collection::vec(
+            (any::<u8>(), arb_sensor(), arb_basis(), any::<u64>()),
+            0..60,
+        ),
+    ) {
+        let audit = registry_from(events);
+        let count = |j: Jurisdiction| PolicyEngine::new(j).evaluate(&audit, &[]).findings.len();
+        let gdpr = count(Jurisdiction::gdpr());
+        let ccpa = count(Jurisdiction::ccpa());
+        let permissive = count(Jurisdiction::permissive());
+        prop_assert!(gdpr >= ccpa, "gdpr {gdpr} >= ccpa {ccpa}");
+        prop_assert!(ccpa >= permissive);
+        prop_assert_eq!(permissive, 0);
+    }
+
+    /// Compliance is exactly "no findings", and the report always
+    /// examines every event.
+    #[test]
+    fn compliance_iff_no_findings(
+        events in proptest::collection::vec(
+            (any::<u8>(), arb_sensor(), arb_basis(), any::<u64>()),
+            0..40,
+        ),
+    ) {
+        let n = events.len();
+        let audit = registry_from(events);
+        let report: ComplianceReport =
+            PolicyEngine::new(Jurisdiction::gdpr()).evaluate(&audit, &[]);
+        prop_assert_eq!(report.compliant, report.findings.is_empty());
+        prop_assert_eq!(report.events_examined, n);
+    }
+
+    /// The ethics hierarchy is strictly layered: whatever the snapshot,
+    /// `satisfied_up_to` is consistent with the per-layer scores.
+    #[test]
+    fn ethics_hierarchy_layering(
+        privacy_on in any::<bool>(),
+        pets in any::<bool>(),
+        reputation in any::<bool>(),
+        avatars in any::<bool>(),
+        accessibility in any::<bool>(),
+        communities in 0usize..5,
+    ) {
+        let mut modules = ModuleRegistry::new();
+        for kind in ModuleKind::ALL {
+            modules.install(ModuleDescriptor::open(kind, "impl"));
+        }
+        let compliance =
+            PolicyEngine::new(Jurisdiction::gdpr()).evaluate(&AuditRegistry::new(), &[]);
+        let snapshot = EthicsSnapshot {
+            modules: &modules,
+            compliance: &compliance,
+            privacy_defaults_on: privacy_on,
+            pets_available: pets,
+            reputation_live: reputation,
+            avatar_freedom: avatars,
+            accessibility_features: accessibility,
+            community_count: communities,
+        };
+        let audit = EthicsAuditor::new().audit(&snapshot);
+        let full = |layer: usize| audit.scores[layer].1 == audit.scores[layer].2;
+        let expected = if !full(0) {
+            None
+        } else if !full(1) {
+            Some(EthicsLayer::HumanRights)
+        } else if !full(2) {
+            Some(EthicsLayer::HumanEffort)
+        } else {
+            Some(EthicsLayer::HumanExperience)
+        };
+        prop_assert_eq!(audit.satisfied_up_to, expected);
+        // Findings count equals failed checks.
+        let failed: usize =
+            audit.scores.iter().map(|(_, p, t)| t - p).sum();
+        prop_assert_eq!(audit.findings.len(), failed);
+    }
+
+    /// A jurisdiction with all checks disabled never finds anything,
+    /// whatever the workload or DP spend.
+    #[test]
+    fn disabled_requirements_find_nothing(
+        events in proptest::collection::vec(
+            (any::<u8>(), arb_sensor(), arb_basis(), any::<u64>()),
+            0..40,
+        ),
+        spend in proptest::collection::vec((any::<u8>(), 0.0f64..100.0), 0..5),
+    ) {
+        let audit = registry_from(events);
+        let lax = Jurisdiction {
+            name: "lax".into(),
+            requirements: PolicyRequirements {
+                biometric_requires_consent: false,
+                lawful_basis_required: false,
+                max_collection_hhi: 1.0,
+                right_of_access: false,
+                visual_cues_required: false,
+                max_dp_epsilon: f64::INFINITY,
+                monopoly_min_events: usize::MAX,
+            },
+        };
+        let spend: Vec<(String, f64)> =
+            spend.into_iter().map(|(u, e)| (format!("u{u}"), e)).collect();
+        let report = PolicyEngine::new(lax).evaluate(&audit, &spend);
+        prop_assert!(report.compliant);
+    }
+}

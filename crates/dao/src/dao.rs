@@ -1,0 +1,645 @@
+//! A single DAO: membership, proposals, voting, tallying.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use metaverse_ledger::tx::TxPayload;
+use serde::{Deserialize, Serialize};
+
+use crate::error::DaoError;
+use crate::proposal::{Proposal, ProposalId, ProposalStatus};
+use crate::quorum::QuorumRule;
+use crate::voting::{quadratic_cost, Ballot, Choice, Tally, VotingScheme};
+
+/// A DAO member.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Member {
+    /// Account name.
+    pub name: String,
+    /// Governance-token balance (weight under [`VotingScheme::TokenWeighted`]).
+    pub tokens: u64,
+    /// Remaining voice credits (spent under [`VotingScheme::Quadratic`]).
+    pub voice_credits: u64,
+    /// Liquid-democracy delegate, if any.
+    pub delegate: Option<String>,
+}
+
+/// Configuration of a DAO.
+#[derive(Debug, Clone)]
+pub struct DaoConfig {
+    /// How ballots are weighted.
+    pub scheme: VotingScheme,
+    /// Acceptance rule.
+    pub quorum: QuorumRule,
+    /// Ticks a proposal stays open.
+    pub voting_window: u64,
+    /// Voice credits granted to new members (quadratic voting).
+    pub initial_voice_credits: u64,
+    /// Tokens granted to new members.
+    pub initial_tokens: u64,
+}
+
+impl Default for DaoConfig {
+    fn default() -> Self {
+        DaoConfig {
+            scheme: VotingScheme::OnePersonOneVote,
+            quorum: QuorumRule::simple_majority(),
+            voting_window: 100,
+            initial_voice_credits: 100,
+            initial_tokens: 100,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct ProposalState {
+    proposal: Proposal,
+    ballots: Vec<Ballot>,
+    voted: HashSet<String>,
+}
+
+/// A decentralized autonomous organization.
+///
+/// ```
+/// use metaverse_dao::dao::{Dao, DaoConfig};
+/// use metaverse_dao::voting::Choice;
+///
+/// let mut dao = Dao::new("privacy", DaoConfig::default());
+/// for m in ["alice", "bob", "carol"] {
+///     dao.add_member(m).unwrap();
+/// }
+/// let id = dao.propose("alice", "Enable privacy bubbles by default", 0).unwrap();
+/// dao.vote("alice", id, Choice::Yes, 0).unwrap();
+/// dao.vote("bob", id, Choice::Yes, 0).unwrap();
+/// dao.vote("carol", id, Choice::No, 0).unwrap();
+/// let (status, tally) = dao.close(id, 101).unwrap();
+/// assert_eq!(status, metaverse_dao::proposal::ProposalStatus::Accepted);
+/// assert_eq!((tally.yes, tally.no), (2, 1));
+/// ```
+#[derive(Debug)]
+pub struct Dao {
+    /// The scope/name of this DAO (e.g. "privacy", "moderation").
+    pub scope: String,
+    config: DaoConfig,
+    members: BTreeMap<String, Member>,
+    proposals: BTreeMap<ProposalId, ProposalState>,
+    next_id: ProposalId,
+    pending_records: Vec<TxPayload>,
+}
+
+impl Dao {
+    /// Creates an empty DAO for `scope`.
+    pub fn new(scope: impl Into<String>, config: DaoConfig) -> Self {
+        Dao {
+            scope: scope.into(),
+            config,
+            members: BTreeMap::new(),
+            proposals: BTreeMap::new(),
+            next_id: 1,
+            pending_records: Vec::new(),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &DaoConfig {
+        &self.config
+    }
+
+    /// Swaps the voting scheme — the "interchangeable module" operation
+    /// from the paper's Figure 3. Takes effect for future proposals.
+    pub fn set_scheme(&mut self, scheme: VotingScheme) {
+        self.config.scheme = scheme;
+    }
+
+    /// Adds a member with the configured initial balances.
+    pub fn add_member(&mut self, name: &str) -> Result<(), DaoError> {
+        if self.members.contains_key(name) {
+            return Err(DaoError::AlreadyMember { account: name.into() });
+        }
+        self.members.insert(
+            name.to_string(),
+            Member {
+                name: name.to_string(),
+                tokens: self.config.initial_tokens,
+                voice_credits: self.config.initial_voice_credits,
+                delegate: None,
+            },
+        );
+        Ok(())
+    }
+
+    /// Removes a member. Their open ballots remain valid.
+    pub fn remove_member(&mut self, name: &str) -> Result<(), DaoError> {
+        self.members
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| DaoError::NotAMember { account: name.into() })
+    }
+
+    /// Membership test.
+    pub fn is_member(&self, name: &str) -> bool {
+        self.members.contains_key(name)
+    }
+
+    /// Number of members.
+    pub fn member_count(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Immutable view of a member.
+    pub fn member(&self, name: &str) -> Option<&Member> {
+        self.members.get(name)
+    }
+
+    /// Grants additional tokens to a member.
+    pub fn grant_tokens(&mut self, name: &str, amount: u64) -> Result<(), DaoError> {
+        let m = self
+            .members
+            .get_mut(name)
+            .ok_or_else(|| DaoError::NotAMember { account: name.into() })?;
+        m.tokens += amount;
+        Ok(())
+    }
+
+    /// Refills a member's voice credits.
+    pub fn refill_credits(&mut self, name: &str, amount: u64) -> Result<(), DaoError> {
+        let m = self
+            .members
+            .get_mut(name)
+            .ok_or_else(|| DaoError::NotAMember { account: name.into() })?;
+        m.voice_credits += amount;
+        Ok(())
+    }
+
+    /// Sets (or clears) a member's liquid-democracy delegate.
+    ///
+    /// Rejects delegations that would close a cycle.
+    pub fn set_delegate(&mut self, from: &str, to: Option<&str>) -> Result<(), DaoError> {
+        if !self.members.contains_key(from) {
+            return Err(DaoError::NotAMember { account: from.into() });
+        }
+        if let Some(to) = to {
+            if !self.members.contains_key(to) {
+                return Err(DaoError::NotAMember { account: to.into() });
+            }
+            // Walk the chain from `to`; reaching `from` means a cycle.
+            let mut cursor = Some(to.to_string());
+            let mut hops = 0;
+            while let Some(c) = cursor {
+                if c == from {
+                    return Err(DaoError::DelegationCycle { account: from.into() });
+                }
+                cursor = self.members.get(&c).and_then(|m| m.delegate.clone());
+                hops += 1;
+                if hops > self.members.len() {
+                    return Err(DaoError::DelegationCycle { account: from.into() });
+                }
+            }
+        }
+        self.members.get_mut(from).expect("checked").delegate = to.map(str::to_string);
+        Ok(())
+    }
+
+    /// Opens a new proposal. Returns its id.
+    pub fn propose(
+        &mut self,
+        proposer: &str,
+        title: &str,
+        now: u64,
+    ) -> Result<ProposalId, DaoError> {
+        if !self.members.contains_key(proposer) {
+            return Err(DaoError::NotAMember { account: proposer.into() });
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        let proposal =
+            Proposal::new(id, proposer, title, self.scope.clone(), now, self.config.voting_window);
+        self.pending_records.push(TxPayload::ProposalCreated {
+            proposal_id: id,
+            title: title.to_string(),
+            scope: self.scope.clone(),
+        });
+        self.proposals.insert(
+            id,
+            ProposalState { proposal, ballots: Vec::new(), voted: HashSet::new() },
+        );
+        Ok(id)
+    }
+
+    /// Casts a ballot of weight determined by the configured scheme
+    /// (1 vote under quadratic; use [`Dao::vote_quadratic`] to buy more).
+    pub fn vote(
+        &mut self,
+        voter: &str,
+        id: ProposalId,
+        choice: Choice,
+        now: u64,
+    ) -> Result<(), DaoError> {
+        match self.config.scheme {
+            VotingScheme::OnePersonOneVote => self.cast(voter, id, choice, 1, now),
+            VotingScheme::TokenWeighted => {
+                let tokens = self
+                    .members
+                    .get(voter)
+                    .ok_or_else(|| DaoError::NotAMember { account: voter.into() })?
+                    .tokens;
+                self.cast(voter, id, choice, tokens, now)
+            }
+            VotingScheme::Quadratic => self.vote_quadratic(voter, id, choice, 1, now),
+            VotingScheme::ExternalWeighted => self.cast(voter, id, choice, 1, now),
+        }
+    }
+
+    /// Quadratic voting: buys `votes` votes for `votes²` voice credits.
+    pub fn vote_quadratic(
+        &mut self,
+        voter: &str,
+        id: ProposalId,
+        choice: Choice,
+        votes: u64,
+        now: u64,
+    ) -> Result<(), DaoError> {
+        let cost = quadratic_cost(votes);
+        let available = self
+            .members
+            .get(voter)
+            .ok_or_else(|| DaoError::NotAMember { account: voter.into() })?
+            .voice_credits;
+        if cost > available {
+            return Err(DaoError::InsufficientCredits {
+                account: voter.into(),
+                needed: cost,
+                available,
+            });
+        }
+        self.cast(voter, id, choice, votes, now)?;
+        self.members.get_mut(voter).expect("checked").voice_credits -= cost;
+        Ok(())
+    }
+
+    /// Casts a ballot with an externally supplied weight (reputation-
+    /// weighted governance).
+    pub fn vote_weighted(
+        &mut self,
+        voter: &str,
+        id: ProposalId,
+        choice: Choice,
+        weight: u64,
+        now: u64,
+    ) -> Result<(), DaoError> {
+        self.cast(voter, id, choice, weight, now)
+    }
+
+    fn cast(
+        &mut self,
+        voter: &str,
+        id: ProposalId,
+        choice: Choice,
+        weight: u64,
+        now: u64,
+    ) -> Result<(), DaoError> {
+        if !self.members.contains_key(voter) {
+            return Err(DaoError::NotAMember { account: voter.into() });
+        }
+        let state = self
+            .proposals
+            .get_mut(&id)
+            .ok_or(DaoError::UnknownProposal { id })?;
+        if !state.proposal.accepts_votes(now) {
+            return Err(DaoError::VotingClosed { id });
+        }
+        if !state.voted.insert(voter.to_string()) {
+            return Err(DaoError::AlreadyVoted { account: voter.into(), id });
+        }
+        state.ballots.push(Ballot { voter: voter.into(), choice, weight, cast_at: now });
+        self.pending_records.push(TxPayload::VoteCast {
+            proposal_id: id,
+            voter: voter.to_string(),
+            choice: format!("{choice:?}"),
+            weight,
+        });
+        Ok(())
+    }
+
+    /// Resolves liquid-democracy weight additions: members who did not
+    /// vote but whose delegation chain reaches a voter add their base
+    /// weight to that voter's choice. Applies to 1p1v and token schemes.
+    fn delegated_extra(&self, state: &ProposalState) -> HashMap<String, u64> {
+        let mut extra: HashMap<String, u64> = HashMap::new();
+        if !matches!(
+            self.config.scheme,
+            VotingScheme::OnePersonOneVote | VotingScheme::TokenWeighted
+        ) {
+            return extra;
+        }
+        for (name, member) in &self.members {
+            if state.voted.contains(name) || member.delegate.is_none() {
+                continue;
+            }
+            // Walk the delegation chain to the first member who voted.
+            let mut cursor = member.delegate.clone();
+            let mut hops = 0;
+            while let Some(c) = cursor {
+                if state.voted.contains(&c) {
+                    let w = match self.config.scheme {
+                        VotingScheme::TokenWeighted => member.tokens,
+                        _ => 1,
+                    };
+                    *extra.entry(c).or_insert(0) += w;
+                    break;
+                }
+                cursor = self.members.get(&c).and_then(|m| m.delegate.clone());
+                hops += 1;
+                if hops > self.members.len() {
+                    break; // stale cycle via removed members
+                }
+            }
+        }
+        extra
+    }
+
+    /// Tallies a proposal's current ballots (including delegation).
+    pub fn tally(&self, id: ProposalId) -> Result<Tally, DaoError> {
+        let state = self.proposals.get(&id).ok_or(DaoError::UnknownProposal { id })?;
+        let extra = self.delegated_extra(state);
+        let mut tally = Tally::empty(self.members.len() as u64);
+        for ballot in &state.ballots {
+            let mut b = ballot.clone();
+            if let Some(add) = extra.get(&ballot.voter) {
+                b.weight += add;
+            }
+            tally.add(&b);
+        }
+        Ok(tally)
+    }
+
+    /// Closes a proposal after its deadline (or once every member voted),
+    /// applying the quorum rule. Returns the final status and tally.
+    pub fn close(&mut self, id: ProposalId, now: u64) -> Result<(ProposalStatus, Tally), DaoError> {
+        let (expired, all_voted) = {
+            let state = self.proposals.get(&id).ok_or(DaoError::UnknownProposal { id })?;
+            if state.proposal.status != ProposalStatus::Open {
+                return Err(DaoError::VotingClosed { id });
+            }
+            (state.proposal.expired(now), state.voted.len() == self.members.len())
+        };
+        if !expired && !all_voted {
+            let deadline = self.proposals[&id].proposal.deadline;
+            return Err(DaoError::DeadlineNotReached { id, now, deadline });
+        }
+        let tally = self.tally(id)?;
+        let accepted = self.config.quorum.passes(&tally);
+        let status = if accepted { ProposalStatus::Accepted } else { ProposalStatus::Rejected };
+        self.proposals.get_mut(&id).expect("checked").proposal.status = status;
+        self.pending_records.push(TxPayload::ProposalDecided {
+            proposal_id: id,
+            accepted,
+            yes_weight: tally.yes,
+            no_weight: tally.no,
+        });
+        Ok((status, tally))
+    }
+
+    /// The proposal with the given id.
+    pub fn proposal(&self, id: ProposalId) -> Option<&Proposal> {
+        self.proposals.get(&id).map(|s| &s.proposal)
+    }
+
+    /// Ids of proposals still open at `now`.
+    pub fn open_proposals(&self, now: u64) -> Vec<ProposalId> {
+        self.proposals
+            .values()
+            .filter(|s| s.proposal.accepts_votes(now))
+            .map(|s| s.proposal.id)
+            .collect()
+    }
+
+    /// Member names, sorted.
+    pub fn member_names(&self) -> Vec<&str> {
+        self.members.keys().map(String::as_str).collect()
+    }
+
+    /// Takes the ledger records accumulated since the last drain.
+    pub fn drain_ledger_records(&mut self) -> Vec<TxPayload> {
+        std::mem::take(&mut self.pending_records)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dao_with(scheme: VotingScheme, members: &[&str]) -> Dao {
+        let mut d = Dao::new(
+            "test",
+            DaoConfig { scheme, quorum: QuorumRule::simple_majority(), ..DaoConfig::default() },
+        );
+        for m in members {
+            d.add_member(m).unwrap();
+        }
+        d
+    }
+
+    #[test]
+    fn one_person_one_vote_majority() {
+        let mut d = dao_with(VotingScheme::OnePersonOneVote, &["a", "b", "c"]);
+        let id = d.propose("a", "t", 0).unwrap();
+        d.vote("a", id, Choice::Yes, 1).unwrap();
+        d.vote("b", id, Choice::Yes, 2).unwrap();
+        d.vote("c", id, Choice::No, 3).unwrap();
+        let (status, tally) = d.close(id, 101).unwrap();
+        assert_eq!(status, ProposalStatus::Accepted);
+        assert_eq!((tally.yes, tally.no), (2, 1));
+    }
+
+    #[test]
+    fn token_weighted_plutocracy() {
+        let mut d = dao_with(VotingScheme::TokenWeighted, &["whale", "m1", "m2"]);
+        d.grant_tokens("whale", 900).unwrap(); // 1000 total vs 100 each
+        let id = d.propose("whale", "t", 0).unwrap();
+        d.vote("whale", id, Choice::Yes, 0).unwrap();
+        d.vote("m1", id, Choice::No, 0).unwrap();
+        d.vote("m2", id, Choice::No, 0).unwrap();
+        let (status, tally) = d.close(id, 101).unwrap();
+        assert_eq!(status, ProposalStatus::Accepted, "tokens outvote heads");
+        assert_eq!(tally.yes, 1000);
+        assert_eq!(tally.no, 200);
+    }
+
+    #[test]
+    fn quadratic_budget_enforced() {
+        let mut d = dao_with(VotingScheme::Quadratic, &["a", "b"]);
+        let id = d.propose("a", "t", 0).unwrap();
+        // Budget 100: 10 votes cost exactly 100.
+        d.vote_quadratic("a", id, Choice::Yes, 10, 0).unwrap();
+        assert_eq!(d.member("a").unwrap().voice_credits, 0);
+        let err = {
+            let id2 = d.propose("a", "t2", 0).unwrap();
+            d.vote_quadratic("a", id2, Choice::Yes, 1, 0).unwrap_err()
+        };
+        assert!(matches!(err, DaoError::InsufficientCredits { .. }));
+    }
+
+    #[test]
+    fn quadratic_dampens_whales_relative_to_tokens() {
+        // A member with 9x the credits gets only 3x the votes.
+        let mut d = dao_with(VotingScheme::Quadratic, &["whale", "m"]);
+        d.refill_credits("whale", 800).unwrap(); // 900 total vs 100
+        let id = d.propose("whale", "t", 0).unwrap();
+        d.vote_quadratic("whale", id, Choice::Yes, 30, 0).unwrap(); // 900
+        d.vote_quadratic("m", id, Choice::No, 10, 0).unwrap(); // 100
+        let tally = d.tally(id).unwrap();
+        assert_eq!((tally.yes, tally.no), (30, 10));
+    }
+
+    #[test]
+    fn double_vote_rejected() {
+        let mut d = dao_with(VotingScheme::OnePersonOneVote, &["a", "b"]);
+        let id = d.propose("a", "t", 0).unwrap();
+        d.vote("a", id, Choice::Yes, 0).unwrap();
+        assert!(matches!(
+            d.vote("a", id, Choice::No, 0),
+            Err(DaoError::AlreadyVoted { .. })
+        ));
+    }
+
+    #[test]
+    fn non_member_rejected_everywhere() {
+        let mut d = dao_with(VotingScheme::OnePersonOneVote, &["a"]);
+        assert!(d.propose("ghost", "t", 0).is_err());
+        let id = d.propose("a", "t", 0).unwrap();
+        assert!(d.vote("ghost", id, Choice::Yes, 0).is_err());
+        assert!(d.set_delegate("ghost", Some("a")).is_err());
+        assert!(d.set_delegate("a", Some("ghost")).is_err());
+    }
+
+    #[test]
+    fn vote_after_deadline_rejected() {
+        let mut d = dao_with(VotingScheme::OnePersonOneVote, &["a", "b"]);
+        let id = d.propose("a", "t", 0).unwrap();
+        assert!(matches!(
+            d.vote("a", id, Choice::Yes, 101),
+            Err(DaoError::VotingClosed { .. })
+        ));
+    }
+
+    #[test]
+    fn close_before_deadline_requires_full_turnout() {
+        let mut d = dao_with(VotingScheme::OnePersonOneVote, &["a", "b"]);
+        let id = d.propose("a", "t", 0).unwrap();
+        d.vote("a", id, Choice::Yes, 0).unwrap();
+        assert!(matches!(d.close(id, 50), Err(DaoError::DeadlineNotReached { .. })));
+        d.vote("b", id, Choice::Yes, 0).unwrap();
+        let (status, _) = d.close(id, 50).unwrap();
+        assert_eq!(status, ProposalStatus::Accepted);
+    }
+
+    #[test]
+    fn double_close_rejected() {
+        let mut d = dao_with(VotingScheme::OnePersonOneVote, &["a"]);
+        let id = d.propose("a", "t", 0).unwrap();
+        d.vote("a", id, Choice::Yes, 0).unwrap();
+        d.close(id, 101).unwrap();
+        assert!(matches!(d.close(id, 102), Err(DaoError::VotingClosed { .. })));
+    }
+
+    #[test]
+    fn quorum_failure_rejects() {
+        let mut d = Dao::new(
+            "q",
+            DaoConfig {
+                quorum: QuorumRule { min_turnout: 0.5, min_support: 0.5 },
+                ..DaoConfig::default()
+            },
+        );
+        for i in 0..10 {
+            d.add_member(&format!("m{i}")).unwrap();
+        }
+        let id = d.propose("m0", "t", 0).unwrap();
+        d.vote("m0", id, Choice::Yes, 0).unwrap(); // 10% turnout
+        let (status, _) = d.close(id, 101).unwrap();
+        assert_eq!(status, ProposalStatus::Rejected);
+    }
+
+    #[test]
+    fn delegation_adds_weight() {
+        let mut d = dao_with(VotingScheme::OnePersonOneVote, &["a", "b", "c", "d"]);
+        d.set_delegate("b", Some("a")).unwrap();
+        d.set_delegate("c", Some("b")).unwrap(); // chain c -> b -> a
+        let id = d.propose("a", "t", 0).unwrap();
+        d.vote("a", id, Choice::Yes, 0).unwrap();
+        d.vote("d", id, Choice::No, 0).unwrap();
+        let tally = d.tally(id).unwrap();
+        assert_eq!(tally.yes, 3, "a carries b and c");
+        assert_eq!(tally.no, 1);
+    }
+
+    #[test]
+    fn delegation_ignored_when_delegator_votes() {
+        let mut d = dao_with(VotingScheme::OnePersonOneVote, &["a", "b"]);
+        d.set_delegate("b", Some("a")).unwrap();
+        let id = d.propose("a", "t", 0).unwrap();
+        d.vote("a", id, Choice::Yes, 0).unwrap();
+        d.vote("b", id, Choice::No, 0).unwrap(); // overrides delegation
+        let tally = d.tally(id).unwrap();
+        assert_eq!((tally.yes, tally.no), (1, 1));
+    }
+
+    #[test]
+    fn delegation_cycles_rejected() {
+        let mut d = dao_with(VotingScheme::OnePersonOneVote, &["a", "b", "c"]);
+        d.set_delegate("a", Some("b")).unwrap();
+        d.set_delegate("b", Some("c")).unwrap();
+        assert!(matches!(
+            d.set_delegate("c", Some("a")),
+            Err(DaoError::DelegationCycle { .. })
+        ));
+        assert!(matches!(
+            d.set_delegate("a", Some("a")),
+            Err(DaoError::DelegationCycle { .. })
+        ));
+    }
+
+    #[test]
+    fn token_delegation_carries_tokens() {
+        let mut d = dao_with(VotingScheme::TokenWeighted, &["a", "b"]);
+        d.grant_tokens("b", 400).unwrap(); // b: 500
+        d.set_delegate("b", Some("a")).unwrap();
+        let id = d.propose("a", "t", 0).unwrap();
+        d.vote("a", id, Choice::Yes, 0).unwrap();
+        let tally = d.tally(id).unwrap();
+        assert_eq!(tally.yes, 600, "a's 100 + b's 500");
+    }
+
+    #[test]
+    fn ledger_records_cover_lifecycle() {
+        let mut d = dao_with(VotingScheme::OnePersonOneVote, &["a", "b"]);
+        let id = d.propose("a", "t", 0).unwrap();
+        d.vote("a", id, Choice::Yes, 0).unwrap();
+        d.vote("b", id, Choice::No, 0).unwrap();
+        d.close(id, 101).unwrap();
+        let records = d.drain_ledger_records();
+        assert_eq!(records.len(), 4); // created + 2 votes + decided
+        assert!(d.drain_ledger_records().is_empty());
+    }
+
+    #[test]
+    fn scheme_swap_affects_future_votes() {
+        let mut d = dao_with(VotingScheme::OnePersonOneVote, &["whale", "m"]);
+        d.grant_tokens("whale", 900).unwrap();
+        d.set_scheme(VotingScheme::TokenWeighted);
+        let id = d.propose("whale", "t", 0).unwrap();
+        d.vote("whale", id, Choice::Yes, 0).unwrap();
+        let tally = d.tally(id).unwrap();
+        assert_eq!(tally.yes, 1000);
+    }
+
+    #[test]
+    fn open_proposals_listing() {
+        let mut d = dao_with(VotingScheme::OnePersonOneVote, &["a"]);
+        let id1 = d.propose("a", "t1", 0).unwrap();
+        let id2 = d.propose("a", "t2", 50).unwrap();
+        assert_eq!(d.open_proposals(10), vec![id1, id2]);
+        assert_eq!(d.open_proposals(120), vec![id2]);
+        assert!(d.open_proposals(200).is_empty());
+    }
+}

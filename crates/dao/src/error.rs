@@ -1,0 +1,108 @@
+//! Error types for the DAO crate.
+
+use crate::proposal::ProposalId;
+
+/// Errors returned by DAO operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DaoError {
+    /// The account is not a member of this DAO.
+    NotAMember {
+        /// The non-member account.
+        account: String,
+    },
+    /// The account is already a member.
+    AlreadyMember {
+        /// The duplicated account.
+        account: String,
+    },
+    /// The proposal does not exist.
+    UnknownProposal {
+        /// The missing proposal id.
+        id: ProposalId,
+    },
+    /// The proposal is no longer open for voting.
+    VotingClosed {
+        /// The closed proposal id.
+        id: ProposalId,
+    },
+    /// The member has already voted on this proposal.
+    AlreadyVoted {
+        /// The voter.
+        account: String,
+        /// The proposal.
+        id: ProposalId,
+    },
+    /// Quadratic voting: the member's voice-credit budget is exhausted.
+    InsufficientCredits {
+        /// The voter.
+        account: String,
+        /// Credits needed.
+        needed: u64,
+        /// Credits available.
+        available: u64,
+    },
+    /// Delegation would create a cycle.
+    DelegationCycle {
+        /// The account whose delegation was rejected.
+        account: String,
+    },
+    /// Tried to close a proposal before its deadline with votes missing.
+    DeadlineNotReached {
+        /// The proposal id.
+        id: ProposalId,
+        /// Current tick.
+        now: u64,
+        /// The proposal's deadline.
+        deadline: u64,
+    },
+    /// The requested scope has no DAO registered (modular governance).
+    UnknownScope {
+        /// The missing scope name.
+        scope: String,
+    },
+}
+
+impl std::fmt::Display for DaoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DaoError::NotAMember { account } => write!(f, "{account:?} is not a member"),
+            DaoError::AlreadyMember { account } => write!(f, "{account:?} is already a member"),
+            DaoError::UnknownProposal { id } => write!(f, "unknown proposal {id}"),
+            DaoError::VotingClosed { id } => write!(f, "proposal {id} is closed"),
+            DaoError::AlreadyVoted { account, id } => {
+                write!(f, "{account:?} already voted on proposal {id}")
+            }
+            DaoError::InsufficientCredits { account, needed, available } => write!(
+                f,
+                "{account:?} needs {needed} voice credits but has {available}"
+            ),
+            DaoError::DelegationCycle { account } => {
+                write!(f, "delegation by {account:?} would create a cycle")
+            }
+            DaoError::DeadlineNotReached { id, now, deadline } => write!(
+                f,
+                "proposal {id} deadline {deadline} not reached at tick {now}"
+            ),
+            DaoError::UnknownScope { scope } => write!(f, "no DAO registered for scope {scope:?}"),
+        }
+    }
+}
+
+impl std::error::Error for DaoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_details() {
+        let e = DaoError::InsufficientCredits {
+            account: "a".into(),
+            needed: 9,
+            available: 4,
+        };
+        let s = e.to_string();
+        assert!(s.contains('9') && s.contains('4'));
+    }
+}

@@ -1,0 +1,294 @@
+//! Modular (federated) governance.
+//!
+//! Implements the paper's §III-C, following Schneider et al.'s "modular
+//! politics": instead of one flat DAO voting on everything, the platform
+//! is governed by a set of *scoped* DAOs ("privacy", "moderation",
+//! "assets", …) plus an optional root DAO for constitutional questions.
+//! Proposals are routed to the DAO owning their scope, so each member is
+//! only asked to vote on matters they opted into — the mechanism that
+//! relieves the "number of voting sessions can become cumbersome"
+//! scalability problem (§III-B), quantified by experiment E7.
+
+use std::collections::BTreeMap;
+
+use metaverse_ledger::tx::TxPayload;
+use serde::{Deserialize, Serialize};
+
+use crate::dao::{Dao, DaoConfig};
+use crate::error::DaoError;
+use crate::proposal::{ProposalId, ProposalStatus};
+use crate::voting::{Choice, Tally};
+
+/// Scope name reserved for constitutional (cross-module) questions.
+pub const ROOT_SCOPE: &str = "root";
+
+/// A federation of scoped DAOs.
+///
+/// ```
+/// use metaverse_dao::federation::ModularGovernance;
+/// use metaverse_dao::dao::DaoConfig;
+/// use metaverse_dao::voting::Choice;
+///
+/// let mut gov = ModularGovernance::new();
+/// gov.register_module("privacy", DaoConfig::default());
+/// gov.join("privacy", "alice").unwrap();
+/// gov.join("privacy", "bob").unwrap();
+/// let id = gov.propose("privacy", "alice", "Default-on bubbles", 0).unwrap();
+/// gov.vote("privacy", "alice", id, Choice::Yes, 0).unwrap();
+/// gov.vote("privacy", "bob", id, Choice::Yes, 0).unwrap();
+/// let (status, _) = gov.close("privacy", id, 0).unwrap();
+/// assert_eq!(status, metaverse_dao::proposal::ProposalStatus::Accepted);
+/// ```
+#[derive(Debug, Default)]
+pub struct ModularGovernance {
+    modules: BTreeMap<String, Dao>,
+    /// Ballots requested per member across all modules (fatigue input).
+    load: BTreeMap<String, u64>,
+}
+
+/// Per-module and per-member load accounting for a batch of proposals —
+/// the data behind the E7 comparison.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RoutingReport {
+    /// Proposals handled, per scope.
+    pub proposals_per_scope: BTreeMap<String, u64>,
+    /// Mean ballots requested per member.
+    pub mean_requests_per_member: f64,
+    /// Maximum ballots requested from any single member.
+    pub max_requests_per_member: u64,
+}
+
+impl ModularGovernance {
+    /// Creates an empty federation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a governance module (scoped DAO). Replaces any existing
+    /// module with the same scope — the Figure-3 "interchangeable module"
+    /// swap.
+    pub fn register_module(&mut self, scope: &str, config: DaoConfig) {
+        self.modules.insert(scope.to_string(), Dao::new(scope, config));
+    }
+
+    /// Removes a module, returning it (members and history included).
+    pub fn remove_module(&mut self, scope: &str) -> Option<Dao> {
+        self.modules.remove(scope)
+    }
+
+    /// Scopes currently governed.
+    pub fn scopes(&self) -> Vec<&str> {
+        self.modules.keys().map(String::as_str).collect()
+    }
+
+    /// Immutable access to a module.
+    pub fn module(&self, scope: &str) -> Option<&Dao> {
+        self.modules.get(scope)
+    }
+
+    /// Mutable access to a module.
+    pub fn module_mut(&mut self, scope: &str) -> Option<&mut Dao> {
+        self.modules.get_mut(scope)
+    }
+
+    /// Adds a member to the DAO owning `scope`.
+    pub fn join(&mut self, scope: &str, member: &str) -> Result<(), DaoError> {
+        self.scoped(scope)?.add_member(member)
+    }
+
+    /// Adds a member to every module — flat-governance membership.
+    pub fn join_all(&mut self, member: &str) -> Result<(), DaoError> {
+        for dao in self.modules.values_mut() {
+            match dao.add_member(member) {
+                Ok(()) | Err(DaoError::AlreadyMember { .. }) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    fn scoped(&mut self, scope: &str) -> Result<&mut Dao, DaoError> {
+        self.modules
+            .get_mut(scope)
+            .ok_or_else(|| DaoError::UnknownScope { scope: scope.into() })
+    }
+
+    /// Opens a proposal in the module owning `scope`, charging one ballot
+    /// request to each of that module's members.
+    pub fn propose(
+        &mut self,
+        scope: &str,
+        proposer: &str,
+        title: &str,
+        now: u64,
+    ) -> Result<ProposalId, DaoError> {
+        let dao = self.scoped(scope)?;
+        let id = dao.propose(proposer, title, now)?;
+        let members: Vec<String> =
+            dao.member_names().iter().map(|s| s.to_string()).collect();
+        for m in members {
+            *self.load.entry(m).or_insert(0) += 1;
+        }
+        Ok(id)
+    }
+
+    /// Casts a vote in the scoped module.
+    pub fn vote(
+        &mut self,
+        scope: &str,
+        voter: &str,
+        id: ProposalId,
+        choice: Choice,
+        now: u64,
+    ) -> Result<(), DaoError> {
+        self.scoped(scope)?.vote(voter, id, choice, now)
+    }
+
+    /// Closes a proposal in the scoped module.
+    pub fn close(
+        &mut self,
+        scope: &str,
+        id: ProposalId,
+        now: u64,
+    ) -> Result<(ProposalStatus, Tally), DaoError> {
+        self.scoped(scope)?.close(id, now)
+    }
+
+    /// Ballots requested from `member` so far.
+    pub fn requests_for(&self, member: &str) -> u64 {
+        self.load.get(member).copied().unwrap_or(0)
+    }
+
+    /// Produces the load report and resets the counters.
+    pub fn routing_report(&mut self) -> RoutingReport {
+        let mut proposals_per_scope = BTreeMap::new();
+        for (scope, dao) in &self.modules {
+            let mut n = 0u64;
+            let mut id = 1;
+            while dao.proposal(id).is_some() {
+                n += 1;
+                id += 1;
+            }
+            proposals_per_scope.insert(scope.clone(), n);
+        }
+        let (sum, max, count) = self.load.values().fold((0u64, 0u64, 0u64), |(s, m, c), &v| {
+            (s + v, m.max(v), c + 1)
+        });
+        let report = RoutingReport {
+            proposals_per_scope,
+            mean_requests_per_member: if count == 0 { 0.0 } else { sum as f64 / count as f64 },
+            max_requests_per_member: max,
+        };
+        self.load.clear();
+        report
+    }
+
+    /// Drains ledger records from every module.
+    pub fn drain_ledger_records(&mut self) -> Vec<TxPayload> {
+        let mut out = Vec::new();
+        for dao in self.modules.values_mut() {
+            out.extend(dao.drain_ledger_records());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quorum::QuorumRule;
+    use crate::voting::VotingScheme;
+
+    fn config() -> DaoConfig {
+        DaoConfig {
+            scheme: VotingScheme::OnePersonOneVote,
+            quorum: QuorumRule::simple_majority(),
+            ..DaoConfig::default()
+        }
+    }
+
+    #[test]
+    fn routing_isolates_load() {
+        let mut gov = ModularGovernance::new();
+        gov.register_module("privacy", config());
+        gov.register_module("assets", config());
+        gov.join("privacy", "alice").unwrap();
+        gov.join("assets", "bob").unwrap();
+
+        gov.propose("privacy", "alice", "p1", 0).unwrap();
+        gov.propose("privacy", "alice", "p2", 0).unwrap();
+        gov.propose("assets", "bob", "a1", 0).unwrap();
+
+        assert_eq!(gov.requests_for("alice"), 2, "alice only sees privacy proposals");
+        assert_eq!(gov.requests_for("bob"), 1);
+    }
+
+    #[test]
+    fn flat_membership_sees_everything() {
+        let mut gov = ModularGovernance::new();
+        gov.register_module("privacy", config());
+        gov.register_module("assets", config());
+        gov.join_all("alice").unwrap();
+        gov.propose("privacy", "alice", "p", 0).unwrap();
+        gov.propose("assets", "alice", "a", 0).unwrap();
+        assert_eq!(gov.requests_for("alice"), 2);
+    }
+
+    #[test]
+    fn unknown_scope_errors() {
+        let mut gov = ModularGovernance::new();
+        assert!(matches!(
+            gov.propose("ghost", "a", "t", 0),
+            Err(DaoError::UnknownScope { .. })
+        ));
+    }
+
+    #[test]
+    fn full_lifecycle_through_federation() {
+        let mut gov = ModularGovernance::new();
+        gov.register_module("moderation", config());
+        for m in ["a", "b", "c"] {
+            gov.join("moderation", m).unwrap();
+        }
+        let id = gov.propose("moderation", "a", "ban griefer", 0).unwrap();
+        gov.vote("moderation", "a", id, Choice::Yes, 0).unwrap();
+        gov.vote("moderation", "b", id, Choice::Yes, 0).unwrap();
+        gov.vote("moderation", "c", id, Choice::No, 0).unwrap();
+        let (status, tally) = gov.close("moderation", id, 0).unwrap();
+        assert_eq!(status, ProposalStatus::Accepted);
+        assert_eq!(tally.voters, 3);
+        assert!(!gov.drain_ledger_records().is_empty());
+    }
+
+    #[test]
+    fn module_swap_replaces() {
+        let mut gov = ModularGovernance::new();
+        gov.register_module("privacy", config());
+        gov.join("privacy", "alice").unwrap();
+        // Swap in a token-weighted module: memberships reset by design —
+        // a module swap is a constitutional change.
+        gov.register_module(
+            "privacy",
+            DaoConfig { scheme: VotingScheme::TokenWeighted, ..config() },
+        );
+        assert!(!gov.module("privacy").unwrap().is_member("alice"));
+        assert_eq!(
+            gov.module("privacy").unwrap().config().scheme,
+            VotingScheme::TokenWeighted
+        );
+    }
+
+    #[test]
+    fn routing_report_aggregates_and_resets() {
+        let mut gov = ModularGovernance::new();
+        gov.register_module("privacy", config());
+        gov.join("privacy", "a").unwrap();
+        gov.join("privacy", "b").unwrap();
+        gov.propose("privacy", "a", "p", 0).unwrap();
+        let report = gov.routing_report();
+        assert_eq!(report.proposals_per_scope["privacy"], 1);
+        assert!((report.mean_requests_per_member - 1.0).abs() < 1e-12);
+        assert_eq!(report.max_requests_per_member, 1);
+        assert_eq!(gov.requests_for("a"), 0, "counters reset");
+    }
+}

@@ -1,0 +1,52 @@
+//! # metaverse-dao
+//!
+//! Decentralized autonomous organizations for `metaverse-kit`,
+//! implementing §III of the paper:
+//!
+//! > "Generally, DAOs are usually flat and fully democratized, where each
+//! > member can participate in the voting system to implement any changes
+//! > in the platform. […] However, DAOs can face several scalability
+//! > issues […] The flat-based design of several DAOs can hinder the
+//! > members' involvement in the decision-making process as the number of
+//! > voting sessions can become cumbersome." — §III-B
+//!
+//! and the modular remedy the paper adopts from Schneider et al.:
+//!
+//! > "This modularity can enable the development of portable tools that
+//! > can be adapted to different platforms and use cases." — §III-C
+//!
+//! Components:
+//!
+//! * [`proposal`] — proposals and their lifecycle.
+//! * [`voting`] — ballots and voting schemes (one-person-one-vote,
+//!   token-weighted, quadratic, delegated/liquid, external-weighted).
+//! * [`quorum`] — turnout and supermajority rules.
+//! * [`dao`] — a single DAO: membership, vote casting, tallying, and
+//!   ledger-record export.
+//! * [`federation`] — modular governance: scoped DAOs composed into a
+//!   platform, with proposal routing and per-member load accounting.
+//! * [`turnout`] — the voting-fatigue participation model used by
+//!   experiment E7.
+//! * [`sortition`] — jury selection and verdicts, the non-referendum
+//!   governance process of §III-C ("juries, formal debates").
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dao;
+pub mod error;
+pub mod federation;
+pub mod proposal;
+pub mod quorum;
+pub mod sortition;
+pub mod turnout;
+pub mod voting;
+
+pub use dao::{Dao, DaoConfig, Member};
+pub use error::DaoError;
+pub use federation::{ModularGovernance, RoutingReport};
+pub use proposal::{Proposal, ProposalId, ProposalStatus};
+pub use quorum::QuorumRule;
+pub use sortition::{Jury, JuryConfig, Verdict};
+pub use turnout::{FatigueModel, TurnoutSample};
+pub use voting::{Ballot, Choice, Tally, VotingScheme};

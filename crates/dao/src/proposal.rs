@@ -1,0 +1,110 @@
+//! Proposals and their lifecycle.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a proposal, unique within a platform.
+pub type ProposalId = u64;
+
+/// Lifecycle state of a proposal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProposalStatus {
+    /// Accepting ballots.
+    Open,
+    /// Closed and accepted.
+    Accepted,
+    /// Closed and rejected (including failed quorum).
+    Rejected,
+}
+
+/// A governance proposal.
+///
+/// Proposals carry a `scope` naming the platform module they concern
+/// ("privacy", "moderation", "assets", …). Flat governance ignores the
+/// scope and asks everyone; modular governance routes by it — the
+/// difference experiment E7 measures.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Proposal {
+    /// Unique id.
+    pub id: ProposalId,
+    /// Short title.
+    pub title: String,
+    /// Longer human-readable rationale.
+    pub description: String,
+    /// Module/area the proposal concerns.
+    pub scope: String,
+    /// Tick at which the proposal was opened.
+    pub created_at: u64,
+    /// Tick after which no more ballots are accepted.
+    pub deadline: u64,
+    /// Current status.
+    pub status: ProposalStatus,
+    /// Account that opened the proposal.
+    pub proposer: String,
+}
+
+impl Proposal {
+    /// Creates an open proposal.
+    pub fn new(
+        id: ProposalId,
+        proposer: impl Into<String>,
+        title: impl Into<String>,
+        scope: impl Into<String>,
+        created_at: u64,
+        voting_window: u64,
+    ) -> Self {
+        Proposal {
+            id,
+            title: title.into(),
+            description: String::new(),
+            scope: scope.into(),
+            created_at,
+            deadline: created_at + voting_window,
+            status: ProposalStatus::Open,
+            proposer: proposer.into(),
+        }
+    }
+
+    /// Attaches a description (builder style).
+    pub fn with_description(mut self, description: impl Into<String>) -> Self {
+        self.description = description.into();
+        self
+    }
+
+    /// Whether ballots are accepted at `now`.
+    pub fn accepts_votes(&self, now: u64) -> bool {
+        self.status == ProposalStatus::Open && now <= self.deadline
+    }
+
+    /// Whether the voting window has elapsed.
+    pub fn expired(&self, now: u64) -> bool {
+        now > self.deadline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_windows() {
+        let p = Proposal::new(1, "alice", "Lower bubble radius", "privacy", 10, 5);
+        assert!(p.accepts_votes(10));
+        assert!(p.accepts_votes(15));
+        assert!(!p.accepts_votes(16));
+        assert!(!p.expired(15));
+        assert!(p.expired(16));
+    }
+
+    #[test]
+    fn closed_proposal_rejects_votes() {
+        let mut p = Proposal::new(1, "alice", "t", "s", 0, 100);
+        p.status = ProposalStatus::Rejected;
+        assert!(!p.accepts_votes(0));
+    }
+
+    #[test]
+    fn builder_description() {
+        let p = Proposal::new(2, "bob", "t", "s", 0, 1).with_description("why");
+        assert_eq!(p.description, "why");
+    }
+}

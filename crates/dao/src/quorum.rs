@@ -1,0 +1,91 @@
+//! Quorum and acceptance rules.
+
+use serde::{Deserialize, Serialize};
+
+use crate::voting::Tally;
+
+/// The rule deciding whether a closed proposal passes.
+///
+/// A proposal passes when turnout reaches `min_turnout` *and* support
+/// among decided weight reaches `min_support`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QuorumRule {
+    /// Minimum fraction of eligible members that must vote, in `[0, 1]`.
+    pub min_turnout: f64,
+    /// Minimum yes/(yes+no) fraction, in `[0, 1]`.
+    pub min_support: f64,
+}
+
+impl QuorumRule {
+    /// Simple majority with 10% turnout floor.
+    pub fn simple_majority() -> Self {
+        QuorumRule { min_turnout: 0.1, min_support: 0.5 }
+    }
+
+    /// Two-thirds supermajority with 25% turnout floor — typical for
+    /// constitutional changes (e.g. swapping a governance module).
+    pub fn supermajority() -> Self {
+        QuorumRule { min_turnout: 0.25, min_support: 2.0 / 3.0 }
+    }
+
+    /// Evaluates a tally. Support must *exceed* the threshold when it is
+    /// exactly 0.5 (strict majority); otherwise meeting it suffices.
+    pub fn passes(&self, tally: &Tally) -> bool {
+        if tally.turnout() < self.min_turnout {
+            return false;
+        }
+        if (self.min_support - 0.5).abs() < f64::EPSILON {
+            tally.support() > 0.5
+        } else {
+            tally.support() >= self.min_support
+        }
+    }
+}
+
+impl Default for QuorumRule {
+    fn default() -> Self {
+        Self::simple_majority()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::voting::{Ballot, Choice};
+
+    fn tally(yes: u64, no: u64, voters: u64, eligible: u64) -> Tally {
+        let mut t = Tally::empty(eligible);
+        t.add(&Ballot { voter: "y".into(), choice: Choice::Yes, weight: yes, cast_at: 0 });
+        t.add(&Ballot { voter: "n".into(), choice: Choice::No, weight: no, cast_at: 0 });
+        // Adjust the voter count to the requested figure.
+        t.voters = voters;
+        t
+    }
+
+    #[test]
+    fn simple_majority_ties_fail() {
+        let rule = QuorumRule::simple_majority();
+        assert!(!rule.passes(&tally(5, 5, 10, 20)), "exact tie must fail");
+        assert!(rule.passes(&tally(6, 5, 11, 20)));
+    }
+
+    #[test]
+    fn turnout_floor_enforced() {
+        let rule = QuorumRule { min_turnout: 0.5, min_support: 0.5 };
+        assert!(!rule.passes(&tally(10, 0, 4, 10)), "40% turnout fails 50% floor");
+        assert!(rule.passes(&tally(10, 0, 5, 10)));
+    }
+
+    #[test]
+    fn supermajority_threshold() {
+        let rule = QuorumRule::supermajority();
+        assert!(!rule.passes(&tally(65, 35, 100, 100)));
+        assert!(rule.passes(&tally(67, 33, 100, 100)));
+    }
+
+    #[test]
+    fn empty_tally_fails() {
+        let rule = QuorumRule::default();
+        assert!(!rule.passes(&Tally::empty(100)));
+    }
+}

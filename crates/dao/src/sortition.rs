@@ -1,0 +1,221 @@
+//! Jury sortition — the non-voting governance process of §III-C.
+//!
+//! Schneider et al.'s modular-politics framing (which the paper adopts)
+//! asks the governance layer to support "a broad spectrum of processes
+//! (juries, formal debates)", not just referenda. Sortition selects a
+//! random jury from the membership, optionally weighted by reputation
+//! standing, and decides a single question by juror supermajority — a
+//! cheap process for the long tail of disputes that would otherwise
+//! contribute to voting fatigue (E7).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::error::DaoError;
+use crate::voting::Choice;
+
+/// Configuration of a jury process.
+#[derive(Debug, Clone)]
+pub struct JuryConfig {
+    /// Number of jurors to empanel.
+    pub size: usize,
+    /// Fraction of juror agreement required to convict/approve.
+    pub supermajority: f64,
+    /// Minimum external weight (e.g. reputation points) to be eligible.
+    /// 0 disables the eligibility screen.
+    pub min_eligibility_weight: u64,
+}
+
+impl Default for JuryConfig {
+    fn default() -> Self {
+        JuryConfig { size: 7, supermajority: 2.0 / 3.0, min_eligibility_weight: 10 }
+    }
+}
+
+/// A selected jury over a question.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Jury {
+    /// The question under deliberation.
+    pub question: String,
+    /// Empanelled juror names.
+    pub jurors: Vec<String>,
+    /// Votes received so far (juror, choice).
+    pub votes: Vec<(String, Choice)>,
+}
+
+/// A jury's verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Verdict {
+    /// Supermajority approved.
+    Approved,
+    /// Supermajority rejected.
+    Rejected,
+    /// Neither side reached the bar (hung jury).
+    Hung,
+}
+
+impl Jury {
+    /// Empanels a jury by uniform random sortition from `pool`, where
+    /// each entry is `(member, eligibility_weight)`. Members below the
+    /// eligibility screen are excluded before drawing.
+    ///
+    /// Errors when the eligible pool is smaller than the jury size.
+    pub fn empanel<R: Rng + ?Sized>(
+        question: impl Into<String>,
+        pool: &[(String, u64)],
+        config: &JuryConfig,
+        rng: &mut R,
+    ) -> Result<Jury, DaoError> {
+        let mut eligible: Vec<&String> = pool
+            .iter()
+            .filter(|(_, w)| *w >= config.min_eligibility_weight)
+            .map(|(name, _)| name)
+            .collect();
+        if eligible.len() < config.size {
+            return Err(DaoError::UnknownScope {
+                scope: format!(
+                    "jury pool too small: {} eligible of {} needed",
+                    eligible.len(),
+                    config.size
+                ),
+            });
+        }
+        eligible.shuffle(rng);
+        Ok(Jury {
+            question: question.into(),
+            jurors: eligible[..config.size].iter().map(|s| s.to_string()).collect(),
+            votes: Vec::new(),
+        })
+    }
+
+    /// Records a juror's vote. Non-jurors and double votes are rejected.
+    pub fn cast(&mut self, juror: &str, choice: Choice) -> Result<(), DaoError> {
+        if !self.jurors.iter().any(|j| j == juror) {
+            return Err(DaoError::NotAMember { account: juror.into() });
+        }
+        if self.votes.iter().any(|(j, _)| j == juror) {
+            return Err(DaoError::AlreadyVoted { account: juror.into(), id: 0 });
+        }
+        self.votes.push((juror.to_string(), choice));
+        Ok(())
+    }
+
+    /// Whether every juror has voted.
+    pub fn complete(&self) -> bool {
+        self.votes.len() == self.jurors.len()
+    }
+
+    /// The verdict under `config`'s supermajority bar (abstentions count
+    /// against both sides).
+    pub fn verdict(&self, config: &JuryConfig) -> Verdict {
+        let total = self.jurors.len() as f64;
+        let yes = self.votes.iter().filter(|(_, c)| *c == Choice::Yes).count() as f64;
+        let no = self.votes.iter().filter(|(_, c)| *c == Choice::No).count() as f64;
+        if yes / total >= config.supermajority {
+            Verdict::Approved
+        } else if no / total >= config.supermajority {
+            Verdict::Rejected
+        } else {
+            Verdict::Hung
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn pool(n: usize, weight: u64) -> Vec<(String, u64)> {
+        (0..n).map(|i| (format!("m{i}"), weight)).collect()
+    }
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(13)
+    }
+
+    #[test]
+    fn empanel_draws_distinct_eligible_jurors() {
+        let mut r = rng();
+        let jury =
+            Jury::empanel("q", &pool(30, 50), &JuryConfig::default(), &mut r).unwrap();
+        assert_eq!(jury.jurors.len(), 7);
+        let distinct: std::collections::HashSet<&String> = jury.jurors.iter().collect();
+        assert_eq!(distinct.len(), 7, "no duplicate jurors");
+    }
+
+    #[test]
+    fn eligibility_screen_excludes() {
+        let mut r = rng();
+        let mut members = pool(10, 50);
+        members.extend(pool(0, 0)); // nothing extra
+        // Only 5 above the bar: too few for a 7-person jury.
+        let mut mixed: Vec<(String, u64)> =
+            (0..5).map(|i| (format!("rich{i}"), 50)).collect();
+        mixed.extend((0..20).map(|i| (format!("poor{i}"), 1)));
+        let err = Jury::empanel("q", &mixed, &JuryConfig::default(), &mut r).unwrap_err();
+        assert!(err.to_string().contains("too small"));
+    }
+
+    #[test]
+    fn verdict_supermajority() {
+        let mut r = rng();
+        let mut jury =
+            Jury::empanel("ban?", &pool(20, 50), &JuryConfig::default(), &mut r).unwrap();
+        let jurors = jury.jurors.clone();
+        for j in &jurors[..5] {
+            jury.cast(j, Choice::Yes).unwrap();
+        }
+        for j in &jurors[5..] {
+            jury.cast(j, Choice::No).unwrap();
+        }
+        assert!(jury.complete());
+        assert_eq!(jury.verdict(&JuryConfig::default()), Verdict::Approved); // 5/7 > 2/3
+    }
+
+    #[test]
+    fn hung_jury() {
+        let mut r = rng();
+        let mut jury =
+            Jury::empanel("q", &pool(20, 50), &JuryConfig::default(), &mut r).unwrap();
+        let jurors = jury.jurors.clone();
+        for j in &jurors[..4] {
+            jury.cast(j, Choice::Yes).unwrap(); // 4/7 < 2/3
+        }
+        for j in &jurors[4..] {
+            jury.cast(j, Choice::No).unwrap(); // 3/7 < 2/3
+        }
+        assert_eq!(jury.verdict(&JuryConfig::default()), Verdict::Hung);
+    }
+
+    #[test]
+    fn non_juror_and_double_votes_rejected() {
+        let mut r = rng();
+        let mut jury =
+            Jury::empanel("q", &pool(20, 50), &JuryConfig::default(), &mut r).unwrap();
+        assert!(jury.cast("outsider", Choice::Yes).is_err());
+        let juror = jury.jurors[0].clone();
+        jury.cast(&juror, Choice::Yes).unwrap();
+        assert!(matches!(
+            jury.cast(&juror, Choice::No),
+            Err(DaoError::AlreadyVoted { .. })
+        ));
+    }
+
+    #[test]
+    fn abstentions_count_against_both() {
+        let mut r = rng();
+        let mut jury =
+            Jury::empanel("q", &pool(20, 50), &JuryConfig::default(), &mut r).unwrap();
+        let jurors = jury.jurors.clone();
+        for j in &jurors[..4] {
+            jury.cast(j, Choice::Yes).unwrap();
+        }
+        for j in &jurors[4..] {
+            jury.cast(j, Choice::Abstain).unwrap();
+        }
+        assert_eq!(jury.verdict(&JuryConfig::default()), Verdict::Hung);
+    }
+}

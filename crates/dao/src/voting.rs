@@ -1,0 +1,197 @@
+//! Ballots, voting schemes, and tallying.
+//!
+//! The paper observes that DAOs are "usually flat and fully democratized"
+//! and that algorithmic governance choices "can strongly impact the
+//! overall metaverse" (§III-B). The [`VotingScheme`] enum makes that
+//! design choice explicit and swappable — the scheme is one of the
+//! interchangeable modules of the Figure-3 architecture, and the E7
+//! ablation sweeps it.
+
+use serde::{Deserialize, Serialize};
+
+/// A voter's stance on a proposal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Choice {
+    /// Support.
+    Yes,
+    /// Opposition.
+    No,
+    /// Counted for turnout but not for either side.
+    Abstain,
+}
+
+/// How member input is converted into voting weight.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum VotingScheme {
+    /// Flat democracy: every member's ballot weighs 1.
+    OnePersonOneVote,
+    /// Weight equals the member's token balance (plutocratic).
+    TokenWeighted,
+    /// Quadratic voting: casting `v` votes costs `v²` voice credits from
+    /// a per-proposal budget; weight is `v`.
+    Quadratic,
+    /// Weight supplied externally (e.g. from the reputation engine),
+    /// normalized to integer units.
+    ExternalWeighted,
+}
+
+impl VotingScheme {
+    /// All schemes, for ablation sweeps.
+    pub const ALL: [VotingScheme; 4] = [
+        VotingScheme::OnePersonOneVote,
+        VotingScheme::TokenWeighted,
+        VotingScheme::Quadratic,
+        VotingScheme::ExternalWeighted,
+    ];
+
+    /// Short label for report tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            VotingScheme::OnePersonOneVote => "1p1v",
+            VotingScheme::TokenWeighted => "token",
+            VotingScheme::Quadratic => "quadratic",
+            VotingScheme::ExternalWeighted => "external",
+        }
+    }
+}
+
+/// A cast ballot, after scheme-specific weight resolution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ballot {
+    /// Voting member.
+    pub voter: String,
+    /// Stance.
+    pub choice: Choice,
+    /// Resolved weight (scheme-dependent).
+    pub weight: u64,
+    /// Tick at which the ballot was cast.
+    pub cast_at: u64,
+}
+
+/// The tallied outcome of a proposal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Tally {
+    /// Total weight in support.
+    pub yes: u64,
+    /// Total weight opposed.
+    pub no: u64,
+    /// Total weight abstaining.
+    pub abstain: u64,
+    /// Number of distinct voters (for turnout).
+    pub voters: u64,
+    /// Number of eligible members at close time.
+    pub eligible: u64,
+}
+
+impl Tally {
+    /// An empty tally over `eligible` members.
+    pub fn empty(eligible: u64) -> Self {
+        Tally { yes: 0, no: 0, abstain: 0, voters: 0, eligible }
+    }
+
+    /// Accumulates one ballot.
+    pub fn add(&mut self, ballot: &Ballot) {
+        match ballot.choice {
+            Choice::Yes => self.yes += ballot.weight,
+            Choice::No => self.no += ballot.weight,
+            Choice::Abstain => self.abstain += ballot.weight,
+        }
+        self.voters += 1;
+    }
+
+    /// Turnout as a fraction of eligible members.
+    pub fn turnout(&self) -> f64 {
+        if self.eligible == 0 {
+            0.0
+        } else {
+            self.voters as f64 / self.eligible as f64
+        }
+    }
+
+    /// Support among decided weight (yes / (yes + no)); 0 when nobody
+    /// decided.
+    pub fn support(&self) -> f64 {
+        let decided = self.yes + self.no;
+        if decided == 0 {
+            0.0
+        } else {
+            self.yes as f64 / decided as f64
+        }
+    }
+}
+
+/// Resolves quadratic-voting cost: casting `votes` votes costs `votes²`.
+pub fn quadratic_cost(votes: u64) -> u64 {
+    votes.saturating_mul(votes)
+}
+
+/// Largest number of quadratic votes affordable with `credits`.
+pub fn max_quadratic_votes(credits: u64) -> u64 {
+    // isqrt via floating point then fix-up; exact for u32-sized inputs
+    // and close enough (then corrected) for larger.
+    let mut v = (credits as f64).sqrt() as u64;
+    while quadratic_cost(v + 1) <= credits {
+        v += 1;
+    }
+    while v > 0 && quadratic_cost(v) > credits {
+        v -= 1;
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ballot(choice: Choice, weight: u64) -> Ballot {
+        Ballot { voter: "v".into(), choice, weight, cast_at: 0 }
+    }
+
+    #[test]
+    fn tally_accumulates() {
+        let mut t = Tally::empty(10);
+        t.add(&ballot(Choice::Yes, 3));
+        t.add(&ballot(Choice::No, 2));
+        t.add(&ballot(Choice::Abstain, 1));
+        assert_eq!((t.yes, t.no, t.abstain, t.voters), (3, 2, 1, 3));
+        assert!((t.turnout() - 0.3).abs() < 1e-12);
+        assert!((t.support() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_tally_ratios() {
+        let t = Tally::empty(0);
+        assert_eq!(t.turnout(), 0.0);
+        assert_eq!(t.support(), 0.0);
+    }
+
+    #[test]
+    fn quadratic_cost_table() {
+        assert_eq!(quadratic_cost(0), 0);
+        assert_eq!(quadratic_cost(1), 1);
+        assert_eq!(quadratic_cost(5), 25);
+    }
+
+    #[test]
+    fn max_quadratic_votes_exact() {
+        assert_eq!(max_quadratic_votes(0), 0);
+        assert_eq!(max_quadratic_votes(1), 1);
+        assert_eq!(max_quadratic_votes(24), 4);
+        assert_eq!(max_quadratic_votes(25), 5);
+        assert_eq!(max_quadratic_votes(26), 5);
+        for credits in 0..2000u64 {
+            let v = max_quadratic_votes(credits);
+            assert!(quadratic_cost(v) <= credits);
+            assert!(quadratic_cost(v + 1) > credits);
+        }
+    }
+
+    #[test]
+    fn scheme_labels_unique() {
+        let mut labels: Vec<&str> = VotingScheme::ALL.iter().map(|s| s.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), VotingScheme::ALL.len());
+    }
+}

@@ -1,0 +1,139 @@
+//! Property-based tests for governance invariants.
+
+use metaverse_dao::dao::{Dao, DaoConfig};
+use metaverse_dao::quorum::QuorumRule;
+use metaverse_dao::turnout::FatigueModel;
+use metaverse_dao::voting::{max_quadratic_votes, quadratic_cost, Choice, Tally, VotingScheme};
+use proptest::prelude::*;
+
+fn arb_choice() -> impl Strategy<Value = Choice> {
+    prop_oneof![Just(Choice::Yes), Just(Choice::No), Just(Choice::Abstain)]
+}
+
+proptest! {
+    /// Vote conservation: total tallied weight equals the sum of cast
+    /// weights, voters equals ballots, and no vote is double counted.
+    #[test]
+    fn tally_conserves_weight(
+        votes in proptest::collection::vec((arb_choice(), 1u64..100), 1..50),
+    ) {
+        let mut dao = Dao::new("prop", DaoConfig {
+            scheme: VotingScheme::ExternalWeighted,
+            ..DaoConfig::default()
+        });
+        for i in 0..votes.len() {
+            dao.add_member(&format!("m{i}")).unwrap();
+        }
+        let id = dao.propose("m0", "t", 0).unwrap();
+        let mut expected = Tally::empty(votes.len() as u64);
+        for (i, (choice, weight)) in votes.iter().enumerate() {
+            dao.vote_weighted(&format!("m{i}"), id, *choice, *weight, 0).unwrap();
+            expected.add(&metaverse_dao::voting::Ballot {
+                voter: format!("m{i}"),
+                choice: *choice,
+                weight: *weight,
+                cast_at: 0,
+            });
+        }
+        let tally = dao.tally(id).unwrap();
+        prop_assert_eq!(tally.yes, expected.yes);
+        prop_assert_eq!(tally.no, expected.no);
+        prop_assert_eq!(tally.abstain, expected.abstain);
+        prop_assert_eq!(tally.voters, votes.len() as u64);
+    }
+
+    /// A closed proposal's outcome agrees with the quorum rule applied
+    /// to its tally, for any rule parameters.
+    #[test]
+    fn close_agrees_with_quorum(
+        yes in 0u64..30,
+        no in 0u64..30,
+        absent in 0u64..30,
+        min_turnout in 0.0f64..1.0,
+        min_support in 0.0f64..1.0,
+    ) {
+        let members = yes + no + absent;
+        prop_assume!(members > 0);
+        let rule = QuorumRule { min_turnout, min_support };
+        let mut dao = Dao::new("prop", DaoConfig {
+            scheme: VotingScheme::OnePersonOneVote,
+            quorum: rule,
+            ..DaoConfig::default()
+        });
+        for i in 0..members {
+            dao.add_member(&format!("m{i}")).unwrap();
+        }
+        let id = dao.propose("m0", "t", 0).unwrap();
+        for i in 0..yes {
+            dao.vote(&format!("m{i}"), id, Choice::Yes, 0).unwrap();
+        }
+        for i in yes..yes + no {
+            dao.vote(&format!("m{i}"), id, Choice::No, 0).unwrap();
+        }
+        let tally_before = dao.tally(id).unwrap();
+        let (status, tally) = dao.close(id, 101).unwrap();
+        prop_assert_eq!(tally.yes, tally_before.yes);
+        let expected = rule.passes(&tally);
+        prop_assert_eq!(
+            status == metaverse_dao::proposal::ProposalStatus::Accepted,
+            expected
+        );
+    }
+
+    /// Quadratic arithmetic: max_quadratic_votes is the exact integer
+    /// square root floor, and cost round-trips.
+    #[test]
+    fn quadratic_cost_inverse(credits in 0u64..1_000_000) {
+        let v = max_quadratic_votes(credits);
+        prop_assert!(quadratic_cost(v) <= credits);
+        prop_assert!(quadratic_cost(v + 1) > credits);
+    }
+
+    /// Delegation never loses or duplicates base weight: tallied total
+    /// weight ≤ member count (1p1v) and equals voters + resolved
+    /// delegators.
+    #[test]
+    fn delegation_weight_bounded(
+        n in 2usize..20,
+        delegation_pairs in proptest::collection::vec((0usize..20, 0usize..20), 0..15),
+        voters in proptest::collection::vec(0usize..20, 1..10),
+    ) {
+        let mut dao = Dao::new("prop", DaoConfig::default());
+        for i in 0..n {
+            dao.add_member(&format!("m{i}")).unwrap();
+        }
+        for (from, to) in delegation_pairs {
+            let (from, to) = (from % n, to % n);
+            if from != to {
+                // Cycles are rejected; ignore those errors.
+                let _ = dao.set_delegate(&format!("m{from}"), Some(&format!("m{to}")));
+            }
+        }
+        let id = dao.propose("m0", "t", 0).unwrap();
+        let mut distinct = std::collections::HashSet::new();
+        for v in voters {
+            let v = v % n;
+            if distinct.insert(v) {
+                dao.vote(&format!("m{v}"), id, Choice::Yes, 0).unwrap();
+            }
+        }
+        let tally = dao.tally(id).unwrap();
+        // Total weight can never exceed the member count under 1p1v.
+        prop_assert!(tally.yes <= n as u64, "yes {} > members {}", tally.yes, n);
+        prop_assert!(tally.yes >= distinct.len() as u64);
+    }
+
+    /// Fatigue participation is always a probability and monotone
+    /// non-increasing in the request count.
+    #[test]
+    fn fatigue_probability_valid(
+        base in 0.0f64..1.0,
+        half in 0.5f64..50.0,
+        requests in 1u64..200,
+    ) {
+        let m = FatigueModel { base, half_point: half };
+        let p = m.participation(requests);
+        prop_assert!((0.0..=1.0).contains(&p));
+        prop_assert!(m.participation(requests + 1) <= p + 1e-12);
+    }
+}

@@ -1,0 +1,348 @@
+//! Data-collection audit registry and data-monopoly metrics.
+//!
+//! Implements §II-D of the paper:
+//!
+//! > "A distributed ledger (Blockchain) can register any party's data
+//! > collection and processing activities in the metaverse. Finally, the
+//! > metaverse should guarantee no data monopoly from any parties in the
+//! > data collection practices."
+//!
+//! Every sensor read that leaves a user's device is registered as a
+//! [`DataCollectionEvent`]. The [`AuditRegistry`] aggregates events and
+//! computes a concentration metric — the Herfindahl–Hirschman index (HHI)
+//! over per-party collection shares — so the platform can detect and act
+//! on emerging data monopolies (experiment E6).
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::Tick;
+
+/// Category of sensor data collected, following the paper's taxonomy of
+/// sensory-level privacy threats (§II-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum SensorClass {
+    /// Eye-tracking / gaze direction ("gaze data can give away users'
+    /// sexual preferences").
+    Gaze,
+    /// Gait and body movement.
+    Gait,
+    /// Heart rate and other physiological signals.
+    HeartRate,
+    /// Head movement from the HMD IMU.
+    HeadMovement,
+    /// Spatial scans of the user's surroundings (rooms, bystanders).
+    SpatialScan,
+    /// Microphone audio.
+    Audio,
+    /// Hand and controller tracking.
+    HandTracking,
+    /// In-world behavioural telemetry (interactions, visits).
+    Behavioural,
+}
+
+impl SensorClass {
+    /// All sensor classes, in canonical order.
+    pub const ALL: [SensorClass; 8] = [
+        SensorClass::Gaze,
+        SensorClass::Gait,
+        SensorClass::HeartRate,
+        SensorClass::HeadMovement,
+        SensorClass::SpatialScan,
+        SensorClass::Audio,
+        SensorClass::HandTracking,
+        SensorClass::Behavioural,
+    ];
+
+    /// Whether this class is biometric in the GDPR Art. 9 sense
+    /// (special-category data demanding a stricter lawful basis).
+    pub fn is_biometric(self) -> bool {
+        matches!(
+            self,
+            SensorClass::Gaze
+                | SensorClass::Gait
+                | SensorClass::HeartRate
+                | SensorClass::HeadMovement
+                | SensorClass::HandTracking
+        )
+    }
+
+    /// Stable numeric tag used by the canonical encoding.
+    pub fn tag(self) -> u8 {
+        match self {
+            SensorClass::Gaze => 0,
+            SensorClass::Gait => 1,
+            SensorClass::HeartRate => 2,
+            SensorClass::HeadMovement => 3,
+            SensorClass::SpatialScan => 4,
+            SensorClass::Audio => 5,
+            SensorClass::HandTracking => 6,
+            SensorClass::Behavioural => 7,
+        }
+    }
+}
+
+/// Lawful basis for a collection event, mirroring GDPR Art. 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum LawfulBasis {
+    /// Explicit user consent.
+    Consent,
+    /// Necessary for the service contract (e.g. head pose to render).
+    Contract,
+    /// Legitimate interest claimed by the collector.
+    LegitimateInterest,
+    /// Safety-critical processing (e.g. collision avoidance scans).
+    VitalInterest,
+    /// No basis recorded — flagged as a violation by compliance checks.
+    None,
+}
+
+impl LawfulBasis {
+    /// Stable numeric tag used by the canonical encoding.
+    pub fn tag(self) -> u8 {
+        match self {
+            LawfulBasis::Consent => 0,
+            LawfulBasis::Contract => 1,
+            LawfulBasis::LegitimateInterest => 2,
+            LawfulBasis::VitalInterest => 3,
+            LawfulBasis::None => 4,
+        }
+    }
+}
+
+/// One registered data-collection or processing activity.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DataCollectionEvent {
+    /// The party (company, module, service) collecting the data.
+    pub collector: String,
+    /// The user the data is about.
+    pub subject: String,
+    /// What kind of sensor data was taken.
+    pub sensor: SensorClass,
+    /// Declared purpose ("rendering", "analytics", "ads", …).
+    pub purpose: String,
+    /// Lawful basis claimed for the collection.
+    pub basis: LawfulBasis,
+    /// Logical time of the event.
+    pub tick: Tick,
+    /// Approximate payload size in bytes (drives monopoly shares).
+    pub bytes: u64,
+}
+
+impl DataCollectionEvent {
+    /// Appends the canonical byte encoding (used inside transactions).
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        fn put_str(out: &mut Vec<u8>, s: &str) {
+            out.extend_from_slice(&(s.len() as u64).to_be_bytes());
+            out.extend_from_slice(s.as_bytes());
+        }
+        put_str(out, &self.collector);
+        put_str(out, &self.subject);
+        out.push(self.sensor.tag());
+        put_str(out, &self.purpose);
+        out.push(self.basis.tag());
+        out.extend_from_slice(&self.tick.to_be_bytes());
+        out.extend_from_slice(&self.bytes.to_be_bytes());
+    }
+}
+
+/// Aggregated view over registered collection events.
+///
+/// ```
+/// use metaverse_ledger::audit::*;
+/// let mut reg = AuditRegistry::new();
+/// reg.record(DataCollectionEvent {
+///     collector: "megacorp".into(),
+///     subject: "alice".into(),
+///     sensor: SensorClass::Gaze,
+///     purpose: "ads".into(),
+///     basis: LawfulBasis::None,
+///     tick: 0,
+///     bytes: 1024,
+/// });
+/// assert_eq!(reg.violations().len(), 1);
+/// assert!((reg.hhi() - 1.0).abs() < 1e-9); // single collector = monopoly
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct AuditRegistry {
+    events: Vec<DataCollectionEvent>,
+    bytes_by_collector: BTreeMap<String, u64>,
+}
+
+impl AuditRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers an event.
+    pub fn record(&mut self, event: DataCollectionEvent) {
+        *self.bytes_by_collector.entry(event.collector.clone()).or_insert(0) += event.bytes;
+        self.events.push(event);
+    }
+
+    /// All registered events, in registration order.
+    pub fn events(&self) -> &[DataCollectionEvent] {
+        &self.events
+    }
+
+    /// Number of registered events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events lacking a lawful basis, or biometric events collected
+    /// without explicit consent — the compliance findings an IRB-style
+    /// review (paper §II-D) would raise.
+    pub fn violations(&self) -> Vec<&DataCollectionEvent> {
+        self.events
+            .iter()
+            .filter(|e| {
+                e.basis == LawfulBasis::None
+                    || (e.sensor.is_biometric()
+                        && !matches!(e.basis, LawfulBasis::Consent | LawfulBasis::VitalInterest))
+            })
+            .collect()
+    }
+
+    /// Bytes collected per party, in deterministic (sorted) order.
+    pub fn shares(&self) -> Vec<(String, f64)> {
+        let total: u64 = self.bytes_by_collector.values().sum();
+        if total == 0 {
+            return Vec::new();
+        }
+        self.bytes_by_collector
+            .iter()
+            .map(|(k, v)| (k.clone(), *v as f64 / total as f64))
+            .collect()
+    }
+
+    /// Herfindahl–Hirschman index over per-collector byte shares.
+    ///
+    /// 1.0 = perfect monopoly; 1/n = perfectly even split across n
+    /// collectors; 0.0 when no data has been collected.
+    pub fn hhi(&self) -> f64 {
+        self.shares().iter().map(|(_, s)| s * s).sum()
+    }
+
+    /// Whether the registry currently violates a "no data monopoly"
+    /// guarantee at the given HHI threshold (antitrust practice flags
+    /// markets above ≈0.25 as highly concentrated).
+    pub fn has_monopoly(&self, threshold: f64) -> bool {
+        !self.events.is_empty() && self.hhi() > threshold
+    }
+
+    /// The collector with the largest byte share, if any.
+    pub fn dominant_collector(&self) -> Option<(String, f64)> {
+        self.shares()
+            .into_iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+    }
+
+    /// Events concerning one subject — the "right of access" view a user
+    /// gets when asking *who is in control of all this information?*
+    /// (§II-B).
+    pub fn events_about(&self, subject: &str) -> Vec<&DataCollectionEvent> {
+        self.events.iter().filter(|e| e.subject == subject).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(collector: &str, sensor: SensorClass, basis: LawfulBasis, bytes: u64) -> DataCollectionEvent {
+        DataCollectionEvent {
+            collector: collector.into(),
+            subject: "alice".into(),
+            sensor,
+            purpose: "test".into(),
+            basis,
+            tick: 0,
+            bytes,
+        }
+    }
+
+    #[test]
+    fn empty_registry() {
+        let reg = AuditRegistry::new();
+        assert!(reg.is_empty());
+        assert_eq!(reg.hhi(), 0.0);
+        assert!(!reg.has_monopoly(0.25));
+        assert!(reg.dominant_collector().is_none());
+    }
+
+    #[test]
+    fn hhi_monopoly_and_even_split() {
+        let mut reg = AuditRegistry::new();
+        reg.record(ev("a", SensorClass::Audio, LawfulBasis::Consent, 100));
+        assert!((reg.hhi() - 1.0).abs() < 1e-12);
+        assert!(reg.has_monopoly(0.25));
+
+        reg.record(ev("b", SensorClass::Audio, LawfulBasis::Consent, 100));
+        reg.record(ev("c", SensorClass::Audio, LawfulBasis::Consent, 100));
+        reg.record(ev("d", SensorClass::Audio, LawfulBasis::Consent, 100));
+        assert!((reg.hhi() - 0.25).abs() < 1e-12);
+        assert!(!reg.has_monopoly(0.25));
+    }
+
+    #[test]
+    fn violations_flag_missing_basis_and_biometric_without_consent() {
+        let mut reg = AuditRegistry::new();
+        reg.record(ev("a", SensorClass::Audio, LawfulBasis::None, 1));
+        reg.record(ev("a", SensorClass::Gaze, LawfulBasis::LegitimateInterest, 1));
+        reg.record(ev("a", SensorClass::Gaze, LawfulBasis::Consent, 1));
+        reg.record(ev("a", SensorClass::SpatialScan, LawfulBasis::Contract, 1));
+        let v = reg.violations();
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn biometric_classification() {
+        assert!(SensorClass::Gaze.is_biometric());
+        assert!(SensorClass::HeartRate.is_biometric());
+        assert!(!SensorClass::Audio.is_biometric());
+        assert!(!SensorClass::Behavioural.is_biometric());
+    }
+
+    #[test]
+    fn subject_access_view() {
+        let mut reg = AuditRegistry::new();
+        reg.record(ev("a", SensorClass::Audio, LawfulBasis::Consent, 1));
+        let mut other = ev("a", SensorClass::Audio, LawfulBasis::Consent, 1);
+        other.subject = "bob".into();
+        reg.record(other);
+        assert_eq!(reg.events_about("alice").len(), 1);
+        assert_eq!(reg.events_about("bob").len(), 1);
+        assert_eq!(reg.events_about("carol").len(), 0);
+    }
+
+    #[test]
+    fn dominant_collector_tracks_bytes() {
+        let mut reg = AuditRegistry::new();
+        reg.record(ev("small", SensorClass::Audio, LawfulBasis::Consent, 10));
+        reg.record(ev("big", SensorClass::Audio, LawfulBasis::Consent, 90));
+        let (name, share) = reg.dominant_collector().unwrap();
+        assert_eq!(name, "big");
+        assert!((share - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn encoding_distinguishes_fields() {
+        let a = ev("x", SensorClass::Gaze, LawfulBasis::Consent, 5);
+        let mut b = a.clone();
+        b.sensor = SensorClass::Gait;
+        let (mut ba, mut bb) = (Vec::new(), Vec::new());
+        a.encode_into(&mut ba);
+        b.encode_into(&mut bb);
+        assert_ne!(ba, bb);
+    }
+}

@@ -1,0 +1,126 @@
+//! Blocks and block headers.
+
+use crate::crypto::lamport::TreeSignature;
+use crate::crypto::sha256::{sha256, Digest};
+use crate::merkle::MerkleTree;
+use crate::tx::Transaction;
+use crate::Tick;
+
+/// The sealed header of a block.
+#[derive(Debug, Clone)]
+pub struct BlockHeader {
+    /// Height in the chain (genesis = 0).
+    pub height: u64,
+    /// Digest of the previous block's header.
+    pub parent: Digest,
+    /// Merkle root over the block's transactions.
+    pub tx_root: Digest,
+    /// Logical time at which the block was sealed.
+    pub tick: Tick,
+    /// Identity string of the sealing validator.
+    pub validator: String,
+}
+
+impl BlockHeader {
+    /// Canonical bytes of the header (what gets hashed and signed).
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(96 + self.validator.len());
+        out.extend_from_slice(&self.height.to_be_bytes());
+        out.extend_from_slice(self.parent.as_bytes());
+        out.extend_from_slice(self.tx_root.as_bytes());
+        out.extend_from_slice(&self.tick.to_be_bytes());
+        out.extend_from_slice(&(self.validator.len() as u64).to_be_bytes());
+        out.extend_from_slice(self.validator.as_bytes());
+        out
+    }
+
+    /// Digest of the header; the block's identity.
+    pub fn digest(&self) -> Digest {
+        sha256(&self.canonical_bytes())
+    }
+}
+
+/// A block: header, transactions, and the validator's hash-based seal.
+#[derive(Debug, Clone)]
+pub struct Block {
+    /// The sealed header.
+    pub header: BlockHeader,
+    /// Transactions included in this block.
+    pub transactions: Vec<Transaction>,
+    /// Hash-based signature over the header digest (absent only on
+    /// genesis).
+    pub seal: Option<TreeSignature>,
+}
+
+impl Block {
+    /// The genesis block for a chain labelled by `network`.
+    pub fn genesis(network: &str) -> Self {
+        let header = BlockHeader {
+            height: 0,
+            parent: Digest::ZERO,
+            tx_root: MerkleTree::empty_root(),
+            tick: 0,
+            validator: format!("genesis:{network}"),
+        };
+        Block { header, transactions: Vec::new(), seal: None }
+    }
+
+    /// Recomputes the Merkle root over this block's transactions.
+    pub fn computed_tx_root(&self) -> Digest {
+        MerkleTree::from_leaves(self.transactions.iter().map(|t| t.canonical_bytes())).root()
+    }
+
+    /// The Merkle tree over this block's transactions (for proofs).
+    pub fn tx_tree(&self) -> MerkleTree {
+        MerkleTree::from_leaves(self.transactions.iter().map(|t| t.canonical_bytes()))
+    }
+
+    /// The block id (header digest).
+    pub fn id(&self) -> Digest {
+        self.header.digest()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tx::TxPayload;
+
+    #[test]
+    fn genesis_shape() {
+        let g = Block::genesis("testnet");
+        assert_eq!(g.header.height, 0);
+        assert_eq!(g.header.parent, Digest::ZERO);
+        assert!(g.transactions.is_empty());
+        assert!(g.seal.is_none());
+        assert_eq!(g.header.tx_root, MerkleTree::empty_root());
+    }
+
+    #[test]
+    fn different_networks_different_genesis() {
+        assert_ne!(Block::genesis("a").id(), Block::genesis("b").id());
+    }
+
+    #[test]
+    fn header_digest_covers_all_fields() {
+        let base = Block::genesis("x").header;
+        let mut h = base.clone();
+        h.height = 1;
+        assert_ne!(base.digest(), h.digest());
+        let mut h = base.clone();
+        h.tick = 99;
+        assert_ne!(base.digest(), h.digest());
+        let mut h = base.clone();
+        h.validator = "other".into();
+        assert_ne!(base.digest(), h.digest());
+    }
+
+    #[test]
+    fn computed_root_matches_tree() {
+        let mut b = Block::genesis("t");
+        b.transactions.push(Transaction::new("a", TxPayload::Note { text: "1".into() }));
+        b.transactions.push(Transaction::new("b", TxPayload::Note { text: "2".into() }));
+        assert_eq!(b.computed_tx_root(), b.tx_tree().root());
+        assert_ne!(b.computed_tx_root(), MerkleTree::empty_root());
+    }
+}

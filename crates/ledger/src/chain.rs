@@ -1,0 +1,488 @@
+//! A proof-of-authority block chain.
+//!
+//! The chain is a *simulation of the whole network*: it owns the validator
+//! identities (Lamport [`KeyTree`]s), assigns sealing turns round-robin,
+//! and validates every imported block exactly as an honest full node
+//! would. Tamper detection is real — flipping any byte in a stored block
+//! is caught by [`Chain::verify_integrity`] because hashes and hash-based
+//! signatures are recomputed from scratch.
+//!
+//! Proof-of-authority (rather than proof-of-work/stake) matches how the
+//! platforms the paper cites actually run their governance chains at
+//! simulation scale, and keeps experiments deterministic.
+
+use std::collections::HashMap;
+
+use crate::block::{Block, BlockHeader};
+use crate::crypto::lamport::{KeyTree, TreeSignature};
+use crate::crypto::sha256::{sha256, Digest};
+use crate::error::LedgerError;
+use crate::merkle::MerkleProof;
+use crate::tx::{Transaction, TxId};
+use crate::Tick;
+
+/// Tuning knobs for a [`Chain`].
+#[derive(Debug, Clone)]
+pub struct ChainConfig {
+    /// Maximum transactions sealed into one block.
+    pub max_txs_per_block: usize,
+    /// Whether sealing with an empty mempool is allowed.
+    pub allow_empty_blocks: bool,
+    /// Depth of each validator's Merkle key tree (capacity `2^depth`
+    /// blocks per validator).
+    pub key_tree_depth: usize,
+    /// Enforce strict round-robin sealing order.
+    pub enforce_round_robin: bool,
+}
+
+impl Default for ChainConfig {
+    fn default() -> Self {
+        ChainConfig {
+            max_txs_per_block: 256,
+            allow_empty_blocks: false,
+            key_tree_depth: 10,
+            enforce_round_robin: true,
+        }
+    }
+}
+
+/// A validator identity: a name and its hash-based signing tree.
+#[derive(Debug)]
+struct Validator {
+    id: String,
+    signer: KeyTree,
+    root: Digest,
+}
+
+/// The proof-of-authority ledger.
+///
+/// See the crate-level example for basic usage.
+#[derive(Debug)]
+pub struct Chain {
+    config: ChainConfig,
+    blocks: Vec<Block>,
+    mempool: Vec<Transaction>,
+    validators: Vec<Validator>,
+    next_validator: usize,
+    nonces: HashMap<String, u64>,
+    tx_index: HashMap<TxId, (u64, usize)>,
+    tick: Tick,
+}
+
+impl Chain {
+    /// Creates a chain with a single validator (deterministic keys derived
+    /// from the validator id). Convenient for tests and experiments.
+    pub fn poa_single(validator: &str, config: ChainConfig) -> Self {
+        Self::poa(&[validator], config)
+    }
+
+    /// Creates a chain with the given validator set. Keys are derived
+    /// deterministically from each validator id, so two chains built from
+    /// the same ids accept each other's blocks.
+    pub fn poa(validator_ids: &[&str], config: ChainConfig) -> Self {
+        use rand::SeedableRng;
+        let validators = validator_ids
+            .iter()
+            .map(|id| {
+                let seed = sha256(format!("validator-seed:{id}").as_bytes());
+                let mut seed_bytes = [0u8; 32];
+                seed_bytes.copy_from_slice(seed.as_bytes());
+                let mut rng = rand::rngs::StdRng::from_seed(seed_bytes);
+                let signer = KeyTree::new(&mut rng, config.key_tree_depth);
+                let root = signer.root();
+                Validator { id: (*id).to_string(), signer, root }
+            })
+            .collect();
+        Chain {
+            config,
+            blocks: vec![Block::genesis("metaverse")],
+            mempool: Vec::new(),
+            validators,
+            next_validator: 0,
+            nonces: HashMap::new(),
+            tx_index: HashMap::new(),
+            tick: 0,
+        }
+    }
+
+    /// Advances logical time by `n` ticks.
+    pub fn advance(&mut self, n: Tick) {
+        self.tick += n;
+    }
+
+    /// Current logical time.
+    pub fn tick(&self) -> Tick {
+        self.tick
+    }
+
+    /// Submits a transaction to the mempool, assigning the sender's next
+    /// nonce. Returns the final transaction id.
+    pub fn submit(&mut self, mut tx: Transaction) -> Result<TxId, LedgerError> {
+        let nonce = self.nonces.entry(tx.sender.clone()).or_insert(0);
+        tx.nonce = *nonce;
+        *nonce += 1;
+        let id = tx.id();
+        if self.tx_index.contains_key(&id) {
+            return Err(LedgerError::DuplicateTransaction { tx: id });
+        }
+        self.mempool.push(tx);
+        Ok(id)
+    }
+
+    /// Number of transactions waiting in the mempool.
+    pub fn mempool_len(&self) -> usize {
+        self.mempool.len()
+    }
+
+    /// Seals the next block with the scheduled validator and appends it.
+    ///
+    /// Returns a clone of the sealed block.
+    pub fn seal_block(&mut self) -> Result<Block, LedgerError> {
+        if self.mempool.is_empty() && !self.config.allow_empty_blocks {
+            return Err(LedgerError::NothingToSeal);
+        }
+        let take = self.mempool.len().min(self.config.max_txs_per_block);
+        let txs: Vec<Transaction> = self.mempool.drain(..take).collect();
+
+        let v_idx = self.next_validator;
+        let parent = self.head().id();
+        let height = self.head().header.height + 1;
+        let mut block = Block {
+            header: BlockHeader {
+                height,
+                parent,
+                tx_root: Digest::ZERO,
+                tick: self.tick,
+                validator: self.validators[v_idx].id.clone(),
+            },
+            transactions: txs,
+            seal: None,
+        };
+        block.header.tx_root = block.computed_tx_root();
+        let digest = block.header.digest();
+        let seal = self.validators[v_idx].signer.sign(&digest).ok_or_else(|| {
+            LedgerError::SignerExhausted { validator: self.validators[v_idx].id.clone() }
+        })?;
+        block.seal = Some(seal);
+
+        self.validate_block(&block)?;
+        self.index_block(&block);
+        self.blocks.push(block.clone());
+        self.next_validator = (v_idx + 1) % self.validators.len();
+        Ok(block)
+    }
+
+    /// Seals blocks until the mempool is drained. Returns how many blocks
+    /// were produced.
+    pub fn seal_all(&mut self) -> Result<usize, LedgerError> {
+        let mut sealed = 0;
+        while !self.mempool.is_empty() {
+            self.seal_block()?;
+            sealed += 1;
+        }
+        Ok(sealed)
+    }
+
+    fn index_block(&mut self, block: &Block) {
+        for (i, tx) in block.transactions.iter().enumerate() {
+            self.tx_index.insert(tx.id(), (block.header.height, i));
+        }
+    }
+
+    /// Validates a block against the current head without appending it.
+    pub fn validate_block(&self, block: &Block) -> Result<(), LedgerError> {
+        let head = self.head();
+        if block.header.height != head.header.height + 1 {
+            return Err(LedgerError::HeightMismatch {
+                claimed: block.header.height,
+                expected: head.header.height + 1,
+            });
+        }
+        if block.header.parent != head.id() {
+            return Err(LedgerError::ParentMismatch {
+                height: block.header.height,
+                expected: block.header.parent,
+                actual: head.id(),
+            });
+        }
+        if block.header.tx_root != block.computed_tx_root() {
+            return Err(LedgerError::TxRootMismatch { height: block.header.height });
+        }
+        let validator = self
+            .validators
+            .iter()
+            .find(|v| v.id == block.header.validator)
+            .ok_or_else(|| LedgerError::UnknownValidator {
+                validator: block.header.validator.clone(),
+            })?;
+        if self.config.enforce_round_robin {
+            let expected = &self.validators[self.next_validator];
+            if expected.id != validator.id {
+                return Err(LedgerError::OutOfTurn {
+                    validator: validator.id.clone(),
+                    expected: expected.id.clone(),
+                });
+            }
+        }
+        let seal = block
+            .seal
+            .as_ref()
+            .ok_or(LedgerError::BadSignature { height: block.header.height })?;
+        if !TreeSignature::verify(&validator.root, &block.header.digest(), seal) {
+            return Err(LedgerError::BadSignature { height: block.header.height });
+        }
+        Ok(())
+    }
+
+    /// The chain head (genesis when no block has been sealed).
+    pub fn head(&self) -> &Block {
+        self.blocks.last().expect("chain always has genesis")
+    }
+
+    /// Full chain, genesis first.
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// Chain height (genesis = 0).
+    pub fn height(&self) -> u64 {
+        self.head().header.height
+    }
+
+    /// Block at `height`, if within range.
+    pub fn block_at(&self, height: u64) -> Option<&Block> {
+        self.blocks.get(height as usize)
+    }
+
+    /// Locates a transaction by id: `(height, index within block)`.
+    pub fn find_tx(&self, id: &TxId) -> Option<(u64, usize)> {
+        self.tx_index.get(id).copied()
+    }
+
+    /// Produces a light-client inclusion proof for a transaction: the
+    /// containing header plus a Merkle path to its `tx_root`.
+    pub fn prove_tx(&self, id: &TxId) -> Option<(BlockHeader, MerkleProof)> {
+        let (height, index) = self.find_tx(id)?;
+        let block = self.block_at(height)?;
+        let proof = block.tx_tree().prove(index)?;
+        Some((block.header.clone(), proof))
+    }
+
+    /// Iterates over every transaction in chain order.
+    pub fn iter_txs(&self) -> impl Iterator<Item = &Transaction> {
+        self.blocks.iter().flat_map(|b| b.transactions.iter())
+    }
+
+    /// Re-validates the entire chain from genesis: parent links, heights,
+    /// transaction roots, and every seal signature.
+    pub fn verify_integrity(&self) -> Result<(), LedgerError> {
+        for window in self.blocks.windows(2) {
+            let (prev, block) = (&window[0], &window[1]);
+            let height = block.header.height;
+            if height != prev.header.height + 1 {
+                return Err(LedgerError::CorruptBlock {
+                    height,
+                    detail: "non-contiguous height".into(),
+                });
+            }
+            if block.header.parent != prev.id() {
+                return Err(LedgerError::CorruptBlock {
+                    height,
+                    detail: "broken parent link".into(),
+                });
+            }
+            if block.header.tx_root != block.computed_tx_root() {
+                return Err(LedgerError::CorruptBlock {
+                    height,
+                    detail: "transaction root mismatch".into(),
+                });
+            }
+            let Some(validator) =
+                self.validators.iter().find(|v| v.id == block.header.validator)
+            else {
+                return Err(LedgerError::CorruptBlock {
+                    height,
+                    detail: format!("unknown validator {:?}", block.header.validator),
+                });
+            };
+            let Some(seal) = block.seal.as_ref() else {
+                return Err(LedgerError::CorruptBlock { height, detail: "missing seal".into() });
+            };
+            if !TreeSignature::verify(&validator.root, &block.header.digest(), seal) {
+                return Err(LedgerError::CorruptBlock {
+                    height,
+                    detail: "seal verification failed".into(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Simulation hook: mutate a stored block in place to model an
+    /// attacker with storage access, then observe
+    /// [`Chain::verify_integrity`] catching it. Not part of the normal
+    /// API surface — honest code never mutates sealed history.
+    pub fn tamper<F: FnOnce(&mut Block)>(&mut self, height: u64, f: F) -> bool {
+        match self.blocks.get_mut(height as usize) {
+            Some(b) => {
+                f(b);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Validator identities, in sealing order.
+    pub fn validator_ids(&self) -> Vec<&str> {
+        self.validators.iter().map(|v| v.id.as_str()).collect()
+    }
+
+    /// Remaining block-sealing capacity of each validator.
+    pub fn remaining_seals(&self) -> Vec<(String, usize)> {
+        self.validators.iter().map(|v| (v.id.clone(), v.signer.remaining())).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tx::TxPayload;
+
+    fn note(sender: &str, text: &str) -> Transaction {
+        Transaction::new(sender, TxPayload::Note { text: text.into() })
+    }
+
+    fn small() -> ChainConfig {
+        ChainConfig { key_tree_depth: 4, ..ChainConfig::default() }
+    }
+
+    #[test]
+    fn seal_and_verify() {
+        let mut chain = Chain::poa_single("v0", small());
+        chain.submit(note("alice", "a")).unwrap();
+        chain.submit(note("bob", "b")).unwrap();
+        let block = chain.seal_block().unwrap();
+        assert_eq!(block.header.height, 1);
+        assert_eq!(block.transactions.len(), 2);
+        assert_eq!(chain.height(), 1);
+        chain.verify_integrity().unwrap();
+    }
+
+    #[test]
+    fn empty_seal_refused_by_default() {
+        let mut chain = Chain::poa_single("v0", small());
+        assert_eq!(chain.seal_block().unwrap_err(), LedgerError::NothingToSeal);
+        let mut chain = Chain::poa_single(
+            "v0",
+            ChainConfig { allow_empty_blocks: true, ..small() },
+        );
+        assert!(chain.seal_block().is_ok());
+    }
+
+    #[test]
+    fn round_robin_order() {
+        let mut chain = Chain::poa(&["v0", "v1", "v2"], small());
+        for i in 0..6 {
+            chain.submit(note("a", &i.to_string())).unwrap();
+            let b = chain.seal_block().unwrap();
+            assert_eq!(b.header.validator, format!("v{}", i % 3));
+        }
+        chain.verify_integrity().unwrap();
+    }
+
+    #[test]
+    fn nonces_increment_per_sender() {
+        let mut chain = Chain::poa_single("v0", small());
+        let id1 = chain.submit(note("alice", "same")).unwrap();
+        let id2 = chain.submit(note("alice", "same")).unwrap();
+        assert_ne!(id1, id2, "same payload gets distinct nonce, distinct id");
+    }
+
+    #[test]
+    fn tx_lookup_and_proof() {
+        let mut chain = Chain::poa_single("v0", small());
+        let id = chain.submit(note("alice", "find me")).unwrap();
+        for i in 0..5 {
+            chain.submit(note("bob", &i.to_string())).unwrap();
+        }
+        chain.seal_all().unwrap();
+        let (height, index) = chain.find_tx(&id).unwrap();
+        assert_eq!((height, index), (1, 0));
+        let (header, proof) = chain.prove_tx(&id).unwrap();
+        let tx = &chain.block_at(height).unwrap().transactions[index];
+        assert!(proof.verify(&header.tx_root, &tx.canonical_bytes()));
+    }
+
+    #[test]
+    fn tamper_detected_payload() {
+        let mut chain = Chain::poa_single("v0", small());
+        chain.submit(note("alice", "original")).unwrap();
+        chain.seal_block().unwrap();
+        chain.verify_integrity().unwrap();
+        assert!(chain.tamper(1, |b| {
+            b.transactions[0] = note("alice", "rewritten history");
+        }));
+        let err = chain.verify_integrity().unwrap_err();
+        assert!(matches!(err, LedgerError::CorruptBlock { height: 1, .. }));
+    }
+
+    #[test]
+    fn tamper_detected_header() {
+        let mut chain = Chain::poa_single("v0", small());
+        chain.submit(note("alice", "x")).unwrap();
+        chain.seal_block().unwrap();
+        chain.submit(note("alice", "y")).unwrap();
+        chain.seal_block().unwrap();
+        // Rewriting a middle header breaks the child's parent link.
+        chain.tamper(1, |b| b.header.tick = 999);
+        assert!(chain.verify_integrity().is_err());
+    }
+
+    #[test]
+    fn seal_capacity_exhaustion() {
+        let mut chain = Chain::poa_single(
+            "v0",
+            ChainConfig { key_tree_depth: 1, allow_empty_blocks: true, ..ChainConfig::default() },
+        );
+        chain.seal_block().unwrap();
+        chain.seal_block().unwrap();
+        let err = chain.seal_block().unwrap_err();
+        assert!(matches!(err, LedgerError::SignerExhausted { .. }));
+    }
+
+    #[test]
+    fn max_txs_per_block_respected() {
+        let mut chain = Chain::poa_single(
+            "v0",
+            ChainConfig { max_txs_per_block: 3, key_tree_depth: 4, ..ChainConfig::default() },
+        );
+        for i in 0..7 {
+            chain.submit(note("a", &i.to_string())).unwrap();
+        }
+        let sealed = chain.seal_all().unwrap();
+        assert_eq!(sealed, 3);
+        assert_eq!(chain.blocks()[1].transactions.len(), 3);
+        assert_eq!(chain.blocks()[3].transactions.len(), 1);
+    }
+
+    #[test]
+    fn deterministic_validator_keys() {
+        let c1 = Chain::poa_single("v0", small());
+        let c2 = Chain::poa_single("v0", small());
+        // Same id → same key root → block sealed by one chain validates on
+        // a fresh chain with the same validator set.
+        let mut c1 = c1;
+        c1.submit(note("a", "cross")).unwrap();
+        let block = c1.seal_block().unwrap();
+        c2.validate_block(&block).unwrap();
+    }
+
+    #[test]
+    fn tick_recorded_in_blocks() {
+        let mut chain = Chain::poa_single("v0", small());
+        chain.advance(41);
+        chain.submit(note("a", "t")).unwrap();
+        let b = chain.seal_block().unwrap();
+        assert_eq!(b.header.tick, 41);
+    }
+}

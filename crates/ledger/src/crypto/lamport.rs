@@ -1,0 +1,364 @@
+//! Lamport one-time signatures and Merkle key trees.
+//!
+//! A Lamport keypair (Lamport, 1979) signs a single 256-bit message digest
+//! by revealing, for each digest bit, one of two preimages committed in the
+//! public key. Because each keypair must only ever sign once, we layer a
+//! Merkle tree of `2^depth` one-time public keys on top ([`KeyTree`]),
+//! giving a many-time scheme whose root hash is a compact long-lived
+//! identity — the same construction that underlies hash-based signature
+//! standards such as XMSS.
+//!
+//! Validators in [`crate::chain`] use [`KeyTree`] identities to seal
+//! blocks, so the simulated metaverse ledger has verifiable block
+//! provenance without any external cryptography dependency.
+
+use rand::Rng;
+
+use super::sha256::{sha256, sha256_concat, Digest};
+
+/// Number of bits in the message digest being signed.
+const BITS: usize = 256;
+
+/// A Lamport one-time secret/public keypair.
+///
+/// The secret key is 2×256 random 32-byte values; the public key is their
+/// hashes. Signing reveals one secret value per digest bit.
+#[derive(Clone)]
+pub struct LamportKeypair {
+    secret: Box<[[Digest; 2]]>,
+    public: Box<[[Digest; 2]]>,
+    /// Whether this one-time key has already produced a signature.
+    used: bool,
+}
+
+impl std::fmt::Debug for LamportKeypair {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LamportKeypair")
+            .field("public_digest", &self.public_digest())
+            .field("used", &self.used)
+            .finish()
+    }
+}
+
+/// A Lamport one-time signature: one revealed preimage per digest bit.
+#[derive(Clone, PartialEq, Eq)]
+pub struct LamportSignature {
+    revealed: Box<[Digest]>,
+}
+
+impl std::fmt::Debug for LamportSignature {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "LamportSignature({} preimages)", self.revealed.len())
+    }
+}
+
+impl LamportKeypair {
+    /// Generates a fresh one-time keypair from `rng`.
+    pub fn generate<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        let mut secret = Vec::with_capacity(BITS);
+        let mut public = Vec::with_capacity(BITS);
+        for _ in 0..BITS {
+            let mut s0 = [0u8; 32];
+            let mut s1 = [0u8; 32];
+            rng.fill(&mut s0);
+            rng.fill(&mut s1);
+            let sk = [Digest(s0), Digest(s1)];
+            let pk = [sha256(&s0), sha256(&s1)];
+            secret.push(sk);
+            public.push(pk);
+        }
+        LamportKeypair {
+            secret: secret.into_boxed_slice(),
+            public: public.into_boxed_slice(),
+            used: false,
+        }
+    }
+
+    /// Hash of the full public key; used as the leaf in a [`KeyTree`].
+    pub fn public_digest(&self) -> Digest {
+        let mut parts: Vec<&[u8]> = Vec::with_capacity(BITS * 2);
+        for pair in self.public.iter() {
+            parts.push(pair[0].as_bytes());
+            parts.push(pair[1].as_bytes());
+        }
+        sha256_concat(&parts)
+    }
+
+    /// Signs a message digest, consuming the one-time property.
+    ///
+    /// Returns `None` if this keypair has already signed (reusing a
+    /// Lamport key leaks secret material, so the API refuses).
+    pub fn sign(&mut self, message: &Digest) -> Option<LamportSignature> {
+        if self.used {
+            return None;
+        }
+        self.used = true;
+        let mut revealed = Vec::with_capacity(BITS);
+        for (i, pair) in self.secret.iter().enumerate() {
+            let bit = (message.0[i / 8] >> (7 - (i % 8))) & 1;
+            revealed.push(pair[bit as usize]);
+        }
+        Some(LamportSignature { revealed: revealed.into_boxed_slice() })
+    }
+
+    /// Verifies `sig` over `message` against this keypair's public half.
+    pub fn verify(&self, message: &Digest, sig: &LamportSignature) -> bool {
+        verify_against(&self.public, message, sig)
+    }
+
+    /// True once [`LamportKeypair::sign`] has been called.
+    pub fn is_used(&self) -> bool {
+        self.used
+    }
+
+    /// The public half (pairs of hashes), needed to verify detached.
+    pub fn public_key(&self) -> Vec<[Digest; 2]> {
+        self.public.to_vec()
+    }
+}
+
+/// Verifies a Lamport signature against an explicit public key.
+pub fn verify_against(public: &[[Digest; 2]], message: &Digest, sig: &LamportSignature) -> bool {
+    if public.len() != BITS || sig.revealed.len() != BITS {
+        return false;
+    }
+    for i in 0..BITS {
+        let bit = (message.0[i / 8] >> (7 - (i % 8))) & 1;
+        if sha256(sig.revealed[i].as_bytes()) != public[i][bit as usize] {
+            return false;
+        }
+    }
+    true
+}
+
+/// A Merkle tree of Lamport one-time keys: a many-time signature identity.
+///
+/// `KeyTree::new(rng, depth)` prepares `2^depth` one-time keys. The tree
+/// root ([`KeyTree::root`]) is the signer's long-lived public identity.
+/// Each [`KeyTree::sign`] consumes the next unused leaf and emits a
+/// [`TreeSignature`] carrying the leaf index, the one-time public key, the
+/// Lamport signature, and the Merkle authentication path to the root.
+///
+/// ```
+/// use metaverse_ledger::crypto::lamport::{KeyTree, TreeSignature};
+/// use metaverse_ledger::crypto::sha256::sha256;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let mut tree = KeyTree::new(&mut rng, 2); // 4 one-time keys
+/// let msg = sha256(b"seal block 1");
+/// let sig = tree.sign(&msg).unwrap();
+/// assert!(TreeSignature::verify(&tree.root(), &msg, &sig));
+/// ```
+#[derive(Debug, Clone)]
+pub struct KeyTree {
+    leaves: Vec<LamportKeypair>,
+    /// `levels[0]` = leaf digests, last level = root (length 1).
+    levels: Vec<Vec<Digest>>,
+    next: usize,
+}
+
+/// A signature produced by a [`KeyTree`], verifiable against its root.
+#[derive(Debug, Clone)]
+pub struct TreeSignature {
+    /// Index of the one-time key used.
+    pub leaf_index: usize,
+    /// The one-time public key (pairs of hashes).
+    pub one_time_public: Vec<[Digest; 2]>,
+    /// The Lamport signature over the message.
+    pub signature: LamportSignature,
+    /// Sibling digests from leaf to root.
+    pub auth_path: Vec<Digest>,
+}
+
+impl KeyTree {
+    /// Builds a tree with `2^depth` one-time keys. `depth` must be ≤ 16.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth > 16` (65k keys ≈ 2 GiB of secret material — a
+    /// configuration bug, not a runtime condition).
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, depth: usize) -> Self {
+        assert!(depth <= 16, "KeyTree depth {depth} too large");
+        let n = 1usize << depth;
+        let leaves: Vec<LamportKeypair> =
+            (0..n).map(|_| LamportKeypair::generate(rng)).collect();
+        let mut levels = Vec::with_capacity(depth + 1);
+        levels.push(leaves.iter().map(|k| k.public_digest()).collect::<Vec<_>>());
+        while levels.last().unwrap().len() > 1 {
+            let prev = levels.last().unwrap();
+            let mut next = Vec::with_capacity(prev.len() / 2);
+            for pair in prev.chunks(2) {
+                next.push(sha256_concat(&[pair[0].as_bytes(), pair[1].as_bytes()]));
+            }
+            levels.push(next);
+        }
+        KeyTree { leaves, levels, next: 0 }
+    }
+
+    /// The long-lived public identity of this signer.
+    pub fn root(&self) -> Digest {
+        self.levels.last().unwrap()[0]
+    }
+
+    /// Number of signatures this tree can still produce.
+    pub fn remaining(&self) -> usize {
+        self.leaves.len() - self.next
+    }
+
+    /// Total capacity (`2^depth`).
+    pub fn capacity(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// Signs `message` with the next unused one-time key.
+    ///
+    /// Returns `None` when every leaf has been consumed.
+    pub fn sign(&mut self, message: &Digest) -> Option<TreeSignature> {
+        if self.next >= self.leaves.len() {
+            return None;
+        }
+        let index = self.next;
+        self.next += 1;
+        let keypair = &mut self.leaves[index];
+        let signature = keypair.sign(message)?;
+        let one_time_public = keypair.public_key();
+
+        let mut auth_path = Vec::new();
+        let mut idx = index;
+        for level in &self.levels[..self.levels.len() - 1] {
+            auth_path.push(level[idx ^ 1]);
+            idx >>= 1;
+        }
+
+        Some(TreeSignature { leaf_index: index, one_time_public, signature, auth_path })
+    }
+}
+
+impl TreeSignature {
+    /// Verifies this signature over `message` against a tree `root`.
+    pub fn verify(root: &Digest, message: &Digest, sig: &TreeSignature) -> bool {
+        // 1. The Lamport signature must open the one-time public key.
+        if !verify_against(&sig.one_time_public, message, &sig.signature) {
+            return false;
+        }
+        // 2. The one-time public key must hash to a leaf that chains up to
+        //    the root along the authentication path.
+        let mut parts: Vec<&[u8]> = Vec::with_capacity(BITS * 2);
+        for pair in &sig.one_time_public {
+            parts.push(pair[0].as_bytes());
+            parts.push(pair[1].as_bytes());
+        }
+        let mut node = sha256_concat(&parts);
+        let mut idx = sig.leaf_index;
+        for sibling in &sig.auth_path {
+            node = if idx & 1 == 0 {
+                sha256_concat(&[node.as_bytes(), sibling.as_bytes()])
+            } else {
+                sha256_concat(&[sibling.as_bytes(), node.as_bytes()])
+            };
+            idx >>= 1;
+        }
+        node == *root
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let mut r = rng();
+        let mut kp = LamportKeypair::generate(&mut r);
+        let msg = sha256(b"the metaverse");
+        let sig = kp.sign(&msg).unwrap();
+        assert!(kp.verify(&msg, &sig));
+    }
+
+    #[test]
+    fn wrong_message_rejected() {
+        let mut r = rng();
+        let mut kp = LamportKeypair::generate(&mut r);
+        let sig = kp.sign(&sha256(b"m1")).unwrap();
+        assert!(!kp.verify(&sha256(b"m2"), &sig));
+    }
+
+    #[test]
+    fn one_time_property_enforced() {
+        let mut r = rng();
+        let mut kp = LamportKeypair::generate(&mut r);
+        assert!(!kp.is_used());
+        assert!(kp.sign(&sha256(b"a")).is_some());
+        assert!(kp.is_used());
+        assert!(kp.sign(&sha256(b"b")).is_none(), "second sign must be refused");
+    }
+
+    #[test]
+    fn tampered_signature_rejected() {
+        let mut r = rng();
+        let mut kp = LamportKeypair::generate(&mut r);
+        let msg = sha256(b"tamper");
+        let mut sig = kp.sign(&msg).unwrap();
+        sig.revealed[0].0[0] ^= 1;
+        assert!(!kp.verify(&msg, &sig));
+    }
+
+    #[test]
+    fn key_tree_signs_to_capacity() {
+        let mut r = rng();
+        let mut tree = KeyTree::new(&mut r, 3);
+        let root = tree.root();
+        assert_eq!(tree.capacity(), 8);
+        for i in 0..8 {
+            let msg = sha256(format!("block {i}").as_bytes());
+            let sig = tree.sign(&msg).expect("capacity remains");
+            assert_eq!(sig.leaf_index, i);
+            assert!(TreeSignature::verify(&root, &msg, &sig));
+            assert_eq!(tree.remaining(), 8 - i - 1);
+        }
+        assert!(tree.sign(&sha256(b"overflow")).is_none());
+    }
+
+    #[test]
+    fn tree_signature_cross_message_rejected() {
+        let mut r = rng();
+        let mut tree = KeyTree::new(&mut r, 1);
+        let sig = tree.sign(&sha256(b"real")).unwrap();
+        assert!(!TreeSignature::verify(&tree.root(), &sha256(b"forged"), &sig));
+    }
+
+    #[test]
+    fn tree_signature_wrong_root_rejected() {
+        let mut r = rng();
+        let mut tree_a = KeyTree::new(&mut r, 1);
+        let tree_b = KeyTree::new(&mut r, 1);
+        let msg = sha256(b"block");
+        let sig = tree_a.sign(&msg).unwrap();
+        assert!(!TreeSignature::verify(&tree_b.root(), &msg, &sig));
+    }
+
+    #[test]
+    fn tampered_auth_path_rejected() {
+        let mut r = rng();
+        let mut tree = KeyTree::new(&mut r, 2);
+        let msg = sha256(b"path");
+        let mut sig = tree.sign(&msg).unwrap();
+        sig.auth_path[0].0[5] ^= 0xff;
+        assert!(!TreeSignature::verify(&tree.root(), &msg, &sig));
+    }
+
+    #[test]
+    fn distinct_keys_distinct_roots() {
+        let mut r = rng();
+        let t1 = KeyTree::new(&mut r, 1);
+        let t2 = KeyTree::new(&mut r, 1);
+        assert_ne!(t1.root(), t2.root());
+    }
+}

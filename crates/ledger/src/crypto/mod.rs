@@ -1,0 +1,16 @@
+//! From-scratch cryptographic primitives used by the ledger.
+//!
+//! Everything here is implemented against published specifications
+//! (FIPS 180-4 for SHA-256, Lamport '79 for one-time signatures) so the
+//! ledger has *genuine* integrity semantics — a tampered byte really does
+//! invalidate proofs — while remaining dependency-free.
+//!
+//! **Security disclaimer.** These implementations are written for a
+//! research simulation. They are not constant-time and have not been
+//! audited; do not reuse them to protect real data.
+
+pub mod lamport;
+pub mod sha256;
+
+pub use lamport::{KeyTree, LamportKeypair, LamportSignature, TreeSignature};
+pub use sha256::{sha256, sha256_concat, Digest};

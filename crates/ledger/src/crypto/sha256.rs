@@ -1,0 +1,352 @@
+//! SHA-256 implemented from scratch per FIPS 180-4.
+//!
+//! The implementation is a straightforward translation of the
+//! specification: 512-bit blocks, 64-round compression, Merkle–Damgård
+//! padding. It is validated against the official test vectors in the unit
+//! tests at the bottom of this file.
+
+use serde::{Deserialize, Serialize};
+
+/// A 256-bit digest.
+///
+/// Wraps `[u8; 32]` to give digests a distinct type, hex formatting, and
+/// ordering (used for deterministic map iteration in consensus code).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Digest(pub [u8; 32]);
+
+impl Digest {
+    /// The all-zero digest, used as the parent of genesis blocks.
+    pub const ZERO: Digest = Digest([0u8; 32]);
+
+    /// Returns the digest as a byte slice.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Renders the digest as lowercase hex.
+    pub fn to_hex(&self) -> String {
+        let mut s = String::with_capacity(64);
+        for b in self.0 {
+            s.push(char::from_digit((b >> 4) as u32, 16).unwrap());
+            s.push(char::from_digit((b & 0xf) as u32, 16).unwrap());
+        }
+        s
+    }
+
+    /// Parses a 64-character hex string into a digest.
+    ///
+    /// Returns `None` when the string has the wrong length or contains a
+    /// non-hex character.
+    pub fn from_hex(s: &str) -> Option<Digest> {
+        if s.len() != 64 {
+            return None;
+        }
+        let mut out = [0u8; 32];
+        let bytes = s.as_bytes();
+        for i in 0..32 {
+            let hi = (bytes[2 * i] as char).to_digit(16)?;
+            let lo = (bytes[2 * i + 1] as char).to_digit(16)?;
+            out[i] = ((hi << 4) | lo) as u8;
+        }
+        Some(Digest(out))
+    }
+
+    /// A short 8-hex-character prefix, handy for logs and display.
+    pub fn short(&self) -> String {
+        self.to_hex()[..8].to_string()
+    }
+}
+
+impl std::fmt::Debug for Digest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Digest({}…)", self.short())
+    }
+}
+
+impl std::fmt::Display for Digest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+impl AsRef<[u8]> for Digest {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<[u8; 32]> for Digest {
+    fn from(bytes: [u8; 32]) -> Self {
+        Digest(bytes)
+    }
+}
+
+/// Round constants: first 32 bits of the fractional parts of the cube
+/// roots of the first 64 primes (FIPS 180-4 §4.2.2).
+const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+/// Initial hash value: first 32 bits of the fractional parts of the square
+/// roots of the first 8 primes (FIPS 180-4 §5.3.3).
+const H0: [u32; 8] = [
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
+];
+
+/// Incremental SHA-256 hasher.
+///
+/// ```
+/// use metaverse_ledger::crypto::sha256::Sha256;
+/// let mut h = Sha256::new();
+/// h.update(b"ab");
+/// h.update(b"c");
+/// assert_eq!(
+///     h.finalize().to_hex(),
+///     "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+/// );
+/// ```
+#[derive(Clone, Debug)]
+pub struct Sha256 {
+    state: [u32; 8],
+    /// Bytes buffered until a full 64-byte block is available.
+    buffer: [u8; 64],
+    buffered: usize,
+    /// Total message length in bytes.
+    length: u64,
+}
+
+impl Default for Sha256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha256 {
+    /// Creates a fresh hasher.
+    pub fn new() -> Self {
+        Sha256 { state: H0, buffer: [0u8; 64], buffered: 0, length: 0 }
+    }
+
+    /// Absorbs `data` into the hash state.
+    pub fn update(&mut self, data: &[u8]) {
+        self.length = self.length.wrapping_add(data.len() as u64);
+        let mut input = data;
+        // Fill a partial buffer first.
+        if self.buffered > 0 {
+            let take = (64 - self.buffered).min(input.len());
+            self.buffer[self.buffered..self.buffered + take].copy_from_slice(&input[..take]);
+            self.buffered += take;
+            input = &input[take..];
+            if self.buffered == 64 {
+                let block = self.buffer;
+                self.compress(&block);
+                self.buffered = 0;
+            }
+        }
+        // Whole blocks straight from the input.
+        while input.len() >= 64 {
+            let mut block = [0u8; 64];
+            block.copy_from_slice(&input[..64]);
+            self.compress(&block);
+            input = &input[64..];
+        }
+        // Stash the tail.
+        if !input.is_empty() {
+            self.buffer[..input.len()].copy_from_slice(input);
+            self.buffered = input.len();
+        }
+    }
+
+    /// Finishes the hash and returns the digest, consuming the hasher.
+    pub fn finalize(mut self) -> Digest {
+        let bit_len = self.length.wrapping_mul(8);
+        // Padding: 0x80, zeros, then the 64-bit big-endian bit length.
+        self.update_padding(&[0x80]);
+        while self.buffered != 56 {
+            self.update_padding(&[0x00]);
+        }
+        self.update_padding(&bit_len.to_be_bytes());
+        debug_assert_eq!(self.buffered, 0);
+
+        let mut out = [0u8; 32];
+        for (i, word) in self.state.iter().enumerate() {
+            out[4 * i..4 * i + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        Digest(out)
+    }
+
+    /// Like `update` but does not count padding bytes in the length.
+    fn update_padding(&mut self, data: &[u8]) {
+        for &b in data {
+            self.buffer[self.buffered] = b;
+            self.buffered += 1;
+            if self.buffered == 64 {
+                let block = self.buffer;
+                self.compress(&block);
+                self.buffered = 0;
+            }
+        }
+    }
+
+    /// The FIPS 180-4 compression function over one 512-bit block.
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 64];
+        for i in 0..16 {
+            w[i] = u32::from_be_bytes([
+                block[4 * i],
+                block[4 * i + 1],
+                block[4 * i + 2],
+                block[4 * i + 3],
+            ]);
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ ((!e) & g);
+            let temp1 = h
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(K[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let temp2 = s0.wrapping_add(maj);
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(temp1);
+            d = c;
+            c = b;
+            b = a;
+            a = temp1.wrapping_add(temp2);
+        }
+
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+        self.state[5] = self.state[5].wrapping_add(f);
+        self.state[6] = self.state[6].wrapping_add(g);
+        self.state[7] = self.state[7].wrapping_add(h);
+    }
+}
+
+/// One-shot SHA-256 of a byte slice.
+pub fn sha256(data: &[u8]) -> Digest {
+    let mut h = Sha256::new();
+    h.update(data);
+    h.finalize()
+}
+
+/// SHA-256 over the concatenation of several byte slices, without
+/// allocating an intermediate buffer.
+pub fn sha256_concat(parts: &[&[u8]]) -> Digest {
+    let mut h = Sha256::new();
+    for p in parts {
+        h.update(p);
+    }
+    h.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_vector() {
+        assert_eq!(
+            sha256(b"").to_hex(),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+    }
+
+    #[test]
+    fn abc_vector() {
+        assert_eq!(
+            sha256(b"abc").to_hex(),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+    }
+
+    #[test]
+    fn two_block_vector() {
+        // FIPS 180-4 test vector: 448-bit message crossing padding edge.
+        assert_eq!(
+            sha256(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq").to_hex(),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+    }
+
+    #[test]
+    fn million_a_vector() {
+        let data = vec![b'a'; 1_000_000];
+        assert_eq!(
+            sha256(&data).to_hex(),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        );
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        for chunk in [1usize, 3, 7, 63, 64, 65, 129] {
+            let mut h = Sha256::new();
+            for c in data.chunks(chunk) {
+                h.update(c);
+            }
+            assert_eq!(h.finalize(), sha256(&data), "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn concat_matches_oneshot() {
+        let a = b"hello ".as_slice();
+        let b = b"metaverse".as_slice();
+        let joined = [a, b].concat();
+        assert_eq!(sha256_concat(&[a, b]), sha256(&joined));
+    }
+
+    #[test]
+    fn padding_edge_lengths() {
+        // Lengths around the 55/56/64-byte padding boundaries must not
+        // panic and must be distinct.
+        let mut seen = std::collections::HashSet::new();
+        for len in 0..=130usize {
+            let data = vec![0xabu8; len];
+            assert!(seen.insert(sha256(&data)), "collision at length {len}");
+        }
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        let d = sha256(b"roundtrip");
+        assert_eq!(Digest::from_hex(&d.to_hex()), Some(d));
+        assert_eq!(Digest::from_hex("zz"), None);
+        assert_eq!(Digest::from_hex(&"g".repeat(64)), None);
+    }
+
+    #[test]
+    fn display_and_short() {
+        let d = sha256(b"abc");
+        assert_eq!(format!("{d}"), d.to_hex());
+        assert_eq!(d.short().len(), 8);
+        assert!(d.to_hex().starts_with(&d.short()));
+    }
+}

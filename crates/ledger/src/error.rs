@@ -1,0 +1,129 @@
+//! Error types for the ledger crate.
+
+use crate::crypto::sha256::Digest;
+
+/// Errors returned by ledger operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LedgerError {
+    /// A block referenced a parent that does not match the chain head.
+    ParentMismatch {
+        /// Height of the offending block.
+        height: u64,
+        /// Parent digest the block carried.
+        expected: Digest,
+        /// Actual digest of the previous block.
+        actual: Digest,
+    },
+    /// A block's height is not `head + 1`.
+    HeightMismatch {
+        /// Height the block claimed.
+        claimed: u64,
+        /// Height the chain expected.
+        expected: u64,
+    },
+    /// The block's transaction Merkle root does not match its body.
+    TxRootMismatch {
+        /// Height of the offending block.
+        height: u64,
+    },
+    /// The block is not sealed by an authorized validator.
+    UnknownValidator {
+        /// Identity string the block carried.
+        validator: String,
+    },
+    /// It is not `validator`'s turn in the round-robin schedule.
+    OutOfTurn {
+        /// Identity that tried to seal.
+        validator: String,
+        /// Identity whose turn it is.
+        expected: String,
+    },
+    /// The block signature failed verification.
+    BadSignature {
+        /// Height of the offending block.
+        height: u64,
+    },
+    /// A validator has exhausted its one-time signing keys.
+    SignerExhausted {
+        /// Identity that ran out of keys.
+        validator: String,
+    },
+    /// A transaction was submitted twice.
+    DuplicateTransaction {
+        /// The duplicated transaction id.
+        tx: Digest,
+    },
+    /// Attempted to seal a block with an empty mempool and
+    /// `allow_empty_blocks` disabled.
+    NothingToSeal,
+    /// Integrity sweep found a corrupted block.
+    CorruptBlock {
+        /// Height of the corrupted block.
+        height: u64,
+        /// Human-readable description of the corruption.
+        detail: String,
+    },
+    /// A requested item was not present.
+    NotFound {
+        /// What was being looked up.
+        what: String,
+    },
+}
+
+impl std::fmt::Display for LedgerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LedgerError::ParentMismatch { height, expected, actual } => write!(
+                f,
+                "block {height}: parent digest {expected} does not match chain head {actual}"
+            ),
+            LedgerError::HeightMismatch { claimed, expected } => {
+                write!(f, "block claims height {claimed}, chain expects {expected}")
+            }
+            LedgerError::TxRootMismatch { height } => {
+                write!(f, "block {height}: transaction merkle root mismatch")
+            }
+            LedgerError::UnknownValidator { validator } => {
+                write!(f, "validator {validator:?} is not authorized")
+            }
+            LedgerError::OutOfTurn { validator, expected } => {
+                write!(f, "validator {validator:?} sealed out of turn (expected {expected:?})")
+            }
+            LedgerError::BadSignature { height } => {
+                write!(f, "block {height}: seal signature failed verification")
+            }
+            LedgerError::SignerExhausted { validator } => {
+                write!(f, "validator {validator:?} has no one-time keys left")
+            }
+            LedgerError::DuplicateTransaction { tx } => {
+                write!(f, "transaction {tx} already known")
+            }
+            LedgerError::NothingToSeal => write!(f, "mempool empty and empty blocks disabled"),
+            LedgerError::CorruptBlock { height, detail } => {
+                write!(f, "block {height} corrupted: {detail}")
+            }
+            LedgerError::NotFound { what } => write!(f, "not found: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for LedgerError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = LedgerError::HeightMismatch { claimed: 5, expected: 3 };
+        let s = e.to_string();
+        assert!(s.contains('5') && s.contains('3'));
+    }
+
+    #[test]
+    fn implements_error_trait() {
+        fn takes_error<E: std::error::Error>(_e: E) {}
+        takes_error(LedgerError::NothingToSeal);
+    }
+}

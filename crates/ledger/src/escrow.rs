@@ -1,0 +1,329 @@
+//! Escrow smart-records: deterministic contract execution on the chain.
+//!
+//! §III-B: DAOs "are based on Blockchain and smart contract
+//! technologies […] The system can also automatically handle services,
+//! such as selling a property asset in the metaverse, while being
+//! transparent and fully accessible to any metaverse user."
+//!
+//! [`EscrowBook`] is a minimal smart-contract runtime for that sentence:
+//! an asset sale is opened as an escrow; the buyer funds it; settlement
+//! releases funds to the seller and (by convention) the asset to the
+//! buyer; expiry refunds the buyer. Every state transition is a
+//! deterministic function of chain transactions, so replaying the chain
+//! reproduces the book exactly — the transparency property the paper
+//! wants.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::LedgerError;
+use crate::tx::TxPayload;
+use crate::Tick;
+
+/// Identifier of an escrow agreement.
+pub type EscrowId = u64;
+
+/// Lifecycle of an escrow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EscrowState {
+    /// Opened by the seller; awaiting buyer funds.
+    Open,
+    /// Buyer has deposited the full price.
+    Funded,
+    /// Settled: funds to seller, asset to buyer.
+    Settled,
+    /// Expired or cancelled: funds returned to buyer (if any).
+    Refunded,
+}
+
+/// One escrow agreement.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Escrow {
+    /// Unique id.
+    pub id: EscrowId,
+    /// Asset under sale.
+    pub asset_id: u64,
+    /// Selling account.
+    pub seller: String,
+    /// Buying account (fixed at opening; open offers use the funder).
+    pub buyer: Option<String>,
+    /// Sale price.
+    pub price: u64,
+    /// Deposited amount so far.
+    pub deposited: u64,
+    /// Tick after which the escrow can be expired.
+    pub deadline: Tick,
+    /// Current state.
+    pub state: EscrowState,
+}
+
+/// The deterministic escrow state machine.
+///
+/// ```
+/// use metaverse_ledger::escrow::{EscrowBook, EscrowState};
+/// let mut book = EscrowBook::new();
+/// let id = book.open(7, "seller", 100, 50).unwrap();
+/// book.fund(id, "buyer", 100, 10).unwrap();
+/// let settled = book.settle(id, 20).unwrap();
+/// assert_eq!(settled.state, EscrowState::Settled);
+/// assert_eq!(settled.buyer.as_deref(), Some("buyer"));
+/// ```
+#[derive(Debug, Default)]
+pub struct EscrowBook {
+    escrows: BTreeMap<EscrowId, Escrow>,
+    next_id: EscrowId,
+    pending_records: Vec<TxPayload>,
+}
+
+impl EscrowBook {
+    /// Creates an empty book.
+    pub fn new() -> Self {
+        EscrowBook { next_id: 1, ..Default::default() }
+    }
+
+    /// Opens an escrow for an asset sale. `window` ticks until expiry.
+    pub fn open(
+        &mut self,
+        asset_id: u64,
+        seller: &str,
+        price: u64,
+        window: Tick,
+    ) -> Result<EscrowId, LedgerError> {
+        if price == 0 {
+            return Err(LedgerError::NotFound { what: "non-zero price".into() });
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.escrows.insert(
+            id,
+            Escrow {
+                id,
+                asset_id,
+                seller: seller.to_string(),
+                buyer: None,
+                price,
+                deposited: 0,
+                deadline: window,
+                state: EscrowState::Open,
+            },
+        );
+        self.pending_records.push(TxPayload::Note {
+            text: format!("escrow:{id}:open:asset={asset_id}:seller={seller}:price={price}"),
+        });
+        Ok(id)
+    }
+
+    fn get_mut(&mut self, id: EscrowId) -> Result<&mut Escrow, LedgerError> {
+        self.escrows
+            .get_mut(&id)
+            .ok_or(LedgerError::NotFound { what: format!("escrow {id}") })
+    }
+
+    /// Buyer deposits `amount` toward the price. Transitions to `Funded`
+    /// when the full price is covered. Over-deposits are rejected.
+    pub fn fund(
+        &mut self,
+        id: EscrowId,
+        buyer: &str,
+        amount: u64,
+        now: Tick,
+    ) -> Result<&Escrow, LedgerError> {
+        let escrow = self.get_mut(id)?;
+        if escrow.state != EscrowState::Open {
+            return Err(LedgerError::NotFound { what: format!("open escrow {id}") });
+        }
+        if now > escrow.deadline {
+            return Err(LedgerError::NotFound { what: format!("unexpired escrow {id}") });
+        }
+        match &escrow.buyer {
+            None => escrow.buyer = Some(buyer.to_string()),
+            Some(existing) if existing == buyer => {}
+            Some(_) => {
+                return Err(LedgerError::NotFound {
+                    what: format!("escrow {id} already has a buyer"),
+                })
+            }
+        }
+        if escrow.deposited + amount > escrow.price {
+            return Err(LedgerError::NotFound {
+                what: format!("escrow {id} over-deposit"),
+            });
+        }
+        escrow.deposited += amount;
+        if escrow.deposited == escrow.price {
+            escrow.state = EscrowState::Funded;
+        }
+        self.pending_records.push(TxPayload::Note {
+            text: format!("escrow:{id}:fund:{buyer}:{amount}"),
+        });
+        Ok(self.escrows.get(&id).expect("just updated"))
+    }
+
+    /// Settles a funded escrow: emits the asset-transfer record.
+    pub fn settle(&mut self, id: EscrowId, now: Tick) -> Result<Escrow, LedgerError> {
+        let escrow = self.get_mut(id)?;
+        if escrow.state != EscrowState::Funded {
+            return Err(LedgerError::NotFound { what: format!("funded escrow {id}") });
+        }
+        escrow.state = EscrowState::Settled;
+        let snapshot = escrow.clone();
+        let buyer = snapshot.buyer.clone().expect("funded escrows have a buyer");
+        self.pending_records.push(TxPayload::AssetTransfer {
+            asset_id: snapshot.asset_id,
+            from: snapshot.seller.clone(),
+            to: buyer,
+            price: snapshot.price,
+        });
+        self.pending_records.push(TxPayload::Note {
+            text: format!("escrow:{id}:settled:tick={now}"),
+        });
+        Ok(snapshot)
+    }
+
+    /// Expires an escrow past its deadline (or cancels an unfunded one),
+    /// refunding any deposit. Returns the refunded amount.
+    pub fn expire(&mut self, id: EscrowId, now: Tick) -> Result<u64, LedgerError> {
+        let escrow = self.get_mut(id)?;
+        match escrow.state {
+            EscrowState::Open | EscrowState::Funded => {}
+            _ => return Err(LedgerError::NotFound { what: format!("live escrow {id}") }),
+        }
+        if now <= escrow.deadline && escrow.state == EscrowState::Funded {
+            return Err(LedgerError::NotFound {
+                what: format!("escrow {id} not yet expirable"),
+            });
+        }
+        let refund = escrow.deposited;
+        escrow.state = EscrowState::Refunded;
+        let buyer = escrow.buyer.clone().unwrap_or_default();
+        self.pending_records.push(TxPayload::Note {
+            text: format!("escrow:{id}:refund:{buyer}:{refund}"),
+        });
+        Ok(refund)
+    }
+
+    /// Looks up an escrow.
+    pub fn get(&self, id: EscrowId) -> Option<&Escrow> {
+        self.escrows.get(&id)
+    }
+
+    /// Number of escrows ever opened.
+    pub fn len(&self) -> usize {
+        self.escrows.len()
+    }
+
+    /// True when no escrow was ever opened.
+    pub fn is_empty(&self) -> bool {
+        self.escrows.is_empty()
+    }
+
+    /// Escrows currently awaiting funds or settlement.
+    pub fn live(&self) -> Vec<&Escrow> {
+        self.escrows
+            .values()
+            .filter(|e| matches!(e.state, EscrowState::Open | EscrowState::Funded))
+            .collect()
+    }
+
+    /// Takes the ledger records accumulated since the last drain.
+    pub fn drain_ledger_records(&mut self) -> Vec<TxPayload> {
+        std::mem::take(&mut self.pending_records)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn happy_path_settlement() {
+        let mut book = EscrowBook::new();
+        let id = book.open(7, "seller", 100, 50).unwrap();
+        assert_eq!(book.get(id).unwrap().state, EscrowState::Open);
+        book.fund(id, "buyer", 60, 1).unwrap();
+        assert_eq!(book.get(id).unwrap().state, EscrowState::Open, "partial");
+        book.fund(id, "buyer", 40, 2).unwrap();
+        assert_eq!(book.get(id).unwrap().state, EscrowState::Funded);
+        let settled = book.settle(id, 3).unwrap();
+        assert_eq!(settled.state, EscrowState::Settled);
+        let records = book.drain_ledger_records();
+        assert!(records
+            .iter()
+            .any(|r| matches!(r, TxPayload::AssetTransfer { price: 100, .. })));
+    }
+
+    #[test]
+    fn cannot_settle_unfunded() {
+        let mut book = EscrowBook::new();
+        let id = book.open(7, "s", 100, 50).unwrap();
+        assert!(book.settle(id, 1).is_err());
+        book.fund(id, "b", 50, 1).unwrap();
+        assert!(book.settle(id, 2).is_err(), "half-funded cannot settle");
+    }
+
+    #[test]
+    fn over_deposit_rejected() {
+        let mut book = EscrowBook::new();
+        let id = book.open(7, "s", 100, 50).unwrap();
+        assert!(book.fund(id, "b", 150, 1).is_err());
+        book.fund(id, "b", 100, 1).unwrap();
+        assert!(book.fund(id, "b", 1, 2).is_err(), "funded escrow takes no more");
+    }
+
+    #[test]
+    fn second_buyer_rejected() {
+        let mut book = EscrowBook::new();
+        let id = book.open(7, "s", 100, 50).unwrap();
+        book.fund(id, "first", 10, 1).unwrap();
+        assert!(book.fund(id, "second", 10, 2).is_err());
+    }
+
+    #[test]
+    fn expiry_refunds_deposit() {
+        let mut book = EscrowBook::new();
+        let id = book.open(7, "s", 100, 10).unwrap();
+        book.fund(id, "b", 70, 5).unwrap();
+        // Not expirable early while partially funded? Open state allows
+        // cancellation any time; at tick 5 state is Open (70 < 100).
+        let refund = book.expire(id, 5).unwrap();
+        assert_eq!(refund, 70);
+        assert_eq!(book.get(id).unwrap().state, EscrowState::Refunded);
+        assert!(book.expire(id, 6).is_err(), "already refunded");
+    }
+
+    #[test]
+    fn funded_escrow_expires_only_after_deadline() {
+        let mut book = EscrowBook::new();
+        let id = book.open(7, "s", 100, 10).unwrap();
+        book.fund(id, "b", 100, 5).unwrap();
+        assert!(book.expire(id, 10).is_err(), "funded + in window: protected");
+        let refund = book.expire(id, 11).unwrap();
+        assert_eq!(refund, 100);
+    }
+
+    #[test]
+    fn funding_after_deadline_rejected() {
+        let mut book = EscrowBook::new();
+        let id = book.open(7, "s", 100, 10).unwrap();
+        assert!(book.fund(id, "b", 10, 11).is_err());
+    }
+
+    #[test]
+    fn zero_price_rejected() {
+        let mut book = EscrowBook::new();
+        assert!(book.open(7, "s", 0, 10).is_err());
+    }
+
+    #[test]
+    fn live_view() {
+        let mut book = EscrowBook::new();
+        let a = book.open(1, "s", 10, 10).unwrap();
+        let b = book.open(2, "s", 10, 10).unwrap();
+        book.fund(b, "b", 10, 1).unwrap();
+        book.settle(b, 2).unwrap();
+        let live: Vec<u64> = book.live().iter().map(|e| e.id).collect();
+        assert_eq!(live, vec![a]);
+        assert_eq!(book.len(), 2);
+    }
+}

@@ -1,0 +1,70 @@
+//! # metaverse-ledger
+//!
+//! A from-scratch distributed-ledger substrate for the `metaverse-kit`
+//! workspace, reproducing the ledger role the paper assigns to Blockchain:
+//!
+//! > "A distributed ledger (Blockchain) can register any party's data
+//! > collection and processing activities in the metaverse. Finally, the
+//! > metaverse should guarantee no data monopoly from any parties in the
+//! > data collection practices." — §II-D
+//!
+//! The crate provides:
+//!
+//! * [`crypto`] — SHA-256 ([`crypto::sha256`]) and Lamport one-time
+//!   signatures with Merkle key trees ([`crypto::lamport`]), implemented
+//!   from scratch. These primitives exist to give the simulation *real
+//!   integrity semantics* (tamper detection, verifiable provenance); they
+//!   are **not** hardened for production cryptography.
+//! * [`merkle`] — binary Merkle trees with logarithmic inclusion proofs.
+//! * [`tx`] — the transaction vocabulary of the metaverse ledger
+//!   (governance records, asset transfers, audit events, attestations).
+//! * [`block`] / [`chain`] — proof-of-authority block chain with full
+//!   validation and tamper detection.
+//! * [`audit`] — the data-collection audit registry and the
+//!   data-monopoly metric (Herfindahl–Hirschman index) from §II-D.
+//! * [`escrow`] — deterministic smart-record escrow for asset sales
+//!   (§III-B's "automatically handle services").
+//!
+//! ## Quick example
+//!
+//! ```
+//! use metaverse_ledger::chain::{Chain, ChainConfig};
+//! use metaverse_ledger::tx::{Transaction, TxPayload};
+//!
+//! let mut chain = Chain::poa_single("validator-0", ChainConfig::default());
+//! let tx = Transaction::new(
+//!     "alice",
+//!     TxPayload::Note { text: "hello metaverse".into() },
+//! );
+//! chain.submit(tx).unwrap();
+//! let block = chain.seal_block().unwrap();
+//! assert_eq!(block.header.height, 1);
+//! assert!(chain.verify_integrity().is_ok());
+//! ```
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod audit;
+pub mod block;
+pub mod chain;
+pub mod crypto;
+pub mod escrow;
+pub mod error;
+pub mod merkle;
+pub mod tx;
+
+pub use audit::{AuditRegistry, DataCollectionEvent, LawfulBasis, SensorClass};
+pub use block::{Block, BlockHeader};
+pub use chain::{Chain, ChainConfig};
+pub use crypto::sha256::{sha256, Digest};
+pub use error::LedgerError;
+pub use escrow::{Escrow, EscrowBook, EscrowState};
+pub use merkle::{MerkleProof, MerkleTree};
+pub use tx::{Transaction, TxId, TxPayload};
+
+/// Logical simulation time, measured in discrete ticks.
+///
+/// The whole workspace avoids wall-clock time inside simulation logic so
+/// that every experiment is deterministic and reproducible.
+pub type Tick = u64;

@@ -1,0 +1,223 @@
+//! Binary Merkle trees with inclusion proofs.
+//!
+//! Used for the transaction root inside every [`crate::block::Block`] and
+//! for light-client-style audit verification: an auditor holding only a
+//! block header can check that a specific data-collection event was
+//! registered, without downloading the whole block.
+
+use crate::crypto::sha256::{sha256, sha256_concat, Digest};
+
+/// Domain-separation prefixes so a leaf can never be confused with an
+/// interior node (defence against the classic CVE-2012-2459 style attack).
+const LEAF_PREFIX: &[u8] = b"\x00metaverse-leaf";
+const NODE_PREFIX: &[u8] = b"\x01metaverse-node";
+
+/// Hashes a leaf payload with domain separation.
+pub fn leaf_hash(data: &[u8]) -> Digest {
+    sha256_concat(&[LEAF_PREFIX, data])
+}
+
+/// Hashes two child digests into a parent with domain separation.
+pub fn node_hash(left: &Digest, right: &Digest) -> Digest {
+    sha256_concat(&[NODE_PREFIX, left.as_bytes(), right.as_bytes()])
+}
+
+/// An immutable binary Merkle tree over a list of leaf payloads.
+///
+/// Odd nodes at each level are promoted (not duplicated), so the tree
+/// shape is unique for a given leaf count and no payload can appear under
+/// two indices.
+///
+/// ```
+/// use metaverse_ledger::merkle::MerkleTree;
+/// let tree = MerkleTree::from_leaves([b"a".as_slice(), b"b", b"c"]);
+/// let proof = tree.prove(2).unwrap();
+/// assert!(proof.verify(&tree.root(), b"c"));
+/// assert!(!proof.verify(&tree.root(), b"x"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct MerkleTree {
+    /// `levels[0]` are leaf digests; the last level is the root.
+    levels: Vec<Vec<Digest>>,
+}
+
+/// An inclusion proof: sibling hashes from a leaf to the root.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MerkleProof {
+    /// Index of the proven leaf.
+    pub leaf_index: usize,
+    /// Sibling digest and whether it sits on the right of the path node.
+    pub path: Vec<(Digest, Side)>,
+}
+
+/// Which side a proof sibling is on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Side {
+    /// Sibling is the left child; path node is the right.
+    Left,
+    /// Sibling is the right child; path node is the left.
+    Right,
+}
+
+impl MerkleTree {
+    /// Builds a tree from leaf payloads. An empty iterator yields the
+    /// canonical empty tree whose root is `sha256("metaverse-empty")`.
+    pub fn from_leaves<I, B>(leaves: I) -> Self
+    where
+        I: IntoIterator<Item = B>,
+        B: AsRef<[u8]>,
+    {
+        let leaf_digests: Vec<Digest> =
+            leaves.into_iter().map(|l| leaf_hash(l.as_ref())).collect();
+        Self::from_leaf_digests(leaf_digests)
+    }
+
+    /// Builds a tree from already-hashed leaves.
+    pub fn from_leaf_digests(leaf_digests: Vec<Digest>) -> Self {
+        if leaf_digests.is_empty() {
+            return MerkleTree { levels: vec![vec![Self::empty_root()]] };
+        }
+        let mut levels = vec![leaf_digests];
+        while levels.last().unwrap().len() > 1 {
+            let prev = levels.last().unwrap();
+            let mut next = Vec::with_capacity(prev.len().div_ceil(2));
+            let mut i = 0;
+            while i < prev.len() {
+                if i + 1 < prev.len() {
+                    next.push(node_hash(&prev[i], &prev[i + 1]));
+                } else {
+                    // Promote the odd node unchanged.
+                    next.push(prev[i]);
+                }
+                i += 2;
+            }
+            levels.push(next);
+        }
+        MerkleTree { levels }
+    }
+
+    /// Root digest of the canonical empty tree.
+    pub fn empty_root() -> Digest {
+        sha256(b"metaverse-empty")
+    }
+
+    /// The root digest.
+    pub fn root(&self) -> Digest {
+        *self.levels.last().unwrap().first().unwrap()
+    }
+
+    /// Number of leaves (0 for the empty tree).
+    pub fn len(&self) -> usize {
+        if self.levels.len() == 1 && self.levels[0] == vec![Self::empty_root()] {
+            // Ambiguous with a genuine single leaf equal to the sentinel,
+            // but the sentinel is not a valid leaf hash (no prefix), so
+            // this only matches trees built from zero leaves.
+            return 0;
+        }
+        self.levels[0].len()
+    }
+
+    /// True when built from zero leaves.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Produces an inclusion proof for leaf `index`, or `None` when out of
+    /// range.
+    pub fn prove(&self, index: usize) -> Option<MerkleProof> {
+        if self.is_empty() || index >= self.levels[0].len() {
+            return None;
+        }
+        let mut path = Vec::new();
+        let mut idx = index;
+        for level in &self.levels[..self.levels.len() - 1] {
+            let sibling = idx ^ 1;
+            if sibling < level.len() {
+                let side = if sibling < idx { Side::Left } else { Side::Right };
+                path.push((level[sibling], side));
+            }
+            // When the node is odd and promoted, no sibling is recorded.
+            idx /= 2;
+        }
+        Some(MerkleProof { leaf_index: index, path })
+    }
+}
+
+impl MerkleProof {
+    /// Verifies that `payload` sits at `self.leaf_index` under `root`.
+    pub fn verify(&self, root: &Digest, payload: &[u8]) -> bool {
+        self.verify_digest(root, leaf_hash(payload))
+    }
+
+    /// Verifies against an already-hashed leaf.
+    pub fn verify_digest(&self, root: &Digest, leaf: Digest) -> bool {
+        let mut node = leaf;
+        for (sibling, side) in &self.path {
+            node = match side {
+                Side::Left => node_hash(sibling, &node),
+                Side::Right => node_hash(&node, sibling),
+            };
+        }
+        node == *root
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_leaf_root_is_leaf_hash() {
+        let t = MerkleTree::from_leaves([b"solo"]);
+        assert_eq!(t.root(), leaf_hash(b"solo"));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = MerkleTree::from_leaves(Vec::<&[u8]>::new());
+        assert!(t.is_empty());
+        assert_eq!(t.root(), MerkleTree::empty_root());
+        assert!(t.prove(0).is_none());
+    }
+
+    #[test]
+    fn proofs_verify_for_all_sizes() {
+        for n in 1..=17usize {
+            let leaves: Vec<Vec<u8>> =
+                (0..n).map(|i| format!("leaf-{i}").into_bytes()).collect();
+            let tree = MerkleTree::from_leaves(leaves.iter());
+            assert_eq!(tree.len(), n);
+            for (i, leaf) in leaves.iter().enumerate() {
+                let proof = tree.prove(i).unwrap();
+                assert!(proof.verify(&tree.root(), leaf), "n={n} i={i}");
+                assert!(!proof.verify(&tree.root(), b"not-the-leaf"));
+            }
+            assert!(tree.prove(n).is_none());
+        }
+    }
+
+    #[test]
+    fn proof_fails_under_wrong_root() {
+        let t1 = MerkleTree::from_leaves([b"a".as_slice(), b"b"]);
+        let t2 = MerkleTree::from_leaves([b"a".as_slice(), b"c"]);
+        let proof = t1.prove(0).unwrap();
+        assert!(!proof.verify(&t2.root(), b"a"));
+    }
+
+    #[test]
+    fn leaf_node_domain_separation() {
+        // An interior node digest must not verify as a leaf.
+        let l = leaf_hash(b"x");
+        let n = node_hash(&l, &l);
+        assert_ne!(l, n);
+        assert_ne!(leaf_hash(n.as_bytes()), n);
+    }
+
+    #[test]
+    fn order_sensitivity() {
+        let t1 = MerkleTree::from_leaves([b"a".as_slice(), b"b"]);
+        let t2 = MerkleTree::from_leaves([b"b".as_slice(), b"a"]);
+        assert_ne!(t1.root(), t2.root());
+    }
+}

@@ -1,0 +1,304 @@
+//! The transaction vocabulary of the metaverse ledger.
+//!
+//! Every governance, asset, reputation, and audit subsystem in the
+//! workspace records its externally-visible actions as a [`Transaction`],
+//! giving the platform the transparency the paper demands:
+//!
+//! > "All the active parts of the metaverse (including code) should be
+//! > transparent and understandable to any platform member." — §IV-C
+
+use serde::{Deserialize, Serialize};
+
+use crate::audit::DataCollectionEvent;
+use crate::crypto::sha256::{sha256, Digest};
+use crate::Tick;
+
+/// Unique transaction identifier (digest of the canonical encoding).
+pub type TxId = Digest;
+
+/// The payload of a ledger transaction.
+///
+/// The variants mirror the subsystems of the modular architecture in the
+/// paper's Figure 3: assets (NFTs), governance (DAOs), reputation,
+/// privacy auditing, digital twins, and moderation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum TxPayload {
+    /// Free-form annotation; useful for tests and tooling.
+    Note {
+        /// The annotation text.
+        text: String,
+    },
+    /// Minting of a non-fungible asset.
+    AssetMint {
+        /// Asset identifier (collection-scoped).
+        asset_id: u64,
+        /// Creator account.
+        creator: String,
+        /// URI referencing the off-chain content.
+        uri: String,
+    },
+    /// Transfer of asset ownership.
+    AssetTransfer {
+        /// Asset identifier.
+        asset_id: u64,
+        /// Previous owner.
+        from: String,
+        /// New owner.
+        to: String,
+        /// Sale price in the platform's native unit (0 for gifts).
+        price: u64,
+    },
+    /// Creation of a governance proposal.
+    ProposalCreated {
+        /// Proposal identifier.
+        proposal_id: u64,
+        /// Short human-readable title.
+        title: String,
+        /// DAO/module the proposal belongs to.
+        scope: String,
+    },
+    /// A cast ballot (recorded for transparency; tallying is off-chain).
+    VoteCast {
+        /// Proposal identifier.
+        proposal_id: u64,
+        /// Voter account.
+        voter: String,
+        /// Encoded choice (scheme-specific).
+        choice: String,
+        /// Voting weight applied.
+        weight: u64,
+    },
+    /// Final outcome of a proposal.
+    ProposalDecided {
+        /// Proposal identifier.
+        proposal_id: u64,
+        /// Whether the proposal passed.
+        accepted: bool,
+        /// Tallied support weight.
+        yes_weight: u64,
+        /// Tallied opposition weight.
+        no_weight: u64,
+    },
+    /// Reputation adjustment for an account.
+    ReputationDelta {
+        /// Account whose reputation changed.
+        subject: String,
+        /// Signed change in milli-points.
+        delta_millis: i64,
+        /// Why the change happened (endorsement, report, decay…).
+        reason: String,
+    },
+    /// A registered data-collection event (paper §II-D).
+    DataCollection(DataCollectionEvent),
+    /// Attestation of a digital twin's synchronized state.
+    TwinAttestation {
+        /// Twin identifier.
+        twin_id: u64,
+        /// Digest of the twin's state snapshot.
+        state: Digest,
+        /// Logical time of the snapshot.
+        tick: Tick,
+    },
+    /// A moderation action taken against an account or content item.
+    ModerationAction {
+        /// Account the action targets.
+        subject: String,
+        /// Action kind (mute, ban, warn, restore…).
+        action: String,
+        /// Module/authority that took the action.
+        authority: String,
+    },
+}
+
+impl TxPayload {
+    /// Appends a canonical, unambiguous byte encoding of the payload.
+    ///
+    /// Each variant starts with a distinct tag byte and every
+    /// variable-length field is length-prefixed, so two different payloads
+    /// can never encode to the same bytes.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        fn put_str(out: &mut Vec<u8>, s: &str) {
+            out.extend_from_slice(&(s.len() as u64).to_be_bytes());
+            out.extend_from_slice(s.as_bytes());
+        }
+        match self {
+            TxPayload::Note { text } => {
+                out.push(0);
+                put_str(out, text);
+            }
+            TxPayload::AssetMint { asset_id, creator, uri } => {
+                out.push(1);
+                out.extend_from_slice(&asset_id.to_be_bytes());
+                put_str(out, creator);
+                put_str(out, uri);
+            }
+            TxPayload::AssetTransfer { asset_id, from, to, price } => {
+                out.push(2);
+                out.extend_from_slice(&asset_id.to_be_bytes());
+                put_str(out, from);
+                put_str(out, to);
+                out.extend_from_slice(&price.to_be_bytes());
+            }
+            TxPayload::ProposalCreated { proposal_id, title, scope } => {
+                out.push(3);
+                out.extend_from_slice(&proposal_id.to_be_bytes());
+                put_str(out, title);
+                put_str(out, scope);
+            }
+            TxPayload::VoteCast { proposal_id, voter, choice, weight } => {
+                out.push(4);
+                out.extend_from_slice(&proposal_id.to_be_bytes());
+                put_str(out, voter);
+                put_str(out, choice);
+                out.extend_from_slice(&weight.to_be_bytes());
+            }
+            TxPayload::ProposalDecided { proposal_id, accepted, yes_weight, no_weight } => {
+                out.push(5);
+                out.extend_from_slice(&proposal_id.to_be_bytes());
+                out.push(u8::from(*accepted));
+                out.extend_from_slice(&yes_weight.to_be_bytes());
+                out.extend_from_slice(&no_weight.to_be_bytes());
+            }
+            TxPayload::ReputationDelta { subject, delta_millis, reason } => {
+                out.push(6);
+                put_str(out, subject);
+                out.extend_from_slice(&delta_millis.to_be_bytes());
+                put_str(out, reason);
+            }
+            TxPayload::DataCollection(ev) => {
+                out.push(7);
+                ev.encode_into(out);
+            }
+            TxPayload::TwinAttestation { twin_id, state, tick } => {
+                out.push(8);
+                out.extend_from_slice(&twin_id.to_be_bytes());
+                out.extend_from_slice(state.as_bytes());
+                out.extend_from_slice(&tick.to_be_bytes());
+            }
+            TxPayload::ModerationAction { subject, action, authority } => {
+                out.push(9);
+                put_str(out, subject);
+                put_str(out, action);
+                put_str(out, authority);
+            }
+        }
+    }
+}
+
+/// A signed-intent record submitted to the ledger.
+///
+/// In this simulation, sender authentication is by account string (the
+/// surrounding platform authenticates accounts); block provenance is what
+/// carries real signatures.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Transaction {
+    /// Submitting account.
+    pub sender: String,
+    /// Monotonic per-sender nonce, assigned at submission.
+    pub nonce: u64,
+    /// What the transaction does.
+    pub payload: TxPayload,
+}
+
+impl Transaction {
+    /// Creates a transaction with nonce 0 (the chain assigns real nonces
+    /// at submission time).
+    pub fn new(sender: impl Into<String>, payload: TxPayload) -> Self {
+        Transaction { sender: sender.into(), nonce: 0, payload }
+    }
+
+    /// Canonical byte encoding used for hashing and Merkle leaves.
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        out.extend_from_slice(&(self.sender.len() as u64).to_be_bytes());
+        out.extend_from_slice(self.sender.as_bytes());
+        out.extend_from_slice(&self.nonce.to_be_bytes());
+        self.payload.encode_into(&mut out);
+        out
+    }
+
+    /// The transaction id: SHA-256 of the canonical encoding.
+    pub fn id(&self) -> TxId {
+        sha256(&self.canonical_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_payloads() -> Vec<TxPayload> {
+        vec![
+            TxPayload::Note { text: "n".into() },
+            TxPayload::AssetMint { asset_id: 1, creator: "c".into(), uri: "u".into() },
+            TxPayload::AssetTransfer { asset_id: 1, from: "a".into(), to: "b".into(), price: 9 },
+            TxPayload::ProposalCreated { proposal_id: 2, title: "t".into(), scope: "s".into() },
+            TxPayload::VoteCast {
+                proposal_id: 2,
+                voter: "v".into(),
+                choice: "yes".into(),
+                weight: 3,
+            },
+            TxPayload::ProposalDecided {
+                proposal_id: 2,
+                accepted: true,
+                yes_weight: 5,
+                no_weight: 1,
+            },
+            TxPayload::ReputationDelta {
+                subject: "s".into(),
+                delta_millis: -250,
+                reason: "report".into(),
+            },
+            TxPayload::TwinAttestation { twin_id: 7, state: sha256(b"x"), tick: 11 },
+            TxPayload::ModerationAction {
+                subject: "s".into(),
+                action: "mute".into(),
+                authority: "dao:moderation".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn payload_encodings_are_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for p in sample_payloads() {
+            let mut bytes = Vec::new();
+            p.encode_into(&mut bytes);
+            assert!(seen.insert(bytes), "duplicate encoding for {p:?}");
+        }
+    }
+
+    #[test]
+    fn id_changes_with_any_field() {
+        let base = Transaction::new("alice", TxPayload::Note { text: "hi".into() });
+        let mut other = base.clone();
+        other.sender = "bob".into();
+        assert_ne!(base.id(), other.id());
+
+        let mut other = base.clone();
+        other.nonce = 1;
+        assert_ne!(base.id(), other.id());
+
+        let other = Transaction::new("alice", TxPayload::Note { text: "hi!".into() });
+        assert_ne!(base.id(), other.id());
+    }
+
+    #[test]
+    fn encoding_is_unambiguous_across_string_boundaries() {
+        // ("ab","c") must differ from ("a","bc") in AssetMint.
+        let t1 = TxPayload::AssetMint { asset_id: 0, creator: "ab".into(), uri: "c".into() };
+        let t2 = TxPayload::AssetMint { asset_id: 0, creator: "a".into(), uri: "bc".into() };
+        let (mut b1, mut b2) = (Vec::new(), Vec::new());
+        t1.encode_into(&mut b1);
+        t2.encode_into(&mut b2);
+        assert_ne!(b1, b2);
+    }
+
+    #[test]
+    fn id_is_deterministic() {
+        let t = Transaction::new("alice", TxPayload::Note { text: "same".into() });
+        assert_eq!(t.id(), t.clone().id());
+    }
+}

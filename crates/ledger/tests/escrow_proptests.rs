@@ -1,0 +1,112 @@
+//! Property-based tests for the escrow smart-record state machine.
+
+use metaverse_ledger::escrow::{EscrowBook, EscrowState};
+use proptest::prelude::*;
+
+/// A random operation against an escrow.
+#[derive(Debug, Clone)]
+enum Op {
+    Fund { buyer: u8, amount: u64, now: u64 },
+    Settle { now: u64 },
+    Expire { now: u64 },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), 1u64..200, 0u64..120).prop_map(|(buyer, amount, now)| Op::Fund {
+            buyer,
+            amount,
+            now
+        }),
+        (0u64..120).prop_map(|now| Op::Settle { now }),
+        (0u64..120).prop_map(|now| Op::Expire { now }),
+    ]
+}
+
+proptest! {
+    /// The state machine never reaches an inconsistent state under any
+    /// operation sequence: deposits never exceed price, settled escrows
+    /// have full deposits and a buyer, terminal states are absorbing.
+    #[test]
+    fn escrow_state_machine_sound(
+        price in 1u64..150,
+        window in 1u64..100,
+        ops in proptest::collection::vec(arb_op(), 1..40),
+    ) {
+        let mut book = EscrowBook::new();
+        let id = book.open(1, "seller", price, window).unwrap();
+        let mut was_terminal = false;
+
+        for op in ops {
+            let before = book.get(id).unwrap().state;
+            match op {
+                Op::Fund { buyer, amount, now } => {
+                    let _ = book.fund(id, &format!("b{}", buyer % 3), amount, now);
+                }
+                Op::Settle { now } => {
+                    let _ = book.settle(id, now);
+                }
+                Op::Expire { now } => {
+                    let _ = book.expire(id, now);
+                }
+            }
+            let escrow = book.get(id).unwrap();
+            // Deposits bounded by price.
+            prop_assert!(escrow.deposited <= escrow.price);
+            // Funded implies exact full deposit.
+            if escrow.state == EscrowState::Funded || escrow.state == EscrowState::Settled {
+                prop_assert_eq!(escrow.deposited, escrow.price);
+                prop_assert!(escrow.buyer.is_some());
+            }
+            // Terminal states are absorbing.
+            if was_terminal {
+                prop_assert_eq!(escrow.state, before, "terminal state changed");
+            }
+            if matches!(escrow.state, EscrowState::Settled | EscrowState::Refunded) {
+                was_terminal = true;
+            }
+        }
+    }
+
+    /// Exactly one of settle/refund can ever succeed, never both.
+    #[test]
+    fn settle_and_refund_mutually_exclusive(
+        price in 1u64..100,
+        fund_now in 0u64..50,
+        resolve_first in any::<bool>(),
+    ) {
+        let mut book = EscrowBook::new();
+        let id = book.open(1, "s", price, 50).unwrap();
+        book.fund(id, "b", price, fund_now).unwrap();
+        if resolve_first {
+            prop_assert!(book.settle(id, fund_now + 1).is_ok());
+            prop_assert!(book.expire(id, 1000).is_err());
+        } else {
+            prop_assert!(book.expire(id, 51).is_ok());
+            prop_assert!(book.settle(id, 52).is_err());
+        }
+    }
+
+    /// Ledger records: a settled escrow emits exactly one AssetTransfer
+    /// with the agreed price.
+    #[test]
+    fn settlement_emits_one_transfer(price in 1u64..500) {
+        use metaverse_ledger::tx::TxPayload;
+        let mut book = EscrowBook::new();
+        let id = book.open(9, "s", price, 50).unwrap();
+        book.fund(id, "b", price, 1).unwrap();
+        book.settle(id, 2).unwrap();
+        let transfers: Vec<_> = book
+            .drain_ledger_records()
+            .into_iter()
+            .filter(|r| matches!(r, TxPayload::AssetTransfer { .. }))
+            .collect();
+        prop_assert_eq!(transfers.len(), 1);
+        if let TxPayload::AssetTransfer { price: p, from, to, asset_id } = &transfers[0] {
+            prop_assert_eq!(*p, price);
+            prop_assert_eq!(from.as_str(), "s");
+            prop_assert_eq!(to.as_str(), "b");
+            prop_assert_eq!(*asset_id, 9);
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Punitive escalation and preventive tools.
+//!
+//! The Minecraft governance study the paper draws on (§III-D)
+//! distinguishes *punitive* tooling ("tools to deal with players'
+//! misbehaviour") from *preventive* tooling ("tools for encouraging
+//! positive behaviours"). [`EscalationLadder`] implements the punitive
+//! ladder with per-offender memory; [`PreventiveConfig`] captures the
+//! rate-limit style preventive controls. Every punitive action is
+//! exported as a ledger record for transparency.
+
+use std::collections::HashMap;
+
+use metaverse_ledger::tx::TxPayload;
+use serde::{Deserialize, Serialize};
+
+/// A moderation action, in increasing severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ModAction {
+    /// Formal warning.
+    Warn,
+    /// Temporary mute (chat disabled).
+    Mute,
+    /// Temporary ban.
+    TempBan,
+    /// Permanent ban.
+    PermBan,
+}
+
+impl ModAction {
+    /// Stable label for ledger records.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ModAction::Warn => "warn",
+            ModAction::Mute => "mute",
+            ModAction::TempBan => "temp-ban",
+            ModAction::PermBan => "perm-ban",
+        }
+    }
+}
+
+/// Preventive controls applied before misbehaviour happens.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PreventiveConfig {
+    /// Max chat messages per tick for accounts younger than
+    /// `probation_ticks`.
+    pub newcomer_message_limit: u32,
+    /// Ticks a new account stays on probation.
+    pub probation_ticks: u64,
+    /// Whether newcomer content requires pre-moderation.
+    pub premoderate_newcomers: bool,
+}
+
+impl Default for PreventiveConfig {
+    fn default() -> Self {
+        PreventiveConfig {
+            newcomer_message_limit: 5,
+            probation_ticks: 500,
+            premoderate_newcomers: false,
+        }
+    }
+}
+
+impl PreventiveConfig {
+    /// Whether an account created at `created_at` is still on probation
+    /// at `now`.
+    pub fn on_probation(&self, created_at: u64, now: u64) -> bool {
+        now.saturating_sub(created_at) < self.probation_ticks
+    }
+}
+
+/// The punitive escalation ladder with per-offender history.
+#[derive(Debug, Default)]
+pub struct EscalationLadder {
+    offenses: HashMap<String, u32>,
+    pending_records: Vec<TxPayload>,
+}
+
+impl EscalationLadder {
+    /// Creates an empty ladder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The action the ladder prescribes for an offender's `n`-th offense
+    /// (1-based).
+    pub fn action_for(offense_count: u32) -> ModAction {
+        match offense_count {
+            0 | 1 => ModAction::Warn,
+            2 => ModAction::Mute,
+            3 | 4 => ModAction::TempBan,
+            _ => ModAction::PermBan,
+        }
+    }
+
+    /// Records an upheld offense and returns the prescribed action.
+    pub fn punish(&mut self, subject: &str, authority: &str) -> ModAction {
+        let count = self.offenses.entry(subject.to_string()).or_insert(0);
+        *count += 1;
+        let action = Self::action_for(*count);
+        self.pending_records.push(TxPayload::ModerationAction {
+            subject: subject.to_string(),
+            action: action.label().to_string(),
+            authority: authority.to_string(),
+        });
+        action
+    }
+
+    /// Offense count for an account.
+    pub fn offenses(&self, subject: &str) -> u32 {
+        self.offenses.get(subject).copied().unwrap_or(0)
+    }
+
+    /// Clears an account's history (successful appeal / amnesty),
+    /// recording the restoration.
+    pub fn amnesty(&mut self, subject: &str, authority: &str) {
+        self.offenses.remove(subject);
+        self.pending_records.push(TxPayload::ModerationAction {
+            subject: subject.to_string(),
+            action: "restore".to_string(),
+            authority: authority.to_string(),
+        });
+    }
+
+    /// Takes the ledger records accumulated since the last drain.
+    pub fn drain_ledger_records(&mut self) -> Vec<TxPayload> {
+        std::mem::take(&mut self.pending_records)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_escalates() {
+        let mut l = EscalationLadder::new();
+        assert_eq!(l.punish("griefer", "dao:moderation"), ModAction::Warn);
+        assert_eq!(l.punish("griefer", "dao:moderation"), ModAction::Mute);
+        assert_eq!(l.punish("griefer", "dao:moderation"), ModAction::TempBan);
+        assert_eq!(l.punish("griefer", "dao:moderation"), ModAction::TempBan);
+        assert_eq!(l.punish("griefer", "dao:moderation"), ModAction::PermBan);
+        assert_eq!(l.punish("griefer", "dao:moderation"), ModAction::PermBan);
+        assert_eq!(l.offenses("griefer"), 6);
+    }
+
+    #[test]
+    fn ladders_are_per_offender() {
+        let mut l = EscalationLadder::new();
+        l.punish("a", "m");
+        l.punish("a", "m");
+        assert_eq!(l.punish("b", "m"), ModAction::Warn, "b starts fresh");
+    }
+
+    #[test]
+    fn amnesty_resets() {
+        let mut l = EscalationLadder::new();
+        for _ in 0..5 {
+            l.punish("x", "m");
+        }
+        l.amnesty("x", "dao:appeals");
+        assert_eq!(l.offenses("x"), 0);
+        assert_eq!(l.punish("x", "m"), ModAction::Warn);
+    }
+
+    #[test]
+    fn ledger_records_for_actions_and_amnesty() {
+        let mut l = EscalationLadder::new();
+        l.punish("x", "m");
+        l.amnesty("x", "appeals");
+        let records = l.drain_ledger_records();
+        assert_eq!(records.len(), 2);
+        assert!(matches!(
+            &records[1],
+            TxPayload::ModerationAction { action, .. } if action == "restore"
+        ));
+        assert!(l.drain_ledger_records().is_empty());
+    }
+
+    #[test]
+    fn action_ordering() {
+        assert!(ModAction::Warn < ModAction::Mute);
+        assert!(ModAction::TempBan < ModAction::PermBan);
+    }
+
+    #[test]
+    fn probation_windows() {
+        let p = PreventiveConfig::default();
+        assert!(p.on_probation(0, 100));
+        assert!(!p.on_probation(0, 500));
+        assert!(p.on_probation(1000, 1200));
+    }
+}

@@ -1,0 +1,40 @@
+//! # metaverse-moderation
+//!
+//! Content / behaviour moderation for `metaverse-kit`, implementing the
+//! §III observations about platform governance:
+//!
+//! > "Online communities present several challenges when these grow in
+//! > size and moderators (initially other members of the community)
+//! > cannot keep up with the demand of comments and misbehaviour of the
+//! > community members. In the case of social networks such as Facebook
+//! > and Twitter, automation tools have been included to control
+//! > misbehaviour (e.g., banning inappropriate posts). These platforms
+//! > also rely on the report of other members."
+//!
+//! and the Minecraft study's distinction between punitive and preventive
+//! tooling (§III-D).
+//!
+//! Components:
+//!
+//! * [`queue`] — severity-prioritised report queues with ground truth
+//!   for measuring moderation errors.
+//! * [`pipeline`] — the arrival/automation/human-capacity dynamics whose
+//!   backlog behaviour experiment E8 sweeps.
+//! * [`actions`] — the punitive escalation ladder and preventive
+//!   rate-limits, with ledger-record export.
+//! * [`crossmod`] — the cross-community moderation ensemble of the
+//!   paper's reference [23] (Crossmod): borrowed norms with auditable
+//!   agreement scores.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod actions;
+pub mod crossmod;
+pub mod pipeline;
+pub mod queue;
+
+pub use actions::{EscalationLadder, ModAction, PreventiveConfig};
+pub use crossmod::{CommunityNorms, ContentFeatures, CrossModEnsemble, EnsembleDecision};
+pub use pipeline::{ModerationPipeline, PipelineConfig, TickStats};
+pub use queue::{Report, ReportQueue, Severity};

@@ -1,0 +1,292 @@
+//! The moderation pipeline: arrivals, automation, human capacity.
+//!
+//! The E8 dynamics: reports arrive at a rate proportional to community
+//! size; an automated filter (the "automation tools" of §III) resolves a
+//! fraction of them instantly but imperfectly; the rest queue for a
+//! fixed pool of human moderators. When arrivals outpace total
+//! throughput, the backlog — and with it time-to-action — grows without
+//! bound, reproducing "moderators cannot keep up".
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::queue::{Report, ReportQueue, Severity};
+
+/// Pipeline parameters.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Community size (members).
+    pub community_size: usize,
+    /// Reports filed per member per tick (expected).
+    pub report_rate: f64,
+    /// Fraction of filed reports that describe real violations.
+    pub violation_rate: f64,
+    /// Number of human moderators.
+    pub moderators: usize,
+    /// Reports one human can resolve per tick.
+    pub per_moderator_capacity: usize,
+    /// Fraction of arrivals the automated filter resolves instantly.
+    pub automation_coverage: f64,
+    /// Probability the filter decides a covered report correctly.
+    pub automation_accuracy: f64,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            community_size: 1000,
+            report_rate: 0.01,
+            violation_rate: 0.6,
+            moderators: 5,
+            per_moderator_capacity: 2,
+            automation_coverage: 0.0,
+            automation_accuracy: 0.9,
+        }
+    }
+}
+
+/// Per-tick statistics — the E8 time series.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TickStats {
+    /// Tick index.
+    pub tick: u64,
+    /// Reports that arrived this tick.
+    pub arrivals: usize,
+    /// Resolved by automation this tick.
+    pub auto_resolved: usize,
+    /// Resolved by humans this tick.
+    pub human_resolved: usize,
+    /// Queue depth after processing.
+    pub backlog: usize,
+    /// Age of the oldest waiting report.
+    pub oldest_age: u64,
+    /// Automation mistakes this tick (wrong decision on covered items).
+    pub auto_errors: usize,
+}
+
+/// The moderation pipeline simulator.
+#[derive(Debug)]
+pub struct ModerationPipeline {
+    config: PipelineConfig,
+    queue: ReportQueue,
+    tick: u64,
+    next_report_id: u64,
+    /// Resolution latencies of human-handled reports (ticks waited).
+    latencies: Vec<u64>,
+    total_auto_errors: u64,
+    total_resolved: u64,
+}
+
+impl ModerationPipeline {
+    /// Creates a pipeline.
+    pub fn new(config: PipelineConfig) -> Self {
+        ModerationPipeline {
+            config,
+            queue: ReportQueue::new(),
+            tick: 0,
+            next_report_id: 1,
+            latencies: Vec::new(),
+            total_auto_errors: 0,
+            total_resolved: 0,
+        }
+    }
+
+    /// Advances one tick: arrivals → automation → human processing.
+    pub fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) -> TickStats {
+        let cfg = &self.config;
+        let expected = cfg.community_size as f64 * cfg.report_rate;
+        // Poisson-ish arrivals via per-member Bernoulli thinning.
+        let arrivals = {
+            let base = expected.floor() as usize;
+            let extra = usize::from(rng.gen_bool(expected.fract().clamp(0.0, 1.0)));
+            base + extra
+        };
+
+        let mut auto_resolved = 0;
+        let mut auto_errors = 0;
+        for _ in 0..arrivals {
+            let severity = match rng.gen_range(0..10) {
+                0..=5 => Severity::Low,
+                6..=8 => Severity::Medium,
+                _ => Severity::High,
+            };
+            let report = Report {
+                id: self.next_report_id,
+                subject: format!("member-{}", rng.gen_range(0..cfg.community_size.max(1))),
+                severity,
+                submitted_at: self.tick,
+                violation: rng.gen_bool(cfg.violation_rate.clamp(0.0, 1.0)),
+            };
+            self.next_report_id += 1;
+            if rng.gen_bool(cfg.automation_coverage.clamp(0.0, 1.0)) {
+                auto_resolved += 1;
+                self.total_resolved += 1;
+                if !rng.gen_bool(cfg.automation_accuracy.clamp(0.0, 1.0)) {
+                    auto_errors += 1;
+                    self.total_auto_errors += 1;
+                }
+            } else {
+                self.queue.push(report);
+            }
+        }
+
+        // Humans drain the queue up to their capacity. Humans are
+        // assumed accurate (they set the ground-truth standard).
+        let capacity = cfg.moderators * cfg.per_moderator_capacity;
+        let mut human_resolved = 0;
+        for _ in 0..capacity {
+            match self.queue.pop() {
+                Some(report) => {
+                    human_resolved += 1;
+                    self.total_resolved += 1;
+                    self.latencies.push(self.tick - report.submitted_at);
+                }
+                None => break,
+            }
+        }
+
+        let stats = TickStats {
+            tick: self.tick,
+            arrivals,
+            auto_resolved,
+            human_resolved,
+            backlog: self.queue.len(),
+            oldest_age: self.queue.oldest_age(self.tick).unwrap_or(0),
+            auto_errors,
+        };
+        self.tick += 1;
+        stats
+    }
+
+    /// Runs `ticks` ticks and returns the series.
+    pub fn run<R: Rng + ?Sized>(&mut self, ticks: u64, rng: &mut R) -> Vec<TickStats> {
+        (0..ticks).map(|_| self.step(rng)).collect()
+    }
+
+    /// Median human-resolution latency so far.
+    pub fn median_latency(&self) -> Option<u64> {
+        if self.latencies.is_empty() {
+            return None;
+        }
+        let mut sorted = self.latencies.clone();
+        sorted.sort_unstable();
+        Some(sorted[sorted.len() / 2])
+    }
+
+    /// Total automation errors committed.
+    pub fn auto_errors(&self) -> u64 {
+        self.total_auto_errors
+    }
+
+    /// Total reports resolved by any means.
+    pub fn total_resolved(&self) -> u64 {
+        self.total_resolved
+    }
+
+    /// Current backlog.
+    pub fn backlog(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn undersized_pool_backlog_grows() {
+        // 5000 members × 0.01 = 50 reports/tick vs 10 capacity.
+        let mut p = ModerationPipeline::new(PipelineConfig {
+            community_size: 5000,
+            ..Default::default()
+        });
+        let mut r = rng(1);
+        let series = p.run(100, &mut r);
+        let early = series[10].backlog;
+        let late = series[99].backlog;
+        assert!(late > early * 3, "backlog explodes: {early} -> {late}");
+        assert!(series[99].oldest_age > 20, "stale reports age out");
+    }
+
+    #[test]
+    fn adequate_pool_backlog_bounded() {
+        // 1000 × 0.01 = 10 reports/tick vs 5×2=10 capacity + slack from
+        // automation.
+        let mut p = ModerationPipeline::new(PipelineConfig {
+            community_size: 800,
+            ..Default::default()
+        });
+        let mut r = rng(2);
+        let series = p.run(300, &mut r);
+        let late_max = series[200..].iter().map(|s| s.backlog).max().unwrap();
+        assert!(late_max < 60, "backlog stays bounded: {late_max}");
+    }
+
+    #[test]
+    fn automation_rescues_overloaded_pool() {
+        let base = PipelineConfig { community_size: 5000, ..Default::default() };
+        let mut without = ModerationPipeline::new(base.clone());
+        let mut with = ModerationPipeline::new(PipelineConfig {
+            automation_coverage: 0.9,
+            ..base
+        });
+        let mut r1 = rng(3);
+        let mut r2 = rng(3);
+        let s1 = without.run(150, &mut r1);
+        let s2 = with.run(150, &mut r2);
+        assert!(
+            s2.last().unwrap().backlog < s1.last().unwrap().backlog / 4,
+            "automation shrinks backlog: {} vs {}",
+            s2.last().unwrap().backlog,
+            s1.last().unwrap().backlog
+        );
+    }
+
+    #[test]
+    fn automation_accuracy_tradeoff() {
+        let mut p = ModerationPipeline::new(PipelineConfig {
+            community_size: 5000,
+            automation_coverage: 1.0,
+            automation_accuracy: 0.8,
+            ..Default::default()
+        });
+        let mut r = rng(4);
+        p.run(100, &mut r);
+        let errors = p.auto_errors() as f64;
+        let resolved = p.total_resolved() as f64;
+        let rate = errors / resolved;
+        assert!((rate - 0.2).abs() < 0.05, "error rate ≈ 1 − accuracy: {rate}");
+    }
+
+    #[test]
+    fn overload_starves_low_severity_lane() {
+        // Under overload the priority queue keeps serving fresh High
+        // reports while Low reports pile up — so the *resolved* median
+        // stays deceptively small while the waiting backlog ages. This
+        // is the "moderators cannot keep up" failure mode in detail.
+        let mut p = ModerationPipeline::new(PipelineConfig {
+            community_size: 5000,
+            ..Default::default()
+        });
+        let mut r = rng(5);
+        p.run(200, &mut r);
+        let (high, _medium, low) = p.queue.lane_depths();
+        assert!(low > high * 2, "low lane starves: low={low} high={high}");
+        // The resolved median stays small even though the system drowns.
+        assert!(p.median_latency().unwrap() < 10);
+        assert!(p.backlog() > 1000);
+    }
+
+    #[test]
+    fn empty_pipeline_no_latency() {
+        let p = ModerationPipeline::new(PipelineConfig::default());
+        assert!(p.median_latency().is_none());
+        assert_eq!(p.backlog(), 0);
+    }
+}

@@ -1,0 +1,130 @@
+//! Severity-prioritised report queues.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+/// Report severity, highest handled first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Severity {
+    /// Spam, minor nuisance.
+    Low,
+    /// Harassment, scam attempts.
+    Medium,
+    /// Safety-relevant: threats, doxxing, CSAM-adjacent.
+    High,
+}
+
+/// A filed report about an account or content item.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Report {
+    /// Unique id.
+    pub id: u64,
+    /// Reported account.
+    pub subject: String,
+    /// Claimed severity.
+    pub severity: Severity,
+    /// Tick the report was filed.
+    pub submitted_at: u64,
+    /// Ground truth: whether the report describes a real violation.
+    /// Present only in simulation; real systems discover this by review.
+    pub violation: bool,
+}
+
+/// A priority queue of reports: High before Medium before Low, FIFO
+/// within a severity class.
+#[derive(Debug, Default)]
+pub struct ReportQueue {
+    lanes: [VecDeque<Report>; 3],
+}
+
+impl ReportQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lane(severity: Severity) -> usize {
+        match severity {
+            Severity::High => 0,
+            Severity::Medium => 1,
+            Severity::Low => 2,
+        }
+    }
+
+    /// Enqueues a report.
+    pub fn push(&mut self, report: Report) {
+        self.lanes[Self::lane(report.severity)].push_back(report);
+    }
+
+    /// Dequeues the highest-priority, oldest report.
+    pub fn pop(&mut self) -> Option<Report> {
+        self.lanes.iter_mut().find_map(VecDeque::pop_front)
+    }
+
+    /// Reports currently waiting.
+    pub fn len(&self) -> usize {
+        self.lanes.iter().map(VecDeque::len).sum()
+    }
+
+    /// True when no reports wait.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Age (in ticks) of the oldest waiting report at `now`.
+    pub fn oldest_age(&self, now: u64) -> Option<u64> {
+        self.lanes
+            .iter()
+            .flat_map(|lane| lane.iter())
+            .map(|r| now.saturating_sub(r.submitted_at))
+            .max()
+    }
+
+    /// Waiting count per severity `(high, medium, low)`.
+    pub fn lane_depths(&self) -> (usize, usize, usize) {
+        (self.lanes[0].len(), self.lanes[1].len(), self.lanes[2].len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(id: u64, severity: Severity, at: u64) -> Report {
+        Report { id, subject: format!("s{id}"), severity, submitted_at: at, violation: true }
+    }
+
+    #[test]
+    fn priority_ordering() {
+        let mut q = ReportQueue::new();
+        q.push(report(1, Severity::Low, 0));
+        q.push(report(2, Severity::High, 1));
+        q.push(report(3, Severity::Medium, 2));
+        q.push(report(4, Severity::High, 3));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|r| r.id).collect();
+        assert_eq!(order, vec![2, 4, 3, 1]);
+    }
+
+    #[test]
+    fn fifo_within_severity() {
+        let mut q = ReportQueue::new();
+        q.push(report(1, Severity::Medium, 0));
+        q.push(report(2, Severity::Medium, 1));
+        assert_eq!(q.pop().unwrap().id, 1);
+        assert_eq!(q.pop().unwrap().id, 2);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn ages_and_depths() {
+        let mut q = ReportQueue::new();
+        assert!(q.oldest_age(10).is_none());
+        q.push(report(1, Severity::Low, 2));
+        q.push(report(2, Severity::High, 8));
+        assert_eq!(q.oldest_age(10), Some(8));
+        assert_eq!(q.lane_depths(), (1, 0, 1));
+        assert_eq!(q.len(), 2);
+        assert!(!q.is_empty());
+    }
+}

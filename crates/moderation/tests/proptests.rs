@@ -1,0 +1,90 @@
+//! Property-based tests for moderation invariants.
+
+use metaverse_moderation::actions::{EscalationLadder, ModAction};
+use metaverse_moderation::pipeline::{ModerationPipeline, PipelineConfig};
+use metaverse_moderation::queue::{Report, ReportQueue, Severity};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn arb_severity() -> impl Strategy<Value = Severity> {
+    prop_oneof![Just(Severity::Low), Just(Severity::Medium), Just(Severity::High)]
+}
+
+proptest! {
+    /// Queue conservation: everything pushed comes out exactly once, in
+    /// severity-then-FIFO order.
+    #[test]
+    fn queue_conserves_and_orders(
+        reports in proptest::collection::vec(arb_severity(), 0..60),
+    ) {
+        let mut queue = ReportQueue::new();
+        for (i, severity) in reports.iter().enumerate() {
+            queue.push(Report {
+                id: i as u64,
+                subject: format!("s{i}"),
+                severity: *severity,
+                submitted_at: i as u64,
+                violation: true,
+            });
+        }
+        prop_assert_eq!(queue.len(), reports.len());
+        let mut drained = Vec::new();
+        while let Some(r) = queue.pop() {
+            drained.push(r);
+        }
+        prop_assert_eq!(drained.len(), reports.len());
+        // Order: non-increasing severity; FIFO (ascending id) within a
+        // severity class.
+        for w in drained.windows(2) {
+            prop_assert!(w[0].severity >= w[1].severity);
+            if w[0].severity == w[1].severity {
+                prop_assert!(w[0].id < w[1].id);
+            }
+        }
+    }
+
+    /// Escalation is monotone per offender: the prescribed action never
+    /// de-escalates as offenses accumulate.
+    #[test]
+    fn escalation_monotone(offenses in 1u32..50) {
+        let mut ladder = EscalationLadder::new();
+        let mut last = ModAction::Warn;
+        for _ in 0..offenses {
+            let action = ladder.punish("x", "m");
+            prop_assert!(action >= last, "{action:?} after {last:?}");
+            last = action;
+        }
+        prop_assert_eq!(ladder.offenses("x"), offenses);
+        prop_assert_eq!(ladder.drain_ledger_records().len(), offenses as usize);
+    }
+
+    /// Pipeline accounting: resolved + backlog == arrivals (nothing is
+    /// lost or duplicated), for any configuration.
+    #[test]
+    fn pipeline_conserves_reports(
+        community in 100usize..3000,
+        moderators in 1usize..10,
+        coverage in 0.0f64..1.0,
+        ticks in 10u64..80,
+        seed in any::<u64>(),
+    ) {
+        let mut pipeline = ModerationPipeline::new(PipelineConfig {
+            community_size: community,
+            moderators,
+            automation_coverage: coverage,
+            ..PipelineConfig::default()
+        });
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let series = pipeline.run(ticks, &mut rng);
+        let arrivals: u64 = series.iter().map(|s| s.arrivals as u64).sum();
+        let resolved = pipeline.total_resolved();
+        let backlog = pipeline.backlog() as u64;
+        prop_assert_eq!(arrivals, resolved + backlog);
+        // Errors only come from automation.
+        if coverage == 0.0 {
+            prop_assert_eq!(pipeline.auto_errors(), 0);
+        }
+        prop_assert!(pipeline.auto_errors() <= resolved);
+    }
+}

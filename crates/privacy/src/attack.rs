@@ -1,0 +1,274 @@
+//! Inference attacks against sensor streams.
+//!
+//! These adversaries give the PET experiments a concrete threat to
+//! defeat, matching the paper's warnings:
+//!
+//! * [`PreferenceInferenceAttack`] — infers the planted binary
+//!   preference from gaze dwell times ("gaze data can give away users'
+//!   sexual preferences", §II-A, citing Renaud et al.).
+//! * [`GaitIdentificationAttack`] — re-identifies a user from their gait
+//!   signature against an enrolled library (biometric linkage).
+
+use crate::sensor::{SensorSample, UserProfile};
+
+/// Infers a user's binary preference from gaze samples.
+///
+/// Decision rule: mean dwell-on-A above the threshold ⇒ "prefers A".
+/// This is the Bayes-optimal attack for the synthetic stream when the
+/// threshold is 0.5, so PET effectiveness is measured against the
+/// strongest reasonable adversary.
+#[derive(Debug, Clone, Copy)]
+pub struct PreferenceInferenceAttack {
+    /// Decision threshold on mean dwell (default 0.5).
+    pub threshold: f64,
+}
+
+impl Default for PreferenceInferenceAttack {
+    fn default() -> Self {
+        PreferenceInferenceAttack { threshold: 0.5 }
+    }
+}
+
+impl PreferenceInferenceAttack {
+    /// Predicts whether the stream's user prefers region A.
+    ///
+    /// Returns `None` on an empty stream (nothing to infer).
+    pub fn infer(&self, gaze: &[SensorSample]) -> Option<bool> {
+        if gaze.is_empty() {
+            return None;
+        }
+        let mean: f64 =
+            gaze.iter().map(|s| s.values.first().copied().unwrap_or(0.5)).sum::<f64>()
+                / gaze.len() as f64;
+        Some(mean > self.threshold)
+    }
+
+    /// Attack accuracy over a set of `(stream, ground_truth)` pairs.
+    /// Empty streams count as coin flips (0.5 credit), because the
+    /// attacker learns nothing.
+    pub fn accuracy(&self, cases: &[(Vec<SensorSample>, bool)]) -> f64 {
+        if cases.is_empty() {
+            return 0.0;
+        }
+        let score: f64 = cases
+            .iter()
+            .map(|(stream, truth)| match self.infer(stream) {
+                Some(pred) if pred == *truth => 1.0,
+                Some(_) => 0.0,
+                None => 0.5,
+            })
+            .sum();
+        score / cases.len() as f64
+    }
+}
+
+/// Re-identifies users from gait streams against an enrolled library.
+///
+/// Enrollment stores each user's estimated (frequency, amplitude)
+/// signature; identification picks the nearest enrolled signature in
+/// normalized L2 distance.
+#[derive(Debug, Default)]
+pub struct GaitIdentificationAttack {
+    library: Vec<(String, f64, f64)>,
+}
+
+impl GaitIdentificationAttack {
+    /// Creates an attack with an empty library.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Estimates (frequency, amplitude) from a gait stream sampled at
+    /// 20 Hz. Frequency comes from zero-crossing counting, amplitude from
+    /// the 95th-percentile absolute acceleration.
+    pub fn signature(gait: &[SensorSample]) -> Option<(f64, f64)> {
+        if gait.len() < 8 {
+            return None;
+        }
+        let accel: Vec<f64> = gait.iter().map(|s| s.values[0]).collect();
+        let mut crossings = 0usize;
+        for w in accel.windows(2) {
+            if (w[0] <= 0.0 && w[1] > 0.0) || (w[0] >= 0.0 && w[1] < 0.0) {
+                crossings += 1;
+            }
+        }
+        let duration = gait.len() as f64 * 0.05;
+        let frequency = crossings as f64 / (2.0 * duration);
+        let mut mags: Vec<f64> = accel.iter().map(|a| a.abs()).collect();
+        mags.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let amplitude = mags[(mags.len() as f64 * 0.95) as usize];
+        Some((frequency, amplitude))
+    }
+
+    /// Enrolls a user from a clean reference stream.
+    pub fn enroll(&mut self, user: &UserProfile, reference: &[SensorSample]) {
+        if let Some((f, a)) = Self::signature(reference) {
+            self.library.push((user.name.clone(), f, a));
+        }
+    }
+
+    /// Number of enrolled identities.
+    pub fn enrolled(&self) -> usize {
+        self.library.len()
+    }
+
+    /// Identifies the user behind `gait`, returning the closest enrolled
+    /// name, or `None` when the library is empty or the stream too short.
+    pub fn identify(&self, gait: &[SensorSample]) -> Option<&str> {
+        let (f, a) = Self::signature(gait)?;
+        self.library
+            .iter()
+            .min_by(|x, y| {
+                let dx = Self::distance(f, a, x.1, x.2);
+                let dy = Self::distance(f, a, y.1, y.2);
+                dx.partial_cmp(&dy).unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map(|(name, _, _)| name.as_str())
+    }
+
+    fn distance(f1: f64, a1: f64, f2: f64, a2: f64) -> f64 {
+        // Normalize by typical ranges: frequency 1.4–2.2 Hz, amplitude
+        // 0.8–1.4.
+        let df = (f1 - f2) / 0.8;
+        let da = (a1 - a2) / 0.6;
+        (df * df + da * da).sqrt()
+    }
+
+    /// Top-1 identification accuracy over `(stream, true_name)` pairs.
+    pub fn accuracy(&self, cases: &[(Vec<SensorSample>, String)]) -> f64 {
+        if cases.is_empty() {
+            return 0.0;
+        }
+        let hits = cases
+            .iter()
+            .filter(|(stream, truth)| self.identify(stream) == Some(truth.as_str()))
+            .count();
+        hits as f64 / cases.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pets::PetPipeline;
+    use crate::sensor::GazeProfile;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(21)
+    }
+
+    fn users(n: usize, r: &mut StdRng) -> Vec<UserProfile> {
+        (0..n).map(|i| UserProfile::random(format!("u{i}"), r)).collect()
+    }
+
+    #[test]
+    fn preference_attack_beats_chance_on_raw_gaze() {
+        let mut r = rng();
+        let cases: Vec<(Vec<SensorSample>, bool)> = users(40, &mut r)
+            .into_iter()
+            .map(|u| {
+                let stream = u.gaze_stream(100, &mut r);
+                (stream, u.gaze.prefers_a)
+            })
+            .collect();
+        let acc = PreferenceInferenceAttack::default().accuracy(&cases);
+        assert!(acc > 0.9, "raw gaze should be highly identifying: {acc}");
+    }
+
+    #[test]
+    fn strong_pets_push_attack_toward_chance() {
+        let mut r = rng();
+        let pipe = PetPipeline::new().noise(3.0).aggregate(50);
+        let cases: Vec<(Vec<SensorSample>, bool)> = users(60, &mut r)
+            .into_iter()
+            .map(|u| {
+                let mut stream = u.gaze_stream(100, &mut r);
+                pipe.apply(&mut stream, &mut r).unwrap();
+                (stream, u.gaze.prefers_a)
+            })
+            .collect();
+        let acc = PreferenceInferenceAttack::default().accuracy(&cases);
+        assert!(acc < 0.75, "heavy PETs should degrade the attack: {acc}");
+    }
+
+    #[test]
+    fn empty_stream_uninformative() {
+        let attack = PreferenceInferenceAttack::default();
+        assert_eq!(attack.infer(&[]), None);
+        assert_eq!(attack.accuracy(&[(vec![], true)]), 0.5);
+    }
+
+    #[test]
+    fn weak_bias_user_hard_to_classify() {
+        let mut r = rng();
+        let mut u = UserProfile::random("weak", &mut r);
+        u.gaze = GazeProfile { prefers_a: true, bias_strength: 0.5 };
+        // Bias 0.5 is literally uninformative; accuracy over many trials
+        // should hover near 0.5.
+        let cases: Vec<(Vec<SensorSample>, bool)> =
+            (0..100).map(|_| (u.gaze_stream(20, &mut r), true)).collect();
+        let acc = PreferenceInferenceAttack::default().accuracy(&cases);
+        assert!((0.3..0.7).contains(&acc), "uninformative stream: {acc}");
+    }
+
+    #[test]
+    fn gait_reidentification_works_on_raw_streams() {
+        let mut r = rng();
+        let population = users(10, &mut r);
+        let mut attack = GaitIdentificationAttack::new();
+        for u in &population {
+            let reference = u.gait_stream(300, &mut r);
+            attack.enroll(u, &reference);
+        }
+        assert_eq!(attack.enrolled(), 10);
+        let cases: Vec<(Vec<SensorSample>, String)> = population
+            .iter()
+            .map(|u| (u.gait_stream(300, &mut r), u.name.clone()))
+            .collect();
+        let acc = attack.accuracy(&cases);
+        assert!(acc > 0.7, "gait re-identification accuracy: {acc}");
+    }
+
+    #[test]
+    fn gait_attack_degrades_under_pets() {
+        let mut r = rng();
+        let population = users(10, &mut r);
+        let mut attack = GaitIdentificationAttack::new();
+        for u in &population {
+            attack.enroll(u, &u.gait_stream(300, &mut r));
+        }
+        let pipe = PetPipeline::new().noise(1.5).subsample(4);
+        let raw_cases: Vec<(Vec<SensorSample>, String)> = population
+            .iter()
+            .map(|u| (u.gait_stream(300, &mut r), u.name.clone()))
+            .collect();
+        let pet_cases: Vec<(Vec<SensorSample>, String)> = population
+            .iter()
+            .map(|u| {
+                let mut s = u.gait_stream(300, &mut r);
+                pipe.apply(&mut s, &mut r).unwrap();
+                (s, u.name.clone())
+            })
+            .collect();
+        assert!(attack.accuracy(&pet_cases) < attack.accuracy(&raw_cases));
+    }
+
+    #[test]
+    fn short_stream_yields_no_signature() {
+        assert!(GaitIdentificationAttack::signature(&[]).is_none());
+        let mut r = rng();
+        let u = UserProfile::random("u", &mut r);
+        let short = u.gait_stream(4, &mut r);
+        assert!(GaitIdentificationAttack::signature(&short).is_none());
+    }
+
+    #[test]
+    fn identify_with_empty_library_is_none() {
+        let mut r = rng();
+        let attack = GaitIdentificationAttack::new();
+        let u = UserProfile::random("u", &mut r);
+        assert!(attack.identify(&u.gait_stream(100, &mut r)).is_none());
+    }
+}

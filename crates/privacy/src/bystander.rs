@@ -1,0 +1,233 @@
+//! Bystander protection for spatial scans.
+//!
+//! §II-A: XR sensors "can collect information that might be sensible to
+//! users **and bystanders** that are in the coverage zone of the
+//! monitoring" — people who never consented to anything. This module
+//! scrubs spatial scans on-device before they are shared: points flagged
+//! as belonging to people are removed or melted into coarse occupancy
+//! cells, and the leakage metric quantifies how much bystander geometry
+//! survives.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::sensor::SensorSample;
+
+/// How bystander points are treated.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ScrubPolicy {
+    /// Keep the scan as captured (the status-quo baseline).
+    None,
+    /// Drop every person-point entirely (safe, loses occupancy info).
+    Remove,
+    /// Replace person-points with the centre of a coarse cell of the
+    /// given size — keeps "someone is here" for collision safety while
+    /// destroying body geometry.
+    Coarsen {
+        /// Cell size in metres.
+        cell: f64,
+    },
+}
+
+/// Result of scrubbing a scan.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScrubReport {
+    /// Policy applied.
+    pub policy: String,
+    /// Points in the input scan.
+    pub input_points: usize,
+    /// Points in the output scan.
+    pub output_points: usize,
+    /// Person-points remaining at full precision (the leak).
+    pub precise_person_points: usize,
+}
+
+/// Scrubs a spatial scan (samples from
+/// [`crate::sensor::spatial_scan`]: channels `[x, y, is_person]`).
+pub fn scrub_scan(scan: &[SensorSample], policy: ScrubPolicy) -> (Vec<SensorSample>, ScrubReport) {
+    let input_points = scan.len();
+    let mut out = Vec::with_capacity(scan.len());
+    let mut precise = 0usize;
+
+    for sample in scan {
+        let is_person = sample.values.get(2).copied().unwrap_or(0.0) > 0.5;
+        if !is_person {
+            out.push(sample.clone());
+            continue;
+        }
+        match policy {
+            ScrubPolicy::None => {
+                precise += 1;
+                out.push(sample.clone());
+            }
+            ScrubPolicy::Remove => {}
+            ScrubPolicy::Coarsen { cell } => {
+                let cell = cell.max(1e-6);
+                let mut coarse = sample.clone();
+                coarse.values[0] = (sample.values[0] / cell).floor() * cell + cell / 2.0;
+                coarse.values[1] = (sample.values[1] / cell).floor() * cell + cell / 2.0;
+                out.push(coarse);
+            }
+        }
+    }
+
+    let report = ScrubReport {
+        policy: match policy {
+            ScrubPolicy::None => "none".into(),
+            ScrubPolicy::Remove => "remove".into(),
+            ScrubPolicy::Coarsen { cell } => format!("coarsen({cell})"),
+        },
+        input_points,
+        output_points: out.len(),
+        precise_person_points: precise,
+    };
+    (out, report)
+}
+
+/// A bystander re-identification proxy: estimates each person-blob's
+/// centroid from the scan and reports the mean localisation error an
+/// observer would achieve against the true centres. Lower error = more
+/// leakage.
+pub fn bystander_localization_error(
+    scan: &[SensorSample],
+    true_centres: &[(f64, f64)],
+) -> Option<f64> {
+    let person_points: Vec<(f64, f64)> = scan
+        .iter()
+        .filter(|s| s.values.get(2).copied().unwrap_or(0.0) > 0.5)
+        .map(|s| (s.values[0], s.values[1]))
+        .collect();
+    if person_points.is_empty() || true_centres.is_empty() {
+        return None;
+    }
+    // Assign each point to its nearest true centre, then measure the
+    // centroid error per centre.
+    let mut sums = vec![(0.0f64, 0.0f64, 0usize); true_centres.len()];
+    for (x, y) in &person_points {
+        let (best, _) = true_centres
+            .iter()
+            .enumerate()
+            .map(|(i, (cx, cy))| (i, (x - cx).powi(2) + (y - cy).powi(2)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .unwrap();
+        sums[best].0 += x;
+        sums[best].1 += y;
+        sums[best].2 += 1;
+    }
+    let mut total = 0.0;
+    let mut counted = 0usize;
+    for (i, (sx, sy, n)) in sums.iter().enumerate() {
+        if *n == 0 {
+            continue;
+        }
+        let (cx, cy) = true_centres[i];
+        let (ex, ey) = (sx / *n as f64 - cx, sy / *n as f64 - cy);
+        total += (ex * ex + ey * ey).sqrt();
+        counted += 1;
+    }
+    if counted == 0 {
+        None
+    } else {
+        Some(total / counted as f64)
+    }
+}
+
+/// Generates a scan with known bystander centres, for experiments:
+/// returns `(scan, true_centres)`.
+pub fn scan_with_known_bystanders<R: Rng + ?Sized>(
+    width: f64,
+    depth: f64,
+    bystanders: usize,
+    points: usize,
+    rng: &mut R,
+) -> (Vec<SensorSample>, Vec<(f64, f64)>) {
+    use metaverse_ledger::audit::SensorClass;
+    let centres: Vec<(f64, f64)> = (0..bystanders)
+        .map(|_| (rng.gen_range(1.0..width - 1.0), rng.gen_range(1.0..depth - 1.0)))
+        .collect();
+    let scan = (0..points)
+        .map(|i| {
+            let (x, y, person) = if !centres.is_empty() && rng.gen_bool(0.3) {
+                let (cx, cy) = centres[rng.gen_range(0..centres.len())];
+                (
+                    (cx + rng.gen_range(-0.3..0.3)).clamp(0.0, width),
+                    (cy + rng.gen_range(-0.3..0.3)).clamp(0.0, depth),
+                    1.0,
+                )
+            } else {
+                (rng.gen_range(0.0..width), rng.gen_range(0.0..depth), 0.0)
+            };
+            SensorSample {
+                sensor: SensorClass::SpatialScan,
+                values: vec![x, y, person],
+                tick: i as u64,
+            }
+        })
+        .collect();
+    (scan, centres)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn scan() -> (Vec<SensorSample>, Vec<(f64, f64)>) {
+        let mut rng = StdRng::seed_from_u64(23);
+        scan_with_known_bystanders(8.0, 6.0, 2, 600, &mut rng)
+    }
+
+    #[test]
+    fn none_policy_leaks_everything() {
+        let (s, _) = scan();
+        let (out, report) = scrub_scan(&s, ScrubPolicy::None);
+        assert_eq!(out.len(), s.len());
+        assert!(report.precise_person_points > 50);
+    }
+
+    #[test]
+    fn remove_policy_drops_all_person_points() {
+        let (s, _) = scan();
+        let (out, report) = scrub_scan(&s, ScrubPolicy::Remove);
+        assert_eq!(report.precise_person_points, 0);
+        assert!(out.iter().all(|p| p.values[2] < 0.5));
+        assert!(report.output_points < report.input_points);
+    }
+
+    #[test]
+    fn coarsen_keeps_occupancy_destroys_geometry() {
+        let (s, centres) = scan();
+        let (out, report) = scrub_scan(&s, ScrubPolicy::Coarsen { cell: 2.0 });
+        assert_eq!(report.output_points, report.input_points, "points retained");
+        assert_eq!(report.precise_person_points, 0);
+        // All person points snap to cell centres.
+        for p in out.iter().filter(|p| p.values[2] > 0.5) {
+            let snapped = ((p.values[0] - 1.0) / 2.0).fract().abs();
+            assert!(snapped < 1e-9, "x {} not on a cell centre", p.values[0]);
+        }
+        // Localisation error grows versus the raw scan.
+        let raw_err = bystander_localization_error(&s, &centres).unwrap();
+        let coarse_err = bystander_localization_error(&out, &centres).unwrap();
+        assert!(raw_err < 0.15, "raw centroids are accurate: {raw_err}");
+        assert!(coarse_err > raw_err, "coarse {coarse_err} vs raw {raw_err}");
+    }
+
+    #[test]
+    fn localization_error_edge_cases() {
+        let (s, _) = scan();
+        assert!(bystander_localization_error(&s, &[]).is_none());
+        let (empty, _) = scrub_scan(&s, ScrubPolicy::Remove);
+        assert!(bystander_localization_error(&empty, &[(1.0, 1.0)]).is_none());
+    }
+
+    #[test]
+    fn no_bystanders_nothing_to_scrub() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let (s, centres) = scan_with_known_bystanders(5.0, 5.0, 0, 100, &mut rng);
+        assert!(centres.is_empty());
+        let (out, report) = scrub_scan(&s, ScrubPolicy::Remove);
+        assert_eq!(out.len(), s.len());
+        assert_eq!(report.precise_person_points, 0);
+    }
+}

@@ -1,0 +1,57 @@
+//! Error types for the privacy crate.
+
+/// Errors returned by privacy operations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PrivacyError {
+    /// The differential-privacy budget is exhausted.
+    BudgetExhausted {
+        /// Epsilon requested by the query.
+        requested: f64,
+        /// Epsilon remaining in the budget.
+        remaining: f64,
+    },
+    /// A PET was configured with an invalid parameter.
+    InvalidParameter {
+        /// Which parameter.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// The firewall blocked the flow.
+    FlowBlocked {
+        /// The sensor whose data was blocked.
+        sensor: String,
+        /// The collector that requested it.
+        collector: String,
+    },
+}
+
+impl std::fmt::Display for PrivacyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PrivacyError::BudgetExhausted { requested, remaining } => {
+                write!(f, "privacy budget exhausted: requested ε={requested}, remaining ε={remaining}")
+            }
+            PrivacyError::InvalidParameter { name, value } => {
+                write!(f, "invalid PET parameter {name}={value}")
+            }
+            PrivacyError::FlowBlocked { sensor, collector } => {
+                write!(f, "firewall blocked {sensor} flow to {collector}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PrivacyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_epsilon() {
+        let e = PrivacyError::BudgetExhausted { requested: 1.0, remaining: 0.25 };
+        assert!(e.to_string().contains("0.25"));
+    }
+}

@@ -1,0 +1,309 @@
+//! The on-device data-flow firewall.
+//!
+//! Implements §II-D's device-side controls:
+//!
+//! > "XR devices that collect sensible data should provide granular
+//! > control (switches) to manage the input data flows from sensors and
+//! > provide visual cues (e.g., LED in the device) when personal data is
+//! > collected or transmitted."
+//!
+//! Every attempted flow is evaluated against per-sensor switches and
+//! per-(sensor, purpose) rules; permitted flows emit a
+//! [`DataCollectionEvent`] for the ledger's audit registry and a
+//! [`CueEvent`] for the device's indicator.
+
+use std::collections::{BTreeMap, HashMap};
+
+use metaverse_ledger::audit::{DataCollectionEvent, LawfulBasis, SensorClass};
+use serde::{Deserialize, Serialize};
+
+use crate::error::PrivacyError;
+use crate::sensor::SensorSample;
+
+/// The outcome of a flow request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FirewallDecision {
+    /// Flow permitted as-is.
+    Allow,
+    /// Flow permitted only because a PET pipeline will obfuscate it.
+    AllowObfuscated,
+    /// Flow denied.
+    Deny,
+}
+
+/// A per-(sensor, purpose) rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FlowRule {
+    /// Always allow.
+    Allow,
+    /// Allow only through a PET pipeline.
+    RequireObfuscation,
+    /// Never allow.
+    Deny,
+}
+
+/// A visual-cue event (the "LED" of §II-D).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CueEvent {
+    /// The sensor that transmitted.
+    pub sensor: SensorClass,
+    /// The receiving collector.
+    pub collector: String,
+    /// Logical time.
+    pub tick: u64,
+}
+
+/// The firewall itself: switches, rules, cue log, and audit export.
+///
+/// ```
+/// use metaverse_privacy::firewall::{DataFlowFirewall, FirewallDecision, FlowRule};
+/// use metaverse_ledger::audit::{LawfulBasis, SensorClass};
+///
+/// let mut fw = DataFlowFirewall::deny_by_default("alice");
+/// fw.set_switch(SensorClass::HeadMovement, true);
+/// fw.set_rule(SensorClass::HeadMovement, "rendering", FlowRule::Allow);
+/// let d = fw.request_flow(
+///     SensorClass::HeadMovement, "render-service", "rendering",
+///     LawfulBasis::Contract, 128, 0,
+/// );
+/// assert_eq!(d, FirewallDecision::Allow);
+/// assert_eq!(fw.drain_audit_events().len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct DataFlowFirewall {
+    /// The user this device belongs to.
+    subject: String,
+    /// Per-sensor master switches.
+    switches: BTreeMap<SensorClass, bool>,
+    /// Per-(sensor, purpose) rules.
+    rules: HashMap<(SensorClass, String), FlowRule>,
+    /// Default when no rule matches.
+    default_rule: FlowRule,
+    cue_log: Vec<CueEvent>,
+    audit_events: Vec<DataCollectionEvent>,
+    denied_flows: u64,
+    allowed_flows: u64,
+}
+
+impl DataFlowFirewall {
+    /// A firewall that denies everything until explicitly opened — the
+    /// stance privacy advocates recommend for biometric sensors.
+    pub fn deny_by_default(subject: impl Into<String>) -> Self {
+        let mut switches = BTreeMap::new();
+        for s in SensorClass::ALL {
+            switches.insert(s, false);
+        }
+        DataFlowFirewall {
+            subject: subject.into(),
+            switches,
+            rules: HashMap::new(),
+            default_rule: FlowRule::Deny,
+            cue_log: Vec::new(),
+            audit_events: Vec::new(),
+            denied_flows: 0,
+            allowed_flows: 0,
+        }
+    }
+
+    /// A permissive firewall (everything on, default allow) — the status
+    /// quo the paper criticises; used as the experimental baseline.
+    pub fn allow_by_default(subject: impl Into<String>) -> Self {
+        let mut fw = Self::deny_by_default(subject);
+        for s in SensorClass::ALL {
+            fw.switches.insert(s, true);
+        }
+        fw.default_rule = FlowRule::Allow;
+        fw
+    }
+
+    /// Sets a sensor's master switch.
+    pub fn set_switch(&mut self, sensor: SensorClass, on: bool) {
+        self.switches.insert(sensor, on);
+    }
+
+    /// Reads a sensor's master switch.
+    pub fn switch(&self, sensor: SensorClass) -> bool {
+        self.switches.get(&sensor).copied().unwrap_or(false)
+    }
+
+    /// Sets the rule for a (sensor, purpose) pair.
+    pub fn set_rule(&mut self, sensor: SensorClass, purpose: &str, rule: FlowRule) {
+        self.rules.insert((sensor, purpose.to_string()), rule);
+    }
+
+    /// Evaluates and records a flow request of `bytes` bytes.
+    pub fn request_flow(
+        &mut self,
+        sensor: SensorClass,
+        collector: &str,
+        purpose: &str,
+        basis: LawfulBasis,
+        bytes: u64,
+        tick: u64,
+    ) -> FirewallDecision {
+        if !self.switch(sensor) {
+            self.denied_flows += 1;
+            return FirewallDecision::Deny;
+        }
+        let rule = self
+            .rules
+            .get(&(sensor, purpose.to_string()))
+            .copied()
+            .unwrap_or(self.default_rule);
+        let decision = match rule {
+            FlowRule::Allow => FirewallDecision::Allow,
+            FlowRule::RequireObfuscation => FirewallDecision::AllowObfuscated,
+            FlowRule::Deny => FirewallDecision::Deny,
+        };
+        if decision == FirewallDecision::Deny {
+            self.denied_flows += 1;
+            return decision;
+        }
+        self.allowed_flows += 1;
+        self.cue_log.push(CueEvent { sensor, collector: collector.to_string(), tick });
+        self.audit_events.push(DataCollectionEvent {
+            collector: collector.to_string(),
+            subject: self.subject.clone(),
+            sensor,
+            purpose: purpose.to_string(),
+            basis,
+            tick,
+            bytes,
+        });
+        decision
+    }
+
+    /// Ships a sample batch through the firewall: returns the samples on
+    /// allow, an error on deny. (Obfuscation is applied by the caller's
+    /// PET pipeline when the decision requires it.)
+    pub fn ship<'a>(
+        &mut self,
+        samples: &'a [SensorSample],
+        sensor: SensorClass,
+        collector: &str,
+        purpose: &str,
+        basis: LawfulBasis,
+        tick: u64,
+    ) -> Result<(&'a [SensorSample], FirewallDecision), PrivacyError> {
+        let bytes = (samples.len() * 16) as u64;
+        match self.request_flow(sensor, collector, purpose, basis, bytes, tick) {
+            FirewallDecision::Deny => Err(PrivacyError::FlowBlocked {
+                sensor: format!("{sensor:?}"),
+                collector: collector.to_string(),
+            }),
+            d => Ok((samples, d)),
+        }
+    }
+
+    /// Visual-cue history (the LED blink log).
+    pub fn cue_log(&self) -> &[CueEvent] {
+        &self.cue_log
+    }
+
+    /// Takes the audit events accumulated since the last drain. The
+    /// platform registers these with the ledger's [`metaverse_ledger::audit::AuditRegistry`].
+    pub fn drain_audit_events(&mut self) -> Vec<DataCollectionEvent> {
+        std::mem::take(&mut self.audit_events)
+    }
+
+    /// `(allowed, denied)` flow counters.
+    pub fn flow_counts(&self) -> (u64, u64) {
+        (self.allowed_flows, self.denied_flows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deny_by_default_blocks_everything() {
+        let mut fw = DataFlowFirewall::deny_by_default("alice");
+        for sensor in SensorClass::ALL {
+            let d = fw.request_flow(sensor, "c", "p", LawfulBasis::Consent, 10, 0);
+            assert_eq!(d, FirewallDecision::Deny);
+        }
+        assert_eq!(fw.flow_counts(), (0, 8));
+        assert!(fw.cue_log().is_empty());
+        assert!(fw.drain_audit_events().is_empty());
+    }
+
+    #[test]
+    fn switch_plus_rule_opens_flow() {
+        let mut fw = DataFlowFirewall::deny_by_default("alice");
+        fw.set_switch(SensorClass::Gaze, true);
+        // Switch on but default rule still denies.
+        assert_eq!(
+            fw.request_flow(SensorClass::Gaze, "ads", "ads", LawfulBasis::Consent, 10, 0),
+            FirewallDecision::Deny
+        );
+        fw.set_rule(SensorClass::Gaze, "foveation", FlowRule::RequireObfuscation);
+        assert_eq!(
+            fw.request_flow(SensorClass::Gaze, "render", "foveation", LawfulBasis::Contract, 10, 1),
+            FirewallDecision::AllowObfuscated
+        );
+    }
+
+    #[test]
+    fn cues_and_audit_only_on_allowed_flows() {
+        let mut fw = DataFlowFirewall::allow_by_default("alice");
+        fw.request_flow(SensorClass::Audio, "chat", "voice", LawfulBasis::Consent, 64, 3);
+        fw.set_switch(SensorClass::Gaze, false);
+        fw.request_flow(SensorClass::Gaze, "ads", "ads", LawfulBasis::None, 64, 4);
+        assert_eq!(fw.cue_log().len(), 1);
+        assert_eq!(fw.cue_log()[0].tick, 3);
+        let audit = fw.drain_audit_events();
+        assert_eq!(audit.len(), 1);
+        assert_eq!(audit[0].subject, "alice");
+        assert_eq!(audit[0].collector, "chat");
+    }
+
+    #[test]
+    fn ship_errors_on_deny() {
+        let mut fw = DataFlowFirewall::deny_by_default("alice");
+        let samples = vec![SensorSample {
+            sensor: SensorClass::Gaze,
+            values: vec![0.5],
+            tick: 0,
+        }];
+        let err = fw
+            .ship(&samples, SensorClass::Gaze, "cloud", "analytics", LawfulBasis::Consent, 0)
+            .unwrap_err();
+        assert!(matches!(err, PrivacyError::FlowBlocked { .. }));
+
+        fw.set_switch(SensorClass::Gaze, true);
+        fw.set_rule(SensorClass::Gaze, "analytics", FlowRule::Allow);
+        let (shipped, decision) = fw
+            .ship(&samples, SensorClass::Gaze, "cloud", "analytics", LawfulBasis::Consent, 1)
+            .unwrap();
+        assert_eq!(shipped.len(), 1);
+        assert_eq!(decision, FirewallDecision::Allow);
+    }
+
+    #[test]
+    fn per_purpose_granularity() {
+        let mut fw = DataFlowFirewall::deny_by_default("alice");
+        fw.set_switch(SensorClass::HeartRate, true);
+        fw.set_rule(SensorClass::HeartRate, "fitness", FlowRule::Allow);
+        fw.set_rule(SensorClass::HeartRate, "ads", FlowRule::Deny);
+        assert_eq!(
+            fw.request_flow(SensorClass::HeartRate, "app", "fitness", LawfulBasis::Consent, 8, 0),
+            FirewallDecision::Allow
+        );
+        assert_eq!(
+            fw.request_flow(SensorClass::HeartRate, "app", "ads", LawfulBasis::Consent, 8, 0),
+            FirewallDecision::Deny
+        );
+    }
+
+    #[test]
+    fn audit_bytes_scale_with_batch() {
+        let mut fw = DataFlowFirewall::allow_by_default("alice");
+        let samples: Vec<SensorSample> = (0..10)
+            .map(|i| SensorSample { sensor: SensorClass::Gait, values: vec![0.0], tick: i })
+            .collect();
+        fw.ship(&samples, SensorClass::Gait, "c", "p", LawfulBasis::Consent, 0).unwrap();
+        let audit = fw.drain_audit_events();
+        assert_eq!(audit[0].bytes, 160);
+    }
+}

@@ -1,0 +1,50 @@
+//! # metaverse-privacy
+//!
+//! Sensory-level privacy for `metaverse-kit`, implementing §II-A/§II-D of
+//! the paper and the data-centric protection pipeline of its Figure 2
+//! (after De Guzman et al.):
+//!
+//! > "This fine-control of collected data can be managed by
+//! > privacy-enhancing technologies (PETs) that obfuscate any sensible
+//! > data from the sensors before being shared with cloud services."
+//!
+//! The XR hardware the paper assumes (HMD gaze/gait/heart-rate sensors)
+//! is hardware-gated, so this crate substitutes **synthetic biometric
+//! streams with planted ground truth**: gaze streams carry a latent
+//! user preference, gait streams carry an identifying signature. That
+//! lets experiments measure exactly what the paper warns about — "gaze
+//! data can give away users' sexual preferences" — as an attacker
+//! accuracy number, with and without PETs.
+//!
+//! Components:
+//!
+//! * [`sensor`] — synthetic gaze / gait / heart-rate / spatial streams.
+//! * [`pets`] — privacy-enhancing transforms (noise, quantisation,
+//!   subsampling, aggregation, differential-privacy with budget), and
+//!   ordered [`pets::PetPipeline`] composition.
+//! * [`firewall`] — per-sensor granular switches, purpose rules, visual
+//!   cues, and audit-event emission (§II-D's device-side controls).
+//! * [`attack`] — inference adversaries: preference inference from gaze,
+//!   re-identification from gait.
+//! * [`metrics`] — leakage and utility metrics for the E1 trade-off.
+//! * [`bystander`] — spatial-scan scrubbing protecting people in the
+//!   sensor's coverage zone who never consented (§II-A).
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attack;
+pub mod bystander;
+pub mod error;
+pub mod firewall;
+pub mod metrics;
+pub mod pets;
+pub mod sensor;
+
+pub use attack::{GaitIdentificationAttack, PreferenceInferenceAttack};
+pub use bystander::{scrub_scan, ScrubPolicy, ScrubReport};
+pub use error::PrivacyError;
+pub use firewall::{CueEvent, DataFlowFirewall, FirewallDecision, FlowRule};
+pub use metrics::{attack_advantage, utility_from_distortion, TradeoffPoint};
+pub use pets::{Pet, PetPipeline, PrivacyBudget};
+pub use sensor::{GazeProfile, SensorSample, UserProfile};

@@ -1,0 +1,126 @@
+//! Leakage and utility metrics for the privacy–utility trade-off (E1).
+
+use serde::{Deserialize, Serialize};
+
+use crate::sensor::SensorSample;
+
+/// One point on the privacy–utility curve — a row in the E1 table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TradeoffPoint {
+    /// PET configuration label.
+    pub pet: String,
+    /// Attack accuracy under this PET (0.5 = chance for binary).
+    pub attack_accuracy: f64,
+    /// Attacker advantage over random guessing, in `[0, 1]`.
+    pub attack_advantage: f64,
+    /// Application utility retained, in `[0, 1]`.
+    pub utility: f64,
+}
+
+/// Attacker advantage over chance for a binary attribute:
+/// `max(0, 2·accuracy − 1)`.
+pub fn attack_advantage(accuracy: f64) -> f64 {
+    (2.0 * accuracy - 1.0).max(0.0)
+}
+
+/// Mean squared distortion between an original and a transformed stream,
+/// aligned by tick (samples dropped by subsampling count at full
+/// per-sample distortion `cap`).
+pub fn stream_distortion(original: &[SensorSample], transformed: &[SensorSample], cap: f64) -> f64 {
+    if original.is_empty() {
+        return 0.0;
+    }
+    use std::collections::HashMap;
+    let by_tick: HashMap<u64, &SensorSample> =
+        transformed.iter().map(|s| (s.tick, s)).collect();
+    let mut total = 0.0;
+    for o in original {
+        match by_tick.get(&o.tick) {
+            Some(t) => {
+                let channels = o.values.len().min(t.values.len()).max(1);
+                let mse: f64 = o
+                    .values
+                    .iter()
+                    .zip(&t.values)
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum::<f64>()
+                    / channels as f64;
+                total += mse.min(cap);
+            }
+            None => total += cap,
+        }
+    }
+    total / original.len() as f64
+}
+
+/// Converts distortion into a utility figure in `[0, 1]`:
+/// `1 − distortion / cap` (a fully destroyed stream has utility 0).
+pub fn utility_from_distortion(distortion: f64, cap: f64) -> f64 {
+    if cap <= 0.0 {
+        return 0.0;
+    }
+    (1.0 - distortion / cap).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metaverse_ledger::audit::SensorClass;
+
+    fn sample(tick: u64, v: f64) -> SensorSample {
+        SensorSample { sensor: SensorClass::Gaze, values: vec![v], tick }
+    }
+
+    #[test]
+    fn advantage_maps_accuracy() {
+        assert_eq!(attack_advantage(0.5), 0.0);
+        assert_eq!(attack_advantage(1.0), 1.0);
+        assert!((attack_advantage(0.75) - 0.5).abs() < 1e-12);
+        assert_eq!(attack_advantage(0.3), 0.0, "below-chance clamps to 0");
+    }
+
+    #[test]
+    fn identity_stream_zero_distortion_full_utility() {
+        let s = vec![sample(0, 0.5), sample(1, 0.7)];
+        let d = stream_distortion(&s, &s, 1.0);
+        assert_eq!(d, 0.0);
+        assert_eq!(utility_from_distortion(d, 1.0), 1.0);
+    }
+
+    #[test]
+    fn perturbed_stream_distortion() {
+        let original = vec![sample(0, 0.5)];
+        let noisy = vec![sample(0, 0.7)];
+        let d = stream_distortion(&original, &noisy, 1.0);
+        assert!((d - 0.04).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dropped_samples_cost_cap() {
+        let original = vec![sample(0, 0.5), sample(1, 0.5)];
+        let thinned = vec![sample(0, 0.5)];
+        let d = stream_distortion(&original, &thinned, 0.25);
+        assert!((d - 0.125).abs() < 1e-12, "one dropped of two at cap 0.25");
+    }
+
+    #[test]
+    fn distortion_capped_per_sample() {
+        let original = vec![sample(0, 0.0)];
+        let wild = vec![sample(0, 100.0)];
+        let d = stream_distortion(&original, &wild, 1.0);
+        assert_eq!(d, 1.0);
+        assert_eq!(utility_from_distortion(d, 1.0), 0.0);
+    }
+
+    #[test]
+    fn empty_original_zero() {
+        assert_eq!(stream_distortion(&[], &[], 1.0), 0.0);
+    }
+
+    #[test]
+    fn utility_clamped() {
+        assert_eq!(utility_from_distortion(2.0, 1.0), 0.0);
+        assert_eq!(utility_from_distortion(-0.5, 1.0), 1.0);
+        assert_eq!(utility_from_distortion(0.5, 0.0), 0.0);
+    }
+}

@@ -1,0 +1,477 @@
+//! Privacy-enhancing technologies (PETs) and pipelines.
+//!
+//! Each PET is a transform over a sensor stream, applied on the user's
+//! device *before* data leaves it (Figure 2's "securing the input").
+//! PETs compose into an ordered [`PetPipeline`]; composition order is a
+//! design choice DESIGN.md flags for ablation (E1).
+
+use rand::Rng;
+
+use crate::error::PrivacyError;
+use crate::sensor::SensorSample;
+
+/// A privacy-enhancing transform over sensor samples.
+pub trait Pet: std::fmt::Debug {
+    /// Human-readable name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Transforms a stream in place.
+    fn apply<R: Rng + ?Sized>(
+        &self,
+        samples: &mut Vec<SensorSample>,
+        rng: &mut R,
+    ) -> Result<(), PrivacyError>;
+}
+
+/// Adds zero-mean Laplace noise of the given scale to every channel.
+#[derive(Debug, Clone, Copy)]
+pub struct NoiseInjection {
+    /// Laplace scale parameter `b` (variance `2b²`).
+    pub scale: f64,
+}
+
+/// Samples Laplace(0, b) noise using inverse-CDF sampling.
+fn laplace<R: Rng + ?Sized>(b: f64, rng: &mut R) -> f64 {
+    let u: f64 = rng.gen_range(-0.5..0.5);
+    -b * u.signum() * (1.0 - 2.0 * u.abs()).ln()
+}
+
+impl Pet for NoiseInjection {
+    fn name(&self) -> &'static str {
+        "noise"
+    }
+
+    fn apply<R: Rng + ?Sized>(
+        &self,
+        samples: &mut Vec<SensorSample>,
+        rng: &mut R,
+    ) -> Result<(), PrivacyError> {
+        if self.scale < 0.0 || !self.scale.is_finite() {
+            return Err(PrivacyError::InvalidParameter { name: "scale", value: self.scale });
+        }
+        for s in samples.iter_mut() {
+            for v in &mut s.values {
+                *v += laplace(self.scale, rng);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Quantises every channel to a fixed step (coarsening resolution).
+#[derive(Debug, Clone, Copy)]
+pub struct Quantization {
+    /// Quantisation step; values are rounded to multiples of it.
+    pub step: f64,
+}
+
+impl Pet for Quantization {
+    fn name(&self) -> &'static str {
+        "quantize"
+    }
+
+    fn apply<R: Rng + ?Sized>(
+        &self,
+        samples: &mut Vec<SensorSample>,
+        _rng: &mut R,
+    ) -> Result<(), PrivacyError> {
+        if self.step <= 0.0 || !self.step.is_finite() {
+            return Err(PrivacyError::InvalidParameter { name: "step", value: self.step });
+        }
+        for s in samples.iter_mut() {
+            for v in &mut s.values {
+                *v = (*v / self.step).round() * self.step;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Keeps only every `keep_one_in`-th sample (temporal subsampling).
+#[derive(Debug, Clone, Copy)]
+pub struct Subsampling {
+    /// Retention period: 1 keeps everything, 4 keeps every 4th sample.
+    pub keep_one_in: usize,
+}
+
+impl Pet for Subsampling {
+    fn name(&self) -> &'static str {
+        "subsample"
+    }
+
+    fn apply<R: Rng + ?Sized>(
+        &self,
+        samples: &mut Vec<SensorSample>,
+        _rng: &mut R,
+    ) -> Result<(), PrivacyError> {
+        if self.keep_one_in == 0 {
+            return Err(PrivacyError::InvalidParameter { name: "keep_one_in", value: 0.0 });
+        }
+        let k = self.keep_one_in;
+        let mut i = 0;
+        samples.retain(|_| {
+            let keep = i % k == 0;
+            i += 1;
+            keep
+        });
+        Ok(())
+    }
+}
+
+/// Replaces each window of `window` samples with their channel-wise mean
+/// (temporal aggregation — individual fixations disappear).
+#[derive(Debug, Clone, Copy)]
+pub struct Aggregation {
+    /// Window length in samples.
+    pub window: usize,
+}
+
+impl Pet for Aggregation {
+    fn name(&self) -> &'static str {
+        "aggregate"
+    }
+
+    fn apply<R: Rng + ?Sized>(
+        &self,
+        samples: &mut Vec<SensorSample>,
+        _rng: &mut R,
+    ) -> Result<(), PrivacyError> {
+        if self.window == 0 {
+            return Err(PrivacyError::InvalidParameter { name: "window", value: 0.0 });
+        }
+        if samples.is_empty() {
+            return Ok(());
+        }
+        let mut out = Vec::with_capacity(samples.len() / self.window + 1);
+        for chunk in samples.chunks(self.window) {
+            let channels = chunk[0].values.len();
+            let mut mean = vec![0.0; channels];
+            for s in chunk {
+                for (m, v) in mean.iter_mut().zip(&s.values) {
+                    *m += v;
+                }
+            }
+            for m in &mut mean {
+                *m /= chunk.len() as f64;
+            }
+            out.push(SensorSample {
+                sensor: chunk[0].sensor,
+                values: mean,
+                tick: chunk[0].tick,
+            });
+        }
+        *samples = out;
+        Ok(())
+    }
+}
+
+/// Tracks a differential-privacy epsilon budget across queries.
+///
+/// The budget enforces the paper's demand that data sharing be *bounded*:
+/// once spent, further releases are refused rather than silently leaking.
+#[derive(Debug, Clone, Copy)]
+pub struct PrivacyBudget {
+    total: f64,
+    spent: f64,
+}
+
+impl PrivacyBudget {
+    /// Creates a budget with `total` epsilon.
+    pub fn new(total: f64) -> Self {
+        PrivacyBudget { total: total.max(0.0), spent: 0.0 }
+    }
+
+    /// Remaining epsilon.
+    pub fn remaining(&self) -> f64 {
+        (self.total - self.spent).max(0.0)
+    }
+
+    /// Epsilon consumed so far.
+    pub fn spent(&self) -> f64 {
+        self.spent
+    }
+
+    /// Attempts to spend `epsilon`; fails when the budget cannot cover it.
+    pub fn spend(&mut self, epsilon: f64) -> Result<(), PrivacyError> {
+        if epsilon > self.remaining() + 1e-12 {
+            return Err(PrivacyError::BudgetExhausted {
+                requested: epsilon,
+                remaining: self.remaining(),
+            });
+        }
+        self.spent += epsilon;
+        Ok(())
+    }
+}
+
+/// The Laplace mechanism: releases each channel with noise calibrated to
+/// `sensitivity / epsilon`, debiting a [`PrivacyBudget`].
+#[derive(Debug)]
+pub struct DifferentialPrivacy {
+    /// Epsilon charged per release (whole-stream release).
+    pub epsilon: f64,
+    /// L1 sensitivity of the released values.
+    pub sensitivity: f64,
+}
+
+impl DifferentialPrivacy {
+    /// Applies the mechanism, spending from `budget`.
+    pub fn release<R: Rng + ?Sized>(
+        &self,
+        samples: &mut [SensorSample],
+        budget: &mut PrivacyBudget,
+        rng: &mut R,
+    ) -> Result<(), PrivacyError> {
+        if self.epsilon <= 0.0 {
+            return Err(PrivacyError::InvalidParameter { name: "epsilon", value: self.epsilon });
+        }
+        budget.spend(self.epsilon)?;
+        let scale = self.sensitivity / self.epsilon;
+        for s in samples.iter_mut() {
+            for v in &mut s.values {
+                *v += laplace(scale, rng);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// An ordered composition of PETs applied on-device before sharing.
+#[derive(Debug, Default)]
+pub struct PetPipeline {
+    stages: Vec<Stage>,
+}
+
+#[derive(Debug)]
+enum Stage {
+    Noise(NoiseInjection),
+    Quantize(Quantization),
+    Subsample(Subsampling),
+    Aggregate(Aggregation),
+}
+
+impl PetPipeline {
+    /// An empty (pass-through) pipeline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a noise stage.
+    pub fn noise(mut self, scale: f64) -> Self {
+        self.stages.push(Stage::Noise(NoiseInjection { scale }));
+        self
+    }
+
+    /// Appends a quantisation stage.
+    pub fn quantize(mut self, step: f64) -> Self {
+        self.stages.push(Stage::Quantize(Quantization { step }));
+        self
+    }
+
+    /// Appends a subsampling stage.
+    pub fn subsample(mut self, keep_one_in: usize) -> Self {
+        self.stages.push(Stage::Subsample(Subsampling { keep_one_in }));
+        self
+    }
+
+    /// Appends an aggregation stage.
+    pub fn aggregate(mut self, window: usize) -> Self {
+        self.stages.push(Stage::Aggregate(Aggregation { window }));
+        self
+    }
+
+    /// Number of stages.
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// True when the pipeline is pass-through.
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// Stage names in order, for reports.
+    pub fn stage_names(&self) -> Vec<&'static str> {
+        self.stages
+            .iter()
+            .map(|s| match s {
+                Stage::Noise(p) => p.name(),
+                Stage::Quantize(p) => p.name(),
+                Stage::Subsample(p) => p.name(),
+                Stage::Aggregate(p) => p.name(),
+            })
+            .collect()
+    }
+
+    /// Applies every stage in order.
+    pub fn apply<R: Rng + ?Sized>(
+        &self,
+        samples: &mut Vec<SensorSample>,
+        rng: &mut R,
+    ) -> Result<(), PrivacyError> {
+        for stage in &self.stages {
+            match stage {
+                Stage::Noise(p) => p.apply(samples, rng)?,
+                Stage::Quantize(p) => p.apply(samples, rng)?,
+                Stage::Subsample(p) => p.apply(samples, rng)?,
+                Stage::Aggregate(p) => p.apply(samples, rng)?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metaverse_ledger::audit::SensorClass;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(5)
+    }
+
+    fn stream(n: usize) -> Vec<SensorSample> {
+        (0..n)
+            .map(|i| SensorSample {
+                sensor: SensorClass::Gaze,
+                values: vec![0.7, 0.2],
+                tick: i as u64,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn laplace_noise_zero_mean() {
+        let mut r = rng();
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| laplace(0.5, &mut r)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn noise_perturbs_values() {
+        let mut r = rng();
+        let mut s = stream(100);
+        NoiseInjection { scale: 0.1 }.apply(&mut s, &mut r).unwrap();
+        assert!(s.iter().any(|x| (x.values[0] - 0.7).abs() > 1e-9));
+        assert_eq!(s.len(), 100, "noise keeps every sample");
+    }
+
+    #[test]
+    fn zero_scale_noise_is_identity() {
+        let mut r = rng();
+        let mut s = stream(10);
+        NoiseInjection { scale: 0.0 }.apply(&mut s, &mut r).unwrap();
+        assert!(s.iter().all(|x| x.values == vec![0.7, 0.2]));
+    }
+
+    #[test]
+    fn negative_noise_scale_rejected() {
+        let mut r = rng();
+        let mut s = stream(1);
+        assert!(NoiseInjection { scale: -1.0 }.apply(&mut s, &mut r).is_err());
+    }
+
+    #[test]
+    fn quantization_rounds_to_step() {
+        let mut r = rng();
+        let mut s = stream(5);
+        Quantization { step: 0.5 }.apply(&mut s, &mut r).unwrap();
+        assert!(s.iter().all(|x| x.values[0] == 0.5 && x.values[1] == 0.0));
+        assert!(Quantization { step: 0.0 }.apply(&mut stream(1), &mut r).is_err());
+    }
+
+    #[test]
+    fn subsampling_thins_stream() {
+        let mut r = rng();
+        let mut s = stream(10);
+        Subsampling { keep_one_in: 3 }.apply(&mut s, &mut r).unwrap();
+        assert_eq!(s.len(), 4); // ticks 0,3,6,9
+        assert_eq!(s[1].tick, 3);
+        assert!(Subsampling { keep_one_in: 0 }.apply(&mut stream(1), &mut r).is_err());
+    }
+
+    #[test]
+    fn aggregation_means_windows() {
+        let mut r = rng();
+        let mut s: Vec<SensorSample> = (0..4)
+            .map(|i| SensorSample {
+                sensor: SensorClass::Gaze,
+                values: vec![i as f64],
+                tick: i as u64,
+            })
+            .collect();
+        Aggregation { window: 2 }.apply(&mut s, &mut r).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].values[0], 0.5);
+        assert_eq!(s[1].values[0], 2.5);
+    }
+
+    #[test]
+    fn aggregation_empty_ok() {
+        let mut r = rng();
+        let mut s: Vec<SensorSample> = Vec::new();
+        Aggregation { window: 4 }.apply(&mut s, &mut r).unwrap();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn budget_enforced() {
+        let mut b = PrivacyBudget::new(1.0);
+        b.spend(0.6).unwrap();
+        assert!((b.remaining() - 0.4).abs() < 1e-12);
+        let err = b.spend(0.5).unwrap_err();
+        assert!(matches!(err, PrivacyError::BudgetExhausted { .. }));
+        b.spend(0.4).unwrap();
+        assert!(b.remaining() < 1e-12);
+    }
+
+    #[test]
+    fn dp_release_spends_budget_and_noises() {
+        let mut r = rng();
+        let mut b = PrivacyBudget::new(2.0);
+        let mut s = stream(50);
+        let dp = DifferentialPrivacy { epsilon: 1.0, sensitivity: 1.0 };
+        dp.release(&mut s, &mut b, &mut r).unwrap();
+        assert!((b.spent() - 1.0).abs() < 1e-12);
+        assert!(s.iter().any(|x| (x.values[0] - 0.7).abs() > 1e-9));
+        dp.release(&mut s, &mut b, &mut r).unwrap();
+        assert!(dp.release(&mut s, &mut b, &mut r).is_err(), "third release over budget");
+    }
+
+    #[test]
+    fn dp_rejects_nonpositive_epsilon() {
+        let mut r = rng();
+        let mut b = PrivacyBudget::new(1.0);
+        let dp = DifferentialPrivacy { epsilon: 0.0, sensitivity: 1.0 };
+        assert!(dp.release(&mut stream(1), &mut b, &mut r).is_err());
+    }
+
+    #[test]
+    fn pipeline_composes_in_order() {
+        let mut r = rng();
+        let mut s = stream(12);
+        let pipe = PetPipeline::new().noise(0.05).quantize(0.25).subsample(2);
+        assert_eq!(pipe.stage_names(), vec!["noise", "quantize", "subsample"]);
+        pipe.apply(&mut s, &mut r).unwrap();
+        assert_eq!(s.len(), 6);
+        // After quantisation every value is a multiple of 0.25.
+        for x in &s {
+            for v in &x.values {
+                let q = v / 0.25;
+                assert!((q - q.round()).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_pipeline_is_identity() {
+        let mut r = rng();
+        let mut s = stream(5);
+        let before = s.clone();
+        PetPipeline::new().apply(&mut s, &mut r).unwrap();
+        assert_eq!(s, before);
+    }
+}

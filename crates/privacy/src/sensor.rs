@@ -1,0 +1,254 @@
+//! Synthetic biometric sensor streams with planted ground truth.
+//!
+//! Substitutes for the XR hardware the paper assumes. Each generator
+//! plants a *latent attribute* in its stream so inference attacks have a
+//! ground truth to be scored against:
+//!
+//! * gaze — dwell-time bias toward one of two screen regions encodes a
+//!   binary preference (the paper's Renaud et al. citation);
+//! * gait — a per-user (frequency, amplitude, phase) signature enables
+//!   re-identification;
+//! * heart rate — baseline plus arousal spikes correlated with content.
+
+use metaverse_ledger::audit::SensorClass;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One sensor reading: a small vector of channel values at a tick.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SensorSample {
+    /// The sensor that produced the reading.
+    pub sensor: SensorClass,
+    /// Channel values (semantics depend on the sensor).
+    pub values: Vec<f64>,
+    /// Logical time of the reading.
+    pub tick: u64,
+}
+
+/// Latent gaze attributes of a user.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GazeProfile {
+    /// Ground-truth binary preference: `true` = prefers region A.
+    pub prefers_a: bool,
+    /// Strength of the dwell bias, in `[0, 1]` (0.5 = undetectable).
+    pub bias_strength: f64,
+}
+
+/// The full latent profile of a simulated user.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UserProfile {
+    /// User account name.
+    pub name: String,
+    /// Gaze attributes.
+    pub gaze: GazeProfile,
+    /// Gait signature: stride frequency (Hz).
+    pub gait_frequency: f64,
+    /// Gait signature: stride amplitude.
+    pub gait_amplitude: f64,
+    /// Resting heart rate (bpm).
+    pub resting_hr: f64,
+}
+
+impl UserProfile {
+    /// Samples a random user profile.
+    pub fn random<R: Rng + ?Sized>(name: impl Into<String>, rng: &mut R) -> Self {
+        UserProfile {
+            name: name.into(),
+            gaze: GazeProfile {
+                prefers_a: rng.gen_bool(0.5),
+                // Subtle dwell bias: the signal is real but not blatant,
+                // as in the Renaud et al. measurements the paper cites.
+                bias_strength: rng.gen_range(0.55..0.75),
+            },
+            gait_frequency: rng.gen_range(1.4..2.2),
+            gait_amplitude: rng.gen_range(0.8..1.4),
+            resting_hr: rng.gen_range(55.0..85.0),
+        }
+    }
+
+    /// Generates `n` gaze samples. Channel 0 is the fraction of the frame
+    /// spent dwelling on region A (vs B), in `[0, 1]`, plus sensor noise.
+    pub fn gaze_stream<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Vec<SensorSample> {
+        let bias = if self.gaze.prefers_a {
+            self.gaze.bias_strength
+        } else {
+            1.0 - self.gaze.bias_strength
+        };
+        (0..n)
+            .map(|tick| {
+                let noise: f64 = rng.gen_range(-0.15..0.15);
+                let dwell_a = (bias + noise).clamp(0.0, 1.0);
+                SensorSample {
+                    sensor: SensorClass::Gaze,
+                    values: vec![dwell_a],
+                    tick: tick as u64,
+                }
+            })
+            .collect()
+    }
+
+    /// Generates `n` gait samples: channel 0 is vertical acceleration of
+    /// a sinusoidal stride, channel 1 the instantaneous stride phase.
+    pub fn gait_stream<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Vec<SensorSample> {
+        let dt = 0.05; // 20 Hz sampling
+        (0..n)
+            .map(|i| {
+                let t = i as f64 * dt;
+                let phase = 2.0 * std::f64::consts::PI * self.gait_frequency * t;
+                let accel =
+                    self.gait_amplitude * phase.sin() + rng.gen_range(-0.05..0.05);
+                SensorSample {
+                    sensor: SensorClass::Gait,
+                    values: vec![accel, phase % (2.0 * std::f64::consts::PI)],
+                    tick: i as u64,
+                }
+            })
+            .collect()
+    }
+
+    /// Generates `n` heart-rate samples with arousal spikes at the given
+    /// ticks (content exposure events).
+    pub fn heart_rate_stream<R: Rng + ?Sized>(
+        &self,
+        n: usize,
+        arousal_ticks: &[u64],
+        rng: &mut R,
+    ) -> Vec<SensorSample> {
+        (0..n)
+            .map(|i| {
+                let tick = i as u64;
+                let spike: f64 = arousal_ticks
+                    .iter()
+                    .map(|&a| {
+                        let d = tick.abs_diff(a) as f64;
+                        18.0 * (-d / 4.0).exp()
+                    })
+                    .sum();
+                let hr = self.resting_hr + spike + rng.gen_range(-2.0..2.0);
+                SensorSample { sensor: SensorClass::HeartRate, values: vec![hr], tick }
+            })
+            .collect()
+    }
+}
+
+/// Generates a spatial scan of a rectangular room: a point cloud with a
+/// few "bystander" blobs — the data §II-A warns can capture people who
+/// never consented.
+pub fn spatial_scan<R: Rng + ?Sized>(
+    width: f64,
+    depth: f64,
+    bystanders: usize,
+    points: usize,
+    rng: &mut R,
+) -> Vec<SensorSample> {
+    let blob_centres: Vec<(f64, f64)> = (0..bystanders)
+        .map(|_| (rng.gen_range(0.0..width), rng.gen_range(0.0..depth)))
+        .collect();
+    (0..points)
+        .map(|i| {
+            // 30% of points belong to bystander blobs when present.
+            let (x, y, is_person) = if !blob_centres.is_empty() && rng.gen_bool(0.3) {
+                let (cx, cy) = blob_centres[rng.gen_range(0..blob_centres.len())];
+                (
+                    (cx + rng.gen_range(-0.3..0.3)).clamp(0.0, width),
+                    (cy + rng.gen_range(-0.3..0.3)).clamp(0.0, depth),
+                    1.0,
+                )
+            } else {
+                (rng.gen_range(0.0..width), rng.gen_range(0.0..depth), 0.0)
+            };
+            SensorSample {
+                sensor: SensorClass::SpatialScan,
+                values: vec![x, y, is_person],
+                tick: i as u64,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn gaze_stream_encodes_preference() {
+        let mut r = rng();
+        let mut a_user = UserProfile::random("a", &mut r);
+        a_user.gaze = GazeProfile { prefers_a: true, bias_strength: 0.8 };
+        let mut b_user = a_user.clone();
+        b_user.gaze.prefers_a = false;
+
+        let mean = |samples: &[SensorSample]| {
+            samples.iter().map(|s| s.values[0]).sum::<f64>() / samples.len() as f64
+        };
+        let ma = mean(&a_user.gaze_stream(200, &mut r));
+        let mb = mean(&b_user.gaze_stream(200, &mut r));
+        assert!(ma > 0.65, "A-preferring dwell {ma}");
+        assert!(mb < 0.35, "B-preferring dwell {mb}");
+    }
+
+    #[test]
+    fn gaze_values_bounded() {
+        let mut r = rng();
+        let u = UserProfile::random("u", &mut r);
+        for s in u.gaze_stream(500, &mut r) {
+            assert!((0.0..=1.0).contains(&s.values[0]));
+            assert_eq!(s.sensor, SensorClass::Gaze);
+        }
+    }
+
+    #[test]
+    fn gait_stream_periodic_with_user_frequency() {
+        let mut r = rng();
+        let mut u = UserProfile::random("u", &mut r);
+        u.gait_frequency = 2.0;
+        u.gait_amplitude = 1.0;
+        let stream = u.gait_stream(400, &mut r);
+        // Peak amplitude should be close to the configured amplitude.
+        let max = stream.iter().map(|s| s.values[0].abs()).fold(0.0f64, f64::max);
+        assert!((0.9..=1.1).contains(&max), "max accel {max}");
+    }
+
+    #[test]
+    fn heart_rate_spikes_at_arousal() {
+        let mut r = rng();
+        let u = UserProfile::random("u", &mut r);
+        let stream = u.heart_rate_stream(60, &[30], &mut r);
+        let at_spike = stream[30].values[0];
+        let baseline = stream[5].values[0];
+        assert!(at_spike > baseline + 10.0, "spike {at_spike} vs baseline {baseline}");
+    }
+
+    #[test]
+    fn spatial_scan_contains_bystanders() {
+        let mut r = rng();
+        let scan = spatial_scan(5.0, 4.0, 2, 500, &mut r);
+        let person_points = scan.iter().filter(|s| s.values[2] > 0.5).count();
+        assert!(person_points > 50, "bystander points: {person_points}");
+        for s in &scan {
+            assert!((0.0..=5.0).contains(&s.values[0]));
+            assert!((0.0..=4.0).contains(&s.values[1]));
+        }
+    }
+
+    #[test]
+    fn spatial_scan_no_bystanders() {
+        let mut r = rng();
+        let scan = spatial_scan(5.0, 4.0, 0, 200, &mut r);
+        assert!(scan.iter().all(|s| s.values[2] == 0.0));
+    }
+
+    #[test]
+    fn random_profiles_differ() {
+        let mut r = rng();
+        let a = UserProfile::random("a", &mut r);
+        let b = UserProfile::random("b", &mut r);
+        assert!(a.gait_frequency != b.gait_frequency || a.resting_hr != b.resting_hr);
+    }
+}

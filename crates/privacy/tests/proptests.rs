@@ -1,0 +1,159 @@
+//! Property-based tests for PET and firewall invariants.
+
+use metaverse_ledger::audit::{LawfulBasis, SensorClass};
+use metaverse_privacy::firewall::{DataFlowFirewall, FlowRule};
+use metaverse_privacy::metrics::{stream_distortion, utility_from_distortion};
+use metaverse_privacy::pets::{PetPipeline, PrivacyBudget};
+use metaverse_privacy::sensor::SensorSample;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn stream(values: &[f64]) -> Vec<SensorSample> {
+    values
+        .iter()
+        .enumerate()
+        .map(|(i, v)| SensorSample {
+            sensor: SensorClass::Gaze,
+            values: vec![*v],
+            tick: i as u64,
+        })
+        .collect()
+}
+
+proptest! {
+    /// Quantisation is idempotent: applying it twice equals once.
+    #[test]
+    fn quantization_idempotent(
+        values in proptest::collection::vec(-10.0f64..10.0, 1..50),
+        step in 0.01f64..2.0,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let pipe = PetPipeline::new().quantize(step);
+        let mut once = stream(&values);
+        pipe.apply(&mut once, &mut rng).unwrap();
+        let mut twice = once.clone();
+        pipe.apply(&mut twice, &mut rng).unwrap();
+        for (a, b) in once.iter().zip(&twice) {
+            prop_assert!((a.values[0] - b.values[0]).abs() < 1e-9);
+        }
+    }
+
+    /// Subsampling keeps exactly ceil(n/k) samples and preserves order.
+    #[test]
+    fn subsampling_count_exact(
+        n in 1usize..200,
+        k in 1usize..10,
+    ) {
+        let values: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let mut s = stream(&values);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        PetPipeline::new().subsample(k).apply(&mut s, &mut rng).unwrap();
+        prop_assert_eq!(s.len(), n.div_ceil(k));
+        for w in s.windows(2) {
+            prop_assert!(w[0].tick < w[1].tick, "order preserved");
+        }
+    }
+
+    /// Aggregation output length is ceil(n/window) and every output
+    /// value lies within the min..max of its window.
+    #[test]
+    fn aggregation_means_within_range(
+        values in proptest::collection::vec(-5.0f64..5.0, 1..100),
+        window in 1usize..20,
+    ) {
+        let mut s = stream(&values);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        PetPipeline::new().aggregate(window).apply(&mut s, &mut rng).unwrap();
+        prop_assert_eq!(s.len(), values.len().div_ceil(window));
+        for (i, out) in s.iter().enumerate() {
+            let chunk = &values[i * window..((i + 1) * window).min(values.len())];
+            let lo = chunk.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = chunk.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(out.values[0] >= lo - 1e-9 && out.values[0] <= hi + 1e-9);
+        }
+    }
+
+    /// Distortion is zero iff the streams match; utility inverts it
+    /// monotonically.
+    #[test]
+    fn distortion_and_utility_consistent(
+        values in proptest::collection::vec(0.0f64..1.0, 1..50),
+        shift in 0.0f64..0.4,
+    ) {
+        let original = stream(&values);
+        let shifted: Vec<f64> = values.iter().map(|v| v + shift).collect();
+        let transformed = stream(&shifted);
+        let d = stream_distortion(&original, &transformed, 0.25);
+        prop_assert!(d >= 0.0);
+        if shift == 0.0 {
+            prop_assert!(d < 1e-12);
+        }
+        let u = utility_from_distortion(d, 0.25);
+        prop_assert!((0.0..=1.0).contains(&u));
+        // Bigger shift → no less distortion.
+        let shifted2: Vec<f64> = values.iter().map(|v| v + shift * 2.0).collect();
+        let d2 = stream_distortion(&original, &stream(&shifted2), 0.25);
+        prop_assert!(d2 >= d - 1e-12);
+    }
+
+    /// Privacy budget accounting: total spend never exceeds the budget,
+    /// and spend() + remaining() == total.
+    #[test]
+    fn budget_accounting_exact(
+        total in 0.1f64..10.0,
+        requests in proptest::collection::vec(0.01f64..3.0, 1..30),
+    ) {
+        let mut budget = PrivacyBudget::new(total);
+        for eps in requests {
+            let before = budget.spent();
+            match budget.spend(eps) {
+                Ok(()) => prop_assert!(budget.spent() - before - eps < 1e-9),
+                Err(_) => prop_assert!(budget.spent() - before < 1e-12, "failed spend is free"),
+            }
+            prop_assert!(budget.spent() <= total + 1e-9);
+            prop_assert!((budget.spent() + budget.remaining() - total).abs() < 1e-9);
+        }
+    }
+
+    /// Firewall: a sensor whose switch is off never allows a flow, for
+    /// any rule configuration; counters always balance.
+    #[test]
+    fn firewall_switch_dominates(
+        rules in proptest::collection::vec((0usize..8, 0u8..3), 0..20),
+        flows in proptest::collection::vec(0usize..8, 1..40),
+    ) {
+        let mut fw = DataFlowFirewall::deny_by_default("prop");
+        // Sensor 0 stays off; all others on.
+        for s in &SensorClass::ALL[1..] {
+            fw.set_switch(*s, true);
+        }
+        for (sensor, rule) in rules {
+            let rule = match rule {
+                0 => FlowRule::Allow,
+                1 => FlowRule::RequireObfuscation,
+                _ => FlowRule::Deny,
+            };
+            fw.set_rule(SensorClass::ALL[sensor], "p", rule);
+        }
+        let mut attempts = 0u64;
+        for sensor in flows {
+            attempts += 1;
+            let decision = fw.request_flow(
+                SensorClass::ALL[sensor],
+                "c",
+                "p",
+                LawfulBasis::Consent,
+                8,
+                0,
+            );
+            if sensor == 0 {
+                prop_assert_eq!(decision, metaverse_privacy::firewall::FirewallDecision::Deny);
+            }
+        }
+        let (allowed, denied) = fw.flow_counts();
+        prop_assert_eq!(allowed + denied, attempts);
+        prop_assert_eq!(fw.cue_log().len() as u64, allowed, "one cue per allowed flow");
+        prop_assert_eq!(fw.drain_audit_events().len() as u64, allowed);
+    }
+}

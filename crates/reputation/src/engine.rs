@@ -1,0 +1,398 @@
+//! The account-level reputation engine.
+//!
+//! Endorsements and reports move a subject's score by an amount *weighted
+//! by the rater's own standing* — an account with no track record moves a
+//! target's score very little, which is the primary Sybil counterbalance
+//! the paper asks reputation to provide. Every applied change is exported
+//! as a ledger transaction payload so the platform's audit trail is
+//! complete ("managed by Blockchain and DAOs", §IV-C).
+
+use std::collections::BTreeMap;
+
+use metaverse_ledger::tx::TxPayload;
+
+use crate::error::ReputationError;
+use crate::score::{ReputationScore, MAX_SCORE_MILLIS, MILLIS};
+
+/// Tuning knobs for a [`ReputationEngine`].
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Score assigned to new accounts, in milli-points.
+    pub neutral_prior_millis: i64,
+    /// Base magnitude of one endorsement, in milli-points.
+    pub endorse_base_millis: i64,
+    /// Base magnitude of one upheld report, in milli-points.
+    pub report_base_millis: i64,
+    /// Half-life of decay toward the prior, in ticks (0 = no decay).
+    pub decay_half_life: u64,
+    /// Maximum endorse/report actions per account per epoch.
+    pub epoch_action_limit: u32,
+    /// Minimum rater trust weight applied even to brand-new accounts,
+    /// in `[0, 1]`. Keeps the system live before history accumulates.
+    pub min_rater_weight: f64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            neutral_prior_millis: 50 * MILLIS,
+            endorse_base_millis: 1500,
+            report_base_millis: 4000,
+            decay_half_life: 1000,
+            epoch_action_limit: 20,
+            min_rater_weight: 0.1,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Account {
+    score: ReputationScore,
+    last_update: u64,
+    actions_this_epoch: u32,
+}
+
+/// The reputation engine over a set of named accounts.
+///
+/// ```
+/// use metaverse_reputation::engine::{EngineConfig, ReputationEngine};
+/// let mut eng = ReputationEngine::new(EngineConfig::default());
+/// eng.register("alice", 0).unwrap();
+/// eng.register("bob", 0).unwrap();
+/// eng.endorse("alice", "bob", 0).unwrap();
+/// assert!(eng.score("bob").unwrap().points() > 50.0);
+/// assert_eq!(eng.drain_ledger_records().len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct ReputationEngine {
+    config: EngineConfig,
+    accounts: BTreeMap<String, Account>,
+    epoch: u64,
+    pending_records: Vec<TxPayload>,
+}
+
+impl ReputationEngine {
+    /// Creates an empty engine.
+    pub fn new(config: EngineConfig) -> Self {
+        ReputationEngine { config, accounts: BTreeMap::new(), epoch: 0, pending_records: Vec::new() }
+    }
+
+    /// Registers a new account at the neutral prior.
+    pub fn register(&mut self, account: &str, now: u64) -> Result<(), ReputationError> {
+        if self.accounts.contains_key(account) {
+            return Err(ReputationError::DuplicateAccount { account: account.into() });
+        }
+        self.accounts.insert(
+            account.to_string(),
+            Account {
+                score: ReputationScore::with_prior(self.config.neutral_prior_millis),
+                last_update: now,
+                actions_this_epoch: 0,
+            },
+        );
+        Ok(())
+    }
+
+    /// Removes an account (used by whitewashing attack models).
+    pub fn deregister(&mut self, account: &str) -> Result<(), ReputationError> {
+        self.accounts
+            .remove(account)
+            .map(|_| ())
+            .ok_or_else(|| ReputationError::UnknownAccount { account: account.into() })
+    }
+
+    /// Whether an account exists.
+    pub fn contains(&self, account: &str) -> bool {
+        self.accounts.contains_key(account)
+    }
+
+    /// Number of registered accounts.
+    pub fn len(&self) -> usize {
+        self.accounts.len()
+    }
+
+    /// True when no accounts are registered.
+    pub fn is_empty(&self) -> bool {
+        self.accounts.is_empty()
+    }
+
+    /// Current decayed score of an account.
+    pub fn score(&self, account: &str) -> Result<ReputationScore, ReputationError> {
+        self.accounts
+            .get(account)
+            .map(|a| a.score)
+            .ok_or_else(|| ReputationError::UnknownAccount { account: account.into() })
+    }
+
+    /// The weight a rater's actions carry, in `[min_rater_weight, 1]`.
+    ///
+    /// Combines the normalized score with the Wilson trust lower bound so
+    /// that *both* a good standing and a real track record are needed for
+    /// full influence.
+    pub fn rater_weight(&self, rater: &str) -> Result<f64, ReputationError> {
+        let acct = self
+            .accounts
+            .get(rater)
+            .ok_or_else(|| ReputationError::UnknownAccount { account: rater.into() })?;
+        let norm = acct.score.millis() as f64 / MAX_SCORE_MILLIS as f64;
+        let trust = acct.score.trust().lower_bound;
+        // Blend: standing dominates early, history dominates late.
+        let n = acct.score.trust().observations as f64;
+        let alpha = n / (n + 10.0);
+        let weight = (1.0 - alpha) * norm + alpha * trust;
+        Ok(weight.max(self.config.min_rater_weight).min(1.0))
+    }
+
+    fn apply(
+        &mut self,
+        rater: &str,
+        subject: &str,
+        base_millis: i64,
+        reason: &str,
+        now: u64,
+    ) -> Result<i64, ReputationError> {
+        if rater == subject {
+            return Err(ReputationError::SelfReferential { account: rater.into() });
+        }
+        if !self.accounts.contains_key(subject) {
+            return Err(ReputationError::UnknownAccount { account: subject.into() });
+        }
+        let weight = self.rater_weight(rater)?;
+        {
+            let limit = self.config.epoch_action_limit;
+            let rater_acct = self.accounts.get_mut(rater).expect("checked above");
+            if rater_acct.actions_this_epoch >= limit {
+                return Err(ReputationError::RateLimited { account: rater.into(), limit });
+            }
+            rater_acct.actions_this_epoch += 1;
+        }
+        self.touch(subject, now);
+        let delta = (base_millis as f64 * weight).round() as i64;
+        let acct = self.accounts.get_mut(subject).expect("checked above");
+        let applied = acct.score.apply_delta(delta);
+        self.pending_records.push(TxPayload::ReputationDelta {
+            subject: subject.to_string(),
+            delta_millis: applied,
+            reason: format!("{reason} by {rater}"),
+        });
+        Ok(applied)
+    }
+
+    /// `rater` endorses `subject` (positive signal).
+    pub fn endorse(&mut self, rater: &str, subject: &str, now: u64) -> Result<i64, ReputationError> {
+        let base = self.config.endorse_base_millis;
+        self.apply(rater, subject, base, "endorse", now)
+    }
+
+    /// `rater` files an upheld report against `subject` (negative signal).
+    pub fn report(&mut self, rater: &str, subject: &str, now: u64) -> Result<i64, ReputationError> {
+        let base = -self.config.report_base_millis;
+        self.apply(rater, subject, base, "report", now)
+    }
+
+    /// Applies a direct system-level delta (e.g. an incentive payout or a
+    /// DAO-decided sanction), bypassing rater weighting.
+    pub fn system_delta(
+        &mut self,
+        subject: &str,
+        delta_millis: i64,
+        reason: &str,
+        now: u64,
+    ) -> Result<i64, ReputationError> {
+        if !self.accounts.contains_key(subject) {
+            return Err(ReputationError::UnknownAccount { account: subject.into() });
+        }
+        self.touch(subject, now);
+        let acct = self.accounts.get_mut(subject).expect("checked above");
+        let applied = acct.score.apply_delta(delta_millis);
+        self.pending_records.push(TxPayload::ReputationDelta {
+            subject: subject.to_string(),
+            delta_millis: applied,
+            reason: format!("system:{reason}"),
+        });
+        Ok(applied)
+    }
+
+    /// Applies decay for elapsed time up to `now` on one account.
+    fn touch(&mut self, account: &str, now: u64) {
+        let prior = self.config.neutral_prior_millis;
+        let half_life = self.config.decay_half_life;
+        if let Some(acct) = self.accounts.get_mut(account) {
+            if now > acct.last_update {
+                acct.score.decay_toward(prior, now - acct.last_update, half_life);
+                acct.last_update = now;
+            }
+        }
+    }
+
+    /// Applies decay to every account up to `now`.
+    pub fn decay_all(&mut self, now: u64) {
+        let names: Vec<String> = self.accounts.keys().cloned().collect();
+        for name in names {
+            self.touch(&name, now);
+        }
+    }
+
+    /// Starts a new rate-limit epoch (typically once per governance
+    /// round).
+    pub fn begin_epoch(&mut self) {
+        self.epoch += 1;
+        for acct in self.accounts.values_mut() {
+            acct.actions_this_epoch = 0;
+        }
+    }
+
+    /// Current epoch number.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Takes the ledger records accumulated since the last drain. The
+    /// platform layer submits these to the chain.
+    pub fn drain_ledger_records(&mut self) -> Vec<TxPayload> {
+        std::mem::take(&mut self.pending_records)
+    }
+
+    /// Accounts sorted by descending score — a leaderboard view.
+    pub fn leaderboard(&self) -> Vec<(String, f64)> {
+        let mut rows: Vec<(String, f64)> = self
+            .accounts
+            .iter()
+            .map(|(k, v)| (k.clone(), v.score.points()))
+            .collect();
+        rows.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        rows
+    }
+
+    /// Voting weight for reputation-weighted governance: normalized score
+    /// in `[0, 1]` scaled to integer weight units.
+    pub fn voting_weight(&self, account: &str, scale: u64) -> Result<u64, ReputationError> {
+        let score = self.score(account)?;
+        Ok(((score.millis() as f64 / MAX_SCORE_MILLIS as f64) * scale as f64).round() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> ReputationEngine {
+        let mut e = ReputationEngine::new(EngineConfig::default());
+        for a in ["alice", "bob", "carol"] {
+            e.register(a, 0).unwrap();
+        }
+        e
+    }
+
+    #[test]
+    fn endorse_raises_report_lowers() {
+        let mut e = engine();
+        e.endorse("alice", "bob", 0).unwrap();
+        assert!(e.score("bob").unwrap().points() > 50.0);
+        e.report("alice", "carol", 0).unwrap();
+        assert!(e.score("carol").unwrap().points() < 50.0);
+    }
+
+    #[test]
+    fn self_rating_rejected() {
+        let mut e = engine();
+        assert!(matches!(
+            e.endorse("alice", "alice", 0),
+            Err(ReputationError::SelfReferential { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_accounts_rejected() {
+        let mut e = engine();
+        assert!(e.endorse("ghost", "bob", 0).is_err());
+        assert!(e.endorse("alice", "ghost", 0).is_err());
+        assert!(e.score("ghost").is_err());
+    }
+
+    #[test]
+    fn duplicate_registration_rejected() {
+        let mut e = engine();
+        assert!(matches!(
+            e.register("alice", 0),
+            Err(ReputationError::DuplicateAccount { .. })
+        ));
+    }
+
+    #[test]
+    fn rate_limit_enforced_and_reset_by_epoch() {
+        let mut e = ReputationEngine::new(EngineConfig {
+            epoch_action_limit: 2,
+            ..EngineConfig::default()
+        });
+        e.register("a", 0).unwrap();
+        e.register("b", 0).unwrap();
+        e.endorse("a", "b", 0).unwrap();
+        e.endorse("a", "b", 0).unwrap();
+        assert!(matches!(e.endorse("a", "b", 0), Err(ReputationError::RateLimited { .. })));
+        e.begin_epoch();
+        e.endorse("a", "b", 0).unwrap();
+    }
+
+    #[test]
+    fn low_reputation_rater_has_less_influence() {
+        let mut e = engine();
+        // Tank alice's reputation via system deltas.
+        e.system_delta("alice", -45_000, "test", 0).unwrap();
+        let w_low = e.rater_weight("alice").unwrap();
+        let w_mid = e.rater_weight("bob").unwrap();
+        assert!(w_low < w_mid);
+
+        let d_low = e.endorse("alice", "carol", 0).unwrap();
+        let d_mid = e.endorse("bob", "carol", 0).unwrap();
+        assert!(d_low < d_mid, "weaker rater moves score less: {d_low} vs {d_mid}");
+    }
+
+    #[test]
+    fn ledger_records_exported() {
+        let mut e = engine();
+        e.endorse("alice", "bob", 0).unwrap();
+        e.report("bob", "carol", 0).unwrap();
+        e.system_delta("carol", 100, "incentive", 0).unwrap();
+        let records = e.drain_ledger_records();
+        assert_eq!(records.len(), 3);
+        assert!(e.drain_ledger_records().is_empty(), "drain empties the buffer");
+    }
+
+    #[test]
+    fn decay_pulls_to_prior() {
+        let mut e = engine();
+        e.system_delta("bob", 40_000, "boost", 0).unwrap();
+        let before = e.score("bob").unwrap().points();
+        e.decay_all(10_000); // 10 half-lives
+        let after = e.score("bob").unwrap().points();
+        assert!(after < before);
+        assert!((after - 50.0).abs() < 1.0, "near prior after many half-lives: {after}");
+    }
+
+    #[test]
+    fn voting_weight_scales() {
+        let mut e = engine();
+        assert_eq!(e.voting_weight("alice", 100).unwrap(), 50);
+        e.system_delta("alice", 50_000, "max", 0).unwrap();
+        assert_eq!(e.voting_weight("alice", 100).unwrap(), 100);
+    }
+
+    #[test]
+    fn leaderboard_sorted() {
+        let mut e = engine();
+        e.system_delta("carol", 20_000, "x", 0).unwrap();
+        e.system_delta("bob", -20_000, "x", 0).unwrap();
+        let lb = e.leaderboard();
+        assert_eq!(lb[0].0, "carol");
+        assert_eq!(lb[2].0, "bob");
+    }
+
+    #[test]
+    fn deregister_removes() {
+        let mut e = engine();
+        e.deregister("bob").unwrap();
+        assert!(!e.contains("bob"));
+        assert!(e.deregister("bob").is_err());
+    }
+}

@@ -1,0 +1,61 @@
+//! Error types for the reputation crate.
+
+/// Errors returned by reputation operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ReputationError {
+    /// Referenced account does not exist.
+    UnknownAccount {
+        /// The missing account id.
+        account: String,
+    },
+    /// An account tried to endorse or report itself.
+    SelfReferential {
+        /// The offending account id.
+        account: String,
+    },
+    /// The actor exceeded its per-epoch action budget.
+    RateLimited {
+        /// The throttled account id.
+        account: String,
+        /// Actions permitted per epoch.
+        limit: u32,
+    },
+    /// The account already exists.
+    DuplicateAccount {
+        /// The duplicated account id.
+        account: String,
+    },
+}
+
+impl std::fmt::Display for ReputationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReputationError::UnknownAccount { account } => {
+                write!(f, "unknown account {account:?}")
+            }
+            ReputationError::SelfReferential { account } => {
+                write!(f, "account {account:?} cannot rate itself")
+            }
+            ReputationError::RateLimited { account, limit } => {
+                write!(f, "account {account:?} exceeded {limit} actions this epoch")
+            }
+            ReputationError::DuplicateAccount { account } => {
+                write!(f, "account {account:?} already registered")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReputationError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_account() {
+        let e = ReputationError::UnknownAccount { account: "mallory".into() };
+        assert!(e.to_string().contains("mallory"));
+    }
+}

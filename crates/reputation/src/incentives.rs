@@ -1,0 +1,338 @@
+//! Incentive mechanisms for shaping population behaviour.
+//!
+//! Implements the mechanism the paper adopts from the two-year Minecraft
+//! community study (§III-D):
+//!
+//! > "They also propose incentive mechanisms to promote positive
+//! > behaviour and restrain negative players. These incentive systems can
+//! > also encourage collaboration, shared planning, and teamwork."
+//!
+//! The model: a population of [`Agent`]s repeatedly chooses between a
+//! positive action (helping, creating, collaborating) and a negative one
+//! (griefing, spamming). Each agent has an intrinsic disposition; the
+//! platform overlays *extrinsic* utility — incentive payouts for positive
+//! actions and reputation penalties (with imperfect detection) for
+//! negative ones. Agents adapt their behaviour via a logistic best
+//! response to realized utility, so turning the incentive engine on or
+//! off produces a measurable shift in the population's positive-action
+//! rate (experiment E9).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::engine::ReputationEngine;
+
+/// The two action classes the Minecraft study distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ActionKind {
+    /// Prosocial behaviour: helping, building, collaborating.
+    Positive,
+    /// Antisocial behaviour: griefing, spam, harassment.
+    Negative,
+}
+
+/// Configuration of the incentive engine.
+#[derive(Debug, Clone)]
+pub struct IncentiveConfig {
+    /// Reputation payout for a positive action, in milli-points.
+    pub positive_reward_millis: i64,
+    /// Reputation penalty for a *detected* negative action, milli-points.
+    pub negative_penalty_millis: i64,
+    /// Probability a negative action is detected (moderation coverage).
+    pub detection_probability: f64,
+    /// Learning rate of the agents' behavioural adaptation.
+    pub adaptation_rate: f64,
+    /// Intrinsic utility of the negative action (what griefers get out of
+    /// griefing); positive actions have intrinsic utility 1.0.
+    pub negative_intrinsic_utility: f64,
+}
+
+impl Default for IncentiveConfig {
+    fn default() -> Self {
+        IncentiveConfig {
+            positive_reward_millis: 500,
+            negative_penalty_millis: 3000,
+            detection_probability: 0.4,
+            adaptation_rate: 0.15,
+            negative_intrinsic_utility: 1.4,
+        }
+    }
+}
+
+/// A behavioural agent with an adaptive positive-action propensity.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Agent {
+    /// Account name (must be registered in the [`ReputationEngine`]).
+    pub name: String,
+    /// Probability of choosing the positive action this round.
+    pub propensity: f64,
+    /// Immutable disposition in `[0, 1]`: 1.0 = saint, 0.0 = griefer.
+    pub disposition: f64,
+    /// Cumulative realized utility (diagnostic).
+    pub utility: f64,
+}
+
+impl Agent {
+    /// Creates an agent whose initial propensity equals its disposition.
+    pub fn new(name: impl Into<String>, disposition: f64) -> Self {
+        let d = disposition.clamp(0.0, 1.0);
+        Agent { name: name.into(), propensity: d, disposition: d, utility: 0.0 }
+    }
+}
+
+/// Aggregate statistics of one simulation round.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PopulationStats {
+    /// Fraction of actions this round that were positive.
+    pub positive_rate: f64,
+    /// Mean propensity across agents after adaptation.
+    pub mean_propensity: f64,
+    /// Mean reputation points across agents.
+    pub mean_reputation: f64,
+    /// Number of negative actions that went undetected.
+    pub undetected_negative: usize,
+}
+
+/// Drives a population of agents against a reputation engine.
+#[derive(Debug)]
+pub struct IncentiveEngine {
+    config: IncentiveConfig,
+    /// Whether extrinsic incentives are applied (the E9 ablation switch).
+    pub enabled: bool,
+}
+
+impl IncentiveEngine {
+    /// Creates an engine with incentives enabled.
+    pub fn new(config: IncentiveConfig) -> Self {
+        IncentiveEngine { config, enabled: true }
+    }
+
+    /// Runs one round: every agent acts once, incentives are applied, and
+    /// agents adapt their propensity.
+    pub fn step<R: Rng + ?Sized>(
+        &self,
+        agents: &mut [Agent],
+        reputation: &mut ReputationEngine,
+        now: u64,
+        rng: &mut R,
+    ) -> PopulationStats {
+        let mut positive = 0usize;
+        let mut undetected = 0usize;
+
+        for agent in agents.iter_mut() {
+            let acts_positive = rng.gen_bool(agent.propensity.clamp(0.0, 1.0));
+            // Realized utilities this round.
+            let (u_pos, u_neg);
+            if acts_positive {
+                positive += 1;
+                let reward = if self.enabled {
+                    let _ = reputation.system_delta(
+                        &agent.name,
+                        self.config.positive_reward_millis,
+                        "incentive:positive",
+                        now,
+                    );
+                    self.config.positive_reward_millis as f64 / 1000.0
+                } else {
+                    0.0
+                };
+                u_pos = 1.0 + reward;
+                u_neg = self.expected_negative_utility();
+                agent.utility += u_pos;
+            } else {
+                let detected = rng.gen_bool(self.config.detection_probability);
+                let penalty = if detected && self.enabled {
+                    let _ = reputation.system_delta(
+                        &agent.name,
+                        -self.config.negative_penalty_millis,
+                        "incentive:penalty",
+                        now,
+                    );
+                    self.config.negative_penalty_millis as f64 / 1000.0
+                } else {
+                    if !detected {
+                        undetected += 1;
+                    }
+                    0.0
+                };
+                u_neg = self.config.negative_intrinsic_utility - penalty;
+                u_pos = 1.0 + self.expected_positive_reward();
+                agent.utility += u_neg;
+            }
+
+            // Logistic best response: drift toward the higher-utility
+            // action, anchored by intrinsic disposition.
+            let advantage = u_pos - u_neg;
+            let target = 1.0 / (1.0 + (-2.0 * advantage).exp());
+            let anchored = 0.5 * target + 0.5 * agent.disposition;
+            agent.propensity += self.config.adaptation_rate * (anchored - agent.propensity);
+            agent.propensity = agent.propensity.clamp(0.01, 0.99);
+        }
+
+        let mean_propensity =
+            agents.iter().map(|a| a.propensity).sum::<f64>() / agents.len().max(1) as f64;
+        let mean_reputation = agents
+            .iter()
+            .filter_map(|a| reputation.score(&a.name).ok())
+            .map(|s| s.points())
+            .sum::<f64>()
+            / agents.len().max(1) as f64;
+
+        PopulationStats {
+            positive_rate: positive as f64 / agents.len().max(1) as f64,
+            mean_propensity,
+            mean_reputation,
+            undetected_negative: undetected,
+        }
+    }
+
+    fn expected_positive_reward(&self) -> f64 {
+        if self.enabled {
+            self.config.positive_reward_millis as f64 / 1000.0
+        } else {
+            0.0
+        }
+    }
+
+    fn expected_negative_utility(&self) -> f64 {
+        let penalty = if self.enabled {
+            self.config.detection_probability * self.config.negative_penalty_millis as f64 / 1000.0
+        } else {
+            0.0
+        };
+        self.config.negative_intrinsic_utility - penalty
+    }
+
+    /// Runs `rounds` rounds and returns per-round statistics.
+    pub fn run<R: Rng + ?Sized>(
+        &self,
+        agents: &mut [Agent],
+        reputation: &mut ReputationEngine,
+        rounds: usize,
+        rng: &mut R,
+    ) -> Vec<PopulationStats> {
+        (0..rounds)
+            .map(|round| {
+                reputation.begin_epoch();
+                self.step(agents, reputation, round as u64, rng)
+            })
+            .collect()
+    }
+}
+
+/// Builds a mixed population: `n` agents with dispositions drawn from a
+/// triangular-ish mixture (mostly decent, a griefing tail), matching the
+/// Minecraft study's description of youth communities.
+pub fn mixed_population<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Vec<Agent> {
+    (0..n)
+        .map(|i| {
+            let disposition = if rng.gen_bool(0.15) {
+                rng.gen_range(0.05..0.3) // griefing tail
+            } else {
+                rng.gen_range(0.5..0.95)
+            };
+            Agent::new(format!("agent-{i}"), disposition)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(n: usize, seed: u64) -> (Vec<Agent>, ReputationEngine, StdRng) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let agents = mixed_population(n, &mut rng);
+        let mut rep = ReputationEngine::new(EngineConfig::default());
+        for a in &agents {
+            rep.register(&a.name, 0).unwrap();
+        }
+        (agents, rep, rng)
+    }
+
+    #[test]
+    fn incentives_raise_positive_rate() {
+        let (mut agents_on, mut rep_on, mut rng_on) = setup(200, 7);
+        let (mut agents_off, mut rep_off, mut rng_off) = setup(200, 7);
+
+        let on = IncentiveEngine::new(IncentiveConfig::default());
+        let mut off = IncentiveEngine::new(IncentiveConfig::default());
+        off.enabled = false;
+
+        let stats_on = on.run(&mut agents_on, &mut rep_on, 30, &mut rng_on);
+        let stats_off = off.run(&mut agents_off, &mut rep_off, 30, &mut rng_off);
+
+        let late_on: f64 =
+            stats_on[20..].iter().map(|s| s.positive_rate).sum::<f64>() / 10.0;
+        let late_off: f64 =
+            stats_off[20..].iter().map(|s| s.positive_rate).sum::<f64>() / 10.0;
+        assert!(
+            late_on > late_off + 0.05,
+            "incentives should lift positive rate: on={late_on:.3} off={late_off:.3}"
+        );
+    }
+
+    #[test]
+    fn propensity_stays_in_bounds() {
+        let (mut agents, mut rep, mut rng) = setup(50, 11);
+        let eng = IncentiveEngine::new(IncentiveConfig {
+            adaptation_rate: 0.9,
+            ..IncentiveConfig::default()
+        });
+        eng.run(&mut agents, &mut rep, 50, &mut rng);
+        for a in &agents {
+            assert!((0.01..=0.99).contains(&a.propensity), "{}", a.propensity);
+        }
+    }
+
+    #[test]
+    fn detection_probability_extremes() {
+        // With perfect detection and heavy penalties, even griefers
+        // converge upward relative to no detection at all.
+        let run_with = |p: f64, seed: u64| {
+            let (mut agents, mut rep, mut rng) = setup(100, seed);
+            for a in agents.iter_mut() {
+                a.disposition = 0.2;
+                a.propensity = 0.2;
+            }
+            let eng = IncentiveEngine::new(IncentiveConfig {
+                detection_probability: p,
+                negative_penalty_millis: 5000,
+                ..IncentiveConfig::default()
+            });
+            let stats = eng.run(&mut agents, &mut rep, 40, &mut rng);
+            stats.last().unwrap().mean_propensity
+        };
+        assert!(run_with(1.0, 3) > run_with(0.0, 3) + 0.05);
+    }
+
+    #[test]
+    fn mixed_population_has_griefing_tail() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let pop = mixed_population(1000, &mut rng);
+        let griefers = pop.iter().filter(|a| a.disposition < 0.3).count();
+        assert!((50..400).contains(&griefers), "griefers: {griefers}");
+    }
+
+    #[test]
+    fn stats_fields_consistent() {
+        let (mut agents, mut rep, mut rng) = setup(40, 13);
+        let eng = IncentiveEngine::new(IncentiveConfig::default());
+        let s = eng.step(&mut agents, &mut rep, 0, &mut rng);
+        assert!((0.0..=1.0).contains(&s.positive_rate));
+        assert!((0.0..=1.0).contains(&s.mean_propensity));
+        assert!(s.mean_reputation >= 0.0 && s.mean_reputation <= 100.0);
+        assert!(s.undetected_negative <= 40);
+    }
+
+    #[test]
+    fn reputation_engine_receives_ledger_records() {
+        let (mut agents, mut rep, mut rng) = setup(30, 17);
+        let eng = IncentiveEngine::new(IncentiveConfig::default());
+        eng.step(&mut agents, &mut rep, 0, &mut rng);
+        assert!(!rep.drain_ledger_records().is_empty());
+    }
+}

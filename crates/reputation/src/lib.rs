@@ -1,0 +1,43 @@
+//! # metaverse-reputation
+//!
+//! The reputation subsystem of `metaverse-kit`, implementing the paper's
+//! "Human effort" layer:
+//!
+//! > "The metaverse will include a reputation-based system that will be
+//! > inherently attached to users and will be managed by Blockchain and
+//! > DAOs. This reputation system will allow users to report malicious
+//! > users' misbehaviour and malpractice while voting using DAOs." — §IV-C
+//!
+//! and its role as an attack counterbalance:
+//!
+//! > "A reputation-based system under the Blockchain will enable the
+//! > metaverse with a tool to counterbalance attacks during
+//! > decision-making processes and limit the spread of misinformation."
+//!
+//! Components:
+//!
+//! * [`score`] — bounded reputation scores with exponential decay and a
+//!   Wilson-interval trust estimate.
+//! * [`engine`] — the account-level engine: endorsements, reports,
+//!   reporter-weighting, per-epoch rate limits, and ledger anchoring
+//!   (every change is exported as a [`metaverse_ledger::tx::TxPayload`]).
+//! * [`sybil`] — Sybil and whitewashing attack models plus resistance
+//!   metrics (experiments E9/E10/E11 use these as adversaries).
+//! * [`incentives`] — the incentive mechanisms the paper borrows from the
+//!   Minecraft governance study: reward positive behaviour, restrain
+//!   negative players, and observe the population response.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod error;
+pub mod incentives;
+pub mod score;
+pub mod sybil;
+
+pub use engine::{EngineConfig, ReputationEngine};
+pub use error::ReputationError;
+pub use incentives::{ActionKind, Agent, IncentiveConfig, IncentiveEngine, PopulationStats};
+pub use score::{ReputationScore, TrustEstimate};
+pub use sybil::{SybilAttack, WhitewashAttack};

@@ -1,0 +1,192 @@
+//! Bounded reputation scores with decay and trust estimation.
+
+use serde::{Deserialize, Serialize};
+
+/// Milli-points: scores are stored as integers to keep ledger records and
+/// cross-platform replays exact.
+pub const MILLIS: i64 = 1000;
+
+/// Maximum score (100.000 points).
+pub const MAX_SCORE_MILLIS: i64 = 100 * MILLIS;
+
+/// A single account's reputation state.
+///
+/// Scores live in `[0, 100]` points (stored in milli-points). New
+/// accounts start at a configurable neutral prior rather than zero, so an
+/// attacker gains nothing by abandoning a damaged account and re-joining
+/// *unless* the neutral prior is below their damaged score — the classic
+/// whitewashing trade-off, measured in experiment E9.
+///
+/// ```
+/// use metaverse_reputation::score::ReputationScore;
+/// let mut s = ReputationScore::with_prior(50_000);
+/// s.apply_delta(10_000);
+/// assert_eq!(s.points(), 60.0);
+/// s.apply_delta(-200_000); // clamps at 0
+/// assert_eq!(s.points(), 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReputationScore {
+    millis: i64,
+    /// Positive interactions observed (endorsements received).
+    pub positive: u64,
+    /// Negative interactions observed (upheld reports).
+    pub negative: u64,
+}
+
+impl ReputationScore {
+    /// Creates a score at the given prior (in milli-points).
+    pub fn with_prior(prior_millis: i64) -> Self {
+        ReputationScore {
+            millis: prior_millis.clamp(0, MAX_SCORE_MILLIS),
+            positive: 0,
+            negative: 0,
+        }
+    }
+
+    /// Current score in milli-points.
+    pub fn millis(&self) -> i64 {
+        self.millis
+    }
+
+    /// Current score in points (0.0 ..= 100.0).
+    pub fn points(&self) -> f64 {
+        self.millis as f64 / MILLIS as f64
+    }
+
+    /// Applies a signed delta, clamping to the valid range. Returns the
+    /// delta actually applied after clamping.
+    pub fn apply_delta(&mut self, delta_millis: i64) -> i64 {
+        let before = self.millis;
+        self.millis = (self.millis + delta_millis).clamp(0, MAX_SCORE_MILLIS);
+        if delta_millis > 0 {
+            self.positive += 1;
+        } else if delta_millis < 0 {
+            self.negative += 1;
+        }
+        self.millis - before
+    }
+
+    /// Exponential decay toward the neutral prior over `elapsed` ticks
+    /// with the given half-life. Half-life 0 disables decay.
+    ///
+    /// Decay models the paper's implicit requirement that reputation
+    /// reflect *recent* behaviour: old endorsements should not shield a
+    /// newly malicious account forever.
+    pub fn decay_toward(&mut self, prior_millis: i64, elapsed: u64, half_life: u64) {
+        if half_life == 0 || elapsed == 0 {
+            return;
+        }
+        let factor = 0.5f64.powf(elapsed as f64 / half_life as f64);
+        let prior = prior_millis.clamp(0, MAX_SCORE_MILLIS) as f64;
+        let current = self.millis as f64;
+        self.millis = (prior + (current - prior) * factor).round() as i64;
+        self.millis = self.millis.clamp(0, MAX_SCORE_MILLIS);
+    }
+
+    /// Wilson lower-bound trust estimate from the positive/negative
+    /// interaction record (z = 1.96, 95% confidence).
+    ///
+    /// This is the statistic marketplaces use to rank sellers: it is
+    /// pessimistic for accounts with few interactions, which is exactly
+    /// the anti-Sybil behaviour the paper wants ("counterbalance attacks
+    /// during decision-making").
+    pub fn trust(&self) -> TrustEstimate {
+        let n = (self.positive + self.negative) as f64;
+        if n == 0.0 {
+            return TrustEstimate { lower_bound: 0.0, observations: 0 };
+        }
+        let z = 1.96f64;
+        let p = self.positive as f64 / n;
+        let denom = 1.0 + z * z / n;
+        let centre = p + z * z / (2.0 * n);
+        let margin = z * ((p * (1.0 - p) + z * z / (4.0 * n)) / n).sqrt();
+        TrustEstimate {
+            lower_bound: ((centre - margin) / denom).clamp(0.0, 1.0),
+            observations: self.positive + self.negative,
+        }
+    }
+}
+
+/// A Wilson-interval trust estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrustEstimate {
+    /// Lower bound of the 95% confidence interval on the positive rate.
+    pub lower_bound: f64,
+    /// Number of interactions the estimate is based on.
+    pub observations: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clamping_at_bounds() {
+        let mut s = ReputationScore::with_prior(95_000);
+        let applied = s.apply_delta(10_000);
+        assert_eq!(applied, 5_000);
+        assert_eq!(s.millis(), MAX_SCORE_MILLIS);
+        let applied = s.apply_delta(-200_000);
+        assert_eq!(applied, -MAX_SCORE_MILLIS);
+        assert_eq!(s.millis(), 0);
+    }
+
+    #[test]
+    fn prior_clamped() {
+        assert_eq!(ReputationScore::with_prior(-5).millis(), 0);
+        assert_eq!(ReputationScore::with_prior(i64::MAX).millis(), MAX_SCORE_MILLIS);
+    }
+
+    #[test]
+    fn decay_halves_distance_to_prior() {
+        let mut s = ReputationScore::with_prior(80_000);
+        s.decay_toward(50_000, 10, 10);
+        assert_eq!(s.millis(), 65_000); // halfway between 80k and 50k
+        s.decay_toward(50_000, 10, 10);
+        assert_eq!(s.millis(), 57_500);
+    }
+
+    #[test]
+    fn decay_from_below_prior_rises() {
+        let mut s = ReputationScore::with_prior(10_000);
+        s.decay_toward(50_000, 10, 10);
+        assert_eq!(s.millis(), 30_000);
+    }
+
+    #[test]
+    fn zero_half_life_disables_decay() {
+        let mut s = ReputationScore::with_prior(80_000);
+        s.decay_toward(50_000, 100, 0);
+        assert_eq!(s.millis(), 80_000);
+    }
+
+    #[test]
+    fn trust_pessimistic_for_few_observations() {
+        let mut few = ReputationScore::with_prior(50_000);
+        few.apply_delta(1);
+        few.apply_delta(1); // 2 positives
+        let mut many = ReputationScore::with_prior(50_000);
+        for _ in 0..100 {
+            many.apply_delta(1);
+        }
+        assert!(few.trust().lower_bound < many.trust().lower_bound);
+        assert!(many.trust().lower_bound > 0.9);
+    }
+
+    #[test]
+    fn trust_empty_is_zero() {
+        let s = ReputationScore::with_prior(50_000);
+        assert_eq!(s.trust().lower_bound, 0.0);
+        assert_eq!(s.trust().observations, 0);
+    }
+
+    #[test]
+    fn trust_reflects_negative_history() {
+        let mut bad = ReputationScore::with_prior(50_000);
+        for _ in 0..50 {
+            bad.apply_delta(-1);
+        }
+        assert!(bad.trust().lower_bound < 0.1);
+    }
+}

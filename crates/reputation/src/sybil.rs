@@ -1,0 +1,239 @@
+//! Sybil and whitewashing attack models.
+//!
+//! The paper assigns reputation the job of "counterbalanc\[ing\] attacks
+//! during decision-making processes" (§IV-C). These adversaries give the
+//! experiments something concrete to counterbalance:
+//!
+//! * [`SybilAttack`] — an attacker spawns `k` fresh accounts that all
+//!   endorse a target (to pump it) or report a victim (to bury them).
+//! * [`WhitewashAttack`] — a damaged account is abandoned and re-created
+//!   to shed its negative history.
+//!
+//! Both return a measurable outcome so benches can sweep attacker budgets
+//! and chart the achieved score distortion.
+
+use crate::engine::ReputationEngine;
+use crate::error::ReputationError;
+
+/// A Sybil endorsement/report attack.
+#[derive(Debug, Clone)]
+pub struct SybilAttack {
+    /// Prefix for generated puppet account names.
+    pub puppet_prefix: String,
+    /// Number of puppet accounts to create.
+    pub puppets: usize,
+    /// Endorsements/reports issued per puppet.
+    pub actions_per_puppet: u32,
+}
+
+/// Outcome of a simulated attack, for reporting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AttackOutcome {
+    /// Target score before the attack (points).
+    pub before: f64,
+    /// Target score after the attack (points).
+    pub after: f64,
+    /// Total accounts the attacker had to create.
+    pub accounts_spent: usize,
+}
+
+impl AttackOutcome {
+    /// Absolute score distortion achieved.
+    pub fn distortion(&self) -> f64 {
+        (self.after - self.before).abs()
+    }
+}
+
+impl SybilAttack {
+    /// Runs the attack: all puppets endorse `target` (pump).
+    pub fn pump(
+        &self,
+        engine: &mut ReputationEngine,
+        target: &str,
+        now: u64,
+    ) -> Result<AttackOutcome, ReputationError> {
+        self.run(engine, target, now, true)
+    }
+
+    /// Runs the attack: all puppets report `target` (bury).
+    pub fn bury(
+        &self,
+        engine: &mut ReputationEngine,
+        target: &str,
+        now: u64,
+    ) -> Result<AttackOutcome, ReputationError> {
+        self.run(engine, target, now, false)
+    }
+
+    fn run(
+        &self,
+        engine: &mut ReputationEngine,
+        target: &str,
+        now: u64,
+        positive: bool,
+    ) -> Result<AttackOutcome, ReputationError> {
+        let before = engine.score(target)?.points();
+        for i in 0..self.puppets {
+            let name = format!("{}-{i}", self.puppet_prefix);
+            // Puppets may collide with a previous wave; ignore duplicates.
+            let _ = engine.register(&name, now);
+            for _ in 0..self.actions_per_puppet {
+                let res = if positive {
+                    engine.endorse(&name, target, now)
+                } else {
+                    engine.report(&name, target, now)
+                };
+                match res {
+                    Ok(_) => {}
+                    Err(ReputationError::RateLimited { .. }) => break,
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        let after = engine.score(target)?.points();
+        Ok(AttackOutcome { before, after, accounts_spent: self.puppets })
+    }
+}
+
+/// A whitewashing attack: abandon a damaged identity, return as new.
+#[derive(Debug, Clone)]
+pub struct WhitewashAttack {
+    /// The damaged account to abandon.
+    pub old_identity: String,
+    /// The fresh identity to re-register under.
+    pub new_identity: String,
+}
+
+impl WhitewashAttack {
+    /// Executes the whitewash. Returns `(old_score, new_score)` in points;
+    /// the attack "succeeds" when the new score exceeds the old one.
+    pub fn run(
+        &self,
+        engine: &mut ReputationEngine,
+        now: u64,
+    ) -> Result<(f64, f64), ReputationError> {
+        let old = engine.score(&self.old_identity)?.points();
+        engine.deregister(&self.old_identity)?;
+        engine.register(&self.new_identity, now)?;
+        let new = engine.score(&self.new_identity)?.points();
+        Ok((old, new))
+    }
+
+    /// Whether whitewashing pays off under the engine's prior: true when
+    /// a fresh account's score beats `damaged_score`.
+    pub fn profitable(damaged_score: f64, neutral_prior_points: f64) -> bool {
+        neutral_prior_points > damaged_score
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+
+    fn engine_with(prior: i64, min_weight: f64) -> ReputationEngine {
+        let mut e = ReputationEngine::new(EngineConfig {
+            neutral_prior_millis: prior,
+            min_rater_weight: min_weight,
+            epoch_action_limit: 100,
+            ..EngineConfig::default()
+        });
+        e.register("victim", 0).unwrap();
+        e.register("honest-1", 0).unwrap();
+        e.register("honest-2", 0).unwrap();
+        e
+    }
+
+    #[test]
+    fn sybil_bury_moves_score_less_than_honest_reports_per_account() {
+        // With a low neutral prior, each puppet carries little weight, so
+        // k puppet reports distort less than k established-account
+        // reports would.
+        let mut sybil_engine = engine_with(10_000, 0.05);
+        let attack = SybilAttack {
+            puppet_prefix: "sybil".into(),
+            puppets: 5,
+            actions_per_puppet: 1,
+        };
+        let sybil_out = attack.bury(&mut sybil_engine, "victim", 0).unwrap();
+
+        let mut honest_engine = engine_with(10_000, 0.05);
+        // Give honest raters standing + history.
+        for r in ["honest-1", "honest-2"] {
+            honest_engine.system_delta(r, 60_000, "standing", 0).unwrap();
+            for _ in 0..20 {
+                honest_engine.system_delta(r, 1, "history", 0).unwrap();
+            }
+        }
+        let mut honest_victim_before = honest_engine.score("victim").unwrap().points();
+        for r in ["honest-1", "honest-2"] {
+            honest_engine.report(r, "victim", 0).unwrap();
+        }
+        let honest_after = honest_engine.score("victim").unwrap().points();
+        honest_victim_before -= honest_after;
+        let honest_per_account = honest_victim_before / 2.0;
+        let sybil_per_account = sybil_out.distortion() / attack.puppets as f64;
+        assert!(
+            sybil_per_account < honest_per_account,
+            "sybil {sybil_per_account} should underperform honest {honest_per_account}"
+        );
+    }
+
+    #[test]
+    fn sybil_pump_distortion_bounded_by_weight() {
+        let mut e = engine_with(5_000, 0.05);
+        let attack = SybilAttack {
+            puppet_prefix: "pump".into(),
+            puppets: 10,
+            actions_per_puppet: 2,
+        };
+        let out = attack.pump(&mut e, "victim", 0).unwrap();
+        assert!(out.after > out.before);
+        // 20 endorsements at full weight would add 20 * 1.5 = 30 points;
+        // low-prior puppets must achieve far less.
+        assert!(out.distortion() < 15.0, "distortion {}", out.distortion());
+    }
+
+    #[test]
+    fn rate_limit_caps_each_puppet() {
+        let mut e = ReputationEngine::new(EngineConfig {
+            epoch_action_limit: 3,
+            ..EngineConfig::default()
+        });
+        e.register("victim", 0).unwrap();
+        let attack = SybilAttack {
+            puppet_prefix: "s".into(),
+            puppets: 1,
+            actions_per_puppet: 50,
+        };
+        // Must not error: the attack stops at the rate limit.
+        attack.bury(&mut e, "victim", 0).unwrap();
+    }
+
+    #[test]
+    fn whitewash_profitable_only_above_prior() {
+        let mut e = engine_with(30_000, 0.1);
+        e.system_delta("victim", -25_000, "sanction", 0).unwrap(); // 5 points
+        let attack = WhitewashAttack {
+            old_identity: "victim".into(),
+            new_identity: "victim-reborn".into(),
+        };
+        let (old, new) = attack.run(&mut e, 1).unwrap();
+        assert!(new > old, "fresh identity beats damaged one: {new} vs {old}");
+        assert!(WhitewashAttack::profitable(old, 30.0));
+        assert!(!WhitewashAttack::profitable(80.0, 30.0));
+    }
+
+    #[test]
+    fn repeated_waves_tolerate_existing_puppets() {
+        let mut e = engine_with(10_000, 0.05);
+        let attack = SybilAttack {
+            puppet_prefix: "wave".into(),
+            puppets: 3,
+            actions_per_puppet: 1,
+        };
+        attack.bury(&mut e, "victim", 0).unwrap();
+        e.begin_epoch();
+        attack.bury(&mut e, "victim", 1).unwrap(); // same puppet names
+    }
+}

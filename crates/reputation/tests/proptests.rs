@@ -1,0 +1,118 @@
+//! Property-based tests for reputation invariants.
+
+use metaverse_reputation::engine::{EngineConfig, ReputationEngine};
+use metaverse_reputation::score::{ReputationScore, MAX_SCORE_MILLIS};
+use proptest::prelude::*;
+
+proptest! {
+    /// Scores never escape [0, MAX] under any delta sequence.
+    #[test]
+    fn score_always_bounded(
+        prior in 0i64..=MAX_SCORE_MILLIS,
+        deltas in proptest::collection::vec(-200_000i64..200_000, 0..100),
+    ) {
+        let mut s = ReputationScore::with_prior(prior);
+        for d in deltas {
+            s.apply_delta(d);
+            prop_assert!((0..=MAX_SCORE_MILLIS).contains(&s.millis()));
+        }
+    }
+
+    /// Decay always moves the score strictly toward the prior (or keeps
+    /// it there), never past it.
+    #[test]
+    fn decay_contracts_toward_prior(
+        start in 0i64..=MAX_SCORE_MILLIS,
+        prior in 0i64..=MAX_SCORE_MILLIS,
+        elapsed in 1u64..10_000,
+        half_life in 1u64..10_000,
+    ) {
+        let mut s = ReputationScore::with_prior(start);
+        let before = s.millis();
+        s.decay_toward(prior, elapsed, half_life);
+        let after = s.millis();
+        if before >= prior {
+            prop_assert!(after <= before && after >= prior, "{before}->{after} prior {prior}");
+        } else {
+            prop_assert!(after >= before && after <= prior, "{before}->{after} prior {prior}");
+        }
+    }
+
+    /// The Wilson trust bound is a valid probability and grows with
+    /// uniform positive evidence.
+    #[test]
+    fn trust_bound_valid(positive in 0u64..500, negative in 0u64..500) {
+        let mut s = ReputationScore::with_prior(50_000);
+        s.positive = positive;
+        s.negative = negative;
+        let t = s.trust();
+        prop_assert!((0.0..=1.0).contains(&t.lower_bound));
+        prop_assert_eq!(t.observations, positive + negative);
+        // Adding a positive observation never lowers the bound.
+        let mut s2 = s;
+        s2.positive += 1;
+        prop_assert!(s2.trust().lower_bound >= t.lower_bound - 1e-12);
+    }
+
+    /// Rater weight stays in [min_weight, 1] regardless of history.
+    #[test]
+    fn rater_weight_bounded(
+        deltas in proptest::collection::vec(-50_000i64..50_000, 0..30),
+        min_weight in 0.0f64..0.5,
+    ) {
+        let mut engine = ReputationEngine::new(EngineConfig {
+            min_rater_weight: min_weight,
+            epoch_action_limit: u32::MAX,
+            ..EngineConfig::default()
+        });
+        engine.register("rater", 0).unwrap();
+        for (i, d) in deltas.iter().enumerate() {
+            engine.system_delta("rater", *d, "prop", i as u64).unwrap();
+        }
+        let w = engine.rater_weight("rater").unwrap();
+        prop_assert!(w >= min_weight - 1e-12 && w <= 1.0, "weight {w}");
+    }
+
+    /// Ledger-record conservation: every successful endorse/report emits
+    /// exactly one record, failures emit none.
+    #[test]
+    fn ledger_records_match_successes(
+        actions in proptest::collection::vec((0usize..4, 0usize..4, any::<bool>()), 1..60),
+    ) {
+        let mut engine = ReputationEngine::new(EngineConfig {
+            epoch_action_limit: u32::MAX,
+            ..EngineConfig::default()
+        });
+        for i in 0..4 {
+            engine.register(&format!("a{i}"), 0).unwrap();
+        }
+        let mut successes = 0;
+        for (rater, subject, positive) in actions {
+            let (r, s) = (format!("a{rater}"), format!("a{subject}"));
+            let result = if positive {
+                engine.endorse(&r, &s, 0)
+            } else {
+                engine.report(&r, &s, 0)
+            };
+            if result.is_ok() {
+                successes += 1;
+            }
+        }
+        prop_assert_eq!(engine.drain_ledger_records().len(), successes);
+    }
+
+    /// Voting weight scales linearly with the scale parameter.
+    #[test]
+    fn voting_weight_scales_linearly(
+        delta in -50_000i64..50_000,
+        scale in 1u64..1000,
+    ) {
+        let mut engine = ReputationEngine::new(EngineConfig::default());
+        engine.register("v", 0).unwrap();
+        engine.system_delta("v", delta, "prop", 0).unwrap();
+        let w1 = engine.voting_weight("v", scale).unwrap();
+        let w10 = engine.voting_weight("v", scale * 10).unwrap();
+        // Within rounding, 10x scale gives 10x weight.
+        prop_assert!((w10 as i64 - (w1 as i64) * 10).abs() <= 5);
+    }
+}

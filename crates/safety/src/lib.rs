@@ -1,0 +1,46 @@
+//! # metaverse-safety
+//!
+//! Physical-safety substrate for `metaverse-kit`, implementing §II-C of
+//! the paper:
+//!
+//! > "The current HMDs that are used to display the metaverse can occlude
+//! > the physical world and the ability of users to detect nearby
+//! > objects, increasing the risk of falling."
+//!
+//! and the two mitigations it cites:
+//!
+//! > "the visualization of real users […] as virtual ('shadow') avatars
+//! > to avoid collisions in multi-user VR experiences" (Langbehn et al.)
+//!
+//! > "Redirecting users' walking while disrupting their immersion in the
+//! > virtual world reduces the collision with physical objects"
+//! > (Bachmann et al., artificial potential fields)
+//!
+//! The VR lab the original studies used is hardware-gated, so this crate
+//! simulates room-scale walking: a physical room with walls, obstacles,
+//! and co-located users; virtual paths that users try to follow 1:1; and
+//! the two mitigations as steering policies. Experiments E4/E5 measure
+//! collision and reset rates with each mitigation on and off.
+//!
+//! Components:
+//!
+//! * [`room`] — physical rooms, obstacles.
+//! * [`walker`] — a walking VR user: virtual goal following, physical
+//!   mapping, collision detection.
+//! * [`redirect`] — artificial-potential-field redirected walking and
+//!   reset mechanics (E5).
+//! * [`shadow`] — multi-user co-located simulation with shadow-avatar
+//!   mutual avoidance (E4).
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod redirect;
+pub mod room;
+pub mod shadow;
+pub mod walker;
+
+pub use redirect::{RedirectionConfig, WalkOutcome};
+pub use room::{Obstacle, PhysicalRoom};
+pub use shadow::{ShadowConfig, ShadowReport};
+pub use walker::{CollisionKind, Walker};

@@ -1,0 +1,296 @@
+//! Redirected walking with artificial potential fields, and resets.
+//!
+//! Follows the shape of Bachmann et al. ("Multi-user redirected walking
+//! and resetting using artificial potential fields", TVCG 2019), which
+//! the paper cites as the §II-C mitigation: the physical heading is
+//! steered away from hazards by a repulsive potential field, subtly
+//! enough that the virtual path is preserved; when steering fails and a
+//! hazard is imminent, the user performs a *reset* (stop, turn in place
+//! toward safety) — safe but immersion-breaking. The figure of merit is
+//! therefore resets (and collisions) per 100 m walked.
+
+use metaverse_world::geometry::Vec2;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::room::PhysicalRoom;
+use crate::walker::Walker;
+
+/// Redirection parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct RedirectionConfig {
+    /// Whether APF steering is applied at all (the E5 baseline switch).
+    pub enabled: bool,
+    /// Steering gain: max radians the physical heading may deviate from
+    /// the virtual heading per metre walked. Perceptual studies put the
+    /// unnoticeable range around 0.1–0.3 rad/m; the E5 ablation sweeps
+    /// this.
+    pub gain: f64,
+    /// Influence radius of hazards for the potential field.
+    pub influence: f64,
+    /// Clearance below which a reset is triggered.
+    pub reset_clearance: f64,
+}
+
+impl Default for RedirectionConfig {
+    fn default() -> Self {
+        RedirectionConfig { enabled: true, gain: 0.25, influence: 2.0, reset_clearance: 0.45 }
+    }
+}
+
+/// Outcome of a simulated walk — a row in the E5 table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WalkOutcome {
+    /// Whether redirection was enabled.
+    pub redirected: bool,
+    /// Steering gain used.
+    pub gain: f64,
+    /// Total virtual distance walked (metres).
+    pub distance: f64,
+    /// Immersion-breaking resets performed.
+    pub resets: u64,
+    /// Actual collisions (a reset failed to trigger in time).
+    pub collisions: u64,
+    /// Resets per 100 m.
+    pub resets_per_100m: f64,
+    /// Collisions per 100 m.
+    pub collisions_per_100m: f64,
+}
+
+/// Signed smallest angle from direction `from` to direction `to`.
+fn angle_between(from: Vec2, to: Vec2) -> f64 {
+    let a = from.y.atan2(from.x);
+    let b = to.y.atan2(to.x);
+    let mut diff = b - a;
+    while diff > std::f64::consts::PI {
+        diff -= std::f64::consts::TAU;
+    }
+    while diff < -std::f64::consts::PI {
+        diff += std::f64::consts::TAU;
+    }
+    diff
+}
+
+/// Rotates a unit vector by `angle` radians.
+fn rotate(v: Vec2, angle: f64) -> Vec2 {
+    let (s, c) = angle.sin_cos();
+    Vec2::new(v.x * c - v.y * s, v.x * s + v.y * c)
+}
+
+/// Computes the physical heading for one step and updates the walker's
+/// injected-rotation state.
+///
+/// Redirected walking works by *accumulating* an imperceptible rotation
+/// between the virtual and physical worlds: each step inside a hazard's
+/// influence zone, the injected offset drifts toward the potential-field
+/// escape direction at no more than `gain` radians per metre walked
+/// (the perceptual detection threshold the E5 ablation sweeps). Away
+/// from hazards the offset decays back at the same bounded rate.
+pub fn steered_heading(
+    walker: &mut Walker,
+    room: &PhysicalRoom,
+    config: &RedirectionConfig,
+) -> Vec2 {
+    let virtual_heading = walker.virtual_heading();
+    if !config.enabled {
+        return virtual_heading;
+    }
+    let rate = (config.gain * walker.speed).max(1e-6);
+    let force = room.repulsion(&walker.physical, config.influence);
+    let current_physical = rotate(virtual_heading, walker.redirect_offset);
+
+    let desired_offset = if force.length() < 1e-9 {
+        // No hazard nearby: relax the injected rotation toward zero.
+        0.0
+    } else {
+        // Steer the physical heading toward the blend of where the user
+        // wants to go and where the field pushes.
+        let desired =
+            current_physical.add(&force.normalized().scale(force.length().min(4.0))).normalized();
+        walker.redirect_offset + angle_between(current_physical, desired)
+    };
+
+    let delta = (desired_offset - walker.redirect_offset).clamp(-rate, rate);
+    walker.redirect_offset = (walker.redirect_offset + delta)
+        .clamp(-std::f64::consts::PI, std::f64::consts::PI);
+    rotate(virtual_heading, walker.redirect_offset)
+}
+
+/// Simulates a walk of `target_distance` virtual metres and reports
+/// resets/collisions.
+///
+/// Reset mechanics: when room clearance at the walker falls below
+/// `reset_clearance`, the user stops and is turned to face the room
+/// centre (one reset); a collision is counted instead when clearance
+/// falls below the body radius before a reset fires (fast approach).
+pub fn simulate_walk<R: Rng + ?Sized>(
+    room: &PhysicalRoom,
+    config: &RedirectionConfig,
+    target_distance: f64,
+    rng: &mut R,
+) -> WalkOutcome {
+    let mut walker = Walker::new(room.bounds.center());
+    walker.sample_goal(rng);
+    let (mut resets, mut collisions) = (0u64, 0u64);
+
+    while walker.distance_walked < target_distance {
+        if walker.goal_reached() {
+            walker.sample_goal(rng);
+        }
+        let heading = steered_heading(&mut walker, room, config);
+        walker.step(heading);
+
+        let clearance = room.clearance(&walker.physical);
+        if clearance < walker.radius {
+            // Actual contact: count a collision and recover to a safe
+            // spot near the centre.
+            collisions += 1;
+            walker.physical = room.bounds.center();
+            walker.sample_goal(rng);
+        } else if clearance < config.reset_clearance {
+            // Reset: stop, rotate the *virtual* goal so the user now
+            // walks away from the hazard (2:1 turn abstracted away).
+            resets += 1;
+            walker.redirect_offset = 0.0; // reorientation clears injected rotation
+            let inward = room.bounds.center().sub(&walker.physical).normalized();
+            let dist = walker.virtual_pos.distance(&walker.goal).max(1.0);
+            walker.goal = walker.virtual_pos.add(&inward.scale(dist));
+            // Physically back off one body radius.
+            walker.physical = walker.physical.add(&inward.scale(walker.radius));
+        }
+    }
+
+    let d = walker.distance_walked;
+    WalkOutcome {
+        redirected: config.enabled,
+        gain: config.gain,
+        distance: d,
+        resets,
+        collisions,
+        resets_per_100m: resets as f64 * 100.0 / d,
+        collisions_per_100m: collisions as f64 * 100.0 / d,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn room() -> PhysicalRoom {
+        PhysicalRoom::empty(5.0, 5.0)
+    }
+
+    #[test]
+    fn angle_between_signed_and_wrapped() {
+        let x = Vec2::new(1.0, 0.0);
+        let y = Vec2::new(0.0, 1.0);
+        assert!((angle_between(x, y) - std::f64::consts::FRAC_PI_2).abs() < 1e-9);
+        assert!((angle_between(y, x) + std::f64::consts::FRAC_PI_2).abs() < 1e-9);
+        // Across the ±π seam the short way is taken.
+        let a = Vec2::new(-1.0, 1e-3).normalized();
+        let b = Vec2::new(-1.0, -1e-3).normalized();
+        assert!(angle_between(a, b).abs() < 0.01);
+    }
+
+    #[test]
+    fn rotate_unit_vectors() {
+        let x = Vec2::new(1.0, 0.0);
+        let r = rotate(x, std::f64::consts::FRAC_PI_2);
+        assert!((r.x).abs() < 1e-12 && (r.y - 1.0).abs() < 1e-12);
+        assert!((rotate(x, 0.0).x - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn offset_accumulates_near_wall_and_decays_away() {
+        let r = room();
+        let mut w = Walker::new(Vec2::new(0.8, 2.5)); // inside influence
+        w.goal = Vec2::new(-10.0, 0.0);
+        let cfg = RedirectionConfig::default();
+        for _ in 0..20 {
+            steered_heading(&mut w, &r, &cfg);
+        }
+        let built_up = w.redirect_offset.abs();
+        assert!(built_up > 0.05, "offset accumulates: {built_up}");
+        // Move to the centre: no force, offset relaxes.
+        w.physical = r.bounds.center();
+        for _ in 0..2000 {
+            steered_heading(&mut w, &r, &cfg);
+        }
+        assert!(w.redirect_offset.abs() < 1e-6, "offset decays: {}", w.redirect_offset);
+    }
+
+    #[test]
+    fn steering_disabled_returns_virtual_heading() {
+        let mut w = Walker::new(Vec2::new(0.6, 2.5)); // near left wall
+        w.goal = Vec2::new(-10.0, 0.0);
+        let cfg = RedirectionConfig { enabled: false, ..Default::default() };
+        let vh = w.virtual_heading();
+        assert_eq!(steered_heading(&mut w, &room(), &cfg), vh);
+    }
+
+    #[test]
+    fn steering_bends_away_from_wall() {
+        let mut w = Walker::new(Vec2::new(0.6, 2.5));
+        w.virtual_pos = Vec2::ZERO;
+        w.goal = Vec2::new(-10.0, 0.0); // virtual path heads into the wall
+        let cfg = RedirectionConfig::default();
+        let vh = w.virtual_heading();
+        // Walk several steps so the injected rotation accumulates.
+        let mut h = vh;
+        for _ in 0..30 {
+            h = steered_heading(&mut w, &room(), &cfg);
+        }
+        // Physical heading must have been rotated away from straight-in.
+        assert!(h.x > vh.x, "steered {h:?} vs virtual {vh:?}");
+    }
+
+    #[test]
+    fn redirection_reduces_resets() {
+        let mut rng_on = StdRng::seed_from_u64(5);
+        let mut rng_off = StdRng::seed_from_u64(5);
+        let r = room();
+        let on = simulate_walk(&r, &RedirectionConfig::default(), 300.0, &mut rng_on);
+        let off = simulate_walk(
+            &r,
+            &RedirectionConfig { enabled: false, ..Default::default() },
+            300.0,
+            &mut rng_off,
+        );
+        assert!(
+            on.resets_per_100m < off.resets_per_100m,
+            "redirected {} vs baseline {}",
+            on.resets_per_100m,
+            off.resets_per_100m
+        );
+    }
+
+    #[test]
+    fn no_collisions_with_sane_reset_clearance() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let out = simulate_walk(&room(), &RedirectionConfig::default(), 200.0, &mut rng);
+        assert_eq!(out.collisions, 0, "resets should always fire first: {out:?}");
+        assert!(out.distance >= 200.0);
+    }
+
+    #[test]
+    fn furnished_room_harder_than_empty() {
+        let mut rng1 = StdRng::seed_from_u64(7);
+        let mut rng2 = StdRng::seed_from_u64(7);
+        let empty = simulate_walk(&room(), &RedirectionConfig::default(), 200.0, &mut rng1);
+        let mut furnished = room();
+        furnished.add_obstacle(Vec2::new(1.5, 1.5), 0.4);
+        furnished.add_obstacle(Vec2::new(3.5, 3.5), 0.4);
+        let hard = simulate_walk(&furnished, &RedirectionConfig::default(), 200.0, &mut rng2);
+        assert!(hard.resets >= empty.resets);
+    }
+
+    #[test]
+    fn outcome_rates_consistent() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let out = simulate_walk(&room(), &RedirectionConfig::default(), 150.0, &mut rng);
+        let expect = out.resets as f64 * 100.0 / out.distance;
+        assert!((out.resets_per_100m - expect).abs() < 1e-9);
+    }
+}

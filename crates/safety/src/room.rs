@@ -1,0 +1,168 @@
+//! Physical rooms and obstacles.
+
+use metaverse_world::geometry::{Bounds, Vec2};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A circular physical obstacle (furniture, a pet, a wall fixture).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Obstacle {
+    /// Centre position.
+    pub position: Vec2,
+    /// Radius.
+    pub radius: f64,
+}
+
+/// A rectangular physical room with obstacles.
+#[derive(Debug, Clone)]
+pub struct PhysicalRoom {
+    /// Walkable bounds.
+    pub bounds: Bounds,
+    /// Obstacles inside the room.
+    pub obstacles: Vec<Obstacle>,
+}
+
+impl PhysicalRoom {
+    /// An empty room of the given size.
+    pub fn empty(width: f64, height: f64) -> Self {
+        PhysicalRoom { bounds: Bounds::new(width, height), obstacles: Vec::new() }
+    }
+
+    /// A room with `n` randomly placed obstacles, kept away from the
+    /// centre so a starting user is never spawned inside furniture.
+    pub fn furnished<R: Rng + ?Sized>(width: f64, height: f64, n: usize, rng: &mut R) -> Self {
+        let mut room = Self::empty(width, height);
+        let centre = room.bounds.center();
+        let mut attempts = 0;
+        while room.obstacles.len() < n && attempts < n * 50 {
+            attempts += 1;
+            let candidate = Obstacle {
+                position: Vec2::new(rng.gen_range(0.0..width), rng.gen_range(0.0..height)),
+                radius: rng.gen_range(0.2..0.5),
+            };
+            if candidate.position.distance(&centre) > 1.5 {
+                room.obstacles.push(candidate);
+            }
+        }
+        room
+    }
+
+    /// Adds an obstacle.
+    pub fn add_obstacle(&mut self, position: Vec2, radius: f64) {
+        self.obstacles.push(Obstacle { position, radius });
+    }
+
+    /// Distance from `p` to the nearest hazard surface: the smaller of
+    /// wall clearance and nearest-obstacle clearance. Negative inside an
+    /// obstacle or outside the walls.
+    pub fn clearance(&self, p: &Vec2) -> f64 {
+        let wall = self.bounds.wall_distance(p);
+        let obstacle = self
+            .obstacles
+            .iter()
+            .map(|o| p.distance(&o.position) - o.radius)
+            .fold(f64::INFINITY, f64::min);
+        wall.min(obstacle)
+    }
+
+    /// Whether a body of `radius` at `p` collides with a wall or
+    /// obstacle.
+    pub fn collides(&self, p: &Vec2, radius: f64) -> bool {
+        self.clearance(p) < radius
+    }
+
+    /// Net repulsive force at `p` from walls and obstacles, following the
+    /// artificial-potential-field formulation: each hazard closer than
+    /// `influence` contributes `(1/d − 1/influence)/d²` away from itself.
+    pub fn repulsion(&self, p: &Vec2, influence: f64) -> Vec2 {
+        let mut force = Vec2::ZERO;
+        // Walls: four axis-aligned contributions.
+        let contributions = [
+            (p.x, Vec2::new(1.0, 0.0)),                       // left wall
+            (self.bounds.width - p.x, Vec2::new(-1.0, 0.0)),  // right wall
+            (p.y, Vec2::new(0.0, 1.0)),                       // bottom wall
+            (self.bounds.height - p.y, Vec2::new(0.0, -1.0)), // top wall
+        ];
+        for (d, dir) in contributions {
+            let d = d.max(1e-3);
+            if d < influence {
+                let magnitude = (1.0 / d - 1.0 / influence) / (d * d);
+                force = force.add(&dir.scale(magnitude));
+            }
+        }
+        for o in &self.obstacles {
+            let away = p.sub(&o.position);
+            let d = (away.length() - o.radius).max(1e-3);
+            if d < influence {
+                let magnitude = (1.0 / d - 1.0 / influence) / (d * d);
+                force = force.add(&away.normalized().scale(magnitude));
+            }
+        }
+        force
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn clearance_in_empty_room() {
+        let room = PhysicalRoom::empty(10.0, 10.0);
+        assert_eq!(room.clearance(&Vec2::new(5.0, 5.0)), 5.0);
+        assert_eq!(room.clearance(&Vec2::new(1.0, 5.0)), 1.0);
+        assert!(!room.collides(&Vec2::new(5.0, 5.0), 0.3));
+        assert!(room.collides(&Vec2::new(0.2, 5.0), 0.3));
+    }
+
+    #[test]
+    fn obstacle_clearance() {
+        let mut room = PhysicalRoom::empty(10.0, 10.0);
+        room.add_obstacle(Vec2::new(5.0, 5.0), 1.0);
+        assert!((room.clearance(&Vec2::new(7.0, 5.0)) - 1.0).abs() < 1e-12);
+        assert!(room.clearance(&Vec2::new(5.5, 5.0)) < 0.0, "inside the obstacle");
+        assert!(room.collides(&Vec2::new(6.2, 5.0), 0.3));
+    }
+
+    #[test]
+    fn repulsion_points_away_from_near_wall() {
+        let room = PhysicalRoom::empty(10.0, 10.0);
+        let f = room.repulsion(&Vec2::new(0.5, 5.0), 2.0);
+        assert!(f.x > 0.0, "pushed right, away from left wall: {f:?}");
+        assert!(f.y.abs() < 1e-9);
+    }
+
+    #[test]
+    fn repulsion_zero_far_from_everything() {
+        let room = PhysicalRoom::empty(20.0, 20.0);
+        let f = room.repulsion(&Vec2::new(10.0, 10.0), 2.0);
+        assert!(f.length() < 1e-12);
+    }
+
+    #[test]
+    fn repulsion_from_obstacle() {
+        let mut room = PhysicalRoom::empty(20.0, 20.0);
+        room.add_obstacle(Vec2::new(10.0, 10.0), 0.5);
+        let f = room.repulsion(&Vec2::new(11.0, 10.0), 2.0);
+        assert!(f.x > 0.0, "pushed away from obstacle: {f:?}");
+    }
+
+    #[test]
+    fn furnished_keeps_centre_clear() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let room = PhysicalRoom::furnished(6.0, 6.0, 5, &mut rng);
+        assert!(!room.obstacles.is_empty());
+        let centre = room.bounds.center();
+        assert!(room.clearance(&centre) > 0.5, "centre must stay walkable");
+    }
+
+    #[test]
+    fn repulsion_grows_closer_to_wall() {
+        let room = PhysicalRoom::empty(10.0, 10.0);
+        let near = room.repulsion(&Vec2::new(0.3, 5.0), 2.0).length();
+        let far = room.repulsion(&Vec2::new(1.5, 5.0), 2.0).length();
+        assert!(near > far);
+    }
+}

@@ -1,0 +1,235 @@
+//! Shadow avatars for co-located multi-user VR (experiment E4).
+//!
+//! Implements the mitigation of Langbehn et al. that the paper cites:
+//! physically co-located users are rendered *into* each other's virtual
+//! worlds as shadow avatars, so users steer around each other even
+//! though the HMD occludes the real person. With shadows off, users
+//! walk their virtual paths blind to each other and collide.
+
+use metaverse_world::geometry::Vec2;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::redirect::{steered_heading, RedirectionConfig};
+use crate::room::PhysicalRoom;
+use crate::walker::Walker;
+
+/// Parameters of a co-located multi-user simulation.
+#[derive(Debug, Clone)]
+pub struct ShadowConfig {
+    /// Number of users sharing the physical room.
+    pub users: usize,
+    /// Whether shadow avatars are rendered (the E4 switch).
+    pub shadows_enabled: bool,
+    /// Distance at which a user reacts to a shadow avatar.
+    pub avoidance_radius: f64,
+    /// Strength of the mutual-avoidance steering (radians per step).
+    pub avoidance_gain: f64,
+    /// Virtual distance each user walks.
+    pub distance: f64,
+    /// Whether wall redirection also runs (both mitigations compose).
+    pub wall_redirection: bool,
+}
+
+impl Default for ShadowConfig {
+    fn default() -> Self {
+        ShadowConfig {
+            users: 3,
+            shadows_enabled: true,
+            avoidance_radius: 1.2,
+            avoidance_gain: 0.5,
+            distance: 150.0,
+            wall_redirection: true,
+        }
+    }
+}
+
+/// Result of a co-located simulation — a row in the E4 table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ShadowReport {
+    /// Whether shadows were rendered.
+    pub shadows_enabled: bool,
+    /// Number of users.
+    pub users: usize,
+    /// Total user–user collisions.
+    pub person_collisions: u64,
+    /// Collisions per user per 100 m.
+    pub collisions_per_100m: f64,
+    /// Total wall/obstacle resets across users.
+    pub resets: u64,
+}
+
+/// Runs the co-located scenario.
+pub fn run_shadow_sim<R: Rng + ?Sized>(
+    room: &PhysicalRoom,
+    config: &ShadowConfig,
+    rng: &mut R,
+) -> ShadowReport {
+    let redirect = RedirectionConfig {
+        enabled: config.wall_redirection,
+        ..RedirectionConfig::default()
+    };
+
+    // Spread users across the room.
+    let mut walkers: Vec<Walker> = (0..config.users)
+        .map(|i| {
+            let frac = (i as f64 + 1.0) / (config.users as f64 + 1.0);
+            let mut w = Walker::new(Vec2::new(
+                room.bounds.width * frac,
+                room.bounds.height * frac,
+            ));
+            w.sample_goal(rng);
+            w
+        })
+        .collect();
+
+    let mut person_collisions = 0u64;
+    let mut resets = 0u64;
+    // Cooldown so one physical contact is not counted on every tick the
+    // two bodies overlap.
+    let mut contact_cooldown = vec![vec![0u32; config.users]; config.users];
+
+    while walkers.iter().any(|w| w.distance_walked < config.distance) {
+        let positions: Vec<Vec2> = walkers.iter().map(|w| w.physical).collect();
+        for i in 0..walkers.len() {
+            if walkers[i].distance_walked >= config.distance {
+                continue;
+            }
+            if walkers[i].goal_reached() {
+                walkers[i].sample_goal(rng);
+            }
+            let mut heading = steered_heading(&mut walkers[i], room, &redirect);
+
+            if config.shadows_enabled {
+                // Mutual avoidance: steer away from nearby shadow
+                // avatars, weighted by proximity.
+                let mut avoid = Vec2::ZERO;
+                for (j, pos) in positions.iter().enumerate() {
+                    if i == j {
+                        continue;
+                    }
+                    let away = walkers[i].physical.sub(pos);
+                    let d = away.length();
+                    if d < config.avoidance_radius && d > 1e-9 {
+                        avoid = avoid.add(
+                            &away.normalized().scale((config.avoidance_radius - d) / config.avoidance_radius),
+                        );
+                    }
+                }
+                if avoid.length() > 1e-9 {
+                    heading = heading
+                        .add(&avoid.normalized().scale(config.avoidance_gain))
+                        .normalized();
+                }
+            }
+
+            walkers[i].step(heading);
+
+            // Wall/obstacle reset handling (same mechanics as E5).
+            let clearance = room.clearance(&walkers[i].physical);
+            if clearance < redirect.reset_clearance {
+                resets += 1;
+                walkers[i].redirect_offset = 0.0;
+                let inward = room.bounds.center().sub(&walkers[i].physical).normalized();
+                let dist = walkers[i].virtual_pos.distance(&walkers[i].goal).max(1.0);
+                walkers[i].goal = walkers[i].virtual_pos.add(&inward.scale(dist));
+                walkers[i].physical =
+                    walkers[i].physical.add(&inward.scale(walkers[i].radius));
+            }
+
+            // Person-to-person collision check.
+            for j in 0..walkers.len() {
+                if i == j {
+                    continue;
+                }
+                if contact_cooldown[i][j] > 0 {
+                    contact_cooldown[i][j] -= 1;
+                    continue;
+                }
+                if walkers[i].collides_with(&walkers[j]) {
+                    person_collisions += 1;
+                    contact_cooldown[i][j] = 40;
+                    contact_cooldown[j][i] = 40;
+                }
+            }
+        }
+    }
+
+    let total_distance: f64 = walkers.iter().map(|w| w.distance_walked).sum();
+    ShadowReport {
+        shadows_enabled: config.shadows_enabled,
+        users: config.users,
+        person_collisions,
+        collisions_per_100m: person_collisions as f64 * 100.0 / total_distance.max(1e-9),
+        resets,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn room() -> PhysicalRoom {
+        PhysicalRoom::empty(6.0, 6.0)
+    }
+
+    #[test]
+    fn shadows_reduce_person_collisions() {
+        let mut rng_on = StdRng::seed_from_u64(9);
+        let mut rng_off = StdRng::seed_from_u64(9);
+        let on = run_shadow_sim(&room(), &ShadowConfig::default(), &mut rng_on);
+        let off = run_shadow_sim(
+            &room(),
+            &ShadowConfig { shadows_enabled: false, ..Default::default() },
+            &mut rng_off,
+        );
+        assert!(
+            on.collisions_per_100m < off.collisions_per_100m,
+            "shadows on {} vs off {}",
+            on.collisions_per_100m,
+            off.collisions_per_100m
+        );
+        assert!(off.person_collisions > 0, "baseline must actually collide");
+    }
+
+    #[test]
+    fn single_user_never_person_collides() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let report = run_shadow_sim(
+            &room(),
+            &ShadowConfig { users: 1, distance: 60.0, ..Default::default() },
+            &mut rng,
+        );
+        assert_eq!(report.person_collisions, 0);
+    }
+
+    #[test]
+    fn more_users_more_collisions() {
+        let run = |n: usize| {
+            let mut rng = StdRng::seed_from_u64(11);
+            run_shadow_sim(
+                &room(),
+                &ShadowConfig {
+                    users: n,
+                    shadows_enabled: false,
+                    distance: 80.0,
+                    ..Default::default()
+                },
+                &mut rng,
+            )
+            .collisions_per_100m
+        };
+        assert!(run(5) > run(2), "density raises collision rate");
+    }
+
+    #[test]
+    fn report_totals_consistent() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let cfg = ShadowConfig { distance: 50.0, ..Default::default() };
+        let r = run_shadow_sim(&room(), &cfg, &mut rng);
+        assert_eq!(r.users, cfg.users);
+        assert!(r.collisions_per_100m >= 0.0);
+    }
+}

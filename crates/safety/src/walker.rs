@@ -1,0 +1,176 @@
+//! A walking VR user: virtual goals, physical mapping, collisions.
+
+use metaverse_world::geometry::Vec2;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::room::PhysicalRoom;
+
+/// What a walker hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CollisionKind {
+    /// A wall of the physical room.
+    Wall,
+    /// A physical obstacle.
+    Obstacle,
+    /// Another co-located user.
+    Person,
+}
+
+/// A VR user walking a virtual path mapped into a physical room.
+///
+/// The walker follows randomly sampled *virtual* waypoints. With no
+/// intervention the physical heading equals the virtual heading (1:1
+/// mapping) and, because the HMD occludes the physical world (§II-C),
+/// the walker strides straight into walls. Redirection policies rotate
+/// the physical heading; see [`crate::redirect`].
+#[derive(Debug, Clone)]
+pub struct Walker {
+    /// Physical position in the room.
+    pub physical: Vec2,
+    /// Virtual position in the (unbounded) virtual world.
+    pub virtual_pos: Vec2,
+    /// Current virtual waypoint.
+    pub goal: Vec2,
+    /// Body radius for collision tests.
+    pub radius: f64,
+    /// Walking speed per tick (metres).
+    pub speed: f64,
+    /// Total virtual distance walked.
+    pub distance_walked: f64,
+    /// Accumulated redirection: the rotation (radians) currently injected
+    /// between the virtual and physical headings. Maintained by
+    /// [`crate::redirect::steered_heading`].
+    pub redirect_offset: f64,
+}
+
+impl Walker {
+    /// Creates a walker at a physical starting point.
+    pub fn new(physical: Vec2) -> Self {
+        Walker {
+            physical,
+            virtual_pos: Vec2::ZERO,
+            goal: Vec2::ZERO,
+            radius: 0.3,
+            speed: 0.07, // ~1.4 m/s at 20 Hz
+            distance_walked: 0.0,
+            redirect_offset: 0.0,
+        }
+    }
+
+    /// Samples a fresh virtual waypoint 3–10 m away in a random
+    /// direction.
+    pub fn sample_goal<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        let angle = rng.gen_range(0.0..std::f64::consts::TAU);
+        let dist = rng.gen_range(3.0..10.0);
+        self.goal = self
+            .virtual_pos
+            .add(&Vec2::new(angle.cos() * dist, angle.sin() * dist));
+    }
+
+    /// The virtual heading toward the current goal (unit vector).
+    pub fn virtual_heading(&self) -> Vec2 {
+        self.goal.sub(&self.virtual_pos).normalized()
+    }
+
+    /// Whether the current goal has been reached.
+    pub fn goal_reached(&self) -> bool {
+        self.virtual_pos.distance(&self.goal) < 0.2
+    }
+
+    /// Advances one tick along `physical_heading` (unit vector): the
+    /// virtual position advances along the virtual heading, the physical
+    /// position along the (possibly redirected) physical heading.
+    pub fn step(&mut self, physical_heading: Vec2) {
+        let v = self.virtual_heading().scale(self.speed);
+        self.virtual_pos = self.virtual_pos.add(&v);
+        self.physical = self.physical.add(&physical_heading.normalized().scale(self.speed));
+        self.distance_walked += self.speed;
+    }
+
+    /// Checks the walker's physical position against the room. Returns
+    /// the collision kind, if any.
+    pub fn check_collision(&self, room: &PhysicalRoom) -> Option<CollisionKind> {
+        if room.bounds.wall_distance(&self.physical) < self.radius {
+            return Some(CollisionKind::Wall);
+        }
+        for o in &room.obstacles {
+            if self.physical.distance(&o.position) < self.radius + o.radius {
+                return Some(CollisionKind::Obstacle);
+            }
+        }
+        None
+    }
+
+    /// Collision test against another user.
+    pub fn collides_with(&self, other: &Walker) -> bool {
+        self.physical.distance(&other.physical) < self.radius + other.radius
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn step_advances_both_spaces() {
+        let mut w = Walker::new(Vec2::new(2.0, 2.0));
+        w.goal = Vec2::new(10.0, 0.0);
+        let before_v = w.virtual_pos;
+        let before_p = w.physical;
+        w.step(Vec2::new(0.0, 1.0));
+        assert!(w.virtual_pos.x > before_v.x, "virtual moves toward goal");
+        assert!(w.physical.y > before_p.y, "physical follows given heading");
+        assert!((w.distance_walked - w.speed).abs() < 1e-12);
+    }
+
+    #[test]
+    fn goal_reached_detection() {
+        let mut w = Walker::new(Vec2::ZERO);
+        w.goal = Vec2::new(0.1, 0.0);
+        assert!(w.goal_reached());
+        w.goal = Vec2::new(5.0, 0.0);
+        assert!(!w.goal_reached());
+    }
+
+    #[test]
+    fn sampled_goals_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut w = Walker::new(Vec2::ZERO);
+        for _ in 0..100 {
+            w.sample_goal(&mut rng);
+            let d = w.virtual_pos.distance(&w.goal);
+            assert!((3.0..=10.0).contains(&d), "goal distance {d}");
+        }
+    }
+
+    #[test]
+    fn wall_collision_detected() {
+        let room = PhysicalRoom::empty(4.0, 4.0);
+        let mut w = Walker::new(Vec2::new(2.0, 2.0));
+        assert_eq!(w.check_collision(&room), None);
+        w.physical = Vec2::new(0.1, 2.0);
+        assert_eq!(w.check_collision(&room), Some(CollisionKind::Wall));
+    }
+
+    #[test]
+    fn obstacle_collision_detected() {
+        let mut room = PhysicalRoom::empty(6.0, 6.0);
+        room.add_obstacle(Vec2::new(3.0, 3.0), 0.4);
+        let mut w = Walker::new(Vec2::new(3.0, 3.6));
+        assert_eq!(w.check_collision(&room), Some(CollisionKind::Obstacle));
+        w.physical = Vec2::new(3.0, 4.5);
+        assert_eq!(w.check_collision(&room), None);
+    }
+
+    #[test]
+    fn person_collision() {
+        let a = Walker::new(Vec2::new(1.0, 1.0));
+        let mut b = Walker::new(Vec2::new(1.4, 1.0));
+        assert!(a.collides_with(&b));
+        b.physical = Vec2::new(2.0, 1.0);
+        assert!(!a.collides_with(&b));
+    }
+}

@@ -1,0 +1,236 @@
+//! Social graph generators and queries.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// An undirected social graph over node ids `0..n`.
+#[derive(Debug, Clone)]
+pub struct SocialGraph {
+    adjacency: Vec<Vec<usize>>,
+}
+
+impl SocialGraph {
+    /// An empty graph with `n` isolated nodes.
+    pub fn empty(n: usize) -> Self {
+        SocialGraph { adjacency: vec![Vec::new(); n] }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// True when the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.adjacency.is_empty()
+    }
+
+    /// Adds an undirected edge (idempotent, no self-loops).
+    pub fn add_edge(&mut self, a: usize, b: usize) {
+        if a == b || a >= self.len() || b >= self.len() {
+            return;
+        }
+        if !self.adjacency[a].contains(&b) {
+            self.adjacency[a].push(b);
+            self.adjacency[b].push(a);
+        }
+    }
+
+    /// Neighbours of a node.
+    pub fn neighbors(&self, node: usize) -> &[usize] {
+        &self.adjacency[node]
+    }
+
+    /// Degree of a node.
+    pub fn degree(&self, node: usize) -> usize {
+        self.adjacency[node].len()
+    }
+
+    /// Total number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.adjacency.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// Mean degree.
+    pub fn mean_degree(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        2.0 * self.edge_count() as f64 / self.len() as f64
+    }
+
+    /// Watts–Strogatz small-world graph: ring lattice of degree `k`
+    /// (even), each edge rewired with probability `beta`.
+    pub fn small_world<R: Rng + ?Sized>(n: usize, k: usize, beta: f64, rng: &mut R) -> Self {
+        let mut g = Self::empty(n);
+        if n < 2 {
+            return g;
+        }
+        let half = (k / 2).max(1);
+        for i in 0..n {
+            for j in 1..=half {
+                let neighbor = (i + j) % n;
+                if rng.gen_bool(beta.clamp(0.0, 1.0)) {
+                    // Rewire to a random non-self target.
+                    let mut target = rng.gen_range(0..n);
+                    let mut guard = 0;
+                    while (target == i || g.adjacency[i].contains(&target)) && guard < 20 {
+                        target = rng.gen_range(0..n);
+                        guard += 1;
+                    }
+                    g.add_edge(i, target);
+                } else {
+                    g.add_edge(i, neighbor);
+                }
+            }
+        }
+        g
+    }
+
+    /// Barabási–Albert scale-free graph: each new node attaches `m`
+    /// edges preferentially to high-degree nodes.
+    pub fn scale_free<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Self {
+        let m = m.max(1);
+        let mut g = Self::empty(n);
+        if n == 0 {
+            return g;
+        }
+        let seed = (m + 1).min(n);
+        // Fully connect the seed clique.
+        for i in 0..seed {
+            for j in (i + 1)..seed {
+                g.add_edge(i, j);
+            }
+        }
+        // Preferential attachment via the repeated-endpoints trick.
+        let mut endpoints: Vec<usize> = Vec::new();
+        for (i, neigh) in g.adjacency.iter().enumerate() {
+            for _ in 0..neigh.len() {
+                endpoints.push(i);
+            }
+        }
+        for new in seed..n {
+            let mut targets = Vec::new();
+            let mut guard = 0;
+            while targets.len() < m.min(new) && guard < 200 {
+                guard += 1;
+                let t = *endpoints.choose(rng).expect("endpoints nonempty");
+                if t != new && !targets.contains(&t) {
+                    targets.push(t);
+                }
+            }
+            for t in targets {
+                g.add_edge(new, t);
+                endpoints.push(new);
+                endpoints.push(t);
+            }
+        }
+        g
+    }
+
+    /// Erdős–Rényi random graph with edge probability `p`.
+    pub fn random<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Self {
+        let mut g = Self::empty(n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                    g.add_edge(i, j);
+                }
+            }
+        }
+        g
+    }
+
+    /// Size of the connected component containing `start`.
+    pub fn component_size(&self, start: usize) -> usize {
+        if start >= self.len() {
+            return 0;
+        }
+        let mut seen = vec![false; self.len()];
+        let mut stack = vec![start];
+        seen[start] = true;
+        let mut count = 0;
+        while let Some(node) = stack.pop() {
+            count += 1;
+            for &next in &self.adjacency[node] {
+                if !seen[next] {
+                    seen[next] = true;
+                    stack.push(next);
+                }
+            }
+        }
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(61)
+    }
+
+    #[test]
+    fn add_edge_idempotent_no_self_loops() {
+        let mut g = SocialGraph::empty(3);
+        g.add_edge(0, 1);
+        g.add_edge(0, 1);
+        g.add_edge(1, 0);
+        g.add_edge(2, 2);
+        g.add_edge(0, 99);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.degree(2), 0);
+    }
+
+    #[test]
+    fn small_world_degree_near_k() {
+        let mut r = rng();
+        let g = SocialGraph::small_world(200, 6, 0.1, &mut r);
+        let mean = g.mean_degree();
+        assert!((5.0..7.5).contains(&mean), "mean degree {mean}");
+        assert!(g.component_size(0) > 190, "small-world stays connected");
+    }
+
+    #[test]
+    fn scale_free_has_hubs() {
+        let mut r = rng();
+        let g = SocialGraph::scale_free(500, 2, &mut r);
+        let max_degree = (0..g.len()).map(|i| g.degree(i)).max().unwrap();
+        let mean = g.mean_degree();
+        assert!(
+            max_degree as f64 > mean * 5.0,
+            "hub degree {max_degree} should dwarf mean {mean}"
+        );
+    }
+
+    #[test]
+    fn random_graph_edge_count_near_expectation() {
+        let mut r = rng();
+        let n = 100;
+        let p = 0.1;
+        let g = SocialGraph::random(n, p, &mut r);
+        let expected = p * (n * (n - 1) / 2) as f64;
+        let got = g.edge_count() as f64;
+        assert!((got - expected).abs() < expected * 0.3, "edges {got} vs {expected}");
+    }
+
+    #[test]
+    fn component_size_isolated() {
+        let g = SocialGraph::empty(5);
+        assert_eq!(g.component_size(0), 1);
+        assert_eq!(g.component_size(99), 0);
+    }
+
+    #[test]
+    fn empty_and_tiny_graphs() {
+        let mut r = rng();
+        assert!(SocialGraph::small_world(0, 4, 0.1, &mut r).is_empty());
+        assert_eq!(SocialGraph::small_world(1, 4, 0.1, &mut r).edge_count(), 0);
+        assert_eq!(SocialGraph::scale_free(0, 2, &mut r).len(), 0);
+        assert_eq!(SocialGraph::scale_free(1, 2, &mut r).len(), 1);
+        assert_eq!(SocialGraph::empty(0).mean_degree(), 0.0);
+    }
+}

@@ -1,0 +1,32 @@
+//! # metaverse-social
+//!
+//! Social structure, misinformation propagation, and trust for
+//! `metaverse-kit`, implementing §IV-B's "Trust" discussion:
+//!
+//! > "In the metaverse, testimonies and trust will play an even more
+//! > critical role, as in many cases, we will not have a real person
+//! > telling the testimony but her/his avatar. […] Incentive systems to
+//! > share trust among avatars will be key functionality to reduce the
+//! > sharing of misinformation."
+//!
+//! Components:
+//!
+//! * [`graph`] — social graph generators (small-world, scale-free,
+//!   random) and queries.
+//! * [`propagation`] — SIR-style rumour spreading with believer/
+//!   fact-checked states.
+//! * [`trust`] — the trust-incentive layer: sharing misinformation that
+//!   is later fact-checked costs reputation, and agents adapt their
+//!   sharing propensity — the mechanism experiment E11 switches on and
+//!   off.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod graph;
+pub mod propagation;
+pub mod trust;
+
+pub use graph::SocialGraph;
+pub use propagation::{NodeState, OutbreakReport, PropagationConfig, Rumor};
+pub use trust::{TrustConfig, TrustExperimentReport, TrustSystem};

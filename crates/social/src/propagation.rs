@@ -1,0 +1,247 @@
+//! SIR-style rumour propagation over a social graph.
+//!
+//! Nodes are Susceptible (haven't seen the rumour), Believers (accepted
+//! and share it), or Fact-checked (saw it, verified it false, immune and
+//! silent). A rumour carries a `veracity` flag; false rumours are the
+//! misinformation whose spread the paper wants incentive systems to
+//! curb.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::graph::SocialGraph;
+
+/// A message spreading through the graph.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Rumor {
+    /// Whether the content is actually true.
+    pub veracity: bool,
+    /// How convincing the content is (probability of belief on
+    /// exposure), in `[0, 1]`.
+    pub virality: f64,
+}
+
+/// Per-node propagation state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NodeState {
+    /// Not yet exposed.
+    Susceptible,
+    /// Believes and shares.
+    Believer,
+    /// Fact-checked the rumour; immune, does not share.
+    FactChecked,
+}
+
+/// Parameters of a propagation run.
+#[derive(Debug, Clone)]
+pub struct PropagationConfig {
+    /// Probability a believer transmits to a given neighbour per round.
+    pub transmission: f64,
+    /// Probability an exposed node fact-checks instead of evaluating
+    /// belief (immunising itself).
+    pub fact_check: f64,
+    /// Maximum rounds to simulate.
+    pub max_rounds: usize,
+    /// Rounds a new believer remains actively sharing before going
+    /// quiet (still believing, no longer transmitting).
+    pub infectious_rounds: usize,
+}
+
+impl Default for PropagationConfig {
+    fn default() -> Self {
+        PropagationConfig {
+            transmission: 0.4,
+            fact_check: 0.1,
+            max_rounds: 100,
+            infectious_rounds: 2,
+        }
+    }
+}
+
+/// Outcome of one outbreak.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OutbreakReport {
+    /// Fraction of the population that ever believed.
+    pub outbreak_size: f64,
+    /// Rounds until no believer had anyone left to infect.
+    pub rounds: usize,
+    /// Believers at peak.
+    pub peak_believers: usize,
+}
+
+/// Runs one outbreak from `seeds` with per-node share decisions supplied
+/// by `share_decision(node) -> bool` (the hook the trust layer plugs
+/// into; `|_| true` gives the uncontrolled baseline).
+pub fn spread<R: Rng + ?Sized>(
+    graph: &SocialGraph,
+    rumor: Rumor,
+    seeds: &[usize],
+    config: &PropagationConfig,
+    rng: &mut R,
+    mut share_decision: impl FnMut(usize, &mut R) -> bool,
+) -> (OutbreakReport, Vec<NodeState>) {
+    let n = graph.len();
+    let mut states = vec![NodeState::Susceptible; n];
+    let mut ever_believed = vec![false; n];
+    let mut infectivity = vec![0usize; n];
+    for &s in seeds {
+        if s < n {
+            states[s] = NodeState::Believer;
+            ever_believed[s] = true;
+            infectivity[s] = config.infectious_rounds.max(1);
+        }
+    }
+
+    let mut peak = seeds.len();
+    let mut rounds = 0;
+    for round in 0..config.max_rounds {
+        let believers: Vec<usize> = (0..n)
+            .filter(|&i| states[i] == NodeState::Believer && infectivity[i] > 0)
+            .collect();
+        if believers.is_empty() {
+            break;
+        }
+        let mut any_transmission = false;
+        let mut next = states.clone();
+        let mut next_infectivity = infectivity.clone();
+        for &b in &believers {
+            next_infectivity[b] -= 1;
+            // The trust layer may veto sharing entirely.
+            if !share_decision(b, rng) {
+                continue;
+            }
+            for &peer in graph.neighbors(b) {
+                if states[peer] != NodeState::Susceptible {
+                    continue;
+                }
+                if !rng.gen_bool(config.transmission.clamp(0.0, 1.0)) {
+                    continue;
+                }
+                any_transmission = true;
+                if rng.gen_bool(config.fact_check.clamp(0.0, 1.0)) {
+                    next[peer] = NodeState::FactChecked;
+                } else if rng.gen_bool(rumor.virality.clamp(0.0, 1.0)) {
+                    next[peer] = NodeState::Believer;
+                    next_infectivity[peer] = config.infectious_rounds.max(1);
+                    ever_believed[peer] = true;
+                } else {
+                    next[peer] = NodeState::FactChecked;
+                }
+            }
+        }
+        states = next;
+        infectivity = next_infectivity;
+        rounds = round + 1;
+        let current = states.iter().filter(|s| **s == NodeState::Believer).count();
+        peak = peak.max(current);
+        if !any_transmission {
+            break;
+        }
+    }
+
+    let total_believed = ever_believed.iter().filter(|b| **b).count();
+    (
+        OutbreakReport {
+            outbreak_size: if n == 0 { 0.0 } else { total_believed as f64 / n as f64 },
+            rounds,
+            peak_believers: peak,
+        },
+        states,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(71)
+    }
+
+    fn graph(r: &mut StdRng) -> SocialGraph {
+        SocialGraph::small_world(400, 6, 0.1, r)
+    }
+
+    fn viral() -> Rumor {
+        Rumor { veracity: false, virality: 0.9 }
+    }
+
+    #[test]
+    fn viral_rumor_reaches_large_fraction() {
+        let mut r = rng();
+        let g = graph(&mut r);
+        let (report, _) =
+            spread(&g, viral(), &[0], &PropagationConfig::default(), &mut r, |_, _| true);
+        assert!(report.outbreak_size > 0.5, "outbreak {}", report.outbreak_size);
+        assert!(report.peak_believers > 10);
+    }
+
+    #[test]
+    fn zero_transmission_stays_at_seeds() {
+        let mut r = rng();
+        let g = graph(&mut r);
+        let cfg = PropagationConfig { transmission: 0.0, ..Default::default() };
+        let (report, _) = spread(&g, viral(), &[0, 1], &cfg, &mut r, |_, _| true);
+        assert!((report.outbreak_size - 2.0 / 400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn share_veto_stops_everything() {
+        let mut r = rng();
+        let g = graph(&mut r);
+        let (report, _) =
+            spread(&g, viral(), &[0], &PropagationConfig::default(), &mut r, |_, _| false);
+        assert!((report.outbreak_size - 1.0 / 400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn high_fact_check_suppresses_outbreak() {
+        let mut r1 = StdRng::seed_from_u64(5);
+        let mut r2 = StdRng::seed_from_u64(5);
+        let g = graph(&mut r1);
+        let g2 = g.clone();
+        let low = PropagationConfig { fact_check: 0.02, ..Default::default() };
+        let high = PropagationConfig { fact_check: 0.6, ..Default::default() };
+        let (r_low, _) = spread(&g, viral(), &[0], &low, &mut r1, |_, _| true);
+        let (r_high, _) = spread(&g2, viral(), &[0], &high, &mut r2, |_, _| true);
+        assert!(
+            r_high.outbreak_size < r_low.outbreak_size,
+            "fact-checking curbs spread: {} vs {}",
+            r_high.outbreak_size,
+            r_low.outbreak_size
+        );
+    }
+
+    #[test]
+    fn low_virality_small_outbreak() {
+        let mut r = rng();
+        let g = graph(&mut r);
+        let dull = Rumor { veracity: true, virality: 0.05 };
+        let (report, _) =
+            spread(&g, dull, &[0], &PropagationConfig::default(), &mut r, |_, _| true);
+        assert!(report.outbreak_size < 0.2, "dull content fizzles: {}", report.outbreak_size);
+    }
+
+    #[test]
+    fn terminal_states_consistent() {
+        let mut r = rng();
+        let g = graph(&mut r);
+        let (_, states) =
+            spread(&g, viral(), &[0], &PropagationConfig::default(), &mut r, |_, _| true);
+        assert_eq!(states.len(), g.len());
+        // Seeds stay believers (no recovery in this model).
+        assert_eq!(states[0], NodeState::Believer);
+    }
+
+    #[test]
+    fn empty_graph_no_outbreak() {
+        let mut r = rng();
+        let g = SocialGraph::empty(0);
+        let (report, states) =
+            spread(&g, viral(), &[0], &PropagationConfig::default(), &mut r, |_, _| true);
+        assert_eq!(report.outbreak_size, 0.0);
+        assert!(states.is_empty());
+    }
+}

@@ -1,0 +1,353 @@
+//! The trust-incentive layer over rumour propagation (experiment E11).
+//!
+//! §IV-B: "Incentive systems to share trust among avatars will be key
+//! functionality to reduce the sharing of misinformation." The model:
+//!
+//! * every avatar has a reputation-backed *sharing propensity*;
+//! * sharing content that is later fact-checked as false triggers (with
+//!   some audit probability) a reputation penalty routed through
+//!   [`metaverse_reputation::engine::ReputationEngine`];
+//! * avatars adapt: penalised sharers become more cautious; accurate
+//!   sharers are rewarded and keep sharing.
+//!
+//! Over successive rumour waves the population learns, and false-rumour
+//! outbreaks shrink — while true-content reach is largely preserved
+//! (the selectivity the paper hopes for). With the system disabled,
+//! every wave spreads alike.
+
+use metaverse_reputation::engine::{EngineConfig, ReputationEngine};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::graph::SocialGraph;
+use crate::propagation::{spread, PropagationConfig, Rumor};
+
+/// Configuration of the trust-incentive system.
+#[derive(Debug, Clone)]
+pub struct TrustConfig {
+    /// Whether incentives are active (the E11 switch).
+    pub enabled: bool,
+    /// Probability that a false share is audited and penalised.
+    pub audit_probability: f64,
+    /// Reputation penalty per audited false share (milli-points).
+    pub penalty_millis: i64,
+    /// Reputation reward per audited true share (milli-points).
+    pub reward_millis: i64,
+    /// How strongly an avatar's verification effort reacts to a penalty.
+    pub caution_step: f64,
+    /// Initial sharing propensity.
+    pub initial_propensity: f64,
+    /// Initial verification effort (probability of checking content
+    /// before sharing it).
+    pub initial_verification: f64,
+}
+
+impl Default for TrustConfig {
+    fn default() -> Self {
+        TrustConfig {
+            enabled: true,
+            audit_probability: 0.5,
+            penalty_millis: 5000,
+            reward_millis: 500,
+            caution_step: 0.25,
+            initial_propensity: 0.9,
+            initial_verification: 0.05,
+        }
+    }
+}
+
+/// Result of the multi-wave experiment — the E11 series.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrustExperimentReport {
+    /// Whether the incentive system was on.
+    pub enabled: bool,
+    /// Outbreak size of each false-rumour wave, in order.
+    pub false_outbreaks: Vec<f64>,
+    /// Outbreak size of each true-content wave, in order.
+    pub true_outbreaks: Vec<f64>,
+    /// Mean sharing propensity after the last wave.
+    pub final_propensity: f64,
+    /// Mean reputation after the last wave (points).
+    pub final_reputation: f64,
+}
+
+impl TrustExperimentReport {
+    /// Mean outbreak size over the last quarter of false waves.
+    pub fn late_false_outbreak(&self) -> f64 {
+        let n = self.false_outbreaks.len();
+        if n == 0 {
+            return 0.0;
+        }
+        let tail = &self.false_outbreaks[n - (n / 4).max(1)..];
+        tail.iter().sum::<f64>() / tail.len() as f64
+    }
+}
+
+/// The trust system state over a population.
+#[derive(Debug)]
+pub struct TrustSystem {
+    config: TrustConfig,
+    propensity: Vec<f64>,
+    /// Per-avatar probability of verifying content before sharing. This
+    /// is where incentives bite: audits teach avatars to check first,
+    /// and verification selectively stops *false* content.
+    verification: Vec<f64>,
+    reputation: ReputationEngine,
+}
+
+impl TrustSystem {
+    /// Creates the system for `n` avatars named `avatar-<i>`.
+    pub fn new(n: usize, config: TrustConfig) -> Self {
+        let mut reputation = ReputationEngine::new(EngineConfig {
+            epoch_action_limit: u32::MAX,
+            decay_half_life: 0,
+            ..EngineConfig::default()
+        });
+        for i in 0..n {
+            reputation.register(&format!("avatar-{i}"), 0).unwrap();
+        }
+        TrustSystem {
+            propensity: vec![config.initial_propensity; n],
+            verification: vec![config.initial_verification; n],
+            config,
+            reputation,
+        }
+    }
+
+    /// Current verification effort of a node.
+    pub fn verification(&self, node: usize) -> f64 {
+        self.verification.get(node).copied().unwrap_or(0.0)
+    }
+
+    /// Mean verification effort across the population.
+    pub fn mean_verification(&self) -> f64 {
+        if self.verification.is_empty() {
+            return 0.0;
+        }
+        self.verification.iter().sum::<f64>() / self.verification.len() as f64
+    }
+
+    /// Current sharing propensity of a node.
+    pub fn propensity(&self, node: usize) -> f64 {
+        self.propensity.get(node).copied().unwrap_or(0.0)
+    }
+
+    /// Mean propensity across the population.
+    pub fn mean_propensity(&self) -> f64 {
+        if self.propensity.is_empty() {
+            return 0.0;
+        }
+        self.propensity.iter().sum::<f64>() / self.propensity.len() as f64
+    }
+
+    /// Mean reputation (points).
+    pub fn mean_reputation(&self) -> f64 {
+        let n = self.propensity.len().max(1);
+        (0..self.propensity.len())
+            .filter_map(|i| self.reputation.score(&format!("avatar-{i}")).ok())
+            .map(|s| s.points())
+            .sum::<f64>()
+            / n as f64
+    }
+
+    /// Immutable access to the underlying reputation engine.
+    pub fn reputation(&self) -> &ReputationEngine {
+        &self.reputation
+    }
+
+    /// Runs one rumour wave: spreading is gated by per-node propensity;
+    /// afterwards sharers are audited and adapt.
+    pub fn run_wave<R: Rng + ?Sized>(
+        &mut self,
+        graph: &SocialGraph,
+        rumor: Rumor,
+        seeds: &[usize],
+        prop_config: &PropagationConfig,
+        rng: &mut R,
+    ) -> f64 {
+        // Each avatar decides *once* per content item whether to endorse
+        // and forward it: first an optional verification check (which
+        // unmasks false content), then a propensity roll.
+        let decisions: Vec<bool> = (0..graph.len())
+            .map(|node| {
+                if !self.config.enabled {
+                    return true;
+                }
+                if !rumor.veracity
+                    && rng.gen_bool(self.verification[node].clamp(0.0, 1.0))
+                {
+                    return false;
+                }
+                rng.gen_bool(self.propensity[node].clamp(0.0, 1.0))
+            })
+            .collect();
+        let mut sharers: Vec<usize> = Vec::new();
+        let (report, states) = spread(graph, rumor, seeds, prop_config, rng, |node, _| {
+            let shares = decisions[node];
+            if shares {
+                sharers.push(node);
+            }
+            shares
+        });
+
+        if self.config.enabled {
+            sharers.sort_unstable();
+            sharers.dedup();
+            for &node in &sharers {
+                if !rng.gen_bool(self.config.audit_probability.clamp(0.0, 1.0)) {
+                    continue;
+                }
+                let name = format!("avatar-{node}");
+                if rumor.veracity {
+                    let _ = self.reputation.system_delta(
+                        &name,
+                        self.config.reward_millis,
+                        "trust:accurate-share",
+                        0,
+                    );
+                    self.propensity[node] =
+                        (self.propensity[node] + self.config.caution_step * 0.1).min(0.99);
+                } else {
+                    let _ = self.reputation.system_delta(
+                        &name,
+                        -self.config.penalty_millis,
+                        "trust:misinformation",
+                        0,
+                    );
+                    // Burned sharers learn to verify before forwarding.
+                    self.verification[node] =
+                        (self.verification[node] + self.config.caution_step).min(0.95);
+                    self.propensity[node] =
+                        (self.propensity[node] - self.config.caution_step * 0.3).max(0.05);
+                }
+            }
+        }
+        let _ = states;
+        report.outbreak_size
+    }
+
+    /// Runs the full E11 protocol: `waves` alternating false/true rumour
+    /// waves from random seeds.
+    pub fn run_experiment<R: Rng + ?Sized>(
+        &mut self,
+        graph: &SocialGraph,
+        waves: usize,
+        prop_config: &PropagationConfig,
+        rng: &mut R,
+    ) -> TrustExperimentReport {
+        let mut false_outbreaks = Vec::new();
+        let mut true_outbreaks = Vec::new();
+        for wave in 0..waves {
+            let veracity = wave % 2 == 1;
+            let rumor = Rumor { veracity, virality: 0.85 };
+            let seeds: Vec<usize> = (0..3).map(|_| rng.gen_range(0..graph.len())).collect();
+            let size = self.run_wave(graph, rumor, &seeds, prop_config, rng);
+            if veracity {
+                true_outbreaks.push(size);
+            } else {
+                false_outbreaks.push(size);
+            }
+        }
+        TrustExperimentReport {
+            enabled: self.config.enabled,
+            false_outbreaks,
+            true_outbreaks,
+            final_propensity: self.mean_propensity(),
+            final_reputation: self.mean_reputation(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(enabled: bool, seed: u64) -> (SocialGraph, TrustSystem, StdRng) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let graph = SocialGraph::small_world(300, 6, 0.1, &mut rng);
+        let system = TrustSystem::new(300, TrustConfig { enabled, ..Default::default() });
+        (graph, system, rng)
+    }
+
+    #[test]
+    fn incentives_shrink_false_outbreaks_over_waves() {
+        let (g_on, mut sys_on, mut rng_on) = setup(true, 81);
+        let (g_off, mut sys_off, mut rng_off) = setup(false, 81);
+        let cfg = PropagationConfig::default();
+        let on = sys_on.run_experiment(&g_on, 16, &cfg, &mut rng_on);
+        let off = sys_off.run_experiment(&g_off, 16, &cfg, &mut rng_off);
+        assert!(
+            on.late_false_outbreak() < off.late_false_outbreak() * 0.7,
+            "incentives: {} vs baseline {}",
+            on.late_false_outbreak(),
+            off.late_false_outbreak()
+        );
+    }
+
+    #[test]
+    fn population_learns_caution() {
+        let (g, mut sys, mut rng) = setup(true, 82);
+        let p_before = sys.mean_propensity();
+        let v_before = sys.mean_verification();
+        sys.run_experiment(&g, 10, &PropagationConfig::default(), &mut rng);
+        assert!(sys.mean_propensity() < p_before, "propensity drops");
+        assert!(sys.mean_verification() > v_before, "verification rises");
+    }
+
+    #[test]
+    fn misinformation_costs_reputation() {
+        let (g, mut sys, mut rng) = setup(true, 83);
+        let before = sys.mean_reputation();
+        // Run only false waves.
+        for _ in 0..6 {
+            let rumor = Rumor { veracity: false, virality: 0.9 };
+            sys.run_wave(&g, rumor, &[0, 1, 2], &PropagationConfig::default(), &mut rng);
+        }
+        assert!(sys.mean_reputation() < before);
+    }
+
+    #[test]
+    fn disabled_system_never_adapts() {
+        let (g, mut sys, mut rng) = setup(false, 84);
+        sys.run_experiment(&g, 8, &PropagationConfig::default(), &mut rng);
+        assert!((sys.mean_propensity() - 0.9).abs() < 1e-12);
+        assert!((sys.mean_verification() - 0.05).abs() < 1e-12);
+        assert!((sys.mean_reputation() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn false_content_suppressed_more_than_true() {
+        // Selectivity is relative: the incentive system should cost false
+        // content a larger fraction of its baseline reach than it costs
+        // true content. (It is not free for true content — an honest
+        // trade-off E11 reports.)
+        let late = |xs: &[f64]| {
+            let n = xs.len();
+            let tail = &xs[n - (n / 4).max(1)..];
+            tail.iter().sum::<f64>() / tail.len() as f64
+        };
+        let (g_on, mut sys_on, mut rng_on) = setup(true, 85);
+        let (g_off, mut sys_off, mut rng_off) = setup(false, 85);
+        let cfg = PropagationConfig::default();
+        let on = sys_on.run_experiment(&g_on, 24, &cfg, &mut rng_on);
+        let off = sys_off.run_experiment(&g_off, 24, &cfg, &mut rng_off);
+        let false_retained = late(&on.false_outbreaks) / late(&off.false_outbreaks).max(1e-9);
+        let true_retained = late(&on.true_outbreaks) / late(&off.true_outbreaks).max(1e-9);
+        assert!(
+            true_retained > false_retained,
+            "true content retains more reach: true {true_retained:.3} vs false {false_retained:.3}"
+        );
+    }
+
+    #[test]
+    fn propensity_bounds_hold() {
+        let (g, mut sys, mut rng) = setup(true, 86);
+        sys.run_experiment(&g, 30, &PropagationConfig::default(), &mut rng);
+        for i in 0..300 {
+            let p = sys.propensity(i);
+            assert!((0.0..=1.0).contains(&p), "propensity {p}");
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests for graph and propagation invariants.
+
+use metaverse_social::graph::SocialGraph;
+use metaverse_social::propagation::{spread, NodeState, PropagationConfig, Rumor};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+proptest! {
+    /// Graph generators produce symmetric adjacency with no self-loops
+    /// and consistent edge counts.
+    #[test]
+    fn generators_produce_valid_graphs(
+        n in 2usize..120,
+        k in 2usize..8,
+        beta in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        for graph in [
+            SocialGraph::small_world(n, k, beta, &mut rng),
+            SocialGraph::scale_free(n, k / 2 + 1, &mut rng),
+            SocialGraph::random(n, 0.1, &mut rng),
+        ] {
+            let mut degree_sum = 0;
+            for node in 0..graph.len() {
+                for &peer in graph.neighbors(node) {
+                    prop_assert!(peer != node, "self loop at {node}");
+                    prop_assert!(peer < graph.len());
+                    prop_assert!(
+                        graph.neighbors(peer).contains(&node),
+                        "asymmetric edge {node}->{peer}"
+                    );
+                }
+                degree_sum += graph.degree(node);
+            }
+            prop_assert_eq!(degree_sum, graph.edge_count() * 2);
+        }
+    }
+
+    /// Outbreak size is a valid fraction, at least the (deduplicated)
+    /// seed share, and believers+fact-checked never exceed the
+    /// population.
+    #[test]
+    fn outbreak_size_bounds(
+        n in 5usize..150,
+        seeds in proptest::collection::vec(0usize..150, 1..5),
+        transmission in 0.0f64..1.0,
+        virality in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let graph = SocialGraph::small_world(n, 4, 0.1, &mut rng);
+        let valid_seeds: Vec<usize> = seeds.iter().map(|s| s % n).collect();
+        let distinct: std::collections::HashSet<usize> =
+            valid_seeds.iter().copied().collect();
+        let config = PropagationConfig { transmission, ..Default::default() };
+        let rumor = Rumor { veracity: false, virality };
+        let (report, states) = spread(&graph, rumor, &valid_seeds, &config, &mut rng, |_, _| true);
+        prop_assert!((0.0..=1.0).contains(&report.outbreak_size));
+        prop_assert!(report.outbreak_size >= distinct.len() as f64 / n as f64 - 1e-12);
+        let touched = states
+            .iter()
+            .filter(|s| !matches!(s, NodeState::Susceptible))
+            .count();
+        prop_assert!(touched <= n);
+        prop_assert!(report.peak_believers <= n);
+    }
+
+    /// Monotonicity in transmission: averaged over seeds, higher
+    /// transmission never shrinks the outbreak (single-seed paired
+    /// comparison with common random numbers).
+    #[test]
+    fn transmission_monotone_paired(seed in any::<u64>()) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let graph = SocialGraph::small_world(100, 6, 0.1, &mut rng);
+        let run = |t: f64| {
+            let mut r = ChaCha8Rng::seed_from_u64(seed ^ 0xABCD);
+            let config = PropagationConfig { transmission: t, fact_check: 0.0, ..Default::default() };
+            let rumor = Rumor { veracity: false, virality: 1.0 };
+            spread(&graph, rumor, &[0], &config, &mut r, |_, _| true).0.outbreak_size
+        };
+        // With virality 1 and no fact-checking, t=1 infects the whole
+        // component; t=0 only the seed.
+        prop_assert!(run(1.0) >= run(0.0));
+        prop_assert!((run(0.0) - 0.01).abs() < 1e-9);
+    }
+
+    /// Component sizes partition the graph.
+    #[test]
+    fn component_size_sane(n in 1usize..100, p in 0.0f64..0.2, seed in any::<u64>()) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let graph = SocialGraph::random(n, p, &mut rng);
+        for node in 0..n {
+            let c = graph.component_size(node);
+            prop_assert!((1..=n).contains(&c));
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! # metaverse-twins
+//!
+//! Digital twins for `metaverse-kit`, implementing §IV-A:
+//!
+//! > "We can define digital twins as virtual objects that are created to
+//! > reflect physical objects […] The metaverse will be then an evolving
+//! > world that is synchronized with the physical one. There are still
+//! > some challenging regarding ownership of digital twins. The most
+//! > straightforward approach to protecting digital twins' authenticity
+//! > and origin is using a digital ledger such as Blockchain."
+//!
+//! Components:
+//!
+//! * [`twin`] — twin state vectors, versioning, divergence metrics, and
+//!   state hashing for attestation.
+//! * [`sync`] — the physical→virtual update channel with loss and
+//!   periodic reconciliation (experiment E13 sweeps these).
+//! * [`registry`] — ownership and authenticity: ledger-anchored
+//!   attestations that detect forged twin states.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod registry;
+pub mod sync;
+pub mod twin;
+
+pub use registry::{TwinRegistry, VerifyOutcome};
+pub use sync::{SyncChannel, SyncConfig, SyncReport};
+pub use twin::{DigitalTwin, TwinId, TwinState};

@@ -1,0 +1,226 @@
+//! The physical→virtual synchronization channel.
+//!
+//! Physical changes are shipped to the replica as incremental updates
+//! over a lossy channel; a periodic reconciliation (full snapshot)
+//! bounds how long loss-induced divergence can persist. Experiment E13
+//! sweeps loss rate and reconciliation interval and reports divergence
+//! statistics.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::twin::DigitalTwin;
+
+/// Channel and reconciliation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SyncConfig {
+    /// Probability an incremental update is lost in transit.
+    pub loss_rate: f64,
+    /// Full-snapshot reconciliation every this many ticks (0 = never).
+    pub reconcile_interval: u64,
+}
+
+impl Default for SyncConfig {
+    fn default() -> Self {
+        SyncConfig { loss_rate: 0.1, reconcile_interval: 50 }
+    }
+}
+
+/// Divergence statistics over a run — the E13 row.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SyncReport {
+    /// Loss rate simulated.
+    pub loss_rate: f64,
+    /// Reconciliation interval simulated.
+    pub reconcile_interval: u64,
+    /// Mean divergence across ticks.
+    pub mean_divergence: f64,
+    /// Maximum divergence observed.
+    pub max_divergence: f64,
+    /// Updates lost in transit.
+    pub updates_lost: u64,
+    /// Snapshots shipped.
+    pub reconciliations: u64,
+    /// Ledger attestations emitted (one per reconciliation).
+    pub attestations: u64,
+}
+
+/// The synchronization channel driving one twin.
+#[derive(Debug)]
+pub struct SyncChannel {
+    config: SyncConfig,
+    tick: u64,
+    updates_lost: u64,
+    reconciliations: u64,
+    divergences: Vec<f64>,
+    pending_attestations: Vec<(u64, metaverse_ledger::crypto::sha256::Digest, u64)>,
+}
+
+impl SyncChannel {
+    /// Creates a channel.
+    pub fn new(config: SyncConfig) -> Self {
+        SyncChannel {
+            config,
+            tick: 0,
+            updates_lost: 0,
+            reconciliations: 0,
+            divergences: Vec::new(),
+            pending_attestations: Vec::new(),
+        }
+    }
+
+    /// One tick: applies a physical change to the twin's ground truth,
+    /// ships the delta (may be lost), reconciles on schedule, and records
+    /// divergence.
+    pub fn step<R: Rng + ?Sized>(
+        &mut self,
+        twin: &mut DigitalTwin,
+        property: usize,
+        delta: f64,
+        rng: &mut R,
+    ) {
+        twin.physical.apply(property, delta);
+        if rng.gen_bool(self.config.loss_rate.clamp(0.0, 1.0)) {
+            self.updates_lost += 1;
+        } else {
+            // Incremental update applies the same delta to the replica.
+            twin.virtual_replica.apply(property, delta);
+            // Version tracking follows the physical version when the
+            // update arrives (idempotent enough for this model).
+            twin.virtual_replica.version = twin.physical.version;
+        }
+
+        if self.config.reconcile_interval > 0
+            && self.tick > 0
+            && self.tick % self.config.reconcile_interval == 0
+        {
+            twin.virtual_replica = twin.physical.clone();
+            self.reconciliations += 1;
+            self.pending_attestations
+                .push((twin.id, twin.physical.digest(), self.tick));
+        }
+
+        self.divergences.push(twin.divergence());
+        self.tick += 1;
+    }
+
+    /// Runs `ticks` random-walk ticks against the twin.
+    pub fn run<R: Rng + ?Sized>(
+        &mut self,
+        twin: &mut DigitalTwin,
+        ticks: u64,
+        rng: &mut R,
+    ) -> SyncReport {
+        let properties = twin.physical.values.len().max(1);
+        for _ in 0..ticks {
+            let property = rng.gen_range(0..properties);
+            let delta = rng.gen_range(-1.0..1.0);
+            self.step(twin, property, delta, rng);
+        }
+        self.report()
+    }
+
+    /// Builds the divergence report for everything run so far.
+    pub fn report(&self) -> SyncReport {
+        let n = self.divergences.len().max(1) as f64;
+        SyncReport {
+            loss_rate: self.config.loss_rate,
+            reconcile_interval: self.config.reconcile_interval,
+            mean_divergence: self.divergences.iter().sum::<f64>() / n,
+            max_divergence: self.divergences.iter().copied().fold(0.0, f64::max),
+            updates_lost: self.updates_lost,
+            reconciliations: self.reconciliations,
+            attestations: self.pending_attestations.len() as u64,
+        }
+    }
+
+    /// Takes the attestations accumulated since the last drain:
+    /// `(twin_id, state_digest, tick)` triples the platform submits as
+    /// [`metaverse_ledger::tx::TxPayload::TwinAttestation`] records.
+    pub fn drain_attestations(
+        &mut self,
+    ) -> Vec<(u64, metaverse_ledger::crypto::sha256::Digest, u64)> {
+        std::mem::take(&mut self.pending_attestations)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::twin::DigitalTwin;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn twin() -> DigitalTwin {
+        DigitalTwin::new(1, "robot", "acme", 4)
+    }
+
+    #[test]
+    fn lossless_channel_zero_divergence() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut t = twin();
+        let mut ch = SyncChannel::new(SyncConfig { loss_rate: 0.0, reconcile_interval: 0 });
+        let report = ch.run(&mut t, 500, &mut rng);
+        assert_eq!(report.mean_divergence, 0.0);
+        assert_eq!(report.updates_lost, 0);
+    }
+
+    #[test]
+    fn loss_without_reconciliation_diverges() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut t = twin();
+        let mut ch = SyncChannel::new(SyncConfig { loss_rate: 0.2, reconcile_interval: 0 });
+        let report = ch.run(&mut t, 1000, &mut rng);
+        assert!(report.updates_lost > 100);
+        assert!(report.max_divergence > 1.0, "divergence drifts: {report:?}");
+        assert_eq!(report.reconciliations, 0);
+    }
+
+    #[test]
+    fn reconciliation_bounds_divergence() {
+        let run = |interval: u64| {
+            let mut rng = StdRng::seed_from_u64(3);
+            let mut t = twin();
+            let mut ch =
+                SyncChannel::new(SyncConfig { loss_rate: 0.2, reconcile_interval: interval });
+            ch.run(&mut t, 1000, &mut rng)
+        };
+        let never = run(0);
+        let rare = run(200);
+        let frequent = run(20);
+        assert!(frequent.mean_divergence < rare.mean_divergence);
+        assert!(rare.mean_divergence < never.mean_divergence);
+        assert!(frequent.reconciliations > rare.reconciliations);
+    }
+
+    #[test]
+    fn attestations_match_reconciliations() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut t = twin();
+        let mut ch = SyncChannel::new(SyncConfig { loss_rate: 0.1, reconcile_interval: 25 });
+        let report = ch.run(&mut t, 200, &mut rng);
+        assert_eq!(report.attestations, report.reconciliations);
+        let att = ch.drain_attestations();
+        assert_eq!(att.len() as u64, report.reconciliations);
+        assert!(ch.drain_attestations().is_empty());
+        // Attested digests are snapshots of the physical state at the
+        // reconciliation tick (twin id preserved).
+        assert!(att.iter().all(|(id, _, _)| *id == 1));
+    }
+
+    #[test]
+    fn divergence_resets_after_reconciliation() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut t = twin();
+        let mut ch = SyncChannel::new(SyncConfig { loss_rate: 1.0, reconcile_interval: 10 });
+        for i in 0..11 {
+            ch.step(&mut t, 0, 1.0, &mut rng);
+            let _ = i;
+        }
+        // Tick 10 reconciled before recording divergence; the replica
+        // differs only by the post-reconciliation... step order: apply,
+        // lose update, reconcile at tick 10, so divergence there is 0.
+        assert_eq!(ch.divergences[10], 0.0);
+        assert!(ch.divergences[9] > 0.0);
+    }
+}

@@ -1,0 +1,137 @@
+//! Twin state vectors, versioning, and divergence.
+
+use metaverse_ledger::crypto::sha256::{sha256, Digest};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a digital twin.
+pub type TwinId = u64;
+
+/// A versioned state snapshot: a small vector of physical properties
+/// (pose, temperature, battery…) plus a monotonic version counter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TwinState {
+    /// Property values.
+    pub values: Vec<f64>,
+    /// Monotonic version, incremented by every physical change.
+    pub version: u64,
+}
+
+impl TwinState {
+    /// A zero state with the given number of properties.
+    pub fn zeros(properties: usize) -> Self {
+        TwinState { values: vec![0.0; properties], version: 0 }
+    }
+
+    /// Applies a delta to one property, bumping the version.
+    pub fn apply(&mut self, property: usize, delta: f64) {
+        if let Some(v) = self.values.get_mut(property) {
+            *v += delta;
+            self.version += 1;
+        }
+    }
+
+    /// L2 distance to another state (property-wise).
+    pub fn divergence(&self, other: &TwinState) -> f64 {
+        self.values
+            .iter()
+            .zip(&other.values)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Content hash of the state (what gets attested on the ledger).
+    pub fn digest(&self) -> Digest {
+        let mut bytes = Vec::with_capacity(8 + self.values.len() * 8);
+        bytes.extend_from_slice(&self.version.to_be_bytes());
+        for v in &self.values {
+            bytes.extend_from_slice(&v.to_be_bytes());
+        }
+        sha256(&bytes)
+    }
+}
+
+/// A digital twin: the physical ground truth and its virtual replica.
+#[derive(Debug, Clone)]
+pub struct DigitalTwin {
+    /// Unique id.
+    pub id: TwinId,
+    /// Human-readable name ("factory-robot-7", "gallery-statue").
+    pub name: String,
+    /// Owning account.
+    pub owner: String,
+    /// Ground-truth physical state.
+    pub physical: TwinState,
+    /// The replica the metaverse renders.
+    pub virtual_replica: TwinState,
+}
+
+impl DigitalTwin {
+    /// Creates a twin with both sides at the zero state.
+    pub fn new(id: TwinId, name: impl Into<String>, owner: impl Into<String>, properties: usize) -> Self {
+        DigitalTwin {
+            id,
+            name: name.into(),
+            owner: owner.into(),
+            physical: TwinState::zeros(properties),
+            virtual_replica: TwinState::zeros(properties),
+        }
+    }
+
+    /// Current physical↔virtual divergence.
+    pub fn divergence(&self) -> f64 {
+        self.physical.divergence(&self.virtual_replica)
+    }
+
+    /// Whether the replica is behind the physical object.
+    pub fn is_stale(&self) -> bool {
+        self.virtual_replica.version < self.physical.version
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apply_bumps_version_and_value() {
+        let mut s = TwinState::zeros(3);
+        s.apply(1, 2.5);
+        assert_eq!(s.values, vec![0.0, 2.5, 0.0]);
+        assert_eq!(s.version, 1);
+        s.apply(9, 1.0); // out of range: ignored
+        assert_eq!(s.version, 1);
+    }
+
+    #[test]
+    fn divergence_l2() {
+        let a = TwinState { values: vec![0.0, 0.0], version: 0 };
+        let b = TwinState { values: vec![3.0, 4.0], version: 0 };
+        assert_eq!(a.divergence(&b), 5.0);
+        assert_eq!(a.divergence(&a), 0.0);
+    }
+
+    #[test]
+    fn digest_covers_values_and_version() {
+        let a = TwinState { values: vec![1.0], version: 1 };
+        let mut b = a.clone();
+        b.values[0] = 2.0;
+        assert_ne!(a.digest(), b.digest());
+        let mut c = a.clone();
+        c.version = 2;
+        assert_ne!(a.digest(), c.digest());
+        assert_eq!(a.digest(), a.clone().digest());
+    }
+
+    #[test]
+    fn staleness() {
+        let mut t = DigitalTwin::new(1, "robot", "acme", 2);
+        assert!(!t.is_stale());
+        t.physical.apply(0, 1.0);
+        assert!(t.is_stale());
+        assert!(t.divergence() > 0.0);
+        t.virtual_replica = t.physical.clone();
+        assert!(!t.is_stale());
+        assert_eq!(t.divergence(), 0.0);
+    }
+}

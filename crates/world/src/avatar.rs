@@ -1,0 +1,117 @@
+//! Avatars, privacy bubbles, and mute lists.
+
+use std::collections::HashSet;
+
+use serde::{Deserialize, Serialize};
+
+use crate::geometry::Vec2;
+
+/// World-unique avatar identifier.
+pub type AvatarId = u64;
+
+/// An avatar in the world.
+///
+/// `owner` is the real platform account behind the avatar. Secondary
+/// avatars (clones, §II-B) share an owner with a primary avatar but carry
+/// a different public `handle`; the world never exposes `owner` to other
+/// participants — linking handles to owners is exactly what the E2
+/// attacker attempts from behavioural data alone.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Avatar {
+    /// World-unique id.
+    pub id: AvatarId,
+    /// Public display handle (what other avatars see).
+    pub handle: String,
+    /// Real account behind the avatar (never exposed in-world).
+    pub owner: String,
+    /// Current position.
+    pub position: Vec2,
+    /// Whether this is a secondary avatar (clone).
+    pub secondary: bool,
+    /// Privacy-bubble radius; interactions from outside are blocked.
+    /// `None` = bubble off.
+    pub bubble: Option<f64>,
+    /// Handles this avatar has muted.
+    pub muted: HashSet<String>,
+}
+
+impl Avatar {
+    /// Creates a primary avatar.
+    pub fn new(id: AvatarId, handle: impl Into<String>, owner: impl Into<String>, position: Vec2) -> Self {
+        Avatar {
+            id,
+            handle: handle.into(),
+            owner: owner.into(),
+            position,
+            secondary: false,
+            bubble: None,
+            muted: HashSet::new(),
+        }
+    }
+
+    /// Enables a privacy bubble of the given radius.
+    pub fn enable_bubble(&mut self, radius: f64) {
+        self.bubble = Some(radius.max(0.0));
+    }
+
+    /// Disables the privacy bubble.
+    pub fn disable_bubble(&mut self) {
+        self.bubble = None;
+    }
+
+    /// Whether an approach from `from` at distance `d` penetrates this
+    /// avatar's personal space: true when a bubble is on and the contact
+    /// would originate inside it from a non-consented party.
+    pub fn bubble_blocks(&self, d: f64) -> bool {
+        matches!(self.bubble, Some(r) if d <= r)
+    }
+
+    /// Mutes a handle.
+    pub fn mute(&mut self, handle: &str) {
+        self.muted.insert(handle.to_string());
+    }
+
+    /// Unmutes a handle.
+    pub fn unmute(&mut self, handle: &str) {
+        self.muted.remove(handle);
+    }
+
+    /// Whether a handle is muted.
+    pub fn has_muted(&self, handle: &str) -> bool {
+        self.muted.contains(handle)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bubble_semantics() {
+        let mut a = Avatar::new(1, "neo", "thomas", Vec2::ZERO);
+        assert!(!a.bubble_blocks(0.1), "no bubble, nothing blocked");
+        a.enable_bubble(2.0);
+        assert!(a.bubble_blocks(1.9));
+        assert!(a.bubble_blocks(2.0));
+        assert!(!a.bubble_blocks(2.1));
+        a.disable_bubble();
+        assert!(!a.bubble_blocks(0.0));
+    }
+
+    #[test]
+    fn negative_radius_clamped() {
+        let mut a = Avatar::new(1, "h", "o", Vec2::ZERO);
+        a.enable_bubble(-3.0);
+        assert_eq!(a.bubble, Some(0.0));
+        assert!(a.bubble_blocks(0.0));
+    }
+
+    #[test]
+    fn mute_roundtrip() {
+        let mut a = Avatar::new(1, "h", "o", Vec2::ZERO);
+        a.mute("troll");
+        assert!(a.has_muted("troll"));
+        a.unmute("troll");
+        assert!(!a.has_muted("troll"));
+    }
+}

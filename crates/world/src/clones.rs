@@ -1,0 +1,261 @@
+//! Secondary avatars (clones) and the behavioural linkage attack.
+//!
+//! §II-B claims that secondary avatars stop observers from inferring
+//! "any behavioural information about the users". Experiment E2 tests
+//! that claim: an attacker observes per-handle behavioural fingerprints
+//! (venue visit histograms, activity rates) and tries to link each
+//! anonymous secondary handle back to a known primary identity.
+//!
+//! The punchline the experiment surfaces: a clone only protects its
+//! owner if its *behaviour* is also decoupled — a naive clone that
+//! visits the same venues at the same rate is trivially linkable, which
+//! refines the paper's claim into a measurable condition.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Behavioural fingerprint observable per handle.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BehaviorFingerprint {
+    /// Normalized visit distribution over venues.
+    pub venues: Vec<f64>,
+    /// Interactions per tick.
+    pub activity_rate: f64,
+}
+
+impl BehaviorFingerprint {
+    /// Samples a random ground-truth fingerprint over `venues` venues.
+    pub fn random<R: Rng + ?Sized>(venues: usize, rng: &mut R) -> Self {
+        let mut weights: Vec<f64> = (0..venues).map(|_| rng.gen_range(0.01..1.0)).collect();
+        // Sharpen: square the weights so users have clear favourites.
+        for w in &mut weights {
+            *w = *w * *w;
+        }
+        let sum: f64 = weights.iter().sum();
+        for w in &mut weights {
+            *w /= sum;
+        }
+        BehaviorFingerprint { venues: weights, activity_rate: rng.gen_range(0.5..5.0) }
+    }
+
+    /// Produces a noisy observation of this fingerprint, as estimated
+    /// from `samples` observed events.
+    pub fn observe<R: Rng + ?Sized>(&self, samples: usize, rng: &mut R) -> Self {
+        let mut counts = vec![0usize; self.venues.len()];
+        for _ in 0..samples {
+            // Sample a venue from the true distribution.
+            let mut u: f64 = rng.gen_range(0.0..1.0);
+            let mut venue = self.venues.len() - 1;
+            for (i, w) in self.venues.iter().enumerate() {
+                if u < *w {
+                    venue = i;
+                    break;
+                }
+                u -= w;
+            }
+            counts[venue] += 1;
+        }
+        let total = samples.max(1) as f64;
+        BehaviorFingerprint {
+            venues: counts.into_iter().map(|c| c as f64 / total).collect(),
+            activity_rate: (self.activity_rate + rng.gen_range(-0.3..0.3)).max(0.0),
+        }
+    }
+
+    /// L2 distance between fingerprints (activity rate normalized by its
+    /// plausible range).
+    pub fn distance(&self, other: &BehaviorFingerprint) -> f64 {
+        let venue_d: f64 = self
+            .venues
+            .iter()
+            .zip(&other.venues)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>();
+        let rate_d = ((self.activity_rate - other.activity_rate) / 4.5).powi(2);
+        (venue_d + rate_d).sqrt()
+    }
+}
+
+/// One observed session: a public handle plus its estimated fingerprint.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SessionLog {
+    /// Public handle seen in the world.
+    pub handle: String,
+    /// Fingerprint estimated from this session's events.
+    pub fingerprint: BehaviorFingerprint,
+}
+
+/// How a clone behaves relative to its owner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CloneStrategy {
+    /// Clone keeps the owner's habits (same venues, same rate).
+    Naive,
+    /// Clone adopts freshly sampled behaviour, decoupled from the owner.
+    Randomized,
+}
+
+/// The linkage adversary: knows primary identities' fingerprints, sees
+/// anonymous secondary sessions, and matches each to the nearest known
+/// primary.
+#[derive(Debug, Default)]
+pub struct LinkageAttack {
+    known: Vec<(String, BehaviorFingerprint)>,
+}
+
+impl LinkageAttack {
+    /// Creates an attacker with no knowledge.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enrolls a known primary identity (`owner` is what the attacker
+    /// ultimately wants to recover).
+    pub fn enroll(&mut self, owner: &str, fingerprint: BehaviorFingerprint) {
+        self.known.push((owner.to_string(), fingerprint));
+    }
+
+    /// Number of enrolled identities.
+    pub fn enrolled(&self) -> usize {
+        self.known.len()
+    }
+
+    /// Links one anonymous session to the most similar known identity.
+    pub fn link(&self, session: &SessionLog) -> Option<&str> {
+        self.known
+            .iter()
+            .min_by(|a, b| {
+                let da = a.1.distance(&session.fingerprint);
+                let db = b.1.distance(&session.fingerprint);
+                da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map(|(owner, _)| owner.as_str())
+    }
+
+    /// Linkage accuracy over `(session, true_owner)` pairs.
+    pub fn accuracy(&self, cases: &[(SessionLog, String)]) -> f64 {
+        if cases.is_empty() {
+            return 0.0;
+        }
+        let hits = cases
+            .iter()
+            .filter(|(s, truth)| self.link(s) == Some(truth.as_str()))
+            .count();
+        hits as f64 / cases.len() as f64
+    }
+}
+
+/// Runs the E2 scenario: `population` users, each with a primary and a
+/// secondary avatar under `strategy`. Returns the attacker's linkage
+/// accuracy over the secondary sessions.
+pub fn linkage_experiment<R: Rng + ?Sized>(
+    population: usize,
+    venues: usize,
+    samples_per_session: usize,
+    strategy: CloneStrategy,
+    rng: &mut R,
+) -> f64 {
+    let truths: Vec<(String, BehaviorFingerprint)> = (0..population)
+        .map(|i| (format!("user-{i}"), BehaviorFingerprint::random(venues, rng)))
+        .collect();
+
+    let mut attack = LinkageAttack::new();
+    for (owner, fp) in &truths {
+        // Attacker learns primaries from a long observation window.
+        attack.enroll(owner, fp.observe(samples_per_session * 4, rng));
+    }
+
+    let cases: Vec<(SessionLog, String)> = truths
+        .iter()
+        .enumerate()
+        .map(|(i, (owner, fp))| {
+            let clone_behaviour = match strategy {
+                CloneStrategy::Naive => fp.clone(),
+                CloneStrategy::Randomized => BehaviorFingerprint::random(venues, rng),
+            };
+            let session = SessionLog {
+                handle: format!("anon-{i}"),
+                fingerprint: clone_behaviour.observe(samples_per_session, rng),
+            };
+            (session, owner.clone())
+        })
+        .collect();
+
+    attack.accuracy(&cases)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(31)
+    }
+
+    #[test]
+    fn fingerprint_normalized() {
+        let mut r = rng();
+        let fp = BehaviorFingerprint::random(8, &mut r);
+        let sum: f64 = fp.venues.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert!(fp.venues.iter().all(|w| *w >= 0.0));
+    }
+
+    #[test]
+    fn observation_approximates_truth() {
+        let mut r = rng();
+        let fp = BehaviorFingerprint::random(5, &mut r);
+        let obs = fp.observe(20_000, &mut r);
+        assert!(fp.distance(&obs) < 0.15, "distance {}", fp.distance(&obs));
+    }
+
+    #[test]
+    fn distance_zero_for_identical() {
+        let mut r = rng();
+        let fp = BehaviorFingerprint::random(5, &mut r);
+        assert!(fp.distance(&fp) < 1e-12);
+    }
+
+    #[test]
+    fn naive_clones_are_linkable() {
+        let mut r = rng();
+        let acc = linkage_experiment(20, 10, 200, CloneStrategy::Naive, &mut r);
+        assert!(acc > 0.7, "naive clone linkage accuracy {acc}");
+    }
+
+    #[test]
+    fn randomized_clones_defeat_linkage() {
+        let mut r = rng();
+        let naive = linkage_experiment(20, 10, 200, CloneStrategy::Naive, &mut r);
+        let randomized = linkage_experiment(20, 10, 200, CloneStrategy::Randomized, &mut r);
+        assert!(
+            randomized < naive / 2.0,
+            "randomized {randomized} should be far below naive {naive}"
+        );
+        // Near chance (1/20 = 0.05) with slack for small samples.
+        assert!(randomized < 0.3, "randomized {randomized}");
+    }
+
+    #[test]
+    fn empty_attack_cases() {
+        let attack = LinkageAttack::new();
+        assert_eq!(attack.accuracy(&[]), 0.0);
+        assert_eq!(attack.enrolled(), 0);
+        let mut r = rng();
+        let s = SessionLog {
+            handle: "x".into(),
+            fingerprint: BehaviorFingerprint::random(3, &mut r),
+        };
+        assert!(attack.link(&s).is_none());
+    }
+
+    #[test]
+    fn more_observation_helps_the_attacker() {
+        let mut r1 = StdRng::seed_from_u64(77);
+        let mut r2 = StdRng::seed_from_u64(77);
+        let short = linkage_experiment(25, 10, 20, CloneStrategy::Naive, &mut r1);
+        let long = linkage_experiment(25, 10, 500, CloneStrategy::Naive, &mut r2);
+        assert!(long >= short, "long {long} vs short {short}");
+    }
+}

@@ -1,0 +1,46 @@
+//! Error types for the world crate.
+
+use crate::avatar::AvatarId;
+
+/// Errors returned by world operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WorldError {
+    /// The avatar does not exist.
+    UnknownAvatar {
+        /// The missing avatar id.
+        id: AvatarId,
+    },
+    /// The handle is already in use.
+    HandleTaken {
+        /// The contested handle.
+        handle: String,
+    },
+    /// A movement left the world bounds.
+    OutOfBounds {
+        /// The moving avatar.
+        id: AvatarId,
+    },
+}
+
+impl std::fmt::Display for WorldError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorldError::UnknownAvatar { id } => write!(f, "unknown avatar {id}"),
+            WorldError::HandleTaken { handle } => write!(f, "handle {handle:?} already taken"),
+            WorldError::OutOfBounds { id } => write!(f, "avatar {id} left world bounds"),
+        }
+    }
+}
+
+impl std::error::Error for WorldError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(WorldError::UnknownAvatar { id: 3 }.to_string().contains('3'));
+    }
+}

@@ -1,0 +1,147 @@
+//! Minimal 2-D geometry shared by the world and safety crates.
+
+use serde::{Deserialize, Serialize};
+
+/// A 2-D point / vector.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Vec2 {
+    /// X coordinate (metres in safety contexts, world units here).
+    pub x: f64,
+    /// Y coordinate.
+    pub y: f64,
+}
+
+impl Vec2 {
+    /// The origin.
+    pub const ZERO: Vec2 = Vec2 { x: 0.0, y: 0.0 };
+
+    /// Constructs a vector.
+    pub fn new(x: f64, y: f64) -> Self {
+        Vec2 { x, y }
+    }
+
+    /// Euclidean distance to another point.
+    pub fn distance(&self, other: &Vec2) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+
+    /// Vector length.
+    pub fn length(&self) -> f64 {
+        (self.x * self.x + self.y * self.y).sqrt()
+    }
+
+    /// Component-wise addition.
+    pub fn add(&self, other: &Vec2) -> Vec2 {
+        Vec2 { x: self.x + other.x, y: self.y + other.y }
+    }
+
+    /// Component-wise subtraction (`self - other`).
+    pub fn sub(&self, other: &Vec2) -> Vec2 {
+        Vec2 { x: self.x - other.x, y: self.y - other.y }
+    }
+
+    /// Scalar multiplication.
+    pub fn scale(&self, k: f64) -> Vec2 {
+        Vec2 { x: self.x * k, y: self.y * k }
+    }
+
+    /// Unit vector in this direction; zero vector stays zero.
+    pub fn normalized(&self) -> Vec2 {
+        let len = self.length();
+        if len < 1e-12 {
+            Vec2::ZERO
+        } else {
+            self.scale(1.0 / len)
+        }
+    }
+
+    /// Dot product.
+    pub fn dot(&self, other: &Vec2) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+}
+
+/// An axis-aligned rectangular boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Bounds {
+    /// Width (x extent, from 0).
+    pub width: f64,
+    /// Height (y extent, from 0).
+    pub height: f64,
+}
+
+impl Bounds {
+    /// Constructs bounds.
+    pub fn new(width: f64, height: f64) -> Self {
+        Bounds { width, height }
+    }
+
+    /// Whether a point lies inside (inclusive).
+    pub fn contains(&self, p: &Vec2) -> bool {
+        (0.0..=self.width).contains(&p.x) && (0.0..=self.height).contains(&p.y)
+    }
+
+    /// Clamps a point into the bounds.
+    pub fn clamp(&self, p: &Vec2) -> Vec2 {
+        Vec2 { x: p.x.clamp(0.0, self.width), y: p.y.clamp(0.0, self.height) }
+    }
+
+    /// Distance from `p` to the nearest wall (negative if outside).
+    pub fn wall_distance(&self, p: &Vec2) -> f64 {
+        let dx = p.x.min(self.width - p.x);
+        let dy = p.y.min(self.height - p.y);
+        dx.min(dy)
+    }
+
+    /// Centre point.
+    pub fn center(&self) -> Vec2 {
+        Vec2 { x: self.width / 2.0, y: self.height / 2.0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_and_length() {
+        let a = Vec2::new(0.0, 0.0);
+        let b = Vec2::new(3.0, 4.0);
+        assert_eq!(a.distance(&b), 5.0);
+        assert_eq!(b.length(), 5.0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Vec2::new(1.0, 2.0);
+        let b = Vec2::new(3.0, -1.0);
+        assert_eq!(a.add(&b), Vec2::new(4.0, 1.0));
+        assert_eq!(a.sub(&b), Vec2::new(-2.0, 3.0));
+        assert_eq!(a.scale(2.0), Vec2::new(2.0, 4.0));
+        assert_eq!(a.dot(&b), 1.0);
+    }
+
+    #[test]
+    fn normalized_unit_or_zero() {
+        assert!((Vec2::new(3.0, 4.0).normalized().length() - 1.0).abs() < 1e-12);
+        assert_eq!(Vec2::ZERO.normalized(), Vec2::ZERO);
+    }
+
+    #[test]
+    fn bounds_contain_and_clamp() {
+        let b = Bounds::new(10.0, 5.0);
+        assert!(b.contains(&Vec2::new(0.0, 0.0)));
+        assert!(b.contains(&Vec2::new(10.0, 5.0)));
+        assert!(!b.contains(&Vec2::new(10.1, 0.0)));
+        assert_eq!(b.clamp(&Vec2::new(-1.0, 7.0)), Vec2::new(0.0, 5.0));
+    }
+
+    #[test]
+    fn wall_distance_sign() {
+        let b = Bounds::new(10.0, 10.0);
+        assert_eq!(b.wall_distance(&Vec2::new(5.0, 5.0)), 5.0);
+        assert_eq!(b.wall_distance(&Vec2::new(1.0, 5.0)), 1.0);
+        assert!(b.wall_distance(&Vec2::new(-1.0, 5.0)) < 0.0);
+        assert_eq!(b.center(), Vec2::new(5.0, 5.0));
+    }
+}

@@ -1,0 +1,196 @@
+//! A uniform spatial-hash grid for radius queries.
+//!
+//! The world and the safety simulator both need "who is near this
+//! point?" queries every tick; the grid answers them in O(local density)
+//! instead of O(population).
+
+use std::collections::HashMap;
+
+use crate::geometry::Vec2;
+
+/// A spatial hash over u64 entity ids.
+#[derive(Debug)]
+pub struct SpatialGrid {
+    cell: f64,
+    cells: HashMap<(i64, i64), Vec<u64>>,
+    positions: HashMap<u64, Vec2>,
+}
+
+impl SpatialGrid {
+    /// Creates a grid with the given cell size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell_size` is not strictly positive (configuration
+    /// bug).
+    pub fn new(cell_size: f64) -> Self {
+        assert!(cell_size > 0.0, "cell size must be positive");
+        SpatialGrid { cell: cell_size, cells: HashMap::new(), positions: HashMap::new() }
+    }
+
+    fn key(&self, p: &Vec2) -> (i64, i64) {
+        ((p.x / self.cell).floor() as i64, (p.y / self.cell).floor() as i64)
+    }
+
+    /// Inserts or moves an entity.
+    pub fn upsert(&mut self, id: u64, pos: Vec2) {
+        if let Some(old) = self.positions.insert(id, pos) {
+            let old_key = self.key(&old);
+            let new_key = self.key(&pos);
+            if old_key == new_key {
+                return;
+            }
+            if let Some(bucket) = self.cells.get_mut(&old_key) {
+                bucket.retain(|&e| e != id);
+            }
+        }
+        self.cells.entry(self.key(&pos)).or_default().push(id);
+    }
+
+    /// Removes an entity. Returns whether it was present.
+    pub fn remove(&mut self, id: u64) -> bool {
+        match self.positions.remove(&id) {
+            Some(pos) => {
+                let k = self.key(&pos);
+                if let Some(bucket) = self.cells.get_mut(&k) {
+                    bucket.retain(|&e| e != id);
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Current position of an entity.
+    pub fn position(&self, id: u64) -> Option<Vec2> {
+        self.positions.get(&id).copied()
+    }
+
+    /// Number of tracked entities.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// All entities within `radius` of `centre` (excluding none),
+    /// returned with their distances, sorted nearest-first.
+    pub fn query(&self, centre: &Vec2, radius: f64) -> Vec<(u64, f64)> {
+        let r_cells = (radius / self.cell).ceil() as i64;
+        let (cx, cy) = self.key(centre);
+        let mut out = Vec::new();
+        for dx in -r_cells..=r_cells {
+            for dy in -r_cells..=r_cells {
+                if let Some(bucket) = self.cells.get(&(cx + dx, cy + dy)) {
+                    for &id in bucket {
+                        let pos = self.positions[&id];
+                        let d = centre.distance(&pos);
+                        if d <= radius {
+                            out.push((id, d));
+                        }
+                    }
+                }
+            }
+        }
+        out.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        out
+    }
+
+    /// Entities within `radius` of `centre`, excluding `exclude`.
+    pub fn neighbors(&self, centre: &Vec2, radius: f64, exclude: u64) -> Vec<(u64, f64)> {
+        self.query(centre, radius).into_iter().filter(|(id, _)| *id != exclude).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn upsert_query_remove() {
+        let mut g = SpatialGrid::new(2.0);
+        g.upsert(1, Vec2::new(1.0, 1.0));
+        g.upsert(2, Vec2::new(4.0, 4.0));
+        g.upsert(3, Vec2::new(1.5, 1.0));
+        let near = g.query(&Vec2::new(1.0, 1.0), 1.0);
+        assert_eq!(near.iter().map(|(id, _)| *id).collect::<Vec<_>>(), vec![1, 3]);
+        assert!(g.remove(3));
+        assert!(!g.remove(3));
+        assert_eq!(g.query(&Vec2::new(1.0, 1.0), 1.0).len(), 1);
+        assert_eq!(g.len(), 2);
+    }
+
+    #[test]
+    fn move_across_cells() {
+        let mut g = SpatialGrid::new(1.0);
+        g.upsert(7, Vec2::new(0.5, 0.5));
+        g.upsert(7, Vec2::new(9.5, 9.5));
+        assert!(g.query(&Vec2::new(0.5, 0.5), 0.6).is_empty());
+        assert_eq!(g.query(&Vec2::new(9.5, 9.5), 0.6).len(), 1);
+        assert_eq!(g.len(), 1, "moving must not duplicate");
+    }
+
+    #[test]
+    fn query_matches_brute_force() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut g = SpatialGrid::new(3.0);
+        let points: Vec<(u64, Vec2)> = (0..300)
+            .map(|i| (i, Vec2::new(rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0))))
+            .collect();
+        for (id, p) in &points {
+            g.upsert(*id, *p);
+        }
+        for _ in 0..50 {
+            let centre = Vec2::new(rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0));
+            let radius = rng.gen_range(0.5..20.0);
+            let mut expected: Vec<u64> = points
+                .iter()
+                .filter(|(_, p)| centre.distance(p) <= radius)
+                .map(|(id, _)| *id)
+                .collect();
+            expected.sort_unstable();
+            let mut got: Vec<u64> = g.query(&centre, radius).into_iter().map(|(id, _)| id).collect();
+            got.sort_unstable();
+            assert_eq!(got, expected);
+        }
+    }
+
+    #[test]
+    fn results_sorted_by_distance() {
+        let mut g = SpatialGrid::new(5.0);
+        g.upsert(1, Vec2::new(3.0, 0.0));
+        g.upsert(2, Vec2::new(1.0, 0.0));
+        g.upsert(3, Vec2::new(2.0, 0.0));
+        let q = g.query(&Vec2::ZERO, 10.0);
+        let ids: Vec<u64> = q.iter().map(|(id, _)| *id).collect();
+        assert_eq!(ids, vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn neighbors_excludes_self() {
+        let mut g = SpatialGrid::new(1.0);
+        g.upsert(1, Vec2::ZERO);
+        g.upsert(2, Vec2::new(0.1, 0.0));
+        let n = g.neighbors(&Vec2::ZERO, 1.0, 1);
+        assert_eq!(n.len(), 1);
+        assert_eq!(n[0].0, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cell size")]
+    fn zero_cell_size_panics() {
+        SpatialGrid::new(0.0);
+    }
+
+    #[test]
+    fn negative_coordinates_supported() {
+        let mut g = SpatialGrid::new(2.0);
+        g.upsert(1, Vec2::new(-5.0, -5.0));
+        assert_eq!(g.query(&Vec2::new(-5.0, -5.0), 0.5).len(), 1);
+    }
+}

@@ -1,0 +1,49 @@
+//! # metaverse-world
+//!
+//! The virtual-world substrate of `metaverse-kit`: avatars, space,
+//! interactions, and the behavioural privacy tools of §II-B:
+//!
+//! > "We can foresee that users can use secondary avatars to obfuscate
+//! > their real avatar […] Other avatars in the metaverse cannot
+//! > recognise the real owner of this secondary avatar and, therefore,
+//! > cannot infer any behavioural information about the users."
+//!
+//! > "Users of the metaverse should also have some configurable options
+//! > to manage their personal space in the virtual world. For example,
+//! > privacy bubbles restrict visual access with other avatars outside
+//! > the bubble."
+//!
+//! Components:
+//!
+//! * [`geometry`] — 2-D vectors and bounds.
+//! * [`grid`] — a uniform spatial-hash index with radius queries.
+//! * [`avatar`] — avatars, privacy bubbles, mute lists, clone marking.
+//! * [`world`] — the world simulation: movement, chat with eavesdropping,
+//!   interaction logging, bubble enforcement.
+//! * [`clones`] — secondary-avatar sessions and the behavioural linkage
+//!   attack they defend against (experiment E2).
+//! * [`harassment`] — the harassment-incident model behind the
+//!   privacy-bubble evaluation (experiment E3).
+//! * [`venues`] — social events and the physical-vs-virtual
+//!   accessibility model of §IV-B (experiment E17).
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod avatar;
+pub mod clones;
+pub mod error;
+pub mod geometry;
+pub mod grid;
+pub mod harassment;
+pub mod venues;
+pub mod world;
+
+pub use avatar::{Avatar, AvatarId};
+pub use clones::{BehaviorFingerprint, LinkageAttack, SessionLog};
+pub use error::WorldError;
+pub use geometry::{Bounds, Vec2};
+pub use grid::SpatialGrid;
+pub use harassment::{HarassmentConfig, HarassmentReport};
+pub use venues::{hold_event, Attendee, EventReport, EventVenue};
+pub use world::{InteractionKind, InteractionOutcome, World, WorldEvent};

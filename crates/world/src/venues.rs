@@ -1,0 +1,241 @@
+//! Venues and social events — the accessibility story of §IV-B.
+//!
+//! > "The metaverse can enable many social events that are not possible
+//! > physically — for example, concerts with millions of people
+//! > worldwide. For example, in 2020, UC Berkeley held its graduation
+//! > ceremony in Minecraft."
+//!
+//! The model: attendees are spread across world regions; a *physical*
+//! event has a venue capacity and a travel-cost barrier that falls off
+//! with distance, while a *virtual* event has neither. Experiment E17
+//! compares attendance and geographic diversity.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Where an event is held.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum EventVenue {
+    /// A physical venue in one region with finite capacity.
+    Physical {
+        /// Region hosting the event.
+        region: usize,
+        /// Seats available.
+        capacity: usize,
+    },
+    /// A virtual venue: no capacity, no travel.
+    Virtual,
+}
+
+/// A potential attendee.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Attendee {
+    /// Home region index.
+    pub region: usize,
+    /// Interest in the event, in `[0, 1]`.
+    pub interest: f64,
+    /// Resources available for travel, in `[0, 1]` (wealth proxy).
+    pub mobility: f64,
+}
+
+/// Outcome of holding an event.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EventReport {
+    /// "physical" or "virtual".
+    pub venue: String,
+    /// People who wanted to attend (interest above threshold).
+    pub interested: usize,
+    /// People who actually attended.
+    pub attended: usize,
+    /// Attendance as a fraction of the interested.
+    pub attendance_rate: f64,
+    /// Shannon entropy (nats) of the attendees' region distribution —
+    /// the geographic-diversity metric.
+    pub region_entropy: f64,
+    /// Attendees turned away by capacity.
+    pub turned_away: usize,
+}
+
+/// Samples a world population of `n` attendees over `regions` regions.
+pub fn sample_population<R: Rng + ?Sized>(
+    n: usize,
+    regions: usize,
+    rng: &mut R,
+) -> Vec<Attendee> {
+    (0..n)
+        .map(|_| Attendee {
+            region: rng.gen_range(0..regions.max(1)),
+            interest: rng.gen_range(0.0..1.0),
+            mobility: rng.gen_range(0.0..1.0),
+        })
+        .collect()
+}
+
+/// Ring distance between regions (world wraps around).
+fn region_distance(a: usize, b: usize, regions: usize) -> usize {
+    let d = a.abs_diff(b);
+    d.min(regions - d)
+}
+
+/// Holds an event and reports attendance.
+///
+/// Physical attendance requires `mobility ≥ distance / (regions/2)` —
+/// travelling half the world demands full resources — and is cut off by
+/// capacity in arrival order. Virtual attendance only requires interest.
+pub fn hold_event<R: Rng + ?Sized>(
+    population: &[Attendee],
+    venue: EventVenue,
+    regions: usize,
+    interest_threshold: f64,
+    rng: &mut R,
+) -> EventReport {
+    let interested: Vec<&Attendee> =
+        population.iter().filter(|a| a.interest >= interest_threshold).collect();
+
+    let mut attendees: Vec<&Attendee> = Vec::new();
+    let mut turned_away = 0usize;
+    match venue {
+        EventVenue::Virtual => {
+            attendees.extend(interested.iter().copied());
+        }
+        EventVenue::Physical { region, capacity } => {
+            // Arrival order is random.
+            let mut order: Vec<&Attendee> = interested.clone();
+            for i in (1..order.len()).rev() {
+                order.swap(i, rng.gen_range(0..=i));
+            }
+            let half = (regions as f64 / 2.0).max(1.0);
+            for a in order {
+                let cost = region_distance(a.region, region, regions) as f64 / half;
+                if a.mobility < cost {
+                    continue; // cannot afford the trip
+                }
+                if attendees.len() >= capacity {
+                    turned_away += 1;
+                    continue;
+                }
+                attendees.push(a);
+            }
+        }
+    }
+
+    // Region entropy of attendees.
+    let mut counts = vec![0usize; regions.max(1)];
+    for a in &attendees {
+        counts[a.region] += 1;
+    }
+    let total = attendees.len().max(1) as f64;
+    let entropy: f64 = counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / total;
+            -p * p.ln()
+        })
+        .sum();
+
+    EventReport {
+        venue: match venue {
+            EventVenue::Physical { .. } => "physical".into(),
+            EventVenue::Virtual => "virtual".into(),
+        },
+        interested: interested.len(),
+        attended: attendees.len(),
+        attendance_rate: if interested.is_empty() {
+            0.0
+        } else {
+            attendees.len() as f64 / interested.len() as f64
+        },
+        region_entropy: entropy,
+        turned_away,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (Vec<Attendee>, StdRng) {
+        let mut rng = StdRng::seed_from_u64(51);
+        let pop = sample_population(2000, 10, &mut rng);
+        (pop, rng)
+    }
+
+    #[test]
+    fn virtual_event_admits_all_interested() {
+        let (pop, mut rng) = setup();
+        let report = hold_event(&pop, EventVenue::Virtual, 10, 0.5, &mut rng);
+        assert_eq!(report.attended, report.interested);
+        assert_eq!(report.attendance_rate, 1.0);
+        assert_eq!(report.turned_away, 0);
+    }
+
+    #[test]
+    fn physical_event_limited_by_capacity_and_travel() {
+        let (pop, mut rng) = setup();
+        let report = hold_event(
+            &pop,
+            EventVenue::Physical { region: 0, capacity: 100 },
+            10,
+            0.5,
+            &mut rng,
+        );
+        assert!(report.attended <= 100);
+        assert!(report.attendance_rate < 0.5, "rate {}", report.attendance_rate);
+    }
+
+    #[test]
+    fn virtual_entropy_exceeds_physical() {
+        let (pop, mut rng) = setup();
+        let physical = hold_event(
+            &pop,
+            EventVenue::Physical { region: 0, capacity: 400 },
+            10,
+            0.5,
+            &mut rng,
+        );
+        let mut rng2 = StdRng::seed_from_u64(52);
+        let virtual_ev = hold_event(&pop, EventVenue::Virtual, 10, 0.5, &mut rng2);
+        assert!(
+            virtual_ev.region_entropy > physical.region_entropy,
+            "virtual {} vs physical {}",
+            virtual_ev.region_entropy,
+            physical.region_entropy
+        );
+    }
+
+    #[test]
+    fn travel_cost_skews_physical_attendance_local() {
+        let (pop, mut rng) = setup();
+        let report = hold_event(
+            &pop,
+            EventVenue::Physical { region: 3, capacity: 10_000 },
+            10,
+            0.5,
+            &mut rng,
+        );
+        // With huge capacity the only barrier is travel: attendance is
+        // possible for all locals but only mobile far-away people.
+        assert!(report.turned_away == 0);
+        assert!(report.attendance_rate < 1.0);
+        assert!(report.attendance_rate > 0.2);
+    }
+
+    #[test]
+    fn region_distance_wraps() {
+        assert_eq!(region_distance(0, 9, 10), 1);
+        assert_eq!(region_distance(2, 7, 10), 5);
+        assert_eq!(region_distance(4, 4, 10), 0);
+    }
+
+    #[test]
+    fn uninterested_population_empty_event() {
+        let (pop, mut rng) = setup();
+        let report = hold_event(&pop, EventVenue::Virtual, 10, 1.1, &mut rng);
+        assert_eq!(report.interested, 0);
+        assert_eq!(report.attended, 0);
+        assert_eq!(report.attendance_rate, 0.0);
+    }
+}

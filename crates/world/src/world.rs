@@ -1,0 +1,436 @@
+//! The world simulation: spawning, movement, interactions, bubbles,
+//! eavesdropping, and the event log.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::avatar::{Avatar, AvatarId};
+use crate::error::WorldError;
+use crate::geometry::{Bounds, Vec2};
+use crate::grid::SpatialGrid;
+
+/// Kinds of avatar-to-avatar interaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum InteractionKind {
+    /// Spoken/typed chat, overhearable within earshot.
+    Chat,
+    /// A visible gesture.
+    Gesture,
+    /// A trade offer.
+    Trade,
+    /// Deliberate invasion of personal space (the harassment model's
+    /// vehicle).
+    Approach,
+}
+
+/// The result of an interaction attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InteractionOutcome {
+    /// Delivered to the target.
+    Delivered,
+    /// Blocked by the target's privacy bubble.
+    BlockedByBubble,
+    /// Dropped because the target muted the sender.
+    BlockedByMute,
+    /// Sender was too far away to interact.
+    OutOfRange,
+}
+
+/// An entry in the world's observable event log.
+///
+/// Events are keyed by *handle*, not owner — this is the dataset a
+/// behavioural attacker (E2) or an eavesdropper legitimately observes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorldEvent {
+    /// Tick of the event.
+    pub tick: u64,
+    /// Acting avatar's handle.
+    pub actor: String,
+    /// Target avatar's handle, when directed.
+    pub target: Option<String>,
+    /// Interaction kind.
+    pub kind: InteractionKind,
+    /// Outcome.
+    pub outcome: InteractionOutcome,
+    /// Where it happened.
+    pub position: Vec2,
+    /// Handles of avatars who overheard it (chat only).
+    pub overheard_by: Vec<String>,
+}
+
+/// Configuration of the world.
+#[derive(Debug, Clone)]
+pub struct WorldConfig {
+    /// World bounds.
+    pub bounds: Bounds,
+    /// Maximum interaction range.
+    pub interaction_range: f64,
+    /// Radius within which chat is overheard by third parties.
+    pub earshot: f64,
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        WorldConfig {
+            bounds: Bounds::new(100.0, 100.0),
+            interaction_range: 3.0,
+            earshot: 6.0,
+        }
+    }
+}
+
+/// The virtual world.
+///
+/// ```
+/// use metaverse_world::world::{World, InteractionKind, InteractionOutcome};
+/// use metaverse_world::geometry::Vec2;
+///
+/// let mut w = World::new(Default::default());
+/// let a = w.spawn("neo", "thomas", Vec2::new(1.0, 1.0)).unwrap();
+/// let b = w.spawn("smith", "agent", Vec2::new(2.0, 1.0)).unwrap();
+/// let out = w.interact(a, b, InteractionKind::Chat).unwrap();
+/// assert_eq!(out, InteractionOutcome::Delivered);
+/// ```
+#[derive(Debug)]
+pub struct World {
+    config: WorldConfig,
+    avatars: BTreeMap<AvatarId, Avatar>,
+    grid: SpatialGrid,
+    next_id: AvatarId,
+    tick: u64,
+    events: Vec<WorldEvent>,
+}
+
+impl World {
+    /// Creates an empty world.
+    pub fn new(config: WorldConfig) -> Self {
+        let cell = (config.interaction_range.max(config.earshot)).max(1.0);
+        World {
+            config,
+            avatars: BTreeMap::new(),
+            grid: SpatialGrid::new(cell),
+            next_id: 1,
+            tick: 0,
+            events: Vec::new(),
+        }
+    }
+
+    /// Current logical time.
+    pub fn tick(&self) -> u64 {
+        self.tick
+    }
+
+    /// Advances time.
+    pub fn advance(&mut self, ticks: u64) {
+        self.tick += ticks;
+    }
+
+    /// Spawns a primary avatar. Handles must be unique.
+    pub fn spawn(
+        &mut self,
+        handle: &str,
+        owner: &str,
+        position: Vec2,
+    ) -> Result<AvatarId, WorldError> {
+        self.spawn_inner(handle, owner, position, false)
+    }
+
+    /// Spawns a secondary avatar (clone) for `owner`.
+    pub fn spawn_secondary(
+        &mut self,
+        handle: &str,
+        owner: &str,
+        position: Vec2,
+    ) -> Result<AvatarId, WorldError> {
+        self.spawn_inner(handle, owner, position, true)
+    }
+
+    fn spawn_inner(
+        &mut self,
+        handle: &str,
+        owner: &str,
+        position: Vec2,
+        secondary: bool,
+    ) -> Result<AvatarId, WorldError> {
+        if self.avatars.values().any(|a| a.handle == handle) {
+            return Err(WorldError::HandleTaken { handle: handle.into() });
+        }
+        let position = self.config.bounds.clamp(&position);
+        let id = self.next_id;
+        self.next_id += 1;
+        let mut avatar = Avatar::new(id, handle, owner, position);
+        avatar.secondary = secondary;
+        self.grid.upsert(id, position);
+        self.avatars.insert(id, avatar);
+        Ok(id)
+    }
+
+    /// Removes an avatar from the world.
+    pub fn despawn(&mut self, id: AvatarId) -> Result<(), WorldError> {
+        self.avatars.remove(&id).ok_or(WorldError::UnknownAvatar { id })?;
+        self.grid.remove(id);
+        Ok(())
+    }
+
+    /// Immutable view of an avatar.
+    pub fn avatar(&self, id: AvatarId) -> Result<&Avatar, WorldError> {
+        self.avatars.get(&id).ok_or(WorldError::UnknownAvatar { id })
+    }
+
+    /// Mutable view of an avatar (bubble toggles, mutes).
+    pub fn avatar_mut(&mut self, id: AvatarId) -> Result<&mut Avatar, WorldError> {
+        self.avatars.get_mut(&id).ok_or(WorldError::UnknownAvatar { id })
+    }
+
+    /// Number of avatars present.
+    pub fn population(&self) -> usize {
+        self.avatars.len()
+    }
+
+    /// Moves an avatar to an absolute position (clamped to bounds).
+    pub fn move_to(&mut self, id: AvatarId, to: Vec2) -> Result<(), WorldError> {
+        let clamped = self.config.bounds.clamp(&to);
+        let avatar = self.avatars.get_mut(&id).ok_or(WorldError::UnknownAvatar { id })?;
+        avatar.position = clamped;
+        self.grid.upsert(id, clamped);
+        Ok(())
+    }
+
+    /// Moves an avatar by a delta.
+    pub fn move_by(&mut self, id: AvatarId, delta: Vec2) -> Result<(), WorldError> {
+        let current = self.avatar(id)?.position;
+        self.move_to(id, current.add(&delta))
+    }
+
+    /// Handles of avatars within `radius` of avatar `id` (excluding it),
+    /// nearest first — what the avatar can *see* (subject to bubbles for
+    /// interaction, not vision).
+    pub fn nearby(&self, id: AvatarId, radius: f64) -> Result<Vec<(AvatarId, f64)>, WorldError> {
+        let pos = self.avatar(id)?.position;
+        Ok(self.grid.neighbors(&pos, radius, id))
+    }
+
+    /// Attempts an interaction from `from` to `to`. Records the attempt
+    /// in the event log regardless of outcome.
+    pub fn interact(
+        &mut self,
+        from: AvatarId,
+        to: AvatarId,
+        kind: InteractionKind,
+    ) -> Result<InteractionOutcome, WorldError> {
+        let (from_handle, from_pos) = {
+            let a = self.avatar(from)?;
+            (a.handle.clone(), a.position)
+        };
+        let (to_handle, to_pos, blocks, muted) = {
+            let b = self.avatar(to)?;
+            let d = from_pos.distance(&b.position);
+            (b.handle.clone(), b.position, b.bubble_blocks(d), b.has_muted(&from_handle))
+        };
+        let distance = from_pos.distance(&to_pos);
+
+        let outcome = if distance > self.config.interaction_range {
+            InteractionOutcome::OutOfRange
+        } else if blocks {
+            InteractionOutcome::BlockedByBubble
+        } else if muted {
+            InteractionOutcome::BlockedByMute
+        } else {
+            InteractionOutcome::Delivered
+        };
+
+        // Eavesdropping: delivered chat is overheard by third parties in
+        // earshot whose own bubble does not isolate them.
+        let overheard_by = if kind == InteractionKind::Chat
+            && outcome == InteractionOutcome::Delivered
+        {
+            self.grid
+                .neighbors(&from_pos, self.config.earshot, from)
+                .into_iter()
+                .filter(|(id, _)| *id != to)
+                .filter_map(|(id, d)| {
+                    let a = &self.avatars[&id];
+                    // An avatar inside its own bubble does not receive
+                    // outside audio.
+                    if a.bubble_blocks(d) {
+                        None
+                    } else {
+                        Some(a.handle.clone())
+                    }
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+
+        self.events.push(WorldEvent {
+            tick: self.tick,
+            actor: from_handle,
+            target: Some(to_handle),
+            kind,
+            outcome,
+            position: from_pos,
+            overheard_by,
+        });
+        Ok(outcome)
+    }
+
+    /// The full event log.
+    pub fn events(&self) -> &[WorldEvent] {
+        &self.events
+    }
+
+    /// Events where `handle` acted.
+    pub fn events_by(&self, handle: &str) -> Vec<&WorldEvent> {
+        self.events.iter().filter(|e| e.actor == handle).collect()
+    }
+
+    /// World bounds.
+    pub fn bounds(&self) -> Bounds {
+        self.config.bounds
+    }
+
+    /// Interaction range.
+    pub fn interaction_range(&self) -> f64 {
+        self.config.interaction_range
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn world() -> World {
+        World::new(WorldConfig::default())
+    }
+
+    #[test]
+    fn spawn_unique_handles() {
+        let mut w = world();
+        w.spawn("neo", "thomas", Vec2::ZERO).unwrap();
+        assert!(matches!(
+            w.spawn("neo", "other", Vec2::ZERO),
+            Err(WorldError::HandleTaken { .. })
+        ));
+        assert_eq!(w.population(), 1);
+    }
+
+    #[test]
+    fn movement_clamped_to_bounds() {
+        let mut w = world();
+        let id = w.spawn("a", "o", Vec2::new(99.0, 99.0)).unwrap();
+        w.move_by(id, Vec2::new(10.0, 10.0)).unwrap();
+        assert_eq!(w.avatar(id).unwrap().position, Vec2::new(100.0, 100.0));
+    }
+
+    #[test]
+    fn interaction_range_enforced() {
+        let mut w = world();
+        let a = w.spawn("a", "o1", Vec2::new(0.0, 0.0)).unwrap();
+        let b = w.spawn("b", "o2", Vec2::new(50.0, 0.0)).unwrap();
+        assert_eq!(
+            w.interact(a, b, InteractionKind::Chat).unwrap(),
+            InteractionOutcome::OutOfRange
+        );
+        w.move_to(b, Vec2::new(2.0, 0.0)).unwrap();
+        assert_eq!(
+            w.interact(a, b, InteractionKind::Chat).unwrap(),
+            InteractionOutcome::Delivered
+        );
+    }
+
+    #[test]
+    fn bubble_blocks_interaction() {
+        let mut w = world();
+        let a = w.spawn("a", "o1", Vec2::new(0.0, 0.0)).unwrap();
+        let b = w.spawn("b", "o2", Vec2::new(1.0, 0.0)).unwrap();
+        w.avatar_mut(b).unwrap().enable_bubble(2.0);
+        assert_eq!(
+            w.interact(a, b, InteractionKind::Approach).unwrap(),
+            InteractionOutcome::BlockedByBubble
+        );
+        w.avatar_mut(b).unwrap().disable_bubble();
+        assert_eq!(
+            w.interact(a, b, InteractionKind::Approach).unwrap(),
+            InteractionOutcome::Delivered
+        );
+    }
+
+    #[test]
+    fn mute_blocks_after_bubble_check() {
+        let mut w = world();
+        let a = w.spawn("troll", "o1", Vec2::new(0.0, 0.0)).unwrap();
+        let b = w.spawn("b", "o2", Vec2::new(1.0, 0.0)).unwrap();
+        w.avatar_mut(b).unwrap().mute("troll");
+        assert_eq!(
+            w.interact(a, b, InteractionKind::Chat).unwrap(),
+            InteractionOutcome::BlockedByMute
+        );
+    }
+
+    #[test]
+    fn eavesdropping_within_earshot() {
+        let mut w = world();
+        let a = w.spawn("a", "o1", Vec2::new(10.0, 10.0)).unwrap();
+        let b = w.spawn("b", "o2", Vec2::new(11.0, 10.0)).unwrap();
+        let _nosy = w.spawn("nosy", "o3", Vec2::new(13.0, 10.0)).unwrap();
+        let _far = w.spawn("far", "o4", Vec2::new(40.0, 10.0)).unwrap();
+        w.interact(a, b, InteractionKind::Chat).unwrap();
+        let ev = w.events().last().unwrap();
+        assert_eq!(ev.overheard_by, vec!["nosy".to_string()]);
+    }
+
+    #[test]
+    fn bubble_shields_from_eavesdropping() {
+        let mut w = world();
+        let a = w.spawn("a", "o1", Vec2::new(10.0, 10.0)).unwrap();
+        let b = w.spawn("b", "o2", Vec2::new(11.0, 10.0)).unwrap();
+        let nosy = w.spawn("nosy", "o3", Vec2::new(13.0, 10.0)).unwrap();
+        w.avatar_mut(nosy).unwrap().enable_bubble(5.0);
+        w.interact(a, b, InteractionKind::Chat).unwrap();
+        assert!(w.events().last().unwrap().overheard_by.is_empty());
+    }
+
+    #[test]
+    fn gesture_not_overheard() {
+        let mut w = world();
+        let a = w.spawn("a", "o1", Vec2::new(10.0, 10.0)).unwrap();
+        let b = w.spawn("b", "o2", Vec2::new(11.0, 10.0)).unwrap();
+        let _nosy = w.spawn("nosy", "o3", Vec2::new(12.0, 10.0)).unwrap();
+        w.interact(a, b, InteractionKind::Gesture).unwrap();
+        assert!(w.events().last().unwrap().overheard_by.is_empty());
+    }
+
+    #[test]
+    fn event_log_records_blocked_attempts() {
+        let mut w = world();
+        let a = w.spawn("a", "o1", Vec2::ZERO).unwrap();
+        let b = w.spawn("b", "o2", Vec2::new(1.0, 0.0)).unwrap();
+        w.avatar_mut(b).unwrap().enable_bubble(3.0);
+        w.interact(a, b, InteractionKind::Approach).unwrap();
+        assert_eq!(w.events().len(), 1);
+        assert_eq!(w.events()[0].outcome, InteractionOutcome::BlockedByBubble);
+        assert_eq!(w.events_by("a").len(), 1);
+    }
+
+    #[test]
+    fn despawn_removes_from_queries() {
+        let mut w = world();
+        let a = w.spawn("a", "o1", Vec2::ZERO).unwrap();
+        let b = w.spawn("b", "o2", Vec2::new(1.0, 0.0)).unwrap();
+        assert_eq!(w.nearby(a, 5.0).unwrap().len(), 1);
+        w.despawn(b).unwrap();
+        assert!(w.nearby(a, 5.0).unwrap().is_empty());
+        assert!(w.interact(a, b, InteractionKind::Chat).is_err());
+    }
+
+    #[test]
+    fn secondary_avatar_flagged() {
+        let mut w = world();
+        let id = w.spawn_secondary("ghost", "thomas", Vec2::ZERO).unwrap();
+        assert!(w.avatar(id).unwrap().secondary);
+        assert_eq!(w.avatar(id).unwrap().owner, "thomas");
+    }
+}

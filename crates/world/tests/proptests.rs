@@ -1,0 +1,125 @@
+//! Property-based tests for spatial-index and world invariants.
+
+use metaverse_world::geometry::{Bounds, Vec2};
+use metaverse_world::grid::SpatialGrid;
+use metaverse_world::world::{InteractionKind, InteractionOutcome, World, WorldConfig};
+use proptest::prelude::*;
+
+proptest! {
+    /// The spatial grid agrees exactly with brute force for arbitrary
+    /// point sets, cell sizes, and query radii.
+    #[test]
+    fn grid_matches_brute_force(
+        points in proptest::collection::vec((0u64..500, -50.0f64..50.0, -50.0f64..50.0), 1..80),
+        cell in 0.5f64..10.0,
+        query in (-50.0f64..50.0, -50.0f64..50.0, 0.1f64..30.0),
+    ) {
+        let mut grid = SpatialGrid::new(cell);
+        let mut latest: std::collections::HashMap<u64, Vec2> = Default::default();
+        for (id, x, y) in &points {
+            let p = Vec2::new(*x, *y);
+            grid.upsert(*id, p);
+            latest.insert(*id, p);
+        }
+        let centre = Vec2::new(query.0, query.1);
+        let mut expected: Vec<u64> = latest
+            .iter()
+            .filter(|(_, p)| centre.distance(p) <= query.2)
+            .map(|(id, _)| *id)
+            .collect();
+        expected.sort_unstable();
+        let mut got: Vec<u64> = grid.query(&centre, query.2).into_iter().map(|(id, _)| id).collect();
+        got.sort_unstable();
+        prop_assert_eq!(got, expected);
+        prop_assert_eq!(grid.len(), latest.len());
+    }
+
+    /// Moving an entity repeatedly never duplicates it; removal empties.
+    #[test]
+    fn grid_upsert_remove_consistent(
+        moves in proptest::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 1..50),
+    ) {
+        let mut grid = SpatialGrid::new(3.0);
+        for (x, y) in &moves {
+            grid.upsert(7, Vec2::new(*x, *y));
+            prop_assert_eq!(grid.len(), 1);
+        }
+        let last = moves.last().unwrap();
+        prop_assert_eq!(grid.position(7), Some(Vec2::new(last.0, last.1)));
+        prop_assert!(grid.remove(7));
+        prop_assert!(grid.is_empty());
+        prop_assert!(grid.query(&Vec2::ZERO, 1000.0).is_empty());
+    }
+
+    /// World movement always stays in bounds, whatever the deltas.
+    #[test]
+    fn movement_always_clamped(
+        start in (0.0f64..100.0, 0.0f64..100.0),
+        deltas in proptest::collection::vec((-500.0f64..500.0, -500.0f64..500.0), 1..30),
+    ) {
+        let mut world = World::new(WorldConfig {
+            bounds: Bounds::new(100.0, 100.0),
+            ..WorldConfig::default()
+        });
+        let id = world.spawn("wanderer", "o", Vec2::new(start.0, start.1)).unwrap();
+        for (dx, dy) in deltas {
+            world.move_by(id, Vec2::new(dx, dy)).unwrap();
+            let p = world.avatar(id).unwrap().position;
+            prop_assert!(world.bounds().contains(&p), "escaped: {p:?}");
+        }
+    }
+
+    /// Bubble semantics: for any radius and distance, an interaction is
+    /// blocked by bubble iff distance ≤ radius (and within range).
+    #[test]
+    fn bubble_block_exact(
+        radius in 0.0f64..5.0,
+        distance in 0.1f64..2.9, // below interaction range 3.0
+    ) {
+        let mut world = World::new(WorldConfig::default());
+        let a = world.spawn("a", "o1", Vec2::new(10.0, 10.0)).unwrap();
+        let b = world.spawn("b", "o2", Vec2::new(10.0 + distance, 10.0)).unwrap();
+        world.avatar_mut(b).unwrap().enable_bubble(radius);
+        let out = world.interact(a, b, InteractionKind::Approach).unwrap();
+        if distance <= radius {
+            prop_assert_eq!(out, InteractionOutcome::BlockedByBubble);
+        } else {
+            prop_assert_eq!(out, InteractionOutcome::Delivered);
+        }
+    }
+
+    /// Event-log conservation: every interaction attempt appends exactly
+    /// one event, and outcomes partition attempts.
+    #[test]
+    fn event_log_partitions_outcomes(
+        attempts in proptest::collection::vec((0.5f64..60.0, any::<bool>()), 1..40),
+    ) {
+        let mut world = World::new(WorldConfig::default());
+        let a = world.spawn("actor", "o1", Vec2::new(30.0, 30.0)).unwrap();
+        let b = world.spawn("target", "o2", Vec2::new(30.0, 30.0)).unwrap();
+        for (distance, bubble) in &attempts {
+            world.move_to(b, Vec2::new(30.0 + distance, 30.0)).unwrap();
+            if *bubble {
+                world.avatar_mut(b).unwrap().enable_bubble(2.0);
+            } else {
+                world.avatar_mut(b).unwrap().disable_bubble();
+            }
+            world.interact(a, b, InteractionKind::Chat).unwrap();
+        }
+        prop_assert_eq!(world.events().len(), attempts.len());
+        let counted = world
+            .events()
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e.outcome,
+                    InteractionOutcome::Delivered
+                        | InteractionOutcome::BlockedByBubble
+                        | InteractionOutcome::BlockedByMute
+                        | InteractionOutcome::OutOfRange
+                )
+            })
+            .count();
+        prop_assert_eq!(counted, attempts.len());
+    }
+}

@@ -1,0 +1,102 @@
+//! A governance day: scoped DAO votes, a jurisdiction swap when the
+//! platform expands into a new region, and the ethics audit gating it
+//! all — the paper's Figure-3 architecture end to end.
+//!
+//! ```text
+//! cargo run --example governance_day
+//! ```
+
+use metaverse_core::module::{ModuleDescriptor, ModuleKind};
+use metaverse_core::platform::{MetaversePlatform, PlatformConfig};
+use metaverse_core::policy::Jurisdiction;
+use metaverse_ledger::audit::{DataCollectionEvent, LawfulBasis, SensorClass};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut platform = MetaversePlatform::new(PlatformConfig::default());
+    let citizens = ["ana", "bea", "cal", "dev", "eli", "fay"];
+    for c in &citizens {
+        platform.register_user(c)?;
+    }
+
+    // Morning: the privacy DAO debates stronger bubble defaults.
+    println!("— 09:00 privacy DAO —");
+    let p1 = platform.propose("privacy", "ana", "Raise default bubble radius to 4 m")?;
+    for (i, c) in citizens.iter().enumerate() {
+        platform.vote("privacy", c, p1, i % 3 != 2)?; // 4 yes, 2 no
+    }
+    let (accepted, tally) = platform.close_proposal("privacy", p1)?;
+    println!("  bubble proposal: accepted={accepted} ({} / {})", tally.yes, tally.no);
+
+    // Midday: the moderation DAO bans a repeat offender.
+    println!("— 12:00 moderation DAO —");
+    platform.register_user("griefer")?;
+    for reporter in &citizens[..3] {
+        let action = platform.report(reporter, "griefer")?;
+        println!("  report by {reporter} → {action:?}");
+    }
+
+    // Afternoon: expansion to California. The policy module swaps from
+    // GDPR to CCPA; the same collected data is re-evaluated.
+    println!("— 15:00 regulation swap —");
+    platform.record_collection(DataCollectionEvent {
+        collector: "analytics-svc".into(),
+        subject: "ana".into(),
+        sensor: SensorClass::Gaze,
+        purpose: "engagement".into(),
+        basis: LawfulBasis::LegitimateInterest,
+        tick: platform.tick(),
+        bytes: 2048,
+    });
+    for collector in ["render-svc", "voice-svc", "social-svc"] {
+        platform.record_collection(DataCollectionEvent {
+            collector: collector.into(),
+            subject: "bea".into(),
+            sensor: SensorClass::Audio,
+            purpose: "chat".into(),
+            basis: LawfulBasis::Consent,
+            tick: platform.tick(),
+            bytes: 2048,
+        });
+    }
+    let before = platform.compliance_report();
+    println!(
+        "  under {}: {} findings",
+        before.jurisdiction,
+        before.findings.len()
+    );
+    platform.set_jurisdiction(Jurisdiction::ccpa());
+    let after = platform.compliance_report();
+    println!("  under {}: {} findings (module swapped, same data)", after.jurisdiction, after.findings.len());
+
+    // Evening: the root DAO considers an opaque AI moderator. The
+    // ethics audit catches it before and after.
+    println!("— 18:00 ethics audit —");
+    println!(
+        "  before: fully ethical = {}",
+        platform.ethics_audit().fully_ethical()
+    );
+    let mut blackbox = ModuleDescriptor::open(ModuleKind::Moderation, "vendor-blackbox-ai");
+    blackbox.transparent = false;
+    platform.install_module(blackbox);
+    let audit = platform.ethics_audit();
+    println!("  after installing opaque AI: fully ethical = {}", audit.fully_ethical());
+    for finding in &audit.findings {
+        println!("    finding [{:?}]: {}", finding.layer, finding.check);
+    }
+    // The community reverses the decision.
+    platform.install_module(ModuleDescriptor::open(
+        ModuleKind::Moderation,
+        "community-auditable-moderation",
+    ));
+    println!(
+        "  after community reversal: fully ethical = {}",
+        platform.ethics_audit().fully_ethical()
+    );
+
+    // Night: everything to the ledger.
+    platform.advance_ticks(200);
+    let blocks = platform.commit_epoch()?;
+    platform.verify_ledger()?;
+    println!("— 23:59 commit: {blocks} block(s), chain height {} —", platform.chain().height());
+    Ok(())
+}

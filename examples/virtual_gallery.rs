@@ -1,0 +1,114 @@
+//! A virtual NFT gallery under attack: honest creators, one scam mill,
+//! community reports, and the reputation gate doing its job.
+//!
+//! Dramatises the §IV-A scenario from the paper: an open creator market,
+//! scammers exploiting it, and the community's reputation-based remedy.
+//!
+//! ```text
+//! cargo run --example virtual_gallery
+//! ```
+
+use metaverse_core::platform::{MetaversePlatform, PlatformConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut platform = MetaversePlatform::new(PlatformConfig::default());
+
+    // A gallery of honest creators and collectors — and one scam mill.
+    let creators = ["ayla", "botan", "chike", "dara"];
+    let collectors = ["kei", "lio", "mira", "noor", "oki"];
+    for user in creators.iter().chain(collectors.iter()) {
+        platform.register_user(user)?;
+    }
+    platform.register_user("scam-mill")?;
+    for collector in &collectors {
+        platform.deposit(collector, 10_000);
+    }
+
+    println!("— opening night —");
+    let mut round = 0u64;
+    let mut minted = Vec::new();
+    for creator in &creators {
+        let content = format!("original-artwork-by-{creator}");
+        let id = platform.mint_asset(
+            creator,
+            &format!("meta://gallery/{creator}/1"),
+            content.as_bytes(),
+            0.9,
+        )?;
+        platform.list_asset(creator, id, 400)?;
+        minted.push(id);
+        println!("  {creator} lists piece #{id}");
+    }
+
+    // Collectors buy; burned buyers report the mill; the mill restocks
+    // every day — until the reputation gate slams shut.
+    println!("— trading days —");
+    let mut scam_serial = 0;
+    for day in 0..6 {
+        round += 1;
+        platform.advance_ticks(1);
+        // The mill restocks with fresh derivatives each morning.
+        let mut rejected = false;
+        for _ in 0..4 {
+            scam_serial += 1;
+            let content = format!("low-effort-copy-{scam_serial}");
+            let id = platform.mint_asset(
+                "scam-mill",
+                &format!("meta://gallery/scam/{scam_serial}"),
+                content.as_bytes(),
+                0.05,
+            )?;
+            if platform.list_asset("scam-mill", id, 50).is_err() {
+                rejected = true;
+            }
+        }
+        if rejected {
+            println!("  day {round}: scam-mill's listings bounce off the reputation gate");
+        }
+        let listings: Vec<_> =
+            platform.market().listings().iter().map(|l| (l.asset, l.seller.clone())).collect();
+        for (i, collector) in collectors.iter().enumerate() {
+            if let Some((asset, seller)) = listings.get((day + i) % listings.len().max(1)) {
+                if platform.buy_asset(collector, *asset).is_ok() {
+                    let quality = platform.assets().get(*asset).unwrap().quality;
+                    if quality < 0.2 {
+                        // A scam purchase: report the seller.
+                        let action = platform.report(collector, seller)?;
+                        println!(
+                            "  day {round}: {collector} got burned by {seller} → report ({action:?})"
+                        );
+                    } else {
+                        let _ = platform.endorse(collector, seller);
+                    }
+                }
+            }
+        }
+        platform.commit_epoch()?;
+    }
+
+    // The gate: scam-mill's reputation has collapsed below the
+    // marketplace threshold, so its next listing bounces.
+    println!("— aftermath —");
+    for who in ["ayla", "scam-mill"] {
+        println!("  reputation[{who}] = {:.1} points", platform.reputation_points(who)?);
+    }
+    let next_scam =
+        platform.mint_asset("scam-mill", "meta://gallery/scam/next", b"yet-another-copy", 0.05)?;
+    match platform.list_asset("scam-mill", next_scam, 50) {
+        Err(e) => println!("  scam-mill tries to list again → rejected: {e}"),
+        Ok(()) => println!("  scam-mill slipped through (raise the gate?)"),
+    }
+    let ayla_next = platform.mint_asset("ayla", "meta://gallery/ayla/2", b"new-original", 0.95)?;
+    platform.list_asset("ayla", ayla_next, 500)?;
+    println!("  ayla lists a new piece without friction");
+
+    // Everything is on the ledger.
+    platform.commit_epoch()?;
+    platform.verify_ledger()?;
+    println!(
+        "ledger: height {}, all {} assets' provenance publicly verifiable",
+        platform.chain().height(),
+        platform.assets().len()
+    );
+    Ok(())
+}

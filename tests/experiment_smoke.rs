@@ -1,0 +1,52 @@
+//! Smoke tests over the full experiment suite: every experiment runs,
+//! produces well-formed tables, and reproduces deterministically for a
+//! fixed seed. (Per-experiment *shape* assertions live next to each
+//! experiment in `metaverse-bench`.)
+
+use metaverse_bench::experiments::run_all;
+
+#[test]
+fn all_experiments_run_and_are_well_formed() {
+    let results = run_all(metaverse_bench::DEFAULT_SEED);
+    assert_eq!(results.len(), 18);
+    for (i, result) in results.iter().enumerate() {
+        assert_eq!(result.id, format!("E{}", i + 1));
+        assert!(!result.title.is_empty());
+        assert!(!result.claim.is_empty(), "{}: claim missing", result.id);
+        assert!(!result.tables.is_empty(), "{}: no tables", result.id);
+        for table in &result.tables {
+            assert!(!table.headers.is_empty());
+            assert!(!table.rows.is_empty(), "{}: empty table {:?}", result.id, table.caption);
+            for row in &table.rows {
+                assert_eq!(row.len(), table.headers.len(), "{}: ragged row", result.id);
+            }
+        }
+        assert!(!result.notes.is_empty(), "{}: no notes", result.id);
+        // Render and JSON serialisation never panic and carry the id.
+        assert!(result.render().contains(&result.id));
+        assert!(result.to_json().contains(&result.id));
+    }
+}
+
+#[test]
+fn experiments_are_deterministic_for_fixed_seed() {
+    let a = run_all(17);
+    let b = run_all(17);
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.to_json(), y.to_json(), "{} not deterministic", x.id);
+    }
+}
+
+#[test]
+fn experiments_vary_with_seed_where_stochastic() {
+    let a = run_all(17);
+    let b = run_all(18);
+    // At least half the experiments should produce different numbers
+    // under a different seed (E14 is deterministic by design).
+    let differing = a
+        .iter()
+        .zip(&b)
+        .filter(|(x, y)| x.to_json() != y.to_json())
+        .count();
+    assert!(differing >= 7, "only {differing} experiments varied with seed");
+}

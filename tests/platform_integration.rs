@@ -1,0 +1,199 @@
+//! End-to-end integration tests driving the whole stack through the
+//! `MetaversePlatform` façade.
+
+use metaverse_core::module::{ModuleDescriptor, ModuleKind};
+use metaverse_core::platform::{MetaversePlatform, PlatformConfig};
+use metaverse_core::policy::Jurisdiction;
+use metaverse_ledger::audit::{DataCollectionEvent, LawfulBasis, SensorClass};
+use metaverse_ledger::tx::TxPayload;
+use metaverse_moderation::actions::ModAction;
+use metaverse_privacy::firewall::FlowRule;
+use metaverse_world::geometry::Vec2;
+use metaverse_world::world::{InteractionKind, InteractionOutcome};
+
+fn platform_with_users(users: &[&str]) -> MetaversePlatform {
+    let mut p = MetaversePlatform::new(PlatformConfig::default());
+    for u in users {
+        p.register_user(u).unwrap();
+    }
+    p
+}
+
+#[test]
+fn full_lifecycle_governance_assets_moderation_on_one_ledger() {
+    let mut p = platform_with_users(&["alice", "bob", "carol", "dave"]);
+    p.deposit("bob", 10_000);
+
+    // Governance.
+    let prop = p.propose("assets", "alice", "Add creator royalties").unwrap();
+    for (voter, support) in [("alice", true), ("bob", true), ("carol", true), ("dave", false)] {
+        p.vote("assets", voter, prop, support).unwrap();
+    }
+    let (accepted, _) = p.close_proposal("assets", prop).unwrap();
+    assert!(accepted);
+
+    // Assets.
+    let art = p.mint_asset("alice", "meta://a/1", b"artwork", 0.8).unwrap();
+    p.list_asset("alice", art, 500).unwrap();
+    p.buy_asset("bob", art).unwrap();
+
+    // Moderation.
+    assert_eq!(p.report("alice", "dave").unwrap(), ModAction::Warn);
+
+    // Privacy flows.
+    {
+        let fw = p.firewall_mut("carol").unwrap();
+        fw.set_switch(SensorClass::Audio, true);
+        fw.set_rule(SensorClass::Audio, "voice-chat", FlowRule::Allow);
+        fw.request_flow(SensorClass::Audio, "chat-svc", "voice-chat", LawfulBasis::Consent, 64, 0);
+    }
+
+    // Commit and verify: one ledger carries all four subsystems.
+    p.advance_ticks(10);
+    let sealed = p.commit_epoch().unwrap();
+    assert!(sealed >= 1);
+    p.verify_ledger().unwrap();
+
+    let kinds: Vec<&'static str> = p
+        .chain()
+        .iter_txs()
+        .map(|tx| match &tx.payload {
+            TxPayload::ProposalCreated { .. } => "proposal",
+            TxPayload::VoteCast { .. } => "vote",
+            TxPayload::ProposalDecided { .. } => "decision",
+            TxPayload::AssetMint { .. } => "mint",
+            TxPayload::AssetTransfer { .. } => "transfer",
+            TxPayload::ReputationDelta { .. } => "reputation",
+            TxPayload::ModerationAction { .. } => "moderation",
+            TxPayload::DataCollection(_) => "collection",
+            _ => "other",
+        })
+        .collect();
+    for expected in
+        ["proposal", "vote", "decision", "mint", "transfer", "reputation", "moderation", "collection"]
+    {
+        assert!(kinds.contains(&expected), "missing {expected} on chain: {kinds:?}");
+    }
+}
+
+#[test]
+fn light_client_can_prove_any_platform_action() {
+    let mut p = platform_with_users(&["alice", "bob"]);
+    let prop = p.propose("root", "alice", "constitution v2").unwrap();
+    p.vote("root", "alice", prop, true).unwrap();
+    p.vote("root", "bob", prop, true).unwrap();
+    p.close_proposal("root", prop).unwrap();
+    p.commit_epoch().unwrap();
+
+    // Prove every transaction on the chain with only header + proof.
+    let ids: Vec<_> = p.chain().iter_txs().map(|t| t.id()).collect();
+    assert!(!ids.is_empty());
+    for id in ids {
+        let (header, proof) = p.chain().prove_tx(&id).expect("indexed");
+        let (h, i) = p.chain().find_tx(&id).unwrap();
+        let tx = &p.chain().block_at(h).unwrap().transactions[i];
+        assert!(proof.verify(&header.tx_root, &tx.canonical_bytes()));
+    }
+}
+
+#[test]
+fn world_interactions_respect_governed_privacy_tools() {
+    let mut p = platform_with_users(&["alice", "troll"]);
+    let a = p.enter_world("alice", "wanderer", Vec2::new(10.0, 10.0)).unwrap();
+    let t = p.enter_world("troll", "lurker", Vec2::new(11.0, 10.0)).unwrap();
+
+    // Unprotected: the approach lands.
+    assert_eq!(
+        p.world_mut().interact(t, a, InteractionKind::Approach).unwrap(),
+        InteractionOutcome::Delivered
+    );
+    // Alice enables her bubble (the tool E3 evaluates); now it blocks.
+    p.world_mut().avatar_mut(a).unwrap().enable_bubble(4.0);
+    assert_eq!(
+        p.world_mut().interact(t, a, InteractionKind::Approach).unwrap(),
+        InteractionOutcome::BlockedByBubble
+    );
+    // The attempt trail is observable (for moderation evidence).
+    let blocked = p
+        .world()
+        .events()
+        .iter()
+        .filter(|e| e.outcome == InteractionOutcome::BlockedByBubble)
+        .count();
+    assert_eq!(blocked, 1);
+}
+
+#[test]
+fn repeated_epochs_accumulate_consistent_history() {
+    let mut p = platform_with_users(&["alice", "bob"]);
+    for epoch in 0..5 {
+        let prop = p.propose("privacy", "alice", &format!("tweak {epoch}")).unwrap();
+        p.vote("privacy", "alice", prop, true).unwrap();
+        p.vote("privacy", "bob", prop, epoch % 2 == 0).unwrap();
+        p.close_proposal("privacy", prop).unwrap();
+        p.advance_ticks(50);
+        p.commit_epoch().unwrap();
+        p.verify_ledger().unwrap();
+    }
+    let decisions = p
+        .chain()
+        .iter_txs()
+        .filter(|t| matches!(t.payload, TxPayload::ProposalDecided { .. }))
+        .count();
+    assert_eq!(decisions, 5);
+    // Ticks are monotone across blocks.
+    let ticks: Vec<u64> = p.chain().blocks().iter().map(|b| b.header.tick).collect();
+    assert!(ticks.windows(2).all(|w| w[0] <= w[1]), "{ticks:?}");
+}
+
+#[test]
+fn jurisdiction_swap_is_recorded_and_effective() {
+    let mut p = platform_with_users(&["alice"]);
+    p.record_collection(DataCollectionEvent {
+        collector: "svc".into(),
+        subject: "alice".into(),
+        sensor: SensorClass::Gaze,
+        purpose: "ui".into(),
+        basis: LawfulBasis::LegitimateInterest,
+        tick: 0,
+        bytes: 10,
+    });
+    assert!(!p.compliance_report().compliant);
+    p.set_jurisdiction(Jurisdiction::ccpa());
+    assert!(p.compliance_report().compliant);
+    p.commit_epoch().unwrap();
+    // The swap itself is on the ledger.
+    let swaps = p
+        .chain()
+        .iter_txs()
+        .filter(|t| matches!(&t.payload, TxPayload::Note { text } if text.contains("policy:CCPA")))
+        .count();
+    assert_eq!(swaps, 1);
+}
+
+#[test]
+fn ethics_audit_tracks_module_changes_live() {
+    let mut p = platform_with_users(&["alice"]);
+    assert!(p.ethics_audit().fully_ethical());
+    let mut opaque = ModuleDescriptor::open(ModuleKind::Reputation, "hidden-score");
+    opaque.transparent = false;
+    p.install_module(opaque);
+    assert!(!p.ethics_audit().fully_ethical());
+    p.install_module(ModuleDescriptor::open(ModuleKind::Reputation, "open-score"));
+    assert!(p.ethics_audit().fully_ethical());
+}
+
+#[test]
+fn banned_reputation_blocks_marketplace_but_not_governance() {
+    // Design point: losing marketplace admission (reputation) must not
+    // disenfranchise a member's vote — rights layering.
+    let mut p = platform_with_users(&["alice", "bob"]);
+    p.reputation_mut().system_delta("alice", -40_000, "sanction", 0).unwrap();
+    let art = p.mint_asset("alice", "meta://x", b"c", 0.9).unwrap();
+    assert!(p.list_asset("alice", art, 10).is_err(), "market gate applies");
+    let prop = p.propose("root", "alice", "appeal my sanction").unwrap();
+    p.vote("root", "alice", prop, true).unwrap(); // still allowed
+    p.vote("root", "bob", prop, true).unwrap();
+    let (accepted, _) = p.close_proposal("root", prop).unwrap();
+    assert!(accepted);
+}
