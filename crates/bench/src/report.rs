@@ -1,9 +1,7 @@
 //! Table rendering and structured result output for experiments.
 
-use serde::Serialize;
-
 /// A printable, machine-readable experiment outcome.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ExperimentResult {
     /// Experiment id ("E1" … "E14").
     pub id: String,
@@ -34,13 +32,73 @@ impl ExperimentResult {
     }
 
     /// Serialises to pretty JSON (for EXPERIMENTS.md provenance).
+    ///
+    /// Hand-rolled rather than via serde so the output stays real JSON
+    /// in the offline build (the in-tree serde stand-in cannot
+    /// serialise; see `third_party/README.md`). Layout mirrors
+    /// `serde_json::to_string_pretty`: two-space indent, struct fields
+    /// in declaration order.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("experiment results are serialisable")
+        let mut out = String::from("{\n");
+        json_field(&mut out, 1, "id", &json_str(&self.id), false);
+        json_field(&mut out, 1, "title", &json_str(&self.title), false);
+        json_field(&mut out, 1, "claim", &json_str(&self.claim), false);
+        let tables: Vec<String> = self.tables.iter().map(|t| t.to_json(2)).collect();
+        json_field(&mut out, 1, "tables", &json_array(&tables, 1), false);
+        let notes: Vec<String> = self.notes.iter().map(|n| json_str(n)).collect();
+        json_field(&mut out, 1, "notes", &json_array(&notes, 1), true);
+        out.push('}');
+        out
     }
 }
 
+/// JSON string literal with the escapes JSON requires.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// `[ … ]` over pre-rendered element strings, pretty-printed at `indent`.
+fn json_array(elements: &[String], indent: usize) -> String {
+    if elements.is_empty() {
+        return "[]".to_string();
+    }
+    let pad = "  ".repeat(indent + 1);
+    let inner = elements
+        .iter()
+        .map(|e| format!("{pad}{e}"))
+        .collect::<Vec<_>>()
+        .join(",\n");
+    format!("[\n{inner}\n{}]", "  ".repeat(indent))
+}
+
+/// One `"key": value` line at `indent`.
+fn json_field(out: &mut String, indent: usize, key: &str, value: &str, last: bool) {
+    out.push_str(&"  ".repeat(indent));
+    out.push_str(&json_str(key));
+    out.push_str(": ");
+    out.push_str(value);
+    if !last {
+        out.push(',');
+    }
+    out.push('\n');
+}
+
 /// A simple aligned text table.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table {
     /// Table caption.
     pub caption: String,
@@ -96,6 +154,26 @@ impl Table {
             out.push_str(&fmt_row(row));
             out.push('\n');
         }
+        out
+    }
+
+    /// JSON object for this table, pretty-printed at `indent`.
+    fn to_json(&self, indent: usize) -> String {
+        let mut out = String::from("{\n");
+        json_field(&mut out, indent + 1, "caption", &json_str(&self.caption), false);
+        let headers: Vec<String> = self.headers.iter().map(|h| json_str(h)).collect();
+        json_field(&mut out, indent + 1, "headers", &json_array(&headers, indent + 1), false);
+        let rows: Vec<String> = self
+            .rows
+            .iter()
+            .map(|row| {
+                let cells: Vec<String> = row.iter().map(|c| json_str(c)).collect();
+                json_array(&cells, indent + 2)
+            })
+            .collect();
+        json_field(&mut out, indent + 1, "rows", &json_array(&rows, indent + 1), true);
+        out.push_str(&"  ".repeat(indent));
+        out.push('}');
         out
     }
 }

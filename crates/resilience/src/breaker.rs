@@ -1,0 +1,276 @@
+//! A circuit breaker in logical tick time.
+//!
+//! The platform does not get told when a module fails — it *observes*
+//! operations against the module failing, and the breaker converts that
+//! observation into an explicit state machine:
+//!
+//! ```text
+//!            failures ≥ threshold within window
+//!   Closed ──────────────────────────────────────▶ Open
+//!     ▲                                             │ cooldown elapses
+//!     │  probation_successes successes              ▼
+//!     └───────────────────────────────────────── HalfOpen
+//!                       (any failure reopens)
+//! ```
+//!
+//! Every transition is returned to the caller so it can be mirrored into
+//! the module registry's health state and recorded on the ledger — the
+//! invariant tested by the workspace proptests is that a breaker never
+//! opens without a ledger record of the transition.
+
+use std::collections::VecDeque;
+
+use metaverse_ledger::Tick;
+use serde::{Deserialize, Serialize};
+
+/// Breaker tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BreakerConfig {
+    /// Consecutive-window failure count that opens the breaker.
+    pub failure_threshold: u32,
+    /// Sliding window (in ticks) over which failures are counted.
+    pub failure_window: Tick,
+    /// Ticks the breaker stays open before probing (half-open).
+    pub cooldown: Tick,
+    /// Successes required in half-open state to close again.
+    pub probation_successes: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 3,
+            failure_window: 50,
+            cooldown: 25,
+            probation_successes: 2,
+        }
+    }
+}
+
+/// Breaker state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BreakerState {
+    /// Normal operation.
+    Closed,
+    /// Tripped: requests are failed fast / fallbacks engaged until the
+    /// given tick.
+    Open {
+        /// Tick at which the breaker transitions to half-open.
+        until: Tick,
+    },
+    /// Probing: a limited number of requests are allowed through.
+    HalfOpen {
+        /// Successes observed so far during probation.
+        successes: u32,
+    },
+}
+
+impl BreakerState {
+    /// Stable label for ledger records and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open { .. } => "open",
+            BreakerState::HalfOpen { .. } => "half-open",
+        }
+    }
+}
+
+/// A state transition the caller must mirror (ledger, health map).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerTransition {
+    /// State before.
+    pub from: BreakerState,
+    /// State after.
+    pub to: BreakerState,
+    /// Tick the transition happened.
+    pub at: Tick,
+}
+
+/// The breaker itself.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    state: BreakerState,
+    failures: VecDeque<Tick>,
+    opened_total: u64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given tuning.
+    pub fn new(config: BreakerConfig) -> Self {
+        CircuitBreaker {
+            config,
+            state: BreakerState::Closed,
+            failures: VecDeque::new(),
+            opened_total: 0,
+        }
+    }
+
+    /// Current state (does not advance the clock; see [`Self::poll`]).
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Times the breaker has opened over its lifetime.
+    pub fn opened_total(&self) -> u64 {
+        self.opened_total
+    }
+
+    /// Whether a request should be attempted at `now` (closed or
+    /// half-open probing). An open breaker fails fast.
+    pub fn allows_request(&self, now: Tick) -> bool {
+        match self.state {
+            BreakerState::Closed | BreakerState::HalfOpen { .. } => true,
+            BreakerState::Open { until } => now >= until,
+        }
+    }
+
+    /// Advances time-driven transitions: an open breaker whose cooldown
+    /// elapsed becomes half-open. Returns the transition if one fired.
+    pub fn poll(&mut self, now: Tick) -> Option<BreakerTransition> {
+        if let BreakerState::Open { until } = self.state {
+            if now >= until {
+                return Some(self.transition(BreakerState::HalfOpen { successes: 0 }, now));
+            }
+        }
+        None
+    }
+
+    /// Records a failed operation. May open (or re-open) the breaker.
+    pub fn record_failure(&mut self, now: Tick) -> Option<BreakerTransition> {
+        self.poll(now);
+        match self.state {
+            BreakerState::Closed => {
+                self.failures.push_back(now);
+                let horizon = now.saturating_sub(self.config.failure_window);
+                while self.failures.front().is_some_and(|&t| t < horizon) {
+                    self.failures.pop_front();
+                }
+                if self.failures.len() as u32 >= self.config.failure_threshold {
+                    self.failures.clear();
+                    self.opened_total += 1;
+                    Some(self.transition(
+                        BreakerState::Open { until: now + self.config.cooldown },
+                        now,
+                    ))
+                } else {
+                    None
+                }
+            }
+            BreakerState::HalfOpen { .. } => {
+                // A failure during probation re-opens immediately.
+                self.opened_total += 1;
+                Some(self.transition(BreakerState::Open { until: now + self.config.cooldown }, now))
+            }
+            BreakerState::Open { .. } => None,
+        }
+    }
+
+    /// Records a successful operation. May close a half-open breaker.
+    pub fn record_success(&mut self, now: Tick) -> Option<BreakerTransition> {
+        self.poll(now);
+        match self.state {
+            BreakerState::HalfOpen { successes } => {
+                let successes = successes + 1;
+                if successes >= self.config.probation_successes {
+                    self.failures.clear();
+                    Some(self.transition(BreakerState::Closed, now))
+                } else {
+                    self.state = BreakerState::HalfOpen { successes };
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+
+    fn transition(&mut self, to: BreakerState, at: Tick) -> BreakerTransition {
+        let from = self.state;
+        self.state = to;
+        BreakerTransition { from, to, at }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker() -> CircuitBreaker {
+        CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 3,
+            failure_window: 10,
+            cooldown: 5,
+            probation_successes: 2,
+        })
+    }
+
+    #[test]
+    fn opens_after_threshold_within_window() {
+        let mut b = breaker();
+        assert!(b.record_failure(0).is_none());
+        assert!(b.record_failure(1).is_none());
+        let t = b.record_failure(2).expect("third failure opens");
+        assert_eq!(t.to, BreakerState::Open { until: 7 });
+        assert_eq!(b.opened_total(), 1);
+        assert!(!b.allows_request(3));
+    }
+
+    #[test]
+    fn old_failures_age_out() {
+        let mut b = breaker();
+        b.record_failure(0);
+        b.record_failure(1);
+        // Window is 10; by tick 20 the old failures no longer count.
+        assert!(b.record_failure(20).is_none());
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn cooldown_then_halfopen_then_close() {
+        let mut b = breaker();
+        for t in 0..3 {
+            b.record_failure(t);
+        }
+        assert!(matches!(b.state(), BreakerState::Open { .. }));
+        // Cooldown ends at tick 7.
+        assert!(b.poll(6).is_none());
+        let t = b.poll(7).expect("cooldown elapsed");
+        assert_eq!(t.to, BreakerState::HalfOpen { successes: 0 });
+        assert!(b.allows_request(7));
+        assert!(b.record_success(8).is_none(), "one success is not enough");
+        let t = b.record_success(9).expect("probation complete");
+        assert_eq!(t.to, BreakerState::Closed);
+    }
+
+    #[test]
+    fn halfopen_failure_reopens() {
+        let mut b = breaker();
+        for t in 0..3 {
+            b.record_failure(t);
+        }
+        b.poll(7);
+        let t = b.record_failure(8).expect("probe failure reopens");
+        assert_eq!(t.to, BreakerState::Open { until: 13 });
+        assert_eq!(b.opened_total(), 2);
+    }
+
+    #[test]
+    fn success_in_closed_state_is_noop() {
+        let mut b = breaker();
+        assert!(b.record_success(0).is_none());
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn poll_inside_record_failure_bridges_open_to_halfopen() {
+        let mut b = breaker();
+        for t in 0..3 {
+            b.record_failure(t);
+        }
+        // Well past cooldown, a failure lands in half-open and reopens.
+        let t = b.record_failure(50).expect("reopens");
+        assert_eq!(t.from, BreakerState::HalfOpen { successes: 0 });
+        assert_eq!(t.to, BreakerState::Open { until: 55 });
+    }
+}

@@ -1,0 +1,317 @@
+//! Seeded fault plans and their injector.
+//!
+//! A [`FaultPlan`] is a *schedule*: faults with explicit start ticks and
+//! durations, either hand-written (tests) or generated deterministically
+//! from a seed and an intensity (experiment sweeps). The
+//! [`FaultInjector`] answers point-in-time queries ("is the moderation
+//! module down at tick 1730?", "what loss rate does the twin channel
+//! suffer right now?") so subsystems never need to know the plan's
+//! shape, only the current weather.
+
+use metaverse_ledger::Tick;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// What kind of failure is injected. Module targets are referenced by
+/// their slot label (e.g. `"privacy"`, `"moderation"`,
+/// `"decision-making"`) so this crate stays below `metaverse-core` in
+/// the dependency DAG.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// The module stops serving: every operation against it fails for
+    /// the duration of the window.
+    Crash {
+        /// Slot label of the crashed module.
+        module: String,
+    },
+    /// The module is alive but unresponsive; modelled identically to a
+    /// crash for callers, but recorded distinctly for diagnosis.
+    Stall {
+        /// Slot label of the stalled module.
+        module: String,
+    },
+    /// The physical→virtual twin channel drops updates at this rate for
+    /// the duration of the window.
+    LossyChannel {
+        /// Probability an update is lost while the fault is active.
+        loss_rate: f64,
+    },
+    /// The twin channel duplicates delivered updates at this rate.
+    DuplicatingChannel {
+        /// Probability a delivered update arrives twice.
+        dup_rate: f64,
+    },
+    /// A PoA validator misbehaves: blocks cannot be sealed while the
+    /// fault is active (the honest validators refuse its out-of-turn or
+    /// malformed seals).
+    RogueValidator {
+        /// Identity of the misbehaving validator.
+        validator: String,
+    },
+}
+
+impl FaultKind {
+    /// The module label a crash/stall targets, if any.
+    pub fn module(&self) -> Option<&str> {
+        match self {
+            FaultKind::Crash { module } | FaultKind::Stall { module } => Some(module),
+            _ => None,
+        }
+    }
+
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::Crash { .. } => "crash",
+            FaultKind::Stall { .. } => "stall",
+            FaultKind::LossyChannel { .. } => "lossy-channel",
+            FaultKind::DuplicatingChannel { .. } => "dup-channel",
+            FaultKind::RogueValidator { .. } => "rogue-validator",
+        }
+    }
+}
+
+/// One fault with its activity window `[start, start + duration)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScheduledFault {
+    /// First tick the fault is active.
+    pub start: Tick,
+    /// Number of ticks the fault stays active.
+    pub duration: Tick,
+    /// What fails.
+    pub kind: FaultKind,
+}
+
+impl ScheduledFault {
+    /// Whether the fault is active at `tick`.
+    pub fn active_at(&self, tick: Tick) -> bool {
+        tick >= self.start && tick < self.start.saturating_add(self.duration)
+    }
+
+    /// First tick after the window closes.
+    pub fn end(&self) -> Tick {
+        self.start.saturating_add(self.duration)
+    }
+}
+
+/// A deterministic schedule of faults.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    faults: Vec<ScheduledFault>,
+}
+
+impl FaultPlan {
+    /// An empty plan (nothing ever fails).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a fault window; builder-style.
+    pub fn schedule(mut self, start: Tick, duration: Tick, kind: FaultKind) -> Self {
+        self.faults.push(ScheduledFault { start, duration, kind });
+        self.faults.sort_by_key(|f| f.start);
+        self
+    }
+
+    /// Generates a plan deterministically from a seed: `count`
+    /// single-module crash/stall faults spread over `[0, horizon)`, each
+    /// lasting between `horizon/40` and `horizon/10` ticks, drawing
+    /// targets uniformly from `modules`. When `validators` is non-empty,
+    /// roughly every fourth fault is a rogue-validator window instead.
+    ///
+    /// The same `(seed, horizon, count, modules, validators)` always
+    /// yields the same plan — that is the whole point.
+    pub fn random(
+        seed: u64,
+        horizon: Tick,
+        count: usize,
+        modules: &[&str],
+        validators: &[&str],
+    ) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut plan = FaultPlan::new();
+        if modules.is_empty() || horizon < 40 {
+            return plan;
+        }
+        for i in 0..count {
+            let min_dur = (horizon / 40).max(1);
+            let max_dur = (horizon / 10).max(min_dur + 1);
+            let duration = rng.gen_range(min_dur..max_dur);
+            let start = rng.gen_range(0..horizon.saturating_sub(duration).max(1));
+            let kind = if !validators.is_empty() && i % 4 == 3 {
+                let v = validators[rng.gen_range(0..validators.len())];
+                FaultKind::RogueValidator { validator: v.to_string() }
+            } else {
+                let m = modules[rng.gen_range(0..modules.len())];
+                if rng.gen_bool(0.5) {
+                    FaultKind::Crash { module: m.to_string() }
+                } else {
+                    FaultKind::Stall { module: m.to_string() }
+                }
+            };
+            plan = plan.schedule(start, duration, kind);
+        }
+        plan
+    }
+
+    /// All scheduled faults, in start order.
+    pub fn faults(&self) -> &[ScheduledFault] {
+        &self.faults
+    }
+
+    /// Number of scheduled faults.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Whether the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Builds the injector for this plan.
+    pub fn injector(self) -> FaultInjector {
+        FaultInjector { plan: self }
+    }
+}
+
+/// Point-in-time oracle over a [`FaultPlan`].
+#[derive(Debug, Clone, Default)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+}
+
+impl FaultInjector {
+    /// Injector over an explicit plan.
+    pub fn new(plan: FaultPlan) -> Self {
+        FaultInjector { plan }
+    }
+
+    /// The underlying plan.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Faults active at `tick`.
+    pub fn active_at(&self, tick: Tick) -> impl Iterator<Item = &ScheduledFault> {
+        self.plan.faults.iter().filter(move |f| f.active_at(tick))
+    }
+
+    /// Whether a crash/stall fault on `module` is active at `tick`.
+    pub fn module_down(&self, tick: Tick, module: &str) -> bool {
+        self.active_at(tick).any(|f| f.kind.module() == Some(module))
+    }
+
+    /// When the currently-active fault window on `module` closes (first
+    /// tick the module is back), if one is active at `tick`.
+    pub fn module_recovery_tick(&self, tick: Tick, module: &str) -> Option<Tick> {
+        self.active_at(tick)
+            .filter(|f| f.kind.module() == Some(module))
+            .map(ScheduledFault::end)
+            .max()
+    }
+
+    /// Extra twin-channel loss rate injected at `tick` (the worst active
+    /// lossy-channel fault), if any.
+    pub fn channel_loss(&self, tick: Tick) -> Option<f64> {
+        self.active_at(tick)
+            .filter_map(|f| match f.kind {
+                FaultKind::LossyChannel { loss_rate } => Some(loss_rate),
+                _ => None,
+            })
+            .fold(None, |acc, r| Some(acc.map_or(r, |a: f64| a.max(r))))
+    }
+
+    /// Twin-channel duplication rate injected at `tick`, if any.
+    pub fn channel_dup(&self, tick: Tick) -> Option<f64> {
+        self.active_at(tick)
+            .filter_map(|f| match f.kind {
+                FaultKind::DuplicatingChannel { dup_rate } => Some(dup_rate),
+                _ => None,
+            })
+            .fold(None, |acc, r| Some(acc.map_or(r, |a: f64| a.max(r))))
+    }
+
+    /// The misbehaving validator at `tick`, if a rogue-validator fault is
+    /// active.
+    pub fn rogue_validator(&self, tick: Tick) -> Option<&str> {
+        self.active_at(tick).find_map(|f| match &f.kind {
+            FaultKind::RogueValidator { validator } => Some(validator.as_str()),
+            _ => None,
+        })
+    }
+
+    /// When the currently-active rogue-validator window closes, if any.
+    pub fn rogue_validator_recovery_tick(&self, tick: Tick) -> Option<Tick> {
+        self.active_at(tick)
+            .filter(|f| matches!(f.kind, FaultKind::RogueValidator { .. }))
+            .map(ScheduledFault::end)
+            .max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_are_half_open() {
+        let f = ScheduledFault {
+            start: 10,
+            duration: 5,
+            kind: FaultKind::Crash { module: "privacy".into() },
+        };
+        assert!(!f.active_at(9));
+        assert!(f.active_at(10));
+        assert!(f.active_at(14));
+        assert!(!f.active_at(15));
+        assert_eq!(f.end(), 15);
+    }
+
+    #[test]
+    fn injector_queries() {
+        let plan = FaultPlan::new()
+            .schedule(10, 5, FaultKind::Crash { module: "privacy".into() })
+            .schedule(12, 10, FaultKind::LossyChannel { loss_rate: 0.4 })
+            .schedule(12, 4, FaultKind::LossyChannel { loss_rate: 0.9 })
+            .schedule(30, 5, FaultKind::RogueValidator { validator: "v1".into() });
+        let inj = plan.injector();
+        assert!(inj.module_down(11, "privacy"));
+        assert!(!inj.module_down(11, "moderation"));
+        assert_eq!(inj.module_recovery_tick(11, "privacy"), Some(15));
+        assert_eq!(inj.channel_loss(13), Some(0.9), "worst active loss wins");
+        assert_eq!(inj.channel_loss(20), Some(0.4));
+        assert_eq!(inj.channel_loss(25), None);
+        assert_eq!(inj.rogue_validator(32), Some("v1"));
+        assert_eq!(inj.rogue_validator_recovery_tick(32), Some(35));
+        assert_eq!(inj.rogue_validator(36), None);
+    }
+
+    #[test]
+    fn random_plans_are_deterministic() {
+        let mods = ["privacy", "moderation"];
+        let vals = ["v0"];
+        let a = FaultPlan::random(7, 2000, 10, &mods, &vals);
+        let b = FaultPlan::random(7, 2000, 10, &mods, &vals);
+        assert_eq!(a, b);
+        let c = FaultPlan::random(8, 2000, 10, &mods, &vals);
+        assert_ne!(a, c, "different seed, different plan");
+        assert_eq!(a.len(), 10);
+        assert!(a.faults().iter().all(|f| f.end() <= 2000 + 200));
+    }
+
+    #[test]
+    fn random_plan_mixes_validator_faults() {
+        let plan = FaultPlan::random(1, 4000, 8, &["privacy"], &["v0"]);
+        let rogue =
+            plan.faults().iter().filter(|f| matches!(f.kind, FaultKind::RogueValidator { .. }));
+        assert_eq!(rogue.count(), 2, "every fourth fault targets the validator");
+    }
+
+    #[test]
+    fn empty_inputs_yield_empty_plan() {
+        assert!(FaultPlan::random(1, 2000, 5, &[], &["v0"]).is_empty());
+        assert!(FaultPlan::random(1, 10, 5, &["m"], &[]).is_empty());
+    }
+}

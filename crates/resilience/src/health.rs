@@ -1,0 +1,80 @@
+//! The module-health lattice.
+
+use serde::{Deserialize, Serialize};
+
+/// Health of one module slot, ordered as a lattice:
+/// `Healthy < Degraded < Failed`.
+///
+/// * `Healthy` — the module serves requests normally.
+/// * `Degraded` — the module is on probation (a circuit breaker is
+///   half-open, or the module is catching up after a stall); requests
+///   are served but the platform watches for relapse.
+/// * `Failed` — the module is down; the platform applies its fail-closed
+///   fallback (deny-by-default privacy, queue-and-hold moderation,
+///   refused governance writes).
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum HealthState {
+    /// Fully operational.
+    #[default]
+    Healthy,
+    /// Operational but on probation.
+    Degraded,
+    /// Down; fallbacks active.
+    Failed,
+}
+
+impl HealthState {
+    /// Stable label for ledger records.
+    pub fn label(&self) -> &'static str {
+        match self {
+            HealthState::Healthy => "healthy",
+            HealthState::Degraded => "degraded",
+            HealthState::Failed => "failed",
+        }
+    }
+
+    /// Lattice join: the worse of two states.
+    pub fn join(self, other: HealthState) -> HealthState {
+        self.max(other)
+    }
+
+    /// Whether the module may serve requests at all (`Healthy` or
+    /// `Degraded`).
+    pub fn is_operational(&self) -> bool {
+        !matches!(self, HealthState::Failed)
+    }
+}
+
+impl std::fmt::Display for HealthState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lattice_order() {
+        assert!(HealthState::Healthy < HealthState::Degraded);
+        assert!(HealthState::Degraded < HealthState::Failed);
+        assert_eq!(HealthState::Healthy.join(HealthState::Failed), HealthState::Failed);
+        assert_eq!(HealthState::Degraded.join(HealthState::Healthy), HealthState::Degraded);
+    }
+
+    #[test]
+    fn operational_predicate() {
+        assert!(HealthState::Healthy.is_operational());
+        assert!(HealthState::Degraded.is_operational());
+        assert!(!HealthState::Failed.is_operational());
+    }
+
+    #[test]
+    fn default_is_healthy() {
+        assert_eq!(HealthState::default(), HealthState::Healthy);
+        assert_eq!(HealthState::Failed.to_string(), "failed");
+    }
+}

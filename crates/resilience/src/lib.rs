@@ -1,0 +1,42 @@
+//! # metaverse-resilience
+//!
+//! Deterministic fault injection and graceful-degradation primitives for
+//! the metaverse platform.
+//!
+//! The paper's Figure-3 architecture is *modular* — interchangeable
+//! decision-making, privacy, reputation, and moderation modules wired to
+//! a shared ledger. Modularity only pays off if the platform keeps
+//! governing correctly when a module is *not* healthy: a crashed DAO
+//! scope, a stalled moderation queue, a lossy twin channel, a
+//! misbehaving validator. This crate supplies the vocabulary the rest of
+//! the workspace uses to model and survive those failures:
+//!
+//! * [`health`] — the `Healthy ≤ Degraded ≤ Failed` module-health
+//!   lattice.
+//! * [`fault`] — seeded, fully deterministic [`fault::FaultPlan`]s and
+//!   the [`fault::FaultInjector`] that replays them in logical `Tick`
+//!   time.
+//! * [`breaker`] — a tick-time [`breaker::CircuitBreaker`]
+//!   (closed → open → half-open) that converts repeated operation
+//!   failures into explicit health transitions.
+//! * [`retry`] — a bounded, exponential-backoff [`retry::RetryPolicy`]
+//!   expressed in logical ticks, shared by the twin sync channel and the
+//!   ledger epoch-commit path.
+//!
+//! Everything here is deterministic by construction: no wall-clock, no
+//! global RNG. The same seed always produces the same fault schedule,
+//! which is what lets experiment E19 compare "resilience on" vs
+//! "resilience off" runs fault-for-fault.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod breaker;
+pub mod fault;
+pub mod health;
+pub mod retry;
+
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
+pub use fault::{FaultInjector, FaultKind, FaultPlan, ScheduledFault};
+pub use health::HealthState;
+pub use retry::{RetryOutcome, RetryPolicy, RetryState};

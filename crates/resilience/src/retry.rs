@@ -1,0 +1,184 @@
+//! Bounded retries with exponential backoff, in logical tick time.
+//!
+//! Wall-clock retries make experiment runs irreproducible, so every
+//! retry in the workspace is expressed in the platform's logical `Tick`:
+//! "try again `backoff(attempt)` ticks from now, at most `max_retries`
+//! times, giving up entirely `timeout` ticks after the first attempt."
+//! The twin sync channel uses it to schedule retransmissions; the
+//! platform uses it to wait out a misbehaving validator before an epoch
+//! commit.
+
+use metaverse_ledger::Tick;
+use serde::{Deserialize, Serialize};
+
+/// A reusable retry policy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Maximum number of retries after the initial attempt.
+    pub max_retries: u32,
+    /// Backoff before the first retry, in ticks.
+    pub base_backoff: Tick,
+    /// Multiplier applied per further retry (exponential backoff).
+    pub backoff_factor: u32,
+    /// Upper bound on any single backoff.
+    pub max_backoff: Tick,
+    /// Overall deadline: give up this many ticks after the first
+    /// attempt, even with retries left (0 = no deadline).
+    pub timeout: Tick,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 5,
+            base_backoff: 2,
+            backoff_factor: 2,
+            max_backoff: 64,
+            timeout: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff before retry number `retry` (1-based). `None` once
+    /// retries are exhausted.
+    pub fn backoff(&self, retry: u32) -> Option<Tick> {
+        if retry == 0 || retry > self.max_retries {
+            return None;
+        }
+        let factor = (self.backoff_factor as u64).saturating_pow(retry - 1);
+        Some(self.base_backoff.saturating_mul(factor).min(self.max_backoff))
+    }
+
+    /// Total ticks spent if every retry is exhausted (ignores timeout).
+    pub fn total_backoff(&self) -> Tick {
+        (1..=self.max_retries).filter_map(|r| self.backoff(r)).sum()
+    }
+
+    /// Starts tracking one retried operation whose first attempt happens
+    /// at `now`.
+    pub fn begin(&self, now: Tick) -> RetryState {
+        RetryState { policy: *self, first_attempt: now, retries_used: 0, next_due: now }
+    }
+}
+
+/// What to do after a failed attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetryOutcome {
+    /// Retry at the given tick.
+    RetryAt(Tick),
+    /// Retries or deadline exhausted; give up.
+    GiveUp,
+}
+
+/// Book-keeping for one retried operation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryState {
+    policy: RetryPolicy,
+    first_attempt: Tick,
+    retries_used: u32,
+    next_due: Tick,
+}
+
+impl RetryState {
+    /// Whether an attempt is due at `now`.
+    pub fn due(&self, now: Tick) -> bool {
+        now >= self.next_due
+    }
+
+    /// Tick of the next scheduled attempt.
+    pub fn next_due(&self) -> Tick {
+        self.next_due
+    }
+
+    /// Retries consumed so far.
+    pub fn retries_used(&self) -> u32 {
+        self.retries_used
+    }
+
+    /// Registers a failed attempt at `now`; schedules the next retry or
+    /// gives up.
+    pub fn record_failure(&mut self, now: Tick) -> RetryOutcome {
+        self.retries_used += 1;
+        match self.policy.backoff(self.retries_used) {
+            Some(delay) => {
+                let due = now.saturating_add(delay);
+                if self.policy.timeout > 0
+                    && due.saturating_sub(self.first_attempt) > self.policy.timeout
+                {
+                    RetryOutcome::GiveUp
+                } else {
+                    self.next_due = due;
+                    RetryOutcome::RetryAt(due)
+                }
+            }
+            None => RetryOutcome::GiveUp,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_exponential_and_capped() {
+        let p = RetryPolicy {
+            max_retries: 6,
+            base_backoff: 2,
+            backoff_factor: 2,
+            max_backoff: 20,
+            timeout: 0,
+        };
+        assert_eq!(p.backoff(0), None, "attempt 0 is the initial try");
+        assert_eq!(p.backoff(1), Some(2));
+        assert_eq!(p.backoff(2), Some(4));
+        assert_eq!(p.backoff(3), Some(8));
+        assert_eq!(p.backoff(4), Some(16));
+        assert_eq!(p.backoff(5), Some(20), "capped");
+        assert_eq!(p.backoff(6), Some(20));
+        assert_eq!(p.backoff(7), None, "exhausted");
+        assert_eq!(p.total_backoff(), 2 + 4 + 8 + 16 + 20 + 20);
+    }
+
+    #[test]
+    fn state_schedules_then_gives_up() {
+        let p = RetryPolicy {
+            max_retries: 2,
+            base_backoff: 3,
+            backoff_factor: 2,
+            max_backoff: 100,
+            timeout: 0,
+        };
+        let mut s = p.begin(10);
+        assert!(s.due(10));
+        assert_eq!(s.record_failure(10), RetryOutcome::RetryAt(13));
+        assert!(!s.due(12));
+        assert!(s.due(13));
+        assert_eq!(s.record_failure(13), RetryOutcome::RetryAt(19));
+        assert_eq!(s.record_failure(19), RetryOutcome::GiveUp);
+        assert_eq!(s.retries_used(), 3);
+    }
+
+    #[test]
+    fn timeout_cuts_retries_short() {
+        let p = RetryPolicy {
+            max_retries: 10,
+            base_backoff: 10,
+            backoff_factor: 2,
+            max_backoff: 1000,
+            timeout: 25,
+        };
+        let mut s = p.begin(0);
+        assert_eq!(s.record_failure(0), RetryOutcome::RetryAt(10));
+        // Next retry would land at 10 + 20 = 30 > timeout 25: give up.
+        assert_eq!(s.record_failure(10), RetryOutcome::GiveUp);
+    }
+
+    #[test]
+    fn default_policy_is_sane() {
+        let p = RetryPolicy::default();
+        assert!(p.max_retries > 0);
+        assert!(p.backoff(1).unwrap() >= 1);
+    }
+}

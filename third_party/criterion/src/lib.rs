@@ -1,0 +1,220 @@
+//! Offline mini benchmark harness standing in for `criterion` 0.5.
+//!
+//! Mirrors the API subset the workspace's benches use (`Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `Bencher::
+//! iter`/`iter_batched`, `BenchmarkId`, `BatchSize`, the
+//! `criterion_group!`/`criterion_main!` macros, `black_box`). Instead
+//! of statistical sampling it times a short fixed budget per benchmark
+//! and prints one `name ... time/iter` line — enough to compare orders
+//! of magnitude offline.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, re-exported like `criterion::black_box`.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// How `iter_batched` inputs are grouped; accepted for API parity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{function_name}/{parameter}") }
+    }
+
+    /// Parameter-only id.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Times closures, mirroring `criterion::Bencher`.
+pub struct Bencher {
+    measured: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Times `routine` over a short budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        black_box(routine()); // Warm-up.
+        let mut iters = 0u64;
+        let mut elapsed = Duration::ZERO;
+        while iters < MAX_ITERS && elapsed < BUDGET {
+            let start = Instant::now();
+            black_box(routine());
+            elapsed += start.elapsed();
+            iters += 1;
+        }
+        self.measured = Some((elapsed, iters));
+    }
+
+    /// Times `routine` with untimed per-iteration `setup`.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        black_box(routine(setup())); // Warm-up.
+        let mut iters = 0u64;
+        let mut elapsed = Duration::ZERO;
+        while iters < MAX_ITERS && elapsed < BUDGET {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            elapsed += start.elapsed();
+            iters += 1;
+        }
+        self.measured = Some((elapsed, iters));
+    }
+}
+
+const MAX_ITERS: u64 = 30;
+const BUDGET: Duration = Duration::from_millis(50);
+
+fn run_one(label: &str, f: impl FnOnce(&mut Bencher)) {
+    let mut bencher = Bencher { measured: None };
+    f(&mut bencher);
+    match bencher.measured {
+        Some((elapsed, iters)) if iters > 0 => {
+            let per_iter = elapsed.as_nanos() / u128::from(iters);
+            println!("bench {label:<48} {per_iter:>12} ns/iter ({iters} iters)");
+        }
+        _ => println!("bench {label:<48} (no measurement)"),
+    }
+}
+
+/// Top-level harness, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Accepted for parity; the stand-in uses a fixed time budget.
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    /// Starts a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), _criterion: self }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(id, |b| f(b));
+        self
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for parity; the stand-in uses a fixed time budget.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{}", self.name, id), |b| f(b, input));
+        self
+    }
+
+    /// Runs one named benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), |b| f(b));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("stand-in/iter", |b| b.iter(|| black_box(2u64 + 2)));
+        let mut group = c.benchmark_group("stand-in");
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::new("sum", 8), &8u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(4), &4u64, |b, &n| {
+            b.iter_batched(|| vec![1u64; n as usize], |v| v.iter().sum::<u64>(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

@@ -1,0 +1,57 @@
+//! Collection strategies.
+
+use std::ops::Range;
+
+use rand::Rng;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy for `Vec<S::Value>` with a length drawn from a half-open
+/// range, mirroring `proptest::collection::vec`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    assert!(size.start < size.end, "collection::vec: empty size range");
+    VecStrategy { element, size }
+}
+
+/// Strategy returned by [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = rng.gen_range(self.size.clone());
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lengths_and_elements_in_bounds() {
+        let mut rng = TestRng::seed_from_u64(4);
+        let s = vec(0u32..5, 1..10);
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!((1..10).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+
+    #[test]
+    fn nested_vecs() {
+        let mut rng = TestRng::seed_from_u64(4);
+        let s = vec(vec(crate::strategy::any::<u8>(), 0..16), 0..20);
+        let v = s.generate(&mut rng);
+        assert!(v.len() < 20);
+        assert!(v.iter().all(|inner| inner.len() < 16));
+    }
+}

@@ -1,0 +1,84 @@
+//! Offline mini property-testing stand-in for `proptest` 1.
+//!
+//! Implements the subset this workspace uses: the `proptest!` macro,
+//! strategies over numeric ranges, tuples, `Just`, `any::<T>()`,
+//! simple `"[a-z]{m,n}"` string patterns, `proptest::collection::vec`,
+//! `.prop_map`, `prop_oneof!`, and the `prop_assert*`/`prop_assume!`
+//! macros. No shrinking: a failing case panics with the seed-derived
+//! case number, and runs are fully deterministic (case seeds derive
+//! from the test's module path; `PROPTEST_CASES` overrides the default
+//! of 64 cases).
+
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+/// Defines property tests. Mirrors `proptest::proptest!`:
+///
+/// ```ignore
+/// proptest! {
+///     #[test]
+///     fn prop_holds(x in 0u64..100, flag in any::<bool>()) {
+///         prop_assert!(x < 100 || flag);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$attr:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let __runner = $crate::test_runner::Runner::new(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                for __case in 0..__runner.cases() {
+                    let mut __rng = __runner.rng_for(__case);
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)*
+                    let __body = move || $body;
+                    __body();
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property (panics; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_ne!($left, $right, $($fmt)+) };
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Picks one of several strategies (uniformly; weights unsupported).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::union_arm($arm)),+])
+    };
+}

@@ -1,0 +1,4 @@
+//! The usual `use proptest::prelude::*;` surface.
+
+pub use crate::strategy::{any, Arbitrary, Just, Strategy};
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};

@@ -1,0 +1,261 @@
+//! Value-generation strategies (no shrinking).
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+use rand::{Rng, SampleUniform};
+
+use crate::test_runner::TestRng;
+
+/// Generates values of `Self::Value` from a deterministic RNG.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl<T> Strategy for Range<T>
+where
+    T: SampleUniform + Clone,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<T> Strategy for RangeInclusive<T>
+where
+    T: SampleUniform + Clone,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// String patterns of the form `"[a-z]{m,n}"` (the only regex subset
+/// this workspace uses). Anything else panics with a clear message.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (lo, hi, min_len, max_len) = parse_char_class_pattern(self).unwrap_or_else(|| {
+            panic!(
+                "proptest stand-in: unsupported string pattern {self:?} \
+                 (only \"[x-y]{{m,n}}\" is implemented)"
+            )
+        });
+        let len = rng.gen_range(min_len..=max_len);
+        (0..len).map(|_| rng.gen_range(lo..=hi) as char).collect()
+    }
+}
+
+/// Parses `[x-y]{m,n}` into `(x, y, m, n)`.
+fn parse_char_class_pattern(pattern: &str) -> Option<(u8, u8, usize, usize)> {
+    let rest = pattern.strip_prefix('[')?;
+    let (class, rest) = rest.split_once(']')?;
+    let &[lo, b'-', hi] = class.as_bytes() else {
+        return None;
+    };
+    let counts = rest.strip_prefix('{')?.strip_suffix('}')?;
+    let (min_len, max_len) = counts.split_once(',')?;
+    let min_len = min_len.parse().ok()?;
+    let max_len = max_len.parse().ok()?;
+    (lo <= hi && min_len <= max_len).then_some((lo, hi, min_len, max_len))
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident / $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A/0)
+    (A/0, B/1)
+    (A/0, B/1, C/2)
+    (A/0, B/1, C/2, D/3)
+    (A/0, B/1, C/2, D/3, E/4)
+}
+
+/// Types with a canonical full-range strategy (see [`any`]).
+pub trait Arbitrary {
+    /// Generates an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.gen::<$t>()
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+/// Full-range strategy for `T`, mirroring `proptest::prelude::any`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Object-safe strategy view, used by [`Union`] to mix strategies of
+/// different concrete types but one value type.
+pub trait DynStrategy<T> {
+    /// Generates one value.
+    fn generate_dyn(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// Boxes one `prop_oneof!` arm.
+pub fn union_arm<T, S>(strategy: S) -> Box<dyn DynStrategy<T>>
+where
+    S: Strategy<Value = T> + 'static,
+{
+    Box::new(strategy)
+}
+
+/// Uniform choice between strategies (backs `prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<Box<dyn DynStrategy<T>>>,
+}
+
+impl<T> Union<T> {
+    /// A union over the given arms (must be non-empty).
+    pub fn new(arms: Vec<Box<dyn DynStrategy<T>>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = rng.gen_range(0..self.arms.len());
+        self.arms[idx].generate_dyn(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> TestRng {
+        TestRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn ranges_tuples_and_maps() {
+        let mut r = rng();
+        let s = (0u64..10, -1.0f64..1.0).prop_map(|(a, b)| (a * 2, b.abs()));
+        for _ in 0..200 {
+            let (a, b) = s.generate(&mut r);
+            assert!(a < 20 && a % 2 == 0);
+            assert!((0.0..1.0).contains(&b));
+        }
+    }
+
+    #[test]
+    fn string_patterns() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = "[a-z]{1,12}".generate(&mut r);
+            assert!((1..=12).contains(&s.len()));
+            assert!(s.bytes().all(|b| b.is_ascii_lowercase()));
+        }
+        assert_eq!(parse_char_class_pattern("[0-9]{2,2}"), Some((b'0', b'9', 2, 2)));
+        assert_eq!(parse_char_class_pattern("nope"), None);
+    }
+
+    #[test]
+    fn unions_cover_all_arms() {
+        let mut r = rng();
+        let s = crate::prop_oneof![Just(1u8), Just(2u8), (5u8..7).prop_map(|v| v)];
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..300 {
+            seen.insert(s.generate(&mut r));
+        }
+        assert!(seen.contains(&1) && seen.contains(&2) && seen.contains(&5));
+    }
+
+    #[test]
+    fn any_generates_extremes_eventually() {
+        let mut r = rng();
+        let s = any::<bool>();
+        let mut seen = [false, false];
+        for _ in 0..64 {
+            seen[s.generate(&mut r) as usize] = true;
+        }
+        assert_eq!(seen, [true, true]);
+    }
+}

@@ -1,0 +1,63 @@
+//! Deterministic case scheduling for `proptest!`.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// RNG handed to strategies.
+pub type TestRng = ChaCha8Rng;
+
+/// Default number of cases per property (`PROPTEST_CASES` overrides).
+const DEFAULT_CASES: u32 = 64;
+
+/// Schedules the cases of one property test.
+pub struct Runner {
+    cases: u32,
+    base_seed: u64,
+}
+
+impl Runner {
+    /// A runner whose case seeds derive from `name` (the test's module
+    /// path), so every run of the same test is identical.
+    pub fn new(name: &str) -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(DEFAULT_CASES);
+        Runner { cases, base_seed: fnv1a(name.as_bytes()) }
+    }
+
+    /// Number of cases to run.
+    pub fn cases(&self) -> u32 {
+        self.cases
+    }
+
+    /// The RNG for one case.
+    pub fn rng_for(&self, case: u32) -> TestRng {
+        ChaCha8Rng::seed_from_u64(self.base_seed ^ (u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngCore;
+
+    #[test]
+    fn same_name_same_streams() {
+        let a = Runner::new("mod::prop");
+        let b = Runner::new("mod::prop");
+        assert_eq!(a.rng_for(3).next_u64(), b.rng_for(3).next_u64());
+        let c = Runner::new("mod::other");
+        assert_ne!(a.rng_for(3).next_u64(), c.rng_for(3).next_u64());
+        assert_ne!(a.rng_for(3).next_u64(), a.rng_for(4).next_u64());
+    }
+}

@@ -1,0 +1,40 @@
+//! Offline stand-in for `serde` 1.
+//!
+//! Nothing in this workspace actually serializes through serde (the one
+//! JSON emitter, `metaverse-bench::report`, writes JSON by hand), so
+//! `Serialize`/`Deserialize` are marker traits with blanket impls and
+//! the derives are no-ops. Code written with `#[derive(Serialize,
+//! Deserialize)]` and `T: Serialize` bounds compiles unchanged against
+//! both this stand-in and the real crate.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub mod de {
+    /// Marker stand-in for `serde::de::DeserializeOwned`.
+    pub trait DeserializeOwned {}
+    impl<T> DeserializeOwned for T {}
+}
+
+#[cfg(test)]
+mod tests {
+    #[derive(super::Serialize, super::Deserialize)]
+    struct Example {
+        _field: u32,
+    }
+
+    fn assert_bounds<T: super::Serialize + super::de::DeserializeOwned>() {}
+
+    #[test]
+    fn derives_and_bounds_resolve() {
+        assert_bounds::<Example>();
+    }
+}

@@ -1,0 +1,33 @@
+//! Offline stub for `serde_json` 1.
+//!
+//! The offline `serde` stand-in has no introspection, so this crate
+//! cannot render real JSON; any call returns an error rather than
+//! silently emitting garbage. In-tree JSON (experiment reports) is
+//! hand-rolled in `metaverse-bench::report` instead.
+
+use std::fmt;
+
+/// Error type mirroring `serde_json::Error`'s role.
+#[derive(Debug)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("serde_json stand-in: serialization unsupported offline; use hand-rolled JSON")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias mirroring `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Always fails — see crate docs.
+pub fn to_string_pretty<T: ?Sized + serde::Serialize>(_value: &T) -> Result<String> {
+    Err(Error)
+}
+
+/// Always fails — see crate docs.
+pub fn to_string<T: ?Sized + serde::Serialize>(_value: &T) -> Result<String> {
+    Err(Error)
+}
