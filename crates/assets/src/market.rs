@@ -203,7 +203,11 @@ impl Marketplace {
             });
         }
         registry.transfer(asset, &listing.seller, buyer, listing.price, now)?;
-        *self.balances.get_mut(buyer).expect("checked") -= listing.price;
+        *self.balances.get_mut(buyer).ok_or_else(|| AssetError::InsufficientFunds {
+            buyer: buyer.to_string(),
+            price: listing.price,
+            balance,
+        })? -= listing.price;
         *self.balances.entry(listing.seller.clone()).or_insert(0) += listing.price;
         self.listings.remove(&asset);
         let record = SaleRecord {

@@ -1,0 +1,98 @@
+//! Criterion benchmarks for the resilience fabric (experiment E19's
+//! engine): fault-injector lookups, guarded operations under a fault
+//! plan with degradation on and off, and epoch commits that wait out a
+//! rogue validator.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use metaverse_core::platform::{MetaversePlatform, PlatformConfig};
+use metaverse_core::resilience::ResilienceConfig;
+use metaverse_ledger::chain::ChainConfig;
+use metaverse_resilience::{FaultKind, FaultPlan};
+
+fn platform(resilient: bool, plan: FaultPlan) -> MetaversePlatform {
+    let mut p = MetaversePlatform::new(PlatformConfig {
+        chain_config: ChainConfig { key_tree_depth: 4, ..ChainConfig::default() },
+        validators: vec!["validator-0".into()],
+        resilience: ResilienceConfig { enabled: resilient, ..ResilienceConfig::default() },
+        ..PlatformConfig::default()
+    });
+    for u in ["alice", "bob", "carol", "mallory"] {
+        p.register_user(u).expect("register");
+    }
+    p.install_fault_plan(plan);
+    p
+}
+
+fn fault_plan(intensity: usize) -> FaultPlan {
+    FaultPlan::random(
+        9,
+        1000,
+        intensity,
+        &["moderation", "privacy", "reputation", "decision-making", "assets"],
+        &[],
+    )
+}
+
+fn bench_injector_lookup(c: &mut Criterion) {
+    let injector = fault_plan(8).injector();
+    c.bench_function("resilience/injector_lookup_1000_ticks", |b| {
+        b.iter(|| {
+            let mut down = 0u32;
+            for t in 0..1000u64 {
+                for m in ["moderation", "privacy", "assets"] {
+                    if injector.module_down(t, m) {
+                        down += 1;
+                    }
+                }
+            }
+            black_box(down)
+        })
+    });
+}
+
+fn bench_guarded_reports(c: &mut Criterion) {
+    let mut group = c.benchmark_group("resilience/guarded_reports_200_ops");
+    for &(label, resilient) in &[("resilient", true), ("baseline", false)] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &resilient, |b, &resilient| {
+            b.iter_batched(
+                || platform(resilient, fault_plan(8)),
+                |mut p| {
+                    let raters = ["alice", "bob", "carol"];
+                    for i in 0..200usize {
+                        let _ = p.report(raters[i % raters.len()], "mallory");
+                        p.advance_ticks(5);
+                    }
+                    black_box(p.resilience_stats())
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_commit_through_rogue_window(c: &mut Criterion) {
+    c.bench_function("resilience/commit_waits_out_rogue_validator", |b| {
+        b.iter_batched(
+            || {
+                let plan = FaultPlan::new().schedule(
+                    0,
+                    50,
+                    FaultKind::RogueValidator { validator: "validator-0".into() },
+                );
+                let mut p = platform(true, plan);
+                p.report("alice", "mallory").expect("report");
+                p
+            },
+            |mut p| black_box(p.commit_epoch().expect("resilient commit survives")),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_injector_lookup, bench_guarded_reports, bench_commit_through_rogue_window
+}
+criterion_main!(benches);

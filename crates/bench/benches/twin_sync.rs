@@ -4,8 +4,6 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use metaverse_twins::sync::{SyncChannel, SyncConfig};
 use metaverse_twins::twin::{DigitalTwin, TwinState};
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 
 fn bench_sync_run(c: &mut Criterion) {
     let mut group = c.benchmark_group("twins/sync_1000_ticks");
@@ -15,13 +13,15 @@ fn bench_sync_run(c: &mut Criterion) {
                 || {
                     (
                         DigitalTwin::new(1, "bench", "acme", 8),
-                        SyncChannel::new(SyncConfig { loss_rate: 0.1, reconcile_interval: interval }),
-                        ChaCha8Rng::seed_from_u64(9),
+                        SyncChannel::new(SyncConfig {
+                            loss_rate: 0.1,
+                            reconcile_interval: interval,
+                            seed: 9,
+                            ..SyncConfig::default()
+                        }),
                     )
                 },
-                |(mut twin, mut channel, mut rng)| {
-                    black_box(channel.run(&mut twin, 1000, &mut rng))
-                },
+                |(mut twin, mut channel)| black_box(channel.run(&mut twin, 1000)),
                 criterion::BatchSize::SmallInput,
             )
         });

@@ -10,8 +10,6 @@ use metaverse_ledger::chain::{Chain, ChainConfig};
 use metaverse_twins::registry::{TwinRegistry, VerifyOutcome};
 use metaverse_twins::sync::{SyncChannel, SyncConfig};
 use metaverse_twins::twin::{DigitalTwin, TwinState};
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 
 use crate::report::{f3, ExperimentResult, Table};
 
@@ -25,11 +23,14 @@ pub fn run(seed: u64) -> ExperimentResult {
     );
     for &loss in &[0.0, 0.1, 0.3] {
         for &interval in &[0u64, 200, 50, 10] {
-            let mut rng = ChaCha8Rng::seed_from_u64(seed);
             let mut twin = DigitalTwin::new(1, "gallery-statue", "museum", 6);
-            let mut channel =
-                SyncChannel::new(SyncConfig { loss_rate: loss, reconcile_interval: interval });
-            let report = channel.run(&mut twin, TICKS, &mut rng);
+            let mut channel = SyncChannel::new(SyncConfig {
+                loss_rate: loss,
+                reconcile_interval: interval,
+                seed,
+                ..SyncConfig::default()
+            });
+            let report = channel.run(&mut twin, TICKS);
             sync_table.row(vec![
                 format!("{loss:.1}"),
                 if interval == 0 { "never".into() } else { interval.to_string() },

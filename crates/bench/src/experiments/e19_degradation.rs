@@ -1,0 +1,391 @@
+//! E19 — fault injection and graceful module degradation.
+//!
+//! Claim (§IV-C): the modular framework's modules "can take independent
+//! decisions … but are still connected to other decision modules,
+//! resources, and policies" — which raises the question the paper never
+//! tests: what happens to governance when a module *fails*? This
+//! experiment injects deterministic fault schedules (module crashes and
+//! stalls, a misbehaving PoA validator) into two otherwise identical
+//! platforms: one with the resilience fabric on (fail-closed fallbacks,
+//! circuit breakers, queue-and-hold moderation, commit retries) and one
+//! naive baseline whose faulted modules fail open or silently lose
+//! work. Identical fault plans and workloads, measurably different
+//! outcomes: epochs survived, governance-decision error, adjudications
+//! lost, and recovery time — the last read *from the ledger itself*,
+//! since every health transition is recorded on-chain.
+
+use metaverse_core::platform::{MetaversePlatform, PlatformConfig};
+use metaverse_core::resilience::ResilienceConfig;
+use metaverse_core::{CoreError, ReviewRequest};
+use metaverse_ledger::chain::ChainConfig;
+use metaverse_ledger::tx::TxPayload;
+use metaverse_resilience::FaultPlan;
+
+use crate::report::{f3, ExperimentResult, Table};
+
+const HORIZON: u64 = 1000;
+const EPOCH: u64 = 100;
+const CITIZENS: [&str; 6] = ["alice", "bob", "carol", "dave", "erin", "frank"];
+const TROLLS: [&str; 4] = ["troll-0", "troll-1", "troll-2", "troll-3"];
+const FAULT_MODULES: [&str; 4] = ["moderation", "privacy", "decision-making", "assets"];
+
+/// Everything one simulated platform run is scored on.
+#[derive(Debug, Default)]
+struct Outcome {
+    commits_ok: u64,
+    commits_aborted: u64,
+    proposals_closed: u64,
+    mis_decided: u64,
+    reports_issued: u64,
+    adjudicated: u64,
+    still_deferred: u64,
+    zombie_ops: u64,
+    fallback_denials: u64,
+    deferred: u64,
+    replayed: u64,
+    breaker_opens: u64,
+    health_txs: u64,
+    mean_recovery: Option<f64>,
+}
+
+impl Outcome {
+    fn survival_pct(&self) -> f64 {
+        let attempts = self.commits_ok + self.commits_aborted;
+        if attempts == 0 {
+            return 100.0;
+        }
+        100.0 * self.commits_ok as f64 / attempts as f64
+    }
+
+    fn lost_adjudications(&self) -> u64 {
+        self.reports_issued - self.adjudicated - self.still_deferred
+    }
+}
+
+/// A ballot still waiting to be accepted by the decision-making module.
+struct PendingVote {
+    scope: &'static str,
+    voter: &'static str,
+    id: metaverse_dao::proposal::ProposalId,
+}
+
+fn build_platform(resilient: bool) -> MetaversePlatform {
+    let mut p = MetaversePlatform::new(PlatformConfig {
+        chain_config: ChainConfig { key_tree_depth: 4, ..ChainConfig::default() },
+        validators: vec!["validator-0".into()],
+        resilience: ResilienceConfig { enabled: resilient, ..ResilienceConfig::default() },
+        ..PlatformConfig::default()
+    });
+    for u in CITIZENS.iter().chain(TROLLS.iter()) {
+        p.register_user(u).expect("fresh platform accepts every user");
+    }
+    // Pre-approve the one collection purpose the workload configures, so
+    // a refusal during the run is attributable to the fault fabric, not
+    // the review board.
+    p.review_collection_purpose(&ReviewRequest {
+        collector: "render-svc".into(),
+        sensor: metaverse_ledger::audit::SensorClass::Gaze,
+        purpose: "foveation".into(),
+        justification: "render quality".into(),
+    });
+    p
+}
+
+/// Reads mean failed→healthy recovery time off the sealed chain.
+fn mean_recovery_from_ledger(p: &MetaversePlatform) -> Option<f64> {
+    let mut failed_at: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
+    let mut durations = Vec::new();
+    for tx in p.chain().iter_txs() {
+        if let TxPayload::HealthTransition { module, to, tick, .. } = &tx.payload {
+            match to.as_str() {
+                "failed" => {
+                    failed_at.entry(module.clone()).or_insert(*tick);
+                }
+                "healthy" => {
+                    if let Some(start) = failed_at.remove(module) {
+                        durations.push(tick.saturating_sub(start) as f64);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    if durations.is_empty() {
+        None
+    } else {
+        Some(durations.iter().sum::<f64>() / durations.len() as f64)
+    }
+}
+
+/// Drives one platform through the scripted workload under `plan`.
+fn simulate(plan: FaultPlan, resilient: bool) -> Outcome {
+    let mut p = build_platform(resilient);
+    p.install_fault_plan(plan);
+    let mut out = Outcome::default();
+
+    let mut pending_votes: Vec<PendingVote> = Vec::new();
+    // (id, opened_at) pairs awaiting closure once their window ends.
+    let mut open_proposals: Vec<(metaverse_dao::proposal::ProposalId, u64)> = Vec::new();
+    let mut pending_proposal: Option<&'static str> = None;
+    let mut epoch_index = 0;
+
+    while p.tick() < HORIZON {
+        let t = p.tick();
+
+        // Epoch start: one unanimous-support proposal.
+        if t.is_multiple_of(EPOCH) {
+            pending_proposal = Some(CITIZENS[(t / EPOCH) as usize % CITIZENS.len()]);
+        }
+        if let Some(proposer) = pending_proposal {
+            // On Err the decision-making module is down: retry next tick.
+            if let Ok(id) = p.propose("root", proposer, "fund the commons") {
+                pending_proposal = None;
+                open_proposals.push((id, t));
+                for voter in CITIZENS.iter().chain(TROLLS.iter()) {
+                    pending_votes.push(PendingVote { scope: "root", voter, id });
+                }
+            }
+        }
+
+        // Ballots retry every tick until the module accepts them (the
+        // naive platform "accepts" zombie ballots instantly — and loses
+        // them).
+        pending_votes.retain(|v| match p.vote(v.scope, v.voter, v.id, true) {
+            Ok(()) => false,
+            Err(CoreError::ModuleUnavailable { .. }) => true,
+            Err(_) => false, // voting window closed: the ballot is forfeit
+        });
+
+        // Moderation: a report every 10 ticks.
+        if t.is_multiple_of(10) {
+            let i = (t / 10) as usize;
+            let rater = CITIZENS[i % CITIZENS.len()];
+            let subject = TROLLS[i % TROLLS.len()];
+            if p.report(rater, subject).is_ok() {
+                out.reports_issued += 1;
+            }
+        }
+        // Reputation: an endorsement every 7 ticks.
+        if t.is_multiple_of(7) {
+            let i = (t / 7) as usize;
+            let _ = p.endorse(CITIZENS[i % CITIZENS.len()], CITIZENS[(i + 1) % CITIZENS.len()]);
+        }
+        // Privacy: a flow (re)configuration every 25 ticks.
+        if t.is_multiple_of(25) {
+            let user = CITIZENS[(t / 25) as usize % CITIZENS.len()];
+            let _ = p.configure_flow(
+                user,
+                metaverse_ledger::audit::SensorClass::Gaze,
+                "render-svc",
+                "foveation",
+            );
+        }
+        // Assets: a mint-and-list every 50 ticks.
+        if t.is_multiple_of(50) {
+            let creator = CITIZENS[(t / 50) as usize % CITIZENS.len()];
+            if let Ok(id) =
+                p.mint_asset(creator, &format!("meta://art/{t}"), b"pixels", 0.8)
+            {
+                let _ = p.list_asset(creator, id, 100);
+            }
+        }
+
+        p.advance_ticks(1);
+
+        // Epoch end: close expired proposals, then commit.
+        if p.tick().is_multiple_of(EPOCH) {
+            epoch_index += 1;
+            let now = p.tick();
+            let mut still_open = Vec::new();
+            for (id, opened_at) in open_proposals.drain(..) {
+                if now < opened_at + EPOCH {
+                    still_open.push((id, opened_at));
+                    continue;
+                }
+                match p.close_proposal("root", id) {
+                    Ok((accepted, _tally)) => {
+                        out.proposals_closed += 1;
+                        if !accepted {
+                            out.mis_decided += 1;
+                        }
+                        pending_votes.retain(|v| v.id != id);
+                    }
+                    Err(_) => still_open.push((id, opened_at)),
+                }
+            }
+            open_proposals = still_open;
+            match p.commit_epoch() {
+                Ok(_) => out.commits_ok += 1,
+                Err(_) => out.commits_aborted += 1,
+            }
+        }
+        // A resilient commit can spend many logical ticks waiting out a
+        // rogue validator; the loop condition handles the jump.
+        if epoch_index > 2 * (HORIZON / EPOCH) {
+            break; // safety net; never hit with sane plans
+        }
+    }
+
+    // Final epoch: flush whatever the run left behind.
+    match p.commit_epoch() {
+        Ok(_) => out.commits_ok += 1,
+        Err(_) => out.commits_aborted += 1,
+    }
+
+    let stats = p.resilience_stats();
+    out.zombie_ops = stats.zombie_ops;
+    out.fallback_denials = stats.fallback_denials;
+    out.deferred = stats.deferred_reports;
+    out.replayed = stats.replayed_reports;
+    out.breaker_opens = stats.breaker_opens;
+    out.still_deferred = p.held_report_count() as u64;
+    out.adjudicated = p
+        .chain()
+        .iter_txs()
+        .filter(|t| matches!(t.payload, TxPayload::ModerationAction { .. }))
+        .count() as u64;
+    out.health_txs = p
+        .chain()
+        .iter_txs()
+        .filter(|t| matches!(t.payload, TxPayload::HealthTransition { .. }))
+        .count() as u64;
+    out.mean_recovery = mean_recovery_from_ledger(&p);
+    p.verify_ledger().expect("chain stays verifiable under faults");
+    out
+}
+
+/// Runs E19.
+pub fn run(seed: u64) -> ExperimentResult {
+    let mut survival = Table::new(
+        "epoch survival and governance error vs fault intensity (1000 ticks, 100-tick epochs)",
+        &[
+            "faults", "mode", "commits", "aborted", "survival", "proposals", "mis-decided",
+            "reports", "adjudicated", "lost", "zombie ops",
+        ],
+    );
+    let mut machinery = Table::new(
+        "degradation machinery, resilient mode (recovery measured from on-chain health records)",
+        &["faults", "denials", "deferred", "replayed", "breaker opens", "health txs", "mean recovery"],
+    );
+
+    let mut resilient_min_survival = 100.0f64;
+    let mut baseline_misgoverned = 0u64;
+    for &faults in &[0usize, 2, 4, 8] {
+        let plan = || {
+            FaultPlan::random(
+                seed.wrapping_add(faults as u64 * 7919),
+                HORIZON,
+                faults,
+                &FAULT_MODULES,
+                &["validator-0"],
+            )
+        };
+        for (mode, resilient) in [("resilient", true), ("baseline", false)] {
+            let out = simulate(plan(), resilient);
+            survival.row(vec![
+                faults.to_string(),
+                mode.into(),
+                out.commits_ok.to_string(),
+                out.commits_aborted.to_string(),
+                format!("{:.0}%", out.survival_pct()),
+                out.proposals_closed.to_string(),
+                out.mis_decided.to_string(),
+                out.reports_issued.to_string(),
+                out.adjudicated.to_string(),
+                out.lost_adjudications().to_string(),
+                out.zombie_ops.to_string(),
+            ]);
+            if resilient {
+                resilient_min_survival = resilient_min_survival.min(out.survival_pct());
+                machinery.row(vec![
+                    faults.to_string(),
+                    out.fallback_denials.to_string(),
+                    out.deferred.to_string(),
+                    out.replayed.to_string(),
+                    out.breaker_opens.to_string(),
+                    out.health_txs.to_string(),
+                    out.mean_recovery.map(f3).unwrap_or_else(|| "-".into()),
+                ]);
+            } else {
+                baseline_misgoverned +=
+                    out.commits_aborted + out.mis_decided + out.lost_adjudications();
+            }
+        }
+    }
+
+    ExperimentResult {
+        id: "E19".into(),
+        title: "Fault injection and graceful module degradation".into(),
+        claim: "A modular platform must degrade gracefully: faulted modules fail closed, \
+                lose no adjudications, and leave an auditable health trail (§IV-C)"
+            .into(),
+        tables: vec![survival, machinery],
+        notes: vec![
+            format!(
+                "resilient worst-case epoch survival {resilient_min_survival:.0}% (acceptance \
+                 floor 95%); the baseline accumulated {baseline_misgoverned} mis-governed \
+                 outcomes (aborted epochs + mis-decided proposals + lost adjudications) over \
+                 the same fault plans"
+            ),
+            "every breaker transition is a HealthTransition transaction, so recovery time is \
+             computed from the sealed chain itself — outages are auditable after the fact"
+                .into(),
+            "fail-closed beats fail-open: the resilient platform refuses work it cannot govern \
+             (denials) and replays held moderation reports on recovery, while the baseline's \
+             zombie modules answer with fail-open flows, lost ballots, and unrecorded warnings"
+                .into(),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_in_the_seed() {
+        let a = run(7);
+        let b = run(7);
+        assert_eq!(a.tables[0].rows, b.tables[0].rows);
+        assert_eq!(a.tables[1].rows, b.tables[1].rows);
+        let c = run(8);
+        assert_ne!(a.tables[0].rows, c.tables[0].rows, "seed changes the fault plans");
+    }
+
+    #[test]
+    fn resilient_survives_baseline_misgoverns() {
+        let result = run(7);
+        let rows = &result.tables[0].rows;
+        assert_eq!(rows.len(), 8, "4 intensities x 2 modes");
+        let num = |row: &Vec<String>, col: usize| row[col].parse::<u64>().unwrap();
+        let mut baseline_errors = 0;
+        for pair in rows.chunks(2) {
+            let (res, base) = (&pair[0], &pair[1]);
+            assert_eq!(res[1], "resilient");
+            assert_eq!(base[1], "baseline");
+            // Acceptance: resilient commits never abort and no
+            // adjudication is ever lost, at any intensity.
+            assert_eq!(num(res, 3), 0, "resilient aborted an epoch: {res:?}");
+            assert_eq!(num(res, 9), 0, "resilient lost adjudications: {res:?}");
+            assert_eq!(num(res, 10), 0, "resilient never serves zombie ops");
+            baseline_errors += num(base, 3) + num(base, 6) + num(base, 9);
+        }
+        assert!(baseline_errors > 0, "the naive baseline must visibly mis-govern");
+        // Zero faults: the two modes are indistinguishable.
+        let (res0, base0) = (&rows[0], &rows[1]);
+        assert_eq!(res0[2..], base0[2..], "no faults, no difference");
+    }
+
+    #[test]
+    fn recovery_measured_from_ledger_at_high_intensity() {
+        let result = run(7);
+        let machinery = &result.tables[1].rows;
+        assert_eq!(machinery.len(), 4);
+        // At the highest intensity the fabric visibly worked: breakers
+        // opened, health transitions were sealed on-chain, and a
+        // failed→healthy recovery is measurable from the chain.
+        let hottest = &machinery[3];
+        assert!(hottest[4].parse::<u64>().unwrap() > 0, "breakers opened: {hottest:?}");
+        assert!(hottest[5].parse::<u64>().unwrap() > 0, "health txs sealed: {hottest:?}");
+    }
+}

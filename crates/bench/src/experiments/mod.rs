@@ -18,6 +18,7 @@ pub mod e15_bystanders;
 pub mod e16_juries;
 pub mod e17_accessibility;
 pub mod e18_sybil;
+pub mod e19_degradation;
 
 use crate::report::ExperimentResult;
 
@@ -42,5 +43,6 @@ pub fn run_all(seed: u64) -> Vec<ExperimentResult> {
         e16_juries::run(seed),
         e17_accessibility::run(seed),
         e18_sybil::run(seed),
+        e19_degradation::run(seed),
     ]
 }

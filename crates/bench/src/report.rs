@@ -201,7 +201,7 @@ mod tests {
         assert!(rendered.contains("demo"));
         let lines: Vec<&str> = rendered.lines().collect();
         // Header and rows share alignment width.
-        assert_eq!(lines[1].find("value"), lines[3].rfind('1').map(|i| i));
+        assert_eq!(lines[1].find("value"), lines[3].rfind('1'));
     }
 
     #[test]

@@ -25,6 +25,18 @@ pub enum CoreError {
     World(WorldError),
     /// A platform-level invariant was violated.
     Platform(String),
+    /// A module slot is down (fault active or circuit breaker open) and
+    /// the platform's fail-closed fallback is to refuse the operation.
+    ModuleUnavailable {
+        /// Slot label of the unavailable module (e.g. "privacy").
+        module: String,
+    },
+    /// An epoch commit was abandoned because a validator misbehaved for
+    /// longer than the platform was willing to wait.
+    EpochAborted {
+        /// Identity of the misbehaving validator.
+        validator: String,
+    },
 }
 
 impl std::fmt::Display for CoreError {
@@ -37,6 +49,12 @@ impl std::fmt::Display for CoreError {
             CoreError::Privacy(e) => write!(f, "privacy: {e}"),
             CoreError::World(e) => write!(f, "world: {e}"),
             CoreError::Platform(msg) => write!(f, "platform: {msg}"),
+            CoreError::ModuleUnavailable { module } => {
+                write!(f, "resilience: module {module:?} unavailable, fail-closed fallback engaged")
+            }
+            CoreError::EpochAborted { validator } => {
+                write!(f, "resilience: epoch commit aborted, rogue validator {validator:?}")
+            }
         }
     }
 }
@@ -50,7 +68,9 @@ impl std::error::Error for CoreError {
             CoreError::Asset(e) => Some(e),
             CoreError::Privacy(e) => Some(e),
             CoreError::World(e) => Some(e),
-            CoreError::Platform(_) => None,
+            CoreError::Platform(_)
+            | CoreError::ModuleUnavailable { .. }
+            | CoreError::EpochAborted { .. } => None,
         }
     }
 }

@@ -23,8 +23,11 @@
 //! * [`ethics`] — the 'Ethical Hierarchy of Needs' auditor: human
 //!   rights → human effort → human experience, scored over a platform
 //!   configuration (E14).
-//! * [`platform`] — [`platform::MetaversePlatform`]: chain + governance
-//!   + reputation + assets + moderation + audit wired together, with
+//! * [`resilience`] — graceful degradation: per-slot circuit breakers,
+//!   fail-closed fallbacks (deny-by-default privacy, queue-and-hold
+//!   moderation) and ledger-recorded module health (E19).
+//! * [`platform`] — [`platform::MetaversePlatform`]: chain, governance,
+//!   reputation, assets, moderation, and audit wired together, with
 //!   every subsystem's actions recorded on the ledger for transparency.
 //!
 //! ## Quickstart
@@ -56,6 +59,7 @@ pub mod irb;
 pub mod module;
 pub mod platform;
 pub mod policy;
+pub mod resilience;
 
 pub use error::CoreError;
 pub use ethics::{EthicsAudit, EthicsAuditor, EthicsLayer};
@@ -63,3 +67,4 @@ pub use irb::{ReviewBoard, ReviewDecision, ReviewRequest};
 pub use module::{ModuleDescriptor, ModuleKind, ModuleRegistry, Stakeholder};
 pub use platform::{MetaversePlatform, PlatformConfig};
 pub use policy::{ComplianceReport, Jurisdiction, PolicyEngine, PolicyRequirements};
+pub use resilience::{HeldReport, ResilienceConfig, ResilienceFabric, ResilienceStats};

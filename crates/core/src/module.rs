@@ -9,6 +9,8 @@
 //! ledger.
 
 use metaverse_ledger::tx::TxPayload;
+use metaverse_ledger::Tick;
+use metaverse_resilience::HealthState;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -46,6 +48,25 @@ impl ModuleKind {
         ModuleKind::Trust,
         ModuleKind::Policy,
     ];
+
+    /// Stable slot label, used by fault plans and ledger health records.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ModuleKind::DecisionMaking => "decision-making",
+            ModuleKind::Privacy => "privacy",
+            ModuleKind::Reputation => "reputation",
+            ModuleKind::Moderation => "moderation",
+            ModuleKind::Assets => "assets",
+            ModuleKind::Safety => "safety",
+            ModuleKind::Trust => "trust",
+            ModuleKind::Policy => "policy",
+        }
+    }
+
+    /// Inverse of [`ModuleKind::label`].
+    pub fn from_label(label: &str) -> Option<ModuleKind> {
+        ModuleKind::ALL.iter().copied().find(|k| k.label() == label)
+    }
 }
 
 /// Stakeholder groups the paper requires in the design process.
@@ -108,6 +129,7 @@ impl ModuleDescriptor {
 #[derive(Debug, Default)]
 pub struct ModuleRegistry {
     slots: BTreeMap<ModuleKind, ModuleDescriptor>,
+    health: BTreeMap<ModuleKind, HealthState>,
     pending_records: Vec<TxPayload>,
 }
 
@@ -165,6 +187,66 @@ impl ModuleRegistry {
     /// Whether every installed module involves the given stakeholder.
     pub fn all_involve(&self, s: Stakeholder) -> bool {
         !self.slots.is_empty() && self.slots.values().all(|m| m.involves(s))
+    }
+
+    /// Current health of a slot (slots start healthy).
+    pub fn health(&self, kind: ModuleKind) -> HealthState {
+        self.health.get(&kind).copied().unwrap_or_default()
+    }
+
+    /// Moves a slot to a new health state, recording the transition for
+    /// the ledger. Returns `false` (and records nothing) when the slot
+    /// is already in that state — every on-chain record is a real
+    /// transition.
+    pub fn set_health(
+        &mut self,
+        kind: ModuleKind,
+        to: HealthState,
+        reason: &str,
+        tick: Tick,
+    ) -> bool {
+        let from = self.health(kind);
+        if from == to {
+            return false;
+        }
+        self.health.insert(kind, to);
+        self.pending_records.push(TxPayload::HealthTransition {
+            module: kind.label().to_string(),
+            from: from.label().to_string(),
+            to: to.label().to_string(),
+            reason: reason.to_string(),
+            tick,
+        });
+        true
+    }
+
+    /// Records a health transition for a platform component outside the
+    /// eight Figure-3 slots (e.g. the ledger's validator set). Always
+    /// records; the caller owns the component's state.
+    pub fn record_component_health(
+        &mut self,
+        component: &str,
+        from: HealthState,
+        to: HealthState,
+        reason: &str,
+        tick: Tick,
+    ) {
+        self.pending_records.push(TxPayload::HealthTransition {
+            module: component.to_string(),
+            from: from.label().to_string(),
+            to: to.label().to_string(),
+            reason: reason.to_string(),
+            tick,
+        });
+    }
+
+    /// Slots currently not healthy, with their states.
+    pub fn unhealthy_slots(&self) -> Vec<(ModuleKind, HealthState)> {
+        self.health
+            .iter()
+            .filter(|(_, h)| **h != HealthState::Healthy)
+            .map(|(k, h)| (*k, *h))
+            .collect()
     }
 
     /// Takes the swap records accumulated since the last drain.
@@ -225,6 +307,48 @@ mod tests {
     fn empty_registry_involves_nobody() {
         let reg = ModuleRegistry::new();
         assert!(!reg.all_involve(Stakeholder::Users));
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        for kind in ModuleKind::ALL {
+            assert_eq!(ModuleKind::from_label(kind.label()), Some(kind));
+        }
+        assert_eq!(ModuleKind::from_label("ledger"), None);
+    }
+
+    #[test]
+    fn health_transitions_recorded_and_deduped() {
+        let mut reg = ModuleRegistry::new();
+        assert_eq!(reg.health(ModuleKind::Moderation), HealthState::Healthy);
+        assert!(reg.set_health(ModuleKind::Moderation, HealthState::Failed, "breaker-open", 10));
+        assert!(!reg.set_health(ModuleKind::Moderation, HealthState::Failed, "again", 11));
+        assert!(reg.set_health(ModuleKind::Moderation, HealthState::Degraded, "half-open", 40));
+        assert_eq!(reg.unhealthy_slots(), vec![(ModuleKind::Moderation, HealthState::Degraded)]);
+        let records = reg.drain_ledger_records();
+        assert_eq!(records.len(), 2, "no record for the no-op transition");
+        assert!(matches!(
+            &records[0],
+            TxPayload::HealthTransition { module, from, to, tick, .. }
+                if module == "moderation" && from == "healthy" && to == "failed" && *tick == 10
+        ));
+    }
+
+    #[test]
+    fn component_health_bypasses_slot_state() {
+        let mut reg = ModuleRegistry::new();
+        reg.record_component_health(
+            "ledger",
+            HealthState::Healthy,
+            HealthState::Degraded,
+            "rogue-validator",
+            5,
+        );
+        let records = reg.drain_ledger_records();
+        assert!(matches!(
+            &records[0],
+            TxPayload::HealthTransition { module, .. } if module == "ledger"
+        ));
     }
 
     #[test]

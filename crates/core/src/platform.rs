@@ -22,6 +22,8 @@ use metaverse_ledger::tx::{Transaction, TxPayload};
 use metaverse_moderation::actions::{EscalationLadder, ModAction};
 use metaverse_privacy::firewall::DataFlowFirewall;
 use metaverse_reputation::engine::{EngineConfig, ReputationEngine};
+use metaverse_resilience::breaker::BreakerTransition;
+use metaverse_resilience::{FaultInjector, FaultPlan, HealthState, RetryOutcome};
 use metaverse_world::geometry::Vec2;
 use metaverse_world::world::{World, WorldConfig};
 
@@ -30,6 +32,9 @@ use crate::ethics::{EthicsAudit, EthicsAuditor, EthicsSnapshot};
 use crate::irb::{ReviewBoard, ReviewDecision, ReviewRequest};
 use crate::module::{ModuleDescriptor, ModuleKind, ModuleRegistry};
 use crate::policy::{ComplianceReport, Jurisdiction, PolicyEngine};
+use crate::resilience::{
+    health_for, Availability, HeldReport, ResilienceConfig, ResilienceFabric, ResilienceStats,
+};
 
 /// Platform construction parameters.
 #[derive(Debug, Clone)]
@@ -50,6 +55,8 @@ pub struct PlatformConfig {
     pub market_policy: AdmissionPolicy,
     /// Reputation engine configuration.
     pub reputation_config: EngineConfig,
+    /// Graceful-degradation tuning (see [`crate::resilience`]).
+    pub resilience: ResilienceConfig,
 }
 
 impl Default for PlatformConfig {
@@ -68,6 +75,7 @@ impl Default for PlatformConfig {
             privacy_defaults_on: true,
             market_policy: AdmissionPolicy::ReputationGated { min_points: 35.0 },
             reputation_config: EngineConfig::default(),
+            resilience: ResilienceConfig::default(),
         }
     }
 }
@@ -89,6 +97,7 @@ pub struct MetaversePlatform {
     world: World,
     firewalls: BTreeMap<String, DataFlowFirewall>,
     dp_spend: BTreeMap<String, f64>,
+    resilience: ResilienceFabric,
     tick: u64,
 }
 
@@ -124,6 +133,7 @@ impl MetaversePlatform {
             world: World::new(WorldConfig::default()),
             firewalls: BTreeMap::new(),
             dp_spend: BTreeMap::new(),
+            resilience: ResilienceFabric::new(config.resilience.clone()),
             tick: 0,
             config,
         }
@@ -171,6 +181,90 @@ impl MetaversePlatform {
         &self.world
     }
 
+    // ---- resilience ---------------------------------------------------
+
+    /// Installs a deterministic fault schedule. Subsequent module
+    /// operations and epoch commits consult it; with an empty plan
+    /// (the default) nothing ever fails.
+    pub fn install_fault_plan(&mut self, plan: FaultPlan) {
+        self.resilience.install_plan(plan);
+    }
+
+    /// The active fault injector (read access for experiments).
+    pub fn fault_injector(&self) -> &FaultInjector {
+        self.resilience.injector()
+    }
+
+    /// Counters of the degradation machinery (E19 reads these).
+    pub fn resilience_stats(&self) -> ResilienceStats {
+        self.resilience.stats()
+    }
+
+    /// Current health of a module slot.
+    pub fn module_health(&self, kind: ModuleKind) -> HealthState {
+        self.modules.health(kind)
+    }
+
+    /// Moderation reports queued while the moderation slot was down.
+    pub fn held_report_count(&self) -> usize {
+        self.resilience.held_report_count()
+    }
+
+    /// Gate for one operation against a module slot. Consults the fault
+    /// injector and (in resilient mode) the slot's circuit breaker;
+    /// mirrors every breaker transition into the registry's health map,
+    /// which records it for the ledger.
+    fn guard(&mut self, kind: ModuleKind) -> Availability {
+        let tick = self.tick;
+        let down = self.resilience.module_down(tick, kind);
+        if !self.resilience.enabled() {
+            if down {
+                self.resilience.stats.zombie_ops += 1;
+                return Availability::Zombie;
+            }
+            return Availability::Ok;
+        }
+        if !self.resilience.breaker_allows(kind, tick) {
+            // Open breaker: fail fast without poking the module.
+            self.resilience.stats.fallback_denials += 1;
+            return Availability::Refused;
+        }
+        let transitions = self.resilience.observe(kind, !down, tick);
+        self.mirror_transitions(kind, &transitions);
+        if down {
+            self.resilience.stats.fallback_denials += 1;
+            Availability::Refused
+        } else {
+            Availability::Ok
+        }
+    }
+
+    /// Applies breaker transitions to the slot's recorded health.
+    fn mirror_transitions(&mut self, kind: ModuleKind, transitions: &[BreakerTransition]) {
+        for t in transitions {
+            let reason = format!("breaker-{}", t.to.label());
+            self.modules.set_health(kind, health_for(t.to), &reason, t.at);
+        }
+    }
+
+    /// Fail-closed refusal error for a slot.
+    fn unavailable(kind: ModuleKind) -> CoreError {
+        CoreError::ModuleUnavailable { module: kind.label().to_string() }
+    }
+
+    /// Replays reports held during a moderation outage through the
+    /// (recovered) ladder. Reputation penalties are best-effort on
+    /// replay — the rate limiter may refuse stale raters — but every
+    /// adjudication reaches the ladder and therefore the ledger.
+    fn replay_held_reports(&mut self) {
+        let held = std::mem::take(&mut self.resilience.held_reports);
+        for report in held {
+            let _ = self.reputation.report(&report.rater, &report.subject, self.tick);
+            self.ladder.punish(&report.subject, "dao:moderation(replayed)");
+            self.resilience.stats.replayed_reports += 1;
+        }
+    }
+
     // ---- governance ---------------------------------------------------
 
     /// Opens a proposal in a governance scope.
@@ -180,10 +274,16 @@ impl MetaversePlatform {
         proposer: &str,
         title: &str,
     ) -> Result<ProposalId, CoreError> {
+        if self.guard(ModuleKind::DecisionMaking) == Availability::Refused {
+            return Err(Self::unavailable(ModuleKind::DecisionMaking));
+        }
         Ok(self.governance.propose(scope, proposer, title, self.tick)?)
     }
 
-    /// Casts a yes/no vote.
+    /// Casts a yes/no vote. With resilience on, a faulted
+    /// decision-making module refuses the ballot (the voter can retry);
+    /// with resilience off the faulted module swallows it — the ballot
+    /// is silently lost, the naive failure mode E19 measures.
     pub fn vote(
         &mut self,
         scope: &str,
@@ -191,6 +291,11 @@ impl MetaversePlatform {
         id: ProposalId,
         support: bool,
     ) -> Result<(), CoreError> {
+        match self.guard(ModuleKind::DecisionMaking) {
+            Availability::Refused => return Err(Self::unavailable(ModuleKind::DecisionMaking)),
+            Availability::Zombie => return Ok(()), // ballot silently lost
+            Availability::Ok => {}
+        }
         let choice = if support { Choice::Yes } else { Choice::No };
         Ok(self.governance.vote(scope, voter, id, choice, self.tick)?)
     }
@@ -201,6 +306,9 @@ impl MetaversePlatform {
         scope: &str,
         id: ProposalId,
     ) -> Result<(bool, Tally), CoreError> {
+        if self.guard(ModuleKind::DecisionMaking) == Availability::Refused {
+            return Err(Self::unavailable(ModuleKind::DecisionMaking));
+        }
         let (status, tally) = self.governance.close(scope, id, self.tick)?;
         Ok((status == ProposalStatus::Accepted, tally))
     }
@@ -214,12 +322,41 @@ impl MetaversePlatform {
 
     /// One user endorses another.
     pub fn endorse(&mut self, rater: &str, subject: &str) -> Result<i64, CoreError> {
+        match self.guard(ModuleKind::Reputation) {
+            Availability::Refused => return Err(Self::unavailable(ModuleKind::Reputation)),
+            Availability::Zombie => return Ok(0), // endorsement silently lost
+            Availability::Ok => {}
+        }
         Ok(self.reputation.endorse(rater, subject, self.tick)?)
     }
 
     /// One user reports another; an upheld report also climbs the
     /// punitive escalation ladder.
+    ///
+    /// With resilience on, a faulted moderation module **queues and
+    /// holds**: the report returns [`ModAction::Deferred`] and is
+    /// replayed through the ladder once the module recovers, so no
+    /// adjudication is lost. With resilience off, the faulted module
+    /// answers anyway — a flat warning that never climbs the ladder and
+    /// never reaches the ledger.
     pub fn report(&mut self, rater: &str, subject: &str) -> Result<ModAction, CoreError> {
+        match self.guard(ModuleKind::Moderation) {
+            Availability::Refused => {
+                self.resilience.held_reports.push(HeldReport {
+                    rater: rater.to_string(),
+                    subject: subject.to_string(),
+                    queued_at: self.tick,
+                });
+                self.resilience.stats.deferred_reports += 1;
+                return Ok(ModAction::Deferred);
+            }
+            Availability::Zombie => {
+                self.reputation.report(rater, subject, self.tick)?;
+                return Ok(ModAction::Warn); // never recorded, never escalates
+            }
+            Availability::Ok => {}
+        }
+        self.replay_held_reports();
         self.reputation.report(rater, subject, self.tick)?;
         Ok(self.ladder.punish(subject, "dao:moderation"))
     }
@@ -227,6 +364,11 @@ impl MetaversePlatform {
     /// Current reputation of a user, in points.
     pub fn reputation_points(&self, user: &str) -> Result<f64, CoreError> {
         Ok(self.reputation.score(user)?.points())
+    }
+
+    /// Upheld offenses on the punitive escalation ladder.
+    pub fn ladder_offenses(&self, subject: &str) -> u32 {
+        self.ladder.offenses(subject)
     }
 
     /// The reputation engine.
@@ -244,19 +386,30 @@ impl MetaversePlatform {
         content: &[u8],
         quality: f64,
     ) -> Result<NftId, CoreError> {
+        if self.guard(ModuleKind::Assets) == Availability::Refused {
+            return Err(Self::unavailable(ModuleKind::Assets));
+        }
         Ok(self.assets.mint(creator, uri, content, quality, self.tick)?)
     }
 
     /// Lists an asset for sale (subject to the market admission policy,
-    /// consulting the reputation engine).
+    /// consulting the reputation engine). With resilience off, a faulted
+    /// assets module fails *open*: the listing is admitted without the
+    /// reputation gate.
     pub fn list_asset(&mut self, seller: &str, asset: NftId, price: u64) -> Result<(), CoreError> {
-        Ok(self
-            .market
-            .list(&self.assets, Some(&self.reputation), seller, asset, price, self.tick)?)
+        let reputation = match self.guard(ModuleKind::Assets) {
+            Availability::Refused => return Err(Self::unavailable(ModuleKind::Assets)),
+            Availability::Zombie => None, // gate bypassed
+            Availability::Ok => Some(&self.reputation),
+        };
+        Ok(self.market.list(&self.assets, reputation, seller, asset, price, self.tick)?)
     }
 
     /// Buys a listed asset.
     pub fn buy_asset(&mut self, buyer: &str, asset: NftId) -> Result<(), CoreError> {
+        if self.guard(ModuleKind::Assets) == Availability::Refused {
+            return Err(Self::unavailable(ModuleKind::Assets));
+        }
         self.market.buy(&mut self.assets, buyer, asset, self.tick)?;
         Ok(())
     }
@@ -289,6 +442,11 @@ impl MetaversePlatform {
     /// the purpose has passed IRB review; the rule honours the board's
     /// obfuscation requirement. This is the paper's "mix of technical
     /// solutions and policies" in one call.
+    /// With resilience on, a faulted privacy module refuses the call
+    /// outright — no rule is installed, so the firewall's deny-by-default
+    /// stance stands (fail-closed). With resilience off, the faulted
+    /// module fails *open*: the flow is allowed without consulting the
+    /// IRB at all.
     pub fn configure_flow(
         &mut self,
         user: &str,
@@ -297,13 +455,21 @@ impl MetaversePlatform {
         purpose: &str,
     ) -> Result<metaverse_privacy::firewall::FlowRule, CoreError> {
         use metaverse_privacy::firewall::FlowRule;
-        let rule = match self.irb.standing(collector, purpose) {
-            Some(ReviewDecision::Approved) => FlowRule::Allow,
-            Some(ReviewDecision::ApprovedWithObfuscation) => FlowRule::RequireObfuscation,
-            Some(ReviewDecision::Rejected) | None => {
-                return Err(CoreError::Platform(format!(
-                    "purpose {purpose:?} by {collector:?} has no IRB approval"
-                )));
+        let availability = self.guard(ModuleKind::Privacy);
+        if availability == Availability::Refused {
+            return Err(Self::unavailable(ModuleKind::Privacy));
+        }
+        let rule = if availability == Availability::Zombie {
+            FlowRule::Allow // IRB bypassed: the naive fail-open mode
+        } else {
+            match self.irb.standing(collector, purpose) {
+                Some(ReviewDecision::Approved) => FlowRule::Allow,
+                Some(ReviewDecision::ApprovedWithObfuscation) => FlowRule::RequireObfuscation,
+                Some(ReviewDecision::Rejected) | None => {
+                    return Err(CoreError::Platform(format!(
+                        "purpose {purpose:?} by {collector:?} has no IRB approval"
+                    )));
+                }
             }
         };
         let firewall = self
@@ -438,6 +604,12 @@ impl MetaversePlatform {
     /// blocks — the transparency commit. Also collects firewall audit
     /// events into the audit registry, and starts a new reputation
     /// rate-limit epoch. Returns the number of blocks sealed.
+    ///
+    /// When a rogue-validator fault is active, the naive platform
+    /// aborts the commit outright ([`CoreError::EpochAborted`]); the
+    /// resilient platform waits the misbehaviour out with the
+    /// configured retry policy, advancing logical time between attempts
+    /// and recording the ledger's degraded health on-chain.
     pub fn commit_epoch(&mut self) -> Result<usize, CoreError> {
         // Firewall audit events feed the audit registry and the ledger.
         let mut events = Vec::new();
@@ -467,7 +639,62 @@ impl MetaversePlatform {
         if self.chain.mempool_len() == 0 {
             return Ok(0);
         }
+        self.await_honest_validators()?;
         Ok(self.chain.seal_all()?)
+    }
+
+    /// Blocks the commit while a rogue-validator fault is active.
+    /// Submitted transactions stay in the mempool either way, so an
+    /// aborted commit loses no records — only the epoch.
+    fn await_honest_validators(&mut self) -> Result<(), CoreError> {
+        let Some(rogue) = self.resilience.injector().rogue_validator(self.tick) else {
+            return Ok(());
+        };
+        let rogue = rogue.to_string();
+        if !self.resilience.enabled() {
+            self.resilience.stats.commits_aborted += 1;
+            return Err(CoreError::EpochAborted { validator: rogue });
+        }
+        // Resilient path: back off in logical time until the honest
+        // validators regain the schedule, and make the outage auditable.
+        self.modules.record_component_health(
+            "ledger",
+            HealthState::Healthy,
+            HealthState::Degraded,
+            &format!("rogue-validator:{rogue}"),
+            self.tick,
+        );
+        let mut retry = self.resilience.config().commit_retry.begin(self.tick);
+        loop {
+            match retry.record_failure(self.tick) {
+                RetryOutcome::RetryAt(due) => {
+                    let wait = due.saturating_sub(self.tick).max(1);
+                    self.advance_ticks(wait);
+                    self.resilience.stats.commit_retries += 1;
+                    if self.resilience.injector().rogue_validator(self.tick).is_none() {
+                        self.modules.record_component_health(
+                            "ledger",
+                            HealthState::Degraded,
+                            HealthState::Healthy,
+                            "rogue-window-closed",
+                            self.tick,
+                        );
+                        return Ok(());
+                    }
+                }
+                RetryOutcome::GiveUp => {
+                    self.resilience.stats.commits_aborted += 1;
+                    self.modules.record_component_health(
+                        "ledger",
+                        HealthState::Degraded,
+                        HealthState::Failed,
+                        "retries-exhausted",
+                        self.tick,
+                    );
+                    return Err(CoreError::EpochAborted { validator: rogue });
+                }
+            }
+        }
     }
 
     /// The underlying chain (read access for verification and light
@@ -763,6 +990,197 @@ mod tests {
             p.modules().installed(ModuleKind::Moderation).unwrap().name,
             "community-ai"
         );
+    }
+
+    #[test]
+    fn resilient_moderation_defers_and_replays() {
+        use metaverse_resilience::FaultKind;
+        let mut p = platform();
+        for u in ["dave", "erin", "mallory"] {
+            p.register_user(u).unwrap();
+        }
+        p.install_fault_plan(
+            FaultPlan::new().schedule(0, 30, FaultKind::Crash { module: "moderation".into() }),
+        );
+        // Three reports during the outage: all held, none lost.
+        for rater in ["alice", "bob", "carol"] {
+            assert_eq!(p.report(rater, "mallory").unwrap(), ModAction::Deferred);
+        }
+        assert_eq!(p.held_report_count(), 3);
+        assert_eq!(p.module_health(ModuleKind::Moderation), HealthState::Failed);
+        assert_eq!(p.ladder_offenses("mallory"), 0, "nothing adjudicated yet");
+
+        // Past the fault window and the breaker cooldown, the first
+        // successful report replays the backlog in order.
+        p.advance_ticks(30);
+        assert_eq!(p.report("dave", "mallory").unwrap(), ModAction::TempBan);
+        assert_eq!(p.held_report_count(), 0);
+        assert_eq!(p.ladder_offenses("mallory"), 4, "3 replayed + 1 live");
+        assert_eq!(p.module_health(ModuleKind::Moderation), HealthState::Degraded);
+        assert_eq!(p.report("erin", "mallory").unwrap(), ModAction::PermBan);
+        assert_eq!(p.module_health(ModuleKind::Moderation), HealthState::Healthy);
+
+        let stats = p.resilience_stats();
+        assert_eq!(stats.deferred_reports, 3);
+        assert_eq!(stats.replayed_reports, 3);
+        assert_eq!(stats.breaker_opens, 1);
+
+        // Every health transition and every adjudication is on-chain.
+        p.commit_epoch().unwrap();
+        p.verify_ledger().unwrap();
+        let health: Vec<(String, String)> = p
+            .chain()
+            .iter_txs()
+            .filter_map(|t| match &t.payload {
+                TxPayload::HealthTransition { module, to, .. } if module == "moderation" => {
+                    Some((module.clone(), to.clone()))
+                }
+                _ => None,
+            })
+            .collect();
+        let states: Vec<&str> = health.iter().map(|(_, to)| to.as_str()).collect();
+        assert_eq!(states, ["failed", "degraded", "healthy"]);
+        let actions = p
+            .chain()
+            .iter_txs()
+            .filter(|t| matches!(t.payload, TxPayload::ModerationAction { .. }))
+            .count();
+        assert_eq!(actions, 5, "replayed reports reach the ledger too");
+    }
+
+    #[test]
+    fn baseline_moderation_zombie_loses_adjudications() {
+        use metaverse_resilience::FaultKind;
+        let mut p = MetaversePlatform::new(PlatformConfig {
+            chain_config: ChainConfig { key_tree_depth: 4, ..ChainConfig::default() },
+            validators: vec!["validator-0".into()],
+            resilience: crate::resilience::ResilienceConfig {
+                enabled: false,
+                ..Default::default()
+            },
+            ..PlatformConfig::default()
+        });
+        for u in ["alice", "bob", "carol", "mallory"] {
+            p.register_user(u).unwrap();
+        }
+        p.install_fault_plan(
+            FaultPlan::new().schedule(0, 50, FaultKind::Crash { module: "moderation".into() }),
+        );
+        // The crashed module still answers — with a flat warning that
+        // never escalates and never reaches the ledger.
+        for rater in ["alice", "bob", "carol"] {
+            assert_eq!(p.report(rater, "mallory").unwrap(), ModAction::Warn);
+        }
+        assert_eq!(p.ladder_offenses("mallory"), 0);
+        assert_eq!(p.resilience_stats().zombie_ops, 3);
+        p.commit_epoch().unwrap();
+        let actions = p
+            .chain()
+            .iter_txs()
+            .filter(|t| matches!(t.payload, TxPayload::ModerationAction { .. }))
+            .count();
+        assert_eq!(actions, 0, "the mis-governance: decisions vanish");
+    }
+
+    #[test]
+    fn privacy_fault_fails_closed_with_resilience_open_without() {
+        use metaverse_privacy::firewall::FlowRule;
+        use metaverse_resilience::FaultKind;
+        let plan = || {
+            FaultPlan::new().schedule(0, 40, FaultKind::Crash { module: "privacy".into() })
+        };
+        // Resilient: refusal, and the deny-by-default stance stands.
+        let mut p = platform();
+        p.install_fault_plan(plan());
+        let err = p
+            .configure_flow("alice", SensorClass::Gaze, "render-svc", "foveation")
+            .unwrap_err();
+        assert!(matches!(err, CoreError::ModuleUnavailable { ref module } if module == "privacy"));
+        let d = p.firewall_mut("alice").unwrap().request_flow(
+            SensorClass::Gaze,
+            "render-svc",
+            "foveation",
+            LawfulBasis::Consent,
+            64,
+            0,
+        );
+        assert_eq!(d, metaverse_privacy::firewall::FirewallDecision::Deny);
+
+        // Naive: the faulted module fails open, bypassing the IRB.
+        let mut p = MetaversePlatform::new(PlatformConfig {
+            chain_config: ChainConfig { key_tree_depth: 4, ..ChainConfig::default() },
+            validators: vec!["validator-0".into()],
+            resilience: crate::resilience::ResilienceConfig {
+                enabled: false,
+                ..Default::default()
+            },
+            ..PlatformConfig::default()
+        });
+        p.register_user("alice").unwrap();
+        p.install_fault_plan(plan());
+        let rule = p
+            .configure_flow("alice", SensorClass::Gaze, "render-svc", "foveation")
+            .unwrap();
+        assert_eq!(rule, FlowRule::Allow, "no IRB approval, yet allowed");
+    }
+
+    #[test]
+    fn rogue_validator_aborts_naive_commit_but_resilient_waits_it_out() {
+        use metaverse_resilience::FaultKind;
+        let plan = || {
+            FaultPlan::new().schedule(
+                100,
+                60,
+                FaultKind::RogueValidator { validator: "validator-0".into() },
+            )
+        };
+        // Naive platform: the commit that lands in the window aborts.
+        let mut p = MetaversePlatform::new(PlatformConfig {
+            chain_config: ChainConfig { key_tree_depth: 4, ..ChainConfig::default() },
+            validators: vec!["validator-0".into()],
+            resilience: crate::resilience::ResilienceConfig {
+                enabled: false,
+                ..Default::default()
+            },
+            ..PlatformConfig::default()
+        });
+        for u in ["alice", "bob"] {
+            p.register_user(u).unwrap();
+        }
+        p.install_fault_plan(plan());
+        p.report("alice", "bob").unwrap();
+        p.advance_ticks(120);
+        let err = p.commit_epoch().unwrap_err();
+        assert!(matches!(err, CoreError::EpochAborted { .. }));
+        assert_eq!(p.resilience_stats().commits_aborted, 1);
+        // The records were not lost, only the epoch; after the window
+        // the backlog commits.
+        p.advance_ticks(60);
+        assert!(p.commit_epoch().unwrap() >= 1);
+
+        // Resilient platform: same schedule, epoch survives.
+        let mut p = platform();
+        p.install_fault_plan(plan());
+        p.report("alice", "bob").unwrap();
+        p.advance_ticks(120);
+        assert!(p.commit_epoch().unwrap() >= 1);
+        assert!(p.tick() >= 160, "waited out the rogue window in logical time");
+        let stats = p.resilience_stats();
+        assert!(stats.commit_retries >= 1);
+        assert_eq!(stats.commits_aborted, 0);
+        p.verify_ledger().unwrap();
+        // The outage is auditable: the ledger's own degradation lands
+        // at the next commit.
+        p.report("bob", "alice").unwrap();
+        p.commit_epoch().unwrap();
+        let ledger_health = p
+            .chain()
+            .iter_txs()
+            .filter(|t| {
+                matches!(&t.payload, TxPayload::HealthTransition { module, .. } if module == "ledger")
+            })
+            .count();
+        assert_eq!(ledger_health, 2, "degraded + recovered");
     }
 
     #[test]

@@ -1,0 +1,263 @@
+//! Platform-level graceful degradation.
+//!
+//! The Figure-3 architecture is only as ethical as its worst failure
+//! mode: a platform whose privacy module crashes *open*, or whose
+//! moderation module silently stops recording actions, mis-governs
+//! exactly when users are most exposed. This module wires the
+//! `metaverse-resilience` primitives into the platform façade:
+//!
+//! * a per-slot [`CircuitBreaker`] converts observed operation failures
+//!   into explicit [`HealthState`] transitions, which the module
+//!   registry records on the ledger;
+//! * while a slot is down, operations take their **fail-closed**
+//!   fallback — privacy flows are refused (the firewall's deny-by-default
+//!   stance stands), moderation reports are queued and replayed on
+//!   recovery, governance writes are refused rather than silently lost;
+//! * with resilience *disabled* the platform reproduces the naive
+//!   failure modes the paper warns about ("zombie" modules that serve
+//!   fail-open or silently-lossy results) so experiment E19 can measure
+//!   the difference fault-for-fault.
+
+use std::collections::BTreeMap;
+
+use metaverse_ledger::Tick;
+use metaverse_resilience::breaker::BreakerTransition;
+use metaverse_resilience::{
+    BreakerConfig, BreakerState, CircuitBreaker, FaultInjector, FaultPlan, HealthState,
+    RetryPolicy,
+};
+
+use crate::module::ModuleKind;
+
+/// Tuning for the platform's resilience layer.
+#[derive(Debug, Clone)]
+pub struct ResilienceConfig {
+    /// Whether graceful degradation is active. Off reproduces the naive
+    /// platform: faulted modules serve fail-open / silently-lossy
+    /// results and a rogue validator aborts epoch commits.
+    pub enabled: bool,
+    /// Circuit-breaker tuning shared by every module slot.
+    pub breaker: BreakerConfig,
+    /// Retry policy for epoch commits waiting out a rogue validator,
+    /// in logical ticks.
+    pub commit_retry: RetryPolicy,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        ResilienceConfig {
+            enabled: true,
+            breaker: BreakerConfig::default(),
+            // Rogue-validator windows run tens to hundreds of ticks, so
+            // the commit path backs off further than the default policy.
+            commit_retry: RetryPolicy {
+                max_retries: 8,
+                base_backoff: 4,
+                backoff_factor: 2,
+                max_backoff: 128,
+                timeout: 0,
+            },
+        }
+    }
+}
+
+/// A moderation report held while the moderation slot is down.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HeldReport {
+    /// Who filed the report.
+    pub rater: String,
+    /// Who the report is about.
+    pub subject: String,
+    /// Tick the report was queued.
+    pub queued_at: Tick,
+}
+
+/// Counters the degradation experiment (E19) reads out.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResilienceStats {
+    /// Fail-closed refusals while a slot was down (resilient mode).
+    pub fallback_denials: u64,
+    /// Moderation reports queued for replay.
+    pub deferred_reports: u64,
+    /// Held reports replayed after recovery.
+    pub replayed_reports: u64,
+    /// Operations served by a faulted module with resilience off — each
+    /// one is a mis-governed decision (fail-open flow, lost vote,
+    /// unrecorded moderation action).
+    pub zombie_ops: u64,
+    /// Epoch-commit retries spent waiting out a rogue validator.
+    pub commit_retries: u64,
+    /// Epoch commits abandoned entirely.
+    pub commits_aborted: u64,
+    /// Times any slot's breaker opened.
+    pub breaker_opens: u64,
+}
+
+/// How a guarded module operation may proceed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Availability {
+    /// Module healthy: serve normally.
+    Ok,
+    /// Module faulted and resilience is off: the caller must emulate the
+    /// naive failure mode (fail-open / silent loss).
+    Zombie,
+    /// Module faulted and resilience is on: fail closed.
+    Refused,
+}
+
+/// Maps a breaker state onto the module-health lattice.
+pub fn health_for(state: BreakerState) -> HealthState {
+    match state {
+        BreakerState::Closed => HealthState::Healthy,
+        BreakerState::HalfOpen { .. } => HealthState::Degraded,
+        BreakerState::Open { .. } => HealthState::Failed,
+    }
+}
+
+/// The platform's resilience state: the fault injector (empty unless a
+/// plan is installed), one circuit breaker per module slot, the held
+/// moderation queue, and the experiment counters.
+#[derive(Debug)]
+pub struct ResilienceFabric {
+    config: ResilienceConfig,
+    injector: FaultInjector,
+    breakers: BTreeMap<ModuleKind, CircuitBreaker>,
+    pub(crate) held_reports: Vec<HeldReport>,
+    pub(crate) stats: ResilienceStats,
+}
+
+impl ResilienceFabric {
+    /// A fabric with closed breakers and no faults scheduled.
+    pub fn new(config: ResilienceConfig) -> Self {
+        let breakers = ModuleKind::ALL
+            .iter()
+            .map(|k| (*k, CircuitBreaker::new(config.breaker)))
+            .collect();
+        ResilienceFabric {
+            config,
+            injector: FaultInjector::default(),
+            breakers,
+            held_reports: Vec::new(),
+            stats: ResilienceStats::default(),
+        }
+    }
+
+    /// Whether graceful degradation is active.
+    pub fn enabled(&self) -> bool {
+        self.config.enabled
+    }
+
+    /// The layer's tuning.
+    pub fn config(&self) -> &ResilienceConfig {
+        &self.config
+    }
+
+    /// Replaces the fault schedule (experiments install one per run).
+    pub fn install_plan(&mut self, plan: FaultPlan) {
+        self.injector = plan.injector();
+    }
+
+    /// The active fault injector.
+    pub fn injector(&self) -> &FaultInjector {
+        &self.injector
+    }
+
+    /// Whether a crash/stall fault on the slot is active at `tick`.
+    pub fn module_down(&self, tick: Tick, kind: ModuleKind) -> bool {
+        self.injector.module_down(tick, kind.label())
+    }
+
+    /// Current breaker state for a slot.
+    pub fn breaker_state(&self, kind: ModuleKind) -> BreakerState {
+        self.breakers[&kind].state()
+    }
+
+    /// Whether the slot's breaker admits a request at `now`.
+    pub fn breaker_allows(&self, kind: ModuleKind, now: Tick) -> bool {
+        self.breakers[&kind].allows_request(now)
+    }
+
+    /// Feeds one operation outcome into the slot's breaker. Returns
+    /// every state transition that fired (cooldown expiry can fire a
+    /// transition *and* the outcome another) so the platform can mirror
+    /// each one into the registry's health map and onto the ledger.
+    pub(crate) fn observe(
+        &mut self,
+        kind: ModuleKind,
+        ok: bool,
+        now: Tick,
+    ) -> Vec<BreakerTransition> {
+        let breaker = self.breakers.get_mut(&kind).expect("every slot has a breaker");
+        let mut transitions = Vec::new();
+        transitions.extend(breaker.poll(now));
+        let outcome = if ok { breaker.record_success(now) } else { breaker.record_failure(now) };
+        transitions.extend(outcome);
+        self.stats.breaker_opens += transitions
+            .iter()
+            .filter(|t| matches!(t.to, BreakerState::Open { .. }))
+            .count() as u64;
+        transitions
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> ResilienceStats {
+        self.stats
+    }
+
+    /// Reports currently queued for replay.
+    pub fn held_report_count(&self) -> usize {
+        self.held_reports.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breaker_health_mapping() {
+        assert_eq!(health_for(BreakerState::Closed), HealthState::Healthy);
+        assert_eq!(health_for(BreakerState::HalfOpen { successes: 1 }), HealthState::Degraded);
+        assert_eq!(health_for(BreakerState::Open { until: 9 }), HealthState::Failed);
+    }
+
+    #[test]
+    fn observe_opens_breaker_and_counts() {
+        let mut fabric = ResilienceFabric::new(ResilienceConfig::default());
+        let threshold = fabric.config().breaker.failure_threshold;
+        let mut transitions = Vec::new();
+        for t in 0..threshold as u64 {
+            transitions.extend(fabric.observe(ModuleKind::Privacy, false, t));
+        }
+        assert_eq!(transitions.len(), 1, "threshold-th failure opens");
+        assert!(matches!(transitions[0].to, BreakerState::Open { .. }));
+        assert_eq!(fabric.stats().breaker_opens, 1);
+        assert!(!fabric.breaker_allows(ModuleKind::Privacy, threshold as u64));
+        // Other slots are independent.
+        assert!(fabric.breaker_allows(ModuleKind::Moderation, threshold as u64));
+    }
+
+    #[test]
+    fn observe_surfaces_cooldown_transition_before_success() {
+        let mut fabric = ResilienceFabric::new(ResilienceConfig::default());
+        let cfg = fabric.config().breaker;
+        for t in 0..cfg.failure_threshold as u64 {
+            fabric.observe(ModuleKind::Assets, false, t);
+        }
+        let after_cooldown = cfg.failure_threshold as u64 + cfg.cooldown;
+        let transitions = fabric.observe(ModuleKind::Assets, true, after_cooldown);
+        // Open → HalfOpen fires from the poll; the success alone is not
+        // enough to close, so exactly one transition surfaces.
+        assert_eq!(transitions.len(), 1);
+        assert!(matches!(transitions[0].to, BreakerState::HalfOpen { .. }));
+    }
+
+    #[test]
+    fn empty_injector_never_faults() {
+        let fabric = ResilienceFabric::new(ResilienceConfig::default());
+        for kind in ModuleKind::ALL {
+            assert!(!fabric.module_down(0, kind));
+            assert!(!fabric.module_down(10_000, kind));
+        }
+    }
+}

@@ -1,9 +1,13 @@
-//! Property-based tests for policy and ethics invariants.
+//! Property-based tests for policy, ethics, and resilience invariants.
 
 use metaverse_core::ethics::{EthicsAuditor, EthicsLayer, EthicsSnapshot};
 use metaverse_core::module::{ModuleDescriptor, ModuleKind, ModuleRegistry};
+use metaverse_core::platform::{MetaversePlatform, PlatformConfig};
 use metaverse_core::policy::{ComplianceReport, Jurisdiction, PolicyEngine, PolicyRequirements};
 use metaverse_ledger::audit::{AuditRegistry, DataCollectionEvent, LawfulBasis, SensorClass};
+use metaverse_ledger::chain::ChainConfig;
+use metaverse_ledger::tx::TxPayload;
+use metaverse_resilience::FaultPlan;
 use proptest::prelude::*;
 
 fn arb_basis() -> impl Strategy<Value = LawfulBasis> {
@@ -146,5 +150,62 @@ proptest! {
             spend.into_iter().map(|(u, e)| (format!("u{u}"), e)).collect();
         let report = PolicyEngine::new(lax).evaluate(&audit, &spend);
         prop_assert!(report.compliant);
+    }
+
+    /// Transparency of degradation: the circuit breaker never opens
+    /// without a matching health-transition record reaching the ledger.
+    /// For any fault plan and any operation schedule, after the final
+    /// commit the number of on-chain `HealthTransition`-to-failed
+    /// records over module slots equals the number of breaker opens.
+    #[test]
+    fn breaker_never_opens_without_ledger_record(
+        seed in any::<u64>(),
+        fault_count in 0usize..6,
+        ops in proptest::collection::vec((any::<u8>(), 1u64..15), 0..40),
+    ) {
+        let mut p = MetaversePlatform::new(PlatformConfig {
+            chain_config: ChainConfig { key_tree_depth: 4, ..ChainConfig::default() },
+            validators: vec!["validator-0".into()],
+            ..PlatformConfig::default()
+        });
+        for u in ["alice", "bob", "carol", "mallory"] {
+            p.register_user(u).unwrap();
+        }
+        p.install_fault_plan(FaultPlan::random(
+            seed,
+            500,
+            fault_count,
+            &["moderation", "privacy", "reputation", "decision-making", "assets"],
+            &[], // no rogue validators: commits must always land
+        ));
+        for (i, (op, advance)) in ops.iter().enumerate() {
+            let raters = ["alice", "bob", "carol"];
+            let rater = raters[i % raters.len()];
+            match op % 4 {
+                0 => { let _ = p.report(rater, "mallory"); }
+                1 => { let _ = p.endorse(rater, raters[(i + 1) % raters.len()]); }
+                2 => { let _ = p.configure_flow(
+                    rater, SensorClass::Gaze, "render-svc", "unreviewed"); }
+                _ => { let _ = p.propose("root", rater, "p"); }
+            }
+            p.advance_ticks(*advance);
+        }
+        p.commit_epoch().unwrap();
+        p.verify_ledger().unwrap();
+
+        let failed_records = p
+            .chain()
+            .iter_txs()
+            .filter(|t| matches!(
+                &t.payload,
+                TxPayload::HealthTransition { module, to, .. }
+                    if to == "failed" && module != "ledger"
+            ))
+            .count() as u64;
+        prop_assert_eq!(
+            p.resilience_stats().breaker_opens,
+            failed_records,
+            "every breaker open must be auditable on-chain"
+        );
     }
 }

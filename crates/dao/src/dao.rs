@@ -195,7 +195,10 @@ impl Dao {
                 }
             }
         }
-        self.members.get_mut(from).expect("checked").delegate = to.map(str::to_string);
+        self.members
+            .get_mut(from)
+            .ok_or_else(|| DaoError::NotAMember { account: from.into() })?
+            .delegate = to.map(str::to_string);
         Ok(())
     }
 
@@ -272,7 +275,10 @@ impl Dao {
             });
         }
         self.cast(voter, id, choice, votes, now)?;
-        self.members.get_mut(voter).expect("checked").voice_credits -= cost;
+        self.members
+            .get_mut(voter)
+            .ok_or_else(|| DaoError::NotAMember { account: voter.into() })?
+            .voice_credits -= cost;
         Ok(())
     }
 
@@ -389,7 +395,8 @@ impl Dao {
         let tally = self.tally(id)?;
         let accepted = self.config.quorum.passes(&tally);
         let status = if accepted { ProposalStatus::Accepted } else { ProposalStatus::Rejected };
-        self.proposals.get_mut(&id).expect("checked").proposal.status = status;
+        self.proposals.get_mut(&id).ok_or(DaoError::UnknownProposal { id })?.proposal.status =
+            status;
         self.pending_records.push(TxPayload::ProposalDecided {
             proposal_id: id,
             accepted,

@@ -122,9 +122,9 @@ pub fn verify_against(public: &[[Digest; 2]], message: &Digest, sig: &LamportSig
     if public.len() != BITS || sig.revealed.len() != BITS {
         return false;
     }
-    for i in 0..BITS {
+    for (i, (pair, revealed)) in public.iter().zip(&sig.revealed).enumerate() {
         let bit = (message.0[i / 8] >> (7 - (i % 8))) & 1;
-        if sha256(sig.revealed[i].as_bytes()) != public[i][bit as usize] {
+        if sha256(revealed.as_bytes()) != pair[bit as usize] {
             return false;
         }
     }

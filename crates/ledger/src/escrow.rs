@@ -157,7 +157,9 @@ impl EscrowBook {
         self.pending_records.push(TxPayload::Note {
             text: format!("escrow:{id}:fund:{buyer}:{amount}"),
         });
-        Ok(self.escrows.get(&id).expect("just updated"))
+        self.escrows
+            .get(&id)
+            .ok_or_else(|| LedgerError::NotFound { what: format!("escrow {id}") })
     }
 
     /// Settles a funded escrow: emits the asset-transfer record.
@@ -168,7 +170,9 @@ impl EscrowBook {
         }
         escrow.state = EscrowState::Settled;
         let snapshot = escrow.clone();
-        let buyer = snapshot.buyer.clone().expect("funded escrows have a buyer");
+        let buyer = snapshot.buyer.clone().ok_or_else(|| LedgerError::NotFound {
+            what: format!("buyer of funded escrow {id}"),
+        })?;
         self.pending_records.push(TxPayload::AssetTransfer {
             asset_id: snapshot.asset_id,
             from: snapshot.seller.clone(),

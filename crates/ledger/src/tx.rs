@@ -109,6 +109,23 @@ pub enum TxPayload {
         /// Module/authority that took the action.
         authority: String,
     },
+    /// A module-health state change (resilience layer). Recording these
+    /// on-chain makes degradation auditable: governance can later prove
+    /// *when* a module was failed over and when it recovered.
+    HealthTransition {
+        /// Module slot label (e.g. "privacy", "moderation", "ledger").
+        module: String,
+        /// Health state before the transition ("healthy", "degraded",
+        /// "failed").
+        from: String,
+        /// Health state after the transition.
+        to: String,
+        /// Why the transition fired (e.g. "breaker-open",
+        /// "probation-passed", "fault-cleared").
+        reason: String,
+        /// Logical time of the transition.
+        tick: Tick,
+    },
 }
 
 impl TxPayload {
@@ -181,6 +198,14 @@ impl TxPayload {
                 put_str(out, subject);
                 put_str(out, action);
                 put_str(out, authority);
+            }
+            TxPayload::HealthTransition { module, from, to, reason, tick } => {
+                out.push(10);
+                put_str(out, module);
+                put_str(out, from);
+                put_str(out, to);
+                put_str(out, reason);
+                out.extend_from_slice(&tick.to_be_bytes());
             }
         }
     }
@@ -257,7 +282,70 @@ mod tests {
                 action: "mute".into(),
                 authority: "dao:moderation".into(),
             },
+            TxPayload::HealthTransition {
+                module: "privacy".into(),
+                from: "healthy".into(),
+                to: "failed".into(),
+                reason: "breaker-open".into(),
+                tick: 42,
+            },
         ]
+    }
+
+    #[test]
+    fn health_transition_fields_all_bind() {
+        let base = TxPayload::HealthTransition {
+            module: "privacy".into(),
+            from: "healthy".into(),
+            to: "failed".into(),
+            reason: "breaker-open".into(),
+            tick: 42,
+        };
+        let variants = [
+            TxPayload::HealthTransition {
+                module: "moderation".into(),
+                from: "healthy".into(),
+                to: "failed".into(),
+                reason: "breaker-open".into(),
+                tick: 42,
+            },
+            TxPayload::HealthTransition {
+                module: "privacy".into(),
+                from: "degraded".into(),
+                to: "failed".into(),
+                reason: "breaker-open".into(),
+                tick: 42,
+            },
+            TxPayload::HealthTransition {
+                module: "privacy".into(),
+                from: "healthy".into(),
+                to: "degraded".into(),
+                reason: "breaker-open".into(),
+                tick: 42,
+            },
+            TxPayload::HealthTransition {
+                module: "privacy".into(),
+                from: "healthy".into(),
+                to: "failed".into(),
+                reason: "fault-cleared".into(),
+                tick: 42,
+            },
+            TxPayload::HealthTransition {
+                module: "privacy".into(),
+                from: "healthy".into(),
+                to: "failed".into(),
+                reason: "breaker-open".into(),
+                tick: 43,
+            },
+        ];
+        let encode = |p: &TxPayload| {
+            let mut bytes = Vec::new();
+            p.encode_into(&mut bytes);
+            bytes
+        };
+        for v in &variants {
+            assert_ne!(encode(&base), encode(v), "field change must change encoding: {v:?}");
+        }
     }
 
     #[test]

@@ -16,6 +16,11 @@ use serde::{Deserialize, Serialize};
 /// A moderation action, in increasing severity.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum ModAction {
+    /// Report accepted but adjudication postponed — the moderation
+    /// module is unavailable and the platform is queueing reports until
+    /// it recovers (graceful degradation, not a punishment; sorts below
+    /// every punitive action).
+    Deferred,
     /// Formal warning.
     Warn,
     /// Temporary mute (chat disabled).
@@ -30,6 +35,7 @@ impl ModAction {
     /// Stable label for ledger records.
     pub fn label(&self) -> &'static str {
         match self {
+            ModAction::Deferred => "deferred",
             ModAction::Warn => "warn",
             ModAction::Mute => "mute",
             ModAction::TempBan => "temp-ban",
@@ -178,6 +184,7 @@ mod tests {
 
     #[test]
     fn action_ordering() {
+        assert!(ModAction::Deferred < ModAction::Warn);
         assert!(ModAction::Warn < ModAction::Mute);
         assert!(ModAction::TempBan < ModAction::PermBan);
     }

@@ -160,7 +160,10 @@ impl ReputationEngine {
         let weight = self.rater_weight(rater)?;
         {
             let limit = self.config.epoch_action_limit;
-            let rater_acct = self.accounts.get_mut(rater).expect("checked above");
+            let rater_acct = self
+                .accounts
+                .get_mut(rater)
+                .ok_or_else(|| ReputationError::UnknownAccount { account: rater.into() })?;
             if rater_acct.actions_this_epoch >= limit {
                 return Err(ReputationError::RateLimited { account: rater.into(), limit });
             }
@@ -168,7 +171,10 @@ impl ReputationEngine {
         }
         self.touch(subject, now);
         let delta = (base_millis as f64 * weight).round() as i64;
-        let acct = self.accounts.get_mut(subject).expect("checked above");
+        let acct = self
+            .accounts
+            .get_mut(subject)
+            .ok_or_else(|| ReputationError::UnknownAccount { account: subject.into() })?;
         let applied = acct.score.apply_delta(delta);
         self.pending_records.push(TxPayload::ReputationDelta {
             subject: subject.to_string(),
@@ -203,7 +209,10 @@ impl ReputationEngine {
             return Err(ReputationError::UnknownAccount { account: subject.into() });
         }
         self.touch(subject, now);
-        let acct = self.accounts.get_mut(subject).expect("checked above");
+        let acct = self
+            .accounts
+            .get_mut(subject)
+            .ok_or_else(|| ReputationError::UnknownAccount { account: subject.into() })?;
         let applied = acct.score.apply_delta(delta_millis);
         self.pending_records.push(TxPayload::ReputationDelta {
             subject: subject.to_string(),

@@ -1,12 +1,27 @@
 //! The physical→virtual synchronization channel.
 //!
 //! Physical changes are shipped to the replica as incremental updates
-//! over a lossy channel; a periodic reconciliation (full snapshot)
-//! bounds how long loss-induced divergence can persist. Experiment E13
-//! sweeps loss rate and reconciliation interval and reports divergence
-//! statistics.
+//! over a lossy, possibly duplicating channel. Three mechanisms bound
+//! the divergence loss would otherwise cause:
+//!
+//! * **periodic reconciliation** — a full snapshot every
+//!   [`SyncConfig::reconcile_interval`] ticks;
+//! * **ack + retransmission** — with a [`RetryPolicy`] configured, a
+//!   lost update is retransmitted with exponential backoff in logical
+//!   tick time; exhausting the retries forces an immediate
+//!   reconciliation snapshot instead of silently dropping the update;
+//! * **version dedup** — duplicated deliveries (a channel fault) are
+//!   detected by update version and never applied twice.
+//!
+//! The channel owns its own seeded [`ChaCha8Rng`], so a `(config,
+//! seed)` pair fully determines every loss, duplication, and random-walk
+//! decision — experiment E13/E19 runs are reproducible bit-for-bit.
 
-use rand::Rng;
+use std::collections::BTreeSet;
+
+use metaverse_resilience::{RetryOutcome, RetryPolicy, RetryState};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::twin::DigitalTwin;
@@ -16,13 +31,26 @@ use crate::twin::DigitalTwin;
 pub struct SyncConfig {
     /// Probability an incremental update is lost in transit.
     pub loss_rate: f64,
+    /// Probability a delivered update arrives twice.
+    pub dup_rate: f64,
     /// Full-snapshot reconciliation every this many ticks (0 = never).
     pub reconcile_interval: u64,
+    /// Seed of the channel's own RNG (loss, duplication, random walk).
+    pub seed: u64,
+    /// Retransmission policy for lost updates (`None` = fire and
+    /// forget, the naive channel).
+    pub retry: Option<RetryPolicy>,
 }
 
 impl Default for SyncConfig {
     fn default() -> Self {
-        SyncConfig { loss_rate: 0.1, reconcile_interval: 50 }
+        SyncConfig {
+            loss_rate: 0.1,
+            dup_rate: 0.0,
+            reconcile_interval: 50,
+            seed: 0,
+            retry: None,
+        }
     }
 }
 
@@ -37,85 +65,230 @@ pub struct SyncReport {
     pub mean_divergence: f64,
     /// Maximum divergence observed.
     pub max_divergence: f64,
-    /// Updates lost in transit.
+    /// Updates lost in transit (first transmission).
     pub updates_lost: u64,
-    /// Snapshots shipped.
+    /// Retransmission attempts made.
+    pub retransmissions: u64,
+    /// Lost updates eventually delivered by a retransmission.
+    pub recovered: u64,
+    /// Duplicate deliveries suppressed by version dedup.
+    pub duplicates_dropped: u64,
+    /// Snapshots shipped (scheduled + forced).
     pub reconciliations: u64,
+    /// Reconciliations forced by retry exhaustion.
+    pub forced_reconciliations: u64,
     /// Ledger attestations emitted (one per reconciliation).
     pub attestations: u64,
+}
+
+/// A lost update awaiting retransmission.
+#[derive(Debug, Clone, Copy)]
+struct PendingRetransmit {
+    property: usize,
+    delta: f64,
+    version: u64,
+    retry: RetryState,
 }
 
 /// The synchronization channel driving one twin.
 #[derive(Debug)]
 pub struct SyncChannel {
     config: SyncConfig,
+    rng: ChaCha8Rng,
     tick: u64,
     updates_lost: u64,
+    retransmissions: u64,
+    recovered: u64,
+    duplicates_dropped: u64,
     reconciliations: u64,
+    forced_reconciliations: u64,
     divergences: Vec<f64>,
     pending_attestations: Vec<(u64, metaverse_ledger::crypto::sha256::Digest, u64)>,
+    retransmit_queue: Vec<PendingRetransmit>,
+    /// Versions delivered since the last snapshot (duplicate dedup).
+    seen_versions: BTreeSet<u64>,
+    /// Physical version covered by the last snapshot.
+    snapshot_version: u64,
+    /// Extra loss/duplication injected by an active channel fault.
+    fault_loss: f64,
+    fault_dup: f64,
 }
 
 impl SyncChannel {
-    /// Creates a channel.
+    /// Creates a channel; its RNG is seeded from the config.
     pub fn new(config: SyncConfig) -> Self {
         SyncChannel {
+            rng: ChaCha8Rng::seed_from_u64(config.seed),
             config,
             tick: 0,
             updates_lost: 0,
+            retransmissions: 0,
+            recovered: 0,
+            duplicates_dropped: 0,
             reconciliations: 0,
+            forced_reconciliations: 0,
             divergences: Vec::new(),
             pending_attestations: Vec::new(),
+            retransmit_queue: Vec::new(),
+            seen_versions: BTreeSet::new(),
+            snapshot_version: 0,
+            fault_loss: 0.0,
+            fault_dup: 0.0,
         }
     }
 
-    /// One tick: applies a physical change to the twin's ground truth,
-    /// ships the delta (may be lost), reconciles on schedule, and records
-    /// divergence.
-    pub fn step<R: Rng + ?Sized>(
-        &mut self,
-        twin: &mut DigitalTwin,
-        property: usize,
-        delta: f64,
-        rng: &mut R,
-    ) {
+    /// Sets the extra loss rate injected by an active channel fault
+    /// (`None` clears it). The effective loss is the worse of the
+    /// channel's base rate and the injected one.
+    pub fn set_fault_loss(&mut self, loss: Option<f64>) {
+        self.fault_loss = loss.unwrap_or(0.0);
+    }
+
+    /// Sets the injected duplication rate (`None` clears it).
+    pub fn set_fault_dup(&mut self, dup: Option<f64>) {
+        self.fault_dup = dup.unwrap_or(0.0);
+    }
+
+    fn effective_loss(&self) -> f64 {
+        self.config.loss_rate.max(self.fault_loss).clamp(0.0, 1.0)
+    }
+
+    fn effective_dup(&self) -> f64 {
+        self.config.dup_rate.max(self.fault_dup).clamp(0.0, 1.0)
+    }
+
+    /// One tick: retransmits overdue lost updates, applies a physical
+    /// change to the twin's ground truth, ships the delta (may be lost
+    /// or duplicated), reconciles on schedule, and records divergence.
+    pub fn step(&mut self, twin: &mut DigitalTwin, property: usize, delta: f64) {
+        self.process_retransmissions(twin);
+
         twin.physical.apply(property, delta);
-        if rng.gen_bool(self.config.loss_rate.clamp(0.0, 1.0)) {
+        let version = twin.physical.version;
+        let loss = self.effective_loss();
+        if self.rng.gen_bool(loss) {
             self.updates_lost += 1;
+            if let Some(policy) = self.config.retry {
+                let mut retry = policy.begin(self.tick);
+                match retry.record_failure(self.tick) {
+                    RetryOutcome::RetryAt(_) => self.retransmit_queue.push(PendingRetransmit {
+                        property,
+                        delta,
+                        version,
+                        retry,
+                    }),
+                    RetryOutcome::GiveUp => self.force_reconcile(twin),
+                }
+            }
         } else {
-            // Incremental update applies the same delta to the replica.
-            twin.virtual_replica.apply(property, delta);
-            // Version tracking follows the physical version when the
-            // update arrives (idempotent enough for this model).
-            twin.virtual_replica.version = twin.physical.version;
+            self.deliver(twin, property, delta, version, false);
+            if self.rng.gen_bool(self.effective_dup()) {
+                // The duplicate of an already-seen version must not
+                // corrupt the replica.
+                self.deliver(twin, property, delta, version, false);
+            }
         }
 
         if self.config.reconcile_interval > 0
             && self.tick > 0
-            && self.tick % self.config.reconcile_interval == 0
+            && self.tick.is_multiple_of(self.config.reconcile_interval)
         {
-            twin.virtual_replica = twin.physical.clone();
-            self.reconciliations += 1;
-            self.pending_attestations
-                .push((twin.id, twin.physical.digest(), self.tick));
+            self.reconcile(twin);
         }
 
         self.divergences.push(twin.divergence());
         self.tick += 1;
     }
 
-    /// Runs `ticks` random-walk ticks against the twin.
-    pub fn run<R: Rng + ?Sized>(
+    /// Applies one update delivery, deduplicating by version. Returns
+    /// whether the update was actually applied.
+    fn deliver(
         &mut self,
         twin: &mut DigitalTwin,
-        ticks: u64,
-        rng: &mut R,
-    ) -> SyncReport {
+        property: usize,
+        delta: f64,
+        version: u64,
+        retransmitted: bool,
+    ) -> bool {
+        if version <= self.snapshot_version || !self.seen_versions.insert(version) {
+            // Covered by a snapshot, or a duplicate of a delivered
+            // update: drop it.
+            self.duplicates_dropped += 1;
+            return false;
+        }
+        twin.virtual_replica.apply(property, delta);
+        // Deltas commute (property-wise addition), so the replica's
+        // version is the highest delivered one.
+        twin.virtual_replica.version = twin.virtual_replica.version.max(version);
+        if retransmitted {
+            self.recovered += 1;
+        }
+        true
+    }
+
+    /// Redelivers overdue lost updates; exhausted retries force a
+    /// reconciliation snapshot so the update cannot be silently lost.
+    fn process_retransmissions(&mut self, twin: &mut DigitalTwin) {
+        if self.retransmit_queue.is_empty() {
+            return;
+        }
+        let mut queue = std::mem::take(&mut self.retransmit_queue);
+        let mut force = false;
+        queue.retain_mut(|pending| {
+            if pending.version <= self.snapshot_version {
+                return false; // a snapshot already covered it
+            }
+            if !pending.retry.due(self.tick) {
+                return true;
+            }
+            self.retransmissions += 1;
+            if self.rng.gen_bool(self.effective_loss()) {
+                match pending.retry.record_failure(self.tick) {
+                    RetryOutcome::RetryAt(_) => true,
+                    RetryOutcome::GiveUp => {
+                        force = true;
+                        false
+                    }
+                }
+            } else {
+                self.deliver_retransmit(twin, *pending);
+                false
+            }
+        });
+        self.retransmit_queue = queue;
+        if force {
+            self.force_reconcile(twin);
+        }
+    }
+
+    fn deliver_retransmit(&mut self, twin: &mut DigitalTwin, pending: PendingRetransmit) {
+        self.deliver(twin, pending.property, pending.delta, pending.version, true);
+    }
+
+    /// Ships a full snapshot; pending retransmissions it covers are
+    /// dropped.
+    fn reconcile(&mut self, twin: &mut DigitalTwin) {
+        twin.virtual_replica = twin.physical.clone();
+        self.snapshot_version = twin.physical.version;
+        self.seen_versions.clear();
+        self.retransmit_queue.retain(|p| p.version > self.snapshot_version);
+        self.reconciliations += 1;
+        self.pending_attestations.push((twin.id, twin.physical.digest(), self.tick));
+    }
+
+    fn force_reconcile(&mut self, twin: &mut DigitalTwin) {
+        self.forced_reconciliations += 1;
+        self.reconcile(twin);
+    }
+
+    /// Runs `ticks` random-walk ticks against the twin, drawing the
+    /// walk from the channel's own seeded RNG.
+    pub fn run(&mut self, twin: &mut DigitalTwin, ticks: u64) -> SyncReport {
         let properties = twin.physical.values.len().max(1);
         for _ in 0..ticks {
-            let property = rng.gen_range(0..properties);
-            let delta = rng.gen_range(-1.0..1.0);
-            self.step(twin, property, delta, rng);
+            let property = self.rng.gen_range(0..properties);
+            let delta = self.rng.gen_range(-1.0..1.0);
+            self.step(twin, property, delta);
         }
         self.report()
     }
@@ -129,9 +302,18 @@ impl SyncChannel {
             mean_divergence: self.divergences.iter().sum::<f64>() / n,
             max_divergence: self.divergences.iter().copied().fold(0.0, f64::max),
             updates_lost: self.updates_lost,
+            retransmissions: self.retransmissions,
+            recovered: self.recovered,
+            duplicates_dropped: self.duplicates_dropped,
             reconciliations: self.reconciliations,
+            forced_reconciliations: self.forced_reconciliations,
             attestations: self.pending_attestations.len() as u64,
         }
+    }
+
+    /// Divergence trace so far (one sample per tick).
+    pub fn divergences(&self) -> &[f64] {
+        &self.divergences
     }
 
     /// Takes the attestations accumulated since the last drain:
@@ -148,8 +330,6 @@ impl SyncChannel {
 mod tests {
     use super::*;
     use crate::twin::DigitalTwin;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn twin() -> DigitalTwin {
         DigitalTwin::new(1, "robot", "acme", 4)
@@ -157,33 +337,62 @@ mod tests {
 
     #[test]
     fn lossless_channel_zero_divergence() {
-        let mut rng = StdRng::seed_from_u64(1);
         let mut t = twin();
-        let mut ch = SyncChannel::new(SyncConfig { loss_rate: 0.0, reconcile_interval: 0 });
-        let report = ch.run(&mut t, 500, &mut rng);
+        let mut ch = SyncChannel::new(SyncConfig {
+            loss_rate: 0.0,
+            reconcile_interval: 0,
+            seed: 1,
+            ..SyncConfig::default()
+        });
+        let report = ch.run(&mut t, 500);
         assert_eq!(report.mean_divergence, 0.0);
         assert_eq!(report.updates_lost, 0);
     }
 
     #[test]
     fn loss_without_reconciliation_diverges() {
-        let mut rng = StdRng::seed_from_u64(2);
         let mut t = twin();
-        let mut ch = SyncChannel::new(SyncConfig { loss_rate: 0.2, reconcile_interval: 0 });
-        let report = ch.run(&mut t, 1000, &mut rng);
+        let mut ch = SyncChannel::new(SyncConfig {
+            loss_rate: 0.2,
+            reconcile_interval: 0,
+            seed: 2,
+            ..SyncConfig::default()
+        });
+        let report = ch.run(&mut t, 1000);
         assert!(report.updates_lost > 100);
         assert!(report.max_divergence > 1.0, "divergence drifts: {report:?}");
         assert_eq!(report.reconciliations, 0);
     }
 
     #[test]
+    fn runs_are_deterministic_in_the_seed() {
+        let run = |seed: u64| {
+            let mut t = twin();
+            let mut ch = SyncChannel::new(SyncConfig {
+                loss_rate: 0.3,
+                dup_rate: 0.1,
+                reconcile_interval: 25,
+                seed,
+                retry: Some(RetryPolicy::default()),
+            });
+            let r = ch.run(&mut t, 500);
+            (r.updates_lost, r.retransmissions, r.recovered, r.mean_divergence)
+        };
+        assert_eq!(run(7), run(7), "same seed, same run");
+        assert_ne!(run(7), run(8), "different seed, different run");
+    }
+
+    #[test]
     fn reconciliation_bounds_divergence() {
         let run = |interval: u64| {
-            let mut rng = StdRng::seed_from_u64(3);
             let mut t = twin();
-            let mut ch =
-                SyncChannel::new(SyncConfig { loss_rate: 0.2, reconcile_interval: interval });
-            ch.run(&mut t, 1000, &mut rng)
+            let mut ch = SyncChannel::new(SyncConfig {
+                loss_rate: 0.2,
+                reconcile_interval: interval,
+                seed: 3,
+                ..SyncConfig::default()
+            });
+            ch.run(&mut t, 1000)
         };
         let never = run(0);
         let rare = run(200);
@@ -194,11 +403,105 @@ mod tests {
     }
 
     #[test]
-    fn attestations_match_reconciliations() {
-        let mut rng = StdRng::seed_from_u64(4);
+    fn retransmission_recovers_lost_updates() {
+        let run = |retry: Option<RetryPolicy>| {
+            let mut t = twin();
+            let mut ch = SyncChannel::new(SyncConfig {
+                loss_rate: 0.3,
+                reconcile_interval: 0,
+                seed: 11,
+                retry,
+                ..SyncConfig::default()
+            });
+            ch.run(&mut t, 1000)
+        };
+        let naive = run(None);
+        let resilient = run(Some(RetryPolicy::default()));
+        assert_eq!(naive.retransmissions, 0);
+        assert!(resilient.retransmissions > 0);
+        assert!(resilient.recovered > 0);
+        assert!(
+            resilient.mean_divergence < naive.mean_divergence,
+            "retransmission must shrink divergence: {} vs {}",
+            resilient.mean_divergence,
+            naive.mean_divergence
+        );
+    }
+
+    #[test]
+    fn retry_exhaustion_forces_reconciliation() {
+        // A fully lossy channel can never redeliver, so every lost
+        // update's retries exhaust and force a snapshot — divergence
+        // still cannot run away.
         let mut t = twin();
-        let mut ch = SyncChannel::new(SyncConfig { loss_rate: 0.1, reconcile_interval: 25 });
-        let report = ch.run(&mut t, 200, &mut rng);
+        let mut ch = SyncChannel::new(SyncConfig {
+            loss_rate: 1.0,
+            reconcile_interval: 0,
+            seed: 4,
+            retry: Some(RetryPolicy {
+                max_retries: 2,
+                base_backoff: 1,
+                backoff_factor: 2,
+                max_backoff: 4,
+                timeout: 0,
+            }),
+            ..SyncConfig::default()
+        });
+        let report = ch.run(&mut t, 200);
+        assert!(report.forced_reconciliations > 0);
+        assert_eq!(report.recovered, 0);
+        assert!(
+            report.max_divergence < 10.0,
+            "forced snapshots bound a 100%-lossy channel: {report:?}"
+        );
+    }
+
+    #[test]
+    fn duplicates_are_suppressed() {
+        let mut t = twin();
+        let mut ch = SyncChannel::new(SyncConfig {
+            loss_rate: 0.0,
+            dup_rate: 1.0,
+            reconcile_interval: 0,
+            seed: 5,
+            ..SyncConfig::default()
+        });
+        let report = ch.run(&mut t, 300);
+        assert_eq!(report.duplicates_dropped, 300, "every duplicate dropped");
+        assert_eq!(report.mean_divergence, 0.0, "duplicates never corrupt the replica");
+    }
+
+    #[test]
+    fn fault_injection_hooks_raise_loss() {
+        let mut t = twin();
+        let mut ch = SyncChannel::new(SyncConfig {
+            loss_rate: 0.0,
+            reconcile_interval: 0,
+            seed: 6,
+            ..SyncConfig::default()
+        });
+        ch.set_fault_loss(Some(1.0));
+        for _ in 0..50 {
+            ch.step(&mut t, 0, 1.0);
+        }
+        ch.set_fault_loss(None);
+        for _ in 0..50 {
+            ch.step(&mut t, 0, 1.0);
+        }
+        let report = ch.report();
+        assert_eq!(report.updates_lost, 50, "all lost during the fault, none after");
+    }
+
+    #[test]
+    fn attestations_match_reconciliations() {
+        let mut t = twin();
+        let mut ch = SyncChannel::new(SyncConfig {
+            loss_rate: 0.1,
+            reconcile_interval: 25,
+            seed: 4,
+            ..SyncConfig::default()
+        });
+        let report = ch.run(&mut t, 200);
         assert_eq!(report.attestations, report.reconciliations);
         let att = ch.drain_attestations();
         assert_eq!(att.len() as u64, report.reconciliations);
@@ -210,12 +513,15 @@ mod tests {
 
     #[test]
     fn divergence_resets_after_reconciliation() {
-        let mut rng = StdRng::seed_from_u64(5);
         let mut t = twin();
-        let mut ch = SyncChannel::new(SyncConfig { loss_rate: 1.0, reconcile_interval: 10 });
-        for i in 0..11 {
-            ch.step(&mut t, 0, 1.0, &mut rng);
-            let _ = i;
+        let mut ch = SyncChannel::new(SyncConfig {
+            loss_rate: 1.0,
+            reconcile_interval: 10,
+            seed: 5,
+            ..SyncConfig::default()
+        });
+        for _ in 0..11 {
+            ch.step(&mut t, 0, 1.0);
         }
         // Tick 10 reconciled before recording divergence; the replica
         // differs only by the post-reconciliation... step order: apply,

@@ -1,10 +1,9 @@
 //! Property-based tests for digital-twin invariants.
 
+use metaverse_resilience::RetryPolicy;
 use metaverse_twins::sync::{SyncChannel, SyncConfig};
 use metaverse_twins::twin::{DigitalTwin, TwinState};
 use proptest::prelude::*;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 
 proptest! {
     /// State digests are injective over (values, version) within
@@ -49,10 +48,14 @@ proptest! {
         updates in proptest::collection::vec((0usize..6, -1.0f64..1.0), 1..200),
     ) {
         let mut twin = DigitalTwin::new(1, "t", "o", 6);
-        let mut channel = SyncChannel::new(SyncConfig { loss_rate: 0.0, reconcile_interval: 0 });
-        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut channel = SyncChannel::new(SyncConfig {
+            loss_rate: 0.0,
+            reconcile_interval: 0,
+            seed: 0,
+            ..SyncConfig::default()
+        });
         for (prop_idx, delta) in updates {
-            channel.step(&mut twin, prop_idx, delta, &mut rng);
+            channel.step(&mut twin, prop_idx, delta);
             prop_assert!(twin.divergence() < 1e-9);
         }
         prop_assert_eq!(channel.report().updates_lost, 0);
@@ -67,12 +70,15 @@ proptest! {
         seed in any::<u64>(),
     ) {
         let mut twin = DigitalTwin::new(1, "t", "o", 4);
-        let mut channel =
-            SyncChannel::new(SyncConfig { loss_rate: loss, reconcile_interval: interval });
-        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut channel = SyncChannel::new(SyncConfig {
+            loss_rate: loss,
+            reconcile_interval: interval,
+            seed,
+            ..SyncConfig::default()
+        });
         // Run exactly to a reconciliation tick: step index `interval`.
         for _ in 0..=interval {
-            channel.step(&mut twin, 0, 1.0, &mut rng);
+            channel.step(&mut twin, 0, 1.0);
         }
         // The step at tick == interval reconciled before measuring.
         let report = channel.report();
@@ -80,5 +86,48 @@ proptest! {
         // After the last reconciliation the replica matched the physical
         // state exactly at that point in time.
         prop_assert!(report.attestations == report.reconciliations);
+    }
+
+    /// Convergence after a fault window: however lossy the channel was
+    /// during the fault, once the fault clears and a reconciliation
+    /// lands, divergence returns to (and stays at) zero on an
+    /// otherwise-lossless channel.
+    #[test]
+    fn divergence_converges_to_zero_after_fault_window(
+        fault_loss in 0.5f64..=1.0,
+        fault_ticks in 10u64..80,
+        interval in 5u64..30,
+        seed in any::<u64>(),
+    ) {
+        let mut twin = DigitalTwin::new(1, "t", "o", 4);
+        let mut channel = SyncChannel::new(SyncConfig {
+            loss_rate: 0.0,
+            reconcile_interval: interval,
+            seed,
+            retry: Some(RetryPolicy::default()),
+            ..SyncConfig::default()
+        });
+        channel.set_fault_loss(Some(fault_loss));
+        for t in 0..fault_ticks {
+            channel.step(&mut twin, (t % 4) as usize, 0.5);
+        }
+        channel.set_fault_loss(None);
+        // One full reconciliation cycle after the fault clears is enough
+        // for the replica to converge; retransmission backoff never
+        // exceeds the retry policy's total backoff budget.
+        let settle = interval + RetryPolicy::default().total_backoff() + 1;
+        for t in 0..settle {
+            channel.step(&mut twin, (t % 4) as usize, 0.5);
+        }
+        prop_assert!(
+            twin.divergence() < 1e-9,
+            "diverged after fault window closed: {}",
+            twin.divergence()
+        );
+        // And it stays converged on the now-lossless channel.
+        for t in 0..(2 * interval) {
+            channel.step(&mut twin, (t % 4) as usize, 0.5);
+            prop_assert!(twin.divergence() < 1e-9);
+        }
     }
 }

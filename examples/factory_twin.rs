@@ -13,11 +13,8 @@ use metaverse_ledger::tx::{Transaction, TxPayload};
 use metaverse_twins::registry::{TwinRegistry, VerifyOutcome};
 use metaverse_twins::sync::{SyncChannel, SyncConfig};
 use metaverse_twins::twin::DigitalTwin;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut rng = ChaCha8Rng::seed_from_u64(2026);
     let mut chain = Chain::poa_single(
         "factory-validator",
         ChainConfig { key_tree_depth: 6, ..ChainConfig::default() },
@@ -29,8 +26,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    changes over a 15%-lossy industrial link.
     let mut robot = DigitalTwin::new(42, "welder-42", "acme", 6);
     twins.register(&mut chain, 42, "acme")?;
-    let mut channel = SyncChannel::new(SyncConfig { loss_rate: 0.15, reconcile_interval: 50 });
-    let report = channel.run(&mut robot, 1000, &mut rng);
+    let mut channel = SyncChannel::new(SyncConfig {
+        loss_rate: 0.15,
+        reconcile_interval: 50,
+        seed: 2026,
+        ..SyncConfig::default()
+    });
+    let report = channel.run(&mut robot, 1000);
     println!(
         "shift complete: {} updates lost, mean divergence {:.3}, {} reconciliations",
         report.updates_lost, report.mean_divergence, report.reconciliations

@@ -130,14 +130,18 @@ fn dp_budget_exhaustion_stops_release_even_mid_session() {
 fn twin_attestations_survive_lossy_sync_and_catch_forgery() {
     // Seam: twins → ledger. Attestations generated by the sync channel
     // are sealed, then used to authenticate (and reject) claims.
-    let mut rng = ChaCha8Rng::seed_from_u64(5);
     let mut chain = small_chain("twin-auditor");
     let mut registry = TwinRegistry::new();
     let mut twin = DigitalTwin::new(42, "factory-robot", "acme", 4);
     registry.register(&mut chain, 42, "acme").unwrap();
 
-    let mut channel = SyncChannel::new(SyncConfig { loss_rate: 0.25, reconcile_interval: 40 });
-    channel.run(&mut twin, 400, &mut rng);
+    let mut channel = SyncChannel::new(SyncConfig {
+        loss_rate: 0.25,
+        reconcile_interval: 40,
+        seed: 5,
+        ..SyncConfig::default()
+    });
+    channel.run(&mut twin, 400);
     let attestations = channel.drain_attestations();
     assert!(!attestations.is_empty());
     for (twin_id, digest, tick) in &attestations {

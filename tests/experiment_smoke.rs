@@ -8,7 +8,7 @@ use metaverse_bench::experiments::run_all;
 #[test]
 fn all_experiments_run_and_are_well_formed() {
     let results = run_all(metaverse_bench::DEFAULT_SEED);
-    assert_eq!(results.len(), 18);
+    assert_eq!(results.len(), 19);
     for (i, result) in results.iter().enumerate() {
         assert_eq!(result.id, format!("E{}", i + 1));
         assert!(!result.title.is_empty());
