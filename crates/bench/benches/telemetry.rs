@@ -1,0 +1,58 @@
+//! Criterion benchmarks for the telemetry layer: the raw instruments
+//! (counter, histogram, span, snapshot), the no-op handles a disabled
+//! hub deals out, and the end-to-end overhead telemetry adds to an
+//! instrumented platform operation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use metaverse_core::platform::MetaversePlatform;
+use metaverse_ledger::chain::ChainConfig;
+use metaverse_telemetry::TelemetryHub;
+
+fn bench_instruments(c: &mut Criterion) {
+    let hub = TelemetryHub::new();
+    let counter = hub.counter("bench.counter");
+    c.bench_function("telemetry/counter_incr", |b| b.iter(|| counter.incr()));
+
+    let noop = TelemetryHub::disabled().counter("bench.counter");
+    c.bench_function("telemetry/counter_incr_disabled", |b| b.iter(|| noop.incr()));
+
+    let hist = hub.histogram("bench.hist");
+    c.bench_function("telemetry/histogram_record", |b| {
+        let mut v = 0u64;
+        b.iter(|| {
+            v = v.wrapping_add(997);
+            hist.record(black_box(v));
+        })
+    });
+    c.bench_function("telemetry/span_time_once", |b| b.iter(|| hist.start_span().finish()));
+
+    // A hub populated like the platform's: ~60 instruments.
+    for i in 0..20 {
+        hub.counter(&format!("bench.c{i}"));
+        hub.gauge(&format!("bench.g{i}"));
+        hub.histogram(&format!("bench.h{i}")).record(i);
+    }
+    c.bench_function("telemetry/snapshot_60_instruments", |b| {
+        b.iter(|| black_box(hub.snapshot()))
+    });
+    let snap = hub.snapshot();
+    c.bench_function("telemetry/snapshot_to_json", |b| b.iter(|| black_box(snap.to_json())));
+}
+
+fn bench_platform_overhead(c: &mut Criterion) {
+    for (name, enabled) in [("on", true), ("off", false)] {
+        let mut p = MetaversePlatform::builder()
+            .chain_config(ChainConfig { key_tree_depth: 4, ..ChainConfig::default() })
+            .validators(["validator-0"])
+            .telemetry(enabled)
+            .build();
+        p.register_user("alice").expect("register");
+        p.register_user("bob").expect("register");
+        c.bench_function(&format!("telemetry/guarded_endorse_telemetry_{name}"), |b| {
+            b.iter(|| black_box(p.endorse("alice", "bob")))
+        });
+    }
+}
+
+criterion_group!(benches, bench_instruments, bench_platform_overhead);
+criterion_main!(benches);

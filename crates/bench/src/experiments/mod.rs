@@ -19,6 +19,7 @@ pub mod e16_juries;
 pub mod e17_accessibility;
 pub mod e18_sybil;
 pub mod e19_degradation;
+pub mod e20_observability;
 
 use crate::report::ExperimentResult;
 
@@ -44,5 +45,6 @@ pub fn run_all(seed: u64) -> Vec<ExperimentResult> {
         e17_accessibility::run(seed),
         e18_sybil::run(seed),
         e19_degradation::run(seed),
+        e20_observability::run(seed),
     ]
 }

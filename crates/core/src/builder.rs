@@ -1,0 +1,247 @@
+//! Fluent platform construction.
+//!
+//! [`PlatformBuilder`] is the platform's front door: it replaces the
+//! grow-a-struct [`PlatformConfig`] constructor with a surface that can
+//! say what it means — which jurisdiction, which module set, whether
+//! telemetry records, which fault schedule to start under — without
+//! every caller spelling out a full config. The legacy
+//! [`MetaversePlatform::new`] remains as a thin shim over this builder
+//! so existing callers keep compiling.
+
+use metaverse_assets::market::AdmissionPolicy;
+use metaverse_dao::dao::DaoConfig;
+use metaverse_ledger::chain::ChainConfig;
+use metaverse_reputation::engine::EngineConfig;
+use metaverse_resilience::FaultPlan;
+use metaverse_telemetry::TelemetryHub;
+
+use crate::module::ModuleDescriptor;
+use crate::platform::{MetaversePlatform, PlatformConfig};
+use crate::policy::Jurisdiction;
+use crate::resilience::ResilienceConfig;
+
+/// Builds a [`MetaversePlatform`]. Obtain one from
+/// [`MetaversePlatform::builder`]; every knob has the same default as
+/// [`PlatformConfig::default`], telemetry is **on**, and no faults are
+/// scheduled.
+///
+/// ```
+/// use metaverse_core::platform::MetaversePlatform;
+/// use metaverse_core::policy::Jurisdiction;
+///
+/// let platform = MetaversePlatform::builder()
+///     .jurisdiction(Jurisdiction::ccpa())
+///     .validators(["v0"])
+///     .telemetry(true)
+///     .build();
+/// assert_eq!(platform.jurisdiction_name(), "CCPA");
+/// assert!(platform.telemetry().is_enabled());
+/// ```
+#[derive(Debug, Clone)]
+pub struct PlatformBuilder {
+    config: PlatformConfig,
+    telemetry: bool,
+    fault_plan: Option<FaultPlan>,
+    modules: Vec<ModuleDescriptor>,
+}
+
+impl Default for PlatformBuilder {
+    fn default() -> Self {
+        PlatformBuilder {
+            config: PlatformConfig::default(),
+            telemetry: true,
+            fault_plan: None,
+            modules: Vec::new(),
+        }
+    }
+}
+
+impl PlatformBuilder {
+    /// A builder with every default.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts from an existing config (the legacy-shim path).
+    pub fn from_config(config: PlatformConfig) -> Self {
+        PlatformBuilder { config, ..Self::default() }
+    }
+
+    /// Active jurisdiction profile.
+    pub fn jurisdiction(mut self, jurisdiction: Jurisdiction) -> Self {
+        self.config.jurisdiction = jurisdiction;
+        self
+    }
+
+    /// Governance scopes installed at start.
+    pub fn scopes<I, S>(mut self, scopes: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.config.scopes = scopes.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Chain validator set.
+    pub fn validators<I, S>(mut self, validators: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.config.validators = validators.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Ledger tuning.
+    pub fn chain_config(mut self, chain_config: ChainConfig) -> Self {
+        self.config.chain_config = chain_config;
+        self
+    }
+
+    /// DAO tuning shared by every scope.
+    pub fn dao_config(mut self, dao_config: DaoConfig) -> Self {
+        self.config.dao_config = dao_config;
+        self
+    }
+
+    /// Whether new users get deny-by-default sensor firewalls.
+    pub fn privacy_defaults(mut self, on: bool) -> Self {
+        self.config.privacy_defaults_on = on;
+        self
+    }
+
+    /// Marketplace admission policy.
+    pub fn market_policy(mut self, policy: AdmissionPolicy) -> Self {
+        self.config.market_policy = policy;
+        self
+    }
+
+    /// Reputation engine tuning.
+    pub fn reputation_config(mut self, reputation: EngineConfig) -> Self {
+        self.config.reputation_config = reputation;
+        self
+    }
+
+    /// Graceful-degradation tuning.
+    pub fn resilience(mut self, resilience: ResilienceConfig) -> Self {
+        self.config.resilience = resilience;
+        self
+    }
+
+    /// Whether the platform records telemetry (default on). Off hands
+    /// every subsystem no-op instruments; nothing else changes.
+    pub fn telemetry(mut self, on: bool) -> Self {
+        self.telemetry = on;
+        self
+    }
+
+    /// Installs a deterministic fault schedule from the first tick
+    /// (equivalent to calling
+    /// [`MetaversePlatform::install_fault_plan`] right after build).
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Overrides the module filling one slot (repeatable). Slots not
+    /// named keep the paper's recommended open defaults. The override
+    /// is recorded as a swap on the ledger like any other install.
+    pub fn module(mut self, descriptor: ModuleDescriptor) -> Self {
+        self.modules.push(descriptor);
+        self
+    }
+
+    /// Assembles the platform.
+    pub fn build(self) -> MetaversePlatform {
+        let hub = if self.telemetry { TelemetryHub::new() } else { TelemetryHub::disabled() };
+        let mut platform = MetaversePlatform::assemble(self.config, hub);
+        for descriptor in self.modules {
+            platform.install_module(descriptor);
+        }
+        if let Some(plan) = self.fault_plan {
+            platform.install_fault_plan(plan);
+        }
+        platform
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::ModuleKind;
+    use metaverse_resilience::{FaultKind, HealthState};
+
+    #[test]
+    fn defaults_match_legacy_constructor() {
+        let built = MetaversePlatform::builder()
+            .chain_config(ChainConfig { key_tree_depth: 4, ..ChainConfig::default() })
+            .validators(["validator-0"])
+            .build();
+        let legacy = MetaversePlatform::new(PlatformConfig {
+            chain_config: ChainConfig { key_tree_depth: 4, ..ChainConfig::default() },
+            validators: vec!["validator-0".into()],
+            ..PlatformConfig::default()
+        });
+        assert_eq!(built.jurisdiction_name(), legacy.jurisdiction_name());
+        assert_eq!(built.modules().len(), legacy.modules().len());
+        assert!(built.telemetry().is_enabled());
+        assert!(legacy.telemetry().is_enabled());
+    }
+
+    #[test]
+    fn telemetry_off_is_total() {
+        let p = MetaversePlatform::builder()
+            .chain_config(ChainConfig { key_tree_depth: 4, ..ChainConfig::default() })
+            .validators(["v0"])
+            .telemetry(false)
+            .build();
+        assert!(!p.telemetry().is_enabled());
+        let snap = p.telemetry_snapshot();
+        assert!(snap.counters.is_empty() && snap.histograms.is_empty());
+    }
+
+    #[test]
+    fn module_overrides_and_fault_plan_apply() {
+        let mut p = MetaversePlatform::builder()
+            .chain_config(ChainConfig { key_tree_depth: 4, ..ChainConfig::default() })
+            .validators(["v0"])
+            .module(ModuleDescriptor::open(ModuleKind::Moderation, "community-ai"))
+            .fault_plan(
+                FaultPlan::new().schedule(0, 10, FaultKind::Crash { module: "privacy".into() }),
+            )
+            .build();
+        assert_eq!(p.modules().installed(ModuleKind::Moderation).unwrap().name, "community-ai");
+        p.register_user("alice").unwrap();
+        assert!(p
+            .configure_flow(
+                "alice",
+                metaverse_ledger::audit::SensorClass::Gaze,
+                "svc",
+                "purpose",
+            )
+            .is_err());
+        assert_eq!(p.module_health(ModuleKind::Privacy), HealthState::Healthy);
+    }
+
+    #[test]
+    fn scopes_and_privacy_defaults_flow_through() {
+        let mut p = MetaversePlatform::builder()
+            .chain_config(ChainConfig { key_tree_depth: 4, ..ChainConfig::default() })
+            .validators(["v0"])
+            .scopes(["root"])
+            .privacy_defaults(false)
+            .build();
+        p.register_user("alice").unwrap();
+        // Allow-by-default firewall: an unreviewed flow is permitted.
+        let d = p.firewall_mut("alice").unwrap().request_flow(
+            metaverse_ledger::audit::SensorClass::Audio,
+            "svc",
+            "x",
+            metaverse_ledger::audit::LawfulBasis::Consent,
+            1,
+            0,
+        );
+        assert_eq!(d, metaverse_privacy::firewall::FirewallDecision::Allow);
+    }
+}

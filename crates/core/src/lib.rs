@@ -33,9 +33,9 @@
 //! ## Quickstart
 //!
 //! ```
-//! use metaverse_core::platform::{MetaversePlatform, PlatformConfig};
+//! use metaverse_core::platform::MetaversePlatform;
 //!
-//! let mut platform = MetaversePlatform::new(PlatformConfig::default());
+//! let mut platform = MetaversePlatform::builder().build();
 //! platform.register_user("alice").unwrap();
 //! platform.register_user("bob").unwrap();
 //! let id = platform
@@ -48,11 +48,16 @@
 //! assert!(accepted);
 //! platform.commit_epoch().unwrap(); // everything lands on the ledger
 //! assert!(platform.chain().height() > 0);
+//! // Every step above was also metered: per-module call counts and
+//! // latencies, epoch phase timings, op counters.
+//! let snapshot = platform.telemetry_snapshot();
+//! assert_eq!(snapshot.counters["ops.vote"], 2);
 //! ```
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod builder;
 pub mod error;
 pub mod ethics;
 pub mod irb;
@@ -61,6 +66,7 @@ pub mod platform;
 pub mod policy;
 pub mod resilience;
 
+pub use builder::PlatformBuilder;
 pub use error::CoreError;
 pub use ethics::{EthicsAudit, EthicsAuditor, EthicsLayer};
 pub use irb::{ReviewBoard, ReviewDecision, ReviewRequest};

@@ -24,6 +24,7 @@ use metaverse_privacy::firewall::DataFlowFirewall;
 use metaverse_reputation::engine::{EngineConfig, ReputationEngine};
 use metaverse_resilience::breaker::BreakerTransition;
 use metaverse_resilience::{FaultInjector, FaultPlan, HealthState, RetryOutcome};
+use metaverse_telemetry::{Counter, Gauge, Histogram, TelemetryHub, TelemetrySnapshot};
 use metaverse_world::geometry::Vec2;
 use metaverse_world::world::{World, WorldConfig};
 
@@ -80,6 +81,111 @@ impl Default for PlatformConfig {
     }
 }
 
+/// Platform operations with a dedicated invocation counter
+/// (`ops.<name>` in snapshots). Pre-registered so the hot path never
+/// touches the hub's registry lock.
+const OP_NAMES: [&str; 11] = [
+    "register_user",
+    "propose",
+    "vote",
+    "close_proposal",
+    "endorse",
+    "report",
+    "mint_asset",
+    "list_asset",
+    "buy_asset",
+    "configure_flow",
+    "commit_epoch",
+];
+
+/// Per-slot instruments: every [`MetaversePlatform::guard`] consult
+/// counts a call, refusals and zombie passes are tallied separately,
+/// and each guarded operation times itself into the latency histogram.
+#[derive(Debug)]
+struct SlotMetrics {
+    calls: Counter,
+    refused: Counter,
+    zombie: Counter,
+    latency: Histogram,
+}
+
+/// Every instrument the platform records into, registered once at
+/// construction. With a disabled hub each handle is a no-op and the
+/// whole struct costs nothing at runtime.
+#[derive(Debug)]
+struct PlatformMetrics {
+    hub: TelemetryHub,
+    slots: BTreeMap<ModuleKind, SlotMetrics>,
+    ops: BTreeMap<&'static str, Counter>,
+    epoch_collect: Histogram,
+    epoch_merkle: Histogram,
+    epoch_sign: Histogram,
+    epoch_append: Histogram,
+    commits: Counter,
+    aborts: Counter,
+    blocks_sealed: Counter,
+    txs_submitted: Counter,
+    reports_deferred: Counter,
+    reports_replayed: Counter,
+    reports_held: Gauge,
+    escape_governance: Counter,
+    escape_reputation: Counter,
+    escape_irb: Counter,
+    users: Gauge,
+    tick: Gauge,
+}
+
+impl PlatformMetrics {
+    fn new(hub: TelemetryHub) -> Self {
+        let mut slots = BTreeMap::new();
+        for kind in ModuleKind::ALL {
+            let label = kind.label();
+            slots.insert(
+                kind,
+                SlotMetrics {
+                    calls: hub.counter(&format!("module.{label}.calls")),
+                    refused: hub.counter(&format!("module.{label}.refused")),
+                    zombie: hub.counter(&format!("module.{label}.zombie")),
+                    latency: hub.histogram(&format!("module.{label}.latency_ns")),
+                },
+            );
+        }
+        let mut ops = BTreeMap::new();
+        for name in OP_NAMES {
+            ops.insert(name, hub.counter(&format!("ops.{name}")));
+        }
+        PlatformMetrics {
+            slots,
+            ops,
+            epoch_collect: hub.histogram("epoch.collect_ns"),
+            epoch_merkle: hub.histogram("epoch.merkle_ns"),
+            epoch_sign: hub.histogram("epoch.sign_ns"),
+            epoch_append: hub.histogram("epoch.append_ns"),
+            commits: hub.counter("epoch.commits"),
+            aborts: hub.counter("epoch.aborts"),
+            blocks_sealed: hub.counter("epoch.blocks_sealed"),
+            txs_submitted: hub.counter("epoch.txs_submitted"),
+            reports_deferred: hub.counter("moderation.reports_deferred"),
+            reports_replayed: hub.counter("moderation.reports_replayed"),
+            reports_held: hub.gauge("moderation.reports_held"),
+            escape_governance: hub.counter("escape.governance"),
+            escape_reputation: hub.counter("escape.reputation"),
+            escape_irb: hub.counter("escape.irb"),
+            users: hub.gauge("platform.users"),
+            tick: hub.gauge("platform.tick"),
+            hub,
+        }
+    }
+
+    fn slot(&self, kind: ModuleKind) -> &SlotMetrics {
+        self.slots.get(&kind).expect("every slot pre-registered")
+    }
+
+    fn op(&self, name: &'static str) -> &Counter {
+        self.ops.get(name).expect("every op pre-registered")
+    }
+}
+
 /// The composed metaverse platform. See the crate-level example.
 #[derive(Debug)]
 pub struct MetaversePlatform {
@@ -98,13 +204,31 @@ pub struct MetaversePlatform {
     firewalls: BTreeMap<String, DataFlowFirewall>,
     dp_spend: BTreeMap<String, f64>,
     resilience: ResilienceFabric,
+    metrics: PlatformMetrics,
     tick: u64,
 }
 
 impl MetaversePlatform {
+    /// Entry point of the fluent construction surface — see
+    /// [`PlatformBuilder`](crate::builder::PlatformBuilder).
+    pub fn builder() -> crate::builder::PlatformBuilder {
+        crate::builder::PlatformBuilder::new()
+    }
+
     /// Builds a platform with the paper's recommended open modules
-    /// installed in every slot.
+    /// installed in every slot and telemetry enabled.
+    ///
+    /// **Soft-deprecated**: prefer [`MetaversePlatform::builder`],
+    /// which names each knob and exposes the telemetry and fault-plan
+    /// switches. This constructor remains as a thin shim over the same
+    /// assembly path so existing callers keep compiling.
     pub fn new(config: PlatformConfig) -> Self {
+        Self::assemble(config, TelemetryHub::new())
+    }
+
+    /// Shared assembly path behind both [`MetaversePlatform::new`] and
+    /// the builder.
+    pub(crate) fn assemble(config: PlatformConfig, hub: TelemetryHub) -> Self {
         let validator_refs: Vec<&str> =
             config.validators.iter().map(String::as_str).collect();
         let chain = Chain::poa(&validator_refs, config.chain_config.clone());
@@ -134,9 +258,29 @@ impl MetaversePlatform {
             firewalls: BTreeMap::new(),
             dp_spend: BTreeMap::new(),
             resilience: ResilienceFabric::new(config.resilience.clone()),
+            metrics: PlatformMetrics::new(hub),
             tick: 0,
             config,
         }
+    }
+
+    // ---- telemetry --------------------------------------------------------
+
+    /// The platform's telemetry hub. Handles are cheap to clone, so
+    /// other subsystems (e.g. a twins
+    /// [`SyncChannel`](metaverse_twins::sync::SyncChannel)) can attach
+    /// their own instruments to the same hub and show up in the same
+    /// snapshot.
+    pub fn telemetry(&self) -> &TelemetryHub {
+        &self.metrics.hub
+    }
+
+    /// A point-in-time, serialisable snapshot of every platform metric.
+    /// Snapshots are diffable ([`TelemetrySnapshot::delta`]) and
+    /// monotone ([`TelemetrySnapshot::dominates`] holds between any two
+    /// snapshots taken in order).
+    pub fn telemetry_snapshot(&self) -> TelemetrySnapshot {
+        self.metrics.hub.snapshot()
     }
 
     // ---- users ------------------------------------------------------------
@@ -145,7 +289,9 @@ impl MetaversePlatform {
     /// every scope, and a sensor firewall with the configured default
     /// stance.
     pub fn register_user(&mut self, name: &str) -> Result<(), CoreError> {
+        self.metrics.op("register_user").incr();
         self.reputation.register(name, self.tick)?;
+        self.metrics.users.set(self.reputation.len() as i64);
         self.governance.join_all(name)?;
         let firewall = if self.config.privacy_defaults_on {
             DataFlowFirewall::deny_by_default(name)
@@ -215,11 +361,13 @@ impl MetaversePlatform {
     /// mirrors every breaker transition into the registry's health map,
     /// which records it for the ledger.
     fn guard(&mut self, kind: ModuleKind) -> Availability {
+        self.metrics.slot(kind).calls.incr();
         let tick = self.tick;
         let down = self.resilience.module_down(tick, kind);
         if !self.resilience.enabled() {
             if down {
                 self.resilience.stats.zombie_ops += 1;
+                self.metrics.slot(kind).zombie.incr();
                 return Availability::Zombie;
             }
             return Availability::Ok;
@@ -227,12 +375,14 @@ impl MetaversePlatform {
         if !self.resilience.breaker_allows(kind, tick) {
             // Open breaker: fail fast without poking the module.
             self.resilience.stats.fallback_denials += 1;
+            self.metrics.slot(kind).refused.incr();
             return Availability::Refused;
         }
         let transitions = self.resilience.observe(kind, !down, tick);
         self.mirror_transitions(kind, &transitions);
         if down {
             self.resilience.stats.fallback_denials += 1;
+            self.metrics.slot(kind).refused.incr();
             Availability::Refused
         } else {
             Availability::Ok
@@ -243,6 +393,7 @@ impl MetaversePlatform {
     fn mirror_transitions(&mut self, kind: ModuleKind, transitions: &[BreakerTransition]) {
         for t in transitions {
             let reason = format!("breaker-{}", t.to.label());
+            self.metrics.hub.incr(&format!("breaker.{}.{}", kind.label(), t.to.label()));
             self.modules.set_health(kind, health_for(t.to), &reason, t.at);
         }
     }
@@ -262,7 +413,9 @@ impl MetaversePlatform {
             let _ = self.reputation.report(&report.rater, &report.subject, self.tick);
             self.ladder.punish(&report.subject, "dao:moderation(replayed)");
             self.resilience.stats.replayed_reports += 1;
+            self.metrics.reports_replayed.incr();
         }
+        self.metrics.reports_held.set(self.resilience.held_report_count() as i64);
     }
 
     // ---- governance ---------------------------------------------------
@@ -274,6 +427,8 @@ impl MetaversePlatform {
         proposer: &str,
         title: &str,
     ) -> Result<ProposalId, CoreError> {
+        self.metrics.op("propose").incr();
+        let _span = self.metrics.slot(ModuleKind::DecisionMaking).latency.start_span();
         if self.guard(ModuleKind::DecisionMaking) == Availability::Refused {
             return Err(Self::unavailable(ModuleKind::DecisionMaking));
         }
@@ -291,6 +446,8 @@ impl MetaversePlatform {
         id: ProposalId,
         support: bool,
     ) -> Result<(), CoreError> {
+        self.metrics.op("vote").incr();
+        let _span = self.metrics.slot(ModuleKind::DecisionMaking).latency.start_span();
         match self.guard(ModuleKind::DecisionMaking) {
             Availability::Refused => return Err(Self::unavailable(ModuleKind::DecisionMaking)),
             Availability::Zombie => return Ok(()), // ballot silently lost
@@ -306,6 +463,8 @@ impl MetaversePlatform {
         scope: &str,
         id: ProposalId,
     ) -> Result<(bool, Tally), CoreError> {
+        self.metrics.op("close_proposal").incr();
+        let _span = self.metrics.slot(ModuleKind::DecisionMaking).latency.start_span();
         if self.guard(ModuleKind::DecisionMaking) == Availability::Refused {
             return Err(Self::unavailable(ModuleKind::DecisionMaking));
         }
@@ -313,8 +472,20 @@ impl MetaversePlatform {
         Ok((status == ProposalStatus::Accepted, tally))
     }
 
-    /// The modular governance fabric (scoped DAOs).
+    /// Runs a closure with mutable access to the modular governance
+    /// fabric (scoped DAOs), recording the escape as
+    /// `escape.governance` so audits can see how often callers step
+    /// around the instrumented surface.
+    pub fn with_governance<R>(&mut self, f: impl FnOnce(&mut ModularGovernance) -> R) -> R {
+        self.metrics.escape_governance.incr();
+        f(&mut self.governance)
+    }
+
+    /// The modular governance fabric (scoped DAOs). Escape hatch —
+    /// prefer [`MetaversePlatform::with_governance`]; both record the
+    /// same `escape.governance` event.
     pub fn governance_mut(&mut self) -> &mut ModularGovernance {
+        self.metrics.escape_governance.incr();
         &mut self.governance
     }
 
@@ -322,6 +493,8 @@ impl MetaversePlatform {
 
     /// One user endorses another.
     pub fn endorse(&mut self, rater: &str, subject: &str) -> Result<i64, CoreError> {
+        self.metrics.op("endorse").incr();
+        let _span = self.metrics.slot(ModuleKind::Reputation).latency.start_span();
         match self.guard(ModuleKind::Reputation) {
             Availability::Refused => return Err(Self::unavailable(ModuleKind::Reputation)),
             Availability::Zombie => return Ok(0), // endorsement silently lost
@@ -340,6 +513,8 @@ impl MetaversePlatform {
     /// answers anyway — a flat warning that never climbs the ladder and
     /// never reaches the ledger.
     pub fn report(&mut self, rater: &str, subject: &str) -> Result<ModAction, CoreError> {
+        self.metrics.op("report").incr();
+        let _span = self.metrics.slot(ModuleKind::Moderation).latency.start_span();
         match self.guard(ModuleKind::Moderation) {
             Availability::Refused => {
                 self.resilience.held_reports.push(HeldReport {
@@ -348,6 +523,8 @@ impl MetaversePlatform {
                     queued_at: self.tick,
                 });
                 self.resilience.stats.deferred_reports += 1;
+                self.metrics.reports_deferred.incr();
+                self.metrics.reports_held.set(self.resilience.held_report_count() as i64);
                 return Ok(ModAction::Deferred);
             }
             Availability::Zombie => {
@@ -371,8 +548,18 @@ impl MetaversePlatform {
         self.ladder.offenses(subject)
     }
 
-    /// The reputation engine.
+    /// Runs a closure with mutable access to the reputation engine,
+    /// recording the escape as `escape.reputation`.
+    pub fn with_reputation<R>(&mut self, f: impl FnOnce(&mut ReputationEngine) -> R) -> R {
+        self.metrics.escape_reputation.incr();
+        f(&mut self.reputation)
+    }
+
+    /// The reputation engine. Escape hatch — prefer
+    /// [`MetaversePlatform::with_reputation`]; both record the same
+    /// `escape.reputation` event.
     pub fn reputation_mut(&mut self) -> &mut ReputationEngine {
+        self.metrics.escape_reputation.incr();
         &mut self.reputation
     }
 
@@ -386,6 +573,8 @@ impl MetaversePlatform {
         content: &[u8],
         quality: f64,
     ) -> Result<NftId, CoreError> {
+        self.metrics.op("mint_asset").incr();
+        let _span = self.metrics.slot(ModuleKind::Assets).latency.start_span();
         if self.guard(ModuleKind::Assets) == Availability::Refused {
             return Err(Self::unavailable(ModuleKind::Assets));
         }
@@ -397,6 +586,8 @@ impl MetaversePlatform {
     /// assets module fails *open*: the listing is admitted without the
     /// reputation gate.
     pub fn list_asset(&mut self, seller: &str, asset: NftId, price: u64) -> Result<(), CoreError> {
+        self.metrics.op("list_asset").incr();
+        let _span = self.metrics.slot(ModuleKind::Assets).latency.start_span();
         let reputation = match self.guard(ModuleKind::Assets) {
             Availability::Refused => return Err(Self::unavailable(ModuleKind::Assets)),
             Availability::Zombie => None, // gate bypassed
@@ -407,6 +598,8 @@ impl MetaversePlatform {
 
     /// Buys a listed asset.
     pub fn buy_asset(&mut self, buyer: &str, asset: NftId) -> Result<(), CoreError> {
+        self.metrics.op("buy_asset").incr();
+        let _span = self.metrics.slot(ModuleKind::Assets).latency.start_span();
         if self.guard(ModuleKind::Assets) == Availability::Refused {
             return Err(Self::unavailable(ModuleKind::Assets));
         }
@@ -455,6 +648,8 @@ impl MetaversePlatform {
         purpose: &str,
     ) -> Result<metaverse_privacy::firewall::FlowRule, CoreError> {
         use metaverse_privacy::firewall::FlowRule;
+        self.metrics.op("configure_flow").incr();
+        let _span = self.metrics.slot(ModuleKind::Privacy).latency.start_span();
         let availability = self.guard(ModuleKind::Privacy);
         if availability == Availability::Refused {
             return Err(Self::unavailable(ModuleKind::Privacy));
@@ -481,8 +676,18 @@ impl MetaversePlatform {
         Ok(rule)
     }
 
-    /// The review board (for DAO-routed decisions).
+    /// Runs a closure with mutable access to the review board,
+    /// recording the escape as `escape.irb`.
+    pub fn with_irb<R>(&mut self, f: impl FnOnce(&mut ReviewBoard) -> R) -> R {
+        self.metrics.escape_irb.incr();
+        f(&mut self.irb)
+    }
+
+    /// The review board (for DAO-routed decisions). Escape hatch —
+    /// prefer [`MetaversePlatform::with_irb`]; both record the same
+    /// `escape.irb` event.
     pub fn irb_mut(&mut self) -> &mut ReviewBoard {
+        self.metrics.escape_irb.incr();
         &mut self.irb
     }
 
@@ -596,6 +801,7 @@ impl MetaversePlatform {
     /// Advances logical time.
     pub fn advance_ticks(&mut self, n: u64) {
         self.tick += n;
+        self.metrics.tick.set(self.tick as i64);
         self.chain.advance(n);
         self.world.advance(n);
     }
@@ -611,6 +817,20 @@ impl MetaversePlatform {
     /// configured retry policy, advancing logical time between attempts
     /// and recording the ledger's degraded health on-chain.
     pub fn commit_epoch(&mut self) -> Result<usize, CoreError> {
+        self.metrics.op("commit_epoch").incr();
+        // A recovered moderation slot can still owe the ladder reports
+        // held while its breaker was open — when the breaker reopened
+        // mid-replay, no later successful report() remains to trigger
+        // the drain. The epoch boundary is the backstop: replay before
+        // collecting so the adjudications land in this commit.
+        if self.resilience.held_report_count() > 0
+            && self.guard(ModuleKind::Moderation) == Availability::Ok
+        {
+            self.replay_held_reports();
+        }
+
+        let collect_span = self.metrics.epoch_collect.start_span();
+        let mut submitted: u64 = 0;
         // Firewall audit events feed the audit registry and the ledger.
         let mut events = Vec::new();
         for firewall in self.firewalls.values_mut() {
@@ -622,6 +842,7 @@ impl MetaversePlatform {
                 event.collector.clone(),
                 TxPayload::DataCollection(event),
             ))?;
+            submitted += 1;
         }
 
         let mut payloads = Vec::new();
@@ -633,14 +854,28 @@ impl MetaversePlatform {
         payloads.extend(self.irb.drain_ledger_records());
         for payload in payloads {
             self.chain.submit(Transaction::new("platform", payload))?;
+            submitted += 1;
         }
+        self.metrics.txs_submitted.add(submitted);
 
         self.reputation.begin_epoch();
+        collect_span.finish();
         if self.chain.mempool_len() == 0 {
             return Ok(0);
         }
-        self.await_honest_validators()?;
-        Ok(self.chain.seal_all()?)
+        if let Err(err) = self.await_honest_validators() {
+            self.metrics.aborts.incr();
+            return Err(err);
+        }
+        let (sealed, profiles) = self.chain.seal_all_profiled()?;
+        for profile in &profiles {
+            self.metrics.epoch_merkle.record(profile.merkle_ns);
+            self.metrics.epoch_sign.record(profile.sign_ns);
+            self.metrics.epoch_append.record(profile.append_ns);
+        }
+        self.metrics.commits.incr();
+        self.metrics.blocks_sealed.add(sealed as u64);
+        Ok(sealed)
     }
 
     /// Blocks the commit while a rogue-validator fault is active.
@@ -1181,6 +1416,138 @@ mod tests {
             })
             .count();
         assert_eq!(ledger_health, 2, "degraded + recovered");
+    }
+
+    #[test]
+    fn commit_epoch_replays_reports_stranded_by_reopened_breaker() {
+        use metaverse_resilience::FaultKind;
+        let mut p = platform();
+        for u in ["dave", "erin", "frank", "mallory"] {
+            p.register_user(u).unwrap();
+        }
+        // Moderation crashes, briefly recovers, crashes again through
+        // tick 100, then stays healthy.
+        p.install_fault_plan(
+            FaultPlan::new()
+                .schedule(0, 30, FaultKind::Crash { module: "moderation".into() })
+                .schedule(32, 68, FaultKind::Crash { module: "moderation".into() }),
+        );
+        for rater in ["alice", "bob", "carol"] {
+            assert_eq!(p.report(rater, "mallory").unwrap(), ModAction::Deferred);
+        }
+        // Recovery window: the first live report replays the backlog.
+        p.advance_ticks(30);
+        assert_eq!(p.report("dave", "mallory").unwrap(), ModAction::TempBan);
+        assert_eq!(p.held_report_count(), 0);
+        // The module crashes again: the half-open probe fails and the
+        // breaker reopens; subsequent reports are held once more.
+        p.advance_ticks(3);
+        assert_eq!(p.report("erin", "mallory").unwrap(), ModAction::Deferred);
+        p.advance_ticks(7);
+        assert_eq!(p.report("frank", "mallory").unwrap(), ModAction::Deferred);
+        assert_eq!(p.held_report_count(), 2);
+
+        // No further report() ever arrives. Before the fix the two held
+        // reports were stranded: held_report_count() stayed at 2 and
+        // resilience_stats() never balanced. The epoch boundary is the
+        // backstop now that moderation is healthy again.
+        p.advance_ticks(65); // tick 105: fault windows over, cooldown passed
+        p.commit_epoch().unwrap();
+        assert_eq!(p.held_report_count(), 0, "epoch commit drains the backlog");
+        let stats = p.resilience_stats();
+        assert_eq!(stats.deferred_reports, 5);
+        assert_eq!(stats.replayed_reports, 5, "every deferred report replayed");
+        assert_eq!(p.ladder_offenses("mallory"), 6, "5 replayed + 1 live");
+        // Telemetry mirrors the fabric's books exactly.
+        let snap = p.telemetry_snapshot();
+        assert_eq!(snap.counters["moderation.reports_deferred"], 5);
+        assert_eq!(snap.counters["moderation.reports_replayed"], 5);
+        assert_eq!(snap.gauges["moderation.reports_held"], 0);
+        // And the replayed adjudications made this commit, not a later one.
+        let actions = p
+            .chain()
+            .iter_txs()
+            .filter(|t| matches!(t.payload, TxPayload::ModerationAction { .. }))
+            .count();
+        assert_eq!(actions, 6);
+        p.verify_ledger().unwrap();
+    }
+
+    #[test]
+    fn telemetry_meters_platform_operations() {
+        let mut p = platform();
+        let before = p.telemetry_snapshot();
+        let id = p.propose("privacy", "alice", "bubbles").unwrap();
+        p.vote("privacy", "alice", id, true).unwrap();
+        p.vote("privacy", "bob", id, true).unwrap();
+        p.advance_ticks(200); // past the voting deadline
+        p.close_proposal("privacy", id).unwrap();
+        p.endorse("alice", "bob").unwrap();
+        p.report("alice", "carol").unwrap();
+        p.commit_epoch().unwrap();
+        let after = p.telemetry_snapshot();
+        assert!(after.dominates(&before), "counters only ever grow");
+        let d = after.delta(&before);
+        assert_eq!(d.counters["ops.propose"], 1);
+        assert_eq!(d.counters["ops.vote"], 2);
+        assert_eq!(d.counters["module.decision-making.calls"], 4);
+        assert_eq!(d.counters["module.reputation.calls"], 1);
+        assert_eq!(d.counters["module.moderation.calls"], 1);
+        assert_eq!(d.counters["epoch.commits"], 1);
+        assert!(d.counters["epoch.txs_submitted"] >= 1);
+        assert_eq!(d.counters["epoch.blocks_sealed"], d.histograms["epoch.merkle_ns"].count);
+        assert_eq!(d.histograms["module.decision-making.latency_ns"].count, 4);
+        assert_eq!(d.histograms["epoch.collect_ns"].count, 1);
+        assert!(d.histograms["epoch.sign_ns"].count >= 1);
+        assert!(d.histograms["epoch.append_ns"].count >= 1);
+    }
+
+    #[test]
+    fn escape_hatches_are_metered() {
+        let mut p = platform();
+        p.with_reputation(|r| r.system_delta("alice", -5, "test", 0)).unwrap();
+        let _ = p.governance_mut();
+        p.with_irb(|_irb| {});
+        let snap = p.telemetry_snapshot();
+        assert_eq!(snap.counters["escape.reputation"], 1);
+        assert_eq!(snap.counters["escape.governance"], 1);
+        assert_eq!(snap.counters["escape.irb"], 1);
+    }
+
+    #[test]
+    fn refused_and_zombie_calls_are_metered() {
+        use metaverse_resilience::FaultKind;
+        // Resilient: refusals counted.
+        let mut p = platform();
+        p.install_fault_plan(
+            FaultPlan::new().schedule(0, 30, FaultKind::Crash { module: "moderation".into() }),
+        );
+        for rater in ["alice", "bob", "carol"] {
+            p.report(rater, "bob").unwrap();
+        }
+        let snap = p.telemetry_snapshot();
+        assert_eq!(snap.counters["module.moderation.refused"], 3);
+        assert_eq!(snap.counters["module.moderation.zombie"], 0);
+
+        // Naive: zombie passes counted.
+        let mut p = MetaversePlatform::builder()
+            .chain_config(ChainConfig { key_tree_depth: 4, ..ChainConfig::default() })
+            .validators(["validator-0"])
+            .resilience(crate::resilience::ResilienceConfig {
+                enabled: false,
+                ..Default::default()
+            })
+            .fault_plan(
+                FaultPlan::new().schedule(0, 30, FaultKind::Crash { module: "moderation".into() }),
+            )
+            .build();
+        for u in ["alice", "bob"] {
+            p.register_user(u).unwrap();
+        }
+        p.report("alice", "bob").unwrap();
+        let snap = p.telemetry_snapshot();
+        assert_eq!(snap.counters["module.moderation.zombie"], 1);
+        assert_eq!(snap.counters["module.moderation.refused"], 0);
     }
 
     #[test]

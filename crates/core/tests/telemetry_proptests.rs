@@ -1,0 +1,139 @@
+//! Property-based tests for the platform's telemetry contract.
+//!
+//! Two invariants, both checked under injected faults, since the fault
+//! fabric exercises every guard branch (refused, zombie, replay):
+//!
+//! * **snapshot monotonicity** — counters and histogram totals never
+//!   decrease between any two snapshots taken in order, no matter what
+//!   the platform was doing in between;
+//! * **span nesting** — wall-clock spans opened around and inside
+//!   platform operations can close in any order without panicking, and
+//!   every opened span records exactly one observation.
+
+use metaverse_core::platform::MetaversePlatform;
+use metaverse_ledger::chain::ChainConfig;
+use metaverse_resilience::FaultPlan;
+use proptest::prelude::*;
+
+const CITIZENS: [&str; 4] = ["alice", "bob", "carol", "mallory"];
+const FAULT_MODULES: [&str; 4] = ["moderation", "privacy", "decision-making", "assets"];
+
+fn build(seed: u64, faults: usize) -> MetaversePlatform {
+    let mut p = MetaversePlatform::builder()
+        .chain_config(ChainConfig { key_tree_depth: 4, ..ChainConfig::default() })
+        .validators(["validator-0"])
+        .fault_plan(FaultPlan::random(seed, 500, faults, &FAULT_MODULES, &[]))
+        .build();
+    for u in CITIZENS {
+        p.register_user(u).expect("fresh platform accepts every user");
+    }
+    p
+}
+
+/// Applies one scripted operation; outcomes are irrelevant to the
+/// telemetry contract, so errors are deliberately discarded.
+fn apply(p: &mut MetaversePlatform, op: u8, a: u8, b: u8) {
+    let rater = CITIZENS[a as usize % CITIZENS.len()];
+    let subject = CITIZENS[b as usize % CITIZENS.len()];
+    match op % 7 {
+        0 => {
+            let _ = p.report(rater, subject);
+        }
+        1 => {
+            let _ = p.endorse(rater, subject);
+        }
+        2 => {
+            if let Ok(id) = p.propose("root", rater, "prop") {
+                let _ = p.vote("root", subject, id, b.is_multiple_of(2));
+            }
+        }
+        3 => {
+            let _ = p.configure_flow(
+                rater,
+                metaverse_ledger::audit::SensorClass::Gaze,
+                "render-svc",
+                "foveation",
+            );
+        }
+        4 => {
+            if let Ok(id) = p.mint_asset(rater, &format!("meta://{a}/{b}"), b"px", 0.8) {
+                let _ = p.list_asset(rater, id, 50);
+            }
+        }
+        5 => p.advance_ticks(u64::from(b % 7) + 1),
+        _ => {
+            let _ = p.commit_epoch();
+        }
+    }
+}
+
+proptest! {
+    /// Every snapshot dominates every earlier one, under any op
+    /// sequence and any fault plan.
+    #[test]
+    fn snapshots_are_monotone_under_faults(
+        seed in any::<u64>(),
+        faults in 0usize..8,
+        ops in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 0..60),
+    ) {
+        let mut p = build(seed, faults);
+        let first = p.telemetry_snapshot();
+        let mut prev = first.clone();
+        for (op, a, b) in ops {
+            apply(&mut p, op, a, b);
+            let snap = p.telemetry_snapshot();
+            prop_assert!(snap.dominates(&prev), "snapshot regressed after op {op}");
+            prev = snap;
+        }
+        prop_assert!(prev.dominates(&first));
+        // The moderation ledgers always balance: every deferred report
+        // is either replayed already or still queued.
+        let stats = p.resilience_stats();
+        prop_assert_eq!(
+            stats.deferred_reports,
+            stats.replayed_reports + p.held_report_count() as u64,
+        );
+        // And after a final commit with a healthy module set, nothing
+        // stays queued forever (the E2 bugfix: the epoch boundary
+        // drains backlogs stranded by a reopened breaker).
+        p.advance_ticks(600); // past the 500-tick fault horizon + cooldown
+        let _ = p.commit_epoch();
+        prop_assert_eq!(p.held_report_count(), 0);
+        let stats = p.resilience_stats();
+        prop_assert_eq!(stats.deferred_reports, stats.replayed_reports);
+    }
+
+    /// Spans nest and close in arbitrary order without panicking, and
+    /// each records exactly one observation.
+    #[test]
+    fn spans_nest_under_faults(
+        seed in any::<u64>(),
+        faults in 0usize..8,
+        ops in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 1..30),
+    ) {
+        let mut p = build(seed, faults);
+        let outer_hist = p.telemetry().histogram("prop.outer");
+        let inner_hist = p.telemetry().histogram("prop.inner");
+        let mut opened = 0u64;
+        for (op, a, b) in ops {
+            let outer = outer_hist.start_span();
+            let inner = inner_hist.start_span();
+            opened += 1;
+            // The platform op runs inside both spans and opens its own
+            // per-module latency spans underneath.
+            apply(&mut p, op, a, b);
+            if a.is_multiple_of(2) {
+                // Well-nested close: inner first.
+                prop_assert!(inner.finish().is_some());
+                prop_assert!(outer.finish().is_some());
+            } else {
+                // Inverted close order: outer first, inner by drop.
+                prop_assert!(outer.finish().is_some());
+                drop(inner);
+            }
+        }
+        let snap = p.telemetry_snapshot();
+        prop_assert_eq!(snap.histograms["prop.outer"].count, opened);
+        prop_assert_eq!(snap.histograms["prop.inner"].count, opened);
+    }
+}

@@ -46,6 +46,30 @@ impl Default for ChainConfig {
     }
 }
 
+/// Wall-clock cost of sealing one block, split by phase (nanoseconds).
+/// Produced by [`Chain::seal_block_profiled`]; purely observational.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SealProfile {
+    /// Building the block's Merkle transaction root.
+    pub merkle_ns: u64,
+    /// Hashing the header and producing the Lamport tree signature.
+    pub sign_ns: u64,
+    /// Validating, indexing, and appending the sealed block.
+    pub append_ns: u64,
+}
+
+impl SealProfile {
+    /// Total sealing cost across the three phases.
+    pub fn total_ns(&self) -> u64 {
+        self.merkle_ns + self.sign_ns + self.append_ns
+    }
+}
+
+/// Elapsed nanoseconds since `started`, saturating at `u64::MAX`.
+fn elapsed_ns(started: std::time::Instant) -> u64 {
+    u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
 /// A validator identity: a name and its hash-based signing tree.
 #[derive(Debug)]
 struct Validator {
@@ -138,6 +162,15 @@ impl Chain {
     ///
     /// Returns a clone of the sealed block.
     pub fn seal_block(&mut self) -> Result<Block, LedgerError> {
+        self.seal_block_profiled().map(|(block, _)| block)
+    }
+
+    /// [`Chain::seal_block`] with a wall-clock phase profile: how long
+    /// the Merkle root build, the Lamport seal, and the append
+    /// (validate + index + push) took. Profiling never alters sealing
+    /// behaviour; the platform's telemetry layer feeds these phases
+    /// into its epoch-commit histograms.
+    pub fn seal_block_profiled(&mut self) -> Result<(Block, SealProfile), LedgerError> {
         if self.mempool.is_empty() && !self.config.allow_empty_blocks {
             return Err(LedgerError::NothingToSeal);
         }
@@ -158,29 +191,43 @@ impl Chain {
             transactions: txs,
             seal: None,
         };
+        let mut profile = SealProfile::default();
+        let started = std::time::Instant::now();
         block.header.tx_root = block.computed_tx_root();
+        profile.merkle_ns = elapsed_ns(started);
+
+        let started = std::time::Instant::now();
         let digest = block.header.digest();
         let seal = self.validators[v_idx].signer.sign(&digest).ok_or_else(|| {
             LedgerError::SignerExhausted { validator: self.validators[v_idx].id.clone() }
         })?;
         block.seal = Some(seal);
+        profile.sign_ns = elapsed_ns(started);
 
+        let started = std::time::Instant::now();
         self.validate_block(&block)?;
         self.index_block(&block);
         self.blocks.push(block.clone());
         self.next_validator = (v_idx + 1) % self.validators.len();
-        Ok(block)
+        profile.append_ns = elapsed_ns(started);
+        Ok((block, profile))
     }
 
     /// Seals blocks until the mempool is drained. Returns how many blocks
     /// were produced.
     pub fn seal_all(&mut self) -> Result<usize, LedgerError> {
-        let mut sealed = 0;
+        self.seal_all_profiled().map(|(sealed, _)| sealed)
+    }
+
+    /// [`Chain::seal_all`] with per-phase wall-clock totals accumulated
+    /// across every block sealed.
+    pub fn seal_all_profiled(&mut self) -> Result<(usize, Vec<SealProfile>), LedgerError> {
+        let mut profiles = Vec::new();
         while !self.mempool.is_empty() {
-            self.seal_block()?;
-            sealed += 1;
+            let (_, profile) = self.seal_block_profiled()?;
+            profiles.push(profile);
         }
-        Ok(sealed)
+        Ok((profiles.len(), profiles))
     }
 
     fn index_block(&mut self, block: &Block) {
@@ -354,6 +401,31 @@ mod tests {
 
     fn small() -> ChainConfig {
         ChainConfig { key_tree_depth: 4, ..ChainConfig::default() }
+    }
+
+    #[test]
+    fn profiled_seal_matches_plain_seal_semantics() {
+        let mut chain = Chain::poa(&["v0"], small());
+        for i in 0..3 {
+            chain.submit(note("a", &format!("t{i}"))).unwrap();
+        }
+        let (block, profile) = chain.seal_block_profiled().unwrap();
+        assert_eq!(block.transactions.len(), 3);
+        // Merkle-root build and Lamport signing do real hashing work, so
+        // their phases are observable; the profile is measurement only.
+        assert!(profile.sign_ns > 0, "signing hashes a key tree: {profile:?}");
+        assert_eq!(
+            profile.total_ns(),
+            profile.merkle_ns + profile.sign_ns + profile.append_ns
+        );
+        chain.verify_integrity().unwrap();
+
+        chain.submit(note("a", "more")).unwrap();
+        let (sealed, profiles) = chain.seal_all_profiled().unwrap();
+        assert_eq!(sealed, 1);
+        assert_eq!(profiles.len(), 1);
+        assert_eq!(chain.mempool_len(), 0);
+        chain.verify_integrity().unwrap();
     }
 
     #[test]

@@ -56,7 +56,7 @@ pub mod tx;
 
 pub use audit::{AuditRegistry, DataCollectionEvent, LawfulBasis, SensorClass};
 pub use block::{Block, BlockHeader};
-pub use chain::{Chain, ChainConfig};
+pub use chain::{Chain, ChainConfig, SealProfile};
 pub use crypto::sha256::{sha256, Digest};
 pub use error::LedgerError;
 pub use escrow::{Escrow, EscrowBook, EscrowState};

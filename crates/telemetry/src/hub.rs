@@ -1,0 +1,185 @@
+//! The instrument registry.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use crate::metrics::{Counter, CounterCell, Gauge, GaugeCell, Histogram, HistogramCell};
+use crate::snapshot::TelemetrySnapshot;
+use crate::Span;
+
+#[derive(Debug, Default)]
+struct HubInner {
+    counters: Mutex<BTreeMap<String, Arc<CounterCell>>>,
+    gauges: Mutex<BTreeMap<String, Arc<GaugeCell>>>,
+    histograms: Mutex<BTreeMap<String, Arc<HistogramCell>>>,
+}
+
+/// The telemetry registry: hands out instruments by name and takes
+/// whole-registry snapshots.
+///
+/// Cloning a hub is one `Arc` bump, so every subsystem can hold its own
+/// handle onto the same registry (the platform shares its hub with twin
+/// sync channels this way). Instrument *registration* takes a mutex;
+/// recording through a previously obtained handle is lock-free, so hot
+/// paths should hold their handles rather than re-resolve names.
+///
+/// A hub built with [`TelemetryHub::disabled`] hands out no-op
+/// instruments and empty snapshots; instrumented code stays identical.
+#[derive(Debug, Clone, Default)]
+pub struct TelemetryHub {
+    inner: Option<Arc<HubInner>>,
+}
+
+impl TelemetryHub {
+    /// An enabled, empty hub.
+    pub fn new() -> Self {
+        TelemetryHub { inner: Some(Arc::new(HubInner::default())) }
+    }
+
+    /// A hub that records nothing and costs (almost) nothing.
+    pub fn disabled() -> Self {
+        TelemetryHub { inner: None }
+    }
+
+    /// Whether this hub records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The counter registered under `name` (registering it first if
+    /// needed). Same name, same underlying cell.
+    pub fn counter(&self, name: &str) -> Counter {
+        let Some(inner) = &self.inner else { return Counter::noop() };
+        let mut map = inner.counters.lock().expect("telemetry registry poisoned");
+        let cell = map.entry(name.to_string()).or_default().clone();
+        Counter { cell: Some(cell) }
+    }
+
+    /// The gauge registered under `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let Some(inner) = &self.inner else { return Gauge::noop() };
+        let mut map = inner.gauges.lock().expect("telemetry registry poisoned");
+        let cell = map.entry(name.to_string()).or_default().clone();
+        Gauge { cell: Some(cell) }
+    }
+
+    /// The histogram registered under `name`.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let Some(inner) = &self.inner else { return Histogram::noop() };
+        let mut map = inner.histograms.lock().expect("telemetry registry poisoned");
+        let cell = map.entry(name.to_string()).or_default().clone();
+        Histogram { cell: Some(cell) }
+    }
+
+    /// Starts a wall-clock span recording into the histogram `name`.
+    pub fn span(&self, name: &str) -> Span {
+        self.histogram(name).start_span()
+    }
+
+    /// Convenience: bump the counter `name` by one.
+    pub fn incr(&self, name: &str) {
+        self.counter(name).incr();
+    }
+
+    /// A point-in-time view of every registered instrument.
+    ///
+    /// Individual reads are relaxed, so a snapshot taken while another
+    /// thread records is internally consistent per instrument but not
+    /// across instruments — fine for the diff/report uses it serves.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let Some(inner) = &self.inner else { return TelemetrySnapshot::default() };
+        TelemetrySnapshot {
+            counters: inner
+                .counters
+                .lock()
+                .expect("telemetry registry poisoned")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.value.load(std::sync::atomic::Ordering::Relaxed)))
+                .collect(),
+            gauges: inner
+                .gauges
+                .lock()
+                .expect("telemetry registry poisoned")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.value.load(std::sync::atomic::Ordering::Relaxed)))
+                .collect(),
+            histograms: inner
+                .histograms
+                .lock()
+                .expect("telemetry registry poisoned")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_same_cell() {
+        let hub = TelemetryHub::new();
+        hub.counter("x").add(2);
+        hub.counter("x").add(3);
+        assert_eq!(hub.counter("x").get(), 5);
+    }
+
+    #[test]
+    fn clones_share_the_registry() {
+        let hub = TelemetryHub::new();
+        let clone = hub.clone();
+        clone.incr("shared");
+        assert_eq!(hub.counter("shared").get(), 1);
+        assert_eq!(hub.snapshot().counters["shared"], 1);
+    }
+
+    #[test]
+    fn disabled_hub_snapshots_empty() {
+        let hub = TelemetryHub::disabled();
+        assert!(!hub.is_enabled());
+        hub.incr("ignored");
+        hub.gauge("g").set(7);
+        hub.histogram("h").record(1);
+        let snap = hub.snapshot();
+        assert!(snap.counters.is_empty());
+        assert!(snap.gauges.is_empty());
+        assert!(snap.histograms.is_empty());
+    }
+
+    #[test]
+    fn snapshot_sees_all_instrument_kinds() {
+        let hub = TelemetryHub::new();
+        hub.incr("c");
+        hub.gauge("g").add(-4);
+        hub.histogram("h").record(9);
+        let snap = hub.snapshot();
+        assert_eq!(snap.counters["c"], 1);
+        assert_eq!(snap.gauges["g"], -4);
+        assert_eq!(snap.histograms["h"].count, 1);
+    }
+
+    #[test]
+    fn hub_is_thread_cheap_and_safe() {
+        let hub = TelemetryHub::new();
+        let counter = hub.counter("threads");
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let c = counter.clone();
+                let h = hub.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        c.incr();
+                        h.histogram("lat").record(1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(hub.counter("threads").get(), 4000);
+        assert_eq!(hub.histogram("lat").count(), 4000);
+    }
+}

@@ -1,0 +1,54 @@
+//! # metaverse-telemetry
+//!
+//! Platform observability for `metaverse-kit`: the paper's transparency
+//! argument (§IV-C) applied to the platform's *own internals*. The same
+//! way every governance decision is anchored to the ledger, every module
+//! operation should be accountable in numbers — call counts, latencies,
+//! breaker events, epoch-commit phase costs — so that "as fast as the
+//! hardware allows" is a measured claim, not a hope.
+//!
+//! Everything here is dependency-free and cheap enough to leave on in
+//! production paths:
+//!
+//! * [`Counter`] — a monotone `u64` (atomic, relaxed ordering).
+//! * [`Gauge`] — a signed level that can move both ways.
+//! * [`Histogram`] — fixed log₂-scale buckets (no allocation after
+//!   registration, no external deps), tracking count/sum/min/max.
+//! * [`Span`] — an RAII wall-clock timer recording its elapsed
+//!   nanoseconds into a histogram on drop; spans nest freely.
+//! * [`TelemetryHub`] — a clone-cheap (one `Arc`) registry handing out
+//!   the above by name. A disabled hub hands out no-op instruments, so
+//!   instrumented code never branches on "is telemetry on?".
+//! * [`TelemetrySnapshot`] — a serialisable, diffable point-in-time view
+//!   of every instrument; counters are monotone across snapshots, which
+//!   the workspace proptests enforce.
+//!
+//! ## Example
+//!
+//! ```
+//! use metaverse_telemetry::TelemetryHub;
+//!
+//! let hub = TelemetryHub::new();
+//! hub.counter("ops.vote").incr();
+//! {
+//!     let _span = hub.span("vote.latency_ns"); // records on drop
+//! }
+//! let before = hub.snapshot();
+//! hub.counter("ops.vote").add(2);
+//! let after = hub.snapshot();
+//! assert!(after.dominates(&before));
+//! assert_eq!(after.delta(&before).counters["ops.vote"], 2);
+//! ```
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hub;
+pub mod metrics;
+pub mod snapshot;
+pub mod span;
+
+pub use hub::TelemetryHub;
+pub use metrics::{Counter, Gauge, Histogram};
+pub use snapshot::{HistogramSnapshot, TelemetrySnapshot};
+pub use span::Span;

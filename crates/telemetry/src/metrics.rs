@@ -1,0 +1,251 @@
+//! The instruments: counters, gauges, and log-scale histograms.
+//!
+//! Handles are thin `Option<Arc<…>>` wrappers: a handle from a disabled
+//! [`crate::TelemetryHub`] carries `None` and every operation is a no-op,
+//! so instrumented code pays one branch when telemetry is off and one
+//! relaxed atomic op when it is on.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
+
+use crate::snapshot::HistogramSnapshot;
+
+/// Number of log₂ buckets a histogram carries. Bucket 0 holds zeros;
+/// bucket `i ≥ 1` holds values in `[2^(i-1), 2^i)`. 64 buckets cover
+/// the whole `u64` range, so nanosecond latencies from sub-nanosecond
+/// to centuries all land somewhere.
+pub const BUCKET_COUNT: usize = 64;
+
+/// Index of the log₂ bucket for a value.
+pub(crate) fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        (64 - value.leading_zeros() as usize).min(BUCKET_COUNT - 1)
+    }
+}
+
+/// Inclusive lower bound of bucket `i` (see [`BUCKET_COUNT`]).
+pub fn bucket_lower_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << (i - 1)
+    }
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct CounterCell {
+    pub(crate) value: AtomicU64,
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct GaugeCell {
+    pub(crate) value: AtomicI64,
+}
+
+#[derive(Debug)]
+pub(crate) struct HistogramCell {
+    buckets: [AtomicU64; BUCKET_COUNT],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for HistogramCell {
+    fn default() -> Self {
+        HistogramCell {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl HistogramCell {
+    pub(crate) fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Relaxed);
+        self.count.fetch_add(1, Relaxed);
+        self.sum.fetch_add(value, Relaxed);
+        self.min.fetch_min(value, Relaxed);
+        self.max.fetch_max(value, Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Relaxed);
+        HistogramSnapshot {
+            count,
+            sum: self.sum.load(Relaxed),
+            min: if count == 0 { 0 } else { self.min.load(Relaxed) },
+            max: self.max.load(Relaxed),
+            buckets: self
+                .buckets
+                .iter()
+                .enumerate()
+                .filter_map(|(i, b)| {
+                    let n = b.load(Relaxed);
+                    (n > 0).then_some((bucket_lower_bound(i), n))
+                })
+                .collect(),
+        }
+    }
+}
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    pub(crate) cell: Option<Arc<CounterCell>>,
+}
+
+impl Counter {
+    /// A no-op counter (what a disabled hub hands out).
+    pub fn noop() -> Self {
+        Counter { cell: None }
+    }
+
+    /// Adds `n` to the counter.
+    pub fn add(&self, n: u64) {
+        if let Some(cell) = &self.cell {
+            cell.value.fetch_add(n, Relaxed);
+        }
+    }
+
+    /// Adds one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value (0 for a no-op counter).
+    pub fn get(&self) -> u64 {
+        self.cell.as_ref().map_or(0, |c| c.value.load(Relaxed))
+    }
+}
+
+/// A signed level that can rise and fall (queue depths, held reports,
+/// registered users).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge {
+    pub(crate) cell: Option<Arc<GaugeCell>>,
+}
+
+impl Gauge {
+    /// A no-op gauge.
+    pub fn noop() -> Self {
+        Gauge { cell: None }
+    }
+
+    /// Sets the gauge to an absolute level.
+    pub fn set(&self, value: i64) {
+        if let Some(cell) = &self.cell {
+            cell.value.store(value, Relaxed);
+        }
+    }
+
+    /// Moves the gauge by a signed delta.
+    pub fn add(&self, delta: i64) {
+        if let Some(cell) = &self.cell {
+            cell.value.fetch_add(delta, Relaxed);
+        }
+    }
+
+    /// Current level (0 for a no-op gauge).
+    pub fn get(&self) -> i64 {
+        self.cell.as_ref().map_or(0, |c| c.value.load(Relaxed))
+    }
+}
+
+/// A fixed log₂-bucket histogram. Values are whatever unit the caller
+/// records — the platform records nanoseconds for latency series and
+/// raw counts elsewhere.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    pub(crate) cell: Option<Arc<HistogramCell>>,
+}
+
+impl Histogram {
+    /// A no-op histogram.
+    pub fn noop() -> Self {
+        Histogram { cell: None }
+    }
+
+    /// Records one observation.
+    pub fn record(&self, value: u64) {
+        if let Some(cell) = &self.cell {
+            cell.record(value);
+        }
+    }
+
+    /// Starts a wall-clock span recording into this histogram on drop.
+    pub fn start_span(&self) -> crate::Span {
+        crate::Span::new(self.clone())
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.cell.as_ref().map_or(0, |c| c.count.load(Relaxed))
+    }
+
+    /// Point-in-time view of the distribution.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        self.cell.as_ref().map(|c| c.snapshot()).unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), BUCKET_COUNT - 1);
+        for i in 1..BUCKET_COUNT {
+            let lo = bucket_lower_bound(i);
+            assert_eq!(bucket_index(lo), i, "lower bound lands in its own bucket");
+        }
+    }
+
+    #[test]
+    fn histogram_tracks_extremes_and_sum() {
+        let cell = HistogramCell::default();
+        for v in [0u64, 1, 7, 1024, 5] {
+            cell.record(v);
+        }
+        let snap = cell.snapshot();
+        assert_eq!(snap.count, 5);
+        assert_eq!(snap.sum, 1037);
+        assert_eq!(snap.min, 0);
+        assert_eq!(snap.max, 1024);
+        let total: u64 = snap.buckets.iter().map(|(_, n)| n).sum();
+        assert_eq!(total, 5, "every observation lands in exactly one bucket");
+    }
+
+    #[test]
+    fn noop_instruments_do_nothing() {
+        let c = Counter::noop();
+        c.add(5);
+        assert_eq!(c.get(), 0);
+        let g = Gauge::noop();
+        g.set(9);
+        assert_eq!(g.get(), 0);
+        let h = Histogram::noop();
+        h.record(3);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.snapshot().count, 0);
+    }
+
+    #[test]
+    fn empty_histogram_snapshot_is_zeroed() {
+        let snap = HistogramCell::default().snapshot();
+        assert_eq!(snap.count, 0);
+        assert_eq!(snap.min, 0, "empty histogram reports min 0, not u64::MAX");
+        assert!(snap.buckets.is_empty());
+    }
+}

@@ -1,0 +1,290 @@
+//! Serialisable, diffable views of a hub.
+
+use std::collections::BTreeMap;
+
+/// Point-in-time view of one histogram.
+///
+/// `buckets` holds only the non-empty log₂ buckets as
+/// `(inclusive lower bound, observation count)` pairs, in ascending
+/// bound order. `min`/`max` are exact over the histogram's lifetime.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Smallest observed value (0 when empty).
+    pub min: u64,
+    /// Largest observed value (0 when empty).
+    pub max: u64,
+    /// Non-empty buckets: `(lower_bound, count)`, ascending.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean observed value (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate quantile: the lower bound of the bucket in which the
+    /// `q`-quantile observation falls (`q` clamped to `[0, 1]`). An
+    /// empty histogram reports 0.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (bound, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return *bound;
+            }
+        }
+        self.max
+    }
+
+    /// Bucket-wise difference against an earlier snapshot of the same
+    /// histogram. Counts and sums subtract (saturating); `min`/`max`
+    /// are lifetime values, so the later snapshot's are kept.
+    pub fn delta(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let earlier_by_bound: BTreeMap<u64, u64> = earlier.buckets.iter().copied().collect();
+        HistogramSnapshot {
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.saturating_sub(earlier.sum),
+            min: self.min,
+            max: self.max,
+            buckets: self
+                .buckets
+                .iter()
+                .filter_map(|(bound, n)| {
+                    let d = n.saturating_sub(earlier_by_bound.get(bound).copied().unwrap_or(0));
+                    (d > 0).then_some((*bound, d))
+                })
+                .collect(),
+        }
+    }
+
+    /// Whether this snapshot is a monotone successor of `earlier`:
+    /// count, sum, and every bucket count are ≥ the earlier ones.
+    pub fn dominates(&self, earlier: &HistogramSnapshot) -> bool {
+        if self.count < earlier.count || self.sum < earlier.sum {
+            return false;
+        }
+        let by_bound: BTreeMap<u64, u64> = self.buckets.iter().copied().collect();
+        earlier
+            .buckets
+            .iter()
+            .all(|(bound, n)| by_bound.get(bound).copied().unwrap_or(0) >= *n)
+    }
+}
+
+/// A point-in-time view of every instrument in a hub: serialisable (see
+/// [`TelemetrySnapshot::to_json`]) and diffable
+/// ([`TelemetrySnapshot::delta`]). Counter and histogram series are
+/// monotone across snapshots of the same hub — the invariant the
+/// workspace proptests pin down.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TelemetrySnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge levels by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram views by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl TelemetrySnapshot {
+    /// The difference since `earlier`: counters subtract (saturating,
+    /// and instruments absent earlier count from zero), gauges keep
+    /// their current level, histograms diff bucket-wise. The result is
+    /// itself a valid snapshot — "what happened in this window".
+    pub fn delta(&self, earlier: &TelemetrySnapshot) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|(k, v)| {
+                    (k.clone(), v.saturating_sub(earlier.counters.get(k).copied().unwrap_or(0)))
+                })
+                .collect(),
+            gauges: self.gauges.clone(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(k, v)| {
+                    let d = match earlier.histograms.get(k) {
+                        Some(e) => v.delta(e),
+                        None => v.clone(),
+                    };
+                    (k.clone(), d)
+                })
+                .collect(),
+        }
+    }
+
+    /// Whether this snapshot is a monotone successor of `earlier`:
+    /// every earlier counter still exists with a value ≥ its earlier
+    /// one, and every earlier histogram is dominated (gauges may move
+    /// freely). Two snapshots of one hub, taken in order, always
+    /// satisfy this.
+    pub fn dominates(&self, earlier: &TelemetrySnapshot) -> bool {
+        earlier
+            .counters
+            .iter()
+            .all(|(k, v)| self.counters.get(k).copied().unwrap_or(0) >= *v)
+            && earlier
+                .histograms
+                .iter()
+                .all(|(k, h)| self.histograms.get(k).is_some_and(|mine| mine.dominates(h)))
+    }
+
+    /// Sum of a counter family selected by prefix (e.g. every
+    /// `"module."` counter).
+    pub fn counter_sum(&self, prefix: &str) -> u64 {
+        self.counters.iter().filter(|(k, _)| k.starts_with(prefix)).map(|(_, v)| v).sum()
+    }
+
+    /// Compact single-line JSON. Hand-rolled: the offline serde
+    /// stand-in cannot serialise (see `third_party/README.md`), and the
+    /// snapshot schema is small and stable. Schema:
+    /// `{"counters":{..},"gauges":{..},"histograms":{name:{"count":..,
+    /// "sum":..,"min":..,"max":..,"buckets":[[bound,count],..]}}}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        push_pairs(&mut out, self.counters.iter().map(|(k, v)| (k, v.to_string())));
+        out.push_str("},\"gauges\":{");
+        push_pairs(&mut out, self.gauges.iter().map(|(k, v)| (k, v.to_string())));
+        out.push_str("},\"histograms\":{");
+        push_pairs(
+            &mut out,
+            self.histograms.iter().map(|(k, h)| {
+                let buckets = h
+                    .buckets
+                    .iter()
+                    .map(|(bound, n)| format!("[{bound},{n}]"))
+                    .collect::<Vec<_>>()
+                    .join(",");
+                let body = format!(
+                    "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[{}]}}",
+                    h.count, h.sum, h.min, h.max, buckets
+                );
+                (k, body)
+            }),
+        );
+        out.push_str("}}");
+        out
+    }
+}
+
+/// Appends `"key":value` pairs, comma-separated. Keys are instrument
+/// names (registered from string literals in this workspace), escaped
+/// for the two characters JSON forbids raw.
+fn push_pairs<'a>(out: &mut String, pairs: impl Iterator<Item = (&'a String, String)>) {
+    let mut first = true;
+    for (key, value) in pairs {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push('"');
+        for c in key.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                c => out.push(c),
+            }
+        }
+        out.push_str("\":");
+        out.push_str(&value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TelemetryHub;
+
+    fn hub_with_data() -> TelemetryHub {
+        let hub = TelemetryHub::new();
+        hub.counter("a").add(3);
+        hub.gauge("g").set(-2);
+        for v in [1u64, 2, 900] {
+            hub.histogram("h").record(v);
+        }
+        hub
+    }
+
+    #[test]
+    fn delta_subtracts_counters_and_histograms() {
+        let hub = hub_with_data();
+        let before = hub.snapshot();
+        hub.counter("a").add(4);
+        hub.counter("new").incr();
+        hub.histogram("h").record(2);
+        let after = hub.snapshot();
+        let delta = after.delta(&before);
+        assert_eq!(delta.counters["a"], 4);
+        assert_eq!(delta.counters["new"], 1);
+        assert_eq!(delta.histograms["h"].count, 1);
+        assert_eq!(delta.histograms["h"].sum, 2);
+        assert_eq!(delta.histograms["h"].buckets, vec![(2, 1)]);
+    }
+
+    #[test]
+    fn dominance_is_ordered_snapshots() {
+        let hub = hub_with_data();
+        let before = hub.snapshot();
+        hub.counter("a").incr();
+        hub.histogram("h").record(5);
+        let after = hub.snapshot();
+        assert!(after.dominates(&before));
+        assert!(!before.dominates(&after), "strict growth is not dominated backwards");
+        assert!(after.dominates(&after), "dominance is reflexive");
+    }
+
+    #[test]
+    fn quantiles_and_mean() {
+        let mut h = HistogramSnapshot::default();
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.mean(), 0.0);
+        h = {
+            let hub = TelemetryHub::new();
+            for v in [1u64, 1, 1, 1000] {
+                hub.histogram("h").record(v);
+            }
+            hub.snapshot().histograms["h"].clone()
+        };
+        assert_eq!(h.quantile(0.5), 1);
+        assert_eq!(h.quantile(1.0), 512, "top bucket lower bound");
+        assert_eq!(h.mean(), 1003.0 / 4.0);
+    }
+
+    #[test]
+    fn json_is_parseable_shape() {
+        let snap = hub_with_data().snapshot();
+        let json = snap.to_json();
+        assert!(json.starts_with("{\"counters\":{\"a\":3}"));
+        assert!(json.contains("\"gauges\":{\"g\":-2}"));
+        assert!(json.contains("\"count\":3"));
+        assert!(json.contains("\"buckets\":[[1,1],[2,1],[512,1]]"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn counter_sum_by_prefix() {
+        let hub = TelemetryHub::new();
+        hub.counter("module.privacy.calls").add(2);
+        hub.counter("module.assets.calls").add(3);
+        hub.counter("epoch.commits").add(9);
+        let snap = hub.snapshot();
+        assert_eq!(snap.counter_sum("module."), 5);
+        assert_eq!(snap.counter_sum("epoch."), 9);
+        assert_eq!(snap.counter_sum("nope."), 0);
+    }
+}

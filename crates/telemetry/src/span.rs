@@ -1,0 +1,74 @@
+//! RAII span timers.
+
+use std::time::Instant;
+
+use crate::Histogram;
+
+/// A wall-clock span: created against a histogram, records its elapsed
+/// nanoseconds into it when dropped (or explicitly via
+/// [`Span::finish`]). Spans nest freely — each owns only its own start
+/// instant — and a span from a disabled hub never reads the clock.
+#[derive(Debug)]
+pub struct Span {
+    histogram: Histogram,
+    start: Option<Instant>,
+}
+
+impl Span {
+    pub(crate) fn new(histogram: Histogram) -> Self {
+        let start = histogram.cell.is_some().then(Instant::now);
+        Span { histogram, start }
+    }
+
+    /// Ends the span now, returning the elapsed nanoseconds it recorded
+    /// (`None` for a disabled span).
+    pub fn finish(mut self) -> Option<u64> {
+        self.record()
+    }
+
+    fn record(&mut self) -> Option<u64> {
+        let start = self.start.take()?;
+        let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.histogram.record(nanos);
+        Some(nanos)
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.record();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::TelemetryHub;
+
+    #[test]
+    fn span_records_on_drop_and_nests() {
+        let hub = TelemetryHub::new();
+        {
+            let _outer = hub.span("outer_ns");
+            for _ in 0..3 {
+                let _inner = hub.span("inner_ns");
+            }
+        }
+        assert_eq!(hub.histogram("outer_ns").count(), 1);
+        assert_eq!(hub.histogram("inner_ns").count(), 3);
+    }
+
+    #[test]
+    fn finish_records_exactly_once() {
+        let hub = TelemetryHub::new();
+        let span = hub.span("once_ns");
+        assert!(span.finish().is_some());
+        assert_eq!(hub.histogram("once_ns").count(), 1, "drop after finish is a no-op");
+    }
+
+    #[test]
+    fn disabled_span_is_free() {
+        let hub = TelemetryHub::disabled();
+        let span = hub.span("never_ns");
+        assert!(span.finish().is_none());
+    }
+}

@@ -1,0 +1,111 @@
+//! Property tests: snapshots of one hub are monotone in time, deltas
+//! are exact for counters, and histograms never lose an observation.
+
+use metaverse_telemetry::TelemetryHub;
+use proptest::prelude::*;
+
+/// One random instrument operation.
+#[derive(Debug, Clone)]
+enum Op {
+    Count(u8, u8),
+    Gauge(u8, i16),
+    Observe(u8, u32),
+    Snapshot,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..4, 0u8..50).prop_map(|(k, n)| Op::Count(k, n)),
+        (0u8..4, -500i16..500).prop_map(|(k, v)| Op::Gauge(k, v)),
+        (0u8..4, 0u32..1_000_000).prop_map(|(k, v)| Op::Observe(k, v)),
+        Just(Op::Snapshot),
+    ]
+}
+
+proptest! {
+    /// Every snapshot dominates every earlier one, whatever the op
+    /// interleaving, and the final delta against the first snapshot
+    /// accounts for every counter increment in between.
+    #[test]
+    fn snapshots_are_monotone(ops in proptest::collection::vec(arb_op(), 1..80)) {
+        let hub = TelemetryHub::new();
+        let mut snapshots = vec![hub.snapshot()];
+        let mut counted = [0u64; 4];
+        let mut observed = [0u64; 4];
+        for op in &ops {
+            match op {
+                Op::Count(k, n) => {
+                    hub.counter(&format!("c{k}")).add(u64::from(*n));
+                    counted[*k as usize] += u64::from(*n);
+                }
+                Op::Gauge(k, v) => hub.gauge(&format!("g{k}")).set(i64::from(*v)),
+                Op::Observe(k, v) => {
+                    hub.histogram(&format!("h{k}")).record(u64::from(*v));
+                    observed[*k as usize] += 1;
+                }
+                Op::Snapshot => snapshots.push(hub.snapshot()),
+            }
+        }
+        snapshots.push(hub.snapshot());
+        for pair in snapshots.windows(2) {
+            prop_assert!(pair[1].dominates(&pair[0]), "snapshots regressed");
+        }
+        let last = snapshots.last().unwrap();
+        prop_assert!(last.dominates(&snapshots[0]));
+        let delta = last.delta(&snapshots[0]);
+        for k in 0..4u8 {
+            let name = format!("c{k}");
+            let want = counted[k as usize];
+            prop_assert_eq!(delta.counters.get(&name).copied().unwrap_or(0), want);
+            let hname = format!("h{k}");
+            let got = delta.histograms.get(&hname).map_or(0, |h| h.count);
+            prop_assert_eq!(got, observed[k as usize]);
+        }
+    }
+
+    /// A histogram's buckets partition its observations: bucket counts
+    /// sum to `count`, and min/max/sum agree with the raw stream.
+    #[test]
+    fn histogram_conserves_observations(
+        values in proptest::collection::vec(0u64..1_000_000_000_000, 1..200),
+    ) {
+        let hub = TelemetryHub::new();
+        let h = hub.histogram("h");
+        for v in &values {
+            h.record(*v);
+        }
+        let snap = hub.snapshot().histograms["h"].clone();
+        prop_assert_eq!(snap.count, values.len() as u64);
+        prop_assert_eq!(snap.buckets.iter().map(|(_, n)| n).sum::<u64>(), values.len() as u64);
+        prop_assert_eq!(snap.sum, values.iter().sum::<u64>());
+        prop_assert_eq!(snap.min, *values.iter().min().unwrap());
+        prop_assert_eq!(snap.max, *values.iter().max().unwrap());
+        // The quantile sweep is monotone and bracketed by min/max buckets.
+        let mut last = 0;
+        for i in 0..=10 {
+            let q = snap.quantile(i as f64 / 10.0);
+            prop_assert!(q >= last, "quantiles must not decrease");
+            prop_assert!(q <= snap.max);
+            last = q;
+        }
+    }
+
+    /// JSON serialisation is loss-free for counters: every counter name
+    /// and value appears, and braces balance (a cheap well-formedness
+    /// proxy that needs no parser).
+    #[test]
+    fn json_roundtrips_counters(
+        raw in proptest::collection::vec(("[a-z]{1,8}", 0u64..1_000_000_000), 0..20),
+    ) {
+        let pairs: std::collections::BTreeMap<String, u64> = raw.into_iter().collect();
+        let hub = TelemetryHub::new();
+        for (k, v) in &pairs {
+            hub.counter(k).add(*v);
+        }
+        let json = hub.snapshot().to_json();
+        for (k, v) in &pairs {
+            prop_assert!(json.contains(&format!("\"{k}\":{v}")));
+        }
+        prop_assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

@@ -20,11 +20,38 @@
 use std::collections::BTreeSet;
 
 use metaverse_resilience::{RetryOutcome, RetryPolicy, RetryState};
+use metaverse_telemetry::{Counter, TelemetryHub};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::twin::DigitalTwin;
+
+/// Live counters mirrored into an attached [`TelemetryHub`]. Detached
+/// channels carry no-op counters, so the sync loop never branches on
+/// "is telemetry on?".
+#[derive(Debug, Default)]
+struct SyncTelemetry {
+    updates_lost: Counter,
+    retransmissions: Counter,
+    recovered: Counter,
+    duplicates_dropped: Counter,
+    reconciliations: Counter,
+    forced_reconciliations: Counter,
+}
+
+impl SyncTelemetry {
+    fn attached(hub: &TelemetryHub) -> Self {
+        SyncTelemetry {
+            updates_lost: hub.counter("twins.sync.updates_lost"),
+            retransmissions: hub.counter("twins.sync.retransmissions"),
+            recovered: hub.counter("twins.sync.recovered"),
+            duplicates_dropped: hub.counter("twins.sync.duplicates_dropped"),
+            reconciliations: hub.counter("twins.sync.reconciliations"),
+            forced_reconciliations: hub.counter("twins.sync.forced_reconciliations"),
+        }
+    }
+}
 
 /// Channel and reconciliation parameters.
 #[derive(Debug, Clone, Copy)]
@@ -112,6 +139,7 @@ pub struct SyncChannel {
     /// Extra loss/duplication injected by an active channel fault.
     fault_loss: f64,
     fault_dup: f64,
+    telemetry: SyncTelemetry,
 }
 
 impl SyncChannel {
@@ -134,7 +162,16 @@ impl SyncChannel {
             snapshot_version: 0,
             fault_loss: 0.0,
             fault_dup: 0.0,
+            telemetry: SyncTelemetry::default(),
         }
+    }
+
+    /// Mirrors the channel's counters into `hub` from now on (under
+    /// `twins.sync.*` names). The platform shares its own hub with sync
+    /// channels this way; counts accumulated before attachment stay
+    /// local to [`SyncChannel::report`].
+    pub fn attach_telemetry(&mut self, hub: &TelemetryHub) {
+        self.telemetry = SyncTelemetry::attached(hub);
     }
 
     /// Sets the extra loss rate injected by an active channel fault
@@ -168,6 +205,7 @@ impl SyncChannel {
         let loss = self.effective_loss();
         if self.rng.gen_bool(loss) {
             self.updates_lost += 1;
+            self.telemetry.updates_lost.incr();
             if let Some(policy) = self.config.retry {
                 let mut retry = policy.begin(self.tick);
                 match retry.record_failure(self.tick) {
@@ -214,6 +252,7 @@ impl SyncChannel {
             // Covered by a snapshot, or a duplicate of a delivered
             // update: drop it.
             self.duplicates_dropped += 1;
+            self.telemetry.duplicates_dropped.incr();
             return false;
         }
         twin.virtual_replica.apply(property, delta);
@@ -222,6 +261,7 @@ impl SyncChannel {
         twin.virtual_replica.version = twin.virtual_replica.version.max(version);
         if retransmitted {
             self.recovered += 1;
+            self.telemetry.recovered.incr();
         }
         true
     }
@@ -242,6 +282,7 @@ impl SyncChannel {
                 return true;
             }
             self.retransmissions += 1;
+            self.telemetry.retransmissions.incr();
             if self.rng.gen_bool(self.effective_loss()) {
                 match pending.retry.record_failure(self.tick) {
                     RetryOutcome::RetryAt(_) => true,
@@ -273,11 +314,13 @@ impl SyncChannel {
         self.seen_versions.clear();
         self.retransmit_queue.retain(|p| p.version > self.snapshot_version);
         self.reconciliations += 1;
+        self.telemetry.reconciliations.incr();
         self.pending_attestations.push((twin.id, twin.physical.digest(), self.tick));
     }
 
     fn force_reconcile(&mut self, twin: &mut DigitalTwin) {
         self.forced_reconciliations += 1;
+        self.telemetry.forced_reconciliations.incr();
         self.reconcile(twin);
     }
 
@@ -490,6 +533,43 @@ mod tests {
         }
         let report = ch.report();
         assert_eq!(report.updates_lost, 50, "all lost during the fault, none after");
+    }
+
+    #[test]
+    fn attached_hub_mirrors_channel_counters() {
+        let hub = TelemetryHub::new();
+        let mut t = twin();
+        let mut ch = SyncChannel::new(SyncConfig {
+            loss_rate: 0.3,
+            dup_rate: 0.2,
+            reconcile_interval: 25,
+            seed: 11,
+            retry: Some(RetryPolicy::default()),
+        });
+        ch.attach_telemetry(&hub);
+        let report = ch.run(&mut t, 500);
+        let snap = hub.snapshot();
+        assert_eq!(snap.counters["twins.sync.updates_lost"], report.updates_lost);
+        assert_eq!(snap.counters["twins.sync.retransmissions"], report.retransmissions);
+        assert_eq!(snap.counters["twins.sync.recovered"], report.recovered);
+        assert_eq!(snap.counters["twins.sync.duplicates_dropped"], report.duplicates_dropped);
+        assert_eq!(snap.counters["twins.sync.reconciliations"], report.reconciliations);
+        assert!(report.updates_lost > 0 && report.retransmissions > 0);
+    }
+
+    #[test]
+    fn detached_channel_runs_identically() {
+        let run = |attach: bool| {
+            let hub = TelemetryHub::new();
+            let mut t = twin();
+            let mut ch = SyncChannel::new(SyncConfig { loss_rate: 0.3, seed: 7, ..SyncConfig::default() });
+            if attach {
+                ch.attach_telemetry(&hub);
+            }
+            let r = ch.run(&mut t, 300);
+            (r.updates_lost, r.reconciliations, r.mean_divergence)
+        };
+        assert_eq!(run(false), run(true), "telemetry must never perturb the simulation");
     }
 
     #[test]
