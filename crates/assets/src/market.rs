@@ -129,6 +129,35 @@ impl Marketplace {
         self.balances.get(account).copied().unwrap_or(0)
     }
 
+    /// Debits an account's wallet. The inverse of
+    /// [`Marketplace::deposit`]; a cross-shard settlement layer moves
+    /// funds between shard marketplaces with a withdraw+deposit pair,
+    /// which conserves total supply by construction.
+    pub fn withdraw(&mut self, account: &str, amount: u64) -> Result<(), AssetError> {
+        let balance = self.balance(account);
+        if balance < amount {
+            return Err(AssetError::InsufficientFunds {
+                buyer: account.to_string(),
+                price: amount,
+                balance,
+            });
+        }
+        if let Some(b) = self.balances.get_mut(account) {
+            *b -= amount;
+        }
+        Ok(())
+    }
+
+    /// Sum of every wallet balance (conservation audits).
+    pub fn total_balance(&self) -> u64 {
+        self.balances.values().sum()
+    }
+
+    /// The active listing for an asset, if any.
+    pub fn listing(&self, asset: NftId) -> Option<&Listing> {
+        self.listings.get(&asset)
+    }
+
     /// Lists an owned asset for sale, subject to the admission policy.
     pub fn list(
         &mut self,
@@ -263,6 +292,33 @@ mod tests {
         assert_eq!(market.balance("alice"), 100);
         assert!(market.listings().is_empty());
         assert_eq!(market.sales().len(), 1);
+    }
+
+    #[test]
+    fn withdraw_debits_and_conserves() {
+        let (_reg, mut market) = setup();
+        market.deposit("alice", 500);
+        assert_eq!(market.total_balance(), 1500);
+        market.withdraw("bob", 400).unwrap();
+        assert_eq!(market.balance("bob"), 600);
+        assert!(matches!(
+            market.withdraw("bob", 601),
+            Err(AssetError::InsufficientFunds { .. })
+        ));
+        assert_eq!(market.balance("bob"), 600, "failed withdraw touches nothing");
+        // A withdraw+deposit pair across two marketplaces is zero-sum.
+        market.deposit("alice", 400);
+        assert_eq!(market.total_balance(), 1500);
+    }
+
+    #[test]
+    fn listing_lookup_by_asset() {
+        let (reg, mut market) = setup();
+        assert!(market.listing(1).is_none());
+        market.list(&reg, None, "alice", 1, 100, 0).unwrap();
+        let listing = market.listing(1).expect("listed");
+        assert_eq!(listing.price, 100);
+        assert_eq!(listing.seller, "alice");
     }
 
     #[test]

@@ -1,0 +1,97 @@
+//! Criterion benchmarks for the sharded session gateway: wire codec
+//! round-trips, admission (token bucket + mailbox), epoch execution at
+//! several shard counts, and full seeded workload replays.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use metaverse_gateway::op::Op;
+use metaverse_gateway::router::{GatewayConfig, ShardRouter};
+use metaverse_gateway::session::{RateLimit, Session, SessionConfig};
+use metaverse_gateway::workload::{WorkloadConfig, WorkloadEngine};
+
+fn bench_wire_codec(c: &mut Criterion) {
+    let op = Op::Mint {
+        user: "user-00042".into(),
+        asset: 42,
+        uri: "meta://gallery/42".into(),
+        quality: 0.875,
+    };
+    let bytes = op.encode();
+    c.bench_function("gateway/wire_encode_mint", |b| b.iter(|| black_box(op.encode())));
+    c.bench_function("gateway/wire_decode_mint", |b| {
+        b.iter(|| Op::decode(black_box(&bytes)).expect("round-trip"))
+    });
+}
+
+fn bench_admission(c: &mut Criterion) {
+    // An effectively unlimited bucket: measures the bookkeeping, not
+    // the refusals.
+    let config = SessionConfig {
+        rate: RateLimit { burst: 1 << 20, milli_per_tick: 1 << 30 },
+        mailbox_capacity: usize::MAX >> 1,
+    };
+    let mut session = Session::new("alice", 0, config);
+    let op = Op::TwinSync { user: "alice".into(), property: 3, delta: 0.25 };
+    let mut seq = 0u64;
+    c.bench_function("gateway/session_offer_drain", |b| {
+        b.iter(|| {
+            seq += 1;
+            session.offer(seq, op.clone(), seq).expect("admitted");
+            if seq.is_multiple_of(64) {
+                black_box(session.drain());
+            }
+        })
+    });
+}
+
+fn bench_epoch_execution(c: &mut Criterion) {
+    for shards in [1usize, 4, 8] {
+        c.bench_function(&format!("gateway/epoch_64_endorsements_{shards}_shards"), |b| {
+            let mut router = ShardRouter::new(GatewayConfig {
+                shards,
+                telemetry: false,
+                ..GatewayConfig::default()
+            });
+            let users: Vec<String> = (0..64).map(|i| format!("user-{i:05}")).collect();
+            for u in &users {
+                router.submit(Op::Register { user: u.clone() }).expect("register");
+            }
+            router.drain(8);
+            b.iter(|| {
+                for (i, u) in users.iter().enumerate() {
+                    let subject = users[(i + 1) % users.len()].clone();
+                    let _ = router.submit(Op::Endorse { user: u.clone(), subject });
+                }
+                black_box(router.execute_epoch());
+            })
+        });
+    }
+}
+
+fn bench_workload_replay(c: &mut Criterion) {
+    let config = WorkloadConfig { users: 64, ops: 2_000, seed: 7, ..WorkloadConfig::default() };
+    let engine = WorkloadEngine::new(config.clone());
+    c.bench_function("gateway/workload_generate_2k_ops", |b| {
+        b.iter(|| black_box(engine.generate()))
+    });
+    for shards in [1usize, 8] {
+        c.bench_function(&format!("gateway/workload_drive_2k_ops_{shards}_shards"), |b| {
+            b.iter(|| {
+                let mut router = ShardRouter::new(GatewayConfig {
+                    shards,
+                    telemetry: false,
+                    ..GatewayConfig::default()
+                });
+                black_box(engine.drive(&mut router, 256))
+            })
+        });
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_wire_codec,
+    bench_admission,
+    bench_epoch_execution,
+    bench_workload_replay
+);
+criterion_main!(benches);

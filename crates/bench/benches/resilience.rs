@@ -4,18 +4,17 @@
 //! rogue validator.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use metaverse_core::platform::{MetaversePlatform, PlatformConfig};
+use metaverse_core::platform::MetaversePlatform;
 use metaverse_core::resilience::ResilienceConfig;
 use metaverse_ledger::chain::ChainConfig;
 use metaverse_resilience::{FaultKind, FaultPlan};
 
 fn platform(resilient: bool, plan: FaultPlan) -> MetaversePlatform {
-    let mut p = MetaversePlatform::new(PlatformConfig {
-        chain_config: ChainConfig { key_tree_depth: 4, ..ChainConfig::default() },
-        validators: vec!["validator-0".into()],
-        resilience: ResilienceConfig { enabled: resilient, ..ResilienceConfig::default() },
-        ..PlatformConfig::default()
-    });
+    let mut p = MetaversePlatform::builder()
+        .chain_config(ChainConfig { key_tree_depth: 4, ..ChainConfig::default() })
+        .validators(["validator-0"])
+        .resilience(ResilienceConfig { enabled: resilient, ..ResilienceConfig::default() })
+        .build();
     for u in ["alice", "bob", "carol", "mallory"] {
         p.register_user(u).expect("register");
     }

@@ -1,0 +1,10 @@
+//! Binary wrapper for experiment e21; see EXPERIMENTS.md.
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(metaverse_bench::DEFAULT_SEED);
+    let result = metaverse_bench::experiments::e21_gateway::run(seed);
+    println!("{}", result.render());
+}

@@ -8,7 +8,7 @@
 
 use metaverse_core::ethics::EthicsLayer;
 use metaverse_core::module::{ModuleDescriptor, ModuleKind, Stakeholder};
-use metaverse_core::platform::{MetaversePlatform, PlatformConfig};
+use metaverse_core::platform::MetaversePlatform;
 use metaverse_core::policy::Jurisdiction;
 use metaverse_ledger::audit::{DataCollectionEvent, LawfulBasis, SensorClass};
 
@@ -44,20 +44,17 @@ pub fn run(_seed: u64) -> ExperimentResult {
     };
 
     // 1. Recommended default.
-    let mut default_platform = MetaversePlatform::new(PlatformConfig::default());
+    let mut default_platform = MetaversePlatform::builder().build();
     default_platform.register_user("alice").unwrap();
     let default_audit = audit_row("recommended default", &default_platform);
 
     // 2. Privacy off by default (status-quo XR platform).
-    let mut lax = MetaversePlatform::new(PlatformConfig {
-        privacy_defaults_on: false,
-        ..PlatformConfig::default()
-    });
+    let mut lax = MetaversePlatform::builder().privacy_defaults(false).build();
     lax.register_user("alice").unwrap();
     audit_row("privacy defaults off", &lax);
 
     // 3. Opaque AI moderation module.
-    let mut opaque = MetaversePlatform::new(PlatformConfig::default());
+    let mut opaque = MetaversePlatform::builder().build();
     opaque.register_user("alice").unwrap();
     let mut blackbox = ModuleDescriptor::open(ModuleKind::Moderation, "blackbox-ai");
     blackbox.transparent = false;
@@ -65,7 +62,7 @@ pub fn run(_seed: u64) -> ExperimentResult {
     audit_row("opaque AI moderation", &opaque);
 
     // 4. Developer-only governance (users excluded).
-    let mut devs_only = MetaversePlatform::new(PlatformConfig::default());
+    let mut devs_only = MetaversePlatform::builder().build();
     devs_only.register_user("alice").unwrap();
     let mut closed = ModuleDescriptor::open(ModuleKind::DecisionMaking, "corporate-board");
     closed.stakeholders = vec![Stakeholder::Developers];
@@ -73,20 +70,16 @@ pub fn run(_seed: u64) -> ExperimentResult {
     audit_row("developer-only governance", &devs_only);
 
     // 5. Single community (no plurality).
-    let mut monoculture = MetaversePlatform::new(PlatformConfig {
-        scopes: vec!["root".into()],
-        ..PlatformConfig::default()
-    });
+    let mut monoculture = MetaversePlatform::builder().scopes(["root"]).build();
     monoculture.register_user("alice").unwrap();
     audit_row("single community", &monoculture);
 
     // 6. Surveillance caricature: permissive jurisdiction + lawless
     //    biometric harvesting + opaque modules.
-    let mut surveillance = MetaversePlatform::new(PlatformConfig {
-        privacy_defaults_on: false,
-        jurisdiction: Jurisdiction::gdpr(), // regulator's view of the platform
-        ..PlatformConfig::default()
-    });
+    let mut surveillance = MetaversePlatform::builder()
+        .privacy_defaults(false)
+        .jurisdiction(Jurisdiction::gdpr()) // regulator's view of the platform
+        .build();
     surveillance.register_user("alice").unwrap();
     surveillance.record_collection(DataCollectionEvent {
         collector: "megacorp".into(),

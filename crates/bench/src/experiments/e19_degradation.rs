@@ -14,7 +14,7 @@
 //! lost, and recovery time — the last read *from the ledger itself*,
 //! since every health transition is recorded on-chain.
 
-use metaverse_core::platform::{MetaversePlatform, PlatformConfig};
+use metaverse_core::platform::MetaversePlatform;
 use metaverse_core::resilience::ResilienceConfig;
 use metaverse_core::{CoreError, ReviewRequest};
 use metaverse_ledger::chain::ChainConfig;
@@ -70,12 +70,11 @@ struct PendingVote {
 }
 
 fn build_platform(resilient: bool) -> MetaversePlatform {
-    let mut p = MetaversePlatform::new(PlatformConfig {
-        chain_config: ChainConfig { key_tree_depth: 4, ..ChainConfig::default() },
-        validators: vec!["validator-0".into()],
-        resilience: ResilienceConfig { enabled: resilient, ..ResilienceConfig::default() },
-        ..PlatformConfig::default()
-    });
+    let mut p = MetaversePlatform::builder()
+        .chain_config(ChainConfig { key_tree_depth: 4, ..ChainConfig::default() })
+        .validators(["validator-0"])
+        .resilience(ResilienceConfig { enabled: resilient, ..ResilienceConfig::default() })
+        .build();
     for u in CITIZENS.iter().chain(TROLLS.iter()) {
         p.register_user(u).expect("fresh platform accepts every user");
     }

@@ -20,6 +20,7 @@ pub mod e17_accessibility;
 pub mod e18_sybil;
 pub mod e19_degradation;
 pub mod e20_observability;
+pub mod e21_gateway;
 
 use crate::report::ExperimentResult;
 
@@ -46,5 +47,6 @@ pub fn run_all(seed: u64) -> Vec<ExperimentResult> {
         e18_sybil::run(seed),
         e19_degradation::run(seed),
         e20_observability::run(seed),
+        e21_gateway::run(seed),
     ]
 }

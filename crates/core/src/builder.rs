@@ -173,6 +173,7 @@ mod tests {
     use metaverse_resilience::{FaultKind, HealthState};
 
     #[test]
+    #[allow(deprecated)] // the point of this test is the legacy shim
     fn defaults_match_legacy_constructor() {
         let built = MetaversePlatform::builder()
             .chain_config(ChainConfig { key_tree_depth: 4, ..ChainConfig::default() })

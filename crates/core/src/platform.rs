@@ -24,7 +24,7 @@ use metaverse_privacy::firewall::DataFlowFirewall;
 use metaverse_reputation::engine::{EngineConfig, ReputationEngine};
 use metaverse_resilience::breaker::BreakerTransition;
 use metaverse_resilience::{FaultInjector, FaultPlan, HealthState, RetryOutcome};
-use metaverse_telemetry::{Counter, Gauge, Histogram, TelemetryHub, TelemetrySnapshot};
+use metaverse_telemetry::{names, Counter, Gauge, Histogram, TelemetryHub, TelemetrySnapshot};
 use metaverse_world::geometry::Vec2;
 use metaverse_world::world::{World, WorldConfig};
 
@@ -84,16 +84,18 @@ impl Default for PlatformConfig {
 /// Platform operations with a dedicated invocation counter
 /// (`ops.<name>` in snapshots). Pre-registered so the hot path never
 /// touches the hub's registry lock.
-const OP_NAMES: [&str; 11] = [
+const OP_NAMES: [&str; 13] = [
     "register_user",
     "propose",
     "vote",
     "close_proposal",
     "endorse",
     "report",
+    "remote_rating",
     "mint_asset",
     "list_asset",
     "buy_asset",
+    "withdraw",
     "configure_flow",
     "commit_epoch",
 ];
@@ -143,36 +145,36 @@ impl PlatformMetrics {
             slots.insert(
                 kind,
                 SlotMetrics {
-                    calls: hub.counter(&format!("module.{label}.calls")),
-                    refused: hub.counter(&format!("module.{label}.refused")),
-                    zombie: hub.counter(&format!("module.{label}.zombie")),
-                    latency: hub.histogram(&format!("module.{label}.latency_ns")),
+                    calls: hub.counter(&names::module_calls(label)),
+                    refused: hub.counter(&names::module_refused(label)),
+                    zombie: hub.counter(&names::module_zombie(label)),
+                    latency: hub.histogram(&names::module_latency(label)),
                 },
             );
         }
         let mut ops = BTreeMap::new();
         for name in OP_NAMES {
-            ops.insert(name, hub.counter(&format!("ops.{name}")));
+            ops.insert(name, hub.counter(&names::op(name)));
         }
         PlatformMetrics {
             slots,
             ops,
-            epoch_collect: hub.histogram("epoch.collect_ns"),
-            epoch_merkle: hub.histogram("epoch.merkle_ns"),
-            epoch_sign: hub.histogram("epoch.sign_ns"),
-            epoch_append: hub.histogram("epoch.append_ns"),
-            commits: hub.counter("epoch.commits"),
-            aborts: hub.counter("epoch.aborts"),
-            blocks_sealed: hub.counter("epoch.blocks_sealed"),
-            txs_submitted: hub.counter("epoch.txs_submitted"),
-            reports_deferred: hub.counter("moderation.reports_deferred"),
-            reports_replayed: hub.counter("moderation.reports_replayed"),
-            reports_held: hub.gauge("moderation.reports_held"),
-            escape_governance: hub.counter("escape.governance"),
-            escape_reputation: hub.counter("escape.reputation"),
-            escape_irb: hub.counter("escape.irb"),
-            users: hub.gauge("platform.users"),
-            tick: hub.gauge("platform.tick"),
+            epoch_collect: hub.histogram(names::EPOCH_COLLECT_NS),
+            epoch_merkle: hub.histogram(names::EPOCH_MERKLE_NS),
+            epoch_sign: hub.histogram(names::EPOCH_SIGN_NS),
+            epoch_append: hub.histogram(names::EPOCH_APPEND_NS),
+            commits: hub.counter(names::EPOCH_COMMITS),
+            aborts: hub.counter(names::EPOCH_ABORTS),
+            blocks_sealed: hub.counter(names::EPOCH_BLOCKS_SEALED),
+            txs_submitted: hub.counter(names::EPOCH_TXS_SUBMITTED),
+            reports_deferred: hub.counter(names::MODERATION_REPORTS_DEFERRED),
+            reports_replayed: hub.counter(names::MODERATION_REPORTS_REPLAYED),
+            reports_held: hub.gauge(names::MODERATION_REPORTS_HELD),
+            escape_governance: hub.counter(names::ESCAPE_GOVERNANCE),
+            escape_reputation: hub.counter(names::ESCAPE_REPUTATION),
+            escape_irb: hub.counter(names::ESCAPE_IRB),
+            users: hub.gauge(names::PLATFORM_USERS),
+            tick: hub.gauge(names::PLATFORM_TICK),
             hub,
         }
     }
@@ -205,6 +207,9 @@ pub struct MetaversePlatform {
     dp_spend: BTreeMap<String, f64>,
     resilience: ResilienceFabric,
     metrics: PlatformMetrics,
+    /// Cached count of successful [`MetaversePlatform::register_user`]
+    /// calls, so admission checks never scan user storage.
+    user_count: usize,
     tick: u64,
 }
 
@@ -218,10 +223,11 @@ impl MetaversePlatform {
     /// Builds a platform with the paper's recommended open modules
     /// installed in every slot and telemetry enabled.
     ///
-    /// **Soft-deprecated**: prefer [`MetaversePlatform::builder`],
-    /// which names each knob and exposes the telemetry and fault-plan
-    /// switches. This constructor remains as a thin shim over the same
-    /// assembly path so existing callers keep compiling.
+    /// Deprecated: prefer [`MetaversePlatform::builder`], which names
+    /// each knob and exposes the telemetry and fault-plan switches.
+    /// This constructor remains as a thin shim over the same assembly
+    /// path so existing callers keep compiling (with a warning).
+    #[deprecated(note = "use MetaversePlatform::builder()")]
     pub fn new(config: PlatformConfig) -> Self {
         Self::assemble(config, TelemetryHub::new())
     }
@@ -259,6 +265,7 @@ impl MetaversePlatform {
             dp_spend: BTreeMap::new(),
             resilience: ResilienceFabric::new(config.resilience.clone()),
             metrics: PlatformMetrics::new(hub),
+            user_count: 0,
             tick: 0,
             config,
         }
@@ -291,7 +298,8 @@ impl MetaversePlatform {
     pub fn register_user(&mut self, name: &str) -> Result<(), CoreError> {
         self.metrics.op("register_user").incr();
         self.reputation.register(name, self.tick)?;
-        self.metrics.users.set(self.reputation.len() as i64);
+        self.user_count += 1;
+        self.metrics.users.set(self.user_count as i64);
         self.governance.join_all(name)?;
         let firewall = if self.config.privacy_defaults_on {
             DataFlowFirewall::deny_by_default(name)
@@ -302,9 +310,14 @@ impl MetaversePlatform {
         Ok(())
     }
 
-    /// Number of registered users.
+    /// Number of registered users. O(1): the count is cached at
+    /// registration rather than recounted from user storage, so per-op
+    /// admission checks (the gateway performs one per submitted op) cost
+    /// a field read. Accounts removed through the reputation escape
+    /// hatch (attack models) are intentionally not reflected here — the
+    /// cache counts platform registrations.
     pub fn user_count(&self) -> usize {
-        self.reputation.len()
+        self.user_count
     }
 
     /// Mutable access to a user's sensor firewall (granular switches).
@@ -393,7 +406,7 @@ impl MetaversePlatform {
     fn mirror_transitions(&mut self, kind: ModuleKind, transitions: &[BreakerTransition]) {
         for t in transitions {
             let reason = format!("breaker-{}", t.to.label());
-            self.metrics.hub.incr(&format!("breaker.{}.{}", kind.label(), t.to.label()));
+            self.metrics.hub.incr(&names::breaker_transition(kind.label(), t.to.label()));
             self.modules.set_health(kind, health_for(t.to), &reason, t.at);
         }
     }
@@ -538,6 +551,41 @@ impl MetaversePlatform {
         Ok(self.ladder.punish(subject, "dao:moderation"))
     }
 
+    /// Applies a rating whose rater lives on *another* platform shard —
+    /// the receive half of a cross-shard settlement (the gateway's
+    /// inter-shard queue calls this on the subject's home shard).
+    ///
+    /// The remote rater has no account here, so the rating is applied as
+    /// a system delta at the engine's configured base magnitude (the
+    /// rater's trust weight is a shard-local notion). A negative rating
+    /// also climbs the punitive escalation ladder, exactly like a local
+    /// [`MetaversePlatform::report`]. Guarded by the same module slots
+    /// as the local paths: a down reputation/moderation module refuses
+    /// the settlement (typed error — the gateway requeues it), keeping
+    /// fail-closed semantics end to end.
+    pub fn apply_remote_rating(&mut self, subject: &str, positive: bool) -> Result<i64, CoreError> {
+        self.metrics.op("remote_rating").incr();
+        let kind = if positive { ModuleKind::Reputation } else { ModuleKind::Moderation };
+        let _span = self.metrics.slot(kind).latency.start_span();
+        match self.guard(kind) {
+            Availability::Refused => return Err(Self::unavailable(kind)),
+            Availability::Zombie => return Ok(0), // settlement silently lost
+            Availability::Ok => {}
+        }
+        let config = self.reputation.config();
+        let (delta, reason) = if positive {
+            (config.endorse_base_millis, "gateway:remote-endorse")
+        } else {
+            (-config.report_base_millis, "gateway:remote-report")
+        };
+        let applied = self.reputation.system_delta(subject, delta, reason, self.tick)?;
+        if !positive {
+            self.replay_held_reports();
+            self.ladder.punish(subject, "gateway:cross-shard");
+        }
+        Ok(applied)
+    }
+
     /// Current reputation of a user, in points.
     pub fn reputation_points(&self, user: &str) -> Result<f64, CoreError> {
         Ok(self.reputation.score(user)?.points())
@@ -610,6 +658,14 @@ impl MetaversePlatform {
     /// Funds a wallet.
     pub fn deposit(&mut self, account: &str, amount: u64) {
         self.market.deposit(account, amount);
+    }
+
+    /// Debits a wallet — the send half of a cross-shard funds movement.
+    /// Settlement layers pair this with a [`MetaversePlatform::deposit`]
+    /// on the receiving shard, which conserves total supply.
+    pub fn withdraw(&mut self, account: &str, amount: u64) -> Result<(), CoreError> {
+        self.metrics.op("withdraw").incr();
+        Ok(self.market.withdraw(account, amount)?)
     }
 
     /// The asset registry.
@@ -964,11 +1020,10 @@ mod tests {
 
     fn platform() -> MetaversePlatform {
         // Shallow key trees keep validator keygen fast in tests.
-        let mut p = MetaversePlatform::new(PlatformConfig {
-            chain_config: ChainConfig { key_tree_depth: 4, ..ChainConfig::default() },
-            validators: vec!["validator-0".into()],
-            ..PlatformConfig::default()
-        });
+        let mut p = MetaversePlatform::builder()
+            .chain_config(ChainConfig { key_tree_depth: 4, ..ChainConfig::default() })
+            .validators(["validator-0"])
+            .build();
         for u in ["alice", "bob", "carol"] {
             p.register_user(u).unwrap();
         }
@@ -1286,15 +1341,14 @@ mod tests {
     #[test]
     fn baseline_moderation_zombie_loses_adjudications() {
         use metaverse_resilience::FaultKind;
-        let mut p = MetaversePlatform::new(PlatformConfig {
-            chain_config: ChainConfig { key_tree_depth: 4, ..ChainConfig::default() },
-            validators: vec!["validator-0".into()],
-            resilience: crate::resilience::ResilienceConfig {
+        let mut p = MetaversePlatform::builder()
+            .chain_config(ChainConfig { key_tree_depth: 4, ..ChainConfig::default() })
+            .validators(["validator-0"])
+            .resilience(crate::resilience::ResilienceConfig {
                 enabled: false,
                 ..Default::default()
-            },
-            ..PlatformConfig::default()
-        });
+            })
+            .build();
         for u in ["alice", "bob", "carol", "mallory"] {
             p.register_user(u).unwrap();
         }
@@ -1342,15 +1396,14 @@ mod tests {
         assert_eq!(d, metaverse_privacy::firewall::FirewallDecision::Deny);
 
         // Naive: the faulted module fails open, bypassing the IRB.
-        let mut p = MetaversePlatform::new(PlatformConfig {
-            chain_config: ChainConfig { key_tree_depth: 4, ..ChainConfig::default() },
-            validators: vec!["validator-0".into()],
-            resilience: crate::resilience::ResilienceConfig {
+        let mut p = MetaversePlatform::builder()
+            .chain_config(ChainConfig { key_tree_depth: 4, ..ChainConfig::default() })
+            .validators(["validator-0"])
+            .resilience(crate::resilience::ResilienceConfig {
                 enabled: false,
                 ..Default::default()
-            },
-            ..PlatformConfig::default()
-        });
+            })
+            .build();
         p.register_user("alice").unwrap();
         p.install_fault_plan(plan());
         let rule = p
@@ -1370,15 +1423,14 @@ mod tests {
             )
         };
         // Naive platform: the commit that lands in the window aborts.
-        let mut p = MetaversePlatform::new(PlatformConfig {
-            chain_config: ChainConfig { key_tree_depth: 4, ..ChainConfig::default() },
-            validators: vec!["validator-0".into()],
-            resilience: crate::resilience::ResilienceConfig {
+        let mut p = MetaversePlatform::builder()
+            .chain_config(ChainConfig { key_tree_depth: 4, ..ChainConfig::default() })
+            .validators(["validator-0"])
+            .resilience(crate::resilience::ResilienceConfig {
                 enabled: false,
                 ..Default::default()
-            },
-            ..PlatformConfig::default()
-        });
+            })
+            .build();
         for u in ["alice", "bob"] {
             p.register_user(u).unwrap();
         }
@@ -1548,6 +1600,67 @@ mod tests {
         let snap = p.telemetry_snapshot();
         assert_eq!(snap.counters["module.moderation.zombie"], 1);
         assert_eq!(snap.counters["module.moderation.refused"], 0);
+    }
+
+    #[test]
+    fn user_count_is_cached_and_tracks_registrations() {
+        let mut p = platform();
+        assert_eq!(p.user_count(), 3);
+        // Failed registrations do not bump the cache.
+        assert!(p.register_user("alice").is_err());
+        assert_eq!(p.user_count(), 3);
+        for i in 0..50 {
+            p.register_user(&format!("user-{i}")).unwrap();
+        }
+        assert_eq!(p.user_count(), 53);
+        // The cache agrees with the underlying store it replaced as the
+        // admission-check source of truth.
+        assert_eq!(p.user_count(), p.with_reputation(|r| r.len()));
+        assert_eq!(p.telemetry_snapshot().gauges["platform.users"], 53);
+    }
+
+    #[test]
+    fn remote_rating_applies_base_magnitudes_and_climbs_ladder() {
+        let mut p = platform();
+        let before = p.reputation_points("carol").unwrap();
+        p.apply_remote_rating("carol", true).unwrap();
+        let endorsed = p.reputation_points("carol").unwrap();
+        assert!(endorsed > before, "remote endorse raises the score");
+        p.apply_remote_rating("carol", false).unwrap();
+        assert!(p.reputation_points("carol").unwrap() < endorsed);
+        assert_eq!(p.ladder_offenses("carol"), 1, "remote report escalates");
+        // Both settle onto the ledger as system reputation deltas.
+        p.commit_epoch().unwrap();
+        let deltas = p
+            .chain()
+            .iter_txs()
+            .filter(|t| matches!(&t.payload, TxPayload::ReputationDelta { reason, .. }
+                if reason.contains("gateway:remote")))
+            .count();
+        assert_eq!(deltas, 2);
+    }
+
+    #[test]
+    fn remote_rating_refused_while_module_down() {
+        use metaverse_resilience::FaultKind;
+        let mut p = platform();
+        p.install_fault_plan(
+            FaultPlan::new().schedule(0, 30, FaultKind::Crash { module: "moderation".into() }),
+        );
+        let err = p.apply_remote_rating("carol", false).unwrap_err();
+        assert!(matches!(err, CoreError::ModuleUnavailable { ref module } if module == "moderation"));
+        // Positive ratings ride the reputation slot, which is healthy.
+        assert!(p.apply_remote_rating("carol", true).is_ok());
+    }
+
+    #[test]
+    fn withdraw_pairs_with_deposit_for_zero_sum_transfers() {
+        let mut p = platform();
+        p.deposit("alice", 300);
+        p.withdraw("alice", 120).unwrap();
+        assert_eq!(p.market().balance("alice"), 180);
+        assert!(p.withdraw("alice", 200).is_err());
+        assert_eq!(p.market().balance("alice"), 180);
     }
 
     #[test]

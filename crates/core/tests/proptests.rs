@@ -2,7 +2,7 @@
 
 use metaverse_core::ethics::{EthicsAuditor, EthicsLayer, EthicsSnapshot};
 use metaverse_core::module::{ModuleDescriptor, ModuleKind, ModuleRegistry};
-use metaverse_core::platform::{MetaversePlatform, PlatformConfig};
+use metaverse_core::platform::MetaversePlatform;
 use metaverse_core::policy::{ComplianceReport, Jurisdiction, PolicyEngine, PolicyRequirements};
 use metaverse_ledger::audit::{AuditRegistry, DataCollectionEvent, LawfulBasis, SensorClass};
 use metaverse_ledger::chain::ChainConfig;
@@ -163,11 +163,10 @@ proptest! {
         fault_count in 0usize..6,
         ops in proptest::collection::vec((any::<u8>(), 1u64..15), 0..40),
     ) {
-        let mut p = MetaversePlatform::new(PlatformConfig {
-            chain_config: ChainConfig { key_tree_depth: 4, ..ChainConfig::default() },
-            validators: vec!["validator-0".into()],
-            ..PlatformConfig::default()
-        });
+        let mut p = MetaversePlatform::builder()
+            .chain_config(ChainConfig { key_tree_depth: 4, ..ChainConfig::default() })
+            .validators(["validator-0"])
+            .build();
         for u in ["alice", "bob", "carol", "mallory"] {
             p.register_user(u).unwrap();
         }

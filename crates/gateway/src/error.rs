@@ -1,0 +1,112 @@
+//! Typed gateway failures.
+//!
+//! Admission control speaks [`AdmissionError`] — every refusal names
+//! its cause and (where it makes sense) when retrying could help, so a
+//! client under backpressure can distinguish "slow down" from "your
+//! shard is down" from "who are you?". [`GatewayError`] wraps admission
+//! refusals together with the wire and platform failures a gateway
+//! front door can surface.
+
+use crate::op::WireError;
+use metaverse_core::CoreError;
+
+/// Why an op was refused at the gateway door (before reaching a shard).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdmissionError {
+    /// The session's token bucket is empty — backpressure, retry later.
+    RateLimited {
+        /// Session owner.
+        user: String,
+        /// Ticks until one whole token has refilled.
+        retry_in_ticks: u64,
+    },
+    /// The session's mailbox is at capacity — an epoch must drain it
+    /// before more ops are admitted.
+    MailboxFull {
+        /// Session owner.
+        user: String,
+        /// Configured mailbox bound.
+        capacity: usize,
+    },
+    /// No session exists for this user (register first).
+    UnknownUser {
+        /// The unknown account.
+        user: String,
+    },
+    /// The user's home shard has its circuit breaker open; the gateway
+    /// refuses rather than queueing into a stalled shard.
+    ShardUnavailable {
+        /// Index of the tripped shard.
+        shard: usize,
+    },
+}
+
+impl std::fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmissionError::RateLimited { user, retry_in_ticks } => {
+                write!(f, "admission: {user:?} rate limited, retry in {retry_in_ticks} ticks")
+            }
+            AdmissionError::MailboxFull { user, capacity } => {
+                write!(f, "admission: mailbox for {user:?} full at {capacity}")
+            }
+            AdmissionError::UnknownUser { user } => {
+                write!(f, "admission: no session for {user:?}")
+            }
+            AdmissionError::ShardUnavailable { shard } => {
+                write!(f, "admission: shard {shard} unavailable (breaker open)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
+/// Any failure the gateway surface can return.
+#[derive(Debug)]
+pub enum GatewayError {
+    /// Refused at the admission layer.
+    Admission(AdmissionError),
+    /// The byte string was not a valid op.
+    Wire(WireError),
+    /// A session already exists for this user.
+    DuplicateSession {
+        /// The already-connected account.
+        user: String,
+    },
+    /// A platform error escaped synchronous execution.
+    Core(CoreError),
+}
+
+impl std::fmt::Display for GatewayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GatewayError::Admission(e) => write!(f, "{e}"),
+            GatewayError::Wire(e) => write!(f, "{e}"),
+            GatewayError::DuplicateSession { user } => {
+                write!(f, "gateway: session for {user:?} already connected")
+            }
+            GatewayError::Core(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for GatewayError {}
+
+impl From<AdmissionError> for GatewayError {
+    fn from(e: AdmissionError) -> Self {
+        GatewayError::Admission(e)
+    }
+}
+
+impl From<WireError> for GatewayError {
+    fn from(e: WireError) -> Self {
+        GatewayError::Wire(e)
+    }
+}
+
+impl From<CoreError> for GatewayError {
+    fn from(e: CoreError) -> Self {
+        GatewayError::Core(e)
+    }
+}

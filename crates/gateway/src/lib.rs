@@ -1,0 +1,61 @@
+//! # metaverse-gateway
+//!
+//! The sharded session front door for `metaverse-kit`: the paper's
+//! scalability story (§II's "the metaverse" is many interoperating
+//! platforms, not one monolith) made concrete. One
+//! [`ShardRouter`](router::ShardRouter) runs N independent
+//! [`MetaversePlatform`](metaverse_core::platform::MetaversePlatform)
+//! shards behind a single typed surface:
+//!
+//! * [`op::Op`] — one variant per platform action, with a
+//!   dependency-free wire codec that round-trips exactly;
+//! * [`session::Session`] — per-user admission control: deterministic
+//!   milli-token buckets and bounded mailboxes, refusing with typed
+//!   [`error::AdmissionError`]s instead of silently shedding load;
+//! * [`router::ShardRouter`] — consistent hashing onto shards, batched
+//!   execution at epoch boundaries, per-shard circuit breakers (a
+//!   stalled shard refuses, the rest keep committing), and a
+//!   cross-shard settlement queue that conserves token supply and
+//!   asset ownership by construction;
+//! * [`workload::WorkloadEngine`] — a seeded multi-user workload
+//!   generator (zipf popularity, configurable op mix, burst phases)
+//!   whose stream is independent of shard placement, so the same run
+//!   can be replayed at any shard count and audited with
+//!   [`router::ConservationReport`].
+//!
+//! ## Example
+//!
+//! ```
+//! use metaverse_gateway::op::Op;
+//! use metaverse_gateway::router::{GatewayConfig, ShardRouter};
+//! use metaverse_ledger::chain::ChainConfig;
+//!
+//! let mut gateway = ShardRouter::new(GatewayConfig {
+//!     shards: 4,
+//!     // Shallow demo key tree — per-shard keygen dominates setup.
+//!     chain_config: ChainConfig { key_tree_depth: 5, ..ChainConfig::default() },
+//!     ..GatewayConfig::default()
+//! });
+//! gateway.submit(Op::Register { user: "alice".into() }).unwrap();
+//! gateway.submit(Op::Register { user: "bob".into() }).unwrap();
+//! gateway.execute_epoch();
+//! gateway.submit(Op::Endorse { user: "alice".into(), subject: "bob".into() }).unwrap();
+//! gateway.execute_epoch();
+//! gateway.drain(8); // settle any cross-shard effects
+//! assert!(gateway.conservation_report().conserved);
+//! ```
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod op;
+pub mod router;
+pub mod session;
+pub mod workload;
+
+pub use error::{AdmissionError, GatewayError};
+pub use op::{Op, WireError};
+pub use router::{ConservationReport, EpochReport, GatewayConfig, ShardRouter};
+pub use session::{RateLimit, Session, SessionConfig};
+pub use workload::{DriveReport, WorkloadConfig, WorkloadEngine};

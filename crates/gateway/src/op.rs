@@ -1,0 +1,541 @@
+//! The gateway's typed operation surface and its wire codec.
+//!
+//! [`Op`] covers the platform façade one variant per user-visible
+//! action. The codec is dependency-free and deliberately boring: a tag
+//! byte, then fields in declaration order — strings as `u16` length +
+//! UTF-8 bytes, integers fixed-width little-endian, floats as IEEE-754
+//! bit patterns, enums as a single byte validated on decode. Every
+//! value round-trips exactly ([`Op::decode`] ∘ [`Op::encode`] is the
+//! identity), which the in-crate tests and workspace proptests enforce.
+//!
+//! Asset and proposal identifiers in ops are **global**: the workload
+//! engine (or any other client) numbers them by creation order, and the
+//! router owns the directory mapping a global id onto the shard and
+//! local id where the object actually lives. That keeps a generated op
+//! stream meaningful under any shard count.
+
+use metaverse_ledger::audit::{LawfulBasis, SensorClass};
+
+/// A typed gateway operation — one variant per platform action a
+/// session can request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// Create the user's account (session, wallet grant, governance
+    /// membership). Always the first op a user submits.
+    Register {
+        /// Account name.
+        user: String,
+    },
+    /// Spawn the user's avatar into the shared world.
+    EnterWorld {
+        /// Account name.
+        user: String,
+        /// Avatar handle.
+        handle: String,
+        /// Spawn position, metres.
+        x: f64,
+        /// Spawn position, metres.
+        y: f64,
+    },
+    /// Open a governance proposal in a scope; the submitter assigns
+    /// the global id (creation order), like [`Op::Mint`] does for
+    /// assets.
+    Propose {
+        /// Proposing account.
+        user: String,
+        /// Global proposal id (creation order).
+        proposal: u64,
+        /// Governance scope (e.g. `"privacy"`).
+        scope: String,
+        /// Proposal title.
+        title: String,
+    },
+    /// Cast a ballot on a proposal (global id).
+    Vote {
+        /// Voting account.
+        user: String,
+        /// Global proposal id (creation order).
+        proposal: u64,
+        /// Yes / no.
+        support: bool,
+    },
+    /// Endorse another user (reputation up).
+    Endorse {
+        /// Rating account.
+        user: String,
+        /// Rated account.
+        subject: String,
+    },
+    /// Report another user (reputation down, moderation ladder).
+    Report {
+        /// Reporting account.
+        user: String,
+        /// Reported account.
+        subject: String,
+    },
+    /// Mint an asset; the submitter assigns the global id.
+    Mint {
+        /// Creator account.
+        user: String,
+        /// Global asset id (mint order).
+        asset: u64,
+        /// Content URI.
+        uri: String,
+        /// Creator-claimed quality in `[0, 1]`.
+        quality: f64,
+    },
+    /// List an owned asset for sale.
+    List {
+        /// Selling account.
+        user: String,
+        /// Global asset id.
+        asset: u64,
+        /// Ask price in tokens.
+        price: u64,
+    },
+    /// Buy a listed asset (settled cross-shard when needed).
+    Buy {
+        /// Buying account.
+        user: String,
+        /// Global asset id.
+        asset: u64,
+    },
+    /// Record a data-collection event against the audit registry.
+    RecordCollection {
+        /// Collecting party (the session owner).
+        user: String,
+        /// Data subject.
+        subject: String,
+        /// Sensor class taken.
+        sensor: SensorClass,
+        /// Declared purpose.
+        purpose: String,
+        /// Claimed lawful basis.
+        basis: LawfulBasis,
+        /// Approximate payload bytes.
+        bytes: u64,
+    },
+    /// Apply one incremental update to the user's digital twin.
+    TwinSync {
+        /// Twin owner.
+        user: String,
+        /// Property index.
+        property: u32,
+        /// Additive delta.
+        delta: f64,
+    },
+}
+
+/// Decode failure: the byte string is not a valid [`Op`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Ran out of bytes mid-field.
+    UnexpectedEof,
+    /// Unknown op tag byte.
+    BadTag(u8),
+    /// A string field was not UTF-8.
+    BadUtf8,
+    /// A bool byte was neither 0 nor 1.
+    BadBool(u8),
+    /// An enum byte was out of range for the named field.
+    BadEnum {
+        /// Which field rejected the byte.
+        field: &'static str,
+        /// The offending byte.
+        value: u8,
+    },
+    /// Bytes remained after a complete op was decoded.
+    TrailingBytes(usize),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::UnexpectedEof => write!(f, "wire: unexpected end of input"),
+            WireError::BadTag(t) => write!(f, "wire: unknown op tag {t:#04x}"),
+            WireError::BadUtf8 => write!(f, "wire: string field is not UTF-8"),
+            WireError::BadBool(b) => write!(f, "wire: bool byte {b:#04x}"),
+            WireError::BadEnum { field, value } => {
+                write!(f, "wire: {field} byte {value:#04x} out of range")
+            }
+            WireError::TrailingBytes(n) => write!(f, "wire: {n} trailing bytes"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+const TAG_REGISTER: u8 = 0x01;
+const TAG_ENTER_WORLD: u8 = 0x02;
+const TAG_PROPOSE: u8 = 0x03;
+const TAG_VOTE: u8 = 0x04;
+const TAG_ENDORSE: u8 = 0x05;
+const TAG_REPORT: u8 = 0x06;
+const TAG_MINT: u8 = 0x07;
+const TAG_LIST: u8 = 0x08;
+const TAG_BUY: u8 = 0x09;
+const TAG_RECORD_COLLECTION: u8 = 0x0a;
+const TAG_TWIN_SYNC: u8 = 0x0b;
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    let len = u16::try_from(s.len()).expect("gateway strings stay under 64 KiB");
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn sensor_byte(sensor: SensorClass) -> u8 {
+    SensorClass::ALL
+        .iter()
+        .position(|s| *s == sensor)
+        .expect("SensorClass::ALL is exhaustive") as u8
+}
+
+fn basis_byte(basis: LawfulBasis) -> u8 {
+    match basis {
+        LawfulBasis::Consent => 0,
+        LawfulBasis::Contract => 1,
+        LawfulBasis::LegitimateInterest => 2,
+        LawfulBasis::VitalInterest => 3,
+        LawfulBasis::None => 4,
+        // `LawfulBasis` is non-exhaustive; unknown bases degrade to the
+        // compliance-flagged bucket rather than silently minting a new
+        // wire value.
+        _ => 4,
+    }
+}
+
+fn basis_from_byte(b: u8) -> Option<LawfulBasis> {
+    Some(match b {
+        0 => LawfulBasis::Consent,
+        1 => LawfulBasis::Contract,
+        2 => LawfulBasis::LegitimateInterest,
+        3 => LawfulBasis::VitalInterest,
+        4 => LawfulBasis::None,
+        _ => return None,
+    })
+}
+
+/// Cursor over an encoded op.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self.pos.checked_add(n).ok_or(WireError::UnexpectedEof)?;
+        if end > self.buf.len() {
+            return Err(WireError::UnexpectedEof);
+        }
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn bool(&mut self) -> Result<bool, WireError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(WireError::BadBool(b)),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, WireError> {
+        let len = u16::from_le_bytes(self.take(2)?.try_into().unwrap()) as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadUtf8)
+    }
+}
+
+impl Op {
+    /// The account driving this op — the session it is admitted
+    /// against, and (for most ops) the shard it executes on.
+    pub fn user(&self) -> &str {
+        match self {
+            Op::Register { user }
+            | Op::EnterWorld { user, .. }
+            | Op::Propose { user, .. }
+            | Op::Vote { user, .. }
+            | Op::Endorse { user, .. }
+            | Op::Report { user, .. }
+            | Op::Mint { user, .. }
+            | Op::List { user, .. }
+            | Op::Buy { user, .. }
+            | Op::RecordCollection { user, .. }
+            | Op::TwinSync { user, .. } => user,
+        }
+    }
+
+    /// Short label for metrics and logs.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Op::Register { .. } => "register",
+            Op::EnterWorld { .. } => "enter_world",
+            Op::Propose { .. } => "propose",
+            Op::Vote { .. } => "vote",
+            Op::Endorse { .. } => "endorse",
+            Op::Report { .. } => "report",
+            Op::Mint { .. } => "mint",
+            Op::List { .. } => "list",
+            Op::Buy { .. } => "buy",
+            Op::RecordCollection { .. } => "record_collection",
+            Op::TwinSync { .. } => "twin_sync",
+        }
+    }
+
+    /// Canonical byte encoding.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32);
+        match self {
+            Op::Register { user } => {
+                out.push(TAG_REGISTER);
+                put_str(&mut out, user);
+            }
+            Op::EnterWorld { user, handle, x, y } => {
+                out.push(TAG_ENTER_WORLD);
+                put_str(&mut out, user);
+                put_str(&mut out, handle);
+                out.extend_from_slice(&x.to_bits().to_le_bytes());
+                out.extend_from_slice(&y.to_bits().to_le_bytes());
+            }
+            Op::Propose { user, proposal, scope, title } => {
+                out.push(TAG_PROPOSE);
+                put_str(&mut out, user);
+                out.extend_from_slice(&proposal.to_le_bytes());
+                put_str(&mut out, scope);
+                put_str(&mut out, title);
+            }
+            Op::Vote { user, proposal, support } => {
+                out.push(TAG_VOTE);
+                put_str(&mut out, user);
+                out.extend_from_slice(&proposal.to_le_bytes());
+                out.push(u8::from(*support));
+            }
+            Op::Endorse { user, subject } => {
+                out.push(TAG_ENDORSE);
+                put_str(&mut out, user);
+                put_str(&mut out, subject);
+            }
+            Op::Report { user, subject } => {
+                out.push(TAG_REPORT);
+                put_str(&mut out, user);
+                put_str(&mut out, subject);
+            }
+            Op::Mint { user, asset, uri, quality } => {
+                out.push(TAG_MINT);
+                put_str(&mut out, user);
+                out.extend_from_slice(&asset.to_le_bytes());
+                put_str(&mut out, uri);
+                out.extend_from_slice(&quality.to_bits().to_le_bytes());
+            }
+            Op::List { user, asset, price } => {
+                out.push(TAG_LIST);
+                put_str(&mut out, user);
+                out.extend_from_slice(&asset.to_le_bytes());
+                out.extend_from_slice(&price.to_le_bytes());
+            }
+            Op::Buy { user, asset } => {
+                out.push(TAG_BUY);
+                put_str(&mut out, user);
+                out.extend_from_slice(&asset.to_le_bytes());
+            }
+            Op::RecordCollection { user, subject, sensor, purpose, basis, bytes } => {
+                out.push(TAG_RECORD_COLLECTION);
+                put_str(&mut out, user);
+                put_str(&mut out, subject);
+                out.push(sensor_byte(*sensor));
+                put_str(&mut out, purpose);
+                out.push(basis_byte(*basis));
+                out.extend_from_slice(&bytes.to_le_bytes());
+            }
+            Op::TwinSync { user, property, delta } => {
+                out.push(TAG_TWIN_SYNC);
+                put_str(&mut out, user);
+                out.extend_from_slice(&property.to_le_bytes());
+                out.extend_from_slice(&delta.to_bits().to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Decodes one op; rejects trailing bytes.
+    pub fn decode(buf: &[u8]) -> Result<Op, WireError> {
+        let mut r = Reader { buf, pos: 0 };
+        let op = match r.u8()? {
+            TAG_REGISTER => Op::Register { user: r.string()? },
+            TAG_ENTER_WORLD => Op::EnterWorld {
+                user: r.string()?,
+                handle: r.string()?,
+                x: r.f64()?,
+                y: r.f64()?,
+            },
+            TAG_PROPOSE => Op::Propose {
+                user: r.string()?,
+                proposal: r.u64()?,
+                scope: r.string()?,
+                title: r.string()?,
+            },
+            TAG_VOTE => Op::Vote { user: r.string()?, proposal: r.u64()?, support: r.bool()? },
+            TAG_ENDORSE => Op::Endorse { user: r.string()?, subject: r.string()? },
+            TAG_REPORT => Op::Report { user: r.string()?, subject: r.string()? },
+            TAG_MINT => Op::Mint {
+                user: r.string()?,
+                asset: r.u64()?,
+                uri: r.string()?,
+                quality: r.f64()?,
+            },
+            TAG_LIST => Op::List { user: r.string()?, asset: r.u64()?, price: r.u64()? },
+            TAG_BUY => Op::Buy { user: r.string()?, asset: r.u64()? },
+            TAG_RECORD_COLLECTION => {
+                let user = r.string()?;
+                let subject = r.string()?;
+                let sensor_idx = r.u8()?;
+                let sensor = *SensorClass::ALL
+                    .get(sensor_idx as usize)
+                    .ok_or(WireError::BadEnum { field: "sensor", value: sensor_idx })?;
+                let purpose = r.string()?;
+                let basis_idx = r.u8()?;
+                let basis = basis_from_byte(basis_idx)
+                    .ok_or(WireError::BadEnum { field: "basis", value: basis_idx })?;
+                Op::RecordCollection { user, subject, sensor, purpose, basis, bytes: r.u64()? }
+            }
+            TAG_TWIN_SYNC => {
+                Op::TwinSync { user: r.string()?, property: r.u32()?, delta: r.f64()? }
+            }
+            tag => return Err(WireError::BadTag(tag)),
+        };
+        if r.pos != buf.len() {
+            return Err(WireError::TrailingBytes(buf.len() - r.pos));
+        }
+        Ok(op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<Op> {
+        vec![
+            Op::Register { user: "alice".into() },
+            Op::EnterWorld { user: "alice".into(), handle: "neo".into(), x: -3.25, y: 12.5 },
+            Op::Propose {
+                user: "bob".into(),
+                proposal: 3,
+                scope: "privacy".into(),
+                title: "Bigger bubbles".into(),
+            },
+            Op::Vote { user: "carol".into(), proposal: 7, support: true },
+            Op::Vote { user: "carol".into(), proposal: u64::MAX, support: false },
+            Op::Endorse { user: "alice".into(), subject: "bob".into() },
+            Op::Report { user: "bob".into(), subject: "mallory".into() },
+            Op::Mint { user: "ayla".into(), asset: 42, uri: "asset://42".into(), quality: 0.875 },
+            Op::List { user: "ayla".into(), asset: 42, price: 360 },
+            Op::Buy { user: "kei".into(), asset: 42 },
+            Op::RecordCollection {
+                user: "svc".into(),
+                subject: "alice".into(),
+                sensor: SensorClass::Gaze,
+                purpose: "analytics".into(),
+                basis: LawfulBasis::Consent,
+                bytes: 4096,
+            },
+            Op::TwinSync { user: "alice".into(), property: 3, delta: -0.5 },
+        ]
+    }
+
+    #[test]
+    fn every_variant_round_trips() {
+        for op in samples() {
+            let bytes = op.encode();
+            assert_eq!(Op::decode(&bytes).unwrap(), op, "round-trip of {op:?}");
+        }
+    }
+
+    #[test]
+    fn every_sensor_and_basis_round_trips() {
+        for sensor in SensorClass::ALL {
+            for basis in [
+                LawfulBasis::Consent,
+                LawfulBasis::Contract,
+                LawfulBasis::LegitimateInterest,
+                LawfulBasis::VitalInterest,
+                LawfulBasis::None,
+            ] {
+                let op = Op::RecordCollection {
+                    user: "u".into(),
+                    subject: "s".into(),
+                    sensor,
+                    purpose: "p".into(),
+                    basis,
+                    bytes: 1,
+                };
+                assert_eq!(Op::decode(&op.encode()).unwrap(), op);
+            }
+        }
+    }
+
+    #[test]
+    fn decode_rejects_malformed_input() {
+        assert_eq!(Op::decode(&[]), Err(WireError::UnexpectedEof));
+        assert_eq!(Op::decode(&[0xff]), Err(WireError::BadTag(0xff)));
+        // Truncated string length prefix.
+        assert_eq!(Op::decode(&[TAG_REGISTER, 5]), Err(WireError::UnexpectedEof));
+        // String body shorter than its declared length.
+        assert_eq!(Op::decode(&[TAG_REGISTER, 5, 0, b'a']), Err(WireError::UnexpectedEof));
+        // Non-UTF-8 string.
+        assert_eq!(Op::decode(&[TAG_REGISTER, 1, 0, 0xff]), Err(WireError::BadUtf8));
+        // Bad bool byte on a vote.
+        let mut vote = Op::Vote { user: "v".into(), proposal: 1, support: true }.encode();
+        *vote.last_mut().unwrap() = 9;
+        assert_eq!(Op::decode(&vote), Err(WireError::BadBool(9)));
+        // Trailing garbage.
+        let mut reg = Op::Register { user: "a".into() }.encode();
+        reg.extend_from_slice(&[0, 0]);
+        assert_eq!(Op::decode(&reg), Err(WireError::TrailingBytes(2)));
+        // Out-of-range enum bytes.
+        let rec = Op::RecordCollection {
+            user: "u".into(),
+            subject: "s".into(),
+            sensor: SensorClass::Audio,
+            purpose: "p".into(),
+            basis: LawfulBasis::None,
+            bytes: 0,
+        };
+        let mut bytes = rec.encode();
+        // sensor byte sits after two strings: 1 + (2+1) + (2+1).
+        bytes[7] = 200;
+        assert!(matches!(
+            Op::decode(&bytes),
+            Err(WireError::BadEnum { field: "sensor", .. })
+        ));
+    }
+
+    #[test]
+    fn float_bit_patterns_survive() {
+        for v in [0.0, -0.0, f64::MIN_POSITIVE, 1.0 / 3.0, f64::MAX, f64::NEG_INFINITY] {
+            let op = Op::TwinSync { user: "u".into(), property: 0, delta: v };
+            let back = Op::decode(&op.encode()).unwrap();
+            match back {
+                Op::TwinSync { delta, .. } => assert_eq!(delta.to_bits(), v.to_bits()),
+                other => panic!("wrong variant {other:?}"),
+            }
+        }
+    }
+}

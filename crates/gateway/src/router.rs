@@ -1,0 +1,1126 @@
+//! The shard router: consistent hashing, batched execution, and
+//! cross-shard settlement.
+//!
+//! A [`ShardRouter`] owns N independent [`MetaversePlatform`] shards
+//! and a consistent-hash ring (virtual nodes over FNV-1a) that pins
+//! every user to a home shard, where their wallet, reputation account,
+//! avatar, and firewall live. Admitted ops accumulate in session
+//! mailboxes; at each **epoch boundary** ([`ShardRouter::execute_epoch`])
+//! the router drains mailboxes into per-shard batches, executes each
+//! batch in global admission order, advances and commits every shard's
+//! ledger, and then settles cross-shard effects.
+//!
+//! Two effects can cross shards and both go through the settlement
+//! queue so they conserve global quantities:
+//!
+//! * **purchases** — the buyer's funds are withdrawn on their home
+//!   shard (escrow), shipped to the asset's shard, deposited, and the
+//!   sale executed there; any failure refunds the escrow to the buyer's
+//!   home shard, so total token supply never changes;
+//! * **ratings** — endorsements and reports whose subject lives
+//!   elsewhere apply on the subject's shard via the platform's
+//!   module-guarded remote-rating entry point, requeueing while the
+//!   target module is down.
+//!
+//! Each shard also gets a router-side [`CircuitBreaker`] in epoch time:
+//! a shard whose ledger commits keep failing (e.g. a rogue validator
+//! fault) trips the breaker, new ops for it are refused with
+//! [`AdmissionError::ShardUnavailable`], its queued batch is held, and
+//! settlement entries targeting it are requeued — while every other
+//! shard keeps committing. Governance membership is deliberately
+//! global (a registration joins every shard's DAOs): decision-making
+//! spans the whole platform even though resources are sharded.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use metaverse_assets::nft::NftId;
+use metaverse_core::platform::MetaversePlatform;
+use metaverse_core::resilience::ResilienceConfig;
+use metaverse_core::CoreError;
+use metaverse_ledger::audit::DataCollectionEvent;
+use metaverse_ledger::chain::ChainConfig;
+use metaverse_resilience::breaker::BreakerTransition;
+use metaverse_resilience::{BreakerConfig, BreakerState, CircuitBreaker, FaultPlan};
+use metaverse_telemetry::{names, Counter, Gauge, Histogram, TelemetryHub, TelemetrySnapshot};
+use metaverse_twins::sync::{SyncChannel, SyncConfig};
+use metaverse_twins::twin::DigitalTwin;
+use metaverse_world::geometry::Vec2;
+
+use crate::error::AdmissionError;
+use crate::op::Op;
+use crate::session::{Session, SessionConfig};
+
+/// Router construction knobs.
+#[derive(Debug, Clone)]
+pub struct GatewayConfig {
+    /// Number of independent platform shards.
+    pub shards: usize,
+    /// Virtual nodes per shard on the hash ring.
+    pub vnodes: usize,
+    /// Admission policy stamped onto every new session.
+    pub session: SessionConfig,
+    /// Platform ticks advanced on every shard per epoch.
+    pub epoch_ticks: u64,
+    /// Router-side per-shard breaker tuning (in epoch time).
+    pub breaker: BreakerConfig,
+    /// Resilience config handed to each shard platform.
+    pub resilience: ResilienceConfig,
+    /// Ledger tuning handed to each shard platform.
+    pub chain_config: ChainConfig,
+    /// Whether the gateway (and its shards) record telemetry.
+    pub telemetry: bool,
+    /// Tokens granted to each successfully registered user.
+    pub initial_grant: u64,
+    /// Settlement attempts against a down module before giving up.
+    pub max_settlement_requeues: u32,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        GatewayConfig {
+            shards: 4,
+            vnodes: 16,
+            session: SessionConfig::default(),
+            epoch_ticks: 1,
+            breaker: BreakerConfig::default(),
+            resilience: ResilienceConfig::default(),
+            // Full-depth key trees (2^10 blocks per validator): a
+            // gateway shard seals blocks every epoch for the whole run,
+            // so the shallow trees the experiments use for fast setup
+            // would exhaust mid-workload and latch the breaker open.
+            chain_config: ChainConfig::default(),
+            telemetry: true,
+            initial_grant: 10_000,
+            max_settlement_requeues: 3,
+        }
+    }
+}
+
+/// The ring's dependency-free hash: FNV-1a with a murmur-style
+/// finalizer. Bare FNV-1a leaves the high bits dominated by the shared
+/// key prefix (`shard-…`, `user-…`), which collapses the ring into one
+/// arc per shard; the avalanche pass restores uniform placement.
+fn ring_hash(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    h ^ (h >> 33)
+}
+
+/// Where a globally-numbered asset actually lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct AssetLocation {
+    shard: usize,
+    local: NftId,
+}
+
+/// A cross-shard effect waiting in the settlement queue.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SettlementEffect {
+    /// Escrowed funds buying an asset on another shard.
+    Purchase {
+        /// Buying account.
+        buyer: String,
+        /// Global asset id.
+        asset: u64,
+        /// Buyer's home shard (refund target).
+        from_shard: usize,
+        /// Asset's shard (execution target).
+        to_shard: usize,
+        /// Escrowed price.
+        price: u64,
+    },
+    /// A rating whose subject lives on another shard.
+    Rating {
+        /// Rated account.
+        subject: String,
+        /// Subject's home shard (execution target).
+        to_shard: usize,
+        /// Endorse (`true`) or report (`false`).
+        positive: bool,
+    },
+}
+
+/// Terminal fate of a settlement entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SettlementOutcome {
+    /// Applied on the target shard.
+    Applied,
+    /// Purchase failed; escrow returned to the buyer's home shard.
+    Refunded,
+    /// Rating abandoned (target module stayed down past the requeue
+    /// budget, or the subject was unknown).
+    Dropped,
+}
+
+/// One settled entry, in settlement order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SettledEntry {
+    /// What crossed shards.
+    pub effect: SettlementEffect,
+    /// How it ended.
+    pub outcome: SettlementOutcome,
+    /// Epoch the entry reached its terminal state.
+    pub epoch: u64,
+    /// Times it was requeued before settling.
+    pub requeues: u32,
+}
+
+/// The cross-shard settlement ledger: every terminal entry plus the
+/// escrow and supply accounting that [`ConservationReport`] audits.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SettlementLedger {
+    /// Terminal entries, in settlement order.
+    pub entries: Vec<SettledEntry>,
+    /// Tokens minted by registration grants.
+    pub tokens_minted: u64,
+    /// Purchase funds currently in flight between shards.
+    pub escrow: u64,
+    /// Entries ever enqueued.
+    pub enqueued: u64,
+    /// Entries applied.
+    pub applied: u64,
+    /// Entries refunded or dropped.
+    pub rejected: u64,
+}
+
+/// Shard-count-invariant audit of global quantities. For one seed this
+/// report is identical whether the same op stream ran on 1 shard or 8 —
+/// the determinism gate CI enforces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConservationReport {
+    /// Registered users across all shards.
+    pub users: u64,
+    /// Tokens minted by registration grants.
+    pub tokens_minted: u64,
+    /// Tokens sitting in shard wallets.
+    pub tokens_on_shards: u64,
+    /// Tokens in settlement escrow.
+    pub tokens_in_flight: u64,
+    /// Assets successfully minted.
+    pub assets_minted: u64,
+    /// Minted assets resolvable to exactly one live owner.
+    pub assets_single_owner: u64,
+    /// Whether supply and ownership balance exactly.
+    pub conserved: bool,
+}
+
+/// What one epoch did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EpochReport {
+    /// Epoch index.
+    pub epoch: u64,
+    /// Ops that executed successfully.
+    pub committed: u64,
+    /// Ops that reached a shard and failed.
+    pub failed: u64,
+    /// Settlement entries applied this epoch.
+    pub settled: u64,
+    /// Settlement entries requeued this epoch.
+    pub requeued: u64,
+    /// Shards skipped because their breaker was open.
+    pub skipped_shards: Vec<usize>,
+    /// Shards whose ledger commit failed this epoch.
+    pub commit_failures: Vec<usize>,
+}
+
+/// Gateway instruments, registered under [`names::gateway`].
+struct GatewayMetrics {
+    ops_submitted: Counter,
+    ops_accepted: Counter,
+    ops_committed: Counter,
+    ops_failed: Counter,
+    rejected_rate_limited: Counter,
+    rejected_mailbox_full: Counter,
+    rejected_shard_down: Counter,
+    rejected_unknown_user: Counter,
+    settlement_enqueued: Counter,
+    settlement_applied: Counter,
+    settlement_rejected: Counter,
+    settlement_requeued: Counter,
+    settlement_depth: Gauge,
+    epochs: Counter,
+    sessions: Gauge,
+    batch_size: Histogram,
+    shard_commit_failures: Counter,
+    shard_epochs_skipped: Counter,
+    shard_batch_ns: Vec<Histogram>,
+    shard_queue_depth: Vec<Gauge>,
+}
+
+impl GatewayMetrics {
+    fn new(hub: &TelemetryHub, shards: usize) -> Self {
+        use names::gateway as g;
+        GatewayMetrics {
+            ops_submitted: hub.counter(g::OPS_SUBMITTED),
+            ops_accepted: hub.counter(g::OPS_ACCEPTED),
+            ops_committed: hub.counter(g::OPS_COMMITTED),
+            ops_failed: hub.counter(g::OPS_FAILED),
+            rejected_rate_limited: hub.counter(g::REJECTED_RATE_LIMITED),
+            rejected_mailbox_full: hub.counter(g::REJECTED_MAILBOX_FULL),
+            rejected_shard_down: hub.counter(g::REJECTED_SHARD_DOWN),
+            rejected_unknown_user: hub.counter(g::REJECTED_UNKNOWN_USER),
+            settlement_enqueued: hub.counter(g::SETTLEMENT_ENQUEUED),
+            settlement_applied: hub.counter(g::SETTLEMENT_APPLIED),
+            settlement_rejected: hub.counter(g::SETTLEMENT_REJECTED),
+            settlement_requeued: hub.counter(g::SETTLEMENT_REQUEUED),
+            settlement_depth: hub.gauge(g::SETTLEMENT_DEPTH),
+            epochs: hub.counter(g::EPOCHS),
+            sessions: hub.gauge(g::SESSIONS),
+            batch_size: hub.histogram(g::BATCH_SIZE),
+            shard_commit_failures: hub.counter(g::SHARD_COMMIT_FAILURES),
+            shard_epochs_skipped: hub.counter(g::SHARD_EPOCHS_SKIPPED),
+            shard_batch_ns: (0..shards).map(|i| hub.histogram(&g::shard_batch_ns(i))).collect(),
+            shard_queue_depth: (0..shards).map(|i| hub.gauge(&g::shard_queue_depth(i))).collect(),
+        }
+    }
+}
+
+/// One shard: an independent platform plus router-side state.
+struct Shard {
+    platform: MetaversePlatform,
+    queue: VecDeque<(u64, Op)>,
+    breaker: CircuitBreaker,
+    twin: DigitalTwin,
+    channel: SyncChannel,
+}
+
+/// An in-flight settlement entry.
+#[derive(Debug, Clone)]
+struct PendingSettlement {
+    effect: SettlementEffect,
+    requeues: u32,
+}
+
+/// The sharded session gateway.
+pub struct ShardRouter {
+    config: GatewayConfig,
+    hub: TelemetryHub,
+    metrics: GatewayMetrics,
+    ring: BTreeMap<u64, usize>,
+    shards: Vec<Shard>,
+    sessions: BTreeMap<String, Session>,
+    assets: BTreeMap<u64, AssetLocation>,
+    proposals: BTreeMap<u64, (usize, String, u64)>,
+    settlement: VecDeque<PendingSettlement>,
+    ledger: SettlementLedger,
+    epoch: u64,
+    now: u64,
+    seq: u64,
+}
+
+impl ShardRouter {
+    /// Builds a router with `config.shards` fresh platforms.
+    pub fn new(config: GatewayConfig) -> Self {
+        assert!(config.shards > 0, "gateway needs at least one shard");
+        let hub = if config.telemetry { TelemetryHub::new() } else { TelemetryHub::disabled() };
+        let metrics = GatewayMetrics::new(&hub, config.shards);
+        let mut ring = BTreeMap::new();
+        for shard in 0..config.shards {
+            for vnode in 0..config.vnodes.max(1) {
+                ring.insert(ring_hash(format!("shard-{shard}-vnode-{vnode}").as_bytes()), shard);
+            }
+        }
+        let shards = (0..config.shards)
+            .map(|i| {
+                let platform = MetaversePlatform::builder()
+                    .chain_config(config.chain_config.clone())
+                    .validators([format!("validator-{i}")])
+                    .resilience(config.resilience.clone())
+                    .telemetry(config.telemetry)
+                    .build();
+                Shard {
+                    platform,
+                    queue: VecDeque::new(),
+                    breaker: CircuitBreaker::new(config.breaker),
+                    twin: DigitalTwin::new(i as u64, format!("shard-{i}"), "gateway", 8),
+                    channel: SyncChannel::new(SyncConfig {
+                        loss_rate: 0.0,
+                        dup_rate: 0.0,
+                        reconcile_interval: 25,
+                        seed: i as u64,
+                        retry: None,
+                    }),
+                }
+            })
+            .collect();
+        ShardRouter {
+            config,
+            hub,
+            metrics,
+            ring,
+            shards,
+            sessions: BTreeMap::new(),
+            assets: BTreeMap::new(),
+            proposals: BTreeMap::new(),
+            settlement: VecDeque::new(),
+            ledger: SettlementLedger::default(),
+            epoch: 0,
+            now: 0,
+            seq: 0,
+        }
+    }
+
+    /// The home shard the ring assigns to `user`.
+    pub fn home_shard(&self, user: &str) -> usize {
+        let h = ring_hash(user.as_bytes());
+        let shard = self
+            .ring
+            .range(h..)
+            .next()
+            .or_else(|| self.ring.iter().next())
+            .map(|(_, s)| *s)
+            .expect("ring is never empty");
+        shard
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Connected sessions.
+    pub fn session_count(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Epochs executed so far.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The gateway's own telemetry hub (distinct from each shard's).
+    pub fn telemetry(&self) -> &TelemetryHub {
+        &self.hub
+    }
+
+    /// Snapshot of the gateway's instruments.
+    pub fn telemetry_snapshot(&self) -> TelemetrySnapshot {
+        self.hub.snapshot()
+    }
+
+    /// Read access to one shard's platform.
+    pub fn shard_platform(&self, shard: usize) -> &MetaversePlatform {
+        &self.shards[shard].platform
+    }
+
+    /// Router-side breaker state for one shard.
+    pub fn shard_breaker_state(&self, shard: usize) -> BreakerState {
+        self.shards[shard].breaker.state()
+    }
+
+    /// The settlement ledger (terminal entries + supply accounting).
+    pub fn settlement_ledger(&self) -> &SettlementLedger {
+        &self.ledger
+    }
+
+    /// Installs a fault schedule on one shard's platform (the E21 /
+    /// test hook for stalling a single shard).
+    pub fn install_shard_fault_plan(&mut self, shard: usize, plan: FaultPlan) {
+        self.shards[shard].platform.install_fault_plan(plan);
+    }
+
+    /// Offers an encoded op to the gateway (decode, then admit).
+    pub fn submit_wire(&mut self, bytes: &[u8]) -> Result<u64, crate::error::GatewayError> {
+        let op = Op::decode(bytes)?;
+        self.submit(op).map_err(Into::into)
+    }
+
+    /// Offers an op to its owner's session. On success the op waits in
+    /// the session mailbox for the next epoch; the returned sequence
+    /// number is its global admission order.
+    pub fn submit(&mut self, op: Op) -> Result<u64, AdmissionError> {
+        self.metrics.ops_submitted.incr();
+        let user = op.user().to_string();
+        let is_register = matches!(op, Op::Register { .. });
+        if is_register && !self.sessions.contains_key(&user) {
+            let shard = self.home_shard(&user);
+            if !self.shards[shard].breaker.allows_request(self.epoch) {
+                self.metrics.rejected_shard_down.incr();
+                return Err(AdmissionError::ShardUnavailable { shard });
+            }
+            let mut session = Session::new(&user, shard, self.config.session);
+            let seq = self.seq;
+            session
+                .offer(seq, op, self.now)
+                .expect("a fresh session admits its first op");
+            self.sessions.insert(user, session);
+            self.metrics.sessions.set(self.sessions.len() as i64);
+            self.metrics.ops_accepted.incr();
+            self.seq += 1;
+            return Ok(seq);
+        }
+        let Some(session) = self.sessions.get_mut(&user) else {
+            self.metrics.rejected_unknown_user.incr();
+            return Err(AdmissionError::UnknownUser { user });
+        };
+        let shard = session.shard();
+        if !self.shards[shard].breaker.allows_request(self.epoch) {
+            self.metrics.rejected_shard_down.incr();
+            return Err(AdmissionError::ShardUnavailable { shard });
+        }
+        let seq = self.seq;
+        match session.offer(seq, op, self.now) {
+            Ok(()) => {
+                self.metrics.ops_accepted.incr();
+                self.seq += 1;
+                Ok(seq)
+            }
+            Err(e) => {
+                match &e {
+                    AdmissionError::RateLimited { .. } => {
+                        self.metrics.rejected_rate_limited.incr()
+                    }
+                    AdmissionError::MailboxFull { .. } => {
+                        self.metrics.rejected_mailbox_full.incr()
+                    }
+                    _ => {}
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Drains every mailbox, executes per-shard batches, commits every
+    /// healthy shard's ledger, and settles cross-shard effects.
+    pub fn execute_epoch(&mut self) -> EpochReport {
+        let mut report = EpochReport { epoch: self.epoch, ..EpochReport::default() };
+        self.metrics.epochs.incr();
+
+        // 1. Mailboxes → shard queues; votes route to the proposal's
+        //    shard and buys are resolved during execution, so routing
+        //    here is simply "the shard that owns the op's target".
+        let mut drained: Vec<(u64, Op)> = Vec::new();
+        for session in self.sessions.values_mut() {
+            drained.extend(session.drain());
+        }
+        drained.sort_by_key(|(seq, _)| *seq);
+        for (seq, op) in drained {
+            let shard = self.target_shard(&op);
+            self.shards[shard].queue.push_back((seq, op));
+        }
+        for shard in &mut self.shards {
+            shard.queue.make_contiguous().sort_by_key(|(seq, _)| *seq);
+        }
+
+        // 2. Per-shard batches, skipping tripped shards.
+        for i in 0..self.shards.len() {
+            for t in self.poll_breaker(i) {
+                let _ = t;
+            }
+            if !self.shards[i].breaker.allows_request(self.epoch) {
+                self.metrics.shard_epochs_skipped.incr();
+                report.skipped_shards.push(i);
+                continue;
+            }
+            let batch: Vec<(u64, Op)> = self.shards[i].queue.drain(..).collect();
+            self.metrics.batch_size.record(batch.len() as u64);
+            let span = self.metrics.shard_batch_ns[i].start_span();
+            for (_, op) in batch {
+                match self.execute_on_shard(i, op) {
+                    Ok(()) => {
+                        self.metrics.ops_committed.incr();
+                        report.committed += 1;
+                    }
+                    Err(_) => {
+                        self.metrics.ops_failed.incr();
+                        report.failed += 1;
+                    }
+                }
+            }
+            drop(span);
+            self.shards[i].platform.advance_ticks(self.config.epoch_ticks);
+            match self.shards[i].platform.commit_epoch() {
+                Ok(_) => {
+                    let transitions = self.shards[i].breaker.record_success(self.epoch);
+                    self.mirror_breaker(i, transitions.into_iter());
+                }
+                Err(_) => {
+                    self.metrics.shard_commit_failures.incr();
+                    report.commit_failures.push(i);
+                    let transitions = self.shards[i].breaker.record_failure(self.epoch);
+                    self.mirror_breaker(i, transitions.into_iter());
+                }
+            }
+        }
+
+        // 3. Settle cross-shard effects.
+        let (settled, requeued) = self.settle();
+        report.settled = settled;
+        report.requeued = requeued;
+
+        // 4. Gauges + clock.
+        self.metrics.settlement_depth.set(self.settlement.len() as i64);
+        for i in 0..self.shards.len() {
+            self.metrics.shard_queue_depth[i].set(self.shards[i].queue.len() as i64);
+        }
+        self.epoch += 1;
+        self.now += self.config.epoch_ticks.max(1);
+        report
+    }
+
+    /// Work admitted but not yet terminal: mailboxed ops, queued
+    /// batches on held shards, and in-flight settlement entries.
+    pub fn pending_ops(&self) -> usize {
+        let mailboxed: usize = self.sessions.values().map(Session::pending).sum();
+        let queued: usize = self.shards.iter().map(|s| s.queue.len()).sum();
+        mailboxed + queued + self.settlement.len()
+    }
+
+    /// Runs epochs until [`ShardRouter::pending_ops`] reaches zero (or
+    /// `max_epochs` passes). Returns epochs run.
+    pub fn drain(&mut self, max_epochs: u64) -> u64 {
+        let mut ran = 0;
+        while ran < max_epochs && self.pending_ops() > 0 {
+            self.execute_epoch();
+            ran += 1;
+        }
+        ran
+    }
+
+    /// Audits global supply and ownership; see [`ConservationReport`].
+    pub fn conservation_report(&self) -> ConservationReport {
+        let users = self.shards.iter().map(|s| s.platform.user_count() as u64).sum();
+        let tokens_on_shards =
+            self.shards.iter().map(|s| s.platform.market().total_balance()).sum();
+        let assets_single_owner = self
+            .assets
+            .values()
+            .filter(|loc| {
+                self.shards[loc.shard]
+                    .platform
+                    .assets()
+                    .get(loc.local)
+                    .is_some_and(|nft| !nft.owner.is_empty())
+            })
+            .count() as u64;
+        let assets_minted = self.assets.len() as u64;
+        let tokens_in_flight = self.ledger.escrow;
+        let conserved = self.ledger.tokens_minted == tokens_on_shards + tokens_in_flight
+            && assets_single_owner == assets_minted;
+        ConservationReport {
+            users,
+            tokens_minted: self.ledger.tokens_minted,
+            tokens_on_shards,
+            tokens_in_flight,
+            assets_minted,
+            assets_single_owner,
+            conserved,
+        }
+    }
+
+    /// Global asset id → current owner, resolved across shards. Every
+    /// minted asset appears exactly once (the invariant
+    /// [`Self::conservation_report`] audits); *which* buyer won a
+    /// contested same-epoch purchase depends on batch interleaving and
+    /// so may differ between shard counts.
+    pub fn asset_owners(&self) -> BTreeMap<u64, String> {
+        self.assets
+            .iter()
+            .filter_map(|(gid, loc)| {
+                self.shards[loc.shard]
+                    .platform
+                    .assets()
+                    .get(loc.local)
+                    .map(|nft| (*gid, nft.owner.clone()))
+            })
+            .collect()
+    }
+
+    // ---- internals -----------------------------------------------------
+
+    /// The shard an op executes on: votes go to the proposal's shard,
+    /// everything else to the acting user's home shard. (Cross-shard
+    /// buys and ratings start on the home shard and finish through the
+    /// settlement queue.)
+    fn target_shard(&self, op: &Op) -> usize {
+        if let Op::Vote { proposal, .. } = op {
+            if let Some((shard, _, _)) = self.proposals.get(proposal) {
+                return *shard;
+            }
+        }
+        self.sessions
+            .get(op.user())
+            .map(Session::shard)
+            .unwrap_or_else(|| self.home_shard(op.user()))
+    }
+
+    fn poll_breaker(&mut self, shard: usize) -> Vec<BreakerTransition> {
+        let t = self.shards[shard].breaker.poll(self.epoch);
+        let ts: Vec<_> = t.into_iter().collect();
+        self.mirror_breaker(shard, ts.iter().cloned());
+        ts
+    }
+
+    fn mirror_breaker(
+        &self,
+        shard: usize,
+        transitions: impl Iterator<Item = BreakerTransition>,
+    ) {
+        for t in transitions {
+            self.hub.incr(&names::gateway::shard_breaker(shard, t.to.label()));
+        }
+    }
+
+    fn execute_on_shard(&mut self, shard: usize, op: Op) -> Result<(), CoreError> {
+        match op {
+            Op::Register { user } => {
+                self.shards[shard].platform.register_user(&user)?;
+                self.shards[shard].platform.deposit(&user, self.config.initial_grant);
+                self.ledger.tokens_minted += self.config.initial_grant;
+                // Governance is global: join every other shard's DAOs.
+                for (i, other) in self.shards.iter_mut().enumerate() {
+                    if i != shard {
+                        let _ = other.platform.with_governance(|g| g.join_all(&user));
+                    }
+                }
+                Ok(())
+            }
+            Op::EnterWorld { user, handle, x, y } => {
+                self.shards[shard].platform.enter_world(&user, &handle, Vec2::new(x, y))?;
+                Ok(())
+            }
+            Op::Propose { user, proposal, scope, title } => {
+                let local =
+                    self.shards[shard].platform.propose(&scope, &user, &title)?;
+                self.proposals.insert(proposal, (shard, scope, local));
+                Ok(())
+            }
+            Op::Vote { user, proposal, support } => {
+                // A vote admitted in the same epoch as its proposal may
+                // have been routed before the directory entry existed;
+                // execute against the proposal's true shard either way.
+                let (pshard, scope, local) =
+                    self.proposals.get(&proposal).cloned().ok_or_else(|| {
+                        CoreError::Platform(format!("unknown proposal {proposal}"))
+                    })?;
+                self.shards[pshard].platform.vote(&scope, &user, local, support)?;
+                Ok(())
+            }
+            Op::Endorse { user, subject } => self.rate(shard, &user, &subject, true),
+            Op::Report { user, subject } => self.rate(shard, &user, &subject, false),
+            Op::Mint { user, asset, uri, quality } => {
+                let local = self.shards[shard].platform.mint_asset(
+                    &user,
+                    &uri,
+                    uri.as_bytes(),
+                    quality,
+                )?;
+                self.assets.insert(asset, AssetLocation { shard, local });
+                Ok(())
+            }
+            Op::List { user, asset, price } => {
+                let loc = self.lookup_asset(asset)?;
+                // Listings execute on the asset's shard regardless of
+                // where the seller is homed — ownership lives there.
+                self.shards[loc.shard].platform.list_asset(&user, loc.local, price)?;
+                Ok(())
+            }
+            Op::Buy { user, asset } => self.buy(shard, &user, asset),
+            Op::RecordCollection { user, subject, sensor, purpose, basis, bytes } => {
+                let tick = self.shards[shard].platform.tick();
+                self.shards[shard].platform.record_collection(DataCollectionEvent {
+                    collector: user,
+                    subject,
+                    sensor,
+                    purpose,
+                    basis,
+                    tick,
+                    bytes,
+                });
+                Ok(())
+            }
+            Op::TwinSync { user, property, delta } => {
+                let _ = user;
+                let s = &mut self.shards[shard];
+                s.channel.step(&mut s.twin, property as usize % 8, delta);
+                Ok(())
+            }
+        }
+    }
+
+    fn lookup_asset(&self, asset: u64) -> Result<AssetLocation, CoreError> {
+        self.assets
+            .get(&asset)
+            .copied()
+            .ok_or_else(|| CoreError::Platform(format!("unknown asset {asset}")))
+    }
+
+    /// Endorse/report: local subjects apply directly; remote subjects
+    /// go through settlement.
+    fn rate(
+        &mut self,
+        shard: usize,
+        rater: &str,
+        subject: &str,
+        positive: bool,
+    ) -> Result<(), CoreError> {
+        let subject_shard =
+            self.sessions.get(subject).map(Session::shard).unwrap_or_else(|| {
+                self.home_shard(subject)
+            });
+        if subject_shard == shard {
+            if positive {
+                self.shards[shard].platform.endorse(rater, subject)?;
+            } else {
+                self.shards[shard].platform.report(rater, subject)?;
+            }
+            return Ok(());
+        }
+        self.enqueue_settlement(SettlementEffect::Rating {
+            subject: subject.to_string(),
+            to_shard: subject_shard,
+            positive,
+        });
+        Ok(())
+    }
+
+    /// Buy on the buyer's home shard: local assets buy directly; remote
+    /// assets escrow the price and settle on the asset's shard.
+    fn buy(&mut self, shard: usize, buyer: &str, asset: u64) -> Result<(), CoreError> {
+        let loc = self.lookup_asset(asset)?;
+        if loc.shard == shard {
+            return self.shards[shard].platform.buy_asset(buyer, loc.local);
+        }
+        let price = self.shards[loc.shard]
+            .platform
+            .market()
+            .listing(loc.local)
+            .map(|l| l.price)
+            .ok_or_else(|| CoreError::Platform(format!("asset {asset} not listed")))?;
+        self.shards[shard].platform.withdraw(buyer, price)?;
+        self.ledger.escrow += price;
+        self.enqueue_settlement(SettlementEffect::Purchase {
+            buyer: buyer.to_string(),
+            asset,
+            from_shard: shard,
+            to_shard: loc.shard,
+            price,
+        });
+        Ok(())
+    }
+
+    fn enqueue_settlement(&mut self, effect: SettlementEffect) {
+        self.metrics.settlement_enqueued.incr();
+        self.ledger.enqueued += 1;
+        self.settlement.push_back(PendingSettlement { effect, requeues: 0 });
+    }
+
+    /// Applies the settlement queue once; entries whose target shard or
+    /// module is unavailable requeue (bounded), purchases that cannot
+    /// complete refund. Returns `(settled, requeued)`.
+    fn settle(&mut self) -> (u64, u64) {
+        let mut settled = 0;
+        let mut requeued = 0;
+        let pending: Vec<PendingSettlement> = self.settlement.drain(..).collect();
+        for entry in pending {
+            let target = match &entry.effect {
+                SettlementEffect::Purchase { to_shard, .. } => *to_shard,
+                SettlementEffect::Rating { to_shard, .. } => *to_shard,
+            };
+            if !self.shards[target].breaker.allows_request(self.epoch) {
+                self.requeue_or_terminate(entry, &mut settled, &mut requeued);
+                continue;
+            }
+            match entry.effect.clone() {
+                SettlementEffect::Purchase { buyer, price, to_shard, asset, .. } => {
+                    let loc = self.assets[&asset];
+                    self.shards[to_shard].platform.deposit(&buyer, price);
+                    match self.shards[to_shard].platform.buy_asset(&buyer, loc.local) {
+                        Ok(()) => {
+                            self.ledger.escrow -= price;
+                            self.finish(entry, SettlementOutcome::Applied);
+                            settled += 1;
+                        }
+                        Err(e) => {
+                            // Pull the deposit back into escrow before
+                            // deciding between requeue and refund.
+                            self.shards[to_shard]
+                                .platform
+                                .withdraw(&buyer, price)
+                                .expect("escrow deposit is still unspent");
+                            if matches!(e, CoreError::ModuleUnavailable { .. }) {
+                                self.requeue_or_terminate(entry, &mut settled, &mut requeued);
+                            } else {
+                                self.refund(entry);
+                            }
+                        }
+                    }
+                }
+                SettlementEffect::Rating { subject, to_shard, positive } => {
+                    match self.shards[to_shard].platform.apply_remote_rating(&subject, positive)
+                    {
+                        Ok(_) => {
+                            self.finish(entry, SettlementOutcome::Applied);
+                            settled += 1;
+                        }
+                        Err(CoreError::ModuleUnavailable { .. }) => {
+                            self.requeue_or_terminate(entry, &mut settled, &mut requeued);
+                        }
+                        Err(_) => {
+                            self.finish(entry, SettlementOutcome::Dropped);
+                            self.metrics.settlement_rejected.incr();
+                            self.ledger.rejected += 1;
+                        }
+                    }
+                }
+            }
+        }
+        (settled, requeued)
+    }
+
+    /// Requeues an entry if it has budget left, otherwise terminates it
+    /// (refunding purchases, dropping ratings).
+    fn requeue_or_terminate(
+        &mut self,
+        mut entry: PendingSettlement,
+        settled: &mut u64,
+        requeued: &mut u64,
+    ) {
+        let _ = settled;
+        if entry.requeues < self.config.max_settlement_requeues {
+            entry.requeues += 1;
+            self.metrics.settlement_requeued.incr();
+            *requeued += 1;
+            self.settlement.push_back(entry);
+            return;
+        }
+        match entry.effect {
+            SettlementEffect::Purchase { .. } => self.refund(entry),
+            SettlementEffect::Rating { .. } => {
+                self.finish(entry, SettlementOutcome::Dropped);
+                self.metrics.settlement_rejected.incr();
+                self.ledger.rejected += 1;
+            }
+        }
+    }
+
+    /// Returns a purchase's escrow to the buyer's home shard.
+    fn refund(&mut self, entry: PendingSettlement) {
+        if let SettlementEffect::Purchase { ref buyer, from_shard, price, .. } = entry.effect {
+            self.shards[from_shard].platform.deposit(buyer, price);
+            self.ledger.escrow -= price;
+        }
+        self.metrics.settlement_rejected.incr();
+        self.ledger.rejected += 1;
+        self.finish(entry, SettlementOutcome::Refunded);
+    }
+
+    fn finish(&mut self, entry: PendingSettlement, outcome: SettlementOutcome) {
+        if outcome == SettlementOutcome::Applied {
+            self.metrics.settlement_applied.incr();
+            self.ledger.applied += 1;
+        }
+        self.ledger.entries.push(SettledEntry {
+            effect: entry.effect,
+            outcome,
+            epoch: self.epoch,
+            requeues: entry.requeues,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metaverse_resilience::FaultKind;
+
+    fn config(shards: usize) -> GatewayConfig {
+        GatewayConfig {
+            shards,
+            breaker: BreakerConfig {
+                failure_threshold: 2,
+                failure_window: 10,
+                cooldown: 3,
+                probation_successes: 1,
+            },
+            // Shallow key trees keep per-test keygen cheap; these
+            // workloads seal far fewer than 2^6 blocks per shard.
+            chain_config: ChainConfig { key_tree_depth: 6, ..ChainConfig::default() },
+            ..GatewayConfig::default()
+        }
+    }
+
+    fn register_all(router: &mut ShardRouter, users: &[&str]) {
+        for u in users {
+            router.submit(Op::Register { user: (*u).into() }).unwrap();
+        }
+        router.execute_epoch();
+    }
+
+    #[test]
+    fn ring_is_stable_and_covers_all_shards() {
+        let router = ShardRouter::new(config(4));
+        let mut seen = [false; 4];
+        for i in 0..256 {
+            let shard = router.home_shard(&format!("user-{i}"));
+            assert!(shard < 4);
+            seen[shard] = true;
+            assert_eq!(shard, router.home_shard(&format!("user-{i}")), "stable");
+        }
+        assert!(seen.iter().all(|s| *s), "256 users should land on every shard");
+    }
+
+    #[test]
+    fn register_grants_tokens_and_joins_governance_everywhere() {
+        let mut router = ShardRouter::new(config(2));
+        register_all(&mut router, &["alice", "bob", "carol", "dave"]);
+        let report = router.conservation_report();
+        assert_eq!(report.users, 4);
+        assert_eq!(report.tokens_minted, 4 * router.config.initial_grant);
+        assert_eq!(report.tokens_on_shards, report.tokens_minted);
+        assert!(report.conserved);
+        // A proposal on any shard accepts votes from users homed on the
+        // other shard (global governance membership).
+        let shard_of = |r: &ShardRouter, u: &str| r.sessions[u].shard();
+        let (a, b) = ("alice", "bob");
+        if shard_of(&router, a) != shard_of(&router, b) {
+            router
+                .submit(Op::Propose {
+                    user: a.into(),
+                    proposal: 0,
+                    scope: "root".into(),
+                    title: "cross-shard ballot".into(),
+                })
+                .unwrap();
+            router.execute_epoch();
+            router.submit(Op::Vote { user: b.into(), proposal: 0, support: true }).unwrap();
+            let report = router.execute_epoch();
+            assert_eq!(report.failed, 0, "cross-shard vote must land");
+        }
+    }
+
+    #[test]
+    fn unknown_user_is_refused_with_typed_error() {
+        let mut router = ShardRouter::new(config(2));
+        let err = router
+            .submit(Op::Endorse { user: "ghost".into(), subject: "alice".into() })
+            .unwrap_err();
+        assert!(matches!(err, AdmissionError::UnknownUser { .. }));
+        let snap = router.telemetry_snapshot();
+        assert_eq!(snap.counters[names::gateway::REJECTED_UNKNOWN_USER], 1);
+    }
+
+    #[test]
+    fn cross_shard_purchase_conserves_tokens() {
+        let mut router = ShardRouter::new(config(4));
+        // Find two users on different shards.
+        let users: Vec<String> = (0..32).map(|i| format!("trader-{i}")).collect();
+        let refs: Vec<&str> = users.iter().map(String::as_str).collect();
+        register_all(&mut router, &refs);
+        let creator = users
+            .iter()
+            .find(|u| router.sessions[*u].shard() != router.sessions[&users[0]].shard())
+            .expect("32 users span at least two shards")
+            .clone();
+        let buyer = users[0].clone();
+        router
+            .submit(Op::Mint {
+                user: creator.clone(),
+                asset: 0,
+                uri: "asset://0".into(),
+                quality: 0.9,
+            })
+            .unwrap();
+        router.execute_epoch();
+        router.submit(Op::List { user: creator.clone(), asset: 0, price: 500 }).unwrap();
+        router.execute_epoch();
+        router.submit(Op::Buy { user: buyer.clone(), asset: 0 }).unwrap();
+        router.execute_epoch();
+        router.drain(8);
+        let ledger = router.settlement_ledger();
+        assert_eq!(ledger.applied, 1, "purchase settles: {:?}", ledger.entries);
+        assert_eq!(ledger.escrow, 0);
+        let report = router.conservation_report();
+        assert!(report.conserved, "{report:?}");
+        // Ownership actually moved.
+        let loc = router.assets[&0];
+        assert_eq!(router.shards[loc.shard].platform.assets().get(loc.local).unwrap().owner, buyer);
+    }
+
+    #[test]
+    fn stalled_shard_trips_breaker_and_other_shards_keep_committing() {
+        let mut router = ShardRouter::new(GatewayConfig {
+            resilience: ResilienceConfig { enabled: false, ..ResilienceConfig::default() },
+            ..config(2)
+        });
+        let users: Vec<String> = (0..16).map(|i| format!("user-{i}")).collect();
+        let refs: Vec<&str> = users.iter().map(String::as_str).collect();
+        register_all(&mut router, &refs);
+        // A rogue validator stalls shard 0's commits for a long window.
+        router.install_shard_fault_plan(
+            0,
+            FaultPlan::new().schedule(
+                0,
+                10_000,
+                FaultKind::RogueValidator { validator: "validator-0".into() },
+            ),
+        );
+        let victim = users.iter().find(|u| router.sessions[*u].shard() == 0).unwrap().clone();
+        let survivor = users.iter().find(|u| router.sessions[*u].shard() == 1).unwrap().clone();
+        let peer = users
+            .iter()
+            .find(|u| router.sessions[*u].shard() == 0 && **u != victim)
+            .unwrap()
+            .clone();
+        // Seed shard 0's mempool with one ledger record: the aborted
+        // commit keeps it queued, so every later epoch re-attempts the
+        // commit and fails again until the breaker opens (threshold 2).
+        router
+            .submit(Op::Endorse { user: victim.clone(), subject: peer })
+            .unwrap();
+        let mut tripped = false;
+        for _ in 0..4 {
+            let report = router.execute_epoch();
+            if !report.commit_failures.is_empty() {
+                tripped = matches!(router.shard_breaker_state(0), BreakerState::Open { .. });
+                if tripped {
+                    break;
+                }
+            }
+        }
+        assert!(tripped, "shard 0 breaker should open after repeated commit failures");
+        // New ops for shard 0 are refused with the typed error...
+        let err = router
+            .submit(Op::TwinSync { user: victim, property: 0, delta: 1.0 })
+            .unwrap_err();
+        assert!(matches!(err, AdmissionError::ShardUnavailable { shard: 0 }));
+        // ...while shard 1 still accepts and commits.
+        router
+            .submit(Op::TwinSync { user: survivor, property: 0, delta: 1.0 })
+            .unwrap();
+        let report = router.execute_epoch();
+        assert!(report.skipped_shards.contains(&0));
+        assert_eq!(report.committed, 1);
+        let snap = router.telemetry_snapshot();
+        assert!(snap.counters[names::gateway::REJECTED_SHARD_DOWN] >= 1);
+        assert!(snap.counters[names::gateway::SHARD_EPOCHS_SKIPPED] >= 1);
+    }
+
+    #[test]
+    fn single_shard_runs_everything_locally() {
+        let mut router = ShardRouter::new(config(1));
+        register_all(&mut router, &["solo-a", "solo-b"]);
+        router
+            .submit(Op::Mint {
+                user: "solo-a".into(),
+                asset: 0,
+                uri: "asset://0".into(),
+                quality: 0.8,
+            })
+            .unwrap();
+        router.execute_epoch();
+        router.submit(Op::List { user: "solo-a".into(), asset: 0, price: 100 }).unwrap();
+        router.execute_epoch();
+        router.submit(Op::Buy { user: "solo-b".into(), asset: 0 }).unwrap();
+        router.execute_epoch();
+        assert_eq!(router.settlement_ledger().enqueued, 0, "no cross-shard traffic on 1 shard");
+        assert!(router.conservation_report().conserved);
+    }
+}

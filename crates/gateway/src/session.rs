@@ -1,0 +1,264 @@
+//! Per-user sessions: the gateway's admission layer.
+//!
+//! A [`Session`] owns two backpressure mechanisms, both deterministic
+//! and both in logical tick time:
+//!
+//! * a **token bucket** ([`RateLimit`]) in integer milli-tokens — no
+//!   floats, so refill arithmetic is exact and replayable — refusing
+//!   bursts beyond the configured sustained rate, and
+//! * a **bounded mailbox** holding admitted ops until the router drains
+//!   them at the next epoch boundary; a full mailbox refuses with
+//!   [`AdmissionError::MailboxFull`] rather than buffering without
+//!   bound.
+//!
+//! Refusals are *typed* ([`AdmissionError`]) so callers can tell "slow
+//! down" apart from "session missing" apart from "shard down" — the
+//! governance analogue of the paper's argument that opaque denials are
+//! themselves a harm.
+
+use std::collections::VecDeque;
+
+use crate::error::AdmissionError;
+use crate::op::Op;
+
+/// Milli-tokens per whole token.
+const MILLI: u64 = 1000;
+
+/// Sustained-rate + burst admission policy for one session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RateLimit {
+    /// Bucket capacity in whole ops (burst size).
+    pub burst: u32,
+    /// Refill rate in milli-tokens per tick (1000 = one op per tick).
+    pub milli_per_tick: u64,
+}
+
+impl Default for RateLimit {
+    fn default() -> Self {
+        // Sustain 2 ops per tick, absorb bursts of 16.
+        RateLimit { burst: 16, milli_per_tick: 2 * MILLI }
+    }
+}
+
+/// Deterministic token bucket in integer milli-tokens.
+#[derive(Debug, Clone)]
+struct TokenBucket {
+    capacity_milli: u64,
+    level_milli: u64,
+    refill_per_tick: u64,
+    last_tick: u64,
+}
+
+impl TokenBucket {
+    fn new(limit: RateLimit) -> Self {
+        let capacity_milli = u64::from(limit.burst) * MILLI;
+        TokenBucket {
+            capacity_milli,
+            level_milli: capacity_milli, // start full
+            refill_per_tick: limit.milli_per_tick,
+            last_tick: 0,
+        }
+    }
+
+    fn refill(&mut self, now: u64) {
+        let elapsed = now.saturating_sub(self.last_tick);
+        self.last_tick = self.last_tick.max(now);
+        let gained = elapsed.saturating_mul(self.refill_per_tick);
+        self.level_milli = self.level_milli.saturating_add(gained).min(self.capacity_milli);
+    }
+
+    /// Takes one whole token, or reports how many ticks until one is
+    /// available again.
+    fn try_take(&mut self, now: u64) -> Result<(), u64> {
+        self.refill(now);
+        if self.level_milli >= MILLI {
+            self.level_milli -= MILLI;
+            return Ok(());
+        }
+        if self.refill_per_tick == 0 {
+            return Err(u64::MAX); // never refills
+        }
+        let deficit = MILLI - self.level_milli;
+        Err(deficit.div_ceil(self.refill_per_tick))
+    }
+}
+
+/// Admission knobs shared by every session a router creates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionConfig {
+    /// Token-bucket policy.
+    pub rate: RateLimit,
+    /// Mailbox bound (admitted ops awaiting the next epoch).
+    pub mailbox_capacity: usize,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig { rate: RateLimit::default(), mailbox_capacity: 64 }
+    }
+}
+
+/// One connected user: identity, home shard, admission state, mailbox.
+#[derive(Debug)]
+pub struct Session {
+    user: String,
+    shard: usize,
+    bucket: TokenBucket,
+    mailbox: VecDeque<(u64, Op)>,
+    mailbox_capacity: usize,
+    accepted_total: u64,
+    rejected_total: u64,
+}
+
+impl Session {
+    /// A fresh session for `user`, homed on `shard`.
+    pub fn new(user: &str, shard: usize, config: SessionConfig) -> Self {
+        Session {
+            user: user.to_string(),
+            shard,
+            bucket: TokenBucket::new(config.rate),
+            mailbox: VecDeque::new(),
+            mailbox_capacity: config.mailbox_capacity.max(1),
+            accepted_total: 0,
+            rejected_total: 0,
+        }
+    }
+
+    /// Session owner.
+    pub fn user(&self) -> &str {
+        &self.user
+    }
+
+    /// Home shard index.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// Ops currently waiting for the next epoch.
+    pub fn pending(&self) -> usize {
+        self.mailbox.len()
+    }
+
+    /// Ops admitted over the session's lifetime.
+    pub fn accepted_total(&self) -> u64 {
+        self.accepted_total
+    }
+
+    /// Ops refused over the session's lifetime.
+    pub fn rejected_total(&self) -> u64 {
+        self.rejected_total
+    }
+
+    /// Offers an op at logical time `now`; on success the op sits in
+    /// the mailbox (tagged with its global admission sequence number)
+    /// until the router drains it.
+    pub fn offer(&mut self, seq: u64, op: Op, now: u64) -> Result<(), AdmissionError> {
+        if self.mailbox.len() >= self.mailbox_capacity {
+            self.rejected_total += 1;
+            return Err(AdmissionError::MailboxFull {
+                user: self.user.clone(),
+                capacity: self.mailbox_capacity,
+            });
+        }
+        if let Err(retry_in_ticks) = self.bucket.try_take(now) {
+            self.rejected_total += 1;
+            return Err(AdmissionError::RateLimited { user: self.user.clone(), retry_in_ticks });
+        }
+        self.mailbox.push_back((seq, op));
+        self.accepted_total += 1;
+        Ok(())
+    }
+
+    /// Removes and returns every admitted op, oldest first.
+    pub fn drain(&mut self) -> Vec<(u64, Op)> {
+        self.mailbox.drain(..).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op(user: &str) -> Op {
+        Op::TwinSync { user: user.into(), property: 0, delta: 1.0 }
+    }
+
+    #[test]
+    fn burst_then_rate_limit_then_refill() {
+        let config = SessionConfig {
+            rate: RateLimit { burst: 3, milli_per_tick: 500 }, // 1 op / 2 ticks
+            mailbox_capacity: 100,
+        };
+        let mut s = Session::new("alice", 0, config);
+        for i in 0..3 {
+            assert!(s.offer(i, op("alice"), 0).is_ok(), "burst op {i}");
+        }
+        match s.offer(3, op("alice"), 0) {
+            Err(AdmissionError::RateLimited { retry_in_ticks, .. }) => {
+                assert_eq!(retry_in_ticks, 2, "500 milli/tick needs 2 ticks per token")
+            }
+            other => panic!("expected rate limit, got {other:?}"),
+        }
+        // Two ticks later one token has refilled — exactly one op fits.
+        assert!(s.offer(3, op("alice"), 2).is_ok());
+        assert!(matches!(
+            s.offer(4, op("alice"), 2),
+            Err(AdmissionError::RateLimited { .. })
+        ));
+        assert_eq!(s.accepted_total(), 4);
+        assert_eq!(s.rejected_total(), 2);
+    }
+
+    #[test]
+    fn zero_refill_bucket_reports_unreachable_retry() {
+        let config = SessionConfig {
+            rate: RateLimit { burst: 1, milli_per_tick: 0 },
+            mailbox_capacity: 8,
+        };
+        let mut s = Session::new("bob", 0, config);
+        assert!(s.offer(0, op("bob"), 0).is_ok());
+        match s.offer(1, op("bob"), 1000) {
+            Err(AdmissionError::RateLimited { retry_in_ticks, .. }) => {
+                assert_eq!(retry_in_ticks, u64::MAX)
+            }
+            other => panic!("expected rate limit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mailbox_bound_refuses_and_drain_resets() {
+        let config = SessionConfig {
+            rate: RateLimit { burst: 100, milli_per_tick: 100_000 },
+            mailbox_capacity: 2,
+        };
+        let mut s = Session::new("carol", 1, config);
+        assert!(s.offer(0, op("carol"), 0).is_ok());
+        assert!(s.offer(1, op("carol"), 0).is_ok());
+        assert!(matches!(
+            s.offer(2, op("carol"), 0),
+            Err(AdmissionError::MailboxFull { capacity: 2, .. })
+        ));
+        let drained = s.drain();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[0].0, 0, "oldest first");
+        assert_eq!(s.pending(), 0);
+        assert!(s.offer(3, op("carol"), 0).is_ok(), "drain frees capacity");
+    }
+
+    #[test]
+    fn bucket_never_overfills_past_burst() {
+        let config = SessionConfig {
+            rate: RateLimit { burst: 2, milli_per_tick: 1000 },
+            mailbox_capacity: 100,
+        };
+        let mut s = Session::new("dave", 0, config);
+        // A huge idle gap must cap the bucket at `burst`, not accumulate.
+        for i in 0..2 {
+            assert!(s.offer(i, op("dave"), 1_000_000).is_ok());
+        }
+        assert!(matches!(
+            s.offer(2, op("dave"), 1_000_000),
+            Err(AdmissionError::RateLimited { .. })
+        ));
+    }
+}

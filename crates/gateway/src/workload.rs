@@ -1,0 +1,480 @@
+//! Deterministic multi-user workload generation.
+//!
+//! A [`WorkloadEngine`] expands a seed and a [`WorkloadConfig`] into a
+//! complete op stream **before** any routing happens: global asset and
+//! proposal ids are assigned by the engine in creation order, actors
+//! are drawn from a zipf popularity table, and burst phases
+//! periodically concentrate traffic onto the hottest users. Because the
+//! stream depends only on the seed — never on shard placement or
+//! execution outcomes — the *same* byte-for-byte stream can be driven
+//! into a 1-shard and an 8-shard router, which is what makes the
+//! shard-count conservation experiments (E21) and the determinism CI
+//! gate possible.
+//!
+//! The engine keeps a small optimistic model (who owns which asset,
+//! what is listed, which proposals exist) purely to generate *sensible*
+//! ops; if the platform refuses an op the model drifts harmlessly and
+//! later ops touching that object simply fail and are counted.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use metaverse_ledger::audit::{LawfulBasis, SensorClass};
+
+use crate::op::Op;
+use crate::router::{EpochReport, ShardRouter};
+
+/// Relative weights of the non-register op kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpMix {
+    /// World entry / movement ops.
+    pub enter_world: u32,
+    /// Governance proposals.
+    pub propose: u32,
+    /// Ballots.
+    pub vote: u32,
+    /// Positive ratings.
+    pub endorse: u32,
+    /// Negative ratings.
+    pub report: u32,
+    /// Asset mints.
+    pub mint: u32,
+    /// Sale listings.
+    pub list: u32,
+    /// Purchases.
+    pub buy: u32,
+    /// Audit-trail data-collection events.
+    pub record_collection: u32,
+    /// Digital-twin updates.
+    pub twin_sync: u32,
+}
+
+impl Default for OpMix {
+    fn default() -> Self {
+        // A social-economy-heavy mix: most traffic is presence, twin
+        // sync, and ratings; governance and minting are rarer.
+        OpMix {
+            enter_world: 10,
+            propose: 2,
+            vote: 10,
+            endorse: 12,
+            report: 6,
+            mint: 8,
+            list: 6,
+            buy: 10,
+            record_collection: 12,
+            twin_sync: 24,
+        }
+    }
+}
+
+/// Periodic burst phases concentrating traffic on hot users.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BurstConfig {
+    /// Stream positions per period.
+    pub period: usize,
+    /// Leading positions of each period that burst.
+    pub len: usize,
+    /// Hot-set size as a divisor of the user count (`users / hot_divisor`,
+    /// minimum 1).
+    pub hot_divisor: usize,
+}
+
+impl Default for BurstConfig {
+    fn default() -> Self {
+        BurstConfig { period: 1000, len: 200, hot_divisor: 10 }
+    }
+}
+
+/// Engine parameters; everything observable follows from these plus the
+/// seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadConfig {
+    /// Distinct users (each gets one register op first).
+    pub users: usize,
+    /// Ops generated after the registers.
+    pub ops: usize,
+    /// Stream seed.
+    pub seed: u64,
+    /// Zipf exponent for actor/subject/asset popularity (0 = uniform).
+    pub zipf_exponent: f64,
+    /// Op-kind weights.
+    pub mix: OpMix,
+    /// Optional burst phases.
+    pub burst: Option<BurstConfig>,
+    /// Governance scopes proposals draw from (must exist on the
+    /// platform; the defaults match [`metaverse_core::platform::PlatformConfig`]).
+    pub scopes: Vec<String>,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            users: 64,
+            ops: 10_000,
+            seed: 7,
+            zipf_exponent: 1.1,
+            mix: OpMix::default(),
+            burst: Some(BurstConfig::default()),
+            scopes: vec!["privacy".into(), "moderation".into(), "assets".into(), "root".into()],
+        }
+    }
+}
+
+/// Precomputed zipf sampler: cumulative weights + binary search.
+#[derive(Debug, Clone)]
+struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    fn new(n: usize, exponent: f64) -> Self {
+        let mut cumulative = Vec::with_capacity(n.max(1));
+        let mut total = 0.0;
+        for rank in 1..=n.max(1) {
+            total += 1.0 / (rank as f64).powf(exponent);
+            cumulative.push(total);
+        }
+        Zipf { cumulative }
+    }
+
+    fn sample(&self, rng: &mut ChaCha8Rng) -> usize {
+        let total = *self.cumulative.last().expect("non-empty table");
+        let needle = rng.gen::<f64>() * total;
+        self.cumulative.partition_point(|&c| c < needle).min(self.cumulative.len() - 1)
+    }
+}
+
+/// Totals of one driven run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DriveReport {
+    /// Ops offered to the router.
+    pub submitted: u64,
+    /// Ops admitted.
+    pub accepted: u64,
+    /// Ops refused at admission.
+    pub rejected: u64,
+    /// Ops that executed successfully on a shard.
+    pub committed: u64,
+    /// Ops that reached a shard and failed.
+    pub failed: u64,
+    /// Epochs executed (including the final drain).
+    pub epochs: u64,
+}
+
+/// Deterministic op-stream generator and driver.
+#[derive(Debug)]
+pub struct WorkloadEngine {
+    config: WorkloadConfig,
+}
+
+impl WorkloadEngine {
+    /// An engine for `config`.
+    pub fn new(config: WorkloadConfig) -> Self {
+        assert!(config.users > 0, "workload needs at least one user");
+        assert!(!config.scopes.is_empty(), "workload needs at least one scope");
+        WorkloadEngine { config }
+    }
+
+    /// The configured parameters.
+    pub fn config(&self) -> &WorkloadConfig {
+        &self.config
+    }
+
+    fn user_name(i: usize) -> String {
+        format!("user-{i:05}")
+    }
+
+    /// Expands the full op stream: `users` registers followed by
+    /// `ops` mixed ops. Depends only on the config (and its seed).
+    pub fn generate(&self) -> Vec<Op> {
+        let c = &self.config;
+        let mut rng = ChaCha8Rng::seed_from_u64(c.seed);
+        let zipf = Zipf::new(c.users, c.zipf_exponent);
+        let mix = [
+            (c.mix.enter_world, 0usize),
+            (c.mix.propose, 1),
+            (c.mix.vote, 2),
+            (c.mix.endorse, 3),
+            (c.mix.report, 4),
+            (c.mix.mint, 5),
+            (c.mix.list, 6),
+            (c.mix.buy, 7),
+            (c.mix.record_collection, 8),
+            (c.mix.twin_sync, 9),
+        ];
+        let mix_total: u32 = mix.iter().map(|(w, _)| *w).sum();
+        assert!(mix_total > 0, "op mix cannot be all zero");
+
+        let mut stream = Vec::with_capacity(c.users + c.ops);
+        for i in 0..c.users {
+            stream.push(Op::Register { user: Self::user_name(i) });
+        }
+
+        // Optimistic object model.
+        let mut next_asset: u64 = 0;
+        let mut next_proposal: u64 = 0;
+        let mut owners: Vec<String> = Vec::new(); // asset id → model owner
+        let mut listed: Vec<u64> = Vec::new(); // listable global ids
+        let hot = c
+            .burst
+            .map(|b| (c.users / b.hot_divisor.max(1)).max(1))
+            .unwrap_or(1);
+
+        for pos in 0..c.ops {
+            let bursting = c
+                .burst
+                .map(|b| b.period > 0 && pos % b.period < b.len)
+                .unwrap_or(false);
+            let actor_rank = if bursting { rng.gen_range(0..hot) } else { zipf.sample(&mut rng) };
+            let actor = Self::user_name(actor_rank);
+            let mut pick = rng.gen_range(0..mix_total);
+            let kind = mix
+                .iter()
+                .find(|(w, _)| {
+                    if pick < *w {
+                        true
+                    } else {
+                        pick -= *w;
+                        false
+                    }
+                })
+                .map(|(_, k)| *k)
+                .expect("weights sum to mix_total");
+            let op = match kind {
+                0 => Op::EnterWorld {
+                    handle: format!("avatar-{actor_rank}-{pos}"),
+                    user: actor,
+                    x: rng.gen::<f64>() * 100.0,
+                    y: rng.gen::<f64>() * 100.0,
+                },
+                1 => {
+                    let id = next_proposal;
+                    next_proposal += 1;
+                    Op::Propose {
+                        user: actor,
+                        proposal: id,
+                        scope: c.scopes[rng.gen_range(0..c.scopes.len())].clone(),
+                        title: format!("proposal-{id}"),
+                    }
+                }
+                2 if next_proposal > 0 => Op::Vote {
+                    user: actor,
+                    proposal: rng.gen_range(0..next_proposal),
+                    support: rng.gen_bool(0.7),
+                },
+                3 | 4 => {
+                    let mut subject_rank = zipf.sample(&mut rng);
+                    if Self::user_name(subject_rank) == actor {
+                        subject_rank = (subject_rank + 1) % c.users;
+                    }
+                    if Self::user_name(subject_rank) == actor {
+                        // Single-user workload: ratings degenerate to twin syncs.
+                        Op::TwinSync { user: actor, property: 0, delta: 0.0 }
+                    } else if kind == 3 {
+                        Op::Endorse { user: actor, subject: Self::user_name(subject_rank) }
+                    } else {
+                        Op::Report { user: actor, subject: Self::user_name(subject_rank) }
+                    }
+                }
+                5 => {
+                    let id = next_asset;
+                    next_asset += 1;
+                    owners.push(actor.clone());
+                    Op::Mint {
+                        user: actor,
+                        asset: id,
+                        uri: format!("asset://{id}"),
+                        quality: 0.5 + rng.gen::<f64>() * 0.5,
+                    }
+                }
+                6 if next_asset > 0 => {
+                    let id = rng.gen_range(0..next_asset);
+                    if !listed.contains(&id) {
+                        listed.push(id);
+                    }
+                    Op::List {
+                        user: owners[id as usize].clone(),
+                        asset: id,
+                        price: rng.gen_range(10..400),
+                    }
+                }
+                7 if !listed.is_empty() => {
+                    let slot = rng.gen_range(0..listed.len());
+                    let id = listed.swap_remove(slot);
+                    owners[id as usize] = actor.clone();
+                    Op::Buy { user: actor, asset: id }
+                }
+                8 => {
+                    let subject = zipf.sample(&mut rng);
+                    Op::RecordCollection {
+                        user: actor,
+                        subject: Self::user_name(subject),
+                        sensor: SensorClass::ALL[rng.gen_range(0..SensorClass::ALL.len())],
+                        purpose: "analytics".into(),
+                        basis: LawfulBasis::Consent,
+                        bytes: rng.gen_range(64..8192),
+                    }
+                }
+                _ => Op::TwinSync {
+                    user: actor,
+                    property: rng.gen_range(0..8u32),
+                    delta: rng.gen::<f64>() * 2.0 - 1.0,
+                },
+            };
+            stream.push(op);
+        }
+        stream
+    }
+
+    /// Drives the full stream into `router`, executing an epoch every
+    /// `ops_per_epoch` submissions and draining at the end. Admission
+    /// refusals are counted, not retried.
+    pub fn drive(&self, router: &mut ShardRouter, ops_per_epoch: usize) -> DriveReport {
+        let stream = self.generate();
+        let mut report = DriveReport::default();
+        let per_epoch = ops_per_epoch.max(1);
+        let absorb = |r: &EpochReport, report: &mut DriveReport| {
+            report.committed += r.committed;
+            report.failed += r.failed;
+            report.epochs += 1;
+        };
+        for (i, op) in stream.into_iter().enumerate() {
+            report.submitted += 1;
+            match router.submit(op) {
+                Ok(_) => report.accepted += 1,
+                Err(_) => report.rejected += 1,
+            }
+            if (i + 1) % per_epoch == 0 {
+                let r = router.execute_epoch();
+                absorb(&r, &mut report);
+            }
+        }
+        // Flush mailboxes, held queues, and settlement.
+        let mut flush = 0;
+        while router.pending_ops() > 0 && flush < 64 {
+            let r = router.execute_epoch();
+            absorb(&r, &mut report);
+            flush += 1;
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::router::GatewayConfig;
+
+    #[test]
+    fn stream_is_deterministic_for_a_seed() {
+        let engine = WorkloadEngine::new(WorkloadConfig {
+            users: 16,
+            ops: 500,
+            seed: 42,
+            ..WorkloadConfig::default()
+        });
+        let a = engine.generate();
+        let b = engine.generate();
+        assert_eq!(a, b, "same seed, same stream");
+        let other = WorkloadEngine::new(WorkloadConfig {
+            users: 16,
+            ops: 500,
+            seed: 43,
+            ..WorkloadConfig::default()
+        });
+        assert_ne!(a, other.generate(), "different seed, different stream");
+    }
+
+    #[test]
+    fn stream_starts_with_registers_and_references_only_created_objects() {
+        let engine = WorkloadEngine::new(WorkloadConfig {
+            users: 8,
+            ops: 400,
+            seed: 3,
+            ..WorkloadConfig::default()
+        });
+        let stream = engine.generate();
+        assert_eq!(stream.len(), 8 + 400);
+        let mut minted = 0u64;
+        let mut proposed = 0u64;
+        for (i, op) in stream.iter().enumerate() {
+            if i < 8 {
+                assert!(matches!(op, Op::Register { .. }), "op {i} should be a register");
+                continue;
+            }
+            match op {
+                Op::Register { .. } => panic!("register after the preamble"),
+                Op::Mint { asset, .. } => {
+                    assert_eq!(*asset, minted, "mint ids are dense creation order");
+                    minted += 1;
+                }
+                Op::Propose { proposal, .. } => {
+                    assert_eq!(*proposal, proposed);
+                    proposed += 1;
+                }
+                Op::Vote { proposal, .. } => assert!(*proposal < proposed),
+                Op::List { asset, .. } | Op::Buy { asset, .. } => assert!(*asset < minted),
+                Op::Endorse { user, subject } | Op::Report { user, subject } => {
+                    assert_ne!(user, subject, "no self-ratings")
+                }
+                _ => {}
+            }
+        }
+        assert!(minted > 0, "the default mix mints");
+        assert!(proposed > 0, "the default mix proposes");
+    }
+
+    #[test]
+    fn burst_phases_concentrate_actors() {
+        let config = WorkloadConfig {
+            users: 100,
+            ops: 1000,
+            seed: 9,
+            zipf_exponent: 0.0, // uniform outside bursts
+            burst: Some(BurstConfig { period: 1000, len: 500, hot_divisor: 20 }),
+            ..WorkloadConfig::default()
+        };
+        let stream = WorkloadEngine::new(config).generate();
+        let actors: Vec<&str> = stream[100..].iter().map(|op| op.user()).collect();
+        let hot_count = |ops: &[&str]| ops.iter().filter(|u| **u < "user-00005").count();
+        let burst_hot = hot_count(&actors[..500]);
+        let calm_hot = hot_count(&actors[500..]);
+        assert!(
+            burst_hot > calm_hot * 3,
+            "burst window should be dominated by hot users ({burst_hot} vs {calm_hot})"
+        );
+    }
+
+    #[test]
+    fn driving_a_router_conserves_and_reports() {
+        let engine = WorkloadEngine::new(WorkloadConfig {
+            users: 24,
+            ops: 1200,
+            seed: 11,
+            ..WorkloadConfig::default()
+        });
+        let mut router = ShardRouter::new(GatewayConfig {
+            shards: 2,
+            // Shallow key tree: this short drive seals well under 2^6
+            // blocks per shard, and keygen dominates test setup.
+            chain_config: metaverse_ledger::chain::ChainConfig {
+                key_tree_depth: 6,
+                ..metaverse_ledger::chain::ChainConfig::default()
+            },
+            ..GatewayConfig::default()
+        });
+        let report = engine.drive(&mut router, 64);
+        assert_eq!(report.submitted, 24 + 1200);
+        assert_eq!(report.accepted + report.rejected, report.submitted);
+        assert!(report.committed > 0);
+        assert_eq!(
+            report.committed + report.failed,
+            report.accepted,
+            "every admitted op reaches a terminal execution state"
+        );
+        let conservation = router.conservation_report();
+        assert!(conservation.conserved, "{conservation:?}");
+        assert_eq!(conservation.tokens_in_flight, 0, "drain settles everything");
+    }
+}

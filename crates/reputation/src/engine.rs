@@ -77,6 +77,12 @@ impl ReputationEngine {
         ReputationEngine { config, accounts: BTreeMap::new(), epoch: 0, pending_records: Vec::new() }
     }
 
+    /// The engine's tuning (read access — e.g. so a settlement layer
+    /// can apply remote ratings at the configured base magnitudes).
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
     /// Registers a new account at the neutral prior.
     pub fn register(&mut self, account: &str, now: u64) -> Result<(), ReputationError> {
         if self.accounts.contains_key(account) {

@@ -22,6 +22,9 @@
 //! * [`TelemetrySnapshot`] — a serialisable, diffable point-in-time view
 //!   of every instrument; counters are monotone across snapshots, which
 //!   the workspace proptests enforce.
+//! * [`names`] — the canonical metric-name registry shared by producers
+//!   (platform, gateway) and consumers (experiments, dashboards), so
+//!   counter names cannot drift apart between them.
 //!
 //! ## Example
 //!
@@ -45,6 +48,7 @@
 
 pub mod hub;
 pub mod metrics;
+pub mod names;
 pub mod snapshot;
 pub mod span;
 

@@ -1,0 +1,181 @@
+//! Canonical metric names shared by every crate that records or reads
+//! platform telemetry.
+//!
+//! The platform façade, the gateway, and the experiments all agree on
+//! counter names *by construction*: the strings live here once, as
+//! `pub const`s (for fixed names) and small formatting helpers (for
+//! per-module / per-shard families). A snapshot consumer that asks for
+//! [`EPOCH_COMMITS`] can never drift apart from the producer that
+//! increments it, which is exactly the failure mode scattered string
+//! literals invite.
+//!
+//! Conventions:
+//!
+//! * `ops.<op>` — platform façade operation invocation counters.
+//! * `module.<slot>.{calls,refused,zombie,latency_ns}` — per-slot
+//!   instruments (see [`module_calls`] and friends).
+//! * `epoch.*` — epoch-commit counters and phase histograms.
+//! * `moderation.*`, `escape.*`, `platform.*` — façade-level state.
+//! * `breaker.<slot>.<state>` — breaker transition counters.
+//! * `gateway.*` — session-gateway instruments (see [`gateway`]).
+//! * `twins.sync.*` — twin sync-channel counters (attached hubs).
+
+/// Prefix of every platform-operation counter (`ops.<op>`).
+pub const OPS_PREFIX: &str = "ops.";
+
+/// Counter name for one platform operation: `ops.<op>`.
+pub fn op(name: &str) -> String {
+    format!("{OPS_PREFIX}{name}")
+}
+
+/// Per-slot call counter: `module.<slot>.calls`.
+pub fn module_calls(slot: &str) -> String {
+    format!("module.{slot}.calls")
+}
+
+/// Per-slot fail-closed refusal counter: `module.<slot>.refused`.
+pub fn module_refused(slot: &str) -> String {
+    format!("module.{slot}.refused")
+}
+
+/// Per-slot zombie-pass counter: `module.<slot>.zombie`.
+pub fn module_zombie(slot: &str) -> String {
+    format!("module.{slot}.zombie")
+}
+
+/// Per-slot operation latency histogram: `module.<slot>.latency_ns`.
+pub fn module_latency(slot: &str) -> String {
+    format!("module.{slot}.latency_ns")
+}
+
+/// Breaker transition counter: `breaker.<slot>.<state-label>`.
+pub fn breaker_transition(slot: &str, state: &str) -> String {
+    format!("breaker.{slot}.{state}")
+}
+
+/// Epoch-commit collect-phase histogram.
+pub const EPOCH_COLLECT_NS: &str = "epoch.collect_ns";
+/// Epoch-commit merkle-phase histogram (per sealed block).
+pub const EPOCH_MERKLE_NS: &str = "epoch.merkle_ns";
+/// Epoch-commit sign-phase histogram (per sealed block).
+pub const EPOCH_SIGN_NS: &str = "epoch.sign_ns";
+/// Epoch-commit append-phase histogram (per sealed block).
+pub const EPOCH_APPEND_NS: &str = "epoch.append_ns";
+/// Completed epoch commits.
+pub const EPOCH_COMMITS: &str = "epoch.commits";
+/// Aborted epoch commits (rogue validator outlasted the retries).
+pub const EPOCH_ABORTS: &str = "epoch.aborts";
+/// Blocks sealed across all commits.
+pub const EPOCH_BLOCKS_SEALED: &str = "epoch.blocks_sealed";
+/// Transactions submitted to the mempool by commits.
+pub const EPOCH_TXS_SUBMITTED: &str = "epoch.txs_submitted";
+
+/// Moderation reports deferred while the slot was down.
+pub const MODERATION_REPORTS_DEFERRED: &str = "moderation.reports_deferred";
+/// Held moderation reports replayed after recovery.
+pub const MODERATION_REPORTS_REPLAYED: &str = "moderation.reports_replayed";
+/// Gauge: moderation reports currently held.
+pub const MODERATION_REPORTS_HELD: &str = "moderation.reports_held";
+
+/// Escape-hatch counter: direct governance access.
+pub const ESCAPE_GOVERNANCE: &str = "escape.governance";
+/// Escape-hatch counter: direct reputation access.
+pub const ESCAPE_REPUTATION: &str = "escape.reputation";
+/// Escape-hatch counter: direct review-board access.
+pub const ESCAPE_IRB: &str = "escape.irb";
+
+/// Gauge: registered users.
+pub const PLATFORM_USERS: &str = "platform.users";
+/// Gauge: current platform tick.
+pub const PLATFORM_TICK: &str = "platform.tick";
+
+/// Gateway (sharded session front door) instrument names.
+///
+/// Kept beside the platform names for the same anti-drift reason: E21
+/// and the gateway integration tests read these counters back out of
+/// snapshots produced by `metaverse-gateway`.
+pub mod gateway {
+    /// Ops offered to sessions (before admission control).
+    pub const OPS_SUBMITTED: &str = "gateway.ops.submitted";
+    /// Ops admitted into a session mailbox.
+    pub const OPS_ACCEPTED: &str = "gateway.ops.accepted";
+    /// Ops that executed successfully on a shard platform.
+    pub const OPS_COMMITTED: &str = "gateway.ops.committed";
+    /// Ops that reached a shard platform and were refused or failed.
+    pub const OPS_FAILED: &str = "gateway.ops.failed";
+    /// Admission refusals: token bucket empty.
+    pub const REJECTED_RATE_LIMITED: &str = "gateway.rejected.rate_limited";
+    /// Admission refusals: session mailbox full.
+    pub const REJECTED_MAILBOX_FULL: &str = "gateway.rejected.mailbox_full";
+    /// Admission refusals: the session's home shard breaker is open.
+    pub const REJECTED_SHARD_DOWN: &str = "gateway.rejected.shard_down";
+    /// Admission refusals: no session for the named user.
+    pub const REJECTED_UNKNOWN_USER: &str = "gateway.rejected.unknown_user";
+    /// Cross-shard settlement entries enqueued.
+    pub const SETTLEMENT_ENQUEUED: &str = "gateway.settlement.enqueued";
+    /// Cross-shard settlement entries applied.
+    pub const SETTLEMENT_APPLIED: &str = "gateway.settlement.applied";
+    /// Cross-shard settlement entries rejected (refund path taken).
+    pub const SETTLEMENT_REJECTED: &str = "gateway.settlement.rejected";
+    /// Cross-shard settlement entries requeued (target module down).
+    pub const SETTLEMENT_REQUEUED: &str = "gateway.settlement.requeued";
+    /// Gauge: settlement entries currently in flight.
+    pub const SETTLEMENT_DEPTH: &str = "gateway.settlement.depth";
+    /// Router epochs executed.
+    pub const EPOCHS: &str = "gateway.epochs";
+    /// Gauge: connected sessions.
+    pub const SESSIONS: &str = "gateway.sessions";
+    /// Histogram: ops per shard batch.
+    pub const BATCH_SIZE: &str = "gateway.batch.size";
+    /// Shard commit failures observed by the router's breakers.
+    pub const SHARD_COMMIT_FAILURES: &str = "gateway.shard.commit_failures";
+    /// Shard epochs skipped because the shard breaker was open.
+    pub const SHARD_EPOCHS_SKIPPED: &str = "gateway.shard.epochs_skipped";
+
+    /// Per-shard batch execution latency histogram:
+    /// `gateway.shard.<i>.batch_ns`.
+    pub fn shard_batch_ns(shard: usize) -> String {
+        format!("gateway.shard.{shard}.batch_ns")
+    }
+
+    /// Per-shard queue-depth gauge: `gateway.shard.<i>.queue_depth`.
+    pub fn shard_queue_depth(shard: usize) -> String {
+        format!("gateway.shard.{shard}.queue_depth")
+    }
+
+    /// Per-shard breaker transition counter:
+    /// `gateway.shard.<i>.breaker.<state>`.
+    pub fn shard_breaker(shard: usize, state: &str) -> String {
+        format!("gateway.shard.{shard}.breaker.{state}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn families_format_stably() {
+        assert_eq!(op("vote"), "ops.vote");
+        assert_eq!(module_calls("moderation"), "module.moderation.calls");
+        assert_eq!(module_refused("privacy"), "module.privacy.refused");
+        assert_eq!(module_zombie("assets"), "module.assets.zombie");
+        assert_eq!(module_latency("trust"), "module.trust.latency_ns");
+        assert_eq!(breaker_transition("moderation", "open"), "breaker.moderation.open");
+        assert_eq!(gateway::shard_batch_ns(3), "gateway.shard.3.batch_ns");
+        assert_eq!(gateway::shard_queue_depth(0), "gateway.shard.0.queue_depth");
+        assert_eq!(gateway::shard_breaker(2, "open"), "gateway.shard.2.breaker.open");
+    }
+
+    #[test]
+    fn constants_keep_their_wire_values() {
+        // These strings are a public contract: committed experiment
+        // results and external dashboards key on them.
+        assert_eq!(EPOCH_COMMITS, "epoch.commits");
+        assert_eq!(EPOCH_TXS_SUBMITTED, "epoch.txs_submitted");
+        assert_eq!(MODERATION_REPORTS_HELD, "moderation.reports_held");
+        assert_eq!(PLATFORM_USERS, "platform.users");
+        assert_eq!(gateway::OPS_COMMITTED, "gateway.ops.committed");
+        assert_eq!(gateway::SETTLEMENT_ENQUEUED, "gateway.settlement.enqueued");
+    }
+}

@@ -7,12 +7,12 @@
 //! ```
 
 use metaverse_core::module::{ModuleDescriptor, ModuleKind};
-use metaverse_core::platform::{MetaversePlatform, PlatformConfig};
+use metaverse_core::platform::MetaversePlatform;
 use metaverse_core::policy::Jurisdiction;
 use metaverse_ledger::audit::{DataCollectionEvent, LawfulBasis, SensorClass};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut platform = MetaversePlatform::new(PlatformConfig::default());
+    let mut platform = MetaversePlatform::builder().build();
     let citizens = ["ana", "bea", "cal", "dev", "eli", "fay"];
     for c in &citizens {
         platform.register_user(c)?;

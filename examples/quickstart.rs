@@ -5,7 +5,7 @@
 //! cargo run --example quickstart
 //! ```
 
-use metaverse_core::platform::{MetaversePlatform, PlatformConfig};
+use metaverse_core::platform::MetaversePlatform;
 use metaverse_ledger::audit::{LawfulBasis, SensorClass};
 use metaverse_ledger::tx::TxPayload;
 use metaverse_privacy::firewall::FlowRule;
@@ -14,7 +14,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. A platform with the paper's recommended defaults: GDPR policy
     //    module, deny-by-default sensor firewalls, reputation-gated
     //    marketplace, scoped DAOs, all modules transparent.
-    let mut platform = MetaversePlatform::new(PlatformConfig::default());
+    let mut platform = MetaversePlatform::builder().build();
     for user in ["alice", "bob", "carol"] {
         platform.register_user(user)?;
     }

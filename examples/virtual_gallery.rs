@@ -8,10 +8,10 @@
 //! cargo run --example virtual_gallery
 //! ```
 
-use metaverse_core::platform::{MetaversePlatform, PlatformConfig};
+use metaverse_core::platform::MetaversePlatform;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut platform = MetaversePlatform::new(PlatformConfig::default());
+    let mut platform = MetaversePlatform::builder().build();
 
     // A gallery of honest creators and collectors — and one scam mill.
     let creators = ["ayla", "botan", "chike", "dara"];

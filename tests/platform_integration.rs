@@ -2,7 +2,7 @@
 //! `MetaversePlatform` façade.
 
 use metaverse_core::module::{ModuleDescriptor, ModuleKind};
-use metaverse_core::platform::{MetaversePlatform, PlatformConfig};
+use metaverse_core::platform::MetaversePlatform;
 use metaverse_core::policy::Jurisdiction;
 use metaverse_ledger::audit::{DataCollectionEvent, LawfulBasis, SensorClass};
 use metaverse_ledger::tx::TxPayload;
@@ -12,7 +12,7 @@ use metaverse_world::geometry::Vec2;
 use metaverse_world::world::{InteractionKind, InteractionOutcome};
 
 fn platform_with_users(users: &[&str]) -> MetaversePlatform {
-    let mut p = MetaversePlatform::new(PlatformConfig::default());
+    let mut p = MetaversePlatform::builder().build();
     for u in users {
         p.register_user(u).unwrap();
     }
