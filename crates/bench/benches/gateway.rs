@@ -67,6 +67,42 @@ fn bench_epoch_execution(c: &mut Criterion) {
     }
 }
 
+/// Pairwise sequential-vs-parallel epoch execution: the same per-epoch
+/// op mix at 4 and 8 shards, with the per-shard phase pinned to one
+/// worker and then fanned out one worker per shard. The ratio between
+/// the paired measurements is the thread-level speedup on this host
+/// (bounded by its core count); results are identical either way.
+fn bench_parallel_epoch(c: &mut Criterion) {
+    for shards in [4usize, 8] {
+        for (mode, workers) in [("seq", 1usize), ("par", shards)] {
+            c.bench_function(
+                &format!("gateway/epoch_64_endorsements_{shards}_shards_{mode}"),
+                |b| {
+                    let mut router = ShardRouter::new(GatewayConfig {
+                        shards,
+                        workers,
+                        telemetry: false,
+                        ..GatewayConfig::default()
+                    });
+                    let users: Vec<String> =
+                        (0..64).map(|i| format!("user-{i:05}")).collect();
+                    for u in &users {
+                        router.submit(Op::Register { user: u.clone() }).expect("register");
+                    }
+                    router.drain(8);
+                    b.iter(|| {
+                        for (i, u) in users.iter().enumerate() {
+                            let subject = users[(i + 1) % users.len()].clone();
+                            let _ = router.submit(Op::Endorse { user: u.clone(), subject });
+                        }
+                        black_box(router.execute_epoch());
+                    })
+                },
+            );
+        }
+    }
+}
+
 fn bench_workload_replay(c: &mut Criterion) {
     let config = WorkloadConfig { users: 64, ops: 2_000, seed: 7, ..WorkloadConfig::default() };
     let engine = WorkloadEngine::new(config.clone());
@@ -92,6 +128,7 @@ criterion_group!(
     bench_wire_codec,
     bench_admission,
     bench_epoch_execution,
+    bench_parallel_epoch,
     bench_workload_replay
 );
 criterion_main!(benches);

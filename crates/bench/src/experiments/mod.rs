@@ -21,6 +21,7 @@ pub mod e18_sybil;
 pub mod e19_degradation;
 pub mod e20_observability;
 pub mod e21_gateway;
+pub mod e22_parallel;
 
 use crate::report::ExperimentResult;
 
@@ -48,5 +49,6 @@ pub fn run_all(seed: u64) -> Vec<ExperimentResult> {
         e19_degradation::run(seed),
         e20_observability::run(seed),
         e21_gateway::run(seed),
+        e22_parallel::run(seed),
     ]
 }

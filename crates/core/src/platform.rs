@@ -213,6 +213,16 @@ pub struct MetaversePlatform {
     tick: u64,
 }
 
+// Compile-time contract for the gateway's parallel epoch phase: a whole
+// platform shard moves onto a scoped worker thread each epoch, so every
+// piece of interior state must stay `Send` (no `Rc`, no `RefCell`, no
+// thread-local handles). If a future module breaks this, the build
+// fails here instead of deep inside the gateway's thread spawn.
+const _: () = {
+    const fn require_send<T: Send>() {}
+    require_send::<MetaversePlatform>();
+};
+
 impl MetaversePlatform {
     /// Entry point of the fluent construction surface — see
     /// [`PlatformBuilder`](crate::builder::PlatformBuilder).

@@ -33,6 +33,13 @@ pub enum AdmissionError {
         /// The unknown account.
         user: String,
     },
+    /// A session already exists for this user: a second `Register` is
+    /// refused at the door instead of occupying a mailbox slot and a
+    /// shard batch slot just to fail on the shard.
+    AlreadyRegistered {
+        /// The already-registered account.
+        user: String,
+    },
     /// The user's home shard has its circuit breaker open; the gateway
     /// refuses rather than queueing into a stalled shard.
     ShardUnavailable {
@@ -52,6 +59,9 @@ impl std::fmt::Display for AdmissionError {
             }
             AdmissionError::UnknownUser { user } => {
                 write!(f, "admission: no session for {user:?}")
+            }
+            AdmissionError::AlreadyRegistered { user } => {
+                write!(f, "admission: {user:?} is already registered")
             }
             AdmissionError::ShardUnavailable { shard } => {
                 write!(f, "admission: shard {shard} unavailable (breaker open)")

@@ -28,6 +28,11 @@ const MILLI: u64 = 1000;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RateLimit {
     /// Bucket capacity in whole ops (burst size).
+    ///
+    /// A burst of 0 is a bucket that can never hold one whole token —
+    /// refills cap at capacity — so *every* offer is refused with
+    /// [`AdmissionError::RateLimited`] reporting `retry_in_ticks:
+    /// u64::MAX`. It is a valid (if draconian) policy, not a panic.
     pub burst: u32,
     /// Refill rate in milli-tokens per tick (1000 = one op per tick).
     pub milli_per_tick: u64,
@@ -75,8 +80,10 @@ impl TokenBucket {
             self.level_milli -= MILLI;
             return Ok(());
         }
-        if self.refill_per_tick == 0 {
-            return Err(u64::MAX); // never refills
+        if self.refill_per_tick == 0 || self.capacity_milli < MILLI {
+            // Never refills, or (burst 0) can never hold a whole token:
+            // waiting will not help, and the caller should know that.
+            return Err(u64::MAX);
         }
         let deficit = MILLI - self.level_milli;
         Err(deficit.div_ceil(self.refill_per_tick))
@@ -223,6 +230,26 @@ mod tests {
             }
             other => panic!("expected rate limit, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn zero_burst_bucket_refuses_everything_with_unreachable_retry() {
+        let config = SessionConfig {
+            rate: RateLimit { burst: 0, milli_per_tick: 1000 },
+            mailbox_capacity: 8,
+        };
+        let mut s = Session::new("eve", 0, config);
+        // Even arbitrarily far in the future: refills cap at capacity 0.
+        for now in [0u64, 1, 1_000_000] {
+            match s.offer(0, op("eve"), now) {
+                Err(AdmissionError::RateLimited { retry_in_ticks, .. }) => {
+                    assert_eq!(retry_in_ticks, u64::MAX, "burst 0 can never admit")
+                }
+                other => panic!("expected rate limit, got {other:?}"),
+            }
+        }
+        assert_eq!(s.accepted_total(), 0);
+        assert_eq!(s.rejected_total(), 3);
     }
 
     #[test]

@@ -1,7 +1,10 @@
 //! The determinism gate CI runs explicitly: one seeded workload must
 //! (a) reproduce its settlement ledger *exactly* when replayed at the
-//! same shard count, and (b) produce the identical conservation audit
-//! and asset-owner map at 1 shard and at 4 shards.
+//! same shard count, (b) produce the identical conservation audit and
+//! asset-owner map at 1 shard and at 4 shards, and (c) produce
+//! byte-identical settlement ledgers and conservation reports whether
+//! the per-shard epoch phase ran sequentially (1 worker) or in
+//! parallel (N workers), at every shard count.
 
 use metaverse_gateway::router::{GatewayConfig, ShardRouter};
 use metaverse_gateway::workload::{DriveReport, WorkloadConfig, WorkloadEngine};
@@ -9,7 +12,7 @@ use metaverse_ledger::chain::ChainConfig;
 
 const SEED: u64 = 20220701;
 
-fn replay(shards: usize) -> (ShardRouter, DriveReport) {
+fn replay_with_workers(shards: usize, workers: usize) -> (ShardRouter, DriveReport) {
     let engine = WorkloadEngine::new(WorkloadConfig {
         users: 48,
         ops: 4_000,
@@ -18,6 +21,7 @@ fn replay(shards: usize) -> (ShardRouter, DriveReport) {
     });
     let mut router = ShardRouter::new(GatewayConfig {
         shards,
+        workers,
         // Shallow key trees: this stream seals well under 2^7 blocks
         // per shard, and keygen dominates setup.
         chain_config: ChainConfig { key_tree_depth: 7, ..ChainConfig::default() },
@@ -25,6 +29,10 @@ fn replay(shards: usize) -> (ShardRouter, DriveReport) {
     });
     let report = engine.drive(&mut router, 256);
     (router, report)
+}
+
+fn replay(shards: usize) -> (ShardRouter, DriveReport) {
+    replay_with_workers(shards, 0)
 }
 
 #[test]
@@ -61,4 +69,36 @@ fn one_shard_and_four_shards_agree_on_the_global_audit() {
         sharded.settlement_ledger().applied > 0,
         "expected cross-shard traffic at 4 shards"
     );
+}
+
+#[test]
+fn parallel_epochs_are_byte_identical_to_sequential_at_every_shard_count() {
+    for shards in [1usize, 2, 4, 8] {
+        let (sequential, seq_report) = replay_with_workers(shards, 1);
+        let (parallel, par_report) = replay_with_workers(shards, shards);
+        assert_eq!(
+            seq_report, par_report,
+            "drive reports diverged between 1 and {shards} workers at {shards} shards"
+        );
+        // Byte-identical: the rendered ledger (entry order, outcomes,
+        // epochs, requeue counts, supply totals) must match exactly,
+        // not just compare equal field-by-field.
+        assert_eq!(
+            format!("{:?}", sequential.settlement_ledger()),
+            format!("{:?}", parallel.settlement_ledger()),
+            "settlement ledgers diverged at {shards} shards"
+        );
+        assert_eq!(
+            format!("{:?}", sequential.conservation_report()),
+            format!("{:?}", parallel.conservation_report()),
+            "conservation reports diverged at {shards} shards"
+        );
+        assert_eq!(
+            sequential.asset_owners(),
+            parallel.asset_owners(),
+            "asset ownership diverged at {shards} shards"
+        );
+        assert!(sequential.conservation_report().conserved);
+        assert_eq!(parallel.worker_threads(), shards);
+    }
 }

@@ -111,6 +111,8 @@ pub mod gateway {
     pub const REJECTED_SHARD_DOWN: &str = "gateway.rejected.shard_down";
     /// Admission refusals: no session for the named user.
     pub const REJECTED_UNKNOWN_USER: &str = "gateway.rejected.unknown_user";
+    /// Admission refusals: a second `Register` for an existing session.
+    pub const REJECTED_DUPLICATE_REGISTER: &str = "gateway.rejected.duplicate_register";
     /// Cross-shard settlement entries enqueued.
     pub const SETTLEMENT_ENQUEUED: &str = "gateway.settlement.enqueued";
     /// Cross-shard settlement entries applied.
