@@ -1,0 +1,79 @@
+//! Criterion benchmarks for the causal-tracing layer: raw flight
+//! recorder record/evict throughput, the disabled recorder's no-op
+//! path, full gateway epochs with tracing off vs on (the overhead the
+//! E23 acceptance bound constrains), and exporter rendering.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use metaverse_gateway::op::Op;
+use metaverse_gateway::router::{GatewayConfig, ShardRouter};
+use metaverse_telemetry::{export, FlightRecorder, TraceEvent, TraceStage};
+
+fn event(seq: u64) -> TraceEvent {
+    TraceEvent {
+        seq,
+        epoch: seq >> 6,
+        tick: seq,
+        stage: TraceStage::Executed { shard: (seq % 4) as u32, ok: true },
+    }
+}
+
+fn bench_recorder(c: &mut Criterion) {
+    // Steady-state ring at capacity: every record also evicts.
+    let mut recorder = FlightRecorder::new(4096);
+    let mut seq = 0u64;
+    c.bench_function("tracing/recorder_record_evict", |b| {
+        b.iter(|| {
+            seq += 1;
+            recorder.record(black_box(event(seq)));
+        })
+    });
+
+    // The disabled recorder must be a true no-op (no ring, no counts).
+    let mut disabled = FlightRecorder::disabled();
+    c.bench_function("tracing/recorder_disabled_record", |b| {
+        b.iter(|| {
+            seq += 1;
+            disabled.record(black_box(event(seq)));
+        })
+    });
+}
+
+/// The number E23's acceptance bound constrains, measured in the
+/// small: the same 64-endorsement epoch with the recorder off and on.
+fn bench_epoch_overhead(c: &mut Criterion) {
+    for (mode, capacity) in [("disabled", 0usize), ("enabled", 1 << 16)] {
+        c.bench_function(&format!("tracing/epoch_64_endorsements_4_shards_{mode}"), |b| {
+            let mut router = ShardRouter::new(GatewayConfig {
+                shards: 4,
+                telemetry: false,
+                trace_capacity: capacity,
+                ..GatewayConfig::default()
+            });
+            let users: Vec<String> = (0..64).map(|i| format!("user-{i:05}")).collect();
+            for u in &users {
+                router.submit(Op::Register { user: u.clone() }).expect("register");
+            }
+            router.drain(8);
+            b.iter(|| {
+                for (i, u) in users.iter().enumerate() {
+                    let subject = users[(i + 1) % users.len()].clone();
+                    let _ = router.submit(Op::Endorse { user: u.clone(), subject });
+                }
+                black_box(router.execute_epoch());
+            })
+        });
+    }
+}
+
+fn bench_exporters(c: &mut Criterion) {
+    let mut recorder = FlightRecorder::new(4096);
+    for seq in 0..4096u64 {
+        recorder.record(event(seq));
+    }
+    c.bench_function("tracing/export_jsonl_4096_events", |b| {
+        b.iter(|| black_box(export::trace_jsonl(recorder.events())))
+    });
+}
+
+criterion_group!(benches, bench_recorder, bench_epoch_overhead, bench_exporters);
+criterion_main!(benches);

@@ -1,0 +1,377 @@
+//! E23 — end-to-end causal tracing: overhead, byte-identity, and
+//! drop/refusal provenance over the gateway → shard → ledger pipeline.
+//!
+//! Claim (§IV-C / §V): accountability in a metaverse platform needs
+//! *per-action* provenance — who was admitted, refused, or dropped,
+//! where each action executed, and which ledger block made it durable —
+//! and that record must itself be trustworthy: independent of how many
+//! worker threads happened to run the epoch, and cheap enough to leave
+//! on. This experiment replays E21's seeded 120k-op stream at 1–8
+//! shards with the flight recorder off and on and measures:
+//!
+//! * **overhead** — wall-clock cost of tracing every admitted op
+//!   (non-deterministic; the acceptance target is < 10% on this
+//!   replay, and `trace_capacity: 0` must cost nothing at all);
+//! * **byte-identical traces** — the merged JSONL trace stream at each
+//!   shard count is compared byte-for-byte between a 1-worker and an
+//!   N-worker run (the deterministic half CI gates on);
+//! * **drop/refusal provenance** — every admission-seq's terminal
+//!   stage, tabulated: committed in a named ledger block, refused with
+//!   a typed cause, rate-limited, or dropped in settlement;
+//! * **settlement provenance** — each applied cross-shard settlement
+//!   resolved to the exact block (height + header digest) on the
+//!   target shard's chain that sealed its records.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use metaverse_gateway::router::{GatewayConfig, ShardRouter};
+use metaverse_gateway::session::{RateLimit, SessionConfig};
+use metaverse_gateway::workload::{DriveReport, WorkloadConfig, WorkloadEngine};
+
+use crate::report::{ExperimentResult, Table};
+
+/// Shard counts the workload is replayed at (same as E21/E22).
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+/// Distinct users in the workload (each registers first).
+const USERS: usize = 512;
+/// Mixed ops generated after the registers.
+const OPS: usize = 120_000;
+/// Submissions between epoch boundaries.
+const OPS_PER_EPOCH: usize = 2048;
+/// Router trace-ring capacity for traced runs: holds the full stream
+/// (~5 events per admitted op) without eviction.
+const TRACE_CAPACITY: usize = 1 << 20;
+
+/// The stage labels tabulated per shard count, in column order.
+const STAGES: [&str; 10] = [
+    "admitted",
+    "routed_to_shard",
+    "executed",
+    "committed_in_epoch",
+    "rate_limited",
+    "refused",
+    "deferred",
+    "requeued",
+    "escrowed",
+    "settled",
+];
+
+/// One replay at a fixed shard count, worker count, and trace setting.
+struct Run {
+    drive: DriveReport,
+    ledger_debug: String,
+    elapsed_ns: u128,
+    stage_counts: BTreeMap<&'static str, u64>,
+    drops: u64,
+    recorded: u64,
+    evicted: u64,
+    provenance_total: usize,
+    provenance_resolved: usize,
+    settled_applied: u64,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn replay(
+    seed: u64,
+    shards: usize,
+    workers: usize,
+    users: usize,
+    ops: usize,
+    per_epoch: usize,
+    depth: usize,
+    trace_capacity: usize,
+) -> (Run, String) {
+    let engine = WorkloadEngine::new(WorkloadConfig {
+        users,
+        ops,
+        seed,
+        ..WorkloadConfig::default()
+    });
+    let mut router = ShardRouter::new(GatewayConfig {
+        shards,
+        workers,
+        trace_capacity,
+        // Generous admission, as in E21/E22: this measures the epoch
+        // pipeline and the recorder, not the rate limiter.
+        session: SessionConfig {
+            rate: RateLimit { burst: 256, milli_per_tick: 256_000 },
+            mailbox_capacity: 4096,
+        },
+        chain_config: metaverse_ledger::chain::ChainConfig {
+            key_tree_depth: depth,
+            ..metaverse_ledger::chain::ChainConfig::default()
+        },
+        ..GatewayConfig::default()
+    });
+    let started = Instant::now();
+    let drive = engine.drive(&mut router, per_epoch);
+    let elapsed_ns = started.elapsed().as_nanos();
+    let (jsonl, stage_counts, drops, stats, provenance_total, provenance_resolved) =
+        if trace_capacity > 0 {
+            // One extra (empty) epoch so the last settlements' ledger
+            // records seal and provenance can name their blocks.
+            router.execute_epoch();
+            let stats = router.trace_stats();
+            let mut counts: BTreeMap<&'static str, u64> = BTreeMap::new();
+            let query = router.trace_query();
+            for e in query.events() {
+                *counts.entry(e.stage.label()).or_insert(0) += 1;
+            }
+            let drops = query.drops().len() as u64;
+            let provenance = router.provenance_report();
+            let resolved = provenance.iter().filter(|r| r.height.is_some()).count();
+            (router.trace_jsonl(), counts, drops, stats, provenance.len(), resolved)
+        } else {
+            (String::new(), BTreeMap::new(), 0, router.trace_stats(), 0, 0)
+        };
+    let run = Run {
+        drive,
+        ledger_debug: format!("{:?}", router.settlement_ledger()),
+        elapsed_ns,
+        stage_counts,
+        drops,
+        recorded: stats.recorded,
+        evicted: stats.dropped,
+        provenance_total,
+        provenance_resolved,
+        settled_applied: router.settlement_ledger().applied,
+    };
+    (run, jsonl)
+}
+
+/// Runs `replay` twice and keeps the faster wall-clock (everything
+/// else is seed-deterministic, so only `elapsed_ns` can differ).
+/// Min-of-2 is the least-noise estimator this host affords: single
+/// replays on a shared container swing ±30% run to run, which would
+/// drown the overhead ratio the table reports.
+#[allow(clippy::too_many_arguments)]
+fn replay_timed(
+    seed: u64,
+    shards: usize,
+    workers: usize,
+    users: usize,
+    ops: usize,
+    per_epoch: usize,
+    depth: usize,
+    trace_capacity: usize,
+) -> (Run, String) {
+    let (mut run, jsonl) =
+        replay(seed, shards, workers, users, ops, per_epoch, depth, trace_capacity);
+    let (rerun, _) = replay(seed, shards, workers, users, ops, per_epoch, depth, trace_capacity);
+    run.elapsed_ns = run.elapsed_ns.min(rerun.elapsed_ns);
+    (run, jsonl)
+}
+
+/// Traced sequential + traced parallel + untraced parallel replays of
+/// the same stream at one shard count.
+struct Cell {
+    shards: usize,
+    untraced: Run,
+    traced: Run,
+    /// Traces byte-identical between 1 worker and N workers, and the
+    /// traced ledgers byte-identical to the untraced one.
+    identical: bool,
+    trace_bytes: usize,
+}
+
+fn kops_per_sec(ops: u64, elapsed_ns: u128) -> f64 {
+    if elapsed_ns == 0 {
+        return 0.0;
+    }
+    (ops as f64) / (elapsed_ns as f64 / 1e9) / 1e3
+}
+
+/// Runs E23 at the full committed size (E21's stream). Key-tree depth
+/// scales down with shard count exactly as in E21/E22.
+///
+/// E23 replays the stream five times per shard count (untraced ×2,
+/// traced 1-worker, traced N-worker ×2), so a debug build — which only
+/// the `experiment_smoke` suite exercises — runs a sized-down stream;
+/// every recorded number comes from the release binary.
+pub fn run(seed: u64) -> ExperimentResult {
+    if cfg!(debug_assertions) {
+        return run_sized(seed, 48, 4_000, 512, 6, 1 << 17);
+    }
+    run_with(seed, USERS, OPS, OPS_PER_EPOCH, TRACE_CAPACITY, |shards| {
+        (10usize.saturating_sub(shards.trailing_zeros() as usize)).max(8)
+    })
+}
+
+/// Runs E23 with explicit sizing (tests use a small stream, shallow
+/// key trees, and a small ring).
+pub fn run_sized(
+    seed: u64,
+    users: usize,
+    ops: usize,
+    per_epoch: usize,
+    key_tree_depth: usize,
+    trace_capacity: usize,
+) -> ExperimentResult {
+    run_with(seed, users, ops, per_epoch, trace_capacity, |_| key_tree_depth)
+}
+
+fn run_with(
+    seed: u64,
+    users: usize,
+    ops: usize,
+    per_epoch: usize,
+    trace_capacity: usize,
+    depth_for: impl Fn(usize) -> usize,
+) -> ExperimentResult {
+    let cells: Vec<Cell> = SHARD_COUNTS
+        .iter()
+        .map(|&shards| {
+            let depth = depth_for(shards);
+            let (untraced, _) =
+                replay_timed(seed, shards, shards, users, ops, per_epoch, depth, 0);
+            let (traced_seq, seq_jsonl) =
+                replay(seed, shards, 1, users, ops, per_epoch, depth, trace_capacity);
+            let (traced, par_jsonl) =
+                replay_timed(seed, shards, shards, users, ops, per_epoch, depth, trace_capacity);
+            let identical = seq_jsonl == par_jsonl
+                && !par_jsonl.is_empty()
+                && traced_seq.ledger_debug == traced.ledger_debug
+                && traced.ledger_debug == untraced.ledger_debug
+                && traced_seq.drive == traced.drive
+                && traced.drive == untraced.drive;
+            Cell { shards, untraced, traced, identical, trace_bytes: par_jsonl.len() }
+        })
+        .collect();
+
+    let mut overhead = Table::new(
+        "the same seeded stream untraced (trace_capacity 0) vs traced (full-stream ring), \
+         N workers; ms / kops/s / overhead are wall-clock, every other column is \
+         seed-deterministic",
+        &[
+            "shards", "untraced ms", "traced ms", "overhead %", "traced kops/s", "events",
+            "evicted", "trace MiB", "identical trace+audit",
+        ],
+    );
+    for c in &cells {
+        let pct = if c.untraced.elapsed_ns > 0 {
+            (c.traced.elapsed_ns as f64 / c.untraced.elapsed_ns as f64 - 1.0) * 100.0
+        } else {
+            0.0
+        };
+        overhead.row(vec![
+            c.shards.to_string(),
+            format!("{:.0}", c.untraced.elapsed_ns as f64 / 1e6),
+            format!("{:.0}", c.traced.elapsed_ns as f64 / 1e6),
+            format!("{pct:+.1}"),
+            format!("{:.1}", kops_per_sec(c.traced.drive.accepted, c.traced.elapsed_ns)),
+            c.traced.recorded.to_string(),
+            c.traced.evicted.to_string(),
+            format!("{:.1}", c.trace_bytes as f64 / (1024.0 * 1024.0)),
+            c.identical.to_string(),
+        ]);
+    }
+
+    let mut stages = Table::new(
+        "trace events per causal stage (seed-deterministic): the full per-op provenance of \
+         the stream, from admission or typed refusal through execution, escrow, settlement, \
+         and the sealing ledger commit",
+        &{
+            let mut cols = vec!["shards"];
+            cols.extend(STAGES);
+            cols.push("drops");
+            cols
+        },
+    );
+    for c in &cells {
+        let mut row = vec![c.shards.to_string()];
+        for stage in STAGES {
+            row.push(c.traced.stage_counts.get(stage).copied().unwrap_or(0).to_string());
+        }
+        row.push(c.traced.drops.to_string());
+        stages.row(row);
+    }
+
+    let mut provenance = Table::new(
+        "cross-shard settlement provenance: applied settlements resolved to the ledger block \
+         (on the target shard's chain) that sealed their records",
+        &["shards", "settlements applied", "provenance rows", "resolved to a block", "unresolved"],
+    );
+    for c in &cells {
+        provenance.row(vec![
+            c.shards.to_string(),
+            c.traced.settled_applied.to_string(),
+            c.traced.provenance_total.to_string(),
+            c.traced.provenance_resolved.to_string(),
+            (c.traced.provenance_total - c.traced.provenance_resolved).to_string(),
+        ]);
+    }
+
+    let all_identical = cells.iter().all(|c| c.identical);
+    let all_resolved =
+        cells.iter().all(|c| c.traced.provenance_resolved == c.traced.provenance_total);
+    // Per-cell overhead ratios are noise-dominated on a shared host
+    // (single-replay wall-clock swings ±30% here), so the headline
+    // number pools all shard counts: total traced time vs total
+    // untraced time over the whole sweep.
+    let total_traced: u128 = cells.iter().map(|c| c.traced.elapsed_ns).sum();
+    let total_untraced: u128 = cells.iter().map(|c| c.untraced.elapsed_ns).sum();
+    let pooled = (total_traced as f64 / total_untraced.max(1) as f64 - 1.0) * 100.0;
+
+    ExperimentResult {
+        id: "E23".into(),
+        title: "Causal tracing: per-op provenance with byte-identical traces and bounded \
+                overhead"
+            .into(),
+        claim: "Every admitted op can be traced from admission (or typed refusal) through \
+                routing, execution, escrow, and settlement to the ledger block that sealed \
+                it; the trace is byte-identical whether an epoch ran on 1 worker or N; and \
+                the audit trail costs little enough to leave on (§IV-C, §V)"
+            .into(),
+        tables: vec![overhead, stages, provenance],
+        notes: vec![
+            format!(
+                "determinism gate: at every shard count the merged JSONL trace stream is {} \
+                 between a 1-worker and an N-worker run, and the traced runs' settlement \
+                 ledgers and drive reports are byte-identical to the untraced run's \
+                 (tracing is observation only)",
+                if all_identical { "BYTE-IDENTICAL" } else { "DIVERGENT" },
+            ),
+            format!(
+                "tracing overhead pooled over the whole sweep (total traced ms vs total \
+                 untraced ms, min-of-2 per cell): {pooled:+.1}% wall-clock against the \
+                 < 10% acceptance target; per-cell ratios are noise-dominated on this \
+                 host — the deterministic columns are what CI gates on; trace_capacity 0 \
+                 skips every recording branch and allocates nothing on the hot path",
+            ),
+            format!(
+                "settlement provenance {} applied cross-shard settlement to the exact \
+                 committing block (height + header digest) on the target shard's chain",
+                if all_resolved { "resolved every" } else { "left some without a" },
+            ),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traces_are_byte_identical_and_provenance_resolves() {
+        let result = run_sized(7, 32, 1_500, 256, 6, 1 << 16);
+        assert!(result.notes[0].contains("BYTE-IDENTICAL"), "{}", result.notes[0]);
+        assert!(result.notes[2].contains("resolved every"), "{}", result.notes[2]);
+        for row in &result.tables[0].rows {
+            assert_eq!(row[8], "true", "trace/audit identity failed: {row:?}");
+            assert_eq!(row[6], "0", "the test ring must hold the whole stream: {row:?}");
+        }
+        for row in &result.tables[2].rows {
+            assert_eq!(row[4], "0", "unresolved settlement provenance: {row:?}");
+        }
+    }
+
+    #[test]
+    fn stage_counts_reproduce_for_a_seed() {
+        let a = run_sized(11, 32, 1_500, 256, 6, 1 << 16);
+        let b = run_sized(11, 32, 1_500, 256, 6, 1 << 16);
+        // Stage and provenance tables carry no wall-clock columns.
+        assert_eq!(a.tables[1].rows, b.tables[1].rows);
+        assert_eq!(a.tables[2].rows, b.tables[2].rows);
+    }
+}

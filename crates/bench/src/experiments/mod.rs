@@ -22,6 +22,7 @@ pub mod e19_degradation;
 pub mod e20_observability;
 pub mod e21_gateway;
 pub mod e22_parallel;
+pub mod e23_tracing;
 
 use crate::report::ExperimentResult;
 
@@ -50,5 +51,6 @@ pub fn run_all(seed: u64) -> Vec<ExperimentResult> {
         e20_observability::run(seed),
         e21_gateway::run(seed),
         e22_parallel::run(seed),
+        e23_tracing::run(seed),
     ]
 }

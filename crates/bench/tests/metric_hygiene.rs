@@ -1,0 +1,148 @@
+//! The metric-name hygiene gate: every instrument a *live* platform or
+//! gateway hub registers must be canonical — either a fixed name from
+//! `metaverse_telemetry::names` or a member of one of its documented
+//! families (`ops.*`, `module.*`, `breaker.*`, `gateway.shard.*`).
+//! A typo'd or ad-hoc name registered anywhere in core, gateway, or
+//! telemetry fails here, before a dashboard ever queries it. The gate
+//! also pins the exporter side: rendered Prometheus output must be
+//! well-formed line-by-line (sanitized names, escaped label values),
+//! whatever the hub contained.
+
+use metaverse_core::platform::MetaversePlatform;
+use metaverse_gateway::op::Op;
+use metaverse_gateway::router::{GatewayConfig, ShardRouter};
+use metaverse_gateway::workload::{WorkloadConfig, WorkloadEngine};
+use metaverse_ledger::chain::ChainConfig;
+use metaverse_resilience::RetryPolicy;
+use metaverse_telemetry::{export, names, TelemetrySnapshot};
+use metaverse_twins::sync::{SyncChannel, SyncConfig};
+use metaverse_twins::twin::DigitalTwin;
+
+fn assert_canonical(snapshot: &TelemetrySnapshot, source: &str) {
+    let all = snapshot
+        .counters
+        .keys()
+        .chain(snapshot.gauges.keys())
+        .chain(snapshot.histograms.keys());
+    let mut checked = 0usize;
+    for name in all {
+        assert!(
+            names::is_canonical(name),
+            "{source} registered non-canonical metric name {name:?} — add it to \
+             metaverse_telemetry::names (or fix the typo)"
+        );
+        checked += 1;
+    }
+    assert!(checked > 0, "{source} snapshot was empty — the gate checked nothing");
+}
+
+/// A telemetry-enabled platform driven through every instrumented
+/// subsystem: governance, reputation, assets, privacy, twins sync, and
+/// epoch commits.
+fn driven_platform_snapshot() -> TelemetrySnapshot {
+    let mut p = MetaversePlatform::builder()
+        .chain_config(ChainConfig { key_tree_depth: 4, ..ChainConfig::default() })
+        .validators(["validator-0"])
+        .telemetry(true)
+        .build();
+    for u in ["alice", "bob", "carol"] {
+        p.register_user(u).expect("fresh platform registers");
+    }
+    let id = p.propose("root", "alice", "hygiene").expect("propose");
+    let _ = p.vote("root", "bob", id, true);
+    let _ = p.endorse("alice", "bob");
+    let _ = p.report("carol", "bob");
+    if let Ok(asset) = p.mint_asset("alice", "meta://art/0", b"pixels", 0.8) {
+        let _ = p.list_asset("alice", asset, 50);
+        p.deposit("bob", 100);
+        let _ = p.buy_asset("bob", asset);
+    }
+    // A lossy twins channel reporting into the same hub exercises the
+    // twins.sync.* names.
+    let mut twin = DigitalTwin::new(1, "statue", "museum", 4);
+    let mut channel = SyncChannel::new(SyncConfig {
+        loss_rate: 0.5,
+        dup_rate: 0.2,
+        reconcile_interval: 5,
+        seed: 7,
+        retry: Some(RetryPolicy::default()),
+    });
+    channel.attach_telemetry(p.telemetry());
+    for i in 0..64 {
+        channel.step(&mut twin, i % 4, 0.25);
+        p.advance_ticks(1);
+    }
+    p.commit_epoch().expect("commit");
+    p.telemetry_snapshot()
+}
+
+/// A traced gateway driven by a seeded workload, including at least one
+/// admission refusal so the rejection counters register too.
+fn driven_gateway_snapshot() -> TelemetrySnapshot {
+    let engine = WorkloadEngine::new(WorkloadConfig {
+        users: 16,
+        ops: 400,
+        seed: 11,
+        ..WorkloadConfig::default()
+    });
+    let mut router = ShardRouter::new(GatewayConfig {
+        shards: 2,
+        trace_capacity: 1 << 12,
+        chain_config: ChainConfig { key_tree_depth: 5, ..ChainConfig::default() },
+        ..GatewayConfig::default()
+    });
+    engine.drive(&mut router, 64);
+    let _ = router.submit(Op::Endorse { user: "nobody".into(), subject: "alice".into() });
+    router.telemetry_snapshot()
+}
+
+#[test]
+fn every_live_platform_metric_name_is_canonical() {
+    assert_canonical(&driven_platform_snapshot(), "core platform");
+}
+
+#[test]
+fn every_live_gateway_metric_name_is_canonical() {
+    assert_canonical(&driven_gateway_snapshot(), "gateway");
+}
+
+/// Whatever the hub held, the rendered exposition must be well-formed:
+/// `# TYPE` headers, then `name{labels} value` samples whose names are
+/// sanitized to `[a-zA-Z_:][a-zA-Z0-9_:]*` and whose label values have
+/// quotes/backslashes/newlines escaped (no raw newline can survive
+/// inside a label, so line-by-line validation is sound).
+#[test]
+fn prometheus_rendering_of_live_hubs_is_well_formed() {
+    for snapshot in [driven_platform_snapshot(), driven_gateway_snapshot()] {
+        let text = export::prometheus_labeled(&snapshot, &[("source", "hygiene\"test\\")]);
+        assert!(!text.is_empty());
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let (name, kind) = rest.split_once(' ').expect("TYPE line has a kind");
+                assert_valid_name(name, line);
+                assert!(
+                    ["counter", "gauge", "histogram"].contains(&kind),
+                    "unknown TYPE kind in {line:?}"
+                );
+                continue;
+            }
+            let name_end = line.find(['{', ' ']).expect("sample line has a name");
+            assert_valid_name(&line[..name_end], line);
+            let value = line.rsplit(' ').next().expect("sample line has a value");
+            assert!(
+                value == "+Inf" || value.parse::<f64>().is_ok(),
+                "unparseable sample value in {line:?}"
+            );
+        }
+    }
+}
+
+fn assert_valid_name(name: &str, line: &str) {
+    let mut chars = name.chars();
+    let first = chars.next().expect("metric names are non-empty");
+    assert!(
+        (first.is_ascii_alphabetic() || first == '_' || first == ':')
+            && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+        "invalid exposition metric name {name:?} in {line:?}"
+    );
+}

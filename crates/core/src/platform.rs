@@ -18,6 +18,7 @@ use metaverse_dao::proposal::{ProposalId, ProposalStatus};
 use metaverse_dao::voting::{Choice, Tally};
 use metaverse_ledger::audit::{AuditRegistry, DataCollectionEvent};
 use metaverse_ledger::chain::{Chain, ChainConfig};
+use metaverse_ledger::crypto::sha256::Digest;
 use metaverse_ledger::tx::{Transaction, TxPayload};
 use metaverse_moderation::actions::{EscalationLadder, ModAction};
 use metaverse_privacy::firewall::DataFlowFirewall;
@@ -127,6 +128,7 @@ struct PlatformMetrics {
     aborts: Counter,
     blocks_sealed: Counter,
     txs_submitted: Counter,
+    chain_height: Gauge,
     reports_deferred: Counter,
     reports_replayed: Counter,
     reports_held: Gauge,
@@ -167,6 +169,7 @@ impl PlatformMetrics {
             aborts: hub.counter(names::EPOCH_ABORTS),
             blocks_sealed: hub.counter(names::EPOCH_BLOCKS_SEALED),
             txs_submitted: hub.counter(names::EPOCH_TXS_SUBMITTED),
+            chain_height: hub.gauge(names::EPOCH_CHAIN_HEIGHT),
             reports_deferred: hub.counter(names::MODERATION_REPORTS_DEFERRED),
             reports_replayed: hub.counter(names::MODERATION_REPORTS_REPLAYED),
             reports_held: hub.gauge(names::MODERATION_REPORTS_HELD),
@@ -207,6 +210,11 @@ pub struct MetaversePlatform {
     dp_spend: BTreeMap<String, f64>,
     resilience: ResilienceFabric,
     metrics: PlatformMetrics,
+    /// `(height, header digest)` of every block sealed by the most
+    /// recent successful [`MetaversePlatform::commit_epoch`]; empty
+    /// until the first sealing commit. Tracing layers read this to tie
+    /// an epoch's ops to the chain state that covers them.
+    last_sealed: Vec<(u64, Digest)>,
     /// Cached count of successful [`MetaversePlatform::register_user`]
     /// calls, so admission checks never scan user storage.
     user_count: usize,
@@ -275,6 +283,7 @@ impl MetaversePlatform {
             dp_spend: BTreeMap::new(),
             resilience: ResilienceFabric::new(config.resilience.clone()),
             metrics: PlatformMetrics::new(hub),
+            last_sealed: Vec::new(),
             user_count: 0,
             tick: 0,
             config,
@@ -934,13 +943,16 @@ impl MetaversePlatform {
             return Err(err);
         }
         let (sealed, profiles) = self.chain.seal_all_profiled()?;
+        self.last_sealed.clear();
         for profile in &profiles {
             self.metrics.epoch_merkle.record(profile.merkle_ns);
             self.metrics.epoch_sign.record(profile.sign_ns);
             self.metrics.epoch_append.record(profile.append_ns);
+            self.last_sealed.push((profile.height, profile.block));
         }
         self.metrics.commits.incr();
         self.metrics.blocks_sealed.add(sealed as u64);
+        self.metrics.chain_height.set(self.chain.height() as i64);
         Ok(sealed)
     }
 
@@ -1002,6 +1014,16 @@ impl MetaversePlatform {
     /// proofs).
     pub fn chain(&self) -> &Chain {
         &self.chain
+    }
+
+    /// `(height, header digest)` of the blocks sealed by the most
+    /// recent successful [`MetaversePlatform::commit_epoch`] (empty
+    /// before the first sealing commit, and after a commit that had
+    /// nothing to seal). The gateway's tracing layer stamps these onto
+    /// `committed_in_epoch` trace events so every op's causal chain
+    /// ends at a named, verifiable block.
+    pub fn last_sealed_blocks(&self) -> &[(u64, Digest)] {
+        &self.last_sealed
     }
 
     /// Verifies the whole ledger from genesis.

@@ -48,6 +48,20 @@ pub enum AdmissionError {
     },
 }
 
+impl AdmissionError {
+    /// Stable lowercase cause label for trace events and exports
+    /// (matches the `gateway.rejected.*` metric-name suffixes).
+    pub fn label(&self) -> &'static str {
+        match self {
+            AdmissionError::RateLimited { .. } => "rate_limited",
+            AdmissionError::MailboxFull { .. } => "mailbox_full",
+            AdmissionError::UnknownUser { .. } => "unknown_user",
+            AdmissionError::AlreadyRegistered { .. } => "duplicate_register",
+            AdmissionError::ShardUnavailable { .. } => "shard_down",
+        }
+    }
+}
+
 impl std::fmt::Display for AdmissionError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {

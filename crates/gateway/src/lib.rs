@@ -16,7 +16,12 @@
 //!   execution at epoch boundaries, per-shard circuit breakers (a
 //!   stalled shard refuses, the rest keep committing), and a
 //!   cross-shard settlement queue that conserves token supply and
-//!   asset ownership by construction;
+//!   asset ownership by construction — plus end-to-end causal tracing
+//!   ([`GatewayConfig::trace_capacity`](router::GatewayConfig) > 0):
+//!   every admitted op gets a deterministic trace through admission,
+//!   routing, execution, escrow, settlement, and ledger commit,
+//!   queryable via [`ShardRouter::trace_of`](router::ShardRouter) and
+//!   exportable as JSON Lines or Prometheus text;
 //! * [`workload::WorkloadEngine`] — a seeded multi-user workload
 //!   generator (zipf popularity, configurable op mix, burst phases)
 //!   whose stream is independent of shard placement, so the same run
@@ -56,6 +61,8 @@ pub mod workload;
 
 pub use error::{AdmissionError, GatewayError};
 pub use op::{Op, WireError};
-pub use router::{ConservationReport, EpochReport, GatewayConfig, ShardRouter};
+pub use router::{
+    ConservationReport, EpochReport, GatewayConfig, ProvenanceRecord, ShardRouter,
+};
 pub use session::{RateLimit, Session, SessionConfig};
 pub use workload::{DriveReport, WorkloadConfig, WorkloadEngine};

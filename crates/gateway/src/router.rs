@@ -49,9 +49,13 @@ use metaverse_core::resilience::ResilienceConfig;
 use metaverse_core::CoreError;
 use metaverse_ledger::audit::{DataCollectionEvent, LawfulBasis, SensorClass};
 use metaverse_ledger::chain::ChainConfig;
+use metaverse_ledger::tx::TxPayload;
 use metaverse_resilience::breaker::BreakerTransition;
 use metaverse_resilience::{BreakerConfig, BreakerState, CircuitBreaker, FaultPlan};
-use metaverse_telemetry::{names, Counter, Gauge, Histogram, TelemetryHub, TelemetrySnapshot};
+use metaverse_telemetry::{
+    export, names, Counter, FlightRecorder, Gauge, Histogram, RecorderStats, TelemetryHub,
+    TelemetrySnapshot, TraceEvent, TraceQuery, TraceStage,
+};
 use metaverse_twins::sync::{SyncChannel, SyncConfig};
 use metaverse_twins::twin::DigitalTwin;
 use metaverse_world::geometry::Vec2;
@@ -89,6 +93,12 @@ pub struct GatewayConfig {
     /// any other value is capped at the shard count. Results are
     /// identical at every setting; only wall-clock changes.
     pub workers: usize,
+    /// Flight-recorder capacity in trace events; `0` (the default)
+    /// disables causal tracing entirely — no ring storage, no event
+    /// construction, one branch on the hot path. When enabled, the
+    /// router ring holds this many merged events and each shard gets a
+    /// same-sized staging ring (drained into the router every epoch).
+    pub trace_capacity: usize,
 }
 
 impl Default for GatewayConfig {
@@ -109,6 +119,7 @@ impl Default for GatewayConfig {
             initial_grant: 10_000,
             max_settlement_requeues: 3,
             workers: 0,
+            trace_capacity: 0,
         }
     }
 }
@@ -270,6 +281,9 @@ struct GatewayMetrics {
     shard_epochs_skipped: Counter,
     shard_batch_ns: Vec<Histogram>,
     shard_queue_depth: Vec<Gauge>,
+    trace_recorded: Counter,
+    trace_dropped: Counter,
+    trace_buffer: Gauge,
 }
 
 impl GatewayMetrics {
@@ -297,17 +311,24 @@ impl GatewayMetrics {
             shard_epochs_skipped: hub.counter(g::SHARD_EPOCHS_SKIPPED),
             shard_batch_ns: (0..shards).map(|i| hub.histogram(&g::shard_batch_ns(i))).collect(),
             shard_queue_depth: (0..shards).map(|i| hub.gauge(&g::shard_queue_depth(i))).collect(),
+            trace_recorded: hub.counter(names::TRACE_EVENTS_RECORDED),
+            trace_dropped: hub.counter(names::TRACE_EVENTS_DROPPED),
+            trace_buffer: hub.gauge(names::TRACE_BUFFER_LEN),
         }
     }
 }
 
-/// One shard: an independent platform plus router-side state.
+/// One shard: an independent platform plus router-side state. The
+/// `recorder` is the shard's trace staging ring: written only by the
+/// shard's worker (through `&mut`, no locks), drained into the router
+/// ring at the merge barrier in admission-`seq` order.
 struct Shard {
     platform: MetaversePlatform,
     queue: VecDeque<(u64, Op)>,
     breaker: CircuitBreaker,
     twin: DigitalTwin,
     channel: SyncChannel,
+    recorder: FlightRecorder,
 }
 
 // The epoch fan-out moves each `&mut Shard` into a scoped worker thread
@@ -321,11 +342,75 @@ const _: () = {
     require_sync::<GatewayMetrics>();
 };
 
-/// An in-flight settlement entry.
+/// An in-flight settlement entry, tagged with the admission seq of the
+/// op that produced it so settlement traces join the op's causal chain.
 #[derive(Debug, Clone)]
 struct PendingSettlement {
+    seq: u64,
     effect: SettlementEffect,
     requeues: u32,
+}
+
+/// What to look for in the target shard's chain when resolving a
+/// settled entry to its committing block.
+#[derive(Debug, Clone, PartialEq)]
+enum ProvenanceKey {
+    /// Match the `AssetTransfer` record of an applied purchase.
+    Purchase { asset_local: NftId, buyer: String, price: u64 },
+    /// Match the `ReputationDelta` record of an applied remote rating.
+    Rating { subject: String },
+}
+
+impl ProvenanceKey {
+    /// Does this ledger record carry the settlement this key describes?
+    fn matches(&self, payload: &TxPayload) -> bool {
+        match (self, payload) {
+            (
+                ProvenanceKey::Purchase { asset_local, buyer, price },
+                TxPayload::AssetTransfer { asset_id, to, price: tx_price, .. },
+            ) => asset_id == asset_local && to == buyer && tx_price == price,
+            (ProvenanceKey::Rating { subject }, TxPayload::ReputationDelta { subject: s, .. }) => {
+                s == subject
+            }
+            _ => false,
+        }
+    }
+}
+
+/// An unresolved provenance row: where an applied settlement's ledger
+/// records will seal (the target shard's chain, above `floor`).
+#[derive(Debug, Clone, PartialEq)]
+struct ProvenanceRow {
+    seq: u64,
+    shard: usize,
+    epoch: u64,
+    floor: u64,
+    key: ProvenanceKey,
+}
+
+/// One applied cross-shard settlement linked to the ledger block that
+/// committed its records — the navigable audit trail
+/// [`ShardRouter::provenance_report`] produces.
+///
+/// Settlement runs *after* the epoch's shard commits, so an applied
+/// entry's records seal at the target shard's **next** commit: `height`
+/// and `block` stay `None` until that commit happens (drive one more
+/// epoch to resolve them).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProvenanceRecord {
+    /// Admission seq of the op that produced the settlement entry.
+    pub seq: u64,
+    /// Target shard whose chain holds the entry's ledger records.
+    pub shard: usize,
+    /// Epoch the entry applied.
+    pub epoch: u64,
+    /// Target chain height when the entry applied (records seal above
+    /// this floor).
+    pub floor_height: u64,
+    /// Height of the committing block, once sealed.
+    pub height: Option<u64>,
+    /// Header digest of the committing block, once sealed.
+    pub block: Option<[u8; 32]>,
 }
 
 /// The sharded session gateway.
@@ -344,6 +429,18 @@ pub struct ShardRouter {
     now: u64,
     seq: u64,
     worker_threads: usize,
+    /// Router-level flight recorder: the merged, admission-`seq`-ordered
+    /// causal event stream (disabled when `trace_capacity` is 0).
+    recorder: FlightRecorder,
+    /// Applied settlements awaiting block resolution (tracing only).
+    provenance: Vec<ProvenanceRow>,
+    /// Deferred-op executions awaiting their shard's next commit, so
+    /// their `committed_in_epoch` event names the block that actually
+    /// sealed their records.
+    deferred_commits: Vec<(u64, usize)>,
+    /// Totals already flushed into the trace counters (instrument
+    /// counters are monotone; recorder stats are lifetime totals).
+    trace_counted: (u64, u64),
 }
 
 impl ShardRouter {
@@ -370,6 +467,7 @@ impl ShardRouter {
                     platform,
                     queue: VecDeque::new(),
                     breaker: CircuitBreaker::new(config.breaker),
+                    recorder: FlightRecorder::new(config.trace_capacity),
                     twin: DigitalTwin::new(i as u64, format!("shard-{i}"), "gateway", 8),
                     channel: SyncChannel::new(SyncConfig {
                         loss_rate: 0.0,
@@ -389,6 +487,7 @@ impl ShardRouter {
             n => n.min(config.shards),
         }
         .max(1);
+        let recorder = FlightRecorder::new(config.trace_capacity);
         ShardRouter {
             config,
             hub,
@@ -404,6 +503,10 @@ impl ShardRouter {
             now: 0,
             seq: 0,
             worker_threads,
+            recorder,
+            provenance: Vec::new(),
+            deferred_commits: Vec::new(),
+            trace_counted: (0, 0),
         }
     }
 
@@ -474,6 +577,76 @@ impl ShardRouter {
         &self.ledger
     }
 
+    /// Query view over the merged trace ring (empty when tracing is
+    /// disabled, i.e. `trace_capacity == 0`).
+    pub fn trace_query(&mut self) -> TraceQuery<'_> {
+        self.recorder.query()
+    }
+
+    /// The complete causal chain recorded for one admission sequence
+    /// number, oldest stage first — admission through refusal, or
+    /// through execution, settlement, and ledger commit.
+    pub fn trace_of(&mut self, seq: u64) -> Vec<TraceEvent> {
+        self.trace_query().trace_of(seq).into_iter().cloned().collect()
+    }
+
+    /// Every merged trace event serialized as JSON Lines (one event per
+    /// line, in admission-seq order within each epoch). Byte-identical
+    /// for identical workloads regardless of worker-thread count.
+    pub fn trace_jsonl(&mut self) -> String {
+        export::trace_jsonl(self.recorder.query().events().iter())
+    }
+
+    /// Lifetime recorded/dropped counts and current occupancy of the
+    /// router-level flight recorder.
+    pub fn trace_stats(&self) -> RecorderStats {
+        self.recorder.stats()
+    }
+
+    /// The gateway's telemetry snapshot rendered in Prometheus text
+    /// exposition format.
+    pub fn prometheus(&self) -> String {
+        export::prometheus(&self.hub.snapshot())
+    }
+
+    /// Provenance of every *applied* cross-shard settlement: which
+    /// ledger block on the target shard carries the settlement's
+    /// records. `height`/`block` stay `None` until the target shard's
+    /// next successful commit seals them (drive one more epoch).
+    ///
+    /// Rows only accumulate while tracing is enabled
+    /// (`trace_capacity > 0`), keeping the disabled path free.
+    pub fn provenance_report(&self) -> Vec<ProvenanceRecord> {
+        self.provenance
+            .iter()
+            .map(|row| {
+                let chain = self.shards[row.shard].platform.chain();
+                let mut height = None;
+                let mut block = None;
+                'scan: for b in chain.blocks() {
+                    if b.header.height <= row.floor {
+                        continue;
+                    }
+                    for tx in &b.transactions {
+                        if row.key.matches(&tx.payload) {
+                            height = Some(b.header.height);
+                            block = Some(b.id().0);
+                            break 'scan;
+                        }
+                    }
+                }
+                ProvenanceRecord {
+                    seq: row.seq,
+                    shard: row.shard,
+                    epoch: row.epoch,
+                    floor_height: row.floor,
+                    height,
+                    block,
+                }
+            })
+            .collect()
+    }
+
     /// Installs a fault schedule on one shard's platform (the E21 /
     /// test hook for stalling a single shard).
     pub fn install_shard_fault_plan(&mut self, shard: usize, plan: FaultPlan) {
@@ -491,6 +664,7 @@ impl ShardRouter {
     /// number is its global admission order.
     pub fn submit(&mut self, op: Op) -> Result<u64, AdmissionError> {
         self.metrics.ops_submitted.incr();
+        let label = op.label();
         let user = op.user().to_string();
         if matches!(op, Op::Register { .. }) {
             if self.sessions.contains_key(&user) {
@@ -499,12 +673,14 @@ impl ShardRouter {
                 // on the shard, inflating `ops_failed`.
                 let e = AdmissionError::AlreadyRegistered { user };
                 self.count_refusal(&e);
+                self.trace_refusal(label, &e);
                 return Err(e);
             }
             let shard = self.home_shard(&user);
             if !self.shards[shard].breaker.allows_request(self.epoch) {
                 let e = AdmissionError::ShardUnavailable { shard };
                 self.count_refusal(&e);
+                self.trace_refusal(label, &e);
                 return Err(e);
             }
             let mut session = Session::new(&user, shard, self.config.session);
@@ -515,22 +691,26 @@ impl ShardRouter {
             // duplicate.
             if let Err(e) = session.offer(seq, op, self.now) {
                 self.count_refusal(&e);
+                self.trace_refusal(label, &e);
                 return Err(e);
             }
             self.sessions.insert(user, session);
             self.metrics.sessions.set(self.sessions.len() as i64);
             self.metrics.ops_accepted.incr();
+            self.trace(seq, TraceStage::Admitted { op: label, shard: shard as u32 });
             self.seq += 1;
             return Ok(seq);
         }
         let Some(shard) = self.sessions.get(&user).map(Session::shard) else {
             let e = AdmissionError::UnknownUser { user };
             self.count_refusal(&e);
+            self.trace_refusal(label, &e);
             return Err(e);
         };
         if !self.shards[shard].breaker.allows_request(self.epoch) {
             let e = AdmissionError::ShardUnavailable { shard };
             self.count_refusal(&e);
+            self.trace_refusal(label, &e);
             return Err(e);
         }
         let seq = self.seq;
@@ -538,14 +718,41 @@ impl ShardRouter {
         match session.offer(seq, op, self.now) {
             Ok(()) => {
                 self.metrics.ops_accepted.incr();
+                self.trace(seq, TraceStage::Admitted { op: label, shard: shard as u32 });
                 self.seq += 1;
                 Ok(seq)
             }
             Err(e) => {
                 self.count_refusal(&e);
+                self.trace_refusal(label, &e);
                 Err(e)
             }
         }
+    }
+
+    /// Records one causal event into the router-level recorder, stamped
+    /// with the current epoch and logical tick. One branch and no work
+    /// when tracing is disabled.
+    fn trace(&mut self, seq: u64, stage: TraceStage) {
+        self.recorder.record(TraceEvent { seq, epoch: self.epoch, tick: self.now, stage });
+    }
+
+    /// Trace an admission refusal. Refusals never consume a sequence
+    /// number, so the event borrows the next unassigned seq — recording
+    /// what was turned away at that point in the admission stream (see
+    /// the `TraceId` docs in `metaverse-telemetry`).
+    fn trace_refusal(&mut self, op: &'static str, e: &AdmissionError) {
+        if !self.recorder.is_enabled() {
+            return;
+        }
+        let stage = match e {
+            AdmissionError::RateLimited { retry_in_ticks, .. } => {
+                TraceStage::RateLimited { op, retry_in_ticks: *retry_in_ticks }
+            }
+            other => TraceStage::Refused { op, cause: other.label() },
+        };
+        let seq = self.seq;
+        self.trace(seq, stage);
     }
 
     /// Bumps the per-cause refusal counter for an admission error.
@@ -589,13 +796,22 @@ impl ShardRouter {
 
         // 1. Mailboxes → shard queues; votes route to the proposal's
         //    shard, everything else to the acting user's home shard.
-        let mut drained: Vec<(u64, Op)> = Vec::new();
+        let mut drained: Vec<(u64, Op, u64)> = Vec::new();
         for session in self.sessions.values_mut() {
             drained.extend(session.drain());
         }
-        drained.sort_by_key(|(seq, _)| *seq);
-        for (seq, op) in drained {
+        drained.sort_by_key(|(seq, _, _)| *seq);
+        for (seq, op, admitted) in drained {
             let shard = self.target_shard(&op);
+            if self.recorder.is_enabled() {
+                self.trace(
+                    seq,
+                    TraceStage::RoutedToShard {
+                        shard: shard as u32,
+                        waited_ticks: self.now.saturating_sub(admitted),
+                    },
+                );
+            }
             self.shards[shard].queue.push_back((seq, op));
         }
 
@@ -633,9 +849,17 @@ impl ShardRouter {
             match plan {
                 Planned::Execute { shard, op } => batches[shard].push((seq, op)),
                 Planned::Merge(item) => {
+                    if self.recorder.is_enabled() {
+                        if let MergeItem::Deferred(ref op) = item {
+                            self.trace(seq, TraceStage::Deferred { op: op.label() });
+                        }
+                    }
                     merge.insert(seq, item);
                 }
-                Planned::Requeue { shard, op } => self.shards[shard].queue.push_back((seq, op)),
+                Planned::Requeue { shard, op } => {
+                    self.trace(seq, TraceStage::Requeued { shard: shard as u32 });
+                    self.shards[shard].queue.push_back((seq, op));
+                }
             }
         }
 
@@ -646,22 +870,23 @@ impl ShardRouter {
             .zip(batches)
             .map(|(&skip, batch)| ShardWork { skip, batch })
             .collect();
-        let outcomes = run_shard_phase(
-            &mut self.shards,
-            work,
-            self.worker_threads,
+        let ctx = EpochCtx {
             tick_delta,
-            self.config.initial_grant,
-            &self.metrics,
-        );
+            grant: self.config.initial_grant,
+            epoch: self.epoch,
+            now: self.now,
+        };
+        let outcomes = run_shard_phase(&mut self.shards, work, self.worker_threads, ctx, &self.metrics);
 
         // 5. Merge, in shard order for breaker bookkeeping, then in
         //    global `seq` order for every per-op result and effect.
+        let mut committed_shards = vec![false; self.shards.len()];
         for outcome in outcomes {
             let i = outcome.shard;
             if outcome.skipped {
                 continue;
             }
+            committed_shards[i] = outcome.commit_ok;
             if outcome.commit_ok {
                 let transitions = self.shards[i].breaker.record_success(self.epoch);
                 self.mirror_breaker(i, transitions.into_iter());
@@ -675,12 +900,41 @@ impl ShardRouter {
                 merge.insert(seq, MergeItem::Executed { shard: i, result });
             }
         }
+        if self.recorder.is_enabled() {
+            // Merge the per-shard trace streams: drain in shard order,
+            // stable-sort by admission seq (all of one seq's shard
+            // events live on a single shard, so the sort preserves
+            // their relative order), and append to the router ring.
+            // The result is byte-identical at 1 worker or N.
+            let mut shard_events: Vec<TraceEvent> = Vec::new();
+            for shard in &mut self.shards {
+                shard_events.append(&mut shard.recorder.drain());
+            }
+            shard_events.sort_by_key(|e| e.seq);
+            for event in shard_events {
+                self.recorder.record(event);
+            }
+            // Deferred ops executed after last epoch's commit barrier:
+            // their ledger records sealed in *this* epoch's commit, so
+            // their `committed_in_epoch` event names this commit.
+            for (seq, shard) in std::mem::take(&mut self.deferred_commits) {
+                if !committed_shards[shard] {
+                    self.deferred_commits.push((seq, shard));
+                    continue;
+                }
+                let (height, block) = sealed_head(&self.shards[shard].platform);
+                self.trace(
+                    seq,
+                    TraceStage::CommittedInEpoch { shard: shard as u32, height, block },
+                );
+            }
+        }
         for (seq, item) in merge {
             match item {
                 MergeItem::Executed { shard, result } => match result {
                     Ok(effect) => {
                         if let Some(effect) = effect {
-                            self.apply_effect(shard, effect);
+                            self.apply_effect(shard, seq, effect);
                         }
                         self.metrics.ops_committed.incr();
                         report.committed += 1;
@@ -691,11 +945,10 @@ impl ShardRouter {
                     }
                 },
                 MergeItem::RateRemote { subject, to_shard, positive } => {
-                    self.enqueue_settlement(SettlementEffect::Rating {
-                        subject,
-                        to_shard,
-                        positive,
-                    });
+                    self.enqueue_settlement(
+                        seq,
+                        SettlementEffect::Rating { subject, to_shard, positive },
+                    );
                     self.metrics.ops_committed.incr();
                     report.committed += 1;
                 }
@@ -712,6 +965,16 @@ impl ShardRouter {
         self.metrics.settlement_depth.set(self.settlement.len() as i64);
         for i in 0..self.shards.len() {
             self.metrics.shard_queue_depth[i].set(self.shards[i].queue.len() as i64);
+        }
+        if self.recorder.is_enabled() {
+            let stats = self.recorder.stats();
+            let dropped = stats.dropped
+                + self.shards.iter().map(|s| s.recorder.stats().dropped).sum::<u64>();
+            let (seen_recorded, seen_dropped) = self.trace_counted;
+            self.metrics.trace_recorded.add(stats.recorded.saturating_sub(seen_recorded));
+            self.metrics.trace_dropped.add(dropped.saturating_sub(seen_dropped));
+            self.trace_counted = (stats.recorded, dropped);
+            self.metrics.trace_buffer.set(stats.len as i64);
         }
         self.epoch += 1;
         self.now += tick_delta;
@@ -954,7 +1217,7 @@ impl ShardRouter {
 
     /// Applies a worker-returned cross-shard effect (merge phase, `seq`
     /// order).
-    fn apply_effect(&mut self, shard: usize, effect: WorkerEffect) {
+    fn apply_effect(&mut self, shard: usize, seq: u64, effect: WorkerEffect) {
         match effect {
             WorkerEffect::Registered { user } => {
                 self.ledger.tokens_minted += self.config.initial_grant;
@@ -973,13 +1236,24 @@ impl ShardRouter {
             }
             WorkerEffect::RemoteBuy { buyer, asset, to_shard, price } => {
                 self.ledger.escrow += price;
-                self.enqueue_settlement(SettlementEffect::Purchase {
-                    buyer,
-                    asset,
-                    from_shard: shard,
-                    to_shard,
-                    price,
-                });
+                self.trace(
+                    seq,
+                    TraceStage::Escrowed {
+                        from_shard: shard as u32,
+                        to_shard: to_shard as u32,
+                        price,
+                    },
+                );
+                self.enqueue_settlement(
+                    seq,
+                    SettlementEffect::Purchase {
+                        buyer,
+                        asset,
+                        from_shard: shard,
+                        to_shard,
+                        price,
+                    },
+                );
             }
         }
     }
@@ -997,38 +1271,62 @@ impl ShardRouter {
         skipped: &[bool],
         report: &mut EpochReport,
     ) {
-        let result = match op {
+        let (exec_shard, result) = match op {
             Op::Vote { user, proposal, support } => match self.proposals.get(&proposal).cloned()
             {
                 Some((pshard, scope, local)) => {
                     if skipped[pshard] {
+                        self.trace(seq, TraceStage::Requeued { shard: pshard as u32 });
                         self.shards[pshard]
                             .queue
                             .push_back((seq, Op::Vote { user, proposal, support }));
                         return;
                     }
-                    self.shards[pshard].platform.vote(&scope, &user, local, support)
+                    (pshard, self.shards[pshard].platform.vote(&scope, &user, local, support))
                 }
-                None => Err(CoreError::Platform(format!("unknown proposal {proposal}"))),
+                None => {
+                    let home = self.session_shard(&user);
+                    (home, Err(CoreError::Platform(format!("unknown proposal {proposal}"))))
+                }
             },
             Op::List { user, asset, price } => match self.assets.get(&asset).copied() {
                 Some(loc) => {
                     if skipped[loc.shard] {
+                        self.trace(seq, TraceStage::Requeued { shard: loc.shard as u32 });
                         self.shards[loc.shard]
                             .queue
                             .push_back((seq, Op::List { user, asset, price }));
                         return;
                     }
-                    self.shards[loc.shard].platform.list_asset(&user, loc.local, price)
+                    (
+                        loc.shard,
+                        self.shards[loc.shard].platform.list_asset(&user, loc.local, price),
+                    )
                 }
-                None => Err(CoreError::Platform(format!("unknown asset {asset}"))),
+                None => {
+                    let home = self.session_shard(&user);
+                    (home, Err(CoreError::Platform(format!("unknown asset {asset}"))))
+                }
             },
-            Op::Buy { user, asset } => self.deferred_buy(&user, asset),
-            other => Err(CoreError::Platform(format!(
-                "op {} cannot be deferred",
-                other.label()
-            ))),
+            Op::Buy { user, asset } => {
+                let home = self.session_shard(&user);
+                (home, self.deferred_buy(seq, &user, asset))
+            }
+            other => {
+                let home = self.session_shard(other.user());
+                (home, Err(CoreError::Platform(format!("op {} cannot be deferred", other.label()))))
+            }
         };
+        let ok = result.is_ok();
+        if self.recorder.is_enabled() {
+            self.trace(seq, TraceStage::Executed { shard: exec_shard as u32, ok });
+            if ok {
+                // A deferred op runs after this epoch's commit barrier;
+                // its ledger records seal at `exec_shard`'s next
+                // commit, which stamps the `committed_in_epoch` event.
+                self.deferred_commits.push((seq, exec_shard));
+            }
+        }
         match result {
             Ok(()) => {
                 self.metrics.ops_committed.incr();
@@ -1044,7 +1342,7 @@ impl ShardRouter {
     /// A deferred buy, resolved against the now-current asset
     /// directory: local assets buy directly; remote assets escrow the
     /// price and settle on the asset's shard.
-    fn deferred_buy(&mut self, buyer: &str, asset: u64) -> Result<(), CoreError> {
+    fn deferred_buy(&mut self, seq: u64, buyer: &str, asset: u64) -> Result<(), CoreError> {
         let loc = self
             .assets
             .get(&asset)
@@ -1062,20 +1360,31 @@ impl ShardRouter {
             .ok_or_else(|| CoreError::Platform(format!("asset {asset} not listed")))?;
         self.shards[home].platform.withdraw(buyer, price)?;
         self.ledger.escrow += price;
-        self.enqueue_settlement(SettlementEffect::Purchase {
-            buyer: buyer.to_string(),
-            asset,
-            from_shard: home,
-            to_shard: loc.shard,
-            price,
-        });
+        self.trace(
+            seq,
+            TraceStage::Escrowed {
+                from_shard: home as u32,
+                to_shard: loc.shard as u32,
+                price,
+            },
+        );
+        self.enqueue_settlement(
+            seq,
+            SettlementEffect::Purchase {
+                buyer: buyer.to_string(),
+                asset,
+                from_shard: home,
+                to_shard: loc.shard,
+                price,
+            },
+        );
         Ok(())
     }
 
-    fn enqueue_settlement(&mut self, effect: SettlementEffect) {
+    fn enqueue_settlement(&mut self, seq: u64, effect: SettlementEffect) {
         self.metrics.settlement_enqueued.incr();
         self.ledger.enqueued += 1;
-        self.settlement.push_back(PendingSettlement { effect, requeues: 0 });
+        self.settlement.push_back(PendingSettlement { seq, effect, requeues: 0 });
     }
 
     /// Applies the settlement queue once; entries whose target shard or
@@ -1154,6 +1463,13 @@ impl ShardRouter {
             entry.requeues += 1;
             self.metrics.settlement_requeued.incr();
             *requeued += 1;
+            if self.recorder.is_enabled() {
+                let target = match &entry.effect {
+                    SettlementEffect::Purchase { to_shard, .. } => *to_shard,
+                    SettlementEffect::Rating { to_shard, .. } => *to_shard,
+                };
+                self.trace(entry.seq, TraceStage::Requeued { shard: target as u32 });
+            }
             self.settlement.push_back(entry);
             return;
         }
@@ -1182,6 +1498,43 @@ impl ShardRouter {
         if outcome == SettlementOutcome::Applied {
             self.metrics.settlement_applied.incr();
             self.ledger.applied += 1;
+        }
+        if self.recorder.is_enabled() {
+            let label = match outcome {
+                SettlementOutcome::Applied => "applied",
+                SettlementOutcome::Refunded => "refunded",
+                SettlementOutcome::Dropped => "dropped",
+            };
+            self.trace(
+                entry.seq,
+                TraceStage::Settled { outcome: label, requeues: entry.requeues },
+            );
+            if outcome == SettlementOutcome::Applied {
+                // Settlement runs after this epoch's commits, so the
+                // entry's ledger records seal above the target chain's
+                // current height; `provenance_report` resolves the
+                // committing block from this floor.
+                let (shard, key) = match &entry.effect {
+                    SettlementEffect::Purchase { buyer, asset, to_shard, price, .. } => (
+                        *to_shard,
+                        ProvenanceKey::Purchase {
+                            asset_local: self.assets[asset].local,
+                            buyer: buyer.clone(),
+                            price: *price,
+                        },
+                    ),
+                    SettlementEffect::Rating { subject, to_shard, .. } => {
+                        (*to_shard, ProvenanceKey::Rating { subject: subject.clone() })
+                    }
+                };
+                self.provenance.push(ProvenanceRow {
+                    seq: entry.seq,
+                    shard,
+                    epoch: self.epoch,
+                    floor: self.shards[shard].platform.chain().height(),
+                    key,
+                });
+            }
         }
         self.ledger.entries.push(SettledEntry {
             effect: entry.effect,
@@ -1265,6 +1618,29 @@ struct ShardWork {
     batch: Vec<(u64, ShardOp)>,
 }
 
+/// Per-epoch constants every shard worker shares: the clock delta, the
+/// registration grant, and the logical timestamp (epoch + tick) stamped
+/// onto worker-side trace events.
+#[derive(Clone, Copy)]
+struct EpochCtx {
+    tick_delta: u64,
+    grant: u64,
+    epoch: u64,
+    now: u64,
+}
+
+/// `(height, header digest)` of the chain state a just-committed epoch
+/// sealed: the last block of the commit, or the current head when the
+/// commit had nothing to seal (the head is still the auditable state
+/// the ops executed under).
+fn sealed_head(platform: &MetaversePlatform) -> (u64, [u8; 32]) {
+    platform
+        .last_sealed_blocks()
+        .last()
+        .map(|(h, d)| (*h, d.0))
+        .unwrap_or_else(|| (platform.chain().height(), platform.chain().head().id().0))
+}
+
 /// What one shard's worker came back with.
 struct ShardOutcome {
     shard: usize,
@@ -1282,8 +1658,7 @@ fn run_shard_phase(
     shards: &mut [Shard],
     work: Vec<ShardWork>,
     workers: usize,
-    tick_delta: u64,
-    grant: u64,
+    ctx: EpochCtx,
     metrics: &GatewayMetrics,
 ) -> Vec<ShardOutcome> {
     debug_assert_eq!(shards.len(), work.len());
@@ -1292,7 +1667,7 @@ fn run_shard_phase(
             .iter_mut()
             .zip(work)
             .enumerate()
-            .map(|(i, (shard, w))| run_shard_epoch(i, shard, w, tick_delta, grant, metrics))
+            .map(|(i, (shard, w))| run_shard_epoch(i, shard, w, ctx, metrics))
             .collect();
     }
     let chunk = shards.len().div_ceil(workers);
@@ -1309,9 +1684,7 @@ fn run_shard_phase(
                     .iter_mut()
                     .zip(chunk_work)
                     .enumerate()
-                    .map(|(j, (shard, w))| {
-                        run_shard_epoch(start + j, shard, w, tick_delta, grant, metrics)
-                    })
+                    .map(|(j, (shard, w))| run_shard_epoch(start + j, shard, w, ctx, metrics))
                     .collect::<Vec<ShardOutcome>>()
             }));
         }
@@ -1331,23 +1704,46 @@ fn run_shard_epoch(
     index: usize,
     shard: &mut Shard,
     work: ShardWork,
-    tick_delta: u64,
-    grant: u64,
+    ctx: EpochCtx,
     metrics: &GatewayMetrics,
 ) -> ShardOutcome {
     if work.skip {
-        shard.platform.advance_ticks(tick_delta);
+        shard.platform.advance_ticks(ctx.tick_delta);
         return ShardOutcome { shard: index, skipped: true, commit_ok: true, results: Vec::new() };
     }
     metrics.batch_size.record(work.batch.len() as u64);
     let span = metrics.shard_batch_ns[index].start_span();
     let mut results = Vec::with_capacity(work.batch.len());
     for (seq, op) in work.batch {
-        results.push((seq, exec_shard_op(shard, op, grant)));
+        let result = exec_shard_op(shard, op, ctx.grant);
+        if shard.recorder.is_enabled() {
+            shard.recorder.record(TraceEvent {
+                seq,
+                epoch: ctx.epoch,
+                tick: ctx.now,
+                stage: TraceStage::Executed { shard: index as u32, ok: result.is_ok() },
+            });
+        }
+        results.push((seq, result));
     }
     drop(span);
-    shard.platform.advance_ticks(tick_delta);
+    shard.platform.advance_ticks(ctx.tick_delta);
     let commit_ok = shard.platform.commit_epoch().is_ok();
+    if commit_ok && shard.recorder.is_enabled() {
+        // The commit just sealed this epoch's records: every op that
+        // executed ok is now durable in the named block.
+        let (height, block) = sealed_head(&shard.platform);
+        let committed: Vec<u64> =
+            results.iter().filter(|(_, r)| r.is_ok()).map(|(seq, _)| *seq).collect();
+        for seq in committed {
+            shard.recorder.record(TraceEvent {
+                seq,
+                epoch: ctx.epoch,
+                tick: ctx.now,
+                stage: TraceStage::CommittedInEpoch { shard: index as u32, height, block },
+            });
+        }
+    }
     ShardOutcome { shard: index, skipped: false, commit_ok, results }
 }
 
@@ -1751,5 +2147,141 @@ mod tests {
         assert!(sequential.1.conserved);
         assert_eq!(sequential.2, parallel.2, "asset ownership must match");
         assert_eq!(sequential.3, parallel.3, "drive reports must match");
+    }
+
+    fn traced(shards: usize) -> GatewayConfig {
+        GatewayConfig { trace_capacity: 1 << 14, ..config(shards) }
+    }
+
+    #[test]
+    fn trace_of_follows_a_local_op_from_admission_to_ledger_commit() {
+        let mut router = ShardRouter::new(traced(1));
+        let seq = router.submit(Op::Register { user: "alice".into() }).unwrap();
+        router.execute_epoch();
+        let events = router.trace_of(seq);
+        let labels: Vec<&str> = events.iter().map(|e| e.stage.label()).collect();
+        assert_eq!(
+            labels,
+            ["admitted", "routed_to_shard", "executed", "committed_in_epoch"],
+            "complete causal chain for a local op"
+        );
+        match events.last().unwrap().stage {
+            TraceStage::CommittedInEpoch { height, block, .. } => {
+                let chain = router.shard_platform(0).chain();
+                let sealed = chain.block_at(height).expect("traced height exists on-chain");
+                assert_eq!(sealed.id().0, block, "trace names the real committing block");
+            }
+            ref other => panic!("expected committed_in_epoch last, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn refusals_are_traced_without_consuming_admission_seqs() {
+        let mut router = ShardRouter::new(traced(1));
+        let err = router
+            .submit(Op::Endorse { user: "ghost".into(), subject: "alice".into() })
+            .unwrap_err();
+        assert!(matches!(err, AdmissionError::UnknownUser { .. }));
+        let seq = router.submit(Op::Register { user: "alice".into() }).unwrap();
+        assert_eq!(seq, 0, "a refusal must not consume an admission seq");
+        router.execute_epoch();
+        let events = router.trace_of(0);
+        assert!(
+            matches!(
+                events[0].stage,
+                TraceStage::Refused { op: "endorse", cause: "unknown_user" }
+            ),
+            "refusal borrows the next unassigned seq: {events:?}"
+        );
+        assert_eq!(events[1].stage.label(), "admitted");
+        let query = router.trace_query();
+        let drops = query.drops();
+        assert_eq!(drops.len(), 1, "only the refusal is a drop: {drops:?}");
+    }
+
+    #[test]
+    fn cross_shard_purchase_trace_and_provenance_name_the_committing_block() {
+        let mut router = ShardRouter::new(traced(4));
+        let users: Vec<String> = (0..32).map(|i| format!("trader-{i}")).collect();
+        let refs: Vec<&str> = users.iter().map(String::as_str).collect();
+        register_all(&mut router, &refs);
+        let creator = users
+            .iter()
+            .find(|u| router.sessions[*u].shard() != router.sessions[&users[0]].shard())
+            .expect("32 users span at least two shards")
+            .clone();
+        let buyer = users[0].clone();
+        router
+            .submit(Op::Mint {
+                user: creator.clone(),
+                asset: 0,
+                uri: "asset://0".into(),
+                quality: 0.9,
+            })
+            .unwrap();
+        router.execute_epoch();
+        router.submit(Op::List { user: creator, asset: 0, price: 500 }).unwrap();
+        router.execute_epoch();
+        let buy_seq = router.submit(Op::Buy { user: buyer.clone(), asset: 0 }).unwrap();
+        router.drain(8);
+        // Settlement records seal at the target shard's *next* commit.
+        router.execute_epoch();
+        let labels: Vec<&str> =
+            router.trace_of(buy_seq).iter().map(|e| e.stage.label()).collect();
+        for stage in ["admitted", "routed_to_shard", "executed", "escrowed", "settled"] {
+            assert!(labels.contains(&stage), "buy trace misses {stage}: {labels:?}");
+        }
+        let provenance = router.provenance_report();
+        assert_eq!(provenance.len(), 1, "{provenance:?}");
+        let rec = &provenance[0];
+        assert_eq!(rec.seq, buy_seq);
+        let height = rec.height.expect("extra epoch seals the settlement records");
+        assert!(height > rec.floor_height);
+        let chain = router.shard_platform(rec.shard).chain();
+        let sealed = chain.block_at(height).expect("provenance height exists");
+        assert_eq!(sealed.id().0, rec.block.unwrap(), "provenance names the real block");
+        assert!(
+            sealed.transactions.iter().any(|tx| matches!(
+                &tx.payload,
+                TxPayload::AssetTransfer { to, price: 500, .. } if *to == buyer
+            )),
+            "the named block carries the purchase's transfer record"
+        );
+    }
+
+    #[test]
+    fn traces_are_byte_identical_at_one_worker_and_many() {
+        use crate::workload::{WorkloadConfig, WorkloadEngine};
+        let workload = WorkloadConfig { users: 24, ops: 600, seed: 99, ..Default::default() };
+        let engine = WorkloadEngine::new(workload);
+        let run = |workers: usize| {
+            let mut router = ShardRouter::new(GatewayConfig {
+                workers,
+                telemetry: false,
+                trace_capacity: 1 << 16,
+                ..config(4)
+            });
+            engine.drive(&mut router, 128);
+            (router.trace_jsonl(), format!("{:?}", router.settlement_ledger()))
+        };
+        let (seq_trace, seq_ledger) = run(1);
+        let (par_trace, par_ledger) = run(4);
+        assert!(!seq_trace.is_empty(), "the workload must produce trace events");
+        assert_eq!(seq_trace, par_trace, "traces must be byte-identical at 1 vs 4 workers");
+        assert_eq!(par_ledger, seq_ledger, "tracing must not perturb settlement");
+    }
+
+    #[test]
+    fn disabled_tracing_records_nothing_and_reports_empty() {
+        let mut router = ShardRouter::new(config(2));
+        register_all(&mut router, &["alice", "bob"]);
+        router.submit(Op::Endorse { user: "alice".into(), subject: "bob".into() }).unwrap();
+        router.execute_epoch();
+        let stats = router.trace_stats();
+        assert_eq!(stats.capacity, 0, "default config disables tracing");
+        assert_eq!(stats.recorded, 0);
+        assert!(router.trace_jsonl().is_empty());
+        assert!(router.provenance_report().is_empty());
+        assert!(router.trace_of(0).is_empty());
     }
 }

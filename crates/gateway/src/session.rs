@@ -111,7 +111,7 @@ pub struct Session {
     user: String,
     shard: usize,
     bucket: TokenBucket,
-    mailbox: VecDeque<(u64, Op)>,
+    mailbox: VecDeque<(u64, Op, u64)>,
     mailbox_capacity: usize,
     accepted_total: u64,
     rejected_total: u64,
@@ -171,13 +171,15 @@ impl Session {
             self.rejected_total += 1;
             return Err(AdmissionError::RateLimited { user: self.user.clone(), retry_in_ticks });
         }
-        self.mailbox.push_back((seq, op));
+        self.mailbox.push_back((seq, op, now));
         self.accepted_total += 1;
         Ok(())
     }
 
-    /// Removes and returns every admitted op, oldest first.
-    pub fn drain(&mut self) -> Vec<(u64, Op)> {
+    /// Removes and returns every admitted op, oldest first, each tagged
+    /// with its admission seq and the tick it was admitted at (so the
+    /// router's tracing layer can report mailbox wait time).
+    pub fn drain(&mut self) -> Vec<(u64, Op, u64)> {
         self.mailbox.drain(..).collect()
     }
 }

@@ -1,10 +1,12 @@
 //! The determinism gate CI runs explicitly: one seeded workload must
 //! (a) reproduce its settlement ledger *exactly* when replayed at the
 //! same shard count, (b) produce the identical conservation audit and
-//! asset-owner map at 1 shard and at 4 shards, and (c) produce
+//! asset-owner map at 1 shard and at 4 shards, (c) produce
 //! byte-identical settlement ledgers and conservation reports whether
 //! the per-shard epoch phase ran sequentially (1 worker) or in
-//! parallel (N workers), at every shard count.
+//! parallel (N workers), at every shard count, and (d) keep all of the
+//! above — plus a byte-identical trace stream — when causal tracing is
+//! switched on.
 
 use metaverse_gateway::router::{GatewayConfig, ShardRouter};
 use metaverse_gateway::workload::{DriveReport, WorkloadConfig, WorkloadEngine};
@@ -12,7 +14,7 @@ use metaverse_ledger::chain::ChainConfig;
 
 const SEED: u64 = 20220701;
 
-fn replay_with_workers(shards: usize, workers: usize) -> (ShardRouter, DriveReport) {
+fn replay_traced(shards: usize, workers: usize, trace_capacity: usize) -> (ShardRouter, DriveReport) {
     let engine = WorkloadEngine::new(WorkloadConfig {
         users: 48,
         ops: 4_000,
@@ -22,6 +24,7 @@ fn replay_with_workers(shards: usize, workers: usize) -> (ShardRouter, DriveRepo
     let mut router = ShardRouter::new(GatewayConfig {
         shards,
         workers,
+        trace_capacity,
         // Shallow key trees: this stream seals well under 2^7 blocks
         // per shard, and keygen dominates setup.
         chain_config: ChainConfig { key_tree_depth: 7, ..ChainConfig::default() },
@@ -29,6 +32,10 @@ fn replay_with_workers(shards: usize, workers: usize) -> (ShardRouter, DriveRepo
     });
     let report = engine.drive(&mut router, 256);
     (router, report)
+}
+
+fn replay_with_workers(shards: usize, workers: usize) -> (ShardRouter, DriveReport) {
+    replay_traced(shards, workers, 0)
 }
 
 fn replay(shards: usize) -> (ShardRouter, DriveReport) {
@@ -100,5 +107,49 @@ fn parallel_epochs_are_byte_identical_to_sequential_at_every_shard_count() {
         );
         assert!(sequential.conservation_report().conserved);
         assert_eq!(parallel.worker_threads(), shards);
+    }
+}
+
+/// (d) The tracing regression: with the flight recorder on, the trace
+/// stream itself is byte-identical between 1 worker and N workers at
+/// every shard count, and switching tracing on changes *nothing* about
+/// the audited outcome (ledger, conservation, drive report) relative
+/// to the untraced run.
+#[test]
+fn traces_and_audits_survive_tracing_at_every_shard_count() {
+    const CAPACITY: usize = 1 << 17; // no eviction for this stream
+    for shards in [1usize, 2, 4, 8] {
+        let (seq, seq_report) = replay_traced(shards, 1, CAPACITY);
+        let (par, par_report) = replay_traced(shards, shards, CAPACITY);
+        let (untraced, untraced_report) = replay_with_workers(shards, shards);
+        assert_eq!(seq_report, par_report, "drive reports diverged at {shards} shards");
+        let mut seq = seq;
+        let mut par = par;
+        let seq_trace = seq.trace_jsonl();
+        assert!(!seq_trace.is_empty(), "tracing produced no events at {shards} shards");
+        assert_eq!(
+            seq_trace,
+            par.trace_jsonl(),
+            "trace streams diverged between 1 and {shards} workers at {shards} shards"
+        );
+        assert_eq!(
+            format!("{:?}", seq.settlement_ledger()),
+            format!("{:?}", par.settlement_ledger()),
+            "settlement ledgers diverged under tracing at {shards} shards"
+        );
+        // Tracing is observation only: the untraced run's audit is
+        // byte-identical to the traced one.
+        assert_eq!(untraced_report, par_report, "tracing perturbed the drive report");
+        assert_eq!(
+            format!("{:?}", untraced.settlement_ledger()),
+            format!("{:?}", par.settlement_ledger()),
+            "tracing perturbed the settlement ledger at {shards} shards"
+        );
+        assert_eq!(
+            untraced.conservation_report(),
+            par.conservation_report(),
+            "tracing perturbed the conservation audit at {shards} shards"
+        );
+        assert_eq!(seq.trace_stats().dropped, 0, "capacity must hold the whole stream");
     }
 }

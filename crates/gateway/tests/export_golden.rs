@@ -1,0 +1,90 @@
+//! Golden-file checks for the dependency-free exporters: the exact
+//! bytes both exporters emit are pinned, so any accidental format
+//! drift (metric-name sanitization, bucket math, label escaping, JSON
+//! field order) fails CI instead of silently breaking downstream
+//! scrapers and trace tooling.
+//!
+//! To regenerate after an *intentional* format change:
+//!
+//! ```text
+//! GOLDEN_BLESS=1 cargo test -p metaverse-gateway --test export_golden
+//! ```
+//!
+//! The Prometheus golden renders a hand-built snapshot (fixed counter,
+//! gauge, and histogram values — live gateway histograms carry
+//! wall-clock nanoseconds and cannot be pinned). The trace golden
+//! replays a fixed-seed workload; every field of every trace event —
+//! including the committed block ids, whose validator keys derive from
+//! the validator name — is seed-deterministic.
+
+use metaverse_gateway::router::{GatewayConfig, ShardRouter};
+use metaverse_gateway::workload::{WorkloadConfig, WorkloadEngine};
+use metaverse_ledger::chain::ChainConfig;
+use metaverse_telemetry::export;
+use metaverse_telemetry::{TelemetryHub, TelemetrySnapshot};
+
+/// Compares `actual` against the golden file, or rewrites the golden
+/// when `GOLDEN_BLESS=1`.
+fn check_golden(name: &str, actual: &str) {
+    let path = format!("{}/tests/golden/{name}", env!("CARGO_MANIFEST_DIR"));
+    if std::env::var("GOLDEN_BLESS").is_ok_and(|v| v == "1") {
+        std::fs::create_dir_all(format!("{}/tests/golden", env!("CARGO_MANIFEST_DIR")))
+            .expect("create golden dir");
+        std::fs::write(&path, actual).expect("bless golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {path} (run with GOLDEN_BLESS=1): {e}"));
+    assert_eq!(
+        actual, expected,
+        "exporter output drifted from {path}; if the change is intentional, \
+         regenerate with GOLDEN_BLESS=1"
+    );
+}
+
+/// A snapshot with every instrument kind and every formatting edge the
+/// exporter handles: dots and dashes to sanitize, a leading digit, a
+/// negative gauge, a zero-bound bucket, and a multi-bucket histogram.
+fn synthetic_snapshot() -> TelemetrySnapshot {
+    let hub = TelemetryHub::new();
+    hub.counter("gateway.ops.admitted").add(1200);
+    hub.counter("breaker.shard.half-open").add(3);
+    hub.counter("7weird.name").add(1);
+    hub.gauge("epoch.chain_height").set(42);
+    hub.gauge("settlement.depth").set(-5);
+    for v in [0u64, 1, 2, 3, 900, 40_000] {
+        hub.histogram("gateway.shard.batch_ns").record(v);
+    }
+    hub.snapshot()
+}
+
+#[test]
+fn prometheus_exposition_matches_golden() {
+    let snap = synthetic_snapshot();
+    let text = export::prometheus_labeled(
+        &snap,
+        &[("platform", "metaverse-kit"), ("quote", "a\"b\\c")],
+    );
+    check_golden("prometheus.txt", &text);
+}
+
+#[test]
+fn trace_jsonl_matches_golden_for_a_fixed_seed() {
+    let engine = WorkloadEngine::new(WorkloadConfig {
+        users: 12,
+        ops: 220,
+        seed: 20220701,
+        ..WorkloadConfig::default()
+    });
+    let mut router = ShardRouter::new(GatewayConfig {
+        shards: 2,
+        workers: 1,
+        trace_capacity: 1 << 14,
+        chain_config: ChainConfig { key_tree_depth: 5, ..ChainConfig::default() },
+        ..GatewayConfig::default()
+    });
+    engine.drive(&mut router, 64);
+    let jsonl = router.trace_jsonl();
+    assert!(!jsonl.is_empty());
+    check_golden("trace.jsonl", &jsonl);
+}

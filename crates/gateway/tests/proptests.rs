@@ -1,12 +1,16 @@
 //! Property-based tests for the gateway's global invariants: token
 //! supply and asset ownership are conserved for *any* seeded op
-//! sequence at *any* shard count, and a 1-shard replay is equivalent
+//! sequence at *any* shard count, a 1-shard replay is equivalent
 //! to an N-shard replay of the same stream (modulo intra-epoch
 //! ordering) — the conservation audit and the per-asset owner map are
-//! identical.
+//! identical — and the wire codec is total: every [`Op`] round-trips
+//! bit-exactly, and no byte string (truncated, corrupted, or random)
+//! makes the decoder panic.
 
+use metaverse_gateway::op::{Op, WireError};
 use metaverse_gateway::router::{GatewayConfig, ShardRouter};
 use metaverse_gateway::workload::{WorkloadConfig, WorkloadEngine};
+use metaverse_ledger::audit::{LawfulBasis, SensorClass};
 use metaverse_ledger::chain::ChainConfig;
 use proptest::prelude::*;
 
@@ -38,7 +42,129 @@ fn replay(seed: u64, users: usize, ops: usize, shards: usize) -> ShardRouter {
     router
 }
 
+/// Any `f64` bit pattern — including NaN payloads, both infinities,
+/// and subnormals. Round-trip identity is asserted on *bits* (via
+/// re-encoding), never on `==`, so NaN is in scope.
+fn arb_f64() -> impl Strategy<Value = f64> {
+    any::<u64>().prop_map(f64::from_bits)
+}
+
+/// Bounded strings over the full printable-ASCII class (the stand-in's
+/// pattern subset). The codec's length prefix is `u16` and `put_str`
+/// intentionally panics past 64 KiB, so strategies stay far below that.
+fn arb_str() -> impl Strategy<Value = String> {
+    "[ -~]{0,24}"
+}
+
+fn arb_sensor() -> impl Strategy<Value = SensorClass> {
+    any::<usize>().prop_map(|i| SensorClass::ALL[i % SensorClass::ALL.len()])
+}
+
+fn arb_basis() -> impl Strategy<Value = LawfulBasis> {
+    const BASES: [LawfulBasis; 5] = [
+        LawfulBasis::Consent,
+        LawfulBasis::Contract,
+        LawfulBasis::LegitimateInterest,
+        LawfulBasis::VitalInterest,
+        LawfulBasis::None,
+    ];
+    any::<usize>().prop_map(|i| BASES[i % BASES.len()])
+}
+
+/// Every [`Op`] variant with arbitrary field values.
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        arb_str().prop_map(|user| Op::Register { user }),
+        (arb_str(), arb_str(), arb_f64(), arb_f64())
+            .prop_map(|(user, handle, x, y)| Op::EnterWorld { user, handle, x, y }),
+        (arb_str(), any::<u64>(), arb_str(), arb_str())
+            .prop_map(|(user, proposal, scope, title)| Op::Propose {
+                user,
+                proposal,
+                scope,
+                title
+            }),
+        (arb_str(), any::<u64>(), any::<bool>())
+            .prop_map(|(user, proposal, support)| Op::Vote { user, proposal, support }),
+        (arb_str(), arb_str()).prop_map(|(user, subject)| Op::Endorse { user, subject }),
+        (arb_str(), arb_str()).prop_map(|(user, subject)| Op::Report { user, subject }),
+        (arb_str(), any::<u64>(), arb_str(), arb_f64())
+            .prop_map(|(user, asset, uri, quality)| Op::Mint { user, asset, uri, quality }),
+        (arb_str(), any::<u64>(), any::<u64>())
+            .prop_map(|(user, asset, price)| Op::List { user, asset, price }),
+        (arb_str(), any::<u64>()).prop_map(|(user, asset)| Op::Buy { user, asset }),
+        ((arb_str(), arb_str(), arb_sensor()), (arb_str(), arb_basis(), any::<u64>()))
+            .prop_map(|((user, subject, sensor), (purpose, basis, bytes))| {
+                Op::RecordCollection { user, subject, sensor, purpose, basis, bytes }
+            }),
+        (arb_str(), any::<u32>(), arb_f64())
+            .prop_map(|(user, property, delta)| Op::TwinSync { user, property, delta }),
+    ]
+}
+
 proptest! {
+    /// Round-trip identity for every variant: decode ∘ encode is the
+    /// identity on the wire (bit-exact, so NaN float payloads count),
+    /// and the decoded op agrees on its routing-relevant accessors.
+    #[test]
+    fn wire_codec_round_trips_every_op(op in arb_op()) {
+        let bytes = op.encode();
+        let back = Op::decode(&bytes).expect("a freshly encoded frame must decode");
+        prop_assert_eq!(
+            back.encode(), bytes,
+            "re-encoding must reproduce the original frame bit-for-bit"
+        );
+        prop_assert_eq!(back.label(), op.label());
+        prop_assert_eq!(back.user(), op.user());
+    }
+
+    /// Every *strict prefix* of a valid frame fails with a typed error
+    /// (a frame's last field is always incomplete in a prefix), and
+    /// never panics.
+    #[test]
+    fn truncated_frames_fail_typed(op in arb_op(), cut in any::<usize>()) {
+        let bytes = op.encode();
+        let cut = cut % bytes.len(); // 0 <= cut < len: strictly shorter
+        let err = Op::decode(&bytes[..cut]).expect_err("a strict prefix cannot be a valid op");
+        prop_assert!(
+            matches!(
+                err,
+                WireError::UnexpectedEof
+                    | WireError::BadTag(_)
+                    | WireError::BadUtf8
+                    | WireError::BadBool(_)
+                    | WireError::BadEnum { .. }
+            ),
+            "unexpected error class for a truncation: {:?}", err
+        );
+    }
+
+    /// Single-byte corruption never panics; when the corrupted frame
+    /// still decodes, it decodes to something that re-encodes to those
+    /// exact bytes (the codec has no non-canonical encodings).
+    #[test]
+    fn corrupted_frames_never_panic(
+        op in arb_op(),
+        at in any::<usize>(),
+        flip in 1u8..=255u8,
+    ) {
+        let mut bytes = op.encode();
+        let i = at % bytes.len();
+        bytes[i] ^= flip;
+        if let Ok(back) = Op::decode(&bytes) {
+            prop_assert_eq!(back.encode(), bytes, "accepted frames must be canonical");
+        }
+    }
+
+    /// Fully random byte strings: decode returns, with either a valid
+    /// op or a typed error — never a panic, whatever the input.
+    #[test]
+    fn random_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        if let Ok(op) = Op::decode(&bytes) {
+            prop_assert_eq!(op.encode(), bytes);
+        }
+    }
+
     /// Supply conservation: whatever the seed, stream length, and shard
     /// count, every minted token is in a wallet or in escrow — and
     /// after the drive's final drain, escrow is empty too. Every minted

@@ -46,9 +46,12 @@ impl Default for ChainConfig {
     }
 }
 
-/// Wall-clock cost of sealing one block, split by phase (nanoseconds).
-/// Produced by [`Chain::seal_block_profiled`]; purely observational.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+/// Wall-clock cost of sealing one block, split by phase (nanoseconds),
+/// plus the sealed block's identity (height and header digest) so
+/// committers can hand provenance to tracing layers without re-reading
+/// the chain. Produced by [`Chain::seal_block_profiled`]; purely
+/// observational.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SealProfile {
     /// Building the block's Merkle transaction root.
     pub merkle_ns: u64,
@@ -56,6 +59,16 @@ pub struct SealProfile {
     pub sign_ns: u64,
     /// Validating, indexing, and appending the sealed block.
     pub append_ns: u64,
+    /// Height of the sealed block.
+    pub height: u64,
+    /// Header digest of the sealed block (its chain identity).
+    pub block: Digest,
+}
+
+impl Default for SealProfile {
+    fn default() -> Self {
+        SealProfile { merkle_ns: 0, sign_ns: 0, append_ns: 0, height: 0, block: Digest::ZERO }
+    }
 }
 
 impl SealProfile {
@@ -203,6 +216,8 @@ impl Chain {
         })?;
         block.seal = Some(seal);
         profile.sign_ns = elapsed_ns(started);
+        profile.height = height;
+        profile.block = digest;
 
         let started = std::time::Instant::now();
         self.validate_block(&block)?;
@@ -418,6 +433,10 @@ mod tests {
             profile.total_ns(),
             profile.merkle_ns + profile.sign_ns + profile.append_ns
         );
+        // The profile names the block it sealed: height and header
+        // digest (the block's chain identity, used for provenance).
+        assert_eq!(profile.height, block.header.height);
+        assert_eq!(profile.block, block.id());
         chain.verify_integrity().unwrap();
 
         chain.submit(note("a", "more")).unwrap();

@@ -1,0 +1,283 @@
+//! Dependency-free exporters: Prometheus text exposition for
+//! [`TelemetrySnapshot`]s and JSONL for [`TraceEvent`] streams.
+//!
+//! Both formats are plain strings built by hand (the offline serde
+//! stand-in cannot serialise; see `third_party/README.md`), and both
+//! are deterministic: snapshots iterate `BTreeMap`s, trace events are
+//! rendered in recording order, and nothing here reads a clock. The
+//! golden-file tests in the gateway crate pin the exact bytes.
+//!
+//! ## Prometheus exposition
+//!
+//! Metric names in this workspace are dotted (`gateway.ops.accepted`);
+//! Prometheus names may only contain `[a-zA-Z0-9_:]`, so every invalid
+//! character is rewritten to `_` ([`sanitize_metric_name`]). Label
+//! values escape `\`, `"`, and newlines per the exposition format.
+//! Histograms render as cumulative `_bucket{le="…"}` series derived
+//! from this crate's log₂ buckets (a bucket with inclusive lower bound
+//! `b` covers `[b, 2b)`, so its inclusive upper bound is `2b - 1`),
+//! plus the conventional `_sum` and `_count`.
+
+use crate::snapshot::{HistogramSnapshot, TelemetrySnapshot};
+use crate::trace::{TraceEvent, TraceStage};
+
+/// Rewrites a workspace metric name into the Prometheus alphabet:
+/// the first byte must match `[a-zA-Z_:]` and the rest `[a-zA-Z0-9_:]`;
+/// everything else (dots, dashes, unicode) becomes `_`.
+pub fn sanitize_metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic()
+            || c == '_'
+            || c == ':'
+            || (i > 0 && c.is_ascii_digit());
+        out.push(if ok { c } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Escapes a label value per the exposition format: backslash, double
+/// quote, and newline.
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders `{k="v",…}` from base labels plus one optional extra pair
+/// (used for histogram `le`). Empty when there are no labels at all.
+fn label_block(labels: &[(&str, &str)], extra: Option<(&str, &str)>) -> String {
+    let mut pairs: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{}=\"{}\"", sanitize_metric_name(k), escape_label_value(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        pairs.push(format!("{}=\"{}\"", sanitize_metric_name(k), escape_label_value(v)));
+    }
+    if pairs.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", pairs.join(","))
+    }
+}
+
+fn push_histogram(out: &mut String, name: &str, labels: &[(&str, &str)], h: &HistogramSnapshot) {
+    out.push_str(&format!("# TYPE {name} histogram\n"));
+    let mut cumulative = 0u64;
+    for (bound, count) in &h.buckets {
+        cumulative += count;
+        let le = if *bound == 0 { 0 } else { 2 * bound - 1 };
+        let le = le.to_string();
+        out.push_str(&format!(
+            "{name}_bucket{} {cumulative}\n",
+            label_block(labels, Some(("le", &le)))
+        ));
+    }
+    out.push_str(&format!(
+        "{name}_bucket{} {}\n",
+        label_block(labels, Some(("le", "+Inf"))),
+        h.count
+    ));
+    out.push_str(&format!("{name}_sum{} {}\n", label_block(labels, None), h.sum));
+    out.push_str(&format!("{name}_count{} {}\n", label_block(labels, None), h.count));
+}
+
+/// Renders a snapshot in the Prometheus text exposition format, one
+/// `# TYPE` header per metric, metrics in name order (snapshots are
+/// `BTreeMap`-backed, so the output is byte-stable for equal inputs).
+pub fn prometheus(snapshot: &TelemetrySnapshot) -> String {
+    prometheus_labeled(snapshot, &[])
+}
+
+/// [`prometheus`] with a set of labels stamped onto every sample (e.g.
+/// `[("shard", "3"), ("run", "e23")]`).
+pub fn prometheus_labeled(snapshot: &TelemetrySnapshot, labels: &[(&str, &str)]) -> String {
+    let mut out = String::new();
+    for (name, value) in &snapshot.counters {
+        let name = sanitize_metric_name(name);
+        out.push_str(&format!("# TYPE {name} counter\n"));
+        out.push_str(&format!("{name}{} {value}\n", label_block(labels, None)));
+    }
+    for (name, value) in &snapshot.gauges {
+        let name = sanitize_metric_name(name);
+        out.push_str(&format!("# TYPE {name} gauge\n"));
+        out.push_str(&format!("{name}{} {value}\n", label_block(labels, None)));
+    }
+    for (name, h) in &snapshot.histograms {
+        push_histogram(&mut out, &sanitize_metric_name(name), labels, h);
+    }
+    out
+}
+
+fn push_hex(out: &mut String, bytes: &[u8]) {
+    const HEX: &[u8; 16] = b"0123456789abcdef";
+    for b in bytes {
+        out.push(HEX[(b >> 4) as usize] as char);
+        out.push(HEX[(b & 0x0f) as usize] as char);
+    }
+}
+
+/// Renders one trace event as a single-line JSON object. Stage fields
+/// are flattened beside a `"stage"` discriminator; block references
+/// render as lowercase hex. Every string field comes from a fixed
+/// `&'static str` vocabulary, so no escaping is needed (and none is
+/// performed).
+pub fn trace_event_json(e: &TraceEvent) -> String {
+    let mut out = format!(
+        "{{\"seq\":{},\"epoch\":{},\"tick\":{},\"stage\":\"{}\"",
+        e.seq,
+        e.epoch,
+        e.tick,
+        e.stage.label()
+    );
+    match &e.stage {
+        TraceStage::Admitted { op, shard } => {
+            out.push_str(&format!(",\"op\":\"{op}\",\"shard\":{shard}"));
+        }
+        TraceStage::RateLimited { op, retry_in_ticks } => {
+            out.push_str(&format!(",\"op\":\"{op}\",\"retry_in_ticks\":{retry_in_ticks}"));
+        }
+        TraceStage::Refused { op, cause } => {
+            out.push_str(&format!(",\"op\":\"{op}\",\"cause\":\"{cause}\""));
+        }
+        TraceStage::RoutedToShard { shard, waited_ticks } => {
+            out.push_str(&format!(",\"shard\":{shard},\"waited_ticks\":{waited_ticks}"));
+        }
+        TraceStage::Deferred { op } => {
+            out.push_str(&format!(",\"op\":\"{op}\""));
+        }
+        TraceStage::Requeued { shard } => {
+            out.push_str(&format!(",\"shard\":{shard}"));
+        }
+        TraceStage::Executed { shard, ok } => {
+            out.push_str(&format!(",\"shard\":{shard},\"ok\":{ok}"));
+        }
+        TraceStage::Escrowed { from_shard, to_shard, price } => {
+            out.push_str(&format!(
+                ",\"from_shard\":{from_shard},\"to_shard\":{to_shard},\"price\":{price}"
+            ));
+        }
+        TraceStage::Settled { outcome, requeues } => {
+            out.push_str(&format!(",\"outcome\":\"{outcome}\",\"requeues\":{requeues}"));
+        }
+        TraceStage::CommittedInEpoch { shard, height, block } => {
+            out.push_str(&format!(",\"shard\":{shard},\"height\":{height},\"block\":\""));
+            push_hex(&mut out, block);
+            out.push('"');
+        }
+    }
+    out.push('}');
+    out
+}
+
+/// Renders an event stream as JSONL: one object per line, each line
+/// newline-terminated. An empty stream renders as an empty string.
+pub fn trace_jsonl<'a>(events: impl IntoIterator<Item = &'a TraceEvent>) -> String {
+    let mut out = String::new();
+    for e in events {
+        out.push_str(&trace_event_json(e));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TelemetryHub;
+
+    #[test]
+    fn sanitization_rewrites_everything_outside_the_prometheus_alphabet() {
+        assert_eq!(sanitize_metric_name("gateway.ops.accepted"), "gateway_ops_accepted");
+        assert_eq!(sanitize_metric_name("gateway.shard.3.batch_ns"), "gateway_shard_3_batch_ns");
+        assert_eq!(sanitize_metric_name("0day"), "_day", "leading digit is invalid");
+        assert_eq!(sanitize_metric_name("weird métric\nname"), "weird_m_tric_name");
+        assert_eq!(sanitize_metric_name(""), "_");
+    }
+
+    #[test]
+    fn label_values_escape_quotes_backslashes_and_newlines() {
+        assert_eq!(escape_label_value("plain"), "plain");
+        assert_eq!(escape_label_value("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        let hub = TelemetryHub::new();
+        hub.counter("c").incr();
+        let text = prometheus_labeled(&hub.snapshot(), &[("k", "a\"b")]);
+        assert!(text.contains("c{k=\"a\\\"b\"} 1\n"), "{text}");
+    }
+
+    #[test]
+    fn counters_gauges_and_histograms_expose_with_type_headers() {
+        let hub = TelemetryHub::new();
+        hub.counter("ops.total").add(7);
+        hub.gauge("depth").set(-3);
+        for v in [1u64, 2, 2, 900] {
+            hub.histogram("lat.ns").record(v);
+        }
+        let text = prometheus(&hub.snapshot());
+        assert!(text.contains("# TYPE ops_total counter\nops_total 7\n"));
+        assert!(text.contains("# TYPE depth gauge\ndepth -3\n"));
+        // log2 buckets: 1 → le 1, 2 (x2) → le 3, 900 → bucket 512 → le 1023.
+        assert!(text.contains("# TYPE lat_ns histogram\n"), "{text}");
+        assert!(text.contains("lat_ns_bucket{le=\"1\"} 1\n"));
+        assert!(text.contains("lat_ns_bucket{le=\"3\"} 3\n"), "cumulative: {text}");
+        assert!(text.contains("lat_ns_bucket{le=\"1023\"} 4\n"));
+        assert!(text.contains("lat_ns_bucket{le=\"+Inf\"} 4\n"));
+        assert!(text.contains("lat_ns_sum 905\n"));
+        assert!(text.contains("lat_ns_count 4\n"));
+    }
+
+    #[test]
+    fn exposition_is_deterministic_and_labeled_uniformly() {
+        let hub = TelemetryHub::new();
+        hub.counter("b").incr();
+        hub.counter("a").incr();
+        hub.histogram("h").record(5);
+        let labels = [("run", "e23"), ("shards", "8")];
+        let one = prometheus_labeled(&hub.snapshot(), &labels);
+        let two = prometheus_labeled(&hub.snapshot(), &labels);
+        assert_eq!(one, two);
+        assert!(one.find("a{").unwrap() < one.find("b{").unwrap(), "name order");
+        for line in one.lines().filter(|l| !l.starts_with('#')) {
+            assert!(line.contains("run=\"e23\",shards=\"8\""), "unlabeled sample: {line}");
+        }
+    }
+
+    #[test]
+    fn trace_events_render_one_json_object_per_line() {
+        use crate::trace::TraceEvent;
+        let events = vec![
+            TraceEvent {
+                seq: 4,
+                epoch: 1,
+                tick: 2,
+                stage: TraceStage::Admitted { op: "buy", shard: 3 },
+            },
+            TraceEvent {
+                seq: 4,
+                epoch: 2,
+                tick: 4,
+                stage: TraceStage::CommittedInEpoch { shard: 3, height: 9, block: [0xab; 32] },
+            },
+        ];
+        let jsonl = trace_jsonl(&events);
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            "{\"seq\":4,\"epoch\":1,\"tick\":2,\"stage\":\"admitted\",\"op\":\"buy\",\"shard\":3}"
+        );
+        assert!(lines[1].ends_with(&format!("\"block\":\"{}\"}}", "ab".repeat(32))), "{jsonl}");
+        assert!(jsonl.ends_with('\n'));
+        assert_eq!(trace_jsonl([]), "");
+    }
+}

@@ -25,6 +25,11 @@
 //! * [`names`] — the canonical metric-name registry shared by producers
 //!   (platform, gateway) and consumers (experiments, dashboards), so
 //!   counter names cannot drift apart between them.
+//! * [`trace`] / [`recorder`] — causal tracing: deterministic per-op
+//!   [`TraceEvent`] chains recorded into bounded [`FlightRecorder`]
+//!   rings, queried through [`TraceQuery`].
+//! * [`export`] — dependency-free exporters: Prometheus text exposition
+//!   for snapshots, JSONL for trace-event streams.
 //!
 //! ## Example
 //!
@@ -46,13 +51,18 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod export;
 pub mod hub;
 pub mod metrics;
 pub mod names;
+pub mod recorder;
 pub mod snapshot;
 pub mod span;
+pub mod trace;
 
 pub use hub::TelemetryHub;
 pub use metrics::{Counter, Gauge, Histogram};
+pub use recorder::{FlightRecorder, RecorderStats};
 pub use snapshot::{HistogramSnapshot, TelemetrySnapshot};
 pub use span::Span;
+pub use trace::{BlockRef, TraceEvent, TraceId, TraceQuery, TraceSpan, TraceStage};

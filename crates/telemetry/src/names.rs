@@ -89,6 +89,16 @@ pub const PLATFORM_USERS: &str = "platform.users";
 /// Gauge: current platform tick.
 pub const PLATFORM_TICK: &str = "platform.tick";
 
+/// Gauge: audit-chain height after the most recent epoch commit.
+pub const EPOCH_CHAIN_HEIGHT: &str = "epoch.chain_height";
+
+/// Trace events recorded into flight recorders (router + shards).
+pub const TRACE_EVENTS_RECORDED: &str = "trace.events.recorded";
+/// Trace events evicted from full flight-recorder rings.
+pub const TRACE_EVENTS_DROPPED: &str = "trace.events.dropped";
+/// Gauge: events currently held by the router-level flight recorder.
+pub const TRACE_BUFFER_LEN: &str = "trace.buffer.len";
+
 /// Gateway (sharded session front door) instrument names.
 ///
 /// Kept beside the platform names for the same anti-drift reason: E21
@@ -152,6 +162,111 @@ pub mod gateway {
     }
 }
 
+/// Every fixed (non-family) canonical name, used by [`is_canonical`]
+/// and the workspace metric-hygiene tests.
+pub const ALL_FIXED: &[&str] = &[
+    EPOCH_COLLECT_NS,
+    EPOCH_MERKLE_NS,
+    EPOCH_SIGN_NS,
+    EPOCH_APPEND_NS,
+    EPOCH_COMMITS,
+    EPOCH_ABORTS,
+    EPOCH_BLOCKS_SEALED,
+    EPOCH_TXS_SUBMITTED,
+    EPOCH_CHAIN_HEIGHT,
+    MODERATION_REPORTS_DEFERRED,
+    MODERATION_REPORTS_REPLAYED,
+    MODERATION_REPORTS_HELD,
+    ESCAPE_GOVERNANCE,
+    ESCAPE_REPUTATION,
+    ESCAPE_IRB,
+    PLATFORM_USERS,
+    PLATFORM_TICK,
+    TRACE_EVENTS_RECORDED,
+    TRACE_EVENTS_DROPPED,
+    TRACE_BUFFER_LEN,
+    gateway::OPS_SUBMITTED,
+    gateway::OPS_ACCEPTED,
+    gateway::OPS_COMMITTED,
+    gateway::OPS_FAILED,
+    gateway::REJECTED_RATE_LIMITED,
+    gateway::REJECTED_MAILBOX_FULL,
+    gateway::REJECTED_SHARD_DOWN,
+    gateway::REJECTED_UNKNOWN_USER,
+    gateway::REJECTED_DUPLICATE_REGISTER,
+    gateway::SETTLEMENT_ENQUEUED,
+    gateway::SETTLEMENT_APPLIED,
+    gateway::SETTLEMENT_REJECTED,
+    gateway::SETTLEMENT_REQUEUED,
+    gateway::SETTLEMENT_DEPTH,
+    gateway::EPOCHS,
+    gateway::SESSIONS,
+    gateway::BATCH_SIZE,
+    gateway::SHARD_COMMIT_FAILURES,
+    gateway::SHARD_EPOCHS_SKIPPED,
+    "twins.sync.updates_lost",
+    "twins.sync.retransmissions",
+    "twins.sync.recovered",
+    "twins.sync.duplicates_dropped",
+    "twins.sync.reconciliations",
+    "twins.sync.forced_reconciliations",
+];
+
+/// One lowercase name segment: `[a-z0-9_-]+` (dash appears only in the
+/// breaker-state label `half-open`).
+fn is_segment(seg: &str) -> bool {
+    !seg.is_empty()
+        && seg
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_' || c == '-')
+}
+
+fn is_breaker_state(state: &str) -> bool {
+    matches!(state, "closed" | "open" | "half-open")
+}
+
+/// Whether `name` is a canonical metric name: one of the fixed
+/// constants above, or a well-formed member of a registered family
+/// (`ops.<op>`, `module.<slot>.<kind>`, `breaker.<slot>.<state>`,
+/// `gateway.shard.<i>.…`). The metric-hygiene tests run every name
+/// found in a live snapshot through this gate, so a producer inventing
+/// an ad-hoc string literal fails CI instead of drifting silently.
+pub fn is_canonical(name: &str) -> bool {
+    if ALL_FIXED.contains(&name) {
+        return true;
+    }
+    if let Some(op) = name.strip_prefix(OPS_PREFIX) {
+        return is_segment(op);
+    }
+    if let Some(rest) = name.strip_prefix("module.") {
+        return match rest.rsplit_once('.') {
+            Some((slot, kind)) => {
+                is_segment(slot) && matches!(kind, "calls" | "refused" | "zombie" | "latency_ns")
+            }
+            None => false,
+        };
+    }
+    if let Some(rest) = name.strip_prefix("breaker.") {
+        return match rest.split_once('.') {
+            Some((slot, state)) => is_segment(slot) && is_breaker_state(state),
+            None => false,
+        };
+    }
+    if let Some(rest) = name.strip_prefix("gateway.shard.") {
+        let Some((index, kind)) = rest.split_once('.') else {
+            return false;
+        };
+        if index.is_empty() || !index.chars().all(|c| c.is_ascii_digit()) {
+            return false;
+        }
+        return match kind.strip_prefix("breaker.") {
+            Some(state) => is_breaker_state(state),
+            None => matches!(kind, "batch_ns" | "queue_depth"),
+        };
+    }
+    false
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -179,5 +294,39 @@ mod tests {
         assert_eq!(PLATFORM_USERS, "platform.users");
         assert_eq!(gateway::OPS_COMMITTED, "gateway.ops.committed");
         assert_eq!(gateway::SETTLEMENT_ENQUEUED, "gateway.settlement.enqueued");
+        assert_eq!(EPOCH_CHAIN_HEIGHT, "epoch.chain_height");
+        assert_eq!(TRACE_EVENTS_RECORDED, "trace.events.recorded");
+        assert_eq!(TRACE_EVENTS_DROPPED, "trace.events.dropped");
+        assert_eq!(TRACE_BUFFER_LEN, "trace.buffer.len");
+    }
+
+    #[test]
+    fn canonical_gate_accepts_constants_and_families() {
+        for name in ALL_FIXED {
+            assert!(is_canonical(name), "fixed name rejected: {name}");
+        }
+        assert!(is_canonical(&op("buy")));
+        assert!(is_canonical(&module_calls("moderation")));
+        assert!(is_canonical(&module_latency("privacy")));
+        assert!(is_canonical(&breaker_transition("assets", "half-open")));
+        assert!(is_canonical(&gateway::shard_batch_ns(7)));
+        assert!(is_canonical(&gateway::shard_queue_depth(0)));
+        assert!(is_canonical(&gateway::shard_breaker(2, "open")));
+    }
+
+    #[test]
+    fn canonical_gate_rejects_drifted_names() {
+        for name in [
+            "gateway.ops.acepted",        // typo
+            "ops.",                       // empty family member
+            "module.moderation.latency",  // wrong kind
+            "breaker.assets.sorta_open",  // invented state
+            "gateway.shard.x.batch_ns",   // non-numeric shard
+            "gateway.shard.3.jitter_ns",  // invented per-shard kind
+            "Trace.events.recorded",      // case drift
+            "totally.made.up",
+        ] {
+            assert!(!is_canonical(name), "drifted name accepted: {name}");
+        }
     }
 }

@@ -1,0 +1,183 @@
+//! The flight recorder: a bounded, lock-free ring of trace events.
+//!
+//! A [`FlightRecorder`] is deliberately *not* shared state: the gateway
+//! gives each shard its own recorder (written by at most one worker
+//! thread, through `&mut`) plus one router-level recorder, and merges
+//! the per-shard streams back in admission-sequence order at the epoch
+//! barrier. That keeps the hot path free of locks and atomics — the
+//! cost of recording is one branch and one ring write — while the merge
+//! discipline keeps the final stream byte-identical whether an epoch
+//! ran on one worker thread or N.
+//!
+//! Like [`TelemetryHub`](crate::TelemetryHub), a recorder has a
+//! disabled mode: [`FlightRecorder::disabled`] records nothing, costs
+//! one branch per call, and allocates nothing (events themselves are
+//! allocation-free by construction — see [`crate::trace`]).
+
+use crate::trace::{TraceEvent, TraceQuery};
+use std::collections::VecDeque;
+
+/// Counters describing a recorder's lifetime activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecorderStats {
+    /// Events ever offered to [`FlightRecorder::record`] while enabled.
+    pub recorded: u64,
+    /// Events evicted because the ring was full (oldest-first).
+    pub dropped: u64,
+    /// Events currently held.
+    pub len: usize,
+    /// Configured capacity (0 when disabled).
+    pub capacity: usize,
+}
+
+#[derive(Debug)]
+struct RecorderInner {
+    capacity: usize,
+    ring: VecDeque<TraceEvent>,
+    recorded: u64,
+    dropped: u64,
+}
+
+/// A bounded ring buffer of [`TraceEvent`]s with oldest-first eviction.
+#[derive(Debug, Default)]
+pub struct FlightRecorder {
+    inner: Option<RecorderInner>,
+}
+
+impl FlightRecorder {
+    /// An enabled recorder holding at most `capacity` events (a
+    /// capacity of 0 is a disabled recorder).
+    pub fn new(capacity: usize) -> Self {
+        if capacity == 0 {
+            return FlightRecorder::disabled();
+        }
+        FlightRecorder {
+            inner: Some(RecorderInner {
+                capacity,
+                ring: VecDeque::new(),
+                recorded: 0,
+                dropped: 0,
+            }),
+        }
+    }
+
+    /// A recorder that records nothing: one branch per call, no
+    /// allocation, no storage.
+    pub fn disabled() -> Self {
+        FlightRecorder { inner: None }
+    }
+
+    /// Whether this recorder stores events.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Records one event; when the ring is full the oldest event is
+    /// evicted (and counted in [`RecorderStats::dropped`]). A disabled
+    /// recorder returns immediately.
+    pub fn record(&mut self, event: TraceEvent) {
+        let Some(inner) = &mut self.inner else { return };
+        if inner.ring.len() >= inner.capacity {
+            inner.ring.pop_front();
+            inner.dropped += 1;
+        }
+        inner.ring.push_back(event);
+        inner.recorded += 1;
+    }
+
+    /// Events currently held, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.inner.iter().flat_map(|inner| inner.ring.iter())
+    }
+
+    /// Removes and returns every held event, oldest first (the merge
+    /// primitive: shard recorders drain into the router recorder).
+    pub fn drain(&mut self) -> Vec<TraceEvent> {
+        match &mut self.inner {
+            Some(inner) => inner.ring.drain(..).collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> RecorderStats {
+        match &self.inner {
+            Some(inner) => RecorderStats {
+                recorded: inner.recorded,
+                dropped: inner.dropped,
+                len: inner.ring.len(),
+                capacity: inner.capacity,
+            },
+            None => RecorderStats::default(),
+        }
+    }
+
+    /// A query view over the held events. Needs `&mut self` once to
+    /// make the ring contiguous; queries themselves are read-only.
+    pub fn query(&mut self) -> TraceQuery<'_> {
+        match &mut self.inner {
+            Some(inner) => TraceQuery::new(inner.ring.make_contiguous()),
+            None => TraceQuery::new(&[]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceStage;
+
+    fn ev(seq: u64) -> TraceEvent {
+        TraceEvent { seq, epoch: seq, tick: seq, stage: TraceStage::Requeued { shard: 0 } }
+    }
+
+    #[test]
+    fn bounded_ring_evicts_oldest_and_counts_drops() {
+        let mut r = FlightRecorder::new(3);
+        for seq in 0..5 {
+            r.record(ev(seq));
+        }
+        let held: Vec<u64> = r.events().map(|e| e.seq).collect();
+        assert_eq!(held, vec![2, 3, 4], "oldest evicted first");
+        let stats = r.stats();
+        assert_eq!(stats.recorded, 5);
+        assert_eq!(stats.dropped, 2);
+        assert_eq!(stats.len, 3);
+        assert_eq!(stats.capacity, 3);
+    }
+
+    #[test]
+    fn disabled_recorder_is_a_no_op() {
+        let mut r = FlightRecorder::disabled();
+        assert!(!r.is_enabled());
+        r.record(ev(0));
+        assert_eq!(r.events().count(), 0);
+        assert_eq!(r.stats(), RecorderStats::default());
+        assert!(r.drain().is_empty());
+        assert!(r.query().trace_of(0).is_empty());
+        // Capacity 0 is the same thing.
+        assert!(!FlightRecorder::new(0).is_enabled());
+    }
+
+    #[test]
+    fn drain_empties_but_keeps_counters() {
+        let mut r = FlightRecorder::new(8);
+        r.record(ev(0));
+        r.record(ev(1));
+        let drained = r.drain();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(r.events().count(), 0);
+        assert_eq!(r.stats().recorded, 2, "drain is not a reset");
+    }
+
+    #[test]
+    fn query_reflects_ring_contents_after_wraparound() {
+        let mut r = FlightRecorder::new(2);
+        for seq in 0..4 {
+            r.record(ev(seq));
+        }
+        let q = r.query();
+        assert!(q.trace_of(0).is_empty(), "evicted");
+        assert_eq!(q.trace_of(3).len(), 1);
+    }
+}

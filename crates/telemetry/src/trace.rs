@@ -1,0 +1,307 @@
+//! Causal trace events: what happened to one admitted op, end to end.
+//!
+//! Metrics (the rest of this crate) answer *how much* and *how fast*;
+//! a trace answers *what happened to op N* — the transparency the paper
+//! demands for governance decisions (§IV-C), applied to the platform's
+//! own request path. Every op admitted by the gateway is identified by
+//! its **admission sequence number** ([`TraceId`]) — deterministic by
+//! construction, derived from admission order rather than wall clock or
+//! RNG — and leaves a chain of typed [`TraceEvent`]s behind as it moves
+//! through admission, routing, shard execution, escrow, settlement, and
+//! ledger commit.
+//!
+//! Design constraints, in order:
+//!
+//! * **allocation-free events** — every [`TraceStage`] field is either
+//!   numeric or a `&'static str` label, so recording an event performs
+//!   no heap allocation and a disabled recorder costs one branch;
+//! * **deterministic bytes** — events carry logical time only (epoch
+//!   and tick, never wall clock), so the same seeded run produces
+//!   byte-identical traces regardless of worker-thread count;
+//! * **navigable provenance** — terminal stages reference the ledger:
+//!   [`TraceStage::CommittedInEpoch`] names the sealed chain state
+//!   (height + block id) that covers the op's records.
+
+/// Identity of one traced op: its global admission sequence number.
+///
+/// Assigned by the gateway at admission, in submission order. An offer
+/// *refused* at admission never consumes a sequence number; its refusal
+/// events borrow the next unassigned seq, recording what was turned
+/// away at that point in the admission stream (the op that eventually
+/// claims the seq follows in the same trace).
+pub type TraceId = u64;
+
+/// A sealed block's identity: its header digest, as raw bytes (rendered
+/// as hex by the exporters). Kept as a plain byte array so this crate
+/// stays dependency-free and events stay `Copy`-cheap.
+pub type BlockRef = [u8; 32];
+
+/// One causal step in an op's life. Timestamps are logical (epoch and
+/// tick), never wall clock, so traces are seed-deterministic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// The op this event belongs to (admission sequence number).
+    pub seq: TraceId,
+    /// Router epoch when the event was recorded.
+    pub epoch: u64,
+    /// Logical tick when the event was recorded.
+    pub tick: u64,
+    /// What happened.
+    pub stage: TraceStage,
+}
+
+/// The typed stages an op can pass through. Labels are `&'static str`
+/// from fixed vocabularies (op labels, refusal causes, settlement
+/// outcomes), never formatted strings — recording allocates nothing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceStage {
+    /// Admitted into its session's mailbox.
+    Admitted {
+        /// Op label (e.g. `"buy"`).
+        op: &'static str,
+        /// Home shard the session pins the op to.
+        shard: u32,
+    },
+    /// Refused at admission by the session's token bucket.
+    RateLimited {
+        /// Op label of the refused offer.
+        op: &'static str,
+        /// Ticks until one whole token refills (`u64::MAX`: never).
+        retry_in_ticks: u64,
+    },
+    /// Refused at admission for any non-rate cause (mailbox full,
+    /// unknown user, duplicate register, shard breaker open).
+    Refused {
+        /// Op label of the refused offer.
+        op: &'static str,
+        /// Stable cause label (see `AdmissionError::label` in the
+        /// gateway).
+        cause: &'static str,
+    },
+    /// Drained from its mailbox and routed into a shard's epoch queue.
+    RoutedToShard {
+        /// Target shard.
+        shard: u32,
+        /// Ticks the op waited in the mailbox before this epoch.
+        waited_ticks: u64,
+    },
+    /// Target object unresolvable at pre-route (it may be created
+    /// later in this very epoch); handled after the worker barrier.
+    Deferred {
+        /// Op label.
+        op: &'static str,
+    },
+    /// Held for a later epoch (target shard breaker-skipped, or a
+    /// settlement entry's target module down).
+    Requeued {
+        /// Shard the op or entry is waiting on.
+        shard: u32,
+    },
+    /// Executed on its shard (inside the parallel epoch phase).
+    Executed {
+        /// Executing shard.
+        shard: u32,
+        /// Whether the platform accepted the op.
+        ok: bool,
+    },
+    /// A cross-shard purchase withdrew the buyer's funds into escrow.
+    Escrowed {
+        /// Buyer's home shard (refund target).
+        from_shard: u32,
+        /// Asset's shard (settlement target).
+        to_shard: u32,
+        /// Escrowed price.
+        price: u64,
+    },
+    /// A settlement entry reached its terminal outcome.
+    Settled {
+        /// `"applied"`, `"refunded"`, or `"dropped"`.
+        outcome: &'static str,
+        /// Times the entry was requeued before settling.
+        requeues: u32,
+    },
+    /// The shard's epoch commit sealed chain state covering this op's
+    /// ledger records (ops that produce no records still pass through:
+    /// the referenced head is the auditable state they executed under).
+    CommittedInEpoch {
+        /// Committing shard.
+        shard: u32,
+        /// Chain height after the commit.
+        height: u64,
+        /// Header digest of the block at that height.
+        block: BlockRef,
+    },
+}
+
+impl TraceStage {
+    /// Stable lowercase label for exports and queries.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TraceStage::Admitted { .. } => "admitted",
+            TraceStage::RateLimited { .. } => "rate_limited",
+            TraceStage::Refused { .. } => "refused",
+            TraceStage::RoutedToShard { .. } => "routed_to_shard",
+            TraceStage::Deferred { .. } => "deferred",
+            TraceStage::Requeued { .. } => "requeued",
+            TraceStage::Executed { .. } => "executed",
+            TraceStage::Escrowed { .. } => "escrowed",
+            TraceStage::Settled { .. } => "settled",
+            TraceStage::CommittedInEpoch { .. } => "committed_in_epoch",
+        }
+    }
+
+    /// Whether this stage records work being turned away: an admission
+    /// refusal, a shard execution failure, or a settlement entry that
+    /// refunded or dropped instead of applying.
+    pub fn is_drop(&self) -> bool {
+        match self {
+            TraceStage::RateLimited { .. } | TraceStage::Refused { .. } => true,
+            TraceStage::Executed { ok, .. } => !ok,
+            TraceStage::Settled { outcome, .. } => *outcome != "applied",
+            _ => false,
+        }
+    }
+}
+
+/// A summary row produced by [`TraceQuery::slowest`]: how long one op's
+/// causal chain stretched, in epochs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceSpan {
+    /// The op.
+    pub seq: TraceId,
+    /// Epoch of the op's first event.
+    pub first_epoch: u64,
+    /// Epoch of the op's last event.
+    pub last_epoch: u64,
+    /// Events recorded for the op.
+    pub events: usize,
+}
+
+impl TraceSpan {
+    /// Epochs between the first and last event (0 = settled within one
+    /// epoch boundary).
+    pub fn span_epochs(&self) -> u64 {
+        self.last_epoch - self.first_epoch
+    }
+}
+
+/// Read-only queries over a recorded event stream. Obtained from
+/// `FlightRecorder::query`; every answer is deterministic for a seeded
+/// run (ties broken by seq, never by timing).
+pub struct TraceQuery<'a> {
+    events: &'a [TraceEvent],
+}
+
+impl<'a> TraceQuery<'a> {
+    /// Wraps an event slice (must already be in recording order).
+    pub fn new(events: &'a [TraceEvent]) -> Self {
+        TraceQuery { events }
+    }
+
+    /// Every recorded event, in recording order.
+    pub fn events(&self) -> &'a [TraceEvent] {
+        self.events
+    }
+
+    /// The complete causal chain of one op, in recording order:
+    /// admission through its terminal stage (refusal, settlement, or
+    /// ledger commit).
+    pub fn trace_of(&self, seq: TraceId) -> Vec<&'a TraceEvent> {
+        self.events.iter().filter(|e| e.seq == seq).collect()
+    }
+
+    /// Every event recording work turned away (see
+    /// [`TraceStage::is_drop`]), in recording order — the drop/refusal
+    /// side of the ledger's audit story.
+    pub fn drops(&self) -> Vec<&'a TraceEvent> {
+        self.events.iter().filter(|e| e.stage.is_drop()).collect()
+    }
+
+    /// The `n` ops whose causal chains stretched across the most
+    /// epochs (admission-to-terminal latency in logical time), longest
+    /// first, ties broken by ascending seq.
+    pub fn slowest(&self, n: usize) -> Vec<TraceSpan> {
+        let mut spans: std::collections::BTreeMap<TraceId, TraceSpan> =
+            std::collections::BTreeMap::new();
+        for e in self.events {
+            spans
+                .entry(e.seq)
+                .and_modify(|s| {
+                    s.first_epoch = s.first_epoch.min(e.epoch);
+                    s.last_epoch = s.last_epoch.max(e.epoch);
+                    s.events += 1;
+                })
+                .or_insert(TraceSpan {
+                    seq: e.seq,
+                    first_epoch: e.epoch,
+                    last_epoch: e.epoch,
+                    events: 1,
+                });
+        }
+        let mut rows: Vec<TraceSpan> = spans.into_values().collect();
+        // BTreeMap iteration is seq-ascending, and the sort is stable,
+        // so equal spans keep ascending-seq order.
+        rows.sort_by_key(|row| std::cmp::Reverse(row.span_epochs()));
+        rows.truncate(n);
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(seq: u64, epoch: u64, stage: TraceStage) -> TraceEvent {
+        TraceEvent { seq, epoch, tick: epoch, stage }
+    }
+
+    fn sample() -> Vec<TraceEvent> {
+        vec![
+            ev(0, 0, TraceStage::Admitted { op: "register", shard: 1 }),
+            ev(0, 0, TraceStage::RoutedToShard { shard: 1, waited_ticks: 0 }),
+            ev(0, 0, TraceStage::Executed { shard: 1, ok: true }),
+            ev(1, 0, TraceStage::Admitted { op: "buy", shard: 0 }),
+            ev(1, 1, TraceStage::Escrowed { from_shard: 0, to_shard: 1, price: 25 }),
+            ev(1, 3, TraceStage::Settled { outcome: "applied", requeues: 2 }),
+            ev(2, 1, TraceStage::RateLimited { op: "twin_sync", retry_in_ticks: 4 }),
+            ev(2, 1, TraceStage::Admitted { op: "vote", shard: 0 }),
+            ev(2, 1, TraceStage::Executed { shard: 0, ok: false }),
+        ]
+    }
+
+    #[test]
+    fn trace_of_returns_the_full_chain_in_order() {
+        let events = sample();
+        let q = TraceQuery::new(&events);
+        let chain = q.trace_of(1);
+        assert_eq!(chain.len(), 3);
+        assert_eq!(chain[0].stage.label(), "admitted");
+        assert_eq!(chain[2].stage.label(), "settled");
+        assert!(q.trace_of(99).is_empty());
+    }
+
+    #[test]
+    fn drops_are_refusals_failures_and_non_applied_settlements() {
+        let events = sample();
+        let q = TraceQuery::new(&events);
+        let drops = q.drops();
+        assert_eq!(drops.len(), 2, "{drops:?}");
+        assert_eq!(drops[0].stage.label(), "rate_limited");
+        assert_eq!(drops[1].stage.label(), "executed");
+        assert!(TraceStage::Settled { outcome: "refunded", requeues: 0 }.is_drop());
+        assert!(!TraceStage::Settled { outcome: "applied", requeues: 0 }.is_drop());
+    }
+
+    #[test]
+    fn slowest_orders_by_span_then_seq() {
+        let events = sample();
+        let q = TraceQuery::new(&events);
+        let rows = q.slowest(10);
+        assert_eq!(rows[0].seq, 1, "seq 1 spans 3 epochs");
+        assert_eq!(rows[0].span_epochs(), 3);
+        // seqs 0 and 2 both span 0 epochs: ascending-seq tie-break.
+        assert_eq!(rows[1].seq, 0);
+        assert_eq!(rows[2].seq, 2);
+        assert_eq!(q.slowest(1).len(), 1);
+    }
+}
