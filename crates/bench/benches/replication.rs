@@ -1,0 +1,78 @@
+//! Criterion benchmarks for the quorum-commit replication layer: raw
+//! cluster replicate throughput (healthy and under failover), and full
+//! gateway epochs with replication off vs on — the overhead a pure
+//! observational overlay is allowed to add to the commit path.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use metaverse_gateway::op::Op;
+use metaverse_gateway::router::{GatewayConfig, ShardRouter};
+use metaverse_ledger::Digest;
+use metaverse_replication::{ReplicationCluster, ReplicationConfig};
+use metaverse_resilience::{FaultKind, FaultPlan};
+
+fn digest(height: u64) -> Digest {
+    let mut bytes = [0u8; 32];
+    bytes[..8].copy_from_slice(&height.to_le_bytes());
+    Digest(bytes)
+}
+
+fn bench_cluster(c: &mut Criterion) {
+    // Healthy quorum commit: leader proposes, two followers ack.
+    let mut cluster = ReplicationCluster::new(0, ReplicationConfig::default());
+    let mut height = 0u64;
+    c.bench_function("replication/healthy_quorum_commit", |b| {
+        b.iter(|| {
+            height += 1;
+            cluster.replicate(black_box(height), digest(height), height).expect("quorum")
+        })
+    });
+
+    // Every commit lands during a leader crash window: election on the
+    // first faulted commit, then steady-state under the elected leader.
+    let mut faulted = ReplicationCluster::new(0, ReplicationConfig::default());
+    faulted.install_fault_plan(FaultPlan::new().schedule(
+        0,
+        u64::MAX,
+        FaultKind::ValidatorCrash { validator: "s0-v0".into() },
+    ));
+    let mut fh = 0u64;
+    c.bench_function("replication/quorum_commit_with_dead_leader", |b| {
+        b.iter(|| {
+            fh += 1;
+            faulted.replicate(black_box(fh), digest(fh), fh).expect("quorum of survivors")
+        })
+    });
+}
+
+/// The overhead replication adds to a whole gateway epoch: the same
+/// 64-endorsement epoch with replication off and on (3 validators per
+/// shard, no faults).
+fn bench_epoch_overhead(c: &mut Criterion) {
+    for (mode, replication) in
+        [("off", None), ("on", Some(ReplicationConfig::default()))]
+    {
+        c.bench_function(&format!("replication/epoch_64_endorsements_4_shards_{mode}"), |b| {
+            let mut router = ShardRouter::new(GatewayConfig {
+                shards: 4,
+                telemetry: false,
+                replication,
+                ..GatewayConfig::default()
+            });
+            let users: Vec<String> = (0..64).map(|i| format!("user-{i:05}")).collect();
+            for u in &users {
+                router.submit(Op::Register { user: u.clone() }).expect("register");
+            }
+            router.drain(8);
+            b.iter(|| {
+                for (i, u) in users.iter().enumerate() {
+                    let subject = users[(i + 1) % users.len()].clone();
+                    let _ = router.submit(Op::Endorse { user: u.clone(), subject });
+                }
+                black_box(router.execute_epoch())
+            })
+        });
+    }
+}
+
+criterion_group!(benches, bench_cluster, bench_epoch_overhead);
+criterion_main!(benches);

@@ -1,0 +1,314 @@
+//! E24 — replicated quorum commit under the fault matrix.
+//!
+//! Claim (§IV / §VI): decentralized governance of virtual assets needs
+//! commit infrastructure that keeps its audit trail intact when
+//! individual validators misbehave — availability faults must never
+//! become integrity faults. This experiment replays one seeded 120k-op
+//! stream at 1, 2, 4, and 8 shards with every shard's chain replicated
+//! across 3 simulated validators, under a four-case fault matrix:
+//!
+//! * **none** — the fault-free baseline;
+//! * **leader crash** — each shard's initial leader crashes mid-run and
+//!   later restarts with its log (failover + catch-up path);
+//! * **f=1 partition** — one follower per shard is partitioned away and
+//!   heals (quorum-of-2 path);
+//! * **ack delay** — one follower's acks are delayed and another's
+//!   briefly dropped (latency-accounting path).
+//!
+//! Measured per cell: commit latency in ticks (mean / max over every
+//! quorum certificate), failover ticks where elections happened, and
+//! the **identical audit** verdict — the settlement ledger,
+//! conservation report, and drive report must be byte-identical to the
+//! fault-free unreplicated baseline at the same shard count. That
+//! verdict is what CI gates on: replication (and its faults, within
+//! f = 1) is observationally invisible to the platform's audit.
+
+use metaverse_gateway::router::{GatewayConfig, ShardRouter};
+use metaverse_gateway::session::{RateLimit, SessionConfig};
+use metaverse_gateway::workload::{WorkloadConfig, WorkloadEngine};
+use metaverse_replication::{ReplicationConfig, ReplicationStats};
+use metaverse_resilience::{FaultKind, FaultPlan};
+use metaverse_telemetry::names;
+
+use crate::report::{ExperimentResult, Table};
+
+/// Shard counts the stream is replayed at (same as E21/E22).
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+/// Distinct users in the workload (each registers first).
+const USERS: usize = 512;
+/// Mixed ops generated after the registers.
+const OPS: usize = 120_000;
+/// Submissions between epoch boundaries.
+const OPS_PER_EPOCH: usize = 2048;
+
+/// The fault matrix, one row per case.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum FaultCase {
+    None,
+    LeaderCrash,
+    Partition,
+    AckDelay,
+}
+
+impl FaultCase {
+    const ALL: [FaultCase; 4] =
+        [FaultCase::None, FaultCase::LeaderCrash, FaultCase::Partition, FaultCase::AckDelay];
+
+    fn label(self) -> &'static str {
+        match self {
+            FaultCase::None => "none",
+            FaultCase::LeaderCrash => "leader crash",
+            FaultCase::Partition => "f=1 partition",
+            FaultCase::AckDelay => "ack delay",
+        }
+    }
+
+    /// The validator fault plan for `shard`'s cluster, windowed a few
+    /// epochs into the run (tick ≈ epoch at `epoch_ticks = 1`) so the
+    /// stream exercises both the fault and the recovery.
+    fn plan(self, shard: usize) -> Option<FaultPlan> {
+        let v = |index: usize| format!("s{shard}-v{index}");
+        match self {
+            FaultCase::None => None,
+            FaultCase::LeaderCrash => Some(
+                FaultPlan::new().schedule(4, 8, FaultKind::ValidatorCrash { validator: v(0) }),
+            ),
+            FaultCase::Partition => Some(
+                FaultPlan::new()
+                    .schedule(4, 8, FaultKind::ValidatorPartition { validator: v(1) }),
+            ),
+            FaultCase::AckDelay => Some(
+                FaultPlan::new()
+                    .schedule(4, 12, FaultKind::AckDelay { validator: v(2), delay: 3 })
+                    .schedule(6, 4, FaultKind::AckDrop { validator: v(1) }),
+            ),
+        }
+    }
+}
+
+/// One replay of the stream: the audit fingerprint plus, when
+/// replicated, the protocol's stats and latency histograms.
+struct Run {
+    audit: String,
+    stats: Option<ReplicationStats>,
+    latency_sum: u64,
+    latency_count: u64,
+    latency_max: u64,
+    failover_count: u64,
+    failover_max: u64,
+}
+
+/// One cell's sizing: stream dimensions plus the per-shard key-tree
+/// depth.
+#[derive(Clone, Copy)]
+struct Sizing {
+    users: usize,
+    ops: usize,
+    per_epoch: usize,
+    depth: usize,
+}
+
+fn replay(seed: u64, shards: usize, sizing: Sizing, replicated: bool, case: FaultCase) -> Run {
+    let Sizing { users, ops, per_epoch, depth } = sizing;
+    let engine = WorkloadEngine::new(WorkloadConfig {
+        users,
+        ops,
+        seed,
+        ..WorkloadConfig::default()
+    });
+    let mut router = ShardRouter::new(GatewayConfig {
+        shards,
+        // Generous admission, as in E21/E22: this measures the commit
+        // layer, not the rate limiter.
+        session: SessionConfig {
+            rate: RateLimit { burst: 256, milli_per_tick: 256_000 },
+            mailbox_capacity: 4096,
+        },
+        chain_config: metaverse_ledger::chain::ChainConfig {
+            key_tree_depth: depth,
+            ..metaverse_ledger::chain::ChainConfig::default()
+        },
+        replication: replicated.then(ReplicationConfig::default),
+        ..GatewayConfig::default()
+    });
+    if replicated {
+        for shard in 0..shards {
+            if let Some(plan) = case.plan(shard) {
+                router.install_validator_fault_plan(shard, plan);
+            }
+        }
+    }
+    let drive = engine.drive(&mut router, per_epoch);
+    let audit = format!(
+        "{drive:?}\n{:?}\n{:?}",
+        router.settlement_ledger(),
+        router.conservation_report(),
+    );
+    let mut run = Run {
+        audit,
+        stats: router.replication_stats(),
+        latency_sum: 0,
+        latency_count: 0,
+        latency_max: 0,
+        failover_count: 0,
+        failover_max: 0,
+    };
+    for shard in 0..shards {
+        let snap = router.shard_platform(shard).telemetry_snapshot();
+        if let Some(h) = snap.histograms.get(names::replication::COMMIT_LATENCY_TICKS) {
+            run.latency_sum += h.sum;
+            run.latency_count += h.count;
+            run.latency_max = run.latency_max.max(h.max);
+        }
+        if let Some(h) = snap.histograms.get(names::replication::FAILOVER_TICKS) {
+            run.failover_count += h.count;
+            run.failover_max = run.failover_max.max(h.max);
+        }
+    }
+    run
+}
+
+fn mean(sum: u64, count: u64) -> f64 {
+    if count == 0 {
+        0.0
+    } else {
+        sum as f64 / count as f64
+    }
+}
+
+/// Runs E24 at the full committed size (E21's stream). Key-tree depth
+/// scales down with shard count exactly as in E21/E22.
+pub fn run(seed: u64) -> ExperimentResult {
+    run_with(seed, USERS, OPS, OPS_PER_EPOCH, |shards| {
+        (10usize.saturating_sub(shards.trailing_zeros() as usize)).max(8)
+    })
+}
+
+/// Runs E24 with explicit sizing (tests use a small stream and shallow
+/// key trees to keep shard setup cheap).
+pub fn run_sized(
+    seed: u64,
+    users: usize,
+    ops: usize,
+    per_epoch: usize,
+    key_tree_depth: usize,
+) -> ExperimentResult {
+    run_with(seed, users, ops, per_epoch, |_| key_tree_depth)
+}
+
+fn run_with(
+    seed: u64,
+    users: usize,
+    ops: usize,
+    per_epoch: usize,
+    depth_for: impl Fn(usize) -> usize,
+) -> ExperimentResult {
+    let mut matrix = Table::new(
+        "one seeded op stream per shard count, 3 validators per shard; every cell's audit \
+         (settlement ledger + conservation + drive report) is compared byte-for-byte to the \
+         unreplicated fault-free baseline at the same shard count",
+        &[
+            "shards", "fault", "proposed", "committed", "quorum rate", "elections", "catch-ups",
+            "acks lost", "commit lat (mean/max ticks)", "failover (n/max ticks)",
+            "identical audit",
+        ],
+    );
+    let mut all_identical = true;
+    let mut all_quorum = true;
+    let mut worst_failover = 0u64;
+    for &shards in &SHARD_COUNTS {
+        let sizing = Sizing { users, ops, per_epoch, depth: depth_for(shards) };
+        let baseline = replay(seed, shards, sizing, false, FaultCase::None);
+        for case in FaultCase::ALL {
+            let run = replay(seed, shards, sizing, true, case);
+            let identical = run.audit == baseline.audit;
+            all_identical &= identical;
+            let stats = run.stats.unwrap_or_default();
+            let quorum_ok = stats.blocks_proposed == stats.blocks_committed;
+            all_quorum &= quorum_ok;
+            worst_failover = worst_failover.max(run.failover_max);
+            matrix.row(vec![
+                shards.to_string(),
+                case.label().to_string(),
+                stats.blocks_proposed.to_string(),
+                stats.blocks_committed.to_string(),
+                if quorum_ok { "100%".into() } else { "PARTIAL".into() },
+                stats.leader_elections.to_string(),
+                stats.catch_ups.to_string(),
+                stats.acks_lost.to_string(),
+                format!(
+                    "{:.2}/{}",
+                    mean(run.latency_sum, run.latency_count),
+                    run.latency_max
+                ),
+                format!("{}/{}", run.failover_count, run.failover_max),
+                identical.to_string(),
+            ]);
+        }
+    }
+
+    ExperimentResult {
+        id: "E24".into(),
+        title: "Quorum-commit replication: failover and catch-up with a byte-identical audit"
+            .into(),
+        claim: "Replicating every shard's chain across 3 validators — and crashing, \
+                partitioning, or delaying any single one of them mid-run — changes nothing \
+                the platform audits: the settlement ledger, conservation report, and drive \
+                report stay byte-identical to the unreplicated fault-free baseline at every \
+                shard count, while every sealed block still reaches quorum (§IV, §VI)"
+            .into(),
+        tables: vec![matrix],
+        notes: vec![
+            format!(
+                "identical-audit gate: every fault-matrix cell is {} with the unreplicated \
+                 fault-free baseline at its shard count, and quorum commit is {} in every cell",
+                if all_identical { "BYTE-IDENTICAL" } else { "DIVERGENT" },
+                if all_quorum { "100%" } else { "PARTIAL" },
+            ),
+            format!(
+                "failover latency is bounded by the election timeout ({} ticks by default): \
+                 worst observed failover across the whole matrix was {worst_failover} ticks, \
+                 accounted into the affected block's commit latency rather than stalling the \
+                 platform clock",
+                ReplicationConfig::default().election_timeout,
+            ),
+            "replication is an observational overlay on the sealed chain: leaders propose \
+             after the platform's own epoch commit, follower acks and elections are \
+             simulated on the deterministic tick clock, and no replication outcome feeds \
+             back into op execution — which is why the audit byte-identity holds by \
+             construction and CI can gate on it"
+                .into(),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_matrix_audits_are_identical_and_quorum_holds() {
+        let result = run_sized(7, 48, 3_000, 256, 6);
+        assert!(result.notes[0].contains("BYTE-IDENTICAL"), "{}", result.notes[0]);
+        assert!(result.notes[0].contains("100%"), "{}", result.notes[0]);
+        for row in &result.tables[0].rows {
+            assert_eq!(row[4], "100%", "quorum missed: {row:?}");
+            assert_eq!(row[10], "true", "audit diverged: {row:?}");
+        }
+    }
+
+    #[test]
+    fn leader_crash_rows_report_failover_ticks() {
+        let result = run_sized(13, 48, 3_000, 256, 6);
+        let crash_rows: Vec<_> = result.tables[0]
+            .rows
+            .iter()
+            .filter(|row| row[1] == "leader crash")
+            .collect();
+        assert_eq!(crash_rows.len(), SHARD_COUNTS.len());
+        for row in crash_rows {
+            assert_ne!(row[5], "0", "a crashed leader must force an election: {row:?}");
+            assert_ne!(row[9], "0/0", "failover latency must be recorded: {row:?}");
+        }
+    }
+}

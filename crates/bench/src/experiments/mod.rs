@@ -23,11 +23,18 @@ pub mod e20_observability;
 pub mod e21_gateway;
 pub mod e22_parallel;
 pub mod e23_tracing;
+pub mod e24_replication;
 
 use crate::report::ExperimentResult;
 
-/// Runs every experiment with the given seed, in id order.
-pub fn run_all(seed: u64) -> Vec<ExperimentResult> {
+/// Runs the direct-call experiments (E1–E19) with the given seed, in id
+/// order. These are pure functions of the seed and cheap enough to
+/// replay several times inside one test; the gateway-scale experiments
+/// (E20–E24) replay a 120k-op stream per cell and have their own
+/// dedicated re-run/byte-identity gates (`gateway/tests/determinism.rs`,
+/// `gateway/tests/replication_determinism.rs`, and each experiment's
+/// shape tests), so the smoke suite reruns only this subset.
+pub fn run_direct(seed: u64) -> Vec<ExperimentResult> {
     vec![
         e01_pets::run(seed),
         e02_clones::run(seed),
@@ -48,9 +55,18 @@ pub fn run_all(seed: u64) -> Vec<ExperimentResult> {
         e17_accessibility::run(seed),
         e18_sybil::run(seed),
         e19_degradation::run(seed),
+    ]
+}
+
+/// Runs every experiment with the given seed, in id order.
+pub fn run_all(seed: u64) -> Vec<ExperimentResult> {
+    let mut results = run_direct(seed);
+    results.extend([
         e20_observability::run(seed),
         e21_gateway::run(seed),
         e22_parallel::run(seed),
         e23_tracing::run(seed),
-    ]
+        e24_replication::run(seed),
+    ]);
+    results
 }

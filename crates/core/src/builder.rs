@@ -11,6 +11,7 @@
 use metaverse_assets::market::AdmissionPolicy;
 use metaverse_dao::dao::DaoConfig;
 use metaverse_ledger::chain::ChainConfig;
+use metaverse_replication::{ReplicationCluster, ReplicationConfig};
 use metaverse_reputation::engine::EngineConfig;
 use metaverse_resilience::FaultPlan;
 use metaverse_telemetry::TelemetryHub;
@@ -43,6 +44,7 @@ pub struct PlatformBuilder {
     telemetry: bool,
     fault_plan: Option<FaultPlan>,
     modules: Vec<ModuleDescriptor>,
+    replication: Option<ReplicationConfig>,
 }
 
 impl Default for PlatformBuilder {
@@ -52,6 +54,7 @@ impl Default for PlatformBuilder {
             telemetry: true,
             fault_plan: None,
             modules: Vec::new(),
+            replication: None,
         }
     }
 }
@@ -144,6 +147,16 @@ impl PlatformBuilder {
         self
     }
 
+    /// Installs a quorum-commit replication cluster (shard 0) over the
+    /// sealed chain — equivalent to calling
+    /// [`MetaversePlatform::install_replication`] right after build.
+    /// Sharded callers (the gateway) install per-shard clusters
+    /// directly instead.
+    pub fn replication(mut self, config: ReplicationConfig) -> Self {
+        self.replication = Some(config);
+        self
+    }
+
     /// Overrides the module filling one slot (repeatable). Slots not
     /// named keep the paper's recommended open defaults. The override
     /// is recorded as a swap on the ledger like any other install.
@@ -161,6 +174,9 @@ impl PlatformBuilder {
         }
         if let Some(plan) = self.fault_plan {
             platform.install_fault_plan(plan);
+        }
+        if let Some(config) = self.replication {
+            platform.install_replication(ReplicationCluster::new(0, config));
         }
         platform
     }

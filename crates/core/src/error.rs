@@ -4,6 +4,7 @@ use metaverse_assets::error::AssetError;
 use metaverse_dao::error::DaoError;
 use metaverse_ledger::error::LedgerError;
 use metaverse_privacy::error::PrivacyError;
+use metaverse_replication::ReplicationError;
 use metaverse_reputation::error::ReputationError;
 use metaverse_world::error::WorldError;
 
@@ -37,6 +38,9 @@ pub enum CoreError {
         /// Identity of the misbehaving validator.
         validator: String,
     },
+    /// A sealed block could not be quorum-committed across the shard's
+    /// replication cluster.
+    Replication(ReplicationError),
 }
 
 impl std::fmt::Display for CoreError {
@@ -55,6 +59,7 @@ impl std::fmt::Display for CoreError {
             CoreError::EpochAborted { validator } => {
                 write!(f, "resilience: epoch commit aborted, rogue validator {validator:?}")
             }
+            CoreError::Replication(e) => write!(f, "{e}"),
         }
     }
 }
@@ -68,10 +73,17 @@ impl std::error::Error for CoreError {
             CoreError::Asset(e) => Some(e),
             CoreError::Privacy(e) => Some(e),
             CoreError::World(e) => Some(e),
+            CoreError::Replication(e) => Some(e),
             CoreError::Platform(_)
             | CoreError::ModuleUnavailable { .. }
             | CoreError::EpochAborted { .. } => None,
         }
+    }
+}
+
+impl From<ReplicationError> for CoreError {
+    fn from(e: ReplicationError) -> Self {
+        CoreError::Replication(e)
     }
 }
 

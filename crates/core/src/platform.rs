@@ -23,9 +23,12 @@ use metaverse_ledger::tx::{Transaction, TxPayload};
 use metaverse_moderation::actions::{EscalationLadder, ModAction};
 use metaverse_privacy::firewall::DataFlowFirewall;
 use metaverse_reputation::engine::{EngineConfig, ReputationEngine};
+use metaverse_replication::{ReplicationCluster, ReplicationStats};
 use metaverse_resilience::breaker::BreakerTransition;
 use metaverse_resilience::{FaultInjector, FaultPlan, HealthState, RetryOutcome};
-use metaverse_telemetry::{names, Counter, Gauge, Histogram, TelemetryHub, TelemetrySnapshot};
+use metaverse_telemetry::{
+    names, Counter, Gauge, Histogram, TelemetryHub, TelemetrySnapshot, TraceEvent,
+};
 use metaverse_world::geometry::Vec2;
 use metaverse_world::world::{World, WorldConfig};
 
@@ -137,6 +140,38 @@ struct PlatformMetrics {
     escape_irb: Counter,
     users: Gauge,
     tick: Gauge,
+    /// Registered only when a replication cluster is installed, so
+    /// replication-off platforms expose byte-identical snapshots to
+    /// builds that predate replication.
+    repl: Option<ReplicationMetrics>,
+}
+
+/// Replication-cluster instruments; see [`names::replication`].
+#[derive(Debug)]
+struct ReplicationMetrics {
+    proposed: Counter,
+    committed: Counter,
+    acks_delivered: Counter,
+    acks_lost: Counter,
+    elections: Counter,
+    catch_ups: Counter,
+    commit_latency: Histogram,
+    failover: Histogram,
+}
+
+impl ReplicationMetrics {
+    fn new(hub: &TelemetryHub) -> Self {
+        ReplicationMetrics {
+            proposed: hub.counter(names::replication::BLOCKS_PROPOSED),
+            committed: hub.counter(names::replication::BLOCKS_COMMITTED),
+            acks_delivered: hub.counter(names::replication::ACKS_DELIVERED),
+            acks_lost: hub.counter(names::replication::ACKS_LOST),
+            elections: hub.counter(names::replication::LEADER_ELECTIONS),
+            catch_ups: hub.counter(names::replication::CATCH_UPS),
+            commit_latency: hub.histogram(names::replication::COMMIT_LATENCY_TICKS),
+            failover: hub.histogram(names::replication::FAILOVER_TICKS),
+        }
+    }
 }
 
 impl PlatformMetrics {
@@ -178,6 +213,7 @@ impl PlatformMetrics {
             escape_irb: hub.counter(names::ESCAPE_IRB),
             users: hub.gauge(names::PLATFORM_USERS),
             tick: hub.gauge(names::PLATFORM_TICK),
+            repl: None,
             hub,
         }
     }
@@ -210,6 +246,10 @@ pub struct MetaversePlatform {
     dp_spend: BTreeMap<String, f64>,
     resilience: ResilienceFabric,
     metrics: PlatformMetrics,
+    /// Quorum-commit replication of sealed blocks across simulated
+    /// validator nodes; `None` runs the chain as a single instance
+    /// (the pre-replication behaviour, byte for byte).
+    replication: Option<ReplicationCluster>,
     /// `(height, header digest)` of every block sealed by the most
     /// recent successful [`MetaversePlatform::commit_epoch`]; empty
     /// until the first sealing commit. Tracing layers read this to tie
@@ -283,6 +323,7 @@ impl MetaversePlatform {
             dp_spend: BTreeMap::new(),
             resilience: ResilienceFabric::new(config.resilience.clone()),
             metrics: PlatformMetrics::new(hub),
+            replication: None,
             last_sealed: Vec::new(),
             user_count: 0,
             tick: 0,
@@ -953,7 +994,91 @@ impl MetaversePlatform {
         self.metrics.commits.incr();
         self.metrics.blocks_sealed.add(sealed as u64);
         self.metrics.chain_height.set(self.chain.height() as i64);
+        self.replicate_sealed()?;
         Ok(sealed)
+    }
+
+    /// Replicates every block sealed by this commit across the shard's
+    /// validator cluster (a no-op without one). Replication is purely
+    /// observational — the chain has already sealed, the clock does not
+    /// move, and latencies land on certificates and metrics — so a
+    /// replication-on run audits byte-identically to a replication-off
+    /// run. Only a lost quorum surfaces, as
+    /// [`CoreError::Replication`].
+    fn replicate_sealed(&mut self) -> Result<(), CoreError> {
+        let Some(cluster) = self.replication.as_mut() else {
+            return Ok(());
+        };
+        let before = cluster.stats();
+        let mut certificates = Vec::with_capacity(self.last_sealed.len());
+        let mut result = Ok(());
+        for (height, digest) in &self.last_sealed {
+            match cluster.replicate(*height, *digest, self.tick) {
+                Ok(cert) => certificates.push(cert),
+                Err(err) => {
+                    result = Err(CoreError::Replication(err));
+                    break;
+                }
+            }
+        }
+        let after = cluster.stats();
+        let repl = self
+            .metrics
+            .repl
+            .as_ref()
+            .expect("replication metrics registered at cluster install");
+        for cert in certificates {
+            repl.commit_latency.record(cert.commit_latency_ticks);
+            if cert.failover_ticks > 0 {
+                repl.failover.record(cert.failover_ticks);
+            }
+        }
+        repl.proposed.add(after.blocks_proposed - before.blocks_proposed);
+        repl.committed.add(after.blocks_committed - before.blocks_committed);
+        repl.acks_delivered.add(after.acks_delivered - before.acks_delivered);
+        repl.acks_lost.add(after.acks_lost - before.acks_lost);
+        repl.elections.add(after.leader_elections - before.leader_elections);
+        repl.catch_ups.add(after.catch_ups - before.catch_ups);
+        result
+    }
+
+    // ---- replication ------------------------------------------------------
+
+    /// Installs (replaces) the replicated commit layer: every block
+    /// sealed by future [`MetaversePlatform::commit_epoch`] calls is
+    /// quorum-committed across the cluster's validator nodes. Also
+    /// registers the `replication.*` instruments on the platform hub.
+    pub fn install_replication(&mut self, cluster: ReplicationCluster) {
+        if self.metrics.repl.is_none() {
+            self.metrics.repl = Some(ReplicationMetrics::new(&self.metrics.hub));
+        }
+        self.replication = Some(cluster);
+    }
+
+    /// The installed replication cluster, if any.
+    pub fn replication(&self) -> Option<&ReplicationCluster> {
+        self.replication.as_ref()
+    }
+
+    /// Lifetime replication counters, if a cluster is installed.
+    pub fn replication_stats(&self) -> Option<ReplicationStats> {
+        self.replication.as_ref().map(ReplicationCluster::stats)
+    }
+
+    /// Installs a validator-scoped fault schedule on the replication
+    /// cluster (crash, partition, delayed/dropped acks; target ids are
+    /// `s<shard>-v<index>`). No-op without a cluster.
+    pub fn install_validator_fault_plan(&mut self, plan: FaultPlan) {
+        if let Some(cluster) = self.replication.as_mut() {
+            cluster.install_fault_plan(plan);
+        }
+    }
+
+    /// Drains the replication trace stream (proposed / acked /
+    /// quorum-committed / leader-elected events), oldest first. Empty
+    /// without a cluster or with its tracing disabled.
+    pub fn drain_replication_events(&mut self) -> Vec<TraceEvent> {
+        self.replication.as_mut().map(ReplicationCluster::drain_events).unwrap_or_default()
     }
 
     /// Blocks the commit while a rogue-validator fault is active.
@@ -995,13 +1120,13 @@ impl MetaversePlatform {
                         return Ok(());
                     }
                 }
-                RetryOutcome::GiveUp => {
+                RetryOutcome::GiveUp(cause) => {
                     self.resilience.stats.commits_aborted += 1;
                     self.modules.record_component_health(
                         "ledger",
                         HealthState::Degraded,
                         HealthState::Failed,
-                        "retries-exhausted",
+                        cause.label(),
                         self.tick,
                     );
                     return Err(CoreError::EpochAborted { validator: rogue });

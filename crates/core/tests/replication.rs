@@ -1,0 +1,95 @@
+//! Platform-level replication wiring: the replicated commit layer is a
+//! pure overlay — installing it (and faulting it within the f = 1
+//! tolerance) changes nothing about the chain, the audits, or the
+//! platform's deterministic schedule, while every sealed block lands on
+//! a quorum of validator logs.
+
+use metaverse_core::platform::MetaversePlatform;
+use metaverse_replication::ReplicationConfig;
+use metaverse_resilience::{FaultKind, FaultPlan};
+
+/// A small workload that seals blocks across several epochs, returning
+/// the audit fingerprint the runs are compared by.
+fn drive(platform: &mut MetaversePlatform) -> String {
+    for u in 0..6 {
+        platform.register_user(&format!("user-{u}")).unwrap();
+    }
+    let mut fingerprint = String::new();
+    for epoch in 0..4 {
+        let content = format!("px-{epoch}");
+        let _ = platform
+            .mint_asset("user-0", &format!("meta://epoch/{epoch}"), content.as_bytes(), 0.5)
+            .unwrap();
+        platform.advance_ticks(5);
+        let sealed = platform.commit_epoch().unwrap();
+        assert!(sealed > 0, "every epoch seals");
+        let head = platform.chain().head().header.digest();
+        fingerprint.push_str(&format!("{epoch}:{sealed}:{head:?}\n"));
+    }
+    platform.chain().verify_integrity().unwrap();
+    fingerprint
+}
+
+fn faulted_plan() -> FaultPlan {
+    // Crash the initial leader mid-run, partition a follower later:
+    // never more than one node unreachable at once (f = 1 at N = 3).
+    // Commits land at ticks 5/10/15/20: the crash window [6, 11) covers
+    // the second commit, the partition window [14, 18) the third.
+    FaultPlan::new()
+        .schedule(6, 5, FaultKind::ValidatorCrash { validator: "s0-v0".into() })
+        .schedule(14, 4, FaultKind::ValidatorPartition { validator: "s0-v1".into() })
+}
+
+#[test]
+fn replication_on_or_faulted_audits_byte_identically_to_off() {
+    let mut plain = MetaversePlatform::builder().build();
+    let baseline = drive(&mut plain);
+
+    let mut replicated = MetaversePlatform::builder()
+        .replication(ReplicationConfig::default())
+        .build();
+    assert_eq!(drive(&mut replicated), baseline, "replication perturbed the chain");
+
+    let mut faulted = MetaversePlatform::builder()
+        .replication(ReplicationConfig::default())
+        .build();
+    faulted.install_validator_fault_plan(faulted_plan());
+    assert_eq!(drive(&mut faulted), baseline, "validator faults perturbed the chain");
+
+    // The faulted run did real replication work: commits survived a
+    // leader failover, and the fault windows cost acks.
+    let stats = faulted.replication_stats().unwrap();
+    assert_eq!(stats.blocks_proposed, stats.blocks_committed, "every block reached quorum");
+    assert!(stats.blocks_committed >= 4);
+    assert!(stats.leader_elections >= 1, "the leader crash forced an election");
+    assert!(stats.acks_lost >= 1);
+    assert!(stats.catch_ups >= 1, "recovered validators caught up");
+
+    // Every replicated log is consistent with the cluster leader's.
+    let cluster = faulted.replication().unwrap();
+    assert!(cluster.reachable_logs_consistent(u64::MAX - 1));
+    // And the replication counters are on the platform's own hub.
+    let snapshot = faulted.telemetry_snapshot();
+    assert_eq!(snapshot.counters["replication.blocks.committed"], stats.blocks_committed);
+    assert_eq!(snapshot.counters["replication.leader.elections"], stats.leader_elections);
+    // The replication-off platform exposes no replication instruments.
+    assert!(!plain.telemetry_snapshot().counters.contains_key("replication.blocks.committed"));
+}
+
+#[test]
+fn replication_trace_stream_drains_from_the_platform() {
+    let mut platform = MetaversePlatform::builder()
+        .replication(ReplicationConfig::default())
+        .build();
+    assert!(platform.drain_replication_events().is_empty(), "tracing off by default");
+    let mut cluster =
+        metaverse_replication::ReplicationCluster::new(0, ReplicationConfig::default());
+    cluster.enable_tracing(1 << 10);
+    platform.install_replication(cluster);
+    drive(&mut platform);
+    let events = platform.drain_replication_events();
+    assert!(!events.is_empty());
+    assert!(events.iter().any(|e| e.stage.label() == "quorum_committed"));
+    assert!(events.iter().all(|e| e.epoch == 0), "epoch stamping is the gateway's job");
+    assert!(platform.drain_replication_events().is_empty(), "drain empties the ring");
+}

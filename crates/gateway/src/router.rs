@@ -50,6 +50,7 @@ use metaverse_core::CoreError;
 use metaverse_ledger::audit::{DataCollectionEvent, LawfulBasis, SensorClass};
 use metaverse_ledger::chain::ChainConfig;
 use metaverse_ledger::tx::TxPayload;
+use metaverse_replication::{ReplicationCluster, ReplicationConfig, ReplicationStats};
 use metaverse_resilience::breaker::BreakerTransition;
 use metaverse_resilience::{BreakerConfig, BreakerState, CircuitBreaker, FaultPlan};
 use metaverse_telemetry::{
@@ -99,6 +100,12 @@ pub struct GatewayConfig {
     /// router ring holds this many merged events and each shard gets a
     /// same-sized staging ring (drained into the router every epoch).
     pub trace_capacity: usize,
+    /// When set, every shard platform gets a quorum-commit replication
+    /// cluster over its sealed chain (`None`, the default, runs the
+    /// chains unreplicated). Replication is a pure observer of the
+    /// commit path: enabling it — or faulting validators within the
+    /// f = 1 tolerance — changes no audit, report, or op-trace byte.
+    pub replication: Option<ReplicationConfig>,
 }
 
 impl Default for GatewayConfig {
@@ -120,6 +127,7 @@ impl Default for GatewayConfig {
             max_settlement_requeues: 3,
             workers: 0,
             trace_capacity: 0,
+            replication: None,
         }
     }
 }
@@ -432,6 +440,12 @@ pub struct ShardRouter {
     /// Router-level flight recorder: the merged, admission-`seq`-ordered
     /// causal event stream (disabled when `trace_capacity` is 0).
     recorder: FlightRecorder,
+    /// The merged replication event stream (proposals, acks, quorum
+    /// commits, elections), kept *separate* from the op-trace ring so
+    /// the op stream stays byte-identical whether or not replication is
+    /// installed or faulted. Disabled unless both `trace_capacity > 0`
+    /// and `replication` is configured.
+    replication_recorder: FlightRecorder,
     /// Applied settlements awaiting block resolution (tracing only).
     provenance: Vec<ProvenanceRow>,
     /// Deferred-op executions awaiting their shard's next commit, so
@@ -457,12 +471,19 @@ impl ShardRouter {
         }
         let shards = (0..config.shards)
             .map(|i| {
-                let platform = MetaversePlatform::builder()
+                let mut platform = MetaversePlatform::builder()
                     .chain_config(config.chain_config.clone())
                     .validators([format!("validator-{i}")])
                     .resilience(config.resilience.clone())
                     .telemetry(config.telemetry)
                     .build();
+                if let Some(replication) = &config.replication {
+                    let mut cluster = ReplicationCluster::new(i as u32, *replication);
+                    if config.trace_capacity > 0 {
+                        cluster.enable_tracing(config.trace_capacity);
+                    }
+                    platform.install_replication(cluster);
+                }
                 Shard {
                     platform,
                     queue: VecDeque::new(),
@@ -488,6 +509,11 @@ impl ShardRouter {
         }
         .max(1);
         let recorder = FlightRecorder::new(config.trace_capacity);
+        let replication_recorder = if config.replication.is_some() {
+            FlightRecorder::new(config.trace_capacity)
+        } else {
+            FlightRecorder::disabled()
+        };
         ShardRouter {
             config,
             hub,
@@ -504,23 +530,23 @@ impl ShardRouter {
             seq: 0,
             worker_threads,
             recorder,
+            replication_recorder,
             provenance: Vec::new(),
             deferred_commits: Vec::new(),
             trace_counted: (0, 0),
         }
     }
 
-    /// The home shard the ring assigns to `user`.
+    /// The home shard the ring assigns to `user`. Total: construction
+    /// asserts at least one shard and seeds at least one vnode per
+    /// shard, and the unreachable empty-ring arm routes to shard 0
+    /// rather than panicking in the admission hot path.
     pub fn home_shard(&self, user: &str) -> usize {
         let h = ring_hash(user.as_bytes());
-        let shard = self
-            .ring
-            .range(h..)
-            .next()
-            .or_else(|| self.ring.iter().next())
-            .map(|(_, s)| *s)
-            .expect("ring is never empty");
-        shard
+        match self.ring.range(h..).next().or_else(|| self.ring.iter().next()) {
+            Some((_, shard)) => *shard,
+            None => 0,
+        }
     }
 
     /// Number of shards.
@@ -653,6 +679,51 @@ impl ShardRouter {
         self.shards[shard].platform.install_fault_plan(plan);
     }
 
+    /// Installs a validator-scoped fault schedule (crashes, partitions,
+    /// ack loss) on one shard's replication cluster. No-op when
+    /// replication is not configured. Fault windows are in platform
+    /// ticks; validator ids follow the cluster's `s{shard}-v{index}`
+    /// naming.
+    pub fn install_validator_fault_plan(&mut self, shard: usize, plan: FaultPlan) {
+        self.shards[shard].platform.install_validator_fault_plan(plan);
+    }
+
+    /// Replication stats summed over every shard's cluster; `None`
+    /// when the gateway runs unreplicated.
+    pub fn replication_stats(&self) -> Option<ReplicationStats> {
+        let mut total: Option<ReplicationStats> = None;
+        for shard in &self.shards {
+            if let Some(stats) = shard.platform.replication_stats() {
+                let t = total.get_or_insert_with(ReplicationStats::default);
+                t.blocks_proposed += stats.blocks_proposed;
+                t.blocks_committed += stats.blocks_committed;
+                t.acks_delivered += stats.acks_delivered;
+                t.acks_lost += stats.acks_lost;
+                t.leader_elections += stats.leader_elections;
+                t.catch_ups += stats.catch_ups;
+            }
+        }
+        total
+    }
+
+    /// One shard's replication cluster, when installed.
+    pub fn shard_replication(&self, shard: usize) -> Option<&ReplicationCluster> {
+        self.shards[shard].platform.replication()
+    }
+
+    /// Query view over the merged replication event stream (empty
+    /// unless both tracing and replication are enabled).
+    pub fn replication_query(&mut self) -> TraceQuery<'_> {
+        self.replication_recorder.query()
+    }
+
+    /// The merged replication event stream as JSON Lines — proposals,
+    /// acks, quorum commits, and elections in shard order within each
+    /// epoch. Deterministic for identical workloads and fault plans.
+    pub fn replication_jsonl(&mut self) -> String {
+        export::trace_jsonl(self.replication_recorder.query().events().iter())
+    }
+
     /// Offers an encoded op to the gateway (decode, then admit).
     pub fn submit_wire(&mut self, bytes: &[u8]) -> Result<u64, crate::error::GatewayError> {
         let op = Op::decode(bytes)?;
@@ -714,7 +785,14 @@ impl ShardRouter {
             return Err(e);
         }
         let seq = self.seq;
-        let session = self.sessions.get_mut(&user).expect("session resolved above");
+        // Re-resolved mutably (the breaker check above needed `&self`);
+        // a vanished session degrades to the typed refusal, not a panic.
+        let Some(session) = self.sessions.get_mut(&user) else {
+            let e = AdmissionError::UnknownUser { user };
+            self.count_refusal(&e);
+            self.trace_refusal(label, &e);
+            return Err(e);
+        };
         match session.offer(seq, op, self.now) {
             Ok(()) => {
                 self.metrics.ops_accepted.incr();
@@ -927,6 +1005,19 @@ impl ShardRouter {
                     seq,
                     TraceStage::CommittedInEpoch { shard: shard as u32, height, block },
                 );
+            }
+        }
+        if self.replication_recorder.is_enabled() {
+            // Merge the per-shard replication streams in shard order.
+            // Clusters stamp events with epoch 0 and seq = chain height;
+            // the router rewrites the epoch here, at the same barrier
+            // that merges op traces — but into its own ring, so the op
+            // stream's bytes never depend on replication.
+            for shard in &mut self.shards {
+                for mut event in shard.platform.drain_replication_events() {
+                    event.epoch = self.epoch;
+                    self.replication_recorder.record(event);
+                }
             }
         }
         for (seq, item) in merge {
@@ -1405,7 +1496,13 @@ impl ShardRouter {
             }
             match entry.effect.clone() {
                 SettlementEffect::Purchase { buyer, price, to_shard, asset, .. } => {
-                    let loc = self.assets[&asset];
+                    // An asset missing from the directory can no longer
+                    // be bought anywhere: return the escrow rather than
+                    // panicking on the index.
+                    let Some(loc) = self.assets.get(&asset).copied() else {
+                        self.refund(entry);
+                        continue;
+                    };
                     self.shards[to_shard].platform.deposit(&buyer, price);
                     match self.shards[to_shard].platform.buy_asset(&buyer, loc.local) {
                         Ok(()) => {
@@ -1415,12 +1512,22 @@ impl ShardRouter {
                         }
                         Err(e) => {
                             // Pull the deposit back into escrow before
-                            // deciding between requeue and refund.
-                            self.shards[to_shard]
+                            // deciding between requeue and refund. If
+                            // the pull-back itself fails the funds are
+                            // already with the buyer on the target
+                            // shard: close the entry there (supply is
+                            // conserved) instead of unwinding
+                            // mid-settlement.
+                            if self.shards[to_shard]
                                 .platform
                                 .withdraw(&buyer, price)
-                                .expect("escrow deposit is still unspent");
-                            if matches!(e, CoreError::ModuleUnavailable { .. }) {
+                                .is_err()
+                            {
+                                self.ledger.escrow -= price;
+                                self.metrics.settlement_rejected.incr();
+                                self.ledger.rejected += 1;
+                                self.finish(entry, SettlementOutcome::Refunded);
+                            } else if matches!(e, CoreError::ModuleUnavailable { .. }) {
                                 self.requeue_or_terminate(entry, &mut settled, &mut requeued);
                             } else {
                                 self.refund(entry);
@@ -1514,26 +1621,35 @@ impl ShardRouter {
                 // entry's ledger records seal above the target chain's
                 // current height; `provenance_report` resolves the
                 // committing block from this floor.
-                let (shard, key) = match &entry.effect {
-                    SettlementEffect::Purchase { buyer, asset, to_shard, price, .. } => (
-                        *to_shard,
-                        ProvenanceKey::Purchase {
-                            asset_local: self.assets[asset].local,
-                            buyer: buyer.clone(),
-                            price: *price,
-                        },
-                    ),
+                let row = match &entry.effect {
+                    SettlementEffect::Purchase { buyer, asset, to_shard, price, .. } => {
+                        // A directory miss means there is no committing
+                        // block to resolve; skip the provenance row
+                        // rather than panicking on the index.
+                        self.assets.get(asset).map(|loc| {
+                            (
+                                *to_shard,
+                                ProvenanceKey::Purchase {
+                                    asset_local: loc.local,
+                                    buyer: buyer.clone(),
+                                    price: *price,
+                                },
+                            )
+                        })
+                    }
                     SettlementEffect::Rating { subject, to_shard, .. } => {
-                        (*to_shard, ProvenanceKey::Rating { subject: subject.clone() })
+                        Some((*to_shard, ProvenanceKey::Rating { subject: subject.clone() }))
                     }
                 };
-                self.provenance.push(ProvenanceRow {
-                    seq: entry.seq,
-                    shard,
-                    epoch: self.epoch,
-                    floor: self.shards[shard].platform.chain().height(),
-                    key,
-                });
+                if let Some((shard, key)) = row {
+                    self.provenance.push(ProvenanceRow {
+                        seq: entry.seq,
+                        shard,
+                        epoch: self.epoch,
+                        floor: self.shards[shard].platform.chain().height(),
+                        key,
+                    });
+                }
             }
         }
         self.ledger.entries.push(SettledEntry {
@@ -1690,7 +1806,9 @@ fn run_shard_phase(
         }
         let mut outcomes: Vec<ShardOutcome> = handles
             .into_iter()
-            .flat_map(|h| h.join().expect("shard worker thread panicked"))
+            // A worker panic re-raises on the caller's thread with its
+            // original payload instead of a second, less useful panic.
+            .flat_map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
             .collect();
         outcomes.sort_by_key(|o| o.shard);
         outcomes
@@ -2283,5 +2401,128 @@ mod tests {
         assert!(router.trace_jsonl().is_empty());
         assert!(router.provenance_report().is_empty());
         assert!(router.trace_of(0).is_empty());
+    }
+
+    /// The escrow/settle race under faults: a cross-shard purchase
+    /// whose target shard's breaker opens *between* the escrow
+    /// withdrawal (merge phase) and the settlement pass of the same
+    /// epoch must hold the funds in flight — requeued, visible to the
+    /// conservation audit — and release them when the entry
+    /// terminates, never minting or burning supply.
+    #[test]
+    fn breaker_opening_between_escrow_and_settle_conserves_funds() {
+        let mut router = ShardRouter::new(GatewayConfig {
+            resilience: ResilienceConfig { enabled: false, ..ResilienceConfig::default() },
+            ..config(2)
+        });
+        let users: Vec<String> = (0..16).map(|i| format!("user-{i}")).collect();
+        let refs: Vec<&str> = users.iter().map(String::as_str).collect();
+        register_all(&mut router, &refs);
+        let creator = users.iter().find(|u| router.sessions[*u].shard() == 0).unwrap().clone();
+        let peer = users
+            .iter()
+            .find(|u| router.sessions[*u].shard() == 0 && **u != creator)
+            .unwrap()
+            .clone();
+        let buyer = users.iter().find(|u| router.sessions[*u].shard() == 1).unwrap().clone();
+        // Mint and list on shard 0 while it is still healthy.
+        router
+            .submit(Op::Mint { user: creator.clone(), asset: 0, uri: "a://0".into(), quality: 0.8 })
+            .unwrap();
+        router.execute_epoch();
+        router.submit(Op::List { user: creator.clone(), asset: 0, price: 500 }).unwrap();
+        router.execute_epoch();
+        // Stall shard 0's commits and seed its mempool so every later
+        // epoch re-attempts the commit and fails (breaker threshold 2).
+        router.install_shard_fault_plan(
+            0,
+            FaultPlan::new().schedule(
+                0,
+                10_000,
+                FaultKind::RogueValidator { validator: "validator-0".into() },
+            ),
+        );
+        router.submit(Op::Endorse { user: creator.clone(), subject: peer }).unwrap();
+        let report = router.execute_epoch();
+        assert!(report.commit_failures.contains(&0), "first failure lands");
+        assert!(
+            !matches!(router.shard_breaker_state(0), BreakerState::Open { .. }),
+            "one failure is under the threshold — the breaker must still admit"
+        );
+        // The buy epoch: escrow is withdrawn on the buyer's shard in
+        // the merge phase; shard 0's second consecutive commit failure
+        // opens the breaker at the same barrier; the settlement pass
+        // then finds the target down and requeues the funded entry.
+        router.submit(Op::Buy { user: buyer.clone(), asset: 0 }).unwrap();
+        let report = router.execute_epoch();
+        assert!(report.commit_failures.contains(&0));
+        assert!(matches!(router.shard_breaker_state(0), BreakerState::Open { .. }));
+        assert_eq!(report.requeued, 1, "the funded entry is held, not dropped");
+        let mid = router.conservation_report();
+        assert_eq!(mid.tokens_in_flight, 500, "escrow visible to the audit");
+        assert!(mid.conserved, "{mid:?}");
+        // The audit stays green through every requeue and the entry's
+        // terminal state.
+        for _ in 0..12 {
+            router.execute_epoch();
+            let audit = router.conservation_report();
+            assert!(audit.conserved, "{audit:?}");
+        }
+        let entry = router.ledger.entries.last().expect("entry reached a terminal state");
+        assert!(entry.requeues >= 1, "the entry waited out at least one down epoch");
+        assert!(
+            matches!(entry.outcome, SettlementOutcome::Refunded | SettlementOutcome::Applied),
+            "funds are released, not stranded: {entry:?}"
+        );
+        assert_eq!(router.ledger.escrow, 0, "nothing left in flight");
+        let end = router.conservation_report();
+        assert!(end.conserved && end.tokens_in_flight == 0, "{end:?}");
+    }
+
+    /// Regression for the settlement hot path's former panicking index:
+    /// a purchase whose asset has vanished from the global directory
+    /// must refund the escrow and keep the conservation audit green,
+    /// not unwind mid-settlement.
+    #[test]
+    fn settlement_with_missing_directory_entry_refunds_the_escrow() {
+        let mut router = ShardRouter::new(config(2));
+        register_all(&mut router, &["alice", "bob", "carol", "dave"]);
+        let buyer = "alice".to_string();
+        let home = router.sessions[&buyer].shard();
+        let price = 100;
+        router.shards[home].platform.withdraw(&buyer, price).unwrap();
+        router.ledger.escrow += price;
+        router.enqueue_settlement(
+            0,
+            SettlementEffect::Purchase {
+                buyer: buyer.clone(),
+                asset: 9_999, // never minted
+                from_shard: home,
+                to_shard: (home + 1) % 2,
+                price,
+            },
+        );
+        router.execute_epoch();
+        let entry = router.ledger.entries.last().expect("entry reached a terminal state");
+        assert_eq!(entry.outcome, SettlementOutcome::Refunded);
+        assert_eq!(router.ledger.escrow, 0, "escrow returned to the buyer's home shard");
+        assert!(router.conservation_report().conserved);
+    }
+
+    /// Regression for the admission hot path's former
+    /// `expect("session resolved above")`: a session that disappears
+    /// between shard resolution and the mailbox offer degrades to the
+    /// typed `UnknownUser` refusal.
+    #[test]
+    fn home_shard_is_total_and_admission_errors_stay_typed() {
+        let mut router = ShardRouter::new(config(1));
+        // Ring lookups are total even for adversarial keys.
+        for key in ["", "a", "\u{10FFFF}", &"x".repeat(512)] {
+            assert_eq!(router.home_shard(key), 0);
+        }
+        let err = router
+            .submit(Op::Endorse { user: "nobody".into(), subject: "alice".into() })
+            .unwrap_err();
+        assert!(matches!(err, AdmissionError::UnknownUser { .. }));
     }
 }

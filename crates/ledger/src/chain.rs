@@ -191,8 +191,9 @@ impl Chain {
         let txs: Vec<Transaction> = self.mempool.drain(..take).collect();
 
         let v_idx = self.next_validator;
-        let parent = self.head().id();
-        let height = self.head().header.height + 1;
+        let head = self.try_head()?;
+        let parent = head.id();
+        let height = head.header.height + 1;
         let mut block = Block {
             header: BlockHeader {
                 height,
@@ -253,7 +254,7 @@ impl Chain {
 
     /// Validates a block against the current head without appending it.
     pub fn validate_block(&self, block: &Block) -> Result<(), LedgerError> {
-        let head = self.head();
+        let head = self.try_head()?;
         if block.header.height != head.header.height + 1 {
             return Err(LedgerError::HeightMismatch {
                 claimed: block.header.height,
@@ -297,8 +298,23 @@ impl Chain {
     }
 
     /// The chain head (genesis when no block has been sealed).
+    ///
+    /// Total by construction — every constructor seeds genesis and no
+    /// path removes blocks — but implemented over [`Chain::try_head`]
+    /// so a broken invariant surfaces as the typed
+    /// [`LedgerError::EmptyChain`] on the sealing hot path rather than
+    /// a panic here.
     pub fn head(&self) -> &Block {
-        self.blocks.last().expect("chain always has genesis")
+        match self.blocks.last() {
+            Some(block) => block,
+            None => unreachable!("chain always has genesis"),
+        }
+    }
+
+    /// Fallible view of the chain head: [`LedgerError::EmptyChain`]
+    /// instead of a panic when the genesis invariant does not hold.
+    pub fn try_head(&self) -> Result<&Block, LedgerError> {
+        self.blocks.last().ok_or(LedgerError::EmptyChain)
     }
 
     /// Full chain, genesis first.
@@ -416,6 +432,20 @@ mod tests {
 
     fn small() -> ChainConfig {
         ChainConfig { key_tree_depth: 4, ..ChainConfig::default() }
+    }
+
+    /// Regression for the former hot-path `expect` in `head()`: the
+    /// fallible view agrees with the total one on every fresh and
+    /// grown chain, and the sealing path goes through it.
+    #[test]
+    fn try_head_matches_head_and_feeds_the_seal_path() {
+        let mut chain = Chain::poa_single("v0", small());
+        assert_eq!(chain.try_head().unwrap().header.height, chain.head().header.height);
+        chain.submit(note("a", "t")).unwrap();
+        chain.seal_block().unwrap();
+        let head = chain.try_head().unwrap();
+        assert_eq!(head.header.height, 1);
+        assert_eq!(head.id(), chain.head().id());
     }
 
     #[test]

@@ -69,6 +69,11 @@ pub enum LedgerError {
         /// What was being looked up.
         what: String,
     },
+    /// The chain has no blocks at all — not even genesis. Unreachable
+    /// through [`crate::chain::Chain`]'s constructors; the typed escape
+    /// hatch [`crate::chain::Chain::try_head`] surfaces instead of a
+    /// hot-path panic if the invariant is ever broken.
+    EmptyChain,
 }
 
 impl std::fmt::Display for LedgerError {
@@ -104,6 +109,7 @@ impl std::fmt::Display for LedgerError {
                 write!(f, "block {height} corrupted: {detail}")
             }
             LedgerError::NotFound { what } => write!(f, "not found: {what}"),
+            LedgerError::EmptyChain => write!(f, "chain has no blocks (missing genesis)"),
         }
     }
 }

@@ -1,0 +1,533 @@
+//! The per-shard validator cluster and its quorum-commit protocol.
+
+use crate::config::ReplicationConfig;
+use crate::error::ReplicationError;
+use metaverse_ledger::{Digest, Tick};
+use metaverse_resilience::{FaultInjector, FaultPlan};
+use metaverse_telemetry::{FlightRecorder, TraceEvent, TraceStage};
+
+/// One replicated log entry: a sealed block's identity, stamped with
+/// the term under which it was proposed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LogEntry {
+    /// Chain height of the sealed block.
+    pub height: u64,
+    /// Header digest of the sealed block.
+    pub digest: Digest,
+    /// Leader term that proposed the entry.
+    pub term: u64,
+}
+
+/// One simulated validator node: an identity plus its replicated log.
+///
+/// A node holds no clock and no RNG; whether it is reachable at a given
+/// tick is answered entirely by the cluster's [`FaultInjector`], so the
+/// same fault plan always produces the same cluster behaviour.
+#[derive(Debug, Clone)]
+pub struct ValidatorNode {
+    id: String,
+    log: Vec<LogEntry>,
+}
+
+impl ValidatorNode {
+    fn new(shard: u32, index: usize) -> Self {
+        ValidatorNode { id: format!("s{shard}-v{index}"), log: Vec::new() }
+    }
+
+    /// Stable identity, the target vocabulary of validator-scoped
+    /// faults: `s<shard>-v<index>`.
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// The node's replicated log, oldest first.
+    pub fn log(&self) -> &[LogEntry] {
+        &self.log
+    }
+}
+
+/// Proof that one block reached quorum commit, with the latency story
+/// attached. Returned by [`ReplicationCluster::replicate`]; purely
+/// informational — nothing downstream branches on it, which is what
+/// keeps faulted runs byte-identical to fault-free ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommitCertificate {
+    /// Shard whose cluster committed.
+    pub shard: u32,
+    /// Committed chain height.
+    pub height: u64,
+    /// Leader term at commit.
+    pub term: u64,
+    /// Committing leader's node index.
+    pub leader: u32,
+    /// Acks gathered, leader included.
+    pub acks: u32,
+    /// Majority threshold that was met.
+    pub quorum: u32,
+    /// Ticks from proposal to quorum, election delay included.
+    pub commit_latency_ticks: u64,
+    /// Election delay charged to this commit (0 without failover).
+    pub failover_ticks: u64,
+    /// Leader elections performed during this commit.
+    pub elections: u32,
+}
+
+/// Lifetime protocol counters for one cluster.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplicationStats {
+    /// Blocks proposed by leaders.
+    pub blocks_proposed: u64,
+    /// Blocks that reached quorum commit.
+    pub blocks_committed: u64,
+    /// Follower acks delivered to leaders.
+    pub acks_delivered: u64,
+    /// Follower acks lost to crashes, partitions, or drops.
+    pub acks_lost: u64,
+    /// Leader elections forced by an unreachable leader.
+    pub leader_elections: u64,
+    /// Log-suffix catch-ups performed by recovered validators.
+    pub catch_ups: u64,
+}
+
+/// One shard's replication cluster: N validator nodes, a leader, a
+/// term counter, and the fault oracle that decides who is reachable.
+///
+/// All scheduling is in logical tick time. `replicate` is called once
+/// per sealed block from the shard's epoch-commit path; the cluster
+/// answers with a [`CommitCertificate`] or a typed error, and leaves a
+/// deterministic [`TraceEvent`] stream behind (seq = chain height) when
+/// tracing is enabled.
+#[derive(Debug)]
+pub struct ReplicationCluster {
+    shard: u32,
+    config: ReplicationConfig,
+    nodes: Vec<ValidatorNode>,
+    leader: usize,
+    term: u64,
+    injector: FaultInjector,
+    stats: ReplicationStats,
+    recorder: FlightRecorder,
+}
+
+impl ReplicationCluster {
+    /// A healthy cluster of `config.validators` nodes (at least one)
+    /// for `shard`, node 0 leading at term 0, with no faults installed
+    /// and tracing disabled.
+    pub fn new(shard: u32, config: ReplicationConfig) -> Self {
+        let n = config.validators.max(1);
+        ReplicationCluster {
+            shard,
+            config,
+            nodes: (0..n).map(|i| ValidatorNode::new(shard, i)).collect(),
+            leader: 0,
+            term: 0,
+            injector: FaultInjector::default(),
+            stats: ReplicationStats::default(),
+            recorder: FlightRecorder::disabled(),
+        }
+    }
+
+    /// Installs (replaces) the validator-fault schedule this cluster
+    /// replays. Target node ids are `s<shard>-v<index>`.
+    pub fn install_fault_plan(&mut self, plan: FaultPlan) {
+        self.injector = plan.injector();
+    }
+
+    /// Enables the replication trace stream, ring-bounded at
+    /// `capacity` events (0 disables it again).
+    pub fn enable_tracing(&mut self, capacity: usize) {
+        self.recorder = FlightRecorder::new(capacity);
+    }
+
+    /// Removes and returns the recorded replication events, oldest
+    /// first. Event `seq` is the chain height; `epoch` is left 0 for
+    /// the caller (the gateway stamps its router epoch at drain time).
+    pub fn drain_events(&mut self) -> Vec<TraceEvent> {
+        self.recorder.drain()
+    }
+
+    /// Lifetime protocol counters.
+    pub fn stats(&self) -> ReplicationStats {
+        self.stats
+    }
+
+    /// Current leader's node index.
+    pub fn leader(&self) -> usize {
+        self.leader
+    }
+
+    /// Current term.
+    pub fn term(&self) -> u64 {
+        self.term
+    }
+
+    /// Majority threshold for this cluster.
+    pub fn quorum(&self) -> usize {
+        self.nodes.len() / 2 + 1
+    }
+
+    /// The validator nodes, in index order.
+    pub fn nodes(&self) -> &[ValidatorNode] {
+        &self.nodes
+    }
+
+    /// Whether every node that is reachable at `tick` holds the same
+    /// log as the leader (the cluster-wide consistency check the
+    /// proptests lean on; unreachable nodes are allowed to lag — they
+    /// catch up on recovery).
+    pub fn reachable_logs_consistent(&self, tick: Tick) -> bool {
+        let leader_log = &self.nodes[self.leader].log;
+        self.nodes
+            .iter()
+            .filter(|n| !self.injector.validator_unreachable(tick, &n.id))
+            .all(|n| n.log.len() <= leader_log.len() && n.log == leader_log[..n.log.len()])
+    }
+
+    fn unreachable(&self, index: usize, tick: Tick) -> bool {
+        self.injector.validator_unreachable(tick, &self.nodes[index].id)
+    }
+
+    fn record(&mut self, seq: u64, tick: Tick, stage: TraceStage) {
+        self.recorder.record(TraceEvent { seq, epoch: 0, tick, stage });
+    }
+
+    /// Elects the most up-to-date reachable node, scanning round-robin
+    /// from the current leader so rotation order is deterministic.
+    fn elect(&mut self, height: u64, tick: Tick) -> Result<(), ReplicationError> {
+        let n = self.nodes.len();
+        let mut best: Option<usize> = None;
+        for offset in 1..=n {
+            let candidate = (self.leader + offset) % n;
+            if self.unreachable(candidate, tick) {
+                continue;
+            }
+            let better = match best {
+                None => true,
+                Some(b) => self.nodes[candidate].log.len() > self.nodes[b].log.len(),
+            };
+            if better {
+                best = Some(candidate);
+            }
+        }
+        let Some(new_leader) = best else {
+            return Err(ReplicationError::NoLeader { shard: self.shard, height });
+        };
+        self.leader = new_leader;
+        self.term += 1;
+        self.stats.leader_elections += 1;
+        let stage = TraceStage::LeaderElected {
+            shard: self.shard,
+            term: self.term,
+            leader: new_leader as u32,
+            failover_ticks: self.config.election_timeout,
+        };
+        self.record(height, tick, stage);
+        Ok(())
+    }
+
+    /// Replicates one sealed block across the cluster at `tick`.
+    ///
+    /// The full round happens logically at this tick: failover if the
+    /// leader is unreachable, catch-up for lagging reachable nodes,
+    /// proposal, acks, and the quorum decision. Latencies (ack delays,
+    /// election timeouts) are *accounted* on the certificate rather
+    /// than awaited — the caller's clock never moves, so replication
+    /// cannot perturb the platform's deterministic schedule.
+    ///
+    /// On [`ReplicationError::QuorumLost`] the proposed entry stays in
+    /// the live logs; the next block that reaches quorum implicitly
+    /// commits it (standard raft prefix semantics).
+    pub fn replicate(
+        &mut self,
+        height: u64,
+        digest: Digest,
+        tick: Tick,
+    ) -> Result<CommitCertificate, ReplicationError> {
+        let n = self.nodes.len();
+        let quorum = self.quorum();
+        let mut failover_ticks = 0u64;
+        let mut elections = 0u32;
+        if self.unreachable(self.leader, tick) {
+            self.elect(height, tick)?;
+            failover_ticks = failover_ticks.saturating_add(self.config.election_timeout);
+            elections += 1;
+        }
+
+        // Recovered (reachable but lagging) nodes copy the suffix they
+        // missed before the new proposal lands.
+        let leader_log = self.nodes[self.leader].log.clone();
+        for i in 0..n {
+            if i == self.leader || self.unreachable(i, tick) {
+                continue;
+            }
+            let node = &mut self.nodes[i];
+            if node.log.len() < leader_log.len() {
+                node.log.extend_from_slice(&leader_log[node.log.len()..]);
+                self.stats.catch_ups += 1;
+            }
+        }
+
+        let entry = LogEntry { height, digest, term: self.term };
+        self.nodes[self.leader].log.push(entry);
+        self.stats.blocks_proposed += 1;
+        let proposal = TraceStage::BlockProposed {
+            shard: self.shard,
+            height,
+            term: self.term,
+            leader: self.leader as u32,
+        };
+        self.record(height, tick, proposal);
+
+        // The leader's own ack is instant; followers answer in
+        // deterministic rotation order from the leader.
+        let mut acks = 1u32;
+        let mut latencies = vec![0u64];
+        for offset in 1..n {
+            let i = (self.leader + offset) % n;
+            if self.unreachable(i, tick) {
+                self.stats.acks_lost += 1;
+                continue;
+            }
+            self.nodes[i].log.push(entry);
+            if self.injector.ack_dropped(tick, &self.nodes[i].id) {
+                self.stats.acks_lost += 1;
+                continue;
+            }
+            let delay = self.injector.ack_delay(tick, &self.nodes[i].id).unwrap_or(0);
+            let latency = self.config.ack_latency.saturating_add(delay);
+            acks += 1;
+            latencies.push(latency);
+            self.stats.acks_delivered += 1;
+            let ack = TraceStage::AckReceived {
+                shard: self.shard,
+                height,
+                node: i as u32,
+                latency_ticks: latency,
+            };
+            self.record(height, tick, ack);
+        }
+
+        if (acks as usize) < quorum {
+            return Err(ReplicationError::QuorumLost {
+                shard: self.shard,
+                height,
+                acks,
+                needed: quorum as u32,
+            });
+        }
+        latencies.sort_unstable();
+        let commit_latency = failover_ticks.saturating_add(latencies[quorum - 1]);
+        self.stats.blocks_committed += 1;
+        let committed = TraceStage::QuorumCommitted {
+            shard: self.shard,
+            height,
+            acks,
+            latency_ticks: commit_latency,
+        };
+        self.record(height, tick, committed);
+        Ok(CommitCertificate {
+            shard: self.shard,
+            height,
+            term: self.term,
+            leader: self.leader as u32,
+            acks,
+            quorum: quorum as u32,
+            commit_latency_ticks: commit_latency,
+            failover_ticks,
+            elections,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metaverse_resilience::FaultKind;
+    use metaverse_telemetry::export::trace_jsonl;
+
+    fn cluster() -> ReplicationCluster {
+        ReplicationCluster::new(0, ReplicationConfig::default())
+    }
+
+    #[test]
+    fn healthy_cluster_commits_with_full_acks() {
+        let mut c = cluster();
+        let cert = c.replicate(1, Digest([1; 32]), 10).unwrap();
+        assert_eq!(cert.acks, 3);
+        assert_eq!(cert.quorum, 2);
+        assert_eq!(cert.leader, 0);
+        assert_eq!(cert.term, 0);
+        assert_eq!(cert.commit_latency_ticks, 1, "baseline ack latency");
+        assert_eq!(cert.failover_ticks, 0);
+        assert!(c.reachable_logs_consistent(10));
+        assert!(c.nodes().iter().all(|n| n.log().len() == 1));
+        let stats = c.stats();
+        assert_eq!(stats.blocks_committed, 1);
+        assert_eq!(stats.acks_delivered, 2);
+        assert_eq!(stats.acks_lost, 0);
+    }
+
+    #[test]
+    fn leader_crash_fails_over_within_one_election() {
+        let mut c = cluster();
+        c.replicate(1, Digest([1; 32]), 0).unwrap();
+        c.install_fault_plan(
+            FaultPlan::new().schedule(5, 10, FaultKind::ValidatorCrash { validator: "s0-v0".into() }),
+        );
+        let cert = c.replicate(2, Digest([2; 32]), 6).unwrap();
+        assert_eq!(cert.leader, 1, "rotates to the next live node");
+        assert_eq!(cert.term, 1);
+        assert_eq!(cert.elections, 1);
+        assert_eq!(cert.failover_ticks, 4, "one election timeout");
+        assert_eq!(cert.commit_latency_ticks, 4 + 1);
+        assert_eq!(cert.acks, 2, "old leader is down");
+        assert_eq!(c.stats().leader_elections, 1);
+        // The crashed node recovers with its log and catches up on the
+        // next round.
+        let cert = c.replicate(3, Digest([3; 32]), 20).unwrap();
+        assert_eq!(cert.acks, 3);
+        assert_eq!(c.stats().catch_ups, 1);
+        assert!(c.nodes().iter().all(|n| n.log().len() == 3), "recovered node caught up");
+        assert!(c.reachable_logs_consistent(20));
+    }
+
+    #[test]
+    fn follower_partition_still_reaches_quorum() {
+        let mut c = cluster();
+        c.install_fault_plan(FaultPlan::new().schedule(
+            0,
+            100,
+            FaultKind::ValidatorPartition { validator: "s0-v2".into() },
+        ));
+        let cert = c.replicate(1, Digest([1; 32]), 1).unwrap();
+        assert_eq!(cert.acks, 2);
+        assert_eq!(cert.leader, 0, "leader unaffected");
+        assert_eq!(c.stats().acks_lost, 1);
+        assert_eq!(c.nodes()[2].log().len(), 0, "partitioned node missed the entry");
+        assert!(c.reachable_logs_consistent(1));
+    }
+
+    #[test]
+    fn dropped_acks_do_not_lose_log_entries() {
+        let mut c = cluster();
+        c.install_fault_plan(
+            FaultPlan::new().schedule(0, 100, FaultKind::AckDrop { validator: "s0-v1".into() }),
+        );
+        let cert = c.replicate(1, Digest([1; 32]), 1).unwrap();
+        assert_eq!(cert.acks, 2, "v1's ack was dropped, v2's arrived");
+        assert_eq!(c.nodes()[1].log().len(), 1, "the entry itself was appended");
+        assert_eq!(c.stats().acks_lost, 1);
+        assert_eq!(c.stats().acks_delivered, 1);
+    }
+
+    #[test]
+    fn ack_delay_raises_commit_latency_only_when_quorum_needs_it() {
+        // Delay only v2: quorum (leader + v1) is met at baseline.
+        let mut c = cluster();
+        c.install_fault_plan(FaultPlan::new().schedule(
+            0,
+            100,
+            FaultKind::AckDelay { validator: "s0-v2".into(), delay: 7 },
+        ));
+        let cert = c.replicate(1, Digest([1; 32]), 1).unwrap();
+        assert_eq!(cert.commit_latency_ticks, 1, "quorum did not wait for the slow ack");
+        // Delay both followers: quorum must wait.
+        let mut c = cluster();
+        c.install_fault_plan(
+            FaultPlan::new()
+                .schedule(0, 100, FaultKind::AckDelay { validator: "s0-v1".into(), delay: 7 })
+                .schedule(0, 100, FaultKind::AckDelay { validator: "s0-v2".into(), delay: 9 }),
+        );
+        let cert = c.replicate(1, Digest([1; 32]), 1).unwrap();
+        assert_eq!(cert.commit_latency_ticks, 1 + 7, "second-fastest ack gates quorum");
+    }
+
+    #[test]
+    fn losing_the_whole_cluster_is_a_typed_error() {
+        let mut c = cluster();
+        let plan = (0..3).fold(FaultPlan::new(), |p, i| {
+            p.schedule(0, 100, FaultKind::ValidatorCrash { validator: format!("s0-v{i}") })
+        });
+        c.install_fault_plan(plan);
+        assert_eq!(c.replicate(1, Digest([1; 32]), 1), Err(ReplicationError::NoLeader { shard: 0, height: 1 }));
+    }
+
+    #[test]
+    fn beyond_f_faults_lose_quorum_but_stay_typed() {
+        let mut c = cluster();
+        c.install_fault_plan(
+            FaultPlan::new()
+                .schedule(0, 100, FaultKind::ValidatorCrash { validator: "s0-v1".into() })
+                .schedule(0, 100, FaultKind::ValidatorPartition { validator: "s0-v2".into() }),
+        );
+        let err = c.replicate(1, Digest([1; 32]), 1).unwrap_err();
+        assert_eq!(
+            err,
+            ReplicationError::QuorumLost { shard: 0, height: 1, acks: 1, needed: 2 }
+        );
+        // The leader kept the entry; once the cluster heals, the next
+        // commit implicitly carries the prefix to the followers.
+        let cert = c.replicate(2, Digest([2; 32]), 200).unwrap();
+        assert_eq!(cert.acks, 3);
+        assert!(c.nodes().iter().all(|n| n.log().len() == 2));
+    }
+
+    #[test]
+    fn election_prefers_the_most_up_to_date_reachable_node() {
+        let mut c = cluster();
+        // v1 partitioned for the first two commits: it lags by 2.
+        c.install_fault_plan(FaultPlan::new().schedule(
+            0,
+            10,
+            FaultKind::ValidatorPartition { validator: "s0-v1".into() },
+        ));
+        c.replicate(1, Digest([1; 32]), 1).unwrap();
+        c.replicate(2, Digest([2; 32]), 2).unwrap();
+        // Now crash the leader while v1 is still behind (it has not
+        // caught up yet at tick 12's start — catch-up happens inside
+        // replicate, after election).
+        c.install_fault_plan(FaultPlan::new().schedule(
+            11,
+            10,
+            FaultKind::ValidatorCrash { validator: "s0-v0".into() },
+        ));
+        let cert = c.replicate(3, Digest([3; 32]), 12).unwrap();
+        assert_eq!(cert.leader, 2, "v2 holds the longer log, v1 only recovered");
+        assert_eq!(c.stats().catch_ups, 1, "v1 caught up from the new leader");
+        assert!(c.reachable_logs_consistent(12));
+    }
+
+    #[test]
+    fn replication_stream_is_deterministic_for_a_fault_plan() {
+        let run = || {
+            let mut c = cluster();
+            c.enable_tracing(1 << 10);
+            c.install_fault_plan(FaultPlan::new().schedule(
+                3,
+                4,
+                FaultKind::ValidatorCrash { validator: "s0-v0".into() },
+            ));
+            for h in 1..=6u64 {
+                c.replicate(h, Digest([h as u8; 32]), h).unwrap();
+            }
+            trace_jsonl(&c.drain_events())
+        };
+        let a = run();
+        assert_eq!(a, run(), "same plan, same bytes");
+        assert!(a.contains("\"stage\":\"leader_elected\""), "{a}");
+        assert!(a.contains("\"stage\":\"quorum_committed\""));
+    }
+
+    #[test]
+    fn single_node_cluster_commits_alone() {
+        let mut c = ReplicationCluster::new(
+            7,
+            ReplicationConfig { validators: 1, ..ReplicationConfig::default() },
+        );
+        let cert = c.replicate(1, Digest([1; 32]), 0).unwrap();
+        assert_eq!(cert.acks, 1);
+        assert_eq!(cert.quorum, 1);
+        assert_eq!(cert.commit_latency_ticks, 0, "no followers to wait for");
+        assert_eq!(cert.shard, 7);
+    }
+}

@@ -1,0 +1,56 @@
+//! Cluster sizing and timing knobs.
+
+use metaverse_ledger::Tick;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one shard's replication cluster.
+///
+/// The defaults model the acceptance scenario of the workspace's
+/// determinism-under-faults gate: 3 validators per shard, tolerating
+/// any single crashed or partitioned node (f = 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReplicationConfig {
+    /// Validator nodes per cluster (quorum is `validators / 2 + 1`).
+    /// Clamped to at least 1 at cluster construction.
+    pub validators: usize,
+    /// Election delay charged to the in-flight commit each time
+    /// leadership rotates away from an unreachable leader, in ticks.
+    pub election_timeout: Tick,
+    /// Baseline ticks for a healthy follower's ack to reach the leader.
+    pub ack_latency: Tick,
+}
+
+impl Default for ReplicationConfig {
+    fn default() -> Self {
+        ReplicationConfig { validators: 3, election_timeout: 4, ack_latency: 1 }
+    }
+}
+
+impl ReplicationConfig {
+    /// Majority threshold for this cluster size (leader included).
+    pub fn quorum(&self) -> usize {
+        self.validators.max(1) / 2 + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_f1_tolerant() {
+        let c = ReplicationConfig::default();
+        assert_eq!(c.validators, 3);
+        assert_eq!(c.quorum(), 2, "any single node can fail");
+    }
+
+    #[test]
+    fn quorum_is_majority() {
+        for (n, q) in [(1, 1), (2, 2), (3, 2), (4, 3), (5, 3), (7, 4)] {
+            let c = ReplicationConfig { validators: n, ..ReplicationConfig::default() };
+            assert_eq!(c.quorum(), q, "n = {n}");
+        }
+        let degenerate = ReplicationConfig { validators: 0, ..ReplicationConfig::default() };
+        assert_eq!(degenerate.quorum(), 1, "clamped to a single node");
+    }
+}

@@ -1,0 +1,59 @@
+//! Typed replication failures.
+
+/// Why a block could not be quorum-committed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ReplicationError {
+    /// No reachable node could take leadership: every validator in the
+    /// cluster is crashed or partitioned at the commit tick.
+    NoLeader {
+        /// Shard whose cluster failed.
+        shard: u32,
+        /// Chain height of the block awaiting replication.
+        height: u64,
+    },
+    /// A leader proposed the block but fewer than a majority of nodes
+    /// acked it. The entry stays in the live logs and is implicitly
+    /// committed by the next block that does reach quorum.
+    QuorumLost {
+        /// Shard whose cluster failed.
+        shard: u32,
+        /// Chain height of the block that missed quorum.
+        height: u64,
+        /// Acks gathered (leader included).
+        acks: u32,
+        /// Majority threshold that was missed.
+        needed: u32,
+    },
+}
+
+impl std::fmt::Display for ReplicationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplicationError::NoLeader { shard, height } => write!(
+                f,
+                "replication: no reachable validator can lead shard {shard} for height {height}"
+            ),
+            ReplicationError::QuorumLost { shard, height, acks, needed } => write!(
+                f,
+                "replication: shard {shard} height {height} gathered {acks}/{needed} acks"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ReplicationError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_shard_and_height() {
+        let e = ReplicationError::NoLeader { shard: 2, height: 9 };
+        assert!(e.to_string().contains("shard 2"));
+        assert!(e.to_string().contains("height 9"));
+        let e = ReplicationError::QuorumLost { shard: 0, height: 4, acks: 1, needed: 2 };
+        assert!(e.to_string().contains("1/2 acks"), "{e}");
+    }
+}

@@ -1,0 +1,146 @@
+//! Property-based tests for the quorum-commit protocol: safety under
+//! any single-validator fault (f = 1 at N = 3), deterministic replay,
+//! and log-prefix consistency across arbitrary fault schedules.
+
+use metaverse_ledger::Digest;
+use metaverse_replication::{ReplicationCluster, ReplicationConfig, ReplicationError};
+use metaverse_resilience::{FaultKind, FaultPlan};
+use metaverse_telemetry::export::trace_jsonl;
+use proptest::prelude::*;
+
+fn digest(h: u64) -> Digest {
+    let mut b = [0u8; 32];
+    b[..8].copy_from_slice(&h.to_le_bytes());
+    Digest(b)
+}
+
+/// A single validator-scoped fault kind on node `victim` of shard 0.
+fn single_fault(kind: u8, victim: usize, delay: u64) -> FaultKind {
+    let validator = format!("s0-v{victim}");
+    match kind % 4 {
+        0 => FaultKind::ValidatorCrash { validator },
+        1 => FaultKind::ValidatorPartition { validator },
+        2 => FaultKind::AckDrop { validator },
+        _ => FaultKind::AckDelay { validator, delay: delay.max(1) },
+    }
+}
+
+proptest! {
+    /// With 3 validators, any single validator-scoped fault window —
+    /// crash, partition, ack drop, ack delay, on any node including the
+    /// leader, at any time — never prevents quorum commit, and every
+    /// reachable node's log stays a prefix of the leader's.
+    #[test]
+    fn any_single_fault_still_commits(
+        kind in 0u8..4,
+        victim in 0usize..3,
+        start in 0u64..40,
+        duration in 1u64..40,
+        delay in 1u64..16,
+        commits in 1usize..30,
+    ) {
+        let mut cluster = ReplicationCluster::new(0, ReplicationConfig::default());
+        cluster.install_fault_plan(
+            FaultPlan::new().schedule(start, duration, single_fault(kind, victim, delay)),
+        );
+        for h in 1..=commits as u64 {
+            let tick = h * 3;
+            let cert = cluster.replicate(h, digest(h), tick).unwrap();
+            prop_assert!(cert.acks >= cert.quorum);
+            prop_assert!(cluster.reachable_logs_consistent(tick));
+        }
+        prop_assert_eq!(cluster.stats().blocks_committed, commits as u64);
+        // After every window closes, one more commit heals all logs.
+        let healed_tick = (start + duration).max(30 * 3) + 1;
+        let final_height = commits as u64 + 1;
+        cluster.replicate(final_height, digest(final_height), healed_tick).unwrap();
+        for node in cluster.nodes() {
+            prop_assert_eq!(node.log().len() as u64, final_height, "{}", node.id());
+        }
+    }
+
+    /// The same fault plan replays to byte-identical certificates and
+    /// trace streams.
+    #[test]
+    fn replay_is_byte_identical(
+        kind in 0u8..4,
+        victim in 0usize..3,
+        start in 0u64..30,
+        duration in 1u64..30,
+        commits in 1usize..20,
+    ) {
+        let run = || {
+            let mut cluster = ReplicationCluster::new(0, ReplicationConfig::default());
+            cluster.enable_tracing(1 << 12);
+            cluster.install_fault_plan(
+                FaultPlan::new().schedule(start, duration, single_fault(kind, victim, 3)),
+            );
+            let mut certs = String::new();
+            for h in 1..=commits as u64 {
+                certs.push_str(&format!("{:?}\n", cluster.replicate(h, digest(h), h * 2)));
+            }
+            (certs, trace_jsonl(&cluster.drain_events()))
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Commit latency decomposes as failover delay plus the quorum-th
+    /// ack latency: never below the baseline when followers are needed,
+    /// and exactly the election charge on top of acks during failover.
+    #[test]
+    fn latency_accounting_is_consistent(
+        victim in 0usize..3,
+        tick in 1u64..100,
+    ) {
+        let config = ReplicationConfig::default();
+        let mut cluster = ReplicationCluster::new(0, config);
+        cluster.install_fault_plan(FaultPlan::new().schedule(
+            0,
+            u64::MAX,
+            FaultKind::ValidatorCrash { validator: format!("s0-v{victim}") },
+        ));
+        let cert = cluster.replicate(1, digest(1), tick).unwrap();
+        if victim == 0 {
+            prop_assert_eq!(cert.elections, 1, "leader crash forces failover");
+            prop_assert_eq!(cert.failover_ticks, config.election_timeout);
+        } else {
+            prop_assert_eq!(cert.elections, 0);
+            prop_assert_eq!(cert.failover_ticks, 0);
+        }
+        prop_assert_eq!(
+            cert.commit_latency_ticks,
+            cert.failover_ticks + config.ack_latency,
+            "quorum needs exactly one follower ack at N=3 with one node down"
+        );
+    }
+
+    /// Two concurrent unreachable validators (beyond f = 1) surface a
+    /// typed error, never a panic, and the cluster recovers once the
+    /// windows close.
+    #[test]
+    fn beyond_f_is_typed_and_recoverable(
+        a in 0usize..3,
+        b in 0usize..3,
+        window in 1u64..50,
+    ) {
+        prop_assume!(a != b);
+        let mut cluster = ReplicationCluster::new(0, ReplicationConfig::default());
+        cluster.install_fault_plan(
+            FaultPlan::new()
+                .schedule(0, window, FaultKind::ValidatorCrash { validator: format!("s0-v{a}") })
+                .schedule(0, window, FaultKind::ValidatorPartition { validator: format!("s0-v{b}") }),
+        );
+        match cluster.replicate(1, digest(1), 0) {
+            Err(ReplicationError::QuorumLost { acks, needed, .. }) => {
+                prop_assert_eq!(acks, 1);
+                prop_assert_eq!(needed, 2);
+            }
+            other => prop_assert!(false, "expected QuorumLost, got {other:?}"),
+        }
+        let cert = cluster.replicate(2, digest(2), window).unwrap();
+        prop_assert_eq!(cert.acks, 3, "full cluster after the windows close");
+        for node in cluster.nodes() {
+            prop_assert_eq!(node.log().len(), 2, "prefix implicitly committed");
+        }
+    }
+}

@@ -49,6 +49,38 @@ pub enum FaultKind {
         /// Identity of the misbehaving validator.
         validator: String,
     },
+    /// A replication validator node crashes: it neither proposes nor
+    /// acks while the window is open. The window's end models a
+    /// *restart with its log intact* — the node comes back holding
+    /// everything it had replicated before the crash and catches up on
+    /// the suffix it missed.
+    ValidatorCrash {
+        /// Identity of the crashed validator node.
+        validator: String,
+    },
+    /// A replication validator node is partitioned from the rest of the
+    /// cluster: the node is alive (its log survives) but no proposal
+    /// reaches it and no ack it sends is delivered while the window is
+    /// open.
+    ValidatorPartition {
+        /// Identity of the partitioned validator node.
+        validator: String,
+    },
+    /// A replication validator's acks still arrive, but late: each ack
+    /// sent while the window is open is delayed by `delay` extra ticks.
+    AckDelay {
+        /// Identity of the slow validator node.
+        validator: String,
+        /// Extra ticks added to every ack sent during the window.
+        delay: Tick,
+    },
+    /// A replication validator's acks are silently dropped: it receives
+    /// and appends proposals (its log stays current) but its acks never
+    /// reach the leader while the window is open.
+    AckDrop {
+        /// Identity of the validator whose acks are lost.
+        validator: String,
+    },
 }
 
 impl FaultKind {
@@ -56,6 +88,18 @@ impl FaultKind {
     pub fn module(&self) -> Option<&str> {
         match self {
             FaultKind::Crash { module } | FaultKind::Stall { module } => Some(module),
+            _ => None,
+        }
+    }
+
+    /// The validator identity a validator-scoped fault targets, if any.
+    pub fn validator(&self) -> Option<&str> {
+        match self {
+            FaultKind::RogueValidator { validator }
+            | FaultKind::ValidatorCrash { validator }
+            | FaultKind::ValidatorPartition { validator }
+            | FaultKind::AckDelay { validator, .. }
+            | FaultKind::AckDrop { validator } => Some(validator),
             _ => None,
         }
     }
@@ -68,6 +112,10 @@ impl FaultKind {
             FaultKind::LossyChannel { .. } => "lossy-channel",
             FaultKind::DuplicatingChannel { .. } => "dup-channel",
             FaultKind::RogueValidator { .. } => "rogue-validator",
+            FaultKind::ValidatorCrash { .. } => "validator-crash",
+            FaultKind::ValidatorPartition { .. } => "validator-partition",
+            FaultKind::AckDelay { .. } => "ack-delay",
+            FaultKind::AckDrop { .. } => "ack-drop",
         }
     }
 }
@@ -249,6 +297,62 @@ impl FaultInjector {
             .map(ScheduledFault::end)
             .max()
     }
+
+    /// Whether a [`FaultKind::ValidatorCrash`] on `validator` is active
+    /// at `tick`.
+    pub fn validator_crashed(&self, tick: Tick, validator: &str) -> bool {
+        self.active_at(tick).any(|f| {
+            matches!(&f.kind, FaultKind::ValidatorCrash { validator: v } if v == validator)
+        })
+    }
+
+    /// Whether a [`FaultKind::ValidatorPartition`] on `validator` is
+    /// active at `tick`.
+    pub fn validator_partitioned(&self, tick: Tick, validator: &str) -> bool {
+        self.active_at(tick).any(|f| {
+            matches!(&f.kind, FaultKind::ValidatorPartition { validator: v } if v == validator)
+        })
+    }
+
+    /// Whether `validator` is unreachable for replication at `tick`:
+    /// crashed or partitioned. An unreachable node cannot lead, cannot
+    /// receive proposals, and cannot deliver acks.
+    pub fn validator_unreachable(&self, tick: Tick, validator: &str) -> bool {
+        self.validator_crashed(tick, validator) || self.validator_partitioned(tick, validator)
+    }
+
+    /// Extra ack latency injected on `validator` at `tick` (the worst
+    /// active [`FaultKind::AckDelay`]), if any.
+    pub fn ack_delay(&self, tick: Tick, validator: &str) -> Option<Tick> {
+        self.active_at(tick)
+            .filter_map(|f| match &f.kind {
+                FaultKind::AckDelay { validator: v, delay } if v == validator => Some(*delay),
+                _ => None,
+            })
+            .max()
+    }
+
+    /// Whether acks from `validator` are dropped at `tick`.
+    pub fn ack_dropped(&self, tick: Tick, validator: &str) -> bool {
+        self.active_at(tick)
+            .any(|f| matches!(&f.kind, FaultKind::AckDrop { validator: v } if v == validator))
+    }
+
+    /// First tick `validator` is reachable again (the latest active
+    /// crash/partition window on it closes), if one is active at `tick`.
+    pub fn validator_recovery_tick(&self, tick: Tick, validator: &str) -> Option<Tick> {
+        self.active_at(tick)
+            .filter(|f| {
+                matches!(
+                    &f.kind,
+                    FaultKind::ValidatorCrash { validator: v }
+                    | FaultKind::ValidatorPartition { validator: v }
+                    if v == validator
+                )
+            })
+            .map(ScheduledFault::end)
+            .max()
+    }
 }
 
 #[cfg(test)]
@@ -307,6 +411,41 @@ mod tests {
         let rogue =
             plan.faults().iter().filter(|f| matches!(f.kind, FaultKind::RogueValidator { .. }));
         assert_eq!(rogue.count(), 2, "every fourth fault targets the validator");
+    }
+
+    #[test]
+    fn validator_scoped_queries() {
+        let plan = FaultPlan::new()
+            .schedule(10, 5, FaultKind::ValidatorCrash { validator: "s0-v1".into() })
+            .schedule(12, 10, FaultKind::ValidatorPartition { validator: "s0-v2".into() })
+            .schedule(20, 4, FaultKind::AckDelay { validator: "s0-v1".into(), delay: 3 })
+            .schedule(21, 2, FaultKind::AckDelay { validator: "s0-v1".into(), delay: 7 })
+            .schedule(30, 5, FaultKind::AckDrop { validator: "s0-v2".into() });
+        let inj = plan.injector();
+        assert!(inj.validator_crashed(11, "s0-v1"));
+        assert!(!inj.validator_crashed(11, "s0-v2"));
+        assert!(!inj.validator_crashed(15, "s0-v1"), "restart at window end");
+        assert!(inj.validator_partitioned(13, "s0-v2"));
+        assert!(inj.validator_unreachable(13, "s0-v2"));
+        assert!(inj.validator_unreachable(13, "s0-v1"));
+        assert!(!inj.validator_unreachable(25, "s0-v1"), "ack delay is not unreachability");
+        assert_eq!(inj.validator_recovery_tick(11, "s0-v1"), Some(15));
+        assert_eq!(inj.validator_recovery_tick(13, "s0-v2"), Some(22));
+        assert_eq!(inj.validator_recovery_tick(25, "s0-v1"), None);
+        assert_eq!(inj.ack_delay(20, "s0-v1"), Some(3));
+        assert_eq!(inj.ack_delay(21, "s0-v1"), Some(7), "worst active delay wins");
+        assert_eq!(inj.ack_delay(21, "s0-v2"), None);
+        assert!(inj.ack_dropped(32, "s0-v2"));
+        assert!(!inj.ack_dropped(35, "s0-v2"));
+        assert_eq!(
+            FaultKind::ValidatorCrash { validator: "x".into() }.validator(),
+            Some("x")
+        );
+        assert_eq!(FaultKind::Crash { module: "m".into() }.validator(), None);
+        assert_eq!(
+            FaultKind::ValidatorPartition { validator: "x".into() }.label(),
+            "validator-partition"
+        );
     }
 
     #[test]

@@ -39,4 +39,4 @@ pub mod retry;
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use fault::{FaultInjector, FaultKind, FaultPlan, ScheduledFault};
 pub use health::HealthState;
-pub use retry::{RetryOutcome, RetryPolicy, RetryState};
+pub use retry::{GiveUpCause, RetryOutcome, RetryPolicy, RetryState};

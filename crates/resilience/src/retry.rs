@@ -51,8 +51,12 @@ impl RetryPolicy {
     }
 
     /// Total ticks spent if every retry is exhausted (ignores timeout).
+    /// Saturates at `u64::MAX` instead of overflowing when the policy's
+    /// bounds are themselves near the `Tick` ceiling.
     pub fn total_backoff(&self) -> Tick {
-        (1..=self.max_retries).filter_map(|r| self.backoff(r)).sum()
+        (1..=self.max_retries)
+            .filter_map(|r| self.backoff(r))
+            .fold(0u64, |acc, b| acc.saturating_add(b))
     }
 
     /// Starts tracking one retried operation whose first attempt happens
@@ -62,13 +66,39 @@ impl RetryPolicy {
     }
 }
 
+/// Why a retried operation gave up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GiveUpCause {
+    /// The retry budget (`max_retries`) is spent.
+    RetriesExhausted,
+    /// The next retry would land past the policy's overall deadline.
+    DeadlineExceeded,
+}
+
+impl GiveUpCause {
+    /// Stable lowercase label for reports and metrics.
+    pub fn label(&self) -> &'static str {
+        match self {
+            GiveUpCause::RetriesExhausted => "retries_exhausted",
+            GiveUpCause::DeadlineExceeded => "deadline_exceeded",
+        }
+    }
+}
+
 /// What to do after a failed attempt.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RetryOutcome {
     /// Retry at the given tick.
     RetryAt(Tick),
-    /// Retries or deadline exhausted; give up.
-    GiveUp,
+    /// Give up, for the stated reason.
+    GiveUp(GiveUpCause),
+}
+
+impl RetryOutcome {
+    /// Whether this outcome abandons the operation.
+    pub fn gave_up(&self) -> bool {
+        matches!(self, RetryOutcome::GiveUp(_))
+    }
 }
 
 /// Book-keeping for one retried operation.
@@ -99,20 +129,20 @@ impl RetryState {
     /// Registers a failed attempt at `now`; schedules the next retry or
     /// gives up.
     pub fn record_failure(&mut self, now: Tick) -> RetryOutcome {
-        self.retries_used += 1;
+        self.retries_used = self.retries_used.saturating_add(1);
         match self.policy.backoff(self.retries_used) {
             Some(delay) => {
                 let due = now.saturating_add(delay);
                 if self.policy.timeout > 0
                     && due.saturating_sub(self.first_attempt) > self.policy.timeout
                 {
-                    RetryOutcome::GiveUp
+                    RetryOutcome::GiveUp(GiveUpCause::DeadlineExceeded)
                 } else {
                     self.next_due = due;
                     RetryOutcome::RetryAt(due)
                 }
             }
-            None => RetryOutcome::GiveUp,
+            None => RetryOutcome::GiveUp(GiveUpCause::RetriesExhausted),
         }
     }
 }
@@ -156,7 +186,7 @@ mod tests {
         assert!(!s.due(12));
         assert!(s.due(13));
         assert_eq!(s.record_failure(13), RetryOutcome::RetryAt(19));
-        assert_eq!(s.record_failure(19), RetryOutcome::GiveUp);
+        assert_eq!(s.record_failure(19), RetryOutcome::GiveUp(GiveUpCause::RetriesExhausted));
         assert_eq!(s.retries_used(), 3);
     }
 
@@ -172,7 +202,38 @@ mod tests {
         let mut s = p.begin(0);
         assert_eq!(s.record_failure(0), RetryOutcome::RetryAt(10));
         // Next retry would land at 10 + 20 = 30 > timeout 25: give up.
-        assert_eq!(s.record_failure(10), RetryOutcome::GiveUp);
+        assert_eq!(s.record_failure(10), RetryOutcome::GiveUp(GiveUpCause::DeadlineExceeded));
+    }
+
+    #[test]
+    fn backoff_saturates_at_u64_bounds() {
+        let p = RetryPolicy {
+            max_retries: u32::MAX,
+            base_backoff: u64::MAX,
+            backoff_factor: u32::MAX,
+            max_backoff: u64::MAX,
+            timeout: 0,
+        };
+        // Every per-retry backoff pins to the cap without overflowing…
+        assert_eq!(p.backoff(1), Some(u64::MAX));
+        assert_eq!(p.backoff(1000), Some(u64::MAX));
+        // …and the sum saturates instead of wrapping.
+        let capped = RetryPolicy { max_retries: 3, ..p };
+        assert_eq!(capped.total_backoff(), u64::MAX);
+        // Scheduling from near the end of tick time stays in range.
+        let mut s = capped.begin(u64::MAX - 1);
+        assert_eq!(s.record_failure(u64::MAX - 1), RetryOutcome::RetryAt(u64::MAX));
+    }
+
+    #[test]
+    fn zero_retry_budget_gives_up_immediately() {
+        let p = RetryPolicy { max_retries: 0, ..RetryPolicy::default() };
+        assert_eq!(p.backoff(1), None);
+        assert_eq!(p.total_backoff(), 0);
+        let mut s = p.begin(5);
+        assert!(s.due(5), "the initial attempt itself is always due");
+        assert_eq!(s.record_failure(5), RetryOutcome::GiveUp(GiveUpCause::RetriesExhausted));
+        assert!(s.record_failure(6).gave_up(), "stays exhausted on repeat failures");
     }
 
     #[test]

@@ -175,6 +175,26 @@ pub fn trace_event_json(e: &TraceEvent) -> String {
             push_hex(&mut out, block);
             out.push('"');
         }
+        TraceStage::BlockProposed { shard, height, term, leader } => {
+            out.push_str(&format!(
+                ",\"shard\":{shard},\"height\":{height},\"term\":{term},\"leader\":{leader}"
+            ));
+        }
+        TraceStage::AckReceived { shard, height, node, latency_ticks } => {
+            out.push_str(&format!(
+                ",\"shard\":{shard},\"height\":{height},\"node\":{node},\"latency_ticks\":{latency_ticks}"
+            ));
+        }
+        TraceStage::QuorumCommitted { shard, height, acks, latency_ticks } => {
+            out.push_str(&format!(
+                ",\"shard\":{shard},\"height\":{height},\"acks\":{acks},\"latency_ticks\":{latency_ticks}"
+            ));
+        }
+        TraceStage::LeaderElected { shard, term, leader, failover_ticks } => {
+            out.push_str(&format!(
+                ",\"shard\":{shard},\"term\":{term},\"leader\":{leader},\"failover_ticks\":{failover_ticks}"
+            ));
+        }
     }
     out.push('}');
     out

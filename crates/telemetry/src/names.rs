@@ -162,6 +162,26 @@ pub mod gateway {
     }
 }
 
+/// Replication (per-shard quorum-commit cluster) instrument names.
+pub mod replication {
+    /// Blocks proposed by cluster leaders.
+    pub const BLOCKS_PROPOSED: &str = "replication.blocks.proposed";
+    /// Blocks that reached quorum commit.
+    pub const BLOCKS_COMMITTED: &str = "replication.blocks.committed";
+    /// Follower acks delivered to leaders.
+    pub const ACKS_DELIVERED: &str = "replication.acks.delivered";
+    /// Follower acks lost to drops, crashes, or partitions.
+    pub const ACKS_LOST: &str = "replication.acks.lost";
+    /// Leader elections forced by an unreachable leader.
+    pub const LEADER_ELECTIONS: &str = "replication.leader.elections";
+    /// Log-suffix catch-ups performed by recovered validators.
+    pub const CATCH_UPS: &str = "replication.catch_ups";
+    /// Histogram: proposal-to-quorum commit latency, in ticks.
+    pub const COMMIT_LATENCY_TICKS: &str = "replication.commit.latency_ticks";
+    /// Histogram: election delay charged to failed-over commits, ticks.
+    pub const FAILOVER_TICKS: &str = "replication.failover.ticks";
+}
+
 /// Every fixed (non-family) canonical name, used by [`is_canonical`]
 /// and the workspace metric-hygiene tests.
 pub const ALL_FIXED: &[&str] = &[
@@ -204,6 +224,14 @@ pub const ALL_FIXED: &[&str] = &[
     gateway::BATCH_SIZE,
     gateway::SHARD_COMMIT_FAILURES,
     gateway::SHARD_EPOCHS_SKIPPED,
+    replication::BLOCKS_PROPOSED,
+    replication::BLOCKS_COMMITTED,
+    replication::ACKS_DELIVERED,
+    replication::ACKS_LOST,
+    replication::LEADER_ELECTIONS,
+    replication::CATCH_UPS,
+    replication::COMMIT_LATENCY_TICKS,
+    replication::FAILOVER_TICKS,
     "twins.sync.updates_lost",
     "twins.sync.retransmissions",
     "twins.sync.recovered",
@@ -298,6 +326,9 @@ mod tests {
         assert_eq!(TRACE_EVENTS_RECORDED, "trace.events.recorded");
         assert_eq!(TRACE_EVENTS_DROPPED, "trace.events.dropped");
         assert_eq!(TRACE_BUFFER_LEN, "trace.buffer.len");
+        assert_eq!(replication::BLOCKS_COMMITTED, "replication.blocks.committed");
+        assert_eq!(replication::LEADER_ELECTIONS, "replication.leader.elections");
+        assert_eq!(replication::COMMIT_LATENCY_TICKS, "replication.commit.latency_ticks");
     }
 
     #[test]

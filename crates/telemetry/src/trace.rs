@@ -131,6 +131,55 @@ pub enum TraceStage {
         /// Header digest of the block at that height.
         block: BlockRef,
     },
+    /// Replication: the shard's cluster leader proposed a sealed block
+    /// to its follower validators. Only emitted on the replication
+    /// stream (seq = chain height), never the op stream.
+    BlockProposed {
+        /// Shard whose cluster is replicating.
+        shard: u32,
+        /// Chain height of the proposed block.
+        height: u64,
+        /// Leader's term when proposing.
+        term: u64,
+        /// Proposing leader's node index within the cluster.
+        leader: u32,
+    },
+    /// Replication: one follower's ack for a proposed block was
+    /// delivered to the leader.
+    AckReceived {
+        /// Shard whose cluster is replicating.
+        shard: u32,
+        /// Chain height being acked.
+        height: u64,
+        /// Acking follower's node index.
+        node: u32,
+        /// Ticks between the proposal and this ack's delivery.
+        latency_ticks: u64,
+    },
+    /// Replication: the proposed block gathered majority acks and is
+    /// durably committed across the cluster.
+    QuorumCommitted {
+        /// Shard whose cluster committed.
+        shard: u32,
+        /// Committed chain height.
+        height: u64,
+        /// Acks counted toward quorum (leader included).
+        acks: u32,
+        /// Ticks from proposal to quorum, failover included.
+        latency_ticks: u64,
+    },
+    /// Replication: the cluster rotated leadership to the next live
+    /// node after the previous leader became unreachable.
+    LeaderElected {
+        /// Shard whose cluster elected.
+        shard: u32,
+        /// New leader's term.
+        term: u64,
+        /// New leader's node index.
+        leader: u32,
+        /// Ticks of election delay charged to the in-flight commit.
+        failover_ticks: u64,
+    },
 }
 
 impl TraceStage {
@@ -147,6 +196,10 @@ impl TraceStage {
             TraceStage::Escrowed { .. } => "escrowed",
             TraceStage::Settled { .. } => "settled",
             TraceStage::CommittedInEpoch { .. } => "committed_in_epoch",
+            TraceStage::BlockProposed { .. } => "block_proposed",
+            TraceStage::AckReceived { .. } => "ack_received",
+            TraceStage::QuorumCommitted { .. } => "quorum_committed",
+            TraceStage::LeaderElected { .. } => "leader_elected",
         }
     }
 

@@ -215,7 +215,7 @@ impl SyncChannel {
                         version,
                         retry,
                     }),
-                    RetryOutcome::GiveUp => self.force_reconcile(twin),
+                    RetryOutcome::GiveUp(_) => self.force_reconcile(twin),
                 }
             }
         } else {
@@ -286,7 +286,7 @@ impl SyncChannel {
             if self.rng.gen_bool(self.effective_loss()) {
                 match pending.retry.record_failure(self.tick) {
                     RetryOutcome::RetryAt(_) => true,
-                    RetryOutcome::GiveUp => {
+                    RetryOutcome::GiveUp(_) => {
                         force = true;
                         false
                     }
