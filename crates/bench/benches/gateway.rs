@@ -5,6 +5,7 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use metaverse_gateway::op::Op;
 use metaverse_gateway::router::{GatewayConfig, ShardRouter};
+use metaverse_gateway::Ingress;
 use metaverse_gateway::session::{RateLimit, Session, SessionConfig};
 use metaverse_gateway::workload::{WorkloadConfig, WorkloadEngine};
 
@@ -46,20 +47,17 @@ fn bench_admission(c: &mut Criterion) {
 fn bench_epoch_execution(c: &mut Criterion) {
     for shards in [1usize, 4, 8] {
         c.bench_function(&format!("gateway/epoch_64_endorsements_{shards}_shards"), |b| {
-            let mut router = ShardRouter::new(GatewayConfig {
-                shards,
-                telemetry: false,
-                ..GatewayConfig::default()
-            });
+            let mut router =
+                ShardRouter::new(GatewayConfig::builder().shards(shards).telemetry(false).build());
             let users: Vec<String> = (0..64).map(|i| format!("user-{i:05}")).collect();
             for u in &users {
-                router.submit(Op::Register { user: u.clone() }).expect("register");
+                router.ingress(Op::Register { user: u.clone() }).expect("register");
             }
             router.drain(8);
             b.iter(|| {
                 for (i, u) in users.iter().enumerate() {
                     let subject = users[(i + 1) % users.len()].clone();
-                    let _ = router.submit(Op::Endorse { user: u.clone(), subject });
+                    let _ = router.ingress(Op::Endorse { user: u.clone(), subject });
                 }
                 black_box(router.execute_epoch());
             })
@@ -78,22 +76,23 @@ fn bench_parallel_epoch(c: &mut Criterion) {
             c.bench_function(
                 &format!("gateway/epoch_64_endorsements_{shards}_shards_{mode}"),
                 |b| {
-                    let mut router = ShardRouter::new(GatewayConfig {
-                        shards,
-                        workers,
-                        telemetry: false,
-                        ..GatewayConfig::default()
-                    });
+                    let mut router = ShardRouter::new(
+                        GatewayConfig::builder()
+                            .shards(shards)
+                            .workers(workers)
+                            .telemetry(false)
+                            .build(),
+                    );
                     let users: Vec<String> =
                         (0..64).map(|i| format!("user-{i:05}")).collect();
                     for u in &users {
-                        router.submit(Op::Register { user: u.clone() }).expect("register");
+                        router.ingress(Op::Register { user: u.clone() }).expect("register");
                     }
                     router.drain(8);
                     b.iter(|| {
                         for (i, u) in users.iter().enumerate() {
                             let subject = users[(i + 1) % users.len()].clone();
-                            let _ = router.submit(Op::Endorse { user: u.clone(), subject });
+                            let _ = router.ingress(Op::Endorse { user: u.clone(), subject });
                         }
                         black_box(router.execute_epoch());
                     })
@@ -112,11 +111,9 @@ fn bench_workload_replay(c: &mut Criterion) {
     for shards in [1usize, 8] {
         c.bench_function(&format!("gateway/workload_drive_2k_ops_{shards}_shards"), |b| {
             b.iter(|| {
-                let mut router = ShardRouter::new(GatewayConfig {
-                    shards,
-                    telemetry: false,
-                    ..GatewayConfig::default()
-                });
+                let mut router = ShardRouter::new(
+                    GatewayConfig::builder().shards(shards).telemetry(false).build(),
+                );
                 black_box(engine.drive(&mut router, 256))
             })
         });

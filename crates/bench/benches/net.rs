@@ -1,0 +1,91 @@
+//! Criterion benchmarks for the network front door: streaming frame
+//! decoding at adversarial chunk sizes, the full serve loop over a
+//! simulated fleet, and the admission journal's binary codec.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use metaverse_gateway::router::{GatewayConfig, ShardRouter};
+use metaverse_gateway::session::RateLimit;
+use metaverse_gateway::workload::{WorkloadConfig, WorkloadEngine};
+use metaverse_net::{frame, sim_clients, AdmissionJournal, FrameDecoder, NetServer, NetServerConfig, DEFAULT_MAX_FRAME};
+use metaverse_resilience::FaultPlan;
+
+fn router(shards: usize) -> ShardRouter {
+    ShardRouter::new(
+        GatewayConfig::builder()
+            .shards(shards)
+            .telemetry(false)
+            .rate_limit(RateLimit { burst: 256, milli_per_tick: 256_000 })
+            .mailbox_capacity(4096)
+            .key_tree_depth(5)
+            .build(),
+    )
+}
+
+fn engine(users: usize, ops: usize) -> WorkloadEngine {
+    WorkloadEngine::new(WorkloadConfig { users, ops, seed: 7, ..WorkloadConfig::default() })
+}
+
+/// A framed byte stream of the seeded workload, for decoder benches.
+fn framed_stream(ops: usize) -> Vec<u8> {
+    let mut stream = Vec::new();
+    for op in engine(16, ops).generate() {
+        stream.extend_from_slice(&frame(&op.encode()));
+    }
+    stream
+}
+
+fn bench_frame_decoder(c: &mut Criterion) {
+    let stream = framed_stream(1_000);
+    for (label, chunk) in [("1b", 1usize), ("64b", 64), ("4k", 4096)] {
+        c.bench_function(&format!("net/decode_1k_frames_chunk_{label}"), |b| {
+            b.iter(|| {
+                let mut decoder = FrameDecoder::new(DEFAULT_MAX_FRAME);
+                let mut out = Vec::new();
+                for piece in stream.chunks(chunk) {
+                    decoder.feed(black_box(piece), &mut out).expect("valid stream");
+                }
+                black_box(out.len())
+            })
+        });
+    }
+}
+
+fn bench_serve_loop(c: &mut Criterion) {
+    for conns in [64usize, 256] {
+        c.bench_function(&format!("net/serve_fleet_{conns}_conns"), |b| {
+            let engine = engine(conns, conns * 3);
+            b.iter(|| {
+                let mut server = NetServer::new(
+                    router(2),
+                    NetServerConfig { ops_per_epoch: 512, ..NetServerConfig::default() },
+                );
+                for stream in sim_clients(&engine, conns, 7, 512, &FaultPlan::new()) {
+                    server.accept(stream);
+                }
+                black_box(server.run_to_completion())
+            })
+        });
+    }
+}
+
+fn bench_journal_codec(c: &mut Criterion) {
+    // One served fleet's journal, used as the codec corpus.
+    let engine = engine(128, 512);
+    let mut server = NetServer::new(
+        router(2),
+        NetServerConfig { ops_per_epoch: 256, ..NetServerConfig::default() },
+    );
+    for stream in sim_clients(&engine, 64, 7, 512, &FaultPlan::new()) {
+        server.accept(stream);
+    }
+    server.run_to_completion();
+    let (_, journal) = server.into_parts();
+    let bytes = journal.to_bytes();
+    c.bench_function("net/journal_encode", |b| b.iter(|| black_box(journal.to_bytes())));
+    c.bench_function("net/journal_decode", |b| {
+        b.iter(|| AdmissionJournal::from_bytes(black_box(&bytes)).expect("round-trip"))
+    });
+}
+
+criterion_group!(benches, bench_frame_decoder, bench_serve_loop, bench_journal_codec);
+criterion_main!(benches);

@@ -6,6 +6,7 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use metaverse_gateway::op::Op;
 use metaverse_gateway::router::{GatewayConfig, ShardRouter};
+use metaverse_gateway::Ingress;
 use metaverse_ledger::Digest;
 use metaverse_replication::{ReplicationCluster, ReplicationConfig};
 use metaverse_resilience::{FaultKind, FaultPlan};
@@ -52,21 +53,20 @@ fn bench_epoch_overhead(c: &mut Criterion) {
         [("off", None), ("on", Some(ReplicationConfig::default()))]
     {
         c.bench_function(&format!("replication/epoch_64_endorsements_4_shards_{mode}"), |b| {
-            let mut router = ShardRouter::new(GatewayConfig {
-                shards: 4,
-                telemetry: false,
-                replication,
-                ..GatewayConfig::default()
-            });
+            let mut builder = GatewayConfig::builder().shards(4).telemetry(false);
+            if let Some(replication) = replication {
+                builder = builder.replication(replication);
+            }
+            let mut router = ShardRouter::new(builder.build());
             let users: Vec<String> = (0..64).map(|i| format!("user-{i:05}")).collect();
             for u in &users {
-                router.submit(Op::Register { user: u.clone() }).expect("register");
+                router.ingress(Op::Register { user: u.clone() }).expect("register");
             }
             router.drain(8);
             b.iter(|| {
                 for (i, u) in users.iter().enumerate() {
                     let subject = users[(i + 1) % users.len()].clone();
-                    let _ = router.submit(Op::Endorse { user: u.clone(), subject });
+                    let _ = router.ingress(Op::Endorse { user: u.clone(), subject });
                 }
                 black_box(router.execute_epoch())
             })

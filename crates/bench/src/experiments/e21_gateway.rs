@@ -21,7 +21,7 @@
 use std::time::Instant;
 
 use metaverse_gateway::router::{ConservationReport, GatewayConfig, ShardRouter};
-use metaverse_gateway::session::{RateLimit, SessionConfig};
+use metaverse_gateway::session::RateLimit;
 use metaverse_gateway::workload::{DriveReport, WorkloadConfig, WorkloadEngine};
 use metaverse_telemetry::{names, TelemetrySnapshot};
 
@@ -54,20 +54,16 @@ fn replay(seed: u64, shards: usize, users: usize, ops: usize, per_epoch: usize, 
         seed,
         ..WorkloadConfig::default()
     });
-    let mut router = ShardRouter::new(GatewayConfig {
-        shards,
-        // Generous admission: E21 measures the execution pipeline, so
-        // only the hottest zipf users should ever hit the rate limit.
-        session: SessionConfig {
-            rate: RateLimit { burst: 256, milli_per_tick: 256_000 },
-            mailbox_capacity: 4096,
-        },
-        chain_config: metaverse_ledger::chain::ChainConfig {
-            key_tree_depth: depth,
-            ..metaverse_ledger::chain::ChainConfig::default()
-        },
-        ..GatewayConfig::default()
-    });
+    let mut router = ShardRouter::new(
+        GatewayConfig::builder()
+            .shards(shards)
+            // Generous admission: E21 measures the execution pipeline, so
+            // only the hottest zipf users should ever hit the rate limit.
+            .rate_limit(RateLimit { burst: 256, milli_per_tick: 256_000 })
+            .mailbox_capacity(4096)
+            .key_tree_depth(depth)
+            .build(),
+    );
     let started = Instant::now();
     let drive = engine.drive(&mut router, per_epoch);
     let elapsed_ns = started.elapsed().as_nanos();

@@ -20,7 +20,7 @@
 use std::time::Instant;
 
 use metaverse_gateway::router::{ConservationReport, GatewayConfig, ShardRouter};
-use metaverse_gateway::session::{RateLimit, SessionConfig};
+use metaverse_gateway::session::RateLimit;
 use metaverse_gateway::workload::{DriveReport, WorkloadConfig, WorkloadEngine};
 
 use crate::report::{ExperimentResult, Table};
@@ -68,21 +68,17 @@ fn replay(
         seed,
         ..WorkloadConfig::default()
     });
-    let mut router = ShardRouter::new(GatewayConfig {
-        shards,
-        workers,
-        // Generous admission, as in E21: this measures the epoch
-        // pipeline, not the rate limiter.
-        session: SessionConfig {
-            rate: RateLimit { burst: 256, milli_per_tick: 256_000 },
-            mailbox_capacity: 4096,
-        },
-        chain_config: metaverse_ledger::chain::ChainConfig {
-            key_tree_depth: depth,
-            ..metaverse_ledger::chain::ChainConfig::default()
-        },
-        ..GatewayConfig::default()
-    });
+    let mut router = ShardRouter::new(
+        GatewayConfig::builder()
+            .shards(shards)
+            .workers(workers)
+            // Generous admission, as in E21: this measures the epoch
+            // pipeline, not the rate limiter.
+            .rate_limit(RateLimit { burst: 256, milli_per_tick: 256_000 })
+            .mailbox_capacity(4096)
+            .key_tree_depth(depth)
+            .build(),
+    );
     let started = Instant::now();
     let drive = engine.drive(&mut router, per_epoch);
     let elapsed_ns = started.elapsed().as_nanos();

@@ -24,7 +24,7 @@
 //! f = 1) is observationally invisible to the platform's audit.
 
 use metaverse_gateway::router::{GatewayConfig, ShardRouter};
-use metaverse_gateway::session::{RateLimit, SessionConfig};
+use metaverse_gateway::session::RateLimit;
 use metaverse_gateway::workload::{WorkloadConfig, WorkloadEngine};
 use metaverse_replication::{ReplicationConfig, ReplicationStats};
 use metaverse_resilience::{FaultKind, FaultPlan};
@@ -116,21 +116,17 @@ fn replay(seed: u64, shards: usize, sizing: Sizing, replicated: bool, case: Faul
         seed,
         ..WorkloadConfig::default()
     });
-    let mut router = ShardRouter::new(GatewayConfig {
-        shards,
+    let mut builder = GatewayConfig::builder()
+        .shards(shards)
         // Generous admission, as in E21/E22: this measures the commit
         // layer, not the rate limiter.
-        session: SessionConfig {
-            rate: RateLimit { burst: 256, milli_per_tick: 256_000 },
-            mailbox_capacity: 4096,
-        },
-        chain_config: metaverse_ledger::chain::ChainConfig {
-            key_tree_depth: depth,
-            ..metaverse_ledger::chain::ChainConfig::default()
-        },
-        replication: replicated.then(ReplicationConfig::default),
-        ..GatewayConfig::default()
-    });
+        .rate_limit(RateLimit { burst: 256, milli_per_tick: 256_000 })
+        .mailbox_capacity(4096)
+        .key_tree_depth(depth);
+    if replicated {
+        builder = builder.replication(ReplicationConfig::default());
+    }
+    let mut router = ShardRouter::new(builder.build());
     if replicated {
         for shard in 0..shards {
             if let Some(plan) = case.plan(shard) {

@@ -11,6 +11,7 @@
 use metaverse_core::platform::MetaversePlatform;
 use metaverse_gateway::op::Op;
 use metaverse_gateway::router::{GatewayConfig, ShardRouter};
+use metaverse_gateway::Ingress;
 use metaverse_gateway::workload::{WorkloadConfig, WorkloadEngine};
 use metaverse_ledger::chain::ChainConfig;
 use metaverse_resilience::RetryPolicy;
@@ -85,14 +86,11 @@ fn driven_gateway_snapshot() -> TelemetrySnapshot {
         seed: 11,
         ..WorkloadConfig::default()
     });
-    let mut router = ShardRouter::new(GatewayConfig {
-        shards: 2,
-        trace_capacity: 1 << 12,
-        chain_config: ChainConfig { key_tree_depth: 5, ..ChainConfig::default() },
-        ..GatewayConfig::default()
-    });
+    let mut router = ShardRouter::new(
+        GatewayConfig::builder().shards(2).tracing(1 << 12).key_tree_depth(5).build(),
+    );
     engine.drive(&mut router, 64);
-    let _ = router.submit(Op::Endorse { user: "nobody".into(), subject: "alice".into() });
+    let _ = router.ingress(Op::Endorse { user: "nobody".into(), subject: "alice".into() });
     router.telemetry_snapshot()
 }
 

@@ -1,0 +1,225 @@
+//! Fluent gateway construction.
+//!
+//! [`GatewayConfigBuilder`] mirrors the platform's `PlatformBuilder`:
+//! a caller names only the knobs it cares about instead of spelling out
+//! a full [`GatewayConfig`] literal (struct-literal construction is
+//! deprecated — the field set grows with every subsystem, and a bare
+//! literal breaks every caller each time it does). Every knob defaults
+//! to the same value as [`GatewayConfig::default`].
+//!
+//! ```
+//! use metaverse_gateway::router::{GatewayConfig, ShardRouter};
+//!
+//! let router = ShardRouter::new(
+//!     GatewayConfig::builder()
+//!         .shards(2)
+//!         .workers(1)
+//!         .tracing(1 << 12)
+//!         .key_tree_depth(5)
+//!         .build(),
+//! );
+//! assert_eq!(router.shard_count(), 2);
+//! ```
+
+use metaverse_core::resilience::ResilienceConfig;
+use metaverse_ledger::chain::ChainConfig;
+use metaverse_replication::ReplicationConfig;
+use metaverse_resilience::BreakerConfig;
+
+use crate::router::GatewayConfig;
+use crate::session::{RateLimit, SessionConfig};
+
+/// Builds a [`GatewayConfig`]. Obtain one from
+/// [`GatewayConfig::builder`]; every knob starts at the corresponding
+/// [`GatewayConfig::default`] value.
+#[derive(Debug, Clone, Default)]
+pub struct GatewayConfigBuilder {
+    config: GatewayConfig,
+}
+
+impl GatewayConfigBuilder {
+    /// A builder with every default.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts from an existing config (the legacy-shim path for
+    /// callers still holding a [`GatewayConfig`] value).
+    pub fn from_config(config: GatewayConfig) -> Self {
+        GatewayConfigBuilder { config }
+    }
+
+    /// Number of independent platform shards.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.config.shards = shards;
+        self
+    }
+
+    /// Virtual nodes per shard on the hash ring.
+    pub fn vnodes(mut self, vnodes: usize) -> Self {
+        self.config.vnodes = vnodes;
+        self
+    }
+
+    /// Admission policy stamped onto every new session.
+    pub fn session(mut self, session: SessionConfig) -> Self {
+        self.config.session = session;
+        self
+    }
+
+    /// Per-session token-bucket policy (keeps the rest of the session
+    /// config at its current values).
+    pub fn rate_limit(mut self, rate: RateLimit) -> Self {
+        self.config.session.rate = rate;
+        self
+    }
+
+    /// Per-session mailbox bound (keeps the rest of the session config
+    /// at its current values).
+    pub fn mailbox_capacity(mut self, capacity: usize) -> Self {
+        self.config.session.mailbox_capacity = capacity;
+        self
+    }
+
+    /// Platform ticks advanced on every shard per epoch.
+    pub fn epoch_ticks(mut self, ticks: u64) -> Self {
+        self.config.epoch_ticks = ticks;
+        self
+    }
+
+    /// Router-side per-shard breaker tuning (in epoch time).
+    pub fn breaker(mut self, breaker: BreakerConfig) -> Self {
+        self.config.breaker = breaker;
+        self
+    }
+
+    /// Resilience config handed to each shard platform.
+    pub fn resilience(mut self, resilience: ResilienceConfig) -> Self {
+        self.config.resilience = resilience;
+        self
+    }
+
+    /// Ledger tuning handed to each shard platform.
+    pub fn chain_config(mut self, chain_config: ChainConfig) -> Self {
+        self.config.chain_config = chain_config;
+        self
+    }
+
+    /// Validator key-tree depth (the one chain knob nearly every test
+    /// and experiment tunes — shallow trees keep per-shard keygen
+    /// cheap; the rest of the chain config keeps its current values).
+    pub fn key_tree_depth(mut self, depth: usize) -> Self {
+        self.config.chain_config.key_tree_depth = depth;
+        self
+    }
+
+    /// Whether the gateway (and its shards) record telemetry.
+    pub fn telemetry(mut self, on: bool) -> Self {
+        self.config.telemetry = on;
+        self
+    }
+
+    /// Tokens granted to each successfully registered user.
+    pub fn initial_grant(mut self, grant: u64) -> Self {
+        self.config.initial_grant = grant;
+        self
+    }
+
+    /// Settlement attempts against a down module before giving up.
+    pub fn max_settlement_requeues(mut self, requeues: u32) -> Self {
+        self.config.max_settlement_requeues = requeues;
+        self
+    }
+
+    /// Worker threads for the per-shard epoch phase (`0` sizes to the
+    /// host; see [`GatewayConfig::workers`]).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.config.workers = workers;
+        self
+    }
+
+    /// Enables causal tracing with a flight-recorder ring of `capacity`
+    /// events (`0` disables tracing; see
+    /// [`GatewayConfig::trace_capacity`]).
+    pub fn tracing(mut self, capacity: usize) -> Self {
+        self.config.trace_capacity = capacity;
+        self
+    }
+
+    /// Installs a quorum-commit replication cluster over every shard's
+    /// sealed chain.
+    pub fn replication(mut self, replication: ReplicationConfig) -> Self {
+        self.config.replication = Some(replication);
+        self
+    }
+
+    /// The finished config.
+    pub fn build(self) -> GatewayConfig {
+        self.config
+    }
+}
+
+impl GatewayConfig {
+    /// Fluent construction — the supported way to build a config (see
+    /// [`GatewayConfigBuilder`]).
+    pub fn builder() -> GatewayConfigBuilder {
+        GatewayConfigBuilder::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_legacy_default_config() {
+        let built = GatewayConfig::builder().build();
+        let legacy = GatewayConfig::default();
+        assert_eq!(format!("{built:?}"), format!("{legacy:?}"));
+    }
+
+    #[test]
+    fn every_knob_reaches_the_config() {
+        let config = GatewayConfig::builder()
+            .shards(8)
+            .vnodes(32)
+            .session(SessionConfig { mailbox_capacity: 7, ..SessionConfig::default() })
+            .rate_limit(RateLimit { burst: 3, milli_per_tick: 500 })
+            .mailbox_capacity(9)
+            .epoch_ticks(4)
+            .breaker(BreakerConfig { failure_threshold: 5, ..BreakerConfig::default() })
+            .resilience(ResilienceConfig { enabled: false, ..ResilienceConfig::default() })
+            .chain_config(ChainConfig { key_tree_depth: 4, ..ChainConfig::default() })
+            .key_tree_depth(5)
+            .telemetry(false)
+            .initial_grant(77)
+            .max_settlement_requeues(9)
+            .workers(3)
+            .tracing(1 << 10)
+            .replication(ReplicationConfig::default())
+            .build();
+        assert_eq!(config.shards, 8);
+        assert_eq!(config.vnodes, 32);
+        assert_eq!(config.session.rate.burst, 3);
+        assert_eq!(config.session.mailbox_capacity, 9, "later knob wins");
+        assert_eq!(config.epoch_ticks, 4);
+        assert_eq!(config.breaker.failure_threshold, 5);
+        assert!(!config.resilience.enabled);
+        assert_eq!(config.chain_config.key_tree_depth, 5, "depth knob refines chain_config");
+        assert!(!config.telemetry);
+        assert_eq!(config.initial_grant, 77);
+        assert_eq!(config.max_settlement_requeues, 9);
+        assert_eq!(config.workers, 3);
+        assert_eq!(config.trace_capacity, 1 << 10);
+        assert!(config.replication.is_some());
+    }
+
+    #[test]
+    fn from_config_preserves_an_existing_config() {
+        let base = GatewayConfig::builder().shards(6).initial_grant(123).build();
+        let rebuilt = GatewayConfigBuilder::from_config(base.clone()).workers(2).build();
+        assert_eq!(rebuilt.shards, 6);
+        assert_eq!(rebuilt.initial_grant, 123);
+        assert_eq!(rebuilt.workers, 2);
+    }
+}

@@ -1,0 +1,149 @@
+//! The unified ingress surface: one trait, one error type, every way
+//! an op can enter the deterministic epoch core.
+//!
+//! Before this trait existed the gateway had two front doors with two
+//! error vocabularies: `ShardRouter::submit` returned `AdmissionError`
+//! while `ShardRouter::submit_wire` returned `GatewayError`, so every
+//! caller that handled both paths carried two match arms for the same
+//! refusal. [`Ingress`] collapses them: typed ops and raw wire bytes
+//! enter through [`Ingress::ingress`] / [`Ingress::ingress_wire`], both
+//! speaking [`GatewayError`], and the epoch boundary that drains what
+//! was admitted is part of the same contract
+//! ([`Ingress::epoch_boundary`]).
+//!
+//! The trait is deliberately object-safe: the network front door
+//! (`metaverse-net`) serves `dyn`-free generic servers in production
+//! but the admission journal replays through `&mut dyn Ingress`, so a
+//! recorded network run can be re-fed into *any* ingress — a fresh
+//! router, a mock, a byte-counting shim — without monomorphising the
+//! journal.
+//!
+//! ## Determinism contract
+//!
+//! Everything an implementation does in `ingress`/`epoch_boundary`
+//! must be a pure function of the call sequence: no wall clock, no
+//! ambient randomness. That is what makes the admission journal a
+//! sufficient determinism boundary — replaying the same offers and
+//! epoch boundaries in the same order reproduces every audit, trace,
+//! and conservation byte (see `metaverse-net`'s journal tests).
+
+use crate::error::GatewayError;
+use crate::op::Op;
+use crate::router::{EpochReport, ShardRouter};
+
+/// A sink that admits ops into the deterministic epoch core.
+///
+/// Implemented by [`ShardRouter`]; the network serving layer is generic
+/// over this trait so it can be driven against a real router or a test
+/// double, and so journal replay works through a trait object.
+pub trait Ingress {
+    /// Offers a typed op. On success the op waits for the next epoch
+    /// boundary; the returned sequence number is its global admission
+    /// order. Every refusal is a typed [`GatewayError`].
+    fn ingress(&mut self, op: Op) -> Result<u64, GatewayError>;
+
+    /// Offers an encoded op: decode, then admit. Wire errors surface as
+    /// [`GatewayError::Wire`]; everything else behaves exactly like
+    /// [`Ingress::ingress`].
+    fn ingress_wire(&mut self, bytes: &[u8]) -> Result<u64, GatewayError> {
+        let op = Op::decode(bytes)?;
+        self.ingress(op)
+    }
+
+    /// Executes one epoch boundary: drains admitted work into the
+    /// shards, commits, settles, and advances the logical clock.
+    fn epoch_boundary(&mut self) -> EpochReport;
+
+    /// The current logical tick (the clock that admission backpressure
+    /// retry hints are quoted in).
+    fn logical_now(&self) -> u64;
+
+    /// Ops admitted or in flight that a future epoch boundary still has
+    /// to resolve (mailboxed, queued, and unsettled work). A server
+    /// drains until this reaches zero.
+    fn backlog(&self) -> usize;
+}
+
+impl Ingress for ShardRouter {
+    fn ingress(&mut self, op: Op) -> Result<u64, GatewayError> {
+        self.admit(op).map_err(Into::into)
+    }
+
+    fn epoch_boundary(&mut self) -> EpochReport {
+        self.execute_epoch()
+    }
+
+    fn logical_now(&self) -> u64 {
+        self.now()
+    }
+
+    fn backlog(&self) -> usize {
+        self.pending_ops()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::AdmissionError;
+    use crate::router::GatewayConfig;
+
+    fn router() -> ShardRouter {
+        ShardRouter::new(GatewayConfig::builder().shards(2).key_tree_depth(6).build())
+    }
+
+    #[test]
+    fn ingress_admits_and_numbers_ops_like_the_legacy_surface() {
+        let mut r = router();
+        let a = r.ingress(Op::Register { user: "alice".into() }).unwrap();
+        let b = r.ingress(Op::Register { user: "bob".into() }).unwrap();
+        assert_eq!((a, b), (0, 1));
+        r.epoch_boundary();
+        let c = r.ingress(Op::Endorse { user: "alice".into(), subject: "bob".into() }).unwrap();
+        assert_eq!(c, 2);
+        let report = r.epoch_boundary();
+        assert_eq!(report.failed, 0);
+        assert_eq!(r.backlog(), 0);
+    }
+
+    #[test]
+    fn every_refusal_is_one_typed_gateway_error() {
+        let mut r = router();
+        let err = r.ingress(Op::Endorse { user: "ghost".into(), subject: "x".into() }).unwrap_err();
+        assert!(matches!(err, GatewayError::Admission(AdmissionError::UnknownUser { .. })));
+        r.ingress(Op::Register { user: "alice".into() }).unwrap();
+        let err = r.ingress(Op::Register { user: "alice".into() }).unwrap_err();
+        assert!(matches!(err, GatewayError::Admission(AdmissionError::AlreadyRegistered { .. })));
+        let err = r.ingress_wire(&[0xff, 0x00]).unwrap_err();
+        assert!(matches!(err, GatewayError::Wire(_)));
+    }
+
+    #[test]
+    fn ingress_wire_round_trips_the_codec() {
+        let mut r = router();
+        let op = Op::Register { user: "alice".into() };
+        let seq = r.ingress_wire(&op.encode()).unwrap();
+        assert_eq!(seq, 0);
+        r.epoch_boundary();
+        assert!(r.conservation_report().conserved);
+    }
+
+    #[test]
+    fn the_trait_is_object_safe_for_journal_replay() {
+        let mut r = router();
+        let dyn_ingress: &mut dyn Ingress = &mut r;
+        dyn_ingress.ingress_wire(&Op::Register { user: "alice".into() }.encode()).unwrap();
+        dyn_ingress.epoch_boundary();
+        assert_eq!(dyn_ingress.logical_now(), 1);
+        assert_eq!(dyn_ingress.backlog(), 0);
+    }
+
+    #[test]
+    fn logical_now_tracks_epoch_boundaries() {
+        let mut r = router();
+        assert_eq!(r.logical_now(), 0);
+        r.epoch_boundary();
+        r.epoch_boundary();
+        assert_eq!(r.logical_now(), 2);
+    }
+}

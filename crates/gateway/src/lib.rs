@@ -28,24 +28,30 @@
 //!   can be replayed at any shard count and audited with
 //!   [`router::ConservationReport`].
 //!
+//! * [`ingress::Ingress`] — the unified front-door trait: typed and
+//!   wire admission, epoch boundaries, and logical time behind one
+//!   object-safe surface, so serving layers (see `metaverse-net`) and
+//!   offline replay drive a router identically;
+//! * [`builder::GatewayConfigBuilder`] — fluent config construction
+//!   ([`GatewayConfig::builder`](router::GatewayConfig::builder));
+//!   bare struct literals are deprecated.
+//!
 //! ## Example
 //!
 //! ```
+//! use metaverse_gateway::ingress::Ingress;
 //! use metaverse_gateway::op::Op;
 //! use metaverse_gateway::router::{GatewayConfig, ShardRouter};
-//! use metaverse_ledger::chain::ChainConfig;
 //!
-//! let mut gateway = ShardRouter::new(GatewayConfig {
-//!     shards: 4,
+//! let mut gateway = ShardRouter::new(
 //!     // Shallow demo key tree — per-shard keygen dominates setup.
-//!     chain_config: ChainConfig { key_tree_depth: 5, ..ChainConfig::default() },
-//!     ..GatewayConfig::default()
-//! });
-//! gateway.submit(Op::Register { user: "alice".into() }).unwrap();
-//! gateway.submit(Op::Register { user: "bob".into() }).unwrap();
-//! gateway.execute_epoch();
-//! gateway.submit(Op::Endorse { user: "alice".into(), subject: "bob".into() }).unwrap();
-//! gateway.execute_epoch();
+//!     GatewayConfig::builder().shards(4).key_tree_depth(5).build(),
+//! );
+//! gateway.ingress(Op::Register { user: "alice".into() }).unwrap();
+//! gateway.ingress(Op::Register { user: "bob".into() }).unwrap();
+//! gateway.epoch_boundary();
+//! gateway.ingress(Op::Endorse { user: "alice".into(), subject: "bob".into() }).unwrap();
+//! gateway.epoch_boundary();
 //! gateway.drain(8); // settle any cross-shard effects
 //! assert!(gateway.conservation_report().conserved);
 //! ```
@@ -53,13 +59,17 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod builder;
 pub mod error;
+pub mod ingress;
 pub mod op;
 pub mod router;
 pub mod session;
 pub mod workload;
 
+pub use builder::GatewayConfigBuilder;
 pub use error::{AdmissionError, GatewayError};
+pub use ingress::Ingress;
 pub use op::{Op, WireError};
 pub use router::{
     ConservationReport, EpochReport, GatewayConfig, ProvenanceRecord, ShardRouter,

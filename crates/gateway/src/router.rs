@@ -106,9 +106,21 @@ pub struct GatewayConfig {
     /// commit path: enabling it — or faulting validators within the
     /// f = 1 tolerance — changes no audit, report, or op-trace byte.
     pub replication: Option<ReplicationConfig>,
+    /// Construction-path marker. Naming this field (i.e. writing a full
+    /// `GatewayConfig { .. }` literal) is deprecated: the field set
+    /// grows with every subsystem, and each growth breaks every bare
+    /// literal. Use [`GatewayConfig::builder`]; literals that end in
+    /// `..GatewayConfig::default()` keep compiling for one release.
+    #[doc(hidden)]
+    #[deprecated(
+        since = "0.1.0",
+        note = "construct via GatewayConfig::builder() instead of a struct literal"
+    )]
+    pub struct_literal: (),
 }
 
 impl Default for GatewayConfig {
+    #[allow(deprecated)]
     fn default() -> Self {
         GatewayConfig {
             shards: 4,
@@ -128,6 +140,7 @@ impl Default for GatewayConfig {
             workers: 0,
             trace_capacity: 0,
             replication: None,
+            struct_literal: (),
         }
     }
 }
@@ -725,15 +738,31 @@ impl ShardRouter {
     }
 
     /// Offers an encoded op to the gateway (decode, then admit).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use the `Ingress` trait: `ingress_wire` carries the same semantics behind the \
+                unified front-door surface"
+    )]
     pub fn submit_wire(&mut self, bytes: &[u8]) -> Result<u64, crate::error::GatewayError> {
         let op = Op::decode(bytes)?;
-        self.submit(op).map_err(Into::into)
+        self.admit(op).map_err(Into::into)
+    }
+
+    /// Offers an op to its owner's session.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use the `Ingress` trait: `ingress` returns the unified `GatewayError` surface"
+    )]
+    pub fn submit(&mut self, op: Op) -> Result<u64, AdmissionError> {
+        self.admit(op)
     }
 
     /// Offers an op to its owner's session. On success the op waits in
     /// the session mailbox for the next epoch; the returned sequence
-    /// number is its global admission order.
-    pub fn submit(&mut self, op: Op) -> Result<u64, AdmissionError> {
+    /// number is its global admission order. This is the single
+    /// admission path — the public surface is the `Ingress` trait (and,
+    /// for one release, the deprecated `submit`/`submit_wire` shims).
+    pub(crate) fn admit(&mut self, op: Op) -> Result<u64, AdmissionError> {
         self.metrics.ops_submitted.incr();
         let label = op.label();
         let user = op.user().to_string();
@@ -1938,34 +1967,35 @@ fn exec_shard_op(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::builder::GatewayConfigBuilder;
+    use crate::error::GatewayError;
+    use crate::ingress::Ingress;
     use metaverse_resilience::FaultKind;
 
-    fn config(shards: usize) -> GatewayConfig {
-        GatewayConfig {
-            shards,
-            breaker: BreakerConfig {
+    fn config(shards: usize) -> GatewayConfigBuilder {
+        GatewayConfig::builder()
+            .shards(shards)
+            .breaker(BreakerConfig {
                 failure_threshold: 2,
                 failure_window: 10,
                 cooldown: 3,
                 probation_successes: 1,
-            },
+            })
             // Shallow key trees keep per-test keygen cheap; these
             // workloads seal far fewer than 2^6 blocks per shard.
-            chain_config: ChainConfig { key_tree_depth: 6, ..ChainConfig::default() },
-            ..GatewayConfig::default()
-        }
+            .key_tree_depth(6)
     }
 
     fn register_all(router: &mut ShardRouter, users: &[&str]) {
         for u in users {
-            router.submit(Op::Register { user: (*u).into() }).unwrap();
+            router.ingress(Op::Register { user: (*u).into() }).unwrap();
         }
         router.execute_epoch();
     }
 
     #[test]
     fn ring_is_stable_and_covers_all_shards() {
-        let router = ShardRouter::new(config(4));
+        let router = ShardRouter::new(config(4).build());
         let mut seen = [false; 4];
         for i in 0..256 {
             let shard = router.home_shard(&format!("user-{i}"));
@@ -1978,7 +2008,7 @@ mod tests {
 
     #[test]
     fn register_grants_tokens_and_joins_governance_everywhere() {
-        let mut router = ShardRouter::new(config(2));
+        let mut router = ShardRouter::new(config(2).build());
         register_all(&mut router, &["alice", "bob", "carol", "dave"]);
         let report = router.conservation_report();
         assert_eq!(report.users, 4);
@@ -1991,7 +2021,7 @@ mod tests {
         let (a, b) = ("alice", "bob");
         if shard_of(&router, a) != shard_of(&router, b) {
             router
-                .submit(Op::Propose {
+                .ingress(Op::Propose {
                     user: a.into(),
                     proposal: 0,
                     scope: "root".into(),
@@ -1999,7 +2029,7 @@ mod tests {
                 })
                 .unwrap();
             router.execute_epoch();
-            router.submit(Op::Vote { user: b.into(), proposal: 0, support: true }).unwrap();
+            router.ingress(Op::Vote { user: b.into(), proposal: 0, support: true }).unwrap();
             let report = router.execute_epoch();
             assert_eq!(report.failed, 0, "cross-shard vote must land");
         }
@@ -2007,18 +2037,18 @@ mod tests {
 
     #[test]
     fn unknown_user_is_refused_with_typed_error() {
-        let mut router = ShardRouter::new(config(2));
+        let mut router = ShardRouter::new(config(2).build());
         let err = router
-            .submit(Op::Endorse { user: "ghost".into(), subject: "alice".into() })
+            .ingress(Op::Endorse { user: "ghost".into(), subject: "alice".into() })
             .unwrap_err();
-        assert!(matches!(err, AdmissionError::UnknownUser { .. }));
+        assert!(matches!(err, GatewayError::Admission(AdmissionError::UnknownUser { .. })));
         let snap = router.telemetry_snapshot();
         assert_eq!(snap.counters[names::gateway::REJECTED_UNKNOWN_USER], 1);
     }
 
     #[test]
     fn cross_shard_purchase_conserves_tokens() {
-        let mut router = ShardRouter::new(config(4));
+        let mut router = ShardRouter::new(config(4).build());
         // Find two users on different shards.
         let users: Vec<String> = (0..32).map(|i| format!("trader-{i}")).collect();
         let refs: Vec<&str> = users.iter().map(String::as_str).collect();
@@ -2030,7 +2060,7 @@ mod tests {
             .clone();
         let buyer = users[0].clone();
         router
-            .submit(Op::Mint {
+            .ingress(Op::Mint {
                 user: creator.clone(),
                 asset: 0,
                 uri: "asset://0".into(),
@@ -2038,9 +2068,9 @@ mod tests {
             })
             .unwrap();
         router.execute_epoch();
-        router.submit(Op::List { user: creator.clone(), asset: 0, price: 500 }).unwrap();
+        router.ingress(Op::List { user: creator.clone(), asset: 0, price: 500 }).unwrap();
         router.execute_epoch();
-        router.submit(Op::Buy { user: buyer.clone(), asset: 0 }).unwrap();
+        router.ingress(Op::Buy { user: buyer.clone(), asset: 0 }).unwrap();
         router.execute_epoch();
         router.drain(8);
         let ledger = router.settlement_ledger();
@@ -2055,10 +2085,11 @@ mod tests {
 
     #[test]
     fn stalled_shard_trips_breaker_and_other_shards_keep_committing() {
-        let mut router = ShardRouter::new(GatewayConfig {
-            resilience: ResilienceConfig { enabled: false, ..ResilienceConfig::default() },
-            ..config(2)
-        });
+        let mut router = ShardRouter::new(
+            config(2)
+                .resilience(ResilienceConfig { enabled: false, ..ResilienceConfig::default() })
+                .build(),
+        );
         let users: Vec<String> = (0..16).map(|i| format!("user-{i}")).collect();
         let refs: Vec<&str> = users.iter().map(String::as_str).collect();
         register_all(&mut router, &refs);
@@ -2082,7 +2113,7 @@ mod tests {
         // commit keeps it queued, so every later epoch re-attempts the
         // commit and fails again until the breaker opens (threshold 2).
         router
-            .submit(Op::Endorse { user: victim.clone(), subject: peer })
+            .ingress(Op::Endorse { user: victim.clone(), subject: peer })
             .unwrap();
         let mut tripped = false;
         for _ in 0..4 {
@@ -2097,12 +2128,15 @@ mod tests {
         assert!(tripped, "shard 0 breaker should open after repeated commit failures");
         // New ops for shard 0 are refused with the typed error...
         let err = router
-            .submit(Op::TwinSync { user: victim, property: 0, delta: 1.0 })
+            .ingress(Op::TwinSync { user: victim, property: 0, delta: 1.0 })
             .unwrap_err();
-        assert!(matches!(err, AdmissionError::ShardUnavailable { shard: 0 }));
+        assert!(matches!(
+            err,
+            GatewayError::Admission(AdmissionError::ShardUnavailable { shard: 0 })
+        ));
         // ...while shard 1 still accepts and commits.
         router
-            .submit(Op::TwinSync { user: survivor, property: 0, delta: 1.0 })
+            .ingress(Op::TwinSync { user: survivor, property: 0, delta: 1.0 })
             .unwrap();
         let report = router.execute_epoch();
         assert!(report.skipped_shards.contains(&0));
@@ -2114,10 +2148,10 @@ mod tests {
 
     #[test]
     fn single_shard_runs_everything_locally() {
-        let mut router = ShardRouter::new(config(1));
+        let mut router = ShardRouter::new(config(1).build());
         register_all(&mut router, &["solo-a", "solo-b"]);
         router
-            .submit(Op::Mint {
+            .ingress(Op::Mint {
                 user: "solo-a".into(),
                 asset: 0,
                 uri: "asset://0".into(),
@@ -2125,9 +2159,9 @@ mod tests {
             })
             .unwrap();
         router.execute_epoch();
-        router.submit(Op::List { user: "solo-a".into(), asset: 0, price: 100 }).unwrap();
+        router.ingress(Op::List { user: "solo-a".into(), asset: 0, price: 100 }).unwrap();
         router.execute_epoch();
-        router.submit(Op::Buy { user: "solo-b".into(), asset: 0 }).unwrap();
+        router.ingress(Op::Buy { user: "solo-b".into(), asset: 0 }).unwrap();
         router.execute_epoch();
         assert_eq!(router.settlement_ledger().enqueued, 0, "no cross-shard traffic on 1 shard");
         assert!(router.conservation_report().conserved);
@@ -2136,16 +2170,21 @@ mod tests {
     #[test]
     fn zero_burst_rate_limit_refuses_first_register_without_panicking() {
         use crate::session::RateLimit;
-        let mut router = ShardRouter::new(GatewayConfig {
-            session: SessionConfig {
-                rate: RateLimit { burst: 0, milli_per_tick: 1000 },
-                mailbox_capacity: 8,
-            },
-            ..config(2)
-        });
-        let err = router.submit(Op::Register { user: "alice".into() }).unwrap_err();
+        let mut router = ShardRouter::new(
+            config(2)
+                .rate_limit(RateLimit { burst: 0, milli_per_tick: 1000 })
+                .mailbox_capacity(8)
+                .build(),
+        );
+        let err = router.ingress(Op::Register { user: "alice".into() }).unwrap_err();
         assert!(
-            matches!(err, AdmissionError::RateLimited { retry_in_ticks: u64::MAX, .. }),
+            matches!(
+                err,
+                GatewayError::Admission(AdmissionError::RateLimited {
+                    retry_in_ticks: u64::MAX,
+                    ..
+                })
+            ),
             "burst 0 must refuse with an unreachable retry, got {err:?}"
         );
         assert_eq!(router.session_count(), 0, "refused register leaves no half-open session");
@@ -2153,23 +2192,23 @@ mod tests {
         assert_eq!(snap.counters[names::gateway::REJECTED_RATE_LIMITED], 1);
         // The same user can register later under a saner policy — the
         // refusal above must not read as a duplicate.
-        let mut sane = ShardRouter::new(config(2));
-        sane.submit(Op::Register { user: "alice".into() }).expect("default policy admits");
+        let mut sane = ShardRouter::new(config(2).build());
+        sane.ingress(Op::Register { user: "alice".into() }).expect("default policy admits");
     }
 
     #[test]
     fn duplicate_register_is_refused_at_admission() {
-        let mut router = ShardRouter::new(config(2));
-        router.submit(Op::Register { user: "alice".into() }).unwrap();
+        let mut router = ShardRouter::new(config(2).build());
+        router.ingress(Op::Register { user: "alice".into() }).unwrap();
         // Duplicate in the same epoch (session exists, op still mailboxed)...
-        let err = router.submit(Op::Register { user: "alice".into() }).unwrap_err();
-        assert!(matches!(err, AdmissionError::AlreadyRegistered { ref user } if user == "alice"));
+        let err = router.ingress(Op::Register { user: "alice".into() }).unwrap_err();
+        assert!(matches!(err, GatewayError::Admission(AdmissionError::AlreadyRegistered { ref user }) if user == "alice"));
         let report = router.execute_epoch();
         assert_eq!(report.committed, 1);
         assert_eq!(report.failed, 0);
         // ...and after the registration committed.
-        let err = router.submit(Op::Register { user: "alice".into() }).unwrap_err();
-        assert!(matches!(err, AdmissionError::AlreadyRegistered { ref user } if user == "alice"));
+        let err = router.ingress(Op::Register { user: "alice".into() }).unwrap_err();
+        assert!(matches!(err, GatewayError::Admission(AdmissionError::AlreadyRegistered { ref user }) if user == "alice"));
         // The refusal costs nothing downstream: no mailbox slot, no
         // batch slot, no failed-op inflation.
         let report = router.execute_epoch();
@@ -2187,11 +2226,12 @@ mod tests {
         // (documented) clock domain; lockstep is asserted for the
         // router-driven delta.
         for epoch_ticks in [0u64, 3] {
-            let mut router = ShardRouter::new(GatewayConfig {
-                epoch_ticks,
-                resilience: ResilienceConfig { enabled: false, ..ResilienceConfig::default() },
-                ..config(2)
-            });
+            let mut router = ShardRouter::new(
+                config(2)
+                    .epoch_ticks(epoch_ticks)
+                    .resilience(ResilienceConfig { enabled: false, ..ResilienceConfig::default() })
+                    .build(),
+            );
             let users: Vec<String> = (0..16).map(|i| format!("user-{i}")).collect();
             let refs: Vec<&str> = users.iter().map(String::as_str).collect();
             register_all(&mut router, &refs);
@@ -2212,7 +2252,7 @@ mod tests {
                 .clone();
             // Seed shard 0's mempool so its commits keep failing and
             // the breaker opens — later epochs then *skip* shard 0.
-            router.submit(Op::Endorse { user: victim, subject: peer }).unwrap();
+            router.ingress(Op::Endorse { user: victim, subject: peer }).unwrap();
             let mut saw_skip = false;
             for _ in 0..8 {
                 let report = router.execute_epoch();
@@ -2231,11 +2271,11 @@ mod tests {
 
     #[test]
     fn worker_thread_knob_resolves_within_bounds() {
-        let r = ShardRouter::new(GatewayConfig { workers: 7, ..config(4) });
+        let r = ShardRouter::new(config(4).workers(7).build());
         assert_eq!(r.worker_threads(), 4, "capped at the shard count");
-        let r = ShardRouter::new(GatewayConfig { workers: 1, ..config(4) });
+        let r = ShardRouter::new(config(4).workers(1).build());
         assert_eq!(r.worker_threads(), 1);
-        let r = ShardRouter::new(GatewayConfig { workers: 0, ..config(2) });
+        let r = ShardRouter::new(config(2).workers(0).build());
         assert!((1..=2).contains(&r.worker_threads()), "auto sizes to host, capped at shards");
     }
 
@@ -2245,11 +2285,8 @@ mod tests {
         let workload = WorkloadConfig { users: 24, ops: 600, seed: 99, ..Default::default() };
         let engine = WorkloadEngine::new(workload);
         let run = |workers: usize| {
-            let mut router = ShardRouter::new(GatewayConfig {
-                workers,
-                telemetry: false,
-                ..config(4)
-            });
+            let mut router =
+                ShardRouter::new(config(4).workers(workers).telemetry(false).build());
             let report = engine.drive(&mut router, 128);
             (
                 format!("{:?}", router.settlement_ledger()),
@@ -2267,14 +2304,14 @@ mod tests {
         assert_eq!(sequential.3, parallel.3, "drive reports must match");
     }
 
-    fn traced(shards: usize) -> GatewayConfig {
-        GatewayConfig { trace_capacity: 1 << 14, ..config(shards) }
+    fn traced(shards: usize) -> GatewayConfigBuilder {
+        config(shards).tracing(1 << 14)
     }
 
     #[test]
     fn trace_of_follows_a_local_op_from_admission_to_ledger_commit() {
-        let mut router = ShardRouter::new(traced(1));
-        let seq = router.submit(Op::Register { user: "alice".into() }).unwrap();
+        let mut router = ShardRouter::new(traced(1).build());
+        let seq = router.ingress(Op::Register { user: "alice".into() }).unwrap();
         router.execute_epoch();
         let events = router.trace_of(seq);
         let labels: Vec<&str> = events.iter().map(|e| e.stage.label()).collect();
@@ -2295,12 +2332,12 @@ mod tests {
 
     #[test]
     fn refusals_are_traced_without_consuming_admission_seqs() {
-        let mut router = ShardRouter::new(traced(1));
+        let mut router = ShardRouter::new(traced(1).build());
         let err = router
-            .submit(Op::Endorse { user: "ghost".into(), subject: "alice".into() })
+            .ingress(Op::Endorse { user: "ghost".into(), subject: "alice".into() })
             .unwrap_err();
-        assert!(matches!(err, AdmissionError::UnknownUser { .. }));
-        let seq = router.submit(Op::Register { user: "alice".into() }).unwrap();
+        assert!(matches!(err, GatewayError::Admission(AdmissionError::UnknownUser { .. })));
+        let seq = router.ingress(Op::Register { user: "alice".into() }).unwrap();
         assert_eq!(seq, 0, "a refusal must not consume an admission seq");
         router.execute_epoch();
         let events = router.trace_of(0);
@@ -2319,7 +2356,7 @@ mod tests {
 
     #[test]
     fn cross_shard_purchase_trace_and_provenance_name_the_committing_block() {
-        let mut router = ShardRouter::new(traced(4));
+        let mut router = ShardRouter::new(traced(4).build());
         let users: Vec<String> = (0..32).map(|i| format!("trader-{i}")).collect();
         let refs: Vec<&str> = users.iter().map(String::as_str).collect();
         register_all(&mut router, &refs);
@@ -2330,7 +2367,7 @@ mod tests {
             .clone();
         let buyer = users[0].clone();
         router
-            .submit(Op::Mint {
+            .ingress(Op::Mint {
                 user: creator.clone(),
                 asset: 0,
                 uri: "asset://0".into(),
@@ -2338,9 +2375,9 @@ mod tests {
             })
             .unwrap();
         router.execute_epoch();
-        router.submit(Op::List { user: creator, asset: 0, price: 500 }).unwrap();
+        router.ingress(Op::List { user: creator, asset: 0, price: 500 }).unwrap();
         router.execute_epoch();
-        let buy_seq = router.submit(Op::Buy { user: buyer.clone(), asset: 0 }).unwrap();
+        let buy_seq = router.ingress(Op::Buy { user: buyer.clone(), asset: 0 }).unwrap();
         router.drain(8);
         // Settlement records seal at the target shard's *next* commit.
         router.execute_epoch();
@@ -2373,12 +2410,9 @@ mod tests {
         let workload = WorkloadConfig { users: 24, ops: 600, seed: 99, ..Default::default() };
         let engine = WorkloadEngine::new(workload);
         let run = |workers: usize| {
-            let mut router = ShardRouter::new(GatewayConfig {
-                workers,
-                telemetry: false,
-                trace_capacity: 1 << 16,
-                ..config(4)
-            });
+            let mut router = ShardRouter::new(
+                config(4).workers(workers).telemetry(false).tracing(1 << 16).build(),
+            );
             engine.drive(&mut router, 128);
             (router.trace_jsonl(), format!("{:?}", router.settlement_ledger()))
         };
@@ -2391,9 +2425,9 @@ mod tests {
 
     #[test]
     fn disabled_tracing_records_nothing_and_reports_empty() {
-        let mut router = ShardRouter::new(config(2));
+        let mut router = ShardRouter::new(config(2).build());
         register_all(&mut router, &["alice", "bob"]);
-        router.submit(Op::Endorse { user: "alice".into(), subject: "bob".into() }).unwrap();
+        router.ingress(Op::Endorse { user: "alice".into(), subject: "bob".into() }).unwrap();
         router.execute_epoch();
         let stats = router.trace_stats();
         assert_eq!(stats.capacity, 0, "default config disables tracing");
@@ -2411,10 +2445,11 @@ mod tests {
     /// terminates, never minting or burning supply.
     #[test]
     fn breaker_opening_between_escrow_and_settle_conserves_funds() {
-        let mut router = ShardRouter::new(GatewayConfig {
-            resilience: ResilienceConfig { enabled: false, ..ResilienceConfig::default() },
-            ..config(2)
-        });
+        let mut router = ShardRouter::new(
+            config(2)
+                .resilience(ResilienceConfig { enabled: false, ..ResilienceConfig::default() })
+                .build(),
+        );
         let users: Vec<String> = (0..16).map(|i| format!("user-{i}")).collect();
         let refs: Vec<&str> = users.iter().map(String::as_str).collect();
         register_all(&mut router, &refs);
@@ -2427,10 +2462,10 @@ mod tests {
         let buyer = users.iter().find(|u| router.sessions[*u].shard() == 1).unwrap().clone();
         // Mint and list on shard 0 while it is still healthy.
         router
-            .submit(Op::Mint { user: creator.clone(), asset: 0, uri: "a://0".into(), quality: 0.8 })
+            .ingress(Op::Mint { user: creator.clone(), asset: 0, uri: "a://0".into(), quality: 0.8 })
             .unwrap();
         router.execute_epoch();
-        router.submit(Op::List { user: creator.clone(), asset: 0, price: 500 }).unwrap();
+        router.ingress(Op::List { user: creator.clone(), asset: 0, price: 500 }).unwrap();
         router.execute_epoch();
         // Stall shard 0's commits and seed its mempool so every later
         // epoch re-attempts the commit and fails (breaker threshold 2).
@@ -2442,7 +2477,7 @@ mod tests {
                 FaultKind::RogueValidator { validator: "validator-0".into() },
             ),
         );
-        router.submit(Op::Endorse { user: creator.clone(), subject: peer }).unwrap();
+        router.ingress(Op::Endorse { user: creator.clone(), subject: peer }).unwrap();
         let report = router.execute_epoch();
         assert!(report.commit_failures.contains(&0), "first failure lands");
         assert!(
@@ -2453,7 +2488,7 @@ mod tests {
         // the merge phase; shard 0's second consecutive commit failure
         // opens the breaker at the same barrier; the settlement pass
         // then finds the target down and requeues the funded entry.
-        router.submit(Op::Buy { user: buyer.clone(), asset: 0 }).unwrap();
+        router.ingress(Op::Buy { user: buyer.clone(), asset: 0 }).unwrap();
         let report = router.execute_epoch();
         assert!(report.commit_failures.contains(&0));
         assert!(matches!(router.shard_breaker_state(0), BreakerState::Open { .. }));
@@ -2485,7 +2520,7 @@ mod tests {
     /// not unwind mid-settlement.
     #[test]
     fn settlement_with_missing_directory_entry_refunds_the_escrow() {
-        let mut router = ShardRouter::new(config(2));
+        let mut router = ShardRouter::new(config(2).build());
         register_all(&mut router, &["alice", "bob", "carol", "dave"]);
         let buyer = "alice".to_string();
         let home = router.sessions[&buyer].shard();
@@ -2515,14 +2550,14 @@ mod tests {
     /// typed `UnknownUser` refusal.
     #[test]
     fn home_shard_is_total_and_admission_errors_stay_typed() {
-        let mut router = ShardRouter::new(config(1));
+        let mut router = ShardRouter::new(config(1).build());
         // Ring lookups are total even for adversarial keys.
         for key in ["", "a", "\u{10FFFF}", &"x".repeat(512)] {
             assert_eq!(router.home_shard(key), 0);
         }
         let err = router
-            .submit(Op::Endorse { user: "nobody".into(), subject: "alice".into() })
+            .ingress(Op::Endorse { user: "nobody".into(), subject: "alice".into() })
             .unwrap_err();
-        assert!(matches!(err, AdmissionError::UnknownUser { .. }));
+        assert!(matches!(err, GatewayError::Admission(AdmissionError::UnknownUser { .. })));
     }
 }

@@ -341,7 +341,7 @@ impl WorkloadEngine {
         };
         for (i, op) in stream.into_iter().enumerate() {
             report.submitted += 1;
-            match router.submit(op) {
+            match router.admit(op) {
                 Ok(_) => report.accepted += 1,
                 Err(_) => report.rejected += 1,
             }

@@ -10,7 +10,6 @@
 
 use metaverse_gateway::router::{GatewayConfig, ShardRouter};
 use metaverse_gateway::workload::{DriveReport, WorkloadConfig, WorkloadEngine};
-use metaverse_ledger::chain::ChainConfig;
 
 const SEED: u64 = 20220701;
 
@@ -21,15 +20,16 @@ fn replay_traced(shards: usize, workers: usize, trace_capacity: usize) -> (Shard
         seed: SEED,
         ..WorkloadConfig::default()
     });
-    let mut router = ShardRouter::new(GatewayConfig {
-        shards,
-        workers,
-        trace_capacity,
-        // Shallow key trees: this stream seals well under 2^7 blocks
-        // per shard, and keygen dominates setup.
-        chain_config: ChainConfig { key_tree_depth: 7, ..ChainConfig::default() },
-        ..GatewayConfig::default()
-    });
+    let mut router = ShardRouter::new(
+        GatewayConfig::builder()
+            .shards(shards)
+            .workers(workers)
+            .tracing(trace_capacity)
+            // Shallow key trees: this stream seals well under 2^7 blocks
+            // per shard, and keygen dominates setup.
+            .key_tree_depth(7)
+            .build(),
+    );
     let report = engine.drive(&mut router, 256);
     (router, report)
 }

@@ -19,7 +19,6 @@
 
 use metaverse_gateway::router::{GatewayConfig, ShardRouter};
 use metaverse_gateway::workload::{WorkloadConfig, WorkloadEngine};
-use metaverse_ledger::chain::ChainConfig;
 use metaverse_telemetry::export;
 use metaverse_telemetry::{TelemetryHub, TelemetrySnapshot};
 
@@ -76,13 +75,14 @@ fn trace_jsonl_matches_golden_for_a_fixed_seed() {
         seed: 20220701,
         ..WorkloadConfig::default()
     });
-    let mut router = ShardRouter::new(GatewayConfig {
-        shards: 2,
-        workers: 1,
-        trace_capacity: 1 << 14,
-        chain_config: ChainConfig { key_tree_depth: 5, ..ChainConfig::default() },
-        ..GatewayConfig::default()
-    });
+    let mut router = ShardRouter::new(
+        GatewayConfig::builder()
+            .shards(2)
+            .workers(1)
+            .tracing(1 << 14)
+            .key_tree_depth(5)
+            .build(),
+    );
     engine.drive(&mut router, 64);
     let jsonl = router.trace_jsonl();
     assert!(!jsonl.is_empty());

@@ -11,7 +11,6 @@ use metaverse_gateway::op::{Op, WireError};
 use metaverse_gateway::router::{GatewayConfig, ShardRouter};
 use metaverse_gateway::workload::{WorkloadConfig, WorkloadEngine};
 use metaverse_ledger::audit::{LawfulBasis, SensorClass};
-use metaverse_ledger::chain::ChainConfig;
 use proptest::prelude::*;
 
 /// A gateway sized for property cases: the shallowest workable
@@ -19,11 +18,7 @@ use proptest::prelude::*;
 /// dominates a case, and these short streams seal well under 2^4
 /// blocks per shard.
 fn gateway(shards: usize) -> ShardRouter {
-    ShardRouter::new(GatewayConfig {
-        shards,
-        chain_config: ChainConfig { key_tree_depth: 4, ..ChainConfig::default() },
-        ..GatewayConfig::default()
-    })
+    ShardRouter::new(GatewayConfig::builder().shards(shards).key_tree_depth(4).build())
 }
 
 /// Replays the seeded stream on `shards` shards and returns the router

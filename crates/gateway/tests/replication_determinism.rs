@@ -9,7 +9,6 @@
 
 use metaverse_gateway::router::{GatewayConfig, ShardRouter};
 use metaverse_gateway::workload::{DriveReport, WorkloadConfig, WorkloadEngine};
-use metaverse_ledger::chain::ChainConfig;
 use metaverse_replication::ReplicationConfig;
 use metaverse_resilience::{FaultKind, FaultPlan};
 
@@ -58,14 +57,15 @@ fn replay(shards: usize, replicated: bool, case: FaultCase) -> (ShardRouter, Dri
         seed: SEED,
         ..WorkloadConfig::default()
     });
-    let mut router = ShardRouter::new(GatewayConfig {
-        shards,
-        workers: 1,
-        trace_capacity: CAPACITY,
-        chain_config: ChainConfig { key_tree_depth: 7, ..ChainConfig::default() },
-        replication: replicated.then(ReplicationConfig::default),
-        ..GatewayConfig::default()
-    });
+    let mut builder = GatewayConfig::builder()
+        .shards(shards)
+        .workers(1)
+        .tracing(CAPACITY)
+        .key_tree_depth(7);
+    if replicated {
+        builder = builder.replication(ReplicationConfig::default());
+    }
+    let mut router = ShardRouter::new(builder.build());
     for shard in 0..shards {
         if let Some(plan) = case.plan(shard) {
             router.install_validator_fault_plan(shard, plan);

@@ -1,0 +1,315 @@
+//! Per-connection state: decoded-frame inbox, ack write buffer,
+//! backpressure parking, and typed close causes.
+//!
+//! A [`Connection`] owns everything the server knows about one client
+//! except the byte stream itself: the streaming [`FrameDecoder`], the
+//! inbox of decoded-but-not-yet-admitted frames, the outbound ack
+//! buffer, and the lifecycle state. The server sweeps connections in id
+//! order; all per-connection bookkeeping lives here so the sweep stays
+//! a straight-line loop.
+//!
+//! ## Ack protocol
+//!
+//! Every journaled offer earns exactly one framed ack back to the
+//! client: `[0x00, seq: u64 LE]` for an admission, `[0x01, code]` for a
+//! refusal (codes from [`RefusalCode`]). Acks queue in a bounded write
+//! buffer; when a client stops draining it, the server stops reading
+//! from that client — backpressure propagates to the socket instead of
+//! ballooning memory.
+//!
+//! [`RefusalCode`]: crate::journal::RefusalCode
+
+use std::collections::VecDeque;
+
+use crate::frame::{frame, FrameDecoder};
+use crate::journal::RefusalCode;
+
+/// Why a connection reached [`ConnState::Closed`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CloseCause {
+    /// The peer shut down cleanly at a frame boundary and every decoded
+    /// op was offered.
+    Finished,
+    /// The peer reset the connection at a frame boundary.
+    PeerReset,
+    /// The peer vanished with a partial frame in the decoder — the
+    /// fragment is discarded, already-decoded ops still drain.
+    MidFrameDisconnect,
+    /// The peer advertised a frame beyond the server's bound.
+    OversizedFrame,
+    /// Admission reported a permanent stall (a rate limiter that will
+    /// never refill), so waiting is pointless.
+    AdmissionStalled,
+}
+
+impl CloseCause {
+    /// Stable lowercase label for traces and metrics.
+    pub fn label(self) -> &'static str {
+        match self {
+            CloseCause::Finished => "finished",
+            CloseCause::PeerReset => "peer_reset",
+            CloseCause::MidFrameDisconnect => "mid_frame_disconnect",
+            CloseCause::OversizedFrame => "oversized_frame",
+            CloseCause::AdmissionStalled => "admission_stalled",
+        }
+    }
+}
+
+/// Connection lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnState {
+    /// Reading, decoding, offering.
+    Open,
+    /// The peer is gone; the inbox and write buffer still drain.
+    Draining,
+    /// Done, with a cause. Terminal.
+    Closed(CloseCause),
+}
+
+/// Monotonic per-connection counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConnStats {
+    /// Bytes read off the stream.
+    pub bytes_read: u64,
+    /// Bytes written back (acks).
+    pub bytes_written: u64,
+    /// Complete frames decoded.
+    pub frames: u64,
+    /// Offers admitted by the ingress.
+    pub admitted: u64,
+    /// Offers refused by the ingress.
+    pub refused: u64,
+    /// Times this connection was parked for backpressure.
+    pub parks: u64,
+}
+
+/// One client connection's server-side state.
+#[derive(Debug)]
+pub struct Connection {
+    id: u64,
+    decoder: FrameDecoder,
+    inbox: VecDeque<Vec<u8>>,
+    write_buf: VecDeque<u8>,
+    parked_until: u64,
+    state: ConnState,
+    stats: ConnStats,
+}
+
+impl Connection {
+    /// A fresh open connection with the given id and frame bound.
+    pub fn new(id: u64, max_frame: usize) -> Self {
+        Connection {
+            id,
+            decoder: FrameDecoder::new(max_frame),
+            inbox: VecDeque::new(),
+            write_buf: VecDeque::new(),
+            parked_until: 0,
+            state: ConnState::Open,
+            stats: ConnStats::default(),
+        }
+    }
+
+    /// This connection's id (its slot in the server's table, and the
+    /// `seq` field on its net trace events).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Current lifecycle state.
+    pub fn state(&self) -> ConnState {
+        self.state
+    }
+
+    /// Whether the connection is fully closed.
+    pub fn is_closed(&self) -> bool {
+        matches!(self.state, ConnState::Closed(_))
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> &ConnStats {
+        &self.stats
+    }
+
+    /// The streaming decoder (exposed for mid-frame inspection).
+    pub fn decoder(&self) -> &FrameDecoder {
+        &self.decoder
+    }
+
+    /// Mutable decoder access for the server's read path.
+    pub(crate) fn decoder_mut(&mut self) -> &mut FrameDecoder {
+        &mut self.decoder
+    }
+
+    /// Decoded frames awaiting admission.
+    pub fn inbox_len(&self) -> usize {
+        self.inbox.len()
+    }
+
+    /// Pushes a decoded frame onto the inbox.
+    pub(crate) fn push_frame(&mut self, bytes: Vec<u8>) {
+        self.stats.frames += 1;
+        self.inbox.push_back(bytes);
+    }
+
+    /// Next frame to offer, if any.
+    pub(crate) fn pop_frame(&mut self) -> Option<Vec<u8>> {
+        self.inbox.pop_front()
+    }
+
+    /// Returns a frame to the head of the inbox (offer deferred by a
+    /// park — it must stay first so admission order is stable).
+    pub(crate) fn unpop_frame(&mut self, bytes: Vec<u8>) {
+        self.inbox.push_front(bytes);
+    }
+
+    /// Drops every queued frame (connection reset: the peer will never
+    /// see acks, so pending work is abandoned).
+    pub(crate) fn clear_inbox(&mut self) {
+        self.inbox.clear();
+    }
+
+    /// Whether offers are paused until `parked_until`.
+    pub fn parked(&self, now: u64) -> bool {
+        now < self.parked_until
+    }
+
+    /// Parks offers until the given sweep tick.
+    pub(crate) fn park_until(&mut self, tick: u64) {
+        self.stats.parks += 1;
+        self.parked_until = tick;
+    }
+
+    /// Queues an admission ack (`[0x00, seq LE]`, framed).
+    pub(crate) fn queue_ack(&mut self, seq: u64) {
+        let mut payload = [0u8; 9];
+        payload[1..].copy_from_slice(&seq.to_le_bytes());
+        self.write_buf.extend(frame(&payload));
+        self.stats.admitted += 1;
+    }
+
+    /// Queues a refusal ack (`[0x01, code]`, framed).
+    pub(crate) fn queue_refusal(&mut self, code: RefusalCode) {
+        self.write_buf.extend(frame(&[0x01, code.code()]));
+        self.stats.refused += 1;
+    }
+
+    /// Unflushed ack bytes.
+    pub fn write_buf_len(&self) -> usize {
+        self.write_buf.len()
+    }
+
+    /// Up to `max` pending ack bytes as a contiguous slice for one
+    /// stream write.
+    pub(crate) fn write_head(&mut self, max: usize) -> Vec<u8> {
+        let take = self.write_buf.len().min(max);
+        self.write_buf.iter().take(take).copied().collect()
+    }
+
+    /// Discards `n` flushed bytes from the front of the write buffer.
+    pub(crate) fn consume_written(&mut self, n: usize) {
+        self.stats.bytes_written += n as u64;
+        self.write_buf.drain(..n);
+    }
+
+    /// Drops unflushed acks (peer reset — nobody is listening).
+    pub(crate) fn clear_write_buf(&mut self) {
+        self.write_buf.clear();
+    }
+
+    /// Credits bytes read off the stream.
+    pub(crate) fn note_read(&mut self, n: usize) {
+        self.stats.bytes_read += n as u64;
+    }
+
+    /// Moves to [`ConnState::Draining`]: the peer is gone but decoded
+    /// work still flows.
+    pub(crate) fn start_draining(&mut self) {
+        if matches!(self.state, ConnState::Open) {
+            self.state = ConnState::Draining;
+        }
+    }
+
+    /// Terminal transition (idempotent; the first cause wins).
+    pub(crate) fn close(&mut self, cause: CloseCause) {
+        if !self.is_closed() {
+            self.state = ConnState::Closed(cause);
+        }
+    }
+
+    /// Whether the server still has anything to do for this
+    /// connection: undelivered acks or unoffered frames.
+    pub fn has_pending_work(&self) -> bool {
+        !self.inbox.is_empty() || !self.write_buf.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::DEFAULT_MAX_FRAME;
+
+    #[test]
+    fn lifecycle_first_close_cause_wins() {
+        let mut c = Connection::new(3, DEFAULT_MAX_FRAME);
+        assert_eq!(c.state(), ConnState::Open);
+        c.start_draining();
+        assert_eq!(c.state(), ConnState::Draining);
+        c.close(CloseCause::MidFrameDisconnect);
+        c.close(CloseCause::Finished);
+        assert_eq!(c.state(), ConnState::Closed(CloseCause::MidFrameDisconnect));
+        // Draining after close is a no-op.
+        c.start_draining();
+        assert!(c.is_closed());
+    }
+
+    #[test]
+    fn inbox_preserves_offer_order_across_a_park() {
+        let mut c = Connection::new(0, DEFAULT_MAX_FRAME);
+        c.push_frame(b"first".to_vec());
+        c.push_frame(b"second".to_vec());
+        let head = c.pop_frame().unwrap();
+        assert_eq!(head, b"first");
+        c.unpop_frame(head);
+        c.park_until(5);
+        assert!(c.parked(4));
+        assert!(!c.parked(5));
+        assert_eq!(c.pop_frame().unwrap(), b"first", "park must not reorder");
+        assert_eq!(c.stats().parks, 1);
+    }
+
+    #[test]
+    fn acks_are_framed_and_flushed_incrementally() {
+        let mut c = Connection::new(0, DEFAULT_MAX_FRAME);
+        c.queue_ack(0x0102030405060708);
+        c.queue_refusal(RefusalCode::RateLimited);
+        // Admission ack: 4-byte prefix + 9-byte payload; refusal: 4 + 2.
+        assert_eq!(c.write_buf_len(), 13 + 6);
+        let head = c.write_head(5);
+        assert_eq!(head, vec![9, 0, 0, 0, 0x00]);
+        c.consume_written(5);
+        assert_eq!(c.write_buf_len(), 14);
+        // Remaining admission payload is the LE seq.
+        let rest = c.write_head(8);
+        assert_eq!(rest, vec![0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01]);
+        c.consume_written(8);
+        assert_eq!(c.write_head(6), vec![2, 0, 0, 0, 0x01, RefusalCode::RateLimited.code()]);
+        assert_eq!(c.stats().admitted, 1);
+        assert_eq!(c.stats().refused, 1);
+    }
+
+    #[test]
+    fn pending_work_tracks_inbox_and_write_buffer() {
+        let mut c = Connection::new(0, DEFAULT_MAX_FRAME);
+        assert!(!c.has_pending_work());
+        c.push_frame(b"x".to_vec());
+        assert!(c.has_pending_work());
+        c.pop_frame();
+        c.queue_ack(1);
+        assert!(c.has_pending_work());
+        c.consume_written(c.write_buf_len());
+        assert!(!c.has_pending_work());
+        c.push_frame(b"y".to_vec());
+        c.clear_inbox();
+        assert!(!c.has_pending_work());
+    }
+}

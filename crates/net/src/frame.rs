@@ -1,0 +1,237 @@
+//! Streaming frame codec: `u32` little-endian length prefix + payload.
+//!
+//! The gateway's wire codec ([`Op::encode`]) produces self-contained
+//! byte strings; on a stream transport they need delimiting. A frame
+//! is `len: u32 LE` followed by exactly `len` payload bytes. The
+//! [`FrameDecoder`] is an explicit two-state machine (`Len` → `Body`)
+//! fed arbitrary chunks: a frame split anywhere — including inside the
+//! 4-byte length prefix, one byte per read — reassembles exactly. The
+//! chunked-decode proptests in this crate's test suite drive the E21
+//! op stream through random 1 B..64 KiB splits and assert canonical
+//! re-encode.
+//!
+//! [`Op::encode`]: metaverse_gateway::op::Op::encode
+
+use std::fmt;
+
+/// Default upper bound on one frame's payload, in bytes. The largest
+/// legal op (a `Propose` whose three strings each hit the codec's
+/// 64 KiB string cap) is just under 192 KiB; 256 KiB leaves slack
+/// without letting one connection balloon server memory.
+pub const DEFAULT_MAX_FRAME: usize = 256 * 1024;
+
+/// A malformed or abusive frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// The length prefix exceeds the decoder's configured bound — the
+    /// connection should be closed, not buffered.
+    Oversized {
+        /// The advertised payload length.
+        len: usize,
+        /// The decoder's configured bound.
+        max: usize,
+    },
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Oversized { len, max } => {
+                write!(f, "frame: advertised payload {len} exceeds bound {max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Wraps a payload in a frame: `u32 LE` length + bytes.
+pub fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Decoder progress: collecting the 4-byte prefix, or the payload it
+/// announced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum DecodeState {
+    /// Collecting the length prefix; `filled` of 4 bytes present.
+    Len { bytes: [u8; 4], filled: usize },
+    /// Collecting `want` payload bytes.
+    Body { want: usize, buf: Vec<u8> },
+}
+
+/// The streaming frame state machine. Feed it chunks of any size;
+/// complete frames come out in order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameDecoder {
+    state: DecodeState,
+    max_frame: usize,
+    frames_decoded: u64,
+    bytes_consumed: u64,
+}
+
+impl Default for FrameDecoder {
+    fn default() -> Self {
+        FrameDecoder::new(DEFAULT_MAX_FRAME)
+    }
+}
+
+impl FrameDecoder {
+    /// A fresh decoder refusing payloads larger than `max_frame`.
+    pub fn new(max_frame: usize) -> Self {
+        FrameDecoder {
+            state: DecodeState::Len { bytes: [0; 4], filled: 0 },
+            max_frame,
+            frames_decoded: 0,
+            bytes_consumed: 0,
+        }
+    }
+
+    /// Consumes one chunk, appending every frame it completes to
+    /// `out`. A chunk may complete zero frames (short read mid-frame)
+    /// or many (a burst covering several). On [`FrameError::Oversized`]
+    /// the decoder stops consuming; the connection is expected to be
+    /// closed, so remaining chunk bytes are dropped with it.
+    pub fn feed(&mut self, mut chunk: &[u8], out: &mut Vec<Vec<u8>>) -> Result<(), FrameError> {
+        while !chunk.is_empty() {
+            match &mut self.state {
+                DecodeState::Len { bytes, filled } => {
+                    let take = (4 - *filled).min(chunk.len());
+                    bytes[*filled..*filled + take].copy_from_slice(&chunk[..take]);
+                    *filled += take;
+                    chunk = &chunk[take..];
+                    self.bytes_consumed += take as u64;
+                    if *filled == 4 {
+                        let want = u32::from_le_bytes(*bytes) as usize;
+                        if want > self.max_frame {
+                            return Err(FrameError::Oversized { len: want, max: self.max_frame });
+                        }
+                        if want == 0 {
+                            // A zero-length frame completes immediately
+                            // (it will fail op decode downstream, but
+                            // the transport layer stays honest).
+                            self.frames_decoded += 1;
+                            out.push(Vec::new());
+                            self.state = DecodeState::Len { bytes: [0; 4], filled: 0 };
+                        } else {
+                            self.state =
+                                DecodeState::Body { want, buf: Vec::with_capacity(want) };
+                        }
+                    }
+                }
+                DecodeState::Body { want, buf } => {
+                    let take = (*want - buf.len()).min(chunk.len());
+                    buf.extend_from_slice(&chunk[..take]);
+                    chunk = &chunk[take..];
+                    self.bytes_consumed += take as u64;
+                    if buf.len() == *want {
+                        let frame = std::mem::take(buf);
+                        self.frames_decoded += 1;
+                        out.push(frame);
+                        self.state = DecodeState::Len { bytes: [0; 4], filled: 0 };
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether the decoder holds a partially-received frame (any prefix
+    /// byte or payload byte without its completion). A peer vanishing
+    /// in this state is a mid-frame disconnect.
+    pub fn mid_frame(&self) -> bool {
+        !matches!(self.state, DecodeState::Len { filled: 0, .. })
+    }
+
+    /// Complete frames decoded over this decoder's lifetime.
+    pub fn frames_decoded(&self) -> u64 {
+        self.frames_decoded
+    }
+
+    /// Bytes consumed over this decoder's lifetime.
+    pub fn bytes_consumed(&self) -> u64 {
+        self.bytes_consumed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn decode_all(decoder: &mut FrameDecoder, chunks: &[&[u8]]) -> Vec<Vec<u8>> {
+        let mut out = Vec::new();
+        for chunk in chunks {
+            decoder.feed(chunk, &mut out).unwrap();
+        }
+        out
+    }
+
+    #[test]
+    fn whole_frames_round_trip() {
+        let mut d = FrameDecoder::default();
+        let a = frame(b"hello");
+        let b = frame(b"");
+        let c = frame(&[0xff; 300]);
+        let joined: Vec<u8> = [a, b, c].concat();
+        let frames = decode_all(&mut d, &[&joined]);
+        assert_eq!(frames, vec![b"hello".to_vec(), Vec::new(), vec![0xff; 300]]);
+        assert_eq!(d.frames_decoded(), 3);
+        assert_eq!(d.bytes_consumed(), joined.len() as u64);
+        assert!(!d.mid_frame());
+    }
+
+    #[test]
+    fn one_byte_at_a_time_reassembles_exactly() {
+        let mut d = FrameDecoder::default();
+        let payload = b"split me anywhere".to_vec();
+        let bytes = frame(&payload);
+        let mut out = Vec::new();
+        for (i, b) in bytes.iter().enumerate() {
+            d.feed(std::slice::from_ref(b), &mut out).unwrap();
+            // Mid-frame at every step except after the last byte.
+            assert_eq!(d.mid_frame(), i + 1 < bytes.len(), "byte {i}");
+        }
+        assert_eq!(out, vec![payload]);
+    }
+
+    #[test]
+    fn split_inside_the_length_prefix_is_fine() {
+        let mut d = FrameDecoder::default();
+        let bytes = frame(b"abc");
+        let frames = decode_all(&mut d, &[&bytes[..2], &bytes[2..5], &bytes[5..]]);
+        assert_eq!(frames, vec![b"abc".to_vec()]);
+    }
+
+    #[test]
+    fn one_chunk_may_complete_many_frames_and_start_another() {
+        let mut d = FrameDecoder::default();
+        let mut joined = Vec::new();
+        for payload in [b"a".as_slice(), b"bb", b"ccc"] {
+            joined.extend_from_slice(&frame(payload));
+        }
+        joined.extend_from_slice(&frame(b"dangling")[..6]);
+        let frames = decode_all(&mut d, &[&joined]);
+        assert_eq!(frames.len(), 3);
+        assert!(d.mid_frame(), "fourth frame is in flight");
+    }
+
+    #[test]
+    fn oversized_prefix_is_refused_without_buffering() {
+        let mut d = FrameDecoder::new(64);
+        let mut out = Vec::new();
+        let bytes = frame(&[0u8; 65]);
+        let err = d.feed(&bytes, &mut out).unwrap_err();
+        assert_eq!(err, FrameError::Oversized { len: 65, max: 64 });
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn zero_length_frames_complete_without_a_body_state() {
+        let mut d = FrameDecoder::default();
+        let frames = decode_all(&mut d, &[&frame(b""), &frame(b"x")]);
+        assert_eq!(frames, vec![Vec::new(), b"x".to_vec()]);
+    }
+}

@@ -1,0 +1,480 @@
+//! The admission journal: the serving layer's determinism boundary.
+//!
+//! A network-driven run is nondeterministic in every way that does not
+//! matter (chunk sizes, sweep interleavings, wall-clock latencies) and
+//! deterministic in the one way that does: the exact sequence of
+//! ingress calls. The journal records that sequence — every offer with
+//! its connection id, logical tick, raw op bytes, and outcome, plus
+//! every epoch boundary, in order. Refused offers are recorded too:
+//! a refusal emits a trace event and bumps refusal counters, so
+//! skipping them would fork the trace stream on replay.
+//!
+//! [`AdmissionJournal::replay_into`] re-feeds the sequence through any
+//! [`Ingress`] — typically a fresh offline [`ShardRouter`] built with
+//! the same config — and the determinism gates assert the replayed
+//! router's conservation audit, settlement ledger, and trace JSONL are
+//! **byte-identical** to the network run's.
+//!
+//! The journal itself serialises to a compact binary form
+//! ([`AdmissionJournal::to_bytes`]) so a recorded run can be shipped
+//! and replayed elsewhere.
+//!
+//! [`ShardRouter`]: metaverse_gateway::router::ShardRouter
+
+use std::fmt;
+
+use metaverse_gateway::error::{AdmissionError, GatewayError};
+use metaverse_gateway::ingress::Ingress;
+
+/// Stable wire code for a refusal cause: what the server told the
+/// client, and what replay must reproduce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefusalCode {
+    /// Token bucket empty — backpressure, retry later.
+    RateLimited,
+    /// Session mailbox at capacity — wait for an epoch.
+    MailboxFull,
+    /// No session for the op's user.
+    UnknownUser,
+    /// Second `Register` for an existing session.
+    DuplicateRegister,
+    /// Home shard breaker open.
+    ShardDown,
+    /// The bytes were not a valid op.
+    Wire,
+    /// Any other gateway failure.
+    Other,
+}
+
+impl RefusalCode {
+    /// Classifies a gateway error into its stable code.
+    pub fn classify(e: &GatewayError) -> RefusalCode {
+        match e {
+            GatewayError::Admission(AdmissionError::RateLimited { .. }) => RefusalCode::RateLimited,
+            GatewayError::Admission(AdmissionError::MailboxFull { .. }) => RefusalCode::MailboxFull,
+            GatewayError::Admission(AdmissionError::UnknownUser { .. }) => RefusalCode::UnknownUser,
+            GatewayError::Admission(AdmissionError::AlreadyRegistered { .. }) => {
+                RefusalCode::DuplicateRegister
+            }
+            GatewayError::Admission(AdmissionError::ShardUnavailable { .. }) => {
+                RefusalCode::ShardDown
+            }
+            GatewayError::Wire(_) => RefusalCode::Wire,
+            _ => RefusalCode::Other,
+        }
+    }
+
+    /// One-byte wire value.
+    pub fn code(self) -> u8 {
+        match self {
+            RefusalCode::RateLimited => 1,
+            RefusalCode::MailboxFull => 2,
+            RefusalCode::UnknownUser => 3,
+            RefusalCode::DuplicateRegister => 4,
+            RefusalCode::ShardDown => 5,
+            RefusalCode::Wire => 6,
+            RefusalCode::Other => 7,
+        }
+    }
+
+    /// Inverse of [`RefusalCode::code`].
+    pub fn from_code(code: u8) -> Option<RefusalCode> {
+        Some(match code {
+            1 => RefusalCode::RateLimited,
+            2 => RefusalCode::MailboxFull,
+            3 => RefusalCode::UnknownUser,
+            4 => RefusalCode::DuplicateRegister,
+            5 => RefusalCode::ShardDown,
+            6 => RefusalCode::Wire,
+            7 => RefusalCode::Other,
+            _ => return None,
+        })
+    }
+
+    /// Stable lowercase label (matches the gateway's refusal-cause
+    /// vocabulary where one exists).
+    pub fn label(self) -> &'static str {
+        match self {
+            RefusalCode::RateLimited => "rate_limited",
+            RefusalCode::MailboxFull => "mailbox_full",
+            RefusalCode::UnknownUser => "unknown_user",
+            RefusalCode::DuplicateRegister => "duplicate_register",
+            RefusalCode::ShardDown => "shard_down",
+            RefusalCode::Wire => "wire_error",
+            RefusalCode::Other => "other",
+        }
+    }
+}
+
+/// What one journaled offer produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OfferOutcome {
+    /// Admitted with this global sequence number.
+    Admitted(u64),
+    /// Refused with this cause.
+    Refused(RefusalCode),
+}
+
+/// One journal record, in recording order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JournalEntry {
+    /// One ingress offer: raw op bytes from a connection, with the
+    /// outcome the live run observed.
+    Offer {
+        /// Originating connection id.
+        conn: u64,
+        /// Logical tick at the offer.
+        tick: u64,
+        /// The exact wire bytes offered.
+        bytes: Vec<u8>,
+        /// What the live run's ingress said.
+        outcome: OfferOutcome,
+    },
+    /// An epoch boundary fired after the preceding offers.
+    Epoch,
+}
+
+/// A malformed serialised journal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JournalError {
+    /// The buffer ended inside a record.
+    UnexpectedEof,
+    /// The magic header is missing.
+    BadMagic,
+    /// Unknown format version.
+    BadVersion(u8),
+    /// Unknown entry tag.
+    BadTag(u8),
+    /// Unknown outcome tag.
+    BadOutcome(u8),
+    /// Unknown refusal code.
+    BadCode(u8),
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::UnexpectedEof => write!(f, "journal: truncated"),
+            JournalError::BadMagic => write!(f, "journal: bad magic"),
+            JournalError::BadVersion(v) => write!(f, "journal: unknown version {v}"),
+            JournalError::BadTag(t) => write!(f, "journal: unknown entry tag {t:#04x}"),
+            JournalError::BadOutcome(t) => write!(f, "journal: unknown outcome tag {t:#04x}"),
+            JournalError::BadCode(c) => write!(f, "journal: unknown refusal code {c}"),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+/// What a replay reproduced, and whether it diverged.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplayReport {
+    /// Offers re-fed.
+    pub offers: u64,
+    /// Offers the replaying ingress admitted.
+    pub admitted: u64,
+    /// Offers the replaying ingress refused.
+    pub refused: u64,
+    /// Epoch boundaries fired.
+    pub epochs: u64,
+    /// Offers whose replayed outcome differed from the recorded one
+    /// (0 on a healthy deterministic core).
+    pub divergences: u64,
+}
+
+const MAGIC: &[u8; 4] = b"MVJN";
+const VERSION: u8 = 1;
+
+/// The recorded admission sequence of one serving run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AdmissionJournal {
+    entries: Vec<JournalEntry>,
+    offers: u64,
+    epochs: u64,
+}
+
+impl AdmissionJournal {
+    /// An empty journal.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one offer with the outcome the live ingress returned.
+    pub fn record_offer(&mut self, conn: u64, tick: u64, bytes: &[u8], outcome: OfferOutcome) {
+        self.offers += 1;
+        self.entries.push(JournalEntry::Offer { conn, tick, bytes: bytes.to_vec(), outcome });
+    }
+
+    /// Records an epoch boundary at this point in the offer stream.
+    pub fn record_epoch(&mut self) {
+        self.epochs += 1;
+        self.entries.push(JournalEntry::Epoch);
+    }
+
+    /// Every record, in order.
+    pub fn entries(&self) -> &[JournalEntry] {
+        &self.entries
+    }
+
+    /// Offers recorded.
+    pub fn offers(&self) -> u64 {
+        self.offers
+    }
+
+    /// Epoch boundaries recorded.
+    pub fn epochs(&self) -> u64 {
+        self.epochs
+    }
+
+    /// Total records.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Re-feeds the recorded sequence through `ingress`, firing epoch
+    /// boundaries at the recorded positions, and compares each offer's
+    /// outcome with the recorded one. Object-safe on purpose: replay
+    /// works through `&mut dyn Ingress`.
+    pub fn replay_into(&self, ingress: &mut dyn Ingress) -> ReplayReport {
+        let mut report = ReplayReport::default();
+        for entry in &self.entries {
+            match entry {
+                JournalEntry::Offer { bytes, outcome, .. } => {
+                    report.offers += 1;
+                    let replayed = match ingress.ingress_wire(bytes) {
+                        Ok(seq) => {
+                            report.admitted += 1;
+                            OfferOutcome::Admitted(seq)
+                        }
+                        Err(e) => {
+                            report.refused += 1;
+                            OfferOutcome::Refused(RefusalCode::classify(&e))
+                        }
+                    };
+                    if replayed != *outcome {
+                        report.divergences += 1;
+                    }
+                }
+                JournalEntry::Epoch => {
+                    report.epochs += 1;
+                    ingress.epoch_boundary();
+                }
+            }
+        }
+        report
+    }
+
+    /// Serialises the journal: magic, version, record count, records.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + self.entries.len() * 24);
+        out.extend_from_slice(MAGIC);
+        out.push(VERSION);
+        out.extend_from_slice(&(self.entries.len() as u64).to_le_bytes());
+        for entry in &self.entries {
+            match entry {
+                JournalEntry::Offer { conn, tick, bytes, outcome } => {
+                    out.push(0x00);
+                    out.extend_from_slice(&conn.to_le_bytes());
+                    out.extend_from_slice(&tick.to_le_bytes());
+                    match outcome {
+                        OfferOutcome::Admitted(seq) => {
+                            out.push(0x00);
+                            out.extend_from_slice(&seq.to_le_bytes());
+                        }
+                        OfferOutcome::Refused(code) => {
+                            out.push(0x01);
+                            out.push(code.code());
+                        }
+                    }
+                    out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+                    out.extend_from_slice(bytes);
+                }
+                JournalEntry::Epoch => out.push(0x01),
+            }
+        }
+        out
+    }
+
+    /// Inverse of [`AdmissionJournal::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, JournalError> {
+        let mut r = Reader { bytes, pos: 0 };
+        if r.take(4)? != MAGIC.as_slice() {
+            return Err(JournalError::BadMagic);
+        }
+        let version = r.u8()?;
+        if version != VERSION {
+            return Err(JournalError::BadVersion(version));
+        }
+        let count = r.u64()? as usize;
+        let mut journal = AdmissionJournal::new();
+        for _ in 0..count {
+            match r.u8()? {
+                0x00 => {
+                    let conn = r.u64()?;
+                    let tick = r.u64()?;
+                    let outcome = match r.u8()? {
+                        0x00 => OfferOutcome::Admitted(r.u64()?),
+                        0x01 => {
+                            let code = r.u8()?;
+                            OfferOutcome::Refused(
+                                RefusalCode::from_code(code).ok_or(JournalError::BadCode(code))?,
+                            )
+                        }
+                        tag => return Err(JournalError::BadOutcome(tag)),
+                    };
+                    let len = r.u32()? as usize;
+                    let op_bytes = r.take(len)?.to_vec();
+                    journal.record_offer(conn, tick, &op_bytes, outcome);
+                }
+                0x01 => journal.record_epoch(),
+                tag => return Err(JournalError::BadTag(tag)),
+            }
+        }
+        Ok(journal)
+    }
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], JournalError> {
+        if self.pos + n > self.bytes.len() {
+            return Err(JournalError::UnexpectedEof);
+        }
+        let slice = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, JournalError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, JournalError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, JournalError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metaverse_gateway::op::Op;
+    use metaverse_gateway::router::{GatewayConfig, ShardRouter};
+
+    fn sample() -> AdmissionJournal {
+        let mut j = AdmissionJournal::new();
+        j.record_offer(
+            0,
+            0,
+            &Op::Register { user: "alice".into() }.encode(),
+            OfferOutcome::Admitted(0),
+        );
+        j.record_offer(
+            1,
+            0,
+            &Op::Register { user: "bob".into() }.encode(),
+            OfferOutcome::Admitted(1),
+        );
+        j.record_epoch();
+        j.record_offer(
+            1,
+            1,
+            &Op::Endorse { user: "ghost".into(), subject: "alice".into() }.encode(),
+            OfferOutcome::Refused(RefusalCode::UnknownUser),
+        );
+        j.record_offer(
+            0,
+            1,
+            &Op::Endorse { user: "alice".into(), subject: "bob".into() }.encode(),
+            OfferOutcome::Admitted(2),
+        );
+        j.record_epoch();
+        j
+    }
+
+    #[test]
+    fn binary_form_round_trips_exactly() {
+        let journal = sample();
+        let bytes = journal.to_bytes();
+        let back = AdmissionJournal::from_bytes(&bytes).unwrap();
+        assert_eq!(journal, back);
+        assert_eq!(back.offers(), 4);
+        assert_eq!(back.epochs(), 2);
+    }
+
+    #[test]
+    fn truncation_and_corruption_surface_typed_errors() {
+        let bytes = sample().to_bytes();
+        for cut in [0, 3, 5, 14, bytes.len() - 1] {
+            assert!(AdmissionJournal::from_bytes(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xff;
+        assert_eq!(AdmissionJournal::from_bytes(&bad), Err(JournalError::BadMagic));
+        let mut bad = bytes.clone();
+        bad[4] = 99;
+        assert_eq!(AdmissionJournal::from_bytes(&bad), Err(JournalError::BadVersion(99)));
+        let mut bad = bytes;
+        bad[13] = 0x7f; // first entry tag
+        assert_eq!(AdmissionJournal::from_bytes(&bad), Err(JournalError::BadTag(0x7f)));
+    }
+
+    #[test]
+    fn replay_reproduces_outcomes_with_zero_divergence() {
+        let journal = sample();
+        let mut router =
+            ShardRouter::new(GatewayConfig::builder().shards(2).key_tree_depth(6).build());
+        let report = journal.replay_into(&mut router);
+        assert_eq!(report.offers, 4);
+        assert_eq!(report.admitted, 3);
+        assert_eq!(report.refused, 1);
+        assert_eq!(report.epochs, 2);
+        assert_eq!(report.divergences, 0, "deterministic core must match the recording");
+        assert!(router.conservation_report().conserved);
+    }
+
+    #[test]
+    fn replay_counts_divergence_against_a_mismatched_recording() {
+        let mut journal = sample();
+        // Claim the ghost endorse was admitted — replay must notice.
+        if let JournalEntry::Offer { outcome, .. } = &mut journal.entries[3] {
+            *outcome = OfferOutcome::Admitted(99);
+        }
+        let mut router =
+            ShardRouter::new(GatewayConfig::builder().shards(2).key_tree_depth(6).build());
+        let report = journal.replay_into(&mut router);
+        assert_eq!(report.divergences, 1);
+    }
+
+    #[test]
+    fn refusal_codes_round_trip_and_label_stably() {
+        for code in [
+            RefusalCode::RateLimited,
+            RefusalCode::MailboxFull,
+            RefusalCode::UnknownUser,
+            RefusalCode::DuplicateRegister,
+            RefusalCode::ShardDown,
+            RefusalCode::Wire,
+            RefusalCode::Other,
+        ] {
+            assert_eq!(RefusalCode::from_code(code.code()), Some(code));
+            assert!(!code.label().is_empty());
+        }
+        assert_eq!(RefusalCode::from_code(0), None);
+        assert_eq!(RefusalCode::from_code(8), None);
+    }
+}

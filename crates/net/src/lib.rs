@@ -1,0 +1,55 @@
+//! # metaverse-net
+//!
+//! The network front door for `metaverse-kit`: a zero-dependency,
+//! connection-oriented serving layer that frames
+//! [`Op`](metaverse_gateway::op::Op)s off byte streams and feeds the
+//! deterministic epoch core through the gateway's
+//! [`Ingress`](metaverse_gateway::ingress::Ingress) trait. This is the
+//! paper's "heavy traffic from millions of users" scenario finally
+//! crossing a socket boundary instead of an in-process call.
+//!
+//! The crate is built around one discipline: **the network is allowed
+//! to be nondeterministic, the core is not.** Sockets deliver bytes in
+//! arbitrary chunks, clients stall mid-frame, acks back up — and none
+//! of it may perturb an audit byte. The pieces:
+//!
+//! * [`frame`] — a streaming length-prefix decoder that tolerates
+//!   frames split at *any* byte boundary (one byte per read is fine);
+//! * [`conn`] — the per-connection state machine: decoded-frame inbox,
+//!   bounded ack write buffer, backpressure parking tied to the
+//!   gateway's token buckets and mailbox bounds, typed close causes;
+//! * [`server`] — [`NetServer`], a hand-rolled readiness sweep over
+//!   nonblocking streams (no mio/tokio): conns are visited in id
+//!   order, admissions feed the [`Ingress`], epoch boundaries fire on
+//!   admission pressure or quiescence;
+//! * [`journal`] — the **determinism boundary**: every offer (admitted
+//!   *and* refused — refusals shape the trace stream too) and every
+//!   epoch boundary is recorded in order, so an [`AdmissionJournal`]
+//!   replayed offline through any [`Ingress`] reproduces the network
+//!   run's audits, traces, and conservation reports byte-for-byte;
+//! * [`sim`] — deterministic simulated clients (tens of thousands of
+//!   them) with connection-scoped fault hooks: slowloris trickle,
+//!   mid-frame disconnect, ack stalls;
+//! * [`tcp`] — the same server over real `std::net` nonblocking
+//!   sockets.
+//!
+//! [`Ingress`]: metaverse_gateway::ingress::Ingress
+//! [`NetServer`]: server::NetServer
+//! [`AdmissionJournal`]: journal::AdmissionJournal
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod conn;
+pub mod frame;
+pub mod journal;
+pub mod server;
+pub mod sim;
+pub mod tcp;
+
+pub use conn::{CloseCause, ConnState, ConnStats, Connection};
+pub use frame::{frame, FrameDecoder, FrameError, DEFAULT_MAX_FRAME};
+pub use journal::{AdmissionJournal, JournalEntry, JournalError, OfferOutcome, RefusalCode, ReplayReport};
+pub use server::{ByteStream, NetServer, NetServerConfig, ReadOutcome, ServeReport};
+pub use sim::{sim_clients, SimStream};
+pub use tcp::TcpFrontDoor;

@@ -1,0 +1,776 @@
+//! [`NetServer`]: a hand-rolled readiness sweep over nonblocking byte
+//! streams, feeding the deterministic core through [`Ingress`].
+//!
+//! There is no mio and no tokio here: the server owns a table of
+//! ([`Connection`], stream) slots and visits them **in connection-id
+//! order** every [`NetServer::sweep`]. Per slot it (1) flushes pending
+//! acks, (2) offers decoded frames to the ingress, and (3) reads one
+//! chunk off the stream. That fixed visit order is what makes a
+//! network run *recordable*: the admission journal captures the exact
+//! ingress call sequence, and nothing about socket timing leaks past
+//! it.
+//!
+//! ## Backpressure
+//!
+//! Admission pressure propagates outward, never inward:
+//!
+//! * a rate-limited or mailbox-full refusal **parks** the connection
+//!   (the frame goes back to the head of its inbox — order is never
+//!   reshuffled) and the op is transparently re-offered later;
+//! * a parked connection, or one whose ack buffer the client is not
+//!   draining, is not read from — pressure reaches the socket;
+//! * a sweep that makes no progress fires an epoch boundary, advancing
+//!   logical time so token buckets refill and mailboxes drain.
+//!
+//! ## Time domains
+//!
+//! The server's `now` is its **sweep index** — one unit per full table
+//! visit. The core's time is logical ticks advanced by epochs. The
+//! journal records both sides' view; only the ingress call sequence
+//! (which the journal captures completely) affects core state.
+
+use std::time::Instant;
+
+use metaverse_gateway::error::{AdmissionError, GatewayError};
+use metaverse_gateway::ingress::Ingress;
+use metaverse_telemetry::export::trace_jsonl;
+use metaverse_telemetry::names;
+use metaverse_telemetry::{
+    Counter, FlightRecorder, Gauge, Histogram, RecorderStats, TelemetryHub, TelemetrySnapshot,
+    TraceEvent, TraceStage,
+};
+
+use crate::conn::{CloseCause, Connection};
+use crate::frame::DEFAULT_MAX_FRAME;
+use crate::journal::{AdmissionJournal, OfferOutcome, RefusalCode};
+
+/// What one nonblocking read produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadOutcome {
+    /// `n > 0` bytes were copied into the buffer.
+    Data(usize),
+    /// Nothing available right now; try again next sweep.
+    WouldBlock,
+    /// Clean end-of-stream (peer shut down its write side).
+    Closed,
+    /// The peer reset the connection; buffered state is gone.
+    Reset,
+}
+
+/// A nonblocking byte stream the server can serve: simulated
+/// ([`SimStream`](crate::sim::SimStream)) or a real
+/// `std::net::TcpStream` (see [`crate::tcp`]).
+///
+/// `now` is the server's sweep index — simulated streams use it to
+/// schedule fault windows deterministically; real sockets ignore it.
+pub trait ByteStream {
+    /// Reads up to `buf.len()` bytes without blocking.
+    fn read(&mut self, now: u64, buf: &mut [u8]) -> ReadOutcome;
+    /// Writes up to `bytes.len()` bytes without blocking, returning how
+    /// many were accepted (0 = would block).
+    fn write(&mut self, now: u64, bytes: &[u8]) -> usize;
+}
+
+/// Server tuning.
+#[derive(Debug, Clone)]
+pub struct NetServerConfig {
+    /// Fire an epoch boundary after this many admissions (an epoch also
+    /// fires whenever a sweep makes no progress).
+    pub ops_per_epoch: u64,
+    /// Largest accepted frame payload (see [`DEFAULT_MAX_FRAME`]).
+    pub max_frame: usize,
+    /// Bytes read per connection per sweep.
+    pub read_chunk: usize,
+    /// Stop reading from a connection whose unflushed ack buffer
+    /// exceeds this (backpressure to the socket).
+    pub write_buffer_cap: usize,
+    /// Stall valve: [`NetServer::run_to_completion`] gives up after
+    /// this many epochs.
+    pub max_epochs: u64,
+    /// Capacity of the server's own flight-recorder ring (0 disables
+    /// net tracing; the ingress's op tracing is separate).
+    pub trace_capacity: usize,
+    /// Whether the server records telemetry.
+    pub telemetry: bool,
+}
+
+impl Default for NetServerConfig {
+    fn default() -> Self {
+        NetServerConfig {
+            ops_per_epoch: 2048,
+            max_frame: DEFAULT_MAX_FRAME,
+            read_chunk: 4096,
+            write_buffer_cap: 16384,
+            max_epochs: 100_000,
+            trace_capacity: 0,
+            telemetry: true,
+        }
+    }
+}
+
+/// Final accounting from [`NetServer::run_to_completion`].
+#[derive(Debug, Clone, Default)]
+pub struct ServeReport {
+    /// Connections ever accepted.
+    pub conns: u64,
+    /// Offers journaled (admitted + refused, retries included).
+    pub offers: u64,
+    /// Offers admitted by the ingress.
+    pub admitted: u64,
+    /// Offers refused by the ingress.
+    pub refused: u64,
+    /// Epoch boundaries fired.
+    pub epochs: u64,
+    /// Sweeps performed.
+    pub sweeps: u64,
+    /// Bytes read across all connections.
+    pub bytes_read: u64,
+    /// Ack bytes written across all connections.
+    pub bytes_written: u64,
+    /// Complete frames decoded across all connections.
+    pub frames_decoded: u64,
+    /// True if the run hit [`NetServerConfig::max_epochs`] before every
+    /// connection closed and the ingress drained.
+    pub stalled: bool,
+}
+
+/// How long a rate-limit park may last, in sweeps. Epochs fired by
+/// no-progress sweeps refill buckets far faster than the platform-tick
+/// hint suggests, so long parks only hurt liveness.
+const MAX_PARK_SWEEPS: u64 = 64;
+
+struct NetMetrics {
+    conns_accepted: Counter,
+    conns_closed: Counter,
+    conns_open: Gauge,
+    bytes_read: Counter,
+    bytes_written: Counter,
+    frames_decoded: Counter,
+    ops_admitted: Counter,
+    ops_refused: Counter,
+    backpressure_pauses: Counter,
+    epochs_fired: Counter,
+    sweeps: Counter,
+    journal_entries: Counter,
+    admission_ns: Histogram,
+}
+
+impl NetMetrics {
+    fn new(hub: &TelemetryHub) -> Self {
+        NetMetrics {
+            conns_accepted: hub.counter(names::net::CONNS_ACCEPTED),
+            conns_closed: hub.counter(names::net::CONNS_CLOSED),
+            conns_open: hub.gauge(names::net::CONNS_OPEN),
+            bytes_read: hub.counter(names::net::BYTES_READ),
+            bytes_written: hub.counter(names::net::BYTES_WRITTEN),
+            frames_decoded: hub.counter(names::net::FRAMES_DECODED),
+            ops_admitted: hub.counter(names::net::OPS_ADMITTED),
+            ops_refused: hub.counter(names::net::OPS_REFUSED),
+            backpressure_pauses: hub.counter(names::net::BACKPRESSURE_PAUSES),
+            epochs_fired: hub.counter(names::net::EPOCHS_FIRED),
+            sweeps: hub.counter(names::net::SWEEPS),
+            journal_entries: hub.counter(names::net::JOURNAL_ENTRIES),
+            admission_ns: hub.histogram(names::net::ADMISSION_NS),
+        }
+    }
+}
+
+struct Slot<S> {
+    conn: Connection,
+    stream: S,
+}
+
+/// The connection-oriented front door over any [`Ingress`].
+pub struct NetServer<I, S> {
+    ingress: I,
+    slots: Vec<Slot<S>>,
+    journal: AdmissionJournal,
+    recorder: FlightRecorder,
+    hub: TelemetryHub,
+    metrics: NetMetrics,
+    config: NetServerConfig,
+    sweeps: u64,
+    epochs_fired: u64,
+    admitted_since_epoch: u64,
+    total_admitted: u64,
+    total_refused: u64,
+    admission_ns: Vec<u64>,
+}
+
+impl<I: Ingress, S: ByteStream> NetServer<I, S> {
+    /// Wraps an ingress behind the serving layer.
+    pub fn new(ingress: I, config: NetServerConfig) -> Self {
+        let hub = if config.telemetry { TelemetryHub::new() } else { TelemetryHub::disabled() };
+        let metrics = NetMetrics::new(&hub);
+        let recorder = FlightRecorder::new(config.trace_capacity);
+        NetServer {
+            ingress,
+            slots: Vec::new(),
+            journal: AdmissionJournal::new(),
+            recorder,
+            hub,
+            metrics,
+            config,
+            sweeps: 0,
+            epochs_fired: 0,
+            admitted_since_epoch: 0,
+            total_admitted: 0,
+            total_refused: 0,
+            admission_ns: Vec::new(),
+        }
+    }
+
+    /// Registers a new connection, returning its id (its slot index and
+    /// its `seq` on net trace events).
+    pub fn accept(&mut self, stream: S) -> u64 {
+        let id = self.slots.len() as u64;
+        self.slots.push(Slot { conn: Connection::new(id, self.config.max_frame), stream });
+        self.metrics.conns_accepted.incr();
+        self.metrics.conns_open.add(1);
+        self.recorder.record(TraceEvent {
+            seq: id,
+            epoch: self.epochs_fired,
+            tick: self.sweeps,
+            stage: TraceStage::ConnAccepted { conn: id },
+        });
+        id
+    }
+
+    /// One full table visit in connection-id order. Returns the
+    /// progress made: bytes moved, frames decoded, offers resolved
+    /// (parks do not count — a sweep that only parks fires an epoch).
+    pub fn sweep(&mut self) -> u64 {
+        let now = self.sweeps;
+        self.sweeps += 1;
+        self.metrics.sweeps.incr();
+        let mut progress: u64 = 0;
+        let epoch = self.epochs_fired;
+        let Self {
+            ingress,
+            slots,
+            journal,
+            recorder,
+            metrics,
+            config,
+            admitted_since_epoch,
+            total_admitted,
+            total_refused,
+            admission_ns,
+            ..
+        } = self;
+        let mut read_buf = vec![0u8; config.read_chunk];
+        for slot in slots.iter_mut() {
+            if slot.conn.is_closed() {
+                continue;
+            }
+
+            // (1) Flush pending acks.
+            loop {
+                let head = slot.conn.write_head(config.read_chunk);
+                if head.is_empty() {
+                    break;
+                }
+                let wrote = slot.stream.write(now, &head);
+                if wrote == 0 {
+                    break;
+                }
+                slot.conn.consume_written(wrote);
+                metrics.bytes_written.add(wrote as u64);
+                progress += wrote as u64;
+            }
+
+            // (2) Offer decoded frames, oldest first. Stop at the
+            // epoch-pressure threshold so admission batches stay
+            // bounded — the run loop fires the boundary after this
+            // sweep.
+            while !slot.conn.parked(now) && *admitted_since_epoch < config.ops_per_epoch {
+                let Some(bytes) = slot.conn.pop_frame() else { break };
+                let started = Instant::now();
+                let result = ingress.ingress_wire(&bytes);
+                let elapsed = started.elapsed().as_nanos() as u64;
+                admission_ns.push(elapsed);
+                metrics.admission_ns.record(elapsed);
+                let tick = ingress.logical_now();
+                match result {
+                    Ok(seq) => {
+                        journal.record_offer(slot.conn.id(), tick, &bytes, OfferOutcome::Admitted(seq));
+                        metrics.journal_entries.incr();
+                        metrics.ops_admitted.incr();
+                        slot.conn.queue_ack(seq);
+                        *admitted_since_epoch += 1;
+                        *total_admitted += 1;
+                        progress += 1;
+                    }
+                    Err(e) => {
+                        let code = RefusalCode::classify(&e);
+                        journal.record_offer(slot.conn.id(), tick, &bytes, OfferOutcome::Refused(code));
+                        metrics.journal_entries.incr();
+                        metrics.ops_refused.incr();
+                        *total_refused += 1;
+                        match e {
+                            GatewayError::Admission(AdmissionError::RateLimited {
+                                retry_in_ticks: u64::MAX,
+                                ..
+                            }) => {
+                                // This bucket will never refill: waiting
+                                // is pointless, and every queued frame
+                                // would refuse identically.
+                                slot.conn.queue_refusal(code);
+                                slot.conn.clear_inbox();
+                                close(
+                                    &mut slot.conn,
+                                    CloseCause::AdmissionStalled,
+                                    recorder,
+                                    metrics,
+                                    now,
+                                    epoch,
+                                );
+                                progress += 1;
+                                break;
+                            }
+                            GatewayError::Admission(AdmissionError::RateLimited {
+                                retry_in_ticks,
+                                ..
+                            }) => {
+                                // Transparent retry: the frame goes back
+                                // to the inbox head and the connection
+                                // parks. The refusal is journaled — it
+                                // shaped the core's trace stream.
+                                slot.conn.unpop_frame(bytes);
+                                let until = now + retry_in_ticks.clamp(1, MAX_PARK_SWEEPS);
+                                slot.conn.park_until(until);
+                                metrics.backpressure_pauses.incr();
+                                recorder.record(TraceEvent {
+                                    seq: slot.conn.id(),
+                                    epoch,
+                                    tick: now,
+                                    stage: TraceStage::BackpressureParked {
+                                        conn: slot.conn.id(),
+                                        resume_at_tick: until,
+                                    },
+                                });
+                                break;
+                            }
+                            GatewayError::Admission(AdmissionError::MailboxFull { .. }) => {
+                                // Mailboxes drain at epoch boundaries;
+                                // park one sweep and let the no-progress
+                                // rule fire one.
+                                slot.conn.unpop_frame(bytes);
+                                slot.conn.park_until(now + 1);
+                                metrics.backpressure_pauses.incr();
+                                recorder.record(TraceEvent {
+                                    seq: slot.conn.id(),
+                                    epoch,
+                                    tick: now,
+                                    stage: TraceStage::BackpressureParked {
+                                        conn: slot.conn.id(),
+                                        resume_at_tick: now + 1,
+                                    },
+                                });
+                                break;
+                            }
+                            _ => {
+                                // Terminal refusal (unknown user, bad
+                                // wire bytes, duplicate register, shard
+                                // down): ack it and move on.
+                                slot.conn.queue_refusal(code);
+                                progress += 1;
+                            }
+                        }
+                    }
+                }
+            }
+
+            // (3) Read one chunk, if this connection is in a state to
+            // accept more work.
+            let readable = slot.conn.state() == crate::conn::ConnState::Open
+                && slot.conn.inbox_len() == 0
+                && !slot.conn.parked(now)
+                && slot.conn.write_buf_len() <= config.write_buffer_cap;
+            if readable {
+                match slot.stream.read(now, &mut read_buf) {
+                    ReadOutcome::Data(n) if n > 0 => {
+                        slot.conn.note_read(n);
+                        metrics.bytes_read.add(n as u64);
+                        progress += n as u64;
+                        let mut frames = Vec::new();
+                        match slot.conn.decoder_mut().feed(&read_buf[..n], &mut frames) {
+                            Ok(()) => {
+                                for f in frames {
+                                    metrics.frames_decoded.incr();
+                                    recorder.record(TraceEvent {
+                                        seq: slot.conn.id(),
+                                        epoch,
+                                        tick: now,
+                                        stage: TraceStage::FrameDecoded {
+                                            conn: slot.conn.id(),
+                                            len: f.len() as u32,
+                                        },
+                                    });
+                                    slot.conn.push_frame(f);
+                                }
+                            }
+                            Err(_) => {
+                                // Protocol violation: hard close, drop
+                                // everything buffered for this peer.
+                                slot.conn.clear_inbox();
+                                slot.conn.clear_write_buf();
+                                close(
+                                    &mut slot.conn,
+                                    CloseCause::OversizedFrame,
+                                    recorder,
+                                    metrics,
+                                    now,
+                                    epoch,
+                                );
+                            }
+                        }
+                    }
+                    ReadOutcome::Data(_) | ReadOutcome::WouldBlock => {}
+                    ReadOutcome::Closed => {
+                        // Clean EOF: decoded work still drains.
+                        slot.conn.start_draining();
+                    }
+                    ReadOutcome::Reset => {
+                        // The peer is gone and will never read an ack:
+                        // abandon undelivered work. Ops already admitted
+                        // stay in their session mailboxes and execute —
+                        // a reset never strands core state.
+                        let mid = slot.conn.decoder().mid_frame();
+                        slot.conn.clear_inbox();
+                        slot.conn.clear_write_buf();
+                        let cause = if mid {
+                            CloseCause::MidFrameDisconnect
+                        } else {
+                            CloseCause::PeerReset
+                        };
+                        close(&mut slot.conn, cause, recorder, metrics, now, epoch);
+                    }
+                }
+            }
+
+            // Draining connection with nothing left to do: finish it.
+            if slot.conn.state() == crate::conn::ConnState::Draining
+                && !slot.conn.has_pending_work()
+                && !slot.conn.parked(now)
+            {
+                let cause = if slot.conn.decoder().mid_frame() {
+                    CloseCause::MidFrameDisconnect
+                } else {
+                    CloseCause::Finished
+                };
+                close(&mut slot.conn, cause, recorder, metrics, now, epoch);
+                progress += 1;
+            }
+        }
+        progress
+    }
+
+    /// Fires one epoch boundary: journals the marker, then advances the
+    /// core (the order replay reproduces).
+    pub fn fire_epoch(&mut self) {
+        self.journal.record_epoch();
+        self.metrics.journal_entries.incr();
+        self.ingress.epoch_boundary();
+        self.epochs_fired += 1;
+        self.admitted_since_epoch = 0;
+        self.metrics.epochs_fired.incr();
+    }
+
+    /// Sweeps until every connection is closed and the ingress backlog
+    /// is drained, firing epochs on admission pressure
+    /// ([`NetServerConfig::ops_per_epoch`]) or quiescent sweeps.
+    pub fn run_to_completion(&mut self) -> ServeReport {
+        let mut stalled = false;
+        loop {
+            if self.epochs_fired >= self.config.max_epochs {
+                stalled = true;
+                break;
+            }
+            let progress = self.sweep();
+            let all_closed = self.slots.iter().all(|s| s.conn.is_closed());
+            if all_closed && self.ingress.backlog() == 0 {
+                break;
+            }
+            if self.admitted_since_epoch >= self.config.ops_per_epoch || progress == 0 {
+                self.fire_epoch();
+            }
+        }
+        let mut report = ServeReport {
+            conns: self.slots.len() as u64,
+            offers: self.journal.offers(),
+            admitted: self.total_admitted,
+            refused: self.total_refused,
+            epochs: self.epochs_fired,
+            sweeps: self.sweeps,
+            stalled,
+            ..ServeReport::default()
+        };
+        for slot in &self.slots {
+            let stats = slot.conn.stats();
+            report.bytes_read += stats.bytes_read;
+            report.bytes_written += stats.bytes_written;
+            report.frames_decoded += stats.frames;
+        }
+        report
+    }
+
+    /// The admission journal recorded so far.
+    pub fn journal(&self) -> &AdmissionJournal {
+        &self.journal
+    }
+
+    /// The wrapped ingress (e.g. to fingerprint the router's audits
+    /// after a run).
+    pub fn ingress(&self) -> &I {
+        &self.ingress
+    }
+
+    /// Mutable access to the wrapped ingress.
+    pub fn ingress_mut(&mut self) -> &mut I {
+        &mut self.ingress
+    }
+
+    /// Consumes the server, returning the ingress and the journal.
+    pub fn into_parts(self) -> (I, AdmissionJournal) {
+        (self.ingress, self.journal)
+    }
+
+    /// One connection's state, if it exists.
+    pub fn conn(&self, id: u64) -> Option<&Connection> {
+        self.slots.get(id as usize).map(|s| &s.conn)
+    }
+
+    /// Connections accepted so far.
+    pub fn conn_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The server's net trace stream as JSONL (connection lifecycle —
+    /// separate from the ingress's op traces).
+    pub fn net_trace_jsonl(&self) -> String {
+        trace_jsonl(self.recorder.events())
+    }
+
+    /// Net flight-recorder counters.
+    pub fn net_trace_stats(&self) -> RecorderStats {
+        self.recorder.stats()
+    }
+
+    /// A snapshot of the server's metrics.
+    pub fn telemetry_snapshot(&self) -> TelemetrySnapshot {
+        self.hub.snapshot()
+    }
+
+    /// Wall-clock nanoseconds per ingress call, in call order (recorded
+    /// for reporting only — nothing branches on it).
+    pub fn admission_latencies_ns(&self) -> &[u64] {
+        &self.admission_ns
+    }
+}
+
+fn close(
+    conn: &mut Connection,
+    cause: CloseCause,
+    recorder: &mut FlightRecorder,
+    metrics: &NetMetrics,
+    now: u64,
+    epoch: u64,
+) {
+    if conn.is_closed() {
+        return;
+    }
+    conn.close(cause);
+    metrics.conns_closed.incr();
+    metrics.conns_open.add(-1);
+    recorder.record(TraceEvent {
+        seq: conn.id(),
+        epoch,
+        tick: now,
+        stage: TraceStage::ConnClosed { conn: conn.id(), cause: cause.label() },
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::frame;
+    use metaverse_gateway::op::Op;
+    use metaverse_gateway::router::{GatewayConfig, ShardRouter};
+    use metaverse_gateway::session::RateLimit;
+
+    /// A scripted in-memory stream: serves `data` in fixed chunks, then
+    /// EOF (or Reset at `reset_at`), and accepts all acks.
+    struct ScriptStream {
+        data: Vec<u8>,
+        pos: usize,
+        chunk: usize,
+        acks: Vec<u8>,
+        reset_at: Option<usize>,
+    }
+
+    impl ScriptStream {
+        fn new(data: Vec<u8>, chunk: usize) -> Self {
+            ScriptStream { data, pos: 0, chunk, acks: Vec::new(), reset_at: None }
+        }
+    }
+
+    impl ByteStream for ScriptStream {
+        fn read(&mut self, _now: u64, buf: &mut [u8]) -> ReadOutcome {
+            if let Some(cut) = self.reset_at {
+                if self.pos >= cut {
+                    return ReadOutcome::Reset;
+                }
+            }
+            if self.pos >= self.data.len() {
+                return ReadOutcome::Closed;
+            }
+            let mut end = (self.pos + self.chunk).min(self.data.len());
+            if let Some(cut) = self.reset_at {
+                end = end.min(cut);
+            }
+            let n = (end - self.pos).min(buf.len());
+            buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+            self.pos += n;
+            ReadOutcome::Data(n)
+        }
+
+        fn write(&mut self, _now: u64, bytes: &[u8]) -> usize {
+            self.acks.extend_from_slice(bytes);
+            bytes.len()
+        }
+    }
+
+    fn script(ops: &[Op]) -> Vec<u8> {
+        let mut out = Vec::new();
+        for op in ops {
+            out.extend_from_slice(&frame(&op.encode()));
+        }
+        out
+    }
+
+    fn router(shards: usize) -> ShardRouter {
+        ShardRouter::new(
+            GatewayConfig::builder()
+                .shards(shards)
+                .key_tree_depth(6)
+                .rate_limit(RateLimit { burst: 64, milli_per_tick: 64_000 })
+                .build(),
+        )
+    }
+
+    #[test]
+    fn clean_run_admits_everything_and_acks_each_op() {
+        let ops = vec![
+            Op::Register { user: "alice".into() },
+            Op::Register { user: "bob".into() },
+            Op::Endorse { user: "alice".into(), subject: "bob".into() },
+        ];
+        let mut server = NetServer::new(
+            router(2),
+            NetServerConfig { trace_capacity: 1 << 10, ..NetServerConfig::default() },
+        );
+        server.accept(ScriptStream::new(script(&ops), 7));
+        let report = server.run_to_completion();
+        assert!(!report.stalled);
+        assert_eq!(report.admitted, 3);
+        assert_eq!(report.refused, 0);
+        assert_eq!(report.frames_decoded, 3);
+        assert_eq!(server.journal().offers(), 3);
+        assert!(server.ingress().conservation_report().conserved);
+        // Three framed admission acks (13 bytes each).
+        let conn = server.conn(0).unwrap();
+        assert_eq!(conn.stats().bytes_written, 3 * 13);
+        assert_eq!(conn.state(), crate::conn::ConnState::Closed(CloseCause::Finished));
+        // Net trace saw the lifecycle.
+        let jsonl = server.net_trace_jsonl();
+        assert!(jsonl.contains("conn_accepted"), "{jsonl}");
+        assert!(jsonl.contains("frame_decoded"));
+        assert!(jsonl.contains("conn_closed"));
+    }
+
+    #[test]
+    fn unknown_user_gets_a_terminal_refusal_ack_and_the_run_completes() {
+        let ops = vec![
+            Op::Register { user: "alice".into() },
+            Op::Endorse { user: "ghost".into(), subject: "alice".into() },
+        ];
+        let mut server = NetServer::new(router(1), NetServerConfig::default());
+        server.accept(ScriptStream::new(script(&ops), 64));
+        let report = server.run_to_completion();
+        assert!(!report.stalled);
+        assert_eq!(report.admitted, 1);
+        assert_eq!(report.refused, 1);
+        let conn = server.conn(0).unwrap();
+        assert_eq!(conn.stats().refused, 1);
+        assert_eq!(conn.state(), crate::conn::ConnState::Closed(CloseCause::Finished));
+    }
+
+    #[test]
+    fn rate_limit_parks_then_transparently_retries_to_completion() {
+        // Burst of 2, slow refill: the third op must park and retry.
+        let config = GatewayConfig::builder()
+            .shards(1)
+            .key_tree_depth(6)
+            .rate_limit(RateLimit { burst: 2, milli_per_tick: 250 })
+            .build();
+        let ops = vec![
+            Op::Register { user: "alice".into() },
+            Op::Endorse { user: "alice".into(), subject: "alice".into() },
+            Op::Endorse { user: "alice".into(), subject: "alice".into() },
+            Op::Endorse { user: "alice".into(), subject: "alice".into() },
+        ];
+        let mut server = NetServer::new(ShardRouter::new(config), NetServerConfig::default());
+        server.accept(ScriptStream::new(script(&ops), 1024));
+        let report = server.run_to_completion();
+        assert!(!report.stalled);
+        assert_eq!(report.admitted, 4, "every op eventually admitted");
+        assert!(report.refused > 0, "rate refusals were journaled");
+        assert!(report.offers > 4, "retries appear as extra journaled offers");
+        let conn = server.conn(0).unwrap();
+        assert!(conn.stats().parks > 0);
+        // Exactly one admission ack per op despite retries.
+        assert_eq!(conn.stats().admitted, 4);
+    }
+
+    #[test]
+    fn reset_mid_frame_closes_with_cause_and_never_strands_the_core() {
+        let ops = vec![
+            Op::Register { user: "alice".into() },
+            Op::Endorse { user: "alice".into(), subject: "alice".into() },
+        ];
+        let bytes = script(&ops);
+        // Cut inside the second frame's payload.
+        let cut = frame(&ops[0].encode()).len() + 6;
+        assert!(cut < bytes.len());
+        let mut stream = ScriptStream::new(bytes, 4);
+        stream.reset_at = Some(cut);
+        let mut server = NetServer::new(router(1), NetServerConfig::default());
+        server.accept(stream);
+        let report = server.run_to_completion();
+        assert!(!report.stalled);
+        assert_eq!(report.admitted, 1, "the complete frame was admitted");
+        assert_eq!(
+            server.conn(0).unwrap().state(),
+            crate::conn::ConnState::Closed(CloseCause::MidFrameDisconnect)
+        );
+        // The admitted op executed: backlog drained, audit clean.
+        assert_eq!(server.ingress().pending_ops(), 0);
+        assert!(server.ingress().conservation_report().conserved);
+    }
+
+    #[test]
+    fn epochs_fire_on_admission_pressure() {
+        let ops: Vec<Op> = std::iter::once(Op::Register { user: "alice".into() })
+            .chain((0..10).map(|_| Op::Endorse { user: "alice".into(), subject: "alice".into() }))
+            .collect();
+        let mut server = NetServer::new(
+            router(1),
+            NetServerConfig { ops_per_epoch: 4, ..NetServerConfig::default() },
+        );
+        server.accept(ScriptStream::new(script(&ops), 4096));
+        let report = server.run_to_completion();
+        assert!(report.epochs >= 2, "pressure epochs: {report:?}");
+        assert_eq!(report.admitted, 11);
+    }
+}

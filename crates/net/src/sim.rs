@@ -1,0 +1,331 @@
+//! Deterministic simulated clients: tens of thousands of connections
+//! without a socket in sight.
+//!
+//! A [`SimStream`] replays a pre-encoded script of framed ops through
+//! the [`ByteStream`] interface, chopping it into pseudo-random chunk
+//! sizes derived purely from `(seed, conn, sweep, position)` — no RNG
+//! state, no wall clock — so the same seed produces the same byte
+//! deliveries on every run. Connection-scoped faults come from the
+//! resilience fabric's [`FaultPlan`]: slowloris trickle (one byte per
+//! read), mid-frame disconnect (reset strictly inside a frame), and
+//! ack stalls (the client stops draining acks, backing the server's
+//! write buffer up).
+//!
+//! The chunking is deliberately adversarial for the determinism story:
+//! admission order depends only on frame completion order, which the
+//! journal records — so even though two seeds deliver bytes completely
+//! differently, each run's journal replays to byte-identical audits.
+
+use metaverse_gateway::op::Op;
+use metaverse_gateway::workload::WorkloadEngine;
+use metaverse_resilience::{FaultInjector, FaultPlan};
+
+use crate::frame::{frame, FrameDecoder};
+use crate::server::{ByteStream, ReadOutcome};
+
+/// SplitMix64-style bit mix: cheap, stateless, and good enough to make
+/// chunk sizes look arbitrary.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// One simulated client connection: a scripted byte stream with
+/// deterministic chunking and optional connection-scoped faults.
+#[derive(Debug)]
+pub struct SimStream {
+    conn: u64,
+    bytes: Vec<u8>,
+    /// Exclusive end offset of each frame in `bytes`, ascending.
+    frame_ends: Vec<usize>,
+    pos: usize,
+    seed: u64,
+    max_chunk: usize,
+    faults: FaultInjector,
+    ack_decoder: FrameDecoder,
+    acks_admitted: u64,
+    acks_refused: u64,
+    ack_bytes: u64,
+    reset_sent: bool,
+    cut_at: Option<usize>,
+}
+
+impl SimStream {
+    /// A client that will send `ops` (framed, in order) on connection
+    /// id `conn`, chunked by `seed`, under `faults`.
+    pub fn new(conn: u64, ops: &[Op], seed: u64, max_chunk: usize, faults: FaultPlan) -> Self {
+        let mut bytes = Vec::new();
+        let mut frame_ends = Vec::with_capacity(ops.len());
+        for op in ops {
+            bytes.extend_from_slice(&frame(&op.encode()));
+            frame_ends.push(bytes.len());
+        }
+        SimStream {
+            conn,
+            bytes,
+            frame_ends,
+            pos: 0,
+            seed,
+            max_chunk: max_chunk.max(1),
+            faults: FaultInjector::new(faults),
+            ack_decoder: FrameDecoder::default(),
+            acks_admitted: 0,
+            acks_refused: 0,
+            ack_bytes: 0,
+            reset_sent: false,
+            cut_at: None,
+        }
+    }
+
+    /// Connection id this client believes it is.
+    pub fn conn(&self) -> u64 {
+        self.conn
+    }
+
+    /// Total script bytes (all frames).
+    pub fn script_len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Admission acks received and decoded.
+    pub fn acks_admitted(&self) -> u64 {
+        self.acks_admitted
+    }
+
+    /// Refusal acks received and decoded.
+    pub fn acks_refused(&self) -> u64 {
+        self.acks_refused
+    }
+
+    /// Whether this client reset its connection (mid-frame disconnect
+    /// fault fired).
+    pub fn did_reset(&self) -> bool {
+        self.reset_sent
+    }
+
+    /// A byte offset strictly inside the frame containing (or after)
+    /// `pos`: where a mid-frame disconnect cuts. Every op frame is at
+    /// least 5 bytes (4-byte prefix + tag), so a strict interior always
+    /// exists.
+    fn mid_frame_cut(&self) -> Option<usize> {
+        let idx = self.frame_ends.iter().position(|&end| end > self.pos)?;
+        let start = if idx == 0 { 0 } else { self.frame_ends[idx - 1] };
+        let end = self.frame_ends[idx];
+        let mid = start + (end - start) / 2;
+        // Strictly inside: past at least one byte, short of the end.
+        Some(mid.clamp(start + 1, end - 1).max(self.pos + 1).min(end - 1))
+    }
+}
+
+impl ByteStream for SimStream {
+    fn read(&mut self, now: u64, buf: &mut [u8]) -> ReadOutcome {
+        if self.reset_sent {
+            return ReadOutcome::Reset;
+        }
+        // Arm the mid-frame disconnect the first sweep its window is
+        // active (and only if script bytes remain to cut inside).
+        if self.cut_at.is_none()
+            && self.pos < self.bytes.len()
+            && self.faults.conn_disconnect(now, self.conn)
+        {
+            self.cut_at = self.mid_frame_cut();
+        }
+        if let Some(cut) = self.cut_at {
+            if self.pos >= cut {
+                self.reset_sent = true;
+                return ReadOutcome::Reset;
+            }
+        }
+        if self.pos >= self.bytes.len() {
+            return ReadOutcome::Closed;
+        }
+        let chunk = if self.faults.conn_slowloris(now, self.conn) {
+            1
+        } else {
+            let r = mix(self.seed ^ mix(self.conn) ^ mix(now) ^ self.pos as u64);
+            1 + (r % self.max_chunk as u64) as usize
+        };
+        let mut end = (self.pos + chunk).min(self.bytes.len());
+        if let Some(cut) = self.cut_at {
+            end = end.min(cut);
+        }
+        let n = (end - self.pos).min(buf.len());
+        if n == 0 {
+            return ReadOutcome::WouldBlock;
+        }
+        buf[..n].copy_from_slice(&self.bytes[self.pos..self.pos + n]);
+        self.pos += n;
+        ReadOutcome::Data(n)
+    }
+
+    fn write(&mut self, now: u64, bytes: &[u8]) -> usize {
+        if self.faults.conn_ack_stall(now, self.conn) {
+            return 0;
+        }
+        self.ack_bytes += bytes.len() as u64;
+        let mut frames = Vec::new();
+        // Ack frames are tiny; oversize is impossible from our server.
+        let _ = self.ack_decoder.feed(bytes, &mut frames);
+        for f in frames {
+            match f.first() {
+                Some(0x00) => self.acks_admitted += 1,
+                Some(0x01) => self.acks_refused += 1,
+                _ => {}
+            }
+        }
+        bytes.len()
+    }
+}
+
+/// Builds one [`SimStream`] per connection from a workload engine's op
+/// stream, sharded by user: each user's ops all ride the same
+/// connection (sessions are per-user, so interleaving one user across
+/// connections would make admission order ack-dependent), users are
+/// assigned to connections round-robin by first appearance, and each
+/// connection's script preserves the global relative order of its ops.
+///
+/// Every stream gets its own [`FaultInjector`] over a clone of `plan`,
+/// so connection-scoped fault windows can target any subset.
+pub fn sim_clients(
+    engine: &WorkloadEngine,
+    conns: usize,
+    seed: u64,
+    max_chunk: usize,
+    plan: &FaultPlan,
+) -> Vec<SimStream> {
+    let ops = engine.generate();
+    let conns = conns.max(1);
+    let mut user_conn: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
+    let mut scripts: Vec<Vec<Op>> = (0..conns).map(|_| Vec::new()).collect();
+    let mut next = 0usize;
+    for op in ops {
+        let slot = *user_conn.entry(op.user().to_string()).or_insert_with(|| {
+            let s = next % conns;
+            next += 1;
+            s
+        });
+        scripts[slot].push(op);
+    }
+    scripts
+        .into_iter()
+        .enumerate()
+        .map(|(i, script)| {
+            SimStream::new(i as u64, &script, seed ^ mix(i as u64), max_chunk, plan.clone())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metaverse_gateway::workload::{WorkloadConfig, WorkloadEngine};
+    use metaverse_resilience::FaultKind;
+
+    fn ops() -> Vec<Op> {
+        vec![
+            Op::Register { user: "alice".into() },
+            Op::Endorse { user: "alice".into(), subject: "alice".into() },
+            Op::Register { user: "bob".into() },
+        ]
+    }
+
+    fn drain(stream: &mut SimStream) -> (Vec<u8>, u64) {
+        let mut out = Vec::new();
+        let mut buf = [0u8; 512];
+        let mut sweeps = 0u64;
+        loop {
+            match stream.read(sweeps, &mut buf) {
+                ReadOutcome::Data(n) => out.extend_from_slice(&buf[..n]),
+                ReadOutcome::Closed | ReadOutcome::Reset => break,
+                ReadOutcome::WouldBlock => {}
+            }
+            sweeps += 1;
+            assert!(sweeps < 100_000, "stream never finished");
+        }
+        (out, sweeps)
+    }
+
+    #[test]
+    fn chunking_is_deterministic_and_lossless() {
+        let a = drain(&mut SimStream::new(0, &ops(), 42, 16, FaultPlan::new()));
+        let b = drain(&mut SimStream::new(0, &ops(), 42, 16, FaultPlan::new()));
+        assert_eq!(a, b, "same seed, same deliveries");
+        let (bytes, _) = a;
+        let mut expected = Vec::new();
+        for op in ops() {
+            expected.extend_from_slice(&frame(&op.encode()));
+        }
+        assert_eq!(bytes, expected, "chunking never corrupts the script");
+        let (other, _) = drain(&mut SimStream::new(0, &ops(), 43, 16, FaultPlan::new()));
+        assert_eq!(other, expected, "different seed, same reassembled bytes");
+    }
+
+    #[test]
+    fn slowloris_fault_trickles_one_byte_per_read() {
+        let plan = FaultPlan::new().schedule(0, 1_000_000, FaultKind::ConnSlowloris { conn: 0 });
+        let mut s = SimStream::new(0, &ops(), 7, 64, plan);
+        let mut buf = [0u8; 64];
+        for sweep in 0..5 {
+            assert_eq!(s.read(sweep, &mut buf), ReadOutcome::Data(1));
+        }
+    }
+
+    #[test]
+    fn mid_frame_disconnect_resets_strictly_inside_a_frame() {
+        let plan =
+            FaultPlan::new().schedule(0, 1_000_000, FaultKind::ConnMidFrameDisconnect { conn: 0 });
+        let mut s = SimStream::new(0, &ops(), 7, 8, plan);
+        let (delivered, _) = drain(&mut s);
+        assert!(s.did_reset());
+        // The cut lands inside the first frame.
+        let first_frame_len = frame(&ops()[0].encode()).len();
+        assert!(!delivered.is_empty(), "some bytes flow before the cut");
+        assert!(delivered.len() < first_frame_len, "reset strictly mid-frame");
+        // Subsequent reads keep reporting Reset.
+        assert_eq!(s.read(999, &mut [0u8; 8]), ReadOutcome::Reset);
+    }
+
+    #[test]
+    fn ack_stall_fault_rejects_writes_then_recovers() {
+        let plan = FaultPlan::new().schedule(2, 3, FaultKind::ConnAckStall { conn: 0 });
+        let mut s = SimStream::new(0, &ops(), 7, 8, plan);
+        let ack = frame(&[0x00, 1, 0, 0, 0, 0, 0, 0, 0]);
+        assert_eq!(s.write(0, &ack), ack.len(), "before the window");
+        assert_eq!(s.write(2, &ack), 0, "stalled inside the window");
+        assert_eq!(s.write(5, &ack), ack.len(), "window over");
+        assert_eq!(s.acks_admitted(), 2);
+    }
+
+    #[test]
+    fn ack_decoding_counts_split_deliveries_correctly() {
+        let mut s = SimStream::new(0, &ops(), 7, 8, FaultPlan::new());
+        let mut acks = frame(&[0x00, 9, 0, 0, 0, 0, 0, 0, 0]);
+        acks.extend_from_slice(&frame(&[0x01, 3]));
+        for b in &acks {
+            assert_eq!(s.write(0, std::slice::from_ref(b)), 1);
+        }
+        assert_eq!(s.acks_admitted(), 1);
+        assert_eq!(s.acks_refused(), 1);
+    }
+
+    #[test]
+    fn sim_clients_shards_users_and_preserves_per_user_order() {
+        let engine = WorkloadEngine::new(WorkloadConfig {
+            users: 20,
+            ops: 200,
+            seed: 99,
+            ..WorkloadConfig::default()
+        });
+        let clients = sim_clients(&engine, 6, 1234, 32, &FaultPlan::new());
+        assert_eq!(clients.len(), 6);
+        let total: usize = clients.iter().map(|c| c.script_len()).sum();
+        assert!(total > 0);
+        // Same inputs rebuild the same scripts.
+        let again = sim_clients(&engine, 6, 1234, 32, &FaultPlan::new());
+        for (a, b) in clients.iter().zip(again.iter()) {
+            assert_eq!(a.bytes, b.bytes, "conn {} script differs", a.conn());
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! Real sockets: the same server over `std::net` nonblocking TCP.
+//!
+//! No mio, no tokio — [`TcpFrontDoor`] is a nonblocking
+//! [`TcpListener`] whose accepted [`TcpStream`]s plug straight into
+//! [`NetServer`] through the [`ByteStream`] impl below. The server's
+//! sweep loop *is* the event loop: a `WouldBlock` read or write simply
+//! yields until the next sweep, exactly like a simulated stream with
+//! nothing to deliver.
+//!
+//! The determinism story is unchanged: a TCP-driven run is as
+//! nondeterministic as the kernel wants to be, and the admission
+//! journal still captures the exact ingress sequence, so the run
+//! replays offline byte-for-byte.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+
+use crate::server::{ByteStream, NetServer, ReadOutcome};
+use metaverse_gateway::ingress::Ingress;
+
+impl ByteStream for TcpStream {
+    fn read(&mut self, _now: u64, buf: &mut [u8]) -> ReadOutcome {
+        match Read::read(self, buf) {
+            Ok(0) => ReadOutcome::Closed,
+            Ok(n) => ReadOutcome::Data(n),
+            Err(e) if e.kind() == ErrorKind::WouldBlock => ReadOutcome::WouldBlock,
+            Err(e) if e.kind() == ErrorKind::Interrupted => ReadOutcome::WouldBlock,
+            Err(e)
+                if e.kind() == ErrorKind::ConnectionReset
+                    || e.kind() == ErrorKind::ConnectionAborted
+                    || e.kind() == ErrorKind::BrokenPipe =>
+            {
+                ReadOutcome::Reset
+            }
+            Err(_) => ReadOutcome::Reset,
+        }
+    }
+
+    fn write(&mut self, _now: u64, bytes: &[u8]) -> usize {
+        match Write::write(self, bytes) {
+            Ok(n) => n,
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::Interrupted => 0,
+            // A write-side failure surfaces on the next read as Reset;
+            // report no progress here.
+            Err(_) => 0,
+        }
+    }
+}
+
+/// A nonblocking TCP acceptor feeding a [`NetServer`].
+#[derive(Debug)]
+pub struct TcpFrontDoor {
+    listener: TcpListener,
+}
+
+impl TcpFrontDoor {
+    /// Binds and switches the listener to nonblocking mode.
+    pub fn bind<A: ToSocketAddrs>(addr: A) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(TcpFrontDoor { listener })
+    }
+
+    /// The bound address (useful after binding port 0).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Accepts every connection currently pending, registering each
+    /// (nonblocking) with the server. Returns how many were accepted.
+    pub fn poll_accept<I: Ingress>(
+        &self,
+        server: &mut NetServer<I, TcpStream>,
+    ) -> std::io::Result<usize> {
+        let mut accepted = 0;
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    stream.set_nonblocking(true)?;
+                    stream.set_nodelay(true).ok();
+                    server.accept(stream);
+                    accepted += 1;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(accepted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::frame;
+    use crate::server::NetServerConfig;
+    use metaverse_gateway::op::Op;
+    use metaverse_gateway::router::{GatewayConfig, ShardRouter};
+
+    /// Sandboxes may deny binding; these tests skip rather than fail
+    /// when no loopback socket is available.
+    fn try_bind() -> Option<TcpFrontDoor> {
+        TcpFrontDoor::bind("127.0.0.1:0").ok()
+    }
+
+    #[test]
+    fn loopback_clients_flow_through_the_front_door() {
+        let Some(door) = try_bind() else {
+            eprintln!("skipping: cannot bind loopback in this environment");
+            return;
+        };
+        let addr = door.local_addr().unwrap();
+        let mut server = NetServer::new(
+            ShardRouter::new(GatewayConfig::builder().shards(2).key_tree_depth(6).build()),
+            NetServerConfig::default(),
+        );
+
+        let clients: Vec<std::thread::JoinHandle<usize>> = (0..4)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let mut stream = TcpStream::connect(addr).unwrap();
+                    let user = format!("user-{i}");
+                    let mut script = frame(&Op::Register { user: user.clone() }.encode());
+                    script.extend_from_slice(&frame(
+                        &Op::Endorse { user: user.clone(), subject: user }.encode(),
+                    ));
+                    Write::write_all(&mut stream, &script).unwrap();
+                    // Half-close the write side so the server sees EOF,
+                    // then drain acks until the server closes.
+                    stream.shutdown(std::net::Shutdown::Write).unwrap();
+                    let mut acks = Vec::new();
+                    let mut buf = [0u8; 256];
+                    loop {
+                        match Read::read(&mut stream, &mut buf) {
+                            Ok(0) => break,
+                            Ok(n) => acks.extend_from_slice(&buf[..n]),
+                            Err(_) => break,
+                        }
+                    }
+                    acks.len()
+                })
+            })
+            .collect();
+
+        // Accept until all four clients have registered, then serve.
+        let mut tries = 0;
+        while server.conn_count() < 4 {
+            door.poll_accept(&mut server).unwrap();
+            tries += 1;
+            assert!(tries < 50_000, "clients never connected");
+            std::thread::yield_now();
+        }
+        let report = server.run_to_completion();
+        assert!(!report.stalled);
+        assert_eq!(report.admitted, 8, "{report:?}");
+        assert!(server.ingress().conservation_report().conserved);
+
+        // Connections are gone server-side; dropping the server closes
+        // the sockets and unblocks any client still reading.
+        drop(server);
+        for c in clients {
+            let ack_bytes = c.join().unwrap();
+            // Each client gets two 13-byte framed admission acks.
+            assert_eq!(ack_bytes, 26);
+        }
+    }
+
+    #[test]
+    fn journal_from_a_tcp_run_replays_offline() {
+        let Some(door) = try_bind() else {
+            eprintln!("skipping: cannot bind loopback in this environment");
+            return;
+        };
+        let addr = door.local_addr().unwrap();
+        let config = GatewayConfig::builder().shards(2).key_tree_depth(6).build();
+        let mut server =
+            NetServer::new(ShardRouter::new(config.clone()), NetServerConfig::default());
+        let client = std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            let mut script = frame(&Op::Register { user: "tcp-user".into() }.encode());
+            script.extend_from_slice(&frame(
+                &Op::Mint {
+                    user: "tcp-user".into(),
+                    asset: 0,
+                    uri: "ipfs://relic".into(),
+                    quality: 0.9,
+                }
+                .encode(),
+            ));
+            Write::write_all(&mut stream, &script).unwrap();
+            stream.shutdown(std::net::Shutdown::Write).unwrap();
+            let mut sink = Vec::new();
+            let _ = Read::read_to_end(&mut stream, &mut sink);
+        });
+        let mut tries = 0;
+        while server.conn_count() < 1 {
+            door.poll_accept(&mut server).unwrap();
+            tries += 1;
+            assert!(tries < 50_000, "client never connected");
+            std::thread::yield_now();
+        }
+        let report = server.run_to_completion();
+        assert_eq!(report.admitted, 2);
+        let (live, journal) = server.into_parts();
+        client.join().unwrap();
+
+        let mut offline = ShardRouter::new(config);
+        let replay = journal.replay_into(&mut offline);
+        assert_eq!(replay.divergences, 0);
+        assert_eq!(
+            format!("{:?}", offline.conservation_report()),
+            format!("{:?}", live.conservation_report()),
+            "offline replay reproduces the audit"
+        );
+    }
+}

@@ -1,0 +1,89 @@
+//! Property-based gates for the streaming frame decoder: a framed op
+//! stream split at *arbitrary* byte boundaries (1 B .. 64 KiB chunks)
+//! decodes losslessly, every recovered payload re-encodes canonically
+//! through the wire codec, and no chunking — or corrupted length
+//! prefix — ever panics.
+
+use metaverse_gateway::Op;
+use metaverse_gateway::workload::{WorkloadConfig, WorkloadEngine};
+use metaverse_net::{frame, FrameDecoder, FrameError, DEFAULT_MAX_FRAME};
+use proptest::prelude::*;
+
+/// A seeded op stream, framed and concatenated into one byte stream.
+fn framed_stream(seed: u64, ops: usize) -> (Vec<Op>, Vec<u8>) {
+    let engine = WorkloadEngine::new(WorkloadConfig {
+        users: 6,
+        ops,
+        seed,
+        ..WorkloadConfig::default()
+    });
+    let ops = engine.generate();
+    let mut stream = Vec::new();
+    for op in &ops {
+        stream.extend_from_slice(&frame(&op.encode()));
+    }
+    (ops, stream)
+}
+
+proptest! {
+    /// Whatever the chunking, the decoder recovers exactly the framed
+    /// payloads, in order, and each payload is a canonical op frame.
+    #[test]
+    fn arbitrary_chunking_decodes_losslessly(
+        seed in any::<u64>(),
+        op_count in 1usize..32,
+        chunks in proptest::collection::vec(1usize..65_536, 1..48),
+    ) {
+        let (ops, stream) = framed_stream(seed, op_count);
+        let mut decoder = FrameDecoder::new(DEFAULT_MAX_FRAME);
+        let mut out = Vec::new();
+        let mut pos = 0;
+        let mut i = 0;
+        while pos < stream.len() {
+            let take = chunks[i % chunks.len()].min(stream.len() - pos);
+            decoder.feed(&stream[pos..pos + take], &mut out).expect("valid stream");
+            pos += take;
+            i += 1;
+        }
+        prop_assert!(!decoder.mid_frame(), "a whole stream must leave no partial frame");
+        prop_assert_eq!(out.len(), ops.len(), "frame count");
+        for (payload, op) in out.iter().zip(&ops) {
+            prop_assert_eq!(payload, &op.encode(), "payload bytes survive chunking");
+            let back = Op::decode(payload).expect("payload is a valid op frame");
+            prop_assert_eq!(&back.encode(), payload, "canonical re-encode");
+        }
+        prop_assert_eq!(decoder.frames_decoded(), ops.len() as u64);
+        prop_assert_eq!(decoder.bytes_consumed(), stream.len() as u64);
+    }
+
+    /// One-byte drip: the adversarial-slow path decodes identically to
+    /// a single-shot feed.
+    #[test]
+    fn one_byte_drip_matches_single_shot(seed in any::<u64>(), op_count in 1usize..16) {
+        let (_, stream) = framed_stream(seed, op_count);
+        let mut drip = FrameDecoder::new(DEFAULT_MAX_FRAME);
+        let mut drip_out = Vec::new();
+        for b in &stream {
+            drip.feed(std::slice::from_ref(b), &mut drip_out).expect("valid stream");
+        }
+        let mut shot = FrameDecoder::new(DEFAULT_MAX_FRAME);
+        let mut shot_out = Vec::new();
+        shot.feed(&stream, &mut shot_out).expect("valid stream");
+        prop_assert_eq!(drip_out, shot_out);
+    }
+
+    /// A length prefix above the cap fails typed — never a panic, never
+    /// an allocation of the advertised size — wherever the chunk
+    /// boundary falls inside the prefix.
+    #[test]
+    fn oversized_prefix_fails_typed_at_any_split(split in 0usize..4, extra in 0u32..1024) {
+        let len = DEFAULT_MAX_FRAME as u32 + 1 + extra;
+        let prefix = len.to_le_bytes();
+        let mut decoder = FrameDecoder::new(DEFAULT_MAX_FRAME);
+        let mut out = Vec::new();
+        decoder.feed(&prefix[..split], &mut out).expect("incomplete prefix is fine");
+        let err = decoder.feed(&prefix[split..], &mut out).expect_err("over the cap");
+        prop_assert!(matches!(err, FrameError::Oversized { .. }), "{err:?}");
+        prop_assert!(out.is_empty());
+    }
+}

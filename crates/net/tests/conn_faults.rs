@@ -1,0 +1,131 @@
+//! Connection-fault regression gates: a client that dies mid-frame,
+//! trickles bytes, or stops draining its acks must never strand a
+//! session mailbox, wedge the readiness loop, or break the
+//! conservation audit. Faults are scheduled on the deterministic fault
+//! fabric, so every one of these runs is replayable.
+
+use metaverse_gateway::session::RateLimit;
+use metaverse_gateway::{GatewayConfig, Ingress, ShardRouter};
+use metaverse_gateway::workload::{WorkloadConfig, WorkloadEngine};
+use metaverse_net::{sim_clients, CloseCause, ConnState, NetServer, NetServerConfig, SimStream};
+use metaverse_resilience::{FaultKind, FaultPlan};
+
+const SEED: u64 = 20220701;
+const CONNS: usize = 8;
+
+fn router(shards: usize) -> ShardRouter {
+    ShardRouter::new(
+        GatewayConfig::builder()
+            .shards(shards)
+            .rate_limit(RateLimit { burst: 256, milli_per_tick: 256_000 })
+            .mailbox_capacity(4096)
+            .key_tree_depth(5)
+            .build(),
+    )
+}
+
+fn fleet(plan: &FaultPlan) -> Vec<SimStream> {
+    let engine = WorkloadEngine::new(WorkloadConfig {
+        users: 24,
+        ops: 800,
+        seed: SEED,
+        ..WorkloadConfig::default()
+    });
+    sim_clients(&engine, CONNS, SEED, 256, plan)
+}
+
+fn serve(plan: &FaultPlan) -> NetServer<ShardRouter, SimStream> {
+    let mut server = NetServer::new(
+        router(2),
+        NetServerConfig { ops_per_epoch: 128, ..NetServerConfig::default() },
+    );
+    for stream in fleet(plan) {
+        server.accept(stream);
+    }
+    let report = server.run_to_completion();
+    assert!(!report.stalled, "the run must drain: {report:?}");
+    server
+}
+
+/// The headline regression: a peer that resets strictly inside a frame
+/// closes with the typed cause, its already-admitted ops still execute,
+/// and nothing — mailboxes, settlement escrow, the run itself — is left
+/// stranded.
+#[test]
+fn mid_frame_disconnect_never_strands_a_session_mailbox() {
+    const VICTIM: u64 = 3;
+    let plan =
+        FaultPlan::new().schedule(0, 10_000, FaultKind::ConnMidFrameDisconnect { conn: VICTIM });
+    let mut server = serve(&plan);
+    let victim = server.conn(VICTIM).expect("victim slot exists");
+    assert_eq!(
+        victim.state(),
+        ConnState::Closed(CloseCause::MidFrameDisconnect),
+        "the cut must surface as the typed close cause"
+    );
+    assert_eq!(victim.inbox_len(), 0, "no decoded frame may rot in a dead conn's inbox");
+    // Every admitted op — including the victim's pre-cut ops — executed.
+    assert_eq!(server.ingress().backlog(), 0, "session mailboxes must be drained");
+    let audit = server.ingress_mut().conservation_report();
+    assert!(audit.conserved, "{audit:?}");
+    // The healthy conns were untouched: each got exactly one ack per
+    // offered op and finished cleanly.
+    for id in 0..CONNS as u64 {
+        if id == VICTIM {
+            continue;
+        }
+        let conn = server.conn(id).expect("slot exists");
+        assert_eq!(conn.state(), ConnState::Closed(CloseCause::Finished), "conn {id}");
+        let stats = conn.stats();
+        assert_eq!(stats.admitted, stats.frames, "conn {id} acked every frame");
+    }
+}
+
+/// A cut on every connection at once: the server still drains the
+/// admitted prefix and the audit holds.
+#[test]
+fn cutting_every_connection_still_drains_the_admitted_prefix() {
+    let mut plan = FaultPlan::new();
+    for conn in 0..CONNS as u64 {
+        plan = plan.schedule(0, 10_000, FaultKind::ConnMidFrameDisconnect { conn });
+    }
+    let mut server = serve(&plan);
+    for id in 0..CONNS as u64 {
+        let conn = server.conn(id).expect("slot exists");
+        assert_eq!(conn.state(), ConnState::Closed(CloseCause::MidFrameDisconnect), "conn {id}");
+    }
+    assert_eq!(server.ingress().backlog(), 0);
+    assert!(server.ingress_mut().conservation_report().conserved);
+}
+
+/// A slowloris peer (one byte per read inside the window) slows its own
+/// stream down but completes losslessly and blocks nobody.
+#[test]
+fn slowloris_completes_losslessly_without_blocking_the_fleet() {
+    let plan = FaultPlan::new().schedule(0, 2_000, FaultKind::ConnSlowloris { conn: 1 });
+    let mut server = serve(&plan);
+    for id in 0..CONNS as u64 {
+        let conn = server.conn(id).expect("slot exists");
+        assert_eq!(conn.state(), ConnState::Closed(CloseCause::Finished), "conn {id}");
+        let stats = conn.stats();
+        assert_eq!(stats.admitted, stats.frames, "conn {id} admitted every frame");
+    }
+    assert_eq!(server.ingress().backlog(), 0);
+    assert!(server.ingress_mut().conservation_report().conserved);
+}
+
+/// A peer that stops draining acks mid-run: the server buffers, the
+/// window closes, and every ack is eventually delivered — the fault is
+/// invisible to the admitted-op stream.
+#[test]
+fn ack_stall_recovers_without_losing_a_single_ack() {
+    let faulted = FaultPlan::new().schedule(1, 200, FaultKind::ConnAckStall { conn: 2 });
+    let mut server = serve(&faulted);
+    let conn = server.conn(2).expect("slot exists");
+    assert_eq!(conn.state(), ConnState::Closed(CloseCause::Finished));
+    assert_eq!(conn.write_buf_len(), 0, "every buffered ack must flush after the window");
+    let stats = conn.stats();
+    assert_eq!(stats.admitted, stats.frames);
+    assert_eq!(server.ingress().backlog(), 0);
+    assert!(server.ingress_mut().conservation_report().conserved);
+}

@@ -1,0 +1,103 @@
+//! The network determinism gate CI runs explicitly: a seeded simulated
+//! client fleet served through the readiness loop must leave behind an
+//! admission journal whose *offline* replay — a fresh router, no
+//! sockets, no wall clock — reproduces the settlement ledger, the
+//! conservation audit, and the exported op-trace stream byte for byte,
+//! at every shard count. The journal is the determinism boundary: if
+//! this gate holds, any network run can be audited after the fact.
+
+use metaverse_gateway::session::RateLimit;
+use metaverse_gateway::{GatewayConfig, ShardRouter};
+use metaverse_gateway::workload::{WorkloadConfig, WorkloadEngine};
+use metaverse_net::{sim_clients, AdmissionJournal, NetServer, NetServerConfig};
+use metaverse_resilience::FaultPlan;
+
+const SEED: u64 = 20220701;
+
+/// A router sized like the experiments: generous admission (the gate
+/// exercises the pipeline, not the limiter), full tracing, shallow key
+/// trees for cheap per-test keygen.
+fn router(shards: usize) -> ShardRouter {
+    ShardRouter::new(
+        GatewayConfig::builder()
+            .shards(shards)
+            .workers(1)
+            .tracing(1 << 16)
+            .rate_limit(RateLimit { burst: 256, milli_per_tick: 256_000 })
+            .mailbox_capacity(4096)
+            .key_tree_depth(5)
+            .build(),
+    )
+}
+
+/// The audited fingerprint the gate compares byte-for-byte.
+fn fingerprint(router: &mut ShardRouter) -> String {
+    let trace = router.trace_jsonl();
+    format!(
+        "{:?}\n{:?}\n{trace}",
+        router.settlement_ledger(),
+        router.conservation_report(),
+    )
+}
+
+/// Serves the seeded fleet and returns (journal bytes, fingerprint).
+fn serve(shards: usize) -> (Vec<u8>, String) {
+    let engine = WorkloadEngine::new(WorkloadConfig {
+        users: 32,
+        ops: 1_500,
+        seed: SEED,
+        ..WorkloadConfig::default()
+    });
+    let mut server = NetServer::new(
+        router(shards),
+        NetServerConfig { ops_per_epoch: 256, ..NetServerConfig::default() },
+    );
+    for stream in sim_clients(&engine, 12, SEED, 512, &FaultPlan::new()) {
+        server.accept(stream);
+    }
+    let report = server.run_to_completion();
+    assert!(!report.stalled, "the fleet must drain: {report:?}");
+    assert!(report.admitted > 0, "the fleet must admit ops: {report:?}");
+    let (mut live, journal) = server.into_parts();
+    (journal.to_bytes(), fingerprint(&mut live))
+}
+
+#[test]
+fn journal_replay_is_byte_identical_at_every_shard_count() {
+    for shards in [1usize, 2, 4, 8] {
+        let (journal_bytes, live) = serve(shards);
+        let journal =
+            AdmissionJournal::from_bytes(&journal_bytes).expect("journal bytes round-trip");
+        let mut offline = router(shards);
+        let replay = journal.replay_into(&mut offline);
+        assert_eq!(
+            replay.divergences, 0,
+            "offline outcomes must match the recorded ones at {shards} shards: {replay:?}"
+        );
+        assert!(replay.offers > 0 && replay.epochs > 0, "vacuous replay: {replay:?}");
+        assert_eq!(
+            live,
+            fingerprint(&mut offline),
+            "offline replay diverged from the network run at {shards} shards"
+        );
+    }
+}
+
+#[test]
+fn identical_network_runs_produce_identical_journals() {
+    let (a, fp_a) = serve(4);
+    let (b, fp_b) = serve(4);
+    assert_eq!(a, b, "journal bytes diverged for identical runs");
+    assert_eq!(fp_a, fp_b, "audits diverged for identical runs");
+}
+
+#[test]
+fn journal_bytes_round_trip_and_refuse_corruption() {
+    let (bytes, _) = serve(2);
+    let journal = AdmissionJournal::from_bytes(&bytes).expect("decodes");
+    assert_eq!(journal.to_bytes(), bytes, "re-encoding must be canonical");
+    assert!(AdmissionJournal::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+    let mut bad_magic = bytes.clone();
+    bad_magic[0] ^= 0xFF;
+    assert!(AdmissionJournal::from_bytes(&bad_magic).is_err());
+}

@@ -81,6 +81,29 @@ pub enum FaultKind {
         /// Identity of the validator whose acks are lost.
         validator: String,
     },
+    /// A serving-layer client turns slowloris: while the window is open
+    /// it delivers one byte per read, dragging frames out across many
+    /// sweeps. Tick domain: the net server's sweep index.
+    ConnSlowloris {
+        /// Target connection id.
+        conn: u64,
+    },
+    /// A serving-layer client vanishes mid-frame: when the window
+    /// opens, the connection delivers bytes up to a point strictly
+    /// inside its current frame and then resets. Tick domain: the net
+    /// server's sweep index.
+    ConnMidFrameDisconnect {
+        /// Target connection id.
+        conn: u64,
+    },
+    /// A serving-layer client stops draining acks while the window is
+    /// open: every server write is refused, backing the server's write
+    /// buffer up until it pauses reads (backpressure to the socket).
+    /// Tick domain: the net server's sweep index.
+    ConnAckStall {
+        /// Target connection id.
+        conn: u64,
+    },
 }
 
 impl FaultKind {
@@ -104,6 +127,16 @@ impl FaultKind {
         }
     }
 
+    /// The connection id a serving-layer fault targets, if any.
+    pub fn conn(&self) -> Option<u64> {
+        match self {
+            FaultKind::ConnSlowloris { conn }
+            | FaultKind::ConnMidFrameDisconnect { conn }
+            | FaultKind::ConnAckStall { conn } => Some(*conn),
+            _ => None,
+        }
+    }
+
     /// Short label for reports.
     pub fn label(&self) -> &'static str {
         match self {
@@ -116,6 +149,9 @@ impl FaultKind {
             FaultKind::ValidatorPartition { .. } => "validator-partition",
             FaultKind::AckDelay { .. } => "ack-delay",
             FaultKind::AckDrop { .. } => "ack-drop",
+            FaultKind::ConnSlowloris { .. } => "conn-slowloris",
+            FaultKind::ConnMidFrameDisconnect { .. } => "conn-mid-frame-disconnect",
+            FaultKind::ConnAckStall { .. } => "conn-ack-stall",
         }
     }
 }
@@ -338,6 +374,27 @@ impl FaultInjector {
             .any(|f| matches!(&f.kind, FaultKind::AckDrop { validator: v } if v == validator))
     }
 
+    /// Whether a [`FaultKind::ConnSlowloris`] on `conn` is active at
+    /// `tick` (tick domain: net-server sweep index).
+    pub fn conn_slowloris(&self, tick: Tick, conn: u64) -> bool {
+        self.active_at(tick)
+            .any(|f| matches!(f.kind, FaultKind::ConnSlowloris { conn: c } if c == conn))
+    }
+
+    /// Whether a [`FaultKind::ConnMidFrameDisconnect`] on `conn` is
+    /// active at `tick` (tick domain: net-server sweep index).
+    pub fn conn_disconnect(&self, tick: Tick, conn: u64) -> bool {
+        self.active_at(tick)
+            .any(|f| matches!(f.kind, FaultKind::ConnMidFrameDisconnect { conn: c } if c == conn))
+    }
+
+    /// Whether a [`FaultKind::ConnAckStall`] on `conn` is active at
+    /// `tick` (tick domain: net-server sweep index).
+    pub fn conn_ack_stall(&self, tick: Tick, conn: u64) -> bool {
+        self.active_at(tick)
+            .any(|f| matches!(f.kind, FaultKind::ConnAckStall { conn: c } if c == conn))
+    }
+
     /// First tick `validator` is reachable again (the latest active
     /// crash/partition window on it closes), if one is active at `tick`.
     pub fn validator_recovery_tick(&self, tick: Tick, validator: &str) -> Option<Tick> {
@@ -445,6 +502,30 @@ mod tests {
         assert_eq!(
             FaultKind::ValidatorPartition { validator: "x".into() }.label(),
             "validator-partition"
+        );
+    }
+
+    #[test]
+    fn conn_scoped_queries() {
+        let plan = FaultPlan::new()
+            .schedule(5, 10, FaultKind::ConnSlowloris { conn: 3 })
+            .schedule(8, 4, FaultKind::ConnMidFrameDisconnect { conn: 7 })
+            .schedule(20, 5, FaultKind::ConnAckStall { conn: 3 });
+        let inj = plan.injector();
+        assert!(inj.conn_slowloris(5, 3));
+        assert!(!inj.conn_slowloris(5, 7), "conn-scoped, not global");
+        assert!(!inj.conn_slowloris(15, 3), "window closed");
+        assert!(inj.conn_disconnect(9, 7));
+        assert!(!inj.conn_disconnect(9, 3));
+        assert!(inj.conn_ack_stall(22, 3));
+        assert!(!inj.conn_ack_stall(19, 3));
+        assert_eq!(FaultKind::ConnSlowloris { conn: 3 }.conn(), Some(3));
+        assert_eq!(FaultKind::ConnSlowloris { conn: 3 }.validator(), None);
+        assert_eq!(FaultKind::Crash { module: "m".into() }.conn(), None);
+        assert_eq!(FaultKind::ConnAckStall { conn: 0 }.label(), "conn-ack-stall");
+        assert_eq!(
+            FaultKind::ConnMidFrameDisconnect { conn: 0 }.label(),
+            "conn-mid-frame-disconnect"
         );
     }
 

@@ -195,6 +195,18 @@ pub fn trace_event_json(e: &TraceEvent) -> String {
                 ",\"shard\":{shard},\"term\":{term},\"leader\":{leader},\"failover_ticks\":{failover_ticks}"
             ));
         }
+        TraceStage::ConnAccepted { conn } => {
+            out.push_str(&format!(",\"conn\":{conn}"));
+        }
+        TraceStage::FrameDecoded { conn, len } => {
+            out.push_str(&format!(",\"conn\":{conn},\"len\":{len}"));
+        }
+        TraceStage::BackpressureParked { conn, resume_at_tick } => {
+            out.push_str(&format!(",\"conn\":{conn},\"resume_at_tick\":{resume_at_tick}"));
+        }
+        TraceStage::ConnClosed { conn, cause } => {
+            out.push_str(&format!(",\"conn\":{conn},\"cause\":\"{cause}\""));
+        }
     }
     out.push('}');
     out

@@ -162,6 +162,38 @@ pub mod gateway {
     }
 }
 
+/// Serving-layer (connection-oriented network front door) instrument
+/// names, recorded by `metaverse-net`'s server hub.
+pub mod net {
+    /// Connections ever accepted.
+    pub const CONNS_ACCEPTED: &str = "net.conns.accepted";
+    /// Connections closed (any cause).
+    pub const CONNS_CLOSED: &str = "net.conns.closed";
+    /// Gauge: connections currently open or draining.
+    pub const CONNS_OPEN: &str = "net.conns.open";
+    /// Bytes read off client streams.
+    pub const BYTES_READ: &str = "net.bytes.read";
+    /// Ack bytes written back to clients.
+    pub const BYTES_WRITTEN: &str = "net.bytes.written";
+    /// Complete frames reassembled.
+    pub const FRAMES_DECODED: &str = "net.frames.decoded";
+    /// Offers the ingress admitted.
+    pub const OPS_ADMITTED: &str = "net.ops.admitted";
+    /// Offers the ingress refused (transparent retries included).
+    pub const OPS_REFUSED: &str = "net.ops.refused";
+    /// Connections parked for admission backpressure.
+    pub const BACKPRESSURE_PAUSES: &str = "net.backpressure.pauses";
+    /// Epoch boundaries the server fired into its ingress.
+    pub const EPOCHS_FIRED: &str = "net.epochs.fired";
+    /// Readiness sweeps performed.
+    pub const SWEEPS: &str = "net.sweeps";
+    /// Admission-journal records written (offers + epoch markers).
+    pub const JOURNAL_ENTRIES: &str = "net.journal.entries";
+    /// Histogram: wall-clock nanoseconds per ingress call (reporting
+    /// only — no control flow reads it).
+    pub const ADMISSION_NS: &str = "net.admission_ns";
+}
+
 /// Replication (per-shard quorum-commit cluster) instrument names.
 pub mod replication {
     /// Blocks proposed by cluster leaders.
@@ -224,6 +256,19 @@ pub const ALL_FIXED: &[&str] = &[
     gateway::BATCH_SIZE,
     gateway::SHARD_COMMIT_FAILURES,
     gateway::SHARD_EPOCHS_SKIPPED,
+    net::CONNS_ACCEPTED,
+    net::CONNS_CLOSED,
+    net::CONNS_OPEN,
+    net::BYTES_READ,
+    net::BYTES_WRITTEN,
+    net::FRAMES_DECODED,
+    net::OPS_ADMITTED,
+    net::OPS_REFUSED,
+    net::BACKPRESSURE_PAUSES,
+    net::EPOCHS_FIRED,
+    net::SWEEPS,
+    net::JOURNAL_ENTRIES,
+    net::ADMISSION_NS,
     replication::BLOCKS_PROPOSED,
     replication::BLOCKS_COMMITTED,
     replication::ACKS_DELIVERED,
@@ -329,6 +374,11 @@ mod tests {
         assert_eq!(replication::BLOCKS_COMMITTED, "replication.blocks.committed");
         assert_eq!(replication::LEADER_ELECTIONS, "replication.leader.elections");
         assert_eq!(replication::COMMIT_LATENCY_TICKS, "replication.commit.latency_ticks");
+        assert_eq!(net::CONNS_ACCEPTED, "net.conns.accepted");
+        assert_eq!(net::FRAMES_DECODED, "net.frames.decoded");
+        assert_eq!(net::BACKPRESSURE_PAUSES, "net.backpressure.pauses");
+        assert_eq!(net::JOURNAL_ENTRIES, "net.journal.entries");
+        assert_eq!(net::ADMISSION_NS, "net.admission_ns");
     }
 
     #[test]

@@ -180,6 +180,39 @@ pub enum TraceStage {
         /// Ticks of election delay charged to the in-flight commit.
         failover_ticks: u64,
     },
+    /// Serving layer: a client connection was registered with the net
+    /// server. Only emitted on the net stream (seq = connection id,
+    /// tick = server sweep), never the op stream.
+    ConnAccepted {
+        /// The new connection's id.
+        conn: u64,
+    },
+    /// Serving layer: a complete frame was reassembled off a
+    /// connection's byte stream (however many reads it took).
+    FrameDecoded {
+        /// Source connection.
+        conn: u64,
+        /// Payload length in bytes.
+        len: u32,
+    },
+    /// Serving layer: admission backpressure parked a connection — its
+    /// head-of-line op was refused by a token bucket or full mailbox
+    /// and will be transparently re-offered.
+    BackpressureParked {
+        /// Parked connection.
+        conn: u64,
+        /// Server sweep at which offers resume.
+        resume_at_tick: u64,
+    },
+    /// Serving layer: a connection reached its terminal state.
+    ConnClosed {
+        /// Closed connection.
+        conn: u64,
+        /// Stable close-cause label (`"finished"`, `"peer_reset"`,
+        /// `"mid_frame_disconnect"`, `"oversized_frame"`,
+        /// `"admission_stalled"`).
+        cause: &'static str,
+    },
 }
 
 impl TraceStage {
@@ -200,17 +233,23 @@ impl TraceStage {
             TraceStage::AckReceived { .. } => "ack_received",
             TraceStage::QuorumCommitted { .. } => "quorum_committed",
             TraceStage::LeaderElected { .. } => "leader_elected",
+            TraceStage::ConnAccepted { .. } => "conn_accepted",
+            TraceStage::FrameDecoded { .. } => "frame_decoded",
+            TraceStage::BackpressureParked { .. } => "backpressure_parked",
+            TraceStage::ConnClosed { .. } => "conn_closed",
         }
     }
 
     /// Whether this stage records work being turned away: an admission
-    /// refusal, a shard execution failure, or a settlement entry that
-    /// refunded or dropped instead of applying.
+    /// refusal, a shard execution failure, a settlement entry that
+    /// refunded or dropped instead of applying, or a connection that
+    /// closed for any reason other than finishing cleanly.
     pub fn is_drop(&self) -> bool {
         match self {
             TraceStage::RateLimited { .. } | TraceStage::Refused { .. } => true,
             TraceStage::Executed { ok, .. } => !ok,
             TraceStage::Settled { outcome, .. } => *outcome != "applied",
+            TraceStage::ConnClosed { cause, .. } => *cause != "finished",
             _ => false,
         }
     }
