@@ -1,0 +1,125 @@
+//! Criterion benchmarks for the governance-at-scale hot paths: the
+//! per-event PET filtering cost a sensor stream pays at the shard
+//! boundary, a credit-budgeted quadratic tally over a full voter set,
+//! and a severity-prioritised moderation queue drained through the
+//! escalation ladder.
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use metaverse_dao::dao::{Dao, DaoConfig};
+use metaverse_dao::voting::{Choice, VotingScheme};
+use metaverse_ledger::audit::SensorClass;
+use metaverse_moderation::actions::EscalationLadder;
+use metaverse_moderation::queue::{Report, ReportQueue, Severity};
+use metaverse_privacy::{PetPipeline, SensorSample};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Per-event PET cost: the noise + quantize pipeline the gateway's
+/// shard workers run on every admitted sensor event, at the one-value
+/// samples the wire op carries and at a wider 16-channel sample.
+fn bench_pet_per_event(c: &mut Criterion) {
+    let pipeline = PetPipeline::new().noise(0.05).quantize(0.01);
+    for (name, channels) in [("1ch", 1usize), ("16ch", 16usize)] {
+        let sample = SensorSample {
+            sensor: SensorClass::HeartRate,
+            values: (0..channels).map(|i| 60.0 + i as f64).collect(),
+            tick: 7,
+        };
+        c.bench_function(&format!("governance/pet_filter_event_{name}"), |b| {
+            let mut rng = ChaCha8Rng::seed_from_u64(0x9e26);
+            b.iter(|| {
+                let mut samples = vec![sample.clone()];
+                pipeline.apply(&mut samples, &mut rng).expect("pet pipeline");
+                black_box(samples)
+            })
+        });
+    }
+}
+
+/// A full quadratic tally: one proposal, 64 voters each buying 3 votes
+/// for 9 voice credits, closed and tallied. Fresh DAO per batch so the
+/// proposal map and ballot history never accumulate across iterations.
+fn bench_quadratic_tally(c: &mut Criterion) {
+    const VOTERS: usize = 64;
+    let names: Vec<String> = (0..VOTERS).map(|i| format!("voter-{i:03}")).collect();
+    c.bench_function("governance/quadratic_tally_64_voters", |b| {
+        b.iter_batched(
+            || {
+                let mut dao = Dao::new(
+                    "bench",
+                    DaoConfig {
+                        scheme: VotingScheme::Quadratic,
+                        initial_voice_credits: 1 << 20,
+                        ..DaoConfig::default()
+                    },
+                );
+                for name in &names {
+                    dao.add_member(name).expect("member");
+                }
+                dao
+            },
+            |mut dao| {
+                let id = dao.propose(&names[0], "quadratic storm", 0).expect("propose");
+                for (i, name) in names.iter().enumerate() {
+                    let choice = if i % 3 == 0 { Choice::No } else { Choice::Yes };
+                    dao.vote_quadratic(name, id, choice, 3, 1).expect("vote");
+                }
+                black_box(dao.close(id, 101).expect("close"))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+/// Draining a flooded report queue: 192 reports across the three
+/// severity lanes popped in priority order, every violation walked up
+/// the escalation ladder, every fifth offender appealing, and the
+/// accumulated ledger records drained at the end — the moderation
+/// flood's per-epoch hot loop.
+fn bench_moderation_queue_drain(c: &mut Criterion) {
+    const PER_LANE: usize = 64;
+    c.bench_function("governance/moderation_drain_192_reports", |b| {
+        b.iter_batched(
+            || {
+                let mut queue = ReportQueue::new();
+                let mut id = 0u64;
+                for severity in [Severity::Low, Severity::Medium, Severity::High] {
+                    for i in 0..PER_LANE {
+                        id += 1;
+                        queue.push(Report {
+                            id,
+                            subject: format!("subject-{:02}", i % 16),
+                            severity,
+                            submitted_at: id,
+                            violation: i % 2 == 0,
+                        });
+                    }
+                }
+                (queue, EscalationLadder::new())
+            },
+            |(mut queue, mut ladder)| {
+                let mut handled = 0u64;
+                while let Some(report) = queue.pop() {
+                    handled += 1;
+                    if report.violation {
+                        let action = ladder.punish(&report.subject, "bench-authority");
+                        if handled.is_multiple_of(5) {
+                            black_box(ladder.appeal(&report.subject, "bench-authority", true));
+                        }
+                        black_box(action);
+                    }
+                }
+                black_box((handled, ladder.drain_ledger_records()))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_pet_per_event,
+    bench_quadratic_tally,
+    bench_moderation_queue_drain
+);
+criterion_main!(benches);

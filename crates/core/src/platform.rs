@@ -16,11 +16,12 @@ use metaverse_dao::dao::DaoConfig;
 use metaverse_dao::federation::ModularGovernance;
 use metaverse_dao::proposal::{ProposalId, ProposalStatus};
 use metaverse_dao::voting::{Choice, Tally};
-use metaverse_ledger::audit::{AuditRegistry, DataCollectionEvent};
+use metaverse_ledger::audit::{AuditRegistry, DataCollectionEvent, LawfulBasis, SensorClass};
 use metaverse_ledger::chain::{Chain, ChainConfig};
 use metaverse_ledger::crypto::sha256::Digest;
 use metaverse_ledger::tx::{Transaction, TxPayload};
-use metaverse_moderation::actions::{EscalationLadder, ModAction};
+use metaverse_moderation::actions::{AppealVerdict, EscalationLadder, ModAction};
+use metaverse_privacy::error::PrivacyError;
 use metaverse_privacy::firewall::DataFlowFirewall;
 use metaverse_reputation::engine::{EngineConfig, ReputationEngine};
 use metaverse_replication::{ReplicationCluster, ReplicationStats};
@@ -88,19 +89,23 @@ impl Default for PlatformConfig {
 /// Platform operations with a dedicated invocation counter
 /// (`ops.<name>` in snapshots). Pre-registered so the hot path never
 /// touches the hub's registry lock.
-const OP_NAMES: [&str; 13] = [
+const OP_NAMES: [&str; 17] = [
     "register_user",
     "propose",
     "vote",
+    "vote_quadratic",
+    "delegate",
     "close_proposal",
     "endorse",
     "report",
+    "appeal",
     "remote_rating",
     "mint_asset",
     "list_asset",
     "buy_asset",
     "withdraw",
     "configure_flow",
+    "sensor_event",
     "commit_epoch",
 ];
 
@@ -545,6 +550,45 @@ impl MetaversePlatform {
         Ok((status == ProposalStatus::Accepted, tally))
     }
 
+    /// Casts a credit-budgeted quadratic vote: `votes` ballots cost
+    /// `votes²` voice credits from the voter's balance in the scope's
+    /// module. Same availability semantics as [`MetaversePlatform::vote`]:
+    /// a refused module bounces the ballot (typed error), a zombie one
+    /// silently loses it.
+    pub fn vote_quadratic(
+        &mut self,
+        scope: &str,
+        voter: &str,
+        id: ProposalId,
+        support: bool,
+        votes: u64,
+    ) -> Result<(), CoreError> {
+        self.metrics.op("vote_quadratic").incr();
+        let _span = self.metrics.slot(ModuleKind::DecisionMaking).latency.start_span();
+        match self.guard(ModuleKind::DecisionMaking) {
+            Availability::Refused => return Err(Self::unavailable(ModuleKind::DecisionMaking)),
+            Availability::Zombie => return Ok(()), // ballot silently lost
+            Availability::Ok => {}
+        }
+        let choice = if support { Choice::Yes } else { Choice::No };
+        Ok(self.governance.vote_quadratic(scope, voter, id, choice, votes, self.tick)?)
+    }
+
+    /// Sets (or with `None`, revokes) a member's liquid-democracy
+    /// delegate across *every* governance scope. All-or-nothing: the
+    /// delegation is validated everywhere before any scope is mutated,
+    /// so platform delegation state never ends up half-applied.
+    pub fn set_delegation(&mut self, from: &str, to: Option<&str>) -> Result<(), CoreError> {
+        self.metrics.op("delegate").incr();
+        let _span = self.metrics.slot(ModuleKind::DecisionMaking).latency.start_span();
+        match self.guard(ModuleKind::DecisionMaking) {
+            Availability::Refused => return Err(Self::unavailable(ModuleKind::DecisionMaking)),
+            Availability::Zombie => return Ok(()), // delegation silently lost
+            Availability::Ok => {}
+        }
+        Ok(self.governance.set_delegate_all(from, to)?)
+    }
+
     /// Runs a closure with mutable access to the modular governance
     /// fabric (scoped DAOs), recording the escape as
     /// `escape.governance` so audits can see how often callers step
@@ -609,6 +653,28 @@ impl MetaversePlatform {
         self.replay_held_reports();
         self.reputation.report(rater, subject, self.tick)?;
         Ok(self.ladder.punish(subject, "dao:moderation"))
+    }
+
+    /// A user appeals their standing moderation action. Merit is decided
+    /// from reputation standing (non-negative points = deserving); the
+    /// escalation ladder adjudicates and, on a granted appeal, clears
+    /// the offender's history with a ledger-recorded restoration.
+    ///
+    /// Availability mirrors [`MetaversePlatform::report`]: a refused
+    /// moderation module bounces the appeal (typed error, the appellant
+    /// can retry), a zombie one answers with an upheld warning that
+    /// never reaches the ladder or the ledger.
+    pub fn appeal_moderation(&mut self, subject: &str) -> Result<AppealVerdict, CoreError> {
+        self.metrics.op("appeal").incr();
+        let _span = self.metrics.slot(ModuleKind::Moderation).latency.start_span();
+        match self.guard(ModuleKind::Moderation) {
+            Availability::Refused => return Err(Self::unavailable(ModuleKind::Moderation)),
+            Availability::Zombie => return Ok(AppealVerdict::Upheld(ModAction::Warn)),
+            Availability::Ok => {}
+        }
+        let deserving =
+            self.reputation.score(subject).map(|s| s.points() >= 0.0).unwrap_or(false);
+        Ok(self.ladder.appeal(subject, "dao:appeals", deserving))
     }
 
     /// Applies a rating whose rater lives on *another* platform shard —
@@ -816,6 +882,45 @@ impl MetaversePlatform {
     /// Records differential-privacy spend for a subject.
     pub fn record_dp_spend(&mut self, subject: &str, epsilon: f64) {
         *self.dp_spend.entry(subject.to_string()).or_insert(0.0) += epsilon;
+    }
+
+    /// Ingests one PET-filtered sensor release for `subject`: validates
+    /// the epsilon charge, records the collection in the audit registry,
+    /// and debits differential-privacy spend. Guarded by the privacy
+    /// module slot — a refused module fails closed (typed error, the
+    /// release never lands), a zombie one lets the release through
+    /// untracked (the naive fail-open mode E19 measures).
+    pub fn ingest_sensor(
+        &mut self,
+        subject: &str,
+        sensor: SensorClass,
+        epsilon: f64,
+        bytes: u64,
+    ) -> Result<(), CoreError> {
+        self.metrics.op("sensor_event").incr();
+        let _span = self.metrics.slot(ModuleKind::Privacy).latency.start_span();
+        match self.guard(ModuleKind::Privacy) {
+            Availability::Refused => return Err(Self::unavailable(ModuleKind::Privacy)),
+            Availability::Zombie => return Ok(()), // release lands untracked
+            Availability::Ok => {}
+        }
+        if !epsilon.is_finite() || epsilon < 0.0 {
+            return Err(CoreError::Privacy(PrivacyError::InvalidParameter {
+                name: "epsilon",
+                value: epsilon,
+            }));
+        }
+        self.audit.record(DataCollectionEvent {
+            collector: "gateway:pet".into(),
+            subject: subject.to_string(),
+            sensor,
+            purpose: "sensor-stream".into(),
+            basis: LawfulBasis::Consent,
+            tick: self.tick,
+            bytes,
+        });
+        self.record_dp_spend(subject, epsilon);
+        Ok(())
     }
 
     /// The audit registry (who collected what).

@@ -174,6 +174,20 @@ impl Dao {
     ///
     /// Rejects delegations that would close a cycle.
     pub fn set_delegate(&mut self, from: &str, to: Option<&str>) -> Result<(), DaoError> {
+        self.check_delegate(from, to)?;
+        self.members
+            .get_mut(from)
+            .ok_or_else(|| DaoError::NotAMember { account: from.into() })?
+            .delegate = to.map(str::to_string);
+        Ok(())
+    }
+
+    /// Validates a delegation without applying it: both accounts must
+    /// be members, and following the chain from `to` must never reach
+    /// `from` (which would close a cycle). This is [`Dao::set_delegate`]
+    /// minus the mutation, so callers coordinating the same delegation
+    /// across several modules can dry-run it everywhere first.
+    pub fn check_delegate(&self, from: &str, to: Option<&str>) -> Result<(), DaoError> {
         if !self.members.contains_key(from) {
             return Err(DaoError::NotAMember { account: from.into() });
         }
@@ -195,10 +209,6 @@ impl Dao {
                 }
             }
         }
-        self.members
-            .get_mut(from)
-            .ok_or_else(|| DaoError::NotAMember { account: from.into() })?
-            .delegate = to.map(str::to_string);
         Ok(())
     }
 

@@ -144,6 +144,38 @@ impl ModularGovernance {
         self.scoped(scope)?.vote(voter, id, choice, now)
     }
 
+    /// Casts a credit-budgeted quadratic vote in the scoped module:
+    /// `votes` ballots cost `votes²` voice credits from the voter's
+    /// balance in that module.
+    pub fn vote_quadratic(
+        &mut self,
+        scope: &str,
+        voter: &str,
+        id: ProposalId,
+        choice: Choice,
+        votes: u64,
+        now: u64,
+    ) -> Result<(), DaoError> {
+        self.scoped(scope)?.vote_quadratic(voter, id, choice, votes, now)
+    }
+
+    /// Sets (or with `None`, revokes) `from`'s delegate in *every*
+    /// module — flat-governance delegation, the counterpart of
+    /// [`ModularGovernance::join_all`]. All-or-nothing: the change is
+    /// validated against every module (membership + cycle walk) before
+    /// any module is mutated, so a rejected delegation leaves no module
+    /// half-updated.
+    pub fn set_delegate_all(&mut self, from: &str, to: Option<&str>) -> Result<(), DaoError> {
+        // Dry-run pass: surface the first failure without mutating.
+        for dao in self.modules.values() {
+            dao.check_delegate(from, to)?;
+        }
+        for dao in self.modules.values_mut() {
+            dao.set_delegate(from, to)?;
+        }
+        Ok(())
+    }
+
     /// Closes a proposal in the scoped module.
     pub fn close(
         &mut self,

@@ -153,6 +153,27 @@ impl GatewayConfigBuilder {
         self
     }
 
+    /// Global differential-privacy budget for sensor ingestion, in
+    /// micro-epsilon (see [`GatewayConfig::dp_budget_micro`]).
+    pub fn dp_budget_micro(mut self, budget: u64) -> Self {
+        self.config.dp_budget_micro = budget;
+        self
+    }
+
+    /// Micro-epsilon charged per admitted sensor event (see
+    /// [`GatewayConfig::dp_epsilon_per_event_micro`]).
+    pub fn dp_epsilon_per_event_micro(mut self, micro: u64) -> Self {
+        self.config.dp_epsilon_per_event_micro = micro;
+        self
+    }
+
+    /// Base seed for PET-pipeline noise (see
+    /// [`GatewayConfig::pet_noise_seed`]).
+    pub fn pet_noise_seed(mut self, seed: u64) -> Self {
+        self.config.pet_noise_seed = seed;
+        self
+    }
+
     /// The finished config.
     pub fn build(self) -> GatewayConfig {
         self.config
@@ -197,6 +218,9 @@ mod tests {
             .workers(3)
             .tracing(1 << 10)
             .replication(ReplicationConfig::default())
+            .dp_budget_micro(42_000)
+            .dp_epsilon_per_event_micro(7)
+            .pet_noise_seed(0xfeed)
             .build();
         assert_eq!(config.shards, 8);
         assert_eq!(config.vnodes, 32);
@@ -212,6 +236,9 @@ mod tests {
         assert_eq!(config.workers, 3);
         assert_eq!(config.trace_capacity, 1 << 10);
         assert!(config.replication.is_some());
+        assert_eq!(config.dp_budget_micro, 42_000);
+        assert_eq!(config.dp_epsilon_per_event_micro, 7);
+        assert_eq!(config.pet_noise_seed, 0xfeed);
     }
 
     #[test]

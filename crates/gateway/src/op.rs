@@ -124,6 +124,49 @@ pub enum Op {
         /// Additive delta.
         delta: f64,
     },
+    /// Delegate the user's vote to another member (liquid democracy);
+    /// applied across every governance scope on every shard.
+    Delegate {
+        /// Delegating account.
+        user: String,
+        /// Account receiving the delegation.
+        delegate: String,
+    },
+    /// Revoke the user's standing delegation everywhere.
+    RevokeDelegation {
+        /// Account revoking its delegation.
+        user: String,
+    },
+    /// Cast a credit-budgeted quadratic ballot: `votes` ballots cost
+    /// `votes²` voice credits (routed to the proposal's shard like
+    /// [`Op::Vote`]).
+    QuadraticVote {
+        /// Voting account.
+        user: String,
+        /// Global proposal id (creation order).
+        proposal: u64,
+        /// Yes / no.
+        support: bool,
+        /// Ballots bought (cost = votes², in voice credits).
+        votes: u32,
+    },
+    /// Stream one sensor reading through the shard's PET pipeline into
+    /// the audit registry, charging the global differential-privacy
+    /// budget. Over-budget releases fail closed at the router.
+    SensorEvent {
+        /// The data subject (and session owner).
+        user: String,
+        /// Sensor class the reading came from.
+        class: SensorClass,
+        /// Raw reading before PET filtering.
+        reading: f64,
+    },
+    /// Appeal the user's standing moderation action; adjudicated by
+    /// the escalation ladder against reputation standing.
+    AppealModeration {
+        /// The appealing account.
+        user: String,
+    },
 }
 
 /// Decode failure: the byte string is not a valid [`Op`].
@@ -176,6 +219,11 @@ const TAG_LIST: u8 = 0x08;
 const TAG_BUY: u8 = 0x09;
 const TAG_RECORD_COLLECTION: u8 = 0x0a;
 const TAG_TWIN_SYNC: u8 = 0x0b;
+const TAG_DELEGATE: u8 = 0x0c;
+const TAG_REVOKE_DELEGATION: u8 = 0x0d;
+const TAG_QUADRATIC_VOTE: u8 = 0x0e;
+const TAG_SENSOR_EVENT: u8 = 0x0f;
+const TAG_APPEAL_MODERATION: u8 = 0x10;
 
 fn put_str(out: &mut Vec<u8>, s: &str) {
     let len = u16::try_from(s.len()).expect("gateway strings stay under 64 KiB");
@@ -278,7 +326,12 @@ impl Op {
             | Op::List { user, .. }
             | Op::Buy { user, .. }
             | Op::RecordCollection { user, .. }
-            | Op::TwinSync { user, .. } => user,
+            | Op::TwinSync { user, .. }
+            | Op::Delegate { user, .. }
+            | Op::RevokeDelegation { user }
+            | Op::QuadraticVote { user, .. }
+            | Op::SensorEvent { user, .. }
+            | Op::AppealModeration { user } => user,
         }
     }
 
@@ -296,6 +349,11 @@ impl Op {
             Op::Buy { .. } => "buy",
             Op::RecordCollection { .. } => "record_collection",
             Op::TwinSync { .. } => "twin_sync",
+            Op::Delegate { .. } => "delegate",
+            Op::RevokeDelegation { .. } => "revoke_delegation",
+            Op::QuadraticVote { .. } => "quadratic_vote",
+            Op::SensorEvent { .. } => "sensor_event",
+            Op::AppealModeration { .. } => "appeal",
         }
     }
 
@@ -370,6 +428,32 @@ impl Op {
                 out.extend_from_slice(&property.to_le_bytes());
                 out.extend_from_slice(&delta.to_bits().to_le_bytes());
             }
+            Op::Delegate { user, delegate } => {
+                out.push(TAG_DELEGATE);
+                put_str(&mut out, user);
+                put_str(&mut out, delegate);
+            }
+            Op::RevokeDelegation { user } => {
+                out.push(TAG_REVOKE_DELEGATION);
+                put_str(&mut out, user);
+            }
+            Op::QuadraticVote { user, proposal, support, votes } => {
+                out.push(TAG_QUADRATIC_VOTE);
+                put_str(&mut out, user);
+                out.extend_from_slice(&proposal.to_le_bytes());
+                out.push(u8::from(*support));
+                out.extend_from_slice(&votes.to_le_bytes());
+            }
+            Op::SensorEvent { user, class, reading } => {
+                out.push(TAG_SENSOR_EVENT);
+                put_str(&mut out, user);
+                out.push(sensor_byte(*class));
+                out.extend_from_slice(&reading.to_bits().to_le_bytes());
+            }
+            Op::AppealModeration { user } => {
+                out.push(TAG_APPEAL_MODERATION);
+                put_str(&mut out, user);
+            }
         }
         out
     }
@@ -418,6 +502,23 @@ impl Op {
             TAG_TWIN_SYNC => {
                 Op::TwinSync { user: r.string()?, property: r.u32()?, delta: r.f64()? }
             }
+            TAG_DELEGATE => Op::Delegate { user: r.string()?, delegate: r.string()? },
+            TAG_REVOKE_DELEGATION => Op::RevokeDelegation { user: r.string()? },
+            TAG_QUADRATIC_VOTE => Op::QuadraticVote {
+                user: r.string()?,
+                proposal: r.u64()?,
+                support: r.bool()?,
+                votes: r.u32()?,
+            },
+            TAG_SENSOR_EVENT => {
+                let user = r.string()?;
+                let sensor_idx = r.u8()?;
+                let class = *SensorClass::ALL
+                    .get(sensor_idx as usize)
+                    .ok_or(WireError::BadEnum { field: "class", value: sensor_idx })?;
+                Op::SensorEvent { user, class, reading: r.f64()? }
+            }
+            TAG_APPEAL_MODERATION => Op::AppealModeration { user: r.string()? },
             tag => return Err(WireError::BadTag(tag)),
         };
         if r.pos != buf.len() {
@@ -457,6 +558,22 @@ mod tests {
                 bytes: 4096,
             },
             Op::TwinSync { user: "alice".into(), property: 3, delta: -0.5 },
+            Op::Delegate { user: "alice".into(), delegate: "bob".into() },
+            Op::RevokeDelegation { user: "alice".into() },
+            Op::QuadraticVote { user: "carol".into(), proposal: 7, support: true, votes: 3 },
+            Op::QuadraticVote {
+                user: "carol".into(),
+                proposal: u64::MAX,
+                support: false,
+                votes: u32::MAX,
+            },
+            Op::SensorEvent { user: "alice".into(), class: SensorClass::Gaze, reading: 0.7 },
+            Op::SensorEvent {
+                user: "kei".into(),
+                class: SensorClass::HeartRate,
+                reading: f64::NEG_INFINITY,
+            },
+            Op::AppealModeration { user: "mallory".into() },
         ]
     }
 
@@ -525,6 +642,25 @@ mod tests {
             Op::decode(&bytes),
             Err(WireError::BadEnum { field: "sensor", .. })
         ));
+        // Out-of-range sensor class on a sensor event: the class byte
+        // sits right after the user string: 1 + (2+1).
+        let mut sensor_event =
+            Op::SensorEvent { user: "u".into(), class: SensorClass::Gaze, reading: 1.0 }.encode();
+        sensor_event[4] = 200;
+        assert!(matches!(
+            Op::decode(&sensor_event),
+            Err(WireError::BadEnum { field: "class", .. })
+        ));
+        // Bad bool byte on a quadratic vote (support sits before votes).
+        let mut qv =
+            Op::QuadraticVote { user: "v".into(), proposal: 1, support: true, votes: 2 }.encode();
+        let support_at = qv.len() - 5;
+        qv[support_at] = 7;
+        assert_eq!(Op::decode(&qv), Err(WireError::BadBool(7)));
+        // Truncated quadratic vote (votes field cut off).
+        let qv = Op::QuadraticVote { user: "v".into(), proposal: 1, support: true, votes: 2 }
+            .encode();
+        assert_eq!(Op::decode(&qv[..qv.len() - 2]), Err(WireError::UnexpectedEof));
     }
 
     #[test]

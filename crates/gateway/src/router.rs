@@ -50,6 +50,9 @@ use metaverse_core::CoreError;
 use metaverse_ledger::audit::{DataCollectionEvent, LawfulBasis, SensorClass};
 use metaverse_ledger::chain::ChainConfig;
 use metaverse_ledger::tx::TxPayload;
+use metaverse_moderation::{AppealVerdict, ModAction};
+use metaverse_privacy::{PetPipeline, SensorSample};
+use rand::SeedableRng;
 use metaverse_replication::{ReplicationCluster, ReplicationConfig, ReplicationStats};
 use metaverse_resilience::breaker::BreakerTransition;
 use metaverse_resilience::{BreakerConfig, BreakerState, CircuitBreaker, FaultPlan};
@@ -106,6 +109,21 @@ pub struct GatewayConfig {
     /// commit path: enabling it — or faulting validators within the
     /// f = 1 tolerance — changes no audit, report, or op-trace byte.
     pub replication: Option<ReplicationConfig>,
+    /// Global differential-privacy budget for sensor-event ingestion,
+    /// in micro-epsilon (1e-6 ε). The router debits this ledger in
+    /// admission-`seq` order *before* fan-out, so the spend sequence —
+    /// and which events are refused once the budget runs dry — is
+    /// byte-identical at every shard and worker count.
+    pub dp_budget_micro: u64,
+    /// Micro-epsilon charged per admitted `SensorEvent`. An event whose
+    /// charge would overdraw [`GatewayConfig::dp_budget_micro`] fails
+    /// closed: it is refused (traced as `budget_refused`), never
+    /// reaching a shard's PET pipeline.
+    pub dp_epsilon_per_event_micro: u64,
+    /// Base seed for PET-pipeline noise. Each sensor event derives its
+    /// own stream as `pet_noise_seed ^ seq`, so the noise a given
+    /// admission draws never depends on shard or worker count.
+    pub pet_noise_seed: u64,
     /// Construction-path marker. Naming this field (i.e. writing a full
     /// `GatewayConfig { .. }` literal) is deprecated: the field set
     /// grows with every subsystem, and each growth breaks every bare
@@ -140,6 +158,9 @@ impl Default for GatewayConfig {
             workers: 0,
             trace_capacity: 0,
             replication: None,
+            dp_budget_micro: 1_000_000_000,
+            dp_epsilon_per_event_micro: 1_000,
+            pet_noise_seed: 0,
             struct_literal: (),
         }
     }
@@ -260,6 +281,46 @@ pub struct ConservationReport {
     pub conserved: bool,
 }
 
+/// Router-side accounting for the global differential-privacy budget:
+/// debited sequentially at pre-route time, reconciled at the merge
+/// barrier when a shard worker reports the event released.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct DpLedger {
+    spent_micro: u64,
+    reconciled_micro: u64,
+    admitted: u64,
+    refused: u64,
+}
+
+/// Shard-count-invariant audit of the global epsilon budget — the DP
+/// counterpart of [`ConservationReport`], compared byte-for-byte across
+/// shard counts by the determinism gates.
+///
+/// `spent_micro` is debited in admission-`seq` order before fan-out;
+/// `reconciled_micro` accumulates at the merge barrier as workers
+/// report released events. In a fault-free run the two are equal. When
+/// a privacy module is faulted mid-epoch an admitted event can fail on
+/// its shard after its charge was taken; the charge is deliberately
+/// *not* refunded (fail closed — the conservative direction for a
+/// privacy budget), so `spent_micro >= reconciled_micro` always holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DpBudgetReport {
+    /// Configured global budget, in micro-epsilon.
+    pub budget_micro: u64,
+    /// Micro-epsilon debited for admitted sensor events.
+    pub spent_micro: u64,
+    /// Micro-epsilon confirmed released by shard workers.
+    pub reconciled_micro: u64,
+    /// Sensor events that executed on a shard.
+    pub admitted_events: u64,
+    /// Sensor events refused because the budget was exhausted.
+    pub refused_events: u64,
+    /// `spent_micro <= budget_micro` — the ledger never over-spends.
+    pub within_budget: bool,
+    /// `spent_micro == reconciled_micro` — every debit reached a shard.
+    pub reconciled: bool,
+}
+
 /// What one epoch did.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct EpochReport {
@@ -300,6 +361,12 @@ struct GatewayMetrics {
     batch_size: Histogram,
     shard_commit_failures: Counter,
     shard_epochs_skipped: Counter,
+    dp_spent_micro: Counter,
+    dp_admitted: Counter,
+    dp_refused: Counter,
+    governance_delegations: Counter,
+    governance_quadratic_votes: Counter,
+    governance_appeals: Counter,
     shard_batch_ns: Vec<Histogram>,
     shard_queue_depth: Vec<Gauge>,
     trace_recorded: Counter,
@@ -330,6 +397,12 @@ impl GatewayMetrics {
             batch_size: hub.histogram(g::BATCH_SIZE),
             shard_commit_failures: hub.counter(g::SHARD_COMMIT_FAILURES),
             shard_epochs_skipped: hub.counter(g::SHARD_EPOCHS_SKIPPED),
+            dp_spent_micro: hub.counter(g::DP_SPENT_MICRO),
+            dp_admitted: hub.counter(g::DP_ADMITTED),
+            dp_refused: hub.counter(g::DP_REFUSED),
+            governance_delegations: hub.counter(g::GOVERNANCE_DELEGATIONS),
+            governance_quadratic_votes: hub.counter(g::GOVERNANCE_QUADRATIC_VOTES),
+            governance_appeals: hub.counter(g::GOVERNANCE_APPEALS),
             shard_batch_ns: (0..shards).map(|i| hub.histogram(&g::shard_batch_ns(i))).collect(),
             shard_queue_depth: (0..shards).map(|i| hub.gauge(&g::shard_queue_depth(i))).collect(),
             trace_recorded: hub.counter(names::TRACE_EVENTS_RECORDED),
@@ -350,6 +423,11 @@ struct Shard {
     twin: DigitalTwin,
     channel: SyncChannel,
     recorder: FlightRecorder,
+    /// PET stage fronting sensor ingestion: every admitted
+    /// `SensorEvent` passes through noise + quantisation before its
+    /// collection event is recorded. Noise draws from a per-event
+    /// stream (`pet_noise_seed ^ seq`), never from shard-local state.
+    pet: PetPipeline,
 }
 
 // The epoch fan-out moves each `&mut Shard` into a scoped worker thread
@@ -446,6 +524,7 @@ pub struct ShardRouter {
     proposals: BTreeMap<u64, (usize, String, u64)>,
     settlement: VecDeque<PendingSettlement>,
     ledger: SettlementLedger,
+    dp: DpLedger,
     epoch: u64,
     now: u64,
     seq: u64,
@@ -502,6 +581,7 @@ impl ShardRouter {
                     queue: VecDeque::new(),
                     breaker: CircuitBreaker::new(config.breaker),
                     recorder: FlightRecorder::new(config.trace_capacity),
+                    pet: PetPipeline::new().noise(0.05).quantize(0.01),
                     twin: DigitalTwin::new(i as u64, format!("shard-{i}"), "gateway", 8),
                     channel: SyncChannel::new(SyncConfig {
                         loss_rate: 0.0,
@@ -538,6 +618,7 @@ impl ShardRouter {
             proposals: BTreeMap::new(),
             settlement: VecDeque::new(),
             ledger: SettlementLedger::default(),
+            dp: DpLedger::default(),
             epoch: 0,
             now: 0,
             seq: 0,
@@ -614,6 +695,21 @@ impl ShardRouter {
     /// The settlement ledger (terminal entries + supply accounting).
     pub fn settlement_ledger(&self) -> &SettlementLedger {
         &self.ledger
+    }
+
+    /// Audits the global epsilon budget; see [`DpBudgetReport`]. Like
+    /// [`Self::conservation_report`], identical for one seed at every
+    /// shard and worker count.
+    pub fn dp_budget_report(&self) -> DpBudgetReport {
+        DpBudgetReport {
+            budget_micro: self.config.dp_budget_micro,
+            spent_micro: self.dp.spent_micro,
+            reconciled_micro: self.dp.reconciled_micro,
+            admitted_events: self.dp.admitted,
+            refused_events: self.dp.refused,
+            within_budget: self.dp.spent_micro <= self.config.dp_budget_micro,
+            reconciled: self.dp.spent_micro == self.dp.reconciled_micro,
+        }
     }
 
     /// Query view over the merged trace ring (empty when tracing is
@@ -954,7 +1050,44 @@ impl ShardRouter {
         let mut merge: BTreeMap<u64, MergeItem> = BTreeMap::new();
         for (seq, plan) in plans {
             match plan {
-                Planned::Execute { shard, op } => batches[shard].push((seq, op)),
+                Planned::Execute { shard, op } => {
+                    let mut op = op;
+                    match &mut op {
+                        // The global DP ledger debits here — still
+                        // sequential, still in `seq` order — so the
+                        // spend sequence and the refusal frontier are
+                        // invariant under shard and worker counts.
+                        ShardOp::SensorEvent { epsilon_micro, noise_seed, .. } => {
+                            let remaining =
+                                self.config.dp_budget_micro.saturating_sub(self.dp.spent_micro);
+                            if *epsilon_micro > remaining {
+                                self.dp.refused += 1;
+                                self.metrics.dp_refused.incr();
+                                self.metrics.ops_failed.incr();
+                                report.failed += 1;
+                                if self.recorder.is_enabled() {
+                                    self.trace(
+                                        seq,
+                                        TraceStage::BudgetRefused {
+                                            op: "sensor_event",
+                                            requested_micro: *epsilon_micro,
+                                            remaining_micro: remaining,
+                                        },
+                                    );
+                                }
+                                continue;
+                            }
+                            self.dp.spent_micro += *epsilon_micro;
+                            *noise_seed = self.config.pet_noise_seed ^ seq;
+                        }
+                        ShardOp::QuadraticVote { .. } => {
+                            self.metrics.governance_quadratic_votes.incr();
+                        }
+                        ShardOp::Appeal { .. } => self.metrics.governance_appeals.incr(),
+                        _ => {}
+                    }
+                    batches[shard].push((seq, op));
+                }
                 Planned::Merge(item) => {
                     if self.recorder.is_enabled() {
                         if let MergeItem::Deferred(ref op) = item {
@@ -1072,6 +1205,41 @@ impl ShardRouter {
                     self.metrics.ops_committed.incr();
                     report.committed += 1;
                 }
+                MergeItem::Delegation { user, delegate } => {
+                    // Membership is global, so delegation is too: apply
+                    // to every shard's governance replica. The replicas
+                    // hold identical delegation graphs (all delegation
+                    // flows through this barrier), so the cycle check
+                    // accepts or rejects uniformly across shards.
+                    let mut result = Ok(());
+                    for sh in &mut self.shards {
+                        let r = sh.platform.set_delegation(&user, delegate.as_deref());
+                        if r.is_err() {
+                            result = r;
+                        }
+                    }
+                    match result {
+                        Ok(()) => {
+                            self.metrics.governance_delegations.incr();
+                            self.metrics.ops_committed.incr();
+                            report.committed += 1;
+                            if self.recorder.is_enabled() {
+                                let home = self.session_shard(&user);
+                                self.trace(
+                                    seq,
+                                    TraceStage::Delegated {
+                                        shard: home as u32,
+                                        revoked: delegate.is_none(),
+                                    },
+                                );
+                            }
+                        }
+                        Err(_) => {
+                            self.metrics.ops_failed.incr();
+                            report.failed += 1;
+                        }
+                    }
+                }
                 MergeItem::Deferred(op) => {
                     self.execute_deferred(seq, op, &skipped, &mut report)
                 }
@@ -1176,7 +1344,7 @@ impl ShardRouter {
     /// buys and ratings start on the home shard and finish through the
     /// settlement queue.)
     fn target_shard(&self, op: &Op) -> usize {
-        if let Op::Vote { proposal, .. } = op {
+        if let Op::Vote { proposal, .. } | Op::QuadraticVote { proposal, .. } = op {
             if let Some((shard, _, _)) = self.proposals.get(proposal) {
                 return *shard;
             }
@@ -1319,6 +1487,65 @@ impl ShardRouter {
                 let shard = self.session_shard(&user);
                 Planned::Execute { shard, op: ShardOp::TwinSync { property, delta } }
             }
+            // Delegation is global state (membership spans every
+            // shard's DAOs), so it applies at the merge barrier to all
+            // shards at once — the cycle check then sees identical
+            // delegation graphs no matter how users are sharded.
+            Op::Delegate { user, delegate } => {
+                Planned::Merge(MergeItem::Delegation { user, delegate: Some(delegate) })
+            }
+            Op::RevokeDelegation { user } => {
+                Planned::Merge(MergeItem::Delegation { user, delegate: None })
+            }
+            Op::QuadraticVote { user, proposal, support, votes } => {
+                match self.proposals.get(&proposal) {
+                    Some(&(pshard, ref scope, local)) => {
+                        if skipped[pshard] {
+                            Planned::Requeue {
+                                shard: pshard,
+                                op: Op::QuadraticVote { user, proposal, support, votes },
+                            }
+                        } else {
+                            Planned::Execute {
+                                shard: pshard,
+                                op: ShardOp::QuadraticVote {
+                                    user,
+                                    scope: scope.clone(),
+                                    local,
+                                    support,
+                                    votes: u64::from(votes),
+                                },
+                            }
+                        }
+                    }
+                    // The proposal may open earlier this same epoch.
+                    None => Planned::Merge(MergeItem::Deferred(Op::QuadraticVote {
+                        user,
+                        proposal,
+                        support,
+                        votes,
+                    })),
+                }
+            }
+            Op::SensorEvent { user, class, reading } => {
+                let shard = self.session_shard(&user);
+                Planned::Execute {
+                    shard,
+                    op: ShardOp::SensorEvent {
+                        user,
+                        class,
+                        reading,
+                        epsilon_micro: self.config.dp_epsilon_per_event_micro,
+                        // Patched to the per-event stream when the plan
+                        // loop debits the global DP ledger.
+                        noise_seed: 0,
+                    },
+                }
+            }
+            Op::AppealModeration { user } => {
+                let shard = self.session_shard(&user);
+                Planned::Execute { shard, op: ShardOp::Appeal { user } }
+            }
         }
     }
 
@@ -1353,6 +1580,12 @@ impl ShardRouter {
             }
             WorkerEffect::AssetMinted { global, local } => {
                 self.assets.insert(global, AssetLocation { shard, local });
+            }
+            WorkerEffect::SensorReleased { micro } => {
+                self.dp.reconciled_micro += micro;
+                self.dp.admitted += 1;
+                self.metrics.dp_spent_micro.add(micro);
+                self.metrics.dp_admitted.incr();
             }
             WorkerEffect::RemoteBuy { buyer, asset, to_shard, price } => {
                 self.ledger.escrow += price;
@@ -1409,6 +1642,34 @@ impl ShardRouter {
                     (home, Err(CoreError::Platform(format!("unknown proposal {proposal}"))))
                 }
             },
+            Op::QuadraticVote { user, proposal, support, votes } => {
+                match self.proposals.get(&proposal).cloned() {
+                    Some((pshard, scope, local)) => {
+                        if skipped[pshard] {
+                            self.trace(seq, TraceStage::Requeued { shard: pshard as u32 });
+                            self.shards[pshard]
+                                .queue
+                                .push_back((seq, Op::QuadraticVote { user, proposal, support, votes }));
+                            return;
+                        }
+                        self.metrics.governance_quadratic_votes.incr();
+                        (
+                            pshard,
+                            self.shards[pshard].platform.vote_quadratic(
+                                &scope,
+                                &user,
+                                local,
+                                support,
+                                u64::from(votes),
+                            ),
+                        )
+                    }
+                    None => {
+                        let home = self.session_shard(&user);
+                        (home, Err(CoreError::Platform(format!("unknown proposal {proposal}"))))
+                    }
+                }
+            }
             Op::List { user, asset, price } => match self.assets.get(&asset).copied() {
                 Some(loc) => {
                     if skipped[loc.shard] {
@@ -1715,6 +1976,18 @@ enum ShardOp {
         bytes: u64,
     },
     TwinSync { property: u32, delta: f64 },
+    QuadraticVote { user: String, scope: String, local: u64, support: bool, votes: u64 },
+    SensorEvent {
+        user: String,
+        class: SensorClass,
+        reading: f64,
+        /// Micro-epsilon the plan loop debited for this event.
+        epsilon_micro: u64,
+        /// Per-event noise stream (`pet_noise_seed ^ seq`), stamped by
+        /// the plan loop so noise never depends on shard placement.
+        noise_seed: u64,
+    },
+    Appeal { user: String },
 }
 
 /// A cross-shard side effect a worker hands back instead of applying:
@@ -1731,6 +2004,9 @@ enum WorkerEffect {
     /// A remote buy's escrow was withdrawn on the buyer's home shard;
     /// account for it and enqueue the settlement entry.
     RemoteBuy { buyer: String, asset: u64, to_shard: usize, price: u64 },
+    /// A sensor event cleared its shard's PET pipeline and was
+    /// recorded; reconcile its micro-epsilon against the global ledger.
+    SensorReleased { micro: u64 },
 }
 
 /// One `seq`-ordered unit the merge phase consumes.
@@ -1744,6 +2020,9 @@ enum MergeItem {
     /// The op's target may be created earlier this same epoch; execute
     /// sequentially after the worker barrier.
     Deferred(Op),
+    /// A delegation change (set or revoke): global governance state,
+    /// applied to every shard's replica at the merge barrier.
+    Delegation { user: String, delegate: Option<String> },
 }
 
 /// Where pre-routing sends one drained op.
@@ -1862,7 +2141,7 @@ fn run_shard_epoch(
     let span = metrics.shard_batch_ns[index].start_span();
     let mut results = Vec::with_capacity(work.batch.len());
     for (seq, op) in work.batch {
-        let result = exec_shard_op(shard, op, ctx.grant);
+        let result = exec_shard_op(index, shard, seq, op, ctx);
         if shard.recorder.is_enabled() {
             shard.recorder.record(TraceEvent {
                 seq,
@@ -1896,12 +2175,17 @@ fn run_shard_epoch(
 
 /// Executes one pre-routed op against its own shard. No cross-shard
 /// state is reachable from here — cross-shard consequences come back as
-/// [`WorkerEffect`]s for the merge phase.
+/// [`WorkerEffect`]s for the merge phase. `index`/`seq`/`ctx` exist so
+/// worker-side trace events (PET filtering, moderation escalation) land
+/// in the shard's staging ring with the right causal stamps.
 fn exec_shard_op(
+    index: usize,
     shard: &mut Shard,
+    seq: u64,
     op: ShardOp,
-    grant: u64,
+    ctx: EpochCtx,
 ) -> Result<Option<WorkerEffect>, CoreError> {
+    let grant = ctx.grant;
     match op {
         ShardOp::Register { user } => {
             shard.platform.register_user(&user)?;
@@ -1924,7 +2208,23 @@ fn exec_shard_op(
             if positive {
                 shard.platform.endorse(&rater, &subject)?;
             } else {
-                shard.platform.report(&rater, &subject)?;
+                let action = shard.platform.report(&rater, &subject)?;
+                // A report that pushed the subject past a warning is an
+                // escalation — the moderation-flood scenarios audit how
+                // deep the ladder went, so it joins the causal chain.
+                if shard.recorder.is_enabled()
+                    && !matches!(action, ModAction::Deferred | ModAction::Warn)
+                {
+                    shard.recorder.record(TraceEvent {
+                        seq,
+                        epoch: ctx.epoch,
+                        tick: ctx.now,
+                        stage: TraceStage::Escalated {
+                            shard: index as u32,
+                            action: action.label(),
+                        },
+                    });
+                }
             }
             Ok(None)
         }
@@ -1959,6 +2259,61 @@ fn exec_shard_op(
         }
         ShardOp::TwinSync { property, delta } => {
             shard.channel.step(&mut shard.twin, property as usize % 8, delta);
+            Ok(None)
+        }
+        ShardOp::QuadraticVote { user, scope, local, support, votes } => {
+            shard.platform.vote_quadratic(&scope, &user, local, support, votes)?;
+            Ok(None)
+        }
+        ShardOp::SensorEvent { user, class, reading, epsilon_micro, noise_seed } => {
+            // The PET stage runs on the raw reading before anything is
+            // recorded. Noise draws from the event's own seeded stream,
+            // so the released value for a given admission is identical
+            // at every shard and worker count.
+            let mut samples = vec![SensorSample {
+                sensor: class,
+                values: vec![reading],
+                tick: shard.platform.tick(),
+            }];
+            let samples_in = samples.len() as u32;
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(noise_seed);
+            shard.pet.apply(&mut samples, &mut rng).map_err(CoreError::Privacy)?;
+            let samples_out = samples.len() as u32;
+            shard.platform.ingest_sensor(
+                &user,
+                class,
+                epsilon_micro as f64 / 1e6,
+                samples.iter().map(|s| s.values.len() as u64 * 8).sum(),
+            )?;
+            if shard.recorder.is_enabled() {
+                shard.recorder.record(TraceEvent {
+                    seq,
+                    epoch: ctx.epoch,
+                    tick: ctx.now,
+                    stage: TraceStage::PetFiltered {
+                        shard: index as u32,
+                        samples_in,
+                        samples_out,
+                        epsilon_micro,
+                    },
+                });
+            }
+            Ok(Some(WorkerEffect::SensorReleased { micro: epsilon_micro }))
+        }
+        ShardOp::Appeal { user } => {
+            let verdict = shard.platform.appeal_moderation(&user)?;
+            if shard.recorder.is_enabled() {
+                let action = match verdict {
+                    AppealVerdict::Granted => "restore",
+                    AppealVerdict::Upheld(action) => action.label(),
+                };
+                shard.recorder.record(TraceEvent {
+                    seq,
+                    epoch: ctx.epoch,
+                    tick: ctx.now,
+                    stage: TraceStage::Escalated { shard: index as u32, action },
+                });
+            }
             Ok(None)
         }
     }
@@ -2559,5 +2914,160 @@ mod tests {
             .ingress(Op::Endorse { user: "nobody".into(), subject: "alice".into() })
             .unwrap_err();
         assert!(matches!(err, GatewayError::Admission(AdmissionError::UnknownUser { .. })));
+    }
+
+    #[test]
+    fn delegation_applies_globally_and_cycles_fail_uniformly() {
+        let mut router = ShardRouter::new(traced(4).build());
+        register_all(&mut router, &["alice", "bob"]);
+        let seq = router
+            .ingress(Op::Delegate { user: "alice".into(), delegate: "bob".into() })
+            .unwrap();
+        let report = router.execute_epoch();
+        assert_eq!(report.committed, 1, "delegation commits once, globally");
+        let labels: Vec<&str> =
+            router.trace_of(seq).iter().map(|e| e.stage.label()).collect();
+        assert!(labels.contains(&"delegated"), "got {labels:?}");
+        // The reverse edge closes a cycle on *every* shard's replica,
+        // so it fails — uniformly, not shard-by-shard.
+        router
+            .ingress(Op::Delegate { user: "bob".into(), delegate: "alice".into() })
+            .unwrap();
+        let report = router.execute_epoch();
+        assert_eq!((report.committed, report.failed), (0, 1), "cycle refused everywhere");
+        // Revocation reopens the edge for the other direction.
+        router.ingress(Op::RevokeDelegation { user: "alice".into() }).unwrap();
+        router.execute_epoch();
+        router
+            .ingress(Op::Delegate { user: "bob".into(), delegate: "alice".into() })
+            .unwrap();
+        let report = router.execute_epoch();
+        assert_eq!(report.committed, 1, "edge is free after the revocation");
+    }
+
+    #[test]
+    fn quadratic_votes_route_to_the_proposal_shard_and_defer_within_an_epoch() {
+        let mut router = ShardRouter::new(config(4).build());
+        register_all(&mut router, &["alice", "bob", "carol"]);
+        // Same-epoch propose + vote: the vote defers past the worker
+        // barrier and still lands.
+        router
+            .ingress(Op::Propose {
+                user: "alice".into(),
+                proposal: 7,
+                scope: "root".into(),
+                title: "quadratic".into(),
+            })
+            .unwrap();
+        router
+            .ingress(Op::QuadraticVote { user: "bob".into(), proposal: 7, support: true, votes: 3 })
+            .unwrap();
+        let report = router.execute_epoch();
+        assert_eq!(report.failed, 0, "same-epoch quadratic vote must not fail");
+        assert_eq!(report.committed, 2);
+        // Next epoch the proposal directory is warm: the vote routes
+        // straight to the proposal's shard.
+        router
+            .ingress(Op::QuadraticVote {
+                user: "carol".into(),
+                proposal: 7,
+                support: false,
+                votes: 2,
+            })
+            .unwrap();
+        let report = router.execute_epoch();
+        assert_eq!((report.committed, report.failed), (1, 0));
+        // Overdrawing the voice-credit budget fails on the shard.
+        router
+            .ingress(Op::QuadraticVote {
+                user: "carol".into(),
+                proposal: 7,
+                support: true,
+                votes: 1_000,
+            })
+            .unwrap();
+        let report = router.execute_epoch();
+        assert_eq!((report.committed, report.failed), (0, 1), "credits are finite");
+    }
+
+    #[test]
+    fn dp_budget_fails_closed_and_audits_identically_across_shard_counts() {
+        let run = |shards: usize| {
+            let mut router = ShardRouter::new(
+                traced(shards)
+                    .dp_budget_micro(3_000)
+                    .dp_epsilon_per_event_micro(1_000)
+                    .build(),
+            );
+            register_all(&mut router, &["alice", "bob"]);
+            for i in 0..8 {
+                let user = if i % 2 == 0 { "alice" } else { "bob" };
+                router
+                    .ingress(Op::SensorEvent {
+                        user: user.into(),
+                        class: SensorClass::HeartRate,
+                        reading: 72.5 + i as f64,
+                    })
+                    .unwrap();
+            }
+            router.execute_epoch();
+            (format!("{:?}", router.dp_budget_report()), router.trace_jsonl())
+        };
+        let (report, trace) = run(1);
+        let parsed = run(4).0;
+        assert_eq!(report, parsed, "DP audit must be shard-count-invariant");
+        assert_eq!(run(2).0, report);
+        assert!(report.contains("spent_micro: 3000"), "got {report}");
+        assert!(report.contains("refused_events: 5"), "got {report}");
+        assert!(report.contains("within_budget: true"), "got {report}");
+        assert!(report.contains("reconciled: true"), "got {report}");
+        assert!(trace.contains("\"budget_refused\""), "refusals join the causal trace");
+        assert!(trace.contains("\"pet_filtered\""), "admitted events record PET filtering");
+    }
+
+    #[test]
+    fn sensor_stream_traces_and_dp_audit_are_invariant_under_worker_count() {
+        let run = |workers: usize| {
+            let mut router =
+                ShardRouter::new(traced(4).workers(workers).pet_noise_seed(42).build());
+            register_all(&mut router, &["alice", "bob", "carol", "dave"]);
+            for (i, user) in ["alice", "bob", "carol", "dave"].iter().cycle().take(32).enumerate()
+            {
+                router
+                    .ingress(Op::SensorEvent {
+                        user: (*user).into(),
+                        class: SensorClass::Gaze,
+                        reading: i as f64 / 3.0,
+                    })
+                    .unwrap();
+            }
+            router.execute_epoch();
+            (format!("{:?}", router.dp_budget_report()), router.trace_jsonl())
+        };
+        let sequential = run(1);
+        let parallel = run(4);
+        assert_eq!(sequential.0, parallel.0, "DP audit never sees thread placement");
+        assert_eq!(sequential.1, parallel.1, "pet_filtered events merge in seq order");
+        assert!(sequential.1.contains("\"pet_filtered\""));
+    }
+
+    #[test]
+    fn appeal_walks_the_moderation_ladder_into_the_trace() {
+        let mut router = ShardRouter::new(traced(1).build());
+        register_all(&mut router, &["alice", "bob", "carol"]);
+        // Two reports push bob past a warning; the second escalation is
+        // traced from the worker.
+        for rater in ["alice", "carol"] {
+            router.ingress(Op::Report { user: rater.into(), subject: "bob".into() }).unwrap();
+            router.execute_epoch();
+        }
+        let seq = router.ingress(Op::AppealModeration { user: "bob".into() }).unwrap();
+        let report = router.execute_epoch();
+        assert_eq!(report.failed, 0, "the appeal itself must not fail");
+        let labels: Vec<&str> =
+            router.trace_of(seq).iter().map(|e| e.stage.label()).collect();
+        assert!(labels.contains(&"escalated"), "verdict joins the chain: {labels:?}");
+        let jsonl = router.trace_jsonl();
+        assert!(jsonl.contains("\"escalated\""), "got {jsonl}");
     }
 }

@@ -47,6 +47,17 @@ pub struct OpMix {
     pub record_collection: u32,
     /// Digital-twin updates.
     pub twin_sync: u32,
+    /// Vote delegations (liquid democracy).
+    pub delegate: u32,
+    /// Delegation revocations.
+    pub revoke_delegation: u32,
+    /// Credit-budgeted quadratic ballots.
+    pub quadratic_vote: u32,
+    /// PET-filtered biometric sensor events (metered against the
+    /// gateway's global DP budget).
+    pub sensor_event: u32,
+    /// Moderation appeals.
+    pub appeal: u32,
 }
 
 impl Default for OpMix {
@@ -64,6 +75,16 @@ impl Default for OpMix {
             buy: 10,
             record_collection: 12,
             twin_sync: 24,
+            // The governance/PET kinds default to zero so every
+            // pre-existing seed expands to the same byte-for-byte
+            // stream it always did; the scenario constructors
+            // ([`WorkloadConfig::proposal_storm`] and friends) turn
+            // them on.
+            delegate: 0,
+            revoke_delegation: 0,
+            quadratic_vote: 0,
+            sensor_event: 0,
+            appeal: 0,
         }
     }
 }
@@ -117,6 +138,98 @@ impl Default for WorkloadConfig {
             mix: OpMix::default(),
             burst: Some(BurstConfig::default()),
             scopes: vec!["privacy".into(), "moderation".into(), "assets".into(), "root".into()],
+        }
+    }
+}
+
+impl WorkloadConfig {
+    /// A DAO voting storm: proposals open continuously while delegated
+    /// and quadratic ballots pile onto them, with periodic bursts from
+    /// the most active delegates.
+    pub fn proposal_storm(users: usize, ops: usize, seed: u64) -> Self {
+        WorkloadConfig {
+            users,
+            ops,
+            seed,
+            mix: OpMix {
+                enter_world: 4,
+                propose: 6,
+                vote: 18,
+                quadratic_vote: 14,
+                delegate: 6,
+                revoke_delegation: 2,
+                endorse: 2,
+                report: 0,
+                mint: 0,
+                list: 0,
+                buy: 0,
+                record_collection: 2,
+                twin_sync: 6,
+                sensor_event: 0,
+                appeal: 0,
+            },
+            ..WorkloadConfig::default()
+        }
+    }
+
+    /// A biometric stream burst: the stream is dominated by sensor
+    /// events that must clear the PET pipeline and the global DP
+    /// budget, with bursts concentrating readings on a hot cohort.
+    pub fn biometric_burst(users: usize, ops: usize, seed: u64) -> Self {
+        WorkloadConfig {
+            users,
+            ops,
+            seed,
+            mix: OpMix {
+                enter_world: 6,
+                propose: 0,
+                vote: 0,
+                quadratic_vote: 0,
+                delegate: 0,
+                revoke_delegation: 0,
+                endorse: 2,
+                report: 0,
+                mint: 0,
+                list: 0,
+                buy: 0,
+                record_collection: 10,
+                twin_sync: 10,
+                sensor_event: 40,
+                appeal: 0,
+            },
+            burst: Some(BurstConfig { period: 500, len: 250, hot_divisor: 8 }),
+            ..WorkloadConfig::default()
+        }
+    }
+
+    /// A Sybil-wave harassment flood: report traffic concentrated onto
+    /// a small set of subjects (steep zipf), with victims appealing the
+    /// resulting moderation actions.
+    pub fn moderation_flood(users: usize, ops: usize, seed: u64) -> Self {
+        WorkloadConfig {
+            users,
+            ops,
+            seed,
+            zipf_exponent: 1.5,
+            mix: OpMix {
+                enter_world: 4,
+                propose: 0,
+                vote: 0,
+                quadratic_vote: 0,
+                delegate: 0,
+                revoke_delegation: 0,
+                endorse: 6,
+                report: 30,
+                mint: 0,
+                list: 0,
+                buy: 0,
+                record_collection: 2,
+                twin_sync: 8,
+                sensor_event: 0,
+                appeal: 12,
+            },
+            burst: Some(BurstConfig { period: 400, len: 160, hot_divisor: 16 }),
+            ..WorkloadConfig::default()
         }
     }
 }
@@ -202,6 +315,11 @@ impl WorkloadEngine {
             (c.mix.buy, 7),
             (c.mix.record_collection, 8),
             (c.mix.twin_sync, 9),
+            (c.mix.delegate, 10),
+            (c.mix.revoke_delegation, 11),
+            (c.mix.quadratic_vote, 12),
+            (c.mix.sensor_event, 13),
+            (c.mix.appeal, 14),
         ];
         let mix_total: u32 = mix.iter().map(|(w, _)| *w).sum();
         assert!(mix_total > 0, "op mix cannot be all zero");
@@ -316,6 +434,29 @@ impl WorkloadEngine {
                         bytes: rng.gen_range(64..8192),
                     }
                 }
+                10 if c.users > 1 => {
+                    // Delegate toward a (usually) more popular user;
+                    // cycles the DAO refuses just count as failures.
+                    let mut delegate_rank = zipf.sample(&mut rng);
+                    if delegate_rank == actor_rank {
+                        delegate_rank = (delegate_rank + 1) % c.users;
+                    }
+                    Op::Delegate { user: actor, delegate: Self::user_name(delegate_rank) }
+                }
+                11 => Op::RevokeDelegation { user: actor },
+                12 if next_proposal > 0 => Op::QuadraticVote {
+                    user: actor,
+                    proposal: rng.gen_range(0..next_proposal),
+                    support: rng.gen_bool(0.7),
+                    // Quadratic cost 1..=9 of the 100 starting credits.
+                    votes: rng.gen_range(1..=3),
+                },
+                13 => Op::SensorEvent {
+                    user: actor,
+                    class: SensorClass::ALL[rng.gen_range(0..SensorClass::ALL.len())],
+                    reading: rng.gen::<f64>() * 100.0,
+                },
+                14 => Op::AppealModeration { user: actor },
                 _ => Op::TwinSync {
                     user: actor,
                     property: rng.gen_range(0..8u32),
@@ -476,5 +617,54 @@ mod tests {
         let conservation = router.conservation_report();
         assert!(conservation.conserved, "{conservation:?}");
         assert_eq!(conservation.tokens_in_flight, 0, "drain settles everything");
+    }
+
+    #[test]
+    fn governance_scenarios_emit_their_signature_ops() {
+        let storm = WorkloadEngine::new(WorkloadConfig::proposal_storm(16, 600, 5)).generate();
+        assert!(storm.iter().any(|op| matches!(op, Op::QuadraticVote { .. })));
+        assert!(storm.iter().any(|op| matches!(op, Op::Delegate { .. })));
+        let burst = WorkloadEngine::new(WorkloadConfig::biometric_burst(16, 600, 5)).generate();
+        assert!(burst.iter().any(|op| matches!(op, Op::SensorEvent { .. })));
+        let flood = WorkloadEngine::new(WorkloadConfig::moderation_flood(16, 600, 5)).generate();
+        assert!(flood.iter().any(|op| matches!(op, Op::Report { .. })));
+        assert!(flood.iter().any(|op| matches!(op, Op::AppealModeration { .. })));
+        // New kinds stay off in the default mix so historic seeds keep
+        // expanding byte-for-byte.
+        let default = WorkloadEngine::new(WorkloadConfig {
+            users: 16,
+            ops: 600,
+            seed: 5,
+            ..WorkloadConfig::default()
+        })
+        .generate();
+        assert!(!default.iter().any(|op| matches!(
+            op,
+            Op::Delegate { .. }
+                | Op::RevokeDelegation { .. }
+                | Op::QuadraticVote { .. }
+                | Op::SensorEvent { .. }
+                | Op::AppealModeration { .. }
+        )));
+    }
+
+    #[test]
+    fn governance_scenarios_drive_clean_and_audit_conserved() {
+        for config in [
+            WorkloadConfig::proposal_storm(20, 900, 13),
+            WorkloadConfig::biometric_burst(20, 900, 13),
+            WorkloadConfig::moderation_flood(20, 900, 13),
+        ] {
+            let engine = WorkloadEngine::new(config);
+            let mut router = ShardRouter::new(
+                GatewayConfig::builder().shards(2).key_tree_depth(6).build(),
+            );
+            let report = engine.drive(&mut router, 64);
+            assert!(report.committed > 0);
+            assert_eq!(report.committed + report.failed, report.accepted);
+            assert!(router.conservation_report().conserved);
+            let dp = router.dp_budget_report();
+            assert!(dp.within_budget && dp.reconciled, "{dp:?}");
+        }
     }
 }

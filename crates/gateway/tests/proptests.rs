@@ -94,6 +94,19 @@ fn arb_op() -> impl Strategy<Value = Op> {
             }),
         (arb_str(), any::<u32>(), arb_f64())
             .prop_map(|(user, property, delta)| Op::TwinSync { user, property, delta }),
+        (arb_str(), arb_str()).prop_map(|(user, delegate)| Op::Delegate { user, delegate }),
+        arb_str().prop_map(|user| Op::RevokeDelegation { user }),
+        (arb_str(), any::<u64>(), any::<bool>(), any::<u32>()).prop_map(
+            |(user, proposal, support, votes)| Op::QuadraticVote {
+                user,
+                proposal,
+                support,
+                votes
+            }
+        ),
+        (arb_str(), arb_sensor(), arb_f64())
+            .prop_map(|(user, class, reading)| Op::SensorEvent { user, class, reading }),
+        arb_str().prop_map(|user| Op::AppealModeration { user }),
     ]
 }
 

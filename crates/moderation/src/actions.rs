@@ -74,6 +74,26 @@ impl PreventiveConfig {
     }
 }
 
+/// The outcome of appealing a standing moderation action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AppealVerdict {
+    /// The appeal succeeded: the offender's ladder history was cleared
+    /// (amnesty) and the restoration was recorded on the ledger.
+    Granted,
+    /// The appeal failed: the named action stands.
+    Upheld(ModAction),
+}
+
+impl AppealVerdict {
+    /// Stable label for traces and ledger records.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AppealVerdict::Granted => "granted",
+            AppealVerdict::Upheld(_) => "upheld",
+        }
+    }
+}
+
 /// The punitive escalation ladder with per-offender history.
 #[derive(Debug, Default)]
 pub struct EscalationLadder {
@@ -125,6 +145,26 @@ impl EscalationLadder {
             action: "restore".to_string(),
             authority: authority.to_string(),
         });
+    }
+
+    /// Adjudicates an appeal of `subject`'s standing action. The caller
+    /// supplies the merit decision (`deserving`, e.g. from reputation
+    /// standing); the ladder supplies the history: a deserving subject
+    /// with offenses on record gets amnesty ([`AppealVerdict::Granted`],
+    /// recorded as a `restore` ledger action), everyone else has the
+    /// prescribed action upheld. Appeals with no history to appeal are
+    /// upheld at [`ModAction::Warn`] without touching the ledger.
+    pub fn appeal(&mut self, subject: &str, authority: &str, deserving: bool) -> AppealVerdict {
+        let offenses = self.offenses(subject);
+        if offenses == 0 {
+            return AppealVerdict::Upheld(ModAction::Warn);
+        }
+        if deserving {
+            self.amnesty(subject, authority);
+            AppealVerdict::Granted
+        } else {
+            AppealVerdict::Upheld(Self::action_for(offenses))
+        }
     }
 
     /// Takes the ledger records accumulated since the last drain.

@@ -34,7 +34,7 @@ pub mod crossmod;
 pub mod pipeline;
 pub mod queue;
 
-pub use actions::{EscalationLadder, ModAction, PreventiveConfig};
+pub use actions::{AppealVerdict, EscalationLadder, ModAction, PreventiveConfig};
 pub use crossmod::{CommunityNorms, ContentFeatures, CrossModEnsemble, EnsembleDecision};
 pub use pipeline::{ModerationPipeline, PipelineConfig, TickStats};
 pub use queue::{Report, ReportQueue, Severity};

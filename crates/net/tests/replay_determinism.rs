@@ -34,20 +34,23 @@ fn router(shards: usize) -> ShardRouter {
 fn fingerprint(router: &mut ShardRouter) -> String {
     let trace = router.trace_jsonl();
     format!(
-        "{:?}\n{:?}\n{trace}",
+        "{:?}\n{:?}\n{:?}\n{trace}",
         router.settlement_ledger(),
         router.conservation_report(),
+        router.dp_budget_report(),
     )
 }
 
 /// Serves the seeded fleet and returns (journal bytes, fingerprint).
 fn serve(shards: usize) -> (Vec<u8>, String) {
-    let engine = WorkloadEngine::new(WorkloadConfig {
-        users: 32,
-        ops: 1_500,
-        seed: SEED,
-        ..WorkloadConfig::default()
-    });
+    serve_config(
+        shards,
+        WorkloadConfig { users: 32, ops: 1_500, seed: SEED, ..WorkloadConfig::default() },
+    )
+}
+
+fn serve_config(shards: usize, workload: WorkloadConfig) -> (Vec<u8>, String) {
+    let engine = WorkloadEngine::new(workload);
     let mut server = NetServer::new(
         router(shards),
         NetServerConfig { ops_per_epoch: 256, ..NetServerConfig::default() },
@@ -80,6 +83,39 @@ fn journal_replay_is_byte_identical_at_every_shard_count() {
             fingerprint(&mut offline),
             "offline replay diverged from the network run at {shards} shards"
         );
+    }
+}
+
+/// The governance gate: each of the three governance-at-scale
+/// scenarios (voting storm, biometric burst, moderation flood) served
+/// over the wire must replay offline byte-for-byte at every shard
+/// count — including the DP-budget audit, which joins the fingerprint
+/// so a budget debit or refusal that drifted between the network path
+/// and the offline path fails the gate.
+#[test]
+fn governance_scenarios_replay_byte_identical_at_every_shard_count() {
+    let scenarios = [
+        ("proposal-storm", WorkloadConfig::proposal_storm(24, 1_000, SEED)),
+        ("biometric-burst", WorkloadConfig::biometric_burst(24, 1_000, SEED)),
+        ("moderation-flood", WorkloadConfig::moderation_flood(24, 1_000, SEED)),
+    ];
+    for (name, workload) in scenarios {
+        for shards in [1usize, 2, 4, 8] {
+            let (journal_bytes, live) = serve_config(shards, workload.clone());
+            let journal =
+                AdmissionJournal::from_bytes(&journal_bytes).expect("journal bytes round-trip");
+            let mut offline = router(shards);
+            let replay = journal.replay_into(&mut offline);
+            assert_eq!(
+                replay.divergences, 0,
+                "{name}: offline outcomes diverged at {shards} shards: {replay:?}"
+            );
+            assert_eq!(
+                live,
+                fingerprint(&mut offline),
+                "{name}: offline replay diverged from the network run at {shards} shards"
+            );
+        }
     }
 }
 

@@ -192,7 +192,16 @@ impl PrivacyBudget {
     }
 
     /// Attempts to spend `epsilon`; fails when the budget cannot cover it.
+    ///
+    /// A spend must be a finite, non-negative epsilon: NaN compares
+    /// false against every bound (so it used to slip past the
+    /// exhaustion check and poison `spent` forever), and a negative
+    /// epsilon would silently *refund* budget. Both are rejected as
+    /// typed parameter errors before any accounting happens.
     pub fn spend(&mut self, epsilon: f64) -> Result<(), PrivacyError> {
+        if !epsilon.is_finite() || epsilon < 0.0 {
+            return Err(PrivacyError::InvalidParameter { name: "epsilon", value: epsilon });
+        }
         if epsilon > self.remaining() + 1e-12 {
             return Err(PrivacyError::BudgetExhausted {
                 requested: epsilon,
@@ -439,6 +448,34 @@ mod tests {
         assert!(s.iter().any(|x| (x.values[0] - 0.7).abs() > 1e-9));
         dp.release(&mut s, &mut b, &mut r).unwrap();
         assert!(dp.release(&mut s, &mut b, &mut r).is_err(), "third release over budget");
+    }
+
+    #[test]
+    fn spend_rejects_nan_and_negative_epsilon() {
+        let mut b = PrivacyBudget::new(1.0);
+        for bad in [f64::NAN, -0.25, f64::NEG_INFINITY, f64::INFINITY] {
+            let err = b.spend(bad).unwrap_err();
+            assert!(
+                matches!(err, PrivacyError::InvalidParameter { name: "epsilon", .. }),
+                "epsilon {bad} must be a typed parameter error, got {err:?}"
+            );
+        }
+        // Accounting is untouched by the rejected spends: the full
+        // budget is still spendable and `spent` never went NaN.
+        assert_eq!(b.spent(), 0.0);
+        b.spend(1.0).unwrap();
+        assert!((b.spent() - 1.0).abs() < 1e-12);
+        assert!(b.spend(0.5).is_err(), "budget exhausted after the one valid spend");
+    }
+
+    #[test]
+    fn dp_release_rejects_nan_epsilon_before_spending() {
+        let mut r = rng();
+        let mut b = PrivacyBudget::new(1.0);
+        let dp = DifferentialPrivacy { epsilon: f64::NAN, sensitivity: 1.0 };
+        let err = dp.release(&mut stream(1), &mut b, &mut r).unwrap_err();
+        assert!(matches!(err, PrivacyError::InvalidParameter { name: "epsilon", .. }));
+        assert_eq!(b.spent(), 0.0, "a rejected release must not touch the budget");
     }
 
     #[test]

@@ -207,6 +207,22 @@ pub fn trace_event_json(e: &TraceEvent) -> String {
         TraceStage::ConnClosed { conn, cause } => {
             out.push_str(&format!(",\"conn\":{conn},\"cause\":\"{cause}\""));
         }
+        TraceStage::PetFiltered { shard, samples_in, samples_out, epsilon_micro } => {
+            out.push_str(&format!(
+                ",\"shard\":{shard},\"samples_in\":{samples_in},\"samples_out\":{samples_out},\"epsilon_micro\":{epsilon_micro}"
+            ));
+        }
+        TraceStage::BudgetRefused { op, requested_micro, remaining_micro } => {
+            out.push_str(&format!(
+                ",\"op\":\"{op}\",\"requested_micro\":{requested_micro},\"remaining_micro\":{remaining_micro}"
+            ));
+        }
+        TraceStage::Delegated { shard, revoked } => {
+            out.push_str(&format!(",\"shard\":{shard},\"revoked\":{revoked}"));
+        }
+        TraceStage::Escalated { shard, action } => {
+            out.push_str(&format!(",\"shard\":{shard},\"action\":\"{action}\""));
+        }
     }
     out.push('}');
     out

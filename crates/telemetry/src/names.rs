@@ -143,6 +143,21 @@ pub mod gateway {
     pub const SHARD_COMMIT_FAILURES: &str = "gateway.shard.commit_failures";
     /// Shard epochs skipped because the shard breaker was open.
     pub const SHARD_EPOCHS_SKIPPED: &str = "gateway.shard.epochs_skipped";
+    /// Micro-epsilon debited from the global differential-privacy
+    /// budget by admitted sensor releases.
+    pub const DP_SPENT_MICRO: &str = "gateway.dp.spent_micro";
+    /// Sensor releases admitted against the global DP budget.
+    pub const DP_ADMITTED: &str = "gateway.dp.admitted";
+    /// Sensor releases refused fail-closed because the global DP
+    /// budget could not cover them.
+    pub const DP_REFUSED: &str = "gateway.dp.refused";
+    /// Liquid-democracy delegation changes applied across all shards
+    /// at the merge barrier (revocations included).
+    pub const GOVERNANCE_DELEGATIONS: &str = "gateway.governance.delegations";
+    /// Credit-budgeted quadratic ballots that executed on a shard.
+    pub const GOVERNANCE_QUADRATIC_VOTES: &str = "gateway.governance.quadratic_votes";
+    /// Moderation appeals adjudicated on a shard.
+    pub const GOVERNANCE_APPEALS: &str = "gateway.governance.appeals";
 
     /// Per-shard batch execution latency histogram:
     /// `gateway.shard.<i>.batch_ns`.
@@ -256,6 +271,12 @@ pub const ALL_FIXED: &[&str] = &[
     gateway::BATCH_SIZE,
     gateway::SHARD_COMMIT_FAILURES,
     gateway::SHARD_EPOCHS_SKIPPED,
+    gateway::DP_SPENT_MICRO,
+    gateway::DP_ADMITTED,
+    gateway::DP_REFUSED,
+    gateway::GOVERNANCE_DELEGATIONS,
+    gateway::GOVERNANCE_QUADRATIC_VOTES,
+    gateway::GOVERNANCE_APPEALS,
     net::CONNS_ACCEPTED,
     net::CONNS_CLOSED,
     net::CONNS_OPEN,

@@ -213,6 +213,47 @@ pub enum TraceStage {
         /// `"admission_stalled"`).
         cause: &'static str,
     },
+    /// Governance: a sensor release passed the shard's PET pipeline on
+    /// its way into the audit registry.
+    PetFiltered {
+        /// Executing shard.
+        shard: u32,
+        /// Samples offered to the pipeline.
+        samples_in: u32,
+        /// Samples surviving every PET stage.
+        samples_out: u32,
+        /// Micro-epsilon charged against the global DP budget.
+        epsilon_micro: u64,
+    },
+    /// Governance: the global differential-privacy budget could not
+    /// cover the release — the op failed closed and never reached its
+    /// shard.
+    BudgetRefused {
+        /// Op-kind label of the refused release.
+        op: &'static str,
+        /// Micro-epsilon the release would have charged.
+        requested_micro: u64,
+        /// Micro-epsilon left in the global budget.
+        remaining_micro: u64,
+    },
+    /// Governance: a liquid-democracy delegation change was applied to
+    /// every shard's governance modules at the merge barrier.
+    Delegated {
+        /// The delegator's home shard.
+        shard: u32,
+        /// False for a fresh delegation, true for a revocation.
+        revoked: bool,
+    },
+    /// Governance: the punitive escalation ladder moved for a subject —
+    /// an upheld report climbed it, or an appeal verdict restored or
+    /// confirmed a standing action.
+    Escalated {
+        /// Executing shard.
+        shard: u32,
+        /// Stable action label (`"warn"`, `"mute"`, `"temp-ban"`,
+        /// `"perm-ban"`, `"restore"`, `"upheld"`).
+        action: &'static str,
+    },
 }
 
 impl TraceStage {
@@ -237,6 +278,10 @@ impl TraceStage {
             TraceStage::FrameDecoded { .. } => "frame_decoded",
             TraceStage::BackpressureParked { .. } => "backpressure_parked",
             TraceStage::ConnClosed { .. } => "conn_closed",
+            TraceStage::PetFiltered { .. } => "pet_filtered",
+            TraceStage::BudgetRefused { .. } => "budget_refused",
+            TraceStage::Delegated { .. } => "delegated",
+            TraceStage::Escalated { .. } => "escalated",
         }
     }
 
@@ -246,7 +291,9 @@ impl TraceStage {
     /// closed for any reason other than finishing cleanly.
     pub fn is_drop(&self) -> bool {
         match self {
-            TraceStage::RateLimited { .. } | TraceStage::Refused { .. } => true,
+            TraceStage::RateLimited { .. }
+            | TraceStage::Refused { .. }
+            | TraceStage::BudgetRefused { .. } => true,
             TraceStage::Executed { ok, .. } => !ok,
             TraceStage::Settled { outcome, .. } => *outcome != "applied",
             TraceStage::ConnClosed { cause, .. } => *cause != "finished",
