@@ -1,0 +1,103 @@
+//! Criterion benchmarks for the epoch hot path rebuilt in E27: borrowed
+//! wire decode ([`OpView`]) vs the owning decode, the seal barrier
+//! sequential vs parallel, and a full seeded epoch stream batched vs
+//! pipelined. Each pair shares its input exactly, so the ratio between
+//! the paired measurements is the cost of the old path (allocation,
+//! the seal barrier, the plan/fan-out barrier) on this host.
+//!
+//! [`OpView`]: metaverse_gateway::op::OpView
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use metaverse_gateway::op::{Op, OpView};
+use metaverse_gateway::router::{GatewayConfig, ShardRouter};
+use metaverse_gateway::workload::{WorkloadConfig, WorkloadEngine};
+use metaverse_ledger::chain::{Chain, ChainConfig};
+use metaverse_ledger::tx::{Transaction, TxPayload};
+
+/// Owning decode vs the zero-copy view over the same wire bytes. The
+/// `Propose` op is the allocation-heaviest frame (three strings); the
+/// view borrows all of them from the input buffer.
+fn bench_decode(c: &mut Criterion) {
+    let op = Op::Propose {
+        user: "user-00042".into(),
+        proposal: 42,
+        scope: "economy".into(),
+        title: "Quadratic funding for plaza upkeep".into(),
+    };
+    let bytes = op.encode();
+    c.bench_function("epoch_hotpath/decode_propose_owned", |b| {
+        b.iter(|| Op::decode(black_box(&bytes)).expect("round-trip"))
+    });
+    c.bench_function("epoch_hotpath/decode_propose_view", |b| {
+        b.iter(|| OpView::decode(black_box(&bytes)).expect("round-trip"))
+    });
+}
+
+/// The seal barrier in isolation: the same 256-tx mempool drained with
+/// one seal worker and with host-sized workers. Chains are rebuilt per
+/// iteration (sealing consumes one-time Lamport keys), so the numbers
+/// include keygen; the seq/par pair shares that cost exactly.
+fn bench_seal(c: &mut Criterion) {
+    let drain = |seal_workers: usize| {
+        let mut chain = Chain::poa(
+            &["v0", "v1", "v2", "v3"],
+            ChainConfig {
+                max_txs_per_block: 16,
+                key_tree_depth: 4,
+                seal_workers,
+                ..ChainConfig::default()
+            },
+        );
+        for i in 0..256 {
+            chain
+                .submit(Transaction::new(
+                    format!("user{}", i % 31),
+                    TxPayload::Note { text: format!("bench tx {i}") },
+                ))
+                .expect("fresh notes never collide");
+        }
+        chain.seal_all_profiled().expect("mempool drains")
+    };
+    c.bench_function("epoch_hotpath/seal_256_txs_seq", |b| {
+        b.iter(|| black_box(drain(1)))
+    });
+    c.bench_function("epoch_hotpath/seal_256_txs_par", |b| {
+        b.iter(|| black_box(drain(0)))
+    });
+}
+
+/// A full seeded stream through the gateway at 4 shards: batched plan
+/// loop (plan everything, then fan out) vs the pipelined plan loop
+/// (stream ops to workers while they execute) with host-sized sealing.
+/// Outputs are byte-identical — the determinism gate asserts that —
+/// so this pair measures pure wall-clock.
+fn bench_epoch_modes(c: &mut Criterion) {
+    let engine = WorkloadEngine::new(WorkloadConfig {
+        users: 64,
+        ops: 2_000,
+        seed: 7,
+        ..WorkloadConfig::default()
+    });
+    for (mode, pipeline, seal_workers) in
+        [("batched", false, 1usize), ("pipelined", true, 0usize)]
+    {
+        c.bench_function(&format!("epoch_hotpath/drive_2k_ops_4_shards_{mode}"), |b| {
+            b.iter(|| {
+                let mut router = ShardRouter::new(
+                    GatewayConfig::builder()
+                        .shards(4)
+                        .workers(4)
+                        .pipeline(pipeline)
+                        .seal_workers(seal_workers)
+                        .telemetry(false)
+                        .key_tree_depth(6)
+                        .build(),
+                );
+                black_box(engine.drive(&mut router, 256))
+            })
+        });
+    }
+}
+
+criterion_group!(benches, bench_decode, bench_seal, bench_epoch_modes);
+criterion_main!(benches);

@@ -26,13 +26,14 @@ pub mod e23_tracing;
 pub mod e24_replication;
 pub mod e25_net;
 pub mod e26_governance;
+pub mod e27_pipeline;
 
 use crate::report::ExperimentResult;
 
 /// Runs the direct-call experiments (E1–E19) with the given seed, in id
 /// order. These are pure functions of the seed and cheap enough to
 /// replay several times inside one test; the gateway-scale experiments
-/// (E20–E26) replay a large op stream per cell and have their own
+/// (E20–E27) replay a large op stream per cell and have their own
 /// dedicated re-run/byte-identity gates (`gateway/tests/determinism.rs`,
 /// `gateway/tests/replication_determinism.rs`, and each experiment's
 /// shape tests), so the smoke suite reruns only this subset.
@@ -71,6 +72,7 @@ pub fn run_all(seed: u64) -> Vec<ExperimentResult> {
         e24_replication::run(seed),
         e25_net::run(seed),
         e26_governance::run(seed),
+        e27_pipeline::run(seed),
     ]);
     results
 }

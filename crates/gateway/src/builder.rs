@@ -174,6 +174,22 @@ impl GatewayConfigBuilder {
         self
     }
 
+    /// Streams the epoch plan loop to shard workers instead of
+    /// batching it ahead of fan-out (see [`GatewayConfig::pipeline`];
+    /// no effect below 2 shards / 2 workers).
+    pub fn pipeline(mut self, on: bool) -> Self {
+        self.config.pipeline = on;
+        self
+    }
+
+    /// Worker threads each shard's chain may use to seal an epoch's
+    /// blocks (`0` sizes to the host; keeps the rest of the chain
+    /// config at its current values — see `ChainConfig::seal_workers`).
+    pub fn seal_workers(mut self, workers: usize) -> Self {
+        self.config.chain_config.seal_workers = workers;
+        self
+    }
+
     /// The finished config.
     pub fn build(self) -> GatewayConfig {
         self.config
@@ -221,6 +237,8 @@ mod tests {
             .dp_budget_micro(42_000)
             .dp_epsilon_per_event_micro(7)
             .pet_noise_seed(0xfeed)
+            .pipeline(true)
+            .seal_workers(2)
             .build();
         assert_eq!(config.shards, 8);
         assert_eq!(config.vnodes, 32);
@@ -239,6 +257,8 @@ mod tests {
         assert_eq!(config.dp_budget_micro, 42_000);
         assert_eq!(config.dp_epsilon_per_event_micro, 7);
         assert_eq!(config.pet_noise_seed, 0xfeed);
+        assert!(config.pipeline);
+        assert_eq!(config.chain_config.seal_workers, 2, "seal knob refines chain_config");
     }
 
     #[test]

@@ -69,6 +69,17 @@ impl Ingress for ShardRouter {
         self.admit(op).map_err(Into::into)
     }
 
+    /// Zero-copy override of the trait's decode-then-admit default:
+    /// admission checks (known user, rate limit, mailbox depth) run
+    /// against a borrowed [`crate::op::OpView`] of the wire bytes, and
+    /// the owned [`Op`] is only materialised for ops that are actually
+    /// accepted into a mailbox. Refusals — the path a gateway under
+    /// attack mostly takes — never allocate.
+    fn ingress_wire(&mut self, bytes: &[u8]) -> Result<u64, GatewayError> {
+        let view = crate::op::OpView::decode(bytes)?;
+        self.admit_view(view).map_err(Into::into)
+    }
+
     fn epoch_boundary(&mut self) -> EpochReport {
         self.execute_epoch()
     }

@@ -304,10 +304,226 @@ impl<'a> Reader<'a> {
         }
     }
 
-    fn string(&mut self) -> Result<String, WireError> {
+    /// Borrows a length-prefixed UTF-8 string straight out of the
+    /// input buffer — no allocation; owned decode copies later, view
+    /// decode never does.
+    fn str(&mut self) -> Result<&'a str, WireError> {
         let len = u16::from_le_bytes(self.take(2)?.try_into().unwrap()) as usize;
         let bytes = self.take(len)?;
-        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadUtf8)
+        std::str::from_utf8(bytes).map_err(|_| WireError::BadUtf8)
+    }
+}
+
+/// A borrowed decode of one wire op: every string field is a `&str`
+/// view into the input buffer, so validating and inspecting a frame
+/// allocates nothing. The admission hot path decodes to an `OpView`,
+/// checks rate limits and directories against the borrowed fields, and
+/// only materialises an owned [`Op`] (via [`OpView::into_owned`]) once
+/// the op is actually accepted into a mailbox — a refused flood costs
+/// zero heap traffic.
+///
+/// Field meanings are identical to the matching [`Op`] variants.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[allow(missing_docs)]
+pub enum OpView<'a> {
+    Register { user: &'a str },
+    EnterWorld { user: &'a str, handle: &'a str, x: f64, y: f64 },
+    Propose { user: &'a str, proposal: u64, scope: &'a str, title: &'a str },
+    Vote { user: &'a str, proposal: u64, support: bool },
+    Endorse { user: &'a str, subject: &'a str },
+    Report { user: &'a str, subject: &'a str },
+    Mint { user: &'a str, asset: u64, uri: &'a str, quality: f64 },
+    List { user: &'a str, asset: u64, price: u64 },
+    Buy { user: &'a str, asset: u64 },
+    RecordCollection {
+        user: &'a str,
+        subject: &'a str,
+        sensor: SensorClass,
+        purpose: &'a str,
+        basis: LawfulBasis,
+        bytes: u64,
+    },
+    TwinSync { user: &'a str, property: u32, delta: f64 },
+    Delegate { user: &'a str, delegate: &'a str },
+    RevokeDelegation { user: &'a str },
+    QuadraticVote { user: &'a str, proposal: u64, support: bool, votes: u32 },
+    SensorEvent { user: &'a str, class: SensorClass, reading: f64 },
+    AppealModeration { user: &'a str },
+}
+
+impl<'a> OpView<'a> {
+    /// Decodes one op as borrowed views into `buf`; rejects trailing
+    /// bytes. Exactly [`Op::decode`]'s validation (same errors for the
+    /// same inputs) without any allocation.
+    pub fn decode(buf: &'a [u8]) -> Result<OpView<'a>, WireError> {
+        let mut r = Reader { buf, pos: 0 };
+        let op = match r.u8()? {
+            TAG_REGISTER => OpView::Register { user: r.str()? },
+            TAG_ENTER_WORLD => OpView::EnterWorld {
+                user: r.str()?,
+                handle: r.str()?,
+                x: r.f64()?,
+                y: r.f64()?,
+            },
+            TAG_PROPOSE => OpView::Propose {
+                user: r.str()?,
+                proposal: r.u64()?,
+                scope: r.str()?,
+                title: r.str()?,
+            },
+            TAG_VOTE => OpView::Vote { user: r.str()?, proposal: r.u64()?, support: r.bool()? },
+            TAG_ENDORSE => OpView::Endorse { user: r.str()?, subject: r.str()? },
+            TAG_REPORT => OpView::Report { user: r.str()?, subject: r.str()? },
+            TAG_MINT => OpView::Mint {
+                user: r.str()?,
+                asset: r.u64()?,
+                uri: r.str()?,
+                quality: r.f64()?,
+            },
+            TAG_LIST => OpView::List { user: r.str()?, asset: r.u64()?, price: r.u64()? },
+            TAG_BUY => OpView::Buy { user: r.str()?, asset: r.u64()? },
+            TAG_RECORD_COLLECTION => {
+                let user = r.str()?;
+                let subject = r.str()?;
+                let sensor_idx = r.u8()?;
+                let sensor = *SensorClass::ALL
+                    .get(sensor_idx as usize)
+                    .ok_or(WireError::BadEnum { field: "sensor", value: sensor_idx })?;
+                let purpose = r.str()?;
+                let basis_idx = r.u8()?;
+                let basis = basis_from_byte(basis_idx)
+                    .ok_or(WireError::BadEnum { field: "basis", value: basis_idx })?;
+                OpView::RecordCollection { user, subject, sensor, purpose, basis, bytes: r.u64()? }
+            }
+            TAG_TWIN_SYNC => {
+                OpView::TwinSync { user: r.str()?, property: r.u32()?, delta: r.f64()? }
+            }
+            TAG_DELEGATE => OpView::Delegate { user: r.str()?, delegate: r.str()? },
+            TAG_REVOKE_DELEGATION => OpView::RevokeDelegation { user: r.str()? },
+            TAG_QUADRATIC_VOTE => OpView::QuadraticVote {
+                user: r.str()?,
+                proposal: r.u64()?,
+                support: r.bool()?,
+                votes: r.u32()?,
+            },
+            TAG_SENSOR_EVENT => {
+                let user = r.str()?;
+                let sensor_idx = r.u8()?;
+                let class = *SensorClass::ALL
+                    .get(sensor_idx as usize)
+                    .ok_or(WireError::BadEnum { field: "class", value: sensor_idx })?;
+                OpView::SensorEvent { user, class, reading: r.f64()? }
+            }
+            TAG_APPEAL_MODERATION => OpView::AppealModeration { user: r.str()? },
+            tag => return Err(WireError::BadTag(tag)),
+        };
+        if r.pos != buf.len() {
+            return Err(WireError::TrailingBytes(buf.len() - r.pos));
+        }
+        Ok(op)
+    }
+
+    /// The account driving this op. The returned `&str` borrows the
+    /// *input buffer* (lifetime `'a`, not `&self`), so it stays valid
+    /// after the view value is moved — the admission path relies on
+    /// that to look up the session while the view waits to be owned.
+    pub fn user(&self) -> &'a str {
+        match self {
+            OpView::Register { user }
+            | OpView::EnterWorld { user, .. }
+            | OpView::Propose { user, .. }
+            | OpView::Vote { user, .. }
+            | OpView::Endorse { user, .. }
+            | OpView::Report { user, .. }
+            | OpView::Mint { user, .. }
+            | OpView::List { user, .. }
+            | OpView::Buy { user, .. }
+            | OpView::RecordCollection { user, .. }
+            | OpView::TwinSync { user, .. }
+            | OpView::Delegate { user, .. }
+            | OpView::RevokeDelegation { user }
+            | OpView::QuadraticVote { user, .. }
+            | OpView::SensorEvent { user, .. }
+            | OpView::AppealModeration { user } => user,
+        }
+    }
+
+    /// Short label for metrics and logs (same strings as
+    /// [`Op::label`], so traces are identical whichever decode ran).
+    pub fn label(&self) -> &'static str {
+        match self {
+            OpView::Register { .. } => "register",
+            OpView::EnterWorld { .. } => "enter_world",
+            OpView::Propose { .. } => "propose",
+            OpView::Vote { .. } => "vote",
+            OpView::Endorse { .. } => "endorse",
+            OpView::Report { .. } => "report",
+            OpView::Mint { .. } => "mint",
+            OpView::List { .. } => "list",
+            OpView::Buy { .. } => "buy",
+            OpView::RecordCollection { .. } => "record_collection",
+            OpView::TwinSync { .. } => "twin_sync",
+            OpView::Delegate { .. } => "delegate",
+            OpView::RevokeDelegation { .. } => "revoke_delegation",
+            OpView::QuadraticVote { .. } => "quadratic_vote",
+            OpView::SensorEvent { .. } => "sensor_event",
+            OpView::AppealModeration { .. } => "appeal",
+        }
+    }
+
+    /// Materialises the owned [`Op`] — the only point the decode path
+    /// copies string bytes onto the heap.
+    pub fn into_owned(self) -> Op {
+        match self {
+            OpView::Register { user } => Op::Register { user: user.into() },
+            OpView::EnterWorld { user, handle, x, y } => {
+                Op::EnterWorld { user: user.into(), handle: handle.into(), x, y }
+            }
+            OpView::Propose { user, proposal, scope, title } => Op::Propose {
+                user: user.into(),
+                proposal,
+                scope: scope.into(),
+                title: title.into(),
+            },
+            OpView::Vote { user, proposal, support } => {
+                Op::Vote { user: user.into(), proposal, support }
+            }
+            OpView::Endorse { user, subject } => {
+                Op::Endorse { user: user.into(), subject: subject.into() }
+            }
+            OpView::Report { user, subject } => {
+                Op::Report { user: user.into(), subject: subject.into() }
+            }
+            OpView::Mint { user, asset, uri, quality } => {
+                Op::Mint { user: user.into(), asset, uri: uri.into(), quality }
+            }
+            OpView::List { user, asset, price } => Op::List { user: user.into(), asset, price },
+            OpView::Buy { user, asset } => Op::Buy { user: user.into(), asset },
+            OpView::RecordCollection { user, subject, sensor, purpose, basis, bytes } => {
+                Op::RecordCollection {
+                    user: user.into(),
+                    subject: subject.into(),
+                    sensor,
+                    purpose: purpose.into(),
+                    basis,
+                    bytes,
+                }
+            }
+            OpView::TwinSync { user, property, delta } => {
+                Op::TwinSync { user: user.into(), property, delta }
+            }
+            OpView::Delegate { user, delegate } => {
+                Op::Delegate { user: user.into(), delegate: delegate.into() }
+            }
+            OpView::RevokeDelegation { user } => Op::RevokeDelegation { user: user.into() },
+            OpView::QuadraticVote { user, proposal, support, votes } => {
+                Op::QuadraticVote { user: user.into(), proposal, support, votes }
+            }
+            OpView::SensorEvent { user, class, reading } => {
+                Op::SensorEvent { user: user.into(), class, reading }
+            }
+            OpView::AppealModeration { user } => Op::AppealModeration { user: user.into() },
+        }
     }
 }
 
@@ -458,73 +674,11 @@ impl Op {
         out
     }
 
-    /// Decodes one op; rejects trailing bytes.
+    /// Decodes one op; rejects trailing bytes. Allocates owned strings;
+    /// the hot wire path uses [`OpView::decode`] and materialises only
+    /// accepted ops.
     pub fn decode(buf: &[u8]) -> Result<Op, WireError> {
-        let mut r = Reader { buf, pos: 0 };
-        let op = match r.u8()? {
-            TAG_REGISTER => Op::Register { user: r.string()? },
-            TAG_ENTER_WORLD => Op::EnterWorld {
-                user: r.string()?,
-                handle: r.string()?,
-                x: r.f64()?,
-                y: r.f64()?,
-            },
-            TAG_PROPOSE => Op::Propose {
-                user: r.string()?,
-                proposal: r.u64()?,
-                scope: r.string()?,
-                title: r.string()?,
-            },
-            TAG_VOTE => Op::Vote { user: r.string()?, proposal: r.u64()?, support: r.bool()? },
-            TAG_ENDORSE => Op::Endorse { user: r.string()?, subject: r.string()? },
-            TAG_REPORT => Op::Report { user: r.string()?, subject: r.string()? },
-            TAG_MINT => Op::Mint {
-                user: r.string()?,
-                asset: r.u64()?,
-                uri: r.string()?,
-                quality: r.f64()?,
-            },
-            TAG_LIST => Op::List { user: r.string()?, asset: r.u64()?, price: r.u64()? },
-            TAG_BUY => Op::Buy { user: r.string()?, asset: r.u64()? },
-            TAG_RECORD_COLLECTION => {
-                let user = r.string()?;
-                let subject = r.string()?;
-                let sensor_idx = r.u8()?;
-                let sensor = *SensorClass::ALL
-                    .get(sensor_idx as usize)
-                    .ok_or(WireError::BadEnum { field: "sensor", value: sensor_idx })?;
-                let purpose = r.string()?;
-                let basis_idx = r.u8()?;
-                let basis = basis_from_byte(basis_idx)
-                    .ok_or(WireError::BadEnum { field: "basis", value: basis_idx })?;
-                Op::RecordCollection { user, subject, sensor, purpose, basis, bytes: r.u64()? }
-            }
-            TAG_TWIN_SYNC => {
-                Op::TwinSync { user: r.string()?, property: r.u32()?, delta: r.f64()? }
-            }
-            TAG_DELEGATE => Op::Delegate { user: r.string()?, delegate: r.string()? },
-            TAG_REVOKE_DELEGATION => Op::RevokeDelegation { user: r.string()? },
-            TAG_QUADRATIC_VOTE => Op::QuadraticVote {
-                user: r.string()?,
-                proposal: r.u64()?,
-                support: r.bool()?,
-                votes: r.u32()?,
-            },
-            TAG_SENSOR_EVENT => {
-                let user = r.string()?;
-                let sensor_idx = r.u8()?;
-                let class = *SensorClass::ALL
-                    .get(sensor_idx as usize)
-                    .ok_or(WireError::BadEnum { field: "class", value: sensor_idx })?;
-                Op::SensorEvent { user, class, reading: r.f64()? }
-            }
-            TAG_APPEAL_MODERATION => Op::AppealModeration { user: r.string()? },
-            tag => return Err(WireError::BadTag(tag)),
-        };
-        if r.pos != buf.len() {
-            return Err(WireError::TrailingBytes(buf.len() - r.pos));
-        }
-        Ok(op)
+        OpView::decode(buf).map(OpView::into_owned)
     }
 }
 
@@ -661,6 +815,55 @@ mod tests {
         let qv = Op::QuadraticVote { user: "v".into(), proposal: 1, support: true, votes: 2 }
             .encode();
         assert_eq!(Op::decode(&qv[..qv.len() - 2]), Err(WireError::UnexpectedEof));
+    }
+
+    #[test]
+    fn view_decode_agrees_with_owned_decode_on_every_variant() {
+        for op in samples() {
+            let bytes = op.encode();
+            let view = OpView::decode(&bytes).unwrap();
+            assert_eq!(view.into_owned(), op, "view round-trip of {op:?}");
+            assert_eq!(view.user(), op.user());
+            assert_eq!(view.label(), op.label());
+        }
+    }
+
+    #[test]
+    fn view_decode_rejects_exactly_what_owned_decode_rejects() {
+        // Every malformed frame must yield the same typed error from
+        // both decode paths — the wire contract has one set of rules.
+        let cases: Vec<Vec<u8>> = vec![
+            vec![],
+            vec![0xff],
+            vec![TAG_REGISTER, 5],
+            vec![TAG_REGISTER, 5, 0, b'a'],
+            vec![TAG_REGISTER, 1, 0, 0xff],
+            {
+                let mut reg = Op::Register { user: "a".into() }.encode();
+                reg.extend_from_slice(&[0, 0]);
+                reg
+            },
+        ];
+        for bytes in cases {
+            assert_eq!(
+                Op::decode(&bytes).unwrap_err(),
+                OpView::decode(&bytes).unwrap_err(),
+                "error mismatch for {bytes:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn view_user_outlives_the_moved_view() {
+        let bytes = Op::Endorse { user: "alice".into(), subject: "bob".into() }.encode();
+        let view = OpView::decode(&bytes).unwrap();
+        let user = view.user();
+        // `user` borrows the buffer, not the view: moving the view into
+        // `into_owned` must leave it usable (the admission path does
+        // exactly this).
+        let owned = view.into_owned();
+        assert_eq!(user, "alice");
+        assert_eq!(owned.user(), "alice");
     }
 
     #[test]

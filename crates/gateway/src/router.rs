@@ -41,7 +41,8 @@
 //! global (a registration joins every shard's DAOs): decision-making
 //! spans the whole platform even though resources are sharded.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::{mpsc, Arc};
 
 use metaverse_assets::nft::NftId;
 use metaverse_core::platform::MetaversePlatform;
@@ -65,7 +66,7 @@ use metaverse_twins::twin::DigitalTwin;
 use metaverse_world::geometry::Vec2;
 
 use crate::error::AdmissionError;
-use crate::op::Op;
+use crate::op::{Op, OpView};
 use crate::session::{Session, SessionConfig};
 
 /// Router construction knobs.
@@ -124,6 +125,16 @@ pub struct GatewayConfig {
     /// own stream as `pet_noise_seed ^ seq`, so the noise a given
     /// admission draws never depends on shard or worker count.
     pub pet_noise_seed: u64,
+    /// Stream the sequential plan loop (pre-route + DP debits) to the
+    /// shard workers as each op is planned, instead of planning the
+    /// whole epoch before fan-out. The plan loop then overlaps shard
+    /// execution — the Amdahl wall E22 measured — while every
+    /// router-side decision (DP spend order, directory reads, merge
+    /// items) still happens sequentially in admission-`seq` order on
+    /// the router thread, so audits and traces are byte-identical to
+    /// the batched path. Off by default; has no effect below 2 shards
+    /// or 2 workers (there is nothing to overlap).
+    pub pipeline: bool,
     /// Construction-path marker. Naming this field (i.e. writing a full
     /// `GatewayConfig { .. }` literal) is deprecated: the field set
     /// grows with every subsystem, and each growth breaks every bare
@@ -161,6 +172,7 @@ impl Default for GatewayConfig {
             dp_budget_micro: 1_000_000_000,
             dp_epsilon_per_event_micro: 1_000,
             pet_noise_seed: 0,
+            pipeline: false,
             struct_literal: (),
         }
     }
@@ -182,6 +194,189 @@ fn ring_hash(bytes: &[u8]) -> u64 {
     h = h.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
     h ^ (h >> 33)
 }
+
+/// The consistent-hash ring as a sorted point array: routing a user is
+/// one `partition_point` binary search over a flat `Vec` instead of a
+/// `BTreeMap::range` walk — the ring is built once at construction and
+/// never mutated, so the admission hot path pays no tree overhead.
+#[derive(Debug, Clone)]
+struct Ring {
+    points: Vec<(u64, usize)>,
+}
+
+impl Ring {
+    fn build(shards: usize, vnodes: usize) -> Self {
+        // Built through a BTreeMap so vnode hash collisions keep the
+        // exact overwrite semantics (and sorted order) the map-based
+        // ring had.
+        let mut map = BTreeMap::new();
+        for shard in 0..shards {
+            for vnode in 0..vnodes.max(1) {
+                map.insert(ring_hash(format!("shard-{shard}-vnode-{vnode}").as_bytes()), shard);
+            }
+        }
+        Ring { points: map.into_iter().collect() }
+    }
+
+    /// First point at or clockwise of the user's hash, wrapping to the
+    /// start. Total: an (unreachable) empty ring routes to shard 0.
+    fn shard_for(&self, user: &str) -> usize {
+        let h = ring_hash(user.as_bytes());
+        let i = self.points.partition_point(|&(point, _)| point < h);
+        match self.points.get(i).or_else(|| self.points.first()) {
+            Some(&(_, shard)) => shard,
+            None => 0,
+        }
+    }
+}
+
+/// The session directory: user names interned to dense `u32` ids with
+/// the sessions themselves in a flat `Vec`. Admission does one hash
+/// lookup (plus one `Vec` index) instead of a `BTreeMap` string
+/// comparison walk, and the epoch drain iterates the `Vec` directly.
+/// The interner map is *lookup-only* — nothing ever iterates it — so
+/// `HashMap`'s nondeterministic iteration order can never reach an
+/// audit, trace, or ledger byte.
+#[derive(Debug, Default)]
+struct SessionTable {
+    ids: HashMap<String, u32>,
+    sessions: Vec<Session>,
+}
+
+impl SessionTable {
+    fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    fn contains(&self, user: &str) -> bool {
+        self.ids.contains_key(user)
+    }
+
+    fn id_of(&self, user: &str) -> Option<u32> {
+        self.ids.get(user).copied()
+    }
+
+    fn get(&self, user: &str) -> Option<&Session> {
+        self.ids.get(user).map(|&id| &self.sessions[id as usize])
+    }
+
+    fn by_id(&self, id: u32) -> &Session {
+        &self.sessions[id as usize]
+    }
+
+    fn by_id_mut(&mut self, id: u32) -> &mut Session {
+        &mut self.sessions[id as usize]
+    }
+
+    /// Interns the session's user and appends it; ids are dense
+    /// registration-order indexes.
+    fn insert(&mut self, session: Session) -> u32 {
+        let id = self.sessions.len() as u32;
+        self.ids.insert(session.user().to_string(), id);
+        self.sessions.push(session);
+        id
+    }
+
+    fn values(&self) -> impl Iterator<Item = &Session> {
+        self.sessions.iter()
+    }
+
+    fn values_mut(&mut self) -> impl Iterator<Item = &mut Session> {
+        self.sessions.iter_mut()
+    }
+}
+
+impl std::ops::Index<&str> for SessionTable {
+    type Output = Session;
+
+    fn index(&self, user: &str) -> &Session {
+        self.get(user).expect("unknown user")
+    }
+}
+
+/// A directory keyed by `u64` ids that are dense in practice: the
+/// workload layers allocate global asset/proposal ids in creation
+/// order, so lookups on the per-op hot path become one bounds check
+/// and a `Vec` index. A `BTreeMap` spill keeps the API total over
+/// arbitrary (sparse) ids. Invariant: every spill key is strictly
+/// greater than `dense.len()`, so `iter` — dense index order, then
+/// spill key order — is globally key-ordered, exactly like the
+/// `BTreeMap` these directories replaced.
+#[derive(Debug, Clone, Default)]
+struct DenseDir<V> {
+    dense: Vec<Option<V>>,
+    dense_len: usize,
+    spill: BTreeMap<u64, V>,
+}
+
+impl<V> DenseDir<V> {
+    fn new() -> Self {
+        DenseDir { dense: Vec::new(), dense_len: 0, spill: BTreeMap::new() }
+    }
+
+    fn len(&self) -> usize {
+        self.dense_len + self.spill.len()
+    }
+
+    fn get(&self, id: u64) -> Option<&V> {
+        match usize::try_from(id) {
+            Ok(i) if i < self.dense.len() => self.dense[i].as_ref(),
+            _ => self.spill.get(&id),
+        }
+    }
+
+    fn insert(&mut self, id: u64, value: V) {
+        match usize::try_from(id) {
+            Ok(i) if i < self.dense.len() => {
+                if self.dense[i].replace(value).is_none() {
+                    self.dense_len += 1;
+                }
+            }
+            Ok(i) if i == self.dense.len() => {
+                self.dense.push(Some(value));
+                self.dense_len += 1;
+                self.absorb();
+            }
+            _ => {
+                self.spill.insert(id, value);
+            }
+        }
+    }
+
+    /// Migrates spill entries that became contiguous with the dense
+    /// prefix, restoring the key-ordering invariant of `iter`.
+    fn absorb(&mut self) {
+        while let Some(value) = self.spill.remove(&(self.dense.len() as u64)) {
+            self.dense.push(Some(value));
+            self.dense_len += 1;
+        }
+    }
+
+    fn values(&self) -> impl Iterator<Item = &V> {
+        self.dense.iter().flatten().chain(self.spill.values())
+    }
+
+    fn iter(&self) -> impl Iterator<Item = (u64, &V)> {
+        self.dense
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| slot.as_ref().map(|v| (i as u64, v)))
+            .chain(self.spill.iter().map(|(k, v)| (*k, v)))
+    }
+}
+
+impl<V> std::ops::Index<&u64> for DenseDir<V> {
+    type Output = V;
+
+    fn index(&self, id: &u64) -> &V {
+        self.get(*id).expect("unknown id")
+    }
+}
+
+/// A proposal directory entry: owning shard, governance scope, and the
+/// shard-local proposal id. The scope is `Arc<str>` so the per-vote
+/// clone on the plan hot path is a refcount bump, not a heap copy.
+type ProposalEntry = (usize, Arc<str>, u64);
 
 /// Where a globally-numbered asset actually lives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -512,16 +707,64 @@ pub struct ProvenanceRecord {
     pub block: Option<[u8; 32]>,
 }
 
+/// What admission needs to know about an op *before* committing to
+/// materialise it. Implemented by the owned [`Op`] (a no-op
+/// materialisation) and by the borrowed wire [`OpView`] (which only
+/// allocates its owned `Op` once the mailbox has accepted the slot),
+/// so both front doors share one admission path byte-for-byte.
+trait AdmitSource {
+    fn user(&self) -> &str;
+    fn label(&self) -> &'static str;
+    fn is_register(&self) -> bool;
+    fn into_op(self) -> Op;
+}
+
+impl AdmitSource for Op {
+    fn user(&self) -> &str {
+        Op::user(self)
+    }
+
+    fn label(&self) -> &'static str {
+        Op::label(self)
+    }
+
+    fn is_register(&self) -> bool {
+        matches!(self, Op::Register { .. })
+    }
+
+    fn into_op(self) -> Op {
+        self
+    }
+}
+
+impl AdmitSource for OpView<'_> {
+    fn user(&self) -> &str {
+        OpView::user(self)
+    }
+
+    fn label(&self) -> &'static str {
+        OpView::label(self)
+    }
+
+    fn is_register(&self) -> bool {
+        matches!(self, OpView::Register { .. })
+    }
+
+    fn into_op(self) -> Op {
+        self.into_owned()
+    }
+}
+
 /// The sharded session gateway.
 pub struct ShardRouter {
     config: GatewayConfig,
     hub: TelemetryHub,
     metrics: GatewayMetrics,
-    ring: BTreeMap<u64, usize>,
+    ring: Ring,
     shards: Vec<Shard>,
-    sessions: BTreeMap<String, Session>,
-    assets: BTreeMap<u64, AssetLocation>,
-    proposals: BTreeMap<u64, (usize, String, u64)>,
+    sessions: SessionTable,
+    assets: DenseDir<AssetLocation>,
+    proposals: DenseDir<ProposalEntry>,
     settlement: VecDeque<PendingSettlement>,
     ledger: SettlementLedger,
     dp: DpLedger,
@@ -555,12 +798,7 @@ impl ShardRouter {
         assert!(config.shards > 0, "gateway needs at least one shard");
         let hub = if config.telemetry { TelemetryHub::new() } else { TelemetryHub::disabled() };
         let metrics = GatewayMetrics::new(&hub, config.shards);
-        let mut ring = BTreeMap::new();
-        for shard in 0..config.shards {
-            for vnode in 0..config.vnodes.max(1) {
-                ring.insert(ring_hash(format!("shard-{shard}-vnode-{vnode}").as_bytes()), shard);
-            }
-        }
+        let ring = Ring::build(config.shards, config.vnodes);
         let shards = (0..config.shards)
             .map(|i| {
                 let mut platform = MetaversePlatform::builder()
@@ -613,9 +851,9 @@ impl ShardRouter {
             metrics,
             ring,
             shards,
-            sessions: BTreeMap::new(),
-            assets: BTreeMap::new(),
-            proposals: BTreeMap::new(),
+            sessions: SessionTable::default(),
+            assets: DenseDir::new(),
+            proposals: DenseDir::new(),
             settlement: VecDeque::new(),
             ledger: SettlementLedger::default(),
             dp: DpLedger::default(),
@@ -636,11 +874,7 @@ impl ShardRouter {
     /// shard, and the unreachable empty-ring arm routes to shard 0
     /// rather than panicking in the admission hot path.
     pub fn home_shard(&self, user: &str) -> usize {
-        let h = ring_hash(user.as_bytes());
-        match self.ring.range(h..).next().or_else(|| self.ring.iter().next()) {
-            Some((_, shard)) => *shard,
-            None => 0,
-        }
+        self.ring.shard_for(user)
     }
 
     /// Number of shards.
@@ -859,50 +1093,63 @@ impl ShardRouter {
     /// admission path — the public surface is the `Ingress` trait (and,
     /// for one release, the deprecated `submit`/`submit_wire` shims).
     pub(crate) fn admit(&mut self, op: Op) -> Result<u64, AdmissionError> {
+        self.admit_from(op)
+    }
+
+    /// Admits a borrowed wire view: the same checks and refusals as
+    /// [`Self::admit`], but the owned [`Op`] (and its `String`
+    /// allocations) only materialises once the mailbox has actually
+    /// accepted the slot — refused floods decode and bounce without a
+    /// single heap allocation on the success path.
+    pub(crate) fn admit_view(&mut self, view: OpView<'_>) -> Result<u64, AdmissionError> {
+        self.admit_from(view)
+    }
+
+    fn admit_from<S: AdmitSource>(&mut self, src: S) -> Result<u64, AdmissionError> {
         self.metrics.ops_submitted.incr();
-        let label = op.label();
-        let user = op.user().to_string();
-        if matches!(op, Op::Register { .. }) {
-            if self.sessions.contains_key(&user) {
+        let label = src.label();
+        if src.is_register() {
+            if self.sessions.contains(src.user()) {
                 // Refused at the door: a duplicate register would only
                 // occupy a mailbox slot and a shard batch slot to fail
                 // on the shard, inflating `ops_failed`.
-                let e = AdmissionError::AlreadyRegistered { user };
+                let e = AdmissionError::AlreadyRegistered { user: src.user().to_string() };
                 self.count_refusal(&e);
                 self.trace_refusal(label, &e);
                 return Err(e);
             }
-            let shard = self.home_shard(&user);
+            let shard = self.home_shard(src.user());
             if !self.shards[shard].breaker.allows_request(self.epoch) {
                 let e = AdmissionError::ShardUnavailable { shard };
                 self.count_refusal(&e);
                 self.trace_refusal(label, &e);
                 return Err(e);
             }
-            let mut session = Session::new(&user, shard, self.config.session);
+            let mut session = Session::new(src.user(), shard, self.config.session);
             let seq = self.seq;
             // A `burst: 0` policy refuses even the first op of a fresh
             // session. The session is not retained on refusal, so a
             // later register under a saner policy is not misread as a
             // duplicate.
-            if let Err(e) = session.offer(seq, op, self.now) {
+            if let Err(e) = session.offer_with(seq, self.now, || src.into_op()) {
                 self.count_refusal(&e);
                 self.trace_refusal(label, &e);
                 return Err(e);
             }
-            self.sessions.insert(user, session);
+            self.sessions.insert(session);
             self.metrics.sessions.set(self.sessions.len() as i64);
             self.metrics.ops_accepted.incr();
             self.trace(seq, TraceStage::Admitted { op: label, shard: shard as u32 });
             self.seq += 1;
             return Ok(seq);
         }
-        let Some(shard) = self.sessions.get(&user).map(Session::shard) else {
-            let e = AdmissionError::UnknownUser { user };
+        let Some(id) = self.sessions.id_of(src.user()) else {
+            let e = AdmissionError::UnknownUser { user: src.user().to_string() };
             self.count_refusal(&e);
             self.trace_refusal(label, &e);
             return Err(e);
         };
+        let shard = self.sessions.by_id(id).shard();
         if !self.shards[shard].breaker.allows_request(self.epoch) {
             let e = AdmissionError::ShardUnavailable { shard };
             self.count_refusal(&e);
@@ -910,15 +1157,7 @@ impl ShardRouter {
             return Err(e);
         }
         let seq = self.seq;
-        // Re-resolved mutably (the breaker check above needed `&self`);
-        // a vanished session degrades to the typed refusal, not a panic.
-        let Some(session) = self.sessions.get_mut(&user) else {
-            let e = AdmissionError::UnknownUser { user };
-            self.count_refusal(&e);
-            self.trace_refusal(label, &e);
-            return Err(e);
-        };
-        match session.offer(seq, op, self.now) {
+        match self.sessions.by_id_mut(id).offer_with(seq, self.now, || src.into_op()) {
             Ok(()) => {
                 self.metrics.ops_accepted.incr();
                 self.trace(seq, TraceStage::Admitted { op: label, shard: shard as u32 });
@@ -1029,11 +1268,16 @@ impl ShardRouter {
             }
         }
 
-        // 3. Pre-route: drain healthy shards' queues and resolve every
-        //    op's true target against the directories *now*, so the
-        //    workers never touch cross-shard state. Ops whose target
-        //    does not exist yet (created later this same epoch) defer
-        //    to the merge phase; ops targeting a skipped shard requeue.
+        // 3+4. Plan + execute. Both paths run the identical sequential
+        //    plan loop (pre-route against the directories, DP debits in
+        //    admission order, merge-item collection, requeues): the
+        //    batched path plans the whole epoch and then fans out,
+        //    while the pipelined path (`GatewayConfig::pipeline`)
+        //    streams each planned op to its shard's worker as it is
+        //    made, overlapping the plan loop with shard execution.
+        //    Per-shard delivery order is the same `seq`-order
+        //    subsequence either way, so results, audits, and traces
+        //    are byte-identical across both paths.
         let mut pending: Vec<(u64, Op)> = Vec::new();
         for (i, shard) in self.shards.iter_mut().enumerate() {
             if !skipped[i] {
@@ -1041,82 +1285,20 @@ impl ShardRouter {
             }
         }
         pending.sort_by_key(|(seq, _)| *seq);
-        let plans: Vec<(u64, Planned)> = pending
-            .into_iter()
-            .map(|(seq, op)| (seq, self.pre_route(op, &skipped)))
-            .collect();
-        let mut batches: Vec<Vec<(u64, ShardOp)>> =
-            (0..self.shards.len()).map(|_| Vec::new()).collect();
-        let mut merge: BTreeMap<u64, MergeItem> = BTreeMap::new();
-        for (seq, plan) in plans {
-            match plan {
-                Planned::Execute { shard, op } => {
-                    let mut op = op;
-                    match &mut op {
-                        // The global DP ledger debits here — still
-                        // sequential, still in `seq` order — so the
-                        // spend sequence and the refusal frontier are
-                        // invariant under shard and worker counts.
-                        ShardOp::SensorEvent { epsilon_micro, noise_seed, .. } => {
-                            let remaining =
-                                self.config.dp_budget_micro.saturating_sub(self.dp.spent_micro);
-                            if *epsilon_micro > remaining {
-                                self.dp.refused += 1;
-                                self.metrics.dp_refused.incr();
-                                self.metrics.ops_failed.incr();
-                                report.failed += 1;
-                                if self.recorder.is_enabled() {
-                                    self.trace(
-                                        seq,
-                                        TraceStage::BudgetRefused {
-                                            op: "sensor_event",
-                                            requested_micro: *epsilon_micro,
-                                            remaining_micro: remaining,
-                                        },
-                                    );
-                                }
-                                continue;
-                            }
-                            self.dp.spent_micro += *epsilon_micro;
-                            *noise_seed = self.config.pet_noise_seed ^ seq;
-                        }
-                        ShardOp::QuadraticVote { .. } => {
-                            self.metrics.governance_quadratic_votes.incr();
-                        }
-                        ShardOp::Appeal { .. } => self.metrics.governance_appeals.incr(),
-                        _ => {}
-                    }
-                    batches[shard].push((seq, op));
-                }
-                Planned::Merge(item) => {
-                    if self.recorder.is_enabled() {
-                        if let MergeItem::Deferred(ref op) = item {
-                            self.trace(seq, TraceStage::Deferred { op: op.label() });
-                        }
-                    }
-                    merge.insert(seq, item);
-                }
-                Planned::Requeue { shard, op } => {
-                    self.trace(seq, TraceStage::Requeued { shard: shard as u32 });
-                    self.shards[shard].queue.push_back((seq, op));
-                }
-            }
-        }
-
-        // 4. Fan out: one unit of work per shard, joined at a barrier
-        //    before anything cross-shard happens.
-        let work: Vec<ShardWork> = skipped
-            .iter()
-            .zip(batches)
-            .map(|(&skip, batch)| ShardWork { skip, batch })
-            .collect();
         let ctx = EpochCtx {
             tick_delta,
             grant: self.config.initial_grant,
             epoch: self.epoch,
             now: self.now,
         };
-        let outcomes = run_shard_phase(&mut self.shards, work, self.worker_threads, ctx, &self.metrics);
+        let mut merge: BTreeMap<u64, MergeItem> = BTreeMap::new();
+        let pipelined =
+            self.config.pipeline && self.worker_threads > 1 && self.shards.len() > 1;
+        let outcomes = if pipelined {
+            self.run_pipelined(pending, &skipped, ctx, &mut merge, &mut report)
+        } else {
+            self.run_batched(pending, &skipped, ctx, &mut merge, &mut report)
+        };
 
         // 5. Merge, in shard order for breaker bookkeeping, then in
         //    global `seq` order for every per-op result and effect.
@@ -1332,7 +1514,7 @@ impl ShardRouter {
                     .platform
                     .assets()
                     .get(loc.local)
-                    .map(|nft| (*gid, nft.owner.clone()))
+                    .map(|nft| (gid, nft.owner.clone()))
             })
             .collect()
     }
@@ -1345,7 +1527,7 @@ impl ShardRouter {
     /// settlement queue.)
     fn target_shard(&self, op: &Op) -> usize {
         if let Op::Vote { proposal, .. } | Op::QuadraticVote { proposal, .. } = op {
-            if let Some((shard, _, _)) = self.proposals.get(proposal) {
+            if let Some((shard, _, _)) = self.proposals.get(*proposal) {
                 return *shard;
             }
         }
@@ -1380,186 +1562,169 @@ impl ShardRouter {
             .unwrap_or_else(|| self.home_shard(user))
     }
 
-    /// Resolves one drained op into its epoch plan: a single-shard
-    /// [`ShardOp`] a worker can run without touching cross-shard state,
-    /// a merge-phase item (remote ratings; ops whose target may be
-    /// created later this epoch), or a requeue (target shard skipped).
-    fn pre_route(&self, op: Op, skipped: &[bool]) -> Planned {
-        match op {
-            Op::Register { user } => {
-                let shard = self.session_shard(&user);
-                Planned::Execute { shard, op: ShardOp::Register { user } }
-            }
-            Op::EnterWorld { user, handle, x, y } => {
-                let shard = self.session_shard(&user);
-                Planned::Execute { shard, op: ShardOp::EnterWorld { user, handle, x, y } }
-            }
-            Op::Propose { user, proposal, scope, title } => {
-                let shard = self.session_shard(&user);
-                Planned::Execute {
-                    shard,
-                    op: ShardOp::Propose { user, global: proposal, scope, title },
+    /// The batched plan + fan-out: the plan loop resolves every op
+    /// before any worker starts (the original epoch shape, and the
+    /// baseline the pipelining determinism gate compares against).
+    fn run_batched(
+        &mut self,
+        pending: Vec<(u64, Op)>,
+        skipped: &[bool],
+        ctx: EpochCtx,
+        merge: &mut BTreeMap<u64, MergeItem>,
+        report: &mut EpochReport,
+    ) -> Vec<ShardOutcome> {
+        let worker_threads = self.worker_threads;
+        // Split `&mut self` into disjoint field borrows: the plan
+        // context reads the directories while the buy-price closure
+        // reads the shards, and the plan state mutates the DP ledger
+        // and recorder — none of which overlap.
+        let ShardRouter {
+            ring, sessions, assets, proposals, shards, dp, recorder, metrics, config, ..
+        } = self;
+        let plan_ctx = PlanCtx {
+            ring,
+            sessions,
+            assets,
+            proposals,
+            dp_epsilon_per_event_micro: config.dp_epsilon_per_event_micro,
+        };
+        let mut batches: Vec<Vec<(u64, ShardOp)>> =
+            (0..shards.len()).map(|_| Vec::new()).collect();
+        let mut requeues: Vec<(usize, u64, Op)> = Vec::new();
+        {
+            let shards_view: &[Shard] = shards;
+            let buy_price = |asset: u64| -> Option<u64> {
+                let loc = assets.get(asset)?;
+                shards_view[loc.shard].platform.market().listing(loc.local).map(|l| l.price)
+            };
+            let mut state = PlanState {
+                dp,
+                recorder,
+                metrics,
+                dp_budget_micro: config.dp_budget_micro,
+                pet_noise_seed: config.pet_noise_seed,
+                epoch: ctx.epoch,
+                now: ctx.now,
+            };
+            for (seq, op) in pending {
+                let plan = plan_ctx.pre_route(op, skipped, &buy_price);
+                if let Some((shard, op)) = state.route(seq, plan, merge, &mut requeues, report)
+                {
+                    batches[shard].push((seq, op));
                 }
             }
-            Op::Vote { user, proposal, support } => match self.proposals.get(&proposal) {
-                Some(&(pshard, ref scope, local)) => {
-                    if skipped[pshard] {
-                        Planned::Requeue {
-                            shard: pshard,
-                            op: Op::Vote { user, proposal, support },
-                        }
-                    } else {
-                        Planned::Execute {
-                            shard: pshard,
-                            op: ShardOp::Vote { user, scope: scope.clone(), local, support },
-                        }
-                    }
-                }
-                // The proposal may open earlier this same epoch.
-                None => Planned::Merge(MergeItem::Deferred(Op::Vote {
-                    user,
-                    proposal,
-                    support,
-                })),
-            },
-            Op::Endorse { user, subject } => self.plan_rating(user, subject, true),
-            Op::Report { user, subject } => self.plan_rating(user, subject, false),
-            Op::Mint { user, asset, uri, quality } => {
-                let shard = self.session_shard(&user);
-                Planned::Execute { shard, op: ShardOp::Mint { user, global: asset, uri, quality } }
-            }
-            Op::List { user, asset, price } => match self.assets.get(&asset) {
-                // Listings execute on the asset's shard regardless of
-                // where the seller is homed — ownership lives there.
-                Some(&loc) => {
-                    if skipped[loc.shard] {
-                        Planned::Requeue { shard: loc.shard, op: Op::List { user, asset, price } }
-                    } else {
-                        Planned::Execute {
-                            shard: loc.shard,
-                            op: ShardOp::List { user, local: loc.local, price },
-                        }
-                    }
-                }
-                // The asset may be minted earlier this same epoch.
-                None => Planned::Merge(MergeItem::Deferred(Op::List { user, asset, price })),
-            },
-            Op::Buy { user, asset } => {
-                let home = self.session_shard(&user);
-                match self.assets.get(&asset) {
-                    Some(&loc) if loc.shard == home => {
-                        Planned::Execute { shard: home, op: ShardOp::Buy { user, local: loc.local } }
-                    }
-                    Some(&loc) => {
-                        // Remote: the listing price is read here, before
-                        // fan-out, so the worker only touches the
-                        // buyer's home shard (withdraw into escrow).
-                        match self.shards[loc.shard]
+        }
+        for (shard, seq, op) in requeues {
+            shards[shard].queue.push_back((seq, op));
+        }
+        let work: Vec<ShardWork> = skipped
+            .iter()
+            .zip(batches)
+            .map(|(&skip, batch)| ShardWork { skip, batch })
+            .collect();
+        run_shard_phase(shards, work, worker_threads, ctx, metrics)
+    }
+
+    /// The pipelined epoch: workers own the shards for the whole
+    /// phase, consuming planned ops from per-worker channels while the
+    /// plan loop is still running on the router thread. Everything
+    /// order-sensitive (DP debits, directory reads, merge items,
+    /// traces) stays on the router thread in admission-`seq` order;
+    /// each shard receives its ops in the same `seq`-order subsequence
+    /// the batched path would have handed it, so the two paths commit
+    /// byte-identical state.
+    fn run_pipelined(
+        &mut self,
+        pending: Vec<(u64, Op)>,
+        skipped: &[bool],
+        ctx: EpochCtx,
+        merge: &mut BTreeMap<u64, MergeItem>,
+        report: &mut EpochReport,
+    ) -> Vec<ShardOutcome> {
+        let workers = self.worker_threads;
+        // Remote-buy price pre-pass: the plan loop cannot read shard
+        // markets once the workers own the shards, so resolve every
+        // listed `Buy` target now. Directories and listings cannot
+        // change between here and the plan loop (both run before any
+        // merge), so these are exactly the prices the batched plan
+        // loop reads mid-loop.
+        let mut buy_prices: BTreeMap<u64, u64> = BTreeMap::new();
+        for (_, op) in &pending {
+            if let Op::Buy { asset, .. } = op {
+                if !buy_prices.contains_key(asset) {
+                    if let Some(&loc) = self.assets.get(*asset) {
+                        if let Some(price) = self.shards[loc.shard]
                             .platform
                             .market()
                             .listing(loc.local)
                             .map(|l| l.price)
                         {
-                            Some(price) => Planned::Execute {
-                                shard: home,
-                                op: ShardOp::BuyRemote {
-                                    buyer: user,
-                                    asset,
-                                    to_shard: loc.shard,
-                                    price,
-                                },
-                            },
-                            // A same-epoch `List` may land it.
-                            None => Planned::Merge(MergeItem::Deferred(Op::Buy { user, asset })),
+                            buy_prices.insert(*asset, price);
                         }
                     }
-                    None => Planned::Merge(MergeItem::Deferred(Op::Buy { user, asset })),
                 }
             }
-            Op::RecordCollection { user, subject, sensor, purpose, basis, bytes } => {
-                let shard = self.session_shard(&user);
-                Planned::Execute {
-                    shard,
-                    op: ShardOp::RecordCollection { user, subject, sensor, purpose, basis, bytes },
-                }
+        }
+        let ShardRouter {
+            ring, sessions, assets, proposals, shards, dp, recorder, metrics, config, ..
+        } = self;
+        let plan_ctx = PlanCtx {
+            ring,
+            sessions,
+            assets,
+            proposals,
+            dp_epsilon_per_event_micro: config.dp_epsilon_per_event_micro,
+        };
+        let metrics: &GatewayMetrics = metrics;
+        let chunk = shards.len().div_ceil(workers);
+        let mut requeues: Vec<(usize, u64, Op)> = Vec::new();
+        let mut outcomes = std::thread::scope(|scope| {
+            let mut senders: Vec<mpsc::Sender<(usize, u64, ShardOp)>> = Vec::new();
+            let mut handles = Vec::new();
+            let mut base = 0usize;
+            for shard_chunk in shards.chunks_mut(chunk) {
+                let (tx, rx) = mpsc::channel::<(usize, u64, ShardOp)>();
+                senders.push(tx);
+                let start = base;
+                base += shard_chunk.len();
+                let skip_chunk = &skipped[start..start + shard_chunk.len()];
+                handles.push(scope.spawn(move || {
+                    stream_shard_chunk(start, shard_chunk, skip_chunk, rx, ctx, metrics)
+                }));
             }
-            Op::TwinSync { user, property, delta } => {
-                let shard = self.session_shard(&user);
-                Planned::Execute { shard, op: ShardOp::TwinSync { property, delta } }
-            }
-            // Delegation is global state (membership spans every
-            // shard's DAOs), so it applies at the merge barrier to all
-            // shards at once — the cycle check then sees identical
-            // delegation graphs no matter how users are sharded.
-            Op::Delegate { user, delegate } => {
-                Planned::Merge(MergeItem::Delegation { user, delegate: Some(delegate) })
-            }
-            Op::RevokeDelegation { user } => {
-                Planned::Merge(MergeItem::Delegation { user, delegate: None })
-            }
-            Op::QuadraticVote { user, proposal, support, votes } => {
-                match self.proposals.get(&proposal) {
-                    Some(&(pshard, ref scope, local)) => {
-                        if skipped[pshard] {
-                            Planned::Requeue {
-                                shard: pshard,
-                                op: Op::QuadraticVote { user, proposal, support, votes },
-                            }
-                        } else {
-                            Planned::Execute {
-                                shard: pshard,
-                                op: ShardOp::QuadraticVote {
-                                    user,
-                                    scope: scope.clone(),
-                                    local,
-                                    support,
-                                    votes: u64::from(votes),
-                                },
-                            }
-                        }
+            {
+                let buy_price = |asset: u64| buy_prices.get(&asset).copied();
+                let mut state = PlanState {
+                    dp,
+                    recorder,
+                    metrics,
+                    dp_budget_micro: config.dp_budget_micro,
+                    pet_noise_seed: config.pet_noise_seed,
+                    epoch: ctx.epoch,
+                    now: ctx.now,
+                };
+                for (seq, op) in pending {
+                    let plan = plan_ctx.pre_route(op, skipped, &buy_price);
+                    if let Some((shard, op)) =
+                        state.route(seq, plan, merge, &mut requeues, report)
+                    {
+                        // A send only fails if the worker already died;
+                        // its panic resurfaces at the join below.
+                        let _ = senders[shard / chunk].send((shard % chunk, seq, op));
                     }
-                    // The proposal may open earlier this same epoch.
-                    None => Planned::Merge(MergeItem::Deferred(Op::QuadraticVote {
-                        user,
-                        proposal,
-                        support,
-                        votes,
-                    })),
                 }
             }
-            Op::SensorEvent { user, class, reading } => {
-                let shard = self.session_shard(&user);
-                Planned::Execute {
-                    shard,
-                    op: ShardOp::SensorEvent {
-                        user,
-                        class,
-                        reading,
-                        epsilon_micro: self.config.dp_epsilon_per_event_micro,
-                        // Patched to the per-event stream when the plan
-                        // loop debits the global DP ledger.
-                        noise_seed: 0,
-                    },
-                }
-            }
-            Op::AppealModeration { user } => {
-                let shard = self.session_shard(&user);
-                Planned::Execute { shard, op: ShardOp::Appeal { user } }
-            }
+            drop(senders);
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+                .collect::<Vec<ShardOutcome>>()
+        });
+        outcomes.sort_by_key(|o| o.shard);
+        for (shard, seq, op) in requeues {
+            shards[shard].queue.push_back((seq, op));
         }
-    }
-
-    /// Endorse/report plan: local subjects execute on the rater's
-    /// shard; remote subjects go through settlement (enqueued in the
-    /// merge phase so the queue stays in `seq` order).
-    fn plan_rating(&self, user: String, subject: String, positive: bool) -> Planned {
-        let home = self.session_shard(&user);
-        let subject_shard = self.session_shard(&subject);
-        if subject_shard == home {
-            Planned::Execute { shard: home, op: ShardOp::Rate { rater: user, subject, positive } }
-        } else {
-            Planned::Merge(MergeItem::RateRemote { subject, to_shard: subject_shard, positive })
-        }
+        outcomes
     }
 
     /// Applies a worker-returned cross-shard effect (merge phase, `seq`
@@ -1576,7 +1741,7 @@ impl ShardRouter {
                 }
             }
             WorkerEffect::ProposalCreated { global, scope, local } => {
-                self.proposals.insert(global, (shard, scope, local));
+                self.proposals.insert(global, (shard, scope.into(), local));
             }
             WorkerEffect::AssetMinted { global, local } => {
                 self.assets.insert(global, AssetLocation { shard, local });
@@ -1625,7 +1790,7 @@ impl ShardRouter {
         report: &mut EpochReport,
     ) {
         let (exec_shard, result) = match op {
-            Op::Vote { user, proposal, support } => match self.proposals.get(&proposal).cloned()
+            Op::Vote { user, proposal, support } => match self.proposals.get(proposal).cloned()
             {
                 Some((pshard, scope, local)) => {
                     if skipped[pshard] {
@@ -1643,7 +1808,7 @@ impl ShardRouter {
                 }
             },
             Op::QuadraticVote { user, proposal, support, votes } => {
-                match self.proposals.get(&proposal).cloned() {
+                match self.proposals.get(proposal).cloned() {
                     Some((pshard, scope, local)) => {
                         if skipped[pshard] {
                             self.trace(seq, TraceStage::Requeued { shard: pshard as u32 });
@@ -1670,7 +1835,7 @@ impl ShardRouter {
                     }
                 }
             }
-            Op::List { user, asset, price } => match self.assets.get(&asset).copied() {
+            Op::List { user, asset, price } => match self.assets.get(asset).copied() {
                 Some(loc) => {
                     if skipped[loc.shard] {
                         self.trace(seq, TraceStage::Requeued { shard: loc.shard as u32 });
@@ -1726,7 +1891,7 @@ impl ShardRouter {
     fn deferred_buy(&mut self, seq: u64, buyer: &str, asset: u64) -> Result<(), CoreError> {
         let loc = self
             .assets
-            .get(&asset)
+            .get(asset)
             .copied()
             .ok_or_else(|| CoreError::Platform(format!("unknown asset {asset}")))?;
         let home = self.session_shard(buyer);
@@ -1789,7 +1954,7 @@ impl ShardRouter {
                     // An asset missing from the directory can no longer
                     // be bought anywhere: return the escrow rather than
                     // panicking on the index.
-                    let Some(loc) = self.assets.get(&asset).copied() else {
+                    let Some(loc) = self.assets.get(asset).copied() else {
                         self.refund(entry);
                         continue;
                     };
@@ -1916,7 +2081,7 @@ impl ShardRouter {
                         // A directory miss means there is no committing
                         // block to resolve; skip the provenance row
                         // rather than panicking on the index.
-                        self.assets.get(asset).map(|loc| {
+                        self.assets.get(*asset).map(|loc| {
                             (
                                 *to_shard,
                                 ProvenanceKey::Purchase {
@@ -1961,7 +2126,7 @@ enum ShardOp {
     Register { user: String },
     EnterWorld { user: String, handle: String, x: f64, y: f64 },
     Propose { user: String, global: u64, scope: String, title: String },
-    Vote { user: String, scope: String, local: u64, support: bool },
+    Vote { user: String, scope: Arc<str>, local: u64, support: bool },
     Rate { rater: String, subject: String, positive: bool },
     Mint { user: String, global: u64, uri: String, quality: f64 },
     List { user: String, local: NftId, price: u64 },
@@ -1976,7 +2141,7 @@ enum ShardOp {
         bytes: u64,
     },
     TwinSync { property: u32, delta: f64 },
-    QuadraticVote { user: String, scope: String, local: u64, support: bool, votes: u64 },
+    QuadraticVote { user: String, scope: Arc<str>, local: u64, support: bool, votes: u64 },
     SensorEvent {
         user: String,
         class: SensorClass,
@@ -2034,6 +2199,306 @@ enum Planned {
     Merge(MergeItem),
     /// Target shard is breaker-skipped: hold on its queue.
     Requeue { shard: usize, op: Op },
+}
+
+/// The read-only router state pre-routing consults, split out of
+/// `&mut self` so the pipelined plan loop can keep resolving ops while
+/// worker threads hold `&mut` on the shards. Directories cannot change
+/// during the plan loop (`apply_effect` runs at the merge barrier,
+/// after it), so a shared borrow for the whole phase is sound *and*
+/// byte-identical to the batched path's mid-loop reads.
+struct PlanCtx<'a> {
+    ring: &'a Ring,
+    sessions: &'a SessionTable,
+    assets: &'a DenseDir<AssetLocation>,
+    proposals: &'a DenseDir<ProposalEntry>,
+    dp_epsilon_per_event_micro: u64,
+}
+
+impl PlanCtx<'_> {
+    /// Registered users execute on their session's shard; everyone
+    /// else (rating subjects that never registered) falls back to the
+    /// hash ring so the plan is still deterministic.
+    fn session_shard(&self, user: &str) -> usize {
+        self.sessions.get(user).map(Session::shard).unwrap_or_else(|| self.ring.shard_for(user))
+    }
+
+    /// Resolves one drained op into its epoch plan: a single-shard
+    /// [`ShardOp`] a worker can run without touching cross-shard state,
+    /// a merge-phase item (remote ratings; ops whose target may be
+    /// created later this epoch), or a requeue (target shard skipped).
+    /// `buy_price` abstracts the one shard read pre-routing needs (a
+    /// remote listing's price): the batched path reads the market
+    /// directly, the pipelined path reads a pre-pass snapshot taken
+    /// before the workers took the shards — same values either way,
+    /// because listings only change at the merge barrier.
+    fn pre_route(
+        &self,
+        op: Op,
+        skipped: &[bool],
+        buy_price: &dyn Fn(u64) -> Option<u64>,
+    ) -> Planned {
+        match op {
+            Op::Register { user } => {
+                let shard = self.session_shard(&user);
+                Planned::Execute { shard, op: ShardOp::Register { user } }
+            }
+            Op::EnterWorld { user, handle, x, y } => {
+                let shard = self.session_shard(&user);
+                Planned::Execute { shard, op: ShardOp::EnterWorld { user, handle, x, y } }
+            }
+            Op::Propose { user, proposal, scope, title } => {
+                let shard = self.session_shard(&user);
+                Planned::Execute {
+                    shard,
+                    op: ShardOp::Propose { user, global: proposal, scope, title },
+                }
+            }
+            Op::Vote { user, proposal, support } => match self.proposals.get(proposal) {
+                Some(&(pshard, ref scope, local)) => {
+                    if skipped[pshard] {
+                        Planned::Requeue {
+                            shard: pshard,
+                            op: Op::Vote { user, proposal, support },
+                        }
+                    } else {
+                        Planned::Execute {
+                            shard: pshard,
+                            op: ShardOp::Vote { user, scope: scope.clone(), local, support },
+                        }
+                    }
+                }
+                // The proposal may open earlier this same epoch.
+                None => Planned::Merge(MergeItem::Deferred(Op::Vote {
+                    user,
+                    proposal,
+                    support,
+                })),
+            },
+            Op::Endorse { user, subject } => self.plan_rating(user, subject, true),
+            Op::Report { user, subject } => self.plan_rating(user, subject, false),
+            Op::Mint { user, asset, uri, quality } => {
+                let shard = self.session_shard(&user);
+                Planned::Execute { shard, op: ShardOp::Mint { user, global: asset, uri, quality } }
+            }
+            Op::List { user, asset, price } => match self.assets.get(asset) {
+                // Listings execute on the asset's shard regardless of
+                // where the seller is homed — ownership lives there.
+                Some(&loc) => {
+                    if skipped[loc.shard] {
+                        Planned::Requeue { shard: loc.shard, op: Op::List { user, asset, price } }
+                    } else {
+                        Planned::Execute {
+                            shard: loc.shard,
+                            op: ShardOp::List { user, local: loc.local, price },
+                        }
+                    }
+                }
+                // The asset may be minted earlier this same epoch.
+                None => Planned::Merge(MergeItem::Deferred(Op::List { user, asset, price })),
+            },
+            Op::Buy { user, asset } => {
+                let home = self.session_shard(&user);
+                match self.assets.get(asset) {
+                    Some(&loc) if loc.shard == home => {
+                        Planned::Execute { shard: home, op: ShardOp::Buy { user, local: loc.local } }
+                    }
+                    Some(&loc) => {
+                        // Remote: the listing price resolves here,
+                        // before fan-out, so the worker only touches
+                        // the buyer's home shard (withdraw into
+                        // escrow).
+                        match buy_price(asset) {
+                            Some(price) => Planned::Execute {
+                                shard: home,
+                                op: ShardOp::BuyRemote {
+                                    buyer: user,
+                                    asset,
+                                    to_shard: loc.shard,
+                                    price,
+                                },
+                            },
+                            // A same-epoch `List` may land it.
+                            None => Planned::Merge(MergeItem::Deferred(Op::Buy { user, asset })),
+                        }
+                    }
+                    None => Planned::Merge(MergeItem::Deferred(Op::Buy { user, asset })),
+                }
+            }
+            Op::RecordCollection { user, subject, sensor, purpose, basis, bytes } => {
+                let shard = self.session_shard(&user);
+                Planned::Execute {
+                    shard,
+                    op: ShardOp::RecordCollection { user, subject, sensor, purpose, basis, bytes },
+                }
+            }
+            Op::TwinSync { user, property, delta } => {
+                let shard = self.session_shard(&user);
+                Planned::Execute { shard, op: ShardOp::TwinSync { property, delta } }
+            }
+            // Delegation is global state (membership spans every
+            // shard's DAOs), so it applies at the merge barrier to all
+            // shards at once — the cycle check then sees identical
+            // delegation graphs no matter how users are sharded.
+            Op::Delegate { user, delegate } => {
+                Planned::Merge(MergeItem::Delegation { user, delegate: Some(delegate) })
+            }
+            Op::RevokeDelegation { user } => {
+                Planned::Merge(MergeItem::Delegation { user, delegate: None })
+            }
+            Op::QuadraticVote { user, proposal, support, votes } => {
+                match self.proposals.get(proposal) {
+                    Some(&(pshard, ref scope, local)) => {
+                        if skipped[pshard] {
+                            Planned::Requeue {
+                                shard: pshard,
+                                op: Op::QuadraticVote { user, proposal, support, votes },
+                            }
+                        } else {
+                            Planned::Execute {
+                                shard: pshard,
+                                op: ShardOp::QuadraticVote {
+                                    user,
+                                    scope: scope.clone(),
+                                    local,
+                                    support,
+                                    votes: u64::from(votes),
+                                },
+                            }
+                        }
+                    }
+                    // The proposal may open earlier this same epoch.
+                    None => Planned::Merge(MergeItem::Deferred(Op::QuadraticVote {
+                        user,
+                        proposal,
+                        support,
+                        votes,
+                    })),
+                }
+            }
+            Op::SensorEvent { user, class, reading } => {
+                let shard = self.session_shard(&user);
+                Planned::Execute {
+                    shard,
+                    op: ShardOp::SensorEvent {
+                        user,
+                        class,
+                        reading,
+                        epsilon_micro: self.dp_epsilon_per_event_micro,
+                        // Patched to the per-event stream when the plan
+                        // loop debits the global DP ledger.
+                        noise_seed: 0,
+                    },
+                }
+            }
+            Op::AppealModeration { user } => {
+                let shard = self.session_shard(&user);
+                Planned::Execute { shard, op: ShardOp::Appeal { user } }
+            }
+        }
+    }
+
+    /// Endorse/report plan: local subjects execute on the rater's
+    /// shard; remote subjects go through settlement (enqueued in the
+    /// merge phase so the queue stays in `seq` order).
+    fn plan_rating(&self, user: String, subject: String, positive: bool) -> Planned {
+        let home = self.session_shard(&user);
+        let subject_shard = self.session_shard(&subject);
+        if subject_shard == home {
+            Planned::Execute { shard: home, op: ShardOp::Rate { rater: user, subject, positive } }
+        } else {
+            Planned::Merge(MergeItem::RateRemote { subject, to_shard: subject_shard, positive })
+        }
+    }
+}
+
+/// The mutable, order-sensitive half of the plan loop: the global DP
+/// ledger, the router trace ring, and the per-op metric bumps. Both
+/// epoch paths drive the exact same `route` on the exact same `seq`
+/// order, which is what makes the batched and pipelined ledgers,
+/// budget reports, and trace streams byte-identical.
+struct PlanState<'a> {
+    dp: &'a mut DpLedger,
+    recorder: &'a mut FlightRecorder,
+    metrics: &'a GatewayMetrics,
+    dp_budget_micro: u64,
+    pet_noise_seed: u64,
+    epoch: u64,
+    now: u64,
+}
+
+impl PlanState<'_> {
+    fn trace(&mut self, seq: u64, stage: TraceStage) {
+        self.recorder.record(TraceEvent { seq, epoch: self.epoch, tick: self.now, stage });
+    }
+
+    /// Consumes one plan: returns `Some((shard, op))` when the op
+    /// should reach a worker, `None` when it was refused, merged, or
+    /// requeued. Requeues are buffered (not pushed onto shard queues)
+    /// because the pipelined caller's workers hold the shards.
+    fn route(
+        &mut self,
+        seq: u64,
+        plan: Planned,
+        merge: &mut BTreeMap<u64, MergeItem>,
+        requeues: &mut Vec<(usize, u64, Op)>,
+        report: &mut EpochReport,
+    ) -> Option<(usize, ShardOp)> {
+        match plan {
+            Planned::Execute { shard, op } => {
+                let mut op = op;
+                match &mut op {
+                    // The global DP ledger debits here — still
+                    // sequential, still in `seq` order — so the spend
+                    // sequence and the refusal frontier are invariant
+                    // under shard and worker counts *and* under
+                    // pipelining.
+                    ShardOp::SensorEvent { epsilon_micro, noise_seed, .. } => {
+                        let remaining = self.dp_budget_micro.saturating_sub(self.dp.spent_micro);
+                        if *epsilon_micro > remaining {
+                            self.dp.refused += 1;
+                            self.metrics.dp_refused.incr();
+                            self.metrics.ops_failed.incr();
+                            report.failed += 1;
+                            if self.recorder.is_enabled() {
+                                self.trace(
+                                    seq,
+                                    TraceStage::BudgetRefused {
+                                        op: "sensor_event",
+                                        requested_micro: *epsilon_micro,
+                                        remaining_micro: remaining,
+                                    },
+                                );
+                            }
+                            return None;
+                        }
+                        self.dp.spent_micro += *epsilon_micro;
+                        *noise_seed = self.pet_noise_seed ^ seq;
+                    }
+                    ShardOp::QuadraticVote { .. } => {
+                        self.metrics.governance_quadratic_votes.incr();
+                    }
+                    ShardOp::Appeal { .. } => self.metrics.governance_appeals.incr(),
+                    _ => {}
+                }
+                Some((shard, op))
+            }
+            Planned::Merge(item) => {
+                if self.recorder.is_enabled() {
+                    if let MergeItem::Deferred(ref op) = item {
+                        self.trace(seq, TraceStage::Deferred { op: op.label() });
+                    }
+                }
+                merge.insert(seq, item);
+                None
+            }
+            Planned::Requeue { shard, op } => {
+                self.trace(seq, TraceStage::Requeued { shard: shard as u32 });
+                requeues.push((shard, seq, op));
+                None
+            }
+        }
+    }
 }
 
 /// One shard's slice of an epoch.
@@ -2171,6 +2636,88 @@ fn run_shard_epoch(
         }
     }
     ShardOutcome { shard: index, skipped: false, commit_ok, results }
+}
+
+/// The pipelined counterpart of [`run_shard_epoch`] for one worker's
+/// chunk of shards: ops arrive over a channel *while the plan loop is
+/// still running* and execute immediately; the epoch tail (clock
+/// advance, ledger commit, commit traces) runs once the channel closes.
+/// Per-shard op order equals the batched path's batch order (the plan
+/// loop sends in admission-`seq` order and the channel is FIFO), so
+/// every observable — results, traces, sealed blocks — is identical;
+/// only wall-clock overlap differs.
+fn stream_shard_chunk(
+    start: usize,
+    shards: &mut [Shard],
+    skipped: &[bool],
+    rx: mpsc::Receiver<(usize, u64, ShardOp)>,
+    ctx: EpochCtx,
+    metrics: &GatewayMetrics,
+) -> Vec<ShardOutcome> {
+    debug_assert_eq!(shards.len(), skipped.len());
+    // Per shard: (admission seq, op outcome), in channel arrival order.
+    type ShardResults = Vec<(u64, Result<Option<WorkerEffect>, CoreError>)>;
+    let mut results: Vec<ShardResults> = (0..shards.len()).map(|_| Vec::new()).collect();
+    let mut exec_ns = vec![0u64; shards.len()];
+    while let Ok((local, seq, op)) = rx.recv() {
+        let started = std::time::Instant::now();
+        let result = exec_shard_op(start + local, &mut shards[local], seq, op, ctx);
+        exec_ns[local] += u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let shard = &mut shards[local];
+        if shard.recorder.is_enabled() {
+            shard.recorder.record(TraceEvent {
+                seq,
+                epoch: ctx.epoch,
+                tick: ctx.now,
+                stage: TraceStage::Executed {
+                    shard: (start + local) as u32,
+                    ok: result.is_ok(),
+                },
+            });
+        }
+        results[local].push((seq, result));
+    }
+    // Channel closed: the plan loop is done, every op for this chunk
+    // has executed. Run each shard's epoch tail exactly as the batched
+    // path would.
+    shards
+        .iter_mut()
+        .zip(results)
+        .enumerate()
+        .map(|(j, (shard, results))| {
+            if skipped[j] {
+                shard.platform.advance_ticks(ctx.tick_delta);
+                return ShardOutcome {
+                    shard: start + j,
+                    skipped: true,
+                    commit_ok: true,
+                    results: Vec::new(),
+                };
+            }
+            metrics.batch_size.record(results.len() as u64);
+            metrics.shard_batch_ns[start + j].record(exec_ns[j]);
+            shard.platform.advance_ticks(ctx.tick_delta);
+            let commit_ok = shard.platform.commit_epoch().is_ok();
+            if commit_ok && shard.recorder.is_enabled() {
+                let (height, block) = sealed_head(&shard.platform);
+                let committed: Vec<u64> =
+                    results.iter().filter(|(_, r)| r.is_ok()).map(|(seq, _)| *seq).collect();
+                for seq in committed {
+                    shard.recorder.record(TraceEvent {
+                        seq,
+                        epoch: ctx.epoch,
+                        tick: ctx.now,
+                        stage: TraceStage::CommittedInEpoch {
+                            shard: (start + j) as u32,
+                            height,
+                            block,
+                        },
+                    });
+                }
+            }
+            ShardOutcome { shard: start + j, skipped: false, commit_ok, results }
+        })
+        .collect()
 }
 
 /// Executes one pre-routed op against its own shard. No cross-shard

@@ -160,6 +160,20 @@ impl Session {
     /// the mailbox (tagged with its global admission sequence number)
     /// until the router drains it.
     pub fn offer(&mut self, seq: u64, op: Op, now: u64) -> Result<(), AdmissionError> {
+        self.offer_with(seq, now, move || op)
+    }
+
+    /// [`Session::offer`] with the op materialised only *after* the
+    /// mailbox and rate-limit checks pass. The zero-copy wire path
+    /// hands a closure that turns a borrowed `OpView` into an owned
+    /// [`Op`], so a refused flood never allocates; refusal accounting
+    /// and admission order are identical to [`Session::offer`].
+    pub fn offer_with(
+        &mut self,
+        seq: u64,
+        now: u64,
+        make_op: impl FnOnce() -> Op,
+    ) -> Result<(), AdmissionError> {
         if self.mailbox.len() >= self.mailbox_capacity {
             self.rejected_total += 1;
             return Err(AdmissionError::MailboxFull {
@@ -171,7 +185,7 @@ impl Session {
             self.rejected_total += 1;
             return Err(AdmissionError::RateLimited { user: self.user.clone(), retry_in_ticks });
         }
-        self.mailbox.push_back((seq, op, now));
+        self.mailbox.push_back((seq, make_op(), now));
         self.accepted_total += 1;
         Ok(())
     }
@@ -272,6 +286,55 @@ mod tests {
         assert_eq!(drained[0].0, 0, "oldest first");
         assert_eq!(s.pending(), 0);
         assert!(s.offer(3, op("carol"), 0).is_ok(), "drain frees capacity");
+    }
+
+    /// Regression (tick-clock overflow audit): a clock at or near
+    /// `u64::MAX` must never panic in refill arithmetic or wrap the
+    /// bucket level into admitting ops a sane clock would refuse. The
+    /// `burst: 0` draconian policy is the sharpest case — its refusals
+    /// quote `retry_in_ticks: u64::MAX`, and a caller that adds that
+    /// hint to its own clock is exactly how a near-MAX `now` arrives.
+    #[test]
+    fn near_max_tick_clock_never_panics_or_wraps_into_admitting() {
+        // burst 0: every offer refused with the unreachable-retry hint,
+        // no matter how extreme the clock (elapsed * refill would
+        // overflow u64 without saturation).
+        let zero_burst = SessionConfig {
+            rate: RateLimit { burst: 0, milli_per_tick: u64::MAX },
+            mailbox_capacity: 8,
+        };
+        let mut s = Session::new("eve", 0, zero_burst);
+        for now in [u64::MAX - 1, u64::MAX] {
+            match s.offer(0, op("eve"), now) {
+                Err(AdmissionError::RateLimited { retry_in_ticks, .. }) => {
+                    assert_eq!(retry_in_ticks, u64::MAX, "burst 0 can never admit")
+                }
+                other => panic!("expected rate limit at now={now}, got {other:?}"),
+            }
+        }
+        assert_eq!(s.accepted_total(), 0, "no overflow wrapped into an admission");
+
+        // burst > 0 at u64::MAX: the gained amount saturates, the level
+        // still caps at capacity — exactly `burst` ops fit, not more.
+        let config = SessionConfig {
+            rate: RateLimit { burst: 2, milli_per_tick: u64::MAX },
+            mailbox_capacity: 8,
+        };
+        let mut s = Session::new("mallory", 0, config);
+        for i in 0..2 {
+            assert!(s.offer(i, op("mallory"), u64::MAX).is_ok(), "burst slot {i}");
+        }
+        assert!(
+            matches!(s.offer(2, op("mallory"), u64::MAX), Err(AdmissionError::RateLimited { .. })),
+            "a saturated refill must still cap at the burst capacity"
+        );
+
+        // The clock running backwards from MAX (skew) saturates to zero
+        // elapsed instead of underflowing.
+        assert!(matches!(
+            s.offer(3, op("mallory"), 0),
+            Err(AdmissionError::RateLimited { .. })
+        ));
     }
 
     #[test]

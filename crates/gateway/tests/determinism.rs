@@ -153,3 +153,71 @@ fn traces_and_audits_survive_tracing_at_every_shard_count() {
         assert_eq!(seq.trace_stats().dropped, 0, "capacity must hold the whole stream");
     }
 }
+
+/// (e) The pipelining gate: streaming the plan loop to the shard
+/// workers (`pipeline(true)`) must be byte-identical to the batched
+/// epoch — settlement ledger, conservation audit, DP budget report,
+/// and the full trace stream — at every shard count, on both the
+/// mixed-economy stream (E21's shape) and the governance-heavy streams
+/// (E26's shapes: proposal storms, biometric bursts under a DP budget,
+/// moderation floods).
+#[test]
+fn pipelined_epochs_are_byte_identical_to_batched_at_every_shard_count() {
+    const CAPACITY: usize = 1 << 17;
+    let streams: Vec<(&str, WorkloadConfig)> = vec![
+        (
+            "mixed",
+            WorkloadConfig { users: 48, ops: 4_000, seed: SEED, ..WorkloadConfig::default() },
+        ),
+        ("proposal_storm", WorkloadConfig::proposal_storm(48, 3_000, SEED)),
+        ("biometric_burst", WorkloadConfig::biometric_burst(48, 3_000, SEED)),
+        ("moderation_flood", WorkloadConfig::moderation_flood(48, 3_000, SEED)),
+    ];
+    for (name, config) in streams {
+        for shards in [1usize, 2, 4, 8] {
+            let engine = WorkloadEngine::new(config.clone());
+            let build = |pipeline: bool| {
+                ShardRouter::new(
+                    GatewayConfig::builder()
+                        .shards(shards)
+                        .workers(shards)
+                        .pipeline(pipeline)
+                        .tracing(CAPACITY)
+                        // The biometric stream must actually exhaust the
+                        // budget so the refusal frontier is exercised.
+                        .dp_budget_micro(5_000)
+                        .key_tree_depth(7)
+                        .build(),
+                )
+            };
+            let mut batched = build(false);
+            let mut pipelined = build(true);
+            let batched_report = engine.drive(&mut batched, 256);
+            let pipelined_report = engine.drive(&mut pipelined, 256);
+            let cell = format!("stream {name} at {shards} shards");
+            assert_eq!(batched_report, pipelined_report, "drive reports diverged: {cell}");
+            assert_eq!(
+                format!("{:?}", batched.settlement_ledger()),
+                format!("{:?}", pipelined.settlement_ledger()),
+                "settlement ledgers diverged: {cell}"
+            );
+            assert_eq!(
+                format!("{:?}", batched.conservation_report()),
+                format!("{:?}", pipelined.conservation_report()),
+                "conservation reports diverged: {cell}"
+            );
+            assert_eq!(
+                format!("{:?}", batched.dp_budget_report()),
+                format!("{:?}", pipelined.dp_budget_report()),
+                "DP budget reports diverged: {cell}"
+            );
+            assert_eq!(
+                batched.trace_jsonl(),
+                pipelined.trace_jsonl(),
+                "trace streams diverged: {cell}"
+            );
+            assert!(batched.conservation_report().conserved, "{cell}");
+            assert_eq!(batched.trace_stats().dropped, 0, "{cell}");
+        }
+    }
+}

@@ -33,6 +33,15 @@ pub struct ChainConfig {
     pub key_tree_depth: usize,
     /// Enforce strict round-robin sealing order.
     pub enforce_round_robin: bool,
+    /// Worker threads [`Chain::seal_all_profiled`] may spread Merkle
+    /// root builds, signing, and seal verification across when the
+    /// mempool drains into more than one block. `1` (the default)
+    /// seals strictly sequentially; `0` sizes to the host's available
+    /// parallelism. The appended chain is byte-identical at any
+    /// setting — parallel sealing falls back to the sequential path
+    /// whenever it could observably differ (single block, or a
+    /// validator near key exhaustion).
+    pub seal_workers: usize,
 }
 
 impl Default for ChainConfig {
@@ -42,6 +51,7 @@ impl Default for ChainConfig {
             allow_empty_blocks: false,
             key_tree_depth: 10,
             enforce_round_robin: true,
+            seal_workers: 1,
         }
     }
 }
@@ -81,6 +91,38 @@ impl SealProfile {
 /// Elapsed nanoseconds since `started`, saturating at `u64::MAX`.
 fn elapsed_ns(started: std::time::Instant) -> u64 {
     u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Maps `f` over `items` across (at most) `workers` scoped threads,
+/// returning results in item order regardless of thread scheduling —
+/// the seal phases that use this stay deterministic because ordering
+/// never depends on which thread finished first.
+fn par_map<T: Sync, R: Send>(
+    items: &[T],
+    workers: usize,
+    f: impl Fn(usize, &T) -> R + Sync,
+) -> Vec<R> {
+    let chunk = items.len().div_ceil(workers).max(1);
+    std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .enumerate()
+            .map(|(ci, slice)| {
+                scope.spawn(move || {
+                    slice
+                        .iter()
+                        .enumerate()
+                        .map(|(j, item)| f(ci * chunk + j, item))
+                        .collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+            .collect()
+    })
 }
 
 /// A validator identity: a name and its hash-based signing tree.
@@ -235,15 +277,226 @@ impl Chain {
         self.seal_all_profiled().map(|(sealed, _)| sealed)
     }
 
-    /// [`Chain::seal_all`] with per-phase wall-clock totals accumulated
-    /// across every block sealed.
+    /// [`Chain::seal_all`] with one [`SealProfile`] *per sealed block*,
+    /// in seal order — callers wanting per-phase totals across the
+    /// drain must aggregate the vector themselves.
+    ///
+    /// With [`ChainConfig::seal_workers`] above `1` (and at least two
+    /// blocks' worth of mempool), the Merkle root builds, per-validator
+    /// signing, and seal verification fan out across scoped threads;
+    /// header construction and the append stay sequential, so the
+    /// resulting chain bytes are identical to a sequential drain. Any
+    /// situation where parallel sealing could diverge observably —
+    /// notably a validator without enough Lamport keys left, where the
+    /// sequential path seals a prefix before failing — takes the
+    /// sequential path instead.
     pub fn seal_all_profiled(&mut self) -> Result<(usize, Vec<SealProfile>), LedgerError> {
+        let workers = self.seal_worker_count();
+        let blocks = self.pending_blocks();
+        if workers > 1 && blocks > 1 && self.can_seal_all(blocks) {
+            self.seal_all_parallel(workers, blocks)
+        } else {
+            self.seal_all_sequential()
+        }
+    }
+
+    /// The strictly sequential mempool drain: one
+    /// [`Chain::seal_block_profiled`] per block.
+    fn seal_all_sequential(&mut self) -> Result<(usize, Vec<SealProfile>), LedgerError> {
         let mut profiles = Vec::new();
         while !self.mempool.is_empty() {
             let (_, profile) = self.seal_block_profiled()?;
             profiles.push(profile);
         }
         Ok((profiles.len(), profiles))
+    }
+
+    /// Resolved seal-phase worker count (`0` = host parallelism).
+    fn seal_worker_count(&self) -> usize {
+        match self.config.seal_workers {
+            0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            n => n,
+        }
+    }
+
+    /// How many blocks draining the current mempool will produce.
+    fn pending_blocks(&self) -> usize {
+        self.mempool.len().div_ceil(self.config.max_txs_per_block.max(1))
+    }
+
+    /// Pre-flight for the parallel drain: does every validator hold
+    /// enough Lamport keys for its round-robin share of `blocks`? When
+    /// not, the sequential path runs instead so the partial-seal error
+    /// semantics (a prefix seals, then `SignerExhausted`) are exactly
+    /// the legacy ones.
+    fn can_seal_all(&self, blocks: usize) -> bool {
+        let n = self.validators.len();
+        self.validators.iter().enumerate().all(|(i, v)| {
+            // Blocks assigned to validator i: k in 0..blocks with
+            // (next_validator + k) % n == i.
+            let offset = (i + n - self.next_validator % n) % n;
+            let share = if offset < blocks { (blocks - offset).div_ceil(n) } else { 0 };
+            v.signer.remaining() >= share
+        })
+    }
+
+    /// Drains the whole mempool with the expensive per-block phases
+    /// fanned out across `workers` scoped threads:
+    ///
+    /// 1. **Merkle roots** (parallel) — each block's tx root depends
+    ///    only on its own transactions.
+    /// 2. **Headers + digests** (sequential) — each header's parent is
+    ///    the previous header's digest, an inherently serial chain.
+    /// 3. **Signing** (parallel across validators) — a Lamport
+    ///    [`KeyTree`] consumes leaves in sign order, so each
+    ///    validator's blocks sign sequentially on one thread, in block
+    ///    order, exactly as the sequential drain would.
+    /// 4. **Seal verification** (parallel) — recomputes tx roots and
+    ///    verifies every signature, mirroring
+    ///    [`Chain::validate_block`].
+    /// 5. **Append** (sequential) — indexing and pushing, in height
+    ///    order.
+    ///
+    /// Caller guarantees `blocks > 1` and [`Chain::can_seal_all`].
+    fn seal_all_parallel(
+        &mut self,
+        workers: usize,
+        blocks: usize,
+    ) -> Result<(usize, Vec<SealProfile>), LedgerError> {
+        use crate::merkle::MerkleTree;
+
+        let max = self.config.max_txs_per_block.max(1);
+        let mut chunks: Vec<Vec<Transaction>> = Vec::with_capacity(blocks);
+        while !self.mempool.is_empty() {
+            let take = self.mempool.len().min(max);
+            chunks.push(self.mempool.drain(..take).collect());
+        }
+        debug_assert_eq!(chunks.len(), blocks);
+
+        // Phase 1: tx roots, embarrassingly parallel.
+        let roots: Vec<(Digest, u64)> = par_map(&chunks, workers, |_, txs| {
+            let started = std::time::Instant::now();
+            let root = MerkleTree::from_leaves(txs.iter().map(|t| t.canonical_bytes())).root();
+            (root, elapsed_ns(started))
+        });
+
+        // Phase 2: headers and digests — serial by construction, since
+        // each block's parent *is* the previous header's digest.
+        let head = self.try_head()?;
+        let mut parent = head.id();
+        let base_height = head.header.height + 1;
+        let n_validators = self.validators.len();
+        let mut partial: Vec<Block> = Vec::with_capacity(blocks);
+        let mut digests: Vec<Digest> = Vec::with_capacity(blocks);
+        let mut profiles: Vec<SealProfile> = Vec::with_capacity(blocks);
+        for (k, (txs, &(root, merkle_ns))) in chunks.into_iter().zip(&roots).enumerate() {
+            let v_idx = (self.next_validator + k) % n_validators;
+            let header = BlockHeader {
+                height: base_height + k as u64,
+                parent,
+                tx_root: root,
+                tick: self.tick,
+                validator: self.validators[v_idx].id.clone(),
+            };
+            let started = std::time::Instant::now();
+            let digest = header.digest();
+            let digest_ns = elapsed_ns(started);
+            parent = digest;
+            digests.push(digest);
+            partial.push(Block { header, transactions: txs, seal: None });
+            profiles.push(SealProfile {
+                merkle_ns,
+                sign_ns: digest_ns,
+                append_ns: 0,
+                height: partial[k].header.height,
+                block: digest,
+            });
+        }
+
+        // Phase 3: signing, parallel across validators. Leaf order
+        // within a key tree is preserved because one thread owns each
+        // validator and signs its blocks in block order.
+        let mut per_validator: Vec<Vec<usize>> = vec![Vec::new(); n_validators];
+        for k in 0..blocks {
+            per_validator[(self.next_validator + k) % n_validators].push(k);
+        }
+        // Per validator: (block index, seal, sign-phase nanoseconds).
+        type SignedBatch = Result<Vec<(usize, TreeSignature, u64)>, LedgerError>;
+        let digests_ref: &[Digest] = &digests;
+        let signed: Vec<SignedBatch> =
+            std::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for (validator, assigned) in self.validators.iter_mut().zip(per_validator) {
+                    if assigned.is_empty() {
+                        continue;
+                    }
+                    handles.push(scope.spawn(move || {
+                        let mut seals = Vec::with_capacity(assigned.len());
+                        for k in assigned {
+                            let started = std::time::Instant::now();
+                            let seal =
+                                validator.signer.sign(&digests_ref[k]).ok_or_else(|| {
+                                    LedgerError::SignerExhausted {
+                                        validator: validator.id.clone(),
+                                    }
+                                })?;
+                            seals.push((k, seal, elapsed_ns(started)));
+                        }
+                        Ok(seals)
+                    }));
+                }
+                handles
+                    .into_iter()
+                    .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+                    .collect()
+            });
+        for result in signed {
+            // Unreachable given the `can_seal_all` pre-flight, but
+            // surfaced as the typed error rather than a panic.
+            for (k, seal, sign_ns) in result? {
+                partial[k].seal = Some(seal);
+                profiles[k].sign_ns += sign_ns;
+            }
+        }
+
+        // Phase 4: verification, parallel — the same checks
+        // `validate_block` runs inside the sequential drain, against
+        // the by-construction parent/height expectations.
+        let next_validator = self.next_validator;
+        let validators: &[Validator] = &self.validators;
+        let verified: Vec<(u64, Result<(), LedgerError>)> =
+            par_map(&partial, workers, |k, block| {
+                let started = std::time::Instant::now();
+                let outcome = (|| {
+                    if block.header.tx_root != block.computed_tx_root() {
+                        return Err(LedgerError::TxRootMismatch { height: block.header.height });
+                    }
+                    let validator = &validators[(next_validator + k) % validators.len()];
+                    let seal = block
+                        .seal
+                        .as_ref()
+                        .ok_or(LedgerError::BadSignature { height: block.header.height })?;
+                    if !TreeSignature::verify(&validator.root, &block.header.digest(), seal) {
+                        return Err(LedgerError::BadSignature { height: block.header.height });
+                    }
+                    Ok(())
+                })();
+                (elapsed_ns(started), outcome)
+            });
+        for (profile, (verify_ns, outcome)) in profiles.iter_mut().zip(verified) {
+            outcome?;
+            profile.append_ns += verify_ns;
+        }
+
+        // Phase 5: append, sequential in height order.
+        for (k, block) in partial.into_iter().enumerate() {
+            let started = std::time::Instant::now();
+            self.index_block(&block);
+            self.blocks.push(block);
+            profiles[k].append_ns += elapsed_ns(started);
+        }
+        self.next_validator = (self.next_validator + blocks) % n_validators;
+        Ok((blocks, profiles))
     }
 
     fn index_block(&mut self, block: &Block) {
@@ -596,6 +849,100 @@ mod tests {
         c1.submit(note("a", "cross")).unwrap();
         let block = c1.seal_block().unwrap();
         c2.validate_block(&block).unwrap();
+    }
+
+    /// Drives the same submissions through a sequential and a parallel
+    /// drain and asserts the chains are byte-identical: same heights,
+    /// same header digests (which commit to parent, tx root, tick, and
+    /// validator), same seals, and both pass full integrity
+    /// verification.
+    #[test]
+    fn parallel_seal_is_byte_identical_to_sequential() {
+        for validators in [vec!["v0"], vec!["v0", "v1", "v2"]] {
+            let config = ChainConfig {
+                key_tree_depth: 6,
+                max_txs_per_block: 4,
+                ..ChainConfig::default()
+            };
+            let mut sequential = Chain::poa(&validators, config.clone());
+            let mut parallel =
+                Chain::poa(&validators, ChainConfig { seal_workers: 4, ..config });
+            for i in 0..30 {
+                let tx = note(&format!("user{}", i % 5), &format!("tx{i}"));
+                sequential.submit(tx.clone()).unwrap();
+                parallel.submit(tx).unwrap();
+            }
+            let (seq_count, seq_profiles) = sequential.seal_all_profiled().unwrap();
+            let (par_count, par_profiles) = parallel.seal_all_profiled().unwrap();
+            assert_eq!(seq_count, 8, "30 txs / 4 per block");
+            assert_eq!(par_count, seq_count);
+            assert_eq!(par_profiles.len(), seq_profiles.len());
+            assert_eq!(sequential.blocks().len(), parallel.blocks().len());
+            for (s, p) in sequential.blocks().iter().zip(parallel.blocks()) {
+                assert_eq!(s.id(), p.id(), "header digest at height {}", s.header.height);
+                assert_eq!(s.seal, p.seal, "seal at height {}", s.header.height);
+                assert_eq!(s.transactions, p.transactions);
+            }
+            // Profiles name the same blocks in the same order.
+            for (s, p) in seq_profiles.iter().zip(&par_profiles) {
+                assert_eq!((s.height, s.block), (p.height, p.block));
+            }
+            parallel.verify_integrity().unwrap();
+            // Both chains keep sealing identically afterwards (the
+            // round-robin cursor and key trees advanced in lockstep).
+            sequential.submit(note("after", "x")).unwrap();
+            parallel.submit(note("after", "x")).unwrap();
+            assert_eq!(
+                sequential.seal_block().unwrap().id(),
+                parallel.seal_block().unwrap().id()
+            );
+        }
+    }
+
+    /// A drain that would exhaust a validator's key tree takes the
+    /// sequential path even with workers configured, so the error
+    /// semantics (a prefix seals, then `SignerExhausted`) are exactly
+    /// the legacy ones.
+    #[test]
+    fn parallel_seal_falls_back_on_key_exhaustion() {
+        let config = ChainConfig {
+            key_tree_depth: 1, // capacity: 2 blocks
+            max_txs_per_block: 1,
+            seal_workers: 4,
+            ..ChainConfig::default()
+        };
+        let mut chain = Chain::poa_single("v0", config);
+        for i in 0..4 {
+            chain.submit(note("a", &i.to_string())).unwrap();
+        }
+        let err = chain.seal_all_profiled().unwrap_err();
+        assert!(matches!(err, LedgerError::SignerExhausted { .. }));
+        // The prefix the signer had keys for is sealed and intact.
+        assert_eq!(chain.height(), 2);
+        chain.verify_integrity().unwrap();
+    }
+
+    /// `seal_workers: 0` sizes to the host; the drain still succeeds
+    /// and verifies on any machine, including single-core hosts where
+    /// it degenerates to the sequential path.
+    #[test]
+    fn seal_workers_zero_uses_host_parallelism() {
+        let mut chain = Chain::poa_single(
+            "v0",
+            ChainConfig {
+                key_tree_depth: 5,
+                max_txs_per_block: 2,
+                seal_workers: 0,
+                ..ChainConfig::default()
+            },
+        );
+        for i in 0..10 {
+            chain.submit(note("a", &i.to_string())).unwrap();
+        }
+        let (sealed, profiles) = chain.seal_all_profiled().unwrap();
+        assert_eq!(sealed, 5);
+        assert_eq!(profiles.len(), 5);
+        chain.verify_integrity().unwrap();
     }
 
     #[test]

@@ -159,7 +159,7 @@ pub struct KeyTree {
 }
 
 /// A signature produced by a [`KeyTree`], verifiable against its root.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TreeSignature {
     /// Index of the one-time key used.
     pub leaf_index: usize,

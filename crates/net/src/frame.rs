@@ -228,6 +228,77 @@ mod tests {
         assert!(out.is_empty());
     }
 
+    /// Boundary regression: a payload of exactly `max_frame` bytes is
+    /// legal and reassembles; `max_frame + 1` is refused with the typed
+    /// error — no panic, no silent truncation — and both behaviours
+    /// hold however adversarially the frame is split, including one
+    /// byte at a time through the length prefix.
+    #[test]
+    fn oversize_guard_boundary_exact_max_accepted_max_plus_one_refused() {
+        const MAX: usize = 64;
+        let exact = frame(&[0xab; MAX]);
+        let over = frame(&[0xcd; MAX + 1]);
+        // Splits that isolate every prefix byte, land on the guard
+        // decision point (offset 4), and cut mid-payload.
+        let split_points: &[&[usize]] = &[
+            &[],
+            &[1],
+            &[1, 2, 3],
+            &[1, 2, 3, 4],
+            &[4],
+            &[3, 5],
+            &[2, 4, MAX / 2],
+        ];
+        for points in split_points {
+            let chunk = |bytes: &[u8]| -> Vec<Vec<u8>> {
+                let mut cuts = vec![0];
+                cuts.extend(points.iter().copied().filter(|p| *p < bytes.len()));
+                cuts.push(bytes.len());
+                cuts.windows(2).map(|w| bytes[w[0]..w[1]].to_vec()).collect()
+            };
+
+            let mut d = FrameDecoder::new(MAX);
+            let mut out = Vec::new();
+            for c in chunk(&exact) {
+                d.feed(&c, &mut out).unwrap();
+            }
+            assert_eq!(out, vec![vec![0xab; MAX]], "exact-max frame at splits {points:?}");
+            assert!(!d.mid_frame());
+
+            let mut d = FrameDecoder::new(MAX);
+            let mut out = Vec::new();
+            let mut err = None;
+            for c in chunk(&over) {
+                if let Err(e) = d.feed(&c, &mut out) {
+                    err = Some(e);
+                    break;
+                }
+            }
+            assert_eq!(
+                err,
+                Some(FrameError::Oversized { len: MAX + 1, max: MAX }),
+                "max+1 frame at splits {points:?}"
+            );
+            assert!(out.is_empty(), "refused frame leaked payload at splits {points:?}");
+        }
+    }
+
+    /// The guard fires the moment the fourth prefix byte arrives, even
+    /// when the chunk carries nothing else — an attacker cannot make
+    /// the decoder buffer anything by withholding the payload.
+    #[test]
+    fn oversize_guard_fires_on_the_prefix_alone() {
+        let mut d = FrameDecoder::new(16);
+        let mut out = Vec::new();
+        let prefix = (17u32).to_le_bytes();
+        for b in &prefix[..3] {
+            d.feed(std::slice::from_ref(b), &mut out).unwrap();
+        }
+        let err = d.feed(&prefix[3..], &mut out).unwrap_err();
+        assert_eq!(err, FrameError::Oversized { len: 17, max: 16 });
+        assert!(out.is_empty());
+    }
+
     #[test]
     fn zero_length_frames_complete_without_a_body_state() {
         let mut d = FrameDecoder::default();

@@ -337,7 +337,8 @@ impl<I: Ingress, S: ByteStream> NetServer<I, S> {
                                 // parks. The refusal is journaled — it
                                 // shaped the core's trace stream.
                                 slot.conn.unpop_frame(bytes);
-                                let until = now + retry_in_ticks.clamp(1, MAX_PARK_SWEEPS);
+                                let until =
+                                    now.saturating_add(retry_in_ticks.clamp(1, MAX_PARK_SWEEPS));
                                 slot.conn.park_until(until);
                                 metrics.backpressure_pauses.incr();
                                 recorder.record(TraceEvent {
