@@ -1,0 +1,161 @@
+//! Criterion benchmarks for the ops plane: the raw heat-window fold and
+//! report render, the stage-latency profiler folding a trace burst, SLO
+//! evaluation, full gateway epochs with the plane off vs on (the E28
+//! overhead budget in the small), and stats-endpoint body rendering.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use metaverse_gateway::op::{Op, StatsKind};
+use metaverse_gateway::ops::OpsPlaneConfig;
+use metaverse_gateway::router::{GatewayConfig, ShardRouter};
+use metaverse_gateway::Ingress;
+use metaverse_telemetry::heat::REFUSAL_CLASS_COUNT;
+use metaverse_telemetry::{
+    EpochHeatSample, HeatWindow, ShardHeatSample, SloEngine, SloInput, SloKind, SloObjective,
+    StageLatencyProfiler, TraceEvent, TraceStage,
+};
+
+fn sample(epoch: u64) -> EpochHeatSample {
+    let shard = ShardHeatSample { routed: 64, executed: 60, failed: 4, queue_depth: 2 };
+    EpochHeatSample {
+        epoch,
+        tick: epoch + 1,
+        ticks: 1,
+        admitted: 256,
+        refused_by_class: [3; REFUSAL_CLASS_COUNT],
+        dp_spent_micro: 1_000,
+        escrow_enqueued: 12,
+        escrow_depth: 4,
+        settled: 10,
+        requeued: 2,
+        shards: vec![shard; 4],
+    }
+}
+
+fn bench_heat_window(c: &mut Criterion) {
+    // Steady state: the window is full, every fold also expires.
+    let mut window = HeatWindow::new(64);
+    let mut epoch = 0u64;
+    c.bench_function("ops/heat_window_fold", |b| {
+        b.iter(|| {
+            epoch += 1;
+            window.fold(black_box(sample(epoch)));
+        })
+    });
+    c.bench_function("ops/heat_window_report_4_shards", |b| {
+        b.iter(|| black_box(window.report()))
+    });
+    c.bench_function("ops/heat_report_to_json", |b| {
+        let report = window.report();
+        b.iter(|| black_box(report.to_json()))
+    });
+}
+
+fn bench_profiler_and_slo(c: &mut Criterion) {
+    c.bench_function("ops/profiler_fold_1k_events", |b| {
+        let events: Vec<TraceEvent> = (0..1_000u64)
+            .flat_map(|seq| {
+                let shard = (seq % 4) as u32;
+                [
+                    TraceEvent {
+                        seq,
+                        epoch: 0,
+                        tick: seq,
+                        stage: TraceStage::Admitted { op: "endorse", shard },
+                    },
+                    TraceEvent {
+                        seq,
+                        epoch: 0,
+                        tick: seq + 1,
+                        stage: TraceStage::RoutedToShard { shard, waited_ticks: 0 },
+                    },
+                    TraceEvent {
+                        seq,
+                        epoch: 0,
+                        tick: seq + 1,
+                        stage: TraceStage::Executed { shard, ok: true },
+                    },
+                ]
+            })
+            .collect();
+        b.iter(|| {
+            let mut profiler = StageLatencyProfiler::new();
+            for e in &events {
+                profiler.fold(e);
+            }
+            black_box(profiler.report())
+        })
+    });
+
+    let mut engine = SloEngine::new(vec![
+        SloObjective { name: "admission_p99", kind: SloKind::AdmissionP99MaxTicks, max: 8 },
+        SloObjective { name: "refusal_rate", kind: SloKind::RefusalRateMaxMilli, max: 100 },
+    ]);
+    let mut flip = 0u64;
+    c.bench_function("ops/slo_evaluate", |b| {
+        b.iter(|| {
+            flip += 1;
+            black_box(engine.evaluate(&SloInput {
+                admission_p99_ticks: flip % 16,
+                refusal_rate_milli: (flip * 37) % 200,
+                dp_burn_micro_per_epoch: 0,
+            }))
+        })
+    });
+}
+
+/// The E28 overhead budget in the small: the same 64-endorsement epoch
+/// with the plane off and on (tracing on in both, so the plane's fold
+/// is the only delta).
+fn bench_epoch_overhead(c: &mut Criterion) {
+    for (mode, plane) in [("off", None), ("on", Some(OpsPlaneConfig::default()))] {
+        c.bench_function(&format!("ops/epoch_64_endorsements_4_shards_plane_{mode}"), |b| {
+            let mut builder =
+                GatewayConfig::builder().shards(4).telemetry(false).tracing(1 << 16);
+            if let Some(config) = plane.clone() {
+                builder = builder.ops_plane(config);
+            }
+            let mut router = ShardRouter::new(builder.build());
+            let users: Vec<String> = (0..64).map(|i| format!("user-{i:05}")).collect();
+            for u in &users {
+                router.ingress(Op::Register { user: u.clone() }).expect("register");
+            }
+            router.drain(8);
+            b.iter(|| {
+                for (i, u) in users.iter().enumerate() {
+                    let subject = users[(i + 1) % users.len()].clone();
+                    let _ = router.ingress(Op::Endorse { user: u.clone(), subject });
+                }
+                black_box(router.execute_epoch());
+            })
+        });
+    }
+}
+
+fn bench_stats_bodies(c: &mut Criterion) {
+    let mut router = ShardRouter::new(
+        GatewayConfig::builder()
+            .shards(4)
+            .tracing(1 << 14)
+            .ops_plane(OpsPlaneConfig::default())
+            .build(),
+    );
+    let users: Vec<String> = (0..64).map(|i| format!("user-{i:05}")).collect();
+    for u in &users {
+        router.ingress(Op::Register { user: u.clone() }).expect("register");
+    }
+    router.drain(8);
+    for kind in StatsKind::ALL {
+        c.bench_function(&format!("ops/stats_reply_{}", kind.label()), |b| {
+            b.iter(|| black_box(router.stats_reply(kind)))
+        });
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_heat_window,
+    bench_profiler_and_slo,
+    bench_epoch_overhead,
+    bench_stats_bodies
+);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Binary wrapper for experiment e28; see EXPERIMENTS.md. Pass a seed
+//! as the first argument, `--json <dir>` to also write `e28.json`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut seed = metaverse_bench::DEFAULT_SEED;
+    let mut json_dir: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--json" {
+            json_dir = args.get(i + 1).cloned();
+            i += 2;
+        } else {
+            if let Ok(s) = args[i].parse() {
+                seed = s;
+            }
+            i += 1;
+        }
+    }
+    let result = metaverse_bench::experiments::e28_ops::run(seed);
+    println!("{}", result.render());
+    if let Some(dir) = &json_dir {
+        std::fs::create_dir_all(dir).expect("create json dir");
+        let path = format!("{dir}/{}.json", result.id.to_lowercase());
+        std::fs::write(&path, result.to_json()).expect("write json");
+    }
+}

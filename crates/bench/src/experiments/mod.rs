@@ -27,13 +27,14 @@ pub mod e24_replication;
 pub mod e25_net;
 pub mod e26_governance;
 pub mod e27_pipeline;
+pub mod e28_ops;
 
 use crate::report::ExperimentResult;
 
 /// Runs the direct-call experiments (E1–E19) with the given seed, in id
 /// order. These are pure functions of the seed and cheap enough to
 /// replay several times inside one test; the gateway-scale experiments
-/// (E20–E27) replay a large op stream per cell and have their own
+/// (E20–E28) replay a large op stream per cell and have their own
 /// dedicated re-run/byte-identity gates (`gateway/tests/determinism.rs`,
 /// `gateway/tests/replication_determinism.rs`, and each experiment's
 /// shape tests), so the smoke suite reruns only this subset.
@@ -73,6 +74,7 @@ pub fn run_all(seed: u64) -> Vec<ExperimentResult> {
         e25_net::run(seed),
         e26_governance::run(seed),
         e27_pipeline::run(seed),
+        e28_ops::run(seed),
     ]);
     results
 }

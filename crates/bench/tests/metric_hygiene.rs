@@ -105,16 +105,22 @@ fn every_live_gateway_metric_name_is_canonical() {
 }
 
 /// Whatever the hub held, the rendered exposition must be well-formed:
-/// `# TYPE` headers, then `name{labels} value` samples whose names are
-/// sanitized to `[a-zA-Z_:][a-zA-Z0-9_:]*` and whose label values have
-/// quotes/backslashes/newlines escaped (no raw newline can survive
-/// inside a label, so line-by-line validation is sound).
+/// `# HELP`/`# TYPE` headers, then `name{labels} value` samples whose
+/// names are sanitized to `[a-zA-Z_:][a-zA-Z0-9_:]*` and whose label
+/// values have quotes/backslashes/newlines escaped (no raw newline can
+/// survive inside a label, so line-by-line validation is sound).
 #[test]
 fn prometheus_rendering_of_live_hubs_is_well_formed() {
     for snapshot in [driven_platform_snapshot(), driven_gateway_snapshot()] {
         let text = export::prometheus_labeled(&snapshot, &[("source", "hygiene\"test\\")]);
         assert!(!text.is_empty());
         for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                let (name, help) = rest.split_once(' ').expect("HELP line has text");
+                assert_valid_name(name, line);
+                assert!(!help.trim().is_empty(), "empty HELP text in {line:?}");
+                continue;
+            }
             if let Some(rest) = line.strip_prefix("# TYPE ") {
                 let (name, kind) = rest.split_once(' ').expect("TYPE line has a kind");
                 assert_valid_name(name, line);

@@ -955,6 +955,21 @@ impl MetaversePlatform {
         &self.modules
     }
 
+    /// Records a health transition for a platform component the caller
+    /// owns (e.g. the gateway's SLO engine tripping an objective). The
+    /// transition lands on this platform's ledger as a
+    /// `HealthTransition` record at the next epoch commit — same audit
+    /// path as the built-in module-health events.
+    pub fn record_component_health(
+        &mut self,
+        component: &str,
+        from: HealthState,
+        to: HealthState,
+        reason: &str,
+    ) {
+        self.modules.record_component_health(component, from, to, reason, self.tick);
+    }
+
     /// Installs/swaps a module descriptor.
     pub fn install_module(&mut self, descriptor: ModuleDescriptor) {
         self.modules.install(descriptor);

@@ -26,6 +26,7 @@ use metaverse_ledger::chain::ChainConfig;
 use metaverse_replication::ReplicationConfig;
 use metaverse_resilience::BreakerConfig;
 
+use crate::ops::OpsPlaneConfig;
 use crate::router::GatewayConfig;
 use crate::session::{RateLimit, SessionConfig};
 
@@ -182,6 +183,14 @@ impl GatewayConfigBuilder {
         self
     }
 
+    /// Installs the ops plane: per-shard heat accounting, stage-latency
+    /// attribution, and SLO evaluation folded at every epoch barrier
+    /// (see [`crate::ops::OpsPlaneConfig`]). Off by default.
+    pub fn ops_plane(mut self, config: OpsPlaneConfig) -> Self {
+        self.config.ops_plane = Some(config);
+        self
+    }
+
     /// Worker threads each shard's chain may use to seal an epoch's
     /// blocks (`0` sizes to the host; keeps the rest of the chain
     /// config at its current values — see `ChainConfig::seal_workers`).
@@ -238,6 +247,7 @@ mod tests {
             .dp_epsilon_per_event_micro(7)
             .pet_noise_seed(0xfeed)
             .pipeline(true)
+            .ops_plane(OpsPlaneConfig { heat_window_ticks: 16, objectives: Vec::new() })
             .seal_workers(2)
             .build();
         assert_eq!(config.shards, 8);
@@ -258,6 +268,7 @@ mod tests {
         assert_eq!(config.dp_epsilon_per_event_micro, 7);
         assert_eq!(config.pet_noise_seed, 0xfeed);
         assert!(config.pipeline);
+        assert_eq!(config.ops_plane.as_ref().map(|o| o.heat_window_ticks), Some(16));
         assert_eq!(config.chain_config.seal_workers, 2, "seal knob refines chain_config");
     }
 

@@ -28,7 +28,7 @@
 //! and conservation byte (see `metaverse-net`'s journal tests).
 
 use crate::error::GatewayError;
-use crate::op::Op;
+use crate::op::{Op, StatsKind, StatsReply};
 use crate::router::{EpochReport, ShardRouter};
 
 /// A sink that admits ops into the deterministic epoch core.
@@ -62,6 +62,17 @@ pub trait Ingress {
     /// to resolve (mailboxed, queued, and unsettled work). A server
     /// drains until this reaches zero.
     fn backlog(&self) -> usize;
+
+    /// Serves one live-stats query (the `StatsQuery` admin frame).
+    /// Read-only with respect to the op stream: serving a reply must
+    /// never change what a later `ingress`/`epoch_boundary` call does.
+    /// The default says "not supported" (`None`), so test doubles and
+    /// byte-counting shims stay oblivious; [`ShardRouter`] overrides
+    /// it with the ops plane's live views.
+    fn serve_stats(&mut self, kind: StatsKind) -> Option<StatsReply> {
+        let _ = kind;
+        None
+    }
 }
 
 impl Ingress for ShardRouter {
@@ -90,6 +101,10 @@ impl Ingress for ShardRouter {
 
     fn backlog(&self) -> usize {
         self.pending_ops()
+    }
+
+    fn serve_stats(&mut self, kind: StatsKind) -> Option<StatsReply> {
+        Some(self.stats_reply(kind))
     }
 }
 

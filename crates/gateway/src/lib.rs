@@ -32,6 +32,10 @@
 //!   wire admission, epoch boundaries, and logical time behind one
 //!   object-safe surface, so serving layers (see `metaverse-net`) and
 //!   offline replay drive a router identically;
+//! * [`ops::OpsPlaneConfig`] — the opt-in ops plane: deterministic
+//!   per-shard heat accounting, stage-latency attribution, and SLO
+//!   trip events folded at the epoch barrier, served live over the
+//!   wire as [`op::StatsQuery`]/[`op::StatsReply`] admin frames;
 //! * [`builder::GatewayConfigBuilder`] — fluent config construction
 //!   ([`GatewayConfig::builder`](router::GatewayConfig::builder));
 //!   bare struct literals are deprecated.
@@ -63,6 +67,7 @@ pub mod builder;
 pub mod error;
 pub mod ingress;
 pub mod op;
+pub mod ops;
 pub mod router;
 pub mod session;
 pub mod workload;
@@ -70,7 +75,8 @@ pub mod workload;
 pub use builder::GatewayConfigBuilder;
 pub use error::{AdmissionError, GatewayError};
 pub use ingress::Ingress;
-pub use op::{Op, WireError};
+pub use op::{Op, StatsKind, StatsQuery, StatsReply, WireError};
+pub use ops::OpsPlaneConfig;
 pub use router::{
     ConservationReport, EpochReport, GatewayConfig, ProvenanceRecord, ShardRouter,
 };

@@ -682,6 +682,156 @@ impl Op {
     }
 }
 
+/// Which ops-plane view a [`StatsQuery`] asks for.
+///
+/// The byte values are the wire encoding; decoding rejects anything
+/// else with [`WireError::BadEnum`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StatsKind {
+    /// The full telemetry snapshot in Prometheus text exposition.
+    /// Reporting-only: the body includes wall-clock histograms, so it
+    /// is *not* replay-deterministic.
+    Prometheus,
+    /// The sliding tick-window heat report as JSON (deterministic).
+    Heat,
+    /// The SLO snapshot as JSON (deterministic).
+    Slo,
+    /// The stage-latency report as JSON (deterministic).
+    Latency,
+}
+
+impl StatsKind {
+    /// Every kind, in wire-byte order.
+    pub const ALL: [StatsKind; 4] =
+        [StatsKind::Prometheus, StatsKind::Heat, StatsKind::Slo, StatsKind::Latency];
+
+    /// The wire byte for this kind.
+    pub fn byte(self) -> u8 {
+        match self {
+            StatsKind::Prometheus => 0,
+            StatsKind::Heat => 1,
+            StatsKind::Slo => 2,
+            StatsKind::Latency => 3,
+        }
+    }
+
+    /// Decodes a wire byte.
+    pub fn from_byte(b: u8) -> Option<StatsKind> {
+        StatsKind::ALL.get(b as usize).copied()
+    }
+
+    /// Whether a reply body of this kind is a deterministic function of
+    /// the admitted op stream (and therefore digest-checked on journal
+    /// replay).
+    pub fn deterministic(self) -> bool {
+        !matches!(self, StatsKind::Prometheus)
+    }
+
+    /// Stable lowercase label for exports and journals.
+    pub fn label(self) -> &'static str {
+        match self {
+            StatsKind::Prometheus => "prometheus",
+            StatsKind::Heat => "heat",
+            StatsKind::Slo => "slo",
+            StatsKind::Latency => "latency",
+        }
+    }
+}
+
+/// Tag byte for [`StatsQuery`] frames. Deliberately outside the
+/// [`Op`] tag range (`0x01..=0x10`), so a stats frame offered to the
+/// op decoder fails with `BadTag` instead of aliasing an op — and the
+/// serving layer can recognise admin frames by their first byte.
+pub const TAG_STATS_QUERY: u8 = 0x11;
+/// Tag byte for [`StatsReply`] frames.
+pub const TAG_STATS_REPLY: u8 = 0x12;
+
+/// A live-stats request: an *admin* wire frame, not an [`Op`]. It is
+/// served read-only at the connection sweep (never admitted, never
+/// journaled as an offer), so observing a gateway cannot perturb the
+/// deterministic op stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatsQuery {
+    /// Which view to serve.
+    pub kind: StatsKind,
+}
+
+impl StatsQuery {
+    /// Encodes to `[TAG_STATS_QUERY, kind]`.
+    pub fn encode(&self) -> Vec<u8> {
+        vec![TAG_STATS_QUERY, self.kind.byte()]
+    }
+
+    /// Decodes one query; rejects trailing bytes.
+    pub fn decode(buf: &[u8]) -> Result<StatsQuery, WireError> {
+        let mut r = Reader { buf, pos: 0 };
+        let tag = r.u8()?;
+        if tag != TAG_STATS_QUERY {
+            return Err(WireError::BadTag(tag));
+        }
+        let kind_byte = r.u8()?;
+        let kind = StatsKind::from_byte(kind_byte)
+            .ok_or(WireError::BadEnum { field: "stats_kind", value: kind_byte })?;
+        if r.pos != buf.len() {
+            return Err(WireError::TrailingBytes(buf.len() - r.pos));
+        }
+        Ok(StatsQuery { kind })
+    }
+}
+
+/// A live-stats reply: the requested view's body, stamped with the
+/// logical position (epoch, tick) it was served at. The stamp is what
+/// makes replies replayable — an offline replay of the same journal
+/// reaches the same (epoch, tick) and serves a byte-identical body for
+/// every deterministic [`StatsKind`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatsReply {
+    /// Which view this body is.
+    pub kind: StatsKind,
+    /// Router epoch at serve time.
+    pub epoch: u64,
+    /// Router logical tick at serve time.
+    pub tick: u64,
+    /// The rendered view (Prometheus text or JSON, per `kind`).
+    pub body: Vec<u8>,
+}
+
+impl StatsReply {
+    /// Encodes to `[TAG_STATS_REPLY, kind, epoch, tick, len, body]`
+    /// (integers little-endian, body length a `u32`).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(2 + 8 + 8 + 4 + self.body.len());
+        out.push(TAG_STATS_REPLY);
+        out.push(self.kind.byte());
+        out.extend_from_slice(&self.epoch.to_le_bytes());
+        out.extend_from_slice(&self.tick.to_le_bytes());
+        let len = u32::try_from(self.body.len()).expect("stats bodies stay under 4 GiB");
+        out.extend_from_slice(&len.to_le_bytes());
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    /// Decodes one reply; rejects trailing bytes.
+    pub fn decode(buf: &[u8]) -> Result<StatsReply, WireError> {
+        let mut r = Reader { buf, pos: 0 };
+        let tag = r.u8()?;
+        if tag != TAG_STATS_REPLY {
+            return Err(WireError::BadTag(tag));
+        }
+        let kind_byte = r.u8()?;
+        let kind = StatsKind::from_byte(kind_byte)
+            .ok_or(WireError::BadEnum { field: "stats_kind", value: kind_byte })?;
+        let epoch = r.u64()?;
+        let tick = r.u64()?;
+        let len = r.u32()? as usize;
+        let body = r.take(len)?.to_vec();
+        if r.pos != buf.len() {
+            return Err(WireError::TrailingBytes(buf.len() - r.pos));
+        }
+        Ok(StatsReply { kind, epoch, tick, body })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -876,5 +1026,61 @@ mod tests {
                 other => panic!("wrong variant {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn stats_query_round_trips_every_kind() {
+        for kind in StatsKind::ALL {
+            let q = StatsQuery { kind };
+            assert_eq!(StatsQuery::decode(&q.encode()), Ok(q));
+            assert_eq!(StatsKind::from_byte(kind.byte()), Some(kind));
+        }
+        assert!(StatsKind::Heat.deterministic());
+        assert!(!StatsKind::Prometheus.deterministic());
+    }
+
+    #[test]
+    fn stats_reply_round_trips() {
+        let reply = StatsReply {
+            kind: StatsKind::Slo,
+            epoch: 42,
+            tick: u64::MAX,
+            body: b"{\"objectives\":[]}".to_vec(),
+        };
+        assert_eq!(StatsReply::decode(&reply.encode()), Ok(reply.clone()));
+        let empty = StatsReply { kind: StatsKind::Heat, epoch: 0, tick: 0, body: Vec::new() };
+        assert_eq!(StatsReply::decode(&empty.encode()), Ok(empty));
+    }
+
+    #[test]
+    fn stats_frames_reject_malformed_input() {
+        // A stats tag is not a valid op, and vice versa.
+        assert_eq!(
+            Op::decode(&StatsQuery { kind: StatsKind::Heat }.encode()),
+            Err(WireError::BadTag(TAG_STATS_QUERY))
+        );
+        assert_eq!(
+            StatsQuery::decode(&Op::Register { user: "a".into() }.encode()),
+            Err(WireError::BadTag(TAG_REGISTER))
+        );
+        // Out-of-range kind byte.
+        assert_eq!(
+            StatsQuery::decode(&[TAG_STATS_QUERY, 9]),
+            Err(WireError::BadEnum { field: "stats_kind", value: 9 })
+        );
+        // Trailing bytes after a complete frame.
+        let mut q = StatsQuery { kind: StatsKind::Heat }.encode();
+        q.push(0);
+        assert_eq!(StatsQuery::decode(&q), Err(WireError::TrailingBytes(1)));
+        // Truncated reply body.
+        let mut r = StatsReply {
+            kind: StatsKind::Latency,
+            epoch: 1,
+            tick: 2,
+            body: b"abcdef".to_vec(),
+        }
+        .encode();
+        r.truncate(r.len() - 2);
+        assert_eq!(StatsReply::decode(&r), Err(WireError::UnexpectedEof));
     }
 }

@@ -1,0 +1,165 @@
+//! The gateway's ops plane: deterministic, tick-clocked observability.
+//!
+//! When [`OpsPlaneConfig`] is set on the gateway config, the router
+//! folds three aggregates at every epoch barrier — all derived from
+//! logical state only, so every number is byte-identical across shard
+//! counts, worker counts, and batched vs pipelined execution:
+//!
+//! * **heat** — a sliding tick-window [`HeatWindow`] of per-shard and
+//!   global load (ops/kilotick, refusal rate by class, queue depth,
+//!   escrow pressure, DP-budget burn). Its imbalance/skew numbers are
+//!   the load signal ROADMAP item 3 (shard split/merge) needs.
+//! * **stage latency** — a [`StageLatencyProfiler`] folding the flight
+//!   recorder's trace events into per-stage tick budgets
+//!   (admitted→routed→executed→…→committed plus replication lag) with
+//!   log₂ histograms and a slowest-ops exemplar table.
+//! * **SLOs** — a [`SloEngine`] evaluating declarative objectives
+//!   against the window each epoch; trips become trace events and
+//!   on-ledger `HealthTransition` records.
+//!
+//! The plane is opt-in and lock-free: every fold happens on `&mut
+//! ShardRouter` at the barrier, never inside shard workers.
+
+use metaverse_telemetry::heat::REFUSAL_CLASS_COUNT;
+use metaverse_telemetry::{
+    HeatWindow, SloEngine, SloKind, SloObjective, StageLatencyProfiler,
+};
+
+use crate::error::AdmissionError;
+
+/// Default sliding-window width for heat accounting, in ticks.
+pub const DEFAULT_HEAT_WINDOW_TICKS: u64 = 64;
+
+/// Configuration for the gateway's ops plane. `None` on the gateway
+/// config means the plane is off and the hot path pays nothing beyond
+/// an `Option` check per epoch.
+#[derive(Debug, Clone)]
+pub struct OpsPlaneConfig {
+    /// Sliding-window width for heat accounting, in ticks. Epoch
+    /// samples older than `now - heat_window_ticks` are evicted.
+    pub heat_window_ticks: u64,
+    /// Declarative objectives evaluated at every epoch barrier.
+    pub objectives: Vec<SloObjective>,
+}
+
+impl Default for OpsPlaneConfig {
+    fn default() -> Self {
+        OpsPlaneConfig {
+            heat_window_ticks: DEFAULT_HEAT_WINDOW_TICKS,
+            objectives: default_objectives(),
+        }
+    }
+}
+
+impl OpsPlaneConfig {
+    /// A config with the default window and no objectives — heat and
+    /// latency attribution without SLO evaluation.
+    pub fn without_objectives() -> Self {
+        OpsPlaneConfig { heat_window_ticks: DEFAULT_HEAT_WINDOW_TICKS, objectives: Vec::new() }
+    }
+}
+
+/// The stock objective set: admission must route within 8 ticks at
+/// p99, at most 10% of offered ops may be refused over the window, and
+/// the platform may burn at most 1ε (1 000 000 micro) of DP budget per
+/// epoch.
+pub fn default_objectives() -> Vec<SloObjective> {
+    vec![
+        SloObjective { name: "admission_p99", kind: SloKind::AdmissionP99MaxTicks, max: 8 },
+        SloObjective { name: "refusal_rate", kind: SloKind::RefusalRateMaxMilli, max: 100 },
+        SloObjective {
+            name: "dp_burn",
+            kind: SloKind::DpBurnMaxMicroPerEpoch,
+            max: 1_000_000,
+        },
+    ]
+}
+
+/// Maps an admission refusal onto its heat-window class index (the
+/// order of `metaverse_telemetry::heat::REFUSAL_CLASSES`). DP-budget
+/// refusals (class 5) are not admission errors — the router derives
+/// them from the DP ledger's own refusal counter instead.
+pub(crate) fn refusal_class(e: &AdmissionError) -> usize {
+    match e {
+        AdmissionError::RateLimited { .. } => 0,
+        AdmissionError::MailboxFull { .. } => 1,
+        AdmissionError::UnknownUser { .. } => 2,
+        AdmissionError::AlreadyRegistered { .. } => 3,
+        AdmissionError::ShardUnavailable { .. } => 4,
+    }
+}
+
+/// Live ops-plane state carried by the router. All mutation happens at
+/// the epoch barrier; the `last_*` watermarks turn the router's
+/// monotone ledgers into per-epoch deltas.
+pub(crate) struct OpsPlane {
+    /// Sliding tick-window of epoch heat samples.
+    pub(crate) window: HeatWindow,
+    /// Stage-latency attribution folded from trace events.
+    pub(crate) profiler: StageLatencyProfiler,
+    /// Declarative objectives, evaluated each barrier.
+    pub(crate) slo: SloEngine,
+    /// Admission refusals accumulated since the last barrier, by
+    /// class. Only classes 0–4 are filled here; class 5
+    /// (budget_refused) comes from the DP ledger delta.
+    pub(crate) pending_refused: [u64; REFUSAL_CLASS_COUNT],
+    /// Objectives currently tripped (for the `ops_plane.slo.tripped`
+    /// gauge).
+    pub(crate) tripped_count: i64,
+    /// Admission-seq watermark at the last barrier.
+    pub(crate) last_seq: u64,
+    /// DP ledger `spent_micro` watermark at the last barrier.
+    pub(crate) last_dp_spent_micro: u64,
+    /// DP ledger `refused` watermark at the last barrier.
+    pub(crate) last_dp_refused: u64,
+    /// Settlement ledger `enqueued` watermark at the last barrier.
+    pub(crate) last_escrow_enqueued: u64,
+}
+
+impl OpsPlane {
+    pub(crate) fn new(config: &OpsPlaneConfig) -> Self {
+        OpsPlane {
+            window: HeatWindow::new(config.heat_window_ticks),
+            profiler: StageLatencyProfiler::new(),
+            slo: SloEngine::new(config.objectives.clone()),
+            pending_refused: [0; REFUSAL_CLASS_COUNT],
+            tripped_count: 0,
+            last_seq: 0,
+            last_dp_spent_micro: 0,
+            last_dp_refused: 0,
+            last_escrow_enqueued: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_carries_the_stock_objectives() {
+        let config = OpsPlaneConfig::default();
+        assert_eq!(config.heat_window_ticks, DEFAULT_HEAT_WINDOW_TICKS);
+        let names: Vec<&str> = config.objectives.iter().map(|o| o.name).collect();
+        assert_eq!(names, ["admission_p99", "refusal_rate", "dp_burn"]);
+        assert!(OpsPlaneConfig::without_objectives().objectives.is_empty());
+    }
+
+    #[test]
+    fn refusal_classes_cover_every_admission_error() {
+        use metaverse_telemetry::heat::REFUSAL_CLASSES;
+        let cases = [
+            (
+                AdmissionError::RateLimited { user: "u".into(), retry_in_ticks: 1 },
+                "rate_limited",
+            ),
+            (AdmissionError::MailboxFull { user: "u".into(), capacity: 8 }, "mailbox_full"),
+            (AdmissionError::UnknownUser { user: "u".into() }, "unknown_user"),
+            (AdmissionError::AlreadyRegistered { user: "u".into() }, "duplicate_register"),
+            (AdmissionError::ShardUnavailable { shard: 0 }, "shard_down"),
+        ];
+        for (err, label) in cases {
+            assert_eq!(REFUSAL_CLASSES[refusal_class(&err)], label);
+        }
+    }
+}

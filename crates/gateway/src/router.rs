@@ -57,8 +57,10 @@ use rand::SeedableRng;
 use metaverse_replication::{ReplicationCluster, ReplicationConfig, ReplicationStats};
 use metaverse_resilience::breaker::BreakerTransition;
 use metaverse_resilience::{BreakerConfig, BreakerState, CircuitBreaker, FaultPlan};
+use metaverse_resilience::HealthState;
 use metaverse_telemetry::{
-    export, names, Counter, FlightRecorder, Gauge, Histogram, RecorderStats, TelemetryHub,
+    export, names, Counter, EpochHeatSample, FlightRecorder, Gauge, HeatReport, Histogram,
+    LatencyReport, RecorderStats, ShardHeatSample, SloInput, SloSnapshot, TelemetryHub,
     TelemetrySnapshot, TraceEvent, TraceQuery, TraceStage,
 };
 use metaverse_twins::sync::{SyncChannel, SyncConfig};
@@ -66,7 +68,8 @@ use metaverse_twins::twin::DigitalTwin;
 use metaverse_world::geometry::Vec2;
 
 use crate::error::AdmissionError;
-use crate::op::{Op, OpView};
+use crate::op::{Op, OpView, StatsKind, StatsReply};
+use crate::ops::{OpsPlane, OpsPlaneConfig};
 use crate::session::{Session, SessionConfig};
 
 /// Router construction knobs.
@@ -135,6 +138,11 @@ pub struct GatewayConfig {
     /// the batched path. Off by default; has no effect below 2 shards
     /// or 2 workers (there is nothing to overlap).
     pub pipeline: bool,
+    /// Opt-in ops plane: per-shard heat accounting, stage-latency
+    /// attribution, and SLO evaluation folded at every epoch barrier
+    /// (see [`crate::ops`]). `None` (the default) disables the plane
+    /// entirely; the hot path then pays one `Option` check per epoch.
+    pub ops_plane: Option<OpsPlaneConfig>,
     /// Construction-path marker. Naming this field (i.e. writing a full
     /// `GatewayConfig { .. }` literal) is deprecated: the field set
     /// grows with every subsystem, and each growth breaks every bare
@@ -173,6 +181,7 @@ impl Default for GatewayConfig {
             dp_epsilon_per_event_micro: 1_000,
             pet_noise_seed: 0,
             pipeline: false,
+            ops_plane: None,
             struct_literal: (),
         }
     }
@@ -567,6 +576,13 @@ struct GatewayMetrics {
     trace_recorded: Counter,
     trace_dropped: Counter,
     trace_buffer: Gauge,
+    trace_capacity: Gauge,
+    heat_epochs_folded: Counter,
+    heat_imbalance_milli: Gauge,
+    slo_trips: Counter,
+    slo_recoveries: Counter,
+    slo_tripped: Gauge,
+    stats_queries: Counter,
 }
 
 impl GatewayMetrics {
@@ -603,6 +619,13 @@ impl GatewayMetrics {
             trace_recorded: hub.counter(names::TRACE_EVENTS_RECORDED),
             trace_dropped: hub.counter(names::TRACE_EVENTS_DROPPED),
             trace_buffer: hub.gauge(names::TRACE_BUFFER_LEN),
+            trace_capacity: hub.gauge(names::TRACE_BUFFER_CAPACITY),
+            heat_epochs_folded: hub.counter(names::ops_plane::HEAT_EPOCHS_FOLDED),
+            heat_imbalance_milli: hub.gauge(names::ops_plane::HEAT_IMBALANCE_MILLI),
+            slo_trips: hub.counter(names::ops_plane::SLO_TRIPS),
+            slo_recoveries: hub.counter(names::ops_plane::SLO_RECOVERIES),
+            slo_tripped: hub.gauge(names::ops_plane::SLO_TRIPPED),
+            stats_queries: hub.counter(names::ops_plane::STATS_QUERIES),
         }
     }
 }
@@ -790,6 +813,10 @@ pub struct ShardRouter {
     /// Totals already flushed into the trace counters (instrument
     /// counters are monotone; recorder stats are lifetime totals).
     trace_counted: (u64, u64),
+    /// Live ops-plane state (heat window, stage-latency profiler, SLO
+    /// engine); `None` unless `config.ops_plane` is set. All folds
+    /// happen at the epoch barrier on the router thread.
+    ops: Option<OpsPlane>,
 }
 
 impl ShardRouter {
@@ -845,6 +872,8 @@ impl ShardRouter {
         } else {
             FlightRecorder::disabled()
         };
+        let ops = config.ops_plane.as_ref().map(OpsPlane::new);
+        metrics.trace_capacity.set(config.trace_capacity as i64);
         ShardRouter {
             config,
             hub,
@@ -866,6 +895,7 @@ impl ShardRouter {
             provenance: Vec::new(),
             deferred_commits: Vec::new(),
             trace_counted: (0, 0),
+            ops,
         }
     }
 
@@ -976,6 +1006,63 @@ impl ShardRouter {
     /// exposition format.
     pub fn prometheus(&self) -> String {
         export::prometheus(&self.hub.snapshot())
+    }
+
+    /// Whether the ops plane is installed (`config.ops_plane` was set).
+    pub fn ops_plane_enabled(&self) -> bool {
+        self.ops.is_some()
+    }
+
+    /// The sliding tick-window heat report: global and per-shard load,
+    /// refusal classes, escrow pressure, DP burn, and the imbalance /
+    /// skew signal ROADMAP item 3's split/merge policy keys off.
+    /// `None` when the ops plane is off. Byte-identical JSON for
+    /// identical workloads at any shard or worker count.
+    pub fn heat_report(&self) -> Option<HeatReport> {
+        self.ops.as_ref().map(|ops| ops.window.report())
+    }
+
+    /// Stage-latency attribution folded from the flight recorder's
+    /// trace events: per-stage tick budgets, log₂ histograms, and the
+    /// slowest-ops exemplar table. `None` when the ops plane is off.
+    /// Empty (but present) until `trace_capacity > 0` feeds the
+    /// profiler events to fold.
+    pub fn latency_report(&self) -> Option<LatencyReport> {
+        self.ops.as_ref().map(|ops| ops.profiler.report())
+    }
+
+    /// Current SLO state: every objective with its last measured value,
+    /// burn rate, tripped flag, and lifetime trip/recovery counts.
+    /// `None` when the ops plane is off.
+    pub fn slo_snapshot(&self) -> Option<SloSnapshot> {
+        self.ops.as_ref().map(|ops| ops.slo.snapshot())
+    }
+
+    /// Serves one live-stats query, bumping the
+    /// `ops_plane.stats.queries` counter. The reply is stamped with the
+    /// current epoch and logical tick; the body depends on `kind`:
+    /// Prometheus text exposition, heat-report JSON, SLO-snapshot JSON,
+    /// or latency-report JSON. Heat, SLO, and latency bodies are
+    /// deterministic functions of the admitted stream; the Prometheus
+    /// body includes wall-clock histograms and is reporting-only.
+    pub fn stats_reply(&self, kind: StatsKind) -> StatsReply {
+        self.metrics.stats_queries.incr();
+        let body = match kind {
+            StatsKind::Prometheus => self.prometheus(),
+            StatsKind::Heat => self
+                .heat_report()
+                .map(|r| r.to_json())
+                .unwrap_or_else(|| "{\"ops_plane\":\"off\"}".into()),
+            StatsKind::Slo => self
+                .slo_snapshot()
+                .map(|s| s.to_json())
+                .unwrap_or_else(|| "{\"ops_plane\":\"off\"}".into()),
+            StatsKind::Latency => self
+                .latency_report()
+                .map(|r| r.to_json())
+                .unwrap_or_else(|| "{\"ops_plane\":\"off\"}".into()),
+        };
+        StatsReply { kind, epoch: self.epoch, tick: self.now, body: body.into_bytes() }
     }
 
     /// Provenance of every *applied* cross-shard settlement: which
@@ -1197,8 +1284,10 @@ impl ShardRouter {
         self.trace(seq, stage);
     }
 
-    /// Bumps the per-cause refusal counter for an admission error.
-    fn count_refusal(&self, e: &AdmissionError) {
+    /// Bumps the per-cause refusal counter for an admission error, and
+    /// (when the ops plane is on) the heat window's pending per-class
+    /// accumulator for the current epoch.
+    fn count_refusal(&mut self, e: &AdmissionError) {
         match e {
             AdmissionError::RateLimited { .. } => self.metrics.rejected_rate_limited.incr(),
             AdmissionError::MailboxFull { .. } => self.metrics.rejected_mailbox_full.incr(),
@@ -1207,6 +1296,9 @@ impl ShardRouter {
                 self.metrics.rejected_duplicate_register.incr()
             }
             AdmissionError::ShardUnavailable { .. } => self.metrics.rejected_shard_down.incr(),
+        }
+        if let Some(ops) = self.ops.as_mut() {
+            ops.pending_refused[crate::ops::refusal_class(e)] += 1;
         }
     }
 
@@ -1303,8 +1395,10 @@ impl ShardRouter {
         // 5. Merge, in shard order for breaker bookkeeping, then in
         //    global `seq` order for every per-op result and effect.
         let mut committed_shards = vec![false; self.shards.len()];
+        let mut shard_heats = vec![ShardHeatSample::default(); self.shards.len()];
         for outcome in outcomes {
             let i = outcome.shard;
+            shard_heats[i] = outcome.heat;
             if outcome.skipped {
                 continue;
             }
@@ -1436,6 +1530,7 @@ impl ShardRouter {
         for i in 0..self.shards.len() {
             self.metrics.shard_queue_depth[i].set(self.shards[i].queue.len() as i64);
         }
+        self.fold_ops_plane(&report, shard_heats, tick_delta);
         if self.recorder.is_enabled() {
             let stats = self.recorder.stats();
             let dropped = stats.dropped
@@ -1449,6 +1544,125 @@ impl ShardRouter {
         self.epoch += 1;
         self.now += tick_delta;
         report
+    }
+
+    /// The ops-plane barrier fold, phase 6 of `execute_epoch` (no-op
+    /// when the plane is off). Runs on the router thread *after* the
+    /// merge barrier, so every input is the same logical state a
+    /// single-shard, single-worker run would see:
+    ///
+    /// * per-shard heat samples from the shard outcomes, topped up with
+    ///   barrier-time queue depths (requeue timing differs between the
+    ///   batched and pipelined paths *inside* the epoch, but both have
+    ///   requeued by the barrier);
+    /// * this epoch's slice of the merged trace rings, folded into the
+    ///   stage-latency profiler (admission events stamped with the
+    ///   *next* epoch are folded by that epoch's barrier);
+    /// * monotone ledger deltas (admission seq, DP spend/refusals,
+    ///   escrow enqueues) via the plane's watermarks.
+    ///
+    /// SLO transitions computed from the folded window become trace
+    /// events (borrowing the next unassigned seq, like refusals) and
+    /// on-ledger `HealthTransition` records on shard 0 — sealed into
+    /// that shard's next block, so trips are auditable replayable
+    /// history, not just gauges.
+    fn fold_ops_plane(
+        &mut self,
+        report: &EpochReport,
+        mut shard_heats: Vec<ShardHeatSample>,
+        tick_delta: u64,
+    ) {
+        if self.ops.is_none() {
+            return;
+        }
+        let epoch = self.epoch;
+        for (i, heat) in shard_heats.iter_mut().enumerate() {
+            heat.queue_depth = self.shards[i].queue.len() as u64;
+        }
+        let op_events: Vec<TraceEvent> =
+            self.recorder.events().filter(|e| e.epoch == epoch).cloned().collect();
+        let repl_events: Vec<TraceEvent> =
+            self.replication_recorder.events().filter(|e| e.epoch == epoch).cloned().collect();
+        let ops = self.ops.as_mut().expect("ops plane checked above");
+        for event in &op_events {
+            ops.profiler.fold(event);
+        }
+        for event in &repl_events {
+            ops.profiler.fold_replication(event);
+        }
+        // Classes 0–4 accumulate at admission; class 5 (budget_refused)
+        // is the DP ledger's own refusal counter, taken as a delta.
+        let mut refused_by_class = std::mem::take(&mut ops.pending_refused);
+        refused_by_class[5] = self.dp.refused - ops.last_dp_refused;
+        let sample = EpochHeatSample {
+            epoch,
+            tick: self.now + tick_delta,
+            ticks: tick_delta,
+            admitted: self.seq - ops.last_seq,
+            refused_by_class,
+            dp_spent_micro: self.dp.spent_micro - ops.last_dp_spent_micro,
+            escrow_enqueued: self.ledger.enqueued - ops.last_escrow_enqueued,
+            escrow_depth: self.settlement.len() as u64,
+            settled: report.settled,
+            requeued: report.requeued,
+            shards: shard_heats,
+        };
+        ops.last_seq = self.seq;
+        ops.last_dp_spent_micro = self.dp.spent_micro;
+        ops.last_dp_refused = self.dp.refused;
+        ops.last_escrow_enqueued = self.ledger.enqueued;
+        ops.window.fold(sample);
+        let heat = ops.window.report();
+        let input = SloInput {
+            admission_p99_ticks: ops.profiler.report().admission_p99_ticks(),
+            refusal_rate_milli: heat.global.refusal_rate_milli,
+            dp_burn_micro_per_epoch: heat.global.dp_burn_micro_per_epoch,
+        };
+        let transitions = ops.slo.evaluate(&input);
+        for transition in &transitions {
+            ops.tripped_count += if transition.tripped { 1 } else { -1 };
+        }
+        let tripped_count = ops.tripped_count;
+        self.metrics.heat_epochs_folded.incr();
+        self.metrics.heat_imbalance_milli.set(heat.imbalance_milli as i64);
+        self.metrics.slo_tripped.set(tripped_count);
+        for t in transitions {
+            let seq = self.seq;
+            if t.tripped {
+                self.metrics.slo_trips.incr();
+                self.trace(
+                    seq,
+                    TraceStage::SloTripped {
+                        objective: t.objective,
+                        measured: t.measured,
+                        threshold: t.threshold,
+                        burn_milli: t.burn_milli,
+                    },
+                );
+                self.shards[0].platform.record_component_health(
+                    t.objective,
+                    HealthState::Healthy,
+                    HealthState::from_burn_milli(t.burn_milli),
+                    "slo_tripped",
+                );
+            } else {
+                self.metrics.slo_recoveries.incr();
+                self.trace(
+                    seq,
+                    TraceStage::SloRecovered {
+                        objective: t.objective,
+                        measured: t.measured,
+                        threshold: t.threshold,
+                    },
+                );
+                self.shards[0].platform.record_component_health(
+                    t.objective,
+                    HealthState::Failed,
+                    HealthState::Healthy,
+                    "slo_recovered",
+                );
+            }
+        }
     }
 
     /// Work admitted but not yet terminal: mailboxed ops, queued
@@ -2536,6 +2750,10 @@ struct ShardOutcome {
     skipped: bool,
     commit_ok: bool,
     results: Vec<(u64, Result<Option<WorkerEffect>, CoreError>)>,
+    /// Ops-plane heat counts for this shard's epoch slice (always
+    /// filled — three `u64` adds per op; `queue_depth` is topped up at
+    /// the merge barrier where requeue timing is path-independent).
+    heat: ShardHeatSample,
 }
 
 /// Runs every shard's epoch slice, fanning out across `workers` scoped
@@ -2600,13 +2818,26 @@ fn run_shard_epoch(
 ) -> ShardOutcome {
     if work.skip {
         shard.platform.advance_ticks(ctx.tick_delta);
-        return ShardOutcome { shard: index, skipped: true, commit_ok: true, results: Vec::new() };
+        return ShardOutcome {
+            shard: index,
+            skipped: true,
+            commit_ok: true,
+            results: Vec::new(),
+            heat: ShardHeatSample::default(),
+        };
     }
     metrics.batch_size.record(work.batch.len() as u64);
     let span = metrics.shard_batch_ns[index].start_span();
     let mut results = Vec::with_capacity(work.batch.len());
+    let mut heat = ShardHeatSample::default();
     for (seq, op) in work.batch {
         let result = exec_shard_op(index, shard, seq, op, ctx);
+        heat.routed += 1;
+        if result.is_ok() {
+            heat.executed += 1;
+        } else {
+            heat.failed += 1;
+        }
         if shard.recorder.is_enabled() {
             shard.recorder.record(TraceEvent {
                 seq,
@@ -2635,7 +2866,7 @@ fn run_shard_epoch(
             });
         }
     }
-    ShardOutcome { shard: index, skipped: false, commit_ok, results }
+    ShardOutcome { shard: index, skipped: false, commit_ok, results, heat }
 }
 
 /// The pipelined counterpart of [`run_shard_epoch`] for one worker's
@@ -2659,10 +2890,17 @@ fn stream_shard_chunk(
     type ShardResults = Vec<(u64, Result<Option<WorkerEffect>, CoreError>)>;
     let mut results: Vec<ShardResults> = (0..shards.len()).map(|_| Vec::new()).collect();
     let mut exec_ns = vec![0u64; shards.len()];
+    let mut heats = vec![ShardHeatSample::default(); shards.len()];
     while let Ok((local, seq, op)) = rx.recv() {
         let started = std::time::Instant::now();
         let result = exec_shard_op(start + local, &mut shards[local], seq, op, ctx);
         exec_ns[local] += u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        heats[local].routed += 1;
+        if result.is_ok() {
+            heats[local].executed += 1;
+        } else {
+            heats[local].failed += 1;
+        }
         let shard = &mut shards[local];
         if shard.recorder.is_enabled() {
             shard.recorder.record(TraceEvent {
@@ -2692,6 +2930,7 @@ fn stream_shard_chunk(
                     skipped: true,
                     commit_ok: true,
                     results: Vec::new(),
+                    heat: ShardHeatSample::default(),
                 };
             }
             metrics.batch_size.record(results.len() as u64);
@@ -2715,7 +2954,7 @@ fn stream_shard_chunk(
                     });
                 }
             }
-            ShardOutcome { shard: start + j, skipped: false, commit_ok, results }
+            ShardOutcome { shard: start + j, skipped: false, commit_ok, results, heat: heats[j] }
         })
         .collect()
 }

@@ -1,0 +1,245 @@
+//! The ops-plane determinism gate: the observability layer must be a
+//! pure function of the admitted stream, never of the execution
+//! schedule. Three claims, each CI-enforced:
+//!
+//! * **Mode identity** — at every shard count, the full heat report,
+//!   stage-latency report, and SLO snapshot are byte-identical whether
+//!   the epoch phase ran sequentially (1 worker), in parallel
+//!   (N workers), or pipelined (pre-route overlapped with execution).
+//! * **Shard-count identity** — for a placement-free workload (no
+//!   cross-shard settlements), the *global* heat view and the SLO
+//!   snapshot are byte-identical at 1, 2, 4, and 8 shards, and the SLO
+//!   trip/recovery trace sequence matches line for line.
+//! * **Trips are auditable** — a tripped objective lands both as a
+//!   `slo_tripped` trace event and as an on-ledger `HealthTransition`
+//!   record on shard 0, sealed at the next epoch commit.
+
+use metaverse_gateway::ops::OpsPlaneConfig;
+use metaverse_gateway::router::{GatewayConfig, ShardRouter};
+use metaverse_gateway::session::RateLimit;
+use metaverse_gateway::workload::{OpMix, WorkloadConfig, WorkloadEngine};
+use metaverse_ledger::TxPayload;
+use metaverse_telemetry::{SloKind, SloObjective};
+
+const SEED: u64 = 20220701;
+
+/// Drives one seeded stream through a fresh ops-plane router.
+fn drive(
+    shards: usize,
+    workers: usize,
+    pipelined: bool,
+    workload: &WorkloadConfig,
+    ops: OpsPlaneConfig,
+) -> ShardRouter {
+    let engine = WorkloadEngine::new(workload.clone());
+    let mut router = ShardRouter::new(
+        GatewayConfig::builder()
+            .shards(shards)
+            .workers(workers)
+            .tracing(1 << 15)
+            .ops_plane(ops)
+            .pipeline(pipelined)
+            .key_tree_depth(7)
+            .build(),
+    );
+    engine.drive(&mut router, 256);
+    router
+}
+
+/// Everything the ops plane can render, concatenated: the whole view
+/// must match, not just a summary statistic.
+fn ops_fingerprint(router: &ShardRouter) -> String {
+    format!(
+        "{}\n{}\n{}",
+        router.heat_report().expect("plane on").to_json(),
+        router.latency_report().expect("plane on").to_json(),
+        router.slo_snapshot().expect("plane on").to_json(),
+    )
+}
+
+/// The SLO trip/recovery subsequence of the trace stream.
+fn slo_trace_lines(router: &mut ShardRouter) -> Vec<String> {
+    router
+        .trace_jsonl()
+        .lines()
+        .filter(|l| l.contains("\"slo_tripped\"") || l.contains("\"slo_recovered\""))
+        .map(str::to_owned)
+        .collect()
+}
+
+/// A governance-shaped mix with **no settlement traffic**: endorse,
+/// report, and purchases are the only op kinds whose escrow enqueues
+/// depend on whether the subject landed on a remote shard, so zeroing
+/// them makes the global heat view placement-free.
+fn placement_free_workload() -> WorkloadConfig {
+    WorkloadConfig {
+        users: 48,
+        ops: 4_000,
+        seed: SEED,
+        mix: OpMix {
+            enter_world: 6,
+            propose: 4,
+            vote: 16,
+            endorse: 0,
+            report: 0,
+            mint: 0,
+            list: 0,
+            buy: 0,
+            record_collection: 4,
+            twin_sync: 8,
+            delegate: 4,
+            revoke_delegation: 2,
+            quadratic_vote: 10,
+            sensor_event: 10,
+            appeal: 0,
+        },
+        burst: None,
+        ..WorkloadConfig::default()
+    }
+}
+
+#[test]
+fn heat_latency_and_slo_reports_are_mode_invariant_at_every_shard_count() {
+    // The default mix *does* settle cross-shard — mode identity must
+    // hold even for the richest traffic, since the schedule (not the
+    // placement) is what varies here.
+    let workload =
+        WorkloadConfig { users: 48, ops: 4_000, seed: SEED, ..WorkloadConfig::default() };
+    for shards in [1usize, 2, 4, 8] {
+        let sequential = drive(shards, 1, false, &workload, OpsPlaneConfig::default());
+        let parallel = drive(shards, shards, false, &workload, OpsPlaneConfig::default());
+        let pipelined = drive(shards, shards, true, &workload, OpsPlaneConfig::default());
+        let want = ops_fingerprint(&sequential);
+        assert_eq!(
+            want,
+            ops_fingerprint(&parallel),
+            "parallel ops view diverged at {shards} shards"
+        );
+        assert_eq!(
+            want,
+            ops_fingerprint(&pipelined),
+            "pipelined ops view diverged at {shards} shards"
+        );
+        // Not vacuous: the window actually folded epochs and saw load.
+        let heat = sequential.heat_report().unwrap();
+        assert!(heat.epochs > 0, "no epochs folded at {shards} shards");
+        assert!(heat.global.admitted > 0, "no admissions folded at {shards} shards");
+    }
+}
+
+#[test]
+fn the_global_heat_view_is_shard_count_invariant_for_placement_free_traffic() {
+    let workload = placement_free_workload();
+    let mut single = drive(1, 1, false, &workload, OpsPlaneConfig::default());
+    let want_global = single.heat_report().unwrap().global_json();
+    let want_slo = single.slo_snapshot().unwrap().to_json();
+    let want_trips = slo_trace_lines(&mut single);
+    for shards in [2usize, 4, 8] {
+        let mut sharded = drive(shards, shards, false, &workload, OpsPlaneConfig::default());
+        assert_eq!(
+            want_global,
+            sharded.heat_report().unwrap().global_json(),
+            "global heat diverged at {shards} shards"
+        );
+        assert_eq!(
+            want_slo,
+            sharded.slo_snapshot().unwrap().to_json(),
+            "SLO snapshot diverged at {shards} shards"
+        );
+        assert_eq!(
+            want_trips,
+            slo_trace_lines(&mut sharded),
+            "SLO trip sequence diverged at {shards} shards"
+        );
+    }
+}
+
+#[test]
+fn every_live_instrument_is_canonical_and_described() {
+    // Metric hygiene: a driven ops-plane router must not register a
+    // single instrument whose name escapes the canonical registry or
+    // lacks `# HELP` text — new subsystems can't silently ship
+    // undocumented telemetry.
+    use metaverse_telemetry::names;
+    let workload = WorkloadConfig { users: 24, ops: 800, seed: SEED, ..WorkloadConfig::default() };
+    let router = drive(2, 2, false, &workload, OpsPlaneConfig::default());
+    let snapshot = router.telemetry_snapshot();
+    let all = snapshot
+        .counters
+        .keys()
+        .chain(snapshot.gauges.keys())
+        .chain(snapshot.histograms.keys());
+    let mut checked = 0usize;
+    for name in all {
+        assert!(names::is_canonical(name), "non-canonical instrument: {name}");
+        assert!(names::description(name).is_some(), "undescribed instrument: {name}");
+        checked += 1;
+    }
+    assert!(checked > 20, "suspiciously few instruments: {checked}");
+    // The ops-plane family is actually present, not just hygienic.
+    assert!(snapshot.counters.contains_key(names::ops_plane::HEAT_EPOCHS_FOLDED));
+    assert!(snapshot.gauges.contains_key(names::ops_plane::HEAT_IMBALANCE_MILLI));
+}
+
+#[test]
+fn a_tripped_objective_is_traced_and_sealed_on_the_ledger() {
+    // A starved token bucket refuses most offers, pushing the refusal
+    // rate far past a 10% objective: the trip must fire, identically
+    // under both schedules, and leave an audit trail in two places.
+    let workload =
+        WorkloadConfig { users: 32, ops: 3_000, seed: SEED, ..WorkloadConfig::default() };
+    let ops_config = OpsPlaneConfig {
+        heat_window_ticks: 16,
+        objectives: vec![SloObjective {
+            name: "refusal_rate",
+            kind: SloKind::RefusalRateMaxMilli,
+            max: 100,
+        }],
+    };
+    let build = |workers: usize| {
+        let engine = WorkloadEngine::new(workload.clone());
+        let mut router = ShardRouter::new(
+            GatewayConfig::builder()
+                .shards(4)
+                .workers(workers)
+                .tracing(1 << 15)
+                .ops_plane(ops_config.clone())
+                .rate_limit(RateLimit { burst: 4, milli_per_tick: 2_000 })
+                .key_tree_depth(7)
+                .build(),
+        );
+        engine.drive(&mut router, 256);
+        router
+    };
+    let mut sequential = build(1);
+    let mut parallel = build(4);
+
+    // The trip fired and is visible in the snapshot...
+    let snapshot = sequential.slo_snapshot().unwrap();
+    assert!(snapshot.to_json().contains("\"tripped\":true"), "{}", snapshot.to_json());
+    // ...in the trace stream...
+    let trips = slo_trace_lines(&mut sequential);
+    assert!(
+        trips.iter().any(|l| l.contains("\"slo_tripped\"") && l.contains("refusal_rate")),
+        "{trips:?}"
+    );
+    // ...and on shard 0's ledger, sealed as a HealthTransition record
+    // with the objective as the component name.
+    let on_ledger = sequential
+        .shard_platform(0)
+        .chain()
+        .iter_txs()
+        .filter(|t| {
+            matches!(
+                &t.payload,
+                TxPayload::HealthTransition { module, reason, .. }
+                    if module == "refusal_rate" && reason == "slo_tripped"
+            )
+        })
+        .count();
+    assert!(on_ledger > 0, "trip never sealed on the ledger");
+
+    // Schedule invariance holds for the trip machinery too.
+    assert_eq!(ops_fingerprint(&sequential), ops_fingerprint(&parallel));
+    assert_eq!(slo_trace_lines(&mut sequential), slo_trace_lines(&mut parallel));
+}

@@ -7,7 +7,7 @@
 //! bit-exactly, and no byte string (truncated, corrupted, or random)
 //! makes the decoder panic.
 
-use metaverse_gateway::op::{Op, WireError};
+use metaverse_gateway::op::{Op, StatsKind, StatsQuery, StatsReply, WireError};
 use metaverse_gateway::router::{GatewayConfig, ShardRouter};
 use metaverse_gateway::workload::{WorkloadConfig, WorkloadEngine};
 use metaverse_ledger::audit::{LawfulBasis, SensorClass};
@@ -110,6 +110,15 @@ fn arb_op() -> impl Strategy<Value = Op> {
     ]
 }
 
+fn arb_stats_kind() -> impl Strategy<Value = StatsKind> {
+    prop_oneof![
+        Just(StatsKind::Prometheus),
+        Just(StatsKind::Heat),
+        Just(StatsKind::Slo),
+        Just(StatsKind::Latency),
+    ]
+}
+
 proptest! {
     /// Round-trip identity for every variant: decode ∘ encode is the
     /// identity on the wire (bit-exact, so NaN float payloads count),
@@ -170,6 +179,53 @@ proptest! {
     fn random_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
         if let Ok(op) = Op::decode(&bytes) {
             prop_assert_eq!(op.encode(), bytes);
+        }
+    }
+
+    /// The admin-frame pair holds the same codec invariants as ops:
+    /// replies round-trip bit-exactly for arbitrary bodies, and the
+    /// kind byte survives the query round trip.
+    #[test]
+    fn stats_frames_round_trip(
+        kind in arb_stats_kind(),
+        epoch in any::<u64>(),
+        tick in any::<u64>(),
+        body in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let query = StatsQuery { kind };
+        prop_assert_eq!(StatsQuery::decode(&query.encode()).unwrap(), query);
+        let reply = StatsReply { kind, epoch, tick, body };
+        let bytes = reply.encode();
+        let back = StatsReply::decode(&bytes).expect("a fresh reply frame must decode");
+        prop_assert_eq!(back.encode(), bytes, "re-encoding must be bit-exact");
+        prop_assert_eq!(back, reply);
+    }
+
+    /// Corrupting or truncating a stats reply never panics, and
+    /// anything the decoder accepts re-encodes canonically — admin
+    /// frames ride the same sockets as ops, so they get the same
+    /// hostile-bytes discipline.
+    #[test]
+    fn mangled_stats_replies_never_panic(
+        kind in arb_stats_kind(),
+        epoch in any::<u64>(),
+        body in proptest::collection::vec(any::<u8>(), 0..64),
+        at in any::<usize>(),
+        flip in any::<u8>(),
+        cut in any::<usize>(),
+    ) {
+        let mut bytes = StatsReply { kind, epoch, tick: epoch ^ 0x5a5a, body }.encode();
+        let i = at % bytes.len();
+        bytes[i] ^= flip;
+        if let Ok(back) = StatsReply::decode(&bytes) {
+            prop_assert_eq!(back.encode(), bytes, "accepted replies must be canonical");
+        }
+        let cut = cut % bytes.len();
+        prop_assert!(StatsReply::decode(&bytes[..cut]).is_err(), "a strict prefix cannot decode");
+        // Queries too: any 2-byte mutation either fails typed or
+        // round-trips.
+        if let Ok(q) = StatsQuery::decode(&bytes[..2.min(bytes.len())]) {
+            prop_assert_eq!(&q.encode()[..], &bytes[..2]);
         }
     }
 

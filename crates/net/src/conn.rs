@@ -193,6 +193,13 @@ impl Connection {
         self.stats.refused += 1;
     }
 
+    /// Queues an arbitrary payload (framed) — the stats-reply path.
+    /// Unlike acks, a payload bumps no admission counter: it answers
+    /// an admin frame, not an op.
+    pub(crate) fn queue_payload(&mut self, payload: &[u8]) {
+        self.write_buf.extend(frame(payload));
+    }
+
     /// Unflushed ack bytes.
     pub fn write_buf_len(&self) -> usize {
         self.write_buf.len()

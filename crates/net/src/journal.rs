@@ -25,6 +25,20 @@ use std::fmt;
 
 use metaverse_gateway::error::{AdmissionError, GatewayError};
 use metaverse_gateway::ingress::Ingress;
+use metaverse_gateway::op::StatsKind;
+
+/// FNV-1a over a reply body: the digest journaled with each stats
+/// entry, so replays can check deterministic bodies without storing
+/// them (Prometheus bodies carry wall-clock histograms and are
+/// exempt — see [`StatsKind::deterministic`]).
+pub fn body_digest(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
 
 /// Stable wire code for a refusal cause: what the server told the
 /// client, and what replay must reproduce.
@@ -132,6 +146,23 @@ pub enum JournalEntry {
     },
     /// An epoch boundary fired after the preceding offers.
     Epoch,
+    /// A live-stats query served at this point in the offer stream.
+    /// Journaled because serving order is part of the recorded run:
+    /// replay re-serves at the same position and, for deterministic
+    /// kinds, checks the body digest matches.
+    Stats {
+        /// Originating connection id.
+        conn: u64,
+        /// Logical tick at serve time.
+        tick: u64,
+        /// Which view was asked for.
+        kind: StatsKind,
+        /// Whether the live ingress served a reply (`false` means the
+        /// ingress had no stats support and the query was refused).
+        served: bool,
+        /// FNV-1a digest of the served body (0 when unserved).
+        digest: u64,
+    },
 }
 
 /// A malformed serialised journal.
@@ -149,6 +180,8 @@ pub enum JournalError {
     BadOutcome(u8),
     /// Unknown refusal code.
     BadCode(u8),
+    /// Unknown stats-kind byte in a stats entry.
+    BadStatsKind(u8),
 }
 
 impl fmt::Display for JournalError {
@@ -160,6 +193,7 @@ impl fmt::Display for JournalError {
             JournalError::BadTag(t) => write!(f, "journal: unknown entry tag {t:#04x}"),
             JournalError::BadOutcome(t) => write!(f, "journal: unknown outcome tag {t:#04x}"),
             JournalError::BadCode(c) => write!(f, "journal: unknown refusal code {c}"),
+            JournalError::BadStatsKind(k) => write!(f, "journal: unknown stats kind {k}"),
         }
     }
 }
@@ -180,10 +214,17 @@ pub struct ReplayReport {
     /// Offers whose replayed outcome differed from the recorded one
     /// (0 on a healthy deterministic core).
     pub divergences: u64,
+    /// Stats queries re-served.
+    pub stats: u64,
+    /// Deterministic stats replies whose replayed body digest differed
+    /// from the recorded one (0 on a healthy deterministic ops plane).
+    pub stats_divergences: u64,
 }
 
 const MAGIC: &[u8; 4] = b"MVJN";
-const VERSION: u8 = 1;
+/// Format 2 added the `Stats` entry (tag 0x02); version-1 journals
+/// contain only offers and epochs and still decode.
+const VERSION: u8 = 2;
 
 /// The recorded admission sequence of one serving run.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -191,6 +232,7 @@ pub struct AdmissionJournal {
     entries: Vec<JournalEntry>,
     offers: u64,
     epochs: u64,
+    stats: u64,
 }
 
 impl AdmissionJournal {
@@ -211,6 +253,13 @@ impl AdmissionJournal {
         self.entries.push(JournalEntry::Epoch);
     }
 
+    /// Records one served (or refused) stats query at this point in
+    /// the offer stream.
+    pub fn record_stats(&mut self, conn: u64, tick: u64, kind: StatsKind, served: bool, digest: u64) {
+        self.stats += 1;
+        self.entries.push(JournalEntry::Stats { conn, tick, kind, served, digest });
+    }
+
     /// Every record, in order.
     pub fn entries(&self) -> &[JournalEntry] {
         &self.entries
@@ -224,6 +273,11 @@ impl AdmissionJournal {
     /// Epoch boundaries recorded.
     pub fn epochs(&self) -> u64 {
         self.epochs
+    }
+
+    /// Stats queries recorded.
+    pub fn stats(&self) -> u64 {
+        self.stats
     }
 
     /// Total records.
@@ -264,6 +318,20 @@ impl AdmissionJournal {
                     report.epochs += 1;
                     ingress.epoch_boundary();
                 }
+                JournalEntry::Stats { kind, served, digest, .. } => {
+                    report.stats += 1;
+                    // Re-serve at the recorded position. For
+                    // deterministic kinds the replayed body must hash
+                    // to the recorded digest; Prometheus bodies carry
+                    // wall-clock histograms and are exempt.
+                    let replayed = ingress.serve_stats(*kind);
+                    if *served && kind.deterministic() {
+                        match replayed {
+                            Some(reply) if body_digest(&reply.body) == *digest => {}
+                            _ => report.stats_divergences += 1,
+                        }
+                    }
+                }
             }
         }
         report
@@ -295,6 +363,14 @@ impl AdmissionJournal {
                     out.extend_from_slice(bytes);
                 }
                 JournalEntry::Epoch => out.push(0x01),
+                JournalEntry::Stats { conn, tick, kind, served, digest } => {
+                    out.push(0x02);
+                    out.extend_from_slice(&conn.to_le_bytes());
+                    out.extend_from_slice(&tick.to_le_bytes());
+                    out.push(kind.byte());
+                    out.push(u8::from(*served));
+                    out.extend_from_slice(&digest.to_le_bytes());
+                }
             }
         }
         out
@@ -307,7 +383,9 @@ impl AdmissionJournal {
             return Err(JournalError::BadMagic);
         }
         let version = r.u8()?;
-        if version != VERSION {
+        // Version 1 is a strict subset (no stats entries); anything
+        // newer than this build's format is unknown.
+        if version == 0 || version > VERSION {
             return Err(JournalError::BadVersion(version));
         }
         let count = r.u64()? as usize;
@@ -332,6 +410,16 @@ impl AdmissionJournal {
                     journal.record_offer(conn, tick, &op_bytes, outcome);
                 }
                 0x01 => journal.record_epoch(),
+                0x02 => {
+                    let conn = r.u64()?;
+                    let tick = r.u64()?;
+                    let kind_byte = r.u8()?;
+                    let kind = StatsKind::from_byte(kind_byte)
+                        .ok_or(JournalError::BadStatsKind(kind_byte))?;
+                    let served = r.u8()? != 0;
+                    let digest = r.u64()?;
+                    journal.record_stats(conn, tick, kind, served, digest);
+                }
                 tag => return Err(JournalError::BadTag(tag)),
             }
         }
@@ -476,5 +564,68 @@ mod tests {
         }
         assert_eq!(RefusalCode::from_code(0), None);
         assert_eq!(RefusalCode::from_code(8), None);
+    }
+
+    #[test]
+    fn stats_entries_round_trip_in_the_binary_form() {
+        let mut journal = sample();
+        journal.record_stats(3, 7, StatsKind::Heat, true, 0xdead_beef_cafe_f00d);
+        journal.record_stats(0, 9, StatsKind::Prometheus, false, 0);
+        let back = AdmissionJournal::from_bytes(&journal.to_bytes()).unwrap();
+        assert_eq!(journal, back);
+        assert_eq!(back.stats(), 2);
+        // An out-of-range kind byte is a typed error.
+        let mut bad = journal.to_bytes();
+        let kind_pos = bad.len() - (8 + 1 + 1); // last entry's kind byte
+        bad[kind_pos] = 9;
+        assert_eq!(AdmissionJournal::from_bytes(&bad), Err(JournalError::BadStatsKind(9)));
+    }
+
+    #[test]
+    fn replay_re_serves_stats_and_checks_deterministic_digests() {
+        use metaverse_gateway::ingress::Ingress;
+        use metaverse_gateway::ops::OpsPlaneConfig;
+
+        let build = || {
+            ShardRouter::new(
+                GatewayConfig::builder()
+                    .shards(2)
+                    .key_tree_depth(6)
+                    .tracing(1 << 10)
+                    .ops_plane(OpsPlaneConfig::default())
+                    .build(),
+            )
+        };
+        // Record a tiny live run by hand: two offers, an epoch, then a
+        // heat query whose body digest goes into the journal.
+        let mut live = build();
+        let mut journal = AdmissionJournal::new();
+        for (conn, user) in [(0u64, "alice"), (1u64, "bob")] {
+            let bytes = Op::Register { user: user.into() }.encode();
+            let seq = live.ingress_wire(&bytes).unwrap();
+            journal.record_offer(conn, live.logical_now(), &bytes, OfferOutcome::Admitted(seq));
+        }
+        journal.record_epoch();
+        live.epoch_boundary();
+        let reply = live.serve_stats(StatsKind::Heat).unwrap();
+        journal.record_stats(0, live.logical_now(), StatsKind::Heat, true, body_digest(&reply.body));
+
+        let mut offline = build();
+        let report = journal.replay_into(&mut offline);
+        assert_eq!(report.stats, 1);
+        assert_eq!(report.stats_divergences, 0, "heat body must replay byte-identically");
+
+        // A tampered digest is caught.
+        if let JournalEntry::Stats { digest, .. } = journal.entries.last_mut().unwrap() {
+            *digest ^= 1;
+        }
+        let mut offline = build();
+        assert_eq!(journal.replay_into(&mut offline).stats_divergences, 1);
+
+        // An unserved query replays without digest checking.
+        let mut journal = AdmissionJournal::new();
+        journal.record_stats(0, 0, StatsKind::Latency, false, 0);
+        let mut offline = build();
+        assert_eq!(journal.replay_into(&mut offline).stats_divergences, 0);
     }
 }

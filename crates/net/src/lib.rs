@@ -49,7 +49,10 @@ pub mod tcp;
 
 pub use conn::{CloseCause, ConnState, ConnStats, Connection};
 pub use frame::{frame, FrameDecoder, FrameError, DEFAULT_MAX_FRAME};
-pub use journal::{AdmissionJournal, JournalEntry, JournalError, OfferOutcome, RefusalCode, ReplayReport};
+pub use journal::{
+    body_digest, AdmissionJournal, JournalEntry, JournalError, OfferOutcome, RefusalCode,
+    ReplayReport,
+};
 pub use server::{ByteStream, NetServer, NetServerConfig, ReadOutcome, ServeReport};
 pub use sim::{sim_clients, SimStream};
 pub use tcp::TcpFrontDoor;

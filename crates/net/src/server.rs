@@ -33,6 +33,7 @@ use std::time::Instant;
 
 use metaverse_gateway::error::{AdmissionError, GatewayError};
 use metaverse_gateway::ingress::Ingress;
+use metaverse_gateway::op::{StatsQuery, TAG_STATS_QUERY};
 use metaverse_telemetry::export::trace_jsonl;
 use metaverse_telemetry::names;
 use metaverse_telemetry::{
@@ -42,7 +43,7 @@ use metaverse_telemetry::{
 
 use crate::conn::{CloseCause, Connection};
 use crate::frame::DEFAULT_MAX_FRAME;
-use crate::journal::{AdmissionJournal, OfferOutcome, RefusalCode};
+use crate::journal::{body_digest, AdmissionJournal, OfferOutcome, RefusalCode};
 
 /// What one nonblocking read produced.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -153,6 +154,11 @@ struct NetMetrics {
     sweeps: Counter,
     journal_entries: Counter,
     admission_ns: Histogram,
+    stats_served: Counter,
+    trace_recorded: Counter,
+    trace_dropped: Counter,
+    trace_buffer: Gauge,
+    trace_capacity: Gauge,
 }
 
 impl NetMetrics {
@@ -171,6 +177,11 @@ impl NetMetrics {
             sweeps: hub.counter(names::net::SWEEPS),
             journal_entries: hub.counter(names::net::JOURNAL_ENTRIES),
             admission_ns: hub.histogram(names::net::ADMISSION_NS),
+            stats_served: hub.counter(names::net::STATS_SERVED),
+            trace_recorded: hub.counter(names::TRACE_EVENTS_RECORDED),
+            trace_dropped: hub.counter(names::TRACE_EVENTS_DROPPED),
+            trace_buffer: hub.gauge(names::TRACE_BUFFER_LEN),
+            trace_capacity: hub.gauge(names::TRACE_BUFFER_CAPACITY),
         }
     }
 }
@@ -195,6 +206,10 @@ pub struct NetServer<I, S> {
     total_admitted: u64,
     total_refused: u64,
     admission_ns: Vec<u64>,
+    /// Recorder totals already flushed into the trace counters
+    /// (instrument counters are monotone; recorder stats are lifetime
+    /// totals).
+    trace_counted: (u64, u64),
 }
 
 impl<I: Ingress, S: ByteStream> NetServer<I, S> {
@@ -203,6 +218,7 @@ impl<I: Ingress, S: ByteStream> NetServer<I, S> {
         let hub = if config.telemetry { TelemetryHub::new() } else { TelemetryHub::disabled() };
         let metrics = NetMetrics::new(&hub);
         let recorder = FlightRecorder::new(config.trace_capacity);
+        metrics.trace_capacity.set(config.trace_capacity as i64);
         NetServer {
             ingress,
             slots: Vec::new(),
@@ -217,6 +233,7 @@ impl<I: Ingress, S: ByteStream> NetServer<I, S> {
             total_admitted: 0,
             total_refused: 0,
             admission_ns: Vec::new(),
+            trace_counted: (0, 0),
         }
     }
 
@@ -285,6 +302,39 @@ impl<I: Ingress, S: ByteStream> NetServer<I, S> {
             // sweep.
             while !slot.conn.parked(now) && *admitted_since_epoch < config.ops_per_epoch {
                 let Some(bytes) = slot.conn.pop_frame() else { break };
+                // Admin frames short-circuit admission: a well-formed
+                // stats query is served read-only and journaled as a
+                // `Stats` entry (its serving *position* in the offer
+                // stream is part of the recorded run), never offered
+                // to the core. `TAG_STATS_QUERY` is outside the op tag
+                // range, so a malformed 0x11 frame falls through to
+                // `ingress_wire` and refuses with a wire error.
+                if bytes.first() == Some(&TAG_STATS_QUERY) {
+                    if let Ok(query) = StatsQuery::decode(&bytes) {
+                        let reply = ingress.serve_stats(query.kind);
+                        let tick = ingress.logical_now();
+                        let digest = reply.as_ref().map_or(0, |r| body_digest(&r.body));
+                        journal.record_stats(
+                            slot.conn.id(),
+                            tick,
+                            query.kind,
+                            reply.is_some(),
+                            digest,
+                        );
+                        metrics.journal_entries.incr();
+                        match reply {
+                            Some(reply) => {
+                                slot.conn.queue_payload(&reply.encode());
+                                metrics.stats_served.incr();
+                            }
+                            // The ingress has no stats support: refuse
+                            // like any other unserviceable frame.
+                            None => slot.conn.queue_refusal(RefusalCode::Other),
+                        }
+                        progress += 1;
+                        continue;
+                    }
+                }
                 let started = Instant::now();
                 let result = ingress.ingress_wire(&bytes);
                 let elapsed = started.elapsed().as_nanos() as u64;
@@ -476,6 +526,16 @@ impl<I: Ingress, S: ByteStream> NetServer<I, S> {
         self.epochs_fired += 1;
         self.admitted_since_epoch = 0;
         self.metrics.epochs_fired.incr();
+        if self.recorder.is_enabled() {
+            // Flush recorder totals into the monotone trace counters
+            // at the epoch cadence (same idiom as the gateway router).
+            let stats = self.recorder.stats();
+            let (seen_recorded, seen_dropped) = self.trace_counted;
+            self.metrics.trace_recorded.add(stats.recorded.saturating_sub(seen_recorded));
+            self.metrics.trace_dropped.add(stats.dropped.saturating_sub(seen_dropped));
+            self.trace_counted = (stats.recorded, stats.dropped);
+            self.metrics.trace_buffer.set(stats.len as i64);
+        }
     }
 
     /// Sweeps until every connection is closed and the ingress backlog

@@ -1,0 +1,180 @@
+//! The live-stats endpoint gate: `StatsQuery` admin frames served
+//! mid-stream by the network front door must (1) come back as framed
+//! `StatsReply` frames the client can decode, (2) leave `Stats`
+//! entries in the admission journal, and (3) replay offline — a fresh
+//! router, no sockets — serving byte-identical bodies for every
+//! deterministic kind, with the op-stream fingerprint untouched by the
+//! observation.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use metaverse_gateway::op::{Op, StatsKind, StatsQuery, StatsReply, TAG_STATS_REPLY};
+use metaverse_gateway::ops::OpsPlaneConfig;
+use metaverse_gateway::session::RateLimit;
+use metaverse_gateway::{GatewayConfig, ShardRouter};
+use metaverse_net::server::{ByteStream, ReadOutcome};
+use metaverse_net::{
+    frame, AdmissionJournal, FrameDecoder, JournalEntry, NetServer, NetServerConfig,
+};
+
+/// A scripted stream that keeps a shared handle on everything the
+/// server wrote back, so replies survive `run_to_completion`.
+struct EchoStream {
+    data: Vec<u8>,
+    pos: usize,
+    written: Rc<RefCell<Vec<u8>>>,
+}
+
+impl ByteStream for EchoStream {
+    fn read(&mut self, _now: u64, buf: &mut [u8]) -> ReadOutcome {
+        if self.pos >= self.data.len() {
+            return ReadOutcome::Closed;
+        }
+        let n = (self.data.len() - self.pos).min(buf.len()).min(64);
+        buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+        self.pos += n;
+        ReadOutcome::Data(n)
+    }
+
+    fn write(&mut self, _now: u64, bytes: &[u8]) -> usize {
+        self.written.borrow_mut().extend_from_slice(bytes);
+        bytes.len()
+    }
+}
+
+fn router(shards: usize) -> ShardRouter {
+    ShardRouter::new(
+        GatewayConfig::builder()
+            .shards(shards)
+            .workers(1)
+            .tracing(1 << 12)
+            .ops_plane(OpsPlaneConfig::default())
+            .rate_limit(RateLimit { burst: 256, milli_per_tick: 256_000 })
+            .key_tree_depth(5)
+            .build(),
+    )
+}
+
+fn fingerprint(router: &mut ShardRouter) -> String {
+    let trace = router.trace_jsonl();
+    format!("{:?}\n{:?}\n{trace}", router.settlement_ledger(), router.conservation_report())
+}
+
+/// One client script: ops interleaved with stats queries.
+fn script() -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&frame(&Op::Register { user: "alice".into() }.encode()));
+    out.extend_from_slice(&frame(&Op::Register { user: "bob".into() }.encode()));
+    out.extend_from_slice(&frame(&StatsQuery { kind: StatsKind::Heat }.encode()));
+    out.extend_from_slice(&frame(
+        &Op::Endorse { user: "alice".into(), subject: "bob".into() }.encode(),
+    ));
+    out.extend_from_slice(&frame(&StatsQuery { kind: StatsKind::Slo }.encode()));
+    out.extend_from_slice(&frame(&StatsQuery { kind: StatsKind::Latency }.encode()));
+    out.extend_from_slice(&frame(&StatsQuery { kind: StatsKind::Prometheus }.encode()));
+    out
+}
+
+fn replies(written: &[u8]) -> Vec<StatsReply> {
+    let mut decoder = FrameDecoder::new(1 << 20);
+    let mut frames = Vec::new();
+    decoder.feed(written, &mut frames).expect("server output reframes");
+    frames
+        .into_iter()
+        .filter(|f| f.first() == Some(&TAG_STATS_REPLY))
+        .map(|f| StatsReply::decode(&f).expect("well-formed reply frame"))
+        .collect()
+}
+
+#[test]
+fn stats_queries_are_served_journaled_and_replayable() {
+    let written = Rc::new(RefCell::new(Vec::new()));
+    let mut server = NetServer::new(
+        router(2),
+        NetServerConfig { ops_per_epoch: 2, ..NetServerConfig::default() },
+    );
+    server.accept(EchoStream { data: script(), pos: 0, written: Rc::clone(&written) });
+    let report = server.run_to_completion();
+    assert!(!report.stalled, "{report:?}");
+    assert_eq!(report.admitted, 3, "the three ops admit; queries are not offers");
+
+    // (1) Four framed replies, in query order, carrying the right views.
+    let replies = replies(&written.borrow());
+    let kinds: Vec<StatsKind> = replies.iter().map(|r| r.kind).collect();
+    assert_eq!(kinds, [StatsKind::Heat, StatsKind::Slo, StatsKind::Latency, StatsKind::Prometheus]);
+    for reply in &replies {
+        let body = String::from_utf8(reply.body.clone()).expect("text body");
+        match reply.kind {
+            StatsKind::Prometheus => {
+                assert!(body.contains("# HELP"), "exposition carries help text");
+                // Dots sanitize to underscores in exposition names.
+                assert!(body.contains("ops_plane_heat_epochs_folded"), "{body}");
+            }
+            _ => assert!(body.starts_with('{') && body.ends_with('}'), "JSON body: {body}"),
+        }
+    }
+
+    // (2) The journal recorded each query at its position.
+    let (mut live, journal) = server.into_parts();
+    assert_eq!(journal.stats(), 4);
+    let journal = AdmissionJournal::from_bytes(&journal.to_bytes()).expect("round-trips");
+    assert_eq!(journal.stats(), 4);
+    assert!(journal
+        .entries()
+        .iter()
+        .any(|e| matches!(e, JournalEntry::Stats { kind: StatsKind::Heat, served: true, .. })));
+
+    // (3) Offline replay re-serves every deterministic body
+    // byte-identically and reproduces the op-stream fingerprint.
+    let mut offline = router(2);
+    let replay = journal.replay_into(&mut offline);
+    assert_eq!(replay.stats, 4);
+    assert_eq!(replay.divergences, 0, "{replay:?}");
+    assert_eq!(replay.stats_divergences, 0, "deterministic stats bodies must replay: {replay:?}");
+    assert_eq!(fingerprint(&mut live), fingerprint(&mut offline));
+}
+
+#[test]
+fn a_stats_query_against_a_plane_less_router_still_replays() {
+    // A router without the ops plane still serves (bodies say the
+    // plane is off) — and the journal still replays cleanly.
+    let written = Rc::new(RefCell::new(Vec::new()));
+    let plain = |shards: usize| {
+        ShardRouter::new(
+            GatewayConfig::builder().shards(shards).workers(1).key_tree_depth(5).build(),
+        )
+    };
+    let mut server = NetServer::new(plain(1), NetServerConfig::default());
+    let mut data = Vec::new();
+    data.extend_from_slice(&frame(&Op::Register { user: "alice".into() }.encode()));
+    data.extend_from_slice(&frame(&StatsQuery { kind: StatsKind::Heat }.encode()));
+    server.accept(EchoStream { data, pos: 0, written: Rc::clone(&written) });
+    let report = server.run_to_completion();
+    assert!(!report.stalled);
+    let replies = replies(&written.borrow());
+    assert_eq!(replies.len(), 1);
+    assert_eq!(String::from_utf8_lossy(&replies[0].body), "{\"ops_plane\":\"off\"}");
+    let (_, journal) = server.into_parts();
+    let mut offline = plain(1);
+    let replay = journal.replay_into(&mut offline);
+    assert_eq!((replay.stats, replay.stats_divergences), (1, 0));
+}
+
+#[test]
+fn a_malformed_stats_frame_is_a_wire_refusal_not_a_crash() {
+    let written = Rc::new(RefCell::new(Vec::new()));
+    let mut server = NetServer::new(router(1), NetServerConfig::default());
+    let mut data = Vec::new();
+    data.extend_from_slice(&frame(&Op::Register { user: "alice".into() }.encode()));
+    // 0x11 tag with an out-of-range kind byte: not a valid query, not
+    // a valid op — it must refuse as a wire error and keep serving.
+    data.extend_from_slice(&frame(&[0x11, 0xee]));
+    data.extend_from_slice(&frame(&StatsQuery { kind: StatsKind::Heat }.encode()));
+    server.accept(EchoStream { data, pos: 0, written: Rc::clone(&written) });
+    let report = server.run_to_completion();
+    assert!(!report.stalled);
+    assert_eq!(report.admitted, 1);
+    assert_eq!(report.refused, 1, "malformed admin frame refuses like bad wire bytes");
+    assert_eq!(replies(&written.borrow()).len(), 1, "the well-formed query still serves");
+}

@@ -45,6 +45,21 @@ impl HealthState {
     pub fn is_operational(&self) -> bool {
         !matches!(self, HealthState::Failed)
     }
+
+    /// Maps an SLO burn rate (milli: `measured * 1000 / threshold`, so
+    /// 1000 = exactly at threshold) onto the lattice: under 800 is
+    /// `Healthy`, 800 up to the threshold is `Degraded` (probation —
+    /// the objective is close to tripping), at or over the threshold
+    /// is `Failed`. This is how the ops plane's SLO engine lands on
+    /// the same vocabulary the ledger's `HealthTransition` records
+    /// already use.
+    pub fn from_burn_milli(burn_milli: u64) -> HealthState {
+        match burn_milli {
+            0..=799 => HealthState::Healthy,
+            800..=999 => HealthState::Degraded,
+            _ => HealthState::Failed,
+        }
+    }
 }
 
 impl std::fmt::Display for HealthState {
@@ -70,6 +85,16 @@ mod tests {
         assert!(HealthState::Healthy.is_operational());
         assert!(HealthState::Degraded.is_operational());
         assert!(!HealthState::Failed.is_operational());
+    }
+
+    #[test]
+    fn burn_rate_maps_onto_the_lattice() {
+        assert_eq!(HealthState::from_burn_milli(0), HealthState::Healthy);
+        assert_eq!(HealthState::from_burn_milli(799), HealthState::Healthy);
+        assert_eq!(HealthState::from_burn_milli(800), HealthState::Degraded);
+        assert_eq!(HealthState::from_burn_milli(999), HealthState::Degraded);
+        assert_eq!(HealthState::from_burn_milli(1000), HealthState::Failed);
+        assert_eq!(HealthState::from_burn_milli(u64::MAX), HealthState::Failed);
     }
 
     #[test]

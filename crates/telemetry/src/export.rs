@@ -18,6 +18,7 @@
 //! `b` covers `[b, 2b)`, so its inclusive upper bound is `2b - 1`),
 //! plus the conventional `_sum` and `_count`.
 
+use crate::names;
 use crate::snapshot::{HistogramSnapshot, TelemetrySnapshot};
 use crate::trace::{TraceEvent, TraceStage};
 
@@ -71,7 +72,23 @@ fn label_block(labels: &[(&str, &str)], extra: Option<(&str, &str)>) -> String {
     }
 }
 
-fn push_histogram(out: &mut String, name: &str, labels: &[(&str, &str)], h: &HistogramSnapshot) {
+/// Emits a `# HELP` line when the (un-sanitized) workspace name has a
+/// registered description in [`names::description`]; unknown names get
+/// no HELP line rather than invented text.
+fn push_help(out: &mut String, raw_name: &str, sanitized: &str) {
+    if let Some(desc) = names::description(raw_name) {
+        out.push_str(&format!("# HELP {sanitized} {desc}\n"));
+    }
+}
+
+fn push_histogram(
+    out: &mut String,
+    raw_name: &str,
+    name: &str,
+    labels: &[(&str, &str)],
+    h: &HistogramSnapshot,
+) {
+    push_help(out, raw_name, name);
     out.push_str(&format!("# TYPE {name} histogram\n"));
     let mut cumulative = 0u64;
     for (bound, count) in &h.buckets {
@@ -103,18 +120,20 @@ pub fn prometheus(snapshot: &TelemetrySnapshot) -> String {
 /// `[("shard", "3"), ("run", "e23")]`).
 pub fn prometheus_labeled(snapshot: &TelemetrySnapshot, labels: &[(&str, &str)]) -> String {
     let mut out = String::new();
-    for (name, value) in &snapshot.counters {
-        let name = sanitize_metric_name(name);
+    for (raw, value) in &snapshot.counters {
+        let name = sanitize_metric_name(raw);
+        push_help(&mut out, raw, &name);
         out.push_str(&format!("# TYPE {name} counter\n"));
         out.push_str(&format!("{name}{} {value}\n", label_block(labels, None)));
     }
-    for (name, value) in &snapshot.gauges {
-        let name = sanitize_metric_name(name);
+    for (raw, value) in &snapshot.gauges {
+        let name = sanitize_metric_name(raw);
+        push_help(&mut out, raw, &name);
         out.push_str(&format!("# TYPE {name} gauge\n"));
         out.push_str(&format!("{name}{} {value}\n", label_block(labels, None)));
     }
-    for (name, h) in &snapshot.histograms {
-        push_histogram(&mut out, &sanitize_metric_name(name), labels, h);
+    for (raw, h) in &snapshot.histograms {
+        push_histogram(&mut out, raw, &sanitize_metric_name(raw), labels, h);
     }
     out
 }
@@ -223,6 +242,16 @@ pub fn trace_event_json(e: &TraceEvent) -> String {
         TraceStage::Escalated { shard, action } => {
             out.push_str(&format!(",\"shard\":{shard},\"action\":\"{action}\""));
         }
+        TraceStage::SloTripped { objective, measured, threshold, burn_milli } => {
+            out.push_str(&format!(
+                ",\"objective\":\"{objective}\",\"measured\":{measured},\"threshold\":{threshold},\"burn_milli\":{burn_milli}"
+            ));
+        }
+        TraceStage::SloRecovered { objective, measured, threshold } => {
+            out.push_str(&format!(
+                ",\"objective\":\"{objective}\",\"measured\":{measured},\"threshold\":{threshold}"
+            ));
+        }
     }
     out.push('}');
     out
@@ -298,6 +327,58 @@ mod tests {
         for line in one.lines().filter(|l| !l.starts_with('#')) {
             assert!(line.contains("run=\"e23\",shards=\"8\""), "unlabeled sample: {line}");
         }
+    }
+
+    #[test]
+    fn canonical_names_get_help_lines_and_unknown_names_do_not() {
+        let hub = TelemetryHub::new();
+        hub.counter(crate::names::gateway::OPS_ACCEPTED).incr();
+        hub.counter("not.a.canonical.name").incr();
+        hub.gauge(crate::names::TRACE_BUFFER_CAPACITY).set(1024);
+        hub.histogram(crate::names::net::ADMISSION_NS).record(5);
+        let text = prometheus(&hub.snapshot());
+        assert!(
+            text.contains(
+                "# HELP gateway_ops_accepted Ops admitted into a session mailbox\n# TYPE gateway_ops_accepted counter\n"
+            ),
+            "{text}"
+        );
+        assert!(
+            text.contains("# HELP trace_buffer_capacity Router flight-recorder ring capacity"),
+            "{text}"
+        );
+        assert!(
+            text.contains("# HELP net_admission_ns Wall nanoseconds per ingress call"),
+            "{text}"
+        );
+        assert!(!text.contains("# HELP not_a_canonical_name"), "{text}");
+        assert!(text.contains("# TYPE not_a_canonical_name counter\n"), "{text}");
+    }
+
+    #[test]
+    fn slo_trace_stages_render_flat_json() {
+        let e = TraceEvent {
+            seq: 12,
+            epoch: 3,
+            tick: 12,
+            stage: TraceStage::SloTripped {
+                objective: "admission_p99",
+                measured: 40,
+                threshold: 8,
+                burn_milli: 5000,
+            },
+        };
+        assert_eq!(
+            trace_event_json(&e),
+            "{\"seq\":12,\"epoch\":3,\"tick\":12,\"stage\":\"slo_tripped\",\"objective\":\"admission_p99\",\"measured\":40,\"threshold\":8,\"burn_milli\":5000}"
+        );
+        let e = TraceEvent {
+            seq: 20,
+            epoch: 5,
+            tick: 20,
+            stage: TraceStage::SloRecovered { objective: "admission_p99", measured: 4, threshold: 8 },
+        };
+        assert!(trace_event_json(&e).contains("\"stage\":\"slo_recovered\""));
     }
 
     #[test]

@@ -1,0 +1,441 @@
+//! Heat accounting: sliding tick-window load aggregates per shard.
+//!
+//! Counters (the rest of this crate) are monotone since process start;
+//! a split/merge policy needs *heat over time* — how hot is shard 3
+//! **right now**, relative to its fair share? This module folds one
+//! [`EpochHeatSample`] per router epoch into a [`HeatWindow`] of recent
+//! epochs bounded by logical ticks, and summarises the window as a
+//! [`HeatReport`]: global rates (ops per kilotick, refusal rate by
+//! class, DP-budget burn, escrow pressure) plus a per-shard
+//! skew/imbalance score — the exact signal an elastic-resharding
+//! policy consumes.
+//!
+//! Determinism rules, same as the trace layer:
+//!
+//! * **logical time only** — windows are measured in ticks, never wall
+//!   clock, so the same seeded run produces the same reports at any
+//!   worker count (a wall-clock window would move with host speed);
+//! * **integer arithmetic only** — rates are milli-units (`x1000`) and
+//!   burns micro-units (`x1e6`), never floats, so report bytes cannot
+//!   drift across platforms;
+//! * **`&mut` accumulation** — per-shard tallies are accumulated inside
+//!   the worker scope via exclusive references and merged in shard
+//!   order at the epoch barrier; no locks, no atomics, no ordering
+//!   races to leak into the bytes.
+
+use std::collections::VecDeque;
+
+/// Stable labels for the admission-refusal classes tracked per window,
+/// in the fixed order used by every `refused_by_class` array in this
+/// module. These match the gateway's `AdmissionError::label` values
+/// plus the governance DP-budget refusal.
+pub const REFUSAL_CLASSES: [&str; 6] = [
+    "rate_limited",
+    "mailbox_full",
+    "unknown_user",
+    "duplicate_register",
+    "shard_down",
+    "budget_refused",
+];
+
+/// Number of refusal classes in [`REFUSAL_CLASSES`].
+pub const REFUSAL_CLASS_COUNT: usize = REFUSAL_CLASSES.len();
+
+/// Per-shard tallies accumulated *inside* the worker scope via `&mut`
+/// while the shard executes its epoch batch, then handed back to the
+/// router at the merge barrier.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardHeatSample {
+    /// Ops routed into this shard's epoch queue (pre-route phase).
+    pub routed: u64,
+    /// Ops the shard platform executed successfully.
+    pub executed: u64,
+    /// Ops the shard platform refused or failed.
+    pub failed: u64,
+    /// Ops still queued for this shard when the epoch folded (held by
+    /// an open breaker or deferred past the barrier).
+    pub queue_depth: u64,
+}
+
+impl ShardHeatSample {
+    /// Accumulates another sample into this one (used when a worker
+    /// processes one shard across several pipeline chunks).
+    pub fn merge(&mut self, other: &ShardHeatSample) {
+        self.routed += other.routed;
+        self.executed += other.executed;
+        self.failed += other.failed;
+        self.queue_depth += other.queue_depth;
+    }
+}
+
+/// Everything one router epoch contributes to the heat window. Built by
+/// the router at the epoch barrier from values it already tracks; the
+/// heat window itself never reaches into router state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EpochHeatSample {
+    /// Router epoch this sample covers.
+    pub epoch: u64,
+    /// Logical tick at the *end* of the epoch (fold time).
+    pub tick: u64,
+    /// Ticks the epoch advanced the clock by.
+    pub ticks: u64,
+    /// Ops admitted into session mailboxes during the epoch.
+    pub admitted: u64,
+    /// Admission refusals by class, indexed per [`REFUSAL_CLASSES`].
+    pub refused_by_class: [u64; REFUSAL_CLASS_COUNT],
+    /// Micro-epsilon debited from the global DP budget this epoch.
+    pub dp_spent_micro: u64,
+    /// Cross-shard settlement entries enqueued this epoch.
+    pub escrow_enqueued: u64,
+    /// Settlement entries still in flight at fold time.
+    pub escrow_depth: u64,
+    /// Settlement entries that reached a terminal outcome this epoch.
+    pub settled: u64,
+    /// Ops or settlement entries requeued for a later epoch.
+    pub requeued: u64,
+    /// Per-shard tallies, indexed by shard id.
+    pub shards: Vec<ShardHeatSample>,
+}
+
+/// A bounded sliding window of recent [`EpochHeatSample`]s, evicted by
+/// logical tick age (never wall clock, never entry count alone).
+#[derive(Debug, Clone)]
+pub struct HeatWindow {
+    window_ticks: u64,
+    buckets: VecDeque<EpochHeatSample>,
+    epochs_folded: u64,
+}
+
+impl HeatWindow {
+    /// Creates a window covering the trailing `window_ticks` logical
+    /// ticks (clamped to at least 1).
+    pub fn new(window_ticks: u64) -> Self {
+        HeatWindow {
+            window_ticks: window_ticks.max(1),
+            buckets: VecDeque::new(),
+            epochs_folded: 0,
+        }
+    }
+
+    /// Folds one epoch's sample into the window, evicting samples that
+    /// fell out of the trailing tick range.
+    pub fn fold(&mut self, sample: EpochHeatSample) {
+        let horizon = sample.tick.saturating_sub(self.window_ticks);
+        while self.buckets.front().is_some_and(|b| b.tick <= horizon) {
+            self.buckets.pop_front();
+        }
+        self.buckets.push_back(sample);
+        self.epochs_folded += 1;
+    }
+
+    /// Total epochs ever folded (not just those still in the window).
+    pub fn epochs_folded(&self) -> u64 {
+        self.epochs_folded
+    }
+
+    /// Summarises the current window. Deterministic: pure integer
+    /// arithmetic over the folded samples, shards in id order.
+    pub fn report(&self) -> HeatReport {
+        let mut global = GlobalHeat::default();
+        let epochs = self.buckets.len() as u64;
+        let mut ticks_covered = 0u64;
+        let mut shard_count = 0usize;
+        for b in &self.buckets {
+            ticks_covered += b.ticks;
+            global.admitted += b.admitted;
+            for (acc, v) in global.refused_by_class.iter_mut().zip(b.refused_by_class) {
+                *acc += v;
+            }
+            global.dp_spent_micro += b.dp_spent_micro;
+            global.escrow_enqueued += b.escrow_enqueued;
+            global.settled += b.settled;
+            global.requeued += b.requeued;
+            shard_count = shard_count.max(b.shards.len());
+        }
+        global.refused = global.refused_by_class.iter().sum();
+        if let Some(last) = self.buckets.back() {
+            global.escrow_depth = last.escrow_depth;
+        }
+        let offered = global.admitted + global.refused;
+        global.refusal_rate_milli = (global.refused * 1000).checked_div(offered).unwrap_or(0);
+        global.ops_per_kilotick =
+            (global.admitted * 1000).checked_div(ticks_covered).unwrap_or(0);
+        global.dp_burn_micro_per_epoch = global.dp_spent_micro.checked_div(epochs).unwrap_or(0);
+
+        let mut shards: Vec<ShardHeat> = (0..shard_count)
+            .map(|i| ShardHeat { shard: i as u32, ..ShardHeat::default() })
+            .collect();
+        for b in &self.buckets {
+            for (i, s) in b.shards.iter().enumerate() {
+                let row = &mut shards[i];
+                row.routed += s.routed;
+                row.executed += s.executed;
+                row.failed += s.failed;
+            }
+        }
+        if let Some(last) = self.buckets.back() {
+            for (i, s) in last.shards.iter().enumerate() {
+                shards[i].queue_depth = s.queue_depth;
+            }
+        }
+        let total_routed: u64 = shards.iter().map(|s| s.routed).sum();
+        let mut imbalance_milli = 0u64;
+        for row in &mut shards {
+            row.share_milli = (row.routed * 1000).checked_div(total_routed).unwrap_or(0);
+            // Signed deviation from the fair 1/N share, in milli:
+            // 0 = exactly fair, +1000 = double share, -1000 = idle.
+            row.skew_milli = if total_routed == 0 {
+                0
+            } else {
+                (row.share_milli * shard_count as u64) as i64 - 1000
+            };
+            imbalance_milli = imbalance_milli.max(row.skew_milli.unsigned_abs());
+        }
+
+        let from_tick = self.buckets.front().map_or(0, |b| b.tick.saturating_sub(b.ticks));
+        let to_tick = self.buckets.back().map_or(0, |b| b.tick);
+        HeatReport {
+            window_ticks: self.window_ticks,
+            epochs,
+            from_tick,
+            to_tick,
+            imbalance_milli,
+            global,
+            shards,
+        }
+    }
+}
+
+/// Window-wide aggregates: the "how hot is the platform" half of the
+/// report. All rates are integer milli-units; burns are micro-units.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GlobalHeat {
+    /// Ops admitted within the window.
+    pub admitted: u64,
+    /// Total admission refusals within the window.
+    pub refused: u64,
+    /// Refusals by class, indexed per [`REFUSAL_CLASSES`].
+    pub refused_by_class: [u64; REFUSAL_CLASS_COUNT],
+    /// Admitted ops per 1000 logical ticks.
+    pub ops_per_kilotick: u64,
+    /// `refused * 1000 / (admitted + refused)` (0 when nothing was
+    /// offered).
+    pub refusal_rate_milli: u64,
+    /// Micro-epsilon debited from the global DP budget in the window.
+    pub dp_spent_micro: u64,
+    /// Average micro-epsilon burned per epoch in the window.
+    pub dp_burn_micro_per_epoch: u64,
+    /// Cross-shard settlement entries enqueued in the window.
+    pub escrow_enqueued: u64,
+    /// Settlement entries in flight at the most recent fold.
+    pub escrow_depth: u64,
+    /// Settlement entries settled in the window.
+    pub settled: u64,
+    /// Requeues (op or settlement) in the window.
+    pub requeued: u64,
+}
+
+/// One shard's share of the window: absolute tallies plus its deviation
+/// from the fair 1/N share.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardHeat {
+    /// Shard id.
+    pub shard: u32,
+    /// Ops routed to this shard in the window.
+    pub routed: u64,
+    /// Ops this shard executed successfully in the window.
+    pub executed: u64,
+    /// Ops this shard refused or failed in the window.
+    pub failed: u64,
+    /// Ops still queued at the most recent fold.
+    pub queue_depth: u64,
+    /// This shard's share of routed ops, in milli (`routed * 1000 /
+    /// total`).
+    pub share_milli: u64,
+    /// Signed deviation from the fair share, in milli: 0 = exactly
+    /// fair, +1000 = double the fair share, -1000 = completely idle.
+    pub skew_milli: i64,
+}
+
+/// The window summary: global heat plus per-shard skew — the load
+/// signal an elastic split/merge policy reads. Byte-identity gates
+/// compare the [`HeatReport::to_json`] rendering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HeatReport {
+    /// Trailing tick range the window covers.
+    pub window_ticks: u64,
+    /// Epoch samples currently inside the window.
+    pub epochs: u64,
+    /// First logical tick covered by the window.
+    pub from_tick: u64,
+    /// Last logical tick covered by the window.
+    pub to_tick: u64,
+    /// Largest absolute per-shard skew, in milli — the single scalar a
+    /// resharding policy thresholds on.
+    pub imbalance_milli: u64,
+    /// Window-wide aggregates.
+    pub global: GlobalHeat,
+    /// Per-shard rows, in shard-id order.
+    pub shards: Vec<ShardHeat>,
+}
+
+impl HeatReport {
+    /// Renders the full report as one deterministic JSON object (hand
+    /// rolled — this crate is dependency-free). Equal reports render
+    /// byte-identically, which the shard-count determinism gates rely
+    /// on.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256 + self.shards.len() * 128);
+        out.push_str(&format!(
+            "{{\"window_ticks\":{},\"epochs\":{},\"from_tick\":{},\"to_tick\":{},\"imbalance_milli\":{}",
+            self.window_ticks, self.epochs, self.from_tick, self.to_tick, self.imbalance_milli
+        ));
+        let g = &self.global;
+        out.push_str(&format!(
+            ",\"global\":{{\"admitted\":{},\"refused\":{},\"refused_by_class\":{{",
+            g.admitted, g.refused
+        ));
+        for (i, (label, count)) in REFUSAL_CLASSES.iter().zip(g.refused_by_class).enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{label}\":{count}"));
+        }
+        out.push_str(&format!(
+            "}},\"ops_per_kilotick\":{},\"refusal_rate_milli\":{},\"dp_spent_micro\":{},\"dp_burn_micro_per_epoch\":{},\"escrow_enqueued\":{},\"escrow_depth\":{},\"settled\":{},\"requeued\":{}}}",
+            g.ops_per_kilotick,
+            g.refusal_rate_milli,
+            g.dp_spent_micro,
+            g.dp_burn_micro_per_epoch,
+            g.escrow_enqueued,
+            g.escrow_depth,
+            g.settled,
+            g.requeued
+        ));
+        out.push_str(",\"shards\":[");
+        for (i, s) in self.shards.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"shard\":{},\"routed\":{},\"executed\":{},\"failed\":{},\"queue_depth\":{},\"share_milli\":{},\"skew_milli\":{}}}",
+                s.shard, s.routed, s.executed, s.failed, s.queue_depth, s.share_milli, s.skew_milli
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// The global half of the report rendered alone — the part that is
+    /// byte-identical *across* shard counts for shard-invariant
+    /// workloads. Per-shard rows necessarily differ when N differs, and
+    /// so does `imbalance_milli` (it *measures* placement skew), so
+    /// both stay out of this view.
+    pub fn global_json(&self) -> String {
+        let full = self.to_json();
+        let head = format!(
+            "{{\"window_ticks\":{},\"epochs\":{},\"from_tick\":{},\"to_tick\":{}",
+            self.window_ticks, self.epochs, self.from_tick, self.to_tick
+        );
+        match (full.find(",\"global\":{"), full.find(",\"shards\":[")) {
+            (Some(from), Some(to)) => format!("{head}{}}}", &full[from..to]),
+            _ => full,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(epoch: u64, tick: u64, admitted: u64, per_shard: &[u64]) -> EpochHeatSample {
+        EpochHeatSample {
+            epoch,
+            tick,
+            ticks: 4,
+            admitted,
+            refused_by_class: [0; REFUSAL_CLASS_COUNT],
+            dp_spent_micro: 0,
+            escrow_enqueued: 0,
+            escrow_depth: 0,
+            settled: 0,
+            requeued: 0,
+            shards: per_shard
+                .iter()
+                .map(|&routed| ShardHeatSample { routed, executed: routed, ..Default::default() })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn window_evicts_by_tick_age_not_entry_count() {
+        let mut w = HeatWindow::new(8);
+        w.fold(sample(0, 4, 10, &[10]));
+        w.fold(sample(1, 8, 10, &[10]));
+        w.fold(sample(2, 12, 10, &[10]));
+        // tick 4 is exactly window_ticks behind tick 12: evicted.
+        let r = w.report();
+        assert_eq!(r.epochs, 2);
+        assert_eq!(r.global.admitted, 20);
+        assert_eq!(w.epochs_folded(), 3);
+    }
+
+    #[test]
+    fn skew_is_zero_when_balanced_and_signed_when_not() {
+        let mut w = HeatWindow::new(100);
+        w.fold(sample(0, 4, 40, &[10, 10, 10, 10]));
+        let r = w.report();
+        assert!(r.shards.iter().all(|s| s.skew_milli == 0), "{r:?}");
+        assert_eq!(r.imbalance_milli, 0);
+
+        let mut w = HeatWindow::new(100);
+        w.fold(sample(0, 4, 40, &[30, 10, 0, 0]));
+        let r = w.report();
+        assert_eq!(r.shards[0].share_milli, 750);
+        assert_eq!(r.shards[0].skew_milli, 2000, "3x the fair share");
+        assert_eq!(r.shards[2].skew_milli, -1000, "idle shard");
+        assert_eq!(r.imbalance_milli, 2000);
+    }
+
+    #[test]
+    fn rates_are_integer_milli_units() {
+        let mut w = HeatWindow::new(100);
+        let mut s = sample(0, 4, 30, &[30]);
+        s.refused_by_class[0] = 10; // rate_limited
+        s.dp_spent_micro = 9;
+        w.fold(s);
+        w.fold(sample(1, 8, 30, &[30]));
+        let r = w.report();
+        assert_eq!(r.global.refused, 10);
+        assert_eq!(r.global.refusal_rate_milli, 10 * 1000 / 70);
+        assert_eq!(r.global.ops_per_kilotick, 60 * 1000 / 8);
+        assert_eq!(r.global.dp_burn_micro_per_epoch, 4, "9 micro over 2 epochs");
+    }
+
+    #[test]
+    fn json_is_deterministic_and_global_slice_drops_shards() {
+        let mut w = HeatWindow::new(16);
+        w.fold(sample(0, 4, 12, &[8, 4]));
+        let r = w.report();
+        assert_eq!(r.to_json(), w.report().to_json());
+        let g = r.global_json();
+        assert!(!g.contains("\"shards\""), "{g}");
+        assert!(
+            !g.contains("\"imbalance_milli\""),
+            "skew is a placement signal and must stay out of the global view: {g}"
+        );
+        assert!(g.starts_with('{') && g.ends_with('}'), "{g}");
+        assert!(g.contains("\"refused_by_class\":{\"rate_limited\":0"), "{g}");
+        assert!(g.contains("\"global\":{\"admitted\":12"), "{g}");
+    }
+
+    #[test]
+    fn empty_window_reports_zeroes() {
+        let w = HeatWindow::new(8);
+        let r = w.report();
+        assert_eq!(r.epochs, 0);
+        assert_eq!(r.global.ops_per_kilotick, 0);
+        assert_eq!(r.imbalance_milli, 0);
+        assert!(r.shards.is_empty());
+    }
+}

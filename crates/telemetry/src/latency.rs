@@ -1,0 +1,454 @@
+//! Stage-latency attribution: where did the epoch go?
+//!
+//! The flight recorder already captures *what happened* to every op;
+//! this module folds those [`TraceEvent`]s into *how long each stage
+//! took* — per-transition log₂ histograms over the op pipeline
+//! (admitted → routed → executed → escrowed → settled →
+//! committed), replication commit lag, and a `slowest_ops` exemplar
+//! table — so "where did the epoch go" is answerable from a live
+//! system without rerunning Criterion.
+//!
+//! All durations are **logical ticks** (event tick deltas), never wall
+//! clock: the same seeded run folds to byte-identical reports at any
+//! shard or worker count, which the ops-plane determinism gates pin.
+
+use crate::trace::{TraceEvent, TraceStage};
+use std::collections::BTreeMap;
+
+/// Exemplar rows kept in the slowest-ops table.
+pub const SLOWEST_OPS: usize = 8;
+
+/// A fixed-size log₂ histogram over tick durations: bucket `i ≥ 1`
+/// covers `[2^(i-1), 2^i)` and bucket 0 holds exact zeroes. Quantiles
+/// return the bucket's inclusive lower bound — coarse, deterministic,
+/// allocation-free.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TickHistogram {
+    counts: [u64; 65],
+    /// Values recorded.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Largest recorded value (0 when empty).
+    pub max: u64,
+}
+
+impl Default for TickHistogram {
+    fn default() -> Self {
+        TickHistogram { counts: [0; 65], count: 0, sum: 0, max: 0 }
+    }
+}
+
+impl TickHistogram {
+    fn bucket_index(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        }
+    }
+
+    /// Records one tick duration.
+    pub fn record(&mut self, value: u64) {
+        self.counts[Self::bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.max = self.max.max(value);
+    }
+
+    /// The inclusive lower bound of the bucket containing the `q`-th
+    /// per-mille value (`q` in 0..=1000), 0 when empty. `quantile(500)`
+    /// is the p50, `quantile(990)` the p99.
+    pub fn quantile(&self, q: u64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        // Rank of the target value, 1-based, rounded up.
+        let rank = (self.count * q.min(1000)).div_ceil(1000).max(1);
+        let mut seen = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return if i == 0 { 0 } else { 1u64 << (i - 1) };
+            }
+        }
+        self.max
+    }
+
+    /// Non-empty `(bucket_lower_bound, count)` pairs, ascending.
+    pub fn buckets(&self) -> Vec<(u64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c > 0)
+            .map(|(i, c)| (if i == 0 { 0 } else { 1u64 << (i - 1) }, *c))
+            .collect()
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{\"count\":{},\"sum\":{},\"max\":{},\"p50\":{},\"p99\":{}}}",
+            self.count,
+            self.sum,
+            self.max,
+            self.quantile(500),
+            self.quantile(990)
+        )
+    }
+}
+
+/// One op still in flight: what stage it last reached, and when.
+#[derive(Debug, Clone)]
+struct OpenOp {
+    op: &'static str,
+    last_stage: &'static str,
+    last_tick: u64,
+    first_tick: u64,
+    awaiting_settlement: bool,
+}
+
+/// One row of the slowest-ops exemplar table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlowOp {
+    /// The op's admission sequence number.
+    pub seq: u64,
+    /// The op's label (e.g. `"buy"`).
+    pub op: &'static str,
+    /// Label of the stage that closed the chain.
+    pub terminal: &'static str,
+    /// Ticks from admission to the terminal stage.
+    pub total_ticks: u64,
+}
+
+/// Folds flight-recorder events into per-stage latency budgets.
+///
+/// Feed every op-stream event through [`fold`](Self::fold) (in
+/// recording order — the order the router ring yields) and replication
+/// events through [`fold_replication`](Self::fold_replication); read
+/// the result with [`report`](Self::report). Open ops persist across
+/// epochs, so cross-epoch settlements attribute their full wait.
+#[derive(Debug, Clone, Default)]
+pub struct StageLatencyProfiler {
+    open: BTreeMap<u64, OpenOp>,
+    transitions: BTreeMap<(&'static str, &'static str), TickHistogram>,
+    total: TickHistogram,
+    replication_lag: TickHistogram,
+    slowest: Vec<SlowOp>,
+    closed: u64,
+}
+
+impl StageLatencyProfiler {
+    /// Creates an empty profiler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ops currently tracked between admission and their terminal
+    /// stage.
+    pub fn open_ops(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Ops whose causal chain has closed.
+    pub fn closed_ops(&self) -> u64 {
+        self.closed
+    }
+
+    /// Folds one op-stream event. Events must arrive in recording
+    /// order; replication-stream events belong in
+    /// [`fold_replication`](Self::fold_replication) instead.
+    pub fn fold(&mut self, e: &TraceEvent) {
+        match &e.stage {
+            TraceStage::Admitted { op, .. } => {
+                self.open.insert(
+                    e.seq,
+                    OpenOp {
+                        op,
+                        last_stage: "admitted",
+                        last_tick: e.tick,
+                        first_tick: e.tick,
+                        awaiting_settlement: false,
+                    },
+                );
+            }
+            // Admission refusals never opened a chain, and SLO edges
+            // borrow an unassigned seq (like refusals): nothing timed.
+            TraceStage::RateLimited { .. }
+            | TraceStage::Refused { .. }
+            | TraceStage::BudgetRefused { .. }
+            | TraceStage::SloTripped { .. }
+            | TraceStage::SloRecovered { .. } => {}
+            stage => {
+                let label = stage.label();
+                let Some(open) = self.open.get_mut(&e.seq) else {
+                    return; // chain head fell out of the ring
+                };
+                let waited = e.tick.saturating_sub(open.last_tick);
+                self.transitions.entry((open.last_stage, label)).or_default().record(waited);
+                open.last_stage = label;
+                open.last_tick = e.tick;
+                if matches!(stage, TraceStage::Escrowed { .. }) {
+                    open.awaiting_settlement = true;
+                }
+                let terminal = match stage {
+                    TraceStage::Settled { .. } => true,
+                    TraceStage::CommittedInEpoch { .. } => !open.awaiting_settlement,
+                    _ => false,
+                };
+                if terminal {
+                    let open = self.open.remove(&e.seq).expect("present above");
+                    let total = e.tick.saturating_sub(open.first_tick);
+                    self.total.record(total);
+                    self.closed += 1;
+                    self.slowest.push(SlowOp {
+                        seq: e.seq,
+                        op: open.op,
+                        terminal: label,
+                        total_ticks: total,
+                    });
+                    self.slowest
+                        .sort_by_key(|s| (std::cmp::Reverse(s.total_ticks), s.seq));
+                    self.slowest.truncate(SLOWEST_OPS);
+                }
+            }
+        }
+    }
+
+    /// Folds one replication-stream event: quorum commits contribute
+    /// their proposal-to-commit latency to the commit-lag histogram.
+    pub fn fold_replication(&mut self, e: &TraceEvent) {
+        if let TraceStage::QuorumCommitted { latency_ticks, .. } = e.stage {
+            self.replication_lag.record(latency_ticks);
+        }
+    }
+
+    /// Summarises everything folded so far.
+    pub fn report(&self) -> LatencyReport {
+        LatencyReport {
+            stages: self
+                .transitions
+                .iter()
+                .map(|((from, to), h)| StageBudget {
+                    from,
+                    to,
+                    count: h.count,
+                    sum_ticks: h.sum,
+                    p50_ticks: h.quantile(500),
+                    p99_ticks: h.quantile(990),
+                    max_ticks: h.max,
+                })
+                .collect(),
+            total: self.total.clone(),
+            replication_lag: self.replication_lag.clone(),
+            slowest_ops: self.slowest.clone(),
+            open_ops: self.open.len() as u64,
+            closed_ops: self.closed,
+        }
+    }
+}
+
+/// One stage transition's budget: how long ops spent between two
+/// adjacent pipeline stages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageBudget {
+    /// Stage the op was in.
+    pub from: &'static str,
+    /// Stage the op moved to.
+    pub to: &'static str,
+    /// Transitions observed.
+    pub count: u64,
+    /// Total ticks spent across all observed transitions.
+    pub sum_ticks: u64,
+    /// Median ticks (bucket lower bound).
+    pub p50_ticks: u64,
+    /// 99th-percentile ticks (bucket lower bound).
+    pub p99_ticks: u64,
+    /// Worst observed ticks.
+    pub max_ticks: u64,
+}
+
+/// The profiler's summary: per-transition budgets (lexicographic by
+/// stage pair), the end-to-end distribution, replication commit lag,
+/// and the slowest-ops exemplar table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyReport {
+    /// Per-transition budgets, ordered by `(from, to)`.
+    pub stages: Vec<StageBudget>,
+    /// Admission-to-terminal distribution.
+    pub total: TickHistogram,
+    /// Replication proposal-to-quorum lag distribution.
+    pub replication_lag: TickHistogram,
+    /// Slowest closed ops, worst first, ties by ascending seq.
+    pub slowest_ops: Vec<SlowOp>,
+    /// Ops still in flight when the report was taken.
+    pub open_ops: u64,
+    /// Ops whose chains closed.
+    pub closed_ops: u64,
+}
+
+impl LatencyReport {
+    /// Renders the report as one deterministic JSON object; equal
+    /// reports render byte-identically (the determinism gates compare
+    /// these strings).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"stages\":[");
+        for (i, s) in self.stages.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"from\":\"{}\",\"to\":\"{}\",\"count\":{},\"sum_ticks\":{},\"p50_ticks\":{},\"p99_ticks\":{},\"max_ticks\":{}}}",
+                s.from, s.to, s.count, s.sum_ticks, s.p50_ticks, s.p99_ticks, s.max_ticks
+            ));
+        }
+        out.push_str(&format!(
+            "],\"total\":{},\"replication_lag\":{},\"slowest_ops\":[",
+            self.total.json(),
+            self.replication_lag.json()
+        ));
+        for (i, s) in self.slowest_ops.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"seq\":{},\"op\":\"{}\",\"terminal\":\"{}\",\"total_ticks\":{}}}",
+                s.seq, s.op, s.terminal, s.total_ticks
+            ));
+        }
+        out.push_str(&format!(
+            "],\"open_ops\":{},\"closed_ops\":{}}}",
+            self.open_ops, self.closed_ops
+        ));
+        out
+    }
+
+    /// The p99 of the admitted→routed transition, in ticks — the
+    /// "admission latency" an SLO thresholds on (0 when no op has made
+    /// that transition yet).
+    pub fn admission_p99_ticks(&self) -> u64 {
+        self.stages
+            .iter()
+            .find(|s| s.from == "admitted" && s.to == "routed_to_shard")
+            .map_or(0, |s| s.p99_ticks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(seq: u64, tick: u64, stage: TraceStage) -> TraceEvent {
+        TraceEvent { seq, epoch: tick / 4, tick, stage }
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2_and_quantiles_return_lower_bounds() {
+        let mut h = TickHistogram::default();
+        for v in [0u64, 1, 2, 3, 900] {
+            h.record(v);
+        }
+        assert_eq!(h.count, 5);
+        assert_eq!(h.sum, 906);
+        assert_eq!(h.max, 900);
+        assert_eq!(h.buckets(), vec![(0, 1), (1, 1), (2, 2), (512, 1)]);
+        assert_eq!(h.quantile(500), 2, "3rd of 5 values sits in [2,4)");
+        assert_eq!(h.quantile(990), 512);
+        assert_eq!(TickHistogram::default().quantile(500), 0);
+    }
+
+    #[test]
+    fn simple_chain_attributes_each_transition() {
+        let mut p = StageLatencyProfiler::new();
+        p.fold(&ev(0, 0, TraceStage::Admitted { op: "vote", shard: 0 }));
+        p.fold(&ev(0, 4, TraceStage::RoutedToShard { shard: 0, waited_ticks: 4 }));
+        p.fold(&ev(0, 4, TraceStage::Executed { shard: 0, ok: true }));
+        p.fold(&ev(0, 8, TraceStage::CommittedInEpoch { shard: 0, height: 1, block: [0; 32] }));
+        assert_eq!(p.open_ops(), 0);
+        let r = p.report();
+        assert_eq!(r.closed_ops, 1);
+        assert_eq!(r.stages.len(), 3);
+        let routed = &r.stages[0];
+        assert_eq!((routed.from, routed.to), ("admitted", "routed_to_shard"));
+        assert_eq!(routed.sum_ticks, 4);
+        assert_eq!(r.total.sum, 8);
+        assert_eq!(r.slowest_ops[0].op, "vote");
+        assert_eq!(r.admission_p99_ticks(), 4);
+    }
+
+    #[test]
+    fn escrowed_ops_stay_open_until_settled() {
+        let mut p = StageLatencyProfiler::new();
+        p.fold(&ev(3, 0, TraceStage::Admitted { op: "buy", shard: 0 }));
+        p.fold(&ev(3, 4, TraceStage::RoutedToShard { shard: 0, waited_ticks: 4 }));
+        p.fold(&ev(3, 4, TraceStage::Escrowed { from_shard: 0, to_shard: 1, price: 9 }));
+        p.fold(&ev(3, 4, TraceStage::CommittedInEpoch { shard: 0, height: 1, block: [0; 32] }));
+        assert_eq!(p.open_ops(), 1, "escrow keeps the chain open");
+        p.fold(&ev(3, 12, TraceStage::Settled { outcome: "applied", requeues: 1 }));
+        assert_eq!(p.open_ops(), 0);
+        let r = p.report();
+        assert_eq!(r.total.sum, 12, "full admission-to-settlement span");
+        assert_eq!(r.slowest_ops[0].terminal, "settled");
+    }
+
+    #[test]
+    fn refusals_and_orphan_events_are_ignored() {
+        let mut p = StageLatencyProfiler::new();
+        p.fold(&ev(0, 0, TraceStage::RateLimited { op: "vote", retry_in_ticks: 3 }));
+        p.fold(&ev(7, 4, TraceStage::Executed { shard: 0, ok: true }));
+        let r = p.report();
+        assert_eq!(r.closed_ops, 0);
+        assert!(r.stages.is_empty());
+    }
+
+    #[test]
+    fn slowest_table_is_bounded_and_deterministically_ordered() {
+        let mut p = StageLatencyProfiler::new();
+        for seq in 0..(SLOWEST_OPS as u64 + 4) {
+            p.fold(&ev(seq, 0, TraceStage::Admitted { op: "vote", shard: 0 }));
+            let end = if seq % 2 == 0 { 20 } else { 4 };
+            p.fold(&ev(seq, end, TraceStage::CommittedInEpoch {
+                shard: 0,
+                height: 1,
+                block: [0; 32],
+            }));
+        }
+        let r = p.report();
+        assert_eq!(r.slowest_ops.len(), SLOWEST_OPS);
+        assert!(r.slowest_ops.windows(2).all(|w| {
+            w[0].total_ticks > w[1].total_ticks
+                || (w[0].total_ticks == w[1].total_ticks && w[0].seq < w[1].seq)
+        }));
+        assert_eq!(r.slowest_ops[0].seq, 0, "ties break by ascending seq");
+    }
+
+    #[test]
+    fn replication_lag_folds_quorum_commits_only() {
+        let mut p = StageLatencyProfiler::new();
+        p.fold_replication(&ev(1, 4, TraceStage::QuorumCommitted {
+            shard: 0,
+            height: 1,
+            acks: 2,
+            latency_ticks: 6,
+        }));
+        p.fold_replication(&ev(1, 4, TraceStage::BlockProposed {
+            shard: 0,
+            height: 2,
+            term: 0,
+            leader: 0,
+        }));
+        let r = p.report();
+        assert_eq!(r.replication_lag.count, 1);
+        assert_eq!(r.replication_lag.sum, 6);
+    }
+
+    #[test]
+    fn report_json_is_deterministic() {
+        let mut p = StageLatencyProfiler::new();
+        p.fold(&ev(0, 0, TraceStage::Admitted { op: "vote", shard: 0 }));
+        p.fold(&ev(0, 4, TraceStage::Executed { shard: 0, ok: true }));
+        let a = p.report().to_json();
+        let b = p.report().to_json();
+        assert_eq!(a, b);
+        assert!(a.contains("\"stages\":[{\"from\":\"admitted\",\"to\":\"executed\""), "{a}");
+    }
+}

@@ -30,6 +30,11 @@
 //!   rings, queried through [`TraceQuery`].
 //! * [`export`] — dependency-free exporters: Prometheus text exposition
 //!   for snapshots, JSONL for trace-event streams.
+//! * [`heat`] / [`latency`] / [`slo`] — the ops plane: sliding
+//!   tick-window load aggregates with per-shard skew ([`HeatWindow`]),
+//!   stage-latency attribution folded from trace events
+//!   ([`StageLatencyProfiler`]), and declarative tick-window
+//!   objectives with edge-triggered trip events ([`SloEngine`]).
 //!
 //! ## Example
 //!
@@ -52,17 +57,23 @@
 #![warn(missing_docs)]
 
 pub mod export;
+pub mod heat;
 pub mod hub;
+pub mod latency;
 pub mod metrics;
 pub mod names;
 pub mod recorder;
+pub mod slo;
 pub mod snapshot;
 pub mod span;
 pub mod trace;
 
+pub use heat::{EpochHeatSample, GlobalHeat, HeatReport, HeatWindow, ShardHeat, ShardHeatSample};
 pub use hub::TelemetryHub;
+pub use latency::{LatencyReport, SlowOp, StageBudget, StageLatencyProfiler, TickHistogram};
 pub use metrics::{Counter, Gauge, Histogram};
 pub use recorder::{FlightRecorder, RecorderStats};
+pub use slo::{SloEngine, SloInput, SloKind, SloObjective, SloSnapshot, SloTransition};
 pub use snapshot::{HistogramSnapshot, TelemetrySnapshot};
 pub use span::Span;
 pub use trace::{BlockRef, TraceEvent, TraceId, TraceQuery, TraceSpan, TraceStage};

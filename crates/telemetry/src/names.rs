@@ -98,6 +98,27 @@ pub const TRACE_EVENTS_RECORDED: &str = "trace.events.recorded";
 pub const TRACE_EVENTS_DROPPED: &str = "trace.events.dropped";
 /// Gauge: events currently held by the router-level flight recorder.
 pub const TRACE_BUFFER_LEN: &str = "trace.buffer.len";
+/// Gauge: the router-level flight recorder's ring capacity (0 when
+/// tracing is disabled) — read beside `trace.events.dropped` to judge
+/// how lossy the ring is.
+pub const TRACE_BUFFER_CAPACITY: &str = "trace.buffer.capacity";
+
+/// Ops-plane (heat accounting, stage-latency attribution, SLO engine)
+/// instrument names.
+pub mod ops_plane {
+    /// Epoch heat samples folded into the sliding window.
+    pub const HEAT_EPOCHS_FOLDED: &str = "ops_plane.heat.epochs_folded";
+    /// Gauge: largest absolute per-shard skew in the window, milli.
+    pub const HEAT_IMBALANCE_MILLI: &str = "ops_plane.heat.imbalance_milli";
+    /// SLO objectives that crossed their threshold (trip edges).
+    pub const SLO_TRIPS: &str = "ops_plane.slo.trips";
+    /// SLO objectives that came back under their threshold.
+    pub const SLO_RECOVERIES: &str = "ops_plane.slo.recoveries";
+    /// Gauge: objectives currently tripped.
+    pub const SLO_TRIPPED: &str = "ops_plane.slo.tripped";
+    /// Stats queries served by the router's live stats endpoint.
+    pub const STATS_QUERIES: &str = "ops_plane.stats.queries";
+}
 
 /// Gateway (sharded session front door) instrument names.
 ///
@@ -207,6 +228,8 @@ pub mod net {
     /// Histogram: wall-clock nanoseconds per ingress call (reporting
     /// only — no control flow reads it).
     pub const ADMISSION_NS: &str = "net.admission_ns";
+    /// Stats-query admin frames served back over connections.
+    pub const STATS_SERVED: &str = "net.stats.served";
 }
 
 /// Replication (per-shard quorum-commit cluster) instrument names.
@@ -252,6 +275,13 @@ pub const ALL_FIXED: &[&str] = &[
     TRACE_EVENTS_RECORDED,
     TRACE_EVENTS_DROPPED,
     TRACE_BUFFER_LEN,
+    TRACE_BUFFER_CAPACITY,
+    ops_plane::HEAT_EPOCHS_FOLDED,
+    ops_plane::HEAT_IMBALANCE_MILLI,
+    ops_plane::SLO_TRIPS,
+    ops_plane::SLO_RECOVERIES,
+    ops_plane::SLO_TRIPPED,
+    ops_plane::STATS_QUERIES,
     gateway::OPS_SUBMITTED,
     gateway::OPS_ACCEPTED,
     gateway::OPS_COMMITTED,
@@ -290,6 +320,7 @@ pub const ALL_FIXED: &[&str] = &[
     net::SWEEPS,
     net::JOURNAL_ENTRIES,
     net::ADMISSION_NS,
+    net::STATS_SERVED,
     replication::BLOCKS_PROPOSED,
     replication::BLOCKS_COMMITTED,
     replication::ACKS_DELIVERED,
@@ -361,6 +392,132 @@ pub fn is_canonical(name: &str) -> bool {
     false
 }
 
+/// One-line human description of a canonical metric, for `# HELP`
+/// lines in the Prometheus exposition. Every fixed name and every
+/// well-formed family member has one; unknown names return `None` (the
+/// exporter then emits no HELP line rather than inventing text). The
+/// metric-hygiene gate requires a description for every instrument a
+/// live platform or gateway registers, so a new instrument cannot ship
+/// undocumented.
+pub fn description(name: &str) -> Option<&'static str> {
+    let fixed = match name {
+        _ if name == EPOCH_COLLECT_NS => "Epoch-commit collect-phase wall nanoseconds",
+        _ if name == EPOCH_MERKLE_NS => "Epoch-commit merkle-phase wall nanoseconds per sealed block",
+        _ if name == EPOCH_SIGN_NS => "Epoch-commit sign-phase wall nanoseconds per sealed block",
+        _ if name == EPOCH_APPEND_NS => "Epoch-commit append-phase wall nanoseconds per sealed block",
+        _ if name == EPOCH_COMMITS => "Completed epoch commits",
+        _ if name == EPOCH_ABORTS => "Aborted epoch commits (rogue validator outlasted retries)",
+        _ if name == EPOCH_BLOCKS_SEALED => "Blocks sealed across all epoch commits",
+        _ if name == EPOCH_TXS_SUBMITTED => "Transactions submitted to the mempool by epoch commits",
+        _ if name == EPOCH_CHAIN_HEIGHT => "Audit-chain height after the most recent epoch commit",
+        _ if name == MODERATION_REPORTS_DEFERRED => "Moderation reports deferred while the slot was down",
+        _ if name == MODERATION_REPORTS_REPLAYED => "Held moderation reports replayed after recovery",
+        _ if name == MODERATION_REPORTS_HELD => "Moderation reports currently held",
+        _ if name == ESCAPE_GOVERNANCE => "Escape-hatch uses: direct governance access",
+        _ if name == ESCAPE_REPUTATION => "Escape-hatch uses: direct reputation access",
+        _ if name == ESCAPE_IRB => "Escape-hatch uses: direct review-board access",
+        _ if name == PLATFORM_USERS => "Registered users",
+        _ if name == PLATFORM_TICK => "Current platform logical tick",
+        _ if name == TRACE_EVENTS_RECORDED => "Trace events recorded into flight recorders",
+        _ if name == TRACE_EVENTS_DROPPED => "Trace events evicted from full flight-recorder rings",
+        _ if name == TRACE_BUFFER_LEN => "Events currently held by the router flight recorder",
+        _ if name == TRACE_BUFFER_CAPACITY => "Router flight-recorder ring capacity (0 = tracing disabled)",
+        _ if name == ops_plane::HEAT_EPOCHS_FOLDED => "Epoch heat samples folded into the sliding window",
+        _ if name == ops_plane::HEAT_IMBALANCE_MILLI => "Largest absolute per-shard load skew in the heat window, milli",
+        _ if name == ops_plane::SLO_TRIPS => "SLO objectives that crossed their threshold (trip edges)",
+        _ if name == ops_plane::SLO_RECOVERIES => "SLO objectives that came back under their threshold",
+        _ if name == ops_plane::SLO_TRIPPED => "SLO objectives currently tripped",
+        _ if name == ops_plane::STATS_QUERIES => "Stats queries served by the router live stats endpoint",
+        _ if name == gateway::OPS_SUBMITTED => "Ops offered to sessions before admission control",
+        _ if name == gateway::OPS_ACCEPTED => "Ops admitted into a session mailbox",
+        _ if name == gateway::OPS_COMMITTED => "Ops that executed successfully on a shard platform",
+        _ if name == gateway::OPS_FAILED => "Ops that reached a shard platform and were refused or failed",
+        _ if name == gateway::REJECTED_RATE_LIMITED => "Admission refusals: token bucket empty",
+        _ if name == gateway::REJECTED_MAILBOX_FULL => "Admission refusals: session mailbox full",
+        _ if name == gateway::REJECTED_SHARD_DOWN => "Admission refusals: home shard breaker open",
+        _ if name == gateway::REJECTED_UNKNOWN_USER => "Admission refusals: no session for the named user",
+        _ if name == gateway::REJECTED_DUPLICATE_REGISTER => "Admission refusals: duplicate Register for an existing session",
+        _ if name == gateway::SETTLEMENT_ENQUEUED => "Cross-shard settlement entries enqueued",
+        _ if name == gateway::SETTLEMENT_APPLIED => "Cross-shard settlement entries applied",
+        _ if name == gateway::SETTLEMENT_REJECTED => "Cross-shard settlement entries rejected (refund path)",
+        _ if name == gateway::SETTLEMENT_REQUEUED => "Cross-shard settlement entries requeued (target module down)",
+        _ if name == gateway::SETTLEMENT_DEPTH => "Settlement entries currently in flight",
+        _ if name == gateway::EPOCHS => "Router epochs executed",
+        _ if name == gateway::SESSIONS => "Connected sessions",
+        _ if name == gateway::BATCH_SIZE => "Ops per shard batch",
+        _ if name == gateway::SHARD_COMMIT_FAILURES => "Shard commit failures observed by router breakers",
+        _ if name == gateway::SHARD_EPOCHS_SKIPPED => "Shard epochs skipped while the shard breaker was open",
+        _ if name == gateway::DP_SPENT_MICRO => "Micro-epsilon debited from the global DP budget",
+        _ if name == gateway::DP_ADMITTED => "Sensor releases admitted against the global DP budget",
+        _ if name == gateway::DP_REFUSED => "Sensor releases refused fail-closed on DP budget exhaustion",
+        _ if name == gateway::GOVERNANCE_DELEGATIONS => "Delegation changes applied across shards at the merge barrier",
+        _ if name == gateway::GOVERNANCE_QUADRATIC_VOTES => "Credit-budgeted quadratic ballots executed on a shard",
+        _ if name == gateway::GOVERNANCE_APPEALS => "Moderation appeals adjudicated on a shard",
+        _ if name == net::CONNS_ACCEPTED => "Connections ever accepted",
+        _ if name == net::CONNS_CLOSED => "Connections closed, any cause",
+        _ if name == net::CONNS_OPEN => "Connections currently open or draining",
+        _ if name == net::BYTES_READ => "Bytes read off client streams",
+        _ if name == net::BYTES_WRITTEN => "Ack bytes written back to clients",
+        _ if name == net::FRAMES_DECODED => "Complete frames reassembled",
+        _ if name == net::OPS_ADMITTED => "Offers the ingress admitted",
+        _ if name == net::OPS_REFUSED => "Offers the ingress refused, transparent retries included",
+        _ if name == net::BACKPRESSURE_PAUSES => "Connections parked for admission backpressure",
+        _ if name == net::EPOCHS_FIRED => "Epoch boundaries the server fired into its ingress",
+        _ if name == net::SWEEPS => "Readiness sweeps performed",
+        _ if name == net::JOURNAL_ENTRIES => "Admission-journal records written",
+        _ if name == net::ADMISSION_NS => "Wall nanoseconds per ingress call, reporting only",
+        _ if name == net::STATS_SERVED => "Stats-query admin frames served back over connections",
+        _ if name == replication::BLOCKS_PROPOSED => "Blocks proposed by cluster leaders",
+        _ if name == replication::BLOCKS_COMMITTED => "Blocks that reached quorum commit",
+        _ if name == replication::ACKS_DELIVERED => "Follower acks delivered to leaders",
+        _ if name == replication::ACKS_LOST => "Follower acks lost to drops, crashes, or partitions",
+        _ if name == replication::LEADER_ELECTIONS => "Leader elections forced by an unreachable leader",
+        _ if name == replication::CATCH_UPS => "Log-suffix catch-ups performed by recovered validators",
+        _ if name == replication::COMMIT_LATENCY_TICKS => "Proposal-to-quorum commit latency, ticks",
+        _ if name == replication::FAILOVER_TICKS => "Election delay charged to failed-over commits, ticks",
+        "twins.sync.updates_lost" => "Twin sync updates lost in transit",
+        "twins.sync.retransmissions" => "Twin sync retransmissions after a missed ack",
+        "twins.sync.recovered" => "Twin sync updates recovered by retransmission",
+        "twins.sync.duplicates_dropped" => "Duplicate twin sync updates dropped by version dedup",
+        "twins.sync.reconciliations" => "Twin state reconciliations",
+        "twins.sync.forced_reconciliations" => "Twin reconciliations forced after repeated divergence",
+        _ => "",
+    };
+    if !fixed.is_empty() {
+        return Some(fixed);
+    }
+    if !is_canonical(name) {
+        return None;
+    }
+    // Family members share one description per family: the member is
+    // identified by its name, the family by its shape.
+    if name.starts_with(OPS_PREFIX) {
+        return Some("Platform facade operation invocations");
+    }
+    if name.starts_with("module.") {
+        return match name.rsplit_once('.').map(|(_, kind)| kind) {
+            Some("calls") => Some("Module slot calls"),
+            Some("refused") => Some("Module slot fail-closed refusals"),
+            Some("zombie") => Some("Module slot zombie passes"),
+            Some("latency_ns") => Some("Module slot operation latency, wall nanoseconds"),
+            _ => None,
+        };
+    }
+    if name.starts_with("breaker.") {
+        return Some("Circuit-breaker transitions into the named state");
+    }
+    if name.starts_with("gateway.shard.") {
+        if name.ends_with(".batch_ns") {
+            return Some("Shard batch execution latency, wall nanoseconds");
+        }
+        if name.ends_with(".queue_depth") {
+            return Some("Ops queued for the shard at the epoch barrier");
+        }
+        return Some("Shard breaker transitions into the named state");
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -414,6 +571,30 @@ mod tests {
         assert!(is_canonical(&gateway::shard_batch_ns(7)));
         assert!(is_canonical(&gateway::shard_queue_depth(0)));
         assert!(is_canonical(&gateway::shard_breaker(2, "open")));
+    }
+
+    #[test]
+    fn every_fixed_name_and_family_member_has_a_description() {
+        for name in ALL_FIXED {
+            assert!(description(name).is_some(), "undescribed fixed name: {name}");
+        }
+        assert!(description(&op("buy")).is_some());
+        assert!(description(&module_calls("moderation")).is_some());
+        assert!(description(&module_latency("privacy")).is_some());
+        assert!(description(&breaker_transition("assets", "half-open")).is_some());
+        assert!(description(&gateway::shard_batch_ns(7)).is_some());
+        assert!(description(&gateway::shard_queue_depth(0)).is_some());
+        assert!(description(&gateway::shard_breaker(2, "open")).is_some());
+        // Unknown names get no HELP text rather than invented prose.
+        assert_eq!(description("totally.made.up"), None);
+        assert_eq!(description("gateway.shard.3.jitter_ns"), None);
+        assert_eq!(description(""), None);
+        // Descriptions are exposition-safe: single line, no escaping
+        // needed.
+        for name in ALL_FIXED {
+            let d = description(name).unwrap();
+            assert!(!d.contains('\n') && !d.contains('\\'), "{name}: {d}");
+        }
     }
 
     #[test]

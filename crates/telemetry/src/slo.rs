@@ -1,0 +1,310 @@
+//! Declarative service-level objectives over tick-window heat.
+//!
+//! An objective binds a measured signal (admission p99, refusal rate,
+//! DP-budget burn) to a threshold; the engine re-evaluates every
+//! objective at each epoch barrier against the current heat window and
+//! latency report, and emits a [`SloTransition`] whenever an
+//! objective's tripped state *changes*. Transitions are what the
+//! router turns into trace stages and on-ledger health events —
+//! steady-state (still fine / still tripped) stays silent, so the
+//! audit trail records edges, not noise.
+//!
+//! Like the rest of the ops plane: logical ticks, integer milli/micro
+//! units, no wall clock — evaluation is a pure function of folded
+//! samples, so trip sequences are byte-identical at any shard or
+//! worker count.
+
+/// Which signal an objective thresholds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SloKind {
+    /// The p99 of the admitted→routed transition must stay at or below
+    /// the threshold, in ticks.
+    AdmissionP99MaxTicks,
+    /// The window refusal rate must stay at or below the threshold, in
+    /// milli (refused per 1000 offered).
+    RefusalRateMaxMilli,
+    /// The per-epoch DP-budget burn must stay at or below the
+    /// threshold, in micro-epsilon.
+    DpBurnMaxMicroPerEpoch,
+}
+
+impl SloKind {
+    /// Stable lowercase label for exports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SloKind::AdmissionP99MaxTicks => "admission_p99_max_ticks",
+            SloKind::RefusalRateMaxMilli => "refusal_rate_max_milli",
+            SloKind::DpBurnMaxMicroPerEpoch => "dp_burn_max_micro_per_epoch",
+        }
+    }
+}
+
+/// One declared objective: a named threshold over a [`SloKind`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SloObjective {
+    /// Stable objective name (lands in traces and ledger events).
+    pub name: &'static str,
+    /// Signal thresholded.
+    pub kind: SloKind,
+    /// Inclusive upper bound in the kind's unit (clamped to ≥ 1 at
+    /// evaluation, so a zero threshold cannot divide by zero).
+    pub max: u64,
+}
+
+/// The measured signals one evaluation reads, produced by the router
+/// from the heat window and latency report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SloInput {
+    /// p99 of the admitted→routed transition, ticks.
+    pub admission_p99_ticks: u64,
+    /// Window refusal rate, milli.
+    pub refusal_rate_milli: u64,
+    /// Average DP burn per epoch in the window, micro-epsilon.
+    pub dp_burn_micro_per_epoch: u64,
+}
+
+/// A tripped-state edge: one objective crossed its threshold (or came
+/// back under it) at this evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SloTransition {
+    /// The objective that changed state.
+    pub objective: &'static str,
+    /// True when the objective just tripped, false when it recovered.
+    pub tripped: bool,
+    /// The measured value at the edge.
+    pub measured: u64,
+    /// The objective's threshold.
+    pub threshold: u64,
+    /// Burn rate at the edge: `measured * 1000 / threshold` (1000 =
+    /// exactly at threshold).
+    pub burn_milli: u64,
+}
+
+/// Per-objective evaluation state.
+#[derive(Debug, Clone, Copy, Default)]
+struct ObjectiveState {
+    tripped: bool,
+    trips: u64,
+    recoveries: u64,
+    last_measured: u64,
+    last_burn_milli: u64,
+}
+
+/// Evaluates declared objectives against successive [`SloInput`]s and
+/// reports state edges.
+#[derive(Debug, Clone, Default)]
+pub struct SloEngine {
+    objectives: Vec<SloObjective>,
+    state: Vec<ObjectiveState>,
+    evaluations: u64,
+}
+
+impl SloEngine {
+    /// Creates an engine over the given objectives (evaluated in the
+    /// order declared).
+    pub fn new(objectives: Vec<SloObjective>) -> Self {
+        let state = vec![ObjectiveState::default(); objectives.len()];
+        SloEngine { objectives, state, evaluations: 0 }
+    }
+
+    /// The declared objectives.
+    pub fn objectives(&self) -> &[SloObjective] {
+        &self.objectives
+    }
+
+    /// Evaluations performed so far.
+    pub fn evaluations(&self) -> u64 {
+        self.evaluations
+    }
+
+    /// Evaluates every objective against `input`, returning only the
+    /// objectives whose tripped state changed, in declaration order.
+    pub fn evaluate(&mut self, input: &SloInput) -> Vec<SloTransition> {
+        self.evaluations += 1;
+        let mut edges = Vec::new();
+        for (obj, state) in self.objectives.iter().zip(self.state.iter_mut()) {
+            let measured = match obj.kind {
+                SloKind::AdmissionP99MaxTicks => input.admission_p99_ticks,
+                SloKind::RefusalRateMaxMilli => input.refusal_rate_milli,
+                SloKind::DpBurnMaxMicroPerEpoch => input.dp_burn_micro_per_epoch,
+            };
+            let threshold = obj.max.max(1);
+            let burn_milli = measured.saturating_mul(1000) / threshold;
+            let tripped = measured > threshold;
+            state.last_measured = measured;
+            state.last_burn_milli = burn_milli;
+            if tripped != state.tripped {
+                state.tripped = tripped;
+                if tripped {
+                    state.trips += 1;
+                } else {
+                    state.recoveries += 1;
+                }
+                edges.push(SloTransition {
+                    objective: obj.name,
+                    tripped,
+                    measured,
+                    threshold,
+                    burn_milli,
+                });
+            }
+        }
+        edges
+    }
+
+    /// Point-in-time view of every objective.
+    pub fn snapshot(&self) -> SloSnapshot {
+        SloSnapshot {
+            evaluations: self.evaluations,
+            objectives: self
+                .objectives
+                .iter()
+                .zip(&self.state)
+                .map(|(obj, s)| SloObjectiveState {
+                    name: obj.name,
+                    kind: obj.kind.label(),
+                    threshold: obj.max.max(1),
+                    measured: s.last_measured,
+                    burn_milli: s.last_burn_milli,
+                    tripped: s.tripped,
+                    trips: s.trips,
+                    recoveries: s.recoveries,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One objective's row in a [`SloSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SloObjectiveState {
+    /// Objective name.
+    pub name: &'static str,
+    /// Kind label.
+    pub kind: &'static str,
+    /// Effective threshold.
+    pub threshold: u64,
+    /// Most recently measured value.
+    pub measured: u64,
+    /// Most recent burn rate, milli.
+    pub burn_milli: u64,
+    /// Whether the objective is currently tripped.
+    pub tripped: bool,
+    /// Total trips since engine creation.
+    pub trips: u64,
+    /// Total recoveries since engine creation.
+    pub recoveries: u64,
+}
+
+/// Every objective's current state — the "SLO state" a stats query
+/// serves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SloSnapshot {
+    /// Evaluations performed.
+    pub evaluations: u64,
+    /// Per-objective rows, in declaration order.
+    pub objectives: Vec<SloObjectiveState>,
+}
+
+impl SloSnapshot {
+    /// Renders the snapshot as one deterministic JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = format!("{{\"evaluations\":{},\"objectives\":[", self.evaluations);
+        for (i, o) in self.objectives.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"kind\":\"{}\",\"threshold\":{},\"measured\":{},\"burn_milli\":{},\"tripped\":{},\"trips\":{},\"recoveries\":{}}}",
+                o.name, o.kind, o.threshold, o.measured, o.burn_milli, o.tripped, o.trips, o.recoveries
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> SloEngine {
+        SloEngine::new(vec![
+            SloObjective {
+                name: "admission_p99",
+                kind: SloKind::AdmissionP99MaxTicks,
+                max: 8,
+            },
+            SloObjective {
+                name: "refusal_rate",
+                kind: SloKind::RefusalRateMaxMilli,
+                max: 100,
+            },
+            SloObjective {
+                name: "dp_burn",
+                kind: SloKind::DpBurnMaxMicroPerEpoch,
+                max: 1000,
+            },
+        ])
+    }
+
+    #[test]
+    fn transitions_fire_only_on_edges() {
+        let mut e = engine();
+        let calm = SloInput { admission_p99_ticks: 4, refusal_rate_milli: 10, ..Default::default() };
+        assert!(e.evaluate(&calm).is_empty(), "nothing tripped yet");
+        let hot = SloInput { admission_p99_ticks: 40, ..calm };
+        let edges = e.evaluate(&hot);
+        assert_eq!(edges.len(), 1);
+        assert_eq!(edges[0].objective, "admission_p99");
+        assert!(edges[0].tripped);
+        assert_eq!(edges[0].burn_milli, 5000);
+        assert!(e.evaluate(&hot).is_empty(), "still tripped: no edge");
+        let edges = e.evaluate(&calm);
+        assert_eq!(edges.len(), 1);
+        assert!(!edges[0].tripped, "recovery edge");
+        let snap = e.snapshot();
+        assert_eq!(snap.objectives[0].trips, 1);
+        assert_eq!(snap.objectives[0].recoveries, 1);
+        assert_eq!(snap.evaluations, 4);
+    }
+
+    #[test]
+    fn at_threshold_is_not_tripped() {
+        let mut e = engine();
+        let edges = e.evaluate(&SloInput {
+            refusal_rate_milli: 100,
+            ..Default::default()
+        });
+        assert!(edges.is_empty(), "inclusive upper bound");
+        let edges = e.evaluate(&SloInput {
+            refusal_rate_milli: 101,
+            ..Default::default()
+        });
+        assert_eq!(edges.len(), 1);
+        assert_eq!(edges[0].burn_milli, 1010);
+    }
+
+    #[test]
+    fn zero_threshold_is_clamped() {
+        let mut e = SloEngine::new(vec![SloObjective {
+            name: "strict",
+            kind: SloKind::RefusalRateMaxMilli,
+            max: 0,
+        }]);
+        let edges = e.evaluate(&SloInput { refusal_rate_milli: 5, ..Default::default() });
+        assert_eq!(edges.len(), 1);
+        assert_eq!(edges[0].threshold, 1);
+    }
+
+    #[test]
+    fn snapshot_json_is_deterministic() {
+        let mut e = engine();
+        e.evaluate(&SloInput { dp_burn_micro_per_epoch: 2500, ..Default::default() });
+        let a = e.snapshot().to_json();
+        assert_eq!(a, e.snapshot().to_json());
+        assert!(a.contains("\"name\":\"dp_burn\""), "{a}");
+        assert!(a.contains("\"tripped\":true"), "{a}");
+        assert!(a.contains("\"burn_milli\":2500"), "{a}");
+    }
+}

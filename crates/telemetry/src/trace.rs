@@ -254,6 +254,30 @@ pub enum TraceStage {
         /// `"perm-ban"`, `"restore"`, `"upheld"`).
         action: &'static str,
     },
+    /// Ops plane: a service-level objective crossed its threshold at
+    /// the epoch barrier. Like refusals, the event borrows the next
+    /// unassigned seq — it records *where in the admission stream* the
+    /// objective tripped.
+    SloTripped {
+        /// The tripped objective's name.
+        objective: &'static str,
+        /// Measured value at the edge (objective's unit).
+        measured: u64,
+        /// The objective's threshold.
+        threshold: u64,
+        /// Burn rate at the edge, milli (1000 = at threshold).
+        burn_milli: u64,
+    },
+    /// Ops plane: a previously tripped objective came back under its
+    /// threshold.
+    SloRecovered {
+        /// The recovered objective's name.
+        objective: &'static str,
+        /// Measured value at the edge (objective's unit).
+        measured: u64,
+        /// The objective's threshold.
+        threshold: u64,
+    },
 }
 
 impl TraceStage {
@@ -282,6 +306,8 @@ impl TraceStage {
             TraceStage::BudgetRefused { .. } => "budget_refused",
             TraceStage::Delegated { .. } => "delegated",
             TraceStage::Escalated { .. } => "escalated",
+            TraceStage::SloTripped { .. } => "slo_tripped",
+            TraceStage::SloRecovered { .. } => "slo_recovered",
         }
     }
 

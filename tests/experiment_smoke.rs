@@ -8,7 +8,7 @@ use metaverse_bench::experiments::{run_all, run_direct};
 #[test]
 fn all_experiments_run_and_are_well_formed() {
     let results = run_all(metaverse_bench::DEFAULT_SEED);
-    assert_eq!(results.len(), 27);
+    assert_eq!(results.len(), 28);
     for (i, result) in results.iter().enumerate() {
         assert_eq!(result.id, format!("E{}", i + 1));
         assert!(!result.title.is_empty());
@@ -29,7 +29,7 @@ fn all_experiments_run_and_are_well_formed() {
 }
 
 // The rerun-based tests below cover the direct-call experiments
-// (E1–E19) only: the gateway-scale experiments (E20–E27) replay a
+// (E1–E19) only: the gateway-scale experiments (E20–E28) replay a
 // 120k-op stream per cell, and each already has a dedicated
 // re-run/byte-identity gate (`gateway/tests/determinism.rs`,
 // `gateway/tests/replication_determinism.rs`, and the per-experiment
